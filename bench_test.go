@@ -1,0 +1,346 @@
+package replication_test
+
+// The benchmark harness regenerates the performance-study numbers
+// (PS1–PS7 in DESIGN.md) under `go test -bench`. Each benchmark family
+// corresponds to one experiment:
+//
+//	BenchmarkProtocol       — baseline request latency per technique
+//	                          (the per-figure protocols of figs 2–14)
+//	BenchmarkPS1Replicas    — response time vs replica count
+//	BenchmarkPS2WriteMix    — response time vs write fraction
+//	BenchmarkPS3Messages    — messages/op (reported as msgs/op metric)
+//	BenchmarkPS4Conflicts   — abort rate under contention (aborts/op)
+//	BenchmarkPS6Staleness   — divergence after load (divergence metric)
+//	BenchmarkPS7TxnSize     — latency vs operations per transaction
+//
+// PS5 (fail-over and blocking windows) is a time-domain experiment, not
+// a throughput one: `go run ./cmd/perfstudy -study 5` produces its
+// table, and internal/study's TestFailoverShapes pins its shape.
+//
+// Absolute numbers reflect the simulated substrate; EXPERIMENTS.md
+// records the shapes these benchmarks are expected to (and do) show.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"replication"
+	"replication/internal/fd"
+	"replication/internal/recon"
+	"replication/internal/simnet"
+	"replication/internal/workload"
+)
+
+// benchCluster builds a cluster for benchmarking (fast constant-latency
+// network) and a ready client.
+func benchCluster(b *testing.B, cfg replication.Config) (*replication.Cluster, *replication.Client) {
+	b.Helper()
+	if cfg.Net.Latency == nil {
+		cfg.Net.Latency = simnet.ConstantLatency(50 * time.Microsecond)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	c, err := replication.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	cl := c.NewClient()
+	// Warm-up settles group formation outside the timer.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := cl.InvokeOp(ctx, replication.Write("warmup", []byte("w"))); err != nil {
+		b.Fatalf("warm-up: %v", err)
+	}
+	return c, cl
+}
+
+// runOps drives b.N requests from gen through cl, failing the benchmark
+// on errors and returning commit/abort counts.
+func runOps(b *testing.B, cl *replication.Client, gen *workload.Generator) (committed, aborted int) {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	for i := 0; i < b.N; i++ {
+		res, err := cl.Invoke(ctx, gen.NextTxn(""))
+		if err != nil {
+			b.Fatalf("op %d: %v", i, err)
+		}
+		if res.Committed {
+			committed++
+		} else {
+			aborted++
+		}
+	}
+	return committed, aborted
+}
+
+// BenchmarkProtocol measures the baseline single-operation update
+// latency of every technique — the quantitative companion to the phase
+// diagrams of figures 2–14.
+func BenchmarkProtocol(b *testing.B) {
+	for _, p := range replication.Protocols() {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			_, cl := benchCluster(b, replication.Config{
+				Protocol: p, Replicas: 3, LazyDelay: time.Millisecond,
+			})
+			gen := workload.New(workload.Config{WriteFraction: 1, Keys: 256, Seed: 1})
+			b.ResetTimer()
+			runOps(b, cl, gen)
+		})
+	}
+}
+
+// BenchmarkPS1Replicas sweeps the replica count for a representative of
+// each coordination style.
+func BenchmarkPS1Replicas(b *testing.B) {
+	for _, p := range []replication.Protocol{
+		replication.Active, replication.Passive, replication.EagerLockUE,
+		replication.Certification, replication.LazyPrimary,
+	} {
+		for _, n := range []int{3, 5, 7} {
+			p, n := p, n
+			b.Run(fmt.Sprintf("%s/n=%d", p, n), func(b *testing.B) {
+				_, cl := benchCluster(b, replication.Config{
+					Protocol: p, Replicas: n, LazyDelay: time.Millisecond,
+				})
+				gen := workload.New(workload.Config{WriteFraction: 1, Keys: 256, Seed: 1})
+				b.ResetTimer()
+				runOps(b, cl, gen)
+			})
+		}
+	}
+}
+
+// BenchmarkPS2WriteMix sweeps the write fraction.
+func BenchmarkPS2WriteMix(b *testing.B) {
+	for _, p := range []replication.Protocol{
+		replication.Active, replication.EagerABCastUE,
+		replication.Certification, replication.LazyPrimary, replication.LazyUE,
+	} {
+		for _, w := range []float64{0, 0.2, 0.8} {
+			p, w := p, w
+			b.Run(fmt.Sprintf("%s/w=%.0f%%", p, w*100), func(b *testing.B) {
+				_, cl := benchCluster(b, replication.Config{
+					Protocol: p, Replicas: 3, LazyDelay: time.Millisecond,
+				})
+				gen := workload.New(workload.Config{WriteFraction: w, Keys: 256, Seed: 1})
+				b.ResetTimer()
+				runOps(b, cl, gen)
+			})
+		}
+	}
+}
+
+// BenchmarkPS3Messages reports the Gray-style message overhead per
+// operation alongside latency.
+func BenchmarkPS3Messages(b *testing.B) {
+	for _, p := range replication.Protocols() {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			c, cl := benchCluster(b, replication.Config{
+				Protocol: p, Replicas: 3, LazyDelay: time.Millisecond,
+			})
+			gen := workload.New(workload.Config{WriteFraction: 1, Keys: 256, Seed: 1})
+			c.Network().ResetStats()
+			b.ResetTimer()
+			runOps(b, cl, gen)
+			b.StopTimer()
+			stats := c.Network().Stats()
+			msgs := stats.Sent - stats.PerKind[fd.MsgKind]
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+			b.ReportMetric(float64(stats.Bytes)/float64(b.N), "bytes/op")
+		})
+	}
+}
+
+// BenchmarkPS4Conflicts measures abort behaviour under low and high
+// contention for the techniques that abort (certification) or retry
+// (distributed locking).
+func BenchmarkPS4Conflicts(b *testing.B) {
+	for _, p := range []replication.Protocol{replication.Certification, replication.EagerLockUE} {
+		for _, keys := range []int{256, 4} {
+			p, keys := p, keys
+			b.Run(fmt.Sprintf("%s/keys=%d", p, keys), func(b *testing.B) {
+				c, _ := benchCluster(b, replication.Config{Protocol: p, Replicas: 3})
+				// Two concurrent clients create the conflicts.
+				cl2 := c.NewClient()
+				stop := make(chan struct{})
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					gen := workload.New(workload.Config{WriteFraction: 1, Keys: keys, OpsPerTxn: 2, Seed: 99})
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+					defer cancel()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						_, _ = cl2.Invoke(ctx, gen.NextTxn(""))
+					}
+				}()
+				cl := c.NewClient()
+				gen := workload.New(workload.Config{WriteFraction: 1, Keys: keys, OpsPerTxn: 2, Seed: 1})
+				b.ResetTimer()
+				_, aborted := runOps(b, cl, gen)
+				b.StopTimer()
+				close(stop)
+				<-done
+				b.ReportMetric(float64(aborted)/float64(b.N), "aborts/op")
+			})
+		}
+	}
+}
+
+// BenchmarkPS6Staleness reports post-load divergence for lazy techniques
+// at different propagation delays.
+func BenchmarkPS6Staleness(b *testing.B) {
+	for _, p := range []replication.Protocol{replication.LazyPrimary, replication.LazyUE} {
+		for _, delay := range []time.Duration{time.Millisecond, 10 * time.Millisecond} {
+			p, delay := p, delay
+			b.Run(fmt.Sprintf("%s/delay=%s", p, delay), func(b *testing.B) {
+				c, cl := benchCluster(b, replication.Config{
+					Protocol: p, Replicas: 3, LazyDelay: delay,
+				})
+				gen := workload.New(workload.Config{WriteFraction: 1, Keys: 32, Seed: 1})
+				b.ResetTimer()
+				runOps(b, cl, gen)
+				b.StopTimer()
+				b.ReportMetric(recon.Divergence(c.Stores()), "divergence")
+			})
+		}
+	}
+}
+
+// BenchmarkPS7TxnSize sweeps operations per transaction: the per-op
+// coordination loops of figures 12/13 against certification's one-shot
+// ABCAST (figure 14).
+func BenchmarkPS7TxnSize(b *testing.B) {
+	for _, p := range []replication.Protocol{
+		replication.EagerPrimary, replication.EagerLockUE, replication.Certification,
+	} {
+		for _, nOps := range []int{1, 4, 8} {
+			p, nOps := p, nOps
+			b.Run(fmt.Sprintf("%s/ops=%d", p, nOps), func(b *testing.B) {
+				_, cl := benchCluster(b, replication.Config{Protocol: p, Replicas: 3})
+				gen := workload.New(workload.Config{WriteFraction: 1, Keys: 1024, OpsPerTxn: nOps, Seed: 1})
+				b.ResetTimer()
+				runOps(b, cl, gen)
+			})
+		}
+	}
+}
+
+// BenchmarkFigureTrace measures the cost of a fully traced request — the
+// price of regenerating a phase-diagram figure (figures 2–14).
+func BenchmarkFigureTrace(b *testing.B) {
+	rec := &replication.Recorder{}
+	_, cl := benchCluster(b, replication.Config{
+		Protocol: replication.Passive, Replicas: 3, Recorder: rec,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.InvokeOp(ctx, replication.Write("x", []byte("v"))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubstrates isolates the substrate costs that compose into the
+// protocol numbers above: one ABCAST delivery round and one 2PC round.
+func BenchmarkSubstrates(b *testing.B) {
+	b.Run("abcast-order", func(b *testing.B) {
+		// Active replication is a thin shim over ABCAST: its per-op cost
+		// is effectively the consensus-ordering cost.
+		_, cl := benchCluster(b, replication.Config{Protocol: replication.Active, Replicas: 3})
+		gen := workload.New(workload.Config{WriteFraction: 1, Keys: 256, Seed: 1})
+		b.ResetTimer()
+		runOps(b, cl, gen)
+	})
+	b.Run("2pc-round", func(b *testing.B) {
+		// Eager primary's AC phase is change propagation + 2PC; with a
+		// single op it is the cleanest 2PC measurement in the stack.
+		_, cl := benchCluster(b, replication.Config{Protocol: replication.EagerPrimary, Replicas: 3})
+		gen := workload.New(workload.Config{WriteFraction: 1, Keys: 256, Seed: 1})
+		b.ResetTimer()
+		runOps(b, cl, gen)
+	})
+	b.Run("local-commit", func(b *testing.B) {
+		// Lazy primary's critical path is the local commit alone.
+		_, cl := benchCluster(b, replication.Config{
+			Protocol: replication.LazyPrimary, Replicas: 3, LazyDelay: time.Millisecond,
+		})
+		gen := workload.New(workload.Config{WriteFraction: 1, Keys: 256, Seed: 1})
+		b.ResetTimer()
+		runOps(b, cl, gen)
+	})
+}
+
+// BenchmarkAblationLazyUEOrder compares the two lazy-UE reconciliation
+// designs the paper discusses in §4.6: per-object last-writer-wins vs
+// the after-commit order via Atomic Broadcast. LWW keeps the client
+// path local; the abcast mode pays ordering in the background (the
+// client path stays local too, but background ordering consumes the
+// substrate, visible at higher loads).
+func BenchmarkAblationLazyUEOrder(b *testing.B) {
+	for _, order := range []string{"lww", "abcast"} {
+		order := order
+		b.Run(order, func(b *testing.B) {
+			c, cl := benchCluster(b, replication.Config{
+				Protocol: replication.LazyUE, Replicas: 3,
+				LazyDelay: time.Millisecond, LazyUEOrder: order,
+			})
+			gen := workload.New(workload.Config{WriteFraction: 1, Keys: 64, Seed: 1})
+			c.Network().ResetStats()
+			b.ResetTimer()
+			runOps(b, cl, gen)
+			b.StopTimer()
+			stats := c.Network().Stats()
+			msgs := stats.Sent - stats.PerKind[fd.MsgKind]
+			b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+		})
+	}
+}
+
+// BenchmarkAblationNondetResolution compares deterministic hash-based
+// resolution (the state-machine assumption) against leader-decided
+// choices (semi-active's VSCAST per decision point): the price of
+// tolerating nondeterminism while keeping all-replica execution.
+func BenchmarkAblationNondetResolution(b *testing.B) {
+	b.Run("active-deterministic", func(b *testing.B) {
+		_, cl := benchCluster(b, replication.Config{
+			Protocol: replication.Active, Replicas: 3,
+			Nondet: replication.DeterministicNondet,
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.InvokeOp(ctx, replication.Nondet("k")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("semiactive-leader-decides", func(b *testing.B) {
+		_, cl := benchCluster(b, replication.Config{
+			Protocol: replication.SemiActive, Replicas: 3,
+			Nondet: replication.TrueRandomNondet,
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cl.InvokeOp(ctx, replication.Nondet("k")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,38 @@
+// Command perfstudy carries out the performance study the paper's
+// conclusion announces but never published: all techniques compared
+// under varying workloads and failure assumptions (studies PS1–PS7,
+// indexed in DESIGN.md; results recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	perfstudy              # quick pass over all seven studies
+//	perfstudy -study 3     # one study
+//	perfstudy -full        # larger sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"replication/internal/study"
+)
+
+func main() {
+	var (
+		id   = flag.Int("study", 0, "study number (1-7); 0 runs all")
+		full = flag.Bool("full", false, "larger sweeps (slower)")
+	)
+	flag.Parse()
+
+	scale := study.Quick
+	if *full {
+		scale = study.Full
+	}
+	out, err := study.Studies(*id, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfstudy:", err)
+		os.Exit(1)
+	}
+	fmt.Println(out)
+}

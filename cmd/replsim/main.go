@@ -1,0 +1,169 @@
+// Command replsim runs one replication technique over a simulated
+// cluster with a configurable workload and prints latency statistics,
+// message accounting, and (optionally) the phase trace of the first
+// request — a workbench for exploring the techniques of Wiesmann et al.
+// (ICDCS 2000).
+//
+// Usage:
+//
+//	replsim -protocol active -replicas 3 -ops 500 -writes 0.5
+//	replsim -protocol lazy-ue -lazy-delay 10ms -trace
+//	replsim -list
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/fd"
+	"replication/internal/metrics"
+	"replication/internal/recon"
+	"replication/internal/simnet"
+	"replication/internal/storage"
+	"replication/internal/trace"
+	"replication/internal/workload"
+)
+
+func main() {
+	var (
+		protocol  = flag.String("protocol", "active", "technique to run (see -list)")
+		replicas  = flag.Int("replicas", 3, "number of replica processes")
+		clients   = flag.Int("clients", 2, "number of concurrent clients")
+		ops       = flag.Int("ops", 200, "total requests")
+		writes    = flag.Float64("writes", 1.0, "write fraction [0,1]")
+		keys      = flag.Int("keys", 64, "distinct data items")
+		opsPerTxn = flag.Int("txn-ops", 1, "operations per transaction (1 = stored procedure)")
+		zipf      = flag.Float64("zipf", 0, "Zipf skew (>1 skews; 0 uniform)")
+		lazyDelay = flag.Duration("lazy-delay", time.Millisecond, "lazy propagation delay")
+		lazyOrder = flag.String("lazy-ue-order", "lww", "lazy-ue reconciliation: lww or abcast")
+		latency   = flag.Duration("latency", 100*time.Microsecond, "one-way network latency")
+		crash     = flag.Bool("crash", false, "crash the distinguished replica mid-run")
+		showTrace = flag.Bool("trace", false, "print the phase trace of the first request")
+		list      = flag.Bool("list", false, "list techniques and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("technique          community            phases (figure 16)    consistency")
+		fmt.Println("--------------------------------------------------------------------------")
+		for _, t := range core.Techniques() {
+			consistency := "strong"
+			if !t.StrongConsistency {
+				consistency = "weak"
+			}
+			fmt.Printf("%-18s %-20s %-22s %s\n", t.Protocol, t.Community, trace.FormatSequence(t.Phases), consistency)
+		}
+		return
+	}
+
+	if err := run(*protocol, *replicas, *clients, *ops, *writes, *keys, *opsPerTxn,
+		*zipf, *lazyDelay, *lazyOrder, *latency, *crash, *showTrace); err != nil {
+		fmt.Fprintln(os.Stderr, "replsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(protocol string, replicas, clients, ops int, writes float64, keys, opsPerTxn int,
+	zipf float64, lazyDelay time.Duration, lazyOrder string, latency time.Duration,
+	crash, showTrace bool) error {
+
+	rec := &trace.Recorder{}
+	c, err := core.NewCluster(core.Config{
+		Protocol:       core.Protocol(protocol),
+		Replicas:       replicas,
+		Net:            simnet.Options{Latency: simnet.ConstantLatency(latency)},
+		Recorder:       rec,
+		LazyDelay:      lazyDelay,
+		LazyUEOrder:    lazyOrder,
+		RequestTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	fmt.Printf("protocol=%s replicas=%d clients=%d ops=%d writes=%.0f%% latency=%v\n\n",
+		protocol, replicas, clients, ops, writes*100, latency)
+
+	var (
+		hist              metrics.Histogram
+		mu                sync.Mutex
+		committed, failed int
+		wg                sync.WaitGroup
+	)
+	start := time.Now()
+	perClient := ops / clients
+	for ci := 0; ci < clients; ci++ {
+		cl := c.NewClient()
+		gen := workload.New(workload.Config{
+			Keys: keys, WriteFraction: writes, OpsPerTxn: opsPerTxn,
+			Zipf: zipf, Seed: int64(ci + 1),
+		})
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			for i := 0; i < perClient; i++ {
+				if crash && ci == 0 && i == perClient/2 {
+					fmt.Printf("-- crashing %s --\n", c.Replicas()[0])
+					c.Crash(c.Replicas()[0])
+				}
+				t0 := time.Now()
+				res, err := cl.Invoke(ctx, gen.NextTxn(""))
+				mu.Lock()
+				if err == nil && res.Committed {
+					committed++
+					hist.Observe(time.Since(t0))
+				} else {
+					failed++
+				}
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Let lazy propagation settle, then report convergence among the
+	// LIVE replicas (a crashed replica's store is frozen forever).
+	var liveStores []*storage.Store
+	for _, id := range c.Replicas() {
+		if !c.Network().Crashed(id) {
+			liveStores = append(liveStores, c.Store(id))
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !recon.Converged(liveStores) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	stats := c.Network().Stats()
+	protocolMsgs := stats.Sent - stats.PerKind[fd.MsgKind]
+	fmt.Printf("committed: %d  failed/aborted: %d  elapsed: %v\n", committed, failed, elapsed.Round(time.Millisecond))
+	fmt.Printf("latency:   %s\n", hist.Summary())
+	if committed > 0 {
+		fmt.Printf("throughput: %.0f ops/s\n", float64(committed)/elapsed.Seconds())
+		fmt.Printf("messages:  %.1f per op (%d total, excluding heartbeats)\n",
+			float64(protocolMsgs)/float64(committed+failed), protocolMsgs)
+	}
+	fmt.Printf("live replicas converged: %v (divergence %.2f, %d live of %d)\n",
+		recon.Converged(liveStores), recon.Divergence(liveStores), len(liveStores), len(c.Replicas()))
+
+	if showTrace {
+		reqs := rec.Requests()
+		if len(reqs) > 0 {
+			fmt.Printf("\nphase trace of request %d:\n", reqs[0])
+			for _, e := range rec.Events(reqs[0]) {
+				fmt.Printf("  %-4s %-10s %s\n", e.Phase, e.Replica, e.Note)
+			}
+			fmt.Printf("sequence: %s\n", rec.SequenceString(reqs[0]))
+		}
+	}
+	return nil
+}

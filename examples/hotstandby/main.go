@@ -1,0 +1,80 @@
+// Hot standby: eager primary copy replication as a fault-tolerant
+// database pair (paper §4.3).
+//
+// "Currently, it is only used for fault-tolerance in order to implement
+// a hot-standby backup mechanism where a primary site executes all
+// operations and a secondary site is ready to immediately take over in
+// case the primary fails." Every commit reaches the standby inside the
+// transaction boundary (change propagation + 2PC), so fail-over loses
+// nothing: after crashing the primary mid-stream, the standby serves the
+// full history.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"replication"
+)
+
+func main() {
+	cluster, err := replication.New(replication.Config{
+		Protocol: replication.EagerPrimary,
+		Replicas: 2, // a primary/standby pair
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client := cluster.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// A stream of orders against the primary.
+	const before = 10
+	for i := 0; i < before; i++ {
+		key := fmt.Sprintf("order/%03d", i)
+		res, err := client.InvokeOp(ctx, replication.Write(key, []byte(fmt.Sprintf("qty=%d", i+1))))
+		if err != nil || !res.Committed {
+			log.Fatalf("order %d: %v %v", i, res, err)
+		}
+	}
+	fmt.Printf("%d orders committed through the primary (%s)\n", before, cluster.Replicas()[0])
+
+	// Pull the plug on the primary. A two-node pair has no quorum for
+	// automatic view changes, so — exactly as the paper notes ("a human
+	// operator can reconfigure the system so that the back-up is the new
+	// primary", §4.3) — the operator promotes the standby.
+	primary := cluster.Replicas()[0]
+	cluster.Crash(primary)
+	cluster.OperatorFailover(primary)
+	fmt.Printf("crashed %s — operator promoted the standby\n", primary)
+
+	// The same client keeps writing; the view change redirects it.
+	start := time.Now()
+	const after = 5
+	for i := before; i < before+after; i++ {
+		key := fmt.Sprintf("order/%03d", i)
+		res, err := client.InvokeOp(ctx, replication.Write(key, []byte(fmt.Sprintf("qty=%d", i+1))))
+		if err != nil || !res.Committed {
+			log.Fatalf("order %d after failover: %v %v", i, res, err)
+		}
+	}
+	fmt.Printf("%d more orders committed after fail-over (first took %v including detection)\n",
+		after, time.Since(start).Round(time.Millisecond))
+
+	// Nothing was lost: the standby has every acknowledged order.
+	standby := cluster.Replicas()[1]
+	store := cluster.Store(standby)
+	for i := 0; i < before+after; i++ {
+		key := fmt.Sprintf("order/%03d", i)
+		if _, ok := store.Read(key); !ok {
+			log.Fatalf("standby lost %s — eager replication must not lose acknowledged commits", key)
+		}
+	}
+	fmt.Printf("standby %s holds all %d acknowledged orders: zero loss\n", standby, before+after)
+	fmt.Println("(compare: the lazy primary copy example in the paper would lose the propagation window)")
+}

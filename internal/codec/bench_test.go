@@ -1,0 +1,52 @@
+package codec
+
+import "testing"
+
+type benchMsg struct {
+	ReqID  uint64
+	TxnID  string
+	Keys   []string
+	Values [][]byte
+}
+
+func benchValue() *benchMsg {
+	return &benchMsg{
+		ReqID: 42, TxnID: "t42",
+		Keys:   []string{"k1", "k2", "k3"},
+		Values: [][]byte{make([]byte, 32), make([]byte, 32), make([]byte, 32)},
+	}
+}
+
+// BenchmarkMarshal measures per-message encoding — paid once per
+// simulated wire crossing.
+func BenchmarkMarshal(b *testing.B) {
+	v := benchValue()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnmarshal measures per-message decoding.
+func BenchmarkUnmarshal(b *testing.B) {
+	data := MustMarshal(benchValue())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out benchMsg
+		if err := Unmarshal(data, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTrip is the full wire cost per message.
+func BenchmarkRoundTrip(b *testing.B) {
+	v := benchValue()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out benchMsg
+		MustUnmarshal(MustMarshal(v), &out)
+	}
+}

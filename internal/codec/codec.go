@@ -1,0 +1,56 @@
+// Package codec provides message payload encoding for the simulated
+// network. Payloads cross the network as opaque byte slices, exactly as
+// they would on a real wire; encoding catches accidental sharing of
+// mutable state between replicas, which an in-process simulation would
+// otherwise hide.
+//
+// The encoding is stdlib encoding/gob. Senders and receivers agree on the
+// concrete payload type through the message kind, so no type registration
+// or interface encoding is required.
+package codec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Marshal encodes v with gob. v is typically a pointer to a concrete
+// message struct.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("codec: marshal %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes data into v, which must be a pointer to the concrete
+// type the sender encoded.
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("codec: unmarshal %T: %w", v, err)
+	}
+	return nil
+}
+
+// MustMarshal is Marshal but panics on error. Encoding a value composed of
+// concrete exported fields cannot fail at runtime, so protocol code uses
+// MustMarshal for its own message types; a panic indicates a programming
+// error (e.g. an unexported field or a channel in a message struct).
+func MustMarshal(v any) []byte {
+	data, err := Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// MustUnmarshal is Unmarshal but panics on error. Protocol handlers use it
+// for messages whose kind guarantees the concrete type; a panic indicates
+// a sender/receiver type mismatch, which is a programming error.
+func MustUnmarshal(data []byte, v any) {
+	if err := Unmarshal(data, v); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,100 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+type sample struct {
+	Name   string
+	Values []int
+	Nested inner
+	Table  map[string]string
+}
+
+type inner struct {
+	Flag bool
+	N    uint64
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := sample{
+		Name:   "x",
+		Values: []int{1, 2, 3},
+		Nested: inner{Flag: true, N: 42},
+		Table:  map[string]string{"a": "b"},
+	}
+	data, err := Marshal(&in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out sample
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestRoundTripIsolation(t *testing.T) {
+	// Mutating the original after marshal must not affect the decoded copy:
+	// this is the aliasing protection the simulated wire exists to provide.
+	in := sample{Values: []int{1, 2, 3}}
+	data := MustMarshal(&in)
+	in.Values[0] = 99
+	var out sample
+	MustUnmarshal(data, &out)
+	if out.Values[0] != 1 {
+		t.Fatalf("decoded copy aliases the original: %v", out.Values)
+	}
+}
+
+func TestUnmarshalTypeMismatch(t *testing.T) {
+	data := MustMarshal(&sample{Name: "x"})
+	var wrong int
+	if err := Unmarshal(data, &wrong); err == nil {
+		t.Fatal("expected error decoding into wrong type")
+	}
+}
+
+func TestMustMarshalPanicsOnUnencodable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unencodable value")
+		}
+	}()
+	MustMarshal(make(chan int))
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(name string, values []int64, flag bool, n uint64) bool {
+		in := struct {
+			Name   string
+			Values []int64
+			Flag   bool
+			N      uint64
+		}{name, values, flag, n}
+		data, err := Marshal(&in)
+		if err != nil {
+			return false
+		}
+		out := in
+		out.Name, out.Values, out.Flag, out.N = "", nil, false, 0
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		// gob encodes empty slices as nil; normalise before comparing.
+		if len(in.Values) == 0 {
+			in.Values = nil
+		}
+		if len(out.Values) == 0 {
+			out.Values = nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

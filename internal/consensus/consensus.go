@@ -1,0 +1,535 @@
+// Package consensus implements rotating-coordinator consensus in the
+// style of Chandra & Toueg's ◇S algorithm.
+//
+// Consensus is the distributed-systems substrate beneath two mechanisms
+// the paper relies on: Atomic Broadcast (total order is decided one batch
+// at a time — package group reduces ABCAST to a sequence of consensus
+// instances) and semi-passive replication, whose Server Coordination and
+// Agreement Coordination phases "are part of one single coordination
+// protocol called Consensus with Deferred Initial Values" (Wiesmann et
+// al., ICDCS 2000, §3.5). The deferred form is provided by
+// ProposeDeferred: a process may join an instance without a value, and
+// only a process that actually becomes coordinator evaluates its proposal
+// function — which is how semi-passive replication arranges for only the
+// coordinator to execute the client's request.
+//
+// The algorithm proceeds in asynchronous rounds. In round r, coordinator
+// c = members[r mod n]:
+//
+//  1. every process sends its current estimate (value, ts) to c;
+//  2. c collects a majority of estimates, adopts the value with the
+//     highest ts (or obtains an initial value), and proposes it to all;
+//  3. each process waits for c's proposal or for the failure detector to
+//     suspect c; it replies ack (adopting the proposal with ts=r) or nack;
+//  4. on a majority of acks, c decides and reliably broadcasts the
+//     decision; any nack sends everyone to round r+1.
+//
+// Safety (agreement, validity) holds regardless of failure-detector
+// mistakes; a majority of correct processes plus eventual accuracy give
+// termination. Decisions are relayed on first receipt, so a coordinator
+// crash after a partial decide broadcast cannot split the outcome.
+package consensus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/fd"
+	"replication/internal/simnet"
+)
+
+// Message kind suffixes used by the consensus layer; each Manager
+// prefixes them with its own name so several managers (e.g. one for an
+// ABCAST group and one for a view group) can share a node.
+const (
+	kindEstimate = ".cs.estimate"
+	kindPropose  = ".cs.propose"
+	kindAck      = ".cs.ack"
+	kindDecide   = ".cs.decide"
+	kindQuery    = ".cs.query"
+)
+
+type estimateMsg struct {
+	Instance uint64
+	Round    int
+	Value    []byte
+	Ts       int  // round in which Value was last adopted; 0 = initial
+	HasValue bool // false while the sender's initial value is deferred
+}
+
+type proposeMsg struct {
+	Instance uint64
+	Round    int
+	Value    []byte
+}
+
+type ackMsg struct {
+	Instance uint64
+	Round    int
+	Ack      bool
+}
+
+type decideMsg struct {
+	Instance uint64
+	Value    []byte
+}
+
+// DecideFunc observes a decision. Callbacks run on the node's dispatch
+// goroutine or a proposer goroutine and must not block.
+type DecideFunc func(instance uint64, value []byte)
+
+// Manager multiplexes consensus instances over one node. All members of
+// the group must create a Manager with the same member list, and every
+// member must (eventually) call Propose or ProposeDeferred for each
+// instance it wants decided: the algorithm needs a majority of
+// participants per instance.
+type Manager struct {
+	node    *simnet.Node
+	name    string
+	members []simnet.NodeID
+	det     *fd.Detector
+	poll    time.Duration
+
+	mu        sync.Mutex
+	instances map[uint64]*instance
+	decided   map[uint64][]byte
+	subs      []DecideFunc
+}
+
+// instance is the per-instance shared state, mutated by message handlers
+// and read by the round loop under mu.
+type instance struct {
+	mu        sync.Mutex
+	estimates map[int]map[simnet.NodeID]estimateMsg // round → sender → estimate
+	proposals map[int]*proposeMsg                   // round → coordinator proposal
+	acks      map[int]map[simnet.NodeID]bool        // round → sender → ack?
+	decided   bool
+	decision  []byte
+	loop      bool // a round loop is running
+	done      chan struct{}
+}
+
+func newInstance() *instance {
+	return &instance{
+		estimates: make(map[int]map[simnet.NodeID]estimateMsg),
+		proposals: make(map[int]*proposeMsg),
+		acks:      make(map[int]map[simnet.NodeID]bool),
+		done:      make(chan struct{}),
+	}
+}
+
+// NewManager creates a consensus manager named name for node within
+// members, using det for coordinator suspicion. poll is the internal
+// condition polling interval; zero means 200µs. Managers sharing a node
+// must have distinct names; all members of one logical group must use the
+// same name.
+func NewManager(node *simnet.Node, name string, members []simnet.NodeID, det *fd.Detector, poll time.Duration) *Manager {
+	if poll == 0 {
+		poll = 200 * time.Microsecond
+	}
+	m := &Manager{
+		node:      node,
+		name:      name,
+		members:   append([]simnet.NodeID(nil), members...),
+		det:       det,
+		poll:      poll,
+		instances: make(map[uint64]*instance),
+		decided:   make(map[uint64][]byte),
+	}
+	node.Handle(name+kindEstimate, m.onEstimate)
+	node.Handle(name+kindPropose, m.onPropose)
+	node.Handle(name+kindAck, m.onAck)
+	node.Handle(name+kindDecide, m.onDecide)
+	node.Handle(name+kindQuery, m.onQuery)
+	return m
+}
+
+// OnDecide registers a decision callback, invoked exactly once per
+// instance decided at this node.
+func (m *Manager) OnDecide(f DecideFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, f)
+}
+
+// Decided returns the decision for an instance, if one is known here.
+func (m *Manager) Decided(id uint64) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.decided[id]
+	return v, ok
+}
+
+// Propose participates in instance id with initial value v and blocks
+// until a decision is learned or ctx is done.
+func (m *Manager) Propose(ctx context.Context, id uint64, v []byte) ([]byte, error) {
+	return m.propose(ctx, id, v, true, nil)
+}
+
+// ProposeDeferred participates in instance id with a deferred initial
+// value: produce is evaluated at most once, and only if this process
+// becomes coordinator while no other process has an estimate yet. This is
+// the "Consensus with Deferred Initial Values" of semi-passive
+// replication.
+func (m *Manager) ProposeDeferred(ctx context.Context, id uint64, produce func() []byte) ([]byte, error) {
+	return m.propose(ctx, id, nil, false, produce)
+}
+
+func (m *Manager) majority() int { return len(m.members)/2 + 1 }
+
+func (m *Manager) coordinator(round int) simnet.NodeID {
+	return m.members[round%len(m.members)]
+}
+
+func (m *Manager) getInstance(id uint64) *instance {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ins, ok := m.instances[id]
+	if !ok {
+		ins = newInstance()
+		m.instances[id] = ins
+	}
+	return ins
+}
+
+func (m *Manager) propose(ctx context.Context, id uint64, v []byte, hasValue bool, produce func() []byte) ([]byte, error) {
+	ins := m.getInstance(id)
+
+	ins.mu.Lock()
+	if ins.decided {
+		val := ins.decision
+		ins.mu.Unlock()
+		return val, nil
+	}
+	if ins.loop {
+		// Another local goroutine is already driving this instance
+		// (cannot happen in normal protocol use, where each member
+		// proposes once per instance); just wait for the outcome.
+		ins.mu.Unlock()
+		return m.await(ctx, ins)
+	}
+	ins.loop = true
+	ins.mu.Unlock()
+
+	go m.runRounds(id, ins, v, hasValue, produce)
+	return m.await(ctx, ins)
+}
+
+func (m *Manager) await(ctx context.Context, ins *instance) ([]byte, error) {
+	select {
+	case <-ctx.Done():
+		return nil, fmt.Errorf("consensus: %w", ctx.Err())
+	case <-ins.done:
+		ins.mu.Lock()
+		defer ins.mu.Unlock()
+		return ins.decision, nil
+	}
+}
+
+// runRounds drives the round loop for one instance until decided.
+// It terminates when the instance decides; if the process crashes the
+// sends fail silently and the loop exits on the decided check or keeps
+// cycling harmlessly until the node stops (sends from crashed endpoints
+// error out immediately).
+func (m *Manager) runRounds(id uint64, ins *instance, v []byte, hasValue bool, produce func() []byte) {
+	est := estimateMsg{Instance: id, Value: v, Ts: 0, HasValue: hasValue}
+	self := m.node.ID()
+
+	for round := 0; ; round++ {
+		if ins.isDecided() || m.node.Crashed() {
+			return
+		}
+		coord := m.coordinator(round)
+		est.Round = round
+
+		// Phase 1: send estimate to the coordinator.
+		payload := codec.MustMarshal(&est)
+		if coord == self {
+			m.recordEstimate(ins, self, est)
+		} else if err := m.node.Send(coord, m.name+kindEstimate, payload); err != nil {
+			return // crashed or network closed
+		}
+
+		// Phase 2 (coordinator): gather a majority of estimates, pick a
+		// value, propose it.
+		if coord == self {
+			if !m.coordinatorPhase(id, ins, round, &est, produce) {
+				continue // could not form a proposal this round
+			}
+		}
+
+		// Phase 3: wait for the coordinator's proposal or suspicion.
+		prop, ok := m.waitProposal(id, ins, round, coord)
+		ack := ackMsg{Instance: id, Round: round, Ack: ok}
+		if ok {
+			est.Value = prop.Value
+			est.Ts = round + 1 // rounds are 0-based; adopted ts must be > initial 0
+			est.HasValue = true
+		}
+		if coord == self {
+			m.recordAck(ins, self, round, ack.Ack)
+		} else if err := m.node.Send(coord, m.name+kindAck, codec.MustMarshal(&ack)); err != nil {
+			return
+		}
+
+		// Phase 4 (coordinator): decide on a majority of positive acks.
+		if coord == self {
+			if val, ok := m.collectAcks(id, ins, round); ok {
+				m.broadcastDecide(id, val)
+				return
+			}
+		}
+		if ins.isDecided() {
+			return
+		}
+	}
+}
+
+// coordinatorPhase returns false if no value could be formed (deferred
+// proposals all unavailable), sending the round to its ack/nack phase
+// without a proposal — participants will nack via suspicion timeout.
+func (m *Manager) coordinatorPhase(id uint64, ins *instance, round int, est *estimateMsg, produce func() []byte) bool {
+	// Wait for a majority of estimates for this round (self included).
+	ok := m.waitCondQuery(id, ins, func() bool {
+		ins.mu.Lock()
+		defer ins.mu.Unlock()
+		return len(ins.estimates[round]) >= m.majority() || ins.decided
+	})
+	if !ok || ins.isDecided() {
+		return false
+	}
+	ins.mu.Lock()
+	var best *estimateMsg
+	for _, e := range ins.estimates[round] {
+		e := e
+		if !e.HasValue {
+			continue
+		}
+		if best == nil || e.Ts > best.Ts {
+			best = &e
+		}
+	}
+	ins.mu.Unlock()
+
+	var value []byte
+	switch {
+	case best != nil:
+		value = best.Value
+	case est.HasValue:
+		value = est.Value
+	case produce != nil:
+		value = produce()
+		est.Value = value
+		est.HasValue = true
+	default:
+		return false
+	}
+
+	prop := proposeMsg{Instance: id, Round: round, Value: value}
+	m.recordProposal(ins, prop)
+	payload := codec.MustMarshal(&prop)
+	for _, peer := range m.members {
+		if peer != m.node.ID() {
+			_ = m.node.Send(peer, m.name+kindPropose, payload)
+		}
+	}
+	return true
+}
+
+// waitProposal waits for the round's proposal, giving up when the failure
+// detector suspects the coordinator (after the proposal has had a fair
+// chance to arrive).
+func (m *Manager) waitProposal(id uint64, ins *instance, round int, coord simnet.NodeID) (proposeMsg, bool) {
+	ok := m.waitCondQuery(id, ins, func() bool {
+		ins.mu.Lock()
+		p := ins.proposals[round]
+		decided := ins.decided
+		ins.mu.Unlock()
+		if p != nil || decided {
+			return true
+		}
+		return m.det != nil && m.det.Suspects(coord)
+	})
+	if !ok {
+		return proposeMsg{}, false
+	}
+	ins.mu.Lock()
+	p := ins.proposals[round]
+	ins.mu.Unlock()
+	if p != nil {
+		return *p, true
+	}
+	return proposeMsg{}, false // suspected or decided without proposal
+}
+
+// collectAcks waits for a majority of ack/nack replies for the round and
+// reports whether all of them were positive, returning the round's value.
+func (m *Manager) collectAcks(id uint64, ins *instance, round int) ([]byte, bool) {
+	ok := m.waitCondQuery(id, ins, func() bool {
+		ins.mu.Lock()
+		defer ins.mu.Unlock()
+		return len(ins.acks[round]) >= m.majority() || ins.decided
+	})
+	if !ok || ins.isDecided() {
+		return nil, false
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if len(ins.acks[round]) < m.majority() {
+		return nil, false
+	}
+	for _, ack := range ins.acks[round] {
+		if !ack {
+			return nil, false
+		}
+	}
+	p := ins.proposals[round]
+	if p == nil {
+		return nil, false
+	}
+	return p.Value, true
+}
+
+// waitCondQuery polls cond until true; it returns false only if the node
+// crashed, so waiters unwind. While waiting it periodically asks peers
+// whether the instance has already been decided — this recovers liveness
+// when the decide broadcast was lost (e.g. the process was partitioned
+// away when the group decided and healed later).
+func (m *Manager) waitCondQuery(id uint64, ins *instance, cond func() bool) bool {
+	const queryEvery = 40 // polls between decision queries (~8ms at default poll)
+	query := codec.MustMarshal(&decideMsg{Instance: id})
+	for i := 0; ; i++ {
+		if cond() {
+			return true
+		}
+		if m.node.Crashed() {
+			return false
+		}
+		if i > 0 && i%queryEvery == 0 && !ins.isDecided() {
+			for _, peer := range m.members {
+				if peer != m.node.ID() {
+					_ = m.node.Send(peer, m.name+kindQuery, query)
+				}
+			}
+		}
+		time.Sleep(m.poll)
+	}
+}
+
+// onQuery answers a decision query if this node knows the outcome.
+func (m *Manager) onQuery(msg simnet.Message) {
+	var q decideMsg
+	codec.MustUnmarshal(msg.Payload, &q)
+	if v, ok := m.Decided(q.Instance); ok {
+		_ = m.node.Send(msg.From, m.name+kindDecide, codec.MustMarshal(&decideMsg{Instance: q.Instance, Value: v}))
+	}
+}
+
+func (m *Manager) broadcastDecide(id uint64, value []byte) {
+	msg := decideMsg{Instance: id, Value: value}
+	payload := codec.MustMarshal(&msg)
+	m.decideLocal(id, value)
+	for _, peer := range m.members {
+		if peer != m.node.ID() {
+			_ = m.node.Send(peer, m.name+kindDecide, payload)
+		}
+	}
+}
+
+// decideLocal records the decision, wakes waiters, and fires callbacks.
+// Relaying to peers is the caller's job (onDecide relays once).
+func (m *Manager) decideLocal(id uint64, value []byte) {
+	ins := m.getInstance(id)
+	ins.mu.Lock()
+	if ins.decided {
+		ins.mu.Unlock()
+		return
+	}
+	ins.decided = true
+	ins.decision = value
+	close(ins.done)
+	ins.mu.Unlock()
+
+	m.mu.Lock()
+	m.decided[id] = value
+	subs := m.subs
+	m.mu.Unlock()
+	for _, f := range subs {
+		f(id, value)
+	}
+}
+
+func (ins *instance) isDecided() bool {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	return ins.decided
+}
+
+func (m *Manager) recordEstimate(ins *instance, from simnet.NodeID, e estimateMsg) {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if ins.estimates[e.Round] == nil {
+		ins.estimates[e.Round] = make(map[simnet.NodeID]estimateMsg)
+	}
+	ins.estimates[e.Round][from] = e
+}
+
+func (m *Manager) recordProposal(ins *instance, p proposeMsg) {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if ins.proposals[p.Round] == nil {
+		ins.proposals[p.Round] = &p
+	}
+}
+
+func (m *Manager) recordAck(ins *instance, from simnet.NodeID, round int, ack bool) {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if ins.acks[round] == nil {
+		ins.acks[round] = make(map[simnet.NodeID]bool)
+	}
+	ins.acks[round][from] = ack
+}
+
+func (m *Manager) onEstimate(msg simnet.Message) {
+	var e estimateMsg
+	codec.MustUnmarshal(msg.Payload, &e)
+	if v, ok := m.Decided(e.Instance); ok {
+		// Late round traffic for a decided instance: tell the sender.
+		_ = m.node.Send(msg.From, m.name+kindDecide, codec.MustMarshal(&decideMsg{Instance: e.Instance, Value: v}))
+		return
+	}
+	m.recordEstimate(m.getInstance(e.Instance), msg.From, e)
+}
+
+func (m *Manager) onPropose(msg simnet.Message) {
+	var p proposeMsg
+	codec.MustUnmarshal(msg.Payload, &p)
+	m.recordProposal(m.getInstance(p.Instance), p)
+}
+
+func (m *Manager) onAck(msg simnet.Message) {
+	var a ackMsg
+	codec.MustUnmarshal(msg.Payload, &a)
+	m.recordAck(m.getInstance(a.Instance), msg.From, a.Round, a.Ack)
+}
+
+func (m *Manager) onDecide(msg simnet.Message) {
+	var d decideMsg
+	codec.MustUnmarshal(msg.Payload, &d)
+	if _, known := m.Decided(d.Instance); known {
+		return
+	}
+	m.decideLocal(d.Instance, d.Value)
+	// Relay once: first receipt forwards to all peers, making the decide
+	// a reliable broadcast under crash faults.
+	payload := codec.MustMarshal(&d)
+	for _, peer := range m.members {
+		if peer != m.node.ID() && peer != msg.From {
+			_ = m.node.Send(peer, m.name+kindDecide, payload)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package consensus
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"replication/internal/fd"
+	"replication/internal/simnet"
+)
+
+type cluster struct {
+	net      *simnet.Network
+	ids      []simnet.NodeID
+	nodes    map[simnet.NodeID]*simnet.Node
+	dets     map[simnet.NodeID]*fd.Detector
+	managers map[simnet.NodeID]*Manager
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	net := simnet.New(simnet.Options{Latency: simnet.ConstantLatency(100 * time.Microsecond)})
+	c := &cluster{
+		net:      net,
+		nodes:    make(map[simnet.NodeID]*simnet.Node),
+		dets:     make(map[simnet.NodeID]*fd.Detector),
+		managers: make(map[simnet.NodeID]*Manager),
+	}
+	for i := 0; i < n; i++ {
+		c.ids = append(c.ids, simnet.NodeID(fmt.Sprintf("r%d", i)))
+	}
+	for _, id := range c.ids {
+		node := simnet.NewNode(net, id)
+		det := fd.New(node, c.ids, fd.Options{
+			Interval: 2 * time.Millisecond, Timeout: 20 * time.Millisecond,
+		})
+		c.nodes[id] = node
+		c.dets[id] = det
+		c.managers[id] = NewManager(node, "t", c.ids, det, 0)
+	}
+	for _, node := range c.nodes {
+		node.Start()
+	}
+	for _, det := range c.dets {
+		det.Start()
+	}
+	t.Cleanup(func() {
+		for _, det := range c.dets {
+			det.Stop()
+		}
+		for _, node := range c.nodes {
+			node.Stop()
+		}
+		net.Close()
+	})
+	return c
+}
+
+// proposeAll has every node propose its own value for instance id and
+// returns the decisions, one per node, in cluster id order.
+func (c *cluster) proposeAll(t *testing.T, id uint64, values map[simnet.NodeID][]byte, timeout time.Duration) [][]byte {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	results := make([][]byte, len(c.ids))
+	errs := make([]error, len(c.ids))
+	var wg sync.WaitGroup
+	for i, nid := range c.ids {
+		if c.net.Crashed(nid) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, nid simnet.NodeID) {
+			defer wg.Done()
+			results[i], errs[i] = c.managers[nid].Propose(ctx, id, values[nid])
+		}(i, nid)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !c.net.Crashed(c.ids[i]) {
+			t.Fatalf("node %s: %v", c.ids[i], err)
+		}
+	}
+	return results
+}
+
+func TestAgreementAllSameProposal(t *testing.T) {
+	c := newCluster(t, 3)
+	values := map[simnet.NodeID][]byte{}
+	for _, id := range c.ids {
+		values[id] = []byte("v")
+	}
+	results := c.proposeAll(t, 1, values, 5*time.Second)
+	for i, r := range results {
+		if !bytes.Equal(r, []byte("v")) {
+			t.Fatalf("node %d decided %q, want v", i, r)
+		}
+	}
+}
+
+func TestAgreementDifferentProposals(t *testing.T) {
+	c := newCluster(t, 5)
+	values := map[simnet.NodeID][]byte{}
+	for i, id := range c.ids {
+		values[id] = []byte(fmt.Sprintf("v%d", i))
+	}
+	results := c.proposeAll(t, 1, values, 5*time.Second)
+	first := results[0]
+	if len(first) == 0 {
+		t.Fatal("empty decision")
+	}
+	valid := false
+	for _, id := range c.ids {
+		if bytes.Equal(first, values[id]) {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("decision %q is not one of the proposals (validity)", first)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, first) {
+			t.Fatalf("node %d decided %q, others %q (agreement)", i, r, first)
+		}
+	}
+}
+
+func TestSequentialInstancesIndependent(t *testing.T) {
+	c := newCluster(t, 3)
+	for inst := uint64(1); inst <= 5; inst++ {
+		values := map[simnet.NodeID][]byte{}
+		for _, id := range c.ids {
+			values[id] = []byte(fmt.Sprintf("i%d", inst))
+		}
+		results := c.proposeAll(t, inst, values, 5*time.Second)
+		for _, r := range results {
+			if !bytes.Equal(r, values[c.ids[0]]) {
+				t.Fatalf("instance %d: decided %q", inst, r)
+			}
+		}
+	}
+}
+
+func TestConcurrentInstances(t *testing.T) {
+	c := newCluster(t, 3)
+	const instances = 8
+	var wg sync.WaitGroup
+	decisions := make([][]byte, instances)
+	for k := 0; k < instances; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			values := map[simnet.NodeID][]byte{}
+			for _, id := range c.ids {
+				values[id] = []byte(fmt.Sprintf("k%d", k))
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			var inner sync.WaitGroup
+			for _, nid := range c.ids {
+				inner.Add(1)
+				go func(nid simnet.NodeID) {
+					defer inner.Done()
+					v, err := c.managers[nid].Propose(ctx, uint64(100+k), values[nid])
+					if err == nil && nid == c.ids[0] {
+						decisions[k] = v
+					}
+				}(nid)
+			}
+			inner.Wait()
+		}(k)
+	}
+	wg.Wait()
+	for k, d := range decisions {
+		if !bytes.Equal(d, []byte(fmt.Sprintf("k%d", k))) {
+			t.Fatalf("instance %d decided %q", k, d)
+		}
+	}
+}
+
+func TestCoordinatorCrashStillDecides(t *testing.T) {
+	c := newCluster(t, 3)
+	// Round 0 coordinator is c.ids[0]; crash it before proposing starts.
+	c.net.Crash(c.ids[0])
+	values := map[simnet.NodeID][]byte{}
+	for _, id := range c.ids {
+		values[id] = []byte("survivor")
+	}
+	results := c.proposeAll(t, 7, values, 10*time.Second)
+	for i, id := range c.ids {
+		if c.net.Crashed(id) {
+			continue
+		}
+		if !bytes.Equal(results[i], []byte("survivor")) {
+			t.Fatalf("node %s decided %q", id, results[i])
+		}
+	}
+}
+
+func TestDeferredOnlyCoordinatorExecutes(t *testing.T) {
+	c := newCluster(t, 3)
+	var produced atomic.Int32
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	results := make([][]byte, len(c.ids))
+	for i, nid := range c.ids {
+		wg.Add(1)
+		go func(i int, nid simnet.NodeID) {
+			defer wg.Done()
+			v, err := c.managers[nid].ProposeDeferred(ctx, 9, func() []byte {
+				produced.Add(1)
+				return []byte("deferred:" + string(nid))
+			})
+			if err != nil {
+				t.Errorf("node %s: %v", nid, err)
+				return
+			}
+			results[i] = v
+		}(i, nid)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("agreement violated: %q vs %q", results[i], results[0])
+		}
+	}
+	// In the failure-free run exactly one process (the round-0
+	// coordinator) should have evaluated its deferred value.
+	if got := produced.Load(); got != 1 {
+		t.Fatalf("produce evaluated %d times, want 1", got)
+	}
+}
+
+func TestDeferredCoordinatorCrashFallsToNext(t *testing.T) {
+	c := newCluster(t, 3)
+	c.net.Crash(c.ids[0]) // round-0 coordinator gone
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	results := make(map[simnet.NodeID][]byte)
+	var mu sync.Mutex
+	for _, nid := range c.ids[1:] {
+		wg.Add(1)
+		go func(nid simnet.NodeID) {
+			defer wg.Done()
+			v, err := c.managers[nid].ProposeDeferred(ctx, 11, func() []byte {
+				return []byte("from:" + string(nid))
+			})
+			if err != nil {
+				t.Errorf("node %s: %v", nid, err)
+				return
+			}
+			mu.Lock()
+			results[nid] = v
+			mu.Unlock()
+		}(nid)
+	}
+	wg.Wait()
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	var first []byte
+	for _, v := range results {
+		if first == nil {
+			first = v
+		} else if !bytes.Equal(first, v) {
+			t.Fatalf("disagreement: %q vs %q", first, v)
+		}
+	}
+	if string(first) != "from:"+string(c.ids[1]) && string(first) != "from:"+string(c.ids[2]) {
+		t.Fatalf("unexpected decision %q", first)
+	}
+}
+
+func TestOnDecideFiredOncePerInstance(t *testing.T) {
+	c := newCluster(t, 3)
+	var fired atomic.Int32
+	c.managers[c.ids[0]].OnDecide(func(id uint64, v []byte) {
+		if id == 21 {
+			fired.Add(1)
+		}
+	})
+	values := map[simnet.NodeID][]byte{}
+	for _, id := range c.ids {
+		values[id] = []byte("x")
+	}
+	c.proposeAll(t, 21, values, 5*time.Second)
+	time.Sleep(20 * time.Millisecond) // allow relays to settle
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("OnDecide fired %d times, want 1", got)
+	}
+}
+
+func TestProposeAfterDecisionReturnsDecision(t *testing.T) {
+	c := newCluster(t, 3)
+	values := map[simnet.NodeID][]byte{}
+	for _, id := range c.ids {
+		values[id] = []byte("first")
+	}
+	c.proposeAll(t, 31, values, 5*time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	v, err := c.managers[c.ids[0]].Propose(ctx, 31, []byte("late"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, []byte("first")) {
+		t.Fatalf("late proposal decided %q, want first", v)
+	}
+}
+
+func TestDecidedQuery(t *testing.T) {
+	c := newCluster(t, 3)
+	if _, ok := c.managers[c.ids[0]].Decided(41); ok {
+		t.Fatal("instance decided before proposing")
+	}
+	values := map[simnet.NodeID][]byte{}
+	for _, id := range c.ids {
+		values[id] = []byte("q")
+	}
+	c.proposeAll(t, 41, values, 5*time.Second)
+	v, ok := c.managers[c.ids[0]].Decided(41)
+	if !ok || !bytes.Equal(v, []byte("q")) {
+		t.Fatalf("Decided = %q,%v", v, ok)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	c := newCluster(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	// Only one node proposes: no majority forms, so the call must respect
+	// its context rather than hang.
+	_, err := c.managers[c.ids[0]].Propose(ctx, 51, []byte("lonely"))
+	if err == nil {
+		t.Fatal("expected context error with no majority participating")
+	}
+}

@@ -1,0 +1,148 @@
+package consensus
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/simnet"
+)
+
+// TestAgreementUnderRandomCrashSchedules runs repeated instances over a
+// 5-node cluster, crashing up to two random members (staying under the
+// majority) at random points before or during the run. Agreement and
+// validity must hold among the survivors in every schedule.
+func TestAgreementUnderRandomCrashSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for round := 0; round < 4; round++ {
+		round := round
+		crashes := 1 + rng.Intn(2) // 1 or 2 of 5
+		victims := rng.Perm(5)[:crashes]
+		preCrash := rng.Intn(2) == 0
+		delay := time.Duration(rng.Intn(8)) * time.Millisecond
+		t.Run(fmt.Sprintf("round=%d", round), func(t *testing.T) {
+			c := newCluster(t, 5)
+			crash := func() {
+				for _, v := range victims {
+					c.net.Crash(c.ids[v])
+				}
+			}
+			if preCrash {
+				crash()
+			} else {
+				go func() {
+					time.Sleep(delay)
+					crash()
+				}()
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			type outcome struct {
+				id  simnet.NodeID
+				val []byte
+				err error
+			}
+			results := make(chan outcome, len(c.ids))
+			var wg sync.WaitGroup
+			for i, id := range c.ids {
+				wg.Add(1)
+				go func(i int, id simnet.NodeID) {
+					defer wg.Done()
+					v, err := c.managers[id].Propose(ctx, 1, []byte(fmt.Sprintf("p%d", i)))
+					results <- outcome{id: id, val: v, err: err}
+				}(i, id)
+			}
+
+			// Collect until every surviving node has decided; crashed
+			// proposers may hang until the context cancels — do not wait
+			// for them.
+			var decided [][]byte
+			deadline := time.After(25 * time.Second)
+			for len(decided) < len(c.ids)-crashes {
+				select {
+				case r := <-results:
+					if c.net.Crashed(r.id) {
+						continue
+					}
+					if r.err != nil {
+						t.Fatalf("correct node %s failed: %v", r.id, r.err)
+					}
+					decided = append(decided, r.val)
+				case <-deadline:
+					t.Fatalf("only %d survivors decided in time", len(decided))
+				}
+			}
+			cancel() // release any crashed proposers
+			wg.Wait()
+			for _, v := range decided[1:] {
+				if !bytes.Equal(v, decided[0]) {
+					t.Fatalf("agreement violated: %q vs %q", v, decided[0])
+				}
+			}
+			// Validity: the decision is one of the proposals.
+			valid := false
+			for i := range c.ids {
+				if bytes.Equal(decided[0], []byte(fmt.Sprintf("p%d", i))) {
+					valid = true
+				}
+			}
+			if !valid {
+				t.Fatalf("decision %q is not a proposal", decided[0])
+			}
+		})
+	}
+}
+
+// TestPartitionHealsAndDecides: a minority partition forms during the
+// run; the majority side decides, and after healing the minority learns
+// the decision (via the decision query).
+func TestPartitionHealsAndDecides(t *testing.T) {
+	c := newCluster(t, 3)
+	c.net.Partition([]simnet.NodeID{c.ids[0], c.ids[1]}, []simnet.NodeID{c.ids[2]})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	majority := make([][]byte, 2)
+	for i, id := range c.ids[:2] {
+		wg.Add(1)
+		go func(i int, id simnet.NodeID) {
+			defer wg.Done()
+			v, err := c.managers[id].Propose(ctx, 1, []byte("maj"))
+			if err != nil {
+				t.Errorf("%s: %v", id, err)
+				return
+			}
+			majority[i] = v
+		}(i, id)
+	}
+	// The minority proposes its own value concurrently.
+	minorityDone := make(chan []byte, 1)
+	go func() {
+		v, err := c.managers[c.ids[2]].Propose(ctx, 1, []byte("min"))
+		if err != nil {
+			minorityDone <- nil
+			return
+		}
+		minorityDone <- v
+	}()
+	wg.Wait()
+	if !bytes.Equal(majority[0], []byte("maj")) || !bytes.Equal(majority[1], []byte("maj")) {
+		t.Fatalf("majority decided %q/%q", majority[0], majority[1])
+	}
+
+	c.net.Heal()
+	select {
+	case v := <-minorityDone:
+		if !bytes.Equal(v, []byte("maj")) {
+			t.Fatalf("minority decided %q after heal, want maj", v)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("minority never learned the decision after healing")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"replication/internal/txn"
+)
+
+// TestEagerLockUEBlocksOnReplicaCrash: read-one/write-all needs every
+// site, so a replica crash makes update transactions fail (until the
+// lease janitor and retries exhaust) — the availability price of
+// write-all locking the paper's §4.4.1 model implies, and PS5's note.
+func TestEagerLockUEBlocksOnReplicaCrash(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: EagerLockUE, Replicas: 3,
+		RequestTimeout: 2 * time.Second, Retries: 1,
+		LockTimeout: 200 * time.Millisecond,
+	})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+	if _, err := cl.InvokeOp(ctx, txn.W("pre", []byte("1"))); err != nil {
+		t.Fatal(err)
+	}
+	// Crash a replica that is NOT the client's delegate.
+	victim := c.Replicas()[2]
+	if cl.Home() == victim {
+		victim = c.Replicas()[1]
+	}
+	c.Crash(victim)
+
+	res, err := cl.InvokeOp(ctx, txn.W("post", []byte("2")))
+	if err == nil && res.Committed {
+		t.Fatal("write-all committed with a site down — ROWA must not")
+	}
+	// Reads stay available (read-one).
+	res, err = cl.InvokeOp(ctx, txn.R("pre"))
+	if err != nil || !res.Committed {
+		t.Fatalf("local read should survive a remote crash: %v %v", res, err)
+	}
+	if string(res.Reads["pre"]) != "1" {
+		t.Fatalf("read %q", res.Reads["pre"])
+	}
+}
+
+// TestEagerPrimary2PCAbortOnSecondaryCrash: the primary's 2PC cannot
+// reach a crashed secondary; the transaction aborts (or the client times
+// out) rather than committing partially, and surviving replicas stay
+// consistent with each other.
+func TestEagerPrimary2PCAbortPath(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: EagerPrimary, Replicas: 3,
+		RequestTimeout: time.Second, Retries: 1,
+	})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+	if _, err := cl.InvokeOp(ctx, txn.W("pre", []byte("1"))); err != nil {
+		t.Fatal(err)
+	}
+	// Crash a secondary. The primary's next 2PC round must abort; after
+	// the view change removes the dead secondary, retries succeed.
+	c.Crash(c.Replicas()[2])
+	res, err := cl.InvokeOp(ctx, txn.W("post", []byte("2")))
+	// Either outcome is legitimate depending on when the view change
+	// lands; what must hold is consistency between the survivors.
+	_ = res
+	_ = err
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		a := c.Store(c.Replicas()[0]).Fingerprint()
+		b := c.Store(c.Replicas()[1]).Fingerprint()
+		if a == b {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("survivors diverged after a 2PC abort episode")
+}
+
+// TestRequestTimeoutSurfacesError: with every replica crashed, Invoke
+// must return ErrTimeout rather than hang.
+func TestRequestTimeoutSurfacesError(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: Certification, Replicas: 3,
+		RequestTimeout: 200 * time.Millisecond, Retries: 1,
+	})
+	cl := c.NewClient()
+	for _, id := range c.Replicas() {
+		c.Crash(id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := cl.InvokeOp(ctx, txn.W("k", []byte("v")))
+	if err == nil {
+		t.Fatal("expected an error with the whole cluster down")
+	}
+}
+
+// TestInvokeRespectsCallerContext: a cancelled caller context aborts the
+// retry loop promptly.
+func TestInvokeRespectsCallerContext(t *testing.T) {
+	c := newTestCluster(t, Config{Protocol: Passive, Replicas: 3})
+	cl := c.NewClient()
+	for _, id := range c.Replicas() {
+		c.Crash(id)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.InvokeOp(ctx, txn.W("k", []byte("v")))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Invoke ignored caller context for %v", elapsed)
+	}
+}

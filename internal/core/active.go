@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"replication/internal/group"
+	"replication/internal/simnet"
+	"replication/internal/trace"
+)
+
+// activeServer implements active replication — the state machine
+// approach (paper §3.2, figure 2):
+//
+//  1. the client sends the request to the servers using Atomic Broadcast
+//     (it addresses the group, not a replica — phases RE and SC merge);
+//  2. server coordination is the total order of the ABCAST;
+//  3. all replicas execute the request in delivery order;
+//  4. no agreement coordination — determinism makes results identical;
+//  5. every replica answers; the client keeps the first response.
+//
+// Under Config.Nondet == TrueRandomNondet the determinism assumption is
+// broken on purpose and replicas diverge — the experiment behind the
+// paper's figure 5 classification.
+type activeServer struct {
+	r  *replica
+	ab *group.Atomic
+
+	mu sync.Mutex
+	dd *dedup
+}
+
+func newActive(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	for id, r := range replicas {
+		s := &activeServer{r: r, dd: newDedup()}
+		s.ab = group.NewAtomic(r.node, "act", c.ids, r.det)
+		s.ab.OnDeliver(s.onDeliver)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+
+	// One submitter per client: ABCAST deduplicates on the submitter's
+	// (origin, seq) stream, so it must persist across requests.
+	var subMu sync.Mutex
+	subs := make(map[*Client]*group.Submitter)
+	hooks.submit = func(ctx context.Context, cl *Client, req Request) (txnResult, error) {
+		subMu.Lock()
+		sub, ok := subs[cl]
+		if !ok {
+			sub = group.NewSubmitter(cl.node, "act", c.ids)
+			subs[cl] = sub
+		}
+		subMu.Unlock()
+		if err := sub.Submit(encodeRequest(req)); err != nil {
+			return txnResult{}, err
+		}
+		return cl.awaitResponse(ctx, req.ID)
+	}
+	return hooks
+}
+
+func (s *activeServer) start() { s.ab.Start() }
+func (s *activeServer) stop()  { s.ab.Stop() }
+
+// onDeliver executes one totally-ordered request. It runs on the ABCAST
+// ordering goroutine, so execution is sequential in delivery order —
+// the isolation the state-machine approach requires.
+func (s *activeServer) onDeliver(origin simnet.NodeID, payload []byte) {
+	req := decodeRequest(payload)
+	s.r.trace(req.ID, trace.SC, "abcast")
+
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		respond(s.r.node, req, res)
+		return
+	}
+	s.mu.Unlock()
+
+	s.r.trace(req.ID, trace.EX, "")
+	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
+		return s.r.resolveNondet(req, i), nil
+	}, true)
+	if err != nil {
+		out.result = txnResult{Committed: false, Err: err.Error()}
+	} else if len(out.ws) > 0 {
+		s.r.store.Apply(out.ws, req.TxnID(), string(s.r.id), 0)
+	}
+
+	s.mu.Lock()
+	s.dd.put(req.ID, out.result)
+	s.mu.Unlock()
+
+	// Phase 5: all replicas respond; the client ignores all but the first.
+	respond(s.r.node, req, out.result)
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"replication/internal/codec"
+	"replication/internal/group"
+	"replication/internal/simnet"
+	"replication/internal/storage"
+	"replication/internal/trace"
+	"replication/internal/txn"
+)
+
+// certificationServer implements certification-based database
+// replication (paper §5.4.2, figure 14):
+//
+//  1. the client submits its transaction to one (local) server;
+//  2. the transaction executes there on shadow copies, collecting its
+//     readset (with the versions observed) and writeset — optimistic,
+//     with no initial synchronisation;
+//  3. at commit, the server ABCASTs the (readset, writeset) pair in one
+//     message;
+//  4. on delivery, every site runs the deterministic certification test
+//     in the agreed total order: commit if every read version is still
+//     current, abort otherwise — no further coordination;
+//  5. the local server answers the client with commit or abort.
+//
+// Read-only transactions execute and answer locally — the performance
+// rationale of database replication (§4: "to access data locally…").
+type certificationServer struct {
+	r  *replica
+	ab *group.Atomic
+
+	mu      sync.Mutex
+	dd      *dedup
+	waiting map[uint64]simnet.Message
+}
+
+// certMsg is the certification record entered into the total order.
+type certMsg struct {
+	Req      Request
+	Delegate simnet.NodeID
+	RS       txn.ReadSet
+	WS       storage.WriteSet
+	Result   txnResult
+}
+
+const kindCertReq = "cert.req"
+
+func newCertification(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	for id, r := range replicas {
+		s := &certificationServer{
+			r:       r,
+			dd:      newDedup(),
+			waiting: make(map[uint64]simnet.Message),
+		}
+		s.ab = group.NewAtomic(r.node, "cert", c.ids, r.det)
+		s.ab.OnDeliver(s.onDeliver)
+		r.node.Handle(kindCertReq, s.onClientRequest)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+	hooks.submit = func(ctx context.Context, cl *Client, req Request) (txnResult, error) {
+		return delegateCall(ctx, cl, req, kindCertReq)
+	}
+	return hooks
+}
+
+func (s *certificationServer) start() { s.ab.Start() }
+func (s *certificationServer) stop()  { s.ab.Stop() }
+
+func (s *certificationServer) onClientRequest(m simnet.Message) {
+	req := decodeRequest(m.Payload)
+	s.r.trace(req.ID, trace.RE, "local-server")
+
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: res}))
+		return
+	}
+	s.mu.Unlock()
+
+	// Phase 3 first (optimistic): execute locally on shadow copies.
+	s.r.trace(req.ID, trace.EX, "shadow")
+	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
+		return s.r.resolveNondet(req, i), nil
+	}, false)
+	if err != nil {
+		res := txnResult{Committed: false, Err: err.Error()}
+		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: res}))
+		return
+	}
+
+	// Read-only transactions commit locally: record their reads in the
+	// history and answer straight away.
+	if len(out.ws) == 0 {
+		for key := range out.rs {
+			s.r.hist.Append(txn.HEvent{Txn: req.TxnID(), Kind: txn.Read, Key: key, Replica: string(s.r.id)})
+		}
+		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: out.result}))
+		return
+	}
+
+	// Updates: one message carries the whole transaction into the order.
+	cm := certMsg{Req: req, Delegate: s.r.id, RS: out.rs, WS: out.ws, Result: out.result}
+	s.mu.Lock()
+	s.waiting[req.ID] = m
+	s.mu.Unlock()
+	_ = s.ab.Broadcast(codec.MustMarshal(&cm))
+}
+
+// onDeliver certifies one transaction in total order. All sites reach
+// the same verdict because they certify against identically ordered
+// state.
+func (s *certificationServer) onDeliver(origin simnet.NodeID, payload []byte) {
+	var cm certMsg
+	codec.MustUnmarshal(payload, &cm)
+	req := cm.Req
+	s.r.trace(req.ID, trace.AC, "abcast+certify")
+
+	s.mu.Lock()
+	res, done := s.dd.get(req.ID)
+	s.mu.Unlock()
+
+	if !done {
+		if txn.Certify(cm.RS, s.r.store.ReadTs) {
+			s.r.store.Apply(cm.WS, req.TxnID(), string(s.r.id), 0)
+			// The certified reads and writes enter the history in
+			// certification order at every site.
+			for key := range cm.RS {
+				s.r.hist.Append(txn.HEvent{Txn: req.TxnID(), Kind: txn.Read, Key: key, Replica: string(s.r.id)})
+			}
+			s.r.recordApply(req.TxnID(), cm.WS)
+			res = cm.Result
+		} else {
+			res = txnResult{Committed: false, Err: "certification: stale reads", Reads: cm.Result.Reads}
+		}
+		s.mu.Lock()
+		s.dd.put(req.ID, res)
+		s.mu.Unlock()
+	}
+
+	if cm.Delegate == s.r.id {
+		s.mu.Lock()
+		rpc, ok := s.waiting[req.ID]
+		delete(s.waiting, req.ID)
+		s.mu.Unlock()
+		if ok {
+			_ = s.r.node.Reply(rpc, encodeResponse(Response{ID: req.ID, Result: res}))
+		}
+	}
+}

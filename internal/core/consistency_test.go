@@ -1,0 +1,415 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/txn"
+)
+
+// TestLinearizabilityOfDSTechniques checks the paper's §2.2 claim —
+// "the distributed system replication techniques presented in this paper
+// all ensure linearisability" — on live histories: concurrent clients
+// read and write one register through each DS technique, operations are
+// timed at the clients, and the resulting history must be linearizable.
+func TestLinearizabilityOfDSTechniques(t *testing.T) {
+	for _, p := range []Protocol{Active, Passive, SemiPassive, EagerABCastUE, Certification} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3})
+			ctx := ctxT(t, 120*time.Second)
+
+			var mu sync.Mutex
+			var history []txn.LinOp
+			var wg sync.WaitGroup
+			const clients, opsEach = 3, 6
+			for ci := 0; ci < clients; ci++ {
+				cl := c.NewClient()
+				wg.Add(1)
+				go func(ci int, cl *Client) {
+					defer wg.Done()
+					for i := 0; i < opsEach; i++ {
+						write := (ci+i)%2 == 0
+						var op txn.Op
+						val := fmt.Sprintf("c%d-%d", ci, i)
+						if write {
+							op = txn.W("reg", []byte(val))
+						} else {
+							op = txn.R("reg")
+						}
+						invoke := time.Now()
+						res, err := cl.InvokeOp(ctx, op)
+						ret := time.Now()
+						if err != nil {
+							t.Errorf("client %d op %d: %v", ci, i, err)
+							return
+						}
+						if !res.Committed {
+							continue // aborted ops take no place in the history
+						}
+						lin := txn.LinOp{Key: "reg", Invoke: invoke, Return: ret}
+						if write {
+							lin.Kind = txn.Write
+							lin.Value = []byte(val)
+						} else {
+							lin.Kind = txn.Read
+							lin.Value = res.Reads["reg"]
+						}
+						mu.Lock()
+						history = append(history, lin)
+						mu.Unlock()
+					}
+				}(ci, cl)
+			}
+			wg.Wait()
+			if !txn.Linearizable(history) {
+				t.Fatalf("%s produced a non-linearizable history (%d ops)", p, len(history))
+			}
+		})
+	}
+}
+
+// TestLazyIsNotLinearizable complements the above: with a visible
+// propagation window, lazy primary copy serves stale reads at
+// secondaries, so a non-linearizable history is observable. (This is the
+// figure 16 weak-consistency row made concrete.)
+func TestLazyIsNotLinearizable(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: LazyPrimary, Replicas: 3,
+		LazyDelay: 100 * time.Millisecond,
+	})
+	ctx := ctxT(t, 60*time.Second)
+
+	writer := c.NewClient()
+	reader := c.NewClient()
+	reader.SetHome(c.Replicas()[2]) // a secondary serving local reads
+
+	var history []txn.LinOp
+	inv := time.Now()
+	if _, err := writer.InvokeOp(ctx, txn.W("reg", []byte("v1"))); err != nil {
+		t.Fatal(err)
+	}
+	history = append(history, txn.LinOp{Key: "reg", Kind: txn.Write, Value: []byte("v1"), Invoke: inv, Return: time.Now()})
+
+	inv = time.Now()
+	res, err := reader.InvokeOp(ctx, txn.R("reg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	history = append(history, txn.LinOp{Key: "reg", Kind: txn.Read, Value: res.Reads["reg"], Invoke: inv, Return: time.Now()})
+
+	if res.Reads["reg"] != nil {
+		t.Skip("propagation won the race; no stale window observed this run")
+	}
+	if txn.Linearizable(history) {
+		t.Fatal("a stale read after an acknowledged write must not be linearizable")
+	}
+}
+
+// --- Stored procedures across techniques (paper §4.1's model) ---
+
+type counterArgs struct {
+	Key string
+	By  int
+}
+
+// incrProc reads, adds, writes — the canonical read-compute-write body.
+func incrProc(tx ProcTx, raw []byte) error {
+	var args counterArgs
+	if err := json.Unmarshal(raw, &args); err != nil {
+		return err
+	}
+	cur := 0
+	if v := tx.Read(args.Key); v != nil {
+		fmt.Sscanf(string(v), "%d", &cur)
+	}
+	tx.Write(args.Key, []byte(fmt.Sprintf("%d", cur+args.By)))
+	return nil
+}
+
+// failProc always aborts, to exercise the deterministic-abort path.
+func failProc(ProcTx, []byte) error { return errors.New("boom") }
+
+// procConfig builds a cluster config with the test procedures.
+func procConfig(p Protocol) Config {
+	return Config{
+		Protocol: p, Replicas: 3, LazyDelay: time.Millisecond,
+		Procedures: map[string]ProcFunc{"incr": incrProc, "fail": failProc},
+	}
+}
+
+// TestStoredProcedureEveryProtocol: the increment procedure works — and
+// counts correctly under sequential invocations — through every
+// technique.
+func TestStoredProcedureEveryProtocol(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, procConfig(p))
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			args, _ := json.Marshal(counterArgs{Key: "ctr", By: 1})
+			const n = 5
+			for i := 0; i < n; i++ {
+				res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+					txn.P("incr", args, "ctr"),
+				}})
+				if err != nil {
+					t.Fatalf("incr %d: %v", i, err)
+				}
+				if !res.Committed {
+					t.Fatalf("incr %d aborted: %s", i, res.Err)
+				}
+			}
+			waitConverged(t, c, 10*time.Second)
+			for _, id := range c.Replicas() {
+				v, ok := c.Store(id).Read("ctr")
+				if !ok || string(v.Value) != fmt.Sprintf("%d", n) {
+					t.Fatalf("replica %s: ctr = %q, want %d", id, v.Value, n)
+				}
+			}
+		})
+	}
+}
+
+// TestStoredProcedureConcurrentIncrements: under the strongly consistent
+// techniques, concurrent increments through procedures never lose an
+// update (with client-level retries where the technique aborts).
+func TestStoredProcedureConcurrentIncrements(t *testing.T) {
+	for _, p := range []Protocol{Active, Passive, EagerPrimary, EagerABCastUE, Certification} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, procConfig(p))
+			ctx := ctxT(t, 120*time.Second)
+			args, _ := json.Marshal(counterArgs{Key: "ctr", By: 1})
+
+			const clients, each = 3, 5
+			var wg sync.WaitGroup
+			for ci := 0; ci < clients; ci++ {
+				cl := c.NewClient()
+				wg.Add(1)
+				go func(cl *Client) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						for attempt := 0; attempt < 50; attempt++ {
+							res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+								txn.P("incr", args, "ctr"),
+							}})
+							if err != nil {
+								t.Error(err)
+								return
+							}
+							if res.Committed {
+								break
+							}
+						}
+					}
+				}(cl)
+			}
+			wg.Wait()
+			waitConverged(t, c, 10*time.Second)
+			want := fmt.Sprintf("%d", clients*each)
+			for _, id := range c.Replicas() {
+				v, _ := c.Store(id).Read("ctr")
+				if string(v.Value) != want {
+					t.Fatalf("replica %s: ctr = %q, want %s (lost update)", id, v.Value, want)
+				}
+			}
+		})
+	}
+}
+
+// TestStoredProcedureAbortDeterministic: a procedure error aborts at
+// every replica identically and installs nothing.
+func TestStoredProcedureAbortDeterministic(t *testing.T) {
+	for _, p := range []Protocol{Active, Passive, Certification, EagerLockUE} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, procConfig(p))
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+				txn.P("fail", nil, "x"),
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Committed {
+				t.Fatal("failing procedure committed")
+			}
+			time.Sleep(20 * time.Millisecond)
+			for _, id := range c.Replicas() {
+				if _, ok := c.Store(id).Read("x"); ok {
+					t.Fatalf("replica %s installed state from an aborted procedure", id)
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownProcedureAborts covers the registry-miss path.
+func TestUnknownProcedureAborts(t *testing.T) {
+	c := newTestCluster(t, procConfig(Passive))
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+	res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{txn.P("nope", nil, "x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("unknown procedure committed")
+	}
+}
+
+// TestOperatorFailoverTwoNodePair: the paper's human-operator fail-over
+// (§4.3 footnote) on a quorum-less pair.
+func TestOperatorFailoverTwoNodePair(t *testing.T) {
+	for _, p := range []Protocol{EagerPrimary, Passive, LazyPrimary} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 2, LazyDelay: time.Millisecond})
+			cl := c.NewClient()
+			ctx := ctxT(t, 120*time.Second)
+			if _, err := cl.InvokeOp(ctx, txn.W("before", []byte("1"))); err != nil {
+				t.Fatal(err)
+			}
+			if p == LazyPrimary {
+				waitConverged(t, c, 10*time.Second) // let the lazy window drain first
+			}
+			c.Crash(c.Replicas()[0])
+			c.OperatorFailover(c.Replicas()[0])
+			res, err := cl.InvokeOp(ctx, txn.W("after", []byte("2")))
+			if err != nil {
+				t.Fatalf("write after operator fail-over: %v", err)
+			}
+			if !res.Committed {
+				t.Fatalf("aborted: %s", res.Err)
+			}
+			standby := c.Store(c.Replicas()[1])
+			for _, key := range []string{"before", "after"} {
+				if _, ok := standby.Read(key); !ok {
+					t.Fatalf("standby missing %q", key)
+				}
+			}
+		})
+	}
+}
+
+// TestLazyUEAfterCommitOrderConvergesMultiKey: the paper's ABCAST
+// after-commit-order handles multi-object transactions, where per-object
+// LWW could interleave two transactions' writes. Both modes converge;
+// the abcast mode additionally keeps multi-key writesets atomic.
+func TestLazyUEAfterCommitOrderConvergesMultiKey(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: LazyUE, Replicas: 3,
+		LazyUEOrder: "abcast", LazyDelay: 2 * time.Millisecond,
+	})
+	ctx := ctxT(t, 120*time.Second)
+	var wg sync.WaitGroup
+	for ci := 0; ci < 3; ci++ {
+		cl := c.NewClient()
+		wg.Add(1)
+		go func(ci int, cl *Client) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				val := []byte(fmt.Sprintf("c%d-%d", ci, i))
+				if _, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+					txn.W("pair/a", val), txn.W("pair/b", val),
+				}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ci, cl)
+	}
+	wg.Wait()
+	waitConverged(t, c, 20*time.Second)
+	// Atomicity of the pair under the after-commit order: a and b must
+	// hold the same final value at every replica.
+	for _, id := range c.Replicas() {
+		a, _ := c.Store(id).Read("pair/a")
+		b, _ := c.Store(id).Read("pair/b")
+		if string(a.Value) != string(b.Value) {
+			t.Fatalf("replica %s: pair split %q vs %q (after-commit order must keep writesets atomic)",
+				id, a.Value, b.Value)
+		}
+	}
+}
+
+// TestClientHomeRotation covers the delegate fail-over path of
+// update-everywhere techniques.
+func TestClientHomeRotation(t *testing.T) {
+	c := newTestCluster(t, Config{Protocol: Certification, Replicas: 3})
+	cl := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+	if _, err := cl.InvokeOp(ctx, txn.W("k", []byte("1"))); err != nil {
+		t.Fatal(err)
+	}
+	home := cl.Home()
+	c.Crash(home)
+	res, err := cl.InvokeOp(ctx, txn.W("k2", []byte("2")))
+	if err != nil {
+		t.Fatalf("write after home crash: %v", err)
+	}
+	if !res.Committed {
+		t.Fatal("aborted")
+	}
+	if cl.Home() == home {
+		t.Fatal("client did not rotate away from its crashed home")
+	}
+}
+
+// TestLazyIsSequentiallyConsistentButNotLinearizable makes the paper's
+// §2.2 distinction concrete on a live run: a stale read at a lazy
+// secondary breaks linearizability (real-time order) but the history
+// remains sequentially consistent — the reader's serialization simply
+// places its read before the writer's write.
+func TestLazyIsSequentiallyConsistentButNotLinearizable(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: LazyPrimary, Replicas: 3,
+		LazyDelay: 100 * time.Millisecond,
+	})
+	ctx := ctxT(t, 60*time.Second)
+	writer := c.NewClient()
+	reader := c.NewClient()
+	reader.SetHome(c.Replicas()[2])
+
+	invW := time.Now()
+	if _, err := writer.InvokeOp(ctx, txn.W("reg", []byte("v1"))); err != nil {
+		t.Fatal(err)
+	}
+	retW := time.Now()
+	invR := time.Now()
+	res, err := reader.InvokeOp(ctx, txn.R("reg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	retR := time.Now()
+	if res.Reads["reg"] != nil {
+		t.Skip("propagation won the race; no stale window this run")
+	}
+
+	lin := []txn.LinOp{
+		{Key: "reg", Kind: txn.Write, Value: []byte("v1"), Invoke: invW, Return: retW},
+		{Key: "reg", Kind: txn.Read, Value: nil, Invoke: invR, Return: retR},
+	}
+	if txn.Linearizable(lin) {
+		t.Fatal("stale read must violate linearizability")
+	}
+	sc := []txn.SCOp{
+		{Client: "writer", Key: "reg", Kind: txn.Write, Value: []byte("v1"), Invoke: invW},
+		{Client: "reader", Key: "reg", Kind: txn.Read, Value: nil, Invoke: invR},
+	}
+	if !txn.SequentiallyConsistent(sc) {
+		t.Fatal("the same history must remain sequentially consistent")
+	}
+}

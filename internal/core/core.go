@@ -1,0 +1,689 @@
+// Package core implements the paper's contribution: the five-phase
+// functional model of replication (Request, Server Coordination,
+// Execution, Agreement Coordination, Client Response) and, inside that
+// single model, every replication technique the paper classifies —
+// active, passive, semi-active and semi-passive replication from the
+// distributed-systems community, and eager/lazy × primary-copy/
+// update-everywhere plus certification-based replication from the
+// database community (Wiesmann et al., ICDCS 2000).
+//
+// A Cluster wires N replica processes over a simulated network and runs
+// one technique. Every protocol implementation emits trace events for
+// each phase it enters, so the phase sequences of Figure 16 are derived
+// from execution, not asserted by hand. Clients obtained from the
+// cluster submit single-operation requests (the stored-procedure model
+// of §4.1) or multi-operation transactions (§5).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"replication/internal/fd"
+	"replication/internal/lockmgr"
+	"replication/internal/simnet"
+	"replication/internal/storage"
+	"replication/internal/trace"
+	"replication/internal/txn"
+	"replication/internal/vclock"
+)
+
+// Protocol names a replication technique.
+type Protocol string
+
+// The ten techniques of the paper.
+const (
+	// Active replication / state-machine approach (§3.2).
+	Active Protocol = "active"
+	// Passive replication / primary-backup (§3.3).
+	Passive Protocol = "passive"
+	// SemiActive replication, leader-resolved nondeterminism (§3.4).
+	SemiActive Protocol = "semi-active"
+	// SemiPassive replication via consensus with deferred initial
+	// values (§3.5).
+	SemiPassive Protocol = "semi-passive"
+	// EagerPrimary is eager primary copy (§4.3, §5.2).
+	EagerPrimary Protocol = "eager-primary"
+	// EagerLockUE is eager update everywhere with distributed
+	// locking (§4.4.1, §5.4.1).
+	EagerLockUE Protocol = "eager-lock-ue"
+	// EagerABCastUE is eager update everywhere based on Atomic
+	// Broadcast (§4.4.2).
+	EagerABCastUE Protocol = "eager-abcast-ue"
+	// LazyPrimary is lazy primary copy (§4.5, §5.3).
+	LazyPrimary Protocol = "lazy-primary"
+	// LazyUE is lazy update everywhere with reconciliation (§4.6).
+	LazyUE Protocol = "lazy-ue"
+	// Certification is certification-based database replication (§5.4.2).
+	Certification Protocol = "certification"
+)
+
+// Protocols lists all techniques in the paper's presentation order.
+func Protocols() []Protocol {
+	return []Protocol{
+		Active, Passive, SemiActive, SemiPassive,
+		EagerPrimary, EagerLockUE, EagerABCastUE,
+		LazyPrimary, LazyUE, Certification,
+	}
+}
+
+// NondetMode controls how servers resolve Nondet operations.
+type NondetMode int
+
+// Nondeterminism modes. DeterministicNondet derives the value from the
+// request ID, so "when provided with the same input in the same order,
+// replicas produce the same output" (§3.2) — the determinism assumption
+// active replication needs. TrueRandomNondet draws from a per-replica
+// source, modelling genuinely nondeterministic servers: active
+// replication then diverges (the paper's argument for passive and
+// semi-active replication), while techniques that propagate writesets or
+// leader decisions stay consistent.
+const (
+	DeterministicNondet NondetMode = iota + 1
+	TrueRandomNondet
+)
+
+// Request is a client request carrying one transaction.
+type Request struct {
+	// ID is globally unique (client base + sequence).
+	ID uint64
+	// Attempt counts client retries of the same request (exactly-once
+	// deduplication keys on ID, not Attempt).
+	Attempt int
+	// Client is the node to answer.
+	Client simnet.NodeID
+	// Txn is the work.
+	Txn txn.Transaction
+}
+
+// TxnID returns the transaction identifier used for locks and history.
+func (r Request) TxnID() string { return fmt.Sprintf("t%d", r.ID) }
+
+// Response carries a transaction result back to the client.
+type Response struct {
+	ID     uint64
+	Result txn.Result
+}
+
+// Errors returned by cluster clients.
+var (
+	// ErrTimeout is returned when a request exhausted its retries.
+	ErrTimeout = errors.New("core: request timed out")
+	// ErrClosed is returned after the cluster shut down.
+	ErrClosed = errors.New("core: cluster closed")
+)
+
+// replica is the per-process runtime every protocol builds on.
+type replica struct {
+	id    simnet.NodeID
+	node  *simnet.Node
+	store *storage.Store
+	locks *lockmgr.Manager
+	hist  *txn.History
+	rec   *trace.Recorder
+	clock *vclock.Lamport
+	det   *fd.Detector
+	cfg   *Config
+
+	mu     sync.Mutex
+	nondet map[string][]byte // resolved nondet values per txn+op (semi-active)
+	rngSum uint64            // per-replica entropy for TrueRandomNondet
+}
+
+// trace records a phase event for a request at this replica.
+func (r *replica) trace(req uint64, phase trace.Phase, note string) {
+	r.rec.Record(req, string(r.id), phase, note)
+}
+
+// resolveNondet produces the value of a Nondet operation according to
+// the cluster's mode. Deterministic mode hashes (request, op index);
+// true-random mode mixes per-replica state so replicas disagree.
+func (r *replica) resolveNondet(req Request, opIdx int) []byte {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", req.ID, opIdx)
+	if r.cfg.Nondet == TrueRandomNondet {
+		r.mu.Lock()
+		r.rngSum = r.rngSum*6364136223846793005 + 1442695040888963407
+		local := r.rngSum
+		r.mu.Unlock()
+		fmt.Fprintf(h, "/%s/%d", r.id, local)
+	}
+	return []byte(fmt.Sprintf("nd-%x", h.Sum64()))
+}
+
+// execResult bundles what executing a transaction produces.
+type execResult struct {
+	result txn.Result
+	ws     storage.WriteSet
+	rs     txn.ReadSet
+}
+
+// resolveFunc supplies the value of a Nondet op during execution.
+type resolveFunc func(opIdx int, op txn.Op) ([]byte, error)
+
+// execute runs a transaction against the replica's store WITHOUT
+// mutating it: reads observe committed state overlaid with the
+// transaction's own earlier writes; writes accumulate in the returned
+// writeset. Appending the physical operations to the history is the
+// caller's choice via recordHistory. A procedure returning an error
+// aborts the transaction (Committed=false) rather than erroring the
+// call, since the abort is a deterministic outcome.
+func (r *replica) execute(t txn.Transaction, resolve resolveFunc, recordHistory bool) (execResult, error) {
+	out := execResult{
+		result: txn.Result{Committed: true, Reads: make(map[string][]byte)},
+		rs:     make(txn.ReadSet),
+	}
+	overlay := make(map[string][]byte)
+	for i, op := range t.Ops {
+		if err := r.execOp(t.ID, i, op, resolve, overlay, &out, recordHistory); err != nil {
+			return out, err
+		}
+		if !out.result.Committed {
+			out.ws = nil // an aborted transaction installs nothing
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// execOp executes one operation within a transaction's overlay. Exported
+// pieces of multi-op protocol loops (figure 12/13) reuse it per step.
+func (r *replica) execOp(txnID string, i int, op txn.Op, resolve resolveFunc, overlay map[string][]byte, out *execResult, recordHistory bool) error {
+	record := func(kind txn.OpKind, key string) {
+		if recordHistory {
+			r.hist.Append(txn.HEvent{Txn: txnID, Kind: kind, Key: key, Replica: string(r.id)})
+		}
+	}
+	switch op.Kind {
+	case txn.Read:
+		if v, ok := overlay[op.Key]; ok {
+			out.result.Reads[op.Key] = v
+		} else {
+			ver, ok := r.store.Read(op.Key)
+			if ok {
+				out.result.Reads[op.Key] = ver.Value
+				out.rs[op.Key] = ver.Ts
+			} else {
+				out.result.Reads[op.Key] = nil
+				out.rs[op.Key] = 0
+			}
+		}
+		record(txn.Read, op.Key)
+	case txn.Write:
+		overlay[op.Key] = op.Value
+		out.ws = append(out.ws, storage.Update{Key: op.Key, Value: op.Value})
+		record(txn.Write, op.Key)
+	case txn.Nondet:
+		if resolve == nil {
+			return fmt.Errorf("core: nondet op %d with no resolver", i)
+		}
+		v, err := resolve(i, op)
+		if err != nil {
+			return err
+		}
+		overlay[op.Key] = v
+		out.ws = append(out.ws, storage.Update{Key: op.Key, Value: v})
+		record(txn.Write, op.Key)
+	case txn.Proc:
+		proc := r.cfg.Procedures[op.Key]
+		if proc == nil {
+			out.result = txn.Result{Committed: false, Err: fmt.Sprintf("core: unknown procedure %q", op.Key), Reads: out.result.Reads}
+			return nil
+		}
+		ptx := &procTx{r: r, overlay: overlay, out: out, record: record}
+		if err := proc(ptx, op.Value); err != nil {
+			out.result = txn.Result{Committed: false, Err: err.Error(), Reads: out.result.Reads}
+			return nil
+		}
+	default:
+		return fmt.Errorf("core: unknown op kind %v", op.Kind)
+	}
+	return nil
+}
+
+// procTx implements ProcTx over a transaction's overlay.
+type procTx struct {
+	r       *replica
+	overlay map[string][]byte
+	out     *execResult
+	record  func(txn.OpKind, string)
+}
+
+// Read implements ProcTx.
+func (p *procTx) Read(key string) []byte {
+	defer p.record(txn.Read, key)
+	if v, ok := p.overlay[key]; ok {
+		return v
+	}
+	ver, ok := p.r.store.Read(key)
+	if !ok {
+		p.out.rs[key] = 0
+		return nil
+	}
+	p.out.rs[key] = ver.Ts
+	return ver.Value
+}
+
+// Write implements ProcTx.
+func (p *procTx) Write(key string, value []byte) {
+	p.overlay[key] = append([]byte(nil), value...)
+	p.out.ws = append(p.out.ws, storage.Update{Key: key, Value: p.overlay[key]})
+	p.record(txn.Write, key)
+}
+
+// recordApply appends write events for an applied writeset — how backup
+// replicas enter the history when they apply rather than re-execute.
+func (r *replica) recordApply(txnID string, ws storage.WriteSet) {
+	for _, u := range ws {
+		r.hist.Append(txn.HEvent{Txn: txnID, Kind: txn.Write, Key: u.Key, Replica: string(r.id)})
+	}
+}
+
+// server is the per-replica engine of one technique.
+type server interface {
+	start()
+	stop()
+}
+
+// submitFunc routes one request attempt from a client; implementations
+// block until a response arrives or ctx is done.
+type submitFunc func(ctx context.Context, cl *Client, req Request) (txn.Result, error)
+
+// protocolHooks is what each technique contributes to a cluster.
+type protocolHooks struct {
+	servers map[simnet.NodeID]*serverEntry
+	submit  submitFunc
+}
+
+type serverEntry struct {
+	replica *replica
+	engine  server
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Protocol selects the technique.
+	Protocol Protocol
+	// Replicas is the number of replica processes (≥1; techniques
+	// needing majorities want ≥3). Zero means 3.
+	Replicas int
+	// Net configures the simulated network.
+	Net simnet.Options
+	// FD configures failure detection. Zero values use fd defaults
+	// scaled for the simulation.
+	FD fd.Options
+	// Recorder receives phase events; nil disables tracing.
+	Recorder *trace.Recorder
+	// Nondet selects nondeterminism handling; zero means deterministic.
+	Nondet NondetMode
+	// LazyDelay postpones lazy update propagation (studies PS6 staleness
+	// windows). Zero propagates immediately (still after END).
+	LazyDelay time.Duration
+	// RequestTimeout bounds one client attempt. Zero means 5s.
+	RequestTimeout time.Duration
+	// Retries is the number of client retries after a timeout (fail-over
+	// handling). Zero means 3.
+	Retries int
+	// LazyUEOrder selects lazy update-everywhere reconciliation:
+	// "lww" (default) per-object last-writer-wins, or "abcast" for the
+	// paper's after-commit-order via Atomic Broadcast (§4.6).
+	LazyUEOrder string
+	// LockTimeout bounds distributed lock acquisition in eager
+	// update-everywhere locking before the attempt aborts and retries.
+	// Zero means 1s.
+	LockTimeout time.Duration
+	// Procedures registers stored procedures (paper §4.1): server-side
+	// transaction bodies whose writes are computed from their own reads.
+	// Procedures must be deterministic — techniques that execute at every
+	// replica (active, semi-active, eager UE with ABCAST) rely on it;
+	// single-executor techniques propagate the resulting writeset.
+	Procedures map[string]ProcFunc
+}
+
+// ProcTx is the transactional interface a stored procedure runs
+// against: reads observe committed state overlaid with the transaction's
+// own earlier writes; writes join the transaction's writeset.
+type ProcTx interface {
+	// Read returns the current value of key (nil if absent).
+	Read(key string) []byte
+	// Write buffers a write of key.
+	Write(key string, value []byte)
+}
+
+// ProcFunc is a stored procedure body. Returning an error aborts the
+// transaction deterministically.
+type ProcFunc func(tx ProcTx, args []byte) error
+
+func (c *Config) fill() {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.Protocol == "" {
+		c.Protocol = Active
+	}
+	if c.Nondet == 0 {
+		c.Nondet = DeterministicNondet
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	}
+	if c.LazyUEOrder == "" {
+		c.LazyUEOrder = "lww"
+	}
+	if c.LockTimeout == 0 {
+		c.LockTimeout = time.Second
+	}
+	if c.FD.Interval == 0 {
+		c.FD.Interval = 3 * time.Millisecond
+	}
+	if c.FD.Timeout == 0 {
+		c.FD.Timeout = 25 * time.Millisecond
+	}
+}
+
+// Cluster is a running replicated system executing one technique.
+type Cluster struct {
+	cfg   Config
+	net   *simnet.Network
+	ids   []simnet.NodeID
+	hooks protocolHooks
+	rec   *trace.Recorder
+
+	mu        sync.Mutex
+	clients   []*Client
+	clientSeq uint64
+	closed    bool
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	net := simnet.New(cfg.Net)
+	c := &Cluster{cfg: cfg, net: net, rec: cfg.Recorder}
+	for i := 0; i < cfg.Replicas; i++ {
+		c.ids = append(c.ids, simnet.NodeID(fmt.Sprintf("r%d", i)))
+	}
+
+	replicas := make(map[simnet.NodeID]*replica, len(c.ids))
+	for _, id := range c.ids {
+		node := simnet.NewNode(net, id)
+		replicas[id] = &replica{
+			id:     id,
+			node:   node,
+			store:  storage.New(0),
+			locks:  lockmgr.New(),
+			hist:   &txn.History{},
+			rec:    c.rec,
+			clock:  &vclock.Lamport{},
+			det:    fd.New(node, c.ids, cfg.FD),
+			cfg:    &c.cfg,
+			nondet: make(map[string][]byte),
+		}
+	}
+
+	var err error
+	c.hooks, err = buildProtocol(cfg.Protocol, c, replicas)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+
+	for _, id := range c.ids {
+		entry := c.hooks.servers[id]
+		entry.replica.node.Start()
+		entry.replica.det.Start()
+		entry.engine.start()
+	}
+	return c, nil
+}
+
+// buildProtocol dispatches to the technique constructors.
+func buildProtocol(p Protocol, c *Cluster, replicas map[simnet.NodeID]*replica) (protocolHooks, error) {
+	switch p {
+	case Active:
+		return newActive(c, replicas), nil
+	case Passive:
+		return newPassive(c, replicas), nil
+	case SemiActive:
+		return newSemiActive(c, replicas), nil
+	case SemiPassive:
+		return newSemiPassive(c, replicas), nil
+	case EagerPrimary:
+		return newEagerPrimary(c, replicas), nil
+	case EagerLockUE:
+		return newEagerLockUE(c, replicas), nil
+	case EagerABCastUE:
+		return newEagerABCastUE(c, replicas), nil
+	case LazyPrimary:
+		return newLazyPrimary(c, replicas), nil
+	case LazyUE:
+		return newLazyUE(c, replicas), nil
+	case Certification:
+		return newCertification(c, replicas), nil
+	default:
+		return protocolHooks{}, fmt.Errorf("core: unknown protocol %q", p)
+	}
+}
+
+// Replicas returns the replica IDs in order.
+func (c *Cluster) Replicas() []simnet.NodeID {
+	return append([]simnet.NodeID(nil), c.ids...)
+}
+
+// Network exposes the simulated network for failure injection and stats.
+func (c *Cluster) Network() *simnet.Network { return c.net }
+
+// Store returns a replica's store (read-only use in tests/benches).
+func (c *Cluster) Store(id simnet.NodeID) *storage.Store {
+	return c.hooks.servers[id].replica.store
+}
+
+// Stores returns all replica stores in replica order.
+func (c *Cluster) Stores() []*storage.Store {
+	out := make([]*storage.Store, 0, len(c.ids))
+	for _, id := range c.ids {
+		out = append(out, c.Store(id))
+	}
+	return out
+}
+
+// History returns the merged multi-replica history for 1-copy
+// serializability checking.
+func (c *Cluster) History() *txn.History {
+	hs := make([]*txn.History, 0, len(c.ids))
+	for _, id := range c.ids {
+		hs = append(hs, c.hooks.servers[id].replica.hist)
+	}
+	return txn.Merge(hs...)
+}
+
+// Recorder returns the phase recorder (may be nil).
+func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
+
+// Crash crash-stops a replica.
+func (c *Cluster) Crash(id simnet.NodeID) { c.net.Crash(id) }
+
+// reconfigurable is implemented by primary-based techniques whose view
+// can be reconfigured by operator fiat.
+type reconfigurable interface {
+	operatorReconfigure(members []simnet.NodeID)
+}
+
+// OperatorFailover removes failed from the membership of every surviving
+// replica by operator intervention — the paper's database fail-over model
+// ("a human operator can reconfigure the system so that the back-up is
+// the new primary", §4.3). It is required when automatic, consensus-based
+// view changes have no quorum (e.g. a two-node hot-standby pair); with a
+// quorum, the failure detector reconfigures automatically and this call
+// is unnecessary. It is a no-op for techniques without views.
+func (c *Cluster) OperatorFailover(failed simnet.NodeID) {
+	var members []simnet.NodeID
+	for _, id := range c.ids {
+		if id != failed && !c.net.Crashed(id) {
+			members = append(members, id)
+		}
+	}
+	for _, id := range members {
+		if r, ok := c.hooks.servers[id].engine.(reconfigurable); ok {
+			r.operatorReconfigure(members)
+		}
+	}
+}
+
+// Close stops every component. Safe to call once.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	clients := c.clients
+	c.mu.Unlock()
+
+	for _, cl := range clients {
+		cl.node.Stop()
+	}
+	for _, id := range c.ids {
+		entry := c.hooks.servers[id]
+		entry.engine.stop()
+		entry.replica.det.Stop()
+		entry.replica.node.Stop()
+	}
+	c.net.Close()
+}
+
+// Client creates a client process attached to the cluster. Each client
+// gets a disjoint request-ID space.
+type Client struct {
+	c    *Cluster
+	node *simnet.Node
+	base uint64
+	seq  uint64
+	mu   sync.Mutex
+	// pending maps request ID to the waiter for group-addressed
+	// protocols where any replica may answer.
+	pending map[uint64]chan txn.Result
+	// home is the replica this client prefers for delegate-based
+	// protocols (its "local" database server, §4.1).
+	home simnet.NodeID
+}
+
+// NewClient attaches a new client process to the cluster.
+func (c *Cluster) NewClient() *Client {
+	c.mu.Lock()
+	c.clientSeq++
+	n := c.clientSeq
+	c.mu.Unlock()
+
+	cl := &Client{
+		c:       c,
+		node:    simnet.NewNode(c.net, simnet.NodeID(fmt.Sprintf("c%d", n))),
+		base:    n << 32,
+		pending: make(map[uint64]chan txn.Result),
+		home:    c.ids[int(n)%len(c.ids)],
+	}
+	cl.node.Handle(kindResponse, cl.onResponse)
+	cl.node.Start()
+
+	c.mu.Lock()
+	c.clients = append(c.clients, cl)
+	c.mu.Unlock()
+	return cl
+}
+
+// kindResponse is the message kind replicas answer clients on (for
+// group-addressed protocols; delegate protocols use RPC replies).
+const kindResponse = "core.resp"
+
+// ID returns the client's node ID.
+func (cl *Client) ID() simnet.NodeID { return cl.node.ID() }
+
+// Home returns the replica this client treats as its local server.
+func (cl *Client) Home() simnet.NodeID { return cl.home }
+
+// SetHome changes the client's local server (e.g. after its home
+// crashed).
+func (cl *Client) SetHome(id simnet.NodeID) { cl.home = id }
+
+// Invoke submits a transaction and waits for its result, retrying on
+// timeout up to the configured number of attempts (the client-side of
+// fail-over: "Clients can then be connected to another database server
+// and re-submit the transaction", §4.1).
+func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, error) {
+	cl.mu.Lock()
+	cl.seq++
+	req := Request{ID: cl.base + cl.seq, Client: cl.node.ID()}
+	cl.mu.Unlock()
+	req.Txn = t
+	if req.Txn.ID == "" {
+		req.Txn.ID = req.TxnID()
+	}
+
+	cl.c.rec.Record(req.ID, string(cl.node.ID()), trace.RE, "submit")
+	var lastErr error
+	for attempt := 0; attempt <= cl.c.cfg.Retries; attempt++ {
+		req.Attempt = attempt
+		attemptCtx, cancel := context.WithTimeout(ctx, cl.c.cfg.RequestTimeout)
+		res, err := cl.c.hooks.submit(attemptCtx, cl, req)
+		cancel()
+		if err == nil {
+			cl.c.rec.Record(req.ID, string(cl.node.ID()), trace.END, "response")
+			return res, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return txn.Result{}, fmt.Errorf("%w: %v", ErrTimeout, lastErr)
+}
+
+// InvokeOp is shorthand for a single-operation transaction (the stored
+// procedure model).
+func (cl *Client) InvokeOp(ctx context.Context, op txn.Op) (txn.Result, error) {
+	return cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{op}})
+}
+
+// onResponse resolves a pending group-addressed request; duplicates
+// (active replication: "the client typically only waits for the first
+// answer — the others are ignored") are dropped.
+func (cl *Client) onResponse(m simnet.Message) {
+	var resp Response
+	if err := decodeResponse(m.Payload, &resp); err != nil {
+		return
+	}
+	cl.mu.Lock()
+	ch := cl.pending[resp.ID]
+	delete(cl.pending, resp.ID)
+	cl.mu.Unlock()
+	if ch != nil {
+		ch <- resp.Result
+	}
+}
+
+// awaitResponse registers interest in req's response and waits.
+func (cl *Client) awaitResponse(ctx context.Context, id uint64) (txn.Result, error) {
+	ch := make(chan txn.Result, 1)
+	cl.mu.Lock()
+	cl.pending[id] = ch
+	cl.mu.Unlock()
+	defer func() {
+		cl.mu.Lock()
+		delete(cl.pending, id)
+		cl.mu.Unlock()
+	}()
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return txn.Result{}, ctx.Err()
+	}
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/recon"
+	"replication/internal/simnet"
+	"replication/internal/trace"
+	"replication/internal/txn"
+)
+
+// newTestCluster builds a cluster with test-friendly timings.
+func newTestCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	if cfg.Net.Latency == nil {
+		cfg.Net.Latency = simnet.ConstantLatency(100 * time.Microsecond)
+	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = &trace.Recorder{}
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// waitConverged waits until every replica store holds identical state.
+func waitConverged(t *testing.T, c *Cluster, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if recon.Converged(c.Stores()) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("replicas never converged; divergence=%.2f",
+		recon.Divergence(c.Stores()))
+}
+
+// TestAllProtocolsWriteReadConverge is the backbone integration test:
+// every technique serves writes and reads through its own path, and all
+// replicas end in the same state.
+func TestAllProtocolsWriteReadConverge(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3, LazyDelay: time.Millisecond})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+
+			for i := 0; i < 5; i++ {
+				key := fmt.Sprintf("k%d", i)
+				res, err := cl.InvokeOp(ctx, txn.W(key, []byte(fmt.Sprintf("v%d", i))))
+				if err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				if !res.Committed {
+					t.Fatalf("write %d aborted: %s", i, res.Err)
+				}
+			}
+			// Read back through the protocol.
+			res, err := cl.InvokeOp(ctx, txn.R("k2"))
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if got := string(res.Reads["k2"]); got != "v2" {
+				// Lazy techniques may serve a stale local read; a retry
+				// after convergence must see the value.
+				waitConverged(t, c, 10*time.Second)
+				res, err = cl.InvokeOp(ctx, txn.R("k2"))
+				if err != nil || string(res.Reads["k2"]) != "v2" {
+					t.Fatalf("read after convergence = %q, %v", res.Reads["k2"], err)
+				}
+			}
+			waitConverged(t, c, 10*time.Second)
+			// All five writes must be present everywhere.
+			for _, store := range c.Stores() {
+				for i := 0; i < 5; i++ {
+					v, ok := store.Read(fmt.Sprintf("k%d", i))
+					if !ok || string(v.Value) != fmt.Sprintf("v%d", i) {
+						t.Fatalf("replica missing k%d (got %q ok=%v)", i, v.Value, ok)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAllProtocolsMultiClientConcurrency drives several clients at once
+// and checks convergence plus (for strong techniques) 1-copy
+// serializability of the merged history.
+func TestAllProtocolsMultiClientConcurrency(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3, LazyDelay: time.Millisecond})
+			ctx := ctxT(t, 120*time.Second)
+
+			const clients, ops = 3, 8
+			var wg sync.WaitGroup
+			errs := make(chan error, clients*ops)
+			for ci := 0; ci < clients; ci++ {
+				cl := c.NewClient()
+				wg.Add(1)
+				go func(ci int, cl *Client) {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						key := fmt.Sprintf("k%d", (ci+i)%4) // overlapping keys
+						res, err := cl.InvokeOp(ctx, txn.W(key, []byte(fmt.Sprintf("c%d-%d", ci, i))))
+						if err != nil {
+							errs <- fmt.Errorf("client %d op %d: %w", ci, i, err)
+							return
+						}
+						// Lazy-UE aborts do not occur; certification and
+						// locking may abort under contention, which is a
+						// legal outcome — but with distinct clients writing
+						// distinct values an abort only happens for
+						// eager-lock-ue under deadlock, which retries
+						// internally, or certification (write-only commits).
+						if !res.Committed && p != EagerLockUE {
+							errs <- fmt.Errorf("client %d op %d aborted: %s", ci, i, res.Err)
+							return
+						}
+					}
+				}(ci, cl)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			waitConverged(t, c, 20*time.Second)
+
+			tech, _ := TechniqueOf(p)
+			if tech.StrongConsistency {
+				if ok, cycle := c.History().Serializable(); !ok {
+					t.Fatalf("merged history not 1-copy serializable; cycle %v", cycle)
+				}
+			}
+		})
+	}
+}
+
+// TestReadsObserveWrites checks read-your-writes through each strongly
+// consistent technique (lazy techniques only promise it at the primary /
+// origin replica).
+func TestReadsObserveWrites(t *testing.T) {
+	for _, p := range Protocols() {
+		tech, _ := TechniqueOf(p)
+		if !tech.StrongConsistency {
+			continue
+		}
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			for i := 0; i < 3; i++ {
+				if _, err := cl.InvokeOp(ctx, txn.W("x", []byte(fmt.Sprintf("gen%d", i)))); err != nil {
+					t.Fatal(err)
+				}
+				res, err := cl.InvokeOp(ctx, txn.R("x"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := string(res.Reads["x"]); got != fmt.Sprintf("gen%d", i) {
+					t.Fatalf("iteration %d read %q", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestMultiOpTransactions drives multi-operation transactions (paper §5)
+// through the techniques with a transactional variant.
+func TestMultiOpTransactions(t *testing.T) {
+	for _, p := range []Protocol{EagerPrimary, EagerLockUE, Certification, Passive, LazyPrimary} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3, LazyDelay: time.Millisecond})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+
+			// Transfer-shaped transaction: read two keys, write two keys.
+			if _, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+				txn.W("acct/a", []byte("100")), txn.W("acct/b", []byte("0")),
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+				txn.R("acct/a"), txn.R("acct/b"),
+				txn.W("acct/a", []byte("60")), txn.W("acct/b", []byte("40")),
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Committed {
+				t.Fatalf("transfer aborted: %s", res.Err)
+			}
+			if string(res.Reads["acct/a"]) != "100" || string(res.Reads["acct/b"]) != "0" {
+				t.Fatalf("reads = %q/%q", res.Reads["acct/a"], res.Reads["acct/b"])
+			}
+			waitConverged(t, c, 10*time.Second)
+			for _, store := range c.Stores() {
+				a, _ := store.Read("acct/a")
+				b, _ := store.Read("acct/b")
+				if string(a.Value) != "60" || string(b.Value) != "40" {
+					t.Fatalf("final state %q/%q", a.Value, b.Value)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminismExperiment reproduces the paper's determinism argument
+// (§2.2, §3.2, §3.4, figure 5): with genuinely nondeterministic servers,
+// active replication diverges while semi-active replication — identical
+// except for the leader resolving choices — stays consistent.
+func TestDeterminismExperiment(t *testing.T) {
+	run := func(p Protocol) []string {
+		c := newTestCluster(t, Config{Protocol: p, Replicas: 3, Nondet: TrueRandomNondet})
+		cl := c.NewClient()
+		ctx := ctxT(t, 60*time.Second)
+		for i := 0; i < 3; i++ {
+			if _, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{txn.N(fmt.Sprintf("k%d", i))}}); err != nil {
+				t.Fatalf("%s: %v", p, err)
+			}
+		}
+		time.Sleep(50 * time.Millisecond) // let every replica finish executing
+		var states []string
+		for _, store := range c.Stores() {
+			state := ""
+			for i := 0; i < 3; i++ {
+				v, _ := store.Read(fmt.Sprintf("k%d", i))
+				state += string(v.Value) + ";"
+			}
+			states = append(states, state)
+		}
+		return states
+	}
+
+	t.Run("active diverges", func(t *testing.T) {
+		states := run(Active)
+		allEqual := states[1] == states[0] && states[2] == states[0]
+		if allEqual {
+			t.Fatal("active replication with truly nondeterministic servers did not diverge — the determinism requirement would be vacuous")
+		}
+	})
+	t.Run("semi-active stays consistent", func(t *testing.T) {
+		states := run(SemiActive)
+		for i, s := range states {
+			if s != states[0] {
+				t.Fatalf("semi-active replica %d diverged: %q vs %q", i, s, states[0])
+			}
+		}
+	})
+	t.Run("passive stays consistent", func(t *testing.T) {
+		states := run(Passive)
+		for i, s := range states {
+			if s != states[0] {
+				t.Fatalf("passive replica %d diverged: %q vs %q", i, s, states[0])
+			}
+		}
+	})
+}
+
+// TestCertificationAbortsOnConflict: two transactions read the same item
+// and write it concurrently; certification must abort at least one
+// (§5.4.2: optimistic processing "aborts transactions in order to
+// maintain consistency").
+func TestCertificationAbortsOnConflict(t *testing.T) {
+	c := newTestCluster(t, Config{Protocol: Certification, Replicas: 3})
+	ctx := ctxT(t, 60*time.Second)
+	cl := c.NewClient()
+	if _, err := cl.InvokeOp(ctx, txn.W("hot", []byte("0"))); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	var committed, aborted int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		cli := c.NewClient()
+		go func(i int) {
+			defer wg.Done()
+			res, err := cli.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+				txn.R("hot"), txn.W("hot", []byte(fmt.Sprintf("w%d", i))),
+			}})
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			if res.Committed {
+				committed++
+			} else {
+				aborted++
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if committed == 0 {
+		t.Fatal("no transaction committed")
+	}
+	if aborted == 0 {
+		t.Fatal("no certification abort despite read-write conflicts racing")
+	}
+	waitConverged(t, c, 10*time.Second)
+	if ok, cycle := c.History().Serializable(); !ok {
+		t.Fatalf("history not serializable: %v", cycle)
+	}
+}
+
+// TestLazyStalenessAndConvergence shows the defining lazy behaviour:
+// reads at a secondary can be stale right after commit, and replicas
+// converge once propagation runs (study PS6's mechanism).
+func TestLazyStalenessAndConvergence(t *testing.T) {
+	rec := &trace.Recorder{}
+	c := newTestCluster(t, Config{
+		Protocol: LazyPrimary, Replicas: 3,
+		LazyDelay: 50 * time.Millisecond, Recorder: rec,
+	})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+
+	if _, err := cl.InvokeOp(ctx, txn.W("x", []byte("new"))); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately after commit the secondaries have not applied yet.
+	stale := 0
+	for _, id := range c.Replicas()[1:] {
+		if _, ok := c.Store(id).Read("x"); !ok {
+			stale++
+		}
+	}
+	if stale == 0 {
+		t.Fatal("no staleness window observed despite 50ms lazy delay")
+	}
+	waitConverged(t, c, 10*time.Second)
+}
+
+// TestLazyUEConflictConvergence: concurrent conflicting writes at
+// different replicas must converge under both reconciliation modes.
+func TestLazyUEConflictConvergence(t *testing.T) {
+	for _, mode := range []string{"lww", "abcast"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{
+				Protocol: LazyUE, Replicas: 3,
+				LazyDelay: 2 * time.Millisecond, LazyUEOrder: mode,
+			})
+			ctx := ctxT(t, 60*time.Second)
+			var wg sync.WaitGroup
+			for i := 0; i < 3; i++ {
+				cl := c.NewClient() // round-robin homes: different replicas
+				wg.Add(1)
+				go func(i int, cl *Client) {
+					defer wg.Done()
+					for j := 0; j < 5; j++ {
+						_, err := cl.InvokeOp(ctx, txn.W("contended", []byte(fmt.Sprintf("site%d-%d", i, j))))
+						if err != nil {
+							t.Errorf("client %d: %v", i, err)
+							return
+						}
+					}
+				}(i, cl)
+			}
+			wg.Wait()
+			waitConverged(t, c, 20*time.Second)
+		})
+	}
+}
+
+// TestClientRetryIsExactlyOnce: a duplicate attempt of the same request
+// must not double-apply. We simulate a lost response by invoking through
+// a client whose first attempt times out artificially via a tiny request
+// timeout and then succeeds on retry.
+func TestClientRetryIsExactlyOnce(t *testing.T) {
+	for _, p := range []Protocol{Passive, EagerPrimary, Certification, Active} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{
+				Protocol: p, Replicas: 3,
+				// First attempt will usually succeed; we additionally fire
+				// a manual duplicate below to force the dedup path.
+			})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+				txn.R("ctr"), txn.W("ctr", []byte("1")),
+			}})
+			if err != nil || !res.Committed {
+				t.Fatalf("first invoke: %v %v", res, err)
+			}
+			// Manual duplicate of the same request ID through the raw
+			// submit hook (what a retry after a lost response does).
+			dup := Request{ID: cl.base + cl.seq, Attempt: 1, Client: cl.node.ID(),
+				Txn: txn.Transaction{ID: fmt.Sprintf("t%d", cl.base+cl.seq), Ops: []txn.Op{
+					txn.R("ctr"), txn.W("ctr", []byte("1")),
+				}}}
+			attemptCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			_, _ = c.hooks.submit(attemptCtx, cl, dup)
+			cancel()
+
+			waitConverged(t, c, 10*time.Second)
+			// Exactly one version of "ctr" may have been created by this
+			// request: history length 1 per replica.
+			for _, id := range c.Replicas() {
+				if n := len(c.Store(id).History("ctr")); n != 1 {
+					t.Fatalf("replica %s has %d versions of ctr, want 1 (double apply)", id, n)
+				}
+			}
+		})
+	}
+}
+
+// TestNondeterministicOpThroughEveryProtocol: every technique must
+// handle a Nondet op without divergence when the resolver is
+// deterministic.
+func TestNondeterministicOpDeterministicMode(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3, LazyDelay: time.Millisecond})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{txn.N("lottery")}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Committed {
+				t.Fatalf("nondet txn aborted: %s", res.Err)
+			}
+			waitConverged(t, c, 10*time.Second)
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"replication/internal/codec"
+	"replication/internal/group"
+	"replication/internal/simnet"
+	"replication/internal/trace"
+)
+
+// eagerABCastUEServer implements eager update everywhere based on Atomic
+// Broadcast (paper §4.4.2, figure 9):
+//
+//  1. the client sends the request to its local server — unlike active
+//     replication, where the client broadcasts directly (the request-
+//     phase distinction the paper stresses);
+//  2. the server forwards it to all servers, which coordinate using the
+//     ABCAST total order;
+//  3. conflicting operations execute in delivery order at every site;
+//  4. no agreement coordination phase;
+//  5. the local server answers its client.
+type eagerABCastUEServer struct {
+	r  *replica
+	ab *group.Atomic
+
+	mu      sync.Mutex
+	dd      *dedup
+	waiting map[uint64]simnet.Message // client RPCs awaiting our own delivery
+}
+
+// eabEnvelope wraps a request with its delegate so every replica knows
+// who answers the client.
+type eabEnvelope struct {
+	Req      Request
+	Delegate simnet.NodeID
+}
+
+const kindEABReq = "eab.req"
+
+func newEagerABCastUE(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	for id, r := range replicas {
+		s := &eagerABCastUEServer{
+			r:       r,
+			dd:      newDedup(),
+			waiting: make(map[uint64]simnet.Message),
+		}
+		s.ab = group.NewAtomic(r.node, "eab", c.ids, r.det)
+		s.ab.OnDeliver(s.onDeliver)
+		r.node.Handle(kindEABReq, s.onClientRequest)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+	hooks.submit = func(ctx context.Context, cl *Client, req Request) (txnResult, error) {
+		return delegateCall(ctx, cl, req, kindEABReq)
+	}
+	return hooks
+}
+
+func (s *eagerABCastUEServer) start() { s.ab.Start() }
+func (s *eagerABCastUEServer) stop()  { s.ab.Stop() }
+
+// onClientRequest runs at the client's local server: answer from the
+// dedup cache or enter the request into the total order and park the RPC
+// until our own delivery executes it.
+func (s *eagerABCastUEServer) onClientRequest(m simnet.Message) {
+	req := decodeRequest(m.Payload)
+	s.r.trace(req.ID, trace.RE, "local-server")
+
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: res}))
+		return
+	}
+	first := true
+	if _, ok := s.waiting[req.ID]; ok {
+		first = false // a retry while the original is still in flight
+	}
+	s.waiting[req.ID] = m
+	s.mu.Unlock()
+
+	if first || req.Attempt > 0 {
+		env := eabEnvelope{Req: req, Delegate: s.r.id}
+		_ = s.ab.Broadcast(codec.MustMarshal(&env))
+	}
+}
+
+// onDeliver executes one totally-ordered request at this site.
+func (s *eagerABCastUEServer) onDeliver(origin simnet.NodeID, payload []byte) {
+	var env eabEnvelope
+	codec.MustUnmarshal(payload, &env)
+	req := env.Req
+	s.r.trace(req.ID, trace.SC, "abcast")
+
+	s.mu.Lock()
+	res, done := s.dd.get(req.ID)
+	s.mu.Unlock()
+
+	if !done {
+		s.r.trace(req.ID, trace.EX, "")
+		out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
+			return s.r.resolveNondet(req, i), nil
+		}, true)
+		if err != nil {
+			out.result = txnResult{Committed: false, Err: err.Error()}
+		} else if len(out.ws) > 0 {
+			s.r.store.Apply(out.ws, req.TxnID(), string(s.r.id), 0)
+		}
+		res = out.result
+		s.mu.Lock()
+		s.dd.put(req.ID, res)
+		s.mu.Unlock()
+	}
+
+	// Phase 5: only the delegate answers its client.
+	if env.Delegate == s.r.id {
+		s.mu.Lock()
+		rpc, ok := s.waiting[req.ID]
+		delete(s.waiting, req.ID)
+		s.mu.Unlock()
+		if ok {
+			_ = s.r.node.Reply(rpc, encodeResponse(Response{ID: req.ID, Result: res}))
+		}
+	}
+}
+
+// delegateCall is the client side shared by every delegate-based
+// technique: call the home server, fail over to the next replica when it
+// does not answer.
+func delegateCall(ctx context.Context, cl *Client, req Request, kind string) (txnResult, error) {
+	msg, err := cl.node.Call(ctx, cl.home, kind, encodeRequest(req))
+	if err != nil {
+		cl.rotateHome()
+		return txnResult{}, err
+	}
+	var resp Response
+	if derr := decodeResponse(msg.Payload, &resp); derr != nil {
+		return txnResult{}, derr
+	}
+	return resp.Result, nil
+}
+
+// rotateHome points the client at the next replica after a failure.
+func (cl *Client) rotateHome() {
+	ids := cl.c.ids
+	for i, id := range ids {
+		if id == cl.home {
+			cl.home = ids[(i+1)%len(ids)]
+			return
+		}
+	}
+	cl.home = ids[0]
+}

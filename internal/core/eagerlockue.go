@@ -1,0 +1,433 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/lockmgr"
+	"replication/internal/simnet"
+	"replication/internal/storage"
+	"replication/internal/tpc"
+	"replication/internal/trace"
+	"replication/internal/txn"
+)
+
+// eagerLockUEServer implements eager update everywhere with distributed
+// locking (paper §4.4.1 and figure 8; §5.4.1 and figure 13 for
+// multi-operation transactions):
+//
+//   - the client sends its request to its local server (the delegate);
+//   - Server Coordination: for every write, the delegate obtains the
+//     item's lock at ALL replicas (read-one/write-all: reads lock only
+//     locally — "quorums are orthogonal to this discussion");
+//   - Execution: the operation executes at all sites;
+//   - for multi-operation transactions the SC/EX pair loops per
+//     operation (figure 13);
+//   - Agreement Coordination: a 2PC commits the transaction everywhere;
+//     the reply follows.
+//
+// Deadlocks — much likelier here because every write contends at every
+// site — surface through each site's wait-for graph (every site sees all
+// lock requests, so local cycle detection observes the global graph) or
+// through lock timeouts; the victim aborts, releases everywhere, and the
+// delegate retries with backoff.
+type eagerLockUEServer struct {
+	r     *replica
+	tsrv  *tpc.Server
+	coord *tpc.Coordinator
+	all   []simnet.NodeID
+
+	mu        sync.Mutex
+	dd        *dedup
+	staged    map[string]updateMsg
+	deadlines map[string]time.Time // per-txn lock leases
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+const (
+	kindUEReq     = "ue.req"
+	kindUELock    = "ue.lock"
+	kindUEExec    = "ue.exec"
+	kindUERelease = "ue.release"
+)
+
+// ueLockMsg asks one replica for an exclusive lock.
+type ueLockMsg struct {
+	TxnID string
+	Key   string
+}
+
+// ueLockReply answers a lock request.
+type ueLockReply struct {
+	OK       bool
+	Deadlock bool
+}
+
+// ueExecMsg carries one operation's write to every site (figure 8's
+// Execution phase at all replicas).
+type ueExecMsg struct {
+	ReqID uint64
+	TxnID string
+	WS    storage.WriteSet
+}
+
+// ueReleaseMsg aborts a transaction attempt everywhere.
+type ueReleaseMsg struct {
+	TxnID string
+}
+
+func newEagerLockUE(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	for id, r := range replicas {
+		s := &eagerLockUEServer{
+			r:         r,
+			all:       c.ids,
+			dd:        newDedup(),
+			staged:    make(map[string]updateMsg),
+			deadlines: make(map[string]time.Time),
+			stopCh:    make(chan struct{}),
+		}
+		s.tsrv = tpc.NewServer(r.node, "ue", s)
+		s.coord = tpc.NewCoordinator(r.node, "ue")
+		r.node.Handle(kindUEReq, s.onClientRequest)
+		r.node.Handle(kindUELock, s.onLock)
+		r.node.Handle(kindUEExec, s.onExec)
+		r.node.Handle(kindUERelease, s.onRelease)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+	hooks.submit = func(ctx context.Context, cl *Client, req Request) (txnResult, error) {
+		return delegateCall(ctx, cl, req, kindUEReq)
+	}
+	return hooks
+}
+
+func (s *eagerLockUEServer) start() {
+	s.wg.Add(1)
+	go s.janitor()
+}
+
+func (s *eagerLockUEServer) stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+}
+
+// janitor releases the locks of transactions whose delegate went silent
+// (crashed mid-transaction), bounding how long a dead transaction can
+// wedge the lock tables.
+func (s *eagerLockUEServer) janitor() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			s.mu.Lock()
+			var expired []string
+			for txnID, dl := range s.deadlines {
+				if now.After(dl) {
+					expired = append(expired, txnID)
+				}
+			}
+			for _, txnID := range expired {
+				delete(s.deadlines, txnID)
+				delete(s.staged, txnID)
+			}
+			s.mu.Unlock()
+			for _, txnID := range expired {
+				s.r.locks.ReleaseAll(txnID)
+			}
+		}
+	}
+}
+
+// lease refreshes a transaction's lock lease.
+func (s *eagerLockUEServer) lease(txnID string) {
+	s.mu.Lock()
+	s.deadlines[txnID] = time.Now().Add(s.r.cfg.RequestTimeout + s.r.cfg.LockTimeout)
+	s.mu.Unlock()
+}
+
+func (s *eagerLockUEServer) clearLease(txnID string) {
+	s.mu.Lock()
+	delete(s.deadlines, txnID)
+	s.mu.Unlock()
+}
+
+// Prepare implements tpc.Participant.
+func (s *eagerLockUEServer) Prepare(txnID string, payload []byte) tpc.Vote {
+	u := decodeUpdate(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, done := s.dd.get(u.ReqID); done {
+		return tpc.VoteYes
+	}
+	s.staged[txnID] = u
+	return tpc.VoteYes
+}
+
+// Commit implements tpc.Participant: apply, record, release.
+func (s *eagerLockUEServer) Commit(txnID string) {
+	s.mu.Lock()
+	u, ok := s.staged[txnID]
+	delete(s.staged, txnID)
+	if ok {
+		if _, done := s.dd.get(u.ReqID); done {
+			ok = false
+		} else {
+			s.dd.put(u.ReqID, u.Result)
+		}
+	}
+	delete(s.deadlines, txnID)
+	s.mu.Unlock()
+
+	if ok {
+		s.r.trace(u.ReqID, trace.AC, "2pc-commit")
+		if len(u.WS) > 0 {
+			s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
+			if u.Origin != s.r.id {
+				s.r.recordApply(u.TxnID, u.WS)
+			}
+		}
+	}
+	s.r.locks.ReleaseAll(txnID)
+}
+
+// Abort implements tpc.Participant.
+func (s *eagerLockUEServer) Abort(txnID string) {
+	s.mu.Lock()
+	delete(s.staged, txnID)
+	delete(s.deadlines, txnID)
+	s.mu.Unlock()
+	s.r.locks.ReleaseAll(txnID)
+}
+
+// onLock grants or refuses an exclusive lock for a remote transaction.
+func (s *eagerLockUEServer) onLock(m simnet.Message) {
+	var req ueLockMsg
+	codec.MustUnmarshal(m.Payload, &req)
+	s.lease(req.TxnID)
+	s.r.node.Go(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), s.r.cfg.LockTimeout)
+		defer cancel()
+		err := s.r.locks.Lock(ctx, req.TxnID, req.Key, lockmgr.Exclusive)
+		reply := ueLockReply{OK: err == nil, Deadlock: errors.Is(err, lockmgr.ErrDeadlock)}
+		_ = s.r.node.Reply(m, codec.MustMarshal(&reply))
+	})
+}
+
+// onExec stages one operation's writes at this site (Execution phase of
+// figures 8/13 at the non-delegate replicas).
+func (s *eagerLockUEServer) onExec(m simnet.Message) {
+	var e ueExecMsg
+	codec.MustUnmarshal(m.Payload, &e)
+	s.lease(e.TxnID)
+	s.r.trace(e.ReqID, trace.EX, "apply-op")
+}
+
+func (s *eagerLockUEServer) onRelease(m simnet.Message) {
+	var rel ueReleaseMsg
+	codec.MustUnmarshal(m.Payload, &rel)
+	s.clearLease(rel.TxnID)
+	s.mu.Lock()
+	delete(s.staged, rel.TxnID)
+	s.mu.Unlock()
+	s.r.locks.ReleaseAll(rel.TxnID)
+}
+
+func (s *eagerLockUEServer) onClientRequest(m simnet.Message) {
+	req := decodeRequest(m.Payload)
+	s.r.trace(req.ID, trace.RE, "local-server")
+
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: res}))
+		return
+	}
+	s.mu.Unlock()
+
+	s.r.node.Go(func() {
+		res := s.serve(req)
+		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: res}))
+	})
+}
+
+// serve retries transaction attempts until commit, unrecoverable error,
+// or timeout; deadlock victims back off and retry, as §4.4.1 describes
+// ("the transaction can be delayed and the request repeated some time
+// afterwards").
+func (s *eagerLockUEServer) serve(req Request) txnResult {
+	const maxAttempts = 8
+	rng := rand.New(rand.NewSource(int64(req.ID)))
+	deadline := time.Now().Add(s.r.cfg.RequestTimeout)
+	for attempt := 0; attempt < maxAttempts && time.Now().Before(deadline); attempt++ {
+		txnID := fmt.Sprintf("%s-d%s-a%d-%d", req.TxnID(), s.r.id, req.Attempt, attempt)
+		res, retry := s.tryRun(req, txnID)
+		if !retry {
+			return res
+		}
+		time.Sleep(time.Duration(rng.Intn(1<<uint(attempt))) * time.Millisecond)
+	}
+	return txnResult{Committed: false, Err: "eager-lock-ue: retries exhausted (deadlock/contention)"}
+}
+
+// tryRun performs one attempt; retry=true means abort-and-retry.
+func (s *eagerLockUEServer) tryRun(req Request, txnID string) (res txnResult, retry bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.r.cfg.RequestTimeout)
+	defer cancel()
+	s.lease(txnID)
+
+	abort := func() {
+		rel := codec.MustMarshal(&ueReleaseMsg{TxnID: txnID})
+		for _, peer := range s.all {
+			if peer == s.r.id {
+				s.clearLease(txnID)
+				s.r.locks.ReleaseAll(txnID)
+			} else {
+				_ = s.r.node.Send(peer, kindUERelease, rel)
+			}
+		}
+	}
+
+	out := execResult{result: txnResult{Committed: true, Reads: make(map[string][]byte)}, rs: make(txn.ReadSet)}
+	overlay := make(map[string][]byte)
+	resolve := func(i int, _ txnOp) ([]byte, error) {
+		return s.r.resolveNondet(req, i), nil
+	}
+	// propagateStep echoes a step's writes to every site (the Execution
+	// phase at all replicas in figures 8/13).
+	propagateStep := func(step storage.WriteSet) {
+		if len(step) == 0 {
+			return
+		}
+		exec := codec.MustMarshal(&ueExecMsg{ReqID: req.ID, TxnID: txnID, WS: step})
+		for _, peer := range s.all {
+			if peer != s.r.id {
+				_ = s.r.node.Send(peer, kindUEExec, exec)
+			}
+		}
+	}
+
+	for i, op := range req.Txn.Ops {
+		switch op.Kind {
+		case txn.Read:
+			// Read-one: shared lock and read locally only.
+			s.r.trace(req.ID, trace.SC, "lock-local")
+			lockCtx, lockCancel := context.WithTimeout(ctx, s.r.cfg.LockTimeout)
+			err := s.r.locks.Lock(lockCtx, txnID, op.Key, lockmgr.Shared)
+			lockCancel()
+			if err != nil {
+				abort()
+				return txnResult{}, true
+			}
+			s.r.trace(req.ID, trace.EX, "local-read")
+			if execErr := s.r.execOp(req.TxnID(), i, op, resolve, overlay, &out, true); execErr != nil {
+				abort()
+				return txnResult{Committed: false, Err: execErr.Error()}, false
+			}
+
+		case txn.Write, txn.Nondet:
+			// Write-all: the lock request to every site is the Server
+			// Coordination phase of figure 8.
+			s.r.trace(req.ID, trace.SC, "lock-all")
+			if !s.lockEverywhere(ctx, txnID, op.Key) {
+				abort()
+				return txnResult{}, true
+			}
+			s.r.trace(req.ID, trace.EX, "apply-op")
+			prev := len(out.ws)
+			if execErr := s.r.execOp(req.TxnID(), i, op, resolve, overlay, &out, true); execErr != nil {
+				abort()
+				return txnResult{Committed: false, Err: execErr.Error()}, false
+			}
+			propagateStep(out.ws[prev:])
+
+		case txn.Proc:
+			// A stored procedure locks its declared access set everywhere,
+			// executes at the delegate, and propagates its writes.
+			s.r.trace(req.ID, trace.SC, "lock-all")
+			for _, key := range op.Keys {
+				if !s.lockEverywhere(ctx, txnID, key) {
+					abort()
+					return txnResult{}, true
+				}
+			}
+			s.r.trace(req.ID, trace.EX, "procedure")
+			prev := len(out.ws)
+			if execErr := s.r.execOp(req.TxnID(), i, op, resolve, overlay, &out, true); execErr != nil {
+				abort()
+				return txnResult{Committed: false, Err: execErr.Error()}, false
+			}
+			if !out.result.Committed {
+				abort()
+				return out.result, false // deterministic procedure abort
+			}
+			propagateStep(out.ws[prev:])
+		}
+	}
+
+	// Read-only transactions are local (read-one): no writes were staged
+	// anywhere, so release the local locks and answer without a 2PC.
+	if len(out.ws) == 0 {
+		s.clearLease(txnID)
+		s.r.locks.ReleaseAll(txnID)
+		return out.result, false
+	}
+
+	// Agreement Coordination: 2PC across all sites.
+	u := updateMsg{
+		ReqID: req.ID, TxnID: req.TxnID(), Client: req.Client,
+		WS: out.ws, Result: out.result, Origin: s.r.id,
+	}
+	outcome, err := s.coord.Run(ctx, txnID, encodeUpdate(u), s.all)
+	if err != nil || outcome != tpc.Commit {
+		abort()
+		return txnResult{}, true
+	}
+	return out.result, false
+}
+
+// lockEverywhere acquires key exclusively at every site, one site at a
+// time in canonical (sorted) site order. Sequential ordered acquisition
+// costs one round trip per site but removes the classic write-all race:
+// two delegates locking the same key in opposite site orders would
+// deadlock *across* sites, invisible to any one site's wait-for graph.
+// With a canonical order the first site arbitrates, and all remaining
+// wait-for edges are observable locally there.
+func (s *eagerLockUEServer) lockEverywhere(ctx context.Context, txnID, key string) bool {
+	payload := codec.MustMarshal(&ueLockMsg{TxnID: txnID, Key: key})
+	for _, peer := range s.all {
+		if peer == s.r.id {
+			lockCtx, cancel := context.WithTimeout(ctx, s.r.cfg.LockTimeout)
+			err := s.r.locks.Lock(lockCtx, txnID, key, lockmgr.Exclusive)
+			cancel()
+			if err != nil {
+				return false
+			}
+			continue
+		}
+		callCtx, cancel := context.WithTimeout(ctx, s.r.cfg.LockTimeout+100*time.Millisecond)
+		msg, err := s.r.node.Call(callCtx, peer, kindUELock, payload)
+		cancel()
+		if err != nil {
+			return false
+		}
+		var reply ueLockReply
+		codec.MustUnmarshal(msg.Payload, &reply)
+		if !reply.OK {
+			return false
+		}
+	}
+	return true
+}

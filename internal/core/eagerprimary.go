@@ -1,0 +1,264 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"replication/internal/codec"
+	"replication/internal/group"
+	"replication/internal/simnet"
+	"replication/internal/storage"
+	"replication/internal/tpc"
+	"replication/internal/trace"
+	"replication/internal/txn"
+)
+
+// eagerPrimaryServer implements eager primary copy replication
+// (paper §4.3 and figure 7; §5.2 and figure 12 for multi-operation
+// transactions) — the database twin of passive replication, with 2PC in
+// the Agreement Coordination phase instead of VSCAST:
+//
+//   - single-operation requests: the primary executes, propagates the
+//     log records (writeset) to the secondaries, and closes with a Two
+//     Phase Commit before answering the client;
+//   - multi-operation transactions: the Execution / Agreement
+//     Coordination pair loops per operation — each operation executes at
+//     the primary and its change propagates to the secondaries — and a
+//     final 2PC commits the transaction at all sites.
+//
+// Fail-over follows the paper's hot-standby reading: the view mechanism
+// stands in for the human operator that "reconfigures the system so that
+// the back-up is the new primary"; clients re-submit and the dedup table
+// carried in the 2PC payload keeps retries exactly-once.
+type eagerPrimaryServer struct {
+	r     *replica
+	vg    *group.ViewGroup
+	tsrv  *tpc.Server
+	coord *tpc.Coordinator
+
+	mu       sync.Mutex
+	dd       *dedup
+	inflight map[uint64]chan txnResult
+	staged   map[string]updateMsg // prepared transactions awaiting outcome
+}
+
+const (
+	kindEPReq   = "ep.req"
+	kindEPStage = "ep.stage"
+)
+
+// epStage is the per-operation change propagation of figure 12.
+type epStage struct {
+	ReqID uint64
+	TxnID string
+	WS    storage.WriteSet
+}
+
+func newEagerPrimary(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	for id, r := range replicas {
+		s := &eagerPrimaryServer{
+			r:        r,
+			dd:       newDedup(),
+			inflight: make(map[uint64]chan txnResult),
+			staged:   make(map[string]updateMsg),
+		}
+		s.vg = group.NewViewGroup(r.node, "ep", c.ids, c.ids, r.det, group.ViewGroupOptions{
+			StateProvider: func() []byte { return codec.MustMarshal(snapshotOf(r)) },
+			StateApplier:  func(b []byte) { applySnapshot(r, b) },
+		})
+		s.tsrv = tpc.NewServer(r.node, "ep", s)
+		s.coord = tpc.NewCoordinator(r.node, "ep")
+		r.node.Handle(kindEPReq, s.onClientRequest)
+		r.node.Handle(kindEPStage, s.onStage)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+	hooks.submit = primarySubmit(c, kindEPReq)
+	return hooks
+}
+
+func (s *eagerPrimaryServer) start() { s.vg.Start() }
+func (s *eagerPrimaryServer) stop()  { s.vg.Stop() }
+
+// Prepare implements tpc.Participant: stage the update and vote.
+func (s *eagerPrimaryServer) Prepare(txnID string, payload []byte) tpc.Vote {
+	u := decodeUpdate(payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, done := s.dd.get(u.ReqID); done {
+		return tpc.VoteYes // already applied via an earlier attempt
+	}
+	s.staged[txnID] = u
+	return tpc.VoteYes
+}
+
+// Commit implements tpc.Participant: apply the staged writeset.
+func (s *eagerPrimaryServer) Commit(txnID string) {
+	s.mu.Lock()
+	u, ok := s.staged[txnID]
+	delete(s.staged, txnID)
+	if ok {
+		if _, done := s.dd.get(u.ReqID); done {
+			s.mu.Unlock()
+			return
+		}
+		s.dd.put(u.ReqID, u.Result)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	s.r.trace(u.ReqID, trace.AC, "2pc-commit")
+	if len(u.WS) > 0 {
+		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
+		if u.Origin != s.r.id {
+			s.r.recordApply(u.TxnID, u.WS)
+		}
+	}
+}
+
+// Abort implements tpc.Participant.
+func (s *eagerPrimaryServer) Abort(txnID string) {
+	s.mu.Lock()
+	delete(s.staged, txnID)
+	s.mu.Unlock()
+}
+
+// onStage buffers one operation's change at a secondary (figure 12's
+// per-operation propagation; the final 2PC payload is authoritative).
+func (s *eagerPrimaryServer) onStage(m simnet.Message) {
+	var st epStage
+	codec.MustUnmarshal(m.Payload, &st)
+	s.r.trace(st.ReqID, trace.AC, "propagate")
+	_ = s.r.node.Reply(m, nil)
+}
+
+func (s *eagerPrimaryServer) onClientRequest(m simnet.Message) {
+	req := decodeRequest(m.Payload)
+	view := s.vg.CurrentView()
+	if !s.vg.InView() || view.Primary() != s.r.id {
+		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: view.Primary()}))
+		return
+	}
+	s.r.trace(req.ID, trace.RE, "primary")
+	s.r.node.Go(func() {
+		res, err := s.executeOnce(req)
+		if err != nil {
+			_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: s.vg.CurrentView().Primary()}))
+			return
+		}
+		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Resp: Response{ID: req.ID, Result: res}}))
+	})
+}
+
+func (s *eagerPrimaryServer) executeOnce(req Request) (txnResult, error) {
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	if ch, busy := s.inflight[req.ID]; busy {
+		s.mu.Unlock()
+		res, ok := <-ch
+		if !ok {
+			return txnResult{}, fmt.Errorf("core: request %d attempt abandoned", req.ID)
+		}
+		return res, nil
+	}
+	ch := make(chan txnResult, 8)
+	s.inflight[req.ID] = ch
+	s.mu.Unlock()
+
+	res, err := s.run(req)
+
+	s.mu.Lock()
+	delete(s.inflight, req.ID)
+	s.mu.Unlock()
+	if err == nil {
+		for i := 0; i < cap(ch); i++ {
+			select {
+			case ch <- res:
+			default:
+			}
+		}
+	}
+	close(ch)
+	return res, err
+}
+
+func (s *eagerPrimaryServer) run(req Request) (txnResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.r.cfg.RequestTimeout)
+	defer cancel()
+
+	txnID := fmt.Sprintf("%s-a%d", req.TxnID(), req.Attempt)
+	if err := lockTxn(ctx, s.r.locks, req.TxnID(), req); err != nil {
+		return txnResult{}, err
+	}
+	defer s.r.locks.ReleaseAll(req.TxnID())
+
+	view := s.vg.CurrentView()
+	secondaries := make([]simnet.NodeID, 0, len(view.Members))
+	for _, id := range view.Members {
+		if id != s.r.id {
+			secondaries = append(secondaries, id)
+		}
+	}
+
+	resolve := func(i int, _ txnOp) ([]byte, error) {
+		return s.r.resolveNondet(req, i), nil
+	}
+	multiOp := len(req.Txn.Ops) > 1
+	var (
+		out execResult
+		err error
+	)
+	if !multiOp {
+		// Figure 7: one EX at the primary.
+		s.r.trace(req.ID, trace.EX, "primary")
+		out, err = s.r.execute(req.Txn, resolve, true)
+		if err != nil {
+			return txnResult{Committed: false, Err: err.Error()}, nil
+		}
+	} else {
+		// Figure 12: loop EX → AC(change propagation) per operation.
+		out = execResult{result: txnResult{Committed: true, Reads: make(map[string][]byte)}, rs: make(txn.ReadSet)}
+		overlay := make(map[string][]byte)
+		for i, op := range req.Txn.Ops {
+			s.r.trace(req.ID, trace.EX, fmt.Sprintf("op%d", i))
+			prev := len(out.ws)
+			if execErr := s.r.execOp(req.Txn.ID, i, op, resolve, overlay, &out, true); execErr != nil {
+				return txnResult{Committed: false, Err: execErr.Error()}, nil
+			}
+			if !out.result.Committed {
+				// Deterministic abort (e.g. a procedure error): nothing
+				// was staged durably, locks release on return.
+				return out.result, nil
+			}
+			if step := out.ws[prev:]; len(step) > 0 {
+				stage := codec.MustMarshal(&epStage{ReqID: req.ID, TxnID: txnID, WS: step})
+				for _, sec := range secondaries {
+					_, _ = s.r.node.Call(ctx, sec, kindEPStage, stage)
+				}
+			}
+		}
+	}
+
+	// Agreement Coordination: 2PC across the view.
+	u := updateMsg{
+		ReqID: req.ID, TxnID: req.TxnID(), Client: req.Client,
+		WS: out.ws, Result: out.result, Origin: s.r.id,
+	}
+	participants := append([]simnet.NodeID{s.r.id}, secondaries...)
+	outcome, err := s.coord.Run(ctx, txnID, encodeUpdate(u), participants)
+	if err != nil || outcome != tpc.Commit {
+		return txnResult{}, fmt.Errorf("core: 2pc did not commit: %v", err)
+	}
+	return out.result, nil
+}
+
+// operatorReconfigure implements operator-driven fail-over (the paper's
+// human-operator hot-standby switch, §4.3).
+func (s *eagerPrimaryServer) operatorReconfigure(members []simnet.NodeID) {
+	s.vg.ForceView(members)
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"replication/internal/trace"
+	"replication/internal/txn"
+)
+
+// figureRequest picks a request shape that exercises every phase a
+// technique has: semi-active needs a nondeterministic choice to show its
+// AC loop; the rest use a plain update.
+func figureRequest(p Protocol) txn.Transaction {
+	if p == SemiActive {
+		return txn.Transaction{Ops: []txn.Op{txn.N("fig")}}
+	}
+	return txn.Transaction{Ops: []txn.Op{txn.W("fig", []byte("v"))}}
+}
+
+// TestFigure16PhaseSequences is the paper's synthetic table verified
+// mechanically: for every technique, the phase sequence extracted from a
+// live trace must equal the technique's row in figure 16.
+func TestFigure16PhaseSequences(t *testing.T) {
+	for _, tech := range Techniques() {
+		tech := tech
+		t.Run(string(tech.Protocol), func(t *testing.T) {
+			t.Parallel()
+			rec := &trace.Recorder{}
+			c := newTestCluster(t, Config{
+				Protocol: tech.Protocol, Replicas: 3,
+				Recorder: rec, LazyDelay: 3 * time.Millisecond,
+			})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			if _, err := cl.Invoke(ctx, figureRequest(tech.Protocol)); err != nil {
+				t.Fatal(err)
+			}
+			// Lazy AC happens after the response: wait for it.
+			waitConverged(t, c, 10*time.Second)
+
+			reqs := rec.Requests()
+			if len(reqs) == 0 {
+				t.Fatal("no trace recorded")
+			}
+			req := reqs[0]
+			deadline := time.Now().Add(5 * time.Second)
+			var got string
+			want := trace.FormatSequence(tech.Phases)
+			for time.Now().Before(deadline) {
+				got = rec.SequenceString(req)
+				if got == want {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			if got != want {
+				t.Fatalf("phase sequence = %q, figure 16 row = %q\nevents: %+v",
+					got, want, rec.Events(req))
+			}
+		})
+	}
+}
+
+// TestFigure15StrongConsistencyCriterion: "any replication technique
+// that ensures strong consistency has either an SC and/or AC step before
+// the END step"; lazy techniques answer before coordinating.
+func TestFigure15StrongConsistencyCriterion(t *testing.T) {
+	for _, tech := range Techniques() {
+		if got := SatisfiesFigure15(tech.Phases); got != tech.StrongConsistency {
+			t.Errorf("%s: figure-15 criterion = %v, StrongConsistency = %v",
+				tech.Protocol, got, tech.StrongConsistency)
+		}
+	}
+}
+
+// TestFigure15LiveTraces re-checks the criterion on live traces rather
+// than the registry.
+func TestFigure15LiveTraces(t *testing.T) {
+	for _, tech := range Techniques() {
+		tech := tech
+		t.Run(string(tech.Protocol), func(t *testing.T) {
+			t.Parallel()
+			rec := &trace.Recorder{}
+			c := newTestCluster(t, Config{
+				Protocol: tech.Protocol, Replicas: 3,
+				Recorder: rec, LazyDelay: 3 * time.Millisecond,
+			})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			if _, err := cl.Invoke(ctx, figureRequest(tech.Protocol)); err != nil {
+				t.Fatal(err)
+			}
+			req := rec.Requests()[0]
+			coordBeforeEnd := rec.Before(req, trace.SC, trace.END) || rec.Before(req, trace.AC, trace.END)
+			if coordBeforeEnd != tech.StrongConsistency {
+				t.Fatalf("live trace: coordination-before-END = %v, want %v (events %+v)",
+					coordBeforeEnd, tech.StrongConsistency, rec.Events(req))
+			}
+		})
+	}
+}
+
+// TestFigure12EagerPrimaryTxnLoop: multi-operation transactions loop
+// EX → AC(change propagation) per operation before the final 2PC.
+func TestFigure12EagerPrimaryTxnLoop(t *testing.T) {
+	rec := &trace.Recorder{}
+	c := newTestCluster(t, Config{Protocol: EagerPrimary, Replicas: 3, Recorder: rec})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+	const nOps = 3
+	tx := txn.Transaction{Ops: []txn.Op{
+		txn.W("a", []byte("1")), txn.W("b", []byte("2")), txn.W("c", []byte("3")),
+	}}
+	if _, err := cl.Invoke(ctx, tx); err != nil {
+		t.Fatal(err)
+	}
+	req := rec.Requests()[0]
+	if got := rec.PhaseCount(req, trace.EX); got != nOps {
+		t.Fatalf("EX count = %d, want %d (one per operation)", got, nOps)
+	}
+	// Per-op propagation to 2 secondaries plus the final 2PC commit at 3
+	// replicas: AC events = nOps*2 + 3.
+	if got := rec.PhaseCount(req, trace.AC); got != nOps*2+3 {
+		t.Fatalf("AC count = %d, want %d", got, nOps*2+3)
+	}
+}
+
+// TestFigure13EagerLockUETxnLoop: the SC/EX pair loops per operation at
+// the delegate, with EX echoed at every site, then one 2PC.
+func TestFigure13EagerLockUETxnLoop(t *testing.T) {
+	rec := &trace.Recorder{}
+	c := newTestCluster(t, Config{Protocol: EagerLockUE, Replicas: 3, Recorder: rec})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+	const nOps = 3
+	tx := txn.Transaction{Ops: []txn.Op{
+		txn.W("a", []byte("1")), txn.W("b", []byte("2")), txn.W("c", []byte("3")),
+	}}
+	if _, err := cl.Invoke(ctx, tx); err != nil {
+		t.Fatal(err)
+	}
+	req := rec.Requests()[0]
+	if got := rec.PhaseCount(req, trace.SC); got != nOps {
+		t.Fatalf("SC count = %d, want %d (one distributed lock round per op)", got, nOps)
+	}
+	// EX at the delegate per op + echoed at the 2 other sites per op.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if rec.PhaseCount(req, trace.EX) == nOps*3 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := rec.PhaseCount(req, trace.EX); got != nOps*3 {
+		t.Fatalf("EX count = %d, want %d (per op at every site)", got, nOps*3)
+	}
+	if got := rec.PhaseCount(req, trace.AC); got != 3 {
+		t.Fatalf("AC count = %d, want 3 (one 2PC commit per site)", got)
+	}
+}
+
+// TestFigure4SemiActiveDecisionLoop: EX/AC repeat per nondeterministic
+// point (figure 4's loop).
+func TestFigure4SemiActiveDecisionLoop(t *testing.T) {
+	rec := &trace.Recorder{}
+	c := newTestCluster(t, Config{Protocol: SemiActive, Replicas: 3, Recorder: rec})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+	tx := txn.Transaction{Ops: []txn.Op{txn.N("n1"), txn.N("n2")}}
+	if _, err := cl.Invoke(ctx, tx); err != nil {
+		t.Fatal(err)
+	}
+	req := rec.Requests()[0]
+	// The leader records one AC per nondeterministic point.
+	if got := rec.PhaseCount(req, trace.AC); got < 2 {
+		t.Fatalf("AC count = %d, want >= 2 (one per choice)", got)
+	}
+}
+
+// TestFigure5Matrix checks the distributed-systems classification:
+// failure transparency × server determinism (paper figure 5).
+func TestFigure5Matrix(t *testing.T) {
+	want := map[Protocol]struct{ transparent, determinism bool }{
+		Active:      {true, true},
+		SemiActive:  {true, false},
+		SemiPassive: {true, false},
+		Passive:     {false, false},
+	}
+	for p, w := range want {
+		tech, ok := TechniqueOf(p)
+		if !ok {
+			t.Fatalf("missing technique %s", p)
+		}
+		if tech.FailureTransparent != w.transparent || tech.NeedsDeterminism != w.determinism {
+			t.Errorf("%s: (transparent=%v determinism=%v), want (%v,%v)",
+				p, tech.FailureTransparent, tech.NeedsDeterminism, w.transparent, w.determinism)
+		}
+	}
+}
+
+// TestFigure6Matrix checks the Gray et al. database matrix: update
+// propagation × update location (paper figure 6).
+func TestFigure6Matrix(t *testing.T) {
+	want := map[Protocol]struct {
+		prop Propagation
+		loc  Location
+	}{
+		EagerPrimary:  {Eager, PrimaryCopy},
+		EagerLockUE:   {Eager, UpdateEverywhere},
+		EagerABCastUE: {Eager, UpdateEverywhere},
+		LazyPrimary:   {Lazy, PrimaryCopy},
+		LazyUE:        {Lazy, UpdateEverywhere},
+		Certification: {Eager, UpdateEverywhere},
+	}
+	for p, w := range want {
+		tech, ok := TechniqueOf(p)
+		if !ok {
+			t.Fatalf("missing technique %s", p)
+		}
+		if tech.Propagation != w.prop || tech.Location != w.loc {
+			t.Errorf("%s: (%v,%v), want (%v,%v)", p, tech.Propagation, tech.Location, w.prop, w.loc)
+		}
+	}
+}
+
+// TestTechniqueRegistryComplete: every protocol has a registry row and
+// the rows carry the paper's equivalences (passive ≡ eager primary copy
+// phase-wise; active ≡ eager UE ABCAST phase-wise — §4.3, §4.4.2).
+func TestTechniqueRegistryComplete(t *testing.T) {
+	if len(Techniques()) != len(Protocols()) {
+		t.Fatalf("registry has %d rows, want %d", len(Techniques()), len(Protocols()))
+	}
+	for _, p := range Protocols() {
+		if _, ok := TechniqueOf(p); !ok {
+			t.Errorf("no technique metadata for %s", p)
+		}
+	}
+	passive, _ := TechniqueOf(Passive)
+	eagerPC, _ := TechniqueOf(EagerPrimary)
+	if trace.FormatSequence(passive.Phases) != trace.FormatSequence(eagerPC.Phases) {
+		t.Error("passive and eager primary copy should share a phase sequence (paper §4.3)")
+	}
+	active, _ := TechniqueOf(Active)
+	eagerAB, _ := TechniqueOf(EagerABCastUE)
+	if trace.FormatSequence(active.Phases) != trace.FormatSequence(eagerAB.Phases) {
+		t.Error("active and eager UE ABCAST should share a phase sequence (paper §4.4.2)")
+	}
+	if _, ok := TechniqueOf(Protocol("nope")); ok {
+		t.Error("unknown protocol found in registry")
+	}
+}
+
+// TestEnumStrings covers the classification Stringers.
+func TestEnumStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{DistributedSystems.String(), "distributed systems"},
+		{Databases.String(), "databases"},
+		{Eager.String(), "eager"},
+		{Lazy.String(), "lazy"},
+		{PrimaryCopy.String(), "primary copy"},
+		{UpdateEverywhere.String(), "update everywhere"},
+		{Community(9).String(), "Community(9)"},
+		{Propagation(9).String(), "Propagation(9)"},
+		{Location(9).String(), "Location(9)"},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: %q != %q", i, c.got, c.want)
+		}
+	}
+}
+
+// TestUnknownProtocolRejected covers the constructor error path.
+func TestUnknownProtocolRejected(t *testing.T) {
+	_, err := NewCluster(Config{Protocol: Protocol("bogus")})
+	if err == nil {
+		t.Fatal("expected error for unknown protocol")
+	}
+}
+
+// TestPhaseTimelineHasClientBookends: RE originates at the client and
+// END returns there, for every technique.
+func TestPhaseTimelineHasClientBookends(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			rec := &trace.Recorder{}
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3, Recorder: rec, LazyDelay: time.Millisecond})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			if _, err := cl.Invoke(ctx, figureRequest(p)); err != nil {
+				t.Fatal(err)
+			}
+			req := rec.Requests()[0]
+			events := rec.Events(req)
+			if events[0].Phase != trace.RE || events[0].Replica != string(cl.ID()) {
+				t.Fatalf("first event %+v, want client RE", events[0])
+			}
+			foundEnd := false
+			for _, e := range events {
+				if e.Phase == trace.END && e.Replica == string(cl.ID()) {
+					foundEnd = true
+				}
+			}
+			if !foundEnd {
+				t.Fatal("no client END event")
+			}
+		})
+	}
+}
+
+// TestRequestTxnIDFormat pins the ID scheme used across locks, history
+// and dedup tables.
+func TestRequestTxnIDFormat(t *testing.T) {
+	req := Request{ID: 42}
+	if req.TxnID() != fmt.Sprintf("t%d", 42) {
+		t.Fatalf("TxnID = %q", req.TxnID())
+	}
+}

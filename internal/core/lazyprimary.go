@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/group"
+	"replication/internal/simnet"
+	"replication/internal/trace"
+)
+
+// lazyPrimaryServer implements lazy primary copy replication (paper
+// §4.5, figure 10): the eager protocol with the Response and Agreement
+// Coordination phases swapped.
+//
+// The primary executes and commits locally, answers the client at once,
+// and only afterwards propagates the changes to the secondaries over a
+// FIFO channel — so "any necessary coordination and ordering between
+// transactions happens at the primary and the replicas need only to
+// apply the changes as the primary propagates them". Secondaries serve
+// (possibly stale) reads locally. A primary crash loses the updates not
+// yet propagated: the lazy weakness studies PS5/PS6 measure.
+type lazyPrimaryServer struct {
+	r    *replica
+	vg   *group.ViewGroup // membership only: who is primary
+	fifo *group.FIFO      // the propagation channel
+
+	mu       sync.Mutex
+	dd       *dedup
+	inflight map[uint64]chan txnResult
+
+	// Propagation queue: commits append in commit order; the propagator
+	// goroutine drains after the configured lazy delay, so commits never
+	// block on propagation.
+	queue    []lazyItem
+	qwake    chan struct{}
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// lazyItem is one committed update awaiting propagation.
+type lazyItem struct {
+	due time.Time
+	u   updateMsg
+}
+
+const kindLPReq = "lp.req"
+
+func newLazyPrimary(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	for id, r := range replicas {
+		s := &lazyPrimaryServer{
+			r:        r,
+			dd:       newDedup(),
+			inflight: make(map[uint64]chan txnResult),
+			qwake:    make(chan struct{}, 1),
+			stopCh:   make(chan struct{}),
+		}
+		s.vg = group.NewViewGroup(r.node, "lp", c.ids, c.ids, r.det, group.ViewGroupOptions{})
+		s.fifo = group.NewFIFO(r.node, "lp", c.ids)
+		s.fifo.OnDeliver(s.onPropagate)
+		r.node.Handle(kindLPReq, s.onClientRequest)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+	hooks.submit = primarySubmit(c, kindLPReq)
+	return hooks
+}
+
+func (s *lazyPrimaryServer) start() {
+	s.vg.Start()
+	s.wg.Add(1)
+	go s.propagate()
+}
+
+func (s *lazyPrimaryServer) stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+	s.vg.Stop()
+}
+
+// propagate drains the lazy queue in commit order.
+func (s *lazyPrimaryServer) propagate() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			select {
+			case <-s.stopCh:
+				return
+			case <-s.qwake:
+			}
+			continue
+		}
+		item := s.queue[0]
+		s.mu.Unlock()
+		if wait := time.Until(item.due); wait > 0 {
+			select {
+			case <-s.stopCh:
+				return
+			case <-time.After(wait):
+			}
+		}
+		s.mu.Lock()
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		if len(item.u.WS) > 0 {
+			_ = s.fifo.Broadcast(encodeUpdate(item.u))
+		}
+	}
+}
+
+// onPropagate applies a propagated update at a secondary. FIFO delivery
+// preserves the primary's commit order, which is all the ordering lazy
+// primary copy needs.
+func (s *lazyPrimaryServer) onPropagate(origin simnet.NodeID, payload []byte) {
+	if origin == s.r.id {
+		return // the primary already applied at commit time
+	}
+	u := decodeUpdate(payload)
+	s.r.trace(u.ReqID, trace.AC, "propagate")
+	s.mu.Lock()
+	if _, done := s.dd.get(u.ReqID); done {
+		s.mu.Unlock()
+		return
+	}
+	s.dd.put(u.ReqID, u.Result)
+	s.mu.Unlock()
+	if len(u.WS) > 0 {
+		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
+		s.r.recordApply(u.TxnID, u.WS)
+	}
+}
+
+func (s *lazyPrimaryServer) onClientRequest(m simnet.Message) {
+	req := decodeRequest(m.Payload)
+
+	// Read-only requests are served locally at ANY replica — the whole
+	// point of lazy replication's performance story ("access data locally
+	// … consistency is only possible for read operations", §4).
+	if !req.Txn.IsUpdate() {
+		s.r.trace(req.ID, trace.RE, "local-read")
+		s.r.node.Go(func() {
+			s.r.trace(req.ID, trace.EX, "local")
+			out, err := s.r.execute(req.Txn, nil, true)
+			if err != nil {
+				out.result = txnResult{Committed: false, Err: err.Error()}
+			}
+			_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Resp: Response{ID: req.ID, Result: out.result}}))
+		})
+		return
+	}
+
+	view := s.vg.CurrentView()
+	if !s.vg.InView() || view.Primary() != s.r.id {
+		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: view.Primary()}))
+		return
+	}
+	s.r.trace(req.ID, trace.RE, "primary")
+	s.r.node.Go(func() {
+		res, err := s.executeOnce(req)
+		if err != nil {
+			_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: s.vg.CurrentView().Primary()}))
+			return
+		}
+		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Resp: Response{ID: req.ID, Result: res}}))
+	})
+}
+
+func (s *lazyPrimaryServer) executeOnce(req Request) (txnResult, error) {
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	if ch, busy := s.inflight[req.ID]; busy {
+		s.mu.Unlock()
+		res, ok := <-ch
+		if !ok {
+			return txnResult{}, context.DeadlineExceeded
+		}
+		return res, nil
+	}
+	ch := make(chan txnResult, 8)
+	s.inflight[req.ID] = ch
+	s.mu.Unlock()
+
+	res, err := s.run(req)
+
+	s.mu.Lock()
+	delete(s.inflight, req.ID)
+	s.mu.Unlock()
+	if err == nil {
+		for i := 0; i < cap(ch); i++ {
+			select {
+			case ch <- res:
+			default:
+			}
+		}
+	}
+	close(ch)
+	return res, err
+}
+
+func (s *lazyPrimaryServer) run(req Request) (txnResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.r.cfg.RequestTimeout)
+	defer cancel()
+
+	txnID := req.TxnID()
+	if err := lockTxn(ctx, s.r.locks, txnID, req); err != nil {
+		return txnResult{}, err
+	}
+	defer s.r.locks.ReleaseAll(txnID)
+
+	s.r.trace(req.ID, trace.EX, "primary")
+	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
+		return s.r.resolveNondet(req, i), nil
+	}, true)
+	if err != nil {
+		return txnResult{Committed: false, Err: err.Error()}, nil
+	}
+
+	u := updateMsg{
+		ReqID: req.ID, TxnID: txnID, Client: req.Client,
+		WS: out.ws, Result: out.result, Origin: s.r.id,
+	}
+
+	// Commit locally and enqueue propagation in commit order, then
+	// answer. The FIFO broadcast happens after the reply — the defining
+	// END-before-AC phase swap of lazy techniques.
+	s.mu.Lock()
+	s.dd.put(req.ID, out.result)
+	if len(u.WS) > 0 {
+		s.r.store.Apply(u.WS, txnID, string(s.r.id), 0)
+		s.queue = append(s.queue, lazyItem{due: time.Now().Add(s.r.cfg.LazyDelay), u: u})
+	}
+	s.mu.Unlock()
+	select {
+	case s.qwake <- struct{}{}:
+	default:
+	}
+	return out.result, nil
+}
+
+// operatorReconfigure implements operator-driven fail-over.
+func (s *lazyPrimaryServer) operatorReconfigure(members []simnet.NodeID) {
+	s.vg.ForceView(members)
+}

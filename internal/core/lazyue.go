@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"replication/internal/group"
+	"replication/internal/recon"
+	"replication/internal/simnet"
+	"replication/internal/trace"
+)
+
+// lazyUEServer implements lazy update everywhere replication (paper
+// §4.6, figure 11): any replica commits its client's update locally and
+// answers immediately; propagation and reconciliation come later.
+//
+// "Since the other sites might have run conflicting transactions at the
+// same time, the copies … might not only be stale but inconsistent.
+// Reconciliation is needed to decide which updates are the winners."
+// Two reconciliation modes are provided, selected by Config.LazyUEOrder:
+//
+//   - "lww": per-object last-writer-wins on Lamport timestamps (the
+//     per-object schemes the paper says dominate practice);
+//   - "abcast": the paper's own suggestion — "run an Atomic Broadcast and
+//     determine the after-commit-order according to the order of the
+//     atomic broadcast"; every site re-applies updates in the agreed
+//     total order, so replicas converge even for multi-object
+//     transactions.
+type lazyUEServer struct {
+	r      *replica
+	ab     *group.Atomic // "abcast" mode ordering
+	useAB  bool
+	others []simnet.NodeID
+
+	mu       sync.Mutex
+	dd       *dedup
+	queue    []lazyItem
+	qwake    chan struct{}
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+const (
+	kindLUReq  = "lu.req"
+	kindLURecn = "lu.recon"
+)
+
+func newLazyUE(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	useAB := c.cfg.LazyUEOrder == "abcast"
+	for id, r := range replicas {
+		s := &lazyUEServer{
+			r:      r,
+			useAB:  useAB,
+			dd:     newDedup(),
+			qwake:  make(chan struct{}, 1),
+			stopCh: make(chan struct{}),
+		}
+		for _, other := range c.ids {
+			if other != id {
+				s.others = append(s.others, other)
+			}
+		}
+		if useAB {
+			s.ab = group.NewAtomic(r.node, "lu", c.ids, r.det)
+			s.ab.OnDeliver(s.onOrdered)
+		} else {
+			r.node.Handle(kindLURecn, s.onReconcile)
+		}
+		r.node.Handle(kindLUReq, s.onClientRequest)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+	hooks.submit = func(ctx context.Context, cl *Client, req Request) (txnResult, error) {
+		return delegateCall(ctx, cl, req, kindLUReq)
+	}
+	return hooks
+}
+
+func (s *lazyUEServer) start() {
+	if s.ab != nil {
+		s.ab.Start()
+	}
+	s.wg.Add(1)
+	go s.propagate()
+}
+
+func (s *lazyUEServer) stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+	if s.ab != nil {
+		s.ab.Stop()
+	}
+}
+
+// propagate drains committed updates to the other sites after the lazy
+// delay.
+func (s *lazyUEServer) propagate() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			select {
+			case <-s.stopCh:
+				return
+			case <-s.qwake:
+			}
+			continue
+		}
+		item := s.queue[0]
+		s.mu.Unlock()
+		if wait := time.Until(item.due); wait > 0 {
+			select {
+			case <-s.stopCh:
+				return
+			case <-time.After(wait):
+			}
+		}
+		s.mu.Lock()
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		payload := encodeUpdate(item.u)
+		if s.useAB {
+			_ = s.ab.Broadcast(payload)
+		} else {
+			for _, peer := range s.others {
+				_ = s.r.node.Send(peer, kindLURecn, payload)
+			}
+		}
+	}
+}
+
+// onClientRequest executes and commits locally at this replica — "update
+// a local copy, commit and only some time after the commit, the
+// propagation of the changes takes place" (§4.2).
+func (s *lazyUEServer) onClientRequest(m simnet.Message) {
+	req := decodeRequest(m.Payload)
+	s.r.trace(req.ID, trace.RE, "local-server")
+
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: res}))
+		return
+	}
+	s.mu.Unlock()
+
+	s.r.trace(req.ID, trace.EX, "local")
+	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
+		return s.r.resolveNondet(req, i), nil
+	}, true)
+	if err != nil {
+		out.result = txnResult{Committed: false, Err: err.Error()}
+		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: out.result}))
+		return
+	}
+
+	wall := s.r.clock.Tick()
+	u := updateMsg{
+		ReqID: req.ID, TxnID: req.TxnID(), Client: req.Client,
+		WS: out.ws, Result: out.result, Origin: s.r.id, Wall: wall,
+	}
+	s.mu.Lock()
+	s.dd.put(req.ID, out.result)
+	if len(u.WS) > 0 {
+		// Local commit through the same reconciliation policy, so a
+		// concurrent remote winner is not clobbered.
+		recon.Apply(s.r.store, recon.LWW{}, u.WS, u.TxnID, string(u.Origin), wall)
+		s.r.recordApply(u.TxnID, u.WS)
+		s.queue = append(s.queue, lazyItem{due: time.Now().Add(s.r.cfg.LazyDelay), u: u})
+	}
+	s.mu.Unlock()
+	select {
+	case s.qwake <- struct{}{}:
+	default:
+	}
+	_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: out.result}))
+}
+
+// onReconcile applies a remote update under last-writer-wins ("lww"
+// mode).
+func (s *lazyUEServer) onReconcile(m simnet.Message) {
+	u := decodeUpdate(m.Payload)
+	s.r.trace(u.ReqID, trace.AC, "reconcile-lww")
+	s.r.clock.Observe(u.Wall)
+	won := recon.Apply(s.r.store, recon.LWW{}, u.WS, u.TxnID, string(u.Origin), u.Wall)
+	if len(won) > 0 {
+		s.r.recordApply(u.TxnID, u.WS)
+	}
+}
+
+// onOrdered applies updates in ABCAST order ("abcast" mode): the
+// after-commit order. Every site — including the origin, whose local
+// commit was provisional — applies in the same total order, so replicas
+// converge to identical states.
+func (s *lazyUEServer) onOrdered(origin simnet.NodeID, payload []byte) {
+	u := decodeUpdate(payload)
+	s.r.trace(u.ReqID, trace.AC, "after-commit-order")
+	s.r.clock.Observe(u.Wall)
+	if len(u.WS) > 0 {
+		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), u.Wall)
+		if u.Origin != s.r.id {
+			s.r.recordApply(u.TxnID, u.WS)
+		}
+	}
+}

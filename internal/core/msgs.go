@@ -1,0 +1,73 @@
+package core
+
+import (
+	"replication/internal/codec"
+	"replication/internal/simnet"
+	"replication/internal/storage"
+	"replication/internal/txn"
+)
+
+// Wire helpers shared by the protocol implementations. All payloads are
+// gob-encoded (package codec); kinds are namespaced per protocol.
+
+// Aliases keeping protocol code close to the paper's vocabulary without
+// repeating the txn qualifier on every line.
+type (
+	txnResult = txn.Result
+	txnOp     = txn.Op
+)
+
+func encodeRequest(r Request) []byte { return codec.MustMarshal(&r) }
+
+func decodeRequest(b []byte) Request {
+	var r Request
+	codec.MustUnmarshal(b, &r)
+	return r
+}
+
+func encodeResponse(r Response) []byte { return codec.MustMarshal(&r) }
+
+func decodeResponse(b []byte, r *Response) error { return codec.Unmarshal(b, r) }
+
+// respond sends a result back to the requesting client (group-addressed
+// protocols).
+func respond(node *simnet.Node, req Request, res txn.Result) {
+	_ = node.Send(req.Client, kindResponse, encodeResponse(Response{ID: req.ID, Result: res}))
+}
+
+// updateMsg propagates a transaction's effects (writeset + cached client
+// result) from the executing replica to the others: passive replication's
+// "apply" message and the lazy protocols' propagation record.
+type updateMsg struct {
+	ReqID  uint64
+	TxnID  string
+	Client simnet.NodeID
+	WS     storage.WriteSet
+	Result txn.Result
+	Origin simnet.NodeID
+	Wall   uint64 // Lamport stamp for LWW reconciliation
+}
+
+func encodeUpdate(u updateMsg) []byte { return codec.MustMarshal(&u) }
+
+func decodeUpdate(b []byte) updateMsg {
+	var u updateMsg
+	codec.MustUnmarshal(b, &u)
+	return u
+}
+
+// dedup is the exactly-once table replicas keep per technique: request ID
+// to cached result. Retried requests answer from the cache instead of
+// re-executing.
+type dedup struct {
+	done map[uint64]txn.Result
+}
+
+func newDedup() *dedup { return &dedup{done: make(map[uint64]txn.Result)} }
+
+func (d *dedup) get(id uint64) (txn.Result, bool) {
+	r, ok := d.done[id]
+	return r, ok
+}
+
+func (d *dedup) put(id uint64, r txn.Result) { d.done[id] = r }

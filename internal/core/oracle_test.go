@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"replication/internal/txn"
+	"replication/internal/workload"
+)
+
+// oracle is a plain sequential map — the specification all techniques
+// must refine under a single client: requests submitted one at a time
+// define the serialization order, so the final replicated state must
+// equal the oracle's, and every committed read must return the oracle's
+// value at that point.
+type oracle struct {
+	state map[string][]byte
+}
+
+func newOracle() *oracle { return &oracle{state: make(map[string][]byte)} }
+
+func (o *oracle) apply(t txn.Transaction) map[string][]byte {
+	reads := make(map[string][]byte)
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case txn.Read:
+			reads[op.Key] = o.state[op.Key]
+		case txn.Write:
+			o.state[op.Key] = op.Value
+		}
+	}
+	return reads
+}
+
+// TestSequentialOracleEquivalence drives a random single-client workload
+// through every technique and checks (a) every committed read matches
+// the oracle and (b) the final converged replica state equals the oracle
+// state. This is the state-machine refinement property in testable form.
+func TestSequentialOracleEquivalence(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3, LazyDelay: time.Millisecond})
+			cl := c.NewClient()
+			ctx := ctxT(t, 120*time.Second)
+
+			rng := rand.New(rand.NewSource(int64(len(p)))) // per-protocol seed
+			gen := workload.New(workload.Config{
+				Keys: 8, WriteFraction: 0.6, OpsPerTxn: 2, Seed: rng.Int63(),
+			})
+			orc := newOracle()
+			const requests = 25
+			for i := 0; i < requests; i++ {
+				tx := gen.NextTxn("")
+				res, err := cl.Invoke(ctx, tx)
+				if err != nil {
+					t.Fatalf("request %d: %v", i, err)
+				}
+				if !res.Committed {
+					t.Fatalf("request %d aborted under a single client: %s", i, res.Err)
+				}
+				wantReads := orc.apply(tx)
+				for key, want := range wantReads {
+					if got := res.Reads[key]; string(got) != string(want) {
+						// Lazy techniques serve reads from the client's local
+						// replica, which may trail the primary: allowed.
+						tech, _ := TechniqueOf(p)
+						if tech.StrongConsistency {
+							t.Fatalf("request %d read %q = %q, oracle says %q", i, key, got, want)
+						}
+					}
+				}
+			}
+			waitConverged(t, c, 20*time.Second)
+			for _, id := range c.Replicas() {
+				store := c.Store(id)
+				for key, want := range orc.state {
+					v, ok := store.Read(key)
+					if !ok || string(v.Value) != string(want) {
+						t.Fatalf("replica %s: %q = %q, oracle %q", id, key, v.Value, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReadOfAbsentKey covers the nil-read path through every technique.
+func TestReadOfAbsentKey(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3, LazyDelay: time.Millisecond})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			res, err := cl.InvokeOp(ctx, txn.R("never-written"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Committed {
+				t.Fatalf("read aborted: %s", res.Err)
+			}
+			if v, ok := res.Reads["never-written"]; !ok || v != nil {
+				t.Fatalf("absent key read (%q, %v), want (nil, present)", v, ok)
+			}
+		})
+	}
+}
+
+// TestClusterCloseIdempotent: Close twice must not panic or hang.
+func TestClusterCloseIdempotent(t *testing.T) {
+	c, err := NewCluster(Config{Protocol: Active, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close()
+}
+
+// TestClusterAccessors sanity-checks the cluster surface.
+func TestClusterAccessors(t *testing.T) {
+	c := newTestCluster(t, Config{Protocol: Passive, Replicas: 3})
+	if got := len(c.Replicas()); got != 3 {
+		t.Fatalf("Replicas = %d", got)
+	}
+	if got := len(c.Stores()); got != 3 {
+		t.Fatalf("Stores = %d", got)
+	}
+	if c.Network() == nil || c.Recorder() == nil {
+		t.Fatal("nil network or recorder")
+	}
+	if c.History() == nil {
+		t.Fatal("nil history")
+	}
+	cl := c.NewClient()
+	if cl.ID() == "" || cl.Home() == "" {
+		t.Fatal("client identity incomplete")
+	}
+}
+
+// TestMultiOpThroughGroupTechniques: the group-addressed DS techniques
+// also execute multi-operation transactions (sequentially, in their
+// delivery order).
+func TestMultiOpThroughGroupTechniques(t *testing.T) {
+	for _, p := range []Protocol{Active, SemiPassive, EagerABCastUE, LazyUE} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3, LazyDelay: time.Millisecond})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+				txn.W("m/1", []byte("a")),
+				txn.R("m/1"),
+				txn.W("m/2", []byte("b")),
+			}})
+			if err != nil || !res.Committed {
+				t.Fatalf("multi-op: %v %v", res, err)
+			}
+			if string(res.Reads["m/1"]) != "a" {
+				t.Fatalf("read-own-write inside txn = %q", res.Reads["m/1"])
+			}
+			waitConverged(t, c, 10*time.Second)
+		})
+	}
+}
+
+// TestManyKeysManyClientsSmoke is a heavier smoke test: 4 clients × 10
+// requests over every technique with mixed reads and writes.
+func TestManyKeysManyClientsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTestCluster(t, Config{Protocol: p, Replicas: 3, LazyDelay: time.Millisecond})
+			ctx := ctxT(t, 180*time.Second)
+			errs := make(chan error, 4)
+			for ci := 0; ci < 4; ci++ {
+				cl := c.NewClient()
+				gen := workload.New(workload.Config{
+					Keys: 32, WriteFraction: 0.5, Seed: int64(ci + 100),
+				})
+				go func() {
+					for i := 0; i < 10; i++ {
+						if _, err := cl.Invoke(ctx, gen.NextTxn("")); err != nil {
+							errs <- fmt.Errorf("%w", err)
+							return
+						}
+					}
+					errs <- nil
+				}()
+			}
+			for i := 0; i < 4; i++ {
+				if err := <-errs; err != nil {
+					t.Fatal(err)
+				}
+			}
+			waitConverged(t, c, 20*time.Second)
+		})
+	}
+}

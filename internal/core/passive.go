@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/group"
+	"replication/internal/lockmgr"
+	"replication/internal/simnet"
+	"replication/internal/trace"
+	"replication/internal/txn"
+)
+
+// passiveServer implements passive (primary-backup) replication
+// (paper §3.3, figure 3):
+//
+//  1. the client sends its request to the primary;
+//  2. there is no initial server coordination;
+//  3. the primary executes the request (nondeterminism is fine — only
+//     one process executes);
+//  4. the primary sends the update (state change, not the operation) to
+//     the backups with VSCAST; the reply waits for stability, so an
+//     answered request is never lost to a primary crash;
+//  5. the primary answers the client.
+//
+// Fail-over is view-driven: when the primary is excluded from the view,
+// the next member takes over and clients re-submit; the dedup table —
+// itself replicated inside the update messages — makes retries
+// exactly-once.
+type passiveServer struct {
+	r  *replica
+	vg *group.ViewGroup
+
+	mu       sync.Mutex
+	dd       *dedup
+	inflight map[uint64]chan txnResult
+}
+
+// rpcAnswer is the reply envelope of primary-based protocols: either a
+// result or a redirect to the current primary.
+type rpcAnswer struct {
+	Redirect simnet.NodeID // non-empty: retry there
+	Resp     Response
+}
+
+const kindPassiveReq = "pas.req"
+
+func newPassive(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	for id, r := range replicas {
+		s := &passiveServer{
+			r:        r,
+			dd:       newDedup(),
+			inflight: make(map[uint64]chan txnResult),
+		}
+		s.vg = group.NewViewGroup(r.node, "pas", c.ids, c.ids, r.det, group.ViewGroupOptions{
+			StateProvider: func() []byte { return codec.MustMarshal(snapshotOf(r)) },
+			StateApplier:  func(b []byte) { applySnapshot(r, b) },
+		})
+		s.vg.OnDeliver(s.onUpdate)
+		r.node.Handle(kindPassiveReq, s.onClientRequest)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+	hooks.submit = primarySubmit(c, kindPassiveReq)
+	return hooks
+}
+
+func (s *passiveServer) start() { s.vg.Start() }
+func (s *passiveServer) stop()  { s.vg.Stop() }
+
+// onUpdate applies a primary's update message — "the backups do not
+// execute the invocation, but apply the changes" (§3.3). It runs at the
+// primary too (single apply path).
+func (s *passiveServer) onUpdate(origin simnet.NodeID, payload []byte) {
+	u := decodeUpdate(payload)
+	if origin != s.r.id {
+		s.r.trace(u.ReqID, trace.AC, "apply")
+	}
+	s.mu.Lock()
+	if _, done := s.dd.get(u.ReqID); done {
+		s.mu.Unlock()
+		return
+	}
+	s.dd.put(u.ReqID, u.Result)
+	s.mu.Unlock()
+	if len(u.WS) > 0 {
+		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
+		if origin != s.r.id {
+			s.r.recordApply(u.TxnID, u.WS)
+		}
+	}
+}
+
+// onClientRequest handles the client RPC at (hopefully) the primary.
+func (s *passiveServer) onClientRequest(m simnet.Message) {
+	req := decodeRequest(m.Payload)
+	view := s.vg.CurrentView()
+	if !s.vg.InView() || view.Primary() != s.r.id {
+		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: view.Primary()}))
+		return
+	}
+	s.r.trace(req.ID, trace.RE, "primary")
+	// The request blocks on locks and stable broadcast: leave the
+	// dispatch loop free.
+	s.r.node.Go(func() { s.serve(m, req) })
+}
+
+func (s *passiveServer) serve(m simnet.Message, req Request) {
+	res, err := s.executeOnce(req)
+	if err != nil {
+		// Stability failed (e.g. we were deposed mid-request): point the
+		// client at the new primary.
+		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: s.vg.CurrentView().Primary()}))
+		return
+	}
+	_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Resp: Response{ID: req.ID, Result: res}}))
+}
+
+// executeOnce runs the request exactly once even under concurrent
+// duplicate attempts: the first caller executes, the rest await.
+func (s *passiveServer) executeOnce(req Request) (txnResult, error) {
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		return res, nil
+	}
+	if ch, busy := s.inflight[req.ID]; busy {
+		s.mu.Unlock()
+		res, ok := <-ch
+		if !ok {
+			return txnResult{}, errors.New("core: duplicate attempt lost its executor")
+		}
+		return res, nil
+	}
+	ch := make(chan txnResult, 8)
+	s.inflight[req.ID] = ch
+	s.mu.Unlock()
+
+	res, err := s.run(req)
+
+	s.mu.Lock()
+	delete(s.inflight, req.ID)
+	s.mu.Unlock()
+	if err == nil {
+		for i := 0; i < cap(ch); i++ {
+			select {
+			case ch <- res:
+			default:
+			}
+		}
+	}
+	close(ch)
+	return res, err
+}
+
+func (s *passiveServer) run(req Request) (txnResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.r.cfg.RequestTimeout)
+	defer cancel()
+
+	// Local strict 2PL isolates concurrent client requests at the
+	// primary (§3.1: isolation is the server's responsibility).
+	txnID := req.TxnID()
+	if err := lockTxn(ctx, s.r.locks, txnID, req); err != nil {
+		return txnResult{}, err
+	}
+	defer s.r.locks.ReleaseAll(txnID)
+
+	s.r.trace(req.ID, trace.EX, "primary")
+	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
+		return s.r.resolveNondet(req, i), nil // nondeterminism allowed: one executor
+	}, true)
+	if err != nil {
+		return txnResult{Committed: false, Err: err.Error()}, nil
+	}
+
+	// Phase 4: VSCAST the update; stability before the response.
+	s.r.trace(req.ID, trace.AC, "vscast")
+	u := updateMsg{
+		ReqID: req.ID, TxnID: txnID, Client: req.Client,
+		WS: out.ws, Result: out.result, Origin: s.r.id,
+	}
+	if err := s.vg.BroadcastStable(ctx, encodeUpdate(u)); err != nil {
+		return txnResult{}, err
+	}
+	return out.result, nil
+}
+
+// lockTxn acquires strict-2PL locks for every operation of the request.
+// Stored procedures lock their declared access set exclusively (their
+// internal reads and writes are not known until execution).
+func lockTxn(ctx context.Context, locks *lockmgr.Manager, txnID string, req Request) error {
+	lock := func(key string, mode lockmgr.Mode) error {
+		if err := locks.Lock(ctx, txnID, key, mode); err != nil {
+			locks.ReleaseAll(txnID)
+			return err
+		}
+		return nil
+	}
+	for _, op := range req.Txn.Ops {
+		if op.Kind == txn.Proc {
+			for _, key := range op.Keys {
+				if err := lock(key, lockmgr.Exclusive); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		mode := lockmgr.Exclusive
+		if op.Kind == txn.Read {
+			mode = lockmgr.Shared
+		}
+		if err := lock(op.Key, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// primaryHopTimeout bounds one probe of a candidate primary, so a dead
+// primary costs a short hop rather than the whole request timeout. It
+// must comfortably exceed a healthy request (a few ms here) while
+// keeping fail-over probing brisk.
+const primaryHopTimeout = 150 * time.Millisecond
+
+// primarySubmit builds the client-side routing for primary-based
+// techniques: follow redirects, fail over when the primary is silent.
+func primarySubmit(c *Cluster, kind string) submitFunc {
+	var mu sync.Mutex
+	guess := c.ids[0]
+	return func(ctx context.Context, cl *Client, req Request) (txnResult, error) {
+		mu.Lock()
+		target := guess
+		mu.Unlock()
+		for hop := 0; ctx.Err() == nil; hop++ {
+			hopCtx, cancel := context.WithTimeout(ctx, primaryHopTimeout)
+			msg, err := cl.node.Call(hopCtx, target, kind, encodeRequest(req))
+			cancel()
+			if err != nil {
+				// Silent primary: try the next replica.
+				mu.Lock()
+				for i, id := range c.ids {
+					if id == target {
+						target = c.ids[(i+1)%len(c.ids)]
+						break
+					}
+				}
+				guess = target
+				mu.Unlock()
+				if ctx.Err() != nil {
+					return txnResult{}, err
+				}
+				continue
+			}
+			var ans rpcAnswer
+			codec.MustUnmarshal(msg.Payload, &ans)
+			if ans.Redirect != "" && ans.Redirect != target {
+				mu.Lock()
+				guess = ans.Redirect
+				mu.Unlock()
+				target = ans.Redirect
+				continue
+			}
+			if ans.Redirect == target || ans.Resp.ID != req.ID {
+				// The cluster is between views (a replica redirected to
+				// itself while not yet primary, or answered emptily):
+				// brief pause, then probe again.
+				select {
+				case <-ctx.Done():
+					return txnResult{}, ctx.Err()
+				case <-time.After(5 * time.Millisecond):
+				}
+				continue
+			}
+			return ans.Resp.Result, nil
+		}
+		return txnResult{}, errors.New("core: no primary found")
+	}
+}
+
+// snapshotOf captures a replica's store for state transfer.
+func snapshotOf(r *replica) map[string][]byte { return r.store.Snapshot() }
+
+// applySnapshot restores a transferred snapshot.
+func applySnapshot(r *replica, b []byte) {
+	var snap map[string][]byte
+	codec.MustUnmarshal(b, &snap)
+	r.store.Restore(snap, "state-transfer")
+}
+
+// operatorReconfigure implements operator-driven fail-over.
+func (s *passiveServer) operatorReconfigure(members []simnet.NodeID) {
+	s.vg.ForceView(members)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/group"
+	"replication/internal/simnet"
+	"replication/internal/trace"
+)
+
+// semiActiveServer implements semi-active replication (paper §3.4,
+// figure 4), the middle ground between active and passive:
+//
+//  1. the client sends the request to the servers using Atomic Broadcast;
+//  2. the servers coordinate through the ABCAST total order;
+//  3. all replicas execute the request in delivery order;
+//  4. at every nondeterministic decision point the leader makes the
+//     choice and sends it to the followers with VSCAST (phases EX and AC
+//     repeat per choice);
+//  5. the servers answer the client.
+//
+// When the leader crashes, the view change promotes the next member;
+// followers blocked on a pending choice re-evaluate leadership and the
+// new leader decides.
+type semiActiveServer struct {
+	r  *replica
+	ab *group.Atomic
+	vg *group.ViewGroup
+
+	mu        sync.Mutex
+	dd        *dedup
+	decisions map[string][]byte
+}
+
+// decisionMsg carries a leader's resolution of one nondeterministic
+// choice to the followers.
+type decisionMsg struct {
+	Key   string // reqID "/" op index
+	Value []byte
+}
+
+func newSemiActive(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	for id, r := range replicas {
+		s := &semiActiveServer{
+			r:         r,
+			dd:        newDedup(),
+			decisions: make(map[string][]byte),
+		}
+		s.ab = group.NewAtomic(r.node, "sa", c.ids, r.det)
+		s.ab.OnDeliver(s.onDeliver)
+		s.vg = group.NewViewGroup(r.node, "sa", c.ids, c.ids, r.det, group.ViewGroupOptions{})
+		s.vg.OnDeliver(s.onDecision)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+
+	var subMu sync.Mutex
+	subs := make(map[*Client]*group.Submitter)
+	hooks.submit = func(ctx context.Context, cl *Client, req Request) (txnResult, error) {
+		subMu.Lock()
+		sub, ok := subs[cl]
+		if !ok {
+			sub = group.NewSubmitter(cl.node, "sa", c.ids)
+			subs[cl] = sub
+		}
+		subMu.Unlock()
+		if err := sub.Submit(encodeRequest(req)); err != nil {
+			return txnResult{}, err
+		}
+		return cl.awaitResponse(ctx, req.ID)
+	}
+	return hooks
+}
+
+func (s *semiActiveServer) start() {
+	s.ab.Start()
+	s.vg.Start()
+}
+
+func (s *semiActiveServer) stop() {
+	s.ab.Stop()
+	s.vg.Stop()
+}
+
+// onDecision installs a leader's choice and implicitly wakes executors
+// polling for it.
+func (s *semiActiveServer) onDecision(origin simnet.NodeID, payload []byte) {
+	var d decisionMsg
+	codec.MustUnmarshal(payload, &d)
+	s.mu.Lock()
+	if _, ok := s.decisions[d.Key]; !ok {
+		s.decisions[d.Key] = d.Value
+	}
+	s.mu.Unlock()
+}
+
+// onDeliver executes one totally-ordered request, pausing at each
+// nondeterministic point for the leader's decision.
+func (s *semiActiveServer) onDeliver(origin simnet.NodeID, payload []byte) {
+	req := decodeRequest(payload)
+	s.r.trace(req.ID, trace.SC, "abcast")
+
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		respond(s.r.node, req, res)
+		return
+	}
+	s.mu.Unlock()
+
+	s.r.trace(req.ID, trace.EX, "")
+	out, err := s.r.execute(req.Txn, func(i int, op txnOp) ([]byte, error) {
+		return s.resolveChoice(req, i)
+	}, true)
+	if err != nil {
+		// A replica that could not obtain the decision (typically because
+		// it was excluded from the view) stays silent: the client must
+		// only ever see a result the surviving group agreed on.
+		return
+	}
+	if len(out.ws) > 0 {
+		s.r.store.Apply(out.ws, req.TxnID(), string(s.r.id), 0)
+	}
+
+	s.mu.Lock()
+	s.dd.put(req.ID, out.result)
+	s.mu.Unlock()
+	respond(s.r.node, req, out.result)
+}
+
+// resolveChoice returns the group-agreed value of one nondeterministic
+// point: the leader chooses (possibly with true local randomness) and
+// VSCASTs its choice; followers wait, re-evaluating leadership on view
+// changes so a crashed leader's duty falls to its successor.
+func (s *semiActiveServer) resolveChoice(req Request, opIdx int) ([]byte, error) {
+	key := fmt.Sprintf("%d/%d", req.ID, opIdx)
+	deadline := time.Now().Add(s.r.cfg.RequestTimeout)
+	for {
+		s.mu.Lock()
+		v, ok := s.decisions[key]
+		s.mu.Unlock()
+		if ok {
+			return v, nil
+		}
+		if s.vg.InView() && s.vg.CurrentView().Primary() == s.r.id {
+			// We are the leader: decide and publish. Stability before use
+			// keeps a deciding-then-crashing leader from stranding a
+			// choice no survivor knows.
+			choice := s.r.resolveNondet(req, opIdx)
+			s.r.trace(req.ID, trace.AC, "vscast-decision")
+			ctx, cancel := context.WithTimeout(context.Background(), s.r.cfg.RequestTimeout)
+			err := s.vg.BroadcastStable(ctx, codec.MustMarshal(&decisionMsg{Key: key, Value: choice}))
+			cancel()
+			if err == nil {
+				s.mu.Lock()
+				if prev, raced := s.decisions[key]; raced {
+					choice = prev // a competing leader published first
+				} else {
+					s.decisions[key] = choice
+				}
+				s.mu.Unlock()
+				return choice, nil
+			}
+			// Stability failed (view churn): loop and retry.
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("core: no leader decision for %s", key)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

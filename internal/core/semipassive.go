@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"replication/internal/consensus"
+	"replication/internal/simnet"
+	"replication/internal/trace"
+)
+
+// semiPassiveServer implements semi-passive replication (paper §3.5,
+// after Défago, Schiper & Sergent 1998): passive replication's
+// single-executor economy without view-synchronous membership.
+//
+// The Server Coordination and Agreement Coordination phases "are part of
+// one single coordination protocol called Consensus with Deferred
+// Initial Values": clients send their request to all replicas; a
+// sequence of consensus instances decides, one request at a time, the
+// (request, update) pair everyone applies. Only the instance's
+// coordinator evaluates its deferred proposal — i.e. only it executes
+// the request; if the failure detector deposes it, the next coordinator
+// executes instead. Aggressive suspicion timeouts therefore cost a
+// redundant execution, never a view change — the advantage the paper
+// quotes over passive replication.
+type semiPassiveServer struct {
+	r  *replica
+	cs *consensus.Manager
+
+	mu        sync.Mutex
+	dd        *dedup
+	pending   map[uint64]Request
+	decisions map[uint64][]byte
+	next      uint64 // next consensus instance to apply
+
+	wake   chan struct{}
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+const kindSPReq = "sp.req"
+
+func newSemiPassive(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+	for id, r := range replicas {
+		s := &semiPassiveServer{
+			r:         r,
+			dd:        newDedup(),
+			pending:   make(map[uint64]Request),
+			decisions: make(map[uint64][]byte),
+			next:      1,
+			wake:      make(chan struct{}, 1),
+			done:      make(chan struct{}),
+		}
+		s.cs = consensus.NewManager(r.node, "sp", c.ids, r.det, 0)
+		s.cs.OnDecide(s.onDecide)
+		r.node.Handle(kindSPReq, s.onClientRequest)
+		hooks.servers[id] = &serverEntry{replica: r, engine: s}
+	}
+	hooks.submit = func(ctx context.Context, cl *Client, req Request) (txnResult, error) {
+		// The client addresses the whole group, like active replication,
+		// but without an ordering primitive: consensus does the ordering.
+		payload := encodeRequest(req)
+		for _, id := range c.ids {
+			_ = cl.node.Send(id, kindSPReq, payload)
+		}
+		return cl.awaitResponse(ctx, req.ID)
+	}
+	return hooks
+}
+
+func (s *semiPassiveServer) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	go s.order(ctx)
+}
+
+func (s *semiPassiveServer) stop() {
+	s.once.Do(func() {
+		if s.cancel != nil {
+			s.cancel()
+		}
+		<-s.done
+	})
+}
+
+func (s *semiPassiveServer) onClientRequest(m simnet.Message) {
+	req := decodeRequest(m.Payload)
+	s.mu.Lock()
+	if res, ok := s.dd.get(req.ID); ok {
+		s.mu.Unlock()
+		respond(s.r.node, req, res)
+		return
+	}
+	if _, ok := s.pending[req.ID]; ok {
+		s.mu.Unlock()
+		return
+	}
+	s.pending[req.ID] = req
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (s *semiPassiveServer) onDecide(instance uint64, value []byte) {
+	s.mu.Lock()
+	s.decisions[instance] = value
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// order drives the sequence of consensus-with-deferred-initial-values
+// instances, one request per instance.
+func (s *semiPassiveServer) order(ctx context.Context) {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		decision, decided := s.decisions[s.next]
+		havePending := len(s.pending) > 0
+		instance := s.next
+		s.mu.Unlock()
+
+		switch {
+		case decided:
+			s.apply(decision)
+		case havePending:
+			val, err := s.cs.ProposeDeferred(ctx, instance, func() []byte {
+				return s.produce()
+			})
+			if err != nil {
+				return // ctx cancelled
+			}
+			s.apply(val)
+		default:
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.wake:
+			}
+		}
+	}
+}
+
+// produce is the deferred initial value: evaluated only if this replica
+// becomes the instance's coordinator. It executes the oldest pending
+// request and proposes the resulting update.
+func (s *semiPassiveServer) produce() []byte {
+	s.mu.Lock()
+	ids := make([]uint64, 0, len(s.pending))
+	for id := range s.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) == 0 {
+		s.mu.Unlock()
+		return encodeUpdate(updateMsg{}) // drained concurrently: no-op value
+	}
+	req := s.pending[ids[0]]
+	s.mu.Unlock()
+
+	s.r.trace(req.ID, trace.EX, "coordinator")
+	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
+		return s.r.resolveNondet(req, i), nil
+	}, false)
+	res := out.result
+	if err != nil {
+		res = txnResult{Committed: false, Err: err.Error()}
+	}
+	return encodeUpdate(updateMsg{
+		ReqID: req.ID, TxnID: req.TxnID(), Client: req.Client,
+		WS: out.ws, Result: res, Origin: s.r.id,
+	})
+}
+
+// apply installs one decided (request, update) pair and answers the
+// client.
+func (s *semiPassiveServer) apply(value []byte) {
+	u := decodeUpdate(value)
+
+	s.mu.Lock()
+	req, known := s.pending[u.ReqID]
+	delete(s.pending, u.ReqID)
+	delete(s.decisions, s.next)
+	s.next++
+	_, done := s.dd.get(u.ReqID)
+	if u.ReqID != 0 && !done {
+		s.dd.put(u.ReqID, u.Result)
+	}
+	s.mu.Unlock()
+
+	if u.ReqID == 0 || done {
+		return
+	}
+	s.r.trace(u.ReqID, trace.AC, "consensus-dv")
+	if len(u.WS) > 0 {
+		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
+		s.r.recordApply(u.TxnID, u.WS)
+	}
+	// All replicas answer; the client keeps the first response.
+	if known {
+		respond(s.r.node, req, u.Result)
+	} else {
+		respond(s.r.node, Request{ID: u.ReqID, Client: u.Client}, u.Result)
+	}
+}

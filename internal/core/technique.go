@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"replication/internal/trace"
+)
+
+// Community distinguishes where a technique comes from.
+type Community int
+
+// Communities.
+const (
+	DistributedSystems Community = iota + 1
+	Databases
+)
+
+// String implements fmt.Stringer.
+func (c Community) String() string {
+	switch c {
+	case DistributedSystems:
+		return "distributed systems"
+	case Databases:
+		return "databases"
+	default:
+		return fmt.Sprintf("Community(%d)", int(c))
+	}
+}
+
+// Propagation is Gray et al.'s "when" axis (paper figure 6).
+type Propagation int
+
+// Propagation strategies.
+const (
+	Eager Propagation = iota + 1
+	Lazy
+)
+
+// String implements fmt.Stringer.
+func (p Propagation) String() string {
+	switch p {
+	case Eager:
+		return "eager"
+	case Lazy:
+		return "lazy"
+	default:
+		return fmt.Sprintf("Propagation(%d)", int(p))
+	}
+}
+
+// Location is Gray et al.'s "who" axis (paper figure 6).
+type Location int
+
+// Update locations.
+const (
+	PrimaryCopy Location = iota + 1
+	UpdateEverywhere
+)
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	switch l {
+	case PrimaryCopy:
+		return "primary copy"
+	case UpdateEverywhere:
+		return "update everywhere"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// Technique is the classification record of one replication technique —
+// the rows of the paper's figures 5, 6, 15 and 16 in machine-readable
+// form.
+type Technique struct {
+	// Protocol identifies the implementation.
+	Protocol Protocol
+	// Name is the paper's name for the technique.
+	Name string
+	// Section cites where the paper describes it.
+	Section string
+	// Community is where the technique comes from.
+	Community Community
+	// Phases is the canonical phase sequence — the technique's row in
+	// figure 16. The trace tests verify live runs against this.
+	Phases []trace.Phase
+	// StrongConsistency reports the figure 16 grouping: linearisability
+	// or 1-copy serializability vs weak (lazy) consistency.
+	StrongConsistency bool
+	// Propagation and Location place database techniques in the Gray et
+	// al. matrix of figure 6 (DS techniques map onto it as eager).
+	Propagation Propagation
+	Location    Location
+	// FailureTransparent and NeedsDeterminism place DS techniques in the
+	// figure 5 matrix.
+	FailureTransparent bool
+	NeedsDeterminism   bool
+	// Mechanisms notes what implements SC and AC (figure 16 annotations).
+	Mechanisms string
+}
+
+// techniques is the registry; order follows figure 16.
+var techniques = []Technique{
+	{
+		Protocol: Active, Name: "Active replication", Section: "§3.2",
+		Community:         DistributedSystems,
+		Phases:            []trace.Phase{trace.RE, trace.SC, trace.EX, trace.END},
+		StrongConsistency: true,
+		Propagation:       Eager, Location: UpdateEverywhere,
+		FailureTransparent: true, NeedsDeterminism: true,
+		Mechanisms: "SC: Atomic Broadcast (client addresses the group)",
+	},
+	{
+		Protocol: Passive, Name: "Passive replication", Section: "§3.3",
+		Community:         DistributedSystems,
+		Phases:            []trace.Phase{trace.RE, trace.EX, trace.AC, trace.END},
+		StrongConsistency: true,
+		Propagation:       Eager, Location: PrimaryCopy,
+		FailureTransparent: false, NeedsDeterminism: false,
+		Mechanisms: "AC: VSCAST of the update",
+	},
+	{
+		Protocol: SemiActive, Name: "Semi-active replication", Section: "§3.4",
+		Community:         DistributedSystems,
+		Phases:            []trace.Phase{trace.RE, trace.SC, trace.EX, trace.AC, trace.END},
+		StrongConsistency: true,
+		Propagation:       Eager, Location: UpdateEverywhere,
+		FailureTransparent: true, NeedsDeterminism: false,
+		Mechanisms: "SC: ABCAST; AC: VSCAST of leader decisions (per nondeterministic point)",
+	},
+	{
+		Protocol: SemiPassive, Name: "Semi-passive replication", Section: "§3.5",
+		Community:         DistributedSystems,
+		Phases:            []trace.Phase{trace.RE, trace.EX, trace.AC, trace.END},
+		StrongConsistency: true,
+		Propagation:       Eager, Location: PrimaryCopy,
+		FailureTransparent: true, NeedsDeterminism: false,
+		Mechanisms: "SC+AC merged: consensus with deferred initial values",
+	},
+	{
+		Protocol: EagerPrimary, Name: "Eager primary copy", Section: "§4.3, §5.2",
+		Community:         Databases,
+		Phases:            []trace.Phase{trace.RE, trace.EX, trace.AC, trace.END},
+		StrongConsistency: true,
+		Propagation:       Eager, Location: PrimaryCopy,
+		FailureTransparent: false, NeedsDeterminism: false,
+		Mechanisms: "AC: change propagation + 2PC",
+	},
+	{
+		Protocol: EagerLockUE, Name: "Eager update everywhere, distributed locking", Section: "§4.4.1, §5.4.1",
+		Community:         Databases,
+		Phases:            []trace.Phase{trace.RE, trace.SC, trace.EX, trace.AC, trace.END},
+		StrongConsistency: true,
+		Propagation:       Eager, Location: UpdateEverywhere,
+		FailureTransparent: false, NeedsDeterminism: false,
+		Mechanisms: "SC: distributed (2-phase) locking; AC: 2PC",
+	},
+	{
+		Protocol: EagerABCastUE, Name: "Eager update everywhere with ABCAST", Section: "§4.4.2",
+		Community:         Databases,
+		Phases:            []trace.Phase{trace.RE, trace.SC, trace.EX, trace.END},
+		StrongConsistency: true,
+		Propagation:       Eager, Location: UpdateEverywhere,
+		FailureTransparent: false, NeedsDeterminism: true,
+		Mechanisms: "SC: ABCAST total order (request forwarded by the local server)",
+	},
+	{
+		Protocol: LazyPrimary, Name: "Lazy primary copy", Section: "§4.5, §5.3",
+		Community:         Databases,
+		Phases:            []trace.Phase{trace.RE, trace.EX, trace.END, trace.AC},
+		StrongConsistency: false,
+		Propagation:       Lazy, Location: PrimaryCopy,
+		FailureTransparent: false, NeedsDeterminism: false,
+		Mechanisms: "AC after END: FIFO propagation from the primary",
+	},
+	{
+		Protocol: LazyUE, Name: "Lazy update everywhere", Section: "§4.6",
+		Community:         Databases,
+		Phases:            []trace.Phase{trace.RE, trace.EX, trace.END, trace.AC},
+		StrongConsistency: false,
+		Propagation:       Lazy, Location: UpdateEverywhere,
+		FailureTransparent: false, NeedsDeterminism: false,
+		Mechanisms: "AC after END: reconciliation (LWW or after-commit order via ABCAST)",
+	},
+	{
+		Protocol: Certification, Name: "Certification based replication", Section: "§5.4.2",
+		Community:         Databases,
+		Phases:            []trace.Phase{trace.RE, trace.EX, trace.AC, trace.END},
+		StrongConsistency: true,
+		Propagation:       Eager, Location: UpdateEverywhere,
+		FailureTransparent: false, NeedsDeterminism: false,
+		Mechanisms: "optimistic EX before AC: ABCAST of (readset, writeset) + deterministic certification",
+	},
+}
+
+// Techniques returns the full classification registry in figure 16
+// order.
+func Techniques() []Technique {
+	return append([]Technique(nil), techniques...)
+}
+
+// TechniqueOf returns the classification record for a protocol.
+func TechniqueOf(p Protocol) (Technique, bool) {
+	for _, t := range techniques {
+		if t.Protocol == p {
+			return t, true
+		}
+	}
+	return Technique{}, false
+}
+
+// SatisfiesFigure15 checks the paper's figure 15 criterion on a phase
+// sequence: a strongly consistent technique must have an SC and/or AC
+// step before END.
+func SatisfiesFigure15(phases []trace.Phase) bool {
+	for _, p := range phases {
+		switch p {
+		case trace.SC, trace.AC:
+			return true
+		case trace.END:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+// Package fd implements a heartbeat failure detector.
+//
+// The paper (§2.1) observes that in an asynchronous system crash detection
+// is necessarily unreliable: "when some process p thinks that some other
+// process q has crashed, q might in fact not have crashed". This detector
+// embraces that: it outputs *suspicions*, which may be wrong and may be
+// revised. Its behaviour approximates the eventually-strong detector ◇S —
+// crashed processes are eventually suspected forever (completeness), and a
+// correct process eventually stops being falsely suspected once its
+// heartbeats get through (eventual accuracy). The consensus layer
+// (package consensus) and the group-membership layer (package group) are
+// the only consumers and are designed to stay safe under false suspicion.
+package fd
+
+import (
+	"sync"
+	"time"
+
+	"replication/internal/simnet"
+)
+
+// MsgKind is the message kind used for heartbeats.
+const MsgKind = "fd.hb"
+
+// Options tune a Detector. The zero value uses 5ms heartbeats and a 25ms
+// suspicion timeout, suitable for the default simnet latency.
+type Options struct {
+	// Interval between heartbeats.
+	Interval time.Duration
+	// Timeout after which a silent peer is suspected.
+	Timeout time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Interval == 0 {
+		o.Interval = 5 * time.Millisecond
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 25 * time.Millisecond
+	}
+}
+
+// ChangeFunc is a suspicion-change callback. It is invoked from the
+// detector's internal goroutines; implementations must not block.
+type ChangeFunc func(peer simnet.NodeID, suspected bool)
+
+// Detector monitors a set of peers by exchanging heartbeats over a
+// simnet.Node. Create with New, then Start.
+type Detector struct {
+	node  *simnet.Node
+	peers []simnet.NodeID
+	opts  Options
+
+	mu        sync.Mutex
+	lastHeard map[simnet.NodeID]time.Time
+	suspected map[simnet.NodeID]bool
+	subs      []ChangeFunc
+	started   bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New creates a detector on node monitoring peers (the node itself is
+// excluded automatically if present in peers).
+func New(node *simnet.Node, peers []simnet.NodeID, opts Options) *Detector {
+	opts.fill()
+	d := &Detector{
+		node:      node,
+		opts:      opts,
+		lastHeard: make(map[simnet.NodeID]time.Time),
+		suspected: make(map[simnet.NodeID]bool),
+		stop:      make(chan struct{}),
+	}
+	for _, p := range peers {
+		if p != node.ID() {
+			d.peers = append(d.peers, p)
+		}
+	}
+	node.Handle(MsgKind, d.onHeartbeat)
+	return d
+}
+
+// OnChange registers a suspicion-change callback. Register before Start.
+func (d *Detector) OnChange(f ChangeFunc) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.subs = append(d.subs, f)
+}
+
+// Start begins sending heartbeats and monitoring peers. All peers get a
+// full timeout's grace before they can be suspected.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	now := time.Now()
+	for _, p := range d.peers {
+		d.lastHeard[p] = now
+	}
+	d.mu.Unlock()
+
+	d.wg.Add(2)
+	go d.beat()
+	go d.monitor()
+}
+
+// Stop halts heartbeating and monitoring. Idempotent.
+func (d *Detector) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+// Suspects reports whether peer is currently suspected.
+func (d *Detector) Suspects(peer simnet.NodeID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suspected[peer]
+}
+
+// Suspected returns the currently suspected peers.
+func (d *Detector) Suspected() []simnet.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []simnet.NodeID
+	for p, s := range d.suspected {
+		if s {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (d *Detector) onHeartbeat(m simnet.Message) {
+	d.mu.Lock()
+	d.lastHeard[m.From] = time.Now()
+	wasSuspected := d.suspected[m.From]
+	if wasSuspected {
+		d.suspected[m.From] = false
+	}
+	subs := d.subs
+	d.mu.Unlock()
+	if wasSuspected {
+		for _, f := range subs {
+			f(m.From, false)
+		}
+	}
+}
+
+func (d *Detector) beat() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			for _, p := range d.peers {
+				_ = d.node.Send(p, MsgKind, nil)
+			}
+		}
+	}
+}
+
+func (d *Detector) monitor() {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			var newly []simnet.NodeID
+			d.mu.Lock()
+			for _, p := range d.peers {
+				if !d.suspected[p] && now.Sub(d.lastHeard[p]) > d.opts.Timeout {
+					d.suspected[p] = true
+					newly = append(newly, p)
+				}
+			}
+			subs := d.subs
+			d.mu.Unlock()
+			for _, p := range newly {
+				for _, f := range subs {
+					f(p, true)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package fd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/simnet"
+)
+
+type fixture struct {
+	net       *simnet.Network
+	nodes     map[simnet.NodeID]*simnet.Node
+	detectors map[simnet.NodeID]*Detector
+}
+
+func newFixture(t *testing.T, ids []simnet.NodeID, opts Options) *fixture {
+	t.Helper()
+	net := simnet.New(simnet.Options{Latency: simnet.ConstantLatency(100 * time.Microsecond)})
+	f := &fixture{
+		net:       net,
+		nodes:     make(map[simnet.NodeID]*simnet.Node),
+		detectors: make(map[simnet.NodeID]*Detector),
+	}
+	for _, id := range ids {
+		node := simnet.NewNode(net, id)
+		f.nodes[id] = node
+		f.detectors[id] = New(node, ids, opts)
+	}
+	for _, n := range f.nodes {
+		n.Start()
+	}
+	for _, d := range f.detectors {
+		d.Start()
+	}
+	t.Cleanup(func() {
+		for _, d := range f.detectors {
+			d.Stop()
+		}
+		for _, n := range f.nodes {
+			n.Stop()
+		}
+		net.Close()
+	})
+	return f
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestNoSuspicionWhenHealthy(t *testing.T) {
+	f := newFixture(t, []simnet.NodeID{"a", "b", "c"}, Options{
+		Interval: 2 * time.Millisecond, Timeout: 20 * time.Millisecond,
+	})
+	time.Sleep(60 * time.Millisecond)
+	for id, d := range f.detectors {
+		if got := d.Suspected(); len(got) != 0 {
+			t.Fatalf("detector %s suspects %v in a healthy cluster", id, got)
+		}
+	}
+}
+
+func TestCrashedPeerSuspected(t *testing.T) {
+	f := newFixture(t, []simnet.NodeID{"a", "b", "c"}, Options{
+		Interval: 2 * time.Millisecond, Timeout: 15 * time.Millisecond,
+	})
+	f.net.Crash("c")
+	waitFor(t, time.Second, func() bool {
+		return f.detectors["a"].Suspects("c") && f.detectors["b"].Suspects("c")
+	}, "crashed peer never suspected (completeness)")
+	if f.detectors["a"].Suspects("b") {
+		t.Fatal("healthy peer b falsely suspected")
+	}
+}
+
+func TestSuspicionRevisedAfterPartitionHeals(t *testing.T) {
+	f := newFixture(t, []simnet.NodeID{"a", "b"}, Options{
+		Interval: 2 * time.Millisecond, Timeout: 15 * time.Millisecond,
+	})
+	f.net.Partition([]simnet.NodeID{"a"}, []simnet.NodeID{"b"})
+	waitFor(t, time.Second, func() bool {
+		return f.detectors["a"].Suspects("b")
+	}, "partitioned peer never suspected")
+
+	f.net.Heal()
+	waitFor(t, time.Second, func() bool {
+		return !f.detectors["a"].Suspects("b")
+	}, "false suspicion never revised after heal (eventual accuracy)")
+}
+
+func TestOnChangeCallbacks(t *testing.T) {
+	net := simnet.New(simnet.Options{Latency: simnet.ConstantLatency(100 * time.Microsecond)})
+	defer net.Close()
+	ids := []simnet.NodeID{"a", "b"}
+	nodeA := simnet.NewNode(net, "a")
+	nodeB := simnet.NewNode(net, "b")
+	dA := New(nodeA, ids, Options{Interval: 2 * time.Millisecond, Timeout: 15 * time.Millisecond})
+	dB := New(nodeB, ids, Options{Interval: 2 * time.Millisecond, Timeout: 15 * time.Millisecond})
+
+	var mu sync.Mutex
+	var events []bool
+	dA.OnChange(func(peer simnet.NodeID, suspected bool) {
+		if peer != "b" {
+			return
+		}
+		mu.Lock()
+		events = append(events, suspected)
+		mu.Unlock()
+	})
+
+	nodeA.Start()
+	nodeB.Start()
+	dA.Start()
+	dB.Start()
+	defer func() { dA.Stop(); dB.Stop(); nodeA.Stop(); nodeB.Stop() }()
+
+	net.Partition([]simnet.NodeID{"a"}, []simnet.NodeID{"b"})
+	waitFor(t, time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(events) >= 1 && events[0]
+	}, "no suspicion callback")
+
+	net.Heal()
+	waitFor(t, time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(events) >= 2 && !events[len(events)-1]
+	}, "no unsuspicion callback")
+}
+
+func TestSelfExcludedFromPeers(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	node := simnet.NewNode(net, "a")
+	node.Start()
+	defer node.Stop()
+	d := New(node, []simnet.NodeID{"a"}, Options{
+		Interval: time.Millisecond, Timeout: 5 * time.Millisecond,
+	})
+	d.Start()
+	defer d.Stop()
+	time.Sleep(30 * time.Millisecond)
+	if d.Suspects("a") {
+		t.Fatal("detector suspects itself")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	node := simnet.NewNode(net, "a")
+	node.Start()
+	defer node.Stop()
+	d := New(node, []simnet.NodeID{"a", "b"}, Options{})
+	net.Endpoint("b")
+	d.Start()
+	d.Stop()
+	d.Stop() // must not panic
+}
+
+func TestStartIdempotent(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	node := simnet.NewNode(net, "a")
+	node.Start()
+	defer node.Stop()
+	net.Endpoint("b")
+	d := New(node, []simnet.NodeID{"a", "b"}, Options{})
+	d.Start()
+	d.Start() // must not spawn duplicate goroutines or panic
+	d.Stop()
+}

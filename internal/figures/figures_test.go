@@ -1,0 +1,192 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"replication/internal/core"
+	"replication/internal/trace"
+)
+
+func TestSpecsCoverAllSixteenFigures(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 16 {
+		t.Fatalf("%d specs, want 16", len(specs))
+	}
+	for i, s := range specs {
+		if s.Number != i+1 {
+			t.Fatalf("spec %d has number %d", i, s.Number)
+		}
+		if s.Title == "" {
+			t.Fatalf("figure %d missing title", s.Number)
+		}
+	}
+}
+
+func TestFigure1Static(t *testing.T) {
+	out := Figure1()
+	for _, phase := range []string{"RE", "SC", "EX", "AC", "END"} {
+		if !strings.Contains(out, phase) {
+			t.Fatalf("figure 1 missing phase %s", phase)
+		}
+	}
+}
+
+func TestFigure5Cells(t *testing.T) {
+	out := Figure5(core.Techniques())
+	if !strings.Contains(out, "active") {
+		t.Fatal("figure 5 missing active replication")
+	}
+	// Passive sits in the not-transparent / no-determinism cell.
+	lines := strings.Split(out, "\n")
+	var lastLine string
+	for _, l := range lines {
+		if strings.Contains(l, "NOT transparent") {
+			lastLine = l
+		}
+	}
+	if !strings.Contains(lastLine, "passive") {
+		t.Fatalf("passive misplaced in figure 5: %q", lastLine)
+	}
+}
+
+func TestFigure6Cells(t *testing.T) {
+	out := Figure6(core.Techniques())
+	for _, want := range []string{"eager-primary", "lazy-primary", "eager-lock-ue", "lazy-ue"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure 6 missing %s:\n%s", want, out)
+		}
+	}
+	// Certification is an eager update-everywhere technique.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "Update everywhere") && !strings.Contains(l, "certification") {
+			t.Fatalf("certification missing from update-everywhere row: %q", l)
+		}
+	}
+}
+
+func TestFigure15Criterion(t *testing.T) {
+	out := Figure15(core.Techniques())
+	if !strings.Contains(out, "lazy-primary") || !strings.Contains(out, "false") {
+		t.Fatal("figure 15 should mark lazy techniques as failing the criterion")
+	}
+	if !strings.Contains(out, "true") {
+		t.Fatal("figure 15 should mark eager techniques as passing the criterion")
+	}
+}
+
+func TestRenderUnknownFigure(t *testing.T) {
+	if _, err := Render(17); err == nil {
+		t.Fatal("expected error for figure 17")
+	}
+	if _, err := Render(0); err == nil {
+		t.Fatal("expected error for figure 0")
+	}
+}
+
+func TestRenderTimelineFigures(t *testing.T) {
+	// One live render per protocol family keeps the test quick while
+	// covering the run-and-render path.
+	for _, n := range []int{2, 3, 10, 14} {
+		n := n
+		t.Run(Specs()[n-1].Title, func(t *testing.T) {
+			t.Parallel()
+			out, err := Render(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, "phase sequence:") {
+				t.Fatalf("figure %d output missing phase sequence:\n%s", n, out)
+			}
+			if !strings.Contains(out, "participants per phase:") {
+				t.Fatalf("figure %d output missing participants:\n%s", n, out)
+			}
+		})
+	}
+}
+
+func TestRenderedSequencesMatchRegistry(t *testing.T) {
+	for _, pair := range []struct {
+		fig int
+		p   core.Protocol
+	}{
+		{2, core.Active},
+		{3, core.Passive},
+		{7, core.EagerPrimary},
+		{9, core.EagerABCastUE},
+	} {
+		pair := pair
+		t.Run(string(pair.p), func(t *testing.T) {
+			t.Parallel()
+			out, err := Render(pair.fig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tech, _ := core.TechniqueOf(pair.p)
+			want := "phase sequence: " + trace.FormatSequence(tech.Phases)
+			if !strings.Contains(out, want) {
+				t.Fatalf("figure %d: %q not found in\n%s", pair.fig, want, out)
+			}
+		})
+	}
+}
+
+func TestFigure16LiveTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 16 runs all ten techniques")
+	}
+	out, err := Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tech := range core.Techniques() {
+		if !strings.Contains(out, tech.Name) {
+			t.Fatalf("figure 16 missing %s", tech.Name)
+		}
+	}
+	if !strings.Contains(out, "RE EX END AC") {
+		t.Fatal("figure 16 missing the lazy END-before-AC row")
+	}
+}
+
+func TestRenderTransactionFigures(t *testing.T) {
+	// Figures 12 and 13 are the multi-operation transaction diagrams:
+	// their traces must show the per-operation loops.
+	for _, n := range []int{12, 13} {
+		n := n
+		t.Run(Specs()[n-1].Title, func(t *testing.T) {
+			t.Parallel()
+			out, err := Render(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, "phase sequence:") {
+				t.Fatalf("figure %d missing sequence:\n%s", n, out)
+			}
+			// The two-op transaction produces at least two EX events.
+			if strings.Count(out, " EX ") < 2 {
+				t.Fatalf("figure %d should show the per-operation EX loop:\n%s", n, out)
+			}
+		})
+	}
+}
+
+func TestRenderSemiActiveFigure(t *testing.T) {
+	out, err := Render(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "vscast-decision") {
+		t.Fatalf("figure 4 missing the leader decision mechanism:\n%s", out)
+	}
+}
+
+func TestRenderLazyUEFigure(t *testing.T) {
+	out, err := Render(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "RE EX END AC") {
+		t.Fatalf("figure 11 should show END before AC:\n%s", out)
+	}
+}

@@ -1,0 +1,339 @@
+package group
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/consensus"
+	"replication/internal/fd"
+	"replication/internal/simnet"
+)
+
+// abSubmit is a message entering the total order.
+type abSubmit struct {
+	Origin simnet.NodeID
+	Seq    uint64
+	Data   []byte
+}
+
+// abBatch is the value agreed on by one consensus instance: a set of
+// messages and their delivery order within the batch.
+type abBatch struct {
+	Entries []abSubmit
+}
+
+// maxBatch bounds how many messages one consensus instance orders.
+const maxBatch = 128
+
+// Atomic implements Atomic Broadcast (ABCAST): atomicity plus total
+// order — "if two members of g deliver both m and m′, they deliver them
+// in the same order" (paper §3.1).
+//
+// The implementation is the classic reduction to consensus: members
+// collect submitted-but-undelivered messages and run a sequence of
+// consensus instances, each deciding the next batch of the total order.
+// Because a batch carries full payloads, a member can deliver messages it
+// never received directly, which also restores broadcast atomicity when
+// a sender crashes after reaching only some members.
+//
+// Non-members (clients) may submit into the order through a Submitter —
+// this is how active replication lets clients "address servers as a
+// group" (§3.2) while the database variant funnels client requests
+// through one server's Broadcast (§4.4.2): the two request-phase styles
+// the paper contrasts.
+type Atomic struct {
+	node    *simnet.Node
+	members []simnet.NodeID
+	cs      *consensus.Manager
+	kind    string
+
+	seq atomic.Uint64
+
+	mu        sync.Mutex
+	pending   map[msgKey][]byte
+	delivered map[msgKey]bool
+	decisions map[uint64][]byte
+	next      uint64 // next consensus instance to apply
+	deliver   Deliver
+
+	wake   chan struct{}
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+}
+
+var _ Broadcaster = (*Atomic)(nil)
+
+// NewAtomic creates an atomic broadcaster for node within members, using
+// det for the underlying consensus. Call Start after OnDeliver, and Stop
+// at teardown.
+func NewAtomic(node *simnet.Node, name string, members []simnet.NodeID, det *fd.Detector) *Atomic {
+	a := &Atomic{
+		node:      node,
+		members:   sortedIDs(members),
+		kind:      name + ".ab",
+		pending:   make(map[msgKey][]byte),
+		delivered: make(map[msgKey]bool),
+		decisions: make(map[uint64][]byte),
+		next:      1,
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	a.cs = consensus.NewManager(node, a.kind, a.members, det, 0)
+	a.cs.OnDecide(a.onDecide)
+	node.Handle(a.kind+".submit", a.onSubmit)
+	return a
+}
+
+// OnDeliver implements Broadcaster. Register before Start.
+func (a *Atomic) OnDeliver(d Deliver) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.deliver = d
+}
+
+// Start launches the ordering loop and the pending-message repeater.
+func (a *Atomic) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	a.cancel = cancel
+	go a.order(ctx)
+	go a.repeat(ctx)
+}
+
+// repeat periodically re-sends pending (submitted-but-unordered)
+// messages to all members. Submissions and their first-receipt relays are
+// single-shot; when a partition or message loss swallows them, only some
+// members know the message and consensus cannot form a quorum of
+// proposers for its batch. Retransmission restores liveness; receivers
+// deduplicate.
+func (a *Atomic) repeat(ctx context.Context) {
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		batch := a.makeBatch()
+		for _, e := range batch.Entries {
+			data := codec.MustMarshal(&abSubmit{Origin: e.Origin, Seq: e.Seq, Data: e.Data})
+			for _, peer := range a.members {
+				if peer != a.node.ID() {
+					_ = a.node.Send(peer, a.kind+".submit", data)
+				}
+			}
+		}
+	}
+}
+
+// Stop halts the ordering loop. Idempotent.
+func (a *Atomic) Stop() {
+	a.once.Do(func() {
+		if a.cancel != nil {
+			a.cancel()
+		}
+		<-a.done
+	})
+}
+
+// Broadcast implements Broadcaster: the member submits a message into the
+// total order.
+func (a *Atomic) Broadcast(payload []byte) error {
+	m := abSubmit{Origin: a.node.ID(), Seq: a.seq.Add(1), Data: payload}
+	a.admit(m)
+	data := codec.MustMarshal(&m)
+	for _, peer := range a.members {
+		if peer == a.node.ID() {
+			continue
+		}
+		if err := a.node.Send(peer, a.kind+".submit", data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SubmitKind returns the message kind external clients send abSubmit
+// payloads to. Clients use Submitter rather than this directly.
+func (a *Atomic) SubmitKind() string { return a.kind + ".submit" }
+
+// Members returns the ordering group's membership.
+func (a *Atomic) Members() []simnet.NodeID {
+	return append([]simnet.NodeID(nil), a.members...)
+}
+
+func (a *Atomic) onSubmit(msg simnet.Message) {
+	var m abSubmit
+	codec.MustUnmarshal(msg.Payload, &m)
+	if !a.admit(m) {
+		return
+	}
+	// First sighting from the network: relay to the other members. This
+	// echo keeps the order live when the submitter crashed after reaching
+	// only some members (same pattern as Reliable Broadcast).
+	for _, peer := range a.members {
+		if peer != a.node.ID() && peer != msg.From && peer != m.Origin {
+			_ = a.node.Send(peer, a.kind+".submit", msg.Payload)
+		}
+	}
+}
+
+// admit queues a message for ordering unless already delivered or queued,
+// reporting whether it was newly queued.
+func (a *Atomic) admit(m abSubmit) bool {
+	k := msgKey{m.Origin, m.Seq}
+	a.mu.Lock()
+	if a.delivered[k] {
+		a.mu.Unlock()
+		return false
+	}
+	if _, ok := a.pending[k]; ok {
+		a.mu.Unlock()
+		return false
+	}
+	a.pending[k] = m.Data
+	a.mu.Unlock()
+	select {
+	case a.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+func (a *Atomic) onDecide(instance uint64, value []byte) {
+	a.mu.Lock()
+	a.decisions[instance] = value
+	a.mu.Unlock()
+	select {
+	case a.wake <- struct{}{}:
+	default:
+	}
+}
+
+// order drives the sequence of consensus instances.
+func (a *Atomic) order(ctx context.Context) {
+	defer close(a.done)
+	for {
+		a.mu.Lock()
+		decision, decided := a.decisions[a.next]
+		havePending := len(a.pending) > 0
+		a.mu.Unlock()
+
+		switch {
+		case decided:
+			a.apply(decision)
+		case havePending:
+			batch := a.makeBatch()
+			val, err := a.cs.Propose(ctx, a.currentInstance(), codec.MustMarshal(&batch))
+			if err != nil {
+				return // ctx cancelled (Stop) — the only error Propose returns
+			}
+			a.apply(val)
+		default:
+			select {
+			case <-ctx.Done():
+				return
+			case <-a.wake:
+			}
+			continue
+		}
+	}
+}
+
+func (a *Atomic) currentInstance() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
+// makeBatch snapshots up to maxBatch pending messages in deterministic
+// (origin, seq) order.
+func (a *Atomic) makeBatch() abBatch {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	keys := make([]msgKey, 0, len(a.pending))
+	for k := range a.pending {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Origin != keys[j].Origin {
+			return keys[i].Origin < keys[j].Origin
+		}
+		return keys[i].Seq < keys[j].Seq
+	})
+	if len(keys) > maxBatch {
+		keys = keys[:maxBatch]
+	}
+	var b abBatch
+	for _, k := range keys {
+		b.Entries = append(b.Entries, abSubmit{Origin: k.Origin, Seq: k.Seq, Data: a.pending[k]})
+	}
+	return b
+}
+
+// apply delivers one decided batch and advances the instance counter.
+func (a *Atomic) apply(value []byte) {
+	var b abBatch
+	codec.MustUnmarshal(value, &b)
+
+	a.mu.Lock()
+	var ready []abSubmit
+	for _, e := range b.Entries {
+		k := msgKey{e.Origin, e.Seq}
+		if a.delivered[k] {
+			continue
+		}
+		a.delivered[k] = true
+		delete(a.pending, k)
+		ready = append(ready, e)
+	}
+	delete(a.decisions, a.next)
+	a.next++
+	d := a.deliver
+	a.mu.Unlock()
+
+	if d != nil {
+		for _, e := range ready {
+			d(e.Origin, e.Data)
+		}
+	}
+}
+
+// Submitter lets a non-member (a client) inject messages into a group's
+// total order: the client-side handle of "addressing the servers as a
+// group". Sending to every member tolerates member crashes; the batch
+// mechanism deduplicates.
+type Submitter struct {
+	node    *simnet.Node
+	kind    string
+	members []simnet.NodeID
+	seq     atomic.Uint64
+}
+
+// NewSubmitter creates a submitter for the group named name with the
+// given members, sending from node.
+func NewSubmitter(node *simnet.Node, name string, members []simnet.NodeID) *Submitter {
+	return &Submitter{
+		node:    node,
+		kind:    name + ".ab.submit",
+		members: sortedIDs(members),
+	}
+}
+
+// Submit injects payload into the group's total order.
+func (s *Submitter) Submit(payload []byte) error {
+	m := abSubmit{Origin: s.node.ID(), Seq: s.seq.Add(1), Data: payload}
+	data := codec.MustMarshal(&m)
+	var firstErr error
+	for _, peer := range s.members {
+		if err := s.node.Send(peer, s.kind, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,213 @@
+package group
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"replication/internal/fd"
+	"replication/internal/simnet"
+)
+
+// Benchmarks for the group-communication primitives in isolation: these
+// are the substrate costs that compose into the protocol-level numbers
+// of the performance study (ablation of the ordering stack).
+
+type benchGroup struct {
+	net   *simnet.Network
+	ids   []simnet.NodeID
+	nodes []*simnet.Node
+	dets  []*fd.Detector
+}
+
+func newBenchGroup(b *testing.B, n int) *benchGroup {
+	b.Helper()
+	// Generous inboxes and a lazy failure detector: a saturating
+	// benchmark must not drop heartbeats and trigger false suspicions —
+	// we are measuring primitive latency, not detector tuning.
+	net := simnet.New(simnet.Options{
+		Latency:   simnet.ConstantLatency(50 * time.Microsecond),
+		InboxSize: 1 << 15,
+	})
+	g := &benchGroup{net: net}
+	for i := 0; i < n; i++ {
+		g.ids = append(g.ids, simnet.NodeID(fmt.Sprintf("n%d", i)))
+	}
+	for _, id := range g.ids {
+		node := simnet.NewNode(net, id)
+		det := fd.New(node, g.ids, fd.Options{Interval: 50 * time.Millisecond, Timeout: 5 * time.Second})
+		g.nodes = append(g.nodes, node)
+		g.dets = append(g.dets, det)
+	}
+	b.Cleanup(func() {
+		for _, d := range g.dets {
+			d.Stop()
+		}
+		for _, n := range g.nodes {
+			n.Stop()
+		}
+		net.Close()
+	})
+	return g
+}
+
+// waitCount polls an atomic counter up to a deadline.
+func waitCount(b *testing.B, c *atomic.Int64, want int64) {
+	b.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("delivered %d of %d", c.Load(), want)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// throttle keeps at most window broadcasts outstanding so the sender
+// cannot overrun the receivers' inboxes (the network drops on overload,
+// which is honest behaviour but not what a latency benchmark measures).
+func throttle(b *testing.B, delivered *atomic.Int64, sent int, fanout, window int64) {
+	b.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for int64(sent)*fanout-delivered.Load() > window*fanout {
+		if time.Now().After(deadline) {
+			b.Fatalf("receivers stalled: %d delivered of %d sent", delivered.Load(), sent)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// BenchmarkReliableBroadcast measures RB delivery to all members.
+func BenchmarkReliableBroadcast(b *testing.B) {
+	g := newBenchGroup(b, 3)
+	var delivered atomic.Int64
+	var bs []*Reliable
+	for i, node := range g.nodes {
+		r := NewReliable(node, "g", g.ids)
+		r.OnDeliver(func(simnet.NodeID, []byte) { delivered.Add(1) })
+		bs = append(bs, r)
+		node.Start()
+		g.dets[i].Start()
+	}
+	payload := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bs[0].Broadcast(payload); err != nil {
+			b.Fatal(err)
+		}
+		throttle(b, &delivered, i+1, 3, 256)
+	}
+	waitCount(b, &delivered, int64(3*b.N))
+}
+
+// BenchmarkFIFOBroadcast measures FIFO-ordered delivery.
+func BenchmarkFIFOBroadcast(b *testing.B) {
+	g := newBenchGroup(b, 3)
+	var delivered atomic.Int64
+	var bs []*FIFO
+	for i, node := range g.nodes {
+		f := NewFIFO(node, "g", g.ids)
+		f.OnDeliver(func(simnet.NodeID, []byte) { delivered.Add(1) })
+		bs = append(bs, f)
+		node.Start()
+		g.dets[i].Start()
+	}
+	payload := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bs[0].Broadcast(payload); err != nil {
+			b.Fatal(err)
+		}
+		throttle(b, &delivered, i+1, 3, 256)
+	}
+	waitCount(b, &delivered, int64(3*b.N))
+}
+
+// BenchmarkCausalBroadcast measures causally-ordered delivery.
+func BenchmarkCausalBroadcast(b *testing.B) {
+	g := newBenchGroup(b, 3)
+	var delivered atomic.Int64
+	var bs []*Causal
+	for i, node := range g.nodes {
+		c := NewCausal(node, "g", g.ids)
+		c.OnDeliver(func(simnet.NodeID, []byte) { delivered.Add(1) })
+		bs = append(bs, c)
+		node.Start()
+		g.dets[i].Start()
+	}
+	payload := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bs[0].Broadcast(payload); err != nil {
+			b.Fatal(err)
+		}
+		throttle(b, &delivered, i+1, 3, 256)
+	}
+	waitCount(b, &delivered, int64(3*b.N))
+}
+
+// BenchmarkAtomicBroadcast measures totally-ordered delivery — the cost
+// of the consensus reduction (with batching amortisation at high rates).
+func BenchmarkAtomicBroadcast(b *testing.B) {
+	g := newBenchGroup(b, 3)
+	var delivered atomic.Int64
+	var bs []*Atomic
+	for i, node := range g.nodes {
+		a := NewAtomic(node, "g", g.ids, g.dets[i])
+		a.OnDeliver(func(simnet.NodeID, []byte) { delivered.Add(1) })
+		bs = append(bs, a)
+		node.Start()
+		g.dets[i].Start()
+	}
+	for _, a := range bs {
+		a.Start()
+	}
+	b.Cleanup(func() {
+		for _, a := range bs {
+			a.Stop()
+		}
+	})
+	payload := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bs[0].Broadcast(payload); err != nil {
+			b.Fatal(err)
+		}
+		throttle(b, &delivered, i+1, 3, 256)
+	}
+	waitCount(b, &delivered, int64(3*b.N))
+}
+
+// BenchmarkVSCast measures view-synchronous delivery, and
+// BenchmarkVSCastStable the stable variant passive replication uses
+// before answering clients.
+func BenchmarkVSCast(b *testing.B) {
+	g := newBenchGroup(b, 3)
+	var delivered atomic.Int64
+	var bs []*ViewGroup
+	for i, node := range g.nodes {
+		v := NewViewGroup(node, "g", g.ids, g.ids, g.dets[i], ViewGroupOptions{})
+		v.OnDeliver(func(simnet.NodeID, []byte) { delivered.Add(1) })
+		bs = append(bs, v)
+		node.Start()
+		g.dets[i].Start()
+	}
+	for _, v := range bs {
+		v.Start()
+	}
+	b.Cleanup(func() {
+		for _, v := range bs {
+			v.Stop()
+		}
+	})
+	payload := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bs[0].Broadcast(payload); err != nil {
+			b.Fatal(err)
+		}
+		throttle(b, &delivered, i+1, 3, 256)
+	}
+	waitCount(b, &delivered, int64(3*b.N))
+}

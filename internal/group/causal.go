@@ -1,0 +1,125 @@
+package group
+
+import (
+	"sync"
+
+	"replication/internal/codec"
+	"replication/internal/simnet"
+	"replication/internal/vclock"
+)
+
+// causalMsg carries the sender's vector clock at broadcast time.
+type causalMsg struct {
+	Clock vclock.VC
+	Data  []byte
+}
+
+// Causal implements Causal Broadcast: Reliable Broadcast plus
+// happened-before delivery order. The paper places causal order between
+// FIFO and total order in the spectrum of distributed-systems ordering
+// strategies — "causality … is based on potential dependencies without
+// looking at the operation semantics" (§2.2).
+//
+// A message m from origin o with clock c is deliverable at process p when
+// p has delivered every message that causally precedes m: c[o] equals
+// p's count for o plus one, and for every other process q, c[q] ≤ p's
+// count for q.
+type Causal struct {
+	rb   *Reliable
+	self simnet.NodeID
+
+	mu      sync.Mutex
+	clock   vclock.VC // delivered-message counts per origin
+	pending []causalEnvelope
+	deliver Deliver
+}
+
+type causalEnvelope struct {
+	origin simnet.NodeID
+	m      causalMsg
+}
+
+var _ Broadcaster = (*Causal)(nil)
+
+// NewCausal creates a causal broadcaster for node within members.
+func NewCausal(node *simnet.Node, name string, members []simnet.NodeID) *Causal {
+	c := &Causal{
+		self:  node.ID(),
+		clock: vclock.New(),
+	}
+	c.rb = NewReliable(node, name+".causal", members)
+	c.rb.OnDeliver(c.onDeliver)
+	return c
+}
+
+// OnDeliver implements Broadcaster.
+func (c *Causal) OnDeliver(d Deliver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deliver = d
+}
+
+// Broadcast implements Broadcaster. The broadcast clock includes this
+// message's own tick, so receivers can tell it is the sender's next
+// message.
+func (c *Causal) Broadcast(payload []byte) error {
+	c.mu.Lock()
+	snapshot := c.clock.Copy()
+	snapshot.Tick(string(c.self))
+	m := causalMsg{Clock: snapshot, Data: payload}
+	c.mu.Unlock()
+	return c.rb.Broadcast(codec.MustMarshal(&m))
+}
+
+func (c *Causal) onDeliver(origin simnet.NodeID, payload []byte) {
+	var m causalMsg
+	codec.MustUnmarshal(payload, &m)
+
+	c.mu.Lock()
+	c.pending = append(c.pending, causalEnvelope{origin: origin, m: m})
+	var ready []causalEnvelope
+	for progress := true; progress; {
+		progress = false
+		for i, env := range c.pending {
+			if !c.deliverable(env) {
+				continue
+			}
+			c.clock[string(env.origin)]++
+			ready = append(ready, env)
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			progress = true
+			break
+		}
+	}
+	d := c.deliver
+	c.mu.Unlock()
+
+	if d != nil {
+		for _, env := range ready {
+			d(env.origin, env.m.Data)
+		}
+	}
+}
+
+// deliverable implements the causal delivery condition; callers hold mu.
+func (c *Causal) deliverable(env causalEnvelope) bool {
+	for proc, count := range env.m.Clock {
+		if proc == string(env.origin) {
+			if count != c.clock[proc]+1 {
+				return false
+			}
+			continue
+		}
+		if count > c.clock[proc] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clock returns a copy of the delivered-message vector clock (for tests).
+func (c *Causal) Clock() vclock.VC {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clock.Copy()
+}

@@ -1,0 +1,101 @@
+package group
+
+import (
+	"sync"
+
+	"replication/internal/codec"
+	"replication/internal/simnet"
+)
+
+// fifoMsg wraps a payload with the sender's FIFO sequence number.
+type fifoMsg struct {
+	Seq  uint64
+	Data []byte
+}
+
+// FIFO implements FIFO Broadcast: Reliable Broadcast plus per-sender
+// order — "if a process broadcasts a message m before a message m′, then
+// no process delivers m′ before m" (paper §3.1). Messages from different
+// senders are unordered relative to each other.
+//
+// The paper notes FIFO channels are the minimum the primary needs to
+// propagate updates to backups in passive replication (§3.3); the eager
+// and lazy primary-copy database protocols (§4.3, §4.5) use it the same
+// way.
+type FIFO struct {
+	rb *Reliable
+
+	mu      sync.Mutex
+	nextOut uint64
+	nextIn  map[simnet.NodeID]uint64            // next expected seq per origin
+	held    map[simnet.NodeID]map[uint64][]byte // out-of-order buffer
+	deliver Deliver
+}
+
+var _ Broadcaster = (*FIFO)(nil)
+
+// NewFIFO creates a FIFO broadcaster for node within members.
+func NewFIFO(node *simnet.Node, name string, members []simnet.NodeID) *FIFO {
+	f := &FIFO{
+		nextIn: make(map[simnet.NodeID]uint64),
+		held:   make(map[simnet.NodeID]map[uint64][]byte),
+	}
+	f.rb = NewReliable(node, name+".fifo", members)
+	f.rb.OnDeliver(f.onDeliver)
+	return f
+}
+
+// OnDeliver implements Broadcaster.
+func (f *FIFO) OnDeliver(d Deliver) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.deliver = d
+}
+
+// Broadcast implements Broadcaster.
+func (f *FIFO) Broadcast(payload []byte) error {
+	f.mu.Lock()
+	f.nextOut++
+	m := fifoMsg{Seq: f.nextOut, Data: payload}
+	f.mu.Unlock()
+	return f.rb.Broadcast(codec.MustMarshal(&m))
+}
+
+// onDeliver receives RB deliveries and releases them in per-origin order.
+func (f *FIFO) onDeliver(origin simnet.NodeID, payload []byte) {
+	var m fifoMsg
+	codec.MustUnmarshal(payload, &m)
+
+	f.mu.Lock()
+	if f.nextIn[origin] == 0 {
+		f.nextIn[origin] = 1
+	}
+	if m.Seq != f.nextIn[origin] {
+		if f.held[origin] == nil {
+			f.held[origin] = make(map[uint64][]byte)
+		}
+		f.held[origin][m.Seq] = m.Data
+		f.mu.Unlock()
+		return
+	}
+	// Deliver m and any directly following held messages.
+	ready := [][]byte{m.Data}
+	f.nextIn[origin]++
+	for {
+		data, ok := f.held[origin][f.nextIn[origin]]
+		if !ok {
+			break
+		}
+		delete(f.held[origin], f.nextIn[origin])
+		ready = append(ready, data)
+		f.nextIn[origin]++
+	}
+	d := f.deliver
+	f.mu.Unlock()
+
+	if d != nil {
+		for _, data := range ready {
+			d(origin, data)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package group implements the group-communication primitives the paper
+// builds its distributed-systems replication techniques on (Wiesmann et
+// al., ICDCS 2000, §3.1): the group as a logical addressing mechanism,
+// Reliable Broadcast, FIFO Broadcast, Causal Broadcast, Atomic Broadcast
+// (ABCAST) and View Synchronous Broadcast (VSCAST) with group membership.
+//
+// Layering:
+//
+//	Reliable  — delivery atomicity under sender crash (echo relay)
+//	FIFO      — Reliable + per-sender order
+//	Causal    — Reliable + vector-clock (happened-before) order
+//	Atomic    — Reliable + total order, by reduction to consensus
+//	ViewGroup — views + VSCAST with a flush protocol and state transfer
+//
+// ABCAST gives active replication its merged Request/Server-Coordination
+// phase; VSCAST gives passive replication its Agreement Coordination
+// phase; both appear throughout §3 and §4 of the paper.
+package group
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"replication/internal/simnet"
+)
+
+// Deliver is a message delivery callback. Deliveries for one group member
+// are serialised; callbacks must not block on network round trips.
+type Deliver func(origin simnet.NodeID, payload []byte)
+
+// Broadcaster is the interface common to all broadcast primitives.
+type Broadcaster interface {
+	// Broadcast sends payload to all group members (self included).
+	Broadcast(payload []byte) error
+	// OnDeliver registers the delivery callback. Must be called before
+	// the first Broadcast anywhere in the group.
+	OnDeliver(Deliver)
+}
+
+// msgKey uniquely identifies a broadcast message by origin and sequence.
+type msgKey struct {
+	Origin simnet.NodeID
+	Seq    uint64
+}
+
+func (k msgKey) String() string { return fmt.Sprintf("%s/%d", k.Origin, k.Seq) }
+
+// sortedIDs returns a sorted copy of ids.
+func sortedIDs(ids []simnet.NodeID) []simnet.NodeID {
+	out := append([]simnet.NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// contains reports whether ids includes id.
+func contains(ids []simnet.NodeID, id simnet.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// deliverSet tracks delivered message keys (dedup for relayed messages).
+type deliverSet struct {
+	mu   sync.Mutex
+	seen map[msgKey]bool
+}
+
+func newDeliverSet() *deliverSet {
+	return &deliverSet{seen: make(map[msgKey]bool)}
+}
+
+// firstTime marks k and reports whether this was the first sighting.
+func (s *deliverSet) firstTime(k msgKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seen[k] {
+		return false
+	}
+	s.seen[k] = true
+	return true
+}

@@ -1,0 +1,109 @@
+package group
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"replication/internal/codec"
+	"replication/internal/simnet"
+)
+
+// rbMsg is the wire format of a reliably-broadcast message.
+type rbMsg struct {
+	Origin simnet.NodeID
+	Seq    uint64
+	Data   []byte
+}
+
+// Reliable implements Reliable Broadcast over crash-stop processes:
+// if any correct member delivers a message, every correct member delivers
+// it (atomicity), even when the sender crashes mid-broadcast. There is no
+// ordering guarantee.
+//
+// Mechanism: the sender transmits to all members; on first receipt each
+// member relays the message to every other member before delivering.
+// With reliable point-to-point links and f < n crash faults, a message
+// delivered anywhere reaches everywhere.
+type Reliable struct {
+	node    *simnet.Node
+	members []simnet.NodeID
+	kind    string
+
+	seq     atomic.Uint64
+	seen    *deliverSet
+	mu      sync.Mutex
+	deliver Deliver
+}
+
+var _ Broadcaster = (*Reliable)(nil)
+
+// NewReliable creates a reliable broadcaster for node within members.
+// name scopes the message kind so several groups can share a node.
+func NewReliable(node *simnet.Node, name string, members []simnet.NodeID) *Reliable {
+	r := &Reliable{
+		node:    node,
+		members: sortedIDs(members),
+		kind:    name + ".rb",
+		seen:    newDeliverSet(),
+	}
+	node.Handle(r.kind, r.onMessage)
+	return r
+}
+
+// OnDeliver implements Broadcaster.
+func (r *Reliable) OnDeliver(d Deliver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deliver = d
+}
+
+// Broadcast implements Broadcaster. The sender delivers locally first,
+// then transmits; a crash between the two is indistinguishable from a
+// crash before the broadcast at every other member only if no other
+// member received it — which is exactly the RB atomicity contract.
+func (r *Reliable) Broadcast(payload []byte) error {
+	m := rbMsg{Origin: r.node.ID(), Seq: r.seq.Add(1), Data: payload}
+	data := codec.MustMarshal(&m)
+	if r.seen.firstTime(msgKey{m.Origin, m.Seq}) {
+		r.invoke(m.Origin, m.Data)
+	}
+	for _, peer := range r.members {
+		if peer == r.node.ID() {
+			continue
+		}
+		if err := r.node.Send(peer, r.kind, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Reliable) onMessage(msg simnet.Message) {
+	var m rbMsg
+	codec.MustUnmarshal(msg.Payload, &m)
+	if !r.seen.firstTime(msgKey{m.Origin, m.Seq}) {
+		return
+	}
+	// Relay before delivering: if we crash during the relay loop some
+	// peers already have the message and will finish the relay.
+	for _, peer := range r.members {
+		if peer != r.node.ID() && peer != msg.From && peer != m.Origin {
+			_ = r.node.Send(peer, r.kind, msg.Payload)
+		}
+	}
+	r.invoke(m.Origin, m.Data)
+}
+
+func (r *Reliable) invoke(origin simnet.NodeID, data []byte) {
+	r.mu.Lock()
+	d := r.deliver
+	r.mu.Unlock()
+	if d != nil {
+		d(origin, data)
+	}
+}
+
+// Members returns the group membership (static for this primitive).
+func (r *Reliable) Members() []simnet.NodeID {
+	return append([]simnet.NodeID(nil), r.members...)
+}

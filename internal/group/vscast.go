@@ -1,0 +1,991 @@
+package group
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/consensus"
+	"replication/internal/fd"
+	"replication/internal/simnet"
+)
+
+// View is one element of the sequence of views v0(g), v1(g), ... of a
+// group (paper §3.1): the membership perceived as correct at a point in
+// time. Views are installed in the same order at every member.
+type View struct {
+	// ID is the view number; consecutive views have consecutive IDs.
+	ID uint64
+	// Members is the sorted membership of this view.
+	Members []simnet.NodeID
+}
+
+// Primary returns the distinguished member (lowest ID) of the view —
+// passive replication's primary and semi-active replication's leader.
+func (v View) Primary() simnet.NodeID {
+	if len(v.Members) == 0 {
+		return ""
+	}
+	return v.Members[0]
+}
+
+// Includes reports whether id is a member of the view.
+func (v View) Includes(id simnet.NodeID) bool { return contains(v.Members, id) }
+
+// String implements fmt.Stringer.
+func (v View) String() string { return fmt.Sprintf("v%d%v", v.ID, v.Members) }
+
+// ViewFunc observes a newly installed view. Callbacks run serialised with
+// deliveries and must not block.
+type ViewFunc func(View)
+
+// ErrNotInView is returned when an operation requires current membership.
+var ErrNotInView = errors.New("group: not a member of the current view")
+
+// ErrNotStable is returned by BroadcastStable when stability could not be
+// established (the message may or may not survive into the next view;
+// callers retry idempotently).
+var ErrNotStable = errors.New("group: message did not reach stability")
+
+// ErrViewChanging is returned when a broadcast could not start because a
+// view change kept the group blocked for too long; callers retry.
+var ErrViewChanging = errors.New("group: view change in progress")
+
+// vsMsg is a view-synchronous message.
+type vsMsg struct {
+	ViewID uint64
+	Origin simnet.NodeID
+	Seq    uint64
+	Data   []byte
+}
+
+// vsAck acknowledges delivery of one message back to its origin; it also
+// serves as the body of stability notifications and (empty) join
+// requests.
+type vsAck struct {
+	Origin simnet.NodeID
+	Seq    uint64
+}
+
+// vsFlushReq asks a member for its flush contribution during a view
+// change; the reply is a vsFlushResp.
+type vsFlushReq struct {
+	FromView uint64
+}
+
+type vsFlushResp struct {
+	Msgs []vsMsg // unstable delivered messages plus held out-of-order ones
+}
+
+// vsViewValue is the value agreed by consensus to install a view.
+type vsViewValue struct {
+	Members []simnet.NodeID
+	Flush   []vsMsg
+}
+
+// vsProposeCmd distributes the coordinator-prepared view value so every
+// survivor proposes the same value (consensus needs a majority of
+// proposers).
+type vsProposeCmd struct {
+	TargetView uint64
+	Value      []byte
+}
+
+// vsState carries a state-transfer snapshot to a joining member. It also
+// lets a member that started late fast-forward straight to the sender's
+// view: Members repeats the view membership so the snapshot is
+// self-contained.
+type vsState struct {
+	ViewID    uint64
+	Members   []simnet.NodeID
+	Snapshot  []byte
+	Delivered map[simnet.NodeID]uint64 // per-origin delivered seq at snapshot time
+}
+
+// ViewGroupOptions configure a ViewGroup.
+type ViewGroupOptions struct {
+	// MonitorInterval is how often membership health is evaluated.
+	// Zero means 5ms.
+	MonitorInterval time.Duration
+	// FlushTimeout bounds each flush collection round trip.
+	// Zero means 50ms.
+	FlushTimeout time.Duration
+	// StateProvider supplies a snapshot for joining members. It is called
+	// with deliveries quiesced and must not broadcast on this group.
+	// Nil means joiners receive an empty snapshot.
+	StateProvider func() []byte
+	// StateApplier installs a received snapshot on a joiner.
+	StateApplier func([]byte)
+}
+
+func (o *ViewGroupOptions) fill() {
+	if o.MonitorInterval == 0 {
+		o.MonitorInterval = 5 * time.Millisecond
+	}
+	if o.FlushTimeout == 0 {
+		o.FlushTimeout = 50 * time.Millisecond
+	}
+}
+
+// ViewGroup implements group membership with View Synchronous Broadcast
+// (VSCAST): "if one process p in vi(g) delivers m before installing view
+// vi+1(g), then no process installs view vi+1(g) before having first
+// delivered m" (paper §3.1).
+//
+// Within a view, delivery is per-origin FIFO. A view change is driven by
+// the failure detector: the would-be coordinator (lowest unsuspected
+// member) blocks new deliveries, collects every survivor's undelivered
+// and unstable messages (the flush), and has the survivors agree — via
+// consensus — on the pair (next membership, flush set). Installing the
+// decision first delivers any flush messages not yet delivered locally,
+// which is exactly the VSCAST property above.
+//
+// BroadcastStable additionally waits until every current member has
+// acknowledged delivery — the "safe" delivery passive replication needs
+// before answering a client (paper fig. 3), since a reply must never be
+// sent before the update has reached the backups.
+//
+// The group is created over a static universe of potential members (the
+// consensus quorum base, a majority of which must stay alive); the
+// initial view may be any subset, and processes outside it can
+// RequestJoin. Delivery callbacks must not broadcast on the same group
+// synchronously.
+type ViewGroup struct {
+	node *simnet.Node
+	all  []simnet.NodeID
+	det  *fd.Detector
+	cs   *consensus.Manager
+	kind string
+	opts ViewGroupOptions
+
+	mu           sync.Mutex
+	view         View
+	inView       bool
+	blocked      bool      // true while a view change is being prepared
+	blockedSince time.Time // for stale-block recovery
+	seq          uint64
+	nextIn       map[simnet.NodeID]uint64 // next expected seq per origin
+	deliveredVec map[simnet.NodeID]uint64 // per-origin seq whose app callback has run
+	held         map[simnet.NodeID]map[uint64]vsMsg
+	futures      []vsMsg // messages from views we have not installed yet
+	unstable     map[msgKey]vsMsg
+	acks         map[msgKey]map[simnet.NodeID]bool
+	stability    map[msgKey]chan bool // BroadcastStable waiters
+	joins        map[simnet.NodeID]bool
+	proposed     map[uint64]bool   // view IDs this node has proposed
+	pendingViews map[uint64][]byte // decided views awaiting sequential install
+	awaiting     bool              // joiner: waiting for state transfer
+	buffer       []vsMsg           // messages buffered while awaiting state
+	deliver      Deliver
+	onView       []ViewFunc
+
+	// deliverMu serialises application callbacks and makes the
+	// state-transfer snapshot atomic with the delivered vector.
+	deliverMu sync.Mutex
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewViewGroup creates a view group on node. universe is the static set
+// of all potential members (the consensus quorum base); initial is the
+// membership of view 1 — pass nil to start outside the group and
+// RequestJoin later.
+func NewViewGroup(node *simnet.Node, name string, universe, initial []simnet.NodeID, det *fd.Detector, opts ViewGroupOptions) *ViewGroup {
+	opts.fill()
+	g := &ViewGroup{
+		node:         node,
+		all:          sortedIDs(universe),
+		det:          det,
+		kind:         name + ".vs",
+		opts:         opts,
+		view:         View{ID: 1, Members: sortedIDs(initial)},
+		nextIn:       make(map[simnet.NodeID]uint64),
+		deliveredVec: make(map[simnet.NodeID]uint64),
+		held:         make(map[simnet.NodeID]map[uint64]vsMsg),
+		unstable:     make(map[msgKey]vsMsg),
+		acks:         make(map[msgKey]map[simnet.NodeID]bool),
+		stability:    make(map[msgKey]chan bool),
+		joins:        make(map[simnet.NodeID]bool),
+		proposed:     make(map[uint64]bool),
+		pendingViews: make(map[uint64][]byte),
+		stop:         make(chan struct{}),
+	}
+	g.inView = g.view.Includes(node.ID())
+	g.cs = consensus.NewManager(node, g.kind, g.all, det, 0)
+	g.cs.OnDecide(g.onViewDecided)
+	node.Handle(g.kind+".msg", g.onMsg)
+	node.Handle(g.kind+".ack", g.onAck)
+	node.Handle(g.kind+".stable", g.onStable)
+	node.Handle(g.kind+".flush", g.onFlushReq)
+	node.Handle(g.kind+".vcprop", g.onProposeCmd)
+	node.Handle(g.kind+".join", g.onJoin)
+	node.Handle(g.kind+".state", g.onState)
+	return g
+}
+
+// OnDeliver registers the delivery callback. Register before Start.
+func (g *ViewGroup) OnDeliver(d Deliver) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.deliver = d
+}
+
+// OnViewChange registers a view-installation callback.
+func (g *ViewGroup) OnViewChange(f ViewFunc) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onView = append(g.onView, f)
+}
+
+// Start launches the membership monitor.
+func (g *ViewGroup) Start() {
+	g.wg.Add(1)
+	go g.monitor()
+}
+
+// Stop halts the monitor. Idempotent.
+func (g *ViewGroup) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+// CurrentView returns the currently installed view.
+func (g *ViewGroup) CurrentView() View {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return View{ID: g.view.ID, Members: append([]simnet.NodeID(nil), g.view.Members...)}
+}
+
+// InView reports whether this process is a member of the current view.
+func (g *ViewGroup) InView() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inView
+}
+
+// Broadcast VSCASTs payload to the current view. The local delivery
+// happens inline; remote deliveries are asynchronous.
+func (g *ViewGroup) Broadcast(payload []byte) error {
+	m, members, err := g.prepare(payload)
+	if err != nil {
+		return err
+	}
+	g.transmit(m, members)
+	return nil
+}
+
+// BroadcastStable VSCASTs payload and blocks until the message is stable:
+// delivered at every member of the view, or carried by a flush into a
+// successor view (where every member delivers it on installation). It
+// fails with ErrNotStable when stability cannot be established — e.g.
+// this process was excluded from the next view, or the message raced a
+// flush; callers must retry idempotently.
+func (g *ViewGroup) BroadcastStable(ctx context.Context, payload []byte) error {
+	m, members, err := g.prepare(payload)
+	if err != nil {
+		return err
+	}
+	k := msgKey{m.Origin, m.Seq}
+	ch := make(chan bool, 1)
+	g.mu.Lock()
+	g.stability[k] = ch
+	g.mu.Unlock()
+	g.transmit(m, members)
+	g.checkStability(k)
+
+	select {
+	case ok := <-ch:
+		if !ok {
+			return ErrNotStable
+		}
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		delete(g.stability, k)
+		g.mu.Unlock()
+		return fmt.Errorf("group: stable broadcast: %w", ctx.Err())
+	case <-g.stop:
+		return ErrNotStable
+	}
+}
+
+// prepare stamps and locally delivers a new message. While a flush is in
+// progress new sends wait: a message delivered locally after the flush
+// snapshot would be missing from the next view's flush set, breaking the
+// VSCAST property for the origin's own deliveries.
+func (g *ViewGroup) prepare(payload []byte) (vsMsg, []simnet.NodeID, error) {
+	deadline := time.Now().Add(4 * g.opts.FlushTimeout)
+	for {
+		g.mu.Lock()
+		if !g.inView {
+			g.mu.Unlock()
+			return vsMsg{}, nil, ErrNotInView
+		}
+		if !g.blocked {
+			break // proceed holding mu
+		}
+		g.mu.Unlock()
+		if time.Now().After(deadline) {
+			return vsMsg{}, nil, ErrViewChanging
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	g.seq++
+	m := vsMsg{ViewID: g.view.ID, Origin: g.node.ID(), Seq: g.seq, Data: payload}
+	members := append([]simnet.NodeID(nil), g.view.Members...)
+	g.mu.Unlock()
+	// Local delivery runs through the same path as remote delivery.
+	g.receive(m)
+	return m, members, nil
+}
+
+func (g *ViewGroup) transmit(m vsMsg, members []simnet.NodeID) {
+	data := codec.MustMarshal(&m)
+	for _, peer := range members {
+		if peer != g.node.ID() {
+			_ = g.node.Send(peer, g.kind+".msg", data)
+		}
+	}
+}
+
+func (g *ViewGroup) onMsg(msg simnet.Message) {
+	var m vsMsg
+	codec.MustUnmarshal(msg.Payload, &m)
+	g.receive(m)
+}
+
+// receive applies view filtering and FIFO ordering, then delivers.
+func (g *ViewGroup) receive(m vsMsg) {
+	g.mu.Lock()
+	switch {
+	case m.ViewID > g.view.ID:
+		// From a view we have not installed yet (the sender is ahead of
+		// us in the view sequence): buffer until we catch up.
+		g.futures = append(g.futures, m)
+		g.mu.Unlock()
+		return
+	case g.awaiting:
+		// Joiner before state transfer: buffer everything current.
+		g.buffer = append(g.buffer, m)
+		g.mu.Unlock()
+		return
+	case !g.inView, m.ViewID < g.view.ID:
+		// Excluded processes deliver nothing; old-view messages not
+		// captured by the flush were delivered nowhere and are dropped
+		// (VS semantics — the sender's stability check fails).
+		g.mu.Unlock()
+		return
+	case g.blocked && m.Origin != g.node.ID():
+		// Flush in progress: hold remote messages; the flush set or the
+		// stale-block recovery will pick them up.
+		g.hold(m)
+		g.mu.Unlock()
+		return
+	}
+	ready := g.advanceFIFO(m)
+	d := g.deliver
+	g.mu.Unlock()
+	g.emit(ready, d)
+}
+
+// hold buffers an out-of-order or blocked message; callers hold mu.
+func (g *ViewGroup) hold(m vsMsg) {
+	if g.held[m.Origin] == nil {
+		g.held[m.Origin] = make(map[uint64]vsMsg)
+	}
+	g.held[m.Origin][m.Seq] = m
+}
+
+// advanceFIFO returns the messages that become deliverable with m, in
+// order; callers hold mu.
+func (g *ViewGroup) advanceFIFO(m vsMsg) []vsMsg {
+	if g.nextIn[m.Origin] == 0 {
+		g.nextIn[m.Origin] = 1
+	}
+	if m.Seq != g.nextIn[m.Origin] {
+		if m.Seq > g.nextIn[m.Origin] {
+			g.hold(m)
+		}
+		return nil
+	}
+	ready := []vsMsg{m}
+	g.nextIn[m.Origin]++
+	for {
+		next, ok := g.held[m.Origin][g.nextIn[m.Origin]]
+		if !ok {
+			break
+		}
+		delete(g.held[m.Origin], g.nextIn[m.Origin])
+		ready = append(ready, next)
+		g.nextIn[m.Origin]++
+	}
+	for _, r := range ready {
+		g.unstable[msgKey{r.Origin, r.Seq}] = r
+	}
+	return ready
+}
+
+// emit invokes the application callback and acknowledges each message.
+// deliverMu keeps callbacks serialised and the delivered vector atomic
+// with state-transfer snapshots.
+func (g *ViewGroup) emit(ready []vsMsg, d Deliver) {
+	if len(ready) == 0 {
+		return
+	}
+	g.deliverMu.Lock()
+	for _, m := range ready {
+		if d != nil {
+			d(m.Origin, m.Data)
+		}
+		g.mu.Lock()
+		if m.Seq > g.deliveredVec[m.Origin] {
+			g.deliveredVec[m.Origin] = m.Seq
+		}
+		g.mu.Unlock()
+	}
+	g.deliverMu.Unlock()
+	for _, m := range ready {
+		if m.Origin == g.node.ID() {
+			g.recordAck(msgKey{m.Origin, m.Seq}, g.node.ID())
+		} else {
+			ack := codec.MustMarshal(&vsAck{Origin: m.Origin, Seq: m.Seq})
+			_ = g.node.Send(m.Origin, g.kind+".ack", ack)
+		}
+	}
+}
+
+func (g *ViewGroup) onAck(msg simnet.Message) {
+	var a vsAck
+	codec.MustUnmarshal(msg.Payload, &a)
+	g.recordAck(msgKey{a.Origin, a.Seq}, msg.From)
+}
+
+func (g *ViewGroup) recordAck(k msgKey, from simnet.NodeID) {
+	g.mu.Lock()
+	if g.acks[k] == nil {
+		g.acks[k] = make(map[simnet.NodeID]bool)
+	}
+	g.acks[k][from] = true
+	g.mu.Unlock()
+	g.checkStability(k)
+}
+
+// checkStability resolves a message acknowledged by the whole view:
+// notifies the BroadcastStable waiter and tells members to prune it.
+func (g *ViewGroup) checkStability(k msgKey) {
+	g.mu.Lock()
+	if k.Origin != g.node.ID() {
+		g.mu.Unlock()
+		return
+	}
+	acks := g.acks[k]
+	for _, member := range g.view.Members {
+		if !acks[member] {
+			g.mu.Unlock()
+			return
+		}
+	}
+	ch := g.stability[k]
+	delete(g.stability, k)
+	delete(g.acks, k)
+	delete(g.unstable, k)
+	members := append([]simnet.NodeID(nil), g.view.Members...)
+	g.mu.Unlock()
+
+	if ch != nil {
+		ch <- true
+	}
+	data := codec.MustMarshal(&vsAck{Origin: k.Origin, Seq: k.Seq})
+	for _, peer := range members {
+		if peer != g.node.ID() {
+			_ = g.node.Send(peer, g.kind+".stable", data)
+		}
+	}
+}
+
+func (g *ViewGroup) onStable(msg simnet.Message) {
+	var a vsAck
+	codec.MustUnmarshal(msg.Payload, &a)
+	g.mu.Lock()
+	delete(g.unstable, msgKey{a.Origin, a.Seq})
+	g.mu.Unlock()
+}
+
+// ForceView installs a view by operator fiat, bypassing consensus. This
+// models the paper's database fail-over: "such an approach assumes that
+// a human operator can reconfigure the system so that the back-up is the
+// new primary" (§4.3 footnote). It exists for configurations where the
+// consensus quorum is unreachable (e.g. a two-node hot-standby pair with
+// one node down); the operator must issue the same configuration to
+// every surviving member. Pending stability waits resolve as not-stable
+// so their callers retry under the new view.
+func (g *ViewGroup) ForceView(members []simnet.NodeID) View {
+	g.mu.Lock()
+	newView := View{ID: g.view.ID + 1, Members: sortedIDs(members)}
+	g.view = newView
+	g.inView = contains(newView.Members, g.node.ID())
+	g.blocked = false
+	g.held = make(map[simnet.NodeID]map[uint64]vsMsg)
+	g.unstable = make(map[msgKey]vsMsg)
+	g.acks = make(map[msgKey]map[simnet.NodeID]bool)
+	stability := make([]chan bool, 0, len(g.stability))
+	for k, ch := range g.stability {
+		stability = append(stability, ch)
+		delete(g.stability, k)
+	}
+	callbacks := append([]ViewFunc(nil), g.onView...)
+	g.mu.Unlock()
+
+	for _, ch := range stability {
+		ch <- false
+	}
+	for _, f := range callbacks {
+		f(newView)
+	}
+	return newView
+}
+
+// RequestJoin asks the current view's members to admit this process.
+// The join completes when a view including this process is installed and
+// state transfer finishes.
+func (g *ViewGroup) RequestJoin() {
+	g.mu.Lock()
+	members := append([]simnet.NodeID(nil), g.view.Members...)
+	g.mu.Unlock()
+	data := codec.MustMarshal(&vsAck{})
+	for _, peer := range members {
+		if peer != g.node.ID() {
+			_ = g.node.Send(peer, g.kind+".join", data)
+		}
+	}
+}
+
+func (g *ViewGroup) onJoin(msg simnet.Message) {
+	g.mu.Lock()
+	g.joins[msg.From] = true
+	g.mu.Unlock()
+}
+
+// monitor watches the failure detector and drives view changes when this
+// process is the view-change coordinator; it also recovers from a stale
+// delivery block left behind by an abandoned view change.
+func (g *ViewGroup) monitor() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.opts.MonitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-ticker.C:
+			g.unblockStale()
+			g.maybeChangeView()
+		}
+	}
+}
+
+// unblockStale releases a flush block that never completed (e.g. the
+// suspicion that triggered it was revised), replaying held messages.
+func (g *ViewGroup) unblockStale() {
+	g.mu.Lock()
+	staleAfter := 10 * g.opts.FlushTimeout
+	if !g.blocked || time.Since(g.blockedSince) < staleAfter {
+		g.mu.Unlock()
+		return
+	}
+	g.blocked = false
+	var replay []vsMsg
+	for _, perOrigin := range g.held {
+		for _, m := range perOrigin {
+			replay = append(replay, m)
+		}
+	}
+	g.held = make(map[simnet.NodeID]map[uint64]vsMsg)
+	g.mu.Unlock()
+
+	sort.Slice(replay, func(i, j int) bool {
+		if replay[i].Origin != replay[j].Origin {
+			return replay[i].Origin < replay[j].Origin
+		}
+		return replay[i].Seq < replay[j].Seq
+	})
+	for _, m := range replay {
+		g.receive(m)
+	}
+}
+
+// maybeChangeView initiates a view change if membership should change and
+// this process is the lowest unsuspected member.
+func (g *ViewGroup) maybeChangeView() {
+	if g.node.Crashed() {
+		return
+	}
+	g.mu.Lock()
+	if !g.inView || g.awaiting {
+		g.mu.Unlock()
+		return
+	}
+	view := g.view
+	var survivors, suspects []simnet.NodeID
+	for _, m := range view.Members {
+		if g.det.Suspects(m) {
+			suspects = append(suspects, m)
+		} else {
+			survivors = append(survivors, m)
+		}
+	}
+	var joins []simnet.NodeID
+	for j := range g.joins {
+		if !contains(view.Members, j) && !g.det.Suspects(j) {
+			joins = append(joins, j)
+		}
+	}
+	target := view.ID + 1
+	alreadyProposed := g.proposed[target]
+	g.mu.Unlock()
+
+	if len(suspects) == 0 && len(joins) == 0 {
+		return
+	}
+	if len(survivors) == 0 || survivors[0] != g.node.ID() || alreadyProposed {
+		return
+	}
+	g.coordinateViewChange(view, survivors, joins, target)
+}
+
+// coordinateViewChange runs the flush protocol and drives consensus on
+// the next view.
+func (g *ViewGroup) coordinateViewChange(old View, survivors, joins []simnet.NodeID, target uint64) {
+	g.mu.Lock()
+	if g.proposed[target] || g.view.ID != old.ID {
+		g.mu.Unlock()
+		return
+	}
+	// Block our own deliveries of remote messages during the flush so our
+	// contribution is a stable snapshot.
+	g.blocked = true
+	g.blockedSince = time.Now()
+	flush := make(map[msgKey]vsMsg)
+	for k, m := range g.unstable {
+		flush[k] = m
+	}
+	for _, perOrigin := range g.held {
+		for _, m := range perOrigin {
+			flush[msgKey{m.Origin, m.Seq}] = m
+		}
+	}
+	g.mu.Unlock()
+
+	// Collect flush contributions from the other survivors.
+	reachable := []simnet.NodeID{g.node.ID()}
+	req := codec.MustMarshal(&vsFlushReq{FromView: old.ID})
+	type result struct {
+		peer simnet.NodeID
+		resp vsFlushResp
+		err  error
+	}
+	results := make(chan result, len(survivors))
+	calls := 0
+	for _, peer := range survivors {
+		if peer == g.node.ID() {
+			continue
+		}
+		calls++
+		peer := peer
+		g.node.Go(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), g.opts.FlushTimeout)
+			defer cancel()
+			msg, err := g.node.Call(ctx, peer, g.kind+".flush", req)
+			if err != nil {
+				results <- result{peer: peer, err: err}
+				return
+			}
+			var resp vsFlushResp
+			codec.MustUnmarshal(msg.Payload, &resp)
+			results <- result{peer: peer, resp: resp}
+		})
+	}
+	for i := 0; i < calls; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				continue // silent peer: excluded from the next view
+			}
+			reachable = append(reachable, r.peer)
+			for _, m := range r.resp.Msgs {
+				flush[msgKey{m.Origin, m.Seq}] = m
+			}
+		case <-g.stop:
+			return
+		}
+	}
+
+	newMembers := sortedIDs(append(reachable, joins...))
+	flushList := make([]vsMsg, 0, len(flush))
+	for _, m := range flush {
+		flushList = append(flushList, m)
+	}
+	sort.Slice(flushList, func(i, j int) bool {
+		if flushList[i].Origin != flushList[j].Origin {
+			return flushList[i].Origin < flushList[j].Origin
+		}
+		return flushList[i].Seq < flushList[j].Seq
+	})
+	value := codec.MustMarshal(&vsViewValue{Members: newMembers, Flush: flushList})
+
+	// Have every member of the proposed view propose the same value so
+	// consensus sees a quorum of proposers.
+	cmd := codec.MustMarshal(&vsProposeCmd{TargetView: target, Value: value})
+	for _, peer := range newMembers {
+		if peer != g.node.ID() {
+			_ = g.node.Send(peer, g.kind+".vcprop", cmd)
+		}
+	}
+	g.proposeView(target, value)
+}
+
+func (g *ViewGroup) onProposeCmd(msg simnet.Message) {
+	var cmd vsProposeCmd
+	codec.MustUnmarshal(msg.Payload, &cmd)
+	g.proposeView(cmd.TargetView, cmd.Value)
+}
+
+func (g *ViewGroup) proposeView(target uint64, value []byte) {
+	g.mu.Lock()
+	if g.proposed[target] || target <= g.view.ID {
+		g.mu.Unlock()
+		return
+	}
+	g.proposed[target] = true
+	g.mu.Unlock()
+	g.node.Go(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			select {
+			case <-g.stop:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		_, _ = g.cs.Propose(ctx, target, value) // installation happens in onViewDecided
+	})
+}
+
+func (g *ViewGroup) onFlushReq(msg simnet.Message) {
+	var req vsFlushReq
+	codec.MustUnmarshal(msg.Payload, &req)
+	g.mu.Lock()
+	if req.FromView == g.view.ID && !g.blocked {
+		g.blocked = true // stop delivering remote messages in the dying view
+		g.blockedSince = time.Now()
+	}
+	var msgs []vsMsg
+	for _, m := range g.unstable {
+		msgs = append(msgs, m)
+	}
+	for _, perOrigin := range g.held {
+		for _, m := range perOrigin {
+			msgs = append(msgs, m)
+		}
+	}
+	g.mu.Unlock()
+	_ = g.node.Reply(msg, codec.MustMarshal(&vsFlushResp{Msgs: msgs}))
+}
+
+// onViewDecided buffers a decided view; views install strictly in
+// sequence even when consensus decisions arrive out of order.
+func (g *ViewGroup) onViewDecided(instance uint64, value []byte) {
+	g.mu.Lock()
+	if instance <= g.view.ID {
+		g.mu.Unlock()
+		return
+	}
+	g.pendingViews[instance] = value
+	g.mu.Unlock()
+	g.drainViews()
+}
+
+func (g *ViewGroup) drainViews() {
+	for {
+		g.mu.Lock()
+		target := g.view.ID + 1
+		value, ok := g.pendingViews[target]
+		if !ok {
+			g.mu.Unlock()
+			return
+		}
+		delete(g.pendingViews, target)
+		g.mu.Unlock()
+		g.installView(target, value)
+	}
+}
+
+// installView installs one decided view: flush messages are delivered
+// first (the VSCAST property), then membership switches, then buffered
+// future-view messages replay.
+func (g *ViewGroup) installView(instance uint64, value []byte) {
+	var vv vsViewValue
+	codec.MustUnmarshal(value, &vv)
+
+	g.mu.Lock()
+	if instance != g.view.ID+1 {
+		g.mu.Unlock()
+		return
+	}
+	wasInView := g.inView
+	joining := !wasInView && contains(vv.Members, g.node.ID())
+
+	flushKeys := make(map[msgKey]bool, len(vv.Flush))
+	var ready []vsMsg
+	for _, m := range vv.Flush {
+		flushKeys[msgKey{m.Origin, m.Seq}] = true
+		if !wasInView {
+			continue
+		}
+		if g.nextIn[m.Origin] == 0 {
+			g.nextIn[m.Origin] = 1
+		}
+		switch {
+		case m.Seq < g.nextIn[m.Origin]:
+			// already delivered here
+		case m.Seq == g.nextIn[m.Origin]:
+			g.nextIn[m.Origin]++
+			ready = append(ready, m)
+		default:
+			// Gap: the missing predecessor was delivered nowhere, so
+			// this message was delivered nowhere either; drop it.
+		}
+	}
+
+	newView := View{ID: instance, Members: vv.Members}
+	g.view = newView
+	g.inView = contains(vv.Members, g.node.ID())
+	g.blocked = false
+	g.held = make(map[simnet.NodeID]map[uint64]vsMsg)
+	g.unstable = make(map[msgKey]vsMsg)
+	g.acks = make(map[msgKey]map[simnet.NodeID]bool)
+	for j := range g.joins {
+		if contains(vv.Members, j) {
+			delete(g.joins, j)
+		}
+	}
+	// Resolve pending stability waits: a message that made it into the
+	// flush is delivered by every member installing this view — stable,
+	// provided we are still in the view. A message that missed the flush
+	// is delivered nowhere else — not stable.
+	stabilityResults := make(map[chan bool]bool, len(g.stability))
+	for k, ch := range g.stability {
+		stabilityResults[ch] = g.inView && flushKeys[k]
+		delete(g.stability, k)
+	}
+	if joining {
+		g.awaiting = true
+	}
+	futures := g.futures
+	g.futures = nil
+	d := g.deliver
+	callbacks := append([]ViewFunc(nil), g.onView...)
+	coordinator := g.inView && newView.Primary() == g.node.ID()
+	g.mu.Unlock()
+
+	g.emit(ready, d)
+	for ch, ok := range stabilityResults {
+		ch <- ok
+	}
+	for _, f := range callbacks {
+		f(newView)
+	}
+	if coordinator {
+		g.sendStateToJoiners(newView)
+	}
+	// Replay messages that arrived for this (or a later) view before we
+	// installed it.
+	for _, m := range futures {
+		g.receive(m)
+	}
+}
+
+// sendStateToJoiners snapshots application state atomically with the
+// delivered vector and sends it to every other member (non-joiners
+// ignore it).
+func (g *ViewGroup) sendStateToJoiners(v View) {
+	g.deliverMu.Lock()
+	g.mu.Lock()
+	delivered := make(map[simnet.NodeID]uint64, len(g.deliveredVec))
+	for origin, seq := range g.deliveredVec {
+		delivered[origin] = seq
+	}
+	g.mu.Unlock()
+	var snapshot []byte
+	if g.opts.StateProvider != nil {
+		snapshot = g.opts.StateProvider()
+	}
+	g.deliverMu.Unlock()
+
+	st := codec.MustMarshal(&vsState{
+		ViewID: v.ID, Members: v.Members, Snapshot: snapshot, Delivered: delivered,
+	})
+	for _, peer := range v.Members {
+		if peer != g.node.ID() {
+			_ = g.node.Send(peer, g.kind+".state", st)
+		}
+	}
+}
+
+func (g *ViewGroup) onState(msg simnet.Message) {
+	var st vsState
+	codec.MustUnmarshal(msg.Payload, &st)
+	self := g.node.ID()
+
+	g.mu.Lock()
+	sequentialJoin := g.awaiting && st.ViewID == g.view.ID
+	// A member that started after several views can fast-forward: the
+	// snapshot subsumes everything delivered in the views it missed.
+	fastForward := !g.inView && st.ViewID > g.view.ID && contains(st.Members, self)
+	if !sequentialJoin && !fastForward {
+		g.mu.Unlock()
+		return
+	}
+	if fastForward {
+		g.view = View{ID: st.ViewID, Members: st.Members}
+		g.inView = true
+		for id := range g.pendingViews {
+			if id <= st.ViewID {
+				delete(g.pendingViews, id)
+			}
+		}
+	}
+	g.awaiting = false
+	for origin, seq := range st.Delivered {
+		g.nextIn[origin] = seq + 1
+		g.deliveredVec[origin] = seq
+	}
+	buffered := append(g.buffer, g.futures...)
+	g.buffer = nil
+	g.futures = nil
+	applier := g.opts.StateApplier
+	newView := View{ID: g.view.ID, Members: append([]simnet.NodeID(nil), g.view.Members...)}
+	callbacks := append([]ViewFunc(nil), g.onView...)
+	g.mu.Unlock()
+
+	if applier != nil {
+		applier(st.Snapshot)
+	}
+	if fastForward {
+		for _, f := range callbacks {
+			f(newView)
+		}
+	}
+	// Replay buffered messages through the normal path.
+	for _, m := range buffered {
+		g.receive(m)
+	}
+	g.drainViews()
+}

@@ -1,0 +1,331 @@
+package group
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/fd"
+	"replication/internal/simnet"
+)
+
+type vsFixture struct {
+	net    *simnet.Network
+	ids    []simnet.NodeID
+	nodes  map[simnet.NodeID]*simnet.Node
+	dets   map[simnet.NodeID]*fd.Detector
+	groups map[simnet.NodeID]*ViewGroup
+	recs   map[simnet.NodeID]*recorder
+}
+
+// newVSFixture builds a view group where universe == initial membership,
+// except the members listed in outside, which start outside the view.
+func newVSFixture(t *testing.T, n int, outside ...simnet.NodeID) *vsFixture {
+	t.Helper()
+	net := simnet.New(simnet.Options{Latency: simnet.ConstantLatency(100 * time.Microsecond)})
+	f := &vsFixture{
+		net:    net,
+		ids:    ids(n),
+		nodes:  make(map[simnet.NodeID]*simnet.Node),
+		dets:   make(map[simnet.NodeID]*fd.Detector),
+		groups: make(map[simnet.NodeID]*ViewGroup),
+		recs:   make(map[simnet.NodeID]*recorder),
+	}
+	var initial []simnet.NodeID
+	for _, id := range f.ids {
+		if !contains(outside, id) {
+			initial = append(initial, id)
+		}
+	}
+	for _, id := range f.ids {
+		node := simnet.NewNode(net, id)
+		det := fd.New(node, f.ids, fd.Options{Interval: 2 * time.Millisecond, Timeout: 20 * time.Millisecond})
+		f.nodes[id] = node
+		f.dets[id] = det
+		f.recs[id] = &recorder{}
+		f.groups[id] = NewViewGroup(node, "g", f.ids, initial, det, ViewGroupOptions{})
+		f.groups[id].OnDeliver(f.recs[id].deliver)
+	}
+	for _, id := range f.ids {
+		f.nodes[id].Start()
+		f.dets[id].Start()
+		f.groups[id].Start()
+	}
+	t.Cleanup(func() {
+		for _, id := range f.ids {
+			f.groups[id].Stop()
+			f.dets[id].Stop()
+			f.nodes[id].Stop()
+		}
+		net.Close()
+	})
+	return f
+}
+
+func TestVSBroadcastDeliversToView(t *testing.T) {
+	f := newVSFixture(t, 3)
+	if err := f.groups["n0"].Broadcast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range f.ids {
+		id := id
+		waitFor(t, time.Second, func() bool { return f.recs[id].count() == 1 }, "missing delivery")
+	}
+}
+
+func TestVSFIFOWithinView(t *testing.T) {
+	f := newVSFixture(t, 3)
+	const total = 30
+	for i := 0; i < total; i++ {
+		if err := f.groups["n0"].Broadcast([]byte(fmt.Sprintf("%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range f.ids {
+		id := id
+		waitFor(t, 5*time.Second, func() bool { return f.recs[id].count() == total }, "incomplete")
+		for i, m := range f.recs[id].snapshot() {
+			if m != fmt.Sprintf("n0:%03d", i) {
+				t.Fatalf("member %s out of order at %d: %q", id, i, m)
+			}
+		}
+	}
+}
+
+func TestVSBroadcastStable(t *testing.T) {
+	f := newVSFixture(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := f.groups["n0"].BroadcastStable(ctx, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// Stability means everyone has already delivered — no waiting.
+	for _, id := range f.ids {
+		if got := f.recs[id].count(); got != 1 {
+			t.Fatalf("member %s delivered %d at stability time", id, got)
+		}
+	}
+}
+
+func TestVSNonMemberCannotBroadcast(t *testing.T) {
+	f := newVSFixture(t, 3, "n2") // n2 outside the initial view
+	if err := f.groups["n2"].Broadcast([]byte("x")); err != ErrNotInView {
+		t.Fatalf("got %v, want ErrNotInView", err)
+	}
+}
+
+func TestVSCrashInstallsNewView(t *testing.T) {
+	f := newVSFixture(t, 3)
+	f.net.Crash("n2")
+	waitFor(t, 5*time.Second, func() bool {
+		v := f.groups["n0"].CurrentView()
+		return v.ID >= 2 && len(v.Members) == 2 && !v.Includes("n2")
+	}, "no new view after crash")
+	waitFor(t, 5*time.Second, func() bool {
+		return f.groups["n1"].CurrentView().ID == f.groups["n0"].CurrentView().ID
+	}, "views not agreed between survivors")
+
+	// The surviving view still works.
+	if err := f.groups["n0"].Broadcast([]byte("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []simnet.NodeID{"n0", "n1"} {
+		id := id
+		waitFor(t, time.Second, func() bool { return f.recs[id].count() == 1 }, "post-crash delivery missing")
+	}
+}
+
+func TestVSPrimaryCrashPromotesNext(t *testing.T) {
+	f := newVSFixture(t, 3)
+	if got := f.groups["n1"].CurrentView().Primary(); got != "n0" {
+		t.Fatalf("initial primary = %s", got)
+	}
+	f.net.Crash("n0")
+	waitFor(t, 5*time.Second, func() bool {
+		v := f.groups["n1"].CurrentView()
+		return v.ID >= 2 && v.Primary() == "n1"
+	}, "n1 never became primary")
+}
+
+func TestVSViewChangeCallbacks(t *testing.T) {
+	f := newVSFixture(t, 3)
+	var mu sync.Mutex
+	var views []View
+	f.groups["n0"].OnViewChange(func(v View) {
+		mu.Lock()
+		views = append(views, v)
+		mu.Unlock()
+	})
+	f.net.Crash("n2")
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(views) >= 1
+	}, "no view callback")
+	mu.Lock()
+	defer mu.Unlock()
+	if views[0].ID != 2 || views[0].Includes("n2") {
+		t.Fatalf("unexpected view %v", views[0])
+	}
+}
+
+func TestVSFlushDeliversPendingAtSurvivors(t *testing.T) {
+	// n0 broadcasts while n2 is crashed but not yet suspected: n1 must
+	// still deliver before (or at) the view change — VSCAST property.
+	f := newVSFixture(t, 3)
+	f.net.Crash("n2")
+	if err := f.groups["n0"].Broadcast([]byte("racing")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return f.groups["n0"].CurrentView().ID >= 2 && f.groups["n1"].CurrentView().ID >= 2
+	}, "view change did not happen")
+	waitFor(t, time.Second, func() bool { return f.recs["n1"].count() == 1 },
+		"n1 lost a message delivered at n0 (VS violation)")
+}
+
+func TestVSJoinWithStateTransfer(t *testing.T) {
+	net := simnet.New(simnet.Options{Latency: simnet.ConstantLatency(100 * time.Microsecond)})
+	defer net.Close()
+	all := ids(3)
+	initial := []simnet.NodeID{"n0", "n1"}
+
+	// Application state: a counter fed by deliveries.
+	type state struct {
+		mu sync.Mutex
+		n  int
+	}
+	states := map[simnet.NodeID]*state{}
+	nodes := map[simnet.NodeID]*simnet.Node{}
+	dets := map[simnet.NodeID]*fd.Detector{}
+	groups := map[simnet.NodeID]*ViewGroup{}
+	for _, id := range all {
+		id := id
+		states[id] = &state{}
+		node := simnet.NewNode(net, id)
+		det := fd.New(node, all, fd.Options{Interval: 2 * time.Millisecond, Timeout: 20 * time.Millisecond})
+		nodes[id] = node
+		dets[id] = det
+		groups[id] = NewViewGroup(node, "g", all, initial, det, ViewGroupOptions{
+			StateProvider: func() []byte {
+				states[id].mu.Lock()
+				defer states[id].mu.Unlock()
+				return codec.MustMarshal(&states[id].n)
+			},
+			StateApplier: func(b []byte) {
+				var n int
+				codec.MustUnmarshal(b, &n)
+				states[id].mu.Lock()
+				states[id].n = n
+				states[id].mu.Unlock()
+			},
+		})
+		groups[id].OnDeliver(func(origin simnet.NodeID, payload []byte) {
+			states[id].mu.Lock()
+			states[id].n++
+			states[id].mu.Unlock()
+		})
+	}
+	for _, id := range all {
+		nodes[id].Start()
+		dets[id].Start()
+		groups[id].Start()
+	}
+	defer func() {
+		for _, id := range all {
+			groups[id].Stop()
+			dets[id].Stop()
+			nodes[id].Stop()
+		}
+	}()
+
+	// Build some state before the join.
+	for i := 0; i < 5; i++ {
+		if err := groups["n0"].Broadcast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		states["n1"].mu.Lock()
+		defer states["n1"].mu.Unlock()
+		return states["n1"].n == 5
+	}, "pre-join state incomplete")
+
+	groups["n2"].RequestJoin()
+	waitFor(t, 5*time.Second, func() bool { return groups["n2"].InView() }, "join never completed")
+
+	// Post-join broadcast reaches the joiner; its state must include the
+	// transferred prefix.
+	if err := groups["n0"].Broadcast([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		states["n2"].mu.Lock()
+		defer states["n2"].mu.Unlock()
+		return states["n2"].n == 6
+	}, fmt.Sprintf("joiner state = %d, want 6", states["n2"].n))
+}
+
+func TestVSExcludedMemberStopsDelivering(t *testing.T) {
+	f := newVSFixture(t, 3)
+	// Partition n2 away; survivors form a new view. n2, though alive,
+	// must not deliver new-view traffic.
+	f.net.Partition([]simnet.NodeID{"n0", "n1"}, []simnet.NodeID{"n2"})
+	waitFor(t, 5*time.Second, func() bool {
+		v := f.groups["n0"].CurrentView()
+		return v.ID >= 2 && !v.Includes("n2")
+	}, "no exclusion view")
+	if err := f.groups["n0"].Broadcast([]byte("members-only")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return f.recs["n1"].count() == 1 }, "n1 missing")
+	f.net.Heal()
+	// After the heal, n2 catches up on the view decision (decision query)
+	// and learns it was excluded.
+	waitFor(t, 5*time.Second, func() bool { return !f.groups["n2"].InView() },
+		"n2 never learned it was excluded")
+	time.Sleep(20 * time.Millisecond)
+	if got := f.recs["n2"].count(); got != 0 {
+		t.Fatalf("excluded member delivered %d messages", got)
+	}
+}
+
+func TestVSStableFailsForExcludedMember(t *testing.T) {
+	f := newVSFixture(t, 3)
+	f.net.Partition([]simnet.NodeID{"n0", "n1"}, []simnet.NodeID{"n2"})
+	// n2 tries a stable broadcast while cut off: it must not report
+	// success (either ctx timeout or ErrNotStable on exclusion).
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := f.groups["n2"].BroadcastStable(ctx, []byte("doomed"))
+	if err == nil {
+		t.Fatal("stable broadcast succeeded while partitioned from the view majority")
+	}
+}
+
+func TestVSViewIDsMonotonic(t *testing.T) {
+	// Five-node universe: two crashes still leave the consensus majority
+	// (3 of 5) needed to install views.
+	f := newVSFixture(t, 5)
+	var mu sync.Mutex
+	var seen []uint64
+	f.groups["n0"].OnViewChange(func(v View) {
+		mu.Lock()
+		seen = append(seen, v.ID)
+		mu.Unlock()
+	})
+	f.net.Crash("n4")
+	waitFor(t, 5*time.Second, func() bool { return f.groups["n0"].CurrentView().ID >= 2 }, "no view 2")
+	f.net.Crash("n3")
+	waitFor(t, 5*time.Second, func() bool { return f.groups["n0"].CurrentView().ID >= 3 }, "no view 3")
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(seen); i++ {
+		if seen[i] != seen[i-1]+1 {
+			t.Fatalf("views not sequential: %v", seen)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package lockmgr implements a strict two-phase-locking lock manager
+// with deadlock detection.
+//
+// Locking is the concurrency-control mechanism the paper assumes on the
+// database side: "Isolation is provided by concurrency control mechanisms
+// such as locking protocols which guarantee serializability" (§4.1), and
+// eager update-everywhere replication coordinates through "2 Phase
+// Locking" at every site (§4.4.1). The manager provides shared/exclusive
+// locks with FIFO queuing, lock upgrade, wait-for-graph cycle detection
+// (the requester whose wait would close a cycle is the victim), and
+// context cancellation for timeout-based schemes.
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes. Shared locks are compatible with shared locks; exclusive
+// locks are compatible with nothing.
+const (
+	Shared Mode = iota + 1
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ErrDeadlock is returned to the victim of a deadlock: the transaction
+// whose lock request would close a wait-for cycle. The victim must abort
+// (release its locks) and may retry.
+var ErrDeadlock = errors.New("lockmgr: deadlock detected")
+
+// waiter is a queued lock request.
+type waiter struct {
+	txn     string
+	mode    Mode
+	granted chan struct{} // closed when granted
+	removed bool
+}
+
+// lockState is the per-key lock table entry.
+type lockState struct {
+	holders map[string]Mode
+	queue   []*waiter
+}
+
+// Manager is a lock table. The zero value is ready to use.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+}
+
+// New creates a lock manager.
+func New() *Manager {
+	return &Manager{locks: make(map[string]*lockState)}
+}
+
+func (m *Manager) state(key string) *lockState {
+	if m.locks == nil {
+		m.locks = make(map[string]*lockState)
+	}
+	st, ok := m.locks[key]
+	if !ok {
+		st = &lockState{holders: make(map[string]Mode)}
+		m.locks[key] = st
+	}
+	return st
+}
+
+// Lock acquires key in the given mode for txn, blocking until granted,
+// deadlock (ErrDeadlock), or ctx cancellation. Re-acquiring a held lock
+// is a no-op; requesting Exclusive while holding Shared upgrades.
+func (m *Manager) Lock(ctx context.Context, txn, key string, mode Mode) error {
+	m.mu.Lock()
+	st := m.state(key)
+
+	if held, ok := st.holders[txn]; ok {
+		if held >= mode {
+			m.mu.Unlock()
+			return nil // already held at sufficient strength
+		}
+		// Upgrade S→X: immediate if sole holder.
+		if len(st.holders) == 1 {
+			st.holders[txn] = Exclusive
+			m.mu.Unlock()
+			return nil
+		}
+		// Otherwise queue the upgrade at the front (standard upgrade
+		// priority) and wait for the other holders to leave.
+	}
+
+	if m.grantableLocked(st, txn, mode) {
+		st.holders[txn] = maxMode(st.holders[txn], mode)
+		m.mu.Unlock()
+		return nil
+	}
+
+	w := &waiter{txn: txn, mode: mode, granted: make(chan struct{})}
+	if _, upgrading := st.holders[txn]; upgrading {
+		st.queue = append([]*waiter{w}, st.queue...)
+	} else {
+		st.queue = append(st.queue, w)
+	}
+
+	// Deadlock check: would this wait close a cycle?
+	if m.cycleFromLocked(txn) {
+		m.removeWaiterLocked(st, w)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: txn %s on key %q", ErrDeadlock, txn, key)
+	}
+	m.mu.Unlock()
+
+	select {
+	case <-w.granted:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		select {
+		case <-w.granted:
+			// Granted concurrently with cancellation: keep the lock; the
+			// caller's release path will drop it.
+			m.mu.Unlock()
+			return nil
+		default:
+		}
+		m.removeWaiterLocked(st, w)
+		m.promoteLocked(st)
+		m.mu.Unlock()
+		return fmt.Errorf("lockmgr: lock %q for %s: %w", key, txn, ctx.Err())
+	}
+}
+
+// grantableLocked reports whether txn can take key in mode right now.
+// Fairness: a request is only granted immediately if no one is queued
+// (except for upgrades, handled by the caller).
+func (m *Manager) grantableLocked(st *lockState, txn string, mode Mode) bool {
+	if len(st.queue) > 0 {
+		return false
+	}
+	for holder, held := range st.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+func maxMode(a, b Mode) Mode {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Unlock releases txn's lock on key.
+func (m *Manager) Unlock(txn, key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.locks[key]
+	if !ok {
+		return
+	}
+	delete(st.holders, txn)
+	m.promoteLocked(st)
+	m.gcLocked(key, st)
+}
+
+// ReleaseAll releases every lock txn holds and cancels its queued
+// requests (the strict-2PL release at commit/abort).
+func (m *Manager) ReleaseAll(txn string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, st := range m.locks {
+		delete(st.holders, txn)
+		for _, w := range st.queue {
+			if w.txn == txn && !w.removed {
+				w.removed = true
+			}
+		}
+		st.queue = compactQueue(st.queue)
+		m.promoteLocked(st)
+		m.gcLocked(key, st)
+	}
+}
+
+// Holds returns the mode txn holds on key (zero if none).
+func (m *Manager) Holds(txn, key string) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.locks[key]
+	if !ok {
+		return 0
+	}
+	return st.holders[txn]
+}
+
+// HeldKeys returns the keys txn currently holds, in no particular order.
+func (m *Manager) HeldKeys(txn string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for key, st := range m.locks {
+		if _, ok := st.holders[txn]; ok {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// promoteLocked grants queued requests that have become compatible, in
+// FIFO order (several shared requests may be granted together).
+func (m *Manager) promoteLocked(st *lockState) {
+	for len(st.queue) > 0 {
+		w := st.queue[0]
+		if w.removed {
+			st.queue = st.queue[1:]
+			continue
+		}
+		compatible := true
+		for holder, held := range st.holders {
+			if holder == w.txn {
+				continue
+			}
+			if w.mode == Exclusive || held == Exclusive {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			return
+		}
+		st.holders[w.txn] = maxMode(st.holders[w.txn], w.mode)
+		st.queue = st.queue[1:]
+		close(w.granted)
+	}
+}
+
+func (m *Manager) removeWaiterLocked(st *lockState, target *waiter) {
+	target.removed = true
+	st.queue = compactQueue(st.queue)
+}
+
+func compactQueue(q []*waiter) []*waiter {
+	out := q[:0]
+	for _, w := range q {
+		if !w.removed {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (m *Manager) gcLocked(key string, st *lockState) {
+	if len(st.holders) == 0 && len(st.queue) == 0 {
+		delete(m.locks, key)
+	}
+}
+
+// cycleFromLocked detects whether start is part of a wait-for cycle.
+// Edges: a queued waiter waits for every current holder of its key and
+// for every earlier waiter (they will hold the key first).
+func (m *Manager) cycleFromLocked(start string) bool {
+	waitsFor := make(map[string]map[string]bool)
+	addEdge := func(from, to string) {
+		if from == to {
+			return
+		}
+		if waitsFor[from] == nil {
+			waitsFor[from] = make(map[string]bool)
+		}
+		waitsFor[from][to] = true
+	}
+	for _, st := range m.locks {
+		for i, w := range st.queue {
+			if w.removed {
+				continue
+			}
+			for holder := range st.holders {
+				addEdge(w.txn, holder)
+			}
+			for j := 0; j < i; j++ {
+				if !st.queue[j].removed {
+					addEdge(w.txn, st.queue[j].txn)
+				}
+			}
+		}
+	}
+	// DFS from start looking for a path back to start.
+	seen := make(map[string]bool)
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		for next := range waitsFor[n] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}

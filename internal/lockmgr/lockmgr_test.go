@@ -1,0 +1,320 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ctxT(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSharedLocksCompatible(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, time.Second)
+	if err := m.Lock(ctx, "t1", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(ctx, "t2", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds("t1", "x") != Shared || m.Holds("t2", "x") != Shared {
+		t.Fatal("both transactions should hold shared locks")
+	}
+}
+
+func TestExclusiveBlocksShared(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, time.Second)
+	if err := m.Lock(ctx, "t1", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := m.Lock(short, "t2", "x", Shared); err == nil {
+		t.Fatal("shared lock granted while exclusive held")
+	}
+}
+
+func TestExclusiveReleasedThenGranted(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, time.Second)
+	if err := m.Lock(ctx, "t1", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(ctx, "t2", "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	m.Unlock("t1", "x")
+	if err := <-done; err != nil {
+		t.Fatalf("waiter not granted after release: %v", err)
+	}
+	if m.Holds("t2", "x") != Exclusive {
+		t.Fatal("t2 should hold exclusive")
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, time.Second)
+	for i := 0; i < 3; i++ {
+		if err := m.Lock(ctx, "t1", "x", Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Holds("t1", "x") != Exclusive {
+		t.Fatal("lock lost on reacquire")
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, time.Second)
+	if err := m.Lock(ctx, "t1", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(ctx, "t1", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds("t1", "x") != Exclusive {
+		t.Fatal("upgrade failed")
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, time.Second)
+	if err := m.Lock(ctx, "t1", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(ctx, "t2", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(ctx, "t1", "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("upgrade granted while another reader holds: %v", err)
+	default:
+	}
+	m.Unlock("t2", "x")
+	if err := <-done; err != nil {
+		t.Fatalf("upgrade not granted after reader left: %v", err)
+	}
+}
+
+func TestDeadlockDetectedTwoTxns(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, 5*time.Second)
+	if err := m.Lock(ctx, "t1", "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(ctx, "t2", "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// t1 waits for b (held by t2)...
+	errs := make(chan error, 1)
+	go func() { errs <- m.Lock(ctx, "t1", "b", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	// ...and t2 requesting a closes the cycle: t2 must be the victim.
+	err := m.Lock(ctx, "t2", "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("got %v, want ErrDeadlock", err)
+	}
+	// Victim aborts; t1's wait resolves.
+	m.ReleaseAll("t2")
+	if err := <-errs; err != nil {
+		t.Fatalf("survivor errored: %v", err)
+	}
+}
+
+func TestDeadlockDetectedThreeTxns(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, 5*time.Second)
+	for i, key := range []string{"a", "b", "c"} {
+		if err := m.Lock(ctx, fmt.Sprintf("t%d", i), key, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(ctx, "t0", "b", Exclusive) }() // t0 → t1
+	time.Sleep(10 * time.Millisecond)
+	go func() { errs <- m.Lock(ctx, "t1", "c", Exclusive) }() // t1 → t2
+	time.Sleep(10 * time.Millisecond)
+	err := m.Lock(ctx, "t2", "a", Exclusive) // t2 → t0 closes the cycle
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("got %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll("t2")
+	if err := <-errs; err != nil { // t1 gets c
+		t.Fatal(err)
+	}
+	m.ReleaseAll("t1")
+	if err := <-errs; err != nil { // t0 gets b
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	// Two readers both upgrading is the classic conversion deadlock.
+	m := New()
+	ctx := ctxT(t, 5*time.Second)
+	if err := m.Lock(ctx, "t1", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(ctx, "t2", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	go func() { errs <- m.Lock(ctx, "t1", "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+	err := m.Lock(ctx, "t2", "x", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("got %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll("t2")
+	if err := <-errs; err != nil {
+		t.Fatalf("survivor upgrade failed: %v", err)
+	}
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, time.Second)
+	for _, key := range []string{"a", "b", "c"} {
+		if err := m.Lock(ctx, "t1", key, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			errs <- m.Lock(ctx, "t2", key, Exclusive)
+		}(key)
+	}
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll("t1")
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.HeldKeys("t2")); got != 3 {
+		t.Fatalf("t2 holds %d keys, want 3", got)
+	}
+}
+
+func TestFIFOFairnessNoStarvation(t *testing.T) {
+	// A stream of shared lockers must not starve a queued exclusive.
+	m := New()
+	ctx := ctxT(t, 5*time.Second)
+	if err := m.Lock(ctx, "r0", "x", Shared); err != nil {
+		t.Fatal(err)
+	}
+	xDone := make(chan error, 1)
+	go func() { xDone <- m.Lock(ctx, "writer", "x", Exclusive) }()
+	time.Sleep(10 * time.Millisecond)
+
+	// Later shared requests queue behind the writer rather than jumping.
+	sDone := make(chan error, 1)
+	go func() { sDone <- m.Lock(ctx, "r1", "x", Shared) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-sDone:
+		t.Fatal("late reader jumped the queue past a waiting writer")
+	default:
+	}
+
+	m.Unlock("r0", "x")
+	if err := <-xDone; err != nil {
+		t.Fatalf("writer starved: %v", err)
+	}
+	m.Unlock("writer", "x")
+	if err := <-sDone; err != nil {
+		t.Fatalf("reader never granted: %v", err)
+	}
+}
+
+func TestContextCancellationRemovesWaiter(t *testing.T) {
+	m := New()
+	ctx := ctxT(t, time.Second)
+	if err := m.Lock(ctx, "t1", "x", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := m.Lock(short, "t2", "x", Exclusive); err == nil {
+		t.Fatal("expected timeout")
+	}
+	// The abandoned waiter must not block a later grant.
+	m.Unlock("t1", "x")
+	if err := m.Lock(ctx, "t3", "x", Exclusive); err != nil {
+		t.Fatalf("grant after cancelled waiter: %v", err)
+	}
+}
+
+func TestRandomizedWorkloadNoLostLocks(t *testing.T) {
+	// Property: under random lock/unlock traffic with deadlock-victim
+	// retries, every transaction eventually completes and the table ends
+	// empty.
+	m := New()
+	const goroutines = 6
+	const iterations = 40
+	keys := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	var failures sync.Map
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iterations; i++ {
+				txn := fmt.Sprintf("g%d-i%d", g, i)
+				// Acquire 2 random keys in random order, then release.
+				k1, k2 := keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				err1 := m.Lock(ctx, txn, k1, Exclusive)
+				var err2 error
+				if err1 == nil {
+					err2 = m.Lock(ctx, txn, k2, Exclusive)
+				}
+				if err1 != nil || err2 != nil {
+					// Deadlock victim or timeout: abort and move on.
+					if !errors.Is(err1, ErrDeadlock) && !errors.Is(err2, ErrDeadlock) &&
+						err1 != nil || (err2 != nil && !errors.Is(err2, ErrDeadlock)) {
+						if ctx.Err() == nil {
+							failures.Store(txn, fmt.Sprintf("%v/%v", err1, err2))
+						}
+					}
+				}
+				m.ReleaseAll(txn)
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	failures.Range(func(k, v any) bool {
+		t.Errorf("txn %v failed unexpectedly: %v", k, v)
+		return true
+	})
+	m.mu.Lock()
+	remaining := len(m.locks)
+	m.mu.Unlock()
+	if remaining != 0 {
+		t.Fatalf("%d lock entries leaked", remaining)
+	}
+}

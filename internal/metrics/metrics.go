@@ -1,0 +1,192 @@
+// Package metrics provides the latency histograms and counters the
+// performance study (paper §6: "we are planning a performance study of
+// the different approaches") reports from.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations in exponential buckets (multiplicative
+// growth factor ~1.1 from 1µs), giving ~1% relative error on percentile
+// queries over the microsecond-to-minute range. The zero value is ready
+// to use; it is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets map[int]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// growth is the bucket growth factor.
+const growth = 1.1
+
+var logGrowth = math.Log(growth)
+
+func bucketOf(d time.Duration) int {
+	us := float64(d) / float64(time.Microsecond)
+	if us < 1 {
+		return 0
+	}
+	return int(math.Log(us)/logGrowth) + 1
+}
+
+func bucketUpper(b int) time.Duration {
+	if b == 0 {
+		return time.Microsecond
+	}
+	us := math.Exp(float64(b) * logGrowth)
+	return time.Duration(us * float64(time.Microsecond))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64)
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean (zero when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return the observed extremes (zero when empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the approximate p-quantile (p in [0,1]); for p=1 it
+// returns Max exactly.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return h.max
+	}
+	if p < 0 {
+		p = 0
+	}
+	target := uint64(p * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	ids := make([]int, 0, len(h.buckets))
+	for b := range h.buckets {
+		ids = append(ids, b)
+	}
+	sort.Ints(ids)
+	var cum uint64
+	for _, b := range ids {
+		cum += h.buckets[b]
+		if cum > target {
+			up := bucketUpper(b)
+			if up > h.max {
+				up = h.max
+			}
+			if up < h.min {
+				up = h.min
+			}
+			return up
+		}
+	}
+	return h.max
+}
+
+// Reset clears all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets = make(map[int]uint64)
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
+// Summary formats count/mean/p50/p95/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Percentile(0.50).Round(time.Microsecond),
+		h.Percentile(0.95).Round(time.Microsecond),
+		h.Percentile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Throughput is an operations-per-second meter over a wall-clock window.
+type Throughput struct {
+	mu    sync.Mutex
+	n     uint64
+	start time.Time
+}
+
+// Start begins (or restarts) the measurement window.
+func (t *Throughput) Start() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n = 0
+	t.start = time.Now()
+}
+
+// Add counts n completed operations.
+func (t *Throughput) Add(n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n += n
+}
+
+// PerSecond returns the current rate.
+func (t *Throughput) PerSecond() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.start.IsZero() {
+		return 0
+	}
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(t.n) / elapsed
+}

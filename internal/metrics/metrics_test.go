@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 10*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 10*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	p := h.Percentile(0.5)
+	if p != 10*time.Millisecond {
+		t.Fatalf("p50 = %v, want clamped to the single value", p)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(rng.Intn(1000)+1) * time.Millisecond)
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 400*time.Millisecond || p50 > 600*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~500ms for uniform[1,1000]ms", p50)
+	}
+	p99 := h.Percentile(0.99)
+	if p99 < 900*time.Millisecond {
+		t.Fatalf("p99 = %v, want >=900ms", p99)
+	}
+	if h.Percentile(1.0) != h.Max() {
+		t.Fatal("p100 must equal max")
+	}
+	if h.Percentile(0.0) > h.Percentile(0.5) {
+		t.Fatal("p0 must not exceed p50")
+	}
+}
+
+func TestHistogramMonotonePercentiles(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(rng.Intn(100000)) * time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentiles not monotone: p%.2f=%v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramSummaryFormat(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Summary()
+	if s == "" || len(s) < 10 {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	var tp Throughput
+	if tp.PerSecond() != 0 {
+		t.Fatal("unstarted throughput should be zero")
+	}
+	tp.Start()
+	tp.Add(100)
+	time.Sleep(20 * time.Millisecond)
+	rate := tp.PerSecond()
+	if rate <= 0 || rate > 100/0.02*2 {
+		t.Fatalf("rate = %v", rate)
+	}
+	tp.Start() // restart resets
+	if got := tp.PerSecond(); got != 0 {
+		t.Fatalf("rate after restart = %v", got)
+	}
+}
+
+func TestBucketBoundsMonotone(t *testing.T) {
+	prev := time.Duration(0)
+	for b := 0; b < 200; b++ {
+		up := bucketUpper(b)
+		if up <= prev {
+			t.Fatalf("bucket %d upper %v <= %v", b, up, prev)
+		}
+		prev = up
+	}
+}
+
+func TestBucketOfRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{
+		500 * time.Nanosecond, time.Microsecond, 10 * time.Microsecond,
+		time.Millisecond, 123 * time.Millisecond, time.Second, time.Minute,
+	} {
+		b := bucketOf(d)
+		up := bucketUpper(b)
+		if d > up {
+			t.Fatalf("duration %v above its bucket upper %v (bucket %d)", d, up, b)
+		}
+		if b > 0 {
+			lo := bucketUpper(b - 1)
+			if d < lo/2 {
+				t.Fatalf("duration %v far below bucket range [%v,%v]", d, lo, up)
+			}
+		}
+	}
+}

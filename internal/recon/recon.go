@@ -1,0 +1,127 @@
+// Package recon implements reconciliation for lazy update-everywhere
+// replication.
+//
+// "Since the other sites might have run conflicting transactions at the
+// same time, the copies on the different site might not only be stale but
+// inconsistent. Reconciliation is needed to decide which updates are the
+// winners and which transactions must be undone. There are some
+// reconciliation schemes around, however, most of them are on a per
+// object basis" (paper §4.6). This package provides exactly those
+// per-object policies — last-writer-wins on a Lamport timestamp with a
+// site-name tie-break, and origin-priority — plus divergence measurement
+// for study PS6. The paper's alternative, deciding an after-commit order
+// with an Atomic Broadcast, is implemented directly by the lazy
+// update-everywhere protocol in internal/core.
+package recon
+
+import (
+	"replication/internal/storage"
+)
+
+// Policy decides, per object, whether an incoming remote update replaces
+// the current local version.
+type Policy interface {
+	// Wins reports whether the incoming (wall, origin) write beats the
+	// currently stored version.
+	Wins(current storage.Version, exists bool, wall uint64, origin string) bool
+}
+
+// LWW is last-writer-wins on the Wall timestamp, breaking ties by origin
+// name so all sites decide identically (a deterministic total order over
+// (wall, origin) pairs — the property that makes per-object
+// reconciliation converge). Callers must stamp each update with a fresh
+// Lamport time per origin: two distinct updates carrying the same
+// (wall, origin) pair are unordered and would leave replicas
+// order-dependent.
+type LWW struct{}
+
+// Wins implements Policy.
+func (LWW) Wins(current storage.Version, exists bool, wall uint64, origin string) bool {
+	if !exists {
+		return true
+	}
+	if wall != current.Wall {
+		return wall > current.Wall
+	}
+	return origin > current.Origin
+}
+
+// OriginPriority prefers writes from higher-priority sites regardless of
+// time; equal-priority writes fall back to LWW. It models the "primary
+// wins" reconciliation some commercial lazy schemes used.
+type OriginPriority struct {
+	// Rank maps origin name to priority (higher wins). Unknown origins
+	// rank zero.
+	Rank map[string]int
+}
+
+// Wins implements Policy.
+func (p OriginPriority) Wins(current storage.Version, exists bool, wall uint64, origin string) bool {
+	if !exists {
+		return true
+	}
+	rNew, rCur := p.Rank[origin], p.Rank[current.Origin]
+	if rNew != rCur {
+		return rNew > rCur
+	}
+	return LWW{}.Wins(current, exists, wall, origin)
+}
+
+// Apply installs a remote writeset under the policy, returning the keys
+// that actually changed (the "winner" writes). Losing writes are the
+// transactions that would be undone in the paper's terms.
+func Apply(s *storage.Store, p Policy, ws storage.WriteSet, txnID, origin string, wall uint64) []string {
+	return s.ApplyIf(ws, txnID, origin, wall, func(cur storage.Version, exists bool) bool {
+		return p.Wins(cur, exists, wall, origin)
+	})
+}
+
+// Divergence returns the fraction of keys whose latest values differ
+// across the given stores (0 = identical replicas, 1 = nothing agrees).
+// Keys missing from a store count as differing.
+func Divergence(stores []*storage.Store) float64 {
+	if len(stores) < 2 {
+		return 0
+	}
+	all := make(map[string]bool)
+	snaps := make([]map[string][]byte, len(stores))
+	for i, s := range stores {
+		snaps[i] = s.Snapshot()
+		for k := range snaps[i] {
+			all[k] = true
+		}
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	differing := 0
+	for k := range all {
+		ref, refOK := snaps[0][k]
+		same := refOK
+		for _, snap := range snaps[1:] {
+			v, ok := snap[k]
+			if !ok || string(v) != string(ref) {
+				same = false
+				break
+			}
+		}
+		if !same {
+			differing++
+		}
+	}
+	return float64(differing) / float64(len(all))
+}
+
+// Converged reports whether all stores have identical visible state.
+func Converged(stores []*storage.Store) bool {
+	if len(stores) < 2 {
+		return true
+	}
+	fp := stores[0].Fingerprint()
+	for _, s := range stores[1:] {
+		if s.Fingerprint() != fp {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package recon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"replication/internal/storage"
+)
+
+func TestLWWBasic(t *testing.T) {
+	s := storage.New(0)
+	Apply(s, LWW{}, storage.WriteSet{{Key: "x", Value: []byte("first")}}, "t1", "r1", 10)
+	// Older write loses.
+	won := Apply(s, LWW{}, storage.WriteSet{{Key: "x", Value: []byte("old")}}, "t2", "r2", 5)
+	if len(won) != 0 {
+		t.Fatalf("older write won: %v", won)
+	}
+	// Newer write wins.
+	won = Apply(s, LWW{}, storage.WriteSet{{Key: "x", Value: []byte("new")}}, "t3", "r2", 20)
+	if len(won) != 1 {
+		t.Fatal("newer write lost")
+	}
+	v, _ := s.Read("x")
+	if string(v.Value) != "new" {
+		t.Fatalf("value = %q", v.Value)
+	}
+}
+
+func TestLWWTieBreakByOrigin(t *testing.T) {
+	a, b := storage.New(0), storage.New(0)
+	// Same wall time from two origins, applied in opposite orders at the
+	// two replicas: both must converge to the same winner (higher origin).
+	wsA := storage.WriteSet{{Key: "x", Value: []byte("fromA")}}
+	wsB := storage.WriteSet{{Key: "x", Value: []byte("fromB")}}
+	Apply(a, LWW{}, wsA, "t1", "siteA", 7)
+	Apply(a, LWW{}, wsB, "t2", "siteB", 7)
+	Apply(b, LWW{}, wsB, "t2", "siteB", 7)
+	Apply(b, LWW{}, wsA, "t1", "siteA", 7)
+	va, _ := a.Read("x")
+	vb, _ := b.Read("x")
+	if string(va.Value) != string(vb.Value) {
+		t.Fatalf("tie-break divergence: %q vs %q", va.Value, vb.Value)
+	}
+	if string(va.Value) != "fromB" {
+		t.Fatalf("winner = %q, want fromB (higher origin)", va.Value)
+	}
+}
+
+func TestLWWOrderInsensitiveConvergence(t *testing.T) {
+	// Property: applying the same set of (key, wall, origin, value)
+	// updates in any order converges to the same state everywhere.
+	f := func(seed int64) bool {
+		type update struct {
+			key    string
+			value  []byte
+			origin string
+			wall   uint64
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var updates []update
+		// Each origin's wall timestamps are strictly increasing — the
+		// invariant a per-site Lamport clock provides. Convergence of LWW
+		// depends on (wall, origin) being unique per update.
+		walls := map[string]uint64{}
+		for i := 0; i < 20; i++ {
+			origin := fmt.Sprintf("site%d", rng.Intn(3))
+			walls[origin] += uint64(rng.Intn(3) + 1)
+			updates = append(updates, update{
+				key:    fmt.Sprintf("k%d", rng.Intn(5)),
+				value:  []byte(fmt.Sprintf("v%d", i)),
+				origin: origin,
+				wall:   walls[origin],
+			})
+		}
+		apply := func(order []int) *storage.Store {
+			s := storage.New(0)
+			for _, i := range order {
+				u := updates[i]
+				Apply(s, LWW{}, storage.WriteSet{{Key: u.key, Value: u.value}},
+					fmt.Sprintf("t%d", i), u.origin, u.wall)
+			}
+			return s
+		}
+		order1 := rng.Perm(len(updates))
+		order2 := rng.Perm(len(updates))
+		return apply(order1).Fingerprint() == apply(order2).Fingerprint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLWWTieSameOriginIsStable(t *testing.T) {
+	s := storage.New(0)
+	Apply(s, LWW{}, storage.WriteSet{{Key: "x", Value: []byte("a")}}, "t1", "site", 5)
+	won := Apply(s, LWW{}, storage.WriteSet{{Key: "x", Value: []byte("b")}}, "t2", "site", 5)
+	if len(won) != 0 {
+		t.Fatal("identical (wall, origin) must not replace (no total order between them)")
+	}
+}
+
+func TestOriginPriority(t *testing.T) {
+	p := OriginPriority{Rank: map[string]int{"primary": 10, "edge": 1}}
+	s := storage.New(0)
+	Apply(s, p, storage.WriteSet{{Key: "x", Value: []byte("edge-new")}}, "t1", "edge", 100)
+	// Primary write with an OLDER timestamp still wins on priority.
+	won := Apply(s, p, storage.WriteSet{{Key: "x", Value: []byte("primary-old")}}, "t2", "primary", 1)
+	if len(won) != 1 {
+		t.Fatal("primary write lost to edge write")
+	}
+	// Another edge write, newer, loses to the primary version.
+	won = Apply(s, p, storage.WriteSet{{Key: "x", Value: []byte("edge-newer")}}, "t3", "edge", 200)
+	if len(won) != 0 {
+		t.Fatal("edge write beat primary priority")
+	}
+	// Equal priority falls back to LWW.
+	won = Apply(s, p, storage.WriteSet{{Key: "y", Value: []byte("e1")}}, "t4", "edge", 10)
+	if len(won) != 1 {
+		t.Fatal("initial write to fresh key must land")
+	}
+	won = Apply(s, p, storage.WriteSet{{Key: "y", Value: []byte("e2")}}, "t5", "edge", 20)
+	if len(won) != 1 {
+		t.Fatal("newer equal-priority write must win by LWW")
+	}
+}
+
+func TestDivergenceMeasure(t *testing.T) {
+	a, b := storage.New(0), storage.New(0)
+	if got := Divergence([]*storage.Store{a, b}); got != 0 {
+		t.Fatalf("divergence of empty stores = %v", got)
+	}
+	a.Apply(storage.WriteSet{{Key: "same", Value: []byte("v")}}, "t", "", 0)
+	b.Apply(storage.WriteSet{{Key: "same", Value: []byte("v")}}, "t", "", 0)
+	if got := Divergence([]*storage.Store{a, b}); got != 0 {
+		t.Fatalf("divergence of identical stores = %v", got)
+	}
+	a.Apply(storage.WriteSet{{Key: "dif", Value: []byte("a")}}, "t", "", 0)
+	b.Apply(storage.WriteSet{{Key: "dif", Value: []byte("b")}}, "t", "", 0)
+	got := Divergence([]*storage.Store{a, b})
+	if got != 0.5 {
+		t.Fatalf("divergence = %v, want 0.5 (1 of 2 keys differ)", got)
+	}
+	if Converged([]*storage.Store{a, b}) {
+		t.Fatal("diverged stores reported converged")
+	}
+}
+
+func TestDivergenceMissingKeys(t *testing.T) {
+	a, b := storage.New(0), storage.New(0)
+	a.Apply(storage.WriteSet{{Key: "onlyA", Value: []byte("v")}}, "t", "", 0)
+	if got := Divergence([]*storage.Store{a, b}); got != 1 {
+		t.Fatalf("divergence = %v, want 1", got)
+	}
+}
+
+func TestConvergedTrivialCases(t *testing.T) {
+	if !Converged(nil) || !Converged([]*storage.Store{storage.New(0)}) {
+		t.Fatal("degenerate store sets must report converged")
+	}
+}

@@ -1,0 +1,84 @@
+package simnet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkSendDeliver measures raw network send-to-inbox delivery.
+func BenchmarkSendDeliver(b *testing.B) {
+	n := New(Options{Latency: ConstantLatency(0)})
+	defer n.Close()
+	a := n.Endpoint("a")
+	dst := n.Endpoint("b")
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send("b", "bench", payload); err != nil {
+			b.Fatal(err)
+		}
+		<-dst.Inbox()
+	}
+}
+
+// BenchmarkSendDeliverWithLatency includes the scheduler path.
+func BenchmarkSendDeliverWithLatency(b *testing.B) {
+	n := New(Options{Latency: ConstantLatency(10 * time.Microsecond)})
+	defer n.Close()
+	a := n.Endpoint("a")
+	dst := n.Endpoint("b")
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send("b", "bench", payload); err != nil {
+			b.Fatal(err)
+		}
+		<-dst.Inbox()
+	}
+}
+
+// BenchmarkNodeCall measures a full request/reply round trip through the
+// dispatch layer — the RPC unit underlying locks, 2PC, and flushes.
+func BenchmarkNodeCall(b *testing.B) {
+	n := New(Options{Latency: ConstantLatency(0)})
+	defer n.Close()
+	server := NewNode(n, "server")
+	server.Handle("echo", func(m Message) { _ = server.Reply(m, m.Payload) })
+	server.Start()
+	defer server.Stop()
+	client := NewNode(n, "client")
+	client.Start()
+	defer client.Stop()
+
+	ctx := context.Background()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(ctx, "server", "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBcastFanout measures one-to-many sends.
+func BenchmarkBcastFanout(b *testing.B) {
+	n := New(Options{Latency: ConstantLatency(0)})
+	defer n.Close()
+	src := NewNode(n, "src")
+	src.Start()
+	defer src.Stop()
+	dests := []NodeID{"d1", "d2", "d3", "d4"}
+	eps := make([]*Endpoint, len(dests))
+	for i, d := range dests {
+		eps[i] = n.Endpoint(d)
+	}
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Bcast(dests, "fan", payload)
+		for _, ep := range eps {
+			<-ep.Inbox()
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrStopped is returned by calls on a stopped node.
+var ErrStopped = errors.New("simnet: node stopped")
+
+// Handler processes one inbound message. Handlers for a given node run
+// sequentially on the node's dispatch goroutine, so protocol state guarded
+// only by that goroutine needs no locking. A handler must not block on
+// network round trips (use Go for that); replies to pending Calls are
+// routed before handlers and therefore never deadlock the loop.
+type Handler func(m Message)
+
+// Node wraps an Endpoint with a dispatch loop, kind-based handler routing,
+// and request/reply RPC. It is the programming surface protocols build on.
+type Node struct {
+	ep *Endpoint
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	pending  map[uint64]chan Message
+	defaultH Handler
+	started  bool
+	stopped  bool
+
+	nextCall atomic.Uint64
+	done     chan struct{}
+	loopDone chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewNode creates a node for id on network n. Call Start after registering
+// handlers.
+func NewNode(n *Network, id NodeID) *Node {
+	return &Node{
+		ep:       n.Endpoint(id),
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]chan Message),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+}
+
+// ID returns the node's network ID.
+func (nd *Node) ID() NodeID { return nd.ep.ID() }
+
+// Endpoint returns the underlying endpoint.
+func (nd *Node) Endpoint() *Endpoint { return nd.ep }
+
+// Handle registers h for messages of the given kind. Registration after
+// Start is allowed; it takes effect for subsequently dispatched messages.
+func (nd *Node) Handle(kind string, h Handler) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.handlers[kind] = h
+}
+
+// HandleDefault registers a handler for kinds with no specific handler.
+func (nd *Node) HandleDefault(h Handler) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.defaultH = h
+}
+
+// Start launches the dispatch loop. It is a no-op if already started.
+func (nd *Node) Start() {
+	nd.mu.Lock()
+	if nd.started || nd.stopped {
+		nd.mu.Unlock()
+		return
+	}
+	nd.started = true
+	nd.mu.Unlock()
+	go nd.loop()
+}
+
+// Stop terminates the dispatch loop and waits for it, then waits for all
+// goroutines launched with Go. Stop is idempotent.
+func (nd *Node) Stop() {
+	nd.mu.Lock()
+	if nd.stopped {
+		nd.mu.Unlock()
+		return
+	}
+	nd.stopped = true
+	started := nd.started
+	nd.mu.Unlock()
+	close(nd.done)
+	if started {
+		<-nd.loopDone
+	}
+	nd.wg.Wait()
+}
+
+// Go runs f on a tracked goroutine that Stop waits for. Handlers that need
+// to perform network round trips (Call) must use Go so the dispatch loop
+// stays free to route the replies.
+func (nd *Node) Go(f func()) {
+	nd.mu.Lock()
+	if nd.stopped {
+		nd.mu.Unlock()
+		return
+	}
+	nd.wg.Add(1)
+	nd.mu.Unlock()
+	go func() {
+		defer nd.wg.Done()
+		f()
+	}()
+}
+
+func (nd *Node) loop() {
+	defer close(nd.loopDone)
+	for {
+		select {
+		case <-nd.done:
+			return
+		case m := <-nd.ep.Inbox():
+			nd.dispatch(m)
+		}
+	}
+}
+
+func (nd *Node) dispatch(m Message) {
+	if m.CorrID != 0 {
+		nd.mu.Lock()
+		ch := nd.pending[m.CorrID]
+		delete(nd.pending, m.CorrID)
+		nd.mu.Unlock()
+		if ch != nil {
+			ch <- m // buffered, never blocks
+			return
+		}
+		// Fall through: a late reply with no waiter goes to handlers so
+		// protocols may observe stragglers if they choose.
+	}
+	nd.mu.Lock()
+	h := nd.handlers[m.Kind]
+	if h == nil {
+		h = nd.defaultH
+	}
+	nd.mu.Unlock()
+	if h != nil {
+		h(m)
+	}
+}
+
+// Send transmits a one-way message.
+func (nd *Node) Send(to NodeID, kind string, payload []byte) error {
+	return nd.ep.Send(to, kind, payload)
+}
+
+// Bcast sends the same message to every destination. Errors on individual
+// links are ignored (best-effort one-to-many, as the paper's model allows;
+// reliable broadcast is built in package group).
+func (nd *Node) Bcast(to []NodeID, kind string, payload []byte) {
+	for _, dst := range to {
+		_ = nd.ep.Send(dst, kind, payload)
+	}
+}
+
+// Call sends a request and waits for its reply or ctx cancellation.
+// The reply is matched by correlation ID; its kind is up to the responder
+// (conventionally kind+".reply"). Call must not be invoked from a handler
+// (see Go).
+func (nd *Node) Call(ctx context.Context, to NodeID, kind string, payload []byte) (Message, error) {
+	// Call IDs live in their own ID space (high bit set) so a reply to a
+	// plain Send — whose ID the network assigned from a low counter — can
+	// never collide with a pending call's correlation ID.
+	const callIDBit = 1 << 62
+	id := nd.nextCall.Add(1) | callIDBit
+	ch := make(chan Message, 1)
+	nd.mu.Lock()
+	if nd.stopped {
+		nd.mu.Unlock()
+		return Message{}, ErrStopped
+	}
+	nd.pending[id] = ch
+	nd.mu.Unlock()
+	defer func() {
+		nd.mu.Lock()
+		delete(nd.pending, id)
+		nd.mu.Unlock()
+	}()
+
+	err := nd.ep.SendMsg(Message{To: to, Kind: kind, Payload: payload, ID: id})
+	if err != nil {
+		return Message{}, err
+	}
+	select {
+	case <-ctx.Done():
+		return Message{}, fmt.Errorf("simnet: call %s to %s: %w", kind, to, ctx.Err())
+	case <-nd.done:
+		return Message{}, ErrStopped
+	case m := <-ch:
+		return m, nil
+	}
+}
+
+// Reply answers a request received as req. The reply kind is
+// req.Kind+".reply" and carries req.ID as the correlation ID.
+func (nd *Node) Reply(req Message, payload []byte) error {
+	return nd.ep.SendMsg(Message{
+		To:      req.From,
+		Kind:    req.Kind + ".reply",
+		Payload: payload,
+		CorrID:  req.ID,
+	})
+}
+
+// Crashed reports whether the node's endpoint has crashed.
+func (nd *Node) Crashed() bool { return nd.ep.Crashed() }

@@ -1,0 +1,479 @@
+// Package simnet implements the simulated message-passing network that
+// every replication protocol in this repository runs over.
+//
+// The network model follows the paper's system model (Wiesmann et al.,
+// ICDCS 2000, §2.1): a set of processes (clients and replicas) that
+// communicate only by exchanging messages. Processes fail by crashing
+// (crash-stop); the network itself is asynchronous — message delay is
+// sampled from a configurable latency model, and the optional loss rate
+// and partitions let tests exercise the failure assumptions the paper's
+// planned performance study calls for.
+//
+// Each process owns an Endpoint. Messages sent through an endpoint are
+// encoded bytes (see package codec); they are delivered to the
+// destination endpoint's inbox after the sampled latency. Delivery order
+// between two processes is not guaranteed unless the latency model is
+// constant — exactly like UDP. FIFO links, when a protocol needs them,
+// are built above this layer (see package group).
+//
+// The network records per-kind message and byte counts. Study PS3
+// (messages per operation, Gray-style overhead accounting) reads these
+// counters.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a process (replica or client) on the network.
+type NodeID string
+
+// Message is a single datagram on the simulated network.
+type Message struct {
+	// From and To identify the sending and receiving endpoints.
+	From, To NodeID
+	// Kind routes the message to a handler on the receiving node and
+	// names the payload's concrete type.
+	Kind string
+	// Payload is the encoded message body (package codec).
+	Payload []byte
+	// ID is a network-unique message identifier.
+	ID uint64
+	// CorrID, when non-zero, marks this message as the reply to the
+	// request message with that ID.
+	CorrID uint64
+}
+
+// Common network errors.
+var (
+	// ErrCrashed is returned when sending from a crashed endpoint.
+	ErrCrashed = errors.New("simnet: endpoint crashed")
+	// ErrUnknownNode is returned when the destination does not exist.
+	ErrUnknownNode = errors.New("simnet: unknown node")
+	// ErrClosed is returned when the network has been shut down.
+	ErrClosed = errors.New("simnet: network closed")
+)
+
+// LatencyModel samples a one-way message delay. Implementations must be
+// safe for concurrent use.
+type LatencyModel interface {
+	// Sample returns the delay for one message using rng, which is
+	// guarded by the network's lock for deterministic replay.
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// ConstantLatency delays every message by a fixed duration. A constant
+// model yields per-link FIFO delivery, which keeps unit tests of
+// higher-level protocols deterministic.
+type ConstantLatency time.Duration
+
+// Sample implements LatencyModel.
+func (c ConstantLatency) Sample(*rand.Rand) time.Duration { return time.Duration(c) }
+
+// UniformLatency delays messages uniformly in [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Sample implements LatencyModel.
+func (u UniformLatency) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// SpikeLatency models a mostly-fast link with occasional slow messages:
+// with probability P a message takes Slow, otherwise Base. It exercises
+// reordering and failure-detector false suspicions.
+type SpikeLatency struct {
+	Base, Slow time.Duration
+	P          float64
+}
+
+// Sample implements LatencyModel.
+func (s SpikeLatency) Sample(rng *rand.Rand) time.Duration {
+	if rng.Float64() < s.P {
+		return s.Slow
+	}
+	return s.Base
+}
+
+// Options configure a Network. The zero value is usable: near-zero
+// constant latency, no loss, unbounded-ish inboxes.
+type Options struct {
+	// Latency is the one-way delay model. Nil means 50µs constant.
+	Latency LatencyModel
+	// LossRate in [0,1) drops each message independently.
+	LossRate float64
+	// Seed makes latency sampling and loss deterministic. Zero means 1.
+	Seed int64
+	// InboxSize is each endpoint's buffered inbox capacity.
+	// Zero means 4096. A full inbox drops the incoming message and
+	// increments Stats.Overflowed (receiver overload, as on a real NIC).
+	InboxSize int
+}
+
+// Stats are cumulative network counters. Counters only grow.
+type Stats struct {
+	// Sent counts messages accepted for transmission.
+	Sent uint64
+	// Delivered counts messages handed to an inbox.
+	Delivered uint64
+	// Dropped counts messages lost to LossRate, partitions, or crashes.
+	Dropped uint64
+	// Overflowed counts messages lost to a full inbox.
+	Overflowed uint64
+	// Bytes counts payload bytes accepted for transmission.
+	Bytes uint64
+	// PerKind counts messages sent, by message kind.
+	PerKind map[string]uint64
+}
+
+// Network is the hub connecting all endpoints. Create one with New, then
+// create one Endpoint per process.
+type Network struct {
+	opts Options
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	endpoints  map[NodeID]*Endpoint
+	partition  map[NodeID]int // partition group per node; absent = group 0
+	closed     bool
+	nextMsgID  uint64
+	queue      deliveryQueue
+	nextSeq    uint64
+	wake       chan struct{}
+	dispatcher chan struct{} // closed when the dispatcher goroutine exits
+	sent       atomic.Uint64
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	overflowed atomic.Uint64
+	bytes      atomic.Uint64
+	perKind    map[string]*atomic.Uint64
+}
+
+// scheduled is one in-flight message awaiting its delivery time.
+type scheduled struct {
+	at  time.Time
+	seq uint64 // tie-break: send order, so equal delays deliver FIFO
+	m   Message
+	dst *Endpoint
+}
+
+// deliveryQueue is a min-heap of scheduled deliveries ordered by
+// (time, send sequence).
+type deliveryQueue []scheduled
+
+func (q deliveryQueue) Len() int { return len(q) }
+func (q deliveryQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q deliveryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *deliveryQueue) Push(x any)   { *q = append(*q, x.(scheduled)) }
+func (q *deliveryQueue) Pop() any {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// New creates a network with the given options.
+func New(opts Options) *Network {
+	if opts.Latency == nil {
+		opts.Latency = ConstantLatency(50 * time.Microsecond)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.InboxSize == 0 {
+		opts.InboxSize = 4096
+	}
+	n := &Network{
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		endpoints:  make(map[NodeID]*Endpoint),
+		partition:  make(map[NodeID]int),
+		perKind:    make(map[string]*atomic.Uint64),
+		wake:       make(chan struct{}, 1),
+		dispatcher: make(chan struct{}),
+	}
+	go n.dispatch()
+	return n
+}
+
+// dispatch is the single delivery goroutine: it sleeps until the earliest
+// scheduled message is due and delivers messages in (time, send-order)
+// sequence, which makes constant-latency links FIFO.
+func (n *Network) dispatch() {
+	defer close(n.dispatcher)
+	for {
+		n.mu.Lock()
+		if n.closed {
+			n.queue = nil
+			n.mu.Unlock()
+			return
+		}
+		if n.queue.Len() == 0 {
+			n.mu.Unlock()
+			<-n.wake
+			continue
+		}
+		now := time.Now()
+		top := n.queue[0]
+		if top.at.After(now) {
+			wait := top.at.Sub(now)
+			n.mu.Unlock()
+			timer := time.NewTimer(wait)
+			select {
+			case <-n.wake:
+				timer.Stop()
+			case <-timer.C:
+			}
+			continue
+		}
+		item := heap.Pop(&n.queue).(scheduled)
+		// Re-check partition/crash at delivery time: a cut that happened
+		// while the message was in flight still severs it.
+		cut := n.partition[item.m.From] != n.partition[item.m.To]
+		n.mu.Unlock()
+		if cut || item.dst.crashed.Load() {
+			n.dropped.Add(1)
+			continue
+		}
+		select {
+		case item.dst.inbox <- item.m:
+			n.delivered.Add(1)
+		default:
+			n.overflowed.Add(1)
+		}
+	}
+}
+
+func (n *Network) wakeDispatcher() {
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Endpoint creates (or returns the existing) endpoint for id.
+func (n *Network) Endpoint(id NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep
+	}
+	ep := &Endpoint{
+		id:    id,
+		net:   n,
+		inbox: make(chan Message, n.opts.InboxSize),
+	}
+	n.endpoints[id] = ep
+	return ep
+}
+
+// Nodes returns the IDs of all endpoints, sorted.
+func (n *Network) Nodes() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]NodeID, 0, len(n.endpoints))
+	for id := range n.endpoints {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Partition splits the network into groups. Nodes in different groups
+// cannot exchange messages until Heal is called. Nodes not mentioned in
+// any group stay in group 0.
+func (n *Network) Partition(groups ...[]NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[NodeID]int)
+	for i, g := range groups {
+		for _, id := range g {
+			n.partition[id] = i + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[NodeID]int)
+}
+
+// Crash stops the endpoint with the given id: it can no longer send, and
+// messages addressed to it are dropped. Crash-stop is permanent, matching
+// the paper's failure model; build a "recovered" process as a new node.
+func (n *Network) Crash(id NodeID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.crashed.Store(true)
+	}
+}
+
+// Crashed reports whether id has crashed.
+func (n *Network) Crashed(id NodeID) bool {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	return ep != nil && ep.crashed.Load()
+}
+
+// Close shuts the network down, discarding undelivered messages, and
+// waits for the dispatcher to exit. After Close all sends fail with
+// ErrClosed.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.wakeDispatcher()
+	<-n.dispatcher
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	perKind := make(map[string]uint64, len(n.perKind))
+	for k, v := range n.perKind {
+		perKind[k] = v.Load()
+	}
+	n.mu.Unlock()
+	return Stats{
+		Sent:       n.sent.Load(),
+		Delivered:  n.delivered.Load(),
+		Dropped:    n.dropped.Load(),
+		Overflowed: n.overflowed.Load(),
+		Bytes:      n.bytes.Load(),
+		PerKind:    perKind,
+	}
+}
+
+// ResetStats zeroes all counters. The performance study resets counters
+// between sweep points so each point's message count is isolated.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	n.perKind = make(map[string]*atomic.Uint64)
+	n.mu.Unlock()
+	n.sent.Store(0)
+	n.delivered.Store(0)
+	n.dropped.Store(0)
+	n.overflowed.Store(0)
+	n.bytes.Store(0)
+}
+
+func (n *Network) kindCounter(kind string) *atomic.Uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	c, ok := n.perKind[kind]
+	if !ok {
+		c = new(atomic.Uint64)
+		n.perKind[kind] = c
+	}
+	return c
+}
+
+// send validates, samples latency, and schedules delivery of m.
+func (n *Network) send(m Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := n.endpoints[m.To]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, m.To)
+	}
+	n.nextMsgID++
+	if m.ID == 0 {
+		m.ID = n.nextMsgID
+	}
+	lost := n.opts.LossRate > 0 && n.rng.Float64() < n.opts.LossRate
+	cut := n.partition[m.From] != n.partition[m.To]
+	delay := n.opts.Latency.Sample(n.rng)
+	if lost || cut || dst.crashed.Load() {
+		n.mu.Unlock()
+		n.sent.Add(1)
+		n.bytes.Add(uint64(len(m.Payload)))
+		n.kindCounter(m.Kind).Add(1)
+		n.dropped.Add(1)
+		return nil // silent loss: asynchronous networks do not report drops
+	}
+	n.nextSeq++
+	heap.Push(&n.queue, scheduled{
+		at:  time.Now().Add(delay),
+		seq: n.nextSeq,
+		m:   m,
+		dst: dst,
+	})
+	n.mu.Unlock()
+
+	n.sent.Add(1)
+	n.bytes.Add(uint64(len(m.Payload)))
+	n.kindCounter(m.Kind).Add(1)
+	n.wakeDispatcher()
+	return nil
+}
+
+// Endpoint is one process's attachment to the network.
+type Endpoint struct {
+	id      NodeID
+	net     *Network
+	inbox   chan Message
+	crashed atomic.Bool
+}
+
+// ID returns the endpoint's node ID.
+func (e *Endpoint) ID() NodeID { return e.id }
+
+// Send transmits a message. The returned error reports local conditions
+// only (crashed sender, unknown destination, closed network); in-flight
+// loss is silent, as in a real asynchronous network.
+func (e *Endpoint) Send(to NodeID, kind string, payload []byte) error {
+	if e.crashed.Load() {
+		return ErrCrashed
+	}
+	return e.net.send(Message{From: e.id, To: to, Kind: kind, Payload: payload})
+}
+
+// SendMsg transmits a fully-formed message (used by the RPC layer to set
+// correlation IDs). From is forced to this endpoint.
+func (e *Endpoint) SendMsg(m Message) error {
+	if e.crashed.Load() {
+		return ErrCrashed
+	}
+	m.From = e.id
+	return e.net.send(m)
+}
+
+// Inbox returns the delivery channel. Reading from a crashed endpoint's
+// inbox yields nothing further once in-flight messages resolve.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Crashed reports whether this endpoint has crashed.
+func (e *Endpoint) Crashed() bool { return e.crashed.Load() }
+
+// Network returns the owning network.
+func (e *Endpoint) Network() *Network { return e.net }

@@ -1,0 +1,482 @@
+package simnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newTestNet(t *testing.T, opts Options) *Network {
+	t.Helper()
+	n := New(opts)
+	t.Cleanup(n.Close)
+	return n
+}
+
+func TestSendDeliver(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	if err := a.Send("b", "ping", []byte("hello")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case m := <-b.Inbox():
+		if m.From != "a" || m.To != "b" || m.Kind != "ping" || string(m.Payload) != "hello" {
+			t.Fatalf("unexpected message: %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	if err := a.Send("nope", "ping", nil); err == nil {
+		t.Fatal("expected error sending to unknown node")
+	}
+}
+
+func TestCrashStopsDelivery(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	n.Crash("b")
+	if !n.Crashed("b") {
+		t.Fatal("b should be crashed")
+	}
+	if err := a.Send("b", "ping", nil); err != nil {
+		t.Fatalf("send to crashed node should not error locally: %v", err)
+	}
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("crashed endpoint received %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestCrashedSenderCannotSend(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	n.Endpoint("b")
+	n.Crash("a")
+	if err := a.Send("b", "ping", nil); err != ErrCrashed {
+		t.Fatalf("got %v, want ErrCrashed", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	n.Partition([]NodeID{"a"}, []NodeID{"b"})
+	if err := a.Send("b", "ping", nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case <-b.Inbox():
+		t.Fatal("message crossed partition")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	n.Heal()
+	if err := a.Send("b", "ping", nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case <-b.Inbox():
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered after heal")
+	}
+}
+
+func TestPartitionSameGroupDelivers(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	c := n.Endpoint("c")
+	_ = c
+	n.Partition([]NodeID{"a", "b"}, []NodeID{"c"})
+	if err := a.Send("b", "ping", nil); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case <-b.Inbox():
+	case <-time.After(time.Second):
+		t.Fatal("message within partition group not delivered")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := newTestNet(t, Options{LossRate: 1.0})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", "ping", nil); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	select {
+	case <-b.Inbox():
+		t.Fatal("message delivered despite 100% loss")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := n.Stats().Dropped; got != 10 {
+		t.Fatalf("dropped = %d, want 10", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", "k1", []byte("xx")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Send("b", "k2", []byte("yyy")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		<-b.Inbox()
+	}
+	s := n.Stats()
+	if s.Sent != 6 || s.Delivered != 6 {
+		t.Fatalf("sent=%d delivered=%d, want 6/6", s.Sent, s.Delivered)
+	}
+	if s.Bytes != 5*2+3 {
+		t.Fatalf("bytes=%d, want 13", s.Bytes)
+	}
+	if s.PerKind["k1"] != 5 || s.PerKind["k2"] != 1 {
+		t.Fatalf("per-kind = %v", s.PerKind)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s.Sent != 0 || len(s.PerKind) != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}
+
+func TestClosedNetworkRejectsSend(t *testing.T) {
+	n := New(Options{})
+	a := n.Endpoint("a")
+	n.Endpoint("b")
+	n.Close()
+	if err := a.Send("b", "ping", nil); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestConstantLatencyIsFIFO(t *testing.T) {
+	n := newTestNet(t, Options{Latency: ConstantLatency(200 * time.Microsecond)})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	const total = 100
+	for i := 0; i < total; i++ {
+		if err := a.Send("b", "seq", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < total; i++ {
+		select {
+		case m := <-b.Inbox():
+			if int(m.Payload[0]) != i {
+				t.Fatalf("out of order: got %d at position %d", m.Payload[0], i)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("timeout waiting for message %d", i)
+		}
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tests := []struct {
+		name     string
+		m        LatencyModel
+		min, max time.Duration
+	}{
+		{"constant", ConstantLatency(time.Millisecond), time.Millisecond, time.Millisecond},
+		{"uniform", UniformLatency{Min: time.Millisecond, Max: 2 * time.Millisecond}, time.Millisecond, 2 * time.Millisecond},
+		{"uniform-degenerate", UniformLatency{Min: time.Millisecond, Max: time.Millisecond}, time.Millisecond, time.Millisecond},
+		{"spike", SpikeLatency{Base: time.Millisecond, Slow: 10 * time.Millisecond, P: 0.5}, time.Millisecond, 10 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for i := 0; i < 100; i++ {
+				d := tt.m.Sample(rng)
+				if d < tt.min || d > tt.max {
+					t.Fatalf("sample %v out of [%v,%v]", d, tt.min, tt.max)
+				}
+			}
+		})
+	}
+}
+
+func TestSpikeLatencyProducesBothValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := SpikeLatency{Base: time.Millisecond, Slow: time.Second, P: 0.3}
+	var base, slow int
+	for i := 0; i < 200; i++ {
+		if m.Sample(rng) == time.Second {
+			slow++
+		} else {
+			base++
+		}
+	}
+	if base == 0 || slow == 0 {
+		t.Fatalf("base=%d slow=%d: expected a mix", base, slow)
+	}
+}
+
+func TestNodeCallReply(t *testing.T) {
+	n := newTestNet(t, Options{})
+	server := NewNode(n, "server")
+	server.Handle("echo", func(m Message) {
+		_ = server.Reply(m, append([]byte("re:"), m.Payload...))
+	})
+	server.Start()
+	defer server.Stop()
+
+	client := NewNode(n, "client")
+	client.Start()
+	defer client.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	resp, err := client.Call(ctx, "server", "echo", []byte("hi"))
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if string(resp.Payload) != "re:hi" {
+		t.Fatalf("payload = %q", resp.Payload)
+	}
+	if resp.Kind != "echo.reply" {
+		t.Fatalf("kind = %q", resp.Kind)
+	}
+}
+
+func TestNodeCallTimeout(t *testing.T) {
+	n := newTestNet(t, Options{})
+	server := NewNode(n, "server") // no handler: never replies
+	server.Start()
+	defer server.Stop()
+	client := NewNode(n, "client")
+	client.Start()
+	defer client.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := client.Call(ctx, "server", "void", nil)
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestNodeConcurrentCalls(t *testing.T) {
+	n := newTestNet(t, Options{Latency: UniformLatency{Min: 0, Max: time.Millisecond}})
+	server := NewNode(n, "server")
+	server.Handle("double", func(m Message) {
+		v := m.Payload[0]
+		_ = server.Reply(m, []byte{v * 2})
+	})
+	server.Start()
+	defer server.Stop()
+
+	client := NewNode(n, "client")
+	client.Start()
+	defer client.Stop()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			resp, err := client.Call(ctx, "server", "double", []byte{byte(i)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Payload[0] != byte(i*2) {
+				errs <- fmt.Errorf("call %d: got %d", i, resp.Payload[0])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestNodeDefaultHandler(t *testing.T) {
+	n := newTestNet(t, Options{})
+	var got atomic.Int32
+	node := NewNode(n, "x")
+	node.HandleDefault(func(m Message) { got.Add(1) })
+	node.Start()
+	defer node.Stop()
+
+	sender := n.Endpoint("y")
+	if err := sender.Send("x", "anything", nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for got.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("default handler invocations = %d, want 1", got.Load())
+	}
+}
+
+func TestNodeStopIdempotentAndRejectsCalls(t *testing.T) {
+	n := newTestNet(t, Options{})
+	node := NewNode(n, "x")
+	n.Endpoint("y")
+	node.Start()
+	node.Stop()
+	node.Stop() // must not panic
+	_, err := node.Call(context.Background(), "y", "k", nil)
+	if err != ErrStopped {
+		t.Fatalf("got %v, want ErrStopped", err)
+	}
+}
+
+func TestNodeGoTrackedByStop(t *testing.T) {
+	n := newTestNet(t, Options{})
+	node := NewNode(n, "x")
+	node.Start()
+	var ran atomic.Bool
+	release := make(chan struct{})
+	node.Go(func() {
+		<-release
+		ran.Store(true)
+	})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	node.Stop() // must wait for the goroutine
+	if !ran.Load() {
+		t.Fatal("Stop returned before tracked goroutine finished")
+	}
+}
+
+func TestBcastReachesAll(t *testing.T) {
+	n := newTestNet(t, Options{})
+	src := NewNode(n, "src")
+	src.Start()
+	defer src.Stop()
+	dests := []NodeID{"d1", "d2", "d3"}
+	inboxes := make([]*Endpoint, len(dests))
+	for i, d := range dests {
+		inboxes[i] = n.Endpoint(d)
+	}
+	src.Bcast(dests, "note", []byte("m"))
+	for i, ep := range inboxes {
+		select {
+		case <-ep.Inbox():
+		case <-time.After(time.Second):
+			t.Fatalf("destination %d did not receive broadcast", i)
+		}
+	}
+}
+
+func TestInboxOverflowDrops(t *testing.T) {
+	n := newTestNet(t, Options{InboxSize: 2})
+	a := n.Endpoint("a")
+	n.Endpoint("b")
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", "flood", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		s := n.Stats()
+		if s.Delivered+s.Overflowed == 10 {
+			if s.Overflowed == 0 {
+				t.Fatal("expected some overflow with inbox size 2")
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("messages unaccounted for: %+v", n.Stats())
+}
+
+func TestDeterministicLatencySampling(t *testing.T) {
+	sample := func() []time.Duration {
+		rng := rand.New(rand.NewSource(42))
+		m := UniformLatency{Min: 0, Max: time.Second}
+		out := make([]time.Duration, 20)
+		for i := range out {
+			out[i] = m.Sample(rng)
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	n.Endpoint("b")
+	if a.ID() != "a" {
+		t.Fatalf("Endpoint.ID = %q", a.ID())
+	}
+	if a.Network() != n {
+		t.Fatal("Endpoint.Network mismatch")
+	}
+	if a.Crashed() {
+		t.Fatal("fresh endpoint crashed")
+	}
+	ids := n.Nodes()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("Nodes = %v", ids)
+	}
+
+	node := NewNode(n, "c")
+	node.Start()
+	defer node.Stop()
+	if node.ID() != "c" {
+		t.Fatalf("Node.ID = %q", node.ID())
+	}
+	if node.Endpoint() == nil {
+		t.Fatal("Node.Endpoint nil")
+	}
+	if node.Crashed() {
+		t.Fatal("fresh node crashed")
+	}
+	if err := node.Send("a", "k", nil); err != nil {
+		t.Fatalf("Node.Send: %v", err)
+	}
+	select {
+	case m := <-a.Inbox():
+		if m.From != "c" || m.Kind != "k" {
+			t.Fatalf("unexpected %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Node.Send never delivered")
+	}
+	n.Crash("c")
+	if !node.Crashed() {
+		t.Fatal("Node.Crashed should reflect endpoint crash")
+	}
+}

@@ -1,0 +1,254 @@
+// Package storage implements the replicated database's local storage
+// engine: a versioned in-memory key-value store.
+//
+// The paper's database model (§4.1) is "a collection of data items
+// controlled by a database management system"; a replicated database
+// stores physical copies Xi of each logical item X. A Store is one
+// replica's set of physical copies. Version chains retain writer and
+// timestamp metadata so that
+//
+//   - certification-based replication can validate readsets against the
+//     versions current at commit time (§5.4.2),
+//   - lazy replication can measure staleness and run last-writer-wins
+//     reconciliation (§4.5, §4.6), and
+//   - the test suite can compare replica states for 1-copy convergence.
+package storage
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Version is one committed value of a data item.
+type Version struct {
+	// Value is the item payload.
+	Value []byte
+	// TxnID identifies the writing transaction.
+	TxnID string
+	// Ts is the store-local commit sequence number (monotonic per store).
+	Ts uint64
+	// Origin optionally names the replica where the write originated
+	// (used by lazy update-everywhere reconciliation).
+	Origin string
+	// Wall is an external timestamp (e.g. a Lamport clock) used by
+	// last-writer-wins reconciliation; zero when unused.
+	Wall uint64
+}
+
+// Update is a single key write inside a writeset.
+type Update struct {
+	Key   string
+	Value []byte
+}
+
+// WriteSet is the set of writes a transaction installs atomically.
+type WriteSet []Update
+
+// Keys returns the distinct keys of the writeset in order of appearance.
+func (ws WriteSet) Keys() []string {
+	seen := make(map[string]bool, len(ws))
+	var out []string
+	for _, u := range ws {
+		if !seen[u.Key] {
+			seen[u.Key] = true
+			out = append(out, u.Key)
+		}
+	}
+	return out
+}
+
+// Store is one replica's versioned key-value state. The zero value is not
+// usable; create with New. Store is safe for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	items     map[string][]Version
+	commitSeq uint64
+	maxChain  int
+}
+
+// New creates an empty store. maxChain bounds the retained versions per
+// item (older versions are pruned); zero means 16.
+func New(maxChain int) *Store {
+	if maxChain <= 0 {
+		maxChain = 16
+	}
+	return &Store{items: make(map[string][]Version), maxChain: maxChain}
+}
+
+// Read returns the latest version of key.
+func (s *Store) Read(key string) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.items[key]
+	if len(chain) == 0 {
+		return Version{}, false
+	}
+	return chain[len(chain)-1], true
+}
+
+// ReadTs returns the latest committed Ts for key, zero if absent. The
+// certification test reads these without copying values.
+func (s *Store) ReadTs(key string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.items[key]
+	if len(chain) == 0 {
+		return 0
+	}
+	return chain[len(chain)-1].Ts
+}
+
+// CommitSeq returns the store's current commit sequence number.
+func (s *Store) CommitSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.commitSeq
+}
+
+// Apply atomically installs a writeset for txnID and returns the commit
+// sequence number assigned. origin and wall annotate the versions for
+// reconciliation-aware callers (pass "" and 0 otherwise).
+func (s *Store) Apply(ws WriteSet, txnID, origin string, wall uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitSeq++
+	ts := s.commitSeq
+	for _, u := range ws {
+		s.appendVersion(u.Key, Version{
+			Value: append([]byte(nil), u.Value...),
+			TxnID: txnID, Ts: ts, Origin: origin, Wall: wall,
+		})
+	}
+	return ts
+}
+
+// ApplyIf installs a writeset only where decide approves the replacement
+// of the current latest version; it returns the keys actually written.
+// Lazy update-everywhere reconciliation uses this with a last-writer-wins
+// decision.
+func (s *Store) ApplyIf(ws WriteSet, txnID, origin string, wall uint64, decide func(current Version, exists bool) bool) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commitSeq++
+	ts := s.commitSeq
+	var written []string
+	for _, u := range ws {
+		chain := s.items[u.Key]
+		var cur Version
+		exists := len(chain) > 0
+		if exists {
+			cur = chain[len(chain)-1]
+		}
+		if !decide(cur, exists) {
+			continue
+		}
+		s.appendVersion(u.Key, Version{
+			Value: append([]byte(nil), u.Value...),
+			TxnID: txnID, Ts: ts, Origin: origin, Wall: wall,
+		})
+		written = append(written, u.Key)
+	}
+	return written
+}
+
+// appendVersion adds a version to key's chain; callers hold mu.
+func (s *Store) appendVersion(key string, v Version) {
+	chain := append(s.items[key], v)
+	if len(chain) > s.maxChain {
+		chain = chain[len(chain)-s.maxChain:]
+	}
+	s.items[key] = chain
+}
+
+// History returns a copy of key's version chain, oldest first.
+func (s *Store) History(key string) []Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Version(nil), s.items[key]...)
+}
+
+// Keys returns all keys with at least one version, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Len returns the number of keys present.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+// Snapshot returns the latest value of every key (state transfer).
+func (s *Store) Snapshot() map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]byte, len(s.items))
+	for k, chain := range s.items {
+		out[k] = append([]byte(nil), chain[len(chain)-1].Value...)
+	}
+	return out
+}
+
+// Restore replaces the store contents with a snapshot; version history is
+// collapsed to a single version per key attributed to txnID.
+func (s *Store) Restore(snapshot map[string][]byte, txnID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[string][]Version, len(snapshot))
+	s.commitSeq++
+	for k, v := range snapshot {
+		s.items[k] = []Version{{Value: append([]byte(nil), v...), TxnID: txnID, Ts: s.commitSeq}}
+	}
+}
+
+// Fingerprint hashes the latest value of every key; equal fingerprints
+// mean equal visible states. Convergence tests compare these.
+func (s *Store) Fingerprint() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		chain := s.items[k]
+		fmt.Fprintf(h, "%s=%x;", k, chain[len(chain)-1].Value)
+	}
+	return h.Sum64()
+}
+
+// DiffKeys returns the keys whose latest values differ between a and b
+// (including keys present in only one). Divergence measurements (study
+// PS6) build on this.
+func DiffKeys(a, b *Store) []string {
+	av, bv := a.Snapshot(), b.Snapshot()
+	diff := make(map[string]bool)
+	for k, v := range av {
+		if w, ok := bv[k]; !ok || string(v) != string(w) {
+			diff[k] = true
+		}
+	}
+	for k := range bv {
+		if _, ok := av[k]; !ok {
+			diff[k] = true
+		}
+	}
+	out := make([]string, 0, len(diff))
+	for k := range diff {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

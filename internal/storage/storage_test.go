@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadEmptyStore(t *testing.T) {
+	s := New(0)
+	if _, ok := s.Read("x"); ok {
+		t.Fatal("read of absent key succeeded")
+	}
+	if ts := s.ReadTs("x"); ts != 0 {
+		t.Fatalf("ReadTs of absent key = %d", ts)
+	}
+}
+
+func TestApplyAndRead(t *testing.T) {
+	s := New(0)
+	ts := s.Apply(WriteSet{{Key: "x", Value: []byte("1")}}, "t1", "r0", 7)
+	if ts == 0 {
+		t.Fatal("Apply returned zero ts")
+	}
+	v, ok := s.Read("x")
+	if !ok {
+		t.Fatal("read failed")
+	}
+	if string(v.Value) != "1" || v.TxnID != "t1" || v.Ts != ts || v.Origin != "r0" || v.Wall != 7 {
+		t.Fatalf("unexpected version %+v", v)
+	}
+}
+
+func TestApplyAtomicMultiKey(t *testing.T) {
+	s := New(0)
+	ts := s.Apply(WriteSet{
+		{Key: "a", Value: []byte("1")},
+		{Key: "b", Value: []byte("2")},
+	}, "t1", "", 0)
+	for _, k := range []string{"a", "b"} {
+		v, ok := s.Read(k)
+		if !ok || v.Ts != ts {
+			t.Fatalf("key %s: version %+v, want ts %d", k, v, ts)
+		}
+	}
+}
+
+func TestCommitSeqMonotonic(t *testing.T) {
+	s := New(0)
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		ts := s.Apply(WriteSet{{Key: "x", Value: []byte{byte(i)}}}, fmt.Sprintf("t%d", i), "", 0)
+		if ts <= prev {
+			t.Fatalf("ts %d not greater than %d", ts, prev)
+		}
+		prev = ts
+	}
+	if s.CommitSeq() != prev {
+		t.Fatalf("CommitSeq = %d, want %d", s.CommitSeq(), prev)
+	}
+}
+
+func TestHistoryAndChainBound(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 10; i++ {
+		s.Apply(WriteSet{{Key: "x", Value: []byte{byte(i)}}}, "t", "", 0)
+	}
+	h := s.History("x")
+	if len(h) != 4 {
+		t.Fatalf("chain length %d, want 4 (pruned)", len(h))
+	}
+	if h[len(h)-1].Value[0] != 9 {
+		t.Fatalf("latest value %d, want 9", h[len(h)-1].Value[0])
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Ts <= h[i-1].Ts {
+			t.Fatal("chain not ascending")
+		}
+	}
+}
+
+func TestApplyIfDecision(t *testing.T) {
+	s := New(0)
+	s.Apply(WriteSet{{Key: "x", Value: []byte("old")}}, "t1", "", 10)
+
+	// Losing write (older wall) is skipped.
+	written := s.ApplyIf(WriteSet{{Key: "x", Value: []byte("loser")}}, "t2", "", 5,
+		func(cur Version, exists bool) bool { return !exists || 5 > cur.Wall })
+	if len(written) != 0 {
+		t.Fatalf("losing write applied: %v", written)
+	}
+	v, _ := s.Read("x")
+	if string(v.Value) != "old" {
+		t.Fatalf("value clobbered: %q", v.Value)
+	}
+
+	// Winning write (newer wall) applies.
+	written = s.ApplyIf(WriteSet{{Key: "x", Value: []byte("winner")}}, "t3", "", 20,
+		func(cur Version, exists bool) bool { return !exists || 20 > cur.Wall })
+	if len(written) != 1 || written[0] != "x" {
+		t.Fatalf("winning write skipped: %v", written)
+	}
+	v, _ = s.Read("x")
+	if string(v.Value) != "winner" {
+		t.Fatalf("value = %q", v.Value)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	a := New(0)
+	a.Apply(WriteSet{{Key: "x", Value: []byte("1")}, {Key: "y", Value: []byte("2")}}, "t1", "", 0)
+	b := New(0)
+	b.Restore(a.Snapshot(), "xfer")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("restore did not reproduce state")
+	}
+	v, _ := b.Read("x")
+	if v.TxnID != "xfer" {
+		t.Fatalf("restored version txn = %q", v.TxnID)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := New(0)
+	s.Apply(WriteSet{{Key: "x", Value: []byte("1")}}, "t", "", 0)
+	snap := s.Snapshot()
+	snap["x"][0] = 'z'
+	v, _ := s.Read("x")
+	if string(v.Value) != "1" {
+		t.Fatal("snapshot aliases store memory")
+	}
+}
+
+func TestApplyCopiesValue(t *testing.T) {
+	s := New(0)
+	buf := []byte("abc")
+	s.Apply(WriteSet{{Key: "x", Value: buf}}, "t", "", 0)
+	buf[0] = 'z'
+	v, _ := s.Read("x")
+	if string(v.Value) != "abc" {
+		t.Fatal("store aliases caller memory")
+	}
+}
+
+func TestDiffKeys(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Apply(WriteSet{{Key: "same", Value: []byte("v")}, {Key: "dif", Value: []byte("a")}, {Key: "onlyA", Value: []byte("1")}}, "t", "", 0)
+	b.Apply(WriteSet{{Key: "same", Value: []byte("v")}, {Key: "dif", Value: []byte("b")}, {Key: "onlyB", Value: []byte("1")}}, "t", "", 0)
+	got := DiffKeys(a, b)
+	want := []string{"dif", "onlyA", "onlyB"}
+	if len(got) != len(want) {
+		t.Fatalf("DiffKeys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DiffKeys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFingerprintEqualStates(t *testing.T) {
+	f := func(vals []byte) bool {
+		a, b := New(0), New(0)
+		for i, v := range vals {
+			ws := WriteSet{{Key: fmt.Sprintf("k%d", i%5), Value: []byte{v}}}
+			a.Apply(ws, "t", "", 0)
+			b.Apply(ws, "t", "", 0)
+		}
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFingerprintDetectsDifference(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Apply(WriteSet{{Key: "x", Value: []byte("1")}}, "t", "", 0)
+	b.Apply(WriteSet{{Key: "x", Value: []byte("2")}}, "t", "", 0)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprints collide on differing states")
+	}
+}
+
+func TestWriteSetKeys(t *testing.T) {
+	ws := WriteSet{{Key: "b"}, {Key: "a"}, {Key: "b"}}
+	keys := ws.Keys()
+	if len(keys) != 2 || keys[0] != "b" || keys[1] != "a" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestConcurrentApplyAndRead(t *testing.T) {
+	s := New(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				s.Apply(WriteSet{{Key: key, Value: []byte{byte(g)}}}, "t", "", 0)
+				s.Read(key)
+				s.ReadTs(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	if got := len(s.Keys()); got != 10 {
+		t.Fatalf("Keys = %d entries", got)
+	}
+}

@@ -1,0 +1,200 @@
+// Package study implements the performance study the paper announces in
+// its conclusion: "Presently, we are planning a performance study of the
+// different approaches, taking into account different workloads and
+// failures assumptions" (§6). Wiesmann et al. never published that
+// study; this package carries it out on the simulated substrate.
+//
+// Seven studies (PS1–PS7, indexed in DESIGN.md and reported in
+// EXPERIMENTS.md) sweep the axes the paper calls out: replica count,
+// read/write mix, message overhead, conflict rate, failure assumptions,
+// staleness, and transaction size. Absolute numbers reflect the
+// simulator, not the authors' never-built testbed; the claims under test
+// are the *shapes* — who wins, by what rough factor, where the
+// crossovers fall.
+package study
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/fd"
+	"replication/internal/metrics"
+	"replication/internal/recon"
+	"replication/internal/simnet"
+	"replication/internal/txn"
+	"replication/internal/workload"
+)
+
+// Options parameterise one measurement cell.
+type Options struct {
+	// Protocol selects the technique.
+	Protocol core.Protocol
+	// Replicas is the cluster size. Zero means 3.
+	Replicas int
+	// Clients is the number of concurrent clients. Zero means 2.
+	Clients int
+	// Ops is the total number of requests across all clients.
+	// Zero means 200.
+	Ops int
+	// Workload shapes the requests.
+	Workload workload.Config
+	// LazyDelay configures lazy propagation.
+	LazyDelay time.Duration
+	// LazyUEOrder selects lazy-UE reconciliation ("lww"/"abcast").
+	LazyUEOrder string
+	// Latency overrides the network latency model.
+	Latency simnet.LatencyModel
+	// MeasureDivergence samples replica divergence right after load
+	// stops (before convergence) — the PS6 staleness probe.
+	MeasureDivergence bool
+}
+
+func (o *Options) fill() {
+	if o.Replicas == 0 {
+		o.Replicas = 3
+	}
+	if o.Clients == 0 {
+		o.Clients = 2
+	}
+	if o.Ops == 0 {
+		o.Ops = 200
+	}
+	if o.Latency == nil {
+		o.Latency = simnet.ConstantLatency(100 * time.Microsecond)
+	}
+	if o.Workload.Keys == 0 {
+		o.Workload.Keys = 64
+	}
+}
+
+// Cell is the measured outcome of one (technique, workload) pair.
+type Cell struct {
+	Protocol   core.Protocol
+	Ops        int
+	Committed  int
+	Aborted    int
+	Errors     int
+	Mean       time.Duration
+	P50        time.Duration
+	P95        time.Duration
+	Throughput float64 // committed ops/s
+	MsgsPerOp  float64 // network messages per submitted op
+	BytesPerOp float64
+	Divergence float64 // fraction of keys differing right after load
+	ConvergeIn time.Duration
+}
+
+// Run measures one cell: a fresh cluster executes the workload and the
+// latency, throughput, message and divergence counters are collected.
+func Run(opt Options) (Cell, error) {
+	opt.fill()
+	c, err := core.NewCluster(core.Config{
+		Protocol:       opt.Protocol,
+		Replicas:       opt.Replicas,
+		Net:            simnet.Options{Latency: opt.Latency},
+		LazyDelay:      opt.LazyDelay,
+		LazyUEOrder:    opt.LazyUEOrder,
+		RequestTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	defer c.Close()
+
+	// Warm-up: one request settles group formation so measurements skip
+	// cold-start effects.
+	warm := c.NewClient()
+	warmCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if _, err := warm.InvokeOp(warmCtx, txn.W("warmup", []byte("w"))); err != nil {
+		cancel()
+		return Cell{}, fmt.Errorf("study: warm-up: %w", err)
+	}
+	cancel()
+	c.Network().ResetStats()
+
+	cell := Cell{Protocol: opt.Protocol, Ops: opt.Ops}
+	var hist metrics.Histogram
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	perClient := opt.Ops / opt.Clients
+	start := time.Now()
+	for ci := 0; ci < opt.Clients; ci++ {
+		cl := c.NewClient()
+		gen := workload.New(workload.Config{
+			Keys:          opt.Workload.Keys,
+			WriteFraction: opt.Workload.WriteFraction,
+			ValueSize:     opt.Workload.ValueSize,
+			OpsPerTxn:     opt.Workload.OpsPerTxn,
+			Zipf:          opt.Workload.Zipf,
+			Seed:          int64(ci + 1),
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			for i := 0; i < perClient; i++ {
+				t := gen.NextTxn("")
+				t0 := time.Now()
+				res, err := cl.Invoke(ctx, t)
+				d := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil:
+					cell.Errors++
+				case res.Committed:
+					cell.Committed++
+					hist.Observe(d)
+				default:
+					cell.Aborted++
+					hist.Observe(d)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if opt.MeasureDivergence {
+		cell.Divergence = recon.Divergence(c.Stores())
+		t0 := time.Now()
+		deadline := t0.Add(30 * time.Second)
+		for time.Now().Before(deadline) && !recon.Converged(c.Stores()) {
+			time.Sleep(time.Millisecond)
+		}
+		cell.ConvergeIn = time.Since(t0)
+	}
+
+	stats := c.Network().Stats()
+	// Heartbeats are time-driven, not request-driven: exclude them from
+	// the Gray-style per-operation accounting.
+	msgs := stats.Sent - stats.PerKind[fd.MsgKind]
+	submitted := cell.Committed + cell.Aborted + cell.Errors
+	if submitted > 0 {
+		cell.MsgsPerOp = float64(msgs) / float64(submitted)
+		cell.BytesPerOp = float64(stats.Bytes) / float64(submitted)
+	}
+	cell.Mean = hist.Mean()
+	cell.P50 = hist.Percentile(0.50)
+	cell.P95 = hist.Percentile(0.95)
+	if elapsed > 0 {
+		cell.Throughput = float64(cell.Committed) / elapsed.Seconds()
+	}
+	return cell, nil
+}
+
+// StrongProtocols lists the strongly consistent techniques (figure 16's
+// upper block) in registry order.
+func StrongProtocols() []core.Protocol {
+	var out []core.Protocol
+	for _, t := range core.Techniques() {
+		if t.StrongConsistency {
+			out = append(out, t.Protocol)
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package study
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/workload"
+)
+
+func TestRunBasicCell(t *testing.T) {
+	cell, err := Run(Options{
+		Protocol: core.Active, Ops: 20, Clients: 2,
+		Workload: workload.Config{WriteFraction: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Committed != 20 {
+		t.Fatalf("committed = %d, want 20 (aborted=%d errors=%d)", cell.Committed, cell.Aborted, cell.Errors)
+	}
+	if cell.Mean <= 0 || cell.P95 < cell.P50 {
+		t.Fatalf("suspicious latency stats: %+v", cell)
+	}
+	if cell.Throughput <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if cell.MsgsPerOp <= 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+func TestRunMeasuresDivergenceForLazy(t *testing.T) {
+	cell, err := Run(Options{
+		Protocol: core.LazyUE, Ops: 30, Clients: 3,
+		Workload:          workload.Config{WriteFraction: 1, Keys: 16},
+		LazyDelay:         20 * time.Millisecond,
+		MeasureDivergence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Divergence == 0 {
+		t.Fatal("lazy-UE with a 20ms window should show divergence right after load")
+	}
+	if cell.ConvergeIn <= 0 {
+		t.Fatal("convergence time not measured")
+	}
+}
+
+func TestRunEagerShowsNoDivergence(t *testing.T) {
+	cell, err := Run(Options{
+		Protocol: core.Active, Ops: 20,
+		Workload:          workload.Config{WriteFraction: 1},
+		MeasureDivergence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first-reply client can outrun the slowest replica's apply by a
+	// few requests, so a small transient lag is honest — but it must
+	// drain almost immediately, unlike a lazy propagation window.
+	if cell.Divergence > 0.25 {
+		t.Fatalf("active replication diverged too much: %v", cell.Divergence)
+	}
+	if cell.ConvergeIn > 2*time.Second {
+		t.Fatalf("active replication took %v to converge", cell.ConvergeIn)
+	}
+}
+
+func TestStrongProtocolsList(t *testing.T) {
+	ps := StrongProtocols()
+	if len(ps) != 8 {
+		t.Fatalf("%d strong protocols, want 8", len(ps))
+	}
+	for _, p := range ps {
+		tech, _ := core.TechniqueOf(p)
+		if !tech.StrongConsistency {
+			t.Fatalf("%s listed strong but is not", p)
+		}
+	}
+}
+
+func TestFailoverShapes(t *testing.T) {
+	// Active replication masks the crash; passive replication pays a
+	// detection + view change window. This is PS5's headline claim.
+	active, err := Failover(core.Active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !active.Transparent {
+		t.Fatalf("active failover not transparent: healthy=%v recovery=%v",
+			active.Healthy, active.Recovery)
+	}
+	passive, err := Failover(core.Passive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passive pays detection + view change + redirect; active masks the
+	// crash entirely. The gap is an order of magnitude, so a 2x guard is
+	// safe against scheduling noise.
+	if passive.Recovery < 2*active.Recovery {
+		t.Fatalf("passive recovery (%v) should clearly exceed active recovery (%v)",
+			passive.Recovery, active.Recovery)
+	}
+}
+
+func TestStudiesUnknownID(t *testing.T) {
+	if _, err := Studies(9, Quick); err == nil {
+		t.Fatal("expected error for study 9")
+	}
+}
+
+func TestStudy3Table(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all ten protocols")
+	}
+	out, err := Study3(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range core.Protocols() {
+		if !strings.Contains(out, string(p)) {
+			t.Fatalf("PS3 table missing %s:\n%s", p, out)
+		}
+	}
+}
+
+// TestMessageOverheadShape is the core PS3 assertion: distributed
+// locking costs more messages per op than lazy primary copy.
+func TestMessageOverheadShape(t *testing.T) {
+	lockUE, err := Run(Options{
+		Protocol: core.EagerLockUE, Ops: 30,
+		Workload: workload.Config{WriteFraction: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := Run(Options{
+		Protocol: core.LazyPrimary, Ops: 30,
+		Workload:  workload.Config{WriteFraction: 1},
+		LazyDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lockUE.MsgsPerOp <= lazy.MsgsPerOp {
+		t.Fatalf("expected distributed locking (%.1f msgs/op) > lazy primary (%.1f msgs/op)",
+			lockUE.MsgsPerOp, lazy.MsgsPerOp)
+	}
+}
+
+// TestLazyFasterThanEagerLockUE is PS1/PS2's headline: answering before
+// coordination beats coordinating at every site.
+func TestLazyFasterThanEagerLockUE(t *testing.T) {
+	lazy, err := Run(Options{
+		Protocol: core.LazyPrimary, Ops: 40,
+		Workload:  workload.Config{WriteFraction: 1},
+		LazyDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockUE, err := Run(Options{
+		Protocol: core.EagerLockUE, Ops: 40,
+		Workload: workload.Config{WriteFraction: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Mean >= lockUE.Mean {
+		t.Fatalf("lazy primary mean %v should beat eager-lock-ue mean %v",
+			lazy.Mean, lockUE.Mean)
+	}
+}

@@ -1,0 +1,332 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/simnet"
+	"replication/internal/txn"
+	"replication/internal/workload"
+)
+
+// Scale controls how much work each study does. Quick keeps the whole
+// suite in tens of seconds; Full runs larger sweeps.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota + 1
+	Full
+)
+
+func (s Scale) ops() int {
+	if s == Full {
+		return 400
+	}
+	return 120
+}
+
+// header renders a study banner.
+func header(id, title, expectation string) string {
+	var b strings.Builder
+	line := fmt.Sprintf("%s — %s", id, title)
+	b.WriteString(line + "\n" + strings.Repeat("=", len(line)) + "\n")
+	b.WriteString("expected shape: " + expectation + "\n\n")
+	return b.String()
+}
+
+// Study1 — response time vs replica count (update-only stored
+// procedures).
+func Study1(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("PS1", "response time vs replica count",
+		"eager coordination costs grow with the replica count; lazy primary stays flat at ~local cost"))
+	counts := []int{3, 5}
+	if scale == Full {
+		counts = []int{3, 5, 7}
+	}
+	fmt.Fprintf(&b, "%-18s", "technique")
+	for _, n := range counts {
+		fmt.Fprintf(&b, " | %-19s", fmt.Sprintf("n=%d mean/p95", n))
+	}
+	b.WriteString("\n" + strings.Repeat("-", 18+22*len(counts)) + "\n")
+	for _, p := range append(StrongProtocols(), core.LazyPrimary, core.LazyUE) {
+		fmt.Fprintf(&b, "%-18s", p)
+		for _, n := range counts {
+			cell, err := Run(Options{
+				Protocol: p, Replicas: n, Ops: scale.ops(),
+				Workload:  workload.Config{WriteFraction: 1},
+				LazyDelay: time.Millisecond,
+			})
+			if err != nil {
+				return "", fmt.Errorf("PS1 %s n=%d: %w", p, n, err)
+			}
+			fmt.Fprintf(&b, " | %8s /%8s", cell.Mean.Round(time.Microsecond), cell.P95.Round(time.Microsecond))
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// Study2 — throughput and response time vs write fraction.
+func Study2(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("PS2", "throughput and response time vs write fraction",
+		"read-dominated workloads favour techniques with local reads (lazy, certification); eager update-everywhere pays coordination on every write"))
+	fractions := []float64{0.0, 0.5, 1.0}
+	if scale == Full {
+		fractions = []float64{0.0, 0.2, 0.5, 0.8, 1.0}
+	}
+	protos := []core.Protocol{core.Active, core.EagerABCastUE, core.EagerLockUE, core.Certification, core.LazyPrimary, core.LazyUE}
+	fmt.Fprintf(&b, "%-18s", "technique")
+	for _, f := range fractions {
+		fmt.Fprintf(&b, " | %-21s", fmt.Sprintf("w=%.0f%% ops/s (mean)", f*100))
+	}
+	b.WriteString("\n" + strings.Repeat("-", 18+24*len(fractions)) + "\n")
+	for _, p := range protos {
+		fmt.Fprintf(&b, "%-18s", p)
+		for _, f := range fractions {
+			cell, err := Run(Options{
+				Protocol: p, Ops: scale.ops(),
+				Workload:  workload.Config{WriteFraction: f},
+				LazyDelay: time.Millisecond,
+			})
+			if err != nil {
+				return "", fmt.Errorf("PS2 %s w=%.1f: %w", p, f, err)
+			}
+			fmt.Fprintf(&b, " | %7.0f (%9s)", cell.Throughput, cell.Mean.Round(time.Microsecond))
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// Study3 — messages per operation: the Gray-style overhead accounting.
+func Study3(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("PS3", "messages per operation (update-only, n=3)",
+		"distributed locking sends the most (per-item lock round + 2PC); abcast-based techniques amortise ordering; lazy primary is cheapest"))
+	fmt.Fprintf(&b, "%-18s | %-10s | %-12s\n", "technique", "msgs/op", "bytes/op")
+	b.WriteString(strings.Repeat("-", 48) + "\n")
+	for _, p := range core.Protocols() {
+		cell, err := Run(Options{
+			Protocol: p, Ops: scale.ops(),
+			Workload:  workload.Config{WriteFraction: 1},
+			LazyDelay: time.Millisecond,
+		})
+		if err != nil {
+			return "", fmt.Errorf("PS3 %s: %w", p, err)
+		}
+		fmt.Fprintf(&b, "%-18s | %10.1f | %12.0f\n", p, cell.MsgsPerOp, cell.BytesPerOp)
+	}
+	return b.String(), nil
+}
+
+// Study4 — abort / reconciliation rate vs conflict rate.
+func Study4(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("PS4", "aborts and divergence vs conflict rate",
+		"certification aborts climb with contention (optimistic techniques pay at commit); lazy update everywhere diverges instead of aborting"))
+	sweeps := []struct {
+		name string
+		keys int
+		zipf float64
+	}{
+		{"low (64 keys, uniform)", 64, 0},
+		{"high (4 keys, uniform)", 4, 0},
+	}
+	if scale == Full {
+		sweeps = append(sweeps, struct {
+			name string
+			keys int
+			zipf float64
+		}{"extreme (2 keys)", 2, 0})
+	}
+	b.WriteString("(eager-lock-ue retries deadlock victims internally: client-visible aborts stay low)\n\n")
+	fmt.Fprintf(&b, "%-18s | %-26s | %-10s | %-10s | %-10s\n",
+		"technique", "contention", "committed", "aborted", "divergence")
+	b.WriteString(strings.Repeat("-", 88) + "\n")
+	for _, p := range []core.Protocol{core.Certification, core.EagerLockUE, core.LazyUE} {
+		for _, sw := range sweeps {
+			// Read-then-write transactions: certification conflicts need
+			// a readset (blind writes always certify).
+			cell, err := Run(Options{
+				Protocol: p, Ops: scale.ops(), Clients: 4,
+				Workload: workload.Config{
+					WriteFraction: 0.5, Keys: sw.keys, Zipf: sw.zipf, OpsPerTxn: 4,
+				},
+				LazyDelay:         time.Millisecond,
+				MeasureDivergence: p == core.LazyUE,
+			})
+			if err != nil {
+				return "", fmt.Errorf("PS4 %s %s: %w", p, sw.name, err)
+			}
+			fmt.Fprintf(&b, "%-18s | %-26s | %10d | %10d | %10.2f\n",
+				p, sw.name, cell.Committed, cell.Aborted, cell.Divergence)
+		}
+	}
+	return b.String(), nil
+}
+
+// FailoverResult measures one PS5 scenario.
+type FailoverResult struct {
+	Protocol core.Protocol
+	// Healthy is the request latency before the crash.
+	Healthy time.Duration
+	// Recovery is how long the first request issued at the crash takes.
+	Recovery time.Duration
+	// Transparent is true when recovery is within 10x of healthy
+	// latency: the client never noticed.
+	Transparent bool
+}
+
+// Failover runs the PS5 scenario for one technique: measure a healthy
+// request, crash the replica the technique distinguishes (primary,
+// leader, or round-0 coordinator), then measure the next request.
+// Active replication distinguishes no process at the protocol level —
+// any member crash is symmetric — so an arbitrary member is crashed;
+// the ordering layer's internal coordinator is an implementation detail
+// shared by every ABCAST user.
+func Failover(p core.Protocol) (FailoverResult, error) {
+	c, err := core.NewCluster(core.Config{
+		Protocol:       p,
+		Replicas:       3,
+		Net:            simnet.Options{Latency: simnet.ConstantLatency(100 * time.Microsecond)},
+		RequestTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		return FailoverResult{}, err
+	}
+	defer c.Close()
+	cl := c.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	t0 := time.Now()
+	if _, err := cl.InvokeOp(ctx, txn.W("healthy", []byte("1"))); err != nil {
+		return FailoverResult{}, fmt.Errorf("healthy request: %w", err)
+	}
+	healthy := time.Since(t0)
+
+	victim := c.Replicas()[0]
+	if p == core.Active {
+		victim = c.Replicas()[len(c.Replicas())-1]
+	}
+	c.Crash(victim)
+	t1 := time.Now()
+	if _, err := cl.InvokeOp(ctx, txn.W("recovery", []byte("2"))); err != nil {
+		return FailoverResult{}, fmt.Errorf("recovery request: %w", err)
+	}
+	recovery := time.Since(t1)
+	return FailoverResult{
+		Protocol: p, Healthy: healthy, Recovery: recovery,
+		Transparent: recovery < 10*healthy,
+	}, nil
+}
+
+// Study5 — fail-over behaviour under the crash of the distinguished
+// replica.
+func Study5(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("PS5", "crash of the primary/leader: recovery time",
+		"active/semi-passive mask the crash (no client-visible stall); primary-based techniques stall for a detection+view-change window"))
+	fmt.Fprintf(&b, "%-18s | %-12s | %-12s | %s\n", "technique", "healthy", "recovery", "client-transparent?")
+	b.WriteString(strings.Repeat("-", 70) + "\n")
+	for _, p := range []core.Protocol{core.Active, core.SemiPassive, core.SemiActive, core.Passive, core.EagerPrimary, core.LazyPrimary} {
+		r, err := Failover(p)
+		if err != nil {
+			return "", fmt.Errorf("PS5 %s: %w", p, err)
+		}
+		fmt.Fprintf(&b, "%-18s | %12s | %12s | %v\n",
+			p, r.Healthy.Round(time.Microsecond), r.Recovery.Round(time.Microsecond), r.Transparent)
+	}
+	b.WriteString("\n(eager-lock-ue blocks on any replica crash by design — read-one/write-all\n needs every site; see the 2PC blocking discussion in DESIGN.md)\n")
+	return b.String(), nil
+}
+
+// Study6 — staleness/divergence over time: eager vs lazy.
+func Study6(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("PS6", "divergence right after load vs propagation delay",
+		"eager techniques show zero divergence; lazy divergence grows with the propagation delay and drains after load stops"))
+	delays := []time.Duration{0, 5 * time.Millisecond, 20 * time.Millisecond}
+	fmt.Fprintf(&b, "%-18s | %-12s | %-12s | %-12s\n", "technique", "lazy delay", "divergence", "converged in")
+	b.WriteString(strings.Repeat("-", 66) + "\n")
+	for _, p := range []core.Protocol{core.Active, core.Certification, core.LazyPrimary, core.LazyUE} {
+		tech, _ := core.TechniqueOf(p)
+		ds := delays
+		if tech.StrongConsistency {
+			ds = delays[:1] // delay is meaningless for eager techniques
+		}
+		for _, d := range ds {
+			cell, err := Run(Options{
+				Protocol: p, Ops: scale.ops(), Clients: 3,
+				Workload:          workload.Config{WriteFraction: 1, Keys: 32},
+				LazyDelay:         d,
+				MeasureDivergence: true,
+			})
+			if err != nil {
+				return "", fmt.Errorf("PS6 %s d=%v: %w", p, d, err)
+			}
+			fmt.Fprintf(&b, "%-18s | %12s | %12.2f | %12s\n",
+				p, d, cell.Divergence, cell.ConvergeIn.Round(time.Millisecond))
+		}
+	}
+	return b.String(), nil
+}
+
+// Study7 — multi-operation transactions: per-operation coordination vs
+// batched certification.
+func Study7(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("PS7", "transaction size: per-op coordination vs batching",
+		"eager-lock-ue latency grows linearly with operations (figure 13's SC/EX loop); certification stays near-flat (one ABCAST per transaction, figure 14)"))
+	sizes := []int{1, 2, 4}
+	if scale == Full {
+		sizes = []int{1, 2, 4, 8}
+	}
+	fmt.Fprintf(&b, "%-18s", "technique")
+	for _, n := range sizes {
+		fmt.Fprintf(&b, " | %-14s", fmt.Sprintf("%d ops mean", n))
+	}
+	b.WriteString("\n" + strings.Repeat("-", 18+17*len(sizes)) + "\n")
+	for _, p := range []core.Protocol{core.EagerPrimary, core.EagerLockUE, core.Certification} {
+		fmt.Fprintf(&b, "%-18s", p)
+		for _, n := range sizes {
+			cell, err := Run(Options{
+				Protocol: p, Ops: scale.ops() / 2,
+				Workload: workload.Config{WriteFraction: 1, OpsPerTxn: n, Keys: 256},
+			})
+			if err != nil {
+				return "", fmt.Errorf("PS7 %s n=%d: %w", p, n, err)
+			}
+			fmt.Fprintf(&b, " | %14s", cell.Mean.Round(time.Microsecond))
+		}
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// Studies runs the numbered studies (1–7); id 0 runs all.
+func Studies(id int, scale Scale) (string, error) {
+	type studyFn func(Scale) (string, error)
+	all := []studyFn{Study1, Study2, Study3, Study4, Study5, Study6, Study7}
+	if id != 0 {
+		if id < 1 || id > len(all) {
+			return "", fmt.Errorf("study: no study %d", id)
+		}
+		return all[id-1](scale)
+	}
+	var parts []string
+	for _, fn := range all {
+		out, err := fn(scale)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, out)
+	}
+	return strings.Join(parts, "\n"), nil
+}

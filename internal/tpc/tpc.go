@@ -1,0 +1,267 @@
+// Package tpc implements the Two Phase Commit protocol (2PC).
+//
+// 2PC is the database side's Agreement Coordination mechanism: "In
+// databases, this phase usually corresponds to a Two Phase Commit
+// Protocol during which it is decided whether the operation will be
+// committed or aborted … being able to order the operations does not
+// necessarily mean the operation will succeed" (§2.2). Eager primary
+// copy and eager update everywhere both close their transactions with a
+// 2PC round (figures 7, 8, 12, 13).
+//
+// The protocol is deliberately blocking, as the paper says databases
+// accept (§2.1): a participant that voted yes and then loses the
+// coordinator stays prepared until an outcome arrives; there is no
+// termination protocol. Study PS5 measures exactly this window against
+// the non-blocking, view-based recovery of the distributed-systems
+// techniques.
+package tpc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/simnet"
+)
+
+// Vote is a participant's answer to prepare.
+type Vote int
+
+// Votes.
+const (
+	VoteYes Vote = iota + 1
+	VoteNo
+)
+
+// Outcome is the decided end of a transaction.
+type Outcome int
+
+// Outcomes.
+const (
+	Commit Outcome = iota + 1
+	Abort
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Commit:
+		return "commit"
+	case Abort:
+		return "abort"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Participant is the resource manager a Server drives. Implementations
+// must make Prepare durable-intent: after voting yes the participant must
+// be able to commit or abort on command, and must do neither on its own.
+type Participant interface {
+	// Prepare receives the transaction payload and votes.
+	Prepare(txnID string, payload []byte) Vote
+	// Commit finalises a prepared transaction.
+	Commit(txnID string)
+	// Abort rolls back a (possibly unprepared) transaction.
+	Abort(txnID string)
+}
+
+type prepareMsg struct {
+	TxnID   string
+	Payload []byte
+}
+
+type voteMsg struct {
+	TxnID string
+	Vote  Vote
+}
+
+type outcomeMsg struct {
+	TxnID   string
+	Outcome Outcome
+}
+
+// Server exposes a Participant on a node. One server handles all
+// transactions sent to its message kinds.
+type Server struct {
+	node *simnet.Node
+	kind string
+	p    Participant
+
+	mu       sync.Mutex
+	prepared map[string]bool
+	done     map[string]Outcome
+}
+
+// NewServer registers participant handlers on node under the given name
+// scope (must match the coordinator's).
+func NewServer(node *simnet.Node, name string, p Participant) *Server {
+	s := &Server{
+		node:     node,
+		kind:     name + ".2pc",
+		p:        p,
+		prepared: make(map[string]bool),
+		done:     make(map[string]Outcome),
+	}
+	node.Handle(s.kind+".prepare", s.onPrepare)
+	node.Handle(s.kind+".outcome", s.onOutcome)
+	return s
+}
+
+func (s *Server) onPrepare(msg simnet.Message) {
+	var req prepareMsg
+	codec.MustUnmarshal(msg.Payload, &req)
+
+	s.mu.Lock()
+	if out, ok := s.done[req.TxnID]; ok {
+		// Duplicate prepare after outcome: re-answer consistently.
+		s.mu.Unlock()
+		vote := VoteYes
+		if out == Abort {
+			vote = VoteNo
+		}
+		_ = s.node.Reply(msg, codec.MustMarshal(&voteMsg{TxnID: req.TxnID, Vote: vote}))
+		return
+	}
+	already := s.prepared[req.TxnID]
+	s.mu.Unlock()
+
+	vote := VoteYes
+	if !already {
+		vote = s.p.Prepare(req.TxnID, req.Payload)
+	}
+	if vote == VoteYes {
+		s.mu.Lock()
+		s.prepared[req.TxnID] = true
+		s.mu.Unlock()
+	}
+	_ = s.node.Reply(msg, codec.MustMarshal(&voteMsg{TxnID: req.TxnID, Vote: vote}))
+}
+
+func (s *Server) onOutcome(msg simnet.Message) {
+	var out outcomeMsg
+	codec.MustUnmarshal(msg.Payload, &out)
+
+	s.mu.Lock()
+	if _, ok := s.done[out.TxnID]; ok {
+		s.mu.Unlock()
+		_ = s.node.Reply(msg, nil)
+		return
+	}
+	s.done[out.TxnID] = out.Outcome
+	delete(s.prepared, out.TxnID)
+	s.mu.Unlock()
+
+	switch out.Outcome {
+	case Commit:
+		s.p.Commit(out.TxnID)
+	case Abort:
+		s.p.Abort(out.TxnID)
+	}
+	_ = s.node.Reply(msg, nil)
+}
+
+// Prepared reports whether txnID is prepared but unresolved — the
+// blocking window (PS5 reads this).
+func (s *Server) Prepared(txnID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prepared[txnID]
+}
+
+// PreparedCount returns how many transactions are currently blocked in
+// the prepared state.
+func (s *Server) PreparedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prepared)
+}
+
+// Coordinator drives 2PC rounds from a node.
+type Coordinator struct {
+	node *simnet.Node
+	kind string
+}
+
+// NewCoordinator creates a coordinator under the given name scope.
+func NewCoordinator(node *simnet.Node, name string) *Coordinator {
+	return &Coordinator{node: node, kind: name + ".2pc"}
+}
+
+// Run executes one 2PC round for txnID with the given payload across
+// participants (which may include the coordinator's own node if it also
+// runs a Server). It returns the outcome, or an error if voting could not
+// complete (a crashed coordinator's callers see ctx errors; participants
+// stay blocked, by design).
+func (c *Coordinator) Run(ctx context.Context, txnID string, payload []byte, participants []simnet.NodeID) (Outcome, error) {
+	prep := codec.MustMarshal(&prepareMsg{TxnID: txnID, Payload: payload})
+
+	type voteResult struct {
+		vote Vote
+		err  error
+	}
+	results := make(chan voteResult, len(participants))
+	for _, p := range participants {
+		p := p
+		go func() {
+			msg, err := c.node.Call(ctx, p, c.kind+".prepare", prep)
+			if err != nil {
+				results <- voteResult{err: err}
+				return
+			}
+			var v voteMsg
+			codec.MustUnmarshal(msg.Payload, &v)
+			results <- voteResult{vote: v.Vote}
+		}()
+	}
+
+	outcome := Commit
+	var firstErr error
+	for range participants {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				outcome = Abort
+				if firstErr == nil {
+					firstErr = r.err
+				}
+			} else if r.vote != VoteYes {
+				outcome = Abort
+			}
+		case <-ctx.Done():
+			// Coordinator gives up: abort whoever we can reach, on a fresh
+			// context since ours is spent.
+			abortCtx, cancel := context.WithTimeout(context.Background(), outcomeTimeout)
+			c.broadcastOutcome(abortCtx, txnID, Abort, participants)
+			cancel()
+			return Abort, fmt.Errorf("tpc: %s: %w", txnID, ctx.Err())
+		}
+	}
+
+	c.broadcastOutcome(ctx, txnID, outcome, participants)
+	if firstErr != nil {
+		return outcome, fmt.Errorf("tpc: %s aborted: %w", txnID, firstErr)
+	}
+	return outcome, nil
+}
+
+// outcomeTimeout bounds outcome delivery attempts on a spent context.
+const outcomeTimeout = 500 * time.Millisecond
+
+// broadcastOutcome distributes the decision and waits best-effort for
+// acknowledgements so callers observe participants' state changes.
+func (c *Coordinator) broadcastOutcome(ctx context.Context, txnID string, o Outcome, participants []simnet.NodeID) {
+	payload := codec.MustMarshal(&outcomeMsg{TxnID: txnID, Outcome: o})
+	var wg sync.WaitGroup
+	for _, p := range participants {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = c.node.Call(ctx, p, c.kind+".outcome", payload)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,252 @@
+package tpc
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/simnet"
+)
+
+// fakePart is a scriptable participant.
+type fakePart struct {
+	mu        sync.Mutex
+	vote      Vote
+	prepared  []string
+	committed []string
+	aborted   []string
+}
+
+func (f *fakePart) Prepare(txnID string, payload []byte) Vote {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.prepared = append(f.prepared, txnID)
+	if f.vote == 0 {
+		return VoteYes
+	}
+	return f.vote
+}
+
+func (f *fakePart) Commit(txnID string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.committed = append(f.committed, txnID)
+}
+
+func (f *fakePart) Abort(txnID string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.aborted = append(f.aborted, txnID)
+}
+
+func (f *fakePart) counts() (p, c, a int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.prepared), len(f.committed), len(f.aborted)
+}
+
+type fixture struct {
+	net     *simnet.Network
+	coord   *Coordinator
+	cnode   *simnet.Node
+	servers map[simnet.NodeID]*Server
+	parts   map[simnet.NodeID]*fakePart
+	ids     []simnet.NodeID
+}
+
+func newFixture(t *testing.T, n int) *fixture {
+	t.Helper()
+	net := simnet.New(simnet.Options{Latency: simnet.ConstantLatency(100 * time.Microsecond)})
+	f := &fixture{
+		net:     net,
+		servers: make(map[simnet.NodeID]*Server),
+		parts:   make(map[simnet.NodeID]*fakePart),
+	}
+	cnode := simnet.NewNode(net, "coord")
+	f.cnode = cnode
+	f.coord = NewCoordinator(cnode, "db")
+	cnode.Start()
+	for i := 0; i < n; i++ {
+		id := simnet.NodeID(rune('a' + i))
+		id = simnet.NodeID(string(rune('a' + i)))
+		f.ids = append(f.ids, id)
+		node := simnet.NewNode(net, id)
+		part := &fakePart{}
+		f.parts[id] = part
+		f.servers[id] = NewServer(node, "db", part)
+		node.Start()
+		t.Cleanup(node.Stop)
+	}
+	t.Cleanup(func() {
+		cnode.Stop()
+		net.Close()
+	})
+	return f
+}
+
+func TestAllYesCommits(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := f.coord.Run(ctx, "t1", []byte("payload"), f.ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Commit {
+		t.Fatalf("outcome = %v, want commit", out)
+	}
+	for id, p := range f.parts {
+		prep, com, ab := p.counts()
+		if prep != 1 || com != 1 || ab != 0 {
+			t.Fatalf("participant %s: prepared=%d committed=%d aborted=%d", id, prep, com, ab)
+		}
+	}
+}
+
+func TestOneNoAborts(t *testing.T) {
+	f := newFixture(t, 3)
+	f.parts[f.ids[1]].vote = VoteNo
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := f.coord.Run(ctx, "t1", nil, f.ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Abort {
+		t.Fatalf("outcome = %v, want abort", out)
+	}
+	for id, p := range f.parts {
+		_, com, ab := p.counts()
+		if com != 0 || ab != 1 {
+			t.Fatalf("participant %s: committed=%d aborted=%d", id, com, ab)
+		}
+	}
+}
+
+func TestParticipantCrashAborts(t *testing.T) {
+	f := newFixture(t, 3)
+	f.net.Crash(f.ids[2])
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	out, _ := f.coord.Run(ctx, "t1", nil, f.ids)
+	if out != Abort {
+		t.Fatalf("outcome = %v, want abort when a participant is unreachable", out)
+	}
+	// Live participants learn the abort.
+	for _, id := range f.ids[:2] {
+		deadline := time.Now().Add(time.Second)
+		for {
+			_, _, ab := f.parts[id].counts()
+			if ab == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("participant %s never aborted", id)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestCoordinatorCrashLeavesParticipantsBlocked(t *testing.T) {
+	// The paper's point (§2.1): 2PC is blocking. A participant that voted
+	// yes and lost the coordinator stays prepared indefinitely.
+	f := newFixture(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Crash the coordinator as soon as both participants are prepared.
+		deadline := time.Now().Add(time.Second)
+		for time.Now().Before(deadline) {
+			if f.servers[f.ids[0]].Prepared("t1") && f.servers[f.ids[1]].Prepared("t1") {
+				f.net.Crash("coord")
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	_, _ = f.coord.Run(ctx, "t1", nil, f.ids)
+	<-done
+
+	if !f.net.Crashed("coord") {
+		t.Skip("coordinator finished before the crash landed; nothing to assert")
+	}
+	// Participants remain blocked in prepared state.
+	time.Sleep(50 * time.Millisecond)
+	for _, id := range f.ids {
+		if !f.servers[id].Prepared("t1") {
+			t.Fatalf("participant %s resolved without a coordinator (2PC must block)", id)
+		}
+	}
+	if f.servers[f.ids[0]].PreparedCount() != 1 {
+		t.Fatal("prepared count mismatch")
+	}
+}
+
+func TestDuplicateOutcomeIdempotent(t *testing.T) {
+	f := newFixture(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := f.coord.Run(ctx, "t1", nil, f.ids); err != nil {
+		t.Fatal(err)
+	}
+	// Re-send the outcome directly: participants must not double-commit.
+	f.coord.broadcastOutcome(ctx, "t1", Commit, f.ids)
+	for id, p := range f.parts {
+		_, com, _ := p.counts()
+		if com != 1 {
+			t.Fatalf("participant %s committed %d times", id, com)
+		}
+	}
+}
+
+func TestSequentialTransactions(t *testing.T) {
+	f := newFixture(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		txn := string(rune('A' + i))
+		out, err := f.coord.Run(ctx, txn, nil, f.ids)
+		if err != nil || out != Commit {
+			t.Fatalf("txn %s: outcome=%v err=%v", txn, out, err)
+		}
+	}
+	for id, p := range f.parts {
+		_, com, _ := p.counts()
+		if com != 5 {
+			t.Fatalf("participant %s committed %d, want 5", id, com)
+		}
+	}
+}
+
+func TestCoordinatorIsAlsoParticipant(t *testing.T) {
+	// The common deployment: the coordinating replica participates too.
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	node := simnet.NewNode(net, "both")
+	part := &fakePart{}
+	NewServer(node, "db", part)
+	coord := NewCoordinator(node, "db")
+	node.Start()
+	defer node.Stop()
+
+	other := simnet.NewNode(net, "other")
+	otherPart := &fakePart{}
+	NewServer(other, "db", otherPart)
+	other.Start()
+	defer other.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := coord.Run(ctx, "t1", nil, []simnet.NodeID{"both", "other"})
+	if err != nil || out != Commit {
+		t.Fatalf("outcome=%v err=%v", out, err)
+	}
+	if _, com, _ := part.counts(); com != 1 {
+		t.Fatal("self-participant did not commit")
+	}
+}

@@ -1,0 +1,225 @@
+// Package trace records the five generic phases of the paper's
+// functional model as protocols execute, so that the figures can be
+// regenerated from live runs and the phase sequences of Figure 16 can be
+// verified mechanically.
+//
+// "A replication protocol can be described using five generic phases …
+// the protocols can be compared by the way they implement each one of the
+// phases and how they combine the different phases" (§2.2). Every
+// protocol implementation in internal/core emits one Event per (request,
+// replica, phase) transition into a Recorder; the canonical phase
+// sequence of a request — e.g. "RE SC EX END" for active replication, or
+// "RE EX END AC" for lazy primary copy, where the response precedes
+// agreement — is derived from the recorded order, never hard-coded.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase is one of the five generic phases of the functional model
+// (paper §2.2, figure 1).
+type Phase int
+
+// The five phases. Their names follow the paper's abbreviations.
+const (
+	// RE — Request: the client submits an operation.
+	RE Phase = iota + 1
+	// SC — Server Coordination: replicas synchronise the execution order.
+	SC
+	// EX — Execution: the operation is executed.
+	EX
+	// AC — Agreement Coordination: replicas agree on the result.
+	AC
+	// END — Client Response: the outcome returns to the client.
+	END
+)
+
+// String implements fmt.Stringer using the paper's abbreviations.
+func (p Phase) String() string {
+	switch p {
+	case RE:
+		return "RE"
+	case SC:
+		return "SC"
+	case EX:
+		return "EX"
+	case AC:
+		return "AC"
+	case END:
+		return "END"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// AllPhases lists the phases in model order.
+func AllPhases() []Phase { return []Phase{RE, SC, EX, AC, END} }
+
+// Event is one phase transition of one request observed at one replica.
+type Event struct {
+	// Req identifies the client request.
+	Req uint64
+	// Replica names the process where the phase ran ("client" for RE/END
+	// observed at the client).
+	Replica string
+	// Phase is the functional-model phase.
+	Phase Phase
+	// Seq is the recorder-global sequence number (total order of events).
+	Seq uint64
+	// At is the wall-clock instant.
+	At time.Time
+	// Note optionally names the mechanism (e.g. "abcast", "2pc", "lock").
+	Note string
+}
+
+// Recorder collects events. The zero value is ready; safe for concurrent
+// use. A nil *Recorder discards events, so protocol code can trace
+// unconditionally.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	seq    uint64
+}
+
+// Record appends an event for (req, replica, phase).
+func (r *Recorder) Record(req uint64, replica string, phase Phase, note string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	r.events = append(r.events, Event{
+		Req: req, Replica: replica, Phase: phase, Seq: r.seq, At: time.Now(), Note: note,
+	})
+	r.mu.Unlock()
+}
+
+// Events returns all events for req in record order; req==0 returns all.
+func (r *Recorder) Events(req uint64) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if req == 0 || e.Req == req {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = nil
+	r.mu.Unlock()
+}
+
+// Requests returns the distinct request IDs recorded, ascending.
+func (r *Recorder) Requests() []uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[uint64]bool)
+	var out []uint64
+	for _, e := range r.events {
+		if !seen[e.Req] {
+			seen[e.Req] = true
+			out = append(out, e.Req)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Sequence returns the canonical phase sequence of a request: phases in
+// order of first occurrence. This is exactly a row of the paper's
+// Figure 16 — e.g. eager techniques show AC before END, lazy ones END
+// before AC.
+func (r *Recorder) Sequence(req uint64) []Phase {
+	var out []Phase
+	seen := make(map[Phase]bool)
+	for _, e := range r.Events(req) {
+		if !seen[e.Phase] {
+			seen[e.Phase] = true
+			out = append(out, e.Phase)
+		}
+	}
+	return out
+}
+
+// SequenceString renders Sequence as "RE SC EX END".
+func (r *Recorder) SequenceString(req uint64) string {
+	return FormatSequence(r.Sequence(req))
+}
+
+// FormatSequence renders a phase list as "RE SC EX END".
+func FormatSequence(seq []Phase) string {
+	parts := make([]string, len(seq))
+	for i, p := range seq {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// PhaseCount returns how many times a request entered the phase across
+// all replicas. Multi-operation transactions loop through EX/AC or SC/EX
+// (paper §5.1); tests assert the loop count this way.
+func (r *Recorder) PhaseCount(req uint64, p Phase) int {
+	n := 0
+	for _, e := range r.Events(req) {
+		if e.Phase == p {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplicaPhases returns which replicas participated in each phase of req.
+func (r *Recorder) ReplicaPhases(req uint64) map[Phase][]string {
+	out := make(map[Phase][]string)
+	seen := make(map[Phase]map[string]bool)
+	for _, e := range r.Events(req) {
+		if seen[e.Phase] == nil {
+			seen[e.Phase] = make(map[string]bool)
+		}
+		if !seen[e.Phase][e.Replica] {
+			seen[e.Phase][e.Replica] = true
+			out[e.Phase] = append(out[e.Phase], e.Replica)
+		}
+	}
+	for _, replicas := range out {
+		sort.Strings(replicas)
+	}
+	return out
+}
+
+// Before reports whether the first occurrence of phase a precedes the
+// first occurrence of phase b for req (false if either is absent).
+// Figure 15's strong-consistency criterion — "any replication technique
+// that ensures strong consistency has either an SC and/or AC step before
+// the END step" — is checked with this.
+func (r *Recorder) Before(req uint64, a, b Phase) bool {
+	var aSeq, bSeq uint64
+	for _, e := range r.Events(req) {
+		if e.Phase == a && aSeq == 0 {
+			aSeq = e.Seq
+		}
+		if e.Phase == b && bSeq == 0 {
+			bSeq = e.Seq
+		}
+	}
+	return aSeq != 0 && bSeq != 0 && aSeq < bSeq
+}

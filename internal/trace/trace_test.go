@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, "x", RE, "") // must not panic
+	if got := r.Events(1); got != nil {
+		t.Fatalf("nil recorder returned events: %v", got)
+	}
+	if got := r.Sequence(1); got != nil {
+		t.Fatalf("nil recorder returned sequence: %v", got)
+	}
+	r.Reset()
+}
+
+func TestSequenceFirstOccurrence(t *testing.T) {
+	r := &Recorder{}
+	r.Record(1, "client", RE, "")
+	r.Record(1, "r0", SC, "abcast")
+	r.Record(1, "r0", EX, "")
+	r.Record(1, "r1", EX, "") // second EX must not repeat in sequence
+	r.Record(1, "client", END, "")
+	want := "RE SC EX END"
+	if got := r.SequenceString(1); got != want {
+		t.Fatalf("sequence = %q, want %q", got, want)
+	}
+}
+
+func TestLazySequenceENDBeforeAC(t *testing.T) {
+	r := &Recorder{}
+	r.Record(2, "client", RE, "")
+	r.Record(2, "r0", EX, "")
+	r.Record(2, "client", END, "")
+	r.Record(2, "r1", AC, "propagate")
+	if got := r.SequenceString(2); got != "RE EX END AC" {
+		t.Fatalf("sequence = %q", got)
+	}
+	if !r.Before(2, END, AC) {
+		t.Fatal("END should precede AC in a lazy trace")
+	}
+	if r.Before(2, AC, END) {
+		t.Fatal("Before must be asymmetric")
+	}
+}
+
+func TestBeforeAbsentPhases(t *testing.T) {
+	r := &Recorder{}
+	r.Record(1, "r0", RE, "")
+	if r.Before(1, RE, AC) {
+		t.Fatal("Before with absent second phase must be false")
+	}
+	if r.Before(1, AC, RE) {
+		t.Fatal("Before with absent first phase must be false")
+	}
+}
+
+func TestPhaseCountLoops(t *testing.T) {
+	r := &Recorder{}
+	r.Record(3, "client", RE, "")
+	for op := 0; op < 4; op++ { // a 4-operation transaction loop
+		r.Record(3, "r0", EX, "")
+		r.Record(3, "r0", AC, "propagate")
+	}
+	r.Record(3, "r0", AC, "2pc")
+	r.Record(3, "client", END, "")
+	if got := r.PhaseCount(3, EX); got != 4 {
+		t.Fatalf("EX count = %d, want 4", got)
+	}
+	if got := r.PhaseCount(3, AC); got != 5 {
+		t.Fatalf("AC count = %d, want 5", got)
+	}
+}
+
+func TestRequestsAndIsolation(t *testing.T) {
+	r := &Recorder{}
+	r.Record(1, "a", RE, "")
+	r.Record(2, "a", RE, "")
+	r.Record(1, "a", END, "")
+	reqs := r.Requests()
+	if len(reqs) != 2 || reqs[0] != 1 || reqs[1] != 2 {
+		t.Fatalf("Requests = %v", reqs)
+	}
+	if len(r.Events(1)) != 2 || len(r.Events(2)) != 1 {
+		t.Fatal("per-request filtering wrong")
+	}
+	if len(r.Events(0)) != 3 {
+		t.Fatal("req 0 should return all events")
+	}
+}
+
+func TestReplicaPhases(t *testing.T) {
+	r := &Recorder{}
+	r.Record(1, "r1", EX, "")
+	r.Record(1, "r0", EX, "")
+	r.Record(1, "r0", EX, "") // duplicate: recorded once per phase
+	r.Record(1, "r2", AC, "")
+	rp := r.ReplicaPhases(1)
+	if got := rp[EX]; len(got) != 2 || got[0] != "r0" || got[1] != "r1" {
+		t.Fatalf("EX replicas = %v", got)
+	}
+	if got := rp[AC]; len(got) != 1 || got[0] != "r2" {
+		t.Fatalf("AC replicas = %v", got)
+	}
+}
+
+func TestSeqTotalOrderUnderConcurrency(t *testing.T) {
+	r := &Recorder{}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(uint64(g), "r", EX, "")
+			}
+		}(g)
+	}
+	wg.Wait()
+	events := r.Events(0)
+	if len(events) != 800 {
+		t.Fatalf("recorded %d events", len(events))
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range events {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{RE: "RE", SC: "SC", EX: "EX", AC: "AC", END: "END"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%v.String() = %q", int(p), p.String())
+		}
+	}
+	if FormatSequence(AllPhases()) != "RE SC EX AC END" {
+		t.Fatalf("FormatSequence(all) = %q", FormatSequence(AllPhases()))
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := &Recorder{}
+	r.Record(1, "r", RE, "")
+	r.Reset()
+	if len(r.Events(0)) != 0 {
+		t.Fatal("reset did not clear events")
+	}
+}

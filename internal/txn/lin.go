@@ -1,0 +1,122 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// The paper states that "the distributed system replication techniques
+// presented in this paper all ensure linearisability" (§2.2), citing
+// Attiya & Welch for the distinction from sequential consistency. This
+// file provides the checker that turns the claim into a test: a history
+// of timed register operations is linearizable iff there is a total
+// order of the operations, consistent with real time (an operation that
+// returned before another was invoked must precede it), in which every
+// read returns the latest preceding write.
+
+// LinOp is one timed operation against a register for the
+// linearizability check.
+type LinOp struct {
+	// Key names the register; keys are checked independently.
+	Key string
+	// Kind is Read or Write.
+	Kind OpKind
+	// Value is the value written (Write) or observed (Read; nil when the
+	// register had no value yet).
+	Value []byte
+	// Invoke and Return bracket the operation in real time.
+	Invoke, Return time.Time
+}
+
+// Linearizable reports whether the history is linearizable per key.
+// The checker is exponential in the per-key concurrency (Wing & Gong
+// style backtracking with memoisation); keep per-key histories modest
+// (tests use tens of operations with bounded concurrency).
+func Linearizable(ops []LinOp) bool {
+	perKey := make(map[string][]LinOp)
+	for _, op := range ops {
+		perKey[op.Key] = append(perKey[op.Key], op)
+	}
+	for _, kops := range perKey {
+		if !linearizableKey(kops) {
+			return false
+		}
+	}
+	return true
+}
+
+// linearizableKey checks one register's history.
+func linearizableKey(ops []LinOp) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		// The bitmask memoisation below carries at most 63 operations.
+		panic(fmt.Sprintf("txn: linearizability check limited to 63 ops per key, got %d", n))
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke.Before(ops[j].Invoke) })
+
+	// memo maps (done-set, current-value-index) to failure; value index
+	// -1 means initial (absent). Only failures are memoised — success
+	// returns immediately.
+	type memoKey struct {
+		done uint64
+		val  int
+	}
+	failed := make(map[memoKey]bool)
+
+	var rec func(done uint64, curIdx int) bool
+	rec = func(done uint64, curIdx int) bool {
+		if done == (uint64(1)<<n)-1 {
+			return true
+		}
+		mk := memoKey{done, curIdx}
+		if failed[mk] {
+			return false
+		}
+		// The frontier: an op may linearize next only if no *pending* op
+		// returned before this op was invoked.
+		var minReturn time.Time
+		haveMin := false
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			if !haveMin || ops[i].Return.Before(minReturn) {
+				minReturn = ops[i].Return
+				haveMin = true
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			if ops[i].Invoke.After(minReturn) {
+				continue // something pending returned before this started
+			}
+			op := ops[i]
+			switch op.Kind {
+			case Read:
+				var cur []byte
+				if curIdx >= 0 {
+					cur = ops[curIdx].Value
+				}
+				if string(op.Value) != string(cur) {
+					continue // this read cannot linearize here
+				}
+				if rec(done|(1<<i), curIdx) {
+					return true
+				}
+			default: // Write (and Nondet recorded as writes)
+				if rec(done|(1<<i), i) {
+					return true
+				}
+			}
+		}
+		failed[mk] = true
+		return false
+	}
+	return rec(0, -1)
+}

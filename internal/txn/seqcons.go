@@ -1,0 +1,136 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The paper contrasts two distributed-systems correctness criteria:
+// "Linearisability is based on real-time dependencies, while sequential
+// consistency only considers the order in which operations are performed
+// on every individual process. Sequential consistency allows, under some
+// conditions, to read old values" (§2.2, citing Attiya & Welch). The
+// checker below decides sequential consistency: a history is SC iff some
+// total order of all operations (a) preserves every client's program
+// order and (b) has each read return the latest preceding write — with
+// NO real-time constraint between different clients, which is exactly
+// how an old value may legally be read.
+
+// SCOp is one operation of a sequential-consistency history.
+type SCOp struct {
+	// Client identifies the issuing process; program order within one
+	// client is its Invoke order.
+	Client string
+	// Key names the register.
+	Key string
+	// Kind is Read or Write.
+	Kind OpKind
+	// Value is the value written or observed.
+	Value []byte
+	// Invoke orders operations within a client.
+	Invoke time.Time
+}
+
+// SequentiallyConsistent reports whether the history has a legal
+// serialization. Unlike Linearizable, keys cannot be checked
+// independently (program order spans keys), so the search runs over the
+// whole history; keep it modest (tens of operations, a few clients).
+func SequentiallyConsistent(ops []SCOp) bool {
+	// Group per client in program order.
+	perClient := make(map[string][]SCOp)
+	for _, op := range ops {
+		perClient[op.Client] = append(perClient[op.Client], op)
+	}
+	var clients []string
+	for c := range perClient {
+		sort.Slice(perClient[c], func(i, j int) bool {
+			return perClient[c][i].Invoke.Before(perClient[c][j].Invoke)
+		})
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+
+	// State: per-client progress + current value per key. Memoise
+	// failures on (progress vector, state fingerprint).
+	progress := make([]int, len(clients))
+	state := make(map[string]string)
+	failed := make(map[string]bool)
+
+	fingerprint := func() string {
+		var b strings.Builder
+		for i, p := range progress {
+			fmt.Fprintf(&b, "%d,", p)
+			_ = i
+		}
+		keys := make([]string, 0, len(state))
+		for k := range state {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%s;", k, state[k])
+		}
+		return b.String()
+	}
+
+	total := len(ops)
+	var rec func(done int) bool
+	rec = func(done int) bool {
+		if done == total {
+			return true
+		}
+		fp := fingerprint()
+		if failed[fp] {
+			return false
+		}
+		for ci, c := range clients {
+			seq := perClient[c]
+			if progress[ci] >= len(seq) {
+				continue
+			}
+			op := seq[progress[ci]]
+			switch op.Kind {
+			case Read:
+				if state[op.Key] != string(op.Value) {
+					continue
+				}
+				progress[ci]++
+				if rec(done + 1) {
+					return true
+				}
+				progress[ci]--
+			default: // writes
+				prev, had := state[op.Key]
+				state[op.Key] = string(op.Value)
+				progress[ci]++
+				if rec(done + 1) {
+					return true
+				}
+				progress[ci]--
+				if had {
+					state[op.Key] = prev
+				} else {
+					delete(state, op.Key)
+				}
+			}
+		}
+		failed[fp] = true
+		return false
+	}
+	return rec(0)
+}
+
+// SCFromLin converts timed linearizability ops to SC ops (one client per
+// given name), for checking the same history against both criteria.
+func SCFromLin(client string, ops []LinOp) []SCOp {
+	out := make([]SCOp, 0, len(ops))
+	for _, op := range ops {
+		out = append(out, SCOp{
+			Client: client, Key: op.Key, Kind: op.Kind,
+			Value: op.Value, Invoke: op.Invoke,
+		})
+	}
+	return out
+}

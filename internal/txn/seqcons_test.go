@@ -1,0 +1,118 @@
+package txn
+
+import (
+	"testing"
+)
+
+func scw(client, key, val string, inv int) SCOp {
+	return SCOp{Client: client, Key: key, Kind: Write, Value: []byte(val), Invoke: at(inv)}
+}
+
+func scr(client, key, val string, inv int) SCOp {
+	op := SCOp{Client: client, Key: key, Kind: Read, Invoke: at(inv)}
+	if val != "" {
+		op.Value = []byte(val)
+	}
+	return op
+}
+
+func TestSCSequentialHistory(t *testing.T) {
+	ops := []SCOp{
+		scw("a", "x", "1", 0),
+		scr("a", "x", "1", 10),
+		scw("b", "x", "2", 20),
+		scr("b", "x", "2", 30),
+	}
+	if !SequentiallyConsistent(ops) {
+		t.Fatal("sequential history rejected")
+	}
+}
+
+func TestSCAllowsStaleReadAcrossClients(t *testing.T) {
+	// The paper's point: client b reads the OLD value after client a's
+	// write completed in real time. NOT linearizable, but sequentially
+	// consistent (b's read serializes before a's write; no program-order
+	// constraint between different clients).
+	scOps := []SCOp{
+		scw("a", "x", "new", 0),
+		scr("b", "x", "", 100), // stale: x not yet written in b's view
+	}
+	if !SequentiallyConsistent(scOps) {
+		t.Fatal("stale cross-client read must be sequentially consistent")
+	}
+	linOps := []LinOp{
+		{Key: "x", Kind: Write, Value: []byte("new"), Invoke: at(0), Return: at(10)},
+		{Key: "x", Kind: Read, Value: nil, Invoke: at(100), Return: at(110)},
+	}
+	if Linearizable(linOps) {
+		t.Fatal("the same history must NOT be linearizable")
+	}
+}
+
+func TestSCRejectsProgramOrderViolation(t *testing.T) {
+	// One client writes then reads the old value back: no serialization
+	// preserves its own program order.
+	ops := []SCOp{
+		scw("a", "x", "1", 0),
+		scr("a", "x", "", 10),
+	}
+	if SequentiallyConsistent(ops) {
+		t.Fatal("read-your-own-write violation accepted")
+	}
+}
+
+func TestSCRejectsInconsistentReadPair(t *testing.T) {
+	// Two clients observe two writes in OPPOSITE orders: no single total
+	// order satisfies both (the classic SC violation).
+	ops := []SCOp{
+		scw("w1", "x", "1", 0),
+		scw("w2", "x", "2", 0),
+		scr("a", "x", "1", 10),
+		scr("a", "x", "2", 20),
+		scr("b", "x", "2", 10),
+		scr("b", "x", "1", 20),
+	}
+	if SequentiallyConsistent(ops) {
+		t.Fatal("opposite observation orders accepted")
+	}
+}
+
+func TestSCMultiKeyProgramOrder(t *testing.T) {
+	// Dekker-style: both clients write their flag then read the other's.
+	// Both reading "absent" is NOT sequentially consistent.
+	bad := []SCOp{
+		scw("a", "fa", "1", 0), scr("a", "fb", "", 10),
+		scw("b", "fb", "1", 0), scr("b", "fa", "", 10),
+	}
+	if SequentiallyConsistent(bad) {
+		t.Fatal("Dekker anomaly accepted (both flags unseen)")
+	}
+	// One of them seeing the other's flag is fine.
+	good := []SCOp{
+		scw("a", "fa", "1", 0), scr("a", "fb", "", 10),
+		scw("b", "fb", "1", 0), scr("b", "fa", "1", 10),
+	}
+	if !SequentiallyConsistent(good) {
+		t.Fatal("legal Dekker outcome rejected")
+	}
+}
+
+func TestSCFromLin(t *testing.T) {
+	lin := []LinOp{
+		{Key: "x", Kind: Write, Value: []byte("1"), Invoke: at(0), Return: at(5)},
+		{Key: "x", Kind: Read, Value: []byte("1"), Invoke: at(10), Return: at(15)},
+	}
+	sc := SCFromLin("c", lin)
+	if len(sc) != 2 || sc[0].Client != "c" || sc[1].Kind != Read {
+		t.Fatalf("conversion wrong: %+v", sc)
+	}
+	if !SequentiallyConsistent(sc) {
+		t.Fatal("converted history rejected")
+	}
+}
+
+func TestSCEmptyHistory(t *testing.T) {
+	if !SequentiallyConsistent(nil) {
+		t.Fatal("empty history rejected")
+	}
+}

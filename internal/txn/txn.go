@@ -1,0 +1,340 @@
+// Package txn defines the transaction model of the paper's database side
+// and the machinery to check its correctness criterion.
+//
+// "A transaction Ti is a partial order of read and write operations
+// oi(X) … executed over a logical data item and translated by the
+// replication protocol into physical operations over the replicas" (§5.1).
+// This package provides:
+//
+//   - the operation/transaction types shared by all database protocols,
+//     including the single-operation (stored-procedure) form of §4.1 and
+//     the multi-operation form of §5;
+//   - read/write-set extraction;
+//   - histories and the conflict-graph serializability test of §5.1,
+//     extended to 1-copy serializability across replicas;
+//   - the certification test of certification-based replication (§5.4.2).
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"replication/internal/storage"
+)
+
+// OpKind classifies an operation.
+type OpKind int
+
+// Operation kinds. Nondet marks an operation whose result depends on a
+// local nondeterministic choice (e.g. a random draw or local clock); it
+// exists to exercise the determinism constraint distributed-systems
+// replication debates (§2.2, §3.4): active replication cannot execute it
+// safely, semi-active replication resolves it through the leader.
+// Proc invokes a registered stored procedure — "a stored procedure
+// resembles a procedure call and contains all the operations of one
+// transaction" (§4.1) — whose reads and writes are computed server-side;
+// Key names the procedure, Value carries its arguments, and Keys
+// declares the items it may touch (locking protocols need the access set
+// up front).
+const (
+	Read OpKind = iota + 1
+	Write
+	Nondet
+	Proc
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case Read:
+		return "r"
+	case Write:
+		return "w"
+	case Nondet:
+		return "n"
+	case Proc:
+		return "p"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is a single logical operation on a data item.
+type Op struct {
+	Kind OpKind
+	// Key names the logical data item X (or the procedure, for Proc).
+	Key string
+	// Value is the payload for Write; for Nondet it is the value chosen
+	// by the resolving process (empty until resolved); for Proc it is
+	// the procedure's argument blob.
+	Value []byte
+	// Keys declares the access set of a Proc operation. Locking
+	// protocols lock exactly these items; a procedure touching
+	// undeclared items loses isolation under those protocols.
+	Keys []string
+}
+
+// R builds a read operation.
+func R(key string) Op { return Op{Kind: Read, Key: key} }
+
+// W builds a write operation.
+func W(key string, value []byte) Op { return Op{Kind: Write, Key: key, Value: value} }
+
+// N builds a nondeterministic write operation on key.
+func N(key string) Op { return Op{Kind: Nondet, Key: key} }
+
+// P builds a stored-procedure invocation: name is the registered
+// procedure, args its argument blob, keys the declared access set.
+func P(name string, args []byte, keys ...string) Op {
+	return Op{Kind: Proc, Key: name, Value: args, Keys: keys}
+}
+
+// Transaction is a unit of work that commits or aborts atomically.
+// A single-operation transaction models the stored-procedure form the
+// paper uses to compare directly with distributed-systems invocations.
+type Transaction struct {
+	ID  string
+	Ops []Op
+}
+
+// Conflicts reports whether two operations conflict: same item, at least
+// one write (§4.1). Nondet counts as a write.
+func Conflicts(a, b Op) bool {
+	if a.Key != b.Key {
+		return false
+	}
+	return a.Kind != Read || b.Kind != Read
+}
+
+// IsUpdate reports whether the transaction writes anything.
+func (t Transaction) IsUpdate() bool {
+	for _, op := range t.Ops {
+		if op.Kind != Read {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadKeys returns the distinct keys the transaction reads, sorted.
+// A Proc op's declared keys count as both read and written
+// (conservative: the procedure may do either).
+func (t Transaction) ReadKeys() []string {
+	return t.keysOf(func(k OpKind) bool { return k == Read })
+}
+
+// WriteKeys returns the distinct keys the transaction writes, sorted.
+func (t Transaction) WriteKeys() []string {
+	return t.keysOf(func(k OpKind) bool { return k != Read })
+}
+
+func (t Transaction) keysOf(match func(OpKind) bool) []string {
+	seen := make(map[string]bool)
+	for _, op := range t.Ops {
+		if op.Kind == Proc {
+			if match(Proc) {
+				for _, k := range op.Keys {
+					seen[k] = true
+				}
+			}
+			continue
+		}
+		if match(op.Kind) {
+			seen[op.Key] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is the outcome of a transaction delivered back to the client.
+type Result struct {
+	// Committed reports commit vs abort.
+	Committed bool
+	// Reads maps each read key to the value observed.
+	Reads map[string][]byte
+	// Err carries the abort reason, if any.
+	Err string
+}
+
+// ReadSet maps each key read to the version (store commit sequence)
+// observed — the input to certification.
+type ReadSet map[string]uint64
+
+// Certify decides whether an optimistically executed transaction may
+// commit: every version it read must still be current. current returns
+// the latest committed version timestamp for a key. This is the
+// deterministic certification step all replicas run on ABCAST delivery
+// in certification-based replication (§5.4.2): same inputs, same verdict
+// everywhere, no further coordination needed.
+func Certify(rs ReadSet, current func(key string) uint64) bool {
+	for key, readTs := range rs {
+		if current(key) != readTs {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Histories and serializability ---
+
+// HEvent is one physical operation in a history.
+type HEvent struct {
+	// Txn identifies the transaction.
+	Txn string
+	// Kind is Read or Write (Nondet records as Write).
+	Kind OpKind
+	// Key is the logical data item.
+	Key string
+	// Replica names the site where the physical operation ran.
+	Replica string
+}
+
+// History records physical operations in the order they executed at each
+// replica. It is safe for concurrent appending.
+type History struct {
+	mu     sync.Mutex
+	events []HEvent
+}
+
+// Append records an event; events appended from one replica must be
+// appended in that replica's execution order.
+func (h *History) Append(e HEvent) {
+	if e.Kind == Nondet {
+		e.Kind = Write
+	}
+	h.mu.Lock()
+	h.events = append(h.events, e)
+	h.mu.Unlock()
+}
+
+// Events returns a copy of all recorded events.
+func (h *History) Events() []HEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]HEvent(nil), h.events...)
+}
+
+// Len returns the number of recorded events.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.events)
+}
+
+// Merge combines the events of several histories (one per replica) into
+// one history for a 1-copy serializability check.
+func Merge(hs ...*History) *History {
+	out := &History{}
+	for _, h := range hs {
+		out.events = append(out.events, h.Events()...)
+	}
+	return out
+}
+
+// Serializable checks conflict-serializability: it builds the conflict
+// graph — an edge Ti→Tj whenever an operation of Ti precedes a
+// conflicting operation of Tj at some replica — and reports whether it is
+// acyclic (§5.1). For a merged multi-replica history, acyclicity is
+// 1-copy serializability over the common logical items: all replicas'
+// local serialization orders embed into one global order.
+// The returned cycle (if any) lists the transactions involved.
+func (h *History) Serializable() (bool, []string) {
+	events := h.Events()
+
+	// Group events per replica per key, preserving order.
+	type siteKey struct{ replica, key string }
+	perSite := make(map[siteKey][]HEvent)
+	for _, e := range events {
+		sk := siteKey{e.Replica, e.Key}
+		perSite[sk] = append(perSite[sk], e)
+	}
+
+	edges := make(map[string]map[string]bool)
+	addEdge := func(from, to string) {
+		if from == to {
+			return
+		}
+		if edges[from] == nil {
+			edges[from] = make(map[string]bool)
+		}
+		edges[from][to] = true
+	}
+	for _, seq := range perSite {
+		for i, a := range seq {
+			for _, b := range seq[i+1:] {
+				if a.Txn != b.Txn && (a.Kind == Write || b.Kind == Write) {
+					addEdge(a.Txn, b.Txn)
+				}
+			}
+		}
+	}
+
+	// Cycle detection with path recovery (iterative DFS, colored).
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	parent := make(map[string]string)
+	var cycle []string
+
+	var nodes []string
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		color[n] = gray
+		var next []string
+		for m := range edges[n] {
+			next = append(next, m)
+		}
+		sort.Strings(next)
+		for _, m := range next {
+			switch color[m] {
+			case white:
+				parent[m] = n
+				if dfs(m) {
+					return true
+				}
+			case gray:
+				// Recover the cycle m → ... → n → m.
+				cycle = []string{m}
+				for cur := n; cur != m; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				sort.Strings(cycle)
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white && dfs(n) {
+			return false, cycle
+		}
+	}
+	return true, nil
+}
+
+// WriteSetOf extracts the storage writeset of a transaction whose writes
+// carry explicit values (Nondet ops must already be resolved).
+func WriteSetOf(t Transaction) storage.WriteSet {
+	var ws storage.WriteSet
+	for _, op := range t.Ops {
+		if op.Kind != Read {
+			ws = append(ws, storage.Update{Key: op.Key, Value: op.Value})
+		}
+	}
+	return ws
+}

@@ -1,0 +1,178 @@
+// Package vclock implements Lamport scalar clocks and vector clocks.
+//
+// Distributed-systems replication orders operations with "very strict
+// notions of ordering. From causality, which is based on potential
+// dependencies without looking at the operation semantics, to total order"
+// (Wiesmann et al., ICDCS 2000, §2.2). Vector clocks are the mechanism
+// behind the causal-broadcast layer in package group, and Lamport clocks
+// provide timestamps for last-writer-wins reconciliation in package recon.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Lamport is a thread-safe Lamport scalar clock.
+// The zero value is ready to use.
+type Lamport struct {
+	mu   sync.Mutex
+	time uint64
+}
+
+// Tick advances the clock for a local event and returns the new time.
+func (l *Lamport) Tick() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.time++
+	return l.time
+}
+
+// Observe merges a remote timestamp (on message receipt) and returns the
+// new local time, which is greater than both inputs.
+func (l *Lamport) Observe(remote uint64) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if remote > l.time {
+		l.time = remote
+	}
+	l.time++
+	return l.time
+}
+
+// Now returns the current time without advancing the clock.
+func (l *Lamport) Now() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.time
+}
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+// Orderings. Before/After correspond to the happened-before relation;
+// Concurrent means neither clock dominates; Equal means identical clocks.
+const (
+	Before Ordering = iota + 1
+	After
+	Equal
+	Concurrent
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Equal:
+		return "equal"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// VC is a vector clock: a map from process name to event count.
+// VC values are not safe for concurrent mutation; callers synchronise.
+// The nil map is a valid zero clock for reads, but use New or Copy before
+// mutating.
+type VC map[string]uint64
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	out := make(VC, len(v))
+	for k, t := range v {
+		out[k] = t
+	}
+	return out
+}
+
+// Tick increments the component for process p and returns v.
+func (v VC) Tick(p string) VC {
+	v[p]++
+	return v
+}
+
+// Get returns the component for process p (zero if absent).
+func (v VC) Get(p string) uint64 { return v[p] }
+
+// Merge sets v to the component-wise maximum of v and other, returning v.
+func (v VC) Merge(other VC) VC {
+	for k, t := range other {
+		if t > v[k] {
+			v[k] = t
+		}
+	}
+	return v
+}
+
+// Compare returns the ordering of v relative to other: Before if v
+// happened-before other, After if other happened-before v, Equal if
+// identical, Concurrent otherwise.
+func (v VC) Compare(other VC) Ordering {
+	vLess, oLess := false, false // some component strictly smaller
+	for k, t := range v {
+		switch ot := other[k]; {
+		case t < ot:
+			vLess = true
+		case t > ot:
+			oLess = true
+		}
+	}
+	for k, ot := range other {
+		if _, ok := v[k]; !ok && ot > 0 {
+			vLess = true
+		}
+	}
+	switch {
+	case vLess && oLess:
+		return Concurrent
+	case vLess:
+		return Before
+	case oLess:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// HappenedBefore reports whether v happened-before other.
+func (v VC) HappenedBefore(other VC) bool { return v.Compare(other) == Before }
+
+// Concurrent reports whether v and other are causally unrelated.
+func (v VC) ConcurrentWith(other VC) bool { return v.Compare(other) == Concurrent }
+
+// Dominates reports whether v >= other component-wise. A message carrying
+// clock c is causally deliverable at a process with clock v when v
+// dominates c minus the sender's own tick (see group.CausalBroadcast).
+func (v VC) Dominates(other VC) bool {
+	o := v.Compare(other)
+	return o == After || o == Equal
+}
+
+// String renders the clock deterministically, e.g. {a:1 b:3}.
+func (v VC) String() string {
+	keys := make([]string, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, v[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package vclock
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLamportTickMonotonic(t *testing.T) {
+	var l Lamport
+	prev := l.Now()
+	for i := 0; i < 100; i++ {
+		now := l.Tick()
+		if now <= prev {
+			t.Fatalf("tick not monotonic: %d after %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestLamportObserveExceedsBoth(t *testing.T) {
+	var l Lamport
+	l.Tick() // 1
+	got := l.Observe(10)
+	if got <= 10 || got <= 1 {
+		t.Fatalf("observe(10) = %d, want > 10", got)
+	}
+	if l.Now() != got {
+		t.Fatalf("Now() = %d, want %d", l.Now(), got)
+	}
+	// Observing an older timestamp still advances.
+	if next := l.Observe(2); next <= got {
+		t.Fatalf("observe(2) = %d, want > %d", next, got)
+	}
+}
+
+func TestLamportConcurrentTicksUnique(t *testing.T) {
+	var l Lamport
+	const goroutines, ticks = 8, 200
+	seen := make(chan uint64, goroutines*ticks)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ticks; i++ {
+				seen <- l.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	unique := make(map[uint64]bool)
+	for v := range seen {
+		if unique[v] {
+			t.Fatalf("duplicate Lamport timestamp %d", v)
+		}
+		unique[v] = true
+	}
+}
+
+func TestVCCompareTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b VC
+		want Ordering
+	}{
+		{"both empty", VC{}, VC{}, Equal},
+		{"nil vs empty", nil, VC{}, Equal},
+		{"identical", VC{"p": 2, "q": 1}, VC{"p": 2, "q": 1}, Equal},
+		{"strictly before", VC{"p": 1}, VC{"p": 2}, Before},
+		{"strictly after", VC{"p": 3}, VC{"p": 2}, After},
+		{"before with extra key", VC{"p": 1}, VC{"p": 1, "q": 1}, Before},
+		{"after with extra key", VC{"p": 1, "q": 1}, VC{"p": 1}, After},
+		{"concurrent", VC{"p": 2, "q": 1}, VC{"p": 1, "q": 2}, Concurrent},
+		{"concurrent disjoint", VC{"p": 1}, VC{"q": 1}, Concurrent},
+		{"zero component ignored", VC{"p": 1, "q": 0}, VC{"p": 1}, Equal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Fatalf("Compare = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVCCompareAntisymmetric(t *testing.T) {
+	inverse := map[Ordering]Ordering{
+		Before: After, After: Before, Equal: Equal, Concurrent: Concurrent,
+	}
+	rng := rand.New(rand.NewSource(11))
+	procs := []string{"a", "b", "c", "d"}
+	randVC := func() VC {
+		v := New()
+		for _, p := range procs {
+			if rng.Intn(2) == 0 {
+				v[p] = uint64(rng.Intn(4))
+			}
+		}
+		return v
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randVC(), randVC()
+		if got, want := b.Compare(a), inverse[a.Compare(b)]; got != want {
+			t.Fatalf("antisymmetry violated: a=%v b=%v a.Compare(b)=%v b.Compare(a)=%v",
+				a, b, a.Compare(b), got)
+		}
+	}
+}
+
+func TestVCTickMakesAfter(t *testing.T) {
+	v := New()
+	v.Tick("p")
+	w := v.Copy()
+	w.Tick("p")
+	if got := w.Compare(v); got != After {
+		t.Fatalf("ticked copy compares %v, want After", got)
+	}
+	if got := v.Compare(w); got != Before {
+		t.Fatalf("original compares %v, want Before", got)
+	}
+}
+
+func TestVCMergeDominatesInputs(t *testing.T) {
+	f := func(ap, aq, bp, bq uint8) bool {
+		a := VC{"p": uint64(ap), "q": uint64(aq)}
+		b := VC{"p": uint64(bp), "q": uint64(bq)}
+		m := a.Copy().Merge(b)
+		return m.Dominates(a) && m.Dominates(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCMergeCommutativeAssociativeIdempotent(t *testing.T) {
+	f := func(ap, aq, bp, bq, cp, cq uint8) bool {
+		a := VC{"p": uint64(ap), "q": uint64(aq)}
+		b := VC{"p": uint64(bp), "q": uint64(bq)}
+		c := VC{"p": uint64(cp), "q": uint64(cq)}
+		ab := a.Copy().Merge(b)
+		ba := b.Copy().Merge(a)
+		if ab.Compare(ba) != Equal {
+			return false // commutativity
+		}
+		abc1 := a.Copy().Merge(b).Merge(c)
+		abc2 := a.Copy().Merge(b.Copy().Merge(c))
+		if abc1.Compare(abc2) != Equal {
+			return false // associativity
+		}
+		aa := a.Copy().Merge(a)
+		return aa.Compare(a) == Equal // idempotence
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVCCopyIndependent(t *testing.T) {
+	a := VC{"p": 1}
+	b := a.Copy()
+	b.Tick("p")
+	if a["p"] != 1 {
+		t.Fatalf("copy aliases original: %v", a)
+	}
+}
+
+func TestVCHappenedBeforeTransitive(t *testing.T) {
+	a := VC{"p": 1}
+	b := VC{"p": 1, "q": 1}
+	c := VC{"p": 2, "q": 1}
+	if !a.HappenedBefore(b) || !b.HappenedBefore(c) || !a.HappenedBefore(c) {
+		t.Fatal("happened-before should be transitive on this chain")
+	}
+}
+
+func TestVCString(t *testing.T) {
+	v := VC{"b": 3, "a": 1}
+	if got := v.String(); got != "{a:1 b:3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New().String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Before: "before", After: "after", Equal: "equal",
+		Concurrent: "concurrent", Ordering(99): "Ordering(99)",
+	} {
+		if got := o.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", int(o), got, want)
+		}
+	}
+}
+
+func TestConcurrentWith(t *testing.T) {
+	a := VC{"p": 1}
+	b := VC{"q": 1}
+	if !a.ConcurrentWith(b) {
+		t.Fatal("disjoint clocks should be concurrent")
+	}
+	if a.ConcurrentWith(a) {
+		t.Fatal("a clock is not concurrent with itself")
+	}
+}

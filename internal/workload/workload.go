@@ -1,0 +1,116 @@
+// Package workload generates the synthetic workloads of the performance
+// study: read/write mixes over uniform or Zipf-distributed keys, in
+// stored-procedure (single-operation) or multi-operation transaction
+// form — "taking into account different workloads" (paper §6).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"replication/internal/txn"
+)
+
+// Config parameterises a Generator.
+type Config struct {
+	// Keys is the number of distinct data items ("k0".."k<n-1>").
+	// Zero means 100.
+	Keys int
+	// WriteFraction in [0,1] is the probability an operation writes.
+	WriteFraction float64
+	// ValueSize is the write payload size in bytes. Zero means 16.
+	ValueSize int
+	// OpsPerTxn is the number of operations per transaction; 1 yields the
+	// stored-procedure model of paper §4.1, >1 the transactions of §5.
+	// Zero means 1.
+	OpsPerTxn int
+	// Zipf skews key popularity when > 1 (typical: 1.2); 0 or 1 means
+	// uniform. Higher skew raises the conflict rate — the knob study PS4
+	// sweeps.
+	Zipf float64
+	// Seed makes the stream deterministic. Zero means 1.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Keys <= 0 {
+		c.Keys = 100
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 16
+	}
+	if c.OpsPerTxn <= 0 {
+		c.OpsPerTxn = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Generator produces a deterministic operation stream. Not safe for
+// concurrent use; give each client its own generator (vary Seed).
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    uint64
+}
+
+// New creates a generator.
+func New(cfg Config) *Generator {
+	cfg.fill()
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Zipf > 1 {
+		g.zipf = rand.NewZipf(g.rng, cfg.Zipf, 1, uint64(cfg.Keys-1))
+	}
+	return g
+}
+
+// Key draws a key according to the configured distribution.
+func (g *Generator) Key() string {
+	var i uint64
+	if g.zipf != nil {
+		i = g.zipf.Uint64()
+	} else {
+		i = uint64(g.rng.Intn(g.cfg.Keys))
+	}
+	return fmt.Sprintf("k%d", i)
+}
+
+// value builds a distinct payload for the n-th write.
+func (g *Generator) value() []byte {
+	g.n++
+	v := make([]byte, g.cfg.ValueSize)
+	copy(v, fmt.Sprintf("v%d", g.n))
+	return v
+}
+
+// NextOp draws one operation.
+func (g *Generator) NextOp() txn.Op {
+	if g.rng.Float64() < g.cfg.WriteFraction {
+		return txn.W(g.Key(), g.value())
+	}
+	return txn.R(g.Key())
+}
+
+// NextTxn draws a transaction of OpsPerTxn operations with the given ID.
+func (g *Generator) NextTxn(id string) txn.Transaction {
+	t := txn.Transaction{ID: id}
+	for i := 0; i < g.cfg.OpsPerTxn; i++ {
+		t.Ops = append(t.Ops, g.NextOp())
+	}
+	return t
+}
+
+// NextUpdateTxn draws a transaction guaranteed to contain at least one
+// write (update-transaction workloads of the study).
+func (g *Generator) NextUpdateTxn(id string) txn.Transaction {
+	t := g.NextTxn(id)
+	for _, op := range t.Ops {
+		if op.Kind != txn.Read {
+			return t
+		}
+	}
+	t.Ops[len(t.Ops)-1] = txn.W(g.Key(), g.value())
+	return t
+}

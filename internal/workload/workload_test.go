@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"testing"
+
+	"replication/internal/txn"
+)
+
+func TestDeterministicStream(t *testing.T) {
+	a := New(Config{Seed: 5, WriteFraction: 0.5})
+	b := New(Config{Seed: 5, WriteFraction: 0.5})
+	for i := 0; i < 100; i++ {
+		oa, ob := a.NextOp(), b.NextOp()
+		if oa.Kind != ob.Kind || oa.Key != ob.Key || string(oa.Value) != string(ob.Value) {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(Config{Seed: 1})
+	b := New(Config{Seed: 2})
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.NextOp().Key == b.NextOp().Key {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Fatal("different seeds produced identical key streams")
+	}
+}
+
+func TestWriteFractionExtremes(t *testing.T) {
+	ro := New(Config{WriteFraction: 0, Seed: 3})
+	for i := 0; i < 100; i++ {
+		if op := ro.NextOp(); op.Kind != txn.Read {
+			t.Fatalf("write generated with fraction 0: %+v", op)
+		}
+	}
+	wo := New(Config{WriteFraction: 1, Seed: 3})
+	for i := 0; i < 100; i++ {
+		if op := wo.NextOp(); op.Kind != txn.Write {
+			t.Fatalf("read generated with fraction 1: %+v", op)
+		}
+	}
+}
+
+func TestWriteFractionApproximate(t *testing.T) {
+	g := New(Config{WriteFraction: 0.3, Seed: 9})
+	writes := 0
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if g.NextOp().Kind == txn.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / total
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("write fraction = %.3f, want ~0.3", frac)
+	}
+}
+
+func TestKeysWithinRange(t *testing.T) {
+	g := New(Config{Keys: 10, Seed: 4, WriteFraction: 1})
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		seen[g.NextOp().Key] = true
+	}
+	if len(seen) > 10 {
+		t.Fatalf("%d distinct keys with Keys=10", len(seen))
+	}
+	if len(seen) < 8 {
+		t.Fatalf("only %d distinct keys seen; uniform draw should cover most", len(seen))
+	}
+}
+
+func TestZipfSkewsPopularity(t *testing.T) {
+	g := New(Config{Keys: 100, Zipf: 1.5, Seed: 6, WriteFraction: 1})
+	counts := make(map[string]int)
+	const total = 5000
+	for i := 0; i < total; i++ {
+		counts[g.NextOp().Key]++
+	}
+	if counts["k0"] < total/10 {
+		t.Fatalf("hottest key drew %d/%d; Zipf skew missing", counts["k0"], total)
+	}
+	uniform := New(Config{Keys: 100, Seed: 6, WriteFraction: 1})
+	uCounts := make(map[string]int)
+	for i := 0; i < total; i++ {
+		uCounts[uniform.NextOp().Key]++
+	}
+	if uCounts["k0"] >= counts["k0"] {
+		t.Fatal("uniform draw hotter than zipf draw")
+	}
+}
+
+func TestTxnShape(t *testing.T) {
+	g := New(Config{OpsPerTxn: 5, Seed: 2})
+	tx := g.NextTxn("t1")
+	if tx.ID != "t1" || len(tx.Ops) != 5 {
+		t.Fatalf("txn = %+v", tx)
+	}
+}
+
+func TestNextUpdateTxnAlwaysWrites(t *testing.T) {
+	g := New(Config{OpsPerTxn: 3, WriteFraction: 0, Seed: 8}) // all-read stream
+	for i := 0; i < 50; i++ {
+		tx := g.NextUpdateTxn("t")
+		if !tx.IsUpdate() {
+			t.Fatalf("update txn has no writes: %+v", tx)
+		}
+	}
+}
+
+func TestValueSizeAndUniqueness(t *testing.T) {
+	g := New(Config{WriteFraction: 1, ValueSize: 32, Seed: 11})
+	a, b := g.NextOp(), g.NextOp()
+	if len(a.Value) != 32 || len(b.Value) != 32 {
+		t.Fatalf("value sizes %d/%d", len(a.Value), len(b.Value))
+	}
+	if string(a.Value) == string(b.Value) {
+		t.Fatal("consecutive writes produced identical values")
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	g := New(Config{})
+	op := g.NextOp()
+	if op.Key == "" {
+		t.Fatal("empty key from default config")
+	}
+}

@@ -1,0 +1,149 @@
+// Package replication is a library of replication protocols from both
+// the distributed-systems and database traditions, built around the
+// five-phase functional model of Wiesmann, Pedone, Schiper, Kemme &
+// Alonso, "Understanding Replication in Databases and Distributed
+// Systems" (ICDCS 2000).
+//
+// The paper's observation is that every replication protocol decomposes
+// into the same five phases — Request (RE), Server Coordination (SC),
+// Execution (EX), Agreement Coordination (AC), Client Response (END) —
+// and that techniques differ only in which phases they use, merge,
+// reorder or iterate. This library makes that observation executable:
+// ten techniques run over one simulated substrate, emit their phase
+// traces, and can be compared under identical workloads.
+//
+// # Quick start
+//
+//	cluster, err := replication.New(replication.Config{
+//		Protocol: replication.Active,
+//		Replicas: 3,
+//	})
+//	if err != nil { ... }
+//	defer cluster.Close()
+//
+//	client := cluster.NewClient()
+//	res, err := client.InvokeOp(ctx, replication.Write("greeting", []byte("hello")))
+//	res, err = client.InvokeOp(ctx, replication.Read("greeting"))
+//
+// # Techniques
+//
+// Distributed systems (§3): Active (state machine), Passive
+// (primary-backup), SemiActive (leader-resolved nondeterminism),
+// SemiPassive (consensus with deferred initial values).
+//
+// Databases (§4–5): EagerPrimary, EagerLockUE (distributed locking),
+// EagerABCastUE, LazyPrimary, LazyUE (with LWW or after-commit-order
+// reconciliation), Certification.
+//
+// Every technique's Technique record carries its classification: the
+// Gray et al. eager/lazy × primary/update-everywhere matrix (figure 6),
+// the failure-transparency × determinism matrix (figure 5), and its
+// canonical phase sequence (figure 16).
+package replication
+
+import (
+	"replication/internal/core"
+	"replication/internal/simnet"
+	"replication/internal/trace"
+	"replication/internal/txn"
+)
+
+// Core types, re-exported as the public API surface.
+type (
+	// Config describes a cluster: technique, size, network, timings.
+	Config = core.Config
+	// Cluster is a running replicated system.
+	Cluster = core.Cluster
+	// Client submits transactions to a cluster.
+	Client = core.Client
+	// Protocol names a replication technique.
+	Protocol = core.Protocol
+	// Technique is a technique's classification record (figures 5/6/16).
+	Technique = core.Technique
+	// NondetMode selects how nondeterministic operations resolve.
+	NondetMode = core.NondetMode
+	// ProcTx is the transactional interface stored procedures run
+	// against.
+	ProcTx = core.ProcTx
+	// ProcFunc is a stored procedure body (must be deterministic).
+	ProcFunc = core.ProcFunc
+
+	// Transaction is a unit of work: one or more operations that commit
+	// or abort atomically.
+	Transaction = txn.Transaction
+	// Op is a single read, write, or nondeterministic operation.
+	Op = txn.Op
+	// Result is a transaction's outcome.
+	Result = txn.Result
+
+	// Recorder collects phase events for figure regeneration.
+	Recorder = trace.Recorder
+	// Phase is one of the five functional-model phases.
+	Phase = trace.Phase
+
+	// NodeID identifies a process on the simulated network.
+	NodeID = simnet.NodeID
+	// NetworkOptions configure the simulated network.
+	NetworkOptions = simnet.Options
+)
+
+// The ten techniques.
+const (
+	Active        = core.Active
+	Passive       = core.Passive
+	SemiActive    = core.SemiActive
+	SemiPassive   = core.SemiPassive
+	EagerPrimary  = core.EagerPrimary
+	EagerLockUE   = core.EagerLockUE
+	EagerABCastUE = core.EagerABCastUE
+	LazyPrimary   = core.LazyPrimary
+	LazyUE        = core.LazyUE
+	Certification = core.Certification
+)
+
+// Nondeterminism modes.
+const (
+	// DeterministicNondet resolves nondeterministic operations as a pure
+	// function of the request — the state-machine assumption.
+	DeterministicNondet = core.DeterministicNondet
+	// TrueRandomNondet resolves them with per-replica randomness,
+	// modelling genuinely nondeterministic servers.
+	TrueRandomNondet = core.TrueRandomNondet
+)
+
+// The five phases (paper figure 1).
+const (
+	RE  = trace.RE
+	SC  = trace.SC
+	EX  = trace.EX
+	AC  = trace.AC
+	END = trace.END
+)
+
+// New builds and starts a cluster running the configured technique.
+func New(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// Protocols lists all techniques in the paper's presentation order.
+func Protocols() []Protocol { return core.Protocols() }
+
+// Techniques returns the classification registry (figure 16 order).
+func Techniques() []Technique { return core.Techniques() }
+
+// TechniqueOf returns the classification record for a protocol.
+func TechniqueOf(p Protocol) (Technique, bool) { return core.TechniqueOf(p) }
+
+// Read builds a read operation on a logical data item.
+func Read(key string) Op { return txn.R(key) }
+
+// Write builds a write operation.
+func Write(key string, value []byte) Op { return txn.W(key, value) }
+
+// Nondet builds a nondeterministic write: its value depends on a local
+// choice at execution time (see NondetMode).
+func Nondet(key string) Op { return txn.N(key) }
+
+// Exec builds a stored-procedure invocation (paper §4.1): name must be
+// registered in Config.Procedures, args is its argument blob, and keys
+// declares the data items it may touch (locking techniques lock exactly
+// these).
+func Exec(name string, args []byte, keys ...string) Op { return txn.P(name, args, keys...) }

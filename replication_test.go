@@ -1,0 +1,150 @@
+package replication_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"replication"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	cluster, err := replication.New(replication.Config{
+		Protocol: replication.Active,
+		Replicas: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client := cluster.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := client.InvokeOp(ctx, replication.Write("greeting", []byte("hello"))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.InvokeOp(ctx, replication.Read("greeting"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.Reads["greeting"]); got != "hello" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestPublicAPITransactions(t *testing.T) {
+	cluster, err := replication.New(replication.Config{
+		Protocol: replication.Certification,
+		Replicas: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client := cluster.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	res, err := client.Invoke(ctx, replication.Transaction{Ops: []replication.Op{
+		replication.Write("a", []byte("1")),
+		replication.Write("b", []byte("2")),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("aborted: %s", res.Err)
+	}
+}
+
+func TestPublicAPIEveryProtocolConstructs(t *testing.T) {
+	for _, p := range replication.Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			cluster, err := replication.New(replication.Config{Protocol: p, Replicas: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			client := cluster.NewClient()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if _, err := client.InvokeOp(ctx, replication.Write("k", []byte("v"))); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPublicAPITechniqueRegistry(t *testing.T) {
+	techs := replication.Techniques()
+	if len(techs) != 10 {
+		t.Fatalf("%d techniques, want 10", len(techs))
+	}
+	tech, ok := replication.TechniqueOf(replication.LazyPrimary)
+	if !ok {
+		t.Fatal("lazy primary missing from registry")
+	}
+	if tech.StrongConsistency {
+		t.Fatal("lazy primary misclassified as strongly consistent")
+	}
+}
+
+func TestPublicAPITracing(t *testing.T) {
+	rec := &replication.Recorder{}
+	cluster, err := replication.New(replication.Config{
+		Protocol: replication.Passive,
+		Replicas: 3,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := client.InvokeOp(ctx, replication.Write("x", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	reqs := rec.Requests()
+	if len(reqs) != 1 {
+		t.Fatalf("%d traced requests", len(reqs))
+	}
+	if got := rec.SequenceString(reqs[0]); got != "RE EX AC END" {
+		t.Fatalf("passive sequence = %q", got)
+	}
+}
+
+func ExampleNew() {
+	cluster, err := replication.New(replication.Config{
+		Protocol: replication.Active,
+		Replicas: 3,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer cluster.Close()
+
+	client := cluster.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := client.InvokeOp(ctx, replication.Write("k", []byte("v"))); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := client.InvokeOp(ctx, replication.Read("k"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(string(res.Reads["k"]))
+	// Output: v
+}
