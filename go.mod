@@ -1,0 +1,3 @@
+module replication
+
+go 1.24

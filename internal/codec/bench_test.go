@@ -1,6 +1,15 @@
-package codec
+package codec_test
 
-import "testing"
+import (
+	"testing"
+
+	"replication/internal/codec"
+
+	_ "replication/internal/consensus"
+	_ "replication/internal/core"
+	_ "replication/internal/group"
+	_ "replication/internal/tpc"
+)
 
 type benchMsg struct {
 	ReqID  uint64
@@ -17,36 +26,105 @@ func benchValue() *benchMsg {
 	}
 }
 
-// BenchmarkMarshal measures per-message encoding — paid once per
-// simulated wire crossing.
+// BenchmarkMarshal measures per-message encoding of a non-Wire type —
+// the gob fallback paid once per simulated wire crossing.
 func BenchmarkMarshal(b *testing.B) {
 	v := benchValue()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Marshal(v); err != nil {
+		if _, err := codec.Marshal(v); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkUnmarshal measures per-message decoding.
+// BenchmarkUnmarshal measures per-message decoding of a non-Wire type.
 func BenchmarkUnmarshal(b *testing.B) {
-	data := MustMarshal(benchValue())
+	data := codec.MustMarshal(benchValue())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var out benchMsg
-		if err := Unmarshal(data, &out); err != nil {
+		if err := codec.Unmarshal(data, &out); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-// BenchmarkRoundTrip is the full wire cost per message.
+// BenchmarkRoundTrip is the full gob-fallback wire cost per message.
 func BenchmarkRoundTrip(b *testing.B) {
 	v := benchValue()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var out benchMsg
-		MustUnmarshal(MustMarshal(v), &out)
+		codec.MustUnmarshal(codec.MustMarshal(v), &out)
+	}
+}
+
+// BenchmarkCodec compares the binary wire codec against the gob
+// fallback on the three messages that dominate protocol traffic: the
+// client Request, the writeset-carrying updateMsg, and the ABCAST
+// batch. Subbenchmark names are <payload>/<codec>/<direction>; allocs/op
+// come from ReportAllocs, payload size is reported as the wire_bytes
+// metric, and b.SetBytes makes throughput comparable as MB/s.
+// EXPERIMENTS.md records the measured deltas.
+func BenchmarkCodec(b *testing.B) {
+	cases := []struct{ name, kind string }{
+		{"request", "core.req"},
+		{"update", "core.update"},
+		{"abbatch", "group.ab.batch"},
+	}
+	for _, c := range cases {
+		p, ok := codec.Lookup(c.kind)
+		if !ok {
+			b.Fatalf("kind %s not registered", c.kind)
+		}
+		sample := p.Sample()
+		wireData := codec.MustMarshal(sample)
+		gobData, err := codec.GobMarshal(sample)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run(c.name+"/wire/marshal", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(wireData)))
+			b.ReportMetric(float64(len(wireData)), "wire_bytes")
+			for i := 0; i < b.N; i++ {
+				codec.MustMarshal(sample)
+			}
+		})
+		b.Run(c.name+"/gob/marshal", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(gobData)))
+			b.ReportMetric(float64(len(gobData)), "wire_bytes")
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.GobMarshal(sample); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(c.name+"/wire/unmarshal", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(wireData)))
+			for i := 0; i < b.N; i++ {
+				codec.MustUnmarshal(wireData, p.New())
+			}
+		})
+		b.Run(c.name+"/gob/unmarshal", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(gobData)))
+			for i := 0; i < b.N; i++ {
+				codec.MustUnmarshal(gobData, p.New())
+			}
+		})
+		b.Run(c.name+"/wire/append-marshal", func(b *testing.B) {
+			// The zero-allocation path: the caller owns a reusable buffer.
+			b.ReportAllocs()
+			b.SetBytes(int64(len(wireData)))
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				buf = codec.AppendMarshal(buf[:0], sample)
+			}
+		})
 	}
 }

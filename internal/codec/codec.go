@@ -4,34 +4,127 @@
 // mutable state between replicas, which an in-process simulation would
 // otherwise hide.
 //
-// The encoding is stdlib encoding/gob. Senders and receivers agree on the
-// concrete payload type through the message kind, so no type registration
-// or interface encoding is required.
+// Two encodings share one framing. Every protocol message struct
+// implements the hand-rolled binary Wire interface — zero reflection,
+// varint integers, length-prefixed strings — and is encoded by the
+// pooled wire path; any other type falls back to stdlib encoding/gob.
+// A leading format/version byte distinguishes the two on the wire (see
+// DESIGN.md in this directory for the full format specification).
+// Senders and receivers agree on the concrete payload type through the
+// message kind, so no type registration or interface encoding is
+// required; the kind registry in this package exists for tests and
+// benchmarks, not for dispatch.
 package codec
 
 import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 )
 
-// Marshal encodes v with gob. v is typically a pointer to a concrete
+// Format/version bytes. Every encoded payload starts with one of these;
+// a future incompatible revision of the binary format bumps verWire.
+const (
+	verGob  = 0x00 // gob fallback: body is an encoding/gob stream
+	verWire = 0x01 // binary wire format, version 1 (DESIGN.md)
+)
+
+// IsWire reports whether data was produced by the binary wire encoder
+// (as opposed to the gob fallback). Tests use it to assert a message
+// type did not silently fall back to gob.
+func IsWire(data []byte) bool { return len(data) > 0 && data[0] == verWire }
+
+// bufPool recycles encoder scratch buffers. In steady state a Marshal
+// borrows a buffer that has already grown to message size, so encoding
+// itself allocates nothing; the only allocation per call is the
+// exact-sized payload handed to the network, which owns it until
+// delivery (payloads are retained by relays and in-flight queues, so
+// they cannot be recycled here).
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// Marshal encodes v. A v implementing Wire takes the binary path; any
+// other type is gob-encoded. v is typically a pointer to a concrete
 // message struct.
 func Marshal(v any) ([]byte, error) {
+	if w, ok := v.(Wire); ok {
+		return marshalWire(w), nil
+	}
+	return marshalGob(v)
+}
+
+// AppendMarshal appends v's framed encoding to dst and returns the
+// result — the zero-allocation path for callers that own a reusable
+// buffer.
+func AppendMarshal(dst []byte, w Wire) []byte {
+	dst = append(dst, verWire)
+	return w.AppendTo(dst)
+}
+
+// maxPooledBuf caps the scratch capacity returned to the pool: one huge
+// message (e.g. a state-transfer snapshot) must not permanently inflate
+// every pooled buffer.
+const maxPooledBuf = 64 << 10
+
+func marshalWire(w Wire) []byte {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], verWire)
+	buf = w.AppendTo(buf)
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf
+	}
+	// An oversized message keeps *bp as the original (still ≤ cap) array,
+	// so one huge Marshal neither inflates nor drains the pool.
+	bufPool.Put(bp)
+	return out
+}
+
+func marshalGob(v any) ([]byte, error) {
 	var buf bytes.Buffer
+	buf.WriteByte(verGob)
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		return nil, fmt.Errorf("codec: marshal %T: %w", v, err)
 	}
 	return buf.Bytes(), nil
 }
 
+// GobMarshal forces the gob fallback path even for types implementing
+// Wire. Cross-codec golden tests and the gob-vs-wire benchmarks use it;
+// protocol code never should.
+func GobMarshal(v any) ([]byte, error) { return marshalGob(v) }
+
 // Unmarshal decodes data into v, which must be a pointer to the concrete
-// type the sender encoded.
+// type the sender encoded. The leading format byte selects the decoder;
+// a wire-encoded payload requires v to implement Wire.
 func Unmarshal(data []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
-		return fmt.Errorf("codec: unmarshal %T: %w", v, err)
+	if len(data) == 0 {
+		return fmt.Errorf("codec: unmarshal %T: empty payload", v)
 	}
-	return nil
+	switch data[0] {
+	case verWire:
+		w, ok := v.(Wire)
+		if !ok {
+			return fmt.Errorf("codec: unmarshal %T: wire-encoded payload but type does not implement codec.Wire", v)
+		}
+		if err := w.DecodeFrom(data[1:]); err != nil {
+			return fmt.Errorf("codec: unmarshal %T: %w", v, err)
+		}
+		return nil
+	case verGob:
+		if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(v); err != nil {
+			return fmt.Errorf("codec: unmarshal %T: %w", v, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("codec: unmarshal %T: unknown format byte 0x%02x", v, data[0])
+	}
 }
 
 // MustMarshal is Marshal but panics on error. Encoding a value composed of

@@ -1,0 +1,62 @@
+package codec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Proto describes one registered wire message kind: a constructor for an
+// empty value to decode into and a constructor for a populated sample.
+// The registry exists for tests and benchmarks — the cross-codec golden
+// tests walk it to prove every registered type round-trips identically
+// under the binary codec and the gob fallback, and the enforcement test
+// walks it to prove no registered type silently falls back to gob.
+// Protocol dispatch never consults it.
+type Proto struct {
+	// Kind is the canonical payload kind (one registration per message
+	// struct, not per transport kind string).
+	Kind string
+	// New returns a zero value ready to decode into.
+	New func() Wire
+	// Sample returns a representative populated message for golden
+	// tests and benchmarks. Collections are either nil or non-empty —
+	// empty collections decode as nil under both codecs.
+	Sample func() Wire
+}
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]Proto)
+)
+
+// Register records a message kind. Each protocol package registers its
+// wire types at init; a duplicate kind is a programming error.
+func Register(kind string, newFn func() Wire, sample func() Wire) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("codec: duplicate registration of kind %q", kind))
+	}
+	registry[kind] = Proto{Kind: kind, New: newFn, Sample: sample}
+}
+
+// Protos returns all registered kinds, sorted by kind.
+func Protos() []Proto {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Proto, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Lookup returns the registration for kind.
+func Lookup(kind string) (Proto, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	p, ok := registry[kind]
+	return p, ok
+}

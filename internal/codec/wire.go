@@ -1,0 +1,314 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Wire is the hand-rolled binary encoding implemented by every protocol
+// message struct. AppendTo appends the tagless body encoding to buf and
+// returns the extended slice; DecodeFrom parses a tagless body and must
+// return an error (never panic) on malformed input. The framing around
+// the body — the leading format/version byte — is owned by Marshal and
+// Unmarshal. See DESIGN.md for the full format specification.
+type Wire interface {
+	// AppendTo appends the message body to buf and returns the result.
+	// It must not retain buf.
+	AppendTo(buf []byte) []byte
+	// DecodeFrom parses the message body from data. It must copy any
+	// bytes it keeps (the wire isolates sender and receiver state) and
+	// must consume data exactly: trailing bytes are an error.
+	DecodeFrom(data []byte) error
+}
+
+// Wire decoding errors. Reader methods record the first failure; all
+// subsequent reads return zero values, so decoders need only check once.
+var (
+	// ErrTruncated reports a payload shorter than its encoding demands.
+	ErrTruncated = errors.New("codec: truncated wire payload")
+	// ErrTrailing reports bytes left over after a complete decode.
+	ErrTrailing = errors.New("codec: trailing bytes after wire payload")
+	// ErrOverflow reports a varint longer than 64 bits.
+	ErrOverflow = errors.New("codec: varint overflow")
+	// ErrCount reports a collection length prefix exceeding the payload —
+	// rejected before allocation, so corrupt input cannot force huge
+	// allocations.
+	ErrCount = errors.New("codec: collection length exceeds payload")
+)
+
+// --- Appenders (encode side) ---
+//
+// All integers are varints: unsigned values use LEB128 (AppendUvarint),
+// signed values use zigzag (AppendVarint). Strings and byte slices are
+// length-prefixed with a uvarint. Bools are one byte, 0 or 1.
+
+// AppendUvarint appends x as a LEB128 unsigned varint.
+func AppendUvarint(buf []byte, x uint64) []byte {
+	return binary.AppendUvarint(buf, x)
+}
+
+// AppendVarint appends x as a zigzag-encoded signed varint.
+func AppendVarint(buf []byte, x int64) []byte {
+	return binary.AppendVarint(buf, x)
+}
+
+// AppendBool appends b as one byte (1 for true, 0 for false).
+func AppendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendString appends s as uvarint length followed by its bytes.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendMapBytes appends a string-keyed byte-slice map as a count
+// followed by (key, value) pairs sorted by key — the shared encoding of
+// every map on the wire (deterministic by construction).
+func AppendMapBytes[K ~string](buf []byte, m map[K][]byte) []byte {
+	keys := sortedKeys(m)
+	buf = AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = AppendString(buf, k)
+		buf = AppendBytes(buf, m[K(k)])
+	}
+	return buf
+}
+
+// AppendMapUvarint appends a string-keyed uint64 map as a count
+// followed by (key, value) pairs sorted by key.
+func AppendMapUvarint[K ~string](buf []byte, m map[K]uint64) []byte {
+	keys := sortedKeys(m)
+	buf = AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = AppendString(buf, k)
+		buf = AppendUvarint(buf, m[K(k)])
+	}
+	return buf
+}
+
+// AppendStrings appends a list of string-like values: count, then
+// length-prefixed elements.
+func AppendStrings[S ~string](buf []byte, list []S) []byte {
+	buf = AppendUvarint(buf, uint64(len(list)))
+	for _, s := range list {
+		buf = AppendString(buf, string(s))
+	}
+	return buf
+}
+
+// DecodeStrings reads a list written by AppendStrings. An empty list
+// decodes as nil.
+func DecodeStrings[S ~string](r *Reader) []S {
+	n := r.Count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]S, n)
+	for i := range out {
+		out[i] = S(r.String())
+	}
+	return out
+}
+
+func sortedKeys[K ~string, V any](m map[K]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DecodeMapBytes reads a map written by AppendMapBytes. An empty map
+// decodes as nil. (A package-level function rather than a Reader method
+// because methods cannot be generic.)
+func DecodeMapBytes[K ~string](r *Reader) map[K][]byte {
+	n := r.Count(2)
+	if n == 0 {
+		return nil
+	}
+	out := make(map[K][]byte, n)
+	for i := 0; i < n; i++ {
+		k := K(r.String())
+		out[k] = r.Bytes()
+	}
+	return out
+}
+
+// DecodeMapUvarint reads a map written by AppendMapUvarint. An empty
+// map decodes as nil.
+func DecodeMapUvarint[K ~string](r *Reader) map[K]uint64 {
+	n := r.Count(2)
+	if n == 0 {
+		return nil
+	}
+	out := make(map[K]uint64, n)
+	for i := 0; i < n; i++ {
+		k := K(r.String())
+		out[k] = r.Uvarint()
+	}
+	return out
+}
+
+// AppendBytes appends b as uvarint length followed by its bytes. A nil
+// slice encodes identically to an empty one; both decode as nil.
+func AppendBytes(buf []byte, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// --- Reader (decode side) ---
+
+// Reader is a cursor over a wire-encoded body. It is declared on the
+// stack (no allocation) and sticky on error: the first malformed read
+// poisons the reader, later reads return zero values, and Done or Err
+// reports the failure. This keeps DecodeFrom implementations straight-
+// line with a single error check at the end.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader returns a reader over data.
+func NewReader(data []byte) Reader { return Reader{data: data} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Done returns the first decoding error, or ErrTrailing if unread bytes
+// remain. DecodeFrom implementations end with `return r.Done()`.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.data) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.data)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads a LEB128 unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(r.data[r.off:])
+	switch {
+	case n > 0:
+		r.off += n
+		return x
+	case n == 0:
+		r.fail(ErrTruncated)
+	default:
+		r.fail(ErrOverflow)
+	}
+	return 0
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(r.data[r.off:])
+	switch {
+	case n > 0:
+		r.off += n
+		return x
+	case n == 0:
+		r.fail(ErrTruncated)
+	default:
+		r.fail(ErrOverflow)
+	}
+	return 0
+}
+
+// Bool reads one byte as a bool. Any non-zero byte is true.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.data) {
+		r.fail(ErrTruncated)
+		return false
+	}
+	b := r.data[r.off]
+	r.off++
+	return b != 0
+}
+
+// String reads a length-prefixed string. The result does not alias the
+// input (string conversion copies).
+func (r *Reader) String() string {
+	n := r.span()
+	if n < 0 {
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice into a fresh allocation — the
+// decoded message must not alias the network buffer. A zero length
+// decodes as nil (the canonical empty value, matching gob).
+func (r *Reader) Bytes() []byte {
+	n := r.span()
+	if n <= 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.data[r.off:r.off+n])
+	r.off += n
+	return out
+}
+
+// span reads a uvarint length and validates it against the remaining
+// bytes, returning -1 on failure.
+func (r *Reader) span() int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return -1
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(ErrCount)
+		return -1
+	}
+	return int(n)
+}
+
+// Count reads a collection length prefix and validates it against the
+// remaining payload, assuming each element occupies at least minElem
+// bytes (every encoding has ≥1 byte per element). This bounds the
+// allocation a corrupt length prefix can demand. It returns 0 on error.
+func (r *Reader) Count(minElem int) int {
+	if minElem < 1 {
+		minElem = 1
+	}
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(r.Remaining()/minElem) {
+		r.fail(ErrCount)
+		return 0
+	}
+	return int(n)
+}

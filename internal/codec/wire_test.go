@@ -1,0 +1,136 @@
+package codec
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestReaderPrimitivesRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendUvarint(buf, 0)
+	buf = AppendUvarint(buf, math.MaxUint64)
+	buf = AppendVarint(buf, -1)
+	buf = AppendVarint(buf, math.MinInt64)
+	buf = AppendBool(buf, true)
+	buf = AppendBool(buf, false)
+	buf = AppendString(buf, "héllo")
+	buf = AppendString(buf, "")
+	buf = AppendBytes(buf, []byte{1, 2, 3})
+	buf = AppendBytes(buf, nil)
+
+	r := NewReader(buf)
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("uvarint 0: got %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint max: got %d", got)
+	}
+	if got := r.Varint(); got != -1 {
+		t.Errorf("varint -1: got %d", got)
+	}
+	if got := r.Varint(); got != math.MinInt64 {
+		t.Errorf("varint min: got %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bool round trip failed")
+	}
+	if got := r.String(); got != "héllo" {
+		t.Errorf("string: got %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty string: got %q", got)
+	}
+	if got := r.Bytes(); string(got) != "\x01\x02\x03" {
+		t.Errorf("bytes: got %v", got)
+	}
+	if got := r.Bytes(); got != nil {
+		t.Errorf("nil bytes: got %v", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatalf("done: %v", err)
+	}
+}
+
+func TestReaderBytesDoNotAlias(t *testing.T) {
+	buf := AppendBytes(nil, []byte("abc"))
+	r := NewReader(buf)
+	out := r.Bytes()
+	buf[1] = 'X'
+	if string(out) != "abc" {
+		t.Fatalf("decoded bytes alias the input: %q", out)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	t.Run("truncated-varint", func(t *testing.T) {
+		r := NewReader([]byte{0x80}) // continuation bit with no next byte
+		r.Uvarint()
+		if !errors.Is(r.Err(), ErrTruncated) {
+			t.Fatalf("want ErrTruncated, got %v", r.Err())
+		}
+	})
+	t.Run("overflowing-varint", func(t *testing.T) {
+		r := NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+		r.Uvarint()
+		if !errors.Is(r.Err(), ErrOverflow) {
+			t.Fatalf("want ErrOverflow, got %v", r.Err())
+		}
+	})
+	t.Run("length-past-end", func(t *testing.T) {
+		r := NewReader([]byte{0x05, 'a'}) // claims 5 bytes, has 1
+		r.Bytes()
+		if !errors.Is(r.Err(), ErrCount) {
+			t.Fatalf("want ErrCount, got %v", r.Err())
+		}
+	})
+	t.Run("count-past-end", func(t *testing.T) {
+		r := NewReader(AppendUvarint(nil, 1<<40))
+		if n := r.Count(2); n != 0 {
+			t.Fatalf("huge count accepted: %d", n)
+		}
+		if !errors.Is(r.Err(), ErrCount) {
+			t.Fatalf("want ErrCount, got %v", r.Err())
+		}
+	})
+	t.Run("trailing-bytes", func(t *testing.T) {
+		r := NewReader([]byte{0x01, 0x02})
+		r.Uvarint()
+		if !errors.Is(r.Done(), ErrTrailing) {
+			t.Fatalf("want ErrTrailing, got %v", r.Done())
+		}
+	})
+	t.Run("sticky", func(t *testing.T) {
+		r := NewReader([]byte{0x80})
+		r.Uvarint()
+		first := r.Err()
+		// Every later read is a no-op returning zero values.
+		if r.Uvarint() != 0 || r.String() != "" || r.Bytes() != nil || r.Bool() {
+			t.Fatal("reads after error returned non-zero values")
+		}
+		if !errors.Is(r.Err(), first) {
+			t.Fatal("first error was not preserved")
+		}
+	})
+}
+
+func TestUnmarshalFormatDispatch(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var x int
+		if err := Unmarshal(nil, &x); err == nil {
+			t.Fatal("empty payload must error")
+		}
+	})
+	t.Run("unknown-tag", func(t *testing.T) {
+		var x int
+		if err := Unmarshal([]byte{0x7f, 1, 2}, &x); err == nil {
+			t.Fatal("unknown format byte must error")
+		}
+	})
+	t.Run("wire-into-non-wire-type", func(t *testing.T) {
+		var x int
+		if err := Unmarshal([]byte{verWire, 0x01}, &x); err == nil {
+			t.Fatal("wire payload into non-Wire type must error")
+		}
+	})
+}

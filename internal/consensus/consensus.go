@@ -110,6 +110,7 @@ type instance struct {
 	decision  []byte
 	loop      bool // a round loop is running
 	done      chan struct{}
+	sig       chan struct{} // pulsed on every state change (wakes waiters)
 }
 
 func newInstance() *instance {
@@ -118,6 +119,17 @@ func newInstance() *instance {
 		proposals: make(map[int]*proposeMsg),
 		acks:      make(map[int]map[simnet.NodeID]bool),
 		done:      make(chan struct{}),
+		sig:       make(chan struct{}, 1),
+	}
+}
+
+// notify wakes a blocked waitCondQuery after a state change. The
+// buffered, non-blocking pulse coalesces bursts; a waiter re-evaluates
+// its condition on each pulse instead of sleeping out a poll interval.
+func (ins *instance) notify() {
+	select {
+	case ins.sig <- struct{}{}:
+	default:
 	}
 }
 
@@ -393,29 +405,41 @@ func (m *Manager) collectAcks(id uint64, ins *instance, round int) ([]byte, bool
 	return p.Value, true
 }
 
-// waitCondQuery polls cond until true; it returns false only if the node
-// crashed, so waiters unwind. While waiting it periodically asks peers
-// whether the instance has already been decided — this recovers liveness
-// when the decide broadcast was lost (e.g. the process was partitioned
-// away when the group decided and healed later).
+// waitCondQuery waits for cond to become true; it returns false only if
+// the node crashed, so waiters unwind. The wait is event-driven: every
+// recorded estimate, proposal, ack and decision pulses the instance's
+// signal channel, so the common case wakes at message-arrival latency
+// rather than sleeping out a poll quantum (the poll interval remains as
+// a fallback — failure-detector suspicion changes are not signalled).
+// While waiting it periodically asks peers whether the instance has
+// already been decided — this recovers liveness when the decide
+// broadcast was lost (e.g. the process was partitioned away when the
+// group decided and healed later).
 func (m *Manager) waitCondQuery(id uint64, ins *instance, cond func() bool) bool {
-	const queryEvery = 40 // polls between decision queries (~8ms at default poll)
-	query := codec.MustMarshal(&decideMsg{Instance: id})
-	for i := 0; ; i++ {
+	const queryEvery = 40 // poll timeouts between decision queries (~8ms at default poll)
+	timer := time.NewTimer(m.poll)
+	defer timer.Stop()
+	for i := 0; ; {
 		if cond() {
 			return true
 		}
 		if m.node.Crashed() {
 			return false
 		}
-		if i > 0 && i%queryEvery == 0 && !ins.isDecided() {
-			for _, peer := range m.members {
-				if peer != m.node.ID() {
-					_ = m.node.Send(peer, m.name+kindQuery, query)
+		select {
+		case <-ins.sig:
+		case <-timer.C:
+			i++
+			if i%queryEvery == 0 && !ins.isDecided() {
+				query := codec.MustMarshal(&decideMsg{Instance: id})
+				for _, peer := range m.members {
+					if peer != m.node.ID() {
+						_ = m.node.Send(peer, m.name+kindQuery, query)
+					}
 				}
 			}
+			timer.Reset(m.poll)
 		}
-		time.Sleep(m.poll)
 	}
 }
 
@@ -452,6 +476,7 @@ func (m *Manager) decideLocal(id uint64, value []byte) {
 	ins.decision = value
 	close(ins.done)
 	ins.mu.Unlock()
+	ins.notify()
 
 	m.mu.Lock()
 	m.decided[id] = value
@@ -475,6 +500,7 @@ func (m *Manager) recordEstimate(ins *instance, from simnet.NodeID, e estimateMs
 		ins.estimates[e.Round] = make(map[simnet.NodeID]estimateMsg)
 	}
 	ins.estimates[e.Round][from] = e
+	ins.notify()
 }
 
 func (m *Manager) recordProposal(ins *instance, p proposeMsg) {
@@ -483,6 +509,7 @@ func (m *Manager) recordProposal(ins *instance, p proposeMsg) {
 	if ins.proposals[p.Round] == nil {
 		ins.proposals[p.Round] = &p
 	}
+	ins.notify()
 }
 
 func (m *Manager) recordAck(ins *instance, from simnet.NodeID, round int, ack bool) {
@@ -492,6 +519,7 @@ func (m *Manager) recordAck(ins *instance, from simnet.NodeID, round int, ack bo
 		ins.acks[round] = make(map[simnet.NodeID]bool)
 	}
 	ins.acks[round][from] = ack
+	ins.notify()
 }
 
 func (m *Manager) onEstimate(msg simnet.Message) {

@@ -1,0 +1,93 @@
+package consensus
+
+import "replication/internal/codec"
+
+// Binary wire codec (codec.Wire) for the consensus round messages. The
+// consensus layer is the substrate under every ABCAST batch and view
+// change, so these four small messages are among the hottest on the
+// simulated network. The format is specified in internal/codec/DESIGN.md.
+
+// AppendTo implements codec.Wire.
+func (m *estimateMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.Instance)
+	buf = codec.AppendVarint(buf, int64(m.Round))
+	buf = codec.AppendBytes(buf, m.Value)
+	buf = codec.AppendVarint(buf, int64(m.Ts))
+	return codec.AppendBool(buf, m.HasValue)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *estimateMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Instance = r.Uvarint()
+	m.Round = int(r.Varint())
+	m.Value = r.Bytes()
+	m.Ts = int(r.Varint())
+	m.HasValue = r.Bool()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *proposeMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.Instance)
+	buf = codec.AppendVarint(buf, int64(m.Round))
+	return codec.AppendBytes(buf, m.Value)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *proposeMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Instance = r.Uvarint()
+	m.Round = int(r.Varint())
+	m.Value = r.Bytes()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *ackMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.Instance)
+	buf = codec.AppendVarint(buf, int64(m.Round))
+	return codec.AppendBool(buf, m.Ack)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *ackMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Instance = r.Uvarint()
+	m.Round = int(r.Varint())
+	m.Ack = r.Bool()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *decideMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.Instance)
+	return codec.AppendBytes(buf, m.Value)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *decideMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Instance = r.Uvarint()
+	m.Value = r.Bytes()
+	return r.Done()
+}
+
+// Registration for the cross-codec golden tests, the gob-fallback
+// enforcement test, and the gob-vs-wire benchmarks (internal/codec).
+func init() {
+	codec.Register("cs.estimate",
+		func() codec.Wire { return new(estimateMsg) },
+		func() codec.Wire {
+			return &estimateMsg{Instance: 4, Round: 1, Value: []byte("batch"), Ts: 1, HasValue: true}
+		})
+	codec.Register("cs.propose",
+		func() codec.Wire { return new(proposeMsg) },
+		func() codec.Wire { return &proposeMsg{Instance: 4, Round: 1, Value: []byte("batch")} })
+	codec.Register("cs.ack",
+		func() codec.Wire { return new(ackMsg) },
+		func() codec.Wire { return &ackMsg{Instance: 4, Round: 1, Ack: true} })
+	codec.Register("cs.decide",
+		func() codec.Wire { return new(decideMsg) },
+		func() codec.Wire { return &decideMsg{Instance: 4, Value: []byte("batch")} })
+}

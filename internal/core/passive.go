@@ -281,13 +281,15 @@ func primarySubmit(c *Cluster, kind string) submitFunc {
 }
 
 // snapshotOf captures a replica's store for state transfer.
-func snapshotOf(r *replica) map[string][]byte { return r.store.Snapshot() }
+func snapshotOf(r *replica) *storeSnapshot {
+	return &storeSnapshot{KV: r.store.Snapshot()}
+}
 
 // applySnapshot restores a transferred snapshot.
 func applySnapshot(r *replica, b []byte) {
-	var snap map[string][]byte
+	var snap storeSnapshot
 	codec.MustUnmarshal(b, &snap)
-	r.store.Restore(snap, "state-transfer")
+	r.store.Restore(snap.KV, "state-transfer")
 }
 
 // operatorReconfigure implements operator-driven fail-over.

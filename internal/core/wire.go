@@ -1,0 +1,341 @@
+package core
+
+import (
+	"replication/internal/codec"
+	"replication/internal/simnet"
+	"replication/internal/storage"
+	"replication/internal/txn"
+)
+
+// Binary wire codec (codec.Wire) for every core protocol message. Each
+// message implements AppendTo/DecodeFrom by hand — zero reflection on
+// the hot path — composing the shared body encoders of packages txn and
+// storage. The format is specified in internal/codec/DESIGN.md. The
+// decodeWire helpers exist so messages embedding other messages
+// (eabEnvelope, certMsg wrap a Request) share one cursor.
+
+// --- Request ---
+
+// AppendTo implements codec.Wire.
+func (m *Request) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.ID)
+	buf = codec.AppendVarint(buf, int64(m.Attempt))
+	buf = codec.AppendString(buf, string(m.Client))
+	return m.Txn.AppendWire(buf)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *Request) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.decodeWire(&r)
+	return r.Done()
+}
+
+func (m *Request) decodeWire(r *codec.Reader) {
+	m.ID = r.Uvarint()
+	m.Attempt = int(r.Varint())
+	m.Client = simnet.NodeID(r.String())
+	m.Txn.DecodeWire(r)
+}
+
+// --- Response ---
+
+// AppendTo implements codec.Wire.
+func (m *Response) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.ID)
+	return m.Result.AppendWire(buf)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *Response) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.decodeWire(&r)
+	return r.Done()
+}
+
+func (m *Response) decodeWire(r *codec.Reader) {
+	m.ID = r.Uvarint()
+	m.Result.DecodeWire(r)
+}
+
+// --- updateMsg ---
+
+// AppendTo implements codec.Wire.
+func (m *updateMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.ReqID)
+	buf = codec.AppendString(buf, m.TxnID)
+	buf = codec.AppendString(buf, string(m.Client))
+	buf = m.WS.AppendWire(buf)
+	buf = m.Result.AppendWire(buf)
+	buf = codec.AppendString(buf, string(m.Origin))
+	return codec.AppendUvarint(buf, m.Wall)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *updateMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.ReqID = r.Uvarint()
+	m.TxnID = r.String()
+	m.Client = simnet.NodeID(r.String())
+	m.WS.DecodeWire(&r)
+	m.Result.DecodeWire(&r)
+	m.Origin = simnet.NodeID(r.String())
+	m.Wall = r.Uvarint()
+	return r.Done()
+}
+
+// --- rpcAnswer ---
+
+// AppendTo implements codec.Wire.
+func (m *rpcAnswer) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, string(m.Redirect))
+	return m.Resp.AppendTo(buf)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *rpcAnswer) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Redirect = simnet.NodeID(r.String())
+	m.Resp.decodeWire(&r)
+	return r.Done()
+}
+
+// --- epStage ---
+
+// AppendTo implements codec.Wire.
+func (m *epStage) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.ReqID)
+	buf = codec.AppendString(buf, m.TxnID)
+	return m.WS.AppendWire(buf)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *epStage) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.ReqID = r.Uvarint()
+	m.TxnID = r.String()
+	m.WS.DecodeWire(&r)
+	return r.Done()
+}
+
+// --- eager-lock-UE messages ---
+
+// AppendTo implements codec.Wire.
+func (m *ueLockMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, m.TxnID)
+	return codec.AppendString(buf, m.Key)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *ueLockMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.TxnID = r.String()
+	m.Key = r.String()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *ueLockReply) AppendTo(buf []byte) []byte {
+	buf = codec.AppendBool(buf, m.OK)
+	return codec.AppendBool(buf, m.Deadlock)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *ueLockReply) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.OK = r.Bool()
+	m.Deadlock = r.Bool()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *ueExecMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.ReqID)
+	buf = codec.AppendString(buf, m.TxnID)
+	return m.WS.AppendWire(buf)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *ueExecMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.ReqID = r.Uvarint()
+	m.TxnID = r.String()
+	m.WS.DecodeWire(&r)
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *ueReleaseMsg) AppendTo(buf []byte) []byte {
+	return codec.AppendString(buf, m.TxnID)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *ueReleaseMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.TxnID = r.String()
+	return r.Done()
+}
+
+// --- eabEnvelope ---
+
+// AppendTo implements codec.Wire.
+func (m *eabEnvelope) AppendTo(buf []byte) []byte {
+	buf = m.Req.AppendTo(buf)
+	return codec.AppendString(buf, string(m.Delegate))
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *eabEnvelope) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Req.decodeWire(&r)
+	m.Delegate = simnet.NodeID(r.String())
+	return r.Done()
+}
+
+// --- certMsg ---
+
+// AppendTo implements codec.Wire.
+func (m *certMsg) AppendTo(buf []byte) []byte {
+	buf = m.Req.AppendTo(buf)
+	buf = codec.AppendString(buf, string(m.Delegate))
+	buf = m.RS.AppendWire(buf)
+	buf = m.WS.AppendWire(buf)
+	return m.Result.AppendWire(buf)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *certMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Req.decodeWire(&r)
+	m.Delegate = simnet.NodeID(r.String())
+	m.RS.DecodeWire(&r)
+	m.WS.DecodeWire(&r)
+	m.Result.DecodeWire(&r)
+	return r.Done()
+}
+
+// --- decisionMsg (semi-active) ---
+
+// AppendTo implements codec.Wire.
+func (m *decisionMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, m.Key)
+	return codec.AppendBytes(buf, m.Value)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *decisionMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Key = r.String()
+	m.Value = r.Bytes()
+	return r.Done()
+}
+
+// --- storeSnapshot (view-group state transfer) ---
+
+// storeSnapshot wraps a store snapshot for state transfer so it crosses
+// the wire through the binary codec rather than the gob fallback.
+type storeSnapshot struct {
+	KV map[string][]byte
+}
+
+// AppendTo implements codec.Wire: sorted (key, value) pairs.
+func (m *storeSnapshot) AppendTo(buf []byte) []byte {
+	return codec.AppendMapBytes(buf, m.KV)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *storeSnapshot) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.KV = codec.DecodeMapBytes[string](&r)
+	return r.Done()
+}
+
+// Registration for the cross-codec golden tests, the gob-fallback
+// enforcement test, and the gob-vs-wire benchmarks (internal/codec).
+func init() {
+	codec.Register("core.req",
+		func() codec.Wire { return new(Request) },
+		func() codec.Wire {
+			return &Request{
+				ID: 1<<32 + 7, Attempt: 2, Client: "c1",
+				Txn: txn.Transaction{ID: "t42", Ops: []txn.Op{
+					txn.R("alpha"),
+					txn.W("beta", []byte("value-1")),
+					txn.N("gamma"),
+					txn.P("transfer", []byte(`{"amt":5}`), "acct1", "acct2"),
+				}},
+			}
+		})
+	codec.Register("core.resp",
+		func() codec.Wire { return new(Response) },
+		func() codec.Wire {
+			return &Response{ID: 99, Result: txn.Result{
+				Committed: true,
+				Reads:     map[string][]byte{"alpha": []byte("v1"), "beta": nil},
+			}}
+		})
+	codec.Register("core.update",
+		func() codec.Wire { return new(updateMsg) },
+		func() codec.Wire {
+			return &updateMsg{
+				ReqID: 7, TxnID: "t7", Client: "c2", Origin: "r0", Wall: 1234,
+				WS: storage.WriteSet{
+					{Key: "beta", Value: []byte("value-1")},
+					{Key: "gamma", Value: []byte("nd-abc")},
+				},
+				Result: txn.Result{Committed: true, Reads: map[string][]byte{"alpha": []byte("v1")}},
+			}
+		})
+	codec.Register("core.rpc-answer",
+		func() codec.Wire { return new(rpcAnswer) },
+		func() codec.Wire {
+			return &rpcAnswer{Redirect: "r2", Resp: Response{ID: 3, Result: txn.Result{Err: "redirected"}}}
+		})
+	codec.Register("core.snapshot",
+		func() codec.Wire { return new(storeSnapshot) },
+		func() codec.Wire {
+			return &storeSnapshot{KV: map[string][]byte{"a": []byte("1"), "b": []byte("2")}}
+		})
+	codec.Register("ep.stage",
+		func() codec.Wire { return new(epStage) },
+		func() codec.Wire {
+			return &epStage{ReqID: 5, TxnID: "t5-a0", WS: storage.WriteSet{{Key: "k", Value: []byte("v")}}}
+		})
+	codec.Register("ue.lock",
+		func() codec.Wire { return new(ueLockMsg) },
+		func() codec.Wire { return &ueLockMsg{TxnID: "t9-dr1-a0-1", Key: "acct"} })
+	codec.Register("ue.lock-reply",
+		func() codec.Wire { return new(ueLockReply) },
+		func() codec.Wire { return &ueLockReply{OK: false, Deadlock: true} })
+	codec.Register("ue.exec",
+		func() codec.Wire { return new(ueExecMsg) },
+		func() codec.Wire {
+			return &ueExecMsg{ReqID: 11, TxnID: "t11", WS: storage.WriteSet{{Key: "x", Value: []byte("y")}}}
+		})
+	codec.Register("ue.release",
+		func() codec.Wire { return new(ueReleaseMsg) },
+		func() codec.Wire { return &ueReleaseMsg{TxnID: "t13"} })
+	codec.Register("eab.env",
+		func() codec.Wire { return new(eabEnvelope) },
+		func() codec.Wire {
+			return &eabEnvelope{Delegate: "r1", Req: Request{
+				ID: 21, Client: "c3",
+				Txn: txn.Transaction{ID: "t21", Ops: []txn.Op{txn.W("k", []byte("v"))}},
+			}}
+		})
+	codec.Register("cert.record",
+		func() codec.Wire { return new(certMsg) },
+		func() codec.Wire {
+			return &certMsg{
+				Delegate: "r2",
+				Req: Request{ID: 31, Client: "c4",
+					Txn: txn.Transaction{ID: "t31", Ops: []txn.Op{txn.R("a"), txn.W("b", []byte("v"))}}},
+				RS:     txn.ReadSet{"a": 17},
+				WS:     storage.WriteSet{{Key: "b", Value: []byte("v")}},
+				Result: txn.Result{Committed: true, Reads: map[string][]byte{"a": []byte("old")}},
+			}
+		})
+	codec.Register("sa.decision",
+		func() codec.Wire { return new(decisionMsg) },
+		func() codec.Wire { return &decisionMsg{Key: "41/0", Value: []byte("nd-77")} })
+}

@@ -1,0 +1,317 @@
+package group
+
+import (
+	"replication/internal/codec"
+	"replication/internal/simnet"
+	"replication/internal/vclock"
+)
+
+// Binary wire codec (codec.Wire) for every group-communication message:
+// reliable/FIFO/causal broadcast envelopes, ABCAST submissions and
+// batches, and the view-synchronous message family. The format is
+// specified in internal/codec/DESIGN.md.
+
+// appendNodeIDs appends a membership list: count, then IDs.
+func appendNodeIDs(buf []byte, ids []simnet.NodeID) []byte {
+	return codec.AppendStrings(buf, ids)
+}
+
+// decodeNodeIDs reads a membership list; empty decodes as nil.
+func decodeNodeIDs(r *codec.Reader) []simnet.NodeID {
+	return codec.DecodeStrings[simnet.NodeID](r)
+}
+
+// --- reliable / FIFO / causal broadcast ---
+
+// AppendTo implements codec.Wire.
+func (m *rbMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, string(m.Origin))
+	buf = codec.AppendUvarint(buf, m.Seq)
+	return codec.AppendBytes(buf, m.Data)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *rbMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Origin = simnet.NodeID(r.String())
+	m.Seq = r.Uvarint()
+	m.Data = r.Bytes()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *fifoMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.Seq)
+	return codec.AppendBytes(buf, m.Data)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *fifoMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Seq = r.Uvarint()
+	m.Data = r.Bytes()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *causalMsg) AppendTo(buf []byte) []byte {
+	buf = m.Clock.AppendWire(buf)
+	return codec.AppendBytes(buf, m.Data)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *causalMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Clock.DecodeWire(&r)
+	m.Data = r.Bytes()
+	return r.Done()
+}
+
+// --- atomic broadcast ---
+
+// AppendTo implements codec.Wire.
+func (m *abSubmit) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, string(m.Origin))
+	buf = codec.AppendUvarint(buf, m.Seq)
+	return codec.AppendBytes(buf, m.Data)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *abSubmit) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.decodeWire(&r)
+	return r.Done()
+}
+
+func (m *abSubmit) decodeWire(r *codec.Reader) {
+	m.Origin = simnet.NodeID(r.String())
+	m.Seq = r.Uvarint()
+	m.Data = r.Bytes()
+}
+
+// AppendTo implements codec.Wire.
+func (m *abBatch) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(m.Entries)))
+	for i := range m.Entries {
+		buf = m.Entries[i].AppendTo(buf)
+	}
+	return buf
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *abBatch) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	n := r.Count(3) // each entry is at least three varints
+	if n == 0 {
+		m.Entries = nil
+		return r.Done()
+	}
+	m.Entries = make([]abSubmit, n)
+	for i := range m.Entries {
+		m.Entries[i].decodeWire(&r)
+	}
+	return r.Done()
+}
+
+// --- view-synchronous broadcast ---
+
+// AppendTo implements codec.Wire.
+func (m *vsMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.ViewID)
+	buf = codec.AppendString(buf, string(m.Origin))
+	buf = codec.AppendUvarint(buf, m.Seq)
+	return codec.AppendBytes(buf, m.Data)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *vsMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.decodeWire(&r)
+	return r.Done()
+}
+
+func (m *vsMsg) decodeWire(r *codec.Reader) {
+	m.ViewID = r.Uvarint()
+	m.Origin = simnet.NodeID(r.String())
+	m.Seq = r.Uvarint()
+	m.Data = r.Bytes()
+}
+
+// appendVsMsgs appends a flush-set list of vsMsgs.
+func appendVsMsgs(buf []byte, msgs []vsMsg) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(msgs)))
+	for i := range msgs {
+		buf = msgs[i].AppendTo(buf)
+	}
+	return buf
+}
+
+// decodeVsMsgs reads a flush-set list; empty decodes as nil.
+func decodeVsMsgs(r *codec.Reader) []vsMsg {
+	n := r.Count(4) // each vsMsg is at least four varints
+	if n == 0 {
+		return nil
+	}
+	out := make([]vsMsg, n)
+	for i := range out {
+		out[i].decodeWire(r)
+	}
+	return out
+}
+
+// AppendTo implements codec.Wire.
+func (m *vsAck) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, string(m.Origin))
+	return codec.AppendUvarint(buf, m.Seq)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *vsAck) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Origin = simnet.NodeID(r.String())
+	m.Seq = r.Uvarint()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *vsFlushReq) AppendTo(buf []byte) []byte {
+	return codec.AppendUvarint(buf, m.FromView)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *vsFlushReq) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.FromView = r.Uvarint()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *vsFlushResp) AppendTo(buf []byte) []byte {
+	return appendVsMsgs(buf, m.Msgs)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *vsFlushResp) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Msgs = decodeVsMsgs(&r)
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *vsViewValue) AppendTo(buf []byte) []byte {
+	buf = appendNodeIDs(buf, m.Members)
+	return appendVsMsgs(buf, m.Flush)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *vsViewValue) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Members = decodeNodeIDs(&r)
+	m.Flush = decodeVsMsgs(&r)
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *vsProposeCmd) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.TargetView)
+	return codec.AppendBytes(buf, m.Value)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *vsProposeCmd) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.TargetView = r.Uvarint()
+	m.Value = r.Bytes()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire. The delivered vector sorts by origin,
+// so the encoding is deterministic.
+func (m *vsState) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.ViewID)
+	buf = appendNodeIDs(buf, m.Members)
+	buf = codec.AppendBytes(buf, m.Snapshot)
+	return codec.AppendMapUvarint(buf, m.Delivered)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *vsState) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.ViewID = r.Uvarint()
+	m.Members = decodeNodeIDs(&r)
+	m.Snapshot = r.Bytes()
+	m.Delivered = codec.DecodeMapUvarint[simnet.NodeID](&r)
+	return r.Done()
+}
+
+// Registration for the cross-codec golden tests, the gob-fallback
+// enforcement test, and the gob-vs-wire benchmarks (internal/codec).
+func init() {
+	codec.Register("group.rb",
+		func() codec.Wire { return new(rbMsg) },
+		func() codec.Wire { return &rbMsg{Origin: "r0", Seq: 9, Data: []byte("payload")} })
+	codec.Register("group.fifo",
+		func() codec.Wire { return new(fifoMsg) },
+		func() codec.Wire { return &fifoMsg{Seq: 3, Data: []byte("ordered")} })
+	codec.Register("group.causal",
+		func() codec.Wire { return new(causalMsg) },
+		func() codec.Wire {
+			return &causalMsg{Clock: vclock.VC{"r0": 4, "r1": 2}, Data: []byte("causal")}
+		})
+	codec.Register("group.ab.submit",
+		func() codec.Wire { return new(abSubmit) },
+		func() codec.Wire { return &abSubmit{Origin: "c1", Seq: 12, Data: []byte("request")} })
+	codec.Register("group.ab.batch",
+		func() codec.Wire { return new(abBatch) },
+		func() codec.Wire {
+			entries := make([]abSubmit, 0, 8)
+			for i := 0; i < 8; i++ {
+				entries = append(entries, abSubmit{
+					Origin: simnet.NodeID([]string{"c1", "c2", "r0"}[i%3]),
+					Seq:    uint64(i + 1),
+					Data:   []byte("totally-ordered request payload #0123456789abcdef"),
+				})
+			}
+			return &abBatch{Entries: entries}
+		})
+	codec.Register("group.vs.msg",
+		func() codec.Wire { return new(vsMsg) },
+		func() codec.Wire {
+			return &vsMsg{ViewID: 2, Origin: "r1", Seq: 5, Data: []byte("update")}
+		})
+	codec.Register("group.vs.ack",
+		func() codec.Wire { return new(vsAck) },
+		func() codec.Wire { return &vsAck{Origin: "r1", Seq: 5} })
+	codec.Register("group.vs.flush-req",
+		func() codec.Wire { return new(vsFlushReq) },
+		func() codec.Wire { return &vsFlushReq{FromView: 2} })
+	codec.Register("group.vs.flush-resp",
+		func() codec.Wire { return new(vsFlushResp) },
+		func() codec.Wire {
+			return &vsFlushResp{Msgs: []vsMsg{
+				{ViewID: 2, Origin: "r0", Seq: 1, Data: []byte("unstable")},
+				{ViewID: 2, Origin: "r2", Seq: 7, Data: []byte("held")},
+			}}
+		})
+	codec.Register("group.vs.view",
+		func() codec.Wire { return new(vsViewValue) },
+		func() codec.Wire {
+			return &vsViewValue{
+				Members: []simnet.NodeID{"r0", "r2"},
+				Flush:   []vsMsg{{ViewID: 2, Origin: "r0", Seq: 1, Data: []byte("carried")}},
+			}
+		})
+	codec.Register("group.vs.propose",
+		func() codec.Wire { return new(vsProposeCmd) },
+		func() codec.Wire { return &vsProposeCmd{TargetView: 3, Value: []byte("view-value")} })
+	codec.Register("group.vs.state",
+		func() codec.Wire { return new(vsState) },
+		func() codec.Wire {
+			return &vsState{
+				ViewID:    3,
+				Members:   []simnet.NodeID{"r0", "r1", "r2"},
+				Snapshot:  []byte("kv-snapshot"),
+				Delivered: map[simnet.NodeID]uint64{"r0": 12, "r1": 4},
+			}
+		})
+}

@@ -1,0 +1,45 @@
+package storage
+
+import "replication/internal/codec"
+
+// Wire encodings for the storage types embedded in protocol messages
+// (updateMsg, epStage, ueExecMsg, certMsg carry WriteSets). These are
+// body encoders composed into messages implementing codec.Wire; the
+// format is specified in internal/codec/DESIGN.md.
+
+// AppendWire appends the update's encoding: key, value.
+func (u Update) AppendWire(buf []byte) []byte {
+	buf = codec.AppendString(buf, u.Key)
+	return codec.AppendBytes(buf, u.Value)
+}
+
+// DecodeWire reads one update from r.
+func (u *Update) DecodeWire(r *codec.Reader) {
+	u.Key = r.String()
+	u.Value = r.Bytes()
+}
+
+// AppendWire appends the writeset's encoding: count, then updates in
+// order (writesets are ordered — later writes to a key supersede
+// earlier ones on apply).
+func (ws WriteSet) AppendWire(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(ws)))
+	for _, u := range ws {
+		buf = u.AppendWire(buf)
+	}
+	return buf
+}
+
+// DecodeWire reads a writeset from r. An empty writeset decodes as nil.
+func (ws *WriteSet) DecodeWire(r *codec.Reader) {
+	n := r.Count(2) // each update is at least two length prefixes
+	if n == 0 {
+		*ws = nil
+		return
+	}
+	out := make(WriteSet, n)
+	for i := range out {
+		out[i].DecodeWire(r)
+	}
+	*ws = out
+}

@@ -1,0 +1,62 @@
+package tpc
+
+import "replication/internal/codec"
+
+// Binary wire codec (codec.Wire) for the 2PC messages. The format is
+// specified in internal/codec/DESIGN.md.
+
+// AppendTo implements codec.Wire.
+func (m *prepareMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, m.TxnID)
+	return codec.AppendBytes(buf, m.Payload)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *prepareMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.TxnID = r.String()
+	m.Payload = r.Bytes()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *voteMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, m.TxnID)
+	return codec.AppendVarint(buf, int64(m.Vote))
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *voteMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.TxnID = r.String()
+	m.Vote = Vote(r.Varint())
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *outcomeMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, m.TxnID)
+	return codec.AppendVarint(buf, int64(m.Outcome))
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *outcomeMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.TxnID = r.String()
+	m.Outcome = Outcome(r.Varint())
+	return r.Done()
+}
+
+// Registration for the cross-codec golden tests, the gob-fallback
+// enforcement test, and the gob-vs-wire benchmarks (internal/codec).
+func init() {
+	codec.Register("tpc.prepare",
+		func() codec.Wire { return new(prepareMsg) },
+		func() codec.Wire { return &prepareMsg{TxnID: "t7-a0", Payload: []byte("update-record")} })
+	codec.Register("tpc.vote",
+		func() codec.Wire { return new(voteMsg) },
+		func() codec.Wire { return &voteMsg{TxnID: "t7-a0", Vote: VoteYes} })
+	codec.Register("tpc.outcome",
+		func() codec.Wire { return new(outcomeMsg) },
+		func() codec.Wire { return &outcomeMsg{TxnID: "t7-a0", Outcome: Commit} })
+}

@@ -1,0 +1,78 @@
+package txn
+
+import (
+	"replication/internal/codec"
+)
+
+// Wire encodings for the transaction types embedded in protocol
+// messages (Request carries a Transaction, every response carries a
+// Result, certification records carry a ReadSet). These are body
+// encoders composed into messages implementing codec.Wire; the format
+// is specified in internal/codec/DESIGN.md. Map encodings sort their
+// keys, so encoding is deterministic.
+
+// AppendWire appends the op's encoding: kind, key, value, access set.
+func (op Op) AppendWire(buf []byte) []byte {
+	buf = codec.AppendVarint(buf, int64(op.Kind))
+	buf = codec.AppendString(buf, op.Key)
+	buf = codec.AppendBytes(buf, op.Value)
+	return codec.AppendStrings(buf, op.Keys)
+}
+
+// DecodeWire reads one op from r.
+func (op *Op) DecodeWire(r *codec.Reader) {
+	op.Kind = OpKind(r.Varint())
+	op.Key = r.String()
+	op.Value = r.Bytes()
+	op.Keys = codec.DecodeStrings[string](r)
+}
+
+// AppendWire appends the transaction's encoding: id, ops.
+func (t Transaction) AppendWire(buf []byte) []byte {
+	buf = codec.AppendString(buf, t.ID)
+	buf = codec.AppendUvarint(buf, uint64(len(t.Ops)))
+	for _, op := range t.Ops {
+		buf = op.AppendWire(buf)
+	}
+	return buf
+}
+
+// DecodeWire reads a transaction from r.
+func (t *Transaction) DecodeWire(r *codec.Reader) {
+	t.ID = r.String()
+	n := r.Count(4) // each op is at least kind + three length prefixes
+	if n == 0 {
+		t.Ops = nil
+		return
+	}
+	t.Ops = make([]Op, n)
+	for i := range t.Ops {
+		t.Ops[i].DecodeWire(r)
+	}
+}
+
+// AppendWire appends the result's encoding: committed, error, reads
+// (sorted by key).
+func (res Result) AppendWire(buf []byte) []byte {
+	buf = codec.AppendBool(buf, res.Committed)
+	buf = codec.AppendString(buf, res.Err)
+	return codec.AppendMapBytes(buf, res.Reads)
+}
+
+// DecodeWire reads a result from r. An empty read map decodes as nil.
+func (res *Result) DecodeWire(r *codec.Reader) {
+	res.Committed = r.Bool()
+	res.Err = r.String()
+	res.Reads = codec.DecodeMapBytes[string](r)
+}
+
+// AppendWire appends the readset's encoding: sorted (key, version)
+// pairs.
+func (rs ReadSet) AppendWire(buf []byte) []byte {
+	return codec.AppendMapUvarint(buf, rs)
+}
+
+// DecodeWire reads a readset from r. An empty readset decodes as nil.
+func (rs *ReadSet) DecodeWire(r *codec.Reader) {
+	*rs = codec.DecodeMapUvarint[string](r)
+}

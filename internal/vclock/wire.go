@@ -1,0 +1,16 @@
+package vclock
+
+import "replication/internal/codec"
+
+// AppendWire appends the vector clock's encoding: sorted
+// (process, count) pairs. Sorting makes the encoding deterministic. The
+// format is specified in internal/codec/DESIGN.md.
+func (v VC) AppendWire(buf []byte) []byte {
+	return codec.AppendMapUvarint(buf, v)
+}
+
+// DecodeWire reads a vector clock from r. An empty clock decodes as nil
+// (a valid zero clock for reads, per the VC contract).
+func (v *VC) DecodeWire(r *codec.Reader) {
+	*v = codec.DecodeMapUvarint[string](r)
+}
