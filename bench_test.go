@@ -103,45 +103,54 @@ func BenchmarkProtocol(b *testing.B) {
 // serialization work sits on the critical path, so this is the
 // benchmark that shows substrate CPU improvements (e.g. the binary wire
 // codec) end to end.
+//
+// Every protocol runs over both substrates: "sim" (in-process simulated
+// links) and "tcp" (real loopback sockets) — the latter is the
+// hardware-bound data point recorded in EXPERIMENTS.md, and in CI it
+// doubles as the smoke test that the TCP path carries real load.
 func BenchmarkProtocolLoaded(b *testing.B) {
 	const clients = 16
 	for _, p := range []replication.Protocol{
-		replication.Active, replication.Certification, replication.EagerPrimary,
+		replication.Active, replication.Passive,
+		replication.Certification, replication.EagerPrimary,
 	} {
-		p := p
-		b.Run(string(p), func(b *testing.B) {
-			c, _ := benchCluster(b, replication.Config{
-				Protocol: p, Replicas: 3, LazyDelay: time.Millisecond,
-			})
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
-			defer cancel()
-			cls := make([]*replication.Client, clients)
-			for i := range cls {
-				cls[i] = c.NewClient()
-			}
-			b.ResetTimer()
-			var wg sync.WaitGroup
-			for ci := range cls {
-				n := b.N / clients
-				if ci < b.N%clients {
-					n++
+		for _, tp := range []replication.Transport{replication.TransportSim, replication.TransportTCP} {
+			p, tp := p, tp
+			b.Run(string(p)+"/"+string(tp), func(b *testing.B) {
+				c, _ := benchCluster(b, replication.Config{
+					Protocol: p, Replicas: 3, LazyDelay: time.Millisecond,
+					Transport: tp,
+				})
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+				defer cancel()
+				cls := make([]*replication.Client, clients)
+				for i := range cls {
+					cls[i] = c.NewClient()
 				}
-				wg.Add(1)
-				go func(ci, n int) {
-					defer wg.Done()
-					gen := workload.New(workload.Config{
-						WriteFraction: 1, Keys: 1024, Seed: int64(ci + 1),
-					})
-					for i := 0; i < n; i++ {
-						if _, err := cls[ci].Invoke(ctx, gen.NextTxn("")); err != nil {
-							b.Error(err)
-							return
-						}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for ci := range cls {
+					n := b.N / clients
+					if ci < b.N%clients {
+						n++
 					}
-				}(ci, n)
-			}
-			wg.Wait()
-		})
+					wg.Add(1)
+					go func(ci, n int) {
+						defer wg.Done()
+						gen := workload.New(workload.Config{
+							WriteFraction: 1, Keys: 1024, Seed: int64(ci + 1),
+						})
+						for i := 0; i < n; i++ {
+							if _, err := cls[ci].Invoke(ctx, gen.NextTxn("")); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(ci, n)
+				}
+				wg.Wait()
+			})
+		}
 	}
 }
 

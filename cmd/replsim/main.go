@@ -8,6 +8,7 @@
 //
 //	replsim -protocol active -replicas 3 -ops 500 -writes 0.5
 //	replsim -protocol lazy-ue -lazy-delay 10ms -trace
+//	replsim -protocol active -transport tcp
 //	replsim -list
 package main
 
@@ -41,7 +42,8 @@ func main() {
 		zipf      = flag.Float64("zipf", 0, "Zipf skew (>1 skews; 0 uniform)")
 		lazyDelay = flag.Duration("lazy-delay", time.Millisecond, "lazy propagation delay")
 		lazyOrder = flag.String("lazy-ue-order", "lww", "lazy-ue reconciliation: lww or abcast")
-		latency   = flag.Duration("latency", 100*time.Microsecond, "one-way network latency")
+		latency   = flag.Duration("latency", 100*time.Microsecond, "one-way network latency (sim transport)")
+		tport     = flag.String("transport", "sim", "message substrate: sim (simulated) or tcp (real loopback sockets)")
 		crash     = flag.Bool("crash", false, "crash the distinguished replica mid-run")
 		showTrace = flag.Bool("trace", false, "print the phase trace of the first request")
 		list      = flag.Bool("list", false, "list techniques and exit")
@@ -62,7 +64,7 @@ func main() {
 	}
 
 	if err := run(*protocol, *replicas, *clients, *ops, *writes, *keys, *opsPerTxn,
-		*zipf, *lazyDelay, *lazyOrder, *latency, *crash, *showTrace); err != nil {
+		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *crash, *showTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "replsim:", err)
 		os.Exit(1)
 	}
@@ -70,12 +72,13 @@ func main() {
 
 func run(protocol string, replicas, clients, ops int, writes float64, keys, opsPerTxn int,
 	zipf float64, lazyDelay time.Duration, lazyOrder string, latency time.Duration,
-	crash, showTrace bool) error {
+	tport string, crash, showTrace bool) error {
 
 	rec := &trace.Recorder{}
 	c, err := core.NewCluster(core.Config{
 		Protocol:       core.Protocol(protocol),
 		Replicas:       replicas,
+		Transport:      core.TransportKind(tport),
 		Net:            simnet.Options{Latency: simnet.ConstantLatency(latency)},
 		Recorder:       rec,
 		LazyDelay:      lazyDelay,
@@ -87,8 +90,8 @@ func run(protocol string, replicas, clients, ops int, writes float64, keys, opsP
 	}
 	defer c.Close()
 
-	fmt.Printf("protocol=%s replicas=%d clients=%d ops=%d writes=%.0f%% latency=%v\n\n",
-		protocol, replicas, clients, ops, writes*100, latency)
+	fmt.Printf("protocol=%s replicas=%d clients=%d ops=%d writes=%.0f%% transport=%s latency=%v\n\n",
+		protocol, replicas, clients, ops, writes*100, tport, latency)
 
 	var (
 		hist              metrics.Histogram

@@ -5,10 +5,14 @@
 // every replica executes every request in the same total order, and the
 // client keeps the first answer — so the crash of any single replica is
 // invisible.
+//
+// Run with -transport tcp to exchange the same protocol bytes over real
+// loopback TCP sockets instead of the in-process simulated network.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -17,9 +21,13 @@ import (
 )
 
 func main() {
+	tport := flag.String("transport", "sim", "message substrate: sim or tcp")
+	flag.Parse()
+
 	cluster, err := replication.New(replication.Config{
-		Protocol: replication.Active,
-		Replicas: 3,
+		Protocol:  replication.Active,
+		Replicas:  3,
+		Transport: replication.Transport(*tport),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,8 +1,9 @@
-// Package codec provides message payload encoding for the simulated
-// network. Payloads cross the network as opaque byte slices, exactly as
-// they would on a real wire; encoding catches accidental sharing of
-// mutable state between replicas, which an in-process simulation would
-// otherwise hide.
+// Package codec provides message payload encoding for the transport
+// layer. Payloads cross the network as opaque byte slices — on the TCP
+// backend they are literally the wire bytes, and on the simulated
+// backend the encoding catches accidental sharing of mutable state
+// between replicas, which an in-process simulation would otherwise
+// hide.
 //
 // Two encodings share one framing. Every protocol message struct
 // implements the hand-rolled binary Wire interface — zero reflection,

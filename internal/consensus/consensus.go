@@ -38,7 +38,7 @@ import (
 
 	"replication/internal/codec"
 	"replication/internal/fd"
-	"replication/internal/simnet"
+	"replication/internal/transport"
 )
 
 // Message kind suffixes used by the consensus layer; each Manager
@@ -87,9 +87,9 @@ type DecideFunc func(instance uint64, value []byte)
 // instance it wants decided: the algorithm needs a majority of
 // participants per instance.
 type Manager struct {
-	node    *simnet.Node
+	node    *transport.Node
 	name    string
-	members []simnet.NodeID
+	members []transport.NodeID
 	det     *fd.Detector
 	poll    time.Duration
 
@@ -103,9 +103,9 @@ type Manager struct {
 // and read by the round loop under mu.
 type instance struct {
 	mu        sync.Mutex
-	estimates map[int]map[simnet.NodeID]estimateMsg // round → sender → estimate
-	proposals map[int]*proposeMsg                   // round → coordinator proposal
-	acks      map[int]map[simnet.NodeID]bool        // round → sender → ack?
+	estimates map[int]map[transport.NodeID]estimateMsg // round → sender → estimate
+	proposals map[int]*proposeMsg                      // round → coordinator proposal
+	acks      map[int]map[transport.NodeID]bool        // round → sender → ack?
 	decided   bool
 	decision  []byte
 	loop      bool // a round loop is running
@@ -115,9 +115,9 @@ type instance struct {
 
 func newInstance() *instance {
 	return &instance{
-		estimates: make(map[int]map[simnet.NodeID]estimateMsg),
+		estimates: make(map[int]map[transport.NodeID]estimateMsg),
 		proposals: make(map[int]*proposeMsg),
-		acks:      make(map[int]map[simnet.NodeID]bool),
+		acks:      make(map[int]map[transport.NodeID]bool),
 		done:      make(chan struct{}),
 		sig:       make(chan struct{}, 1),
 	}
@@ -138,14 +138,14 @@ func (ins *instance) notify() {
 // condition polling interval; zero means 200µs. Managers sharing a node
 // must have distinct names; all members of one logical group must use the
 // same name.
-func NewManager(node *simnet.Node, name string, members []simnet.NodeID, det *fd.Detector, poll time.Duration) *Manager {
+func NewManager(node *transport.Node, name string, members []transport.NodeID, det *fd.Detector, poll time.Duration) *Manager {
 	if poll == 0 {
 		poll = 200 * time.Microsecond
 	}
 	m := &Manager{
 		node:      node,
 		name:      name,
-		members:   append([]simnet.NodeID(nil), members...),
+		members:   append([]transport.NodeID(nil), members...),
 		det:       det,
 		poll:      poll,
 		instances: make(map[uint64]*instance),
@@ -192,7 +192,7 @@ func (m *Manager) ProposeDeferred(ctx context.Context, id uint64, produce func()
 
 func (m *Manager) majority() int { return len(m.members)/2 + 1 }
 
-func (m *Manager) coordinator(round int) simnet.NodeID {
+func (m *Manager) coordinator(round int) transport.NodeID {
 	return m.members[round%len(m.members)]
 }
 
@@ -354,7 +354,7 @@ func (m *Manager) coordinatorPhase(id uint64, ins *instance, round int, est *est
 // waitProposal waits for the round's proposal, giving up when the failure
 // detector suspects the coordinator (after the proposal has had a fair
 // chance to arrive).
-func (m *Manager) waitProposal(id uint64, ins *instance, round int, coord simnet.NodeID) (proposeMsg, bool) {
+func (m *Manager) waitProposal(id uint64, ins *instance, round int, coord transport.NodeID) (proposeMsg, bool) {
 	ok := m.waitCondQuery(id, ins, func() bool {
 		ins.mu.Lock()
 		p := ins.proposals[round]
@@ -444,7 +444,7 @@ func (m *Manager) waitCondQuery(id uint64, ins *instance, cond func() bool) bool
 }
 
 // onQuery answers a decision query if this node knows the outcome.
-func (m *Manager) onQuery(msg simnet.Message) {
+func (m *Manager) onQuery(msg transport.Message) {
 	var q decideMsg
 	codec.MustUnmarshal(msg.Payload, &q)
 	if v, ok := m.Decided(q.Instance); ok {
@@ -493,11 +493,11 @@ func (ins *instance) isDecided() bool {
 	return ins.decided
 }
 
-func (m *Manager) recordEstimate(ins *instance, from simnet.NodeID, e estimateMsg) {
+func (m *Manager) recordEstimate(ins *instance, from transport.NodeID, e estimateMsg) {
 	ins.mu.Lock()
 	defer ins.mu.Unlock()
 	if ins.estimates[e.Round] == nil {
-		ins.estimates[e.Round] = make(map[simnet.NodeID]estimateMsg)
+		ins.estimates[e.Round] = make(map[transport.NodeID]estimateMsg)
 	}
 	ins.estimates[e.Round][from] = e
 	ins.notify()
@@ -512,17 +512,17 @@ func (m *Manager) recordProposal(ins *instance, p proposeMsg) {
 	ins.notify()
 }
 
-func (m *Manager) recordAck(ins *instance, from simnet.NodeID, round int, ack bool) {
+func (m *Manager) recordAck(ins *instance, from transport.NodeID, round int, ack bool) {
 	ins.mu.Lock()
 	defer ins.mu.Unlock()
 	if ins.acks[round] == nil {
-		ins.acks[round] = make(map[simnet.NodeID]bool)
+		ins.acks[round] = make(map[transport.NodeID]bool)
 	}
 	ins.acks[round][from] = ack
 	ins.notify()
 }
 
-func (m *Manager) onEstimate(msg simnet.Message) {
+func (m *Manager) onEstimate(msg transport.Message) {
 	var e estimateMsg
 	codec.MustUnmarshal(msg.Payload, &e)
 	if v, ok := m.Decided(e.Instance); ok {
@@ -533,19 +533,19 @@ func (m *Manager) onEstimate(msg simnet.Message) {
 	m.recordEstimate(m.getInstance(e.Instance), msg.From, e)
 }
 
-func (m *Manager) onPropose(msg simnet.Message) {
+func (m *Manager) onPropose(msg transport.Message) {
 	var p proposeMsg
 	codec.MustUnmarshal(msg.Payload, &p)
 	m.recordProposal(m.getInstance(p.Instance), p)
 }
 
-func (m *Manager) onAck(msg simnet.Message) {
+func (m *Manager) onAck(msg transport.Message) {
 	var a ackMsg
 	codec.MustUnmarshal(msg.Payload, &a)
 	m.recordAck(m.getInstance(a.Instance), msg.From, a.Round, a.Ack)
 }
 
-func (m *Manager) onDecide(msg simnet.Message) {
+func (m *Manager) onDecide(msg transport.Message) {
 	var d decideMsg
 	codec.MustUnmarshal(msg.Payload, &d)
 	if _, known := m.Decided(d.Instance); known {

@@ -5,8 +5,8 @@ import (
 	"sync"
 
 	"replication/internal/group"
-	"replication/internal/simnet"
 	"replication/internal/trace"
+	"replication/internal/transport"
 )
 
 // activeServer implements active replication — the state machine
@@ -30,8 +30,8 @@ type activeServer struct {
 	dd *dedup
 }
 
-func newActive(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newActive(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
 		s := &activeServer{r: r, dd: newDedup()}
 		s.ab = group.NewAtomic(r.node, "act", c.ids, r.det)
@@ -65,7 +65,7 @@ func (s *activeServer) stop()  { s.ab.Stop() }
 // onDeliver executes one totally-ordered request. It runs on the ABCAST
 // ordering goroutine, so execution is sequential in delivery order —
 // the isolation the state-machine approach requires.
-func (s *activeServer) onDeliver(origin simnet.NodeID, payload []byte) {
+func (s *activeServer) onDeliver(origin transport.NodeID, payload []byte) {
 	req := decodeRequest(payload)
 	s.r.trace(req.ID, trace.SC, "abcast")
 

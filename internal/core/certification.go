@@ -6,9 +6,9 @@ import (
 
 	"replication/internal/codec"
 	"replication/internal/group"
-	"replication/internal/simnet"
 	"replication/internal/storage"
 	"replication/internal/trace"
+	"replication/internal/transport"
 	"replication/internal/txn"
 )
 
@@ -34,13 +34,13 @@ type certificationServer struct {
 
 	mu      sync.Mutex
 	dd      *dedup
-	waiting map[uint64]simnet.Message
+	waiting map[uint64]transport.Message
 }
 
 // certMsg is the certification record entered into the total order.
 type certMsg struct {
 	Req      Request
-	Delegate simnet.NodeID
+	Delegate transport.NodeID
 	RS       txn.ReadSet
 	WS       storage.WriteSet
 	Result   txnResult
@@ -48,13 +48,13 @@ type certMsg struct {
 
 const kindCertReq = "cert.req"
 
-func newCertification(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newCertification(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
 		s := &certificationServer{
 			r:       r,
 			dd:      newDedup(),
-			waiting: make(map[uint64]simnet.Message),
+			waiting: make(map[uint64]transport.Message),
 		}
 		s.ab = group.NewAtomic(r.node, "cert", c.ids, r.det)
 		s.ab.OnDeliver(s.onDeliver)
@@ -70,7 +70,7 @@ func newCertification(c *Cluster, replicas map[simnet.NodeID]*replica) protocolH
 func (s *certificationServer) start() { s.ab.Start() }
 func (s *certificationServer) stop()  { s.ab.Stop() }
 
-func (s *certificationServer) onClientRequest(m simnet.Message) {
+func (s *certificationServer) onClientRequest(m transport.Message) {
 	req := decodeRequest(m.Payload)
 	s.r.trace(req.ID, trace.RE, "local-server")
 
@@ -114,7 +114,7 @@ func (s *certificationServer) onClientRequest(m simnet.Message) {
 // onDeliver certifies one transaction in total order. All sites reach
 // the same verdict because they certify against identically ordered
 // state.
-func (s *certificationServer) onDeliver(origin simnet.NodeID, payload []byte) {
+func (s *certificationServer) onDeliver(origin transport.NodeID, payload []byte) {
 	var cm certMsg
 	codec.MustUnmarshal(payload, &cm)
 	req := cm.Req

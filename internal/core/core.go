@@ -7,8 +7,9 @@
 // update-everywhere plus certification-based replication from the
 // database community (Wiesmann et al., ICDCS 2000).
 //
-// A Cluster wires N replica processes over a simulated network and runs
-// one technique. Every protocol implementation emits trace events for
+// A Cluster wires N replica processes over a message-passing transport
+// — the in-process simulated network or real TCP (Config.Transport) —
+// and runs one technique. Every protocol implementation emits trace events for
 // each phase it enters, so the phase sequences of Figure 16 are derived
 // from execution, not asserted by hand. Clients obtained from the
 // cluster submit single-operation requests (the stored-procedure model
@@ -28,6 +29,8 @@ import (
 	"replication/internal/simnet"
 	"replication/internal/storage"
 	"replication/internal/trace"
+	"replication/internal/transport"
+	"replication/internal/transport/tcpnet"
 	"replication/internal/txn"
 	"replication/internal/vclock"
 )
@@ -95,7 +98,7 @@ type Request struct {
 	// deduplication keys on ID, not Attempt).
 	Attempt int
 	// Client is the node to answer.
-	Client simnet.NodeID
+	Client transport.NodeID
 	// Txn is the work.
 	Txn txn.Transaction
 }
@@ -119,8 +122,8 @@ var (
 
 // replica is the per-process runtime every protocol builds on.
 type replica struct {
-	id    simnet.NodeID
-	node  *simnet.Node
+	id    transport.NodeID
+	node  *transport.Node
 	store *storage.Store
 	locks *lockmgr.Manager
 	hist  *txn.History
@@ -295,7 +298,7 @@ type submitFunc func(ctx context.Context, cl *Client, req Request) (txn.Result, 
 
 // protocolHooks is what each technique contributes to a cluster.
 type protocolHooks struct {
-	servers map[simnet.NodeID]*serverEntry
+	servers map[transport.NodeID]*serverEntry
 	submit  submitFunc
 }
 
@@ -304,6 +307,20 @@ type serverEntry struct {
 	engine  server
 }
 
+// TransportKind selects the message-passing substrate a cluster runs
+// over. Every technique runs unchanged over either.
+type TransportKind string
+
+// The available transports.
+const (
+	// TransportSim is the in-process simulated network (package simnet):
+	// deterministic, with pluggable latency/loss models. The default.
+	TransportSim TransportKind = "sim"
+	// TransportTCP is real TCP (package tcpnet): loopback or LAN
+	// listeners, length-prefixed codec frames, kernel-provided latency.
+	TransportTCP TransportKind = "tcp"
+)
+
 // Config describes a cluster.
 type Config struct {
 	// Protocol selects the technique.
@@ -311,8 +328,12 @@ type Config struct {
 	// Replicas is the number of replica processes (≥1; techniques
 	// needing majorities want ≥3). Zero means 3.
 	Replicas int
-	// Net configures the simulated network.
+	// Transport selects the substrate; zero means TransportSim.
+	Transport TransportKind
+	// Net configures the simulated network (TransportSim only).
 	Net simnet.Options
+	// TCP configures the TCP transport (TransportTCP only).
+	TCP tcpnet.Options
 	// FD configures failure detection. Zero values use fd defaults
 	// scaled for the simulation.
 	FD fd.Options
@@ -380,19 +401,34 @@ func (c *Config) fill() {
 	if c.LockTimeout == 0 {
 		c.LockTimeout = time.Second
 	}
+	if c.Transport == "" {
+		c.Transport = TransportSim
+	}
+	// Failure-detection defaults scale with the substrate: simulated
+	// links have a known latency bound, while TCP inherits scheduler and
+	// kernel jitter, so its suspicion timeout is more conservative (false
+	// suspicions are safe but trigger needless view changes).
 	if c.FD.Interval == 0 {
-		c.FD.Interval = 3 * time.Millisecond
+		if c.Transport == TransportTCP {
+			c.FD.Interval = 10 * time.Millisecond
+		} else {
+			c.FD.Interval = 3 * time.Millisecond
+		}
 	}
 	if c.FD.Timeout == 0 {
-		c.FD.Timeout = 25 * time.Millisecond
+		if c.Transport == TransportTCP {
+			c.FD.Timeout = 100 * time.Millisecond
+		} else {
+			c.FD.Timeout = 25 * time.Millisecond
+		}
 	}
 }
 
 // Cluster is a running replicated system executing one technique.
 type Cluster struct {
 	cfg   Config
-	net   *simnet.Network
-	ids   []simnet.NodeID
+	net   transport.Transport
+	ids   []transport.NodeID
 	hooks protocolHooks
 	rec   *trace.Recorder
 
@@ -405,15 +441,23 @@ type Cluster struct {
 // NewCluster builds and starts a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg.fill()
-	net := simnet.New(cfg.Net)
+	var net transport.Transport
+	switch cfg.Transport {
+	case TransportSim:
+		net = simnet.New(cfg.Net)
+	case TransportTCP:
+		net = tcpnet.New(cfg.TCP)
+	default:
+		return nil, fmt.Errorf("core: unknown transport %q", cfg.Transport)
+	}
 	c := &Cluster{cfg: cfg, net: net, rec: cfg.Recorder}
 	for i := 0; i < cfg.Replicas; i++ {
-		c.ids = append(c.ids, simnet.NodeID(fmt.Sprintf("r%d", i)))
+		c.ids = append(c.ids, transport.NodeID(fmt.Sprintf("r%d", i)))
 	}
 
-	replicas := make(map[simnet.NodeID]*replica, len(c.ids))
+	replicas := make(map[transport.NodeID]*replica, len(c.ids))
 	for _, id := range c.ids {
-		node := simnet.NewNode(net, id)
+		node := transport.NewNode(net, id)
 		replicas[id] = &replica{
 			id:     id,
 			node:   node,
@@ -445,7 +489,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 }
 
 // buildProtocol dispatches to the technique constructors.
-func buildProtocol(p Protocol, c *Cluster, replicas map[simnet.NodeID]*replica) (protocolHooks, error) {
+func buildProtocol(p Protocol, c *Cluster, replicas map[transport.NodeID]*replica) (protocolHooks, error) {
 	switch p {
 	case Active:
 		return newActive(c, replicas), nil
@@ -473,15 +517,17 @@ func buildProtocol(p Protocol, c *Cluster, replicas map[simnet.NodeID]*replica) 
 }
 
 // Replicas returns the replica IDs in order.
-func (c *Cluster) Replicas() []simnet.NodeID {
-	return append([]simnet.NodeID(nil), c.ids...)
+func (c *Cluster) Replicas() []transport.NodeID {
+	return append([]transport.NodeID(nil), c.ids...)
 }
 
-// Network exposes the simulated network for failure injection and stats.
-func (c *Cluster) Network() *simnet.Network { return c.net }
+// Network exposes the transport for failure injection and stats. For
+// substrate-specific control (simnet partitions, tcpnet connection
+// drops) type-assert to *simnet.Network or *tcpnet.Network.
+func (c *Cluster) Network() transport.Transport { return c.net }
 
 // Store returns a replica's store (read-only use in tests/benches).
-func (c *Cluster) Store(id simnet.NodeID) *storage.Store {
+func (c *Cluster) Store(id transport.NodeID) *storage.Store {
 	return c.hooks.servers[id].replica.store
 }
 
@@ -508,12 +554,12 @@ func (c *Cluster) History() *txn.History {
 func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
 
 // Crash crash-stops a replica.
-func (c *Cluster) Crash(id simnet.NodeID) { c.net.Crash(id) }
+func (c *Cluster) Crash(id transport.NodeID) { c.net.Crash(id) }
 
 // reconfigurable is implemented by primary-based techniques whose view
 // can be reconfigured by operator fiat.
 type reconfigurable interface {
-	operatorReconfigure(members []simnet.NodeID)
+	operatorReconfigure(members []transport.NodeID)
 }
 
 // OperatorFailover removes failed from the membership of every surviving
@@ -523,8 +569,8 @@ type reconfigurable interface {
 // view changes have no quorum (e.g. a two-node hot-standby pair); with a
 // quorum, the failure detector reconfigures automatically and this call
 // is unnecessary. It is a no-op for techniques without views.
-func (c *Cluster) OperatorFailover(failed simnet.NodeID) {
-	var members []simnet.NodeID
+func (c *Cluster) OperatorFailover(failed transport.NodeID) {
+	var members []transport.NodeID
 	for _, id := range c.ids {
 		if id != failed && !c.net.Crashed(id) {
 			members = append(members, id)
@@ -564,7 +610,7 @@ func (c *Cluster) Close() {
 // gets a disjoint request-ID space.
 type Client struct {
 	c    *Cluster
-	node *simnet.Node
+	node *transport.Node
 	base uint64
 	seq  uint64
 	mu   sync.Mutex
@@ -573,7 +619,7 @@ type Client struct {
 	pending map[uint64]chan txn.Result
 	// home is the replica this client prefers for delegate-based
 	// protocols (its "local" database server, §4.1).
-	home simnet.NodeID
+	home transport.NodeID
 }
 
 // NewClient attaches a new client process to the cluster.
@@ -585,7 +631,7 @@ func (c *Cluster) NewClient() *Client {
 
 	cl := &Client{
 		c:       c,
-		node:    simnet.NewNode(c.net, simnet.NodeID(fmt.Sprintf("c%d", n))),
+		node:    transport.NewNode(c.net, transport.NodeID(fmt.Sprintf("c%d", n))),
 		base:    n << 32,
 		pending: make(map[uint64]chan txn.Result),
 		home:    c.ids[int(n)%len(c.ids)],
@@ -604,14 +650,14 @@ func (c *Cluster) NewClient() *Client {
 const kindResponse = "core.resp"
 
 // ID returns the client's node ID.
-func (cl *Client) ID() simnet.NodeID { return cl.node.ID() }
+func (cl *Client) ID() transport.NodeID { return cl.node.ID() }
 
 // Home returns the replica this client treats as its local server.
-func (cl *Client) Home() simnet.NodeID { return cl.home }
+func (cl *Client) Home() transport.NodeID { return cl.home }
 
 // SetHome changes the client's local server (e.g. after its home
 // crashed).
-func (cl *Client) SetHome(id simnet.NodeID) { cl.home = id }
+func (cl *Client) SetHome(id transport.NodeID) { cl.home = id }
 
 // Invoke submits a transaction and waits for its result, retrying on
 // timeout up to the configured number of attempts (the client-side of
@@ -655,7 +701,7 @@ func (cl *Client) InvokeOp(ctx context.Context, op txn.Op) (txn.Result, error) {
 // onResponse resolves a pending group-addressed request; duplicates
 // (active replication: "the client typically only waits for the first
 // answer — the others are ignored") are dropped.
-func (cl *Client) onResponse(m simnet.Message) {
+func (cl *Client) onResponse(m transport.Message) {
 	var resp Response
 	if err := decodeResponse(m.Payload, &resp); err != nil {
 		return

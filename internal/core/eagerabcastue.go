@@ -6,8 +6,8 @@ import (
 
 	"replication/internal/codec"
 	"replication/internal/group"
-	"replication/internal/simnet"
 	"replication/internal/trace"
+	"replication/internal/transport"
 )
 
 // eagerABCastUEServer implements eager update everywhere based on Atomic
@@ -27,25 +27,25 @@ type eagerABCastUEServer struct {
 
 	mu      sync.Mutex
 	dd      *dedup
-	waiting map[uint64]simnet.Message // client RPCs awaiting our own delivery
+	waiting map[uint64]transport.Message // client RPCs awaiting our own delivery
 }
 
 // eabEnvelope wraps a request with its delegate so every replica knows
 // who answers the client.
 type eabEnvelope struct {
 	Req      Request
-	Delegate simnet.NodeID
+	Delegate transport.NodeID
 }
 
 const kindEABReq = "eab.req"
 
-func newEagerABCastUE(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newEagerABCastUE(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
 		s := &eagerABCastUEServer{
 			r:       r,
 			dd:      newDedup(),
-			waiting: make(map[uint64]simnet.Message),
+			waiting: make(map[uint64]transport.Message),
 		}
 		s.ab = group.NewAtomic(r.node, "eab", c.ids, r.det)
 		s.ab.OnDeliver(s.onDeliver)
@@ -64,7 +64,7 @@ func (s *eagerABCastUEServer) stop()  { s.ab.Stop() }
 // onClientRequest runs at the client's local server: answer from the
 // dedup cache or enter the request into the total order and park the RPC
 // until our own delivery executes it.
-func (s *eagerABCastUEServer) onClientRequest(m simnet.Message) {
+func (s *eagerABCastUEServer) onClientRequest(m transport.Message) {
 	req := decodeRequest(m.Payload)
 	s.r.trace(req.ID, trace.RE, "local-server")
 
@@ -88,7 +88,7 @@ func (s *eagerABCastUEServer) onClientRequest(m simnet.Message) {
 }
 
 // onDeliver executes one totally-ordered request at this site.
-func (s *eagerABCastUEServer) onDeliver(origin simnet.NodeID, payload []byte) {
+func (s *eagerABCastUEServer) onDeliver(origin transport.NodeID, payload []byte) {
 	var env eabEnvelope
 	codec.MustUnmarshal(payload, &env)
 	req := env.Req

@@ -10,10 +10,10 @@ import (
 
 	"replication/internal/codec"
 	"replication/internal/lockmgr"
-	"replication/internal/simnet"
 	"replication/internal/storage"
 	"replication/internal/tpc"
 	"replication/internal/trace"
+	"replication/internal/transport"
 	"replication/internal/txn"
 )
 
@@ -40,7 +40,7 @@ type eagerLockUEServer struct {
 	r     *replica
 	tsrv  *tpc.Server
 	coord *tpc.Coordinator
-	all   []simnet.NodeID
+	all   []transport.NodeID
 
 	mu        sync.Mutex
 	dd        *dedup
@@ -84,8 +84,8 @@ type ueReleaseMsg struct {
 	TxnID string
 }
 
-func newEagerLockUE(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newEagerLockUE(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
 		s := &eagerLockUEServer{
 			r:         r,
@@ -213,7 +213,7 @@ func (s *eagerLockUEServer) Abort(txnID string) {
 }
 
 // onLock grants or refuses an exclusive lock for a remote transaction.
-func (s *eagerLockUEServer) onLock(m simnet.Message) {
+func (s *eagerLockUEServer) onLock(m transport.Message) {
 	var req ueLockMsg
 	codec.MustUnmarshal(m.Payload, &req)
 	s.lease(req.TxnID)
@@ -228,14 +228,14 @@ func (s *eagerLockUEServer) onLock(m simnet.Message) {
 
 // onExec stages one operation's writes at this site (Execution phase of
 // figures 8/13 at the non-delegate replicas).
-func (s *eagerLockUEServer) onExec(m simnet.Message) {
+func (s *eagerLockUEServer) onExec(m transport.Message) {
 	var e ueExecMsg
 	codec.MustUnmarshal(m.Payload, &e)
 	s.lease(e.TxnID)
 	s.r.trace(e.ReqID, trace.EX, "apply-op")
 }
 
-func (s *eagerLockUEServer) onRelease(m simnet.Message) {
+func (s *eagerLockUEServer) onRelease(m transport.Message) {
 	var rel ueReleaseMsg
 	codec.MustUnmarshal(m.Payload, &rel)
 	s.clearLease(rel.TxnID)
@@ -245,7 +245,7 @@ func (s *eagerLockUEServer) onRelease(m simnet.Message) {
 	s.r.locks.ReleaseAll(rel.TxnID)
 }
 
-func (s *eagerLockUEServer) onClientRequest(m simnet.Message) {
+func (s *eagerLockUEServer) onClientRequest(m transport.Message) {
 	req := decodeRequest(m.Payload)
 	s.r.trace(req.ID, trace.RE, "local-server")
 

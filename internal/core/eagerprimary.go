@@ -7,10 +7,10 @@ import (
 
 	"replication/internal/codec"
 	"replication/internal/group"
-	"replication/internal/simnet"
 	"replication/internal/storage"
 	"replication/internal/tpc"
 	"replication/internal/trace"
+	"replication/internal/transport"
 	"replication/internal/txn"
 )
 
@@ -55,8 +55,8 @@ type epStage struct {
 	WS    storage.WriteSet
 }
 
-func newEagerPrimary(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newEagerPrimary(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
 		s := &eagerPrimaryServer{
 			r:        r,
@@ -127,14 +127,14 @@ func (s *eagerPrimaryServer) Abort(txnID string) {
 
 // onStage buffers one operation's change at a secondary (figure 12's
 // per-operation propagation; the final 2PC payload is authoritative).
-func (s *eagerPrimaryServer) onStage(m simnet.Message) {
+func (s *eagerPrimaryServer) onStage(m transport.Message) {
 	var st epStage
 	codec.MustUnmarshal(m.Payload, &st)
 	s.r.trace(st.ReqID, trace.AC, "propagate")
 	_ = s.r.node.Reply(m, nil)
 }
 
-func (s *eagerPrimaryServer) onClientRequest(m simnet.Message) {
+func (s *eagerPrimaryServer) onClientRequest(m transport.Message) {
 	req := decodeRequest(m.Payload)
 	view := s.vg.CurrentView()
 	if !s.vg.InView() || view.Primary() != s.r.id {
@@ -198,7 +198,7 @@ func (s *eagerPrimaryServer) run(req Request) (txnResult, error) {
 	defer s.r.locks.ReleaseAll(req.TxnID())
 
 	view := s.vg.CurrentView()
-	secondaries := make([]simnet.NodeID, 0, len(view.Members))
+	secondaries := make([]transport.NodeID, 0, len(view.Members))
 	for _, id := range view.Members {
 		if id != s.r.id {
 			secondaries = append(secondaries, id)
@@ -249,7 +249,7 @@ func (s *eagerPrimaryServer) run(req Request) (txnResult, error) {
 		ReqID: req.ID, TxnID: req.TxnID(), Client: req.Client,
 		WS: out.ws, Result: out.result, Origin: s.r.id,
 	}
-	participants := append([]simnet.NodeID{s.r.id}, secondaries...)
+	participants := append([]transport.NodeID{s.r.id}, secondaries...)
 	outcome, err := s.coord.Run(ctx, txnID, encodeUpdate(u), participants)
 	if err != nil || outcome != tpc.Commit {
 		return txnResult{}, fmt.Errorf("core: 2pc did not commit: %v", err)
@@ -259,6 +259,6 @@ func (s *eagerPrimaryServer) run(req Request) (txnResult, error) {
 
 // operatorReconfigure implements operator-driven fail-over (the paper's
 // human-operator hot-standby switch, §4.3).
-func (s *eagerPrimaryServer) operatorReconfigure(members []simnet.NodeID) {
+func (s *eagerPrimaryServer) operatorReconfigure(members []transport.NodeID) {
 	s.vg.ForceView(members)
 }

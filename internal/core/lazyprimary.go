@@ -7,8 +7,8 @@ import (
 
 	"replication/internal/codec"
 	"replication/internal/group"
-	"replication/internal/simnet"
 	"replication/internal/trace"
+	"replication/internal/transport"
 )
 
 // lazyPrimaryServer implements lazy primary copy replication (paper
@@ -49,8 +49,8 @@ type lazyItem struct {
 
 const kindLPReq = "lp.req"
 
-func newLazyPrimary(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newLazyPrimary(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
 		s := &lazyPrimaryServer{
 			r:        r,
@@ -116,7 +116,7 @@ func (s *lazyPrimaryServer) propagate() {
 // onPropagate applies a propagated update at a secondary. FIFO delivery
 // preserves the primary's commit order, which is all the ordering lazy
 // primary copy needs.
-func (s *lazyPrimaryServer) onPropagate(origin simnet.NodeID, payload []byte) {
+func (s *lazyPrimaryServer) onPropagate(origin transport.NodeID, payload []byte) {
 	if origin == s.r.id {
 		return // the primary already applied at commit time
 	}
@@ -135,7 +135,7 @@ func (s *lazyPrimaryServer) onPropagate(origin simnet.NodeID, payload []byte) {
 	}
 }
 
-func (s *lazyPrimaryServer) onClientRequest(m simnet.Message) {
+func (s *lazyPrimaryServer) onClientRequest(m transport.Message) {
 	req := decodeRequest(m.Payload)
 
 	// Read-only requests are served locally at ANY replica — the whole
@@ -246,6 +246,6 @@ func (s *lazyPrimaryServer) run(req Request) (txnResult, error) {
 }
 
 // operatorReconfigure implements operator-driven fail-over.
-func (s *lazyPrimaryServer) operatorReconfigure(members []simnet.NodeID) {
+func (s *lazyPrimaryServer) operatorReconfigure(members []transport.NodeID) {
 	s.vg.ForceView(members)
 }

@@ -7,8 +7,8 @@ import (
 
 	"replication/internal/group"
 	"replication/internal/recon"
-	"replication/internal/simnet"
 	"replication/internal/trace"
+	"replication/internal/transport"
 )
 
 // lazyUEServer implements lazy update everywhere replication (paper
@@ -31,7 +31,7 @@ type lazyUEServer struct {
 	r      *replica
 	ab     *group.Atomic // "abcast" mode ordering
 	useAB  bool
-	others []simnet.NodeID
+	others []transport.NodeID
 
 	mu       sync.Mutex
 	dd       *dedup
@@ -47,8 +47,8 @@ const (
 	kindLURecn = "lu.recon"
 )
 
-func newLazyUE(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newLazyUE(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	useAB := c.cfg.LazyUEOrder == "abcast"
 	for id, r := range replicas {
 		s := &lazyUEServer{
@@ -136,7 +136,7 @@ func (s *lazyUEServer) propagate() {
 // onClientRequest executes and commits locally at this replica — "update
 // a local copy, commit and only some time after the commit, the
 // propagation of the changes takes place" (§4.2).
-func (s *lazyUEServer) onClientRequest(m simnet.Message) {
+func (s *lazyUEServer) onClientRequest(m transport.Message) {
 	req := decodeRequest(m.Payload)
 	s.r.trace(req.ID, trace.RE, "local-server")
 
@@ -182,7 +182,7 @@ func (s *lazyUEServer) onClientRequest(m simnet.Message) {
 
 // onReconcile applies a remote update under last-writer-wins ("lww"
 // mode).
-func (s *lazyUEServer) onReconcile(m simnet.Message) {
+func (s *lazyUEServer) onReconcile(m transport.Message) {
 	u := decodeUpdate(m.Payload)
 	s.r.trace(u.ReqID, trace.AC, "reconcile-lww")
 	s.r.clock.Observe(u.Wall)
@@ -196,7 +196,7 @@ func (s *lazyUEServer) onReconcile(m simnet.Message) {
 // after-commit order. Every site — including the origin, whose local
 // commit was provisional — applies in the same total order, so replicas
 // converge to identical states.
-func (s *lazyUEServer) onOrdered(origin simnet.NodeID, payload []byte) {
+func (s *lazyUEServer) onOrdered(origin transport.NodeID, payload []byte) {
 	u := decodeUpdate(payload)
 	s.r.trace(u.ReqID, trace.AC, "after-commit-order")
 	s.r.clock.Observe(u.Wall)

@@ -2,8 +2,8 @@ package core
 
 import (
 	"replication/internal/codec"
-	"replication/internal/simnet"
 	"replication/internal/storage"
+	"replication/internal/transport"
 	"replication/internal/txn"
 )
 
@@ -31,7 +31,7 @@ func decodeResponse(b []byte, r *Response) error { return codec.Unmarshal(b, r) 
 
 // respond sends a result back to the requesting client (group-addressed
 // protocols).
-func respond(node *simnet.Node, req Request, res txn.Result) {
+func respond(node *transport.Node, req Request, res txn.Result) {
 	_ = node.Send(req.Client, kindResponse, encodeResponse(Response{ID: req.ID, Result: res}))
 }
 
@@ -41,10 +41,10 @@ func respond(node *simnet.Node, req Request, res txn.Result) {
 type updateMsg struct {
 	ReqID  uint64
 	TxnID  string
-	Client simnet.NodeID
+	Client transport.NodeID
 	WS     storage.WriteSet
 	Result txn.Result
-	Origin simnet.NodeID
+	Origin transport.NodeID
 	Wall   uint64 // Lamport stamp for LWW reconciliation
 }
 

@@ -9,8 +9,8 @@ import (
 	"replication/internal/codec"
 	"replication/internal/group"
 	"replication/internal/lockmgr"
-	"replication/internal/simnet"
 	"replication/internal/trace"
+	"replication/internal/transport"
 	"replication/internal/txn"
 )
 
@@ -42,14 +42,14 @@ type passiveServer struct {
 // rpcAnswer is the reply envelope of primary-based protocols: either a
 // result or a redirect to the current primary.
 type rpcAnswer struct {
-	Redirect simnet.NodeID // non-empty: retry there
+	Redirect transport.NodeID // non-empty: retry there
 	Resp     Response
 }
 
 const kindPassiveReq = "pas.req"
 
-func newPassive(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newPassive(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
 		s := &passiveServer{
 			r:        r,
@@ -74,7 +74,7 @@ func (s *passiveServer) stop()  { s.vg.Stop() }
 // onUpdate applies a primary's update message — "the backups do not
 // execute the invocation, but apply the changes" (§3.3). It runs at the
 // primary too (single apply path).
-func (s *passiveServer) onUpdate(origin simnet.NodeID, payload []byte) {
+func (s *passiveServer) onUpdate(origin transport.NodeID, payload []byte) {
 	u := decodeUpdate(payload)
 	if origin != s.r.id {
 		s.r.trace(u.ReqID, trace.AC, "apply")
@@ -95,7 +95,7 @@ func (s *passiveServer) onUpdate(origin simnet.NodeID, payload []byte) {
 }
 
 // onClientRequest handles the client RPC at (hopefully) the primary.
-func (s *passiveServer) onClientRequest(m simnet.Message) {
+func (s *passiveServer) onClientRequest(m transport.Message) {
 	req := decodeRequest(m.Payload)
 	view := s.vg.CurrentView()
 	if !s.vg.InView() || view.Primary() != s.r.id {
@@ -108,7 +108,7 @@ func (s *passiveServer) onClientRequest(m simnet.Message) {
 	s.r.node.Go(func() { s.serve(m, req) })
 }
 
-func (s *passiveServer) serve(m simnet.Message, req Request) {
+func (s *passiveServer) serve(m transport.Message, req Request) {
 	res, err := s.executeOnce(req)
 	if err != nil {
 		// Stability failed (e.g. we were deposed mid-request): point the
@@ -293,6 +293,6 @@ func applySnapshot(r *replica, b []byte) {
 }
 
 // operatorReconfigure implements operator-driven fail-over.
-func (s *passiveServer) operatorReconfigure(members []simnet.NodeID) {
+func (s *passiveServer) operatorReconfigure(members []transport.NodeID) {
 	s.vg.ForceView(members)
 }

@@ -8,8 +8,8 @@ import (
 
 	"replication/internal/codec"
 	"replication/internal/group"
-	"replication/internal/simnet"
 	"replication/internal/trace"
+	"replication/internal/transport"
 )
 
 // semiActiveServer implements semi-active replication (paper §3.4,
@@ -43,8 +43,8 @@ type decisionMsg struct {
 	Value []byte
 }
 
-func newSemiActive(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newSemiActive(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
 		s := &semiActiveServer{
 			r:         r,
@@ -88,7 +88,7 @@ func (s *semiActiveServer) stop() {
 
 // onDecision installs a leader's choice and implicitly wakes executors
 // polling for it.
-func (s *semiActiveServer) onDecision(origin simnet.NodeID, payload []byte) {
+func (s *semiActiveServer) onDecision(origin transport.NodeID, payload []byte) {
 	var d decisionMsg
 	codec.MustUnmarshal(payload, &d)
 	s.mu.Lock()
@@ -100,7 +100,7 @@ func (s *semiActiveServer) onDecision(origin simnet.NodeID, payload []byte) {
 
 // onDeliver executes one totally-ordered request, pausing at each
 // nondeterministic point for the leader's decision.
-func (s *semiActiveServer) onDeliver(origin simnet.NodeID, payload []byte) {
+func (s *semiActiveServer) onDeliver(origin transport.NodeID, payload []byte) {
 	req := decodeRequest(payload)
 	s.r.trace(req.ID, trace.SC, "abcast")
 

@@ -6,8 +6,8 @@ import (
 	"sync"
 
 	"replication/internal/consensus"
-	"replication/internal/simnet"
 	"replication/internal/trace"
+	"replication/internal/transport"
 )
 
 // semiPassiveServer implements semi-passive replication (paper §3.5,
@@ -42,8 +42,8 @@ type semiPassiveServer struct {
 
 const kindSPReq = "sp.req"
 
-func newSemiPassive(c *Cluster, replicas map[simnet.NodeID]*replica) protocolHooks {
-	hooks := protocolHooks{servers: make(map[simnet.NodeID]*serverEntry)}
+func newSemiPassive(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
+	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
 		s := &semiPassiveServer{
 			r:         r,
@@ -86,7 +86,7 @@ func (s *semiPassiveServer) stop() {
 	})
 }
 
-func (s *semiPassiveServer) onClientRequest(m simnet.Message) {
+func (s *semiPassiveServer) onClientRequest(m transport.Message) {
 	req := decodeRequest(m.Payload)
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/txn"
+)
+
+// newTCPCluster builds a cluster over the real-TCP transport. Unlike the
+// simnet clusters there is no latency model to pin down — timing comes
+// from the kernel.
+func newTCPCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	cfg.Transport = TransportTCP
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestAllProtocolsConvergeOverTCP is the TCP counterpart of the backbone
+// integration test: every technique serves writes and reads over real
+// loopback sockets and all replicas end in the same state. Nothing in
+// any protocol changes — only the substrate underneath it.
+func TestAllProtocolsConvergeOverTCP(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTCPCluster(t, Config{Protocol: p, Replicas: 3, LazyDelay: time.Millisecond})
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+
+			for i := 0; i < 5; i++ {
+				key := fmt.Sprintf("k%d", i)
+				res, err := cl.InvokeOp(ctx, txn.W(key, []byte(fmt.Sprintf("v%d", i))))
+				if err != nil {
+					t.Fatalf("write %d: %v", i, err)
+				}
+				if !res.Committed {
+					t.Fatalf("write %d aborted: %s", i, res.Err)
+				}
+			}
+			res, err := cl.InvokeOp(ctx, txn.R("k2"))
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if got := string(res.Reads["k2"]); got != "v2" {
+				// Lazy techniques may serve a stale local read; a retry
+				// after convergence must see the value.
+				waitConverged(t, c, 10*time.Second)
+				res, err = cl.InvokeOp(ctx, txn.R("k2"))
+				if err != nil || string(res.Reads["k2"]) != "v2" {
+					t.Fatalf("read after convergence = %q, %v", res.Reads["k2"], err)
+				}
+			}
+			waitConverged(t, c, 10*time.Second)
+			for _, store := range c.Stores() {
+				for i := 0; i < 5; i++ {
+					v, ok := store.Read(fmt.Sprintf("k%d", i))
+					if !ok || string(v.Value) != fmt.Sprintf("v%d", i) {
+						t.Fatalf("replica missing k%d (got %q ok=%v)", i, v.Value, ok)
+					}
+				}
+			}
+			// The bytes must really have crossed sockets: the transport
+			// counted every protocol message it carried.
+			if stats := c.Network().Stats(); stats.Delivered == 0 {
+				t.Fatal("TCP transport delivered no messages")
+			}
+		})
+	}
+}
+
+// TestStoredProceduresOverTCP runs the read-compute-write increment
+// procedure through every technique on the TCP substrate — single-
+// executor techniques ship the writeset across real sockets, executing-
+// everywhere techniques ship the procedure call.
+func TestStoredProceduresOverTCP(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			cfg := procConfig(p)
+			c := newTCPCluster(t, cfg)
+			cl := c.NewClient()
+			ctx := ctxT(t, 60*time.Second)
+			args := []byte(`{"Key":"ctr","By":1}`)
+			const n = 3
+			for i := 0; i < n; i++ {
+				res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+					txn.P("incr", args, "ctr"),
+				}})
+				if err != nil {
+					t.Fatalf("incr %d: %v", i, err)
+				}
+				if !res.Committed {
+					t.Fatalf("incr %d aborted: %s", i, res.Err)
+				}
+			}
+			waitConverged(t, c, 10*time.Second)
+			for _, id := range c.Replicas() {
+				v, ok := c.Store(id).Read("ctr")
+				if !ok || string(v.Value) != fmt.Sprintf("%d", n) {
+					t.Fatalf("replica %s: ctr = %q, want %d", id, v.Value, n)
+				}
+			}
+		})
+	}
+}
+
+// TestTCPConcurrentClientsConverge drives overlapping writers over TCP
+// through a strongly consistent technique and checks convergence — the
+// concurrency stress that flushes out races in the connection layer.
+func TestTCPConcurrentClientsConverge(t *testing.T) {
+	for _, p := range []Protocol{Active, EagerPrimary, Certification} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			c := newTCPCluster(t, Config{Protocol: p, Replicas: 3})
+			ctx := ctxT(t, 120*time.Second)
+			const clients, ops = 3, 6
+			var wg sync.WaitGroup
+			for ci := 0; ci < clients; ci++ {
+				cl := c.NewClient()
+				wg.Add(1)
+				go func(ci int, cl *Client) {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						key := fmt.Sprintf("k%d", (ci+i)%4)
+						if _, err := cl.InvokeOp(ctx, txn.W(key, []byte(fmt.Sprintf("c%d-%d", ci, i)))); err != nil {
+							t.Errorf("client %d op %d: %v", ci, i, err)
+							return
+						}
+					}
+				}(ci, cl)
+			}
+			wg.Wait()
+			waitConverged(t, c, 15*time.Second)
+		})
+	}
+}
+
+// TestTCPCrashFailover crashes a replica under the certification
+// technique over TCP: the crash closes that replica's listener and
+// connections, heartbeats stop flowing, the failure detector suspects it
+// from the silence — connection loss surfaced as crash-stop — and the
+// client fails over to a live home.
+func TestTCPCrashFailover(t *testing.T) {
+	// The first attempt after the crash burns one RequestTimeout before
+	// the client rotates homes; keep it short.
+	c := newTCPCluster(t, Config{Protocol: Certification, Replicas: 3, RequestTimeout: time.Second})
+	cl := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+	if _, err := cl.InvokeOp(ctx, txn.W("before", []byte("1"))); err != nil {
+		t.Fatal(err)
+	}
+	home := cl.Home()
+	c.Crash(home)
+	if !c.Network().Crashed(home) {
+		t.Fatal("transport does not report the crash")
+	}
+	res, err := cl.InvokeOp(ctx, txn.W("after", []byte("2")))
+	if err != nil {
+		t.Fatalf("write after home crash: %v", err)
+	}
+	if !res.Committed {
+		t.Fatalf("aborted: %s", res.Err)
+	}
+	if cl.Home() == home {
+		t.Fatal("client did not rotate away from its crashed home")
+	}
+}

@@ -2,8 +2,8 @@ package core
 
 import (
 	"replication/internal/codec"
-	"replication/internal/simnet"
 	"replication/internal/storage"
+	"replication/internal/transport"
 	"replication/internal/txn"
 )
 
@@ -34,7 +34,7 @@ func (m *Request) DecodeFrom(data []byte) error {
 func (m *Request) decodeWire(r *codec.Reader) {
 	m.ID = r.Uvarint()
 	m.Attempt = int(r.Varint())
-	m.Client = simnet.NodeID(r.String())
+	m.Client = transport.NodeID(r.String())
 	m.Txn.DecodeWire(r)
 }
 
@@ -76,10 +76,10 @@ func (m *updateMsg) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
 	m.ReqID = r.Uvarint()
 	m.TxnID = r.String()
-	m.Client = simnet.NodeID(r.String())
+	m.Client = transport.NodeID(r.String())
 	m.WS.DecodeWire(&r)
 	m.Result.DecodeWire(&r)
-	m.Origin = simnet.NodeID(r.String())
+	m.Origin = transport.NodeID(r.String())
 	m.Wall = r.Uvarint()
 	return r.Done()
 }
@@ -95,7 +95,7 @@ func (m *rpcAnswer) AppendTo(buf []byte) []byte {
 // DecodeFrom implements codec.Wire.
 func (m *rpcAnswer) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
-	m.Redirect = simnet.NodeID(r.String())
+	m.Redirect = transport.NodeID(r.String())
 	m.Resp.decodeWire(&r)
 	return r.Done()
 }
@@ -188,7 +188,7 @@ func (m *eabEnvelope) AppendTo(buf []byte) []byte {
 func (m *eabEnvelope) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
 	m.Req.decodeWire(&r)
-	m.Delegate = simnet.NodeID(r.String())
+	m.Delegate = transport.NodeID(r.String())
 	return r.Done()
 }
 
@@ -207,7 +207,7 @@ func (m *certMsg) AppendTo(buf []byte) []byte {
 func (m *certMsg) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
 	m.Req.decodeWire(&r)
-	m.Delegate = simnet.NodeID(r.String())
+	m.Delegate = transport.NodeID(r.String())
 	m.RS.DecodeWire(&r)
 	m.WS.DecodeWire(&r)
 	m.Result.DecodeWire(&r)

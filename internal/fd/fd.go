@@ -16,7 +16,7 @@ import (
 	"sync"
 	"time"
 
-	"replication/internal/simnet"
+	"replication/internal/transport"
 )
 
 // MsgKind is the message kind used for heartbeats.
@@ -42,18 +42,18 @@ func (o *Options) fill() {
 
 // ChangeFunc is a suspicion-change callback. It is invoked from the
 // detector's internal goroutines; implementations must not block.
-type ChangeFunc func(peer simnet.NodeID, suspected bool)
+type ChangeFunc func(peer transport.NodeID, suspected bool)
 
 // Detector monitors a set of peers by exchanging heartbeats over a
-// simnet.Node. Create with New, then Start.
+// transport.Node. Create with New, then Start.
 type Detector struct {
-	node  *simnet.Node
-	peers []simnet.NodeID
+	node  *transport.Node
+	peers []transport.NodeID
 	opts  Options
 
 	mu        sync.Mutex
-	lastHeard map[simnet.NodeID]time.Time
-	suspected map[simnet.NodeID]bool
+	lastHeard map[transport.NodeID]time.Time
+	suspected map[transport.NodeID]bool
 	subs      []ChangeFunc
 	started   bool
 
@@ -64,13 +64,13 @@ type Detector struct {
 
 // New creates a detector on node monitoring peers (the node itself is
 // excluded automatically if present in peers).
-func New(node *simnet.Node, peers []simnet.NodeID, opts Options) *Detector {
+func New(node *transport.Node, peers []transport.NodeID, opts Options) *Detector {
 	opts.fill()
 	d := &Detector{
 		node:      node,
 		opts:      opts,
-		lastHeard: make(map[simnet.NodeID]time.Time),
-		suspected: make(map[simnet.NodeID]bool),
+		lastHeard: make(map[transport.NodeID]time.Time),
+		suspected: make(map[transport.NodeID]bool),
 		stop:      make(chan struct{}),
 	}
 	for _, p := range peers {
@@ -116,17 +116,17 @@ func (d *Detector) Stop() {
 }
 
 // Suspects reports whether peer is currently suspected.
-func (d *Detector) Suspects(peer simnet.NodeID) bool {
+func (d *Detector) Suspects(peer transport.NodeID) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.suspected[peer]
 }
 
 // Suspected returns the currently suspected peers.
-func (d *Detector) Suspected() []simnet.NodeID {
+func (d *Detector) Suspected() []transport.NodeID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	var out []simnet.NodeID
+	var out []transport.NodeID
 	for p, s := range d.suspected {
 		if s {
 			out = append(out, p)
@@ -135,7 +135,7 @@ func (d *Detector) Suspected() []simnet.NodeID {
 	return out
 }
 
-func (d *Detector) onHeartbeat(m simnet.Message) {
+func (d *Detector) onHeartbeat(m transport.Message) {
 	d.mu.Lock()
 	d.lastHeard[m.From] = time.Now()
 	wasSuspected := d.suspected[m.From]
@@ -177,7 +177,7 @@ func (d *Detector) monitor() {
 			return
 		case <-ticker.C:
 			now := time.Now()
-			var newly []simnet.NodeID
+			var newly []transport.NodeID
 			d.mu.Lock()
 			for _, p := range d.peers {
 				if !d.suspected[p] && now.Sub(d.lastHeard[p]) > d.opts.Timeout {

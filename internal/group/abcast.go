@@ -10,12 +10,12 @@ import (
 	"replication/internal/codec"
 	"replication/internal/consensus"
 	"replication/internal/fd"
-	"replication/internal/simnet"
+	"replication/internal/transport"
 )
 
 // abSubmit is a message entering the total order.
 type abSubmit struct {
-	Origin simnet.NodeID
+	Origin transport.NodeID
 	Seq    uint64
 	Data   []byte
 }
@@ -46,8 +46,8 @@ const maxBatch = 128
 // through one server's Broadcast (§4.4.2): the two request-phase styles
 // the paper contrasts.
 type Atomic struct {
-	node    *simnet.Node
-	members []simnet.NodeID
+	node    *transport.Node
+	members []transport.NodeID
 	cs      *consensus.Manager
 	kind    string
 
@@ -71,7 +71,7 @@ var _ Broadcaster = (*Atomic)(nil)
 // NewAtomic creates an atomic broadcaster for node within members, using
 // det for the underlying consensus. Call Start after OnDeliver, and Stop
 // at teardown.
-func NewAtomic(node *simnet.Node, name string, members []simnet.NodeID, det *fd.Detector) *Atomic {
+func NewAtomic(node *transport.Node, name string, members []transport.NodeID, det *fd.Detector) *Atomic {
 	a := &Atomic{
 		node:      node,
 		members:   sortedIDs(members),
@@ -163,11 +163,11 @@ func (a *Atomic) Broadcast(payload []byte) error {
 func (a *Atomic) SubmitKind() string { return a.kind + ".submit" }
 
 // Members returns the ordering group's membership.
-func (a *Atomic) Members() []simnet.NodeID {
-	return append([]simnet.NodeID(nil), a.members...)
+func (a *Atomic) Members() []transport.NodeID {
+	return append([]transport.NodeID(nil), a.members...)
 }
 
-func (a *Atomic) onSubmit(msg simnet.Message) {
+func (a *Atomic) onSubmit(msg transport.Message) {
 	var m abSubmit
 	codec.MustUnmarshal(msg.Payload, &m)
 	if !a.admit(m) {
@@ -309,15 +309,15 @@ func (a *Atomic) apply(value []byte) {
 // group". Sending to every member tolerates member crashes; the batch
 // mechanism deduplicates.
 type Submitter struct {
-	node    *simnet.Node
+	node    *transport.Node
 	kind    string
-	members []simnet.NodeID
+	members []transport.NodeID
 	seq     atomic.Uint64
 }
 
 // NewSubmitter creates a submitter for the group named name with the
 // given members, sending from node.
-func NewSubmitter(node *simnet.Node, name string, members []simnet.NodeID) *Submitter {
+func NewSubmitter(node *transport.Node, name string, members []transport.NodeID) *Submitter {
 	return &Submitter{
 		node:    node,
 		kind:    name + ".ab.submit",

@@ -4,7 +4,7 @@ import (
 	"sync"
 
 	"replication/internal/codec"
-	"replication/internal/simnet"
+	"replication/internal/transport"
 	"replication/internal/vclock"
 )
 
@@ -26,7 +26,7 @@ type causalMsg struct {
 // count for q.
 type Causal struct {
 	rb   *Reliable
-	self simnet.NodeID
+	self transport.NodeID
 
 	mu      sync.Mutex
 	clock   vclock.VC // delivered-message counts per origin
@@ -35,14 +35,14 @@ type Causal struct {
 }
 
 type causalEnvelope struct {
-	origin simnet.NodeID
+	origin transport.NodeID
 	m      causalMsg
 }
 
 var _ Broadcaster = (*Causal)(nil)
 
 // NewCausal creates a causal broadcaster for node within members.
-func NewCausal(node *simnet.Node, name string, members []simnet.NodeID) *Causal {
+func NewCausal(node *transport.Node, name string, members []transport.NodeID) *Causal {
 	c := &Causal{
 		self:  node.ID(),
 		clock: vclock.New(),
@@ -71,7 +71,7 @@ func (c *Causal) Broadcast(payload []byte) error {
 	return c.rb.Broadcast(codec.MustMarshal(&m))
 }
 
-func (c *Causal) onDeliver(origin simnet.NodeID, payload []byte) {
+func (c *Causal) onDeliver(origin transport.NodeID, payload []byte) {
 	var m causalMsg
 	codec.MustUnmarshal(payload, &m)
 

@@ -4,7 +4,7 @@ import (
 	"sync"
 
 	"replication/internal/codec"
-	"replication/internal/simnet"
+	"replication/internal/transport"
 )
 
 // fifoMsg wraps a payload with the sender's FIFO sequence number.
@@ -27,18 +27,18 @@ type FIFO struct {
 
 	mu      sync.Mutex
 	nextOut uint64
-	nextIn  map[simnet.NodeID]uint64            // next expected seq per origin
-	held    map[simnet.NodeID]map[uint64][]byte // out-of-order buffer
+	nextIn  map[transport.NodeID]uint64            // next expected seq per origin
+	held    map[transport.NodeID]map[uint64][]byte // out-of-order buffer
 	deliver Deliver
 }
 
 var _ Broadcaster = (*FIFO)(nil)
 
 // NewFIFO creates a FIFO broadcaster for node within members.
-func NewFIFO(node *simnet.Node, name string, members []simnet.NodeID) *FIFO {
+func NewFIFO(node *transport.Node, name string, members []transport.NodeID) *FIFO {
 	f := &FIFO{
-		nextIn: make(map[simnet.NodeID]uint64),
-		held:   make(map[simnet.NodeID]map[uint64][]byte),
+		nextIn: make(map[transport.NodeID]uint64),
+		held:   make(map[transport.NodeID]map[uint64][]byte),
 	}
 	f.rb = NewReliable(node, name+".fifo", members)
 	f.rb.OnDeliver(f.onDeliver)
@@ -62,7 +62,7 @@ func (f *FIFO) Broadcast(payload []byte) error {
 }
 
 // onDeliver receives RB deliveries and releases them in per-origin order.
-func (f *FIFO) onDeliver(origin simnet.NodeID, payload []byte) {
+func (f *FIFO) onDeliver(origin transport.NodeID, payload []byte) {
 	var m fifoMsg
 	codec.MustUnmarshal(payload, &m)
 

@@ -22,12 +22,12 @@ import (
 	"sort"
 	"sync"
 
-	"replication/internal/simnet"
+	"replication/internal/transport"
 )
 
 // Deliver is a message delivery callback. Deliveries for one group member
 // are serialised; callbacks must not block on network round trips.
-type Deliver func(origin simnet.NodeID, payload []byte)
+type Deliver func(origin transport.NodeID, payload []byte)
 
 // Broadcaster is the interface common to all broadcast primitives.
 type Broadcaster interface {
@@ -40,21 +40,21 @@ type Broadcaster interface {
 
 // msgKey uniquely identifies a broadcast message by origin and sequence.
 type msgKey struct {
-	Origin simnet.NodeID
+	Origin transport.NodeID
 	Seq    uint64
 }
 
 func (k msgKey) String() string { return fmt.Sprintf("%s/%d", k.Origin, k.Seq) }
 
 // sortedIDs returns a sorted copy of ids.
-func sortedIDs(ids []simnet.NodeID) []simnet.NodeID {
-	out := append([]simnet.NodeID(nil), ids...)
+func sortedIDs(ids []transport.NodeID) []transport.NodeID {
+	out := append([]transport.NodeID(nil), ids...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // contains reports whether ids includes id.
-func contains(ids []simnet.NodeID, id simnet.NodeID) bool {
+func contains(ids []transport.NodeID, id transport.NodeID) bool {
 	for _, x := range ids {
 		if x == id {
 			return true

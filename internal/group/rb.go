@@ -5,12 +5,12 @@ import (
 	"sync/atomic"
 
 	"replication/internal/codec"
-	"replication/internal/simnet"
+	"replication/internal/transport"
 )
 
 // rbMsg is the wire format of a reliably-broadcast message.
 type rbMsg struct {
-	Origin simnet.NodeID
+	Origin transport.NodeID
 	Seq    uint64
 	Data   []byte
 }
@@ -25,8 +25,8 @@ type rbMsg struct {
 // With reliable point-to-point links and f < n crash faults, a message
 // delivered anywhere reaches everywhere.
 type Reliable struct {
-	node    *simnet.Node
-	members []simnet.NodeID
+	node    *transport.Node
+	members []transport.NodeID
 	kind    string
 
 	seq     atomic.Uint64
@@ -39,7 +39,7 @@ var _ Broadcaster = (*Reliable)(nil)
 
 // NewReliable creates a reliable broadcaster for node within members.
 // name scopes the message kind so several groups can share a node.
-func NewReliable(node *simnet.Node, name string, members []simnet.NodeID) *Reliable {
+func NewReliable(node *transport.Node, name string, members []transport.NodeID) *Reliable {
 	r := &Reliable{
 		node:    node,
 		members: sortedIDs(members),
@@ -78,7 +78,7 @@ func (r *Reliable) Broadcast(payload []byte) error {
 	return nil
 }
 
-func (r *Reliable) onMessage(msg simnet.Message) {
+func (r *Reliable) onMessage(msg transport.Message) {
 	var m rbMsg
 	codec.MustUnmarshal(msg.Payload, &m)
 	if !r.seen.firstTime(msgKey{m.Origin, m.Seq}) {
@@ -94,7 +94,7 @@ func (r *Reliable) onMessage(msg simnet.Message) {
 	r.invoke(m.Origin, m.Data)
 }
 
-func (r *Reliable) invoke(origin simnet.NodeID, data []byte) {
+func (r *Reliable) invoke(origin transport.NodeID, data []byte) {
 	r.mu.Lock()
 	d := r.deliver
 	r.mu.Unlock()
@@ -104,6 +104,6 @@ func (r *Reliable) invoke(origin simnet.NodeID, data []byte) {
 }
 
 // Members returns the group membership (static for this primitive).
-func (r *Reliable) Members() []simnet.NodeID {
-	return append([]simnet.NodeID(nil), r.members...)
+func (r *Reliable) Members() []transport.NodeID {
+	return append([]transport.NodeID(nil), r.members...)
 }

@@ -11,7 +11,7 @@ import (
 	"replication/internal/codec"
 	"replication/internal/consensus"
 	"replication/internal/fd"
-	"replication/internal/simnet"
+	"replication/internal/transport"
 )
 
 // View is one element of the sequence of views v0(g), v1(g), ... of a
@@ -21,12 +21,12 @@ type View struct {
 	// ID is the view number; consecutive views have consecutive IDs.
 	ID uint64
 	// Members is the sorted membership of this view.
-	Members []simnet.NodeID
+	Members []transport.NodeID
 }
 
 // Primary returns the distinguished member (lowest ID) of the view —
 // passive replication's primary and semi-active replication's leader.
-func (v View) Primary() simnet.NodeID {
+func (v View) Primary() transport.NodeID {
 	if len(v.Members) == 0 {
 		return ""
 	}
@@ -34,7 +34,7 @@ func (v View) Primary() simnet.NodeID {
 }
 
 // Includes reports whether id is a member of the view.
-func (v View) Includes(id simnet.NodeID) bool { return contains(v.Members, id) }
+func (v View) Includes(id transport.NodeID) bool { return contains(v.Members, id) }
 
 // String implements fmt.Stringer.
 func (v View) String() string { return fmt.Sprintf("v%d%v", v.ID, v.Members) }
@@ -58,7 +58,7 @@ var ErrViewChanging = errors.New("group: view change in progress")
 // vsMsg is a view-synchronous message.
 type vsMsg struct {
 	ViewID uint64
-	Origin simnet.NodeID
+	Origin transport.NodeID
 	Seq    uint64
 	Data   []byte
 }
@@ -67,7 +67,7 @@ type vsMsg struct {
 // serves as the body of stability notifications and (empty) join
 // requests.
 type vsAck struct {
-	Origin simnet.NodeID
+	Origin transport.NodeID
 	Seq    uint64
 }
 
@@ -83,7 +83,7 @@ type vsFlushResp struct {
 
 // vsViewValue is the value agreed by consensus to install a view.
 type vsViewValue struct {
-	Members []simnet.NodeID
+	Members []transport.NodeID
 	Flush   []vsMsg
 }
 
@@ -101,9 +101,9 @@ type vsProposeCmd struct {
 // self-contained.
 type vsState struct {
 	ViewID    uint64
-	Members   []simnet.NodeID
+	Members   []transport.NodeID
 	Snapshot  []byte
-	Delivered map[simnet.NodeID]uint64 // per-origin delivered seq at snapshot time
+	Delivered map[transport.NodeID]uint64 // per-origin delivered seq at snapshot time
 }
 
 // ViewGroupOptions configure a ViewGroup.
@@ -155,8 +155,8 @@ func (o *ViewGroupOptions) fill() {
 // RequestJoin. Delivery callbacks must not broadcast on the same group
 // synchronously.
 type ViewGroup struct {
-	node *simnet.Node
-	all  []simnet.NodeID
+	node *transport.Node
+	all  []transport.NodeID
 	det  *fd.Detector
 	cs   *consensus.Manager
 	kind string
@@ -168,14 +168,14 @@ type ViewGroup struct {
 	blocked      bool      // true while a view change is being prepared
 	blockedSince time.Time // for stale-block recovery
 	seq          uint64
-	nextIn       map[simnet.NodeID]uint64 // next expected seq per origin
-	deliveredVec map[simnet.NodeID]uint64 // per-origin seq whose app callback has run
-	held         map[simnet.NodeID]map[uint64]vsMsg
+	nextIn       map[transport.NodeID]uint64 // next expected seq per origin
+	deliveredVec map[transport.NodeID]uint64 // per-origin seq whose app callback has run
+	held         map[transport.NodeID]map[uint64]vsMsg
 	futures      []vsMsg // messages from views we have not installed yet
 	unstable     map[msgKey]vsMsg
-	acks         map[msgKey]map[simnet.NodeID]bool
+	acks         map[msgKey]map[transport.NodeID]bool
 	stability    map[msgKey]chan bool // BroadcastStable waiters
-	joins        map[simnet.NodeID]bool
+	joins        map[transport.NodeID]bool
 	proposed     map[uint64]bool   // view IDs this node has proposed
 	pendingViews map[uint64][]byte // decided views awaiting sequential install
 	awaiting     bool              // joiner: waiting for state transfer
@@ -196,7 +196,7 @@ type ViewGroup struct {
 // of all potential members (the consensus quorum base); initial is the
 // membership of view 1 — pass nil to start outside the group and
 // RequestJoin later.
-func NewViewGroup(node *simnet.Node, name string, universe, initial []simnet.NodeID, det *fd.Detector, opts ViewGroupOptions) *ViewGroup {
+func NewViewGroup(node *transport.Node, name string, universe, initial []transport.NodeID, det *fd.Detector, opts ViewGroupOptions) *ViewGroup {
 	opts.fill()
 	g := &ViewGroup{
 		node:         node,
@@ -205,13 +205,13 @@ func NewViewGroup(node *simnet.Node, name string, universe, initial []simnet.Nod
 		kind:         name + ".vs",
 		opts:         opts,
 		view:         View{ID: 1, Members: sortedIDs(initial)},
-		nextIn:       make(map[simnet.NodeID]uint64),
-		deliveredVec: make(map[simnet.NodeID]uint64),
-		held:         make(map[simnet.NodeID]map[uint64]vsMsg),
+		nextIn:       make(map[transport.NodeID]uint64),
+		deliveredVec: make(map[transport.NodeID]uint64),
+		held:         make(map[transport.NodeID]map[uint64]vsMsg),
 		unstable:     make(map[msgKey]vsMsg),
-		acks:         make(map[msgKey]map[simnet.NodeID]bool),
+		acks:         make(map[msgKey]map[transport.NodeID]bool),
 		stability:    make(map[msgKey]chan bool),
-		joins:        make(map[simnet.NodeID]bool),
+		joins:        make(map[transport.NodeID]bool),
 		proposed:     make(map[uint64]bool),
 		pendingViews: make(map[uint64][]byte),
 		stop:         make(chan struct{}),
@@ -259,7 +259,7 @@ func (g *ViewGroup) Stop() {
 func (g *ViewGroup) CurrentView() View {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return View{ID: g.view.ID, Members: append([]simnet.NodeID(nil), g.view.Members...)}
+	return View{ID: g.view.ID, Members: append([]transport.NodeID(nil), g.view.Members...)}
 }
 
 // InView reports whether this process is a member of the current view.
@@ -319,7 +319,7 @@ func (g *ViewGroup) BroadcastStable(ctx context.Context, payload []byte) error {
 // progress new sends wait: a message delivered locally after the flush
 // snapshot would be missing from the next view's flush set, breaking the
 // VSCAST property for the origin's own deliveries.
-func (g *ViewGroup) prepare(payload []byte) (vsMsg, []simnet.NodeID, error) {
+func (g *ViewGroup) prepare(payload []byte) (vsMsg, []transport.NodeID, error) {
 	deadline := time.Now().Add(4 * g.opts.FlushTimeout)
 	for {
 		g.mu.Lock()
@@ -338,14 +338,14 @@ func (g *ViewGroup) prepare(payload []byte) (vsMsg, []simnet.NodeID, error) {
 	}
 	g.seq++
 	m := vsMsg{ViewID: g.view.ID, Origin: g.node.ID(), Seq: g.seq, Data: payload}
-	members := append([]simnet.NodeID(nil), g.view.Members...)
+	members := append([]transport.NodeID(nil), g.view.Members...)
 	g.mu.Unlock()
 	// Local delivery runs through the same path as remote delivery.
 	g.receive(m)
 	return m, members, nil
 }
 
-func (g *ViewGroup) transmit(m vsMsg, members []simnet.NodeID) {
+func (g *ViewGroup) transmit(m vsMsg, members []transport.NodeID) {
 	data := codec.MustMarshal(&m)
 	for _, peer := range members {
 		if peer != g.node.ID() {
@@ -354,7 +354,7 @@ func (g *ViewGroup) transmit(m vsMsg, members []simnet.NodeID) {
 	}
 }
 
-func (g *ViewGroup) onMsg(msg simnet.Message) {
+func (g *ViewGroup) onMsg(msg transport.Message) {
 	var m vsMsg
 	codec.MustUnmarshal(msg.Payload, &m)
 	g.receive(m)
@@ -460,16 +460,16 @@ func (g *ViewGroup) emit(ready []vsMsg, d Deliver) {
 	}
 }
 
-func (g *ViewGroup) onAck(msg simnet.Message) {
+func (g *ViewGroup) onAck(msg transport.Message) {
 	var a vsAck
 	codec.MustUnmarshal(msg.Payload, &a)
 	g.recordAck(msgKey{a.Origin, a.Seq}, msg.From)
 }
 
-func (g *ViewGroup) recordAck(k msgKey, from simnet.NodeID) {
+func (g *ViewGroup) recordAck(k msgKey, from transport.NodeID) {
 	g.mu.Lock()
 	if g.acks[k] == nil {
-		g.acks[k] = make(map[simnet.NodeID]bool)
+		g.acks[k] = make(map[transport.NodeID]bool)
 	}
 	g.acks[k][from] = true
 	g.mu.Unlock()
@@ -495,7 +495,7 @@ func (g *ViewGroup) checkStability(k msgKey) {
 	delete(g.stability, k)
 	delete(g.acks, k)
 	delete(g.unstable, k)
-	members := append([]simnet.NodeID(nil), g.view.Members...)
+	members := append([]transport.NodeID(nil), g.view.Members...)
 	g.mu.Unlock()
 
 	if ch != nil {
@@ -509,7 +509,7 @@ func (g *ViewGroup) checkStability(k msgKey) {
 	}
 }
 
-func (g *ViewGroup) onStable(msg simnet.Message) {
+func (g *ViewGroup) onStable(msg transport.Message) {
 	var a vsAck
 	codec.MustUnmarshal(msg.Payload, &a)
 	g.mu.Lock()
@@ -525,15 +525,15 @@ func (g *ViewGroup) onStable(msg simnet.Message) {
 // one node down); the operator must issue the same configuration to
 // every surviving member. Pending stability waits resolve as not-stable
 // so their callers retry under the new view.
-func (g *ViewGroup) ForceView(members []simnet.NodeID) View {
+func (g *ViewGroup) ForceView(members []transport.NodeID) View {
 	g.mu.Lock()
 	newView := View{ID: g.view.ID + 1, Members: sortedIDs(members)}
 	g.view = newView
 	g.inView = contains(newView.Members, g.node.ID())
 	g.blocked = false
-	g.held = make(map[simnet.NodeID]map[uint64]vsMsg)
+	g.held = make(map[transport.NodeID]map[uint64]vsMsg)
 	g.unstable = make(map[msgKey]vsMsg)
-	g.acks = make(map[msgKey]map[simnet.NodeID]bool)
+	g.acks = make(map[msgKey]map[transport.NodeID]bool)
 	stability := make([]chan bool, 0, len(g.stability))
 	for k, ch := range g.stability {
 		stability = append(stability, ch)
@@ -556,7 +556,7 @@ func (g *ViewGroup) ForceView(members []simnet.NodeID) View {
 // state transfer finishes.
 func (g *ViewGroup) RequestJoin() {
 	g.mu.Lock()
-	members := append([]simnet.NodeID(nil), g.view.Members...)
+	members := append([]transport.NodeID(nil), g.view.Members...)
 	g.mu.Unlock()
 	data := codec.MustMarshal(&vsAck{})
 	for _, peer := range members {
@@ -566,7 +566,7 @@ func (g *ViewGroup) RequestJoin() {
 	}
 }
 
-func (g *ViewGroup) onJoin(msg simnet.Message) {
+func (g *ViewGroup) onJoin(msg transport.Message) {
 	g.mu.Lock()
 	g.joins[msg.From] = true
 	g.mu.Unlock()
@@ -606,7 +606,7 @@ func (g *ViewGroup) unblockStale() {
 			replay = append(replay, m)
 		}
 	}
-	g.held = make(map[simnet.NodeID]map[uint64]vsMsg)
+	g.held = make(map[transport.NodeID]map[uint64]vsMsg)
 	g.mu.Unlock()
 
 	sort.Slice(replay, func(i, j int) bool {
@@ -632,7 +632,7 @@ func (g *ViewGroup) maybeChangeView() {
 		return
 	}
 	view := g.view
-	var survivors, suspects []simnet.NodeID
+	var survivors, suspects []transport.NodeID
 	for _, m := range view.Members {
 		if g.det.Suspects(m) {
 			suspects = append(suspects, m)
@@ -640,7 +640,7 @@ func (g *ViewGroup) maybeChangeView() {
 			survivors = append(survivors, m)
 		}
 	}
-	var joins []simnet.NodeID
+	var joins []transport.NodeID
 	for j := range g.joins {
 		if !contains(view.Members, j) && !g.det.Suspects(j) {
 			joins = append(joins, j)
@@ -661,7 +661,7 @@ func (g *ViewGroup) maybeChangeView() {
 
 // coordinateViewChange runs the flush protocol and drives consensus on
 // the next view.
-func (g *ViewGroup) coordinateViewChange(old View, survivors, joins []simnet.NodeID, target uint64) {
+func (g *ViewGroup) coordinateViewChange(old View, survivors, joins []transport.NodeID, target uint64) {
 	g.mu.Lock()
 	if g.proposed[target] || g.view.ID != old.ID {
 		g.mu.Unlock()
@@ -683,10 +683,10 @@ func (g *ViewGroup) coordinateViewChange(old View, survivors, joins []simnet.Nod
 	g.mu.Unlock()
 
 	// Collect flush contributions from the other survivors.
-	reachable := []simnet.NodeID{g.node.ID()}
+	reachable := []transport.NodeID{g.node.ID()}
 	req := codec.MustMarshal(&vsFlushReq{FromView: old.ID})
 	type result struct {
-		peer simnet.NodeID
+		peer transport.NodeID
 		resp vsFlushResp
 		err  error
 	}
@@ -750,7 +750,7 @@ func (g *ViewGroup) coordinateViewChange(old View, survivors, joins []simnet.Nod
 	g.proposeView(target, value)
 }
 
-func (g *ViewGroup) onProposeCmd(msg simnet.Message) {
+func (g *ViewGroup) onProposeCmd(msg transport.Message) {
 	var cmd vsProposeCmd
 	codec.MustUnmarshal(msg.Payload, &cmd)
 	g.proposeView(cmd.TargetView, cmd.Value)
@@ -778,7 +778,7 @@ func (g *ViewGroup) proposeView(target uint64, value []byte) {
 	})
 }
 
-func (g *ViewGroup) onFlushReq(msg simnet.Message) {
+func (g *ViewGroup) onFlushReq(msg transport.Message) {
 	var req vsFlushReq
 	codec.MustUnmarshal(msg.Payload, &req)
 	g.mu.Lock()
@@ -868,9 +868,9 @@ func (g *ViewGroup) installView(instance uint64, value []byte) {
 	g.view = newView
 	g.inView = contains(vv.Members, g.node.ID())
 	g.blocked = false
-	g.held = make(map[simnet.NodeID]map[uint64]vsMsg)
+	g.held = make(map[transport.NodeID]map[uint64]vsMsg)
 	g.unstable = make(map[msgKey]vsMsg)
-	g.acks = make(map[msgKey]map[simnet.NodeID]bool)
+	g.acks = make(map[msgKey]map[transport.NodeID]bool)
 	for j := range g.joins {
 		if contains(vv.Members, j) {
 			delete(g.joins, j)
@@ -918,7 +918,7 @@ func (g *ViewGroup) installView(instance uint64, value []byte) {
 func (g *ViewGroup) sendStateToJoiners(v View) {
 	g.deliverMu.Lock()
 	g.mu.Lock()
-	delivered := make(map[simnet.NodeID]uint64, len(g.deliveredVec))
+	delivered := make(map[transport.NodeID]uint64, len(g.deliveredVec))
 	for origin, seq := range g.deliveredVec {
 		delivered[origin] = seq
 	}
@@ -939,7 +939,7 @@ func (g *ViewGroup) sendStateToJoiners(v View) {
 	}
 }
 
-func (g *ViewGroup) onState(msg simnet.Message) {
+func (g *ViewGroup) onState(msg transport.Message) {
 	var st vsState
 	codec.MustUnmarshal(msg.Payload, &st)
 	self := g.node.ID()
@@ -971,7 +971,7 @@ func (g *ViewGroup) onState(msg simnet.Message) {
 	g.buffer = nil
 	g.futures = nil
 	applier := g.opts.StateApplier
-	newView := View{ID: g.view.ID, Members: append([]simnet.NodeID(nil), g.view.Members...)}
+	newView := View{ID: g.view.ID, Members: append([]transport.NodeID(nil), g.view.Members...)}
 	callbacks := append([]ViewFunc(nil), g.onView...)
 	g.mu.Unlock()
 

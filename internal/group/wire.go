@@ -2,7 +2,7 @@ package group
 
 import (
 	"replication/internal/codec"
-	"replication/internal/simnet"
+	"replication/internal/transport"
 	"replication/internal/vclock"
 )
 
@@ -12,13 +12,13 @@ import (
 // specified in internal/codec/DESIGN.md.
 
 // appendNodeIDs appends a membership list: count, then IDs.
-func appendNodeIDs(buf []byte, ids []simnet.NodeID) []byte {
+func appendNodeIDs(buf []byte, ids []transport.NodeID) []byte {
 	return codec.AppendStrings(buf, ids)
 }
 
 // decodeNodeIDs reads a membership list; empty decodes as nil.
-func decodeNodeIDs(r *codec.Reader) []simnet.NodeID {
-	return codec.DecodeStrings[simnet.NodeID](r)
+func decodeNodeIDs(r *codec.Reader) []transport.NodeID {
+	return codec.DecodeStrings[transport.NodeID](r)
 }
 
 // --- reliable / FIFO / causal broadcast ---
@@ -33,7 +33,7 @@ func (m *rbMsg) AppendTo(buf []byte) []byte {
 // DecodeFrom implements codec.Wire.
 func (m *rbMsg) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
-	m.Origin = simnet.NodeID(r.String())
+	m.Origin = transport.NodeID(r.String())
 	m.Seq = r.Uvarint()
 	m.Data = r.Bytes()
 	return r.Done()
@@ -84,7 +84,7 @@ func (m *abSubmit) DecodeFrom(data []byte) error {
 }
 
 func (m *abSubmit) decodeWire(r *codec.Reader) {
-	m.Origin = simnet.NodeID(r.String())
+	m.Origin = transport.NodeID(r.String())
 	m.Seq = r.Uvarint()
 	m.Data = r.Bytes()
 }
@@ -132,7 +132,7 @@ func (m *vsMsg) DecodeFrom(data []byte) error {
 
 func (m *vsMsg) decodeWire(r *codec.Reader) {
 	m.ViewID = r.Uvarint()
-	m.Origin = simnet.NodeID(r.String())
+	m.Origin = transport.NodeID(r.String())
 	m.Seq = r.Uvarint()
 	m.Data = r.Bytes()
 }
@@ -168,7 +168,7 @@ func (m *vsAck) AppendTo(buf []byte) []byte {
 // DecodeFrom implements codec.Wire.
 func (m *vsAck) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
-	m.Origin = simnet.NodeID(r.String())
+	m.Origin = transport.NodeID(r.String())
 	m.Seq = r.Uvarint()
 	return r.Done()
 }
@@ -240,7 +240,7 @@ func (m *vsState) DecodeFrom(data []byte) error {
 	m.ViewID = r.Uvarint()
 	m.Members = decodeNodeIDs(&r)
 	m.Snapshot = r.Bytes()
-	m.Delivered = codec.DecodeMapUvarint[simnet.NodeID](&r)
+	m.Delivered = codec.DecodeMapUvarint[transport.NodeID](&r)
 	return r.Done()
 }
 
@@ -267,7 +267,7 @@ func init() {
 			entries := make([]abSubmit, 0, 8)
 			for i := 0; i < 8; i++ {
 				entries = append(entries, abSubmit{
-					Origin: simnet.NodeID([]string{"c1", "c2", "r0"}[i%3]),
+					Origin: transport.NodeID([]string{"c1", "c2", "r0"}[i%3]),
 					Seq:    uint64(i + 1),
 					Data:   []byte("totally-ordered request payload #0123456789abcdef"),
 				})
@@ -297,7 +297,7 @@ func init() {
 		func() codec.Wire { return new(vsViewValue) },
 		func() codec.Wire {
 			return &vsViewValue{
-				Members: []simnet.NodeID{"r0", "r2"},
+				Members: []transport.NodeID{"r0", "r2"},
 				Flush:   []vsMsg{{ViewID: 2, Origin: "r0", Seq: 1, Data: []byte("carried")}},
 			}
 		})
@@ -309,9 +309,9 @@ func init() {
 		func() codec.Wire {
 			return &vsState{
 				ViewID:    3,
-				Members:   []simnet.NodeID{"r0", "r1", "r2"},
+				Members:   []transport.NodeID{"r0", "r1", "r2"},
 				Snapshot:  []byte("kv-snapshot"),
-				Delivered: map[simnet.NodeID]uint64{"r0": 12, "r1": 4},
+				Delivered: map[transport.NodeID]uint64{"r0": 12, "r1": 4},
 			}
 		})
 }

@@ -1,5 +1,6 @@
-// Package simnet implements the simulated message-passing network that
-// every replication protocol in this repository runs over.
+// Package simnet implements the simulated message-passing network — the
+// default transport.Transport every replication protocol in this
+// repository runs over in tests and deterministic experiments.
 //
 // The network model follows the paper's system model (Wiesmann et al.,
 // ICDCS 2000, §2.1): a set of processes (clients and replicas) that
@@ -19,47 +20,52 @@
 // The network records per-kind message and byte counts. Study PS3
 // (messages per operation, Gray-style overhead accounting) reads these
 // counters.
+//
+// For the same protocols over real sockets, see transport/tcpnet.
 package simnet
 
 import (
 	"container/heap"
-	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"replication/internal/transport"
 )
 
 // NodeID identifies a process (replica or client) on the network.
-type NodeID string
+type NodeID = transport.NodeID
 
 // Message is a single datagram on the simulated network.
-type Message struct {
-	// From and To identify the sending and receiving endpoints.
-	From, To NodeID
-	// Kind routes the message to a handler on the receiving node and
-	// names the payload's concrete type.
-	Kind string
-	// Payload is the encoded message body (package codec).
-	Payload []byte
-	// ID is a network-unique message identifier.
-	ID uint64
-	// CorrID, when non-zero, marks this message as the reply to the
-	// request message with that ID.
-	CorrID uint64
-}
+type Message = transport.Message
 
-// Common network errors.
+// Node is the dispatch-loop programming surface over an endpoint; it is
+// defined in package transport and works over any backend.
+type Node = transport.Node
+
+// Handler processes one inbound message (see transport.Handler).
+type Handler = transport.Handler
+
+// Stats are cumulative network counters (see transport.Stats).
+type Stats = transport.Stats
+
+// Common network errors, shared across transport backends.
 var (
 	// ErrCrashed is returned when sending from a crashed endpoint.
-	ErrCrashed = errors.New("simnet: endpoint crashed")
+	ErrCrashed = transport.ErrCrashed
 	// ErrUnknownNode is returned when the destination does not exist.
-	ErrUnknownNode = errors.New("simnet: unknown node")
+	ErrUnknownNode = transport.ErrUnknownNode
 	// ErrClosed is returned when the network has been shut down.
-	ErrClosed = errors.New("simnet: network closed")
+	ErrClosed = transport.ErrClosed
+	// ErrStopped is returned by calls on a stopped node.
+	ErrStopped = transport.ErrStopped
 )
+
+// NewNode creates a node for id on network n. Call Start after
+// registering handlers.
+func NewNode(n *Network, id NodeID) *Node { return transport.NewNode(n, id) }
 
 // LatencyModel samples a one-way message delay. Implementations must be
 // safe for concurrent use.
@@ -121,26 +127,12 @@ type Options struct {
 	InboxSize int
 }
 
-// Stats are cumulative network counters. Counters only grow.
-type Stats struct {
-	// Sent counts messages accepted for transmission.
-	Sent uint64
-	// Delivered counts messages handed to an inbox.
-	Delivered uint64
-	// Dropped counts messages lost to LossRate, partitions, or crashes.
-	Dropped uint64
-	// Overflowed counts messages lost to a full inbox.
-	Overflowed uint64
-	// Bytes counts payload bytes accepted for transmission.
-	Bytes uint64
-	// PerKind counts messages sent, by message kind.
-	PerKind map[string]uint64
-}
-
 // Network is the hub connecting all endpoints. Create one with New, then
-// create one Endpoint per process.
+// create one Endpoint per process. Network implements
+// transport.Transport.
 type Network struct {
 	opts Options
+	transport.Counters
 
 	mu         sync.Mutex
 	rng        *rand.Rand
@@ -152,13 +144,9 @@ type Network struct {
 	nextSeq    uint64
 	wake       chan struct{}
 	dispatcher chan struct{} // closed when the dispatcher goroutine exits
-	sent       atomic.Uint64
-	delivered  atomic.Uint64
-	dropped    atomic.Uint64
-	overflowed atomic.Uint64
-	bytes      atomic.Uint64
-	perKind    map[string]*atomic.Uint64
 }
+
+var _ transport.Transport = (*Network)(nil)
 
 // scheduled is one in-flight message awaiting its delivery time.
 type scheduled struct {
@@ -205,7 +193,6 @@ func New(opts Options) *Network {
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		endpoints:  make(map[NodeID]*Endpoint),
 		partition:  make(map[NodeID]int),
-		perKind:    make(map[string]*atomic.Uint64),
 		wake:       make(chan struct{}, 1),
 		dispatcher: make(chan struct{}),
 	}
@@ -249,14 +236,14 @@ func (n *Network) dispatch() {
 		cut := n.partition[item.m.From] != n.partition[item.m.To]
 		n.mu.Unlock()
 		if cut || item.dst.crashed.Load() {
-			n.dropped.Add(1)
+			n.CountDropped()
 			continue
 		}
 		select {
 		case item.dst.inbox <- item.m:
-			n.delivered.Add(1)
+			n.CountDelivered()
 		default:
-			n.overflowed.Add(1)
+			n.CountOverflowed()
 		}
 	}
 }
@@ -284,6 +271,9 @@ func (n *Network) Endpoint(id NodeID) *Endpoint {
 	return ep
 }
 
+// Attach implements transport.Transport over Endpoint.
+func (n *Network) Attach(id NodeID) transport.Endpoint { return n.Endpoint(id) }
+
 // Nodes returns the IDs of all endpoints, sorted.
 func (n *Network) Nodes() []NodeID {
 	n.mu.Lock()
@@ -292,8 +282,7 @@ func (n *Network) Nodes() []NodeID {
 	for id := range n.endpoints {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
+	return transport.SortIDs(ids)
 }
 
 // Partition splits the network into groups. Nodes in different groups
@@ -352,48 +341,6 @@ func (n *Network) Close() {
 	<-n.dispatcher
 }
 
-// Stats returns a snapshot of the cumulative counters.
-func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	perKind := make(map[string]uint64, len(n.perKind))
-	for k, v := range n.perKind {
-		perKind[k] = v.Load()
-	}
-	n.mu.Unlock()
-	return Stats{
-		Sent:       n.sent.Load(),
-		Delivered:  n.delivered.Load(),
-		Dropped:    n.dropped.Load(),
-		Overflowed: n.overflowed.Load(),
-		Bytes:      n.bytes.Load(),
-		PerKind:    perKind,
-	}
-}
-
-// ResetStats zeroes all counters. The performance study resets counters
-// between sweep points so each point's message count is isolated.
-func (n *Network) ResetStats() {
-	n.mu.Lock()
-	n.perKind = make(map[string]*atomic.Uint64)
-	n.mu.Unlock()
-	n.sent.Store(0)
-	n.delivered.Store(0)
-	n.dropped.Store(0)
-	n.overflowed.Store(0)
-	n.bytes.Store(0)
-}
-
-func (n *Network) kindCounter(kind string) *atomic.Uint64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	c, ok := n.perKind[kind]
-	if !ok {
-		c = new(atomic.Uint64)
-		n.perKind[kind] = c
-	}
-	return c
-}
-
 // send validates, samples latency, and schedules delivery of m.
 func (n *Network) send(m Message) error {
 	n.mu.Lock()
@@ -415,10 +362,8 @@ func (n *Network) send(m Message) error {
 	delay := n.opts.Latency.Sample(n.rng)
 	if lost || cut || dst.crashed.Load() {
 		n.mu.Unlock()
-		n.sent.Add(1)
-		n.bytes.Add(uint64(len(m.Payload)))
-		n.kindCounter(m.Kind).Add(1)
-		n.dropped.Add(1)
+		n.CountSend(m.Kind, len(m.Payload))
+		n.CountDropped()
 		return nil // silent loss: asynchronous networks do not report drops
 	}
 	n.nextSeq++
@@ -430,9 +375,7 @@ func (n *Network) send(m Message) error {
 	})
 	n.mu.Unlock()
 
-	n.sent.Add(1)
-	n.bytes.Add(uint64(len(m.Payload)))
-	n.kindCounter(m.Kind).Add(1)
+	n.CountSend(m.Kind, len(m.Payload))
 	n.wakeDispatcher()
 	return nil
 }
@@ -444,6 +387,8 @@ type Endpoint struct {
 	inbox   chan Message
 	crashed atomic.Bool
 }
+
+var _ transport.Endpoint = (*Endpoint)(nil)
 
 // ID returns the endpoint's node ID.
 func (e *Endpoint) ID() NodeID { return e.id }

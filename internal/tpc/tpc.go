@@ -23,7 +23,7 @@ import (
 	"time"
 
 	"replication/internal/codec"
-	"replication/internal/simnet"
+	"replication/internal/transport"
 )
 
 // Vote is a participant's answer to prepare.
@@ -86,7 +86,7 @@ type outcomeMsg struct {
 // Server exposes a Participant on a node. One server handles all
 // transactions sent to its message kinds.
 type Server struct {
-	node *simnet.Node
+	node *transport.Node
 	kind string
 	p    Participant
 
@@ -97,7 +97,7 @@ type Server struct {
 
 // NewServer registers participant handlers on node under the given name
 // scope (must match the coordinator's).
-func NewServer(node *simnet.Node, name string, p Participant) *Server {
+func NewServer(node *transport.Node, name string, p Participant) *Server {
 	s := &Server{
 		node:     node,
 		kind:     name + ".2pc",
@@ -110,7 +110,7 @@ func NewServer(node *simnet.Node, name string, p Participant) *Server {
 	return s
 }
 
-func (s *Server) onPrepare(msg simnet.Message) {
+func (s *Server) onPrepare(msg transport.Message) {
 	var req prepareMsg
 	codec.MustUnmarshal(msg.Payload, &req)
 
@@ -140,7 +140,7 @@ func (s *Server) onPrepare(msg simnet.Message) {
 	_ = s.node.Reply(msg, codec.MustMarshal(&voteMsg{TxnID: req.TxnID, Vote: vote}))
 }
 
-func (s *Server) onOutcome(msg simnet.Message) {
+func (s *Server) onOutcome(msg transport.Message) {
 	var out outcomeMsg
 	codec.MustUnmarshal(msg.Payload, &out)
 
@@ -181,12 +181,12 @@ func (s *Server) PreparedCount() int {
 
 // Coordinator drives 2PC rounds from a node.
 type Coordinator struct {
-	node *simnet.Node
+	node *transport.Node
 	kind string
 }
 
 // NewCoordinator creates a coordinator under the given name scope.
-func NewCoordinator(node *simnet.Node, name string) *Coordinator {
+func NewCoordinator(node *transport.Node, name string) *Coordinator {
 	return &Coordinator{node: node, kind: name + ".2pc"}
 }
 
@@ -195,7 +195,7 @@ func NewCoordinator(node *simnet.Node, name string) *Coordinator {
 // runs a Server). It returns the outcome, or an error if voting could not
 // complete (a crashed coordinator's callers see ctx errors; participants
 // stay blocked, by design).
-func (c *Coordinator) Run(ctx context.Context, txnID string, payload []byte, participants []simnet.NodeID) (Outcome, error) {
+func (c *Coordinator) Run(ctx context.Context, txnID string, payload []byte, participants []transport.NodeID) (Outcome, error) {
 	prep := codec.MustMarshal(&prepareMsg{TxnID: txnID, Payload: payload})
 
 	type voteResult struct {
@@ -252,7 +252,7 @@ const outcomeTimeout = 500 * time.Millisecond
 
 // broadcastOutcome distributes the decision and waits best-effort for
 // acknowledgements so callers observe participants' state changes.
-func (c *Coordinator) broadcastOutcome(ctx context.Context, txnID string, o Outcome, participants []simnet.NodeID) {
+func (c *Coordinator) broadcastOutcome(ctx context.Context, txnID string, o Outcome, participants []transport.NodeID) {
 	payload := codec.MustMarshal(&outcomeMsg{TxnID: txnID, Outcome: o})
 	var wg sync.WaitGroup
 	for _, p := range participants {

@@ -1,4 +1,4 @@
-package simnet
+package transport
 
 import (
 	"context"
@@ -9,7 +9,7 @@ import (
 )
 
 // ErrStopped is returned by calls on a stopped node.
-var ErrStopped = errors.New("simnet: node stopped")
+var ErrStopped = errors.New("transport: node stopped")
 
 // Handler processes one inbound message. Handlers for a given node run
 // sequentially on the node's dispatch goroutine, so protocol state guarded
@@ -19,9 +19,10 @@ var ErrStopped = errors.New("simnet: node stopped")
 type Handler func(m Message)
 
 // Node wraps an Endpoint with a dispatch loop, kind-based handler routing,
-// and request/reply RPC. It is the programming surface protocols build on.
+// and request/reply RPC. It is the programming surface protocols build on,
+// and it works identically over every Transport implementation.
 type Node struct {
-	ep *Endpoint
+	ep Endpoint
 
 	mu       sync.Mutex
 	handlers map[string]Handler
@@ -36,11 +37,11 @@ type Node struct {
 	wg       sync.WaitGroup
 }
 
-// NewNode creates a node for id on network n. Call Start after registering
-// handlers.
-func NewNode(n *Network, id NodeID) *Node {
+// NewNode creates a node for id on transport t. Call Start after
+// registering handlers.
+func NewNode(t Transport, id NodeID) *Node {
 	return &Node{
-		ep:       n.Endpoint(id),
+		ep:       t.Attach(id),
 		handlers: make(map[string]Handler),
 		pending:  make(map[uint64]chan Message),
 		done:     make(chan struct{}),
@@ -52,7 +53,7 @@ func NewNode(n *Network, id NodeID) *Node {
 func (nd *Node) ID() NodeID { return nd.ep.ID() }
 
 // Endpoint returns the underlying endpoint.
-func (nd *Node) Endpoint() *Endpoint { return nd.ep }
+func (nd *Node) Endpoint() Endpoint { return nd.ep }
 
 // Handle registers h for messages of the given kind. Registration after
 // Start is allowed; it takes effect for subsequently dispatched messages.
@@ -172,7 +173,7 @@ func (nd *Node) Bcast(to []NodeID, kind string, payload []byte) {
 // (see Go).
 func (nd *Node) Call(ctx context.Context, to NodeID, kind string, payload []byte) (Message, error) {
 	// Call IDs live in their own ID space (high bit set) so a reply to a
-	// plain Send — whose ID the network assigned from a low counter — can
+	// plain Send — whose ID the transport assigned from a low counter — can
 	// never collide with a pending call's correlation ID.
 	const callIDBit = 1 << 62
 	id := nd.nextCall.Add(1) | callIDBit
@@ -196,7 +197,7 @@ func (nd *Node) Call(ctx context.Context, to NodeID, kind string, payload []byte
 	}
 	select {
 	case <-ctx.Done():
-		return Message{}, fmt.Errorf("simnet: call %s to %s: %w", kind, to, ctx.Err())
+		return Message{}, fmt.Errorf("transport: call %s to %s: %w", kind, to, ctx.Err())
 	case <-nd.done:
 		return Message{}, ErrStopped
 	case m := <-ch:

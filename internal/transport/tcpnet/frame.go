@@ -1,0 +1,100 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"replication/internal/codec"
+	"replication/internal/transport"
+)
+
+// Wire framing: a connection carries a stream of frames, each a uvarint
+// body length followed by the body. The body reuses the codec framing
+// (leading format/version byte, then the fields below in order), so a
+// frame is a codec.Wire message like every protocol payload:
+//
+//	From, To, Kind  — length-prefixed strings
+//	ID, CorrID      — uvarints
+//	Payload         — length-prefixed bytes (itself a codec-framed body)
+//
+// The length prefix is validated against MaxFrame before the body is
+// read, so a corrupt or hostile peer cannot force a huge allocation; any
+// malformed body poisons only its connection (the reader closes it and
+// the sender reconnects), never the process.
+
+// frame is the on-wire envelope for one transport.Message.
+type frame struct {
+	m transport.Message
+}
+
+// AppendTo implements codec.Wire.
+func (f *frame) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, string(f.m.From))
+	buf = codec.AppendString(buf, string(f.m.To))
+	buf = codec.AppendString(buf, f.m.Kind)
+	buf = codec.AppendUvarint(buf, f.m.ID)
+	buf = codec.AppendUvarint(buf, f.m.CorrID)
+	buf = codec.AppendBytes(buf, f.m.Payload)
+	return buf
+}
+
+// DecodeFrom implements codec.Wire.
+func (f *frame) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	f.m.From = transport.NodeID(r.String())
+	f.m.To = transport.NodeID(r.String())
+	f.m.Kind = r.String()
+	f.m.ID = r.Uvarint()
+	f.m.CorrID = r.Uvarint()
+	f.m.Payload = r.Bytes()
+	return r.Done()
+}
+
+// appendFrame appends m's complete frame (length prefix + codec-framed
+// body) to buf and returns the result. Callers reuse buf across sends so
+// steady-state encoding allocates nothing.
+func appendFrame(buf []byte, m transport.Message) []byte {
+	f := frame{m: m}
+	// Encode the body after a maximal-width length placeholder, then
+	// back-fill the real uvarint length and slide the body if the varint
+	// is shorter — one pass, no second buffer.
+	const maxLen = binary.MaxVarintLen64
+	start := len(buf)
+	for i := 0; i < maxLen; i++ {
+		buf = append(buf, 0)
+	}
+	buf = codec.AppendMarshal(buf, &f)
+	body := len(buf) - start - maxLen
+	var hdr [maxLen]byte
+	n := binary.PutUvarint(hdr[:], uint64(body))
+	copy(buf[start:], hdr[:n])
+	if n < maxLen {
+		copy(buf[start+n:], buf[start+maxLen:])
+		buf = buf[:start+n+body]
+	}
+	return buf
+}
+
+// readFrame reads one frame from br, enforcing maxFrame on the declared
+// body length before allocating. It returns io.EOF (possibly wrapped)
+// when the stream ends cleanly between frames.
+func readFrame(br *bufio.Reader, maxFrame int) (transport.Message, error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if size == 0 || size > uint64(maxFrame) {
+		return transport.Message{}, fmt.Errorf("tcpnet: frame length %d outside (0, %d]", size, maxFrame)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return transport.Message{}, err
+	}
+	var f frame
+	if err := codec.Unmarshal(body, &f); err != nil {
+		return transport.Message{}, err
+	}
+	return f.m, nil
+}

@@ -1,0 +1,507 @@
+// Package tcpnet implements transport.Transport over real TCP sockets.
+//
+// Where simnet simulates the paper's asynchronous network in-process,
+// tcpnet runs the identical protocol bytes across the kernel's network
+// stack: every endpoint owns a TCP listener, every send travels a real
+// connection with length-prefixed codec frames, and latency, buffering
+// and connection failure come from the operating system rather than a
+// model. All ten replication techniques run unchanged over either
+// backend; tcpnet is the hardware-bound data point for the performance
+// study and the substrate for real-network scenarios (loopback, LAN).
+//
+// The semantics visible to protocols match the paper's system model
+// (§2.1) exactly as simnet does:
+//
+//   - Sends report local conditions only (crashed sender, unknown
+//     destination, closed network). In-flight loss — an unreachable
+//     peer, a dropped connection, a full send queue — is silent.
+//   - Processes fail by crashing (crash-stop): Crash closes the
+//     endpoint's listener and every connection, permanently. Peers
+//     observe the loss only through silence, so failure detection stays
+//     where the paper puts it: in package fd's heartbeat timeouts, which
+//     stop arriving the moment the connections die. A broken connection
+//     to a live peer is indistinguishable from a crash until the dialer
+//     reconnects — precisely the unreliable-detector behaviour (◇S) the
+//     protocols are built to tolerate.
+//   - Per-kind message and byte counters serve study PS3 unchanged.
+//
+// Connection management is per peer: the first send to a destination
+// dials it, a writer goroutine owns the connection, and a write failure
+// closes it and redials with exponential backoff (messages sent while
+// the peer is unreachable are dropped, as on any datagram network).
+package tcpnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"replication/internal/transport"
+)
+
+// Options configure a Network. The zero value is usable: loopback
+// listeners, 1s dial timeout, 8 MiB frame cap.
+type Options struct {
+	// ListenHost is the host/IP endpoints listen on. Default 127.0.0.1.
+	ListenHost string
+	// DialTimeout bounds one connection attempt. Default 1s.
+	DialTimeout time.Duration
+	// RedialBackoff is the initial pause after a failed dial; it doubles
+	// per consecutive failure up to RedialMax. Default 2ms.
+	RedialBackoff time.Duration
+	// RedialMax caps the redial backoff. Default 200ms.
+	RedialMax time.Duration
+	// MaxFrame caps the accepted frame body size; oversized frames
+	// (sent or received) are rejected without allocation. Default 8 MiB.
+	MaxFrame int
+	// InboxSize is each endpoint's buffered inbox capacity. Zero means
+	// 4096. A full inbox drops the message (Stats.Overflowed).
+	InboxSize int
+	// SendQueue is the per-peer outbound buffer. Zero means 1024. A full
+	// queue drops the message (Stats.Dropped), like a full NIC ring.
+	SendQueue int
+}
+
+func (o *Options) fill() {
+	if o.ListenHost == "" {
+		o.ListenHost = "127.0.0.1"
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = time.Second
+	}
+	if o.RedialBackoff == 0 {
+		o.RedialBackoff = 2 * time.Millisecond
+	}
+	if o.RedialMax == 0 {
+		o.RedialMax = 200 * time.Millisecond
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = 8 << 20
+	}
+	if o.InboxSize == 0 {
+		o.InboxSize = 4096
+	}
+	if o.SendQueue == 0 {
+		o.SendQueue = 1024
+	}
+}
+
+// Network is the hub tracking all endpoints and their listen addresses.
+// Create one with New, then Attach one endpoint per process. Network
+// implements transport.Transport.
+type Network struct {
+	opts Options
+	transport.Counters
+
+	mu        sync.Mutex
+	endpoints map[transport.NodeID]*Endpoint
+	closed    bool
+	nextMsgID atomic.Uint64
+}
+
+var _ transport.Transport = (*Network)(nil)
+
+// New creates a TCP network hub with the given options.
+func New(opts Options) *Network {
+	opts.fill()
+	return &Network{
+		opts:      opts,
+		endpoints: make(map[transport.NodeID]*Endpoint),
+	}
+}
+
+// Attach implements transport.Transport over Endpoint.
+func (n *Network) Attach(id transport.NodeID) transport.Endpoint { return n.Endpoint(id) }
+
+// Endpoint creates (or returns the existing) endpoint for id, binding a
+// TCP listener on an ephemeral port. Listener failure panics: it means
+// the host cannot serve TCP at all, which no protocol can run under.
+// After Close the endpoint comes up already dead (no listener, no
+// goroutines) so a late Attach cannot leak a socket.
+func (n *Network) Endpoint(id transport.NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep
+	}
+	ep := &Endpoint{
+		id:      id,
+		net:     n,
+		inbox:   make(chan transport.Message, n.opts.InboxSize),
+		peers:   make(map[transport.NodeID]*peer),
+		inConns: make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	if n.closed {
+		n.endpoints[id] = ep
+		ep.crash(false)
+		return ep
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(n.opts.ListenHost, "0"))
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: listen for %q: %v", id, err))
+	}
+	ep.ln = ln
+	ep.addr = ln.Addr().String()
+	n.endpoints[id] = ep
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep
+}
+
+// Addr returns the listen address of id's endpoint ("" if unknown).
+func (n *Network) Addr(id transport.NodeID) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep.addr
+	}
+	return ""
+}
+
+// Nodes returns the IDs of all endpoints, sorted.
+func (n *Network) Nodes() []transport.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ids := make([]transport.NodeID, 0, len(n.endpoints))
+	for id := range n.endpoints {
+		ids = append(ids, id)
+	}
+	return transport.SortIDs(ids)
+}
+
+// Crash crash-stops the endpoint with the given id: its listener and all
+// of its connections close, it can no longer send, and traffic addressed
+// to it dies with the connections. Permanent, per the paper's model.
+func (n *Network) Crash(id transport.NodeID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.crash(false)
+	}
+}
+
+// Crashed reports whether id has crashed.
+func (n *Network) Crashed(id transport.NodeID) bool {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	return ep != nil && ep.crashed.Load()
+}
+
+// Close shuts every endpoint down and waits for their goroutines. After
+// Close all sends fail with transport.ErrClosed.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.crash(true)
+	}
+	for _, ep := range eps {
+		ep.wg.Wait()
+	}
+}
+
+// send validates and routes m onto the per-peer connection queue.
+func (n *Network) send(src *Endpoint, m transport.Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	dst, ok := n.endpoints[m.To]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", transport.ErrUnknownNode, m.To)
+	}
+	if m.ID == 0 {
+		m.ID = n.nextMsgID.Add(1)
+	}
+	n.CountSend(m.Kind, len(m.Payload))
+	src.enqueue(m, dst.addr)
+	return nil
+}
+
+// Endpoint is one process's attachment to the network: a listener for
+// inbound connections plus a set of outbound per-peer connections.
+type Endpoint struct {
+	id    transport.NodeID
+	net   *Network
+	ln    net.Listener // nil when attached after Close
+	addr  string       // cached ln.Addr().String()
+	inbox chan transport.Message
+
+	crashed  atomic.Bool
+	done     chan struct{}
+	downOnce sync.Once
+
+	mu      sync.Mutex
+	peers   map[transport.NodeID]*peer
+	inConns map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// ID returns the endpoint's node ID.
+func (e *Endpoint) ID() transport.NodeID { return e.id }
+
+// Send transmits a message. The returned error reports local conditions
+// only; in-flight loss is silent, as on a real asynchronous network.
+func (e *Endpoint) Send(to transport.NodeID, kind string, payload []byte) error {
+	return e.SendMsg(transport.Message{To: to, Kind: kind, Payload: payload})
+}
+
+// SendMsg transmits a fully-formed message (used by the RPC layer to set
+// correlation IDs). From is forced to this endpoint.
+func (e *Endpoint) SendMsg(m transport.Message) error {
+	// A closed network outranks a crashed endpoint (Close crashes every
+	// endpoint as a mechanism; the caller-visible condition is ErrClosed).
+	e.net.mu.Lock()
+	closed := e.net.closed
+	e.net.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	if e.crashed.Load() {
+		return transport.ErrCrashed
+	}
+	m.From = e.id
+	return e.net.send(e, m)
+}
+
+// Inbox returns the delivery channel. It is never closed.
+func (e *Endpoint) Inbox() <-chan transport.Message { return e.inbox }
+
+// Crashed reports whether this endpoint has crashed.
+func (e *Endpoint) Crashed() bool { return e.crashed.Load() }
+
+// Network returns the owning network.
+func (e *Endpoint) Network() *Network { return e.net }
+
+// DropConns severs every live connection (inbound and outbound) without
+// crashing the endpoint — a transient link failure. Subsequent sends
+// redial; tests use this to exercise the reconnect path.
+func (e *Endpoint) DropConns() {
+	e.mu.Lock()
+	peers := make([]*peer, 0, len(e.peers))
+	for _, p := range e.peers {
+		peers = append(peers, p)
+	}
+	conns := make([]net.Conn, 0, len(e.inConns))
+	for c := range e.inConns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+	for _, p := range peers {
+		p.closeConn()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// crash implements crash-stop: stop accepting, kill every connection,
+// stop the writers. With closing set the shutdown is a network Close
+// rather than a fault (same mechanics, different bookkeeping intent).
+func (e *Endpoint) crash(closing bool) {
+	e.downOnce.Do(func() {
+		e.crashed.Store(true)
+		close(e.done)
+		if e.ln != nil {
+			e.ln.Close()
+		}
+		e.DropConns()
+	})
+	if closing {
+		e.wg.Wait()
+	}
+}
+
+// acceptLoop admits inbound connections and spawns a reader per conn.
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed: crash or shutdown
+		}
+		e.mu.Lock()
+		if e.crashed.Load() {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.inConns[conn] = struct{}{}
+		e.wg.Add(1)
+		e.mu.Unlock()
+		go e.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one inbound connection until it fails. A
+// malformed or oversized frame poisons only this connection: the reader
+// drops it and the sender's writer redials with a clean stream.
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inConns, conn)
+		e.mu.Unlock()
+		conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		m, err := readFrame(br, e.net.opts.MaxFrame)
+		if err != nil {
+			return
+		}
+		if e.crashed.Load() {
+			e.net.CountDropped()
+			return
+		}
+		select {
+		case e.inbox <- m:
+			e.net.CountDelivered()
+		default:
+			e.net.CountOverflowed()
+		}
+	}
+}
+
+// enqueue hands m to the writer for m.To, dropping if the queue is full.
+func (e *Endpoint) enqueue(m transport.Message, addr string) {
+	e.mu.Lock()
+	if e.crashed.Load() {
+		e.mu.Unlock()
+		e.net.CountDropped()
+		return
+	}
+	p, ok := e.peers[m.To]
+	if !ok {
+		p = &peer{ep: e, addr: addr, out: make(chan transport.Message, e.net.opts.SendQueue)}
+		e.peers[m.To] = p
+		e.wg.Add(1)
+		go p.run()
+	}
+	e.mu.Unlock()
+	select {
+	case p.out <- m:
+	default:
+		e.net.CountDropped()
+	}
+}
+
+// peer owns the outbound connection to one destination. Its writer
+// goroutine drains the queue; connection failures trigger a close and,
+// for later messages, a redial under exponential backoff.
+type peer struct {
+	ep   *Endpoint
+	addr string
+	out  chan transport.Message
+
+	mu   sync.Mutex // guards conn against DropConns from other goroutines
+	conn net.Conn
+
+	// Dial state, touched only by the writer goroutine.
+	backoff  time.Duration
+	nextDial time.Time
+}
+
+func (p *peer) run() {
+	defer p.ep.wg.Done()
+	defer p.closeConn()
+	var buf []byte
+	for {
+		select {
+		case <-p.ep.done:
+			return
+		case m := <-p.out:
+			buf = p.deliver(m, buf[:0])
+		}
+	}
+}
+
+// deliver writes one frame, reconnecting once on a mid-send failure; if
+// the peer stays unreachable the message is dropped (silent loss).
+func (p *peer) deliver(m transport.Message, buf []byte) []byte {
+	opts := &p.ep.net.opts
+	buf = appendFrame(buf, m)
+	if len(buf) > opts.MaxFrame {
+		// The receiver would kill the connection; refuse locally instead.
+		p.ep.net.CountDropped()
+		return buf
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		conn := p.currentConn()
+		if conn == nil {
+			conn = p.dial()
+			if conn == nil {
+				break
+			}
+		}
+		if _, err := conn.Write(buf); err == nil {
+			return buf
+		}
+		p.closeConn()
+	}
+	p.ep.net.CountDropped()
+	return buf
+}
+
+func (p *peer) currentConn() net.Conn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn
+}
+
+// dial attempts to connect, honouring the backoff window: while the peer
+// looks dead, sends fail fast instead of stalling the queue on timeouts.
+func (p *peer) dial() net.Conn {
+	opts := &p.ep.net.opts
+	if time.Now().Before(p.nextDial) {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", p.addr, opts.DialTimeout)
+	if err != nil {
+		if p.backoff == 0 {
+			p.backoff = opts.RedialBackoff
+		} else if p.backoff *= 2; p.backoff > opts.RedialMax {
+			p.backoff = opts.RedialMax
+		}
+		p.nextDial = time.Now().Add(p.backoff)
+		return nil
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	p.backoff = 0
+	p.nextDial = time.Time{}
+	p.mu.Lock()
+	p.conn = conn
+	p.mu.Unlock()
+	return conn
+}
+
+func (p *peer) closeConn() {
+	p.mu.Lock()
+	conn := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}

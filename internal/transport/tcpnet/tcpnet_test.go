@@ -1,0 +1,380 @@
+package tcpnet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/transport"
+)
+
+func newTestNet(t *testing.T, opts Options) *Network {
+	t.Helper()
+	n := New(opts)
+	t.Cleanup(n.Close)
+	return n
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", msg)
+}
+
+func recvOne(t *testing.T, ep transport.Endpoint, d time.Duration) transport.Message {
+	t.Helper()
+	select {
+	case m := <-ep.Inbox():
+		return m
+	case <-time.After(d):
+		t.Fatal("no message delivered")
+		return transport.Message{}
+	}
+}
+
+func TestSendReceive(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	if err := a.Send("b", "ping", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	m := recvOne(t, b, 5*time.Second)
+	if m.From != "a" || m.To != "b" || m.Kind != "ping" || string(m.Payload) != "payload" {
+		t.Fatalf("bad message: %+v", m)
+	}
+	if m.ID == 0 {
+		t.Fatal("message not assigned an ID")
+	}
+
+	stats := n.Stats()
+	if stats.Sent != 1 || stats.Delivered != 1 || stats.Bytes != uint64(len("payload")) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.PerKind["ping"] != 1 {
+		t.Fatalf("per-kind = %v", stats.PerKind)
+	}
+}
+
+func TestNodeRPCOverTCP(t *testing.T) {
+	n := newTestNet(t, Options{})
+	server := transport.NewNode(n, "server")
+	server.Handle("echo", func(m transport.Message) {
+		_ = server.Reply(m, m.Payload)
+	})
+	server.Start()
+	defer server.Stop()
+
+	client := transport.NewNode(n, "client")
+	client.Start()
+	defer client.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	reply, err := client.Call(ctx, "server", "echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply.Payload) != "hi" || reply.Kind != "echo.reply" {
+		t.Fatalf("bad reply: %+v", reply)
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	if err := a.Send("ghost", "k", nil); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("got %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestCrashStopsEndpoint(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	// Prime the connection so the crash severs something real.
+	if err := a.Send("b", "k", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, 5*time.Second)
+
+	n.Crash("b")
+	if !n.Crashed("b") {
+		t.Fatal("b not reported crashed")
+	}
+	// Sends from the crashed endpoint fail locally.
+	if err := b.Send("a", "k", nil); !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("got %v, want ErrCrashed", err)
+	}
+	// Sends TO the crashed endpoint succeed locally and drop silently,
+	// like any in-flight loss on an asynchronous network.
+	for i := 0; i < 20; i++ {
+		if err := a.Send("b", "k", []byte("x")); err != nil {
+			t.Fatalf("send to crashed peer must be silent, got %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("crashed endpoint received %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if stats := n.Stats(); stats.Dropped == 0 {
+		t.Fatal("drops to a crashed peer were not counted")
+	}
+}
+
+// TestPeerCrashMidSend streams sends while the receiver crashes
+// concurrently: no send may error, nothing may panic, and traffic after
+// the crash is silently dropped.
+func TestPeerCrashMidSend(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	go func() {
+		for range b.Inbox() {
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		n.Crash("b")
+	}()
+	for i := 0; i < 2000; i++ {
+		if err := a.Send("b", "stream", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+}
+
+// TestReconnectAfterDrop severs every live connection without crashing
+// anyone — a transient network fault — and verifies that subsequent
+// sends re-establish the connection and deliver.
+func TestReconnectAfterDrop(t *testing.T) {
+	n := newTestNet(t, Options{RedialBackoff: time.Millisecond, RedialMax: 5 * time.Millisecond})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	if err := a.Send("b", "k", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b, 5*time.Second); string(m.Payload) != "before" {
+		t.Fatalf("got %q", m.Payload)
+	}
+
+	a.DropConns()
+	b.DropConns()
+
+	// The first sends after the drop may race the dead connection and be
+	// lost (silent loss is legal); the writer must redial and deliveries
+	// must resume.
+	got := make(chan transport.Message, 64)
+	go func() {
+		for m := range b.Inbox() {
+			got <- m
+		}
+	}()
+	waitFor(t, 10*time.Second, func() bool {
+		_ = a.Send("b", "k", []byte("after"))
+		select {
+		case m := <-got:
+			return string(m.Payload) == "after"
+		default:
+			return false
+		}
+	}, "no delivery after reconnect")
+}
+
+// rawDial opens a plain TCP connection to an endpoint's listener,
+// bypassing the frame writer — the hostile/corrupt peer.
+func rawDial(t *testing.T, n *Network, id transport.NodeID) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", n.Addr(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// TestOversizedFrameRejected writes a frame whose declared length
+// exceeds MaxFrame: the reader must reject it before allocating, close
+// only that connection, and keep serving well-formed peers.
+func TestOversizedFrameRejected(t *testing.T) {
+	n := newTestNet(t, Options{MaxFrame: 1 << 16})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	conn := rawDial(t, n, "b")
+	var hdr [binary.MaxVarintLen64]byte
+	sz := binary.PutUvarint(hdr[:], 1<<40) // a terabyte, allegedly
+	if _, err := conn.Write(hdr[:sz]); err != nil {
+		t.Fatal(err)
+	}
+	// The reader must hang up rather than wait for a terabyte.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived an oversized frame header")
+	}
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("oversized frame delivered: %+v", m)
+	default:
+	}
+
+	// A well-formed sender is unaffected.
+	if err := a.Send("b", "k", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b, 5*time.Second); string(m.Payload) != "fine" {
+		t.Fatalf("got %q", m.Payload)
+	}
+}
+
+// TestCorruptFrameRejected writes length-valid garbage: the decode must
+// fail without panicking, the connection dies, and the endpoint keeps
+// serving.
+func TestCorruptFrameRejected(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	conn := rawDial(t, n, "b")
+	body := []byte{0x01, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01} // wire format byte + overflowing varint
+	var hdr [binary.MaxVarintLen64]byte
+	sz := binary.PutUvarint(hdr[:], uint64(len(body)))
+	if _, err := conn.Write(append(hdr[:sz], body...)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("connection survived a corrupt frame")
+	}
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("corrupt frame delivered: %+v", m)
+	default:
+	}
+
+	if err := a.Send("b", "k", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b, 5*time.Second); string(m.Payload) != "fine" {
+		t.Fatalf("got %q", m.Payload)
+	}
+}
+
+// TestTruncatedFrameIgnored writes half a frame and hangs up: the
+// partial read must not deliver anything or panic.
+func TestTruncatedFrameIgnored(t *testing.T) {
+	n := newTestNet(t, Options{})
+	b := n.Endpoint("b")
+
+	conn := rawDial(t, n, "b")
+	full := appendFrame(nil, transport.Message{From: "x", To: "b", Kind: "k", Payload: []byte("0123456789")})
+	if _, err := conn.Write(full[:len(full)/2]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	select {
+	case m := <-b.Inbox():
+		t.Fatalf("truncated frame delivered: %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestOversizedSendDroppedLocally: a payload above MaxFrame is refused
+// on the sender side (counted dropped) instead of poisoning the
+// connection for subsequent messages.
+func TestOversizedSendDroppedLocally(t *testing.T) {
+	n := newTestNet(t, Options{MaxFrame: 4096})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	if err := a.Send("b", "big", make([]byte, 64<<10)); err != nil {
+		t.Fatal(err) // local conditions only: the drop is silent
+	}
+	if err := a.Send("b", "small", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvOne(t, b, 5*time.Second); m.Kind != "small" {
+		t.Fatalf("got kind %q, want small", m.Kind)
+	}
+	if stats := n.Stats(); stats.Dropped == 0 {
+		t.Fatal("oversized send not counted as dropped")
+	}
+}
+
+func TestCloseRejectsSends(t *testing.T) {
+	n := New(Options{})
+	a := n.Endpoint("a")
+	n.Endpoint("b")
+	n.Close()
+	if err := a.Send("b", "k", nil); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	n.Close() // idempotent
+}
+
+// TestAttachAfterClose: a late Attach on a closed network must come up
+// dead — no listener socket, no goroutines — and its sends must report
+// the closed network.
+func TestAttachAfterClose(t *testing.T) {
+	n := New(Options{})
+	n.Endpoint("a")
+	n.Close()
+	late := n.Endpoint("late")
+	if !late.Crashed() {
+		t.Fatal("post-Close endpoint is not dead")
+	}
+	if addr := n.Addr("late"); addr != "" {
+		t.Fatalf("post-Close endpoint bound a listener at %s", addr)
+	}
+	if err := late.Send("a", "k", nil); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	n.Crash("late") // must not panic on the already-down endpoint
+}
+
+func TestNodesSorted(t *testing.T) {
+	n := newTestNet(t, Options{})
+	for _, id := range []transport.NodeID{"c", "a", "b"} {
+		n.Endpoint(id)
+	}
+	ids := n.Nodes()
+	if len(ids) != 3 || ids[0] != "a" || ids[1] != "b" || ids[2] != "c" {
+		t.Fatalf("nodes = %v", ids)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	if err := a.Send("b", "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b, 5*time.Second)
+	n.ResetStats()
+	if stats := n.Stats(); stats.Sent != 0 || stats.Delivered != 0 || len(stats.PerKind) != 0 {
+		t.Fatalf("stats after reset = %+v", stats)
+	}
+}

@@ -1,0 +1,202 @@
+// Package transport defines the message-passing substrate every
+// replication protocol in this repository runs over, abstracted from any
+// particular implementation.
+//
+// The paper's system model (Wiesmann et al., ICDCS 2000, §2.1) assumes a
+// set of processes that communicate only by exchanging messages and fail
+// by crashing (crash-stop). Everything a protocol may rely on is captured
+// here: an Endpoint per process, datagram-style Send with silent
+// in-flight loss, per-kind message and byte counters (study PS3), and
+// crash semantics. Two implementations satisfy the interface:
+//
+//   - package simnet — the in-process simulated network with pluggable
+//     latency models, loss, and partitions (the default, and the only
+//     substrate for deterministic tests);
+//   - package tcpnet — real TCP over the loopback or a LAN, with
+//     length-prefixed codec frames and per-peer reconnecting connections
+//     (the hardware-bound data point for the performance study).
+//
+// Protocols program against Node (dispatch loop, kind routing,
+// request/reply RPC), which is defined in this package and works over any
+// Transport.
+package transport
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// NodeID identifies a process (replica or client) on the network.
+type NodeID string
+
+// Message is a single datagram on the network.
+type Message struct {
+	// From and To identify the sending and receiving endpoints.
+	From, To NodeID
+	// Kind routes the message to a handler on the receiving node and
+	// names the payload's concrete type.
+	Kind string
+	// Payload is the encoded message body (package codec).
+	Payload []byte
+	// ID is a network-unique message identifier.
+	ID uint64
+	// CorrID, when non-zero, marks this message as the reply to the
+	// request message with that ID.
+	CorrID uint64
+}
+
+// Common transport errors. Implementations return exactly these values
+// (possibly wrapped) so protocol code can test with errors.Is.
+var (
+	// ErrCrashed is returned when sending from a crashed endpoint.
+	ErrCrashed = errors.New("transport: endpoint crashed")
+	// ErrUnknownNode is returned when the destination does not exist.
+	ErrUnknownNode = errors.New("transport: unknown node")
+	// ErrClosed is returned when the transport has been shut down.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// Stats are cumulative transport counters. Counters only grow.
+type Stats struct {
+	// Sent counts messages accepted for transmission.
+	Sent uint64
+	// Delivered counts messages handed to an inbox.
+	Delivered uint64
+	// Dropped counts messages lost in flight: loss rate, partitions,
+	// crashes, or (on TCP) unreachable peers.
+	Dropped uint64
+	// Overflowed counts messages lost to a full inbox.
+	Overflowed uint64
+	// Bytes counts payload bytes accepted for transmission.
+	Bytes uint64
+	// PerKind counts messages sent, by message kind.
+	PerKind map[string]uint64
+}
+
+// Endpoint is one process's attachment to the transport. The contract
+// mirrors UDP: Send reports local conditions only (crashed sender,
+// unknown destination, closed transport); in-flight loss is silent, and
+// delivery order between two processes is not guaranteed.
+type Endpoint interface {
+	// ID returns the endpoint's node ID.
+	ID() NodeID
+	// Send transmits a one-way message.
+	Send(to NodeID, kind string, payload []byte) error
+	// SendMsg transmits a fully-formed message (used by the RPC layer to
+	// set correlation IDs). From is forced to this endpoint.
+	SendMsg(m Message) error
+	// Inbox returns the delivery channel. It is never closed; reading
+	// from a crashed endpoint's inbox yields nothing further once
+	// in-flight messages resolve.
+	Inbox() <-chan Message
+	// Crashed reports whether this endpoint has crashed.
+	Crashed() bool
+}
+
+// Transport is the substrate connecting all endpoints. Implementations
+// must be safe for concurrent use.
+type Transport interface {
+	// Attach creates (or returns the existing) endpoint for id.
+	Attach(id NodeID) Endpoint
+	// Nodes returns the IDs of all endpoints, sorted.
+	Nodes() []NodeID
+	// Crash stops the endpoint with the given id: it can no longer send,
+	// and messages addressed to it are dropped. Crash-stop is permanent,
+	// matching the paper's failure model; build a "recovered" process as
+	// a new node.
+	Crash(id NodeID)
+	// Crashed reports whether id has crashed.
+	Crashed(id NodeID) bool
+	// Stats returns a snapshot of the cumulative counters.
+	Stats() Stats
+	// ResetStats zeroes all counters. The performance study resets
+	// counters between sweep points so each point's count is isolated.
+	ResetStats()
+	// Close shuts the transport down, discarding undelivered messages.
+	// After Close all sends fail with ErrClosed.
+	Close()
+}
+
+// Counters implements the Stats side of a Transport: lock-free cumulative
+// counters plus the per-kind send map. Both backends embed one and call
+// the Count methods on their send/deliver/drop paths.
+type Counters struct {
+	sent       atomic.Uint64
+	delivered  atomic.Uint64
+	dropped    atomic.Uint64
+	overflowed atomic.Uint64
+	bytes      atomic.Uint64
+
+	mu      sync.Mutex
+	perKind map[string]*atomic.Uint64
+}
+
+// CountSend records a message of the given kind accepted for
+// transmission with a payload of n bytes.
+func (c *Counters) CountSend(kind string, n int) {
+	c.sent.Add(1)
+	c.bytes.Add(uint64(n))
+	c.kindCounter(kind).Add(1)
+}
+
+// CountDelivered records one message handed to an inbox.
+func (c *Counters) CountDelivered() { c.delivered.Add(1) }
+
+// CountDropped records one message lost in flight.
+func (c *Counters) CountDropped() { c.dropped.Add(1) }
+
+// CountOverflowed records one message lost to a full inbox.
+func (c *Counters) CountOverflowed() { c.overflowed.Add(1) }
+
+func (c *Counters) kindCounter(kind string) *atomic.Uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.perKind == nil {
+		c.perKind = make(map[string]*atomic.Uint64)
+	}
+	k, ok := c.perKind[kind]
+	if !ok {
+		k = new(atomic.Uint64)
+		c.perKind[kind] = k
+	}
+	return k
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Counters) Stats() Stats {
+	c.mu.Lock()
+	perKind := make(map[string]uint64, len(c.perKind))
+	for k, v := range c.perKind {
+		perKind[k] = v.Load()
+	}
+	c.mu.Unlock()
+	return Stats{
+		Sent:       c.sent.Load(),
+		Delivered:  c.delivered.Load(),
+		Dropped:    c.dropped.Load(),
+		Overflowed: c.overflowed.Load(),
+		Bytes:      c.bytes.Load(),
+		PerKind:    perKind,
+	}
+}
+
+// ResetStats zeroes all counters.
+func (c *Counters) ResetStats() {
+	c.mu.Lock()
+	c.perKind = make(map[string]*atomic.Uint64)
+	c.mu.Unlock()
+	c.sent.Store(0)
+	c.delivered.Store(0)
+	c.dropped.Store(0)
+	c.overflowed.Store(0)
+	c.bytes.Store(0)
+}
+
+// SortIDs returns ids sorted in place and is shared by implementations
+// of Transport.Nodes.
+func SortIDs(ids []NodeID) []NodeID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

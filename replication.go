@@ -9,8 +9,8 @@
 // Execution (EX), Agreement Coordination (AC), Client Response (END) —
 // and that techniques differ only in which phases they use, merge,
 // reorder or iterate. This library makes that observation executable:
-// ten techniques run over one simulated substrate, emit their phase
-// traces, and can be compared under identical workloads.
+// ten techniques run over one message-passing substrate, emit their
+// phase traces, and can be compared under identical workloads.
 //
 // # Quick start
 //
@@ -24,6 +24,22 @@
 //	client := cluster.NewClient()
 //	res, err := client.InvokeOp(ctx, replication.Write("greeting", []byte("hello")))
 //	res, err = client.InvokeOp(ctx, replication.Read("greeting"))
+//
+// # Transports
+//
+// Every technique runs unchanged over either of two substrates selected
+// by Config.Transport: TransportSim (the default), an in-process
+// simulated network with pluggable latency and loss models for
+// deterministic tests and experiments; and TransportTCP, real TCP
+// sockets on the loopback with length-prefixed binary frames, where
+// latency, buffering and connection failure come from the kernel — the
+// hardware-bound data point for the performance study:
+//
+//	cluster, err := replication.New(replication.Config{
+//		Protocol:  replication.Active,
+//		Replicas:  3,
+//		Transport: replication.TransportTCP,
+//	})
 //
 // # Techniques
 //
@@ -45,6 +61,8 @@ import (
 	"replication/internal/core"
 	"replication/internal/simnet"
 	"replication/internal/trace"
+	"replication/internal/transport"
+	"replication/internal/transport/tcpnet"
 	"replication/internal/txn"
 )
 
@@ -81,10 +99,22 @@ type (
 	// Phase is one of the five functional-model phases.
 	Phase = trace.Phase
 
-	// NodeID identifies a process on the simulated network.
-	NodeID = simnet.NodeID
-	// NetworkOptions configure the simulated network.
+	// NodeID identifies a process on the network.
+	NodeID = transport.NodeID
+	// Transport selects the message-passing substrate.
+	Transport = core.TransportKind
+	// NetworkOptions configure the simulated network (TransportSim).
 	NetworkOptions = simnet.Options
+	// TCPOptions configure the TCP transport (TransportTCP).
+	TCPOptions = tcpnet.Options
+)
+
+// The available transports.
+const (
+	// TransportSim is the in-process simulated network (default).
+	TransportSim = core.TransportSim
+	// TransportTCP is real TCP with length-prefixed binary frames.
+	TransportTCP = core.TransportTCP
 )
 
 // The ten techniques.
