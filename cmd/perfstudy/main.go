@@ -1,12 +1,14 @@
 // Command perfstudy carries out the performance study the paper's
 // conclusion announces but never published: all techniques compared
 // under varying workloads and failure assumptions (studies PS1–PS7,
-// indexed in DESIGN.md; results recorded in EXPERIMENTS.md).
+// indexed in DESIGN.md; results recorded in EXPERIMENTS.md), plus PS8 —
+// throughput vs shard count for the sharded composition of the model.
 //
 // Usage:
 //
-//	perfstudy              # quick pass over all seven studies
+//	perfstudy              # quick pass over all eight studies
 //	perfstudy -study 3     # one study
+//	perfstudy -study 8     # shard scaling (uniform vs zipfian vs cross-shard)
 //	perfstudy -full        # larger sweeps
 package main
 
@@ -20,7 +22,7 @@ import (
 
 func main() {
 	var (
-		id   = flag.Int("study", 0, "study number (1-7); 0 runs all")
+		id   = flag.Int("study", 0, "study number (1-8); 0 runs all")
 		full = flag.Bool("full", false, "larger sweeps (slower)")
 	)
 	flag.Parse()

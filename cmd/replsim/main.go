@@ -9,7 +9,13 @@
 //	replsim -protocol active -replicas 3 -ops 500 -writes 0.5
 //	replsim -protocol lazy-ue -lazy-delay 10ms -trace
 //	replsim -protocol active -transport tcp
+//	replsim -protocol active -shards 4 -txn-ops 3
 //	replsim -list
+//
+// With -shards > 1 the cluster runs one replication group per
+// partition over a shared transport; multi-operation transactions
+// whose keys span partitions commit through cross-shard 2PC, and the
+// report breaks latency out per shard and for the cross-shard path.
 package main
 
 import (
@@ -24,9 +30,12 @@ import (
 	"replication/internal/fd"
 	"replication/internal/metrics"
 	"replication/internal/recon"
+	"replication/internal/shard"
 	"replication/internal/simnet"
 	"replication/internal/storage"
 	"replication/internal/trace"
+	"replication/internal/transport"
+	"replication/internal/txn"
 	"replication/internal/workload"
 )
 
@@ -34,6 +43,7 @@ func main() {
 	var (
 		protocol  = flag.String("protocol", "active", "technique to run (see -list)")
 		replicas  = flag.Int("replicas", 3, "number of replica processes")
+		shards    = flag.Int("shards", 1, "partitions; >1 runs one group per shard with cross-shard 2PC")
 		clients   = flag.Int("clients", 2, "number of concurrent clients")
 		ops       = flag.Int("ops", 200, "total requests")
 		writes    = flag.Float64("writes", 1.0, "write fraction [0,1]")
@@ -63,19 +73,25 @@ func main() {
 		return
 	}
 
-	if err := run(*protocol, *replicas, *clients, *ops, *writes, *keys, *opsPerTxn,
+	if err := run(*protocol, *replicas, *shards, *clients, *ops, *writes, *keys, *opsPerTxn,
 		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *crash, *showTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "replsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(protocol string, replicas, clients, ops int, writes float64, keys, opsPerTxn int,
+// invoker is what the load loop drives: both the single-group client
+// and the shard-routing client satisfy it.
+type invoker interface {
+	Invoke(ctx context.Context, t txn.Transaction) (txn.Result, error)
+}
+
+func run(protocol string, replicas, shards, clients, ops int, writes float64, keys, opsPerTxn int,
 	zipf float64, lazyDelay time.Duration, lazyOrder string, latency time.Duration,
 	tport string, crash, showTrace bool) error {
 
 	rec := &trace.Recorder{}
-	c, err := core.NewCluster(core.Config{
+	gcfg := core.Config{
 		Protocol:       core.Protocol(protocol),
 		Replicas:       replicas,
 		Transport:      core.TransportKind(tport),
@@ -84,14 +100,51 @@ func run(protocol string, replicas, clients, ops int, writes float64, keys, opsP
 		LazyDelay:      lazyDelay,
 		LazyUEOrder:    lazyOrder,
 		RequestTimeout: 30 * time.Second,
-	})
-	if err != nil {
-		return err
 	}
-	defer c.Close()
 
-	fmt.Printf("protocol=%s replicas=%d clients=%d ops=%d writes=%.0f%% transport=%s latency=%v\n\n",
-		protocol, replicas, clients, ops, writes*100, tport, latency)
+	// The two cluster shapes expose the same load surface through small
+	// closures; everything below the setup is shared.
+	var (
+		newClient func() invoker
+		crashOne  func()
+		groups    []*core.Cluster
+		network   func() transport.Stats
+		sharded   *shard.Cluster
+	)
+	if shards > 1 {
+		gcfg.Shards = shards
+		sc, err := shard.New(shard.Config{Shards: shards, Group: gcfg})
+		if err != nil {
+			return err
+		}
+		defer sc.Close()
+		sharded = sc
+		newClient = func() invoker { return sc.NewClient() }
+		crashOne = func() {
+			fmt.Printf("-- crashing %s (its replica of every shard) --\n", sc.Replicas()[0])
+			sc.Crash(sc.Replicas()[0])
+		}
+		for s := 0; s < sc.Shards(); s++ {
+			groups = append(groups, sc.Group(s))
+		}
+		network = func() transport.Stats { return sc.Network().Stats() }
+	} else {
+		c, err := core.NewCluster(gcfg)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		newClient = func() invoker { return c.NewClient() }
+		crashOne = func() {
+			fmt.Printf("-- crashing %s --\n", c.Replicas()[0])
+			c.Crash(c.Replicas()[0])
+		}
+		groups = []*core.Cluster{c}
+		network = func() transport.Stats { return c.Network().Stats() }
+	}
+
+	fmt.Printf("protocol=%s replicas=%d shards=%d clients=%d ops=%d writes=%.0f%% transport=%s latency=%v\n\n",
+		protocol, replicas, shards, clients, ops, writes*100, tport, latency)
 
 	var (
 		hist              metrics.Histogram
@@ -102,7 +155,7 @@ func run(protocol string, replicas, clients, ops int, writes float64, keys, opsP
 	start := time.Now()
 	perClient := ops / clients
 	for ci := 0; ci < clients; ci++ {
-		cl := c.NewClient()
+		cl := newClient()
 		gen := workload.New(workload.Config{
 			Keys: keys, WriteFraction: writes, OpsPerTxn: opsPerTxn,
 			Zipf: zipf, Seed: int64(ci + 1),
@@ -114,8 +167,7 @@ func run(protocol string, replicas, clients, ops int, writes float64, keys, opsP
 			defer cancel()
 			for i := 0; i < perClient; i++ {
 				if crash && ci == 0 && i == perClient/2 {
-					fmt.Printf("-- crashing %s --\n", c.Replicas()[0])
-					c.Crash(c.Replicas()[0])
+					crashOne()
 				}
 				t0 := time.Now()
 				res, err := cl.Invoke(ctx, gen.NextTxn(""))
@@ -134,19 +186,25 @@ func run(protocol string, replicas, clients, ops int, writes float64, keys, opsP
 	elapsed := time.Since(start)
 
 	// Let lazy propagation settle, then report convergence among the
-	// LIVE replicas (a crashed replica's store is frozen forever).
-	var liveStores []*storage.Store
-	for _, id := range c.Replicas() {
-		if !c.Network().Crashed(id) {
-			liveStores = append(liveStores, c.Store(id))
+	// LIVE replicas of every group (a crashed replica's store is frozen
+	// forever).
+	liveStores := func(g *core.Cluster) []*storage.Store {
+		var out []*storage.Store
+		for _, id := range g.Replicas() {
+			if !g.Network().Crashed(id) {
+				out = append(out, g.Store(id))
+			}
 		}
+		return out
 	}
 	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) && !recon.Converged(liveStores) {
-		time.Sleep(2 * time.Millisecond)
+	for _, g := range groups {
+		for time.Now().Before(deadline) && !recon.Converged(liveStores(g)) {
+			time.Sleep(2 * time.Millisecond)
+		}
 	}
 
-	stats := c.Network().Stats()
+	stats := network()
 	protocolMsgs := stats.Sent - stats.PerKind[fd.MsgKind]
 	fmt.Printf("committed: %d  failed/aborted: %d  elapsed: %v\n", committed, failed, elapsed.Round(time.Millisecond))
 	fmt.Printf("latency:   %s\n", hist.Summary())
@@ -155,8 +213,19 @@ func run(protocol string, replicas, clients, ops int, writes float64, keys, opsP
 		fmt.Printf("messages:  %.1f per op (%d total, excluding heartbeats)\n",
 			float64(protocolMsgs)/float64(committed+failed), protocolMsgs)
 	}
-	fmt.Printf("live replicas converged: %v (divergence %.2f, %d live of %d)\n",
-		recon.Converged(liveStores), recon.Divergence(liveStores), len(liveStores), len(c.Replicas()))
+	for gi, g := range groups {
+		ls := liveStores(g)
+		label := "live replicas converged"
+		if len(groups) > 1 {
+			label = fmt.Sprintf("shard %d converged", gi)
+		}
+		fmt.Printf("%s: %v (divergence %.2f, %d live of %d)\n",
+			label, recon.Converged(ls), recon.Divergence(ls), len(ls), len(g.Replicas()))
+	}
+	if sharded != nil {
+		fmt.Printf("\nper-shard latency (single-shard fast path vs cross-shard 2PC):\n%s\n",
+			sharded.Metrics().Summary())
+	}
 
 	if showTrace {
 		reqs := rec.Requests()

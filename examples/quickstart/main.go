@@ -8,6 +8,12 @@
 //
 // Run with -transport tcp to exchange the same protocol bytes over real
 // loopback TCP sockets instead of the in-process simulated network.
+//
+// Run with -shards 4 to partition the key space across four independent
+// replication groups behind a consistent-hash router: single-key
+// requests route to the owning group, and a transaction touching keys
+// on two shards commits atomically through cross-shard Two Phase
+// Commit.
 package main
 
 import (
@@ -22,13 +28,20 @@ import (
 
 func main() {
 	tport := flag.String("transport", "sim", "message substrate: sim or tcp")
+	shards := flag.Int("shards", 0, "partition the key space across this many groups (0 = one group)")
 	flag.Parse()
 
-	cluster, err := replication.New(replication.Config{
+	cfg := replication.Config{
 		Protocol:  replication.Active,
 		Replicas:  3,
 		Transport: replication.Transport(*tport),
-	})
+	}
+	if *shards > 1 {
+		cfg.Shards = *shards
+		shardedMain(cfg)
+		return
+	}
+	cluster, err := replication.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,4 +70,46 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("after a replica crash: %s\n", res.Reads["greeting"])
+}
+
+// shardedMain is the same store, partitioned: many groups, one router,
+// atomic cross-shard transactions.
+func shardedMain(cfg replication.Config) {
+	cluster, err := replication.NewSharded(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client := cluster.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Find two account keys that live on different shards.
+	alice, bob := "alice", "bob"
+	for i := 0; client.Shard(alice) == client.Shard(bob); i++ {
+		bob = fmt.Sprintf("bob%d", i)
+	}
+	fmt.Printf("%d shards; %q lives on shard %d, %q on shard %d\n",
+		cluster.Shards(), alice, client.Shard(alice), bob, client.Shard(bob))
+
+	for _, kv := range [][2]string{{alice, "100"}, {bob, "100"}} {
+		if _, err := client.InvokeOp(ctx, replication.Write(kv[0], []byte(kv[1]))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One transaction, two shards, atomic: both writes or neither.
+	res, err := client.Invoke(ctx, replication.Transaction{Ops: []replication.Op{
+		replication.Write(alice, []byte("90")),
+		replication.Write(bob, []byte("110")),
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cross-shard transfer committed: %v\n", res.Committed)
+
+	ra, _ := client.InvokeOp(ctx, replication.Read(alice))
+	rb, _ := client.InvokeOp(ctx, replication.Read(bob))
+	fmt.Printf("%s=%s %s=%s\n", alice, ra.Reads[alice], bob, rb.Reads[bob])
 }

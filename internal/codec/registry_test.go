@@ -21,12 +21,13 @@ import (
 	_ "replication/internal/consensus"
 	_ "replication/internal/core"
 	_ "replication/internal/group"
+	_ "replication/internal/shard"
 	_ "replication/internal/tpc"
 )
 
 // minRegistered guards against registration rot: if a package stops
 // registering its kinds, the walk below would silently shrink.
-const minRegistered = 30
+const minRegistered = 35
 
 func TestRegisteredKindsUseWireCodec(t *testing.T) {
 	protos := codec.Protos()

@@ -271,6 +271,23 @@ func (p *procTx) Read(key string) []byte {
 	return ver.Value
 }
 
+// ReadReporter is the optional extension of ProcTx for procedures that
+// must surface read values in the client's Result.Reads. Ordinary
+// stored procedures do not report reads (their observations stay
+// server-side, keeping responses small); the cross-shard prepare
+// procedure reports the transaction's Read operations so the
+// coordinator can return them — including reads it satisfied from its
+// own staged writes, which never pass through ProcTx.Read.
+type ReadReporter interface {
+	// ReportRead records value as the transaction's read of key.
+	ReportRead(key string, value []byte)
+}
+
+// ReportRead implements ReadReporter.
+func (p *procTx) ReportRead(key string, value []byte) {
+	p.out.result.Reads[key] = append([]byte(nil), value...)
+}
+
 // Write implements ProcTx.
 func (p *procTx) Write(key string, value []byte) {
 	p.overlay[key] = append([]byte(nil), value...)
@@ -328,8 +345,20 @@ type Config struct {
 	// Replicas is the number of replica processes (≥1; techniques
 	// needing majorities want ≥3). Zero means 3.
 	Replicas int
+	// Shards partitions the key space across that many independent
+	// replication groups (package shard; replication.NewSharded). A
+	// single-group cluster is Shards ≤ 1; NewCluster rejects larger
+	// values — building the groups, the router and the cross-shard
+	// coordinator is the sharding layer's job.
+	Shards int
 	// Transport selects the substrate; zero means TransportSim.
 	Transport TransportKind
+	// Substrate, when non-nil, is an existing transport this cluster
+	// attaches to instead of creating its own; Transport/Net/TCP are then
+	// ignored and Close leaves the substrate running (the owner closes
+	// it). The sharding layer uses this to run many groups over one
+	// shared endpoint set.
+	Substrate transport.Transport
 	// Net configures the simulated network (TransportSim only).
 	Net simnet.Options
 	// TCP configures the TCP transport (TransportTCP only).
@@ -426,11 +455,12 @@ func (c *Config) fill() {
 
 // Cluster is a running replicated system executing one technique.
 type Cluster struct {
-	cfg   Config
-	net   transport.Transport
-	ids   []transport.NodeID
-	hooks protocolHooks
-	rec   *trace.Recorder
+	cfg    Config
+	net    transport.Transport
+	ownNet bool // whether Close shuts the transport down
+	ids    []transport.NodeID
+	hooks  protocolHooks
+	rec    *trace.Recorder
 
 	mu        sync.Mutex
 	clients   []*Client
@@ -441,16 +471,24 @@ type Cluster struct {
 // NewCluster builds and starts a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg.fill()
-	var net transport.Transport
-	switch cfg.Transport {
-	case TransportSim:
-		net = simnet.New(cfg.Net)
-	case TransportTCP:
-		net = tcpnet.New(cfg.TCP)
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("core: Shards=%d needs the sharding layer — use replication.NewSharded (package shard)", cfg.Shards)
+	}
+	var (
+		net    transport.Transport
+		ownNet bool
+	)
+	switch {
+	case cfg.Substrate != nil:
+		net = cfg.Substrate
+	case cfg.Transport == TransportSim:
+		net, ownNet = simnet.New(cfg.Net), true
+	case cfg.Transport == TransportTCP:
+		net, ownNet = tcpnet.New(cfg.TCP), true
 	default:
 		return nil, fmt.Errorf("core: unknown transport %q", cfg.Transport)
 	}
-	c := &Cluster{cfg: cfg, net: net, rec: cfg.Recorder}
+	c := &Cluster{cfg: cfg, net: net, ownNet: ownNet, rec: cfg.Recorder}
 	for i := 0; i < cfg.Replicas; i++ {
 		c.ids = append(c.ids, transport.NodeID(fmt.Sprintf("r%d", i)))
 	}
@@ -475,7 +513,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	var err error
 	c.hooks, err = buildProtocol(cfg.Protocol, c, replicas)
 	if err != nil {
-		net.Close()
+		if ownNet {
+			net.Close()
+		}
 		return nil, err
 	}
 
@@ -603,7 +643,9 @@ func (c *Cluster) Close() {
 		entry.replica.det.Stop()
 		entry.replica.node.Stop()
 	}
-	c.net.Close()
+	if c.ownNet {
+		c.net.Close()
+	}
 }
 
 // Client creates a client process attached to the cluster. Each client

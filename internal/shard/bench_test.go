@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/txn"
+	"replication/internal/workload"
+)
+
+func benchCluster(b *testing.B, shards int, transport core.TransportKind) *Cluster {
+	b.Helper()
+	c, err := New(Config{
+		Shards: shards,
+		Group: core.Config{
+			Protocol:       core.Active,
+			Replicas:       3,
+			Transport:      transport,
+			RequestTimeout: 30 * time.Second,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+// driveClients spreads b.N transactions over conc concurrent clients.
+func driveClients(b *testing.B, c *Cluster, conc int, mkGen func(ci int) *workload.Generator) {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	cls := make([]*Client, conc)
+	for i := range cls {
+		cls[i] = c.NewClient()
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for ci := range cls {
+		n := b.N / conc
+		if ci < b.N%conc {
+			n++
+		}
+		wg.Add(1)
+		go func(ci, n int) {
+			defer wg.Done()
+			gen := mkGen(ci)
+			for i := 0; i < n; i++ {
+				if _, err := cls[ci].Invoke(ctx, gen.NextTxn("")); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(ci, n)
+	}
+	wg.Wait()
+}
+
+// BenchmarkSharded measures single-key throughput scaling with shard
+// count: the same technique, the same physical endpoint set, 1 vs 4
+// partitions, on both transports. EXPERIMENTS.md records the curve.
+func BenchmarkSharded(b *testing.B) {
+	const clients = 16
+	for _, tp := range []core.TransportKind{core.TransportSim, core.TransportTCP} {
+		for _, shards := range []int{1, 4} {
+			tp, shards := tp, shards
+			b.Run(fmt.Sprintf("%s/shards=%d", tp, shards), func(b *testing.B) {
+				c := benchCluster(b, shards, tp)
+				driveClients(b, c, clients, func(ci int) *workload.Generator {
+					return workload.New(workload.Config{
+						WriteFraction: 1, Keys: 1024, Seed: int64(ci + 1),
+					})
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkShardedSkewed is BenchmarkSharded under a YCSB-Zipfian key
+// distribution (theta 0.99): the shard owning the hottest keys becomes
+// the hot partition and caps the scaling uniform traffic enjoys.
+func BenchmarkShardedSkewed(b *testing.B) {
+	const clients = 16
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("sim/shards=%d", shards), func(b *testing.B) {
+			c := benchCluster(b, shards, core.TransportSim)
+			driveClients(b, c, clients, func(ci int) *workload.Generator {
+				return workload.New(workload.Config{
+					WriteFraction: 1, Keys: 1024, Zipf: 0.99, Seed: int64(ci + 1),
+				})
+			})
+		})
+	}
+}
+
+// BenchmarkCrossShard measures the 2PC path: every transaction writes
+// one key on each of two different shards.
+func BenchmarkCrossShard(b *testing.B) {
+	for _, tp := range []core.TransportKind{core.TransportSim, core.TransportTCP} {
+		tp := tp
+		b.Run(string(tp), func(b *testing.B) {
+			c := benchCluster(b, 4, tp)
+			keys := keysOnDistinctShards(b, c)
+			a, k2 := keys[0], keys[1]
+			cl := c.NewClient()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			defer cancel()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+					txn.W(a, []byte("a")), txn.W(k2, []byte("b")),
+				}})
+				if err != nil || !res.Committed {
+					b.Fatalf("cross txn: %v %+v", err, res)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/core"
+	"replication/internal/tpc"
+	"replication/internal/transport"
+	"replication/internal/txn"
+)
+
+// Client is the shard-aware client: it owns one group client per shard
+// for routed single-shard requests, and a node + 2PC coordinator on the
+// shared transport for multi-shard transactions.
+type Client struct {
+	c      *Cluster
+	groups []*core.Client
+	node   *transport.Node
+	coord  *tpc.Coordinator
+	n      uint64
+	seq    atomic.Uint64
+}
+
+// NewClient attaches a client to the cluster.
+func (c *Cluster) NewClient() *Client {
+	c.mu.Lock()
+	c.nextCl++
+	n := c.nextCl
+	c.mu.Unlock()
+
+	cl := &Client{c: c, n: n}
+	for _, g := range c.groups {
+		cl.groups = append(cl.groups, g.NewClient())
+	}
+	cl.node = transport.NewNode(c.inner, transport.NodeID(fmt.Sprintf("xc%d", n)))
+	cl.coord = tpc.NewCoordinator(cl.node, xScope)
+	cl.node.Start()
+
+	c.mu.Lock()
+	c.clients = append(c.clients, cl)
+	c.mu.Unlock()
+	return cl
+}
+
+func (cl *Client) close() { cl.node.Stop() }
+
+// Shard returns the partition that owns key (routing introspection).
+func (cl *Client) Shard(key string) int { return cl.c.router.Shard(key) }
+
+// InvokeOp submits a single-operation transaction — always single-shard,
+// always the routed fast path.
+func (cl *Client) InvokeOp(ctx context.Context, op txn.Op) (txn.Result, error) {
+	return cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{op}})
+}
+
+// Invoke submits a transaction. Operations owned by one shard go
+// straight to that group, exactly as on an unsharded cluster; a
+// transaction spanning shards runs as 2PC across the owning groups and
+// commits atomically on all of them or none.
+func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, error) {
+	parts, err := cl.c.router.Split(t)
+	if err != nil {
+		return txn.Result{}, err
+	}
+	if len(parts) == 0 {
+		parts = map[int][]txn.Op{0: nil} // empty txn: any group answers it
+	}
+	if len(parts) == 1 {
+		for s := range parts {
+			start := time.Now()
+			res, err := cl.groups[s].Invoke(ctx, t)
+			if err == nil {
+				cl.c.metrics.SingleShard(s).Observe(time.Since(start))
+			}
+			return res, err
+		}
+	}
+	return cl.invokeCross(ctx, t, parts)
+}
+
+// invokeCross drives one cross-shard transaction: build the plan, run
+// 2PC over the involved shards' participants, then collect reads from
+// the prepared sub-transactions.
+func (cl *Client) invokeCross(ctx context.Context, t txn.Transaction, parts map[int][]txn.Op) (txn.Result, error) {
+	for _, ops := range parts {
+		for _, op := range ops {
+			if op.Kind == txn.Nondet {
+				return txn.Result{}, fmt.Errorf("shard: nondeterministic operations cannot span shards")
+			}
+		}
+	}
+	txnID := t.ID
+	if txnID == "" {
+		txnID = fmt.Sprintf("x%d-%d", cl.n, cl.seq.Add(1))
+	}
+
+	shards := make([]int, 0, len(parts))
+	for s := range parts {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+
+	plan := xPlan{TxnID: txnID}
+	participants := make([]transport.NodeID, 0, len(shards))
+	needReads := make(map[int]bool)
+	for _, s := range shards {
+		sub := xSubTxn{TxnID: txnID, Ops: parts[s]}
+		plan.Shards = append(plan.Shards, uint32(s))
+		plan.Parts = append(plan.Parts, codec.MustMarshal(&sub))
+		participants = append(participants, participantID(s))
+		for _, op := range parts[s] {
+			// Only plain Read operations surface values to the client
+			// (stored-procedure reads stay server-side, exactly as on a
+			// single group).
+			if op.Kind == txn.Read {
+				needReads[s] = true
+			}
+		}
+	}
+
+	start := time.Now()
+	runCtx, cancel := context.WithTimeout(ctx, cl.c.cfg.CrossTimeout)
+	outcome, err := cl.coord.Run(runCtx, txnID, codec.MustMarshal(&plan), participants)
+	cancel()
+	if outcome != tpc.Commit {
+		cl.c.metrics.crossAborts.Add(1)
+		if err != nil && ctx.Err() != nil {
+			return txn.Result{}, fmt.Errorf("shard: %s: %w", txnID, ctx.Err())
+		}
+		reason := "cross-shard conflict"
+		if err != nil {
+			reason = err.Error()
+		}
+		return txn.Result{Committed: false, Err: reason}, nil
+	}
+
+	// The transaction is committed on every shard from here on: count it
+	// and observe its latency before the read fetch, whose failure loses
+	// only the read report, not the commit.
+	cl.c.metrics.crossCommits.Add(1)
+	cl.c.metrics.Cross().Observe(time.Since(start))
+
+	res := txn.Result{Committed: true, Reads: make(map[string][]byte)}
+	for _, s := range shards {
+		if !needReads[s] {
+			continue
+		}
+		reads, err := cl.fetchReads(ctx, s, txnID)
+		if err != nil {
+			// Surface the missing read report honestly alongside the
+			// committed result.
+			return res, fmt.Errorf("shard: %s committed but reads from shard %d unavailable: %w", txnID, s, err)
+		}
+		for k, v := range reads {
+			res.Reads[k] = v
+		}
+	}
+	return res, nil
+}
+
+// fetchReads pulls the prepare-time reads of one shard's
+// sub-transaction from its participant.
+func (cl *Client) fetchReads(ctx context.Context, s int, txnID string) (map[string][]byte, error) {
+	fetchCtx, cancel := context.WithTimeout(ctx, cl.c.cfg.CrossTimeout)
+	defer cancel()
+	reply, err := cl.node.Call(fetchCtx, participantID(s), kindXResult,
+		codec.MustMarshal(&xCtl{TxnID: txnID}))
+	if err != nil {
+		return nil, err
+	}
+	var out xResult
+	if err := codec.Unmarshal(reply.Payload, &out); err != nil {
+		return nil, err
+	}
+	if !out.Found {
+		return nil, fmt.Errorf("shard: participant %d lost result of %s", s, txnID)
+	}
+	return out.Result.Reads, nil
+}

@@ -1,0 +1,56 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"replication/internal/metrics"
+)
+
+// Metrics aggregates the sharded cluster's client-observed load: one
+// latency histogram per shard for single-shard requests (the routed fast
+// path) and one for cross-shard transactions (the 2PC path), plus
+// commit/abort counters for the latter. All clients of a cluster share
+// one Metrics; everything is safe for concurrent use.
+type Metrics struct {
+	single []*metrics.Histogram
+	cross  metrics.Histogram
+
+	crossCommits atomic.Uint64
+	crossAborts  atomic.Uint64
+}
+
+func newMetrics(shards int) *Metrics {
+	m := &Metrics{single: make([]*metrics.Histogram, shards)}
+	for i := range m.single {
+		m.single[i] = &metrics.Histogram{}
+	}
+	return m
+}
+
+// SingleShard returns the latency histogram of shard i's single-shard
+// requests.
+func (m *Metrics) SingleShard(i int) *metrics.Histogram { return m.single[i] }
+
+// Cross returns the cross-shard transaction latency histogram.
+func (m *Metrics) Cross() *metrics.Histogram { return &m.cross }
+
+// CrossCommits returns the number of committed cross-shard transactions.
+func (m *Metrics) CrossCommits() uint64 { return m.crossCommits.Load() }
+
+// CrossAborts returns the number of aborted cross-shard transactions
+// (conflict vote-no, unreachable participant, timeout).
+func (m *Metrics) CrossAborts() uint64 { return m.crossAborts.Load() }
+
+// Summary formats one line per shard plus the cross-shard line —
+// replsim prints this under -shards.
+func (m *Metrics) Summary() string {
+	var b strings.Builder
+	for i, h := range m.single {
+		fmt.Fprintf(&b, "shard %d:  %s\n", i, h.Summary())
+	}
+	fmt.Fprintf(&b, "cross-shard: %s (commits %d, aborts %d)",
+		m.cross.Summary(), m.CrossCommits(), m.CrossAborts())
+	return b.String()
+}

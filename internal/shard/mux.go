@@ -1,0 +1,309 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"replication/internal/codec"
+	"replication/internal/transport"
+)
+
+// Mux multiplexes many replication groups over one shared transport
+// endpoint set. The topology mirrors a real sharded deployment: R
+// physical processes each host one replica of every shard (tablets on a
+// server), so shard i's replica set is the same R endpoints for every i.
+// Each group programs against an ordinary transport.Transport — the
+// per-shard view returned by Shard — while underneath, every message is
+// wrapped in an Envelope tagged with the shard id and carried over the
+// one real endpoint per process. One TCP connection mesh (or one simnet)
+// therefore serves all groups, and adding shards adds no sockets.
+//
+// The inner Kind/ID/CorrID ride inside the envelope, so each group's
+// Node dispatch and RPC correlation work unchanged; per-shard views keep
+// their own per-kind counters, so message accounting (study PS3) stays
+// meaningful per group. Crash semantics are physical: crashing id kills
+// the process, i.e. that replica of every shard at once.
+type Mux struct {
+	inner transport.Transport
+
+	nextID atomic.Uint64 // virtual message IDs for plain sends
+
+	mu     sync.Mutex
+	ports  map[transport.NodeID]*port
+	views  map[uint32]*shardNet
+	drop   map[uint32]bool // test hook: silently drop a shard's traffic
+	closed bool
+}
+
+// NewMux wraps inner. The caller keeps ownership of inner: Mux.Close
+// stops the demux goroutines but leaves inner running.
+func NewMux(inner transport.Transport) *Mux {
+	return &Mux{
+		inner: inner,
+		ports: make(map[transport.NodeID]*port),
+		views: make(map[uint32]*shardNet),
+		drop:  make(map[uint32]bool),
+	}
+}
+
+// Inner returns the wrapped transport.
+func (mx *Mux) Inner() transport.Transport { return mx.inner }
+
+// Shard returns the transport view for one shard. Groups attach their
+// replicas and clients to it exactly as they would to simnet or tcpnet.
+func (mx *Mux) Shard(id uint32) transport.Transport {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	if v, ok := mx.views[id]; ok {
+		return v
+	}
+	v := &shardNet{mux: mx, shard: id, endpoints: make(map[transport.NodeID]*vEndpoint)}
+	mx.views[id] = v
+	return v
+}
+
+// SetShardDrop silently discards all traffic of one shard's group when
+// on — in-flight unreachability, as if every replica of that shard froze
+// at once. Failure-injection hook for the cross-shard abort tests; it
+// does not exist in the production path (the bool is read outside any
+// per-message lock).
+func (mx *Mux) SetShardDrop(id uint32, on bool) {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	mx.drop[id] = on
+}
+
+func (mx *Mux) dropped(id uint32) bool {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	return mx.drop[id]
+}
+
+// Close stops every demux goroutine. The inner transport stays up; its
+// owner closes it.
+func (mx *Mux) Close() {
+	mx.mu.Lock()
+	if mx.closed {
+		mx.mu.Unlock()
+		return
+	}
+	mx.closed = true
+	ports := make([]*port, 0, len(mx.ports))
+	for _, p := range mx.ports {
+		ports = append(ports, p)
+	}
+	mx.mu.Unlock()
+	for _, p := range ports {
+		close(p.done)
+	}
+	for _, p := range ports {
+		<-p.exited
+	}
+}
+
+// portFor returns (creating if needed) the demux port for one physical
+// endpoint.
+func (mx *Mux) portFor(id transport.NodeID) *port {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	if p, ok := mx.ports[id]; ok {
+		return p
+	}
+	p := &port{
+		mux:    mx,
+		ep:     mx.inner.Attach(id),
+		done:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	mx.ports[id] = p
+	if mx.closed {
+		close(p.exited)
+	} else {
+		go p.run()
+	}
+	return p
+}
+
+// routeTo finds the virtual endpoint for (shard, node), nil if the shard
+// view or endpoint does not exist (a frame for a group that never
+// attached here is dropped).
+func (mx *Mux) routeTo(shard uint32, id transport.NodeID) *vEndpoint {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	v, ok := mx.views[shard]
+	if !ok {
+		return nil
+	}
+	return v.endpoints[id]
+}
+
+// port is one physical endpoint plus the goroutine demultiplexing its
+// inbox into the per-shard virtual endpoints.
+type port struct {
+	mux    *Mux
+	ep     transport.Endpoint
+	done   chan struct{}
+	exited chan struct{}
+}
+
+func (p *port) run() {
+	defer close(p.exited)
+	for {
+		select {
+		case <-p.done:
+			return
+		case m := <-p.ep.Inbox():
+			p.demux(m)
+		}
+	}
+}
+
+func (p *port) demux(m transport.Message) {
+	var env Envelope
+	if m.Kind != kindEnvelope || codec.Unmarshal(m.Payload, &env) != nil {
+		// Not ours: muxed endpoints speak only envelopes. Corrupt or alien
+		// frames die here, exactly like a malformed datagram.
+		return
+	}
+	dst := p.mux.routeTo(env.Shard, m.To)
+	if dst == nil || p.mux.dropped(env.Shard) {
+		if v, ok := p.mux.viewOf(env.Shard); ok {
+			v.CountDropped()
+		}
+		return
+	}
+	inner := transport.Message{
+		From:    m.From,
+		To:      m.To,
+		Kind:    env.Kind,
+		Payload: env.Payload,
+		ID:      env.ID,
+		CorrID:  env.CorrID,
+	}
+	select {
+	case dst.inbox <- inner:
+		dst.view.CountDelivered()
+	default:
+		dst.view.CountOverflowed()
+	}
+}
+
+func (mx *Mux) viewOf(id uint32) (*shardNet, bool) {
+	mx.mu.Lock()
+	defer mx.mu.Unlock()
+	v, ok := mx.views[id]
+	return v, ok
+}
+
+// shardNet is one shard's view of the shared substrate. It implements
+// transport.Transport; per-kind counters are per view, so each group's
+// message accounting reads exactly as it would on a dedicated network.
+type shardNet struct {
+	mux   *Mux
+	shard uint32
+	transport.Counters
+
+	vmu       sync.Mutex
+	endpoints map[transport.NodeID]*vEndpoint
+}
+
+var _ transport.Transport = (*shardNet)(nil)
+
+// vInboxSize is each virtual endpoint's buffered inbox capacity,
+// matching the defaults of both real backends.
+const vInboxSize = 4096
+
+// Attach implements transport.Transport.
+func (v *shardNet) Attach(id transport.NodeID) transport.Endpoint {
+	port := v.mux.portFor(id) // attach the physical endpoint first
+	v.vmu.Lock()
+	defer v.vmu.Unlock()
+	if ep, ok := v.endpoints[id]; ok {
+		return ep
+	}
+	ep := &vEndpoint{
+		view:  v,
+		port:  port,
+		id:    id,
+		inbox: make(chan transport.Message, vInboxSize),
+	}
+	v.endpoints[id] = ep
+	return ep
+}
+
+// Nodes implements transport.Transport: the IDs attached to THIS view.
+func (v *shardNet) Nodes() []transport.NodeID {
+	v.vmu.Lock()
+	defer v.vmu.Unlock()
+	ids := make([]transport.NodeID, 0, len(v.endpoints))
+	for id := range v.endpoints {
+		ids = append(ids, id)
+	}
+	return transport.SortIDs(ids)
+}
+
+// Crash implements transport.Transport. Crashes are physical: the
+// process hosting this shard-replica dies, taking its replica of every
+// other shard with it — there is no such thing as crashing one tablet.
+func (v *shardNet) Crash(id transport.NodeID) { v.mux.inner.Crash(id) }
+
+// Crashed implements transport.Transport.
+func (v *shardNet) Crashed(id transport.NodeID) bool { return v.mux.inner.Crashed(id) }
+
+// Close implements transport.Transport as a no-op: groups do not own
+// the shared substrate (the sharded cluster closes the mux and the
+// inner transport).
+func (v *shardNet) Close() {}
+
+// vEndpoint is one process's attachment to one shard's view.
+type vEndpoint struct {
+	view  *shardNet
+	port  *port
+	id    transport.NodeID
+	inbox chan transport.Message
+}
+
+var _ transport.Endpoint = (*vEndpoint)(nil)
+
+// ID implements transport.Endpoint.
+func (e *vEndpoint) ID() transport.NodeID { return e.id }
+
+// Send implements transport.Endpoint.
+func (e *vEndpoint) Send(to transport.NodeID, kind string, payload []byte) error {
+	return e.SendMsg(transport.Message{To: to, Kind: kind, Payload: payload})
+}
+
+// SendMsg implements transport.Endpoint: wrap in an Envelope and send on
+// the physical link. The virtual kind is counted on this shard's view;
+// the inner transport counts the carrier frame.
+func (e *vEndpoint) SendMsg(m transport.Message) error {
+	if e.port.ep.Crashed() {
+		return transport.ErrCrashed
+	}
+	if m.ID == 0 {
+		m.ID = e.view.mux.nextID.Add(1)
+	}
+	e.view.CountSend(m.Kind, len(m.Payload))
+	if e.view.mux.dropped(e.view.shard) {
+		e.view.CountDropped()
+		return nil // silent in-flight loss, as the contract demands
+	}
+	env := &Envelope{
+		Shard:   e.view.shard,
+		Kind:    m.Kind,
+		ID:      m.ID,
+		CorrID:  m.CorrID,
+		Payload: m.Payload,
+	}
+	return e.port.ep.SendMsg(transport.Message{
+		To:      m.To,
+		Kind:    kindEnvelope,
+		Payload: codec.MustMarshal(env),
+	})
+}
+
+// Inbox implements transport.Endpoint.
+func (e *vEndpoint) Inbox() <-chan transport.Message { return e.inbox }
+
+// Crashed implements transport.Endpoint.
+func (e *vEndpoint) Crashed() bool { return e.port.ep.Crashed() }

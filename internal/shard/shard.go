@@ -1,0 +1,206 @@
+// Package shard scales the paper's single-group replication model to
+// many groups running side by side: a consistent-hash Router partitions
+// the key space across N shards, a Cluster runs one independent
+// replication group per shard — any of the ten techniques, over either
+// transport — and a shard-aware Client routes single-shard requests
+// straight to the owning group while driving multi-shard transactions
+// through Two Phase Commit (internal/tpc) with each shard's replicated
+// protocol acting as a participant.
+//
+// The paper's five-phase model (Wiesmann et al., ICDCS 2000) describes
+// coordination *within* one replica group; nothing in it caps how many
+// groups a deployment runs. Sharding composes the model with itself:
+// each partition is a complete instance of a technique, and the only
+// new machinery is between groups — the router in front and the atomic
+// commitment behind (which the paper itself names as the database
+// side's agreement primitive, §2.2). All groups share one physical
+// endpoint set through a Mux that multiplexes messages by shard id in
+// the wire envelope, so N shards cost zero extra sockets.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/simnet"
+	"replication/internal/tpc"
+	"replication/internal/transport"
+	"replication/internal/transport/tcpnet"
+)
+
+// Config describes a sharded cluster.
+type Config struct {
+	// Shards is the number of partitions (zero falls back to
+	// Group.Shards; both zero mean 2 — a sharded cluster of one shard is
+	// legal but usually wants plain core.NewCluster).
+	Shards int
+	// Partitioner maps keys to partitions. Nil means the consistent-hash
+	// ring (HashRing with 128 virtual nodes).
+	Partitioner Partitioner
+	// Group is the per-shard group template: technique, replica count,
+	// transport, timings. Every shard runs an identical group; the
+	// physical processes are shared (process i hosts replica i of every
+	// shard). Group.Shards is ignored here; Group.Substrate, when set,
+	// supplies the shared transport (the cluster then does not close it).
+	Group core.Config
+	// CrossTimeout bounds each phase of a cross-shard transaction (the
+	// prepare vote collection, and each participant's inner replicated
+	// round). Zero means the group's RequestTimeout.
+	CrossTimeout time.Duration
+}
+
+// Cluster is a running sharded replication system: N groups over one
+// shared transport, a router, and the cross-shard 2PC plumbing.
+type Cluster struct {
+	cfg     Config
+	router  *Router
+	inner   transport.Transport
+	ownNet  bool
+	mux     *Mux
+	groups  []*core.Cluster
+	parts   []*participant
+	pnodes  []*transport.Node
+	metrics *Metrics
+
+	mu      sync.Mutex
+	clients []*Client
+	nextCl  uint64
+	closed  bool
+}
+
+// New builds and starts a sharded cluster.
+func New(cfg Config) (*Cluster, error) {
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = cfg.Group.Shards
+	}
+	if shards == 0 {
+		shards = 2
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: invalid shard count %d", shards)
+	}
+	gcfg := cfg.Group
+	gcfg.Shards = 0
+	if cfg.CrossTimeout == 0 {
+		if cfg.Group.RequestTimeout != 0 {
+			cfg.CrossTimeout = cfg.Group.RequestTimeout
+		} else {
+			cfg.CrossTimeout = 5 * time.Second
+		}
+	}
+
+	var (
+		inner  transport.Transport
+		ownNet bool
+	)
+	switch {
+	case gcfg.Substrate != nil:
+		inner = gcfg.Substrate
+	case gcfg.Transport == "" || gcfg.Transport == core.TransportSim:
+		inner, ownNet = simnet.New(gcfg.Net), true
+	case gcfg.Transport == core.TransportTCP:
+		inner, ownNet = tcpnet.New(gcfg.TCP), true
+	default:
+		return nil, fmt.Errorf("shard: unknown transport %q", gcfg.Transport)
+	}
+
+	c := &Cluster{
+		cfg:     cfg,
+		router:  NewRouter(shards, cfg.Partitioner),
+		inner:   inner,
+		ownNet:  ownNet,
+		mux:     NewMux(inner),
+		metrics: newMetrics(shards),
+	}
+	gcfg.Procedures = withCrossShardProcs(gcfg.Procedures)
+	for s := 0; s < shards; s++ {
+		sg := gcfg
+		sg.Substrate = c.mux.Shard(uint32(s))
+		g, err := core.NewCluster(sg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard: group %d: %w", s, err)
+		}
+		c.groups = append(c.groups, g)
+	}
+
+	// One 2PC participant per shard, bridging onto the group through its
+	// own client. The participant node lives directly on the shared
+	// transport — cross-shard coordination is between-groups traffic, not
+	// any one group's.
+	for s := 0; s < shards; s++ {
+		p := &participant{
+			shard:   uint32(s),
+			cl:      c.groups[s].NewClient(),
+			timeout: cfg.CrossTimeout,
+			results: make(map[string]prepInfo),
+		}
+		node := transport.NewNode(inner, participantID(s))
+		tpc.NewAsyncServer(node, xScope, p)
+		node.Handle(kindXResult, p.onResult(node))
+		node.Start()
+		c.parts = append(c.parts, p)
+		c.pnodes = append(c.pnodes, node)
+	}
+	return c, nil
+}
+
+// Shards returns the partition count.
+func (c *Cluster) Shards() int { return c.router.Shards() }
+
+// Router returns the key router.
+func (c *Cluster) Router() *Router { return c.router }
+
+// Group returns shard s's replication group (stores, history, recorder —
+// everything a single-group cluster exposes).
+func (c *Cluster) Group(s int) *core.Cluster { return c.groups[s] }
+
+// Metrics returns the cluster's client-observed load metrics.
+func (c *Cluster) Metrics() *Metrics { return c.metrics }
+
+// Mux returns the multiplexing layer (per-shard message accounting,
+// failure injection in tests).
+func (c *Cluster) Mux() *Mux { return c.mux }
+
+// Network returns the shared physical transport.
+func (c *Cluster) Network() transport.Transport { return c.inner }
+
+// Replicas returns the physical process IDs (each hosts one replica of
+// every shard).
+func (c *Cluster) Replicas() []transport.NodeID { return c.groups[0].Replicas() }
+
+// Crash crash-stops a physical process: replica i of every shard dies
+// at once, exactly as when a real shard server fails.
+func (c *Cluster) Crash(id transport.NodeID) { c.inner.Crash(id) }
+
+// Close stops every client, group, participant and the shared
+// transport. Safe to call once (and on a partially built cluster).
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	clients := c.clients
+	c.mu.Unlock()
+
+	for _, cl := range clients {
+		cl.close()
+	}
+	for _, n := range c.pnodes {
+		n.Stop()
+	}
+	for _, g := range c.groups {
+		g.Close() // leaves the shared substrate running (Substrate set)
+	}
+	if c.mux != nil {
+		c.mux.Close()
+	}
+	if c.ownNet {
+		c.inner.Close()
+	}
+}

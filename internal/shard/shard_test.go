@@ -1,0 +1,319 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/recon"
+	"replication/internal/transport"
+	"replication/internal/txn"
+)
+
+func ctxT(t testing.TB, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func newTestCluster(t testing.TB, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// waitConverged waits until every group's replicas hold identical state.
+func waitConverged(t testing.TB, c *Cluster, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for s := 0; s < c.Shards(); s++ {
+		g := c.Group(s)
+		for !recon.Converged(g.Stores()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %d did not converge within %v", s, timeout)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// keysOnDistinctShards returns nShards keys, one owned by each shard,
+// derived deterministically from the router.
+func keysOnDistinctShards(t testing.TB, c *Cluster) []string {
+	t.Helper()
+	out := make([]string, c.Shards())
+	found := 0
+	for i := 0; found < c.Shards() && i < 100000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		s := c.Router().Shard(k)
+		if out[s] == "" {
+			out[s] = k
+			found++
+		}
+	}
+	if found < c.Shards() {
+		t.Fatal("could not find a key per shard")
+	}
+	return out
+}
+
+func TestHashRingDeterministicAndBalanced(t *testing.T) {
+	a, b := NewHashRing(0), NewHashRing(0)
+	const n, keys = 4, 20000
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		s := a.Partition(k, n)
+		if s != b.Partition(k, n) {
+			t.Fatalf("instances disagree on %q", k)
+		}
+		if s < 0 || s >= n {
+			t.Fatalf("shard %d out of range", s)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("shard %d owns %.1f%% of keys — ring too uneven: %v", s, share*100, counts)
+		}
+	}
+}
+
+// TestHashRingIsConsistent: growing the partition count moves only a
+// minority of the key space — the property that keeps future
+// rebalancing cheap (vs mod-n, which moves almost everything).
+func TestHashRingIsConsistent(t *testing.T) {
+	h := NewHashRing(0)
+	const keys = 10000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if h.Partition(k, 4) != h.Partition(k, 5) {
+			moved++
+		}
+	}
+	// Ideal is 1/5 = 20%; allow generous slack but stay far below the
+	// ~80% a mod-n scheme would move.
+	if frac := float64(moved) / keys; frac > 0.40 {
+		t.Fatalf("growing 4→5 shards moved %.1f%% of keys", frac*100)
+	}
+}
+
+func TestRouterSplit(t *testing.T) {
+	r := NewRouter(4, nil)
+	tx := txn.Transaction{Ops: []txn.Op{
+		txn.W("a", []byte("1")), txn.R("b"), txn.W("a", []byte("2")), txn.W("c", nil),
+	}}
+	parts, err := r.Split(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s, ops := range parts {
+		total += len(ops)
+		for _, op := range ops {
+			if r.Shard(op.Key) != s {
+				t.Fatalf("op on %q routed to shard %d, owner is %d", op.Key, s, r.Shard(op.Key))
+			}
+		}
+	}
+	if total != 4 {
+		t.Fatalf("split dropped ops: %d of 4", total)
+	}
+	// Per-shard op order must match submission order.
+	sa := r.Shard("a")
+	var vals []string
+	for _, op := range parts[sa] {
+		if op.Key == "a" {
+			vals = append(vals, string(op.Value))
+		}
+	}
+	if len(vals) != 2 || vals[0] != "1" || vals[1] != "2" {
+		t.Fatalf("writes to a out of order: %v", vals)
+	}
+}
+
+func TestRouterRejectsSpanningProc(t *testing.T) {
+	r := NewRouter(4, nil)
+	var k1, k2 string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("p%d", i)
+		if k1 == "" {
+			k1 = k
+			continue
+		}
+		if r.Shard(k) != r.Shard(k1) {
+			k2 = k
+			break
+		}
+	}
+	if _, err := r.Split(txn.Transaction{Ops: []txn.Op{txn.P("proc", nil, k1, k2)}}); err == nil {
+		t.Fatal("expected error for procedure spanning shards")
+	}
+	if _, err := r.Split(txn.Transaction{Ops: []txn.Op{txn.P("proc", nil)}}); err == nil {
+		t.Fatal("expected error for procedure with no declared keys")
+	}
+}
+
+// TestMuxIsolatesShards: the same node id attached to two shard views
+// yields independent endpoints; traffic tagged for one shard never
+// reaches the other.
+func TestMuxIsolatesShards(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Active, Replicas: 1}})
+	mx := c.Mux()
+
+	v0 := mx.Shard(0)
+	v1 := mx.Shard(1)
+	a0, b0 := v0.Attach("ta"), v0.Attach("tb")
+	b1 := v1.Attach("tb")
+	if err := a0.Send("tb", "probe", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b0.Inbox():
+		if m.Kind != "probe" || string(m.Payload) != "x" || m.From != "ta" {
+			t.Fatalf("mangled message: %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("shard-0 message not delivered")
+	}
+	select {
+	case m := <-b1.Inbox():
+		t.Fatalf("shard-1 endpoint received shard-0 traffic: %+v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// TestMuxSharesEndpointSet: all groups' replica traffic flows through
+// the same physical endpoints — no per-shard sockets.
+func TestMuxSharesEndpointSet(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 4, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 20*time.Second)
+	for _, k := range keysOnDistinctShards(t, c) {
+		if _, err := cl.InvokeOp(ctx, txn.W(k, []byte("v"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The physical node set contains each replica exactly once; four
+	// groups did not mint four endpoint sets.
+	phys := make(map[transport.NodeID]bool)
+	for _, id := range c.Network().Nodes() {
+		phys[id] = true
+	}
+	for _, id := range c.Replicas() {
+		if !phys[id] {
+			t.Fatalf("replica %s missing from physical transport", id)
+		}
+	}
+	for s := 0; s < c.Shards(); s++ {
+		if got := c.Mux().Shard(uint32(s)).(*shardNet).Stats().Sent; got == 0 {
+			t.Fatalf("shard %d sent no messages over its view", s)
+		}
+	}
+	// Every carrier frame on the physical transport is an envelope.
+	stats := c.Network().Stats()
+	var envs uint64
+	for kind, n := range stats.PerKind {
+		if kind == kindEnvelope {
+			envs += n
+		}
+	}
+	if envs == 0 {
+		t.Fatal("no envelope frames crossed the physical transport")
+	}
+}
+
+// TestMuxRPCThroughEnvelope: request/reply correlation survives the
+// envelope wrapping (Call IDs travel inside it).
+func TestMuxRPCThroughEnvelope(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Active, Replicas: 1}})
+	v := c.Mux().Shard(1)
+	srv := transport.NewNode(v, "rpc-srv")
+	srv.Handle("echo", func(m transport.Message) {
+		_ = srv.Reply(m, append([]byte("re:"), m.Payload...))
+	})
+	srv.Start()
+	defer srv.Stop()
+	cli := transport.NewNode(v, "rpc-cli")
+	cli.Start()
+	defer cli.Stop()
+
+	reply, err := cli.Call(ctxT(t, 5*time.Second), "rpc-srv", "echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply.Payload) != "re:ping" {
+		t.Fatalf("bad reply: %q", reply.Payload)
+	}
+}
+
+// TestPhysicalCrashKillsAllShards: crashing a process takes its replica
+// of every group down at once, and every group's failure detector sees
+// it.
+func TestPhysicalCrashKillsAllShards(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Certification, Replicas: 3, RequestTimeout: time.Second}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+	keys := keysOnDistinctShards(t, c)
+	for _, k := range keys {
+		if _, err := cl.InvokeOp(ctx, txn.W(k, []byte("before"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := c.Replicas()[0]
+	c.Crash(victim)
+	for s := 0; s < c.Shards(); s++ {
+		if !c.Group(s).Network().Crashed(victim) {
+			t.Fatalf("shard %d does not see %s as crashed", s, victim)
+		}
+	}
+	// Both groups keep serving with the surviving majority.
+	for _, k := range keys {
+		res, err := cl.InvokeOp(ctx, txn.W(k, []byte("after")))
+		if err != nil || !res.Committed {
+			t.Fatalf("write to %q after crash: %v %+v", k, err, res)
+		}
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 30*time.Second)
+	keys := keysOnDistinctShards(t, c)
+	for _, k := range keys {
+		if _, err := cl.InvokeOp(ctx, txn.W(k, []byte("v"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+		txn.W(keys[0], []byte("x")), txn.W(keys[1], []byte("y")),
+	}})
+	if err != nil || !res.Committed {
+		t.Fatalf("cross-shard txn: %v %+v", err, res)
+	}
+	m := c.Metrics()
+	var single uint64
+	for s := 0; s < c.Shards(); s++ {
+		single += m.SingleShard(s).Count()
+	}
+	if single != 2 {
+		t.Fatalf("single-shard count = %d, want 2", single)
+	}
+	if m.Cross().Count() != 1 || m.CrossCommits() != 1 || m.CrossAborts() != 0 {
+		t.Fatalf("cross metrics: n=%d commits=%d aborts=%d",
+			m.Cross().Count(), m.CrossCommits(), m.CrossAborts())
+	}
+	if m.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}

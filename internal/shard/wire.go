@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"replication/internal/codec"
+	"replication/internal/txn"
+)
+
+// Envelope is the multiplexing frame of the sharding layer: a
+// shard-local protocol message wrapped for transmission over the shared
+// transport endpoint set. The inner Kind/ID/CorrID travel inside the
+// envelope so the RPC correlation of every group's Node keeps working
+// unchanged; Shard routes the frame to the right group on arrival.
+// kindEnvelope is the only message kind the muxed endpoints exchange.
+type Envelope struct {
+	Shard   uint32
+	Kind    string
+	ID      uint64
+	CorrID  uint64
+	Payload []byte
+}
+
+// kindEnvelope is the carrier message kind on the shared transport.
+const kindEnvelope = "shard.env"
+
+// AppendTo implements codec.Wire.
+func (e *Envelope) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(e.Shard))
+	buf = codec.AppendString(buf, e.Kind)
+	buf = codec.AppendUvarint(buf, e.ID)
+	buf = codec.AppendUvarint(buf, e.CorrID)
+	return codec.AppendBytes(buf, e.Payload)
+}
+
+// DecodeFrom implements codec.Wire.
+func (e *Envelope) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	e.Shard = uint32(r.Uvarint())
+	e.Kind = r.String()
+	e.ID = r.Uvarint()
+	e.CorrID = r.Uvarint()
+	e.Payload = r.Bytes()
+	return r.Done()
+}
+
+// xSubTxn is one shard's slice of a cross-shard transaction: the
+// argument blob of the prepare procedure.
+type xSubTxn struct {
+	TxnID string
+	Ops   []txn.Op
+}
+
+// AppendTo implements codec.Wire.
+func (s *xSubTxn) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, s.TxnID)
+	buf = codec.AppendUvarint(buf, uint64(len(s.Ops)))
+	for _, op := range s.Ops {
+		buf = op.AppendWire(buf)
+	}
+	return buf
+}
+
+// DecodeFrom implements codec.Wire.
+func (s *xSubTxn) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	s.TxnID = r.String()
+	n := r.Count(4)
+	s.Ops = nil
+	if n > 0 {
+		s.Ops = make([]txn.Op, n)
+		for i := range s.Ops {
+			s.Ops[i].DecodeWire(&r)
+		}
+	}
+	return r.Done()
+}
+
+// xPlan is a whole cross-shard transaction: the 2PC prepare payload.
+// Every participant receives the full plan and extracts its own part
+// (tpc sends one payload to all participants).
+type xPlan struct {
+	TxnID  string
+	Shards []uint32 // involved shards, ascending
+	Parts  [][]byte // encoded xSubTxn per entry of Shards
+}
+
+func (p *xPlan) part(shard uint32) ([]byte, bool) {
+	for i, s := range p.Shards {
+		if s == shard {
+			return p.Parts[i], true
+		}
+	}
+	return nil, false
+}
+
+// AppendTo implements codec.Wire.
+func (p *xPlan) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, p.TxnID)
+	buf = codec.AppendUvarint(buf, uint64(len(p.Shards)))
+	for i, s := range p.Shards {
+		buf = codec.AppendUvarint(buf, uint64(s))
+		buf = codec.AppendBytes(buf, p.Parts[i])
+	}
+	return buf
+}
+
+// DecodeFrom implements codec.Wire.
+func (p *xPlan) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	p.TxnID = r.String()
+	n := r.Count(2)
+	p.Shards, p.Parts = nil, nil
+	if n > 0 {
+		p.Shards = make([]uint32, n)
+		p.Parts = make([][]byte, n)
+		for i := 0; i < n; i++ {
+			p.Shards[i] = uint32(r.Uvarint())
+			p.Parts[i] = r.Bytes()
+		}
+	}
+	return r.Done()
+}
+
+// xCtl addresses one cross-shard transaction by ID: the argument blob of
+// the commit/abort procedures and the result-fetch request.
+type xCtl struct {
+	TxnID string
+}
+
+// AppendTo implements codec.Wire.
+func (c *xCtl) AppendTo(buf []byte) []byte { return codec.AppendString(buf, c.TxnID) }
+
+// DecodeFrom implements codec.Wire.
+func (c *xCtl) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	c.TxnID = r.String()
+	return r.Done()
+}
+
+// xResult carries a participant's prepare-time result (reads) back to
+// the coordinator after commit.
+type xResult struct {
+	Found  bool
+	Result txn.Result
+}
+
+// AppendTo implements codec.Wire.
+func (x *xResult) AppendTo(buf []byte) []byte {
+	buf = codec.AppendBool(buf, x.Found)
+	return x.Result.AppendWire(buf)
+}
+
+// DecodeFrom implements codec.Wire.
+func (x *xResult) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	x.Found = r.Bool()
+	x.Result.DecodeWire(&r)
+	return r.Done()
+}
+
+// Registration for the cross-codec golden tests, the gob-fallback
+// enforcement test, and the gob-vs-wire benchmarks (internal/codec).
+func init() {
+	codec.Register(kindEnvelope,
+		func() codec.Wire { return new(Envelope) },
+		func() codec.Wire {
+			return &Envelope{Shard: 2, Kind: "act.ab", ID: 9, CorrID: 4, Payload: []byte("inner-bytes")}
+		})
+	codec.Register("shard.subtxn",
+		func() codec.Wire { return new(xSubTxn) },
+		func() codec.Wire {
+			return &xSubTxn{TxnID: "x1-3", Ops: []txn.Op{txn.W("a", []byte("1")), txn.R("b")}}
+		})
+	codec.Register("shard.plan",
+		func() codec.Wire { return new(xPlan) },
+		func() codec.Wire {
+			return &xPlan{TxnID: "x1-3", Shards: []uint32{0, 2}, Parts: [][]byte{[]byte("p0"), []byte("p2")}}
+		})
+	codec.Register("shard.ctl",
+		func() codec.Wire { return new(xCtl) },
+		func() codec.Wire { return &xCtl{TxnID: "x1-3"} })
+	codec.Register("shard.result",
+		func() codec.Wire { return new(xResult) },
+		func() codec.Wire {
+			return &xResult{Found: true, Result: txn.Result{Committed: true, Reads: map[string][]byte{"a": []byte("1")}}}
+		})
+}

@@ -1,0 +1,436 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/core"
+	"replication/internal/storage"
+	"replication/internal/tpc"
+	"replication/internal/transport"
+	"replication/internal/txn"
+)
+
+// Cross-shard transactions run 2PC (internal/tpc) with each shard's
+// *replicated protocol* as the participant. The participant state —
+// staged writesets and per-key write intents — lives in the shard's
+// replicated store itself, installed by three stored procedures that
+// the sharding layer registers in every group:
+//
+//   - prepare: conflict-check the sub-transaction against standing
+//     intents, perform its reads, and stage its writes under a staging
+//     key + per-key intent markers. A conflict aborts the procedure
+//     deterministically — that is the participant's NO vote. Because
+//     the procedure commits through the shard's own technique, the
+//     prepared state is exactly as durable as the shard itself: any
+//     replica that takes over sees the same stage.
+//   - commit: apply the staged writeset to the data keys and clear the
+//     stage and intents (idempotent: an empty stage is a no-op).
+//   - abort: clear the stage and intents without applying.
+//
+// Intents give shard-local write-write (and read-write) exclusion
+// between concurrent cross-shard transactions without any waiting, so
+// there is nothing to deadlock: conflicts abort immediately and the
+// client decides whether to resubmit — the paper's client-driven retry
+// model (§4.1). Single-shard requests bypass intents entirely; they are
+// serialized against cross-shard commits by the shard's own technique,
+// so they see either all or none of a cross-shard transaction's writes
+// on that shard, but may interleave between prepare and commit (the
+// isolation level across shards is the technique's own, not 2PL).
+const (
+	xPrepProc   = "_xshard.prepare"
+	xCommitProc = "_xshard.commit"
+	xAbortProc  = "_xshard.abort"
+
+	// xKeyPrefix marks bookkeeping keys; they never collide with data
+	// keys and are filtered from client-visible reads.
+	xKeyPrefix    = "!x/"
+	xIntentPrefix = "!x/i/"
+	xStagePrefix  = "!x/s/"
+	// xDecidedPrefix marks transactions whose abort was applied on this
+	// shard. The tombstone closes the abort/prepare race: when the
+	// coordinator gives up while a participant's inner prepare round is
+	// still in flight, the abort can reach the group first and find no
+	// stage — without the marker, the late prepare would then install
+	// intents that no outcome will ever clear. A prepare finding the
+	// marker refuses deterministically. One small tombstone per aborted
+	// cross-shard transaction is retained in the store.
+	xDecidedPrefix = "!x/d/"
+
+	// xScope is the 2PC name scope shared by coordinator and servers.
+	xScope = "xshard"
+	// kindXResult fetches a participant's prepare-time reads.
+	kindXResult = "xshard.res"
+)
+
+func intentKey(key string) string    { return xIntentPrefix + key }
+func stageKey(txnID string) string   { return xStagePrefix + txnID }
+func decidedKey(txnID string) string { return xDecidedPrefix + txnID }
+func participantID(s int) transport.NodeID {
+	return transport.NodeID(fmt.Sprintf("xp%d", s))
+}
+
+// xStage is what prepare persists under the staging key: the writes to
+// apply on commit and the intent keys to clear on either outcome.
+type xStage struct {
+	Intents []string
+	WS      storage.WriteSet
+}
+
+func encodeStage(s xStage) []byte {
+	buf := codec.AppendStrings(nil, s.Intents)
+	return s.WS.AppendWire(buf)
+}
+
+func decodeStage(data []byte) (xStage, error) {
+	var s xStage
+	r := codec.NewReader(data)
+	s.Intents = codec.DecodeStrings[string](&r)
+	s.WS.DecodeWire(&r)
+	return s, r.Done()
+}
+
+// withCrossShardProcs returns procs extended with the three cross-shard
+// procedures. The user map is copied, never mutated.
+func withCrossShardProcs(procs map[string]core.ProcFunc) map[string]core.ProcFunc {
+	out := make(map[string]core.ProcFunc, len(procs)+3)
+	for k, v := range procs {
+		out[k] = v
+	}
+	out[xPrepProc] = xPrepare(procs)
+	out[xCommitProc] = xCommit
+	out[xAbortProc] = xAbort
+	return out
+}
+
+// xPrepare builds the prepare procedure. userProcs lets a cross-shard
+// transaction carry stored-procedure operations: the named procedure
+// executes at prepare time against a staging ProcTx, so its reads
+// happen under the transaction's intents and its writes join the staged
+// writeset.
+func xPrepare(userProcs map[string]core.ProcFunc) core.ProcFunc {
+	return func(tx core.ProcTx, args []byte) error {
+		var sub xSubTxn
+		if err := codec.Unmarshal(args, &sub); err != nil {
+			return fmt.Errorf("shard: bad prepare args: %w", err)
+		}
+		// A transaction whose abort already reached this shard must not
+		// prepare late (the outcome that would clear it is spent).
+		if len(tx.Read(decidedKey(sub.TxnID))) > 0 {
+			return fmt.Errorf("shard: %s already aborted on this shard", sub.TxnID)
+		}
+		// Conflict check next: any standing foreign intent on a key this
+		// sub-transaction reads or writes is a NO vote. Intents are
+		// acquired atomically with the check (one replicated transaction),
+		// so two conflicting prepares can never both stage.
+		for _, key := range sub.accessedKeys() {
+			if holder := tx.Read(intentKey(key)); len(holder) > 0 && string(holder) != sub.TxnID {
+				return fmt.Errorf("shard: %s conflicts with %s on %q", sub.TxnID, holder, key)
+			}
+		}
+		var stage xStage
+		staged := &stagingTx{tx: tx, stage: &stage}
+		for _, op := range sub.Ops {
+			switch op.Kind {
+			case txn.Read:
+				// Through the staging overlay, so the transaction reads
+				// its own earlier writes exactly as it would on a single
+				// group; reported explicitly because a stage hit never
+				// passes through ProcTx.Read.
+				reportRead(tx, op.Key, staged.Read(op.Key))
+			case txn.Write:
+				staged.Write(op.Key, op.Value)
+			case txn.Proc:
+				proc := userProcs[op.Key]
+				if proc == nil {
+					return fmt.Errorf("shard: unknown procedure %q", op.Key)
+				}
+				if err := proc(staged, op.Value); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("shard: op kind %v not supported across shards", op.Kind)
+			}
+		}
+		// Intents cover the whole access set, reads included: acquiring
+		// them atomically at prepare and releasing at the outcome is 2PL
+		// with all lock points collapsed into one, so cross-shard
+		// transactions are serializable against each other (a reader
+		// cannot see shard A before and shard B after a concurrent
+		// writer — it conflicts on one of them and aborts instead).
+		for _, key := range sub.accessedKeys() {
+			ik := intentKey(key)
+			stage.Intents = append(stage.Intents, ik)
+			tx.Write(ik, []byte(sub.TxnID))
+		}
+		tx.Write(stageKey(sub.TxnID), encodeStage(stage))
+		return nil
+	}
+}
+
+// reportRead surfaces one read value into the client-visible
+// Result.Reads (see core.ReadReporter).
+func reportRead(tx core.ProcTx, key string, value []byte) {
+	if r, ok := tx.(core.ReadReporter); ok {
+		r.ReportRead(key, value)
+	}
+}
+
+// stagingTx is the ProcTx a cross-shard sub-transaction executes
+// against at prepare time: reads observe the transaction's own staged
+// writes before committed state, writes accumulate in the stage instead
+// of touching data keys.
+type stagingTx struct {
+	tx    core.ProcTx
+	stage *xStage
+}
+
+// Read implements core.ProcTx, observing staged earlier writes.
+func (s *stagingTx) Read(key string) []byte {
+	for i := len(s.stage.WS) - 1; i >= 0; i-- {
+		if s.stage.WS[i].Key == key {
+			return s.stage.WS[i].Value
+		}
+	}
+	return s.tx.Read(key)
+}
+
+// Write implements core.ProcTx.
+func (s *stagingTx) Write(key string, value []byte) {
+	s.stage.WS = append(s.stage.WS, storage.Update{Key: key, Value: append([]byte(nil), value...)})
+}
+
+// xCommit applies a staged sub-transaction. An absent stage is a
+// deterministic no-op (duplicate outcome, or abort already cleared it).
+func xCommit(tx core.ProcTx, args []byte) error {
+	stage, ok, err := readStage(tx, args)
+	if err != nil || !ok {
+		return err
+	}
+	for _, u := range stage.WS {
+		tx.Write(u.Key, u.Value)
+	}
+	clearStage(tx, args, stage)
+	return nil
+}
+
+// xAbort drops a staged sub-transaction and tombstones the decision, so
+// a prepare still in flight when the abort lands cannot stage afterwards.
+func xAbort(tx core.ProcTx, args []byte) error {
+	var ctl xCtl
+	if err := codec.Unmarshal(args, &ctl); err != nil {
+		return fmt.Errorf("shard: bad outcome args: %w", err)
+	}
+	tx.Write(decidedKey(ctl.TxnID), []byte("abort"))
+	stage, ok, err := readStage(tx, args)
+	if err != nil || !ok {
+		return err
+	}
+	clearStage(tx, args, stage)
+	return nil
+}
+
+func readStage(tx core.ProcTx, args []byte) (xStage, bool, error) {
+	var ctl xCtl
+	if err := codec.Unmarshal(args, &ctl); err != nil {
+		return xStage{}, false, fmt.Errorf("shard: bad outcome args: %w", err)
+	}
+	raw := tx.Read(stageKey(ctl.TxnID))
+	if len(raw) == 0 {
+		return xStage{}, false, nil
+	}
+	stage, err := decodeStage(raw)
+	if err != nil {
+		return xStage{}, false, fmt.Errorf("shard: corrupt stage for %s: %w", ctl.TxnID, err)
+	}
+	return stage, true, nil
+}
+
+func clearStage(tx core.ProcTx, args []byte, stage xStage) {
+	var ctl xCtl
+	codec.MustUnmarshal(args, &ctl)
+	for _, ik := range stage.Intents {
+		tx.Write(ik, nil)
+	}
+	tx.Write(stageKey(ctl.TxnID), nil)
+}
+
+// accessedKeys returns the data keys the sub-transaction reads or
+// writes (declared keys for procedures), deduplicated, in first-touch
+// order.
+func (s *xSubTxn) accessedKeys() []string {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, op := range s.Ops {
+		if op.Kind == txn.Proc {
+			for _, k := range op.Keys {
+				add(k)
+			}
+			continue
+		}
+		add(op.Key)
+	}
+	return out
+}
+
+// lockKeys is the access set declared on the prepare/commit/abort
+// procedure operations, so locking techniques (passive-style lockTxn,
+// eager locking) serialize cross-shard bookkeeping exactly like data
+// access: the data keys, their intents, and the per-transaction
+// staging and decision keys.
+func (s *xSubTxn) lockKeys() []string {
+	data := s.accessedKeys()
+	out := make([]string, 0, 2*len(data)+2)
+	out = append(out, data...)
+	for _, k := range data {
+		out = append(out, intentKey(k))
+	}
+	return append(out, stageKey(s.TxnID), decidedKey(s.TxnID))
+}
+
+// participant bridges tpc.Participant onto one shard's replicated
+// protocol: every 2PC callback is a replicated transaction submitted
+// through a group client. It runs behind a tpc.NewAsyncServer, so
+// blocking on those inner rounds is safe.
+type participant struct {
+	shard   uint32
+	cl      *core.Client
+	timeout time.Duration // bounds one inner replicated round
+
+	// lostOutcomes counts decided outcomes this participant failed to
+	// apply after retries — the 2PC blocking window made visible: the
+	// shard group was unreachable for the whole retry budget, so its
+	// stage stays pending until an operator (or a future recovery pass)
+	// re-delivers the outcome. Tests assert it stays zero.
+	lostOutcomes atomic.Uint64
+
+	mu      sync.Mutex
+	results map[string]prepInfo
+	order   []string // FIFO eviction of fetched-late results
+}
+
+type prepInfo struct {
+	res  txn.Result
+	keys []string // lock declaration for the outcome procedures
+}
+
+// maxRetainedResults bounds the prepare-result cache (results are
+// normally fetched right after commit; the bound only matters for
+// clients that died between outcome and fetch).
+const maxRetainedResults = 1024
+
+// Prepare implements tpc.Participant: extract this shard's part of the
+// plan and run the prepare procedure through the group.
+func (p *participant) Prepare(txnID string, payload []byte) tpc.Vote {
+	var plan xPlan
+	if err := codec.Unmarshal(payload, &plan); err != nil {
+		return tpc.VoteNo
+	}
+	part, ok := plan.part(p.shard)
+	if !ok {
+		return tpc.VoteNo // a plan that does not involve us is malformed
+	}
+	var sub xSubTxn
+	if err := codec.Unmarshal(part, &sub); err != nil {
+		return tpc.VoteNo
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	res, err := p.cl.Invoke(ctx, txn.Transaction{
+		ID:  txnID + "/prep",
+		Ops: []txn.Op{txn.P(xPrepProc, part, sub.lockKeys()...)},
+	})
+	if err != nil || !res.Committed {
+		return tpc.VoteNo
+	}
+	p.mu.Lock()
+	p.results[txnID] = prepInfo{res: res, keys: sub.lockKeys()}
+	p.order = append(p.order, txnID)
+	if len(p.order) > maxRetainedResults {
+		evict := p.order[0]
+		p.order = p.order[1:]
+		delete(p.results, evict)
+	}
+	p.mu.Unlock()
+	return tpc.VoteYes
+}
+
+// Commit implements tpc.Participant: apply the stage through the group.
+func (p *participant) Commit(txnID string) { p.finish(txnID, xCommitProc) }
+
+// Abort implements tpc.Participant: drop the stage through the group.
+// Safe when nothing was prepared here — the procedure no-ops on an
+// empty stage.
+func (p *participant) Abort(txnID string) { p.finish(txnID, xAbortProc) }
+
+// outcomeAttempts bounds re-deliveries of a decided outcome into the
+// group before the participant gives up and counts the loss.
+const outcomeAttempts = 3
+
+func (p *participant) finish(txnID, proc string) {
+	p.mu.Lock()
+	info := p.results[txnID]
+	p.mu.Unlock()
+	keys := info.keys // includes the staging/decision keys when prepared here
+	if len(keys) == 0 {
+		// Abort of a transaction never prepared here: still touches the
+		// stage (absent) and writes the decision tombstone.
+		keys = []string{stageKey(txnID), decidedKey(txnID)}
+	}
+	args := codec.MustMarshal(&xCtl{TxnID: txnID})
+	// A decided outcome must reach the group: retry the inner round (the
+	// procedures are idempotent, so re-delivery is safe).
+	for attempt := 0; attempt < outcomeAttempts; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+		res, err := p.cl.Invoke(ctx, txn.Transaction{
+			ID:  fmt.Sprintf("%s/%s-%d", txnID, proc, attempt),
+			Ops: []txn.Op{txn.P(proc, args, keys...)},
+		})
+		cancel()
+		if err == nil && res.Committed {
+			return
+		}
+	}
+	p.lostOutcomes.Add(1)
+}
+
+// onResult answers a coordinator's fetch of prepare-time reads.
+func (p *participant) onResult(node *transport.Node) transport.Handler {
+	return func(m transport.Message) {
+		var ctl xCtl
+		if err := codec.Unmarshal(m.Payload, &ctl); err != nil {
+			return
+		}
+		p.mu.Lock()
+		info, ok := p.results[ctl.TxnID]
+		p.mu.Unlock()
+		out := xResult{Found: ok}
+		if ok {
+			out.Result = txn.Result{Committed: true, Reads: visibleReads(info.res.Reads)}
+		}
+		_ = node.Reply(m, codec.MustMarshal(&out))
+	}
+}
+
+// visibleReads strips the bookkeeping keys (intents) the prepare
+// procedure read alongside the data.
+func visibleReads(reads map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(reads))
+	for k, v := range reads {
+		if !strings.HasPrefix(k, xKeyPrefix) {
+			out[k] = v
+		}
+	}
+	return out
+}

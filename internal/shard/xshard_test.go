@@ -1,0 +1,400 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/core"
+	"replication/internal/txn"
+)
+
+// assertShardClean fails if any replica of shard s holds an intent or a
+// stage for txnID, or any value for key — the "no shard partially
+// applied" assertion of the abort paths.
+func assertShardClean(t *testing.T, c *Cluster, s int, txnID string, keys ...string) {
+	t.Helper()
+	g := c.Group(s)
+	for _, id := range g.Replicas() {
+		store := g.Store(id)
+		if v, ok := store.Read(stageKey(txnID)); ok && len(v.Value) > 0 {
+			t.Fatalf("shard %d replica %s: stage for %s still present", s, id, txnID)
+		}
+		for _, k := range keys {
+			if v, ok := store.Read(intentKey(k)); ok && len(v.Value) > 0 {
+				t.Fatalf("shard %d replica %s: intent on %q held by %q", s, id, k, v.Value)
+			}
+			if v, ok := store.Read(k); ok && len(v.Value) > 0 {
+				t.Fatalf("shard %d replica %s: %q = %q, want absent", s, id, k, v.Value)
+			}
+		}
+	}
+}
+
+// waitShardClean polls assertShardClean's condition until it holds
+// (outcome application is asynchronous after the coordinator returns).
+func waitShardClean(t *testing.T, c *Cluster, s int, txnID string, keys ...string) {
+	t.Helper()
+	g := c.Group(s)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		clean := true
+		for _, id := range g.Replicas() {
+			store := g.Store(id)
+			if v, ok := store.Read(stageKey(txnID)); ok && len(v.Value) > 0 {
+				clean = false
+			}
+			for _, k := range keys {
+				if v, ok := store.Read(intentKey(k)); ok && len(v.Value) > 0 {
+					clean = false
+				}
+			}
+		}
+		if clean {
+			assertShardClean(t, c, s, txnID, keys...)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	assertShardClean(t, c, s, txnID, keys...) // report precisely what is left
+}
+
+// blockKey plants a standing intent for a foreign transaction on one
+// shard by running the prepare procedure directly through a group
+// client — a prepared-but-undecided cross-shard transaction, frozen.
+func blockKey(t *testing.T, c *Cluster, key, blockerID string) *core.Client {
+	t.Helper()
+	s := c.Router().Shard(key)
+	gcl := c.Group(s).NewClient()
+	sub := xSubTxn{TxnID: blockerID, Ops: []txn.Op{txn.W(key, []byte("held"))}}
+	res, err := gcl.Invoke(ctxT(t, 10*time.Second), txn.Transaction{
+		ID:  blockerID + "/prep",
+		Ops: []txn.Op{txn.P(xPrepProc, codec.MustMarshal(&sub), sub.lockKeys()...)},
+	})
+	if err != nil || !res.Committed {
+		t.Fatalf("planting blocker on %q: %v %+v", key, err, res)
+	}
+	return gcl
+}
+
+func unblockKey(t *testing.T, c *Cluster, gcl *core.Client, key, blockerID string) {
+	t.Helper()
+	args := codec.MustMarshal(&xCtl{TxnID: blockerID})
+	keys := []string{key, intentKey(key), stageKey(blockerID)}
+	res, err := gcl.Invoke(ctxT(t, 10*time.Second), txn.Transaction{
+		ID:  blockerID + "/abort",
+		Ops: []txn.Op{txn.P(xAbortProc, args, keys...)},
+	})
+	if err != nil || !res.Committed {
+		t.Fatalf("unblocking %q: %v %+v", key, err, res)
+	}
+}
+
+// TestCrossShardConflictAbortsEverywhere: a participant voting NO
+// (conflict with a standing intent) must leave every shard untouched —
+// in particular the shard that already voted YES and staged must roll
+// back on the abort broadcast.
+func TestCrossShardConflictAbortsEverywhere(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 4, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+	keys := keysOnDistinctShards(t, c)
+	a, b := keys[0], keys[1]
+	sa, sb := c.Router().Shard(a), c.Router().Shard(b)
+
+	gcl := blockKey(t, c, b, "blocker")
+
+	res, err := cl.Invoke(ctx, txn.Transaction{
+		ID:  "t-conflict",
+		Ops: []txn.Op{txn.W(a, []byte("A")), txn.W(b, []byte("B"))},
+	})
+	if err != nil {
+		t.Fatalf("conflicting txn errored instead of aborting: %v", err)
+	}
+	if res.Committed {
+		t.Fatal("conflicting txn committed through a standing intent")
+	}
+
+	// Abort must be visible on ALL shards: the staged shard (a) rolled
+	// back — no data, no intent, no stage — and shard b untouched by us.
+	waitShardClean(t, c, sa, "t-conflict", a)
+	for _, id := range c.Group(sb).Replicas() {
+		if v, ok := c.Group(sb).Store(id).Read(b); ok && len(v.Value) > 0 {
+			t.Fatalf("shard %d replica %s: %q = %q, want absent", sb, id, b, v.Value)
+		}
+	}
+
+	// Release the blocker: the same transaction now commits everywhere.
+	unblockKey(t, c, gcl, b, "blocker")
+	res, err = cl.Invoke(ctx, txn.Transaction{
+		ID:  "t-retry",
+		Ops: []txn.Op{txn.W(a, []byte("A")), txn.W(b, []byte("B"))},
+	})
+	if err != nil || !res.Committed {
+		t.Fatalf("retry after unblock: %v %+v", err, res)
+	}
+	waitConverged(t, c, 15*time.Second)
+	for _, kv := range []struct{ k, v string }{{a, "A"}, {b, "B"}} {
+		s := c.Router().Shard(kv.k)
+		for _, id := range c.Group(s).Replicas() {
+			v, ok := c.Group(s).Store(id).Read(kv.k)
+			if !ok || string(v.Value) != kv.v {
+				t.Fatalf("shard %d replica %s: %q = %q, want %q", s, id, kv.k, v.Value, kv.v)
+			}
+		}
+	}
+}
+
+// TestCrossShardParticipantCrashAborts: one participant shard becomes
+// unreachable between the other's prepare and the outcome — its whole
+// group goes silent, the crash model of the paper applied to a shard.
+// The coordinator must abort, and the shard that HAD prepared must come
+// out clean: no intents, no stage, no data. Nothing may be partially
+// applied anywhere.
+func TestCrossShardParticipantCrashAborts(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Shards:       4,
+		CrossTimeout: 750 * time.Millisecond,
+		Group:        core.Config{Protocol: core.Active, Replicas: 3, RequestTimeout: 500 * time.Millisecond},
+	})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+	keys := keysOnDistinctShards(t, c)
+	a, b := keys[0], keys[1]
+	sa, sb := c.Router().Shard(a), c.Router().Shard(b)
+
+	// Freeze shard b's entire group: every replica unreachable at once.
+	c.Mux().SetShardDrop(uint32(sb), true)
+
+	res, err := cl.Invoke(ctx, txn.Transaction{
+		ID:  "t-crash",
+		Ops: []txn.Op{txn.W(a, []byte("A")), txn.W(b, []byte("B"))},
+	})
+	if err == nil && res.Committed {
+		t.Fatal("transaction committed with an unreachable participant shard")
+	}
+
+	// Shard a prepared (its group was healthy) and must have rolled back
+	// on the abort: abort visible there, nothing applied anywhere.
+	waitShardClean(t, c, sa, "t-crash", a)
+	assertShardClean(t, c, sb, "t-crash", b)
+
+	// Heal the shard; the system must accept the same transaction.
+	c.Mux().SetShardDrop(uint32(sb), false)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		res, err = cl.Invoke(ctx, txn.Transaction{
+			ID:  fmt.Sprintf("t-heal-%d", time.Now().UnixNano()),
+			Ops: []txn.Op{txn.W(a, []byte("A2")), txn.W(b, []byte("B2"))},
+		})
+		if err == nil && res.Committed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no commit after heal: %v %+v", err, res)
+		}
+	}
+	waitConverged(t, c, 15*time.Second)
+	// The healthy shard's participant never lost a decided outcome.
+	if n := c.parts[sa].lostOutcomes.Load(); n != 0 {
+		t.Fatalf("shard %d lost %d outcomes", sa, n)
+	}
+}
+
+// TestCrossShardReadYourWrites: a cross-shard transaction's Read must
+// observe the transaction's own earlier Write on the same shard —
+// single-group semantics, where execution consults the transaction's
+// overlay before committed state.
+func TestCrossShardReadYourWrites(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 4, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 30*time.Second)
+	keys := keysOnDistinctShards(t, c)
+	a, b := keys[0], keys[1]
+	if res, err := cl.InvokeOp(ctx, txn.W(a, []byte("100"))); err != nil || !res.Committed {
+		t.Fatalf("seed write: %v %+v", err, res)
+	}
+
+	res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+		txn.W(a, []byte("90")),
+		txn.R(a), // must see 90, not the committed 100
+		txn.W(b, []byte("110")),
+		txn.R(b), // must see this transaction's own 110
+	}})
+	if err != nil || !res.Committed {
+		t.Fatalf("cross txn: %v %+v", err, res)
+	}
+	if got := string(res.Reads[a]); got != "90" {
+		t.Fatalf("read-your-writes on %q: got %q, want 90", a, got)
+	}
+	if got := string(res.Reads[b]); got != "110" {
+		t.Fatalf("read-your-writes on %q: got %q, want 110", b, got)
+	}
+}
+
+// TestAbortTombstoneBlocksLatePrepare pins the abort/prepare race fix:
+// when a coordinator's abort reaches a shard before the participant's
+// in-flight prepare does, the late prepare must refuse — otherwise it
+// would install intents no outcome will ever clear, wedging the keys
+// forever. The race is reproduced at the procedure level, which is
+// exactly how it interleaves in the group's serialization order.
+func TestAbortTombstoneBlocksLatePrepare(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	ctx := ctxT(t, 30*time.Second)
+	key := keysOnDistinctShards(t, c)[0]
+	s := c.Router().Shard(key)
+	gcl := c.Group(s).NewClient()
+
+	// Abort lands first (no stage yet) and must tombstone the decision.
+	args := codec.MustMarshal(&xCtl{TxnID: "t-race"})
+	res, err := gcl.Invoke(ctx, txn.Transaction{
+		ID:  "t-race/abort",
+		Ops: []txn.Op{txn.P(xAbortProc, args, stageKey("t-race"), decidedKey("t-race"))},
+	})
+	if err != nil || !res.Committed {
+		t.Fatalf("early abort: %v %+v", err, res)
+	}
+
+	// The late prepare must now refuse instead of staging.
+	sub := xSubTxn{TxnID: "t-race", Ops: []txn.Op{txn.W(key, []byte("late"))}}
+	res, err = gcl.Invoke(ctx, txn.Transaction{
+		ID:  "t-race/prep",
+		Ops: []txn.Op{txn.P(xPrepProc, codec.MustMarshal(&sub), sub.lockKeys()...)},
+	})
+	if err != nil {
+		t.Fatalf("late prepare: %v", err)
+	}
+	if res.Committed {
+		t.Fatal("late prepare staged after the abort was decided")
+	}
+	assertShardClean(t, c, s, "t-race", key)
+
+	// The key is not wedged: a fresh cross-shard transaction commits.
+	cl := c.NewClient()
+	keys := keysOnDistinctShards(t, c)
+	fresh, err := cl.Invoke(ctx, txn.Transaction{
+		ID:  "t-fresh",
+		Ops: []txn.Op{txn.W(keys[0], []byte("f0")), txn.W(keys[1], []byte("f1"))},
+	})
+	if err != nil || !fresh.Committed {
+		t.Fatalf("fresh txn after tombstone: %v %+v", err, fresh)
+	}
+}
+
+// TestCrossShardTransfersPreserveInvariant: concurrent cross-shard
+// transfers (debit on one shard, credit on another, as stored
+// procedures) against concurrent cross-shard readers. Every committed
+// read must observe the invariant sum — the serializability the
+// prepare-time intents are there to provide — and the final converged
+// state must conserve the total.
+func TestCrossShardTransfersPreserveInvariant(t *testing.T) {
+	const initial = 100
+	cfg := Config{Shards: 4, Group: core.Config{
+		Protocol: core.Certification, Replicas: 3,
+		Procedures: map[string]core.ProcFunc{
+			"debit": func(tx core.ProcTx, args []byte) error {
+				key := string(args)
+				n, _ := strconv.Atoi(string(tx.Read(key)))
+				if n < 10 {
+					return fmt.Errorf("insufficient funds in %s", key)
+				}
+				tx.Write(key, []byte(strconv.Itoa(n-10)))
+				return nil
+			},
+			"credit": func(tx core.ProcTx, args []byte) error {
+				key := string(args)
+				n, _ := strconv.Atoi(string(tx.Read(key)))
+				tx.Write(key, []byte(strconv.Itoa(n+10)))
+				return nil
+			},
+		},
+	}}
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+	keys := keysOnDistinctShards(t, c)
+	a, b := keys[0], keys[1]
+
+	setup := c.NewClient()
+	for _, k := range []string{a, b} {
+		if res, err := setup.InvokeOp(ctx, txn.W(k, []byte(strconv.Itoa(initial)))); err != nil || !res.Committed {
+			t.Fatalf("funding %q: %v %+v", k, err, res)
+		}
+	}
+	waitConverged(t, c, 15*time.Second)
+
+	const writers, transfers = 2, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		cl := c.NewClient()
+		from, to := a, b
+		if w%2 == 1 {
+			from, to = b, a
+		}
+		wg.Add(1)
+		go func(cl *Client, from, to string) {
+			defer wg.Done()
+			done := 0
+			for attempt := 0; done < transfers && attempt < transfers*30; attempt++ {
+				res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+					txn.P("debit", []byte(from), from),
+					txn.P("credit", []byte(to), to),
+				}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Committed {
+					done++
+				}
+			}
+			if done < transfers {
+				errs <- fmt.Errorf("only %d/%d transfers committed", done, transfers)
+			}
+		}(cl, from, to)
+	}
+	// A reader audits the invariant while transfers run.
+	reader := c.NewClient()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			res, err := reader.Invoke(ctx, txn.Transaction{Ops: []txn.Op{txn.R(a), txn.R(b)}})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !res.Committed {
+				continue // conflicted with a transfer: correct, retryable
+			}
+			na, _ := strconv.Atoi(string(res.Reads[a]))
+			nb, _ := strconv.Atoi(string(res.Reads[b]))
+			if na+nb != 2*initial {
+				errs <- fmt.Errorf("audit read %d + %d = %d, want %d", na, nb, na+nb, 2*initial)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	waitConverged(t, c, 15*time.Second)
+	va, _ := c.Group(c.Router().Shard(a)).Store(c.Group(c.Router().Shard(a)).Replicas()[0]).Read(a)
+	vb, _ := c.Group(c.Router().Shard(b)).Store(c.Group(c.Router().Shard(b)).Replicas()[0]).Read(b)
+	na, _ := strconv.Atoi(string(va.Value))
+	nb, _ := strconv.Atoi(string(vb.Value))
+	if na+nb != 2*initial {
+		t.Fatalf("final %d + %d = %d, want %d", na, nb, na+nb, 2*initial)
+	}
+	for _, p := range c.parts {
+		if n := p.lostOutcomes.Load(); n != 0 {
+			t.Fatalf("lost outcomes: %d", n)
+		}
+	}
+}

@@ -130,20 +130,27 @@ type Options struct {
 // Network is the hub connecting all endpoints. Create one with New, then
 // create one Endpoint per process. Network implements
 // transport.Transport.
+//
+// Delivery is parallel per destination: each endpoint owns a delivery
+// queue drained by its own goroutine, so a broadcast fanning out to R
+// replicas occupies R deliverers concurrently instead of serializing on
+// one global dispatcher (the PR 2 bottleneck for ABCAST-heavy
+// techniques). Ordering guarantees are unchanged — each destination
+// still delivers in (time, send-sequence) order, so per-sender FIFO
+// under a constant latency model holds exactly as before; there was
+// never an ordering promise *across* destinations.
 type Network struct {
 	opts Options
 	transport.Counters
 
-	mu         sync.Mutex
-	rng        *rand.Rand
-	endpoints  map[NodeID]*Endpoint
-	partition  map[NodeID]int // partition group per node; absent = group 0
-	closed     bool
-	nextMsgID  uint64
-	queue      deliveryQueue
-	nextSeq    uint64
-	wake       chan struct{}
-	dispatcher chan struct{} // closed when the dispatcher goroutine exits
+	mu        sync.Mutex
+	rng       *rand.Rand
+	endpoints map[NodeID]*Endpoint
+	partition map[NodeID]int // partition group per node; absent = group 0
+	closed    bool
+	nextMsgID uint64
+	nextSeq   uint64
+	wg        sync.WaitGroup // tracks per-endpoint deliverers
 }
 
 var _ transport.Transport = (*Network)(nil)
@@ -153,7 +160,6 @@ type scheduled struct {
 	at  time.Time
 	seq uint64 // tie-break: send order, so equal delays deliver FIFO
 	m   Message
-	dst *Endpoint
 }
 
 // deliveryQueue is a min-heap of scheduled deliveries ordered by
@@ -188,59 +194,58 @@ func New(opts Options) *Network {
 	if opts.InboxSize == 0 {
 		opts.InboxSize = 4096
 	}
-	n := &Network{
-		opts:       opts,
-		rng:        rand.New(rand.NewSource(opts.Seed)),
-		endpoints:  make(map[NodeID]*Endpoint),
-		partition:  make(map[NodeID]int),
-		wake:       make(chan struct{}, 1),
-		dispatcher: make(chan struct{}),
+	return &Network{
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		endpoints: make(map[NodeID]*Endpoint),
+		partition: make(map[NodeID]int),
 	}
-	go n.dispatch()
-	return n
 }
 
-// dispatch is the single delivery goroutine: it sleeps until the earliest
-// scheduled message is due and delivers messages in (time, send-order)
-// sequence, which makes constant-latency links FIFO.
-func (n *Network) dispatch() {
-	defer close(n.dispatcher)
+// deliver is one endpoint's delivery goroutine: it sleeps until the
+// earliest message scheduled for this destination is due and hands
+// messages to the inbox in (time, send-order) sequence, which keeps
+// constant-latency links FIFO per sender. Destinations run in parallel.
+func (n *Network) deliver(dst *Endpoint) {
+	defer n.wg.Done()
 	for {
-		n.mu.Lock()
-		if n.closed {
-			n.queue = nil
-			n.mu.Unlock()
+		dst.qmu.Lock()
+		if dst.qclosed {
+			dst.queue = nil
+			dst.qmu.Unlock()
 			return
 		}
-		if n.queue.Len() == 0 {
-			n.mu.Unlock()
-			<-n.wake
+		if dst.queue.Len() == 0 {
+			dst.qmu.Unlock()
+			<-dst.wake
 			continue
 		}
 		now := time.Now()
-		top := n.queue[0]
+		top := dst.queue[0]
 		if top.at.After(now) {
 			wait := top.at.Sub(now)
-			n.mu.Unlock()
+			dst.qmu.Unlock()
 			timer := time.NewTimer(wait)
 			select {
-			case <-n.wake:
+			case <-dst.wake:
 				timer.Stop()
 			case <-timer.C:
 			}
 			continue
 		}
-		item := heap.Pop(&n.queue).(scheduled)
+		item := heap.Pop(&dst.queue).(scheduled)
+		dst.qmu.Unlock()
 		// Re-check partition/crash at delivery time: a cut that happened
 		// while the message was in flight still severs it.
+		n.mu.Lock()
 		cut := n.partition[item.m.From] != n.partition[item.m.To]
 		n.mu.Unlock()
-		if cut || item.dst.crashed.Load() {
+		if cut || dst.crashed.Load() {
 			n.CountDropped()
 			continue
 		}
 		select {
-		case item.dst.inbox <- item.m:
+		case dst.inbox <- item.m:
 			n.CountDelivered()
 		default:
 			n.CountOverflowed()
@@ -248,14 +253,9 @@ func (n *Network) dispatch() {
 	}
 }
 
-func (n *Network) wakeDispatcher() {
-	select {
-	case n.wake <- struct{}{}:
-	default:
-	}
-}
-
-// Endpoint creates (or returns the existing) endpoint for id.
+// Endpoint creates (or returns the existing) endpoint for id and starts
+// its delivery goroutine (unless the network is already closed, in which
+// case the endpoint comes up inert: sends fail and nothing is delivered).
 func (n *Network) Endpoint(id NodeID) *Endpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -266,8 +266,15 @@ func (n *Network) Endpoint(id NodeID) *Endpoint {
 		id:    id,
 		net:   n,
 		inbox: make(chan Message, n.opts.InboxSize),
+		wake:  make(chan struct{}, 1),
 	}
 	n.endpoints[id] = ep
+	if n.closed {
+		ep.qclosed = true
+	} else {
+		n.wg.Add(1)
+		go n.deliver(ep)
+	}
 	return ep
 }
 
@@ -327,8 +334,8 @@ func (n *Network) Crashed(id NodeID) bool {
 }
 
 // Close shuts the network down, discarding undelivered messages, and
-// waits for the dispatcher to exit. After Close all sends fail with
-// ErrClosed.
+// waits for every per-endpoint deliverer to exit. After Close all sends
+// fail with ErrClosed.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -336,12 +343,22 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
 	n.mu.Unlock()
-	n.wakeDispatcher()
-	<-n.dispatcher
+	for _, ep := range eps {
+		ep.qmu.Lock()
+		ep.qclosed = true
+		ep.qmu.Unlock()
+		ep.wakeDeliverer()
+	}
+	n.wg.Wait()
 }
 
-// send validates, samples latency, and schedules delivery of m.
+// send validates, samples latency, and schedules delivery of m on the
+// destination's queue.
 func (n *Network) send(m Message) error {
 	n.mu.Lock()
 	if n.closed {
@@ -360,23 +377,24 @@ func (n *Network) send(m Message) error {
 	lost := n.opts.LossRate > 0 && n.rng.Float64() < n.opts.LossRate
 	cut := n.partition[m.From] != n.partition[m.To]
 	delay := n.opts.Latency.Sample(n.rng)
-	if lost || cut || dst.crashed.Load() {
-		n.mu.Unlock()
-		n.CountSend(m.Kind, len(m.Payload))
-		n.CountDropped()
-		return nil // silent loss: asynchronous networks do not report drops
-	}
 	n.nextSeq++
-	heap.Push(&n.queue, scheduled{
-		at:  time.Now().Add(delay),
-		seq: n.nextSeq,
-		m:   m,
-		dst: dst,
-	})
+	seq := n.nextSeq
 	n.mu.Unlock()
 
 	n.CountSend(m.Kind, len(m.Payload))
-	n.wakeDispatcher()
+	if lost || cut || dst.crashed.Load() {
+		n.CountDropped()
+		return nil // silent loss: asynchronous networks do not report drops
+	}
+	dst.qmu.Lock()
+	if dst.qclosed {
+		dst.qmu.Unlock()
+		n.CountDropped()
+		return nil
+	}
+	heap.Push(&dst.queue, scheduled{at: time.Now().Add(delay), seq: seq, m: m})
+	dst.qmu.Unlock()
+	dst.wakeDeliverer()
 	return nil
 }
 
@@ -386,6 +404,19 @@ type Endpoint struct {
 	net     *Network
 	inbox   chan Message
 	crashed atomic.Bool
+
+	// Delivery queue, drained by this endpoint's deliverer goroutine.
+	qmu     sync.Mutex
+	queue   deliveryQueue
+	qclosed bool
+	wake    chan struct{}
+}
+
+func (e *Endpoint) wakeDeliverer() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)

@@ -1,0 +1,151 @@
+package study
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/metrics"
+	"replication/internal/shard"
+	"replication/internal/workload"
+)
+
+// Study8 — PS8: throughput vs shard count. The paper's model covers one
+// replica group; this study measures what composing groups buys:
+// single-key requests route to independent groups that serialize
+// nothing against each other, so throughput should scale with the shard
+// count until the host runs out of cores, while cross-shard
+// transactions pay the 2PC premium on top of two groups' agreement
+// rounds. The skewed column (YCSB Zipfian, theta 0.99) shows the hot
+// partition capping that scaling: most traffic lands on the shard that
+// owns the hottest keys.
+func Study8(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString(header("PS8", "throughput vs shard count",
+		"uniform single-key scales with shards; skew caps it at the hot shard; cross-shard pays 2PC"))
+
+	counts := []int{1, 2, 4}
+	if scale == Full {
+		counts = append(counts, 8)
+	}
+	fmt.Fprintf(&b, "(cross column: 2-op uniform transactions, of which ~%.0f%% span shards at 4 shards)\n\n",
+		crossFraction(4, 2)*100)
+	fmt.Fprintf(&b, "%-14s %6s %12s %12s %12s %10s\n",
+		"technique", "shards", "uniform op/s", "zipf op/s", "cross mean", "aborts")
+	for _, p := range []core.Protocol{core.Active, core.EagerPrimary, core.Certification} {
+		for _, n := range counts {
+			uni, err := runShardedCell(p, n, scale, 0, false)
+			if err != nil {
+				return "", err
+			}
+			skew, err := runShardedCell(p, n, scale, 0.99, false)
+			if err != nil {
+				return "", err
+			}
+			cross, err := runShardedCell(p, n, scale, 0, true)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&b, "%-14s %6d %12.0f %12.0f %12v %10d\n",
+				p, n, uni.Throughput, skew.Throughput,
+				cross.CrossMean.Round(time.Microsecond), cross.CrossAborts)
+		}
+	}
+	return b.String(), nil
+}
+
+// ShardedCell is one (technique, shard count, workload) measurement.
+type ShardedCell struct {
+	Throughput  float64
+	Mean        time.Duration
+	CrossMean   time.Duration
+	CrossAborts uint64
+}
+
+func runShardedCell(p core.Protocol, shards int, scale Scale, zipf float64, cross bool) (ShardedCell, error) {
+	c, err := shard.New(shard.Config{
+		Shards: shards,
+		Group: core.Config{
+			Protocol:       p,
+			Replicas:       3,
+			LazyDelay:      time.Millisecond,
+			RequestTimeout: 20 * time.Second,
+		},
+	})
+	if err != nil {
+		return ShardedCell{}, err
+	}
+	defer c.Close()
+
+	const clients = 4
+	ops := scale.ops()
+	opsPerTxn := 1
+	if cross {
+		opsPerTxn = 2 // two uniform keys usually straddle shards
+	}
+
+	var (
+		hist metrics.Histogram
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	start := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		cl := c.NewClient()
+		gen := workload.New(workload.Config{
+			Keys: 256, WriteFraction: 1, OpsPerTxn: opsPerTxn,
+			Zipf: zipf, Seed: int64(ci + 1),
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops/clients; i++ {
+				t0 := time.Now()
+				res, err := cl.Invoke(ctx, gen.NextTxn(""))
+				if err == nil && res.Committed {
+					mu.Lock()
+					done++
+					hist.Observe(time.Since(t0))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	cell := ShardedCell{
+		Mean:        hist.Mean(),
+		CrossMean:   c.Metrics().Cross().Mean(),
+		CrossAborts: c.Metrics().CrossAborts(),
+	}
+	if done > 0 {
+		cell.Throughput = float64(done) / elapsed.Seconds()
+	}
+	return cell, nil
+}
+
+// RunSharded exposes one sharded measurement cell for external drivers
+// (benchmark recording, ad-hoc sweeps).
+func RunSharded(p core.Protocol, shards int, scale Scale, zipf float64, cross bool) (ShardedCell, error) {
+	return runShardedCell(p, shards, scale, zipf, cross)
+}
+
+// crossFraction estimates how often a uniform k-op transaction spans
+// more than one of n shards (sanity reference for PS8's cross column).
+func crossFraction(n, k int) float64 {
+	if n <= 1 || k <= 1 {
+		return 0
+	}
+	same := 1.0
+	for i := 1; i < k; i++ {
+		same *= 1 / float64(n)
+	}
+	return 1 - same
+}

@@ -313,7 +313,7 @@ func Study7(scale Scale) (string, error) {
 // Studies runs the numbered studies (1–7); id 0 runs all.
 func Studies(id int, scale Scale) (string, error) {
 	type studyFn func(Scale) (string, error)
-	all := []studyFn{Study1, Study2, Study3, Study4, Study5, Study6, Study7}
+	all := []studyFn{Study1, Study2, Study3, Study4, Study5, Study6, Study7, Study8}
 	if id != 0 {
 		if id < 1 || id > len(all) {
 			return "", fmt.Errorf("study: no study %d", id)

@@ -96,18 +96,44 @@ type Server struct {
 }
 
 // NewServer registers participant handlers on node under the given name
-// scope (must match the coordinator's).
+// scope (must match the coordinator's). Handlers run on the node's
+// dispatch loop, so the Participant must not block on network round
+// trips; participants that do (e.g. a replicated resource manager that
+// closes its prepare with its own agreement round) use NewAsyncServer.
 func NewServer(node *transport.Node, name string, p Participant) *Server {
-	s := &Server{
+	s := newServer(node, name, p)
+	node.Handle(s.kind+".prepare", s.onPrepare)
+	node.Handle(s.kind+".outcome", s.onOutcome)
+	return s
+}
+
+// NewAsyncServer is NewServer with each 2PC message dispatched on its
+// own tracked goroutine (transport.Node.Go), so Participant methods may
+// block on nested network rounds — the shape of a *replicated*
+// participant, where prepare/commit/abort are themselves replicated
+// transactions of an inner protocol (the sharding layer's cross-shard
+// coordination is the canonical caller). Votes and outcomes for one
+// transaction stay causally ordered through the coordinator, so the
+// per-message concurrency is safe; concurrent transactions no longer
+// serialize on the participant's dispatch loop.
+func NewAsyncServer(node *transport.Node, name string, p Participant) *Server {
+	s := newServer(node, name, p)
+	async := func(h func(transport.Message)) func(transport.Message) {
+		return func(m transport.Message) { node.Go(func() { h(m) }) }
+	}
+	node.Handle(s.kind+".prepare", async(s.onPrepare))
+	node.Handle(s.kind+".outcome", async(s.onOutcome))
+	return s
+}
+
+func newServer(node *transport.Node, name string, p Participant) *Server {
+	return &Server{
 		node:     node,
 		kind:     name + ".2pc",
 		p:        p,
 		prepared: make(map[string]bool),
 		done:     make(map[string]Outcome),
 	}
-	node.Handle(s.kind+".prepare", s.onPrepare)
-	node.Handle(s.kind+".outcome", s.onOutcome)
-	return s
 }
 
 func (s *Server) onPrepare(msg transport.Message) {

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws ranks 0..n-1 with the Zipfian distribution of the YCSB
+// benchmark (Gray et al., "Quickly Generating Billion-Record Synthetic
+// Databases", SIGMOD '94): rank i is drawn with probability proportional
+// to 1/(i+1)^theta. Rank 0 is the hottest item.
+//
+// It exists alongside math/rand.Zipf because the two cover disjoint
+// parameter ranges: rand.Zipf requires s > 1, while the skews databases
+// are actually benchmarked under — YCSB's default is theta = 0.99 —
+// live in (0,1). Sharded benchmarks use Zipfian to model hot partitions:
+// under theta near 1 a handful of ranks dominate the stream, and since
+// each key hashes to exactly one shard, the shard owning rank 0 becomes
+// the hot partition.
+//
+// Not safe for concurrent use; give each client its own instance.
+type Zipfian struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	half  float64 // probability mass of rank 0, precomputed
+	rng   *rand.Rand
+}
+
+// NewZipfian creates a generator over ranks [0, n) with skew theta in
+// (0,1). It panics on parameters outside that range — callers choose the
+// generator by range (see Generator), so an invalid theta is a
+// programming error, not an input condition.
+func NewZipfian(rng *rand.Rand, n uint64, theta float64) *Zipfian {
+	if n == 0 || theta <= 0 || theta >= 1 {
+		panic("workload: NewZipfian needs n > 0 and theta in (0,1)")
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rng}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	z.half = 1 / z.zetan
+	return z
+}
+
+// zeta computes the generalized harmonic number sum_{i=1..n} 1/i^theta.
+// Linear in n; computed once at construction (key spaces here are small
+// — benchmarks use thousands of keys, not billions).
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws a rank: 0 is the most popular, 1 the second, and so on.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	rank := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	return rank
+}
+
+// P0 returns the probability of drawing rank 0 — the hottest item's
+// share of the stream. Sharded benchmarks use it to predict the hot
+// partition's load.
+func (z *Zipfian) P0() float64 { return z.half }

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestZipfianRankOrdering: lower ranks must be drawn more often —
+// monotonically across the head of the distribution.
+func TestZipfianRankOrdering(t *testing.T) {
+	z := NewZipfian(rand.New(rand.NewSource(1)), 100, 0.99)
+	counts := make([]int, 100)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	for r := 0; r < 4; r++ {
+		if counts[r] <= counts[r+1] {
+			t.Fatalf("rank %d (%d draws) not hotter than rank %d (%d draws)",
+				r, counts[r], r+1, counts[r+1])
+		}
+	}
+	// The empirical share of rank 0 must sit near the analytic P0.
+	got := float64(counts[0]) / draws
+	want := z.P0()
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("rank-0 share = %.3f, analytic P0 = %.3f", got, want)
+	}
+}
+
+// TestZipfianSkewMonotone: higher theta concentrates more mass on the
+// hottest rank.
+func TestZipfianSkewMonotone(t *testing.T) {
+	share := func(theta float64) float64 {
+		z := NewZipfian(rand.New(rand.NewSource(7)), 64, theta)
+		hits := 0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				hits++
+			}
+		}
+		return float64(hits) / draws
+	}
+	s50, s99 := share(0.5), share(0.99)
+	if s99 <= s50 {
+		t.Fatalf("theta 0.99 share %.3f not above theta 0.5 share %.3f", s99, s50)
+	}
+}
+
+// TestZipfianBounds: every draw stays in [0, n).
+func TestZipfianBounds(t *testing.T) {
+	z := NewZipfian(rand.New(rand.NewSource(3)), 10, 0.8)
+	for i := 0; i < 10000; i++ {
+		if r := z.Next(); r >= 10 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+}
+
+// TestZipfianDeterministic: same seed, same stream.
+func TestZipfianDeterministic(t *testing.T) {
+	a := NewZipfian(rand.New(rand.NewSource(5)), 50, 0.9)
+	b := NewZipfian(rand.New(rand.NewSource(5)), 50, 0.9)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("streams diverge at %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestZipfianRejectsBadParams: out-of-range parameters are programming
+// errors.
+func TestZipfianRejectsBadParams(t *testing.T) {
+	for _, tc := range []struct {
+		n     uint64
+		theta float64
+	}{{0, 0.5}, {10, 0}, {10, 1}, {10, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipfian(n=%d, theta=%v) did not panic", tc.n, tc.theta)
+				}
+			}()
+			NewZipfian(rand.New(rand.NewSource(1)), tc.n, tc.theta)
+		}()
+	}
+}
+
+// TestGeneratorUsesZipfianRange: Config.Zipf in (0,1) selects the YCSB
+// generator and skews toward low key indexes.
+func TestGeneratorUsesZipfianRange(t *testing.T) {
+	g := New(Config{Keys: 64, Zipf: 0.99, Seed: 2})
+	counts := make(map[string]int)
+	for i := 0; i < 20000; i++ {
+		counts[g.Key()]++
+	}
+	if counts["k0"] <= counts["k32"] {
+		t.Fatalf("k0 (%d) not hotter than k32 (%d) under theta=0.99",
+			counts["k0"], counts["k32"])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if share := float64(counts["k0"]) / float64(total); share < 0.10 {
+		t.Fatalf("k0 share %.3f too flat for theta=0.99", share)
+	}
+}

@@ -41,6 +41,27 @@
 //		Transport: replication.TransportTCP,
 //	})
 //
+// # Sharding
+//
+// One group replicates; many groups scale. NewSharded partitions the
+// key space across Config.Shards independent replication groups — each
+// running the configured technique over a shared transport endpoint set
+// — behind a consistent-hash router. Single-key requests go straight to
+// the owning group; transactions spanning shards commit atomically
+// through Two Phase Commit with each shard's replicated protocol as a
+// participant:
+//
+//	cluster, err := replication.NewSharded(replication.Config{
+//		Protocol: replication.Active,
+//		Replicas: 3,
+//		Shards:   4,
+//	})
+//	client := cluster.NewClient()
+//	res, err := client.Invoke(ctx, replication.Transaction{Ops: []replication.Op{
+//		replication.Write("alice", a), // these two keys may live on
+//		replication.Write("bob", b),   // different shards: still atomic
+//	}})
+//
 // # Techniques
 //
 // Distributed systems (§3): Active (state machine), Passive
@@ -59,6 +80,7 @@ package replication
 
 import (
 	"replication/internal/core"
+	"replication/internal/shard"
 	"replication/internal/simnet"
 	"replication/internal/trace"
 	"replication/internal/transport"
@@ -98,6 +120,19 @@ type (
 	Recorder = trace.Recorder
 	// Phase is one of the five functional-model phases.
 	Phase = trace.Phase
+
+	// ShardedCluster is a running sharded replication system: one group
+	// per partition over a shared transport (see NewSharded).
+	ShardedCluster = shard.Cluster
+	// ShardedClient routes requests to owning shards and coordinates
+	// cross-shard transactions.
+	ShardedClient = shard.Client
+	// Partitioner maps keys to partitions (pluggable; consistent hashing
+	// by default).
+	Partitioner = shard.Partitioner
+	// HashRing is the default Partitioner: consistent hashing with
+	// virtual nodes.
+	HashRing = shard.HashRing
 
 	// NodeID identifies a process on the network.
 	NodeID = transport.NodeID
@@ -152,6 +187,20 @@ const (
 
 // New builds and starts a cluster running the configured technique.
 func New(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// NewSharded builds and starts a sharded cluster: cfg.Shards independent
+// replication groups (each shaped by cfg exactly as New would build one)
+// behind a consistent-hash partition router, with cross-shard
+// transactions coordinated through Two Phase Commit. A zero shard count
+// defaults to 2. Use NewShardedWith to supply a custom Partitioner.
+func NewSharded(cfg Config) (*ShardedCluster, error) {
+	return shard.New(shard.Config{Shards: cfg.Shards, Group: cfg})
+}
+
+// NewShardedWith is NewSharded with an explicit key partitioner.
+func NewShardedWith(cfg Config, p Partitioner) (*ShardedCluster, error) {
+	return shard.New(shard.Config{Shards: cfg.Shards, Group: cfg, Partitioner: p})
+}
 
 // Protocols lists all techniques in the paper's presentation order.
 func Protocols() []Protocol { return core.Protocols() }

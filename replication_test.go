@@ -35,6 +35,73 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 }
 
+func TestPublicAPISharded(t *testing.T) {
+	cluster, err := replication.NewSharded(replication.Config{
+		Protocol: replication.Active,
+		Replicas: 3,
+		Shards:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if cluster.Shards() != 4 {
+		t.Fatalf("Shards() = %d", cluster.Shards())
+	}
+
+	client := cluster.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Single-key requests route to the owning group.
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := client.InvokeOp(ctx, replication.Write(key, []byte(key+"-v"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("k%d", i)
+		res, err := client.InvokeOp(ctx, replication.Read(key))
+		if err != nil || string(res.Reads[key]) != key+"-v" {
+			t.Fatalf("read %q: %v %q", key, err, res.Reads[key])
+		}
+	}
+
+	// A transaction over keys on different shards commits atomically.
+	var a, b string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("acct%d", i)
+		if a == "" {
+			a = k
+			continue
+		}
+		if client.Shard(k) != client.Shard(a) {
+			b = k
+			break
+		}
+	}
+	res, err := client.Invoke(ctx, replication.Transaction{Ops: []replication.Op{
+		replication.Write(a, []byte("A")),
+		replication.Write(b, []byte("B")),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatalf("cross-shard transaction aborted: %s", res.Err)
+	}
+	ra, err := client.InvokeOp(ctx, replication.Read(a))
+	if err != nil || string(ra.Reads[a]) != "A" {
+		t.Fatalf("read %q: %v %q", a, err, ra.Reads[a])
+	}
+
+	// Sharding must be opt-in through the sharded constructor.
+	if _, err := replication.New(replication.Config{Shards: 4}); err == nil {
+		t.Fatal("New accepted Shards > 1")
+	}
+}
+
 func TestPublicAPITransactions(t *testing.T) {
 	cluster, err := replication.New(replication.Config{
 		Protocol: replication.Certification,
