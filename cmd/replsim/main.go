@@ -10,12 +10,17 @@
 //	replsim -protocol lazy-ue -lazy-delay 10ms -trace
 //	replsim -protocol active -transport tcp
 //	replsim -protocol active -shards 4 -txn-ops 3
+//	replsim -protocol active -shards 3 -rebalance
 //	replsim -list
 //
 // With -shards > 1 the cluster runs one replication group per
 // partition over a shared transport; multi-operation transactions
 // whose keys span partitions commit through cross-shard 2PC, and the
 // report breaks latency out per shard and for the cross-shard path.
+// With -rebalance the cluster grows by one shard halfway through the
+// run — a live move under load — and the report adds the move's
+// statistics (keys moved, copy time, freeze window) plus the latency
+// observed while the move was in progress, tail impact included.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"replication/internal/core"
@@ -55,6 +61,7 @@ func main() {
 		latency   = flag.Duration("latency", 100*time.Microsecond, "one-way network latency (sim transport)")
 		tport     = flag.String("transport", "sim", "message substrate: sim (simulated) or tcp (real loopback sockets)")
 		crash     = flag.Bool("crash", false, "crash the distinguished replica mid-run")
+		rebal     = flag.Bool("rebalance", false, "grow the cluster by one shard mid-run (needs -shards > 1)")
 		showTrace = flag.Bool("trace", false, "print the phase trace of the first request")
 		list      = flag.Bool("list", false, "list techniques and exit")
 	)
@@ -74,7 +81,7 @@ func main() {
 	}
 
 	if err := run(*protocol, *replicas, *shards, *clients, *ops, *writes, *keys, *opsPerTxn,
-		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *crash, *showTrace); err != nil {
+		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *crash, *rebal, *showTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "replsim:", err)
 		os.Exit(1)
 	}
@@ -88,7 +95,17 @@ type invoker interface {
 
 func run(protocol string, replicas, shards, clients, ops int, writes float64, keys, opsPerTxn int,
 	zipf float64, lazyDelay time.Duration, lazyOrder string, latency time.Duration,
-	tport string, crash, showTrace bool) error {
+	tport string, crash, rebal, showTrace bool) error {
+
+	if rebal && shards <= 1 {
+		return fmt.Errorf("-rebalance needs -shards > 1")
+	}
+	if clients < 1 {
+		return fmt.Errorf("-clients must be at least 1")
+	}
+	if ops/clients == 0 {
+		return fmt.Errorf("-ops %d with -clients %d leaves every client idle", ops, clients)
+	}
 
 	rec := &trace.Recorder{}
 	gcfg := core.Config{
@@ -124,9 +141,6 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 			fmt.Printf("-- crashing %s (its replica of every shard) --\n", sc.Replicas()[0])
 			sc.Crash(sc.Replicas()[0])
 		}
-		for s := 0; s < sc.Shards(); s++ {
-			groups = append(groups, sc.Group(s))
-		}
 		network = func() transport.Stats { return sc.Network().Stats() }
 	} else {
 		c, err := core.NewCluster(gcfg)
@@ -147,11 +161,42 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		protocol, replicas, shards, clients, ops, writes*100, tport, latency)
 
 	var (
-		hist              metrics.Histogram
-		mu                sync.Mutex
-		committed, failed int
-		wg                sync.WaitGroup
+		hist       metrics.Histogram
+		histMove   metrics.Histogram // latency while a live move is in progress
+		moveActive atomic.Bool
+		doneOps    atomic.Int64
+		mu         sync.Mutex
+		committed  int
+		failed     int
+		wg         sync.WaitGroup
 	)
+
+	// A live rebalance fires once half the requests have completed, so
+	// the move runs under the remaining load.
+	var (
+		moveRep *shard.MoveReport
+		moveErr error
+		moveWG  sync.WaitGroup
+	)
+	if rebal {
+		// Trigger on the ops that will actually run (ops/clients
+		// truncates), or the wait below would never end.
+		half := int64((ops / clients) * clients / 2)
+		moveWG.Add(1)
+		go func() {
+			defer moveWG.Done()
+			for doneOps.Load() < half {
+				time.Sleep(time.Millisecond)
+			}
+			fmt.Printf("-- rebalancing %d -> %d shards under load --\n", sharded.Shards(), sharded.Shards()+1)
+			moveActive.Store(true)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			moveRep, moveErr = sharded.AddShard(ctx)
+			moveActive.Store(false)
+		}()
+	}
+
 	start := time.Now()
 	perClient := ops / clients
 	for ci := 0; ci < clients; ci++ {
@@ -171,10 +216,15 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 				}
 				t0 := time.Now()
 				res, err := cl.Invoke(ctx, gen.NextTxn(""))
+				during := moveActive.Load()
+				doneOps.Add(1)
 				mu.Lock()
 				if err == nil && res.Committed {
 					committed++
 					hist.Observe(time.Since(t0))
+					if during {
+						histMove.Observe(time.Since(t0))
+					}
 				} else {
 					failed++
 				}
@@ -183,7 +233,15 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		}(ci)
 	}
 	wg.Wait()
+	moveWG.Wait()
 	elapsed := time.Since(start)
+
+	if sharded != nil {
+		// Collect groups only now: a rebalance may have grown the set.
+		for s := 0; s < sharded.Shards(); s++ {
+			groups = append(groups, sharded.Group(s))
+		}
+	}
 
 	// Let lazy propagation settle, then report convergence among the
 	// LIVE replicas of every group (a crashed replica's store is frozen
@@ -225,6 +283,16 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 	if sharded != nil {
 		fmt.Printf("\nper-shard latency (single-shard fast path vs cross-shard 2PC):\n%s\n",
 			sharded.Metrics().Summary())
+	}
+	if rebal {
+		if moveErr != nil {
+			return fmt.Errorf("rebalance failed: %w", moveErr)
+		} else if moveRep != nil {
+			fmt.Printf("\nrebalance: %s\n", moveRep)
+			fmt.Printf("latency during move: %s\n", histMove.Summary())
+			fmt.Printf("stale-epoch frames redirected: %d, client epoch retries: %d\n",
+				sharded.Mux().StaleRejected(), sharded.Metrics().EpochRetries())
+		}
 	}
 
 	if showTrace {

@@ -471,6 +471,7 @@ type Cluster struct {
 // NewCluster builds and starts a cluster.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg.fill()
+	cfg.Procedures = withBuiltinProcs(cfg.Procedures)
 	if cfg.Shards > 1 {
 		return nil, fmt.Errorf("core: Shards=%d needs the sharding layer — use replication.NewSharded (package shard)", cfg.Shards)
 	}
@@ -555,6 +556,9 @@ func buildProtocol(p Protocol, c *Cluster, replicas map[transport.NodeID]*replic
 		return protocolHooks{}, fmt.Errorf("core: unknown protocol %q", p)
 	}
 }
+
+// Protocol returns the technique this cluster runs.
+func (c *Cluster) Protocol() Protocol { return c.cfg.Protocol }
 
 // Replicas returns the replica IDs in order.
 func (c *Cluster) Replicas() []transport.NodeID {

@@ -76,3 +76,29 @@ func FuzzDecodeUpdate(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeSnapChunk guards the snapshot page decoder — rebalancing
+// streams these between groups, so they face the wire.
+func FuzzDecodeSnapChunk(f *testing.F) {
+	f.Add([]byte{})
+	c := SnapChunk{
+		Items: []SnapItem{{Key: "a", Value: []byte("1")}, {Key: "b", Value: nil}},
+		Next:  "b", Done: true,
+	}
+	f.Add(c.AppendTo(nil))
+	f.Add((&SnapChunk{}).AppendTo(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m SnapChunk
+		if err := m.DecodeFrom(data); err != nil {
+			return
+		}
+		reencoded := m.AppendTo(nil)
+		var again SnapChunk
+		if err := again.DecodeFrom(reencoded); err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("decode∘encode not a fixpoint:\n first=%+v\nsecond=%+v", m, again)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"fmt"
+
+	"replication/internal/codec"
+)
+
+// Assignment is one version of the cluster's partition map: how many
+// shards exist, stamped with the epoch that made it current. Keys map
+// to shards through the Partitioner evaluated at Assignment.Shards, so
+// an Assignment plus the (immutable, deterministic) partitioner is the
+// complete routing state of the cluster at that epoch — there is no
+// per-key directory to ship. Epochs only grow; every routed message
+// carries the sender's epoch so the receiving side can detect a
+// routing decision made against a superseded assignment.
+type Assignment struct {
+	// Epoch versions the assignment. Epoch 1 is the birth assignment;
+	// every completed rebalance step advances it by one.
+	Epoch uint64
+	// Shards is the partition (and group) count under this assignment.
+	Shards int
+}
+
+// Plan is the diff between two assignments: the unit of one rebalance
+// step, identifying the partitions whose keys move from an old owning
+// group to a new one when the epoch advances FromEpoch→ToEpoch. With a
+// consistent-hash partitioner a grow step moves ~1/n of the key space
+// (scattered sources, one destination) and a shrink step scatters the
+// removed shard's keys over the survivors; either way the moving set
+// of a key is a pure function of the plan, so every replica, client
+// and coordinator derives the same answer with no directory service.
+//
+// A Plan is also the wire argument of the cutover procedures (freeze/
+// release/abort) and the freeze marker persisted in the source group's
+// replicated store, so it is a codec.Wire message.
+type Plan struct {
+	// MoveID names the move for tombstoning — an aborted move is
+	// decided exactly like an aborted cross-shard transaction.
+	MoveID string
+	// FromEpoch/ToEpoch are the assignment versions the plan bridges.
+	FromEpoch uint64
+	ToEpoch   uint64
+	// FromShards/ToShards are the partition counts on each side.
+	FromShards uint32
+	ToShards   uint32
+}
+
+// PlanChange builds the plan for one rebalance step from the current
+// assignment to toShards partitions.
+func PlanChange(from Assignment, toShards int) Plan {
+	return Plan{
+		MoveID:     fmt.Sprintf("mv-e%d-e%d", from.Epoch, from.Epoch+1),
+		FromEpoch:  from.Epoch,
+		ToEpoch:    from.Epoch + 1,
+		FromShards: uint32(from.Shards),
+		ToShards:   uint32(toShards),
+	}
+}
+
+// MoveOf reports whether key changes owner under the plan, and between
+// which groups. Deterministic for a deterministic partitioner — the
+// same verdict inside a replicated procedure on every replica as on
+// the rebalance coordinator.
+func (p *Plan) MoveOf(key string, part Partitioner) (from, to int, moving bool) {
+	from = part.Partition(key, int(p.FromShards))
+	to = part.Partition(key, int(p.ToShards))
+	return from, to, from != to
+}
+
+// Sources returns the groups that may own moving keys under the plan:
+// on a grow every pre-existing shard may donate to the new ones, on a
+// shrink exactly the removed shards donate.
+func (p *Plan) Sources() []uint32 {
+	if p.ToShards >= p.FromShards { // grow: all old shards are donors
+		out := make([]uint32, p.FromShards)
+		for i := range out {
+			out[i] = uint32(i)
+		}
+		return out
+	}
+	out := make([]uint32, 0, p.FromShards-p.ToShards) // shrink: removed shards donate
+	for s := p.ToShards; s < p.FromShards; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// AppendTo implements codec.Wire.
+func (p *Plan) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, p.MoveID)
+	buf = codec.AppendUvarint(buf, p.FromEpoch)
+	buf = codec.AppendUvarint(buf, p.ToEpoch)
+	buf = codec.AppendUvarint(buf, uint64(p.FromShards))
+	return codec.AppendUvarint(buf, uint64(p.ToShards))
+}
+
+// DecodeFrom implements codec.Wire.
+func (p *Plan) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	p.MoveID = r.String()
+	p.FromEpoch = r.Uvarint()
+	p.ToEpoch = r.Uvarint()
+	p.FromShards = uint32(r.Uvarint())
+	p.ToShards = uint32(r.Uvarint())
+	return r.Done()
+}
+
+func init() {
+	codec.Register("shard.moveplan",
+		func() codec.Wire { return new(Plan) },
+		func() codec.Wire {
+			return &Plan{MoveID: "mv-e1-e2", FromEpoch: 1, ToEpoch: 2, FromShards: 3, ToShards: 4}
+		})
+}

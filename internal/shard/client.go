@@ -2,8 +2,10 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,28 +16,78 @@ import (
 	"replication/internal/txn"
 )
 
+// ErrWrongEpoch reports that a request was routed on a superseded
+// assignment. Clients handle it internally — the serving side's
+// redirect refreshes the cached ring and the request re-routes — so
+// callers only ever see it wrapped in the rare case where the context
+// expires before the re-routed attempt completes.
+var ErrWrongEpoch = errors.New("shard: request routed on a stale assignment epoch")
+
 // Client is the shard-aware client: it owns one group client per shard
 // for routed single-shard requests, and a node + 2PC coordinator on the
 // shared transport for multi-shard transactions.
+//
+// The client routes against a CACHED Assignment, exactly as a client
+// library in a real deployment caches the partition map instead of
+// asking a directory per request. Its data traffic is tagged with the
+// cached epoch; when a rebalance flips the cluster's assignment, the
+// serving side rejects the stale frames and redirects (ErrWrongEpoch at
+// the message layer), the mux hands the redirect to this client, and
+// the client refreshes its assignment, cancels the invocations that
+// were in flight against the old routing, and re-routes them — stale
+// clients converge without manual intervention.
 type Client struct {
-	c      *Cluster
-	groups []*core.Client
-	node   *transport.Node
-	coord  *tpc.Coordinator
-	n      uint64
-	seq    atomic.Uint64
+	c     *Cluster
+	node  *transport.Node
+	coord *tpc.Coordinator
+	n     uint64
+	seq   atomic.Uint64
+
+	mu      sync.Mutex
+	a       Assignment
+	refresh chan struct{} // closed (and replaced) whenever a changes
+	groups  map[int]*boundClient
 }
 
-// NewClient attaches a client to the cluster.
+// boundClient is one cached per-shard connection, remembering which
+// group it attached to so a shard index reused after shrink+regrow is
+// detected and the connection rebuilt. Its frames are tagged with
+// routeEpoch — the epoch of the assignment the CURRENT invocation was
+// routed under, pinned before each invoke (mu serializes them) — so a
+// request routed on a superseded assignment always carries the
+// superseded epoch and is always rejected, even if a redirect
+// refreshed the client's cache while the request sat in the admission
+// gate. Tagging the live cache instead would let a stale route slip
+// through with a fresh tag.
+type boundClient struct {
+	gcl        *core.Client
+	gc         *core.Cluster
+	mu         sync.Mutex // one invocation at a time, so routeEpoch is single-valued
+	routeEpoch atomic.Uint64
+}
+
+// invoke pins the routing epoch and runs one core invocation.
+func (b *boundClient) invoke(ctx context.Context, epoch uint64, t txn.Transaction) (txn.Result, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.routeEpoch.Store(epoch)
+	return b.gcl.Invoke(ctx, t)
+}
+
+// NewClient attaches a client to the cluster. The client starts with
+// the cluster's current assignment cached.
 func (c *Cluster) NewClient() *Client {
 	c.mu.Lock()
 	c.nextCl++
 	n := c.nextCl
 	c.mu.Unlock()
 
-	cl := &Client{c: c, n: n}
-	for _, g := range c.groups {
-		cl.groups = append(cl.groups, g.NewClient())
+	cl := &Client{
+		c:       c,
+		n:       n,
+		a:       c.router.Assignment(),
+		refresh: make(chan struct{}),
+		groups:  make(map[int]*boundClient),
 	}
 	cl.node = transport.NewNode(c.inner, transport.NodeID(fmt.Sprintf("xc%d", n)))
 	cl.coord = tpc.NewCoordinator(cl.node, xScope)
@@ -49,8 +101,91 @@ func (c *Cluster) NewClient() *Client {
 
 func (cl *Client) close() { cl.node.Stop() }
 
-// Shard returns the partition that owns key (routing introspection).
-func (cl *Client) Shard(key string) int { return cl.c.router.Shard(key) }
+// Assignment returns the client's cached assignment (epoch + shard
+// count) — what its requests are being routed against right now.
+func (cl *Client) Assignment() Assignment {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.a
+}
+
+// routeState returns the cached assignment together with the channel
+// that closes when it changes (so an in-flight invocation can abandon
+// a superseded route immediately).
+func (cl *Client) routeState() (Assignment, <-chan struct{}) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.a, cl.refresh
+}
+
+// applyAssignment installs a newer assignment and wakes every
+// invocation routed on the old one. Older/equal epochs are ignored, so
+// a burst of redirects refreshes once.
+func (cl *Client) applyAssignment(a Assignment) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if a.Epoch <= cl.a.Epoch || a.Shards < 1 {
+		return
+	}
+	cl.a = a
+	close(cl.refresh)
+	cl.refresh = make(chan struct{})
+}
+
+// onRedirect handles a wrong-epoch redirect from the serving side. The
+// redirect is treated as a SIGNAL to refresh, not as the assignment
+// itself: its payload crossed the wire, and installing an unvalidated
+// epoch/shard-count (corrupt frame, or a forged one on a real network)
+// could wedge the client on a bogus future epoch that every genuine
+// redirect then fails to supersede. The refresh re-reads the
+// authoritative assignment instead.
+func (cl *Client) onRedirect() {
+	// Not counted here: the retry loops count each re-ROUTE once; a
+	// redirect burst (one per rejected frame) would inflate the metric.
+	cl.refreshFromCluster()
+}
+
+// refreshFromCluster re-reads the authoritative assignment — the
+// client's fallback directory lookup after a failure that smells like
+// stale routing.
+func (cl *Client) refreshFromCluster() {
+	cl.applyAssignment(cl.c.router.Assignment())
+}
+
+// stale reports whether a has been superseded in the client's cache.
+func (cl *Client) stale(a Assignment) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.a.Epoch != a.Epoch
+}
+
+// groupClient returns (creating on first use) the client's connection
+// to shard s's group, bound to the client's cached epoch so its frames
+// carry it and redirects find their way back.
+func (cl *Client) groupClient(s int) (*boundClient, error) {
+	gc := cl.c.Group(s)
+	if gc == nil {
+		return nil, fmt.Errorf("shard: no group for shard %d", s)
+	}
+	// Created under the lock so a racing caller cannot mint (and leak) a
+	// second node+binding for the same shard; neither NewClient nor
+	// BindEpoch calls back into this client.
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if b, ok := cl.groups[s]; ok && b.gc == gc {
+		return b, nil
+	}
+	b := &boundClient{gcl: gc.NewClient(), gc: gc}
+	cl.c.mux.BindEpoch(uint32(s), b.gcl.ID(), b.routeEpoch.Load, cl.onRedirect)
+	cl.groups[s] = b
+	return b, nil
+}
+
+// Shard returns the partition that owns key under the client's cached
+// assignment (routing introspection).
+func (cl *Client) Shard(key string) int {
+	return cl.c.router.ShardAt(cl.Assignment(), key)
+}
 
 // InvokeOp submits a single-operation transaction — always single-shard,
 // always the routed fast path.
@@ -61,36 +196,111 @@ func (cl *Client) InvokeOp(ctx context.Context, op txn.Op) (txn.Result, error) {
 // Invoke submits a transaction. Operations owned by one shard go
 // straight to that group, exactly as on an unsharded cluster; a
 // transaction spanning shards runs as 2PC across the owning groups and
-// commits atomically on all of them or none.
+// commits atomically on all of them or none. If the assignment changes
+// underneath (a live rebalance), the request transparently re-routes
+// under the new assignment; if a move of the touched keys is in
+// progress, an update pauses for the bounded freeze window instead of
+// failing.
 func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, error) {
-	parts, err := cl.c.router.Split(t)
+	for {
+		res, retry, err := cl.tryInvoke(ctx, t)
+		if !retry {
+			return res, err
+		}
+		cl.c.metrics.epochRetries.Add(1)
+		if ctx.Err() != nil {
+			return txn.Result{}, fmt.Errorf("%w: %w", ErrWrongEpoch, ctx.Err())
+		}
+	}
+}
+
+// tryInvoke makes one routing attempt against the cached assignment.
+// retry=true means the assignment was superseded mid-flight and the
+// caller should re-route.
+func (cl *Client) tryInvoke(ctx context.Context, t txn.Transaction) (txn.Result, bool, error) {
+	a, refreshCh := cl.routeState()
+	parts, err := cl.c.router.SplitAt(a, t)
 	if err != nil {
-		return txn.Result{}, err
+		return txn.Result{}, false, err
 	}
 	if len(parts) == 0 {
 		parts = map[int][]txn.Op{0: nil} // empty txn: any group answers it
 	}
+
+	// Admission: pauses updates whose keys are mid-move (the freeze
+	// window) and counts the request in flight for the cutover drain.
+	release, err := cl.c.gate.admit(ctx, t, len(parts) > 1)
+	if err != nil {
+		return txn.Result{}, false, err
+	}
+	defer release()
+	// A freeze may have held us across the cutover; don't waste the
+	// attempt on a route we already know is superseded.
+	if cl.stale(a) {
+		return txn.Result{}, true, nil
+	}
+
 	if len(parts) == 1 {
 		for s := range parts {
-			start := time.Now()
-			res, err := cl.groups[s].Invoke(ctx, t)
-			if err == nil {
-				cl.c.metrics.SingleShard(s).Observe(time.Since(start))
-			}
-			return res, err
+			return cl.invokeSingle(ctx, a, refreshCh, s, t)
 		}
 	}
-	return cl.invokeCross(ctx, t, parts)
+	return cl.invokeCross(ctx, a, refreshCh, t, parts)
+}
+
+// invokeSingle drives the routed fast path on one group, abandoning the
+// attempt the moment the cached assignment is superseded.
+func (cl *Client) invokeSingle(ctx context.Context, a Assignment, refreshCh <-chan struct{}, s int, t txn.Transaction) (txn.Result, bool, error) {
+	b, err := cl.groupClient(s)
+	if err != nil {
+		// The shard no longer exists (shrunk away): refresh and re-route.
+		cl.refreshFromCluster()
+		return txn.Result{}, cl.stale(a), err
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := watchRefresh(refreshCh, cancel)
+	start := time.Now()
+	res, err := b.invoke(rctx, a.Epoch, t)
+	stop()
+	if err == nil {
+		cl.c.metrics.SingleShard(s).Observe(time.Since(start))
+		return res, false, nil
+	}
+	if ctx.Err() != nil {
+		return txn.Result{}, false, err
+	}
+	if cl.stale(a) {
+		return txn.Result{}, true, nil // superseded route: re-route and retry
+	}
+	return txn.Result{}, false, err
+}
+
+// watchRefresh cancels an in-flight invocation when the assignment it
+// was routed on is superseded; the returned stop func releases the
+// watcher.
+func watchRefresh(refreshCh <-chan struct{}, cancel context.CancelFunc) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-refreshCh:
+			cancel()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
 }
 
 // invokeCross drives one cross-shard transaction: build the plan, run
 // 2PC over the involved shards' participants, then collect reads from
-// the prepared sub-transactions.
-func (cl *Client) invokeCross(ctx context.Context, t txn.Transaction, parts map[int][]txn.Op) (txn.Result, error) {
+// the prepared sub-transactions. The plan carries the routing epoch;
+// participants serving a different assignment vote NO, and the client
+// re-routes after refreshing.
+func (cl *Client) invokeCross(ctx context.Context, a Assignment, refreshCh <-chan struct{}, t txn.Transaction, parts map[int][]txn.Op) (txn.Result, bool, error) {
 	for _, ops := range parts {
 		for _, op := range ops {
 			if op.Kind == txn.Nondet {
-				return txn.Result{}, fmt.Errorf("shard: nondeterministic operations cannot span shards")
+				return txn.Result{}, false, fmt.Errorf("shard: nondeterministic operations cannot span shards")
 			}
 		}
 	}
@@ -105,7 +315,7 @@ func (cl *Client) invokeCross(ctx context.Context, t txn.Transaction, parts map[
 	}
 	sort.Ints(shards)
 
-	plan := xPlan{TxnID: txnID}
+	plan := xPlan{TxnID: txnID, Epoch: a.Epoch}
 	participants := make([]transport.NodeID, 0, len(shards))
 	needReads := make(map[int]bool)
 	for _, s := range shards {
@@ -125,18 +335,39 @@ func (cl *Client) invokeCross(ctx context.Context, t txn.Transaction, parts map[
 
 	start := time.Now()
 	runCtx, cancel := context.WithTimeout(ctx, cl.c.cfg.CrossTimeout)
+	stop := watchRefresh(refreshCh, cancel)
 	outcome, err := cl.coord.Run(runCtx, txnID, codec.MustMarshal(&plan), participants)
+	stop()
 	cancel()
 	if outcome != tpc.Commit {
+		// Revalidate the routing before reporting the abort: if the
+		// assignment moved underneath, the abort is (or may be) a stale-
+		// epoch refusal, and the transaction deserves a fresh route with
+		// a fresh ID rather than a client-visible failure.
+		if cl.stale(a) {
+			return txn.Result{}, true, nil
+		}
+		if cur := cl.c.router.Assignment(); cur.Epoch != a.Epoch {
+			cl.applyAssignment(cur)
+			return txn.Result{}, true, nil
+		}
+		// Likewise when a live move's freeze was active: the abort may be
+		// the cutover's doing (a prepare refused on the range intent, or a
+		// certification conflict with the marker write), not another
+		// transaction's. Retry; the gate pauses moving-key updates until
+		// the cutover completes, and the freeze window bounds the loop.
+		if cl.c.gate.active() {
+			return txn.Result{}, true, nil
+		}
 		cl.c.metrics.crossAborts.Add(1)
 		if err != nil && ctx.Err() != nil {
-			return txn.Result{}, fmt.Errorf("shard: %s: %w", txnID, ctx.Err())
+			return txn.Result{}, false, fmt.Errorf("shard: %s: %w", txnID, ctx.Err())
 		}
 		reason := "cross-shard conflict"
 		if err != nil {
 			reason = err.Error()
 		}
-		return txn.Result{Committed: false, Err: reason}, nil
+		return txn.Result{Committed: false, Err: reason}, false, nil
 	}
 
 	// The transaction is committed on every shard from here on: count it
@@ -154,13 +385,13 @@ func (cl *Client) invokeCross(ctx context.Context, t txn.Transaction, parts map[
 		if err != nil {
 			// Surface the missing read report honestly alongside the
 			// committed result.
-			return res, fmt.Errorf("shard: %s committed but reads from shard %d unavailable: %w", txnID, s, err)
+			return res, false, fmt.Errorf("shard: %s committed but reads from shard %d unavailable: %w", txnID, s, err)
 		}
 		for k, v := range reads {
 			res.Reads[k] = v
 		}
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // fetchReads pulls the prepare-time reads of one shard's
@@ -181,4 +412,77 @@ func (cl *Client) fetchReads(ctx context.Context, s int, txnID string) (map[stri
 		return nil, fmt.Errorf("shard: participant %d lost result of %s", s, txnID)
 	}
 	return out.Result.Reads, nil
+}
+
+// MultiGet reads many keys with one fan-out round: each involved shard
+// serves its keys directly as a read-only transaction, in parallel,
+// with no 2PC and no intents. The result is per-shard consistent —
+// each shard's subset is a consistent read of that group — but offers
+// no isolation ACROSS shards: a concurrent cross-shard transaction may
+// be visible on one shard and not yet on another. Read-heavy workloads
+// that can accept that (caches, analytics, fan-out rendering) skip the
+// whole coordination path; readers needing cross-shard isolation use
+// Invoke with Read operations instead.
+func (cl *Client) MultiGet(ctx context.Context, keys ...string) (map[string][]byte, error) {
+	for {
+		out, retry, err := cl.tryMultiGet(ctx, keys)
+		if !retry {
+			return out, err
+		}
+		cl.c.metrics.epochRetries.Add(1)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %w", ErrWrongEpoch, ctx.Err())
+		}
+	}
+}
+
+func (cl *Client) tryMultiGet(ctx context.Context, keys []string) (map[string][]byte, bool, error) {
+	a, refreshCh := cl.routeState()
+	byShard := make(map[int][]txn.Op)
+	for _, k := range keys {
+		s := cl.c.router.ShardAt(a, k)
+		byShard[s] = append(byShard[s], txn.R(k))
+	}
+
+	var (
+		mu    sync.Mutex
+		out   = make(map[string][]byte, len(keys))
+		first error
+		wg    sync.WaitGroup
+	)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := watchRefresh(refreshCh, cancel)
+	defer stop()
+	for s, ops := range byShard {
+		b, err := cl.groupClient(s)
+		if err != nil {
+			cl.refreshFromCluster()
+			return nil, cl.stale(a), err
+		}
+		wg.Add(1)
+		go func(s int, b *boundClient, ops []txn.Op) {
+			defer wg.Done()
+			res, err := b.invoke(rctx, a.Epoch, txn.Transaction{Ops: ops})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("shard: multiget on shard %d: %w", s, err)
+				}
+				return
+			}
+			for k, v := range res.Reads {
+				out[k] = v
+			}
+		}(s, b, ops)
+	}
+	wg.Wait()
+	if first != nil {
+		if ctx.Err() == nil && cl.stale(a) {
+			return nil, true, nil // superseded route: re-route and retry
+		}
+		return nil, false, first
+	}
+	return out, false, nil
 }

@@ -70,3 +70,41 @@ func FuzzStageRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeMovePlan guards the rebalance plan decoder: it is both a
+// cutover-procedure argument and the persisted freeze marker, so it is
+// parsed back out of replicated storage.
+func FuzzDecodeMovePlan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(codec.MustMarshal(&Plan{MoveID: "mv-e1-n1", FromEpoch: 1, ToEpoch: 2, FromShards: 3, ToShards: 4}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Plan
+		if err := codec.Unmarshal(data, &p); err != nil {
+			return
+		}
+		re := codec.MustMarshal(&p)
+		var p2 Plan
+		codec.MustUnmarshal(re, &p2)
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("non-canonical decode: %+v vs %+v", p, p2)
+		}
+	})
+}
+
+// FuzzDecodeEpochInfo guards the wrong-epoch redirect payload.
+func FuzzDecodeEpochInfo(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(codec.MustMarshal(&epochInfo{Epoch: 7, Shards: 4}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e epochInfo
+		if err := codec.Unmarshal(data, &e); err != nil {
+			return
+		}
+		re := codec.MustMarshal(&e)
+		var e2 epochInfo
+		codec.MustUnmarshal(re, &e2)
+		if !reflect.DeepEqual(e, e2) {
+			t.Fatalf("non-canonical decode: %+v vs %+v", e, e2)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"replication/internal/metrics"
@@ -11,27 +12,53 @@ import (
 // Metrics aggregates the sharded cluster's client-observed load: one
 // latency histogram per shard for single-shard requests (the routed fast
 // path) and one for cross-shard transactions (the 2PC path), plus
-// commit/abort counters for the latter. All clients of a cluster share
-// one Metrics; everything is safe for concurrent use.
+// commit/abort counters for the latter and rebalance counters. All
+// clients of a cluster share one Metrics; everything is safe for
+// concurrent use, and the per-shard set grows when the cluster does.
 type Metrics struct {
+	mu     sync.Mutex
 	single []*metrics.Histogram
 	cross  metrics.Histogram
 
 	crossCommits atomic.Uint64
 	crossAborts  atomic.Uint64
+	epochRetries atomic.Uint64
+	movedKeys    atomic.Uint64
 }
 
 func newMetrics(shards int) *Metrics {
-	m := &Metrics{single: make([]*metrics.Histogram, shards)}
-	for i := range m.single {
-		m.single[i] = &metrics.Histogram{}
-	}
+	m := &Metrics{}
+	m.ensure(shards)
 	return m
 }
 
+// ensure grows the per-shard histogram set to at least n entries.
+func (m *Metrics) ensure(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.single) < n {
+		m.single = append(m.single, &metrics.Histogram{})
+	}
+}
+
 // SingleShard returns the latency histogram of shard i's single-shard
-// requests.
-func (m *Metrics) SingleShard(i int) *metrics.Histogram { return m.single[i] }
+// requests (growing the set if a new shard reports first).
+func (m *Metrics) SingleShard(i int) *metrics.Histogram {
+	m.mu.Lock()
+	for len(m.single) <= i {
+		m.single = append(m.single, &metrics.Histogram{})
+	}
+	h := m.single[i]
+	m.mu.Unlock()
+	return h
+}
+
+// shardCount returns the number of per-shard histograms.
+func (m *Metrics) shardCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.single)
+}
 
 // Cross returns the cross-shard transaction latency histogram.
 func (m *Metrics) Cross() *metrics.Histogram { return &m.cross }
@@ -43,14 +70,26 @@ func (m *Metrics) CrossCommits() uint64 { return m.crossCommits.Load() }
 // (conflict vote-no, unreachable participant, timeout).
 func (m *Metrics) CrossAborts() uint64 { return m.crossAborts.Load() }
 
+// EpochRetries returns how many requests were re-routed after an
+// assignment change invalidated the client's cached routing (wrong-
+// epoch redirects and post-abort revalidation both land here).
+func (m *Metrics) EpochRetries() uint64 { return m.epochRetries.Load() }
+
+// MovedKeys returns the total keys streamed between groups by
+// completed rebalance steps.
+func (m *Metrics) MovedKeys() uint64 { return m.movedKeys.Load() }
+
 // Summary formats one line per shard plus the cross-shard line —
 // replsim prints this under -shards.
 func (m *Metrics) Summary() string {
 	var b strings.Builder
-	for i, h := range m.single {
-		fmt.Fprintf(&b, "shard %d:  %s\n", i, h.Summary())
+	for i := 0; i < m.shardCount(); i++ {
+		fmt.Fprintf(&b, "shard %d:  %s\n", i, m.SingleShard(i).Summary())
 	}
 	fmt.Fprintf(&b, "cross-shard: %s (commits %d, aborts %d)",
 		m.cross.Summary(), m.CrossCommits(), m.CrossAborts())
+	if n := m.EpochRetries(); n > 0 {
+		fmt.Fprintf(&b, "\nepoch retries: %d, moved keys: %d", n, m.MovedKeys())
+	}
 	return b.String()
 }

@@ -28,6 +28,15 @@ type Mux struct {
 
 	nextID atomic.Uint64 // virtual message IDs for plain sends
 
+	// info is the current assignment as the serving side knows it. Every
+	// port checks inbound routed frames (Envelope.Epoch != 0) against it:
+	// a mismatch means the sender chose the destination on a superseded
+	// assignment, so the frame is rejected and answered with a
+	// kindWrongEpoch redirect naming the current assignment. Unset (nil)
+	// disables enforcement — a bare Mux outside a Cluster stays neutral.
+	info  atomic.Pointer[epochInfo]
+	stale atomic.Uint64 // rejected stale-epoch frames
+
 	mu     sync.Mutex
 	ports  map[transport.NodeID]*port
 	views  map[uint32]*shardNet
@@ -48,6 +57,50 @@ func NewMux(inner transport.Transport) *Mux {
 
 // Inner returns the wrapped transport.
 func (mx *Mux) Inner() transport.Transport { return mx.inner }
+
+// SetEpoch publishes the current assignment to the serving side. The
+// cluster calls it at birth and at every cutover, after the new
+// assignment is authoritative.
+func (mx *Mux) SetEpoch(epoch uint64, shards int) {
+	mx.info.Store(&epochInfo{Epoch: epoch, Shards: uint32(shards)})
+}
+
+// Epoch returns the published epoch (zero before SetEpoch).
+func (mx *Mux) Epoch() uint64 {
+	if info := mx.info.Load(); info != nil {
+		return info.Epoch
+	}
+	return 0
+}
+
+// StaleRejected returns how many routed frames were rejected for
+// carrying a superseded epoch — each one a request a client routed on
+// a stale assignment and re-issued after its redirect.
+func (mx *Mux) StaleRejected() uint64 { return mx.stale.Load() }
+
+// epochBinding makes one endpoint's traffic epoch-routed: outbound
+// frames are tagged with the owner's cached epoch, and inbound
+// kindWrongEpoch redirects invoke notify instead of being delivered.
+// Clients bind their per-shard data endpoints; replica endpoints stay
+// unbound (their traffic is not routed by assignment, so it is tagged
+// zero and exempt).
+type epochBinding struct {
+	epoch  func() uint64
+	notify func()
+}
+
+// BindEpoch installs an epoch binding for id's endpoint on shard's
+// view (creating the endpoint if it does not exist yet).
+func (mx *Mux) BindEpoch(shard uint32, id transport.NodeID, epoch func() uint64, notify func()) {
+	v, _ := mx.Shard(shard).(*shardNet)
+	if v == nil {
+		return
+	}
+	ep, _ := v.Attach(id).(*vEndpoint)
+	if ep != nil {
+		ep.binding.Store(&epochBinding{epoch: epoch, notify: notify})
+	}
+}
 
 // Shard returns the transport view for one shard. Groups attach their
 // replicas and clients to it exactly as they would to simnet or tcpnet.
@@ -165,6 +218,31 @@ func (p *port) demux(m transport.Message) {
 		// frames die here, exactly like a malformed datagram.
 		return
 	}
+	if env.Kind == kindWrongEpoch {
+		// A redirect for a local routed endpoint: signal its owner to
+		// refresh instead of delivering into protocol inboxes. The
+		// epochInfo payload is advisory (the refresh re-reads the
+		// authoritative assignment rather than trusting wire bytes).
+		if ep := p.mux.routeTo(env.Shard, m.To); ep != nil {
+			if b := ep.binding.Load(); b != nil && b.notify != nil {
+				b.notify()
+			}
+		}
+		return
+	}
+	if env.Epoch != 0 {
+		// Routed traffic: reject what was routed on a stale assignment and
+		// redirect the sender to the current one. The request itself dies
+		// here — serving it could apply a write at a group that no longer
+		// owns the key.
+		if cur := p.mux.info.Load(); cur != nil && env.Epoch != cur.Epoch {
+			p.mux.stale.Add(1)
+			redir := &Envelope{Shard: env.Shard, Kind: kindWrongEpoch,
+				Payload: codec.MustMarshal(&epochInfo{Epoch: cur.Epoch, Shards: cur.Shards})}
+			_ = p.ep.SendMsg(transport.Message{To: m.From, Kind: kindEnvelope, Payload: codec.MustMarshal(redir)})
+			return
+		}
+	}
 	dst := p.mux.routeTo(env.Shard, m.To)
 	if dst == nil || p.mux.dropped(env.Shard) {
 		if v, ok := p.mux.viewOf(env.Shard); ok {
@@ -257,10 +335,11 @@ func (v *shardNet) Close() {}
 
 // vEndpoint is one process's attachment to one shard's view.
 type vEndpoint struct {
-	view  *shardNet
-	port  *port
-	id    transport.NodeID
-	inbox chan transport.Message
+	view    *shardNet
+	port    *port
+	id      transport.NodeID
+	inbox   chan transport.Message
+	binding atomic.Pointer[epochBinding] // nil: unrouted traffic (epoch 0)
 }
 
 var _ transport.Endpoint = (*vEndpoint)(nil)
@@ -294,6 +373,9 @@ func (e *vEndpoint) SendMsg(m transport.Message) error {
 		ID:      m.ID,
 		CorrID:  m.CorrID,
 		Payload: m.Payload,
+	}
+	if b := e.binding.Load(); b != nil {
+		env.Epoch = b.epoch() // routed traffic carries the sender's epoch
 	}
 	return e.port.ep.SendMsg(transport.Message{
 		To:      m.To,

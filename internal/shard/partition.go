@@ -99,15 +99,22 @@ func hash64(s string) uint64 {
 	return x
 }
 
-// Router resolves key and transaction placement for a fixed partition
-// count.
+// Router resolves key and transaction placement under the cluster's
+// current Assignment. The partition count is no longer fixed at birth:
+// a rebalance advances the assignment (atomically, epoch++) and every
+// placement made against the superseded epoch becomes detectable —
+// clients cache an Assignment and route against it, the message layer
+// tags their traffic with its epoch, and the serving side rejects what
+// was routed on a stale view (see Mux).
 type Router struct {
-	n int
 	p Partitioner
+
+	mu sync.RWMutex
+	a  Assignment
 }
 
-// NewRouter creates a router over n partitions. A nil partitioner means
-// the default HashRing.
+// NewRouter creates a router over n partitions at epoch 1. A nil
+// partitioner means the default HashRing.
 func NewRouter(n int, p Partitioner) *Router {
 	if n < 1 {
 		n = 1
@@ -115,41 +122,83 @@ func NewRouter(n int, p Partitioner) *Router {
 	if p == nil {
 		p = NewHashRing(0)
 	}
-	return &Router{n: n, p: p}
+	return &Router{p: p, a: Assignment{Epoch: 1, Shards: n}}
 }
 
-// Shards returns the partition count.
-func (r *Router) Shards() int { return r.n }
+// Assignment returns the current assignment (epoch + partition count).
+func (r *Router) Assignment() Assignment {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.a
+}
 
-// Shard returns the partition owning key.
-func (r *Router) Shard(key string) int { return r.p.Partition(key, r.n) }
+// Epoch returns the current assignment's epoch.
+func (r *Router) Epoch() uint64 { return r.Assignment().Epoch }
 
-// shardOfOp places one operation. Stored procedures are placed by their
-// declared access set, which must be single-shard — a procedure is one
-// server-side transaction body and cannot straddle groups.
-func (r *Router) shardOfOp(op txn.Op) (int, error) {
+// Shards returns the current partition count.
+func (r *Router) Shards() int { return r.Assignment().Shards }
+
+// Partitioner returns the key partitioner (shared by every epoch).
+func (r *Router) Partitioner() Partitioner { return r.p }
+
+// Advance installs a new assignment. The epoch must strictly grow —
+// assignments never move backwards, which is what lets every layer
+// treat "older epoch" as "stale routing".
+func (r *Router) Advance(a Assignment) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if a.Epoch <= r.a.Epoch {
+		return fmt.Errorf("shard: epoch %d does not advance %d", a.Epoch, r.a.Epoch)
+	}
+	if a.Shards < 1 {
+		return fmt.Errorf("shard: invalid shard count %d", a.Shards)
+	}
+	r.a = a
+	return nil
+}
+
+// Shard returns the partition owning key under the current assignment.
+func (r *Router) Shard(key string) int { return r.ShardAt(r.Assignment(), key) }
+
+// ShardAt returns the partition owning key under an explicit
+// assignment — the form clients use with their cached assignment.
+func (r *Router) ShardAt(a Assignment, key string) int {
+	return r.p.Partition(key, a.Shards)
+}
+
+// shardOfOpAt places one operation under an assignment. Stored
+// procedures are placed by their declared access set, which must be
+// single-shard — a procedure is one server-side transaction body and
+// cannot straddle groups.
+func (r *Router) shardOfOpAt(a Assignment, op txn.Op) (int, error) {
 	if op.Kind != txn.Proc {
-		return r.Shard(op.Key), nil
+		return r.ShardAt(a, op.Key), nil
 	}
 	if len(op.Keys) == 0 {
 		return 0, fmt.Errorf("shard: procedure %q declares no keys to place it", op.Key)
 	}
-	s := r.Shard(op.Keys[0])
+	s := r.ShardAt(a, op.Keys[0])
 	for _, k := range op.Keys[1:] {
-		if r.Shard(k) != s {
+		if r.ShardAt(a, k) != s {
 			return 0, fmt.Errorf("shard: procedure %q access set spans shards (%q and %q)", op.Key, op.Keys[0], k)
 		}
 	}
 	return s, nil
 }
 
-// Split partitions a transaction's operations by owning shard,
-// preserving per-shard operation order. The returned map has one entry
-// per involved shard.
+// Split partitions a transaction's operations by owning shard under
+// the current assignment.
 func (r *Router) Split(t txn.Transaction) (map[int][]txn.Op, error) {
+	return r.SplitAt(r.Assignment(), t)
+}
+
+// SplitAt partitions a transaction's operations by owning shard under
+// an explicit assignment, preserving per-shard operation order. The
+// returned map has one entry per involved shard.
+func (r *Router) SplitAt(a Assignment, t txn.Transaction) (map[int][]txn.Op, error) {
 	parts := make(map[int][]txn.Op)
 	for _, op := range t.Ops {
-		s, err := r.shardOfOp(op)
+		s, err := r.shardOfOpAt(a, op)
 		if err != nil {
 			return nil, err
 		}

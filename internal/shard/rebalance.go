@@ -1,0 +1,763 @@
+package shard
+
+// Live shard rebalancing: grow or shrink the cluster while it serves
+// traffic. One rebalance step moves the key space diff between two
+// assignments (Plan) from its old owning groups to its new ones as a
+// move-commit protocol built from the same stage/intent machinery as
+// cross-shard transactions:
+//
+//  1. WARM COPY — stream every moving key from source to destination
+//     through the core snapshot procedures (snapshotRange on the old
+//     group, installRange on the new), in chunked wire-framed batches,
+//     with client traffic untouched. This bounds the freeze window by
+//     the write rate, not the partition size.
+//  2. FREEZE — install the move marker (an exclusive RANGE intent) on
+//     each source group via a replicated procedure that first verifies
+//     no standing per-key intent covers a moving key: in-flight
+//     cross-shard transactions drain before the range locks, new
+//     prepares on moving keys refuse against the marker, and the
+//     admission gate pauses shard-client updates of moving keys.
+//  3. DRAIN — wait out requests admitted before the freeze, so no
+//     pre-freeze write is still executing when the delta ships.
+//  4. DELTA — wait for the source group's replicas to converge on the
+//     (now immutable) moving range, verify no intent survived, and
+//     ship only the keys that changed since the warm copy.
+//  5. FLIP — advance the Router's assignment (epoch++) and publish it
+//     to the Mux: from here the new routing is authoritative and
+//     stale-epoch traffic is redirected.
+//  6. RELEASE — clear the range intent; paused updates resume, routed
+//     to the new owner by their refreshed assignment.
+//
+// Aborting a move (any failure before the flip) tombstones its MoveID
+// exactly like an aborted cross-shard transaction — a late freeze for
+// the dead move refuses against the tombstone — clears the markers,
+// and tears down a group added for a grow. Keys already copied to the
+// destination are harmless: the epoch never flipped, so nothing routes
+// to them, and a retried move overwrites them.
+//
+// Source groups keep their (now unrouted) copies of moved keys after a
+// grow, like any log-structured store keeps dead versions until
+// compaction; no read can reach them, because reads route by the new
+// assignment. A shrink tears the donated group down entirely.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/core"
+	"replication/internal/storage"
+	"replication/internal/txn"
+)
+
+// The cutover procedures, registered in every group next to the
+// cross-shard ones (withShardProcs).
+const (
+	rebalFreezeProc  = "_rebal.freeze"
+	rebalReleaseProc = "_rebal.release"
+	rebalAbortProc   = "_rebal.abort"
+
+	// rebalBusy marks a deterministic freeze refusal the orchestrator
+	// retries (standing intents still draining, or a foreign move).
+	rebalBusy = "move busy"
+)
+
+// Transfer tuning.
+const (
+	// rebalChunkSize is the snapshot page size of the streaming copy.
+	rebalChunkSize = 128
+	// freezeAttempts bounds freeze retries while intents drain.
+	freezeAttempts = 100
+	// freezeRetryDelay spaces those retries.
+	freezeRetryDelay = 20 * time.Millisecond
+	// convergePoll spaces the delta phase's convergence checks.
+	convergePoll = 2 * time.Millisecond
+	// abortTimeout bounds the best-effort cleanup of a failed move.
+	abortTimeout = 5 * time.Second
+)
+
+// rebalFreeze builds the freeze procedure: the exclusive range intent
+// of the move-commit protocol. It refuses deterministically while any
+// standing per-key intent covers a moving key (the orchestrator
+// retries as outcomes drain), refuses a tombstoned (aborted) move, and
+// otherwise persists the plan under the move marker — from then on
+// cross-shard prepares touching moving keys vote NO (see xPrepare) and
+// the admission gate pauses shard-client updates of the range.
+func rebalFreeze(part Partitioner) core.ProcFunc {
+	return func(tx core.ProcTx, args []byte) error {
+		var plan Plan
+		if err := codec.Unmarshal(args, &plan); err != nil {
+			return fmt.Errorf("shard: bad freeze args: %w", err)
+		}
+		if len(tx.Read(decidedKey(plan.MoveID))) > 0 {
+			return fmt.Errorf("shard: move %s already aborted", plan.MoveID)
+		}
+		if cur := tx.Read(moveMarkerKey); len(cur) > 0 {
+			var curPlan Plan
+			switch {
+			case codec.Unmarshal(cur, &curPlan) != nil:
+				// An undecodable marker can never be released by its own
+				// move; clear it rather than wedging rebalancing forever.
+				tx.Write(moveMarkerKey, nil)
+			case curPlan.MoveID == plan.MoveID:
+				return nil // re-freeze of the same move: idempotent
+			case curPlan.ToEpoch <= plan.FromEpoch:
+				// The marker belongs to a move whose target epoch is
+				// already history — a committed move whose release never
+				// landed. Self-heal: clear it and take the range, instead
+				// of refusing every future move against a ghost.
+				tx.Write(moveMarkerKey, nil)
+			default:
+				return fmt.Errorf("shard: %s: foreign move %s holds the range", rebalBusy, curPlan.MoveID)
+			}
+		}
+		scanner, ok := tx.(core.StoreScanner)
+		if !ok {
+			return fmt.Errorf("shard: freeze needs store scan support")
+		}
+		// No standing intent may cover a moving key: a prepared cross-
+		// shard transaction still owns part of the range, and its outcome
+		// must land before the range can lock. The check and the marker
+		// install are one replicated transaction, so they serialize
+		// against prepares and outcomes through the group's own protocol.
+		if key, holder, held := movingIntentHeld(scanner.ScanStore, &plan, part); held {
+			return fmt.Errorf("shard: %s: intent on %q held by %s", rebalBusy, key, holder)
+		}
+		tx.Write(moveMarkerKey, args)
+		return nil
+	}
+}
+
+// movingIntentHeld pages scan over the intent-prefix range and reports
+// the first non-empty per-key intent covering a key that moves under
+// the plan. Bounded pages; shared by the freeze procedure (replicated,
+// via StoreScanner) and the delta phase's convergence check (direct
+// store reads).
+func movingIntentHeld(scan func(after string, limit int) []storage.Item, plan *Plan, part Partitioner) (key, holder string, held bool) {
+	after := xIntentPrefix[:len(xIntentPrefix)-1]
+	for {
+		items := scan(after, rebalChunkSize)
+		if len(items) == 0 {
+			return "", "", false
+		}
+		for _, it := range items {
+			if !strings.HasPrefix(it.Key, xIntentPrefix) {
+				if it.Key > xIntentPrefix {
+					return "", "", false // past the intent range
+				}
+				continue
+			}
+			if len(it.Ver.Value) == 0 {
+				continue // cleared intent
+			}
+			dataKey := strings.TrimPrefix(it.Key, xIntentPrefix)
+			if _, _, moving := plan.MoveOf(dataKey, part); moving {
+				return dataKey, string(it.Ver.Value), true
+			}
+		}
+		if len(items) < rebalChunkSize {
+			return "", "", false
+		}
+		after = items[len(items)-1].Key
+	}
+}
+
+// rebalRelease clears the move marker if it belongs to the plan's
+// move. Idempotent; a foreign marker is left alone.
+func rebalRelease(tx core.ProcTx, args []byte) error {
+	var plan Plan
+	if err := codec.Unmarshal(args, &plan); err != nil {
+		return fmt.Errorf("shard: bad release args: %w", err)
+	}
+	cur := tx.Read(moveMarkerKey)
+	if len(cur) == 0 {
+		return nil
+	}
+	var curPlan Plan
+	if codec.Unmarshal(cur, &curPlan) == nil && curPlan.MoveID == plan.MoveID {
+		tx.Write(moveMarkerKey, nil)
+	}
+	return nil
+}
+
+// rebalAbort tombstones the move — exactly like an aborted cross-shard
+// transaction, so a late freeze cannot re-install the dead move's
+// range intent — and clears its marker if present.
+func rebalAbort(tx core.ProcTx, args []byte) error {
+	var plan Plan
+	if err := codec.Unmarshal(args, &plan); err != nil {
+		return fmt.Errorf("shard: bad abort args: %w", err)
+	}
+	tx.Write(decidedKey(plan.MoveID), []byte("abort"))
+	cur := tx.Read(moveMarkerKey)
+	if len(cur) > 0 {
+		var curPlan Plan
+		if codec.Unmarshal(cur, &curPlan) == nil && curPlan.MoveID == plan.MoveID {
+			tx.Write(moveMarkerKey, nil)
+		}
+	}
+	return nil
+}
+
+// moveGate is the client admission gate of the cutover: it pauses
+// update transactions touching keys of a frozen moving range (only the
+// moving partition pauses; everything else flows), and counts in-
+// flight shard-client requests per freeze generation so the cutover
+// can drain what was admitted before the freeze.
+type moveGate struct {
+	mu       sync.Mutex
+	freeze   *freezeState
+	lastEnd  time.Time // when the last freeze lifted (see active)
+	gen      uint64
+	inflight map[uint64]int
+}
+
+type freezeState struct {
+	plan Plan
+	part Partitioner
+	done chan struct{} // closed when the freeze lifts
+}
+
+func newMoveGate() *moveGate {
+	return &moveGate{inflight: make(map[uint64]int)}
+}
+
+// touches reports whether the transaction accesses any moving key.
+func (fs *freezeState) touches(t txn.Transaction) bool {
+	check := func(key string) bool {
+		_, _, moving := fs.plan.MoveOf(key, fs.part)
+		return moving
+	}
+	for _, op := range t.Ops {
+		if op.Kind == txn.Proc {
+			for _, k := range op.Keys {
+				if check(k) {
+					return true
+				}
+			}
+			continue
+		}
+		if check(op.Key) {
+			return true
+		}
+	}
+	return false
+}
+
+// admit blocks transactions on a frozen moving range until the freeze
+// lifts — updates always, and cross-shard transactions even when read-
+// only, because xPrepare refuses ANY access to moving keys against the
+// range intent and retrying a refused prepare in a loop would just
+// burn 2PC rounds (single-shard reads keep flowing; the source serves
+// them consistently until the flip). It then counts the request in
+// flight under the current generation. The returned release must be
+// called when the request finishes.
+func (g *moveGate) admit(ctx context.Context, t txn.Transaction, cross bool) (func(), error) {
+	for {
+		g.mu.Lock()
+		fr := g.freeze
+		if fr == nil || !(t.IsUpdate() || cross) || !fr.touches(t) {
+			gen := g.gen
+			g.inflight[gen]++
+			g.mu.Unlock()
+			released := false
+			return func() {
+				g.mu.Lock()
+				if !released {
+					released = true
+					g.inflight[gen]--
+					if g.inflight[gen] == 0 {
+						delete(g.inflight, gen)
+					}
+				}
+				g.mu.Unlock()
+			}, nil
+		}
+		wait := fr.done
+		moveID := fr.plan.MoveID
+		g.mu.Unlock()
+		select {
+		case <-wait:
+			// Freeze lifted; re-evaluate (the caller re-routes by its
+			// refreshed assignment after we admit).
+		case <-ctx.Done():
+			return nil, fmt.Errorf("shard: paused for move %s: %w", moveID, ctx.Err())
+		}
+	}
+}
+
+// freezeGrace extends the "a move may have caused this abort" window
+// past endFreeze: an abort decided during the freeze can reach its
+// client shortly after the freeze lifts.
+const freezeGrace = 250 * time.Millisecond
+
+// active reports whether a freeze is in progress or lifted within the
+// grace window. The client retries any cross-shard abort that raced an
+// active freeze: the abort may be the move's doing rather than a real
+// conflict — a refused prepare on the range intent, or (under the
+// certification technique) a prepare whose read of the move marker was
+// invalidated by the freeze/release write itself. Retrying a genuine
+// conflict is safe too (nothing committed), and the window is bounded
+// by the freeze plus the grace.
+func (g *moveGate) active() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.freeze != nil || (!g.lastEnd.IsZero() && time.Since(g.lastEnd) < freezeGrace)
+}
+
+// beginFreeze activates the pause and opens a new admission
+// generation, returning the last pre-freeze generation for drain.
+func (g *moveGate) beginFreeze(plan Plan, part Partitioner) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.freeze = &freezeState{plan: plan, part: part, done: make(chan struct{})}
+	old := g.gen
+	g.gen++
+	return old
+}
+
+// endFreeze lifts the pause (idempotent, safe without a freeze).
+func (g *moveGate) endFreeze() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.freeze != nil {
+		close(g.freeze.done)
+		g.freeze = nil
+		g.lastEnd = time.Now()
+	}
+}
+
+// drain waits until every request admitted at or before generation
+// upto has finished.
+func (g *moveGate) drain(ctx context.Context, upto uint64) error {
+	for {
+		g.mu.Lock()
+		n := 0
+		for gen, cnt := range g.inflight {
+			if gen <= upto {
+				n += cnt
+			}
+		}
+		g.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("shard: draining %d pre-freeze requests: %w", n, ctx.Err())
+		case <-time.After(convergePoll):
+		}
+	}
+}
+
+// MoveReport summarizes one completed rebalance step.
+type MoveReport struct {
+	// MoveID names the move; FromEpoch/ToEpoch and FromShards/ToShards
+	// are the assignments it bridged.
+	MoveID     string
+	FromEpoch  uint64
+	ToEpoch    uint64
+	FromShards int
+	ToShards   int
+	// MovedKeys is the number of distinct keys that changed owner.
+	MovedKeys int
+	// DeltaKeys is how many of them had to re-ship inside the freeze
+	// window (written between warm copy and freeze).
+	DeltaKeys int
+	// Chunks is the number of snapshot pages streamed.
+	Chunks int
+	// CopyTime is the warm copy duration (traffic flowing).
+	CopyTime time.Duration
+	// FreezeTime is the freeze window: the only interval during which
+	// updates to the moving range pause.
+	FreezeTime time.Duration
+}
+
+// String formats the report for operators (replsim -rebalance).
+func (r *MoveReport) String() string {
+	return fmt.Sprintf("move %s: %d→%d shards (epoch %d→%d), %d keys moved (%d in delta, %d chunks), copy %v, freeze %v",
+		r.MoveID, r.FromShards, r.ToShards, r.FromEpoch, r.ToEpoch,
+		r.MovedKeys, r.DeltaKeys, r.Chunks,
+		r.CopyTime.Round(time.Microsecond), r.FreezeTime.Round(time.Microsecond))
+}
+
+// AddShard grows the cluster by one partition, live: a new group
+// starts, its share of the key space streams over, and the assignment
+// flips. Only writes to the moving ~1/n of the key space pause, and
+// only for the freeze window.
+func (c *Cluster) AddShard(ctx context.Context) (*MoveReport, error) {
+	return c.rebalanceStep(ctx, c.Shards()+1)
+}
+
+// RemoveShard shrinks the cluster by one partition, live: the highest-
+// numbered group's keys scatter to the survivors and the group is torn
+// down after the flip.
+func (c *Cluster) RemoveShard(ctx context.Context) (*MoveReport, error) {
+	return c.rebalanceStep(ctx, c.Shards()-1)
+}
+
+// Rebalance drives the cluster to toShards partitions, one live step
+// at a time, and returns the per-step reports.
+func (c *Cluster) Rebalance(ctx context.Context, toShards int) ([]*MoveReport, error) {
+	if toShards < 1 {
+		return nil, fmt.Errorf("shard: invalid shard count %d", toShards)
+	}
+	var reps []*MoveReport
+	for {
+		cur := c.Shards()
+		if cur == toShards {
+			return reps, nil
+		}
+		step := cur + 1
+		if toShards < cur {
+			step = cur - 1
+		}
+		rep, err := c.rebalanceStep(ctx, step)
+		if rep != nil {
+			reps = append(reps, rep)
+		}
+		if err != nil {
+			return reps, err
+		}
+	}
+}
+
+// rebalanceStep runs one move: from the current assignment to ±1
+// shard. Any failure before the epoch flip aborts the move cleanly
+// (tombstone, markers cleared, an added group torn down); after the
+// flip the move is committed and only the release can still fail
+// (reported, retryable).
+func (c *Cluster) rebalanceStep(ctx context.Context, to int) (*MoveReport, error) {
+	c.rebalMu.Lock()
+	defer c.rebalMu.Unlock()
+
+	from := c.router.Assignment()
+	switch {
+	case to == from.Shards:
+		return nil, nil
+	case to < 1:
+		return nil, fmt.Errorf("shard: cannot shrink below one shard")
+	case to != from.Shards+1 && to != from.Shards-1:
+		return nil, fmt.Errorf("shard: rebalance steps one shard at a time (have %d, want %d)", from.Shards, to)
+	}
+	plan := PlanChange(from, to)
+	c.moveSeq++
+	plan.MoveID = fmt.Sprintf("mv-e%d-n%d", from.Epoch, c.moveSeq)
+	grew := to > from.Shards
+	if grew {
+		if err := c.addGroup(to - 1); err != nil {
+			return nil, err
+		}
+	}
+	rep := &MoveReport{
+		MoveID:     plan.MoveID,
+		FromEpoch:  plan.FromEpoch,
+		ToEpoch:    plan.ToEpoch,
+		FromShards: from.Shards,
+		ToShards:   to,
+	}
+
+	fail := func(err error) (*MoveReport, error) {
+		// Abort the move: tombstone + clear markers on every source
+		// (best effort, fresh context — ours may be the reason we fail),
+		// lift the pause, tear down a group added for the grow.
+		actx, cancel := context.WithTimeout(context.Background(), abortTimeout)
+		defer cancel()
+		for _, src := range plan.Sources() {
+			_ = c.invokeMoveProc(actx, int(src), rebalAbortProc, &plan)
+		}
+		c.gate.endFreeze()
+		if grew {
+			c.removeGroup(to - 1)
+		}
+		return rep, fmt.Errorf("shard: move %s aborted: %w", plan.MoveID, err)
+	}
+
+	// Phase 1: warm copy, traffic flowing.
+	shipped := make(map[string][]byte)
+	copyStart := time.Now()
+	for _, src := range plan.Sources() {
+		chunks, err := c.copyMoving(ctx, int(src), &plan, shipped)
+		rep.Chunks += chunks
+		if err != nil {
+			return fail(err)
+		}
+	}
+	rep.CopyTime = time.Since(copyStart)
+
+	// Phase 2: freeze the moving range (exclusive range intent per
+	// source, after per-key intents drain).
+	freezeStart := time.Now()
+	oldGen := c.gate.beginFreeze(plan, c.router.Partitioner())
+	for _, src := range plan.Sources() {
+		if err := c.freezeSource(ctx, int(src), &plan); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Phase 3: drain requests admitted before the freeze.
+	if err := c.gate.drain(ctx, oldGen); err != nil {
+		return fail(err)
+	}
+
+	// Phase 4: converge the frozen range and ship the delta.
+	for _, src := range plan.Sources() {
+		n, err := c.shipDelta(ctx, int(src), &plan, shipped)
+		rep.DeltaKeys += n
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	// Phase 5: flip the epoch. The move is committed from here.
+	newA := Assignment{Epoch: plan.ToEpoch, Shards: to}
+	if err := c.router.Advance(newA); err != nil {
+		return fail(err)
+	}
+	c.mux.SetEpoch(newA.Epoch, to)
+	c.metrics.ensure(to)
+
+	// Phase 6: release the range intents and lift the pause. (A shrink
+	// skips release on the donated group — it is torn down below.)
+	var relErr error
+	for _, src := range plan.Sources() {
+		if int(src) >= to {
+			continue
+		}
+		if err := c.invokeMoveProc(ctx, int(src), rebalReleaseProc, &plan); err != nil {
+			relErr = err
+		}
+	}
+	c.gate.endFreeze()
+	rep.FreezeTime = time.Since(freezeStart)
+
+	// Phase 7: a shrink tears down the donated group.
+	if !grew {
+		c.removeGroup(from.Shards - 1)
+	}
+	rep.MovedKeys = len(shipped)
+	c.metrics.movedKeys.Add(uint64(rep.MovedKeys))
+	if relErr != nil {
+		return rep, fmt.Errorf("shard: move %s committed but release failed: %w", plan.MoveID, relErr)
+	}
+	return rep, nil
+}
+
+// copyMoving streams one source group's moving keys to their new
+// owners through the core snapshot procedures, page by page. shipped
+// records what each key's value was when it shipped, so a later pass
+// (the frozen delta) re-ships only what changed.
+func (c *Cluster) copyMoving(ctx context.Context, src int, plan *Plan, shipped map[string][]byte) (chunks int, err error) {
+	p := c.partAt(src)
+	if p == nil {
+		return 0, fmt.Errorf("shard: no participant for source shard %d", src)
+	}
+	part := c.router.Partitioner()
+	after := ""
+	for {
+		chunk, err := p.cl.SnapshotRange(ctx, after, rebalChunkSize)
+		if err != nil {
+			return chunks, fmt.Errorf("shard: snapshot of shard %d: %w", src, err)
+		}
+		chunks++
+		batches := make(map[int][]core.SnapItem)
+		for _, it := range chunk.Items {
+			if strings.HasPrefix(it.Key, xKeyPrefix) {
+				// Bookkeeping never ships: stages and tombstones are
+				// transaction-scoped and stay with their participant, and
+				// intents on moving keys DRAIN before cutover (the freeze
+				// refuses while any stand) instead of moving. Only the
+				// reserved "!x/" namespace is bookkeeping — any other key
+				// is user data and moves.
+				continue
+			}
+			fromS, toS, moving := plan.MoveOf(it.Key, part)
+			if !moving || fromS != src {
+				continue
+			}
+			if prev, seen := shipped[it.Key]; seen && bytes.Equal(prev, it.Value) {
+				continue
+			}
+			batches[toS] = append(batches[toS], core.SnapItem{Key: it.Key, Value: it.Value})
+			shipped[it.Key] = it.Value
+		}
+		for dst, items := range batches {
+			dp := c.partAt(dst)
+			if dp == nil {
+				return chunks, fmt.Errorf("shard: no participant for destination shard %d", dst)
+			}
+			if err := dp.cl.InstallRange(ctx, items); err != nil {
+				return chunks, fmt.Errorf("shard: install on shard %d: %w", dst, err)
+			}
+		}
+		if chunk.Done {
+			return chunks, nil
+		}
+		after = chunk.Next
+	}
+}
+
+// freezeSource installs the range intent on one source group, retrying
+// deterministic "busy" refusals while standing per-key intents drain.
+func (c *Cluster) freezeSource(ctx context.Context, src int, plan *Plan) error {
+	var lastErr error
+	for attempt := 0; attempt < freezeAttempts; attempt++ {
+		lastErr = c.invokeMoveProc(ctx, src, rebalFreezeProc, plan)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return lastErr
+		}
+		if !strings.Contains(lastErr.Error(), rebalBusy) {
+			return lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return lastErr
+		case <-time.After(freezeRetryDelay):
+		}
+	}
+	return fmt.Errorf("shard: freeze of shard %d kept busy: %w", src, lastErr)
+}
+
+// invokeMoveProc runs one cutover procedure on a source group through
+// its participant's client.
+func (c *Cluster) invokeMoveProc(ctx context.Context, src int, proc string, plan *Plan) error {
+	p := c.partAt(src)
+	if p == nil {
+		return fmt.Errorf("shard: no participant for shard %d", src)
+	}
+	c.moveSeq++ // unique inner transaction IDs across retries
+	res, err := p.cl.Invoke(ctx, txn.Transaction{
+		ID:  fmt.Sprintf("%s/%s-%d", plan.MoveID, proc, c.moveSeq),
+		Ops: []txn.Op{txn.P(proc, codec.MustMarshal(plan), moveMarkerKey, decidedKey(plan.MoveID))},
+	})
+	if err != nil {
+		return err
+	}
+	if !res.Committed {
+		return fmt.Errorf("shard: %s on shard %d: %s", proc, src, res.Err)
+	}
+	return nil
+}
+
+// shipDelta finishes one source's transfer inside the freeze window:
+// wait until the group's live replicas agree on the (now immutable)
+// moving range with no surviving intent — every pre-freeze write and
+// every cross-shard outcome has landed everywhere — then ship the keys
+// that changed since the warm copy. The converged read is taken
+// directly from the replica stores: the control plane is co-located
+// with the groups it moves, exactly as a tablet server reads its own
+// storage during a split.
+func (c *Cluster) shipDelta(ctx context.Context, src int, plan *Plan, shipped map[string][]byte) (int, error) {
+	g := c.Group(src)
+	if g == nil {
+		return 0, fmt.Errorf("shard: no group for source shard %d", src)
+	}
+	part := c.router.Partitioner()
+
+	movingOf := func(st *storage.Store) map[string][]byte {
+		m := make(map[string][]byte)
+		for _, it := range st.Scan("", 0) {
+			if strings.HasPrefix(it.Key, xKeyPrefix) {
+				continue
+			}
+			fromS, _, moving := plan.MoveOf(it.Key, part)
+			if !moving || fromS != src {
+				continue
+			}
+			m[it.Key] = it.Ver.Value
+		}
+		return m
+	}
+	liveStores := func() []*storage.Store {
+		var out []*storage.Store
+		for _, id := range g.Replicas() {
+			if !g.Network().Crashed(id) { // a crashed replica's store is frozen forever
+				out = append(out, g.Store(id))
+			}
+		}
+		return out
+	}
+
+	var final map[string][]byte
+	for {
+		stores := liveStores()
+		// Cheap dirty check first: while any cross-shard outcome is still
+		// landing (a non-empty intent on a moving key), skip the full
+		// moving-range comparison — one bounded intent-prefix scan per
+		// replica instead of a whole-store walk per poll.
+		clean := len(stores) > 0
+		for _, st := range stores {
+			if _, _, held := movingIntentHeld(st.Scan, plan, part); held {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			var agreed map[string][]byte
+			ok := true
+			for _, st := range stores {
+				m := movingOf(st)
+				if agreed == nil {
+					agreed = m
+					continue
+				}
+				if !sameValues(agreed, m) {
+					ok = false
+					break
+				}
+			}
+			if ok && agreed != nil {
+				final = agreed
+				break
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return 0, fmt.Errorf("shard: moving range of shard %d did not converge: %w", src, ctx.Err())
+		case <-time.After(convergePoll):
+		}
+	}
+
+	batches := make(map[int][]core.SnapItem)
+	delta := 0
+	for k, v := range final {
+		if prev, seen := shipped[k]; seen && bytes.Equal(prev, v) {
+			continue
+		}
+		_, toS, _ := plan.MoveOf(k, part)
+		batches[toS] = append(batches[toS], core.SnapItem{Key: k, Value: v})
+		shipped[k] = v
+		delta++
+	}
+	for dst, items := range batches {
+		dp := c.partAt(dst)
+		if dp == nil {
+			return delta, fmt.Errorf("shard: no participant for destination shard %d", dst)
+		}
+		if err := dp.cl.InstallRange(ctx, items); err != nil {
+			return delta, fmt.Errorf("shard: delta install on shard %d: %w", dst, err)
+		}
+	}
+	return delta, nil
+}
+
+// sameValues reports whether two key→value maps are equal.
+func sameValues(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !bytes.Equal(v, w) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,546 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/txn"
+)
+
+// movingKeysOf returns the subset of keys that change owner under a
+// grow from the cluster's current assignment to +1 shard.
+func movingKeysOf(c *Cluster, keys []string) []string {
+	a := c.Router().Assignment()
+	plan := PlanChange(a, a.Shards+1)
+	var out []string
+	for _, k := range keys {
+		if _, _, moving := plan.MoveOf(k, c.Router().Partitioner()); moving {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestRebalanceGrowMovesKeys: grow 3→4 shards on a quiet cluster. The
+// moving ~1/4 of the keys must be readable at their new owner, the
+// epoch must advance, and nothing may be lost.
+func TestRebalanceGrowMovesKeys(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 3, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+
+	const n = 60
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("grow-%02d", i)
+		res, err := cl.InvokeOp(ctx, txn.W(keys[i], []byte("v-"+keys[i])))
+		if err != nil || !res.Committed {
+			t.Fatalf("seed write %q: %v %+v", keys[i], err, res)
+		}
+	}
+	moving := movingKeysOf(c, keys)
+	if len(moving) == 0 {
+		t.Fatal("no key moves 3→4 — test keys too few")
+	}
+
+	rep, err := c.AddShard(ctx)
+	if err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if c.Shards() != 4 || c.Epoch() != 2 {
+		t.Fatalf("after grow: shards=%d epoch=%d, want 4/2", c.Shards(), c.Epoch())
+	}
+	if rep.MovedKeys < len(moving) {
+		t.Fatalf("report moved %d keys, at least %d of ours changed owner", rep.MovedKeys, len(moving))
+	}
+
+	// A fresh client (current assignment) reads every key at its owner.
+	fresh := c.NewClient()
+	for _, k := range keys {
+		res, err := fresh.InvokeOp(ctx, txn.R(k))
+		if err != nil || string(res.Reads[k]) != "v-"+k {
+			t.Fatalf("read %q after grow = %q, %v", k, res.Reads[k], err)
+		}
+	}
+	// Moving keys now route to the new shard's group, and that group's
+	// replicas hold them.
+	waitConverged(t, c, 30*time.Second)
+	for _, k := range moving {
+		s := c.Router().Shard(k)
+		if s != 3 {
+			t.Fatalf("moving key %q routed to shard %d, want the new shard 3", k, s)
+		}
+		for _, id := range c.Group(s).Replicas() {
+			v, ok := c.Group(s).Store(id).Read(k)
+			if !ok || string(v.Value) != "v-"+k {
+				t.Fatalf("new shard replica %s: %q = %q (ok=%v)", id, k, v.Value, ok)
+			}
+		}
+	}
+	// The range intent was released everywhere.
+	assertNoMoveDebris(t, c)
+}
+
+// TestRebalanceShrink: 4→3 shards; the donated group's keys scatter to
+// the survivors and the group is torn down.
+func TestRebalanceShrink(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 4, Group: core.Config{Protocol: core.EagerPrimary, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+
+	const n = 60
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("shrink-%02d", i)
+		res, err := cl.InvokeOp(ctx, txn.W(keys[i], []byte("v-"+keys[i])))
+		if err != nil || !res.Committed {
+			t.Fatalf("seed write %q: %v %+v", keys[i], err, res)
+		}
+	}
+
+	rep, err := c.RemoveShard(ctx)
+	if err != nil {
+		t.Fatalf("RemoveShard: %v", err)
+	}
+	if c.Shards() != 3 || c.Epoch() != 2 {
+		t.Fatalf("after shrink: shards=%d epoch=%d, want 3/2", c.Shards(), c.Epoch())
+	}
+	if c.Group(3) != nil {
+		t.Fatal("donated group still registered after shrink")
+	}
+	if rep.MovedKeys == 0 {
+		t.Fatal("shrink moved no keys")
+	}
+
+	fresh := c.NewClient()
+	for _, k := range keys {
+		res, err := fresh.InvokeOp(ctx, txn.R(k))
+		if err != nil || string(res.Reads[k]) != "v-"+k {
+			t.Fatalf("read %q after shrink = %q, %v", k, res.Reads[k], err)
+		}
+	}
+	// The stale writer client converges too (redirect or revalidation).
+	for _, k := range keys[:8] {
+		res, err := cl.InvokeOp(ctx, txn.R(k))
+		if err != nil || string(res.Reads[k]) != "v-"+k {
+			t.Fatalf("stale client read %q after shrink = %q, %v", k, res.Reads[k], err)
+		}
+	}
+	assertNoMoveDebris(t, c)
+}
+
+// assertNoMoveDebris: no group replica retains a move marker or a
+// standing intent after a completed (or aborted) move.
+func assertNoMoveDebris(t *testing.T, c *Cluster) {
+	t.Helper()
+	for s := 0; s < c.Shards(); s++ {
+		g := c.Group(s)
+		for _, id := range g.Replicas() {
+			st := g.Store(id)
+			if v, ok := st.Read(moveMarkerKey); ok && len(v.Value) > 0 {
+				t.Fatalf("shard %d replica %s: move marker still set", s, id)
+			}
+			for _, it := range st.Scan("", 0) {
+				if len(it.Ver.Value) == 0 {
+					continue
+				}
+				if len(it.Key) > len(xIntentPrefix) && it.Key[:len(xIntentPrefix)] == xIntentPrefix {
+					t.Fatalf("shard %d replica %s: leaked intent %q = %q", s, id, it.Key, it.Ver.Value)
+				}
+			}
+		}
+	}
+}
+
+// TestRebalanceUnderLoad is the acceptance run: a cluster serving a
+// mixed single-/cross-shard write load grows 3→4 shards mid-stream.
+// Every committed write must be readable at its (new) owner afterwards
+// — zero lost, zero phantom — no decided 2PC outcome may be lost, and
+// the clients must converge onto the new assignment by redirect alone.
+func TestRebalanceUnderLoad(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Shards: 3,
+		Group:  core.Config{Protocol: core.Certification, Replicas: 3, RequestTimeout: 10 * time.Second},
+	})
+	ctx := ctxT(t, 180*time.Second)
+
+	const (
+		writers = 4
+		perW    = 30
+	)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		want = make(map[string]string) // committed final values
+		errs = make(chan error, writers)
+	)
+	for w := 0; w < writers; w++ {
+		cl := c.NewClient()
+		wg.Add(1)
+		go func(w int, cl *Client) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k1 := fmt.Sprintf("load-%d-%02d", w, i)
+				v1 := fmt.Sprintf("val-%d-%02d", w, i)
+				var (
+					res txn.Result
+					err error
+				)
+				if i%5 == 4 {
+					// A cross-shard pair every fifth write.
+					k2 := k1 + "-pair"
+					res, err = cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+						txn.W(k1, []byte(v1)), txn.W(k2, []byte(v1+"p")),
+					}})
+					if err == nil && res.Committed {
+						mu.Lock()
+						want[k1], want[k2] = v1, v1+"p"
+						mu.Unlock()
+					}
+				} else {
+					res, err = cl.InvokeOp(ctx, txn.W(k1, []byte(v1)))
+					if err == nil && res.Committed {
+						mu.Lock()
+						want[k1] = v1
+						mu.Unlock()
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("writer %d op %d: %w", w, i, err)
+					return
+				}
+				if !res.Committed {
+					errs <- fmt.Errorf("writer %d op %d aborted: %s", w, i, res.Err)
+					return
+				}
+			}
+		}(w, cl)
+	}
+
+	// Grow mid-load.
+	time.Sleep(50 * time.Millisecond)
+	rep, err := c.AddShard(ctx)
+	if err != nil {
+		t.Fatalf("AddShard under load: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	t.Logf("move: %s; stale frames redirected: %d, epoch retries: %d",
+		rep, c.Mux().StaleRejected(), c.Metrics().EpochRetries())
+
+	if c.Shards() != 4 || c.Epoch() != 2 {
+		t.Fatalf("after grow: shards=%d epoch=%d", c.Shards(), c.Epoch())
+	}
+	// Zero lost writes: every committed value readable at its owner
+	// under the new assignment, on every replica of the owning group.
+	waitConverged(t, c, 30*time.Second)
+	fresh := c.NewClient()
+	for k, v := range want {
+		res, err := fresh.InvokeOp(ctx, txn.R(k))
+		if err != nil {
+			t.Fatalf("read %q: %v", k, err)
+		}
+		if string(res.Reads[k]) != v {
+			t.Fatalf("LOST WRITE: %q = %q, want %q", k, res.Reads[k], v)
+		}
+	}
+	// No decided outcome lost on any shard.
+	for s := 0; s < c.Shards(); s++ {
+		if n := c.partAt(s).lostOutcomes.Load(); n != 0 {
+			t.Fatalf("shard %d lost %d outcomes", s, n)
+		}
+	}
+	assertNoMoveDebris(t, c)
+}
+
+// TestFreezeWindowPausesOnlyMovingWrites: during the freeze, an update
+// to a moving key blocks until release; updates to non-moving keys and
+// reads of moving keys keep flowing.
+func TestFreezeWindowPausesOnlyMovingWrites(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+
+	a := c.Router().Assignment()
+	plan := PlanChange(a, a.Shards+1)
+	part := c.Router().Partitioner()
+	var movingKey, stayKey string
+	for i := 0; movingKey == "" || stayKey == ""; i++ {
+		k := fmt.Sprintf("fw-%d", i)
+		if _, _, moving := plan.MoveOf(k, part); moving {
+			if movingKey == "" {
+				movingKey = k
+			}
+		} else if stayKey == "" {
+			stayKey = k
+		}
+	}
+	if res, err := cl.InvokeOp(ctx, txn.W(movingKey, []byte("before"))); err != nil || !res.Committed {
+		t.Fatalf("seed: %v %+v", err, res)
+	}
+
+	c.gate.beginFreeze(plan, part)
+	blocked := make(chan error, 1)
+	go func() {
+		res, err := cl.InvokeOp(ctx, txn.W(movingKey, []byte("during")))
+		if err == nil && !res.Committed {
+			err = fmt.Errorf("aborted: %s", res.Err)
+		}
+		blocked <- err
+	}()
+
+	// Non-moving write and moving-key read proceed while frozen.
+	if res, err := cl.InvokeOp(ctx, txn.W(stayKey, []byte("flows"))); err != nil || !res.Committed {
+		t.Fatalf("non-moving write during freeze: %v %+v", err, res)
+	}
+	if res, err := cl.InvokeOp(ctx, txn.R(movingKey)); err != nil || string(res.Reads[movingKey]) != "before" {
+		t.Fatalf("moving-key read during freeze = %q, %v", res.Reads[movingKey], err)
+	}
+	select {
+	case err := <-blocked:
+		t.Fatalf("moving-key write completed during freeze: %v", err)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	c.gate.endFreeze()
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("moving-key write after release: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("moving-key write still blocked after release")
+	}
+}
+
+// TestMoveAbortMidTransferLeavesNoDebris: a move that dies mid-transfer
+// (context canceled) aborts cleanly — tombstoned like an aborted cross-
+// shard transaction, markers cleared, the added group torn down, no
+// leaked intents — and a retried move then succeeds.
+func TestMoveAbortMidTransferLeavesNoDebris(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 3, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("abort-%02d", i)
+		if res, err := cl.InvokeOp(ctx, txn.W(k, []byte("v"))); err != nil || !res.Committed {
+			t.Fatalf("seed %q: %v %+v", k, err, res)
+		}
+	}
+
+	dead, cancel := context.WithCancel(ctx)
+	cancel() // the transfer dies on its first page
+	if _, err := c.AddShard(dead); err == nil {
+		t.Fatal("AddShard with dead context succeeded")
+	}
+	if c.Shards() != 3 || c.Epoch() != 1 {
+		t.Fatalf("aborted move changed the assignment: shards=%d epoch=%d", c.Shards(), c.Epoch())
+	}
+	if c.Group(3) != nil {
+		t.Fatal("aborted grow left the new group registered")
+	}
+	assertNoMoveDebris(t, c)
+
+	// The cluster still serves, and a retried move completes.
+	if res, err := cl.InvokeOp(ctx, txn.W("abort-00", []byte("after"))); err != nil || !res.Committed {
+		t.Fatalf("write after aborted move: %v %+v", err, res)
+	}
+	if _, err := c.AddShard(ctx); err != nil {
+		t.Fatalf("retried AddShard: %v", err)
+	}
+	if c.Shards() != 4 {
+		t.Fatalf("retried move: shards=%d", c.Shards())
+	}
+	res, err := c.NewClient().InvokeOp(ctx, txn.R("abort-00"))
+	if err != nil || string(res.Reads["abort-00"]) != "after" {
+		t.Fatalf("read after retried move = %q, %v", res.Reads["abort-00"], err)
+	}
+	assertNoMoveDebris(t, c)
+}
+
+// TestStaleClientRedirects: a client still routing on the pre-move
+// assignment sends its frames with the old epoch; the serving side
+// rejects them, the redirect refreshes the client's cached ring, and
+// the retried request lands at the new owner — no manual intervention.
+func TestStaleClientRedirects(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 3, Group: core.Config{
+		Protocol: core.Active, Replicas: 3, RequestTimeout: 2 * time.Second,
+	}})
+	stale := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+
+	// Warm the stale client's routing (bind its per-shard endpoints).
+	keys := make([]string, 30)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("stale-%02d", i)
+		if res, err := stale.InvokeOp(ctx, txn.W(keys[i], []byte("v1"))); err != nil || !res.Committed {
+			t.Fatalf("seed %q: %v %+v", keys[i], err, res)
+		}
+	}
+	moving := movingKeysOf(c, keys)
+	if len(moving) == 0 {
+		t.Fatal("no seeded key moves 3→4")
+	}
+
+	if _, err := c.AddShard(ctx); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if got := stale.Assignment().Epoch; got != 1 {
+		t.Fatalf("client refreshed before any traffic: epoch %d", got)
+	}
+
+	// The stale client writes a moved key: old route → rejected frame →
+	// redirect → refresh → re-route → commit at the new owner.
+	k := moving[0]
+	res, err := stale.InvokeOp(ctx, txn.W(k, []byte("v2")))
+	if err != nil || !res.Committed {
+		t.Fatalf("stale write %q: %v %+v", k, err, res)
+	}
+	if got := stale.Assignment().Epoch; got != 2 {
+		t.Fatalf("client did not converge to epoch 2 (at %d)", got)
+	}
+	if c.Mux().StaleRejected() == 0 {
+		t.Fatal("no frame was rejected — the redirect path never fired")
+	}
+
+	// The write landed at the new owner (shard 3), on every replica.
+	s := c.Router().Shard(k)
+	if s != 3 {
+		t.Fatalf("moved key %q routed to %d", k, s)
+	}
+	waitConverged(t, c, 30*time.Second)
+	for _, id := range c.Group(s).Replicas() {
+		v, ok := c.Group(s).Store(id).Read(k)
+		if !ok || string(v.Value) != "v2" {
+			t.Fatalf("replica %s: %q = %q (ok=%v), want v2", id, k, v.Value, ok)
+		}
+	}
+}
+
+// TestMultiGetFanOut: MultiGet reads keys on several shards in one
+// parallel fan-out, with no 2PC round (documented per-shard
+// consistency).
+func TestMultiGetFanOut(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 4, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+
+	keys := keysOnDistinctShards(t, c)
+	for i, k := range keys {
+		if res, err := cl.InvokeOp(ctx, txn.W(k, []byte(fmt.Sprintf("mg%d", i)))); err != nil || !res.Committed {
+			t.Fatalf("seed %q: %v %+v", k, err, res)
+		}
+	}
+	waitConverged(t, c, 30*time.Second)
+
+	got, err := cl.MultiGet(ctx, keys...)
+	if err != nil {
+		t.Fatalf("MultiGet: %v", err)
+	}
+	for i, k := range keys {
+		if string(got[k]) != fmt.Sprintf("mg%d", i) {
+			t.Fatalf("MultiGet[%q] = %q", k, got[k])
+		}
+	}
+	// The fan-out ran no cross-shard transaction.
+	if n := c.Metrics().Cross().Count(); n != 0 {
+		t.Fatalf("MultiGet drove %d cross-shard transactions", n)
+	}
+	// Absent keys read as nil.
+	got, err = cl.MultiGet(ctx, "mg-absent", keys[0])
+	if err != nil {
+		t.Fatalf("MultiGet with absent key: %v", err)
+	}
+	if got["mg-absent"] != nil {
+		t.Fatalf("absent key = %q", got["mg-absent"])
+	}
+}
+
+// TestPerShardTechniqueOverrides: one cluster, mixed techniques — and
+// the placement policy follows the cluster as it grows.
+func TestPerShardTechniqueOverrides(t *testing.T) {
+	pick := func(s int) core.Protocol {
+		if s%2 == 0 {
+			return core.Active
+		}
+		return core.LazyPrimary
+	}
+	c := newTestCluster(t, Config{
+		Shards:       2,
+		TechniqueFor: pick,
+		Group:        core.Config{Protocol: core.Certification, Replicas: 3, LazyDelay: time.Millisecond},
+	})
+	ctx := ctxT(t, 120*time.Second)
+
+	if got := c.Group(0).Protocol(); got != core.Active {
+		t.Fatalf("shard 0 runs %s, want active", got)
+	}
+	if got := c.Group(1).Protocol(); got != core.LazyPrimary {
+		t.Fatalf("shard 1 runs %s, want lazy-primary", got)
+	}
+
+	cl := c.NewClient()
+	keys := keysOnDistinctShards(t, c)
+	for i, k := range keys {
+		if res, err := cl.InvokeOp(ctx, txn.W(k, []byte(fmt.Sprintf("mix%d", i)))); err != nil || !res.Committed {
+			t.Fatalf("write %q: %v %+v", k, err, res)
+		}
+	}
+	// Cross-shard atomicity across differing techniques.
+	res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+		txn.W(keys[0], []byte("xa")), txn.W(keys[1], []byte("xb")),
+	}})
+	if err != nil || !res.Committed {
+		t.Fatalf("mixed cross-shard txn: %v %+v", err, res)
+	}
+	waitConverged(t, c, 30*time.Second)
+
+	// Growing the cluster consults the same policy for the new shard.
+	if _, err := c.AddShard(ctx); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if got := c.Group(2).Protocol(); got != core.Active {
+		t.Fatalf("grown shard 2 runs %s, want active (policy)", got)
+	}
+}
+
+// TestRebalanceGrowShrinkCycle: grow 2→4 then shrink back to 2; data
+// survives both directions and shard indices reused after the shrink
+// get fresh groups.
+func TestRebalanceGrowShrinkCycle(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 180*time.Second)
+
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cycle-%02d", i)
+		if res, err := cl.InvokeOp(ctx, txn.W(keys[i], []byte("c1"))); err != nil || !res.Committed {
+			t.Fatalf("seed %q: %v %+v", keys[i], err, res)
+		}
+	}
+	if reps, err := c.Rebalance(ctx, 4); err != nil || len(reps) != 2 {
+		t.Fatalf("grow to 4: %v (%d steps)", err, len(reps))
+	}
+	if reps, err := c.Rebalance(ctx, 2); err != nil || len(reps) != 2 {
+		t.Fatalf("shrink to 2: %v (%d steps)", err, len(reps))
+	}
+	if c.Shards() != 2 || c.Epoch() != 5 {
+		t.Fatalf("after cycle: shards=%d epoch=%d, want 2/5", c.Shards(), c.Epoch())
+	}
+	for _, k := range keys {
+		res, err := cl.InvokeOp(ctx, txn.R(k))
+		if err != nil || string(res.Reads[k]) != "c1" {
+			t.Fatalf("read %q after cycle = %q, %v", k, res.Reads[k], err)
+		}
+	}
+	assertNoMoveDebris(t, c)
+}

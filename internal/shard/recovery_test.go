@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/core"
+	"replication/internal/tpc"
+	"replication/internal/txn"
+)
+
+// TestRecoverySweepRedeliversLostOutcome: a participant whose group is
+// unreachable for the whole outcome retry budget counts the loss
+// (lostOutcomes) and parks the outcome; once the group heals, the
+// recovery sweep re-delivers it and the counter returns to zero — the
+// ROADMAP's recovery pass, no operator involved.
+func TestRecoverySweepRedeliversLostOutcome(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Shards:        2,
+		CrossTimeout:  400 * time.Millisecond,
+		RecoverySweep: 100 * time.Millisecond,
+		Group:         core.Config{Protocol: core.Active, Replicas: 3, RequestTimeout: 400 * time.Millisecond},
+	})
+	cl := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+	keys := keysOnDistinctShards(t, c)
+	a, b := keys[0], keys[1]
+	sb := c.Router().Shard(b)
+
+	// Shard b's group goes dark; the cross-shard transaction aborts and
+	// the abort outcome cannot reach b's group.
+	c.Mux().SetShardDrop(uint32(sb), true)
+	res, err := cl.Invoke(ctx, txn.Transaction{
+		ID:  "t-lost",
+		Ops: []txn.Op{txn.W(a, []byte("A")), txn.W(b, []byte("B"))},
+	})
+	if err == nil && res.Committed {
+		t.Fatal("committed with an unreachable participant shard")
+	}
+
+	pb := c.partAt(sb)
+	deadline := time.Now().Add(30 * time.Second)
+	for pb.lostOutcomes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("participant never counted the lost outcome")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Heal the group: the sweep must re-deliver without any help.
+	c.Mux().SetShardDrop(uint32(sb), false)
+	for pb.lostOutcomes.Load() != 0 || pb.recoveredOutcomes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep did not recover: lost=%d recovered=%d",
+				pb.lostOutcomes.Load(), pb.recoveredOutcomes.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Both shards end clean and the keys are usable again.
+	waitShardClean(t, c, c.Router().Shard(a), "t-lost", a)
+	res, err = cl.Invoke(ctx, txn.Transaction{
+		ID:  "t-after-recovery",
+		Ops: []txn.Op{txn.W(a, []byte("A2")), txn.W(b, []byte("B2"))},
+	})
+	if err != nil || !res.Committed {
+		t.Fatalf("cross txn after recovery: %v %+v", err, res)
+	}
+}
+
+// TestRecoverySweepResolvesBlockedParticipant pins the other half of
+// the recovery pass: a participant stuck PREPARED — its coordinator
+// died between the votes and the outcome, the classic 2PC blocking
+// window — polls its peers' decision logs and re-delivers the decided
+// outcome itself. The scenario is staged white-box: shard A holds a
+// prepared sub-transaction with intents; shard B's 2PC server knows
+// the transaction committed; no coordinator exists anymore.
+func TestRecoverySweepResolvesBlockedParticipant(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Shards:        2,
+		RecoverySweep: 50 * time.Millisecond,
+		Group:         core.Config{Protocol: core.Active, Replicas: 3},
+	})
+	ctx := ctxT(t, 60*time.Second)
+	keys := keysOnDistinctShards(t, c)
+	key := keys[0]
+	sa := c.Router().Shard(key)
+	sb := 1 - sa
+
+	// Stage a prepare on shard A exactly as its participant would.
+	const txnID = "t-blocked"
+	sub := xSubTxn{TxnID: txnID, Ops: []txn.Op{txn.W(key, []byte("decided-late"))}}
+	gcl := c.Group(sa).NewClient()
+	res, err := gcl.Invoke(ctx, txn.Transaction{
+		ID:  txnID + "/prep",
+		Ops: []txn.Op{txn.P(xPrepProc, codec.MustMarshal(&sub), sub.lockKeys()...)},
+	})
+	if err != nil || !res.Committed {
+		t.Fatalf("staging prepare: %v %+v", err, res)
+	}
+
+	pa, pb := c.partAt(sa), c.partAt(sb)
+	// Shard B's server learned the commit (e.g. the coordinator reached
+	// it before dying).
+	if !pb.srv.Resolve(txnID, tpc.Commit) {
+		t.Fatal("seeding peer decision failed")
+	}
+	// Shard A's participant believes it is prepared and waiting, since
+	// long enough ago for the sweep to act.
+	pa.mu.Lock()
+	pa.results[txnID] = prepInfo{keys: sub.lockKeys()}
+	pa.awaiting[txnID] = awaitEntry{
+		since:  time.Now().Add(-time.Minute),
+		shards: []uint32{uint32(sa), uint32(sb)},
+	}
+	pa.mu.Unlock()
+
+	// The sweep must discover the decision at B and commit the stage.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		v, ok := c.Group(sa).Store(c.Group(sa).Replicas()[0]).Read(key)
+		if ok && string(v.Value) == "decided-late" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("blocked participant never resolved: %q = %q (ok=%v)", key, v.Value, ok)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The counter increments after Resolve returns, which is after the
+	// commit became visible above — poll briefly.
+	for pa.recoveredOutcomes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("recovery not counted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The stage and intents are gone on every replica.
+	waitShardClean(t, c, sa, txnID)
+	for _, id := range c.Group(sa).Replicas() {
+		if v, ok := c.Group(sa).Store(id).Read(intentKey(key)); ok && len(v.Value) > 0 {
+			t.Fatalf("replica %s: intent on %q survived recovery", id, key)
+		}
+	}
+}

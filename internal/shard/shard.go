@@ -16,6 +16,13 @@
 // side's agreement primitive, §2.2). All groups share one physical
 // endpoint set through a Mux that multiplexes messages by shard id in
 // the wire envelope, so N shards cost zero extra sockets.
+//
+// The partition map is versioned, not frozen: every assignment of keys
+// to shards carries an Epoch, clients route against a cached
+// assignment whose epoch tags their traffic, and the cluster can grow
+// or shrink live — AddShard/RemoveShard/Rebalance stream the moving
+// partition between groups and flip the epoch under a bounded freeze
+// window (see rebalance.go).
 package shard
 
 import (
@@ -40,34 +47,55 @@ type Config struct {
 	// ring (HashRing with 128 virtual nodes).
 	Partitioner Partitioner
 	// Group is the per-shard group template: technique, replica count,
-	// transport, timings. Every shard runs an identical group; the
+	// transport, timings. Every shard runs a group shaped by this
+	// template (see TechniqueFor for per-shard protocol overrides); the
 	// physical processes are shared (process i hosts replica i of every
 	// shard). Group.Shards is ignored here; Group.Substrate, when set,
 	// supplies the shared transport (the cluster then does not close it).
 	Group core.Config
+	// TechniqueFor, when non-nil, picks the replication technique of
+	// each partition: hot partitions can run active/abcast while archive
+	// partitions run lazy-primary, in one cluster. An empty return keeps
+	// the template's protocol. The hook is also consulted for shards
+	// added later by AddShard/Rebalance, so a growing cluster keeps its
+	// placement policy.
+	TechniqueFor func(shard int) core.Protocol
 	// CrossTimeout bounds each phase of a cross-shard transaction (the
 	// prepare vote collection, and each participant's inner replicated
 	// round). Zero means the group's RequestTimeout.
 	CrossTimeout time.Duration
+	// RecoverySweep is the interval of each participant's cross-shard
+	// recovery pass (re-delivering outcomes that exhausted their retry
+	// budget, polling peers for decisions of transactions stuck
+	// prepared). Zero means 500ms; negative disables the sweep.
+	RecoverySweep time.Duration
 }
 
 // Cluster is a running sharded replication system: N groups over one
-// shared transport, a router, and the cross-shard 2PC plumbing.
+// shared transport, a router, the cross-shard 2PC plumbing, and the
+// rebalancing control plane.
 type Cluster struct {
 	cfg     Config
+	gtmpl   core.Config // filled group template (procs, timeouts)
 	router  *Router
 	inner   transport.Transport
 	ownNet  bool
 	mux     *Mux
+	metrics *Metrics
+	gate    *moveGate
+	sweep   time.Duration // recovery sweep interval (<0 disabled)
+
+	mu      sync.Mutex
 	groups  []*core.Cluster
 	parts   []*participant
 	pnodes  []*transport.Node
-	metrics *Metrics
-
-	mu      sync.Mutex
 	clients []*Client
 	nextCl  uint64
 	closed  bool
+
+	// rebalMu serializes rebalance steps (one move at a time).
+	rebalMu sync.Mutex
+	moveSeq uint64 // makes MoveIDs unique across aborted attempts
 }
 
 // New builds and starts a sharded cluster.
@@ -90,6 +118,10 @@ func New(cfg Config) (*Cluster, error) {
 		} else {
 			cfg.CrossTimeout = 5 * time.Second
 		}
+	}
+	sweep := cfg.RecoverySweep
+	if sweep == 0 {
+		sweep = 500 * time.Millisecond
 	}
 
 	var (
@@ -114,55 +146,136 @@ func New(cfg Config) (*Cluster, error) {
 		ownNet:  ownNet,
 		mux:     NewMux(inner),
 		metrics: newMetrics(shards),
+		gate:    newMoveGate(),
+		sweep:   sweep,
 	}
-	gcfg.Procedures = withCrossShardProcs(gcfg.Procedures)
+	gcfg.Procedures = withShardProcs(gcfg.Procedures, c.router.Partitioner())
+	gcfg.Substrate = nil // set per group in addGroup
+	c.gtmpl = gcfg
+	c.mux.SetEpoch(c.router.Epoch(), shards)
 	for s := 0; s < shards; s++ {
-		sg := gcfg
-		sg.Substrate = c.mux.Shard(uint32(s))
-		g, err := core.NewCluster(sg)
-		if err != nil {
+		if err := c.addGroup(s); err != nil {
 			c.Close()
-			return nil, fmt.Errorf("shard: group %d: %w", s, err)
+			return nil, err
 		}
-		c.groups = append(c.groups, g)
-	}
-
-	// One 2PC participant per shard, bridging onto the group through its
-	// own client. The participant node lives directly on the shared
-	// transport — cross-shard coordination is between-groups traffic, not
-	// any one group's.
-	for s := 0; s < shards; s++ {
-		p := &participant{
-			shard:   uint32(s),
-			cl:      c.groups[s].NewClient(),
-			timeout: cfg.CrossTimeout,
-			results: make(map[string]prepInfo),
-		}
-		node := transport.NewNode(inner, participantID(s))
-		tpc.NewAsyncServer(node, xScope, p)
-		node.Handle(kindXResult, p.onResult(node))
-		node.Start()
-		c.parts = append(c.parts, p)
-		c.pnodes = append(c.pnodes, node)
 	}
 	return c, nil
 }
 
-// Shards returns the partition count.
+// addGroup builds, starts and registers shard s's replication group and
+// its 2PC participant. The participant node lives directly on the
+// shared transport — cross-shard coordination is between-groups
+// traffic, not any one group's.
+func (c *Cluster) addGroup(s int) error {
+	sg := c.gtmpl
+	if c.cfg.TechniqueFor != nil {
+		if p := c.cfg.TechniqueFor(s); p != "" {
+			sg.Protocol = p
+		}
+	}
+	sg.Substrate = c.mux.Shard(uint32(s))
+	g, err := core.NewCluster(sg)
+	if err != nil {
+		return fmt.Errorf("shard: group %d: %w", s, err)
+	}
+
+	p := &participant{
+		shard:    uint32(s),
+		cl:       g.NewClient(),
+		router:   c.router,
+		timeout:  c.cfg.CrossTimeout,
+		stop:     make(chan struct{}),
+		results:  make(map[string]prepInfo),
+		awaiting: make(map[string]awaitEntry),
+		pending:  make(map[string]pendingOutcome),
+	}
+	node := transport.NewNode(c.inner, participantID(s))
+	p.node = node
+	p.srv = tpc.NewAsyncServer(node, xScope, p)
+	node.Handle(kindXResult, p.onResult(node))
+	node.Handle(kindXDecision, p.onDecision(node))
+	node.Start()
+	if c.sweep > 0 {
+		go p.sweeper(c.sweep)
+	}
+
+	c.mu.Lock()
+	if c.closed || s != len(c.groups) {
+		closed := c.closed
+		have := len(c.groups)
+		c.mu.Unlock()
+		close(p.stop)
+		node.Stop()
+		g.Close()
+		if closed {
+			return fmt.Errorf("shard: cluster closed")
+		}
+		return fmt.Errorf("shard: group %d added out of order (have %d)", s, have)
+	}
+	c.groups = append(c.groups, g)
+	c.parts = append(c.parts, p)
+	c.pnodes = append(c.pnodes, node)
+	c.mu.Unlock()
+	return nil
+}
+
+// removeGroup stops and discards the highest-numbered group (shrink
+// cutovers call it after the epoch flipped away from the group).
+func (c *Cluster) removeGroup(s int) {
+	c.mu.Lock()
+	if s != len(c.groups)-1 {
+		c.mu.Unlock()
+		return
+	}
+	g := c.groups[s]
+	p := c.parts[s]
+	node := c.pnodes[s]
+	c.groups = c.groups[:s]
+	c.parts = c.parts[:s]
+	c.pnodes = c.pnodes[:s]
+	c.mu.Unlock()
+
+	close(p.stop)
+	node.Stop()
+	g.Close()
+}
+
+// Shards returns the current partition count.
 func (c *Cluster) Shards() int { return c.router.Shards() }
+
+// Epoch returns the current assignment epoch.
+func (c *Cluster) Epoch() uint64 { return c.router.Epoch() }
 
 // Router returns the key router.
 func (c *Cluster) Router() *Router { return c.router }
 
 // Group returns shard s's replication group (stores, history, recorder —
-// everything a single-group cluster exposes).
-func (c *Cluster) Group(s int) *core.Cluster { return c.groups[s] }
+// everything a single-group cluster exposes), or nil if s is out of
+// range under the current assignment.
+func (c *Cluster) Group(s int) *core.Cluster {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s < 0 || s >= len(c.groups) {
+		return nil
+	}
+	return c.groups[s]
+}
+
+// partAt returns shard s's 2PC participant (nil out of range).
+func (c *Cluster) partAt(s int) *participant {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s < 0 || s >= len(c.parts) {
+		return nil
+	}
+	return c.parts[s]
+}
 
 // Metrics returns the cluster's client-observed load metrics.
 func (c *Cluster) Metrics() *Metrics { return c.metrics }
 
 // Mux returns the multiplexing layer (per-shard message accounting,
-// failure injection in tests).
+// epoch enforcement, failure injection in tests).
 func (c *Cluster) Mux() *Mux { return c.mux }
 
 // Network returns the shared physical transport.
@@ -170,7 +283,13 @@ func (c *Cluster) Network() transport.Transport { return c.inner }
 
 // Replicas returns the physical process IDs (each hosts one replica of
 // every shard).
-func (c *Cluster) Replicas() []transport.NodeID { return c.groups[0].Replicas() }
+func (c *Cluster) Replicas() []transport.NodeID {
+	g := c.Group(0)
+	if g == nil {
+		return nil
+	}
+	return g.Replicas()
+}
 
 // Crash crash-stops a physical process: replica i of every shard dies
 // at once, exactly as when a real shard server fails.
@@ -186,15 +305,21 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	clients := c.clients
+	parts := c.parts
+	pnodes := c.pnodes
+	groups := c.groups
 	c.mu.Unlock()
 
 	for _, cl := range clients {
 		cl.close()
 	}
-	for _, n := range c.pnodes {
+	for _, p := range parts {
+		close(p.stop)
+	}
+	for _, n := range pnodes {
 		n.Stop()
 	}
-	for _, g := range c.groups {
+	for _, g := range groups {
 		g.Close() // leaves the shared substrate running (Substrate set)
 	}
 	if c.mux != nil {

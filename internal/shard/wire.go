@@ -11,20 +11,38 @@ import (
 // envelope so the RPC correlation of every group's Node keeps working
 // unchanged; Shard routes the frame to the right group on arrival.
 // kindEnvelope is the only message kind the muxed endpoints exchange.
+//
+// Epoch is the sender's routing epoch: non-zero on frames whose
+// destination was chosen against an Assignment (client data traffic),
+// zero on unrouted traffic (replica↔replica protocol messages, replies
+// to clients), which no assignment change can invalidate. The serving
+// side rejects non-zero epochs that do not match the current
+// assignment and answers with a kindWrongEpoch redirect — see Mux.
 type Envelope struct {
 	Shard   uint32
+	Epoch   uint64
 	Kind    string
 	ID      uint64
 	CorrID  uint64
 	Payload []byte
 }
 
-// kindEnvelope is the carrier message kind on the shared transport.
-const kindEnvelope = "shard.env"
+// Carrier message kinds on the shared transport.
+const (
+	// kindEnvelope is the one kind muxed endpoints exchange.
+	kindEnvelope = "shard.env"
+	// kindWrongEpoch is the inner kind of a redirect: the serving side
+	// rejected a frame routed on a stale assignment. The payload is an
+	// epochInfo naming the current assignment; the mux intercepts it on
+	// the client side and triggers the client's refresh instead of
+	// delivering it into protocol inboxes.
+	kindWrongEpoch = "shard.wrongepoch"
+)
 
 // AppendTo implements codec.Wire.
 func (e *Envelope) AppendTo(buf []byte) []byte {
 	buf = codec.AppendUvarint(buf, uint64(e.Shard))
+	buf = codec.AppendUvarint(buf, e.Epoch)
 	buf = codec.AppendString(buf, e.Kind)
 	buf = codec.AppendUvarint(buf, e.ID)
 	buf = codec.AppendUvarint(buf, e.CorrID)
@@ -35,10 +53,32 @@ func (e *Envelope) AppendTo(buf []byte) []byte {
 func (e *Envelope) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
 	e.Shard = uint32(r.Uvarint())
+	e.Epoch = r.Uvarint()
 	e.Kind = r.String()
 	e.ID = r.Uvarint()
 	e.CorrID = r.Uvarint()
 	e.Payload = r.Bytes()
+	return r.Done()
+}
+
+// epochInfo names an assignment: the payload of a wrong-epoch redirect
+// (and of any future control-plane gossip about the current epoch).
+type epochInfo struct {
+	Epoch  uint64
+	Shards uint32
+}
+
+// AppendTo implements codec.Wire.
+func (e *epochInfo) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, e.Epoch)
+	return codec.AppendUvarint(buf, uint64(e.Shards))
+}
+
+// DecodeFrom implements codec.Wire.
+func (e *epochInfo) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	e.Epoch = r.Uvarint()
+	e.Shards = uint32(r.Uvarint())
 	return r.Done()
 }
 
@@ -76,9 +116,13 @@ func (s *xSubTxn) DecodeFrom(data []byte) error {
 
 // xPlan is a whole cross-shard transaction: the 2PC prepare payload.
 // Every participant receives the full plan and extracts its own part
-// (tpc sends one payload to all participants).
+// (tpc sends one payload to all participants). Epoch is the assignment
+// the coordinator routed the plan against; a participant serving a
+// different epoch votes NO, because the plan's shard placement is no
+// longer (or not yet) the cluster's truth.
 type xPlan struct {
 	TxnID  string
+	Epoch  uint64
 	Shards []uint32 // involved shards, ascending
 	Parts  [][]byte // encoded xSubTxn per entry of Shards
 }
@@ -95,6 +139,7 @@ func (p *xPlan) part(shard uint32) ([]byte, bool) {
 // AppendTo implements codec.Wire.
 func (p *xPlan) AppendTo(buf []byte) []byte {
 	buf = codec.AppendString(buf, p.TxnID)
+	buf = codec.AppendUvarint(buf, p.Epoch)
 	buf = codec.AppendUvarint(buf, uint64(len(p.Shards)))
 	for i, s := range p.Shards {
 		buf = codec.AppendUvarint(buf, uint64(s))
@@ -107,6 +152,7 @@ func (p *xPlan) AppendTo(buf []byte) []byte {
 func (p *xPlan) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
 	p.TxnID = r.String()
+	p.Epoch = r.Uvarint()
 	n := r.Count(2)
 	p.Shards, p.Parts = nil, nil
 	if n > 0 {
@@ -133,6 +179,27 @@ func (c *xCtl) AppendTo(buf []byte) []byte { return codec.AppendString(buf, c.Tx
 func (c *xCtl) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
 	c.TxnID = r.String()
+	return r.Done()
+}
+
+// xDecision answers a recovery poll: whether this participant's 2PC
+// server has a decided outcome for the transaction, and which.
+type xDecision struct {
+	Found  bool
+	Commit bool
+}
+
+// AppendTo implements codec.Wire.
+func (d *xDecision) AppendTo(buf []byte) []byte {
+	buf = codec.AppendBool(buf, d.Found)
+	return codec.AppendBool(buf, d.Commit)
+}
+
+// DecodeFrom implements codec.Wire.
+func (d *xDecision) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	d.Found = r.Bool()
+	d.Commit = r.Bool()
 	return r.Done()
 }
 
@@ -163,8 +230,11 @@ func init() {
 	codec.Register(kindEnvelope,
 		func() codec.Wire { return new(Envelope) },
 		func() codec.Wire {
-			return &Envelope{Shard: 2, Kind: "act.ab", ID: 9, CorrID: 4, Payload: []byte("inner-bytes")}
+			return &Envelope{Shard: 2, Epoch: 3, Kind: "act.ab", ID: 9, CorrID: 4, Payload: []byte("inner-bytes")}
 		})
+	codec.Register("shard.epoch",
+		func() codec.Wire { return new(epochInfo) },
+		func() codec.Wire { return &epochInfo{Epoch: 4, Shards: 5} })
 	codec.Register("shard.subtxn",
 		func() codec.Wire { return new(xSubTxn) },
 		func() codec.Wire {
@@ -173,11 +243,14 @@ func init() {
 	codec.Register("shard.plan",
 		func() codec.Wire { return new(xPlan) },
 		func() codec.Wire {
-			return &xPlan{TxnID: "x1-3", Shards: []uint32{0, 2}, Parts: [][]byte{[]byte("p0"), []byte("p2")}}
+			return &xPlan{TxnID: "x1-3", Epoch: 2, Shards: []uint32{0, 2}, Parts: [][]byte{[]byte("p0"), []byte("p2")}}
 		})
 	codec.Register("shard.ctl",
 		func() codec.Wire { return new(xCtl) },
 		func() codec.Wire { return &xCtl{TxnID: "x1-3"} })
+	codec.Register("shard.dec",
+		func() codec.Wire { return new(xDecision) },
+		func() codec.Wire { return &xDecision{Found: true, Commit: true} })
 	codec.Register("shard.result",
 		func() codec.Wire { return new(xResult) },
 		func() codec.Wire {

@@ -59,13 +59,25 @@ const (
 	// stage — without the marker, the late prepare would then install
 	// intents that no outcome will ever clear. A prepare finding the
 	// marker refuses deterministically. One small tombstone per aborted
-	// cross-shard transaction is retained in the store.
+	// cross-shard transaction is retained in the store. Aborted moves
+	// (live rebalancing) tombstone their MoveID the same way.
 	xDecidedPrefix = "!x/d/"
+	// moveMarkerKey holds the encoded Plan of a standing partition move
+	// — the exclusive range intent of the cutover protocol. While set on
+	// a group, cross-shard prepares touching keys that move under the
+	// plan refuse deterministically, exactly as they would against a
+	// per-key intent; the freeze procedure only installs the marker once
+	// no standing intent covers a moving key, so the moving range is
+	// intent-free from freeze to release.
+	moveMarkerKey = "!x/mv"
 
 	// xScope is the 2PC name scope shared by coordinator and servers.
 	xScope = "xshard"
 	// kindXResult fetches a participant's prepare-time reads.
 	kindXResult = "xshard.res"
+	// kindXDecision asks a peer participant for a transaction's decided
+	// outcome (the recovery sweep's poll).
+	kindXDecision = "xshard.dec"
 )
 
 func intentKey(key string) string    { return xIntentPrefix + key }
@@ -95,16 +107,22 @@ func decodeStage(data []byte) (xStage, error) {
 	return s, r.Done()
 }
 
-// withCrossShardProcs returns procs extended with the three cross-shard
-// procedures. The user map is copied, never mutated.
-func withCrossShardProcs(procs map[string]core.ProcFunc) map[string]core.ProcFunc {
-	out := make(map[string]core.ProcFunc, len(procs)+3)
+// withShardProcs returns procs extended with the three cross-shard
+// procedures and the three cutover procedures of live rebalancing. The
+// partitioner is captured so the replicated procedures can evaluate a
+// move plan's key placement deterministically at every replica. The
+// user map is copied, never mutated.
+func withShardProcs(procs map[string]core.ProcFunc, part Partitioner) map[string]core.ProcFunc {
+	out := make(map[string]core.ProcFunc, len(procs)+6)
 	for k, v := range procs {
 		out[k] = v
 	}
-	out[xPrepProc] = xPrepare(procs)
+	out[xPrepProc] = xPrepare(procs, part)
 	out[xCommitProc] = xCommit
 	out[xAbortProc] = xAbort
+	out[rebalFreezeProc] = rebalFreeze(part)
+	out[rebalReleaseProc] = rebalRelease
+	out[rebalAbortProc] = rebalAbort
 	return out
 }
 
@@ -113,7 +131,7 @@ func withCrossShardProcs(procs map[string]core.ProcFunc) map[string]core.ProcFun
 // executes at prepare time against a staging ProcTx, so its reads
 // happen under the transaction's intents and its writes join the staged
 // writeset.
-func xPrepare(userProcs map[string]core.ProcFunc) core.ProcFunc {
+func xPrepare(userProcs map[string]core.ProcFunc, part Partitioner) core.ProcFunc {
 	return func(tx core.ProcTx, args []byte) error {
 		var sub xSubTxn
 		if err := codec.Unmarshal(args, &sub); err != nil {
@@ -123,6 +141,19 @@ func xPrepare(userProcs map[string]core.ProcFunc) core.ProcFunc {
 		// prepare late (the outcome that would clear it is spent).
 		if len(tx.Read(decidedKey(sub.TxnID))) > 0 {
 			return fmt.Errorf("shard: %s already aborted on this shard", sub.TxnID)
+		}
+		// A standing partition move is an exclusive range intent: any key
+		// leaving this group under the frozen plan refuses new prepares
+		// until the cutover completes (or the move aborts).
+		if raw := tx.Read(moveMarkerKey); len(raw) > 0 {
+			var mv Plan
+			if codec.Unmarshal(raw, &mv) == nil {
+				for _, key := range sub.accessedKeys() {
+					if _, _, moving := mv.MoveOf(key, part); moving {
+						return fmt.Errorf("shard: %s conflicts with move %s on %q", sub.TxnID, mv.MoveID, key)
+					}
+				}
+			}
 		}
 		// Conflict check next: any standing foreign intent on a key this
 		// sub-transaction reads or writes is a NO vote. Intents are
@@ -287,16 +318,16 @@ func (s *xSubTxn) accessedKeys() []string {
 // lockKeys is the access set declared on the prepare/commit/abort
 // procedure operations, so locking techniques (passive-style lockTxn,
 // eager locking) serialize cross-shard bookkeeping exactly like data
-// access: the data keys, their intents, and the per-transaction
-// staging and decision keys.
+// access: the data keys, their intents, the per-transaction staging
+// and decision keys, and the move marker the prepare consults.
 func (s *xSubTxn) lockKeys() []string {
 	data := s.accessedKeys()
-	out := make([]string, 0, 2*len(data)+2)
+	out := make([]string, 0, 2*len(data)+3)
 	out = append(out, data...)
 	for _, k := range data {
 		out = append(out, intentKey(k))
 	}
-	return append(out, stageKey(s.TxnID), decidedKey(s.TxnID))
+	return append(out, stageKey(s.TxnID), decidedKey(s.TxnID), moveMarkerKey)
 }
 
 // participant bridges tpc.Participant onto one shard's replicated
@@ -306,23 +337,51 @@ func (s *xSubTxn) lockKeys() []string {
 type participant struct {
 	shard   uint32
 	cl      *core.Client
-	timeout time.Duration // bounds one inner replicated round
+	router  *Router         // current assignment, for the plan epoch check
+	node    *transport.Node // the participant's own endpoint (RPC + sweep polls)
+	srv     *tpc.Server     // decision log; Resolve re-delivers recovered outcomes
+	timeout time.Duration   // bounds one inner replicated round
+	stop    chan struct{}   // closes the recovery sweeper
 
 	// lostOutcomes counts decided outcomes this participant failed to
 	// apply after retries — the 2PC blocking window made visible: the
 	// shard group was unreachable for the whole retry budget, so its
-	// stage stays pending until an operator (or a future recovery pass)
-	// re-delivers the outcome. Tests assert it stays zero.
+	// stage stays pending. The recovery sweep keeps re-delivering such
+	// outcomes and decrements the counter when one lands, so a non-zero
+	// value means outcomes are lost *right now*. Tests assert it ends
+	// at zero.
 	lostOutcomes atomic.Uint64
+	// recoveredOutcomes counts outcomes the sweep re-delivered (either
+	// from its own pending queue or learned from a peer's decision log).
+	recoveredOutcomes atomic.Uint64
+	// deliverSeq makes re-delivery transaction IDs unique per attempt.
+	deliverSeq atomic.Uint64
 
 	mu      sync.Mutex
 	results map[string]prepInfo
 	order   []string // FIFO eviction of fetched-late results
+	// awaiting tracks transactions prepared here whose outcome has not
+	// arrived; the sweep polls peer participants for decisions once an
+	// entry is old enough.
+	awaiting map[string]awaitEntry
+	// pending holds outcomes that were decided but could not be applied
+	// to the group within the retry budget; the sweep re-delivers them.
+	pending map[string]pendingOutcome
 }
 
 type prepInfo struct {
 	res  txn.Result
 	keys []string // lock declaration for the outcome procedures
+}
+
+type awaitEntry struct {
+	since  time.Time
+	shards []uint32 // the plan's participant set — who to ask for the decision
+}
+
+type pendingOutcome struct {
+	proc string
+	keys []string
 }
 
 // maxRetainedResults bounds the prepare-result cache (results are
@@ -331,11 +390,17 @@ type prepInfo struct {
 const maxRetainedResults = 1024
 
 // Prepare implements tpc.Participant: extract this shard's part of the
-// plan and run the prepare procedure through the group.
+// plan and run the prepare procedure through the group. A plan routed
+// against a different epoch than the cluster's current assignment is
+// refused outright — its shard placement is not this cluster's truth,
+// so serving it could stage writes at a group that does not own them.
 func (p *participant) Prepare(txnID string, payload []byte) tpc.Vote {
 	var plan xPlan
 	if err := codec.Unmarshal(payload, &plan); err != nil {
 		return tpc.VoteNo
+	}
+	if plan.Epoch != 0 && plan.Epoch != p.router.Epoch() {
+		return tpc.VoteNo // stale (or future) routing epoch
 	}
 	part, ok := plan.part(p.shard)
 	if !ok {
@@ -362,6 +427,7 @@ func (p *participant) Prepare(txnID string, payload []byte) tpc.Vote {
 		p.order = p.order[1:]
 		delete(p.results, evict)
 	}
+	p.awaiting[txnID] = awaitEntry{since: time.Now(), shards: plan.Shards}
 	p.mu.Unlock()
 	return tpc.VoteYes
 }
@@ -381,6 +447,7 @@ const outcomeAttempts = 3
 func (p *participant) finish(txnID, proc string) {
 	p.mu.Lock()
 	info := p.results[txnID]
+	delete(p.awaiting, txnID) // the outcome is known from here on
 	p.mu.Unlock()
 	keys := info.keys // includes the staging/decision keys when prepared here
 	if len(keys) == 0 {
@@ -388,21 +455,139 @@ func (p *participant) finish(txnID, proc string) {
 		// stage (absent) and writes the decision tombstone.
 		keys = []string{stageKey(txnID), decidedKey(txnID)}
 	}
-	args := codec.MustMarshal(&xCtl{TxnID: txnID})
 	// A decided outcome must reach the group: retry the inner round (the
 	// procedures are idempotent, so re-delivery is safe).
 	for attempt := 0; attempt < outcomeAttempts; attempt++ {
-		ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
-		res, err := p.cl.Invoke(ctx, txn.Transaction{
-			ID:  fmt.Sprintf("%s/%s-%d", txnID, proc, attempt),
-			Ops: []txn.Op{txn.P(proc, args, keys...)},
-		})
-		cancel()
-		if err == nil && res.Committed {
+		if p.deliverOutcome(txnID, proc, keys) {
 			return
 		}
 	}
+	// Retry budget spent (the group was unreachable throughout): park the
+	// outcome for the recovery sweep and count the loss until it lands.
+	p.mu.Lock()
+	p.pending[txnID] = pendingOutcome{proc: proc, keys: keys}
+	p.mu.Unlock()
 	p.lostOutcomes.Add(1)
+}
+
+// deliverOutcome runs one inner replicated round applying an outcome
+// procedure; true means the group committed it.
+func (p *participant) deliverOutcome(txnID, proc string, keys []string) bool {
+	args := codec.MustMarshal(&xCtl{TxnID: txnID})
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	res, err := p.cl.Invoke(ctx, txn.Transaction{
+		ID:  fmt.Sprintf("%s/%s-%d", txnID, proc, p.deliverSeq.Add(1)),
+		Ops: []txn.Op{txn.P(proc, args, keys...)},
+	})
+	return err == nil && res.Committed
+}
+
+// sweepAge is how long a prepared transaction may sit without an
+// outcome before the sweep starts polling peers for the decision.
+const sweepAge = 2 * time.Second
+
+// sweeper is the cross-shard recovery pass: a background loop that (1)
+// re-delivers outcomes the participant knows but could not apply (its
+// group was unreachable for the whole retry budget — the counted
+// lostOutcomes), and (2) for transactions stuck prepared with no
+// outcome (a coordinator that died between votes and outcome — the 2PC
+// blocking window), polls the other participants' decision logs and
+// re-delivers what was decided. Both paths ride the idempotent outcome
+// procedures, so racing a late coordinator is harmless.
+func (p *participant) sweeper(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.sweep()
+		}
+	}
+}
+
+func (p *participant) sweep() {
+	// Re-deliver parked outcomes.
+	p.mu.Lock()
+	parked := make(map[string]pendingOutcome, len(p.pending))
+	for id, po := range p.pending {
+		parked[id] = po
+	}
+	p.mu.Unlock()
+	for txnID, po := range parked {
+		if p.deliverOutcome(txnID, po.proc, po.keys) {
+			p.mu.Lock()
+			delete(p.pending, txnID)
+			p.mu.Unlock()
+			p.lostOutcomes.Add(^uint64(0))
+			p.recoveredOutcomes.Add(1)
+		}
+	}
+
+	// Poll peers for decisions of transactions stuck prepared.
+	cutoff := time.Now().Add(-sweepAge)
+	p.mu.Lock()
+	stuck := make(map[string][]uint32)
+	for id, aw := range p.awaiting {
+		if aw.since.Before(cutoff) {
+			stuck[id] = aw.shards
+		}
+	}
+	p.mu.Unlock()
+	for txnID, shards := range stuck {
+		for _, s := range shards {
+			if s == p.shard {
+				continue
+			}
+			outcome, ok := p.pollDecision(txnID, int(s))
+			if !ok {
+				continue
+			}
+			// Resolve through the 2PC server: it dedups against a late
+			// coordinator outcome and invokes Commit/Abort (→ finish),
+			// which clears the awaiting entry.
+			if p.srv.Resolve(txnID, outcome) {
+				p.recoveredOutcomes.Add(1)
+			}
+			break
+		}
+	}
+}
+
+// pollDecision asks shard s's participant whether txnID was decided.
+func (p *participant) pollDecision(txnID string, s int) (tpc.Outcome, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	reply, err := p.node.Call(ctx, participantID(s), kindXDecision,
+		codec.MustMarshal(&xCtl{TxnID: txnID}))
+	if err != nil {
+		return 0, false
+	}
+	var d xDecision
+	if codec.Unmarshal(reply.Payload, &d) != nil || !d.Found {
+		return 0, false
+	}
+	if d.Commit {
+		return tpc.Commit, true
+	}
+	return tpc.Abort, true
+}
+
+// onDecision answers a peer's poll of this participant's decision log.
+func (p *participant) onDecision(node *transport.Node) transport.Handler {
+	return func(m transport.Message) {
+		var ctl xCtl
+		if err := codec.Unmarshal(m.Payload, &ctl); err != nil {
+			return
+		}
+		var d xDecision
+		if outcome, ok := p.srv.Decision(ctl.TxnID); ok {
+			d.Found, d.Commit = true, outcome == tpc.Commit
+		}
+		_ = node.Reply(m, codec.MustMarshal(&d))
+	}
 }
 
 // onResult answers a coordinator's fetch of prepare-time reads.

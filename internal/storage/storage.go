@@ -162,6 +162,90 @@ func (s *Store) appendVersion(key string, v Version) {
 	s.items[key] = chain
 }
 
+// Item pairs a key with its latest version — one element of a Scan.
+type Item struct {
+	Key string
+	Ver Version
+}
+
+// Scan returns up to limit items whose keys sort strictly after
+// afterKey, in ascending key order, each carrying its latest version.
+// Paging with afterKey = the last returned key walks the whole store in
+// stable chunks: keys inserted behind the cursor are skipped, keys
+// inserted ahead are picked up — exactly the guarantee a chunked state
+// transfer needs (the snapshot subsystem and future recovery both page
+// through stores this way). limit <= 0 means no bound.
+//
+// A bounded page selects its keys with a size-limit max-heap — O(K log
+// limit) time and O(limit) memory per page over K keys — rather than
+// sorting the whole key set per call; each page still walks the map
+// once, so a full transfer of a very large store is O(K²/limit) and a
+// future sorted index would take that to O(K) (see ROADMAP).
+func (s *Store) Scan(afterKey string, limit int) []Item {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var keys []string
+	if limit <= 0 || limit >= len(s.items) {
+		keys = make([]string, 0, len(s.items))
+		for k := range s.items {
+			if k > afterKey {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+	} else {
+		// h is a max-heap of the limit smallest qualifying keys.
+		h := make([]string, 0, limit)
+		up := func(i int) {
+			for i > 0 {
+				p := (i - 1) / 2
+				if h[p] >= h[i] {
+					return
+				}
+				h[p], h[i] = h[i], h[p]
+				i = p
+			}
+		}
+		down := func() {
+			i := 0
+			for {
+				c := 2*i + 1
+				if c >= len(h) {
+					return
+				}
+				if r := c + 1; r < len(h) && h[r] > h[c] {
+					c = r
+				}
+				if h[i] >= h[c] {
+					return
+				}
+				h[i], h[c] = h[c], h[i]
+				i = c
+			}
+		}
+		for k := range s.items {
+			if k <= afterKey {
+				continue
+			}
+			if len(h) < limit {
+				h = append(h, k)
+				up(len(h) - 1)
+			} else if k < h[0] {
+				h[0] = k
+				down()
+			}
+		}
+		sort.Strings(h)
+		keys = h
+	}
+	out := make([]Item, 0, len(keys))
+	for _, k := range keys {
+		chain := s.items[k]
+		out = append(out, Item{Key: k, Ver: chain[len(chain)-1]})
+	}
+	return out
+}
+
 // History returns a copy of key's version chain, oldest first.
 func (s *Store) History(key string) []Version {
 	s.mu.RLock()

@@ -214,3 +214,54 @@ func TestConcurrentApplyAndRead(t *testing.T) {
 		t.Fatalf("Keys = %d entries", got)
 	}
 }
+
+// TestScanPagesInOrder: Scan returns ascending keys strictly after the
+// cursor, pages stitch into the whole key set, and keys written behind
+// an advanced cursor are skipped while keys ahead are picked up — the
+// stability guarantee chunked state transfer depends on.
+func TestScanPagesInOrder(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 10; i++ {
+		s.Apply(WriteSet{{Key: fmt.Sprintf("k%02d", i), Value: []byte{byte(i)}}}, "t", "", 0)
+	}
+
+	var got []string
+	after := ""
+	for {
+		items := s.Scan(after, 3)
+		if len(items) == 0 {
+			break
+		}
+		for _, it := range items {
+			if it.Key <= after {
+				t.Fatalf("key %q not after cursor %q", it.Key, after)
+			}
+			got = append(got, it.Key)
+			after = it.Key
+		}
+		if len(items) < 3 {
+			break
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("paged scan saw %d keys, want 10: %v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("scan out of order: %v", got)
+		}
+	}
+
+	// A key behind the cursor is skipped; one ahead is found.
+	s.Apply(WriteSet{{Key: "a-behind", Value: []byte("x")}}, "t2", "", 0)
+	s.Apply(WriteSet{{Key: "z-ahead", Value: []byte("y")}}, "t2", "", 0)
+	items := s.Scan("k09", 10)
+	if len(items) != 1 || items[0].Key != "z-ahead" {
+		t.Fatalf("scan after k09 = %+v, want only z-ahead", items)
+	}
+	// Scan with no limit returns everything, latest version values.
+	all := s.Scan("", 0)
+	if len(all) != 12 {
+		t.Fatalf("full scan = %d items, want 12", len(all))
+	}
+}

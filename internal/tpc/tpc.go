@@ -189,6 +189,42 @@ func (s *Server) onOutcome(msg transport.Message) {
 	_ = s.node.Reply(msg, nil)
 }
 
+// Decision returns the decided outcome of txnID, if this server has
+// seen one. Recovery sweeps use it: a participant stuck prepared (its
+// coordinator gone) asks its peers what was decided and re-delivers
+// the outcome itself instead of blocking forever.
+func (s *Server) Decision(txnID string) (Outcome, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, ok := s.done[txnID]
+	return o, ok
+}
+
+// Resolve applies an outcome learned outside the coordinator's
+// broadcast (e.g. from a peer's decision log during recovery). It runs
+// exactly the onOutcome path minus the network: record the decision,
+// clear the prepared mark, invoke the participant callback. A false
+// return means the outcome was already known and nothing was done, so
+// racing a late coordinator is harmless.
+func (s *Server) Resolve(txnID string, o Outcome) bool {
+	s.mu.Lock()
+	if _, ok := s.done[txnID]; ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.done[txnID] = o
+	delete(s.prepared, txnID)
+	s.mu.Unlock()
+
+	switch o {
+	case Commit:
+		s.p.Commit(txnID)
+	case Abort:
+		s.p.Abort(txnID)
+	}
+	return true
+}
+
 // Prepared reports whether txnID is prepared but unresolved — the
 // blocking window (PS5 reads this).
 func (s *Server) Prepared(txnID string) bool {

@@ -122,17 +122,30 @@ type (
 	Phase = trace.Phase
 
 	// ShardedCluster is a running sharded replication system: one group
-	// per partition over a shared transport (see NewSharded).
+	// per partition over a shared transport (see NewSharded). It can
+	// grow and shrink live: AddShard, RemoveShard and Rebalance stream
+	// the moving partition between groups under an epoch-versioned
+	// assignment, with only the moving keys pausing briefly.
 	ShardedCluster = shard.Cluster
 	// ShardedClient routes requests to owning shards and coordinates
-	// cross-shard transactions.
+	// cross-shard transactions. It caches the partition assignment and
+	// transparently re-routes after a rebalance (wrong-epoch redirect).
 	ShardedClient = shard.Client
+	// ShardConfig is the full sharded-cluster configuration: shard
+	// count, group template, partitioner, per-shard technique overrides
+	// (TechniqueFor), cross-shard timeout and recovery-sweep interval.
+	ShardConfig = shard.Config
 	// Partitioner maps keys to partitions (pluggable; consistent hashing
 	// by default).
 	Partitioner = shard.Partitioner
 	// HashRing is the default Partitioner: consistent hashing with
 	// virtual nodes.
 	HashRing = shard.HashRing
+	// ShardAssignment is one epoch-stamped version of the partition map.
+	ShardAssignment = shard.Assignment
+	// MoveReport summarizes one completed live rebalance step (moved
+	// keys, copy time, freeze window).
+	MoveReport = shard.MoveReport
 
 	// NodeID identifies a process on the network.
 	NodeID = transport.NodeID
@@ -192,14 +205,21 @@ func New(cfg Config) (*Cluster, error) { return core.NewCluster(cfg) }
 // replication groups (each shaped by cfg exactly as New would build one)
 // behind a consistent-hash partition router, with cross-shard
 // transactions coordinated through Two Phase Commit. A zero shard count
-// defaults to 2. Use NewShardedWith to supply a custom Partitioner.
+// defaults to 2. The cluster rebalances live: AddShard/RemoveShard/
+// Rebalance move partitions between groups under traffic. Use
+// NewShardedWith for a custom partitioner, per-shard technique
+// overrides, or rebalancing knobs.
 func NewSharded(cfg Config) (*ShardedCluster, error) {
 	return shard.New(shard.Config{Shards: cfg.Shards, Group: cfg})
 }
 
-// NewShardedWith is NewSharded with an explicit key partitioner.
-func NewShardedWith(cfg Config, p Partitioner) (*ShardedCluster, error) {
-	return shard.New(shard.Config{Shards: cfg.Shards, Group: cfg, Partitioner: p})
+// NewShardedWith is NewSharded with the full sharded configuration:
+// sc.Group is the per-shard template, sc.Partitioner the key placement,
+// and sc.TechniqueFor (when set) picks each partition's technique — a
+// mixed cluster can run hot partitions on active/abcast while archive
+// partitions run lazy-primary.
+func NewShardedWith(sc ShardConfig) (*ShardedCluster, error) {
+	return shard.New(sc)
 }
 
 // Protocols lists all techniques in the paper's presentation order.
