@@ -11,6 +11,7 @@
 //	replsim -protocol active -transport tcp
 //	replsim -protocol active -shards 4 -txn-ops 3
 //	replsim -protocol active -shards 3 -rebalance
+//	replsim -protocol active -kill -recover
 //	replsim -list
 //
 // With -shards > 1 the cluster runs one replication group per
@@ -21,6 +22,10 @@
 // run — a live move under load — and the report adds the move's
 // statistics (keys moved, copy time, freeze window) plus the latency
 // observed while the move was in progress, tail impact included.
+// With -kill the last replica crashes a third into the run (of every
+// shard at once in a sharded cluster); adding -recover brings it back
+// at two thirds — donor catch-up plus rejoin, under the remaining load
+// — and reports the measured MTTR.
 package main
 
 import (
@@ -60,7 +65,9 @@ func main() {
 		lazyOrder = flag.String("lazy-ue-order", "lww", "lazy-ue reconciliation: lww or abcast")
 		latency   = flag.Duration("latency", 100*time.Microsecond, "one-way network latency (sim transport)")
 		tport     = flag.String("transport", "sim", "message substrate: sim (simulated) or tcp (real loopback sockets)")
-		crash     = flag.Bool("crash", false, "crash the distinguished replica mid-run")
+		crash     = flag.Bool("crash", false, "crash the distinguished replica mid-run (crash-stop: never recovered)")
+		kill      = flag.Bool("kill", false, "crash the last replica one third into the run")
+		recov     = flag.Bool("recover", false, "recover the killed replica two thirds into the run and report MTTR (needs -kill)")
 		rebal     = flag.Bool("rebalance", false, "grow the cluster by one shard mid-run (needs -shards > 1)")
 		showTrace = flag.Bool("trace", false, "print the phase trace of the first request")
 		list      = flag.Bool("list", false, "list techniques and exit")
@@ -81,7 +88,7 @@ func main() {
 	}
 
 	if err := run(*protocol, *replicas, *shards, *clients, *ops, *writes, *keys, *opsPerTxn,
-		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *crash, *rebal, *showTrace); err != nil {
+		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *crash, *kill, *recov, *rebal, *showTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "replsim:", err)
 		os.Exit(1)
 	}
@@ -95,10 +102,13 @@ type invoker interface {
 
 func run(protocol string, replicas, shards, clients, ops int, writes float64, keys, opsPerTxn int,
 	zipf float64, lazyDelay time.Duration, lazyOrder string, latency time.Duration,
-	tport string, crash, rebal, showTrace bool) error {
+	tport string, crash, kill, recov, rebal, showTrace bool) error {
 
 	if rebal && shards <= 1 {
 		return fmt.Errorf("-rebalance needs -shards > 1")
+	}
+	if recov && !kill {
+		return fmt.Errorf("-recover needs -kill")
 	}
 	if clients < 1 {
 		return fmt.Errorf("-clients must be at least 1")
@@ -122,11 +132,13 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 	// The two cluster shapes expose the same load surface through small
 	// closures; everything below the setup is shared.
 	var (
-		newClient func() invoker
-		crashOne  func()
-		groups    []*core.Cluster
-		network   func() transport.Stats
-		sharded   *shard.Cluster
+		newClient  func() invoker
+		crashOne   func()
+		killOne    func() transport.NodeID
+		recoverOne func(ctx context.Context) error
+		groups     []*core.Cluster
+		network    func() transport.Stats
+		sharded    *shard.Cluster
 	)
 	if shards > 1 {
 		gcfg.Shards = shards
@@ -141,6 +153,9 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 			fmt.Printf("-- crashing %s (its replica of every shard) --\n", sc.Replicas()[0])
 			sc.Crash(sc.Replicas()[0])
 		}
+		victim := sc.Replicas()[len(sc.Replicas())-1]
+		killOne = func() transport.NodeID { sc.Crash(victim); return victim }
+		recoverOne = func(ctx context.Context) error { return sc.RecoverReplica(ctx, victim) }
 		network = func() transport.Stats { return sc.Network().Stats() }
 	} else {
 		c, err := core.NewCluster(gcfg)
@@ -153,6 +168,9 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 			fmt.Printf("-- crashing %s --\n", c.Replicas()[0])
 			c.Crash(c.Replicas()[0])
 		}
+		victim := c.Replicas()[len(c.Replicas())-1]
+		killOne = func() transport.NodeID { c.Crash(victim); return victim }
+		recoverOne = func(ctx context.Context) error { return c.Restart(ctx, victim) }
 		groups = []*core.Cluster{c}
 		network = func() transport.Stats { return c.Network().Stats() }
 	}
@@ -197,6 +215,40 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		}()
 	}
 
+	// Kill/recover: the last replica crashes one third into the run; with
+	// -recover it rejoins live at two thirds and the repair time (MTTR:
+	// donor catch-up + rejoin, under load) is reported.
+	var (
+		mttr     time.Duration
+		recErr   error
+		killedID transport.NodeID
+		killWG   sync.WaitGroup
+	)
+	if kill {
+		total := int64((ops / clients) * clients)
+		killWG.Add(1)
+		go func() {
+			defer killWG.Done()
+			for doneOps.Load() < total/3 {
+				time.Sleep(time.Millisecond)
+			}
+			killedID = killOne()
+			fmt.Printf("-- killed %s --\n", killedID)
+			if !recov {
+				return
+			}
+			for doneOps.Load() < 2*total/3 {
+				time.Sleep(time.Millisecond)
+			}
+			fmt.Printf("-- recovering %s under load --\n", killedID)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			t0 := time.Now()
+			recErr = recoverOne(ctx)
+			mttr = time.Since(t0)
+		}()
+	}
+
 	start := time.Now()
 	perClient := ops / clients
 	for ci := 0; ci < clients; ci++ {
@@ -234,6 +286,7 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 	}
 	wg.Wait()
 	moveWG.Wait()
+	killWG.Wait()
 	elapsed := time.Since(start)
 
 	if sharded != nil {
@@ -283,6 +336,19 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 	if sharded != nil {
 		fmt.Printf("\nper-shard latency (single-shard fast path vs cross-shard 2PC):\n%s\n",
 			sharded.Metrics().Summary())
+	}
+	if kill && recov {
+		if recErr != nil {
+			return fmt.Errorf("recovery of %s failed: %w", killedID, recErr)
+		}
+		// groups already includes the sharded cluster's per-shard groups
+		// at this point (collected above, post-rebalance).
+		storeKeys := 0
+		for _, g := range groups {
+			storeKeys += g.Store(killedID).Len()
+		}
+		fmt.Printf("\nrecovery: %s rejoined in %v (MTTR under load; %d keys in its store)\n",
+			killedID, mttr.Round(time.Microsecond), storeKeys)
 	}
 	if rebal {
 		if moveErr != nil {

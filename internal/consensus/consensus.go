@@ -32,6 +32,7 @@ package consensus
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -93,6 +94,9 @@ type Manager struct {
 	det     *fd.Detector
 	poll    time.Duration
 
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	mu        sync.Mutex
 	instances map[uint64]*instance
 	decided   map[uint64][]byte
@@ -148,6 +152,7 @@ func NewManager(node *transport.Node, name string, members []transport.NodeID, d
 		members:   append([]transport.NodeID(nil), members...),
 		det:       det,
 		poll:      poll,
+		stop:      make(chan struct{}),
 		instances: make(map[uint64]*instance),
 		decided:   make(map[uint64][]byte),
 	}
@@ -157,6 +162,38 @@ func NewManager(node *transport.Node, name string, members []transport.NodeID, d
 	node.Handle(name+kindDecide, m.onDecide)
 	node.Handle(name+kindQuery, m.onQuery)
 	return m
+}
+
+// Stop ends every round loop. The owning layer (ABCAST, view group,
+// semi-passive ordering) calls it at teardown: under the crash-recovery
+// model a round loop no longer exits on crash — it goes dormant and
+// resumes when the process recovers — so teardown needs an explicit
+// signal. Idempotent.
+func (m *Manager) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}
+
+func (m *Manager) stopped() bool {
+	select {
+	case <-m.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// waitRecovered blocks while the node is crashed, returning false when
+// the manager stopped instead. Crash-recovery: a crashed process's
+// round state freezes; when the process returns, its rounds resume and
+// the periodic decision queries learn what the group decided meanwhile.
+func (m *Manager) waitRecovered() bool {
+	for m.node.Crashed() {
+		if m.stopped() {
+			return false
+		}
+		time.Sleep(m.poll)
+	}
+	return !m.stopped()
 }
 
 // OnDecide registers a decision callback, invoked exactly once per
@@ -234,6 +271,8 @@ func (m *Manager) await(ctx context.Context, ins *instance) ([]byte, error) {
 	select {
 	case <-ctx.Done():
 		return nil, fmt.Errorf("consensus: %w", ctx.Err())
+	case <-m.stop:
+		return nil, fmt.Errorf("consensus: %w", context.Canceled)
 	case <-ins.done:
 		ins.mu.Lock()
 		defer ins.mu.Unlock()
@@ -241,17 +280,20 @@ func (m *Manager) await(ctx context.Context, ins *instance) ([]byte, error) {
 	}
 }
 
-// runRounds drives the round loop for one instance until decided.
-// It terminates when the instance decides; if the process crashes the
-// sends fail silently and the loop exits on the decided check or keeps
-// cycling harmlessly until the node stops (sends from crashed endpoints
-// error out immediately).
+// runRounds drives the round loop for one instance until decided or the
+// manager stops. A crashed process's loop goes dormant (waitRecovered)
+// and resumes when the process recovers — the crash-recovery model —
+// after which the decision queries in waitCondQuery learn from peers
+// anything the group decided during the outage.
 func (m *Manager) runRounds(id uint64, ins *instance, v []byte, hasValue bool, produce func() []byte) {
 	est := estimateMsg{Instance: id, Value: v, Ts: 0, HasValue: hasValue}
 	self := m.node.ID()
 
 	for round := 0; ; round++ {
-		if ins.isDecided() || m.node.Crashed() {
+		if ins.isDecided() || m.stopped() {
+			return
+		}
+		if !m.waitRecovered() {
 			return
 		}
 		coord := m.coordinator(round)
@@ -262,7 +304,10 @@ func (m *Manager) runRounds(id uint64, ins *instance, v []byte, hasValue bool, p
 		if coord == self {
 			m.recordEstimate(ins, self, est)
 		} else if err := m.node.Send(coord, m.name+kindEstimate, payload); err != nil {
-			return // crashed or network closed
+			if errors.Is(err, transport.ErrCrashed) {
+				continue // crash raced the send: go dormant and retry
+			}
+			return // network closed
 		}
 
 		// Phase 2 (coordinator): gather a majority of estimates, pick a
@@ -284,6 +329,9 @@ func (m *Manager) runRounds(id uint64, ins *instance, v []byte, hasValue bool, p
 		if coord == self {
 			m.recordAck(ins, self, round, ack.Ack)
 		} else if err := m.node.Send(coord, m.name+kindAck, codec.MustMarshal(&ack)); err != nil {
+			if errors.Is(err, transport.ErrCrashed) {
+				continue
+			}
 			return
 		}
 
@@ -406,15 +454,17 @@ func (m *Manager) collectAcks(id uint64, ins *instance, round int) ([]byte, bool
 }
 
 // waitCondQuery waits for cond to become true; it returns false only if
-// the node crashed, so waiters unwind. The wait is event-driven: every
-// recorded estimate, proposal, ack and decision pulses the instance's
-// signal channel, so the common case wakes at message-arrival latency
-// rather than sleeping out a poll quantum (the poll interval remains as
-// a fallback — failure-detector suspicion changes are not signalled).
-// While waiting it periodically asks peers whether the instance has
-// already been decided — this recovers liveness when the decide
-// broadcast was lost (e.g. the process was partitioned away when the
-// group decided and healed later).
+// the manager stopped, so waiters unwind at teardown. The wait is
+// event-driven: every recorded estimate, proposal, ack and decision
+// pulses the instance's signal channel, so the common case wakes at
+// message-arrival latency rather than sleeping out a poll quantum (the
+// poll interval remains as a fallback — failure-detector suspicion
+// changes are not signalled). While waiting it periodically asks peers
+// whether the instance has already been decided — this recovers
+// liveness when the decide broadcast was lost: the process was
+// partitioned away or crashed when the group decided, and healed or
+// recovered later. While the node is crashed the wait goes quiet (no
+// queries) but keeps waiting — crash-recovery, not crash-stop.
 func (m *Manager) waitCondQuery(id uint64, ins *instance, cond func() bool) bool {
 	const queryEvery = 40 // poll timeouts between decision queries (~8ms at default poll)
 	timer := time.NewTimer(m.poll)
@@ -423,14 +473,16 @@ func (m *Manager) waitCondQuery(id uint64, ins *instance, cond func() bool) bool
 		if cond() {
 			return true
 		}
-		if m.node.Crashed() {
+		if m.stopped() {
 			return false
 		}
 		select {
+		case <-m.stop:
+			return false
 		case <-ins.sig:
 		case <-timer.C:
 			i++
-			if i%queryEvery == 0 && !ins.isDecided() {
+			if i%queryEvery == 0 && !ins.isDecided() && !m.node.Crashed() {
 				query := codec.MustMarshal(&decideMsg{Instance: id})
 				for _, peer := range m.members {
 					if peer != m.node.ID() {

@@ -25,15 +25,13 @@ import (
 type activeServer struct {
 	r  *replica
 	ab *group.Atomic
-
-	mu sync.Mutex
-	dd *dedup
+	dd *dedup // the replica's shared exactly-once table
 }
 
 func newActive(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks {
 	hooks := protocolHooks{servers: make(map[transport.NodeID]*serverEntry)}
 	for id, r := range replicas {
-		s := &activeServer{r: r, dd: newDedup()}
+		s := &activeServer{r: r, dd: r.dd}
 		s.ab = group.NewAtomic(r.node, "act", c.ids, r.det)
 		s.ab.OnDeliver(s.onDeliver)
 		hooks.servers[id] = &serverEntry{replica: r, engine: s}
@@ -66,16 +64,19 @@ func (s *activeServer) stop()  { s.ab.Stop() }
 // ordering goroutine, so execution is sequential in delivery order —
 // the isolation the state-machine approach requires.
 func (s *activeServer) onDeliver(origin transport.NodeID, payload []byte) {
+	pos := s.ab.LastDelivered()
+	ok, release := s.r.enterApply(pos)
+	if !ok {
+		return // covered by a recovery catch-up; live replicas answered
+	}
+	defer release()
 	req := decodeRequest(payload)
 	s.r.trace(req.ID, trace.SC, "abcast")
 
-	s.mu.Lock()
-	if res, ok := s.dd.get(req.ID); ok {
-		s.mu.Unlock()
+	if res, done := s.dd.get(req.ID); done {
 		respond(s.r.node, req, res)
 		return
 	}
-	s.mu.Unlock()
 
 	s.r.trace(req.ID, trace.EX, "")
 	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
@@ -83,14 +84,17 @@ func (s *activeServer) onDeliver(origin transport.NodeID, payload []byte) {
 	}, true)
 	if err != nil {
 		out.result = txnResult{Committed: false, Err: err.Error()}
-	} else if len(out.ws) > 0 {
-		s.r.store.Apply(out.ws, req.TxnID(), string(s.r.id), 0)
 	}
-
-	s.mu.Lock()
+	s.r.commit(pos, req.ID, req.TxnID(), s.r.id, 0, out.ws, out.result)
 	s.dd.put(req.ID, out.result)
-	s.mu.Unlock()
 
 	// Phase 5: all replicas respond; the client ignores all but the first.
 	respond(s.r.node, req, out.result)
+}
+
+// rejoin implements the recovery hook: fast-forward the total order
+// past what the catch-up covered.
+func (s *activeServer) rejoin(_ context.Context, fence uint64) error {
+	s.ab.FastForward(fence)
+	return nil
 }

@@ -53,7 +53,7 @@ func newCertification(c *Cluster, replicas map[transport.NodeID]*replica) protoc
 	for id, r := range replicas {
 		s := &certificationServer{
 			r:       r,
-			dd:      newDedup(),
+			dd:      r.dd,
 			waiting: make(map[uint64]transport.Message),
 		}
 		s.ab = group.NewAtomic(r.node, "cert", c.ids, r.det)
@@ -113,20 +113,46 @@ func (s *certificationServer) onClientRequest(m transport.Message) {
 
 // onDeliver certifies one transaction in total order. All sites reach
 // the same verdict because they certify against identically ordered
-// state.
+// state — which is also why a recovered replica must either skip a
+// redelivered instance entirely (the fence) or certify it on a
+// timestamp-faithful copy of a live peer's store.
 func (s *certificationServer) onDeliver(origin transport.NodeID, payload []byte) {
 	var cm certMsg
 	codec.MustUnmarshal(payload, &cm)
 	req := cm.Req
+
+	pos := s.ab.LastDelivered()
+	gated, release := s.r.enterApply(pos)
+	if !gated {
+		// Covered by a recovery catch-up; a parked client RPC still
+		// deserves its (recovered) cached result.
+		if cm.Delegate == s.r.id {
+			answerParked(s.r, &s.mu, s.waiting, req.ID)
+		}
+		return
+	}
+	defer release()
 	s.r.trace(req.ID, trace.AC, "abcast+certify")
 
-	s.mu.Lock()
 	res, done := s.dd.get(req.ID)
-	s.mu.Unlock()
-
 	if !done {
-		if txn.Certify(cm.RS, s.r.store.ReadTs) {
-			s.r.store.Apply(cm.WS, req.TxnID(), string(s.r.id), 0)
+		committed := txn.Certify(cm.RS, s.r.store.ReadTs)
+		if committed && s.r.cfg.WriteGuard != nil {
+			// The guard re-checks at certification time: the freeze
+			// marker may have entered the order between this
+			// transaction's optimistic execution and its certification,
+			// and the verdict must be taken — deterministically, at
+			// every site — against the marker's position in the order.
+			guarded := execResult{result: cm.Result, ws: cm.WS}
+			guarded.result.Committed = true
+			s.r.guardWrites(&guarded)
+			if !guarded.result.Committed {
+				committed = false
+				res = guarded.result
+			}
+		}
+		if committed {
+			s.r.commit(pos, req.ID, req.TxnID(), s.r.id, 0, cm.WS, cm.Result)
 			// The certified reads and writes enter the history in
 			// certification order at every site.
 			for key := range cm.RS {
@@ -135,11 +161,12 @@ func (s *certificationServer) onDeliver(origin transport.NodeID, payload []byte)
 			s.r.recordApply(req.TxnID(), cm.WS)
 			res = cm.Result
 		} else {
-			res = txnResult{Committed: false, Err: "certification: stale reads", Reads: cm.Result.Reads}
+			if res.Err == "" {
+				res = txnResult{Committed: false, Err: "certification: stale reads", Reads: cm.Result.Reads}
+			}
+			s.r.commit(pos, req.ID, req.TxnID(), s.r.id, 0, nil, res)
 		}
-		s.mu.Lock()
 		s.dd.put(req.ID, res)
-		s.mu.Unlock()
 	}
 
 	if cm.Delegate == s.r.id {
@@ -151,4 +178,11 @@ func (s *certificationServer) onDeliver(origin transport.NodeID, payload []byte)
 			_ = s.r.node.Reply(rpc, encodeResponse(Response{ID: req.ID, Result: res}))
 		}
 	}
+}
+
+// rejoin implements the recovery hook: fast-forward the total order
+// past what the catch-up covered.
+func (s *certificationServer) rejoin(_ context.Context, fence uint64) error {
+	s.ab.FastForward(fence)
+	return nil
 }

@@ -22,10 +22,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"replication/internal/fd"
 	"replication/internal/lockmgr"
+	"replication/internal/recon"
+	"replication/internal/recovery"
 	"replication/internal/simnet"
 	"replication/internal/storage"
 	"replication/internal/trace"
@@ -132,9 +135,91 @@ type replica struct {
 	det   *fd.Detector
 	cfg   *Config
 
+	// Crash-recovery state: the exactly-once table (shared with the
+	// technique engine), the bounded apply log a donor serves tails
+	// from, and the catch-up gate. recMu is held exclusively while a
+	// catch-up installs donor state, and for reading by every apply
+	// path; fence (guarded by recMu) is the highest ordered position
+	// the catch-up covered — redeliveries at or below it are skipped.
+	dd         *dedup
+	rlog       *recovery.Log
+	applyMu    sync.Mutex // makes (store apply, log append) one event
+	recMu      sync.RWMutex
+	fence      uint64
+	recovering atomic.Bool
+
 	mu     sync.Mutex
 	nondet map[string][]byte // resolved nondet values per txn+op (semi-active)
 	rngSum uint64            // per-replica entropy for TrueRandomNondet
+}
+
+// enterApply is the gate every store-mutating delivery path passes
+// through while a recovery catch-up may be installing state on this
+// replica. Two disciplines, by delivery kind:
+//
+//   - Ordered deliveries (pos > 0, the technique's consensus instance)
+//     run on the engine's own ordering goroutine: they BLOCK until the
+//     catch-up finishes, then skip if the position is at or below the
+//     fence (their effects, result and dedup entry arrived with the
+//     donor state).
+//   - Unordered deliveries (pos == 0: propagated updates, 2PC
+//     outcomes, reconciliations) run on the node's dispatch loop, which
+//     also routes the catch-up's own RPC replies — blocking it would
+//     deadlock the recovery. They DROP instead: the donor applied the
+//     same update, so the catch-up tail resupplies it.
+//
+// When it returns true the caller MUST invoke release when its apply
+// completes.
+func (r *replica) enterApply(pos uint64) (proceed bool, release func()) {
+	if pos == 0 {
+		if !r.recMu.TryRLock() {
+			return false, nil // catch-up in progress: the tail covers this
+		}
+		return true, r.recMu.RUnlock
+	}
+	r.recMu.RLock()
+	if pos <= r.fence {
+		r.recMu.RUnlock()
+		return false, nil
+	}
+	return true, r.recMu.RUnlock
+}
+
+// commit is the shared apply hook: every technique funnels committed
+// writesets (and ordered no-write outcomes) through it. It installs ws,
+// appends the outcome to the replica's apply log — making it servable
+// to a recovering peer — and returns the store commit sequence.
+func (r *replica) commit(pos, reqID uint64, txnID string, origin transport.NodeID, wall uint64, ws storage.WriteSet, res txn.Result) uint64 {
+	// applyMu keeps store order and log order identical: without it two
+	// concurrent commits to one key could append their log entries in
+	// the opposite order of their store applies, and a recovering peer
+	// replaying the tail would finish on the older value.
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	var seq uint64
+	if len(ws) > 0 {
+		seq = r.store.Apply(ws, txnID, string(origin), wall)
+	}
+	r.rlog.Append(recovery.Entry{
+		StoreSeq: seq, Cursor: pos, ReqID: reqID,
+		TxnID: txnID, Origin: string(origin), Wall: wall,
+		WS: ws, Res: res,
+	})
+	return seq
+}
+
+// commitLWW is commit's last-writer-wins variant (lazy update
+// everywhere): the writeset passes through reconciliation, and the log
+// entry is marked so a recovering peer replays it the same way.
+func (r *replica) commitLWW(reqID uint64, txnID string, origin transport.NodeID, wall uint64, ws storage.WriteSet, res txn.Result) []string {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	won := recon.Apply(r.store, recon.LWW{}, ws, txnID, string(origin), wall)
+	r.rlog.Append(recovery.Entry{
+		ReqID: reqID, TxnID: txnID, Origin: string(origin), Wall: wall,
+		LWW: true, WS: ws, Res: res,
+	})
+	return won
 }
 
 // trace records a phase event for a request at this replica.
@@ -190,7 +275,31 @@ func (r *replica) execute(t txn.Transaction, resolve resolveFunc, recordHistory 
 			return out, nil
 		}
 	}
+	r.guardWrites(&out)
 	return out, nil
+}
+
+// guardWrites applies Config.WriteGuard to a freshly executed
+// transaction, turning a refusal into a deterministic abort. Techniques
+// that assemble their writesets through per-operation execOp loops
+// (eager primary's figure 12, eager UE locking's figure 13) call it
+// before entering agreement coordination; execute calls it for everyone
+// else. Propagated writesets (a backup applying a primary's update) are
+// never re-guarded — the commit decision was the executor's.
+func (r *replica) guardWrites(out *execResult) {
+	if r.cfg.WriteGuard == nil || !out.result.Committed || len(out.ws) == 0 {
+		return
+	}
+	read := func(key string) []byte {
+		if ver, ok := r.store.Read(key); ok {
+			return ver.Value
+		}
+		return nil
+	}
+	if err := r.cfg.WriteGuard(read, out.ws); err != nil {
+		out.result = txn.Result{Committed: false, Err: err.Error(), Reads: out.result.Reads}
+		out.ws = nil
+	}
 }
 
 // execOp executes one operation within a transaction's overlay. Exported
@@ -392,7 +501,27 @@ type Config struct {
 	// replica (active, semi-active, eager UE with ABCAST) rely on it;
 	// single-executor techniques propagate the resulting writeset.
 	Procedures map[string]ProcFunc
+	// WriteGuard, when non-nil, vets every freshly executed
+	// transaction's writeset before it may commit: returning an error
+	// aborts the transaction deterministically. The guard reads the
+	// replica's committed state (e.g. a replicated marker key), so a
+	// guard keyed on replicated state reaches the same verdict at every
+	// replica. The sharding layer uses it to enforce rebalance freezes
+	// against out-of-process clients: a write to a moving key refuses
+	// server-side while the move marker stands.
+	WriteGuard WriteGuardFunc
+	// RecoveryRetain bounds the in-memory apply-log tail each replica
+	// retains for recovering peers (entries, not bytes). Zero means
+	// 4096. A rejoiner whose catch-up outruns the window restarts its
+	// snapshot, so the value trades donor memory against re-snapshot
+	// likelihood under extreme write rates.
+	RecoveryRetain int
 }
+
+// WriteGuardFunc vets a writeset against committed state; see
+// Config.WriteGuard. read returns the latest committed value of a key
+// (nil if absent).
+type WriteGuardFunc func(read func(key string) []byte, ws storage.WriteSet) error
 
 // ProcTx is the transactional interface a stored procedure runs
 // against: reads observe committed state overlaid with the transaction's
@@ -497,7 +626,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	replicas := make(map[transport.NodeID]*replica, len(c.ids))
 	for _, id := range c.ids {
 		node := transport.NewNode(net, id)
-		replicas[id] = &replica{
+		r := &replica{
 			id:     id,
 			node:   node,
 			store:  storage.New(0),
@@ -507,8 +636,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			clock:  &vclock.Lamport{},
 			det:    fd.New(node, c.ids, cfg.FD),
 			cfg:    &c.cfg,
+			dd:     newDedup(),
+			rlog:   recovery.NewLog(cfg.RecoveryRetain),
 			nondet: make(map[string][]byte),
 		}
+		r.serveRecovery()
+		replicas[id] = r
 	}
 
 	var err error

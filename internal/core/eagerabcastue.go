@@ -44,7 +44,7 @@ func newEagerABCastUE(c *Cluster, replicas map[transport.NodeID]*replica) protoc
 	for id, r := range replicas {
 		s := &eagerABCastUEServer{
 			r:       r,
-			dd:      newDedup(),
+			dd:      r.dd,
 			waiting: make(map[uint64]transport.Message),
 		}
 		s.ab = group.NewAtomic(r.node, "eab", c.ids, r.det)
@@ -92,12 +92,21 @@ func (s *eagerABCastUEServer) onDeliver(origin transport.NodeID, payload []byte)
 	var env eabEnvelope
 	codec.MustUnmarshal(payload, &env)
 	req := env.Req
+
+	pos := s.ab.LastDelivered()
+	gated, release := s.r.enterApply(pos)
+	if !gated {
+		// Covered by a recovery catch-up. If we are the delegate, the
+		// parked client RPC still deserves its (recovered) cached result.
+		if env.Delegate == s.r.id {
+			answerParked(s.r, &s.mu, s.waiting, req.ID)
+		}
+		return
+	}
+	defer release()
 	s.r.trace(req.ID, trace.SC, "abcast")
 
-	s.mu.Lock()
 	res, done := s.dd.get(req.ID)
-	s.mu.Unlock()
-
 	if !done {
 		s.r.trace(req.ID, trace.EX, "")
 		out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
@@ -105,13 +114,10 @@ func (s *eagerABCastUEServer) onDeliver(origin transport.NodeID, payload []byte)
 		}, true)
 		if err != nil {
 			out.result = txnResult{Committed: false, Err: err.Error()}
-		} else if len(out.ws) > 0 {
-			s.r.store.Apply(out.ws, req.TxnID(), string(s.r.id), 0)
 		}
+		s.r.commit(pos, req.ID, req.TxnID(), s.r.id, 0, out.ws, out.result)
 		res = out.result
-		s.mu.Lock()
 		s.dd.put(req.ID, res)
-		s.mu.Unlock()
 	}
 
 	// Phase 5: only the delegate answers its client.
@@ -124,6 +130,13 @@ func (s *eagerABCastUEServer) onDeliver(origin transport.NodeID, payload []byte)
 			_ = s.r.node.Reply(rpc, encodeResponse(Response{ID: req.ID, Result: res}))
 		}
 	}
+}
+
+// rejoin implements the recovery hook: fast-forward the total order
+// past what the catch-up covered.
+func (s *eagerABCastUEServer) rejoin(_ context.Context, fence uint64) error {
+	s.ab.FastForward(fence)
+	return nil
 }
 
 // delegateCall is the client side shared by every delegate-based

@@ -90,7 +90,7 @@ func newEagerLockUE(c *Cluster, replicas map[transport.NodeID]*replica) protocol
 		s := &eagerLockUEServer{
 			r:         r,
 			all:       c.ids,
-			dd:        newDedup(),
+			dd:        r.dd,
 			staged:    make(map[string]updateMsg),
 			deadlines: make(map[string]time.Time),
 			stopCh:    make(chan struct{}),
@@ -178,6 +178,11 @@ func (s *eagerLockUEServer) Prepare(txnID string, payload []byte) tpc.Vote {
 
 // Commit implements tpc.Participant: apply, record, release.
 func (s *eagerLockUEServer) Commit(txnID string) {
+	gated, release := s.r.enterApply(0)
+	if !gated {
+		return
+	}
+	defer release()
 	s.mu.Lock()
 	u, ok := s.staged[txnID]
 	delete(s.staged, txnID)
@@ -194,7 +199,7 @@ func (s *eagerLockUEServer) Commit(txnID string) {
 	if ok {
 		s.r.trace(u.ReqID, trace.AC, "2pc-commit")
 		if len(u.WS) > 0 {
-			s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
+			s.r.commit(0, u.ReqID, u.TxnID, u.Origin, 0, u.WS, u.Result)
 			if u.Origin != s.r.id {
 				s.r.recordApply(u.TxnID, u.WS)
 			}
@@ -382,6 +387,14 @@ func (s *eagerLockUEServer) tryRun(req Request, txnID string) (res txnResult, re
 	if len(out.ws) == 0 {
 		s.clearLease(txnID)
 		s.r.locks.ReleaseAll(txnID)
+		return out.result, false
+	}
+
+	// The write guard vets the assembled writeset (the per-operation
+	// loop bypasses execute's own check) before agreement coordination.
+	s.r.guardWrites(&out)
+	if !out.result.Committed {
+		abort()
 		return out.result, false
 	}
 

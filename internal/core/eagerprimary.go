@@ -60,7 +60,7 @@ func newEagerPrimary(c *Cluster, replicas map[transport.NodeID]*replica) protoco
 	for id, r := range replicas {
 		s := &eagerPrimaryServer{
 			r:        r,
-			dd:       newDedup(),
+			dd:       r.dd,
 			inflight: make(map[uint64]chan txnResult),
 			staged:   make(map[string]updateMsg),
 		}
@@ -95,6 +95,11 @@ func (s *eagerPrimaryServer) Prepare(txnID string, payload []byte) tpc.Vote {
 
 // Commit implements tpc.Participant: apply the staged writeset.
 func (s *eagerPrimaryServer) Commit(txnID string) {
+	gated, release := s.r.enterApply(0)
+	if !gated {
+		return
+	}
+	defer release()
 	s.mu.Lock()
 	u, ok := s.staged[txnID]
 	delete(s.staged, txnID)
@@ -111,11 +116,18 @@ func (s *eagerPrimaryServer) Commit(txnID string) {
 	}
 	s.r.trace(u.ReqID, trace.AC, "2pc-commit")
 	if len(u.WS) > 0 {
-		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
+		s.r.commit(0, u.ReqID, u.TxnID, u.Origin, 0, u.WS, u.Result)
 		if u.Origin != s.r.id {
 			s.r.recordApply(u.TxnID, u.WS)
 		}
 	}
+}
+
+// rejoin implements the recovery hook: re-enter the view (2PC
+// participants are drawn from the view, so re-admission restores this
+// replica to the commit path).
+func (s *eagerPrimaryServer) rejoin(ctx context.Context, _ uint64) error {
+	return rejoinView(ctx, s.vg)
 }
 
 // Abort implements tpc.Participant.
@@ -242,6 +254,13 @@ func (s *eagerPrimaryServer) run(req Request) (txnResult, error) {
 				}
 			}
 		}
+	}
+
+	// The write guard vets the assembled writeset (the per-operation
+	// loop bypasses execute's own check) before agreement coordination.
+	s.r.guardWrites(&out)
+	if !out.result.Committed {
+		return out.result, nil
 	}
 
 	// Agreement Coordination: 2PC across the view.

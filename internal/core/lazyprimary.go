@@ -54,7 +54,7 @@ func newLazyPrimary(c *Cluster, replicas map[transport.NodeID]*replica) protocol
 	for id, r := range replicas {
 		s := &lazyPrimaryServer{
 			r:        r,
-			dd:       newDedup(),
+			dd:       r.dd,
 			inflight: make(map[uint64]chan txnResult),
 			qwake:    make(chan struct{}, 1),
 			stopCh:   make(chan struct{}),
@@ -120,19 +120,30 @@ func (s *lazyPrimaryServer) onPropagate(origin transport.NodeID, payload []byte)
 	if origin == s.r.id {
 		return // the primary already applied at commit time
 	}
+	gated, release := s.r.enterApply(0)
+	if !gated {
+		return
+	}
+	defer release()
 	u := decodeUpdate(payload)
 	s.r.trace(u.ReqID, trace.AC, "propagate")
-	s.mu.Lock()
 	if _, done := s.dd.get(u.ReqID); done {
-		s.mu.Unlock()
 		return
 	}
 	s.dd.put(u.ReqID, u.Result)
-	s.mu.Unlock()
 	if len(u.WS) > 0 {
-		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
+		s.r.commit(0, u.ReqID, u.TxnID, u.Origin, 0, u.WS, u.Result)
 		s.r.recordApply(u.TxnID, u.WS)
 	}
+}
+
+// rejoin implements the recovery hook: the propagation channel resyncs
+// (broadcasts missed while crashed will never be retransmitted — the
+// catch-up resupplied their effects) and the membership view re-admits
+// this replica so it can be primary again.
+func (s *lazyPrimaryServer) rejoin(ctx context.Context, _ uint64) error {
+	s.fifo.Resync()
+	return rejoinView(ctx, s.vg)
 }
 
 func (s *lazyPrimaryServer) onClientRequest(m transport.Message) {
@@ -234,7 +245,7 @@ func (s *lazyPrimaryServer) run(req Request) (txnResult, error) {
 	s.mu.Lock()
 	s.dd.put(req.ID, out.result)
 	if len(u.WS) > 0 {
-		s.r.store.Apply(u.WS, txnID, string(s.r.id), 0)
+		s.r.commit(0, req.ID, txnID, s.r.id, 0, u.WS, out.result)
 		s.queue = append(s.queue, lazyItem{due: time.Now().Add(s.r.cfg.LazyDelay), u: u})
 	}
 	s.mu.Unlock()

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"replication/internal/group"
-	"replication/internal/recon"
 	"replication/internal/trace"
 	"replication/internal/transport"
 )
@@ -54,7 +53,7 @@ func newLazyUE(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks
 		s := &lazyUEServer{
 			r:      r,
 			useAB:  useAB,
-			dd:     newDedup(),
+			dd:     r.dd,
 			qwake:  make(chan struct{}, 1),
 			stopCh: make(chan struct{}),
 		}
@@ -168,7 +167,7 @@ func (s *lazyUEServer) onClientRequest(m transport.Message) {
 	if len(u.WS) > 0 {
 		// Local commit through the same reconciliation policy, so a
 		// concurrent remote winner is not clobbered.
-		recon.Apply(s.r.store, recon.LWW{}, u.WS, u.TxnID, string(u.Origin), wall)
+		s.r.commitLWW(u.ReqID, u.TxnID, u.Origin, wall, u.WS, u.Result)
 		s.r.recordApply(u.TxnID, u.WS)
 		s.queue = append(s.queue, lazyItem{due: time.Now().Add(s.r.cfg.LazyDelay), u: u})
 	}
@@ -183,10 +182,15 @@ func (s *lazyUEServer) onClientRequest(m transport.Message) {
 // onReconcile applies a remote update under last-writer-wins ("lww"
 // mode).
 func (s *lazyUEServer) onReconcile(m transport.Message) {
+	gated, release := s.r.enterApply(0)
+	if !gated {
+		return
+	}
+	defer release()
 	u := decodeUpdate(m.Payload)
 	s.r.trace(u.ReqID, trace.AC, "reconcile-lww")
 	s.r.clock.Observe(u.Wall)
-	won := recon.Apply(s.r.store, recon.LWW{}, u.WS, u.TxnID, string(u.Origin), u.Wall)
+	won := s.r.commitLWW(u.ReqID, u.TxnID, u.Origin, u.Wall, u.WS, u.Result)
 	if len(won) > 0 {
 		s.r.recordApply(u.TxnID, u.WS)
 	}
@@ -197,13 +201,29 @@ func (s *lazyUEServer) onReconcile(m transport.Message) {
 // commit was provisional — applies in the same total order, so replicas
 // converge to identical states.
 func (s *lazyUEServer) onOrdered(origin transport.NodeID, payload []byte) {
+	pos := s.ab.LastDelivered()
+	gated, release := s.r.enterApply(pos)
+	if !gated {
+		return // covered by a recovery catch-up
+	}
+	defer release()
 	u := decodeUpdate(payload)
 	s.r.trace(u.ReqID, trace.AC, "after-commit-order")
 	s.r.clock.Observe(u.Wall)
 	if len(u.WS) > 0 {
-		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), u.Wall)
+		s.r.commit(pos, u.ReqID, u.TxnID, u.Origin, u.Wall, u.WS, u.Result)
 		if u.Origin != s.r.id {
 			s.r.recordApply(u.TxnID, u.WS)
 		}
 	}
+}
+
+// rejoin implements the recovery hook. In after-commit-order mode the
+// total order fast-forwards past the catch-up; in LWW mode there is no
+// ordering state — reconciliation absorbs whatever arrives next.
+func (s *lazyUEServer) rejoin(_ context.Context, fence uint64) error {
+	if s.ab != nil {
+		s.ab.FastForward(fence)
+	}
+	return nil
 }

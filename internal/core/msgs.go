@@ -1,7 +1,11 @@
 package core
 
 import (
+	"sort"
+	"sync"
+
 	"replication/internal/codec"
+	"replication/internal/recovery"
 	"replication/internal/storage"
 	"replication/internal/transport"
 	"replication/internal/txn"
@@ -35,6 +39,24 @@ func respond(node *transport.Node, req Request, res txn.Result) {
 	_ = node.Send(req.Client, kindResponse, encodeResponse(Response{ID: req.ID, Result: res}))
 }
 
+// answerParked resolves a delegate's parked client RPC for reqID from
+// the exactly-once cache — the reply path when an ordered delivery was
+// skipped at a recovery fence (the result arrived with the donor
+// state). Shared by the delegate-parking techniques (certification,
+// eager UE with ABCAST).
+func answerParked(r *replica, mu *sync.Mutex, waiting map[uint64]transport.Message, reqID uint64) {
+	mu.Lock()
+	rpc, parked := waiting[reqID]
+	delete(waiting, reqID)
+	mu.Unlock()
+	if !parked {
+		return
+	}
+	if res, done := r.dd.get(reqID); done {
+		_ = r.node.Reply(rpc, encodeResponse(Response{ID: reqID, Result: res}))
+	}
+}
+
 // updateMsg propagates a transaction's effects (writeset + cached client
 // result) from the executing replica to the others: passive replication's
 // "apply" message and the lazy protocols' propagation record.
@@ -56,18 +78,104 @@ func decodeUpdate(b []byte) updateMsg {
 	return u
 }
 
-// dedup is the exactly-once table replicas keep per technique: request ID
-// to cached result. Retried requests answer from the cache instead of
-// re-executing.
+// dedup is the replica's exactly-once table: request ID to cached
+// result. Retried requests answer from the cache instead of
+// re-executing. One instance lives on the replica (not the engine): the
+// recovery subsystem seeds it from a donor and serves it to recoverers,
+// so it carries its own lock and is safe from any goroutine.
 type dedup struct {
+	mu   sync.Mutex
 	done map[uint64]txn.Result
+	ids  []uint64 // done's keys, sorted: the paged transfer's index
 }
 
 func newDedup() *dedup { return &dedup{done: make(map[uint64]txn.Result)} }
 
 func (d *dedup) get(id uint64) (txn.Result, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	r, ok := d.done[id]
 	return r, ok
 }
 
-func (d *dedup) put(id uint64, r txn.Result) { d.done[id] = r }
+// insert records id's result; callers hold mu and have checked absence.
+func (d *dedup) insert(id uint64, r txn.Result) {
+	d.done[id] = r
+	i := sort.Search(len(d.ids), func(i int) bool { return d.ids[i] >= id })
+	d.ids = append(d.ids, 0)
+	copy(d.ids[i+1:], d.ids[i:])
+	d.ids[i] = id
+}
+
+func (d *dedup) put(id uint64, r txn.Result) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.done[id]; ok {
+		d.done[id] = r
+		return
+	}
+	d.insert(id, r)
+}
+
+// seed records a result learned from a donor without overwriting a
+// locally computed one.
+func (d *dedup) seed(id uint64, r txn.Result) {
+	if id == 0 {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.done[id]; !ok {
+		d.insert(id, r)
+	}
+}
+
+// page returns up to limit (id, result) pairs with id strictly greater
+// than after, in ascending id order — the donor side of the dedup
+// transfer. The sorted index makes each page O(log N + limit), so a
+// full transfer is O(N) (same trade as the store's key index).
+func (d *dedup) page(after uint64, limit int) []recovery.DedupPair {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	start := sort.Search(len(d.ids), func(i int) bool { return d.ids[i] > after })
+	end := len(d.ids)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	out := make([]recovery.DedupPair, 0, end-start)
+	for _, id := range d.ids[start:end] {
+		out = append(out, recovery.DedupPair{ReqID: id, Res: d.done[id]})
+	}
+	return out
+}
+
+// dump copies the whole table (view-synchronous state transfer carries
+// it alongside the store snapshot).
+func (d *dedup) dump() map[uint64]txn.Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[uint64]txn.Result, len(d.done))
+	for id, r := range d.done {
+		out[id] = r
+	}
+	return out
+}
+
+// merge seeds every entry of m.
+func (d *dedup) merge(m map[uint64]txn.Result) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id, r := range m {
+		if _, ok := d.done[id]; !ok {
+			d.insert(id, r)
+		}
+	}
+}
+
+// reset wipes the table (amnesia restart).
+func (d *dedup) reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.done = make(map[uint64]txn.Result)
+	d.ids = nil
+}

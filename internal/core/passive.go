@@ -53,7 +53,7 @@ func newPassive(c *Cluster, replicas map[transport.NodeID]*replica) protocolHook
 	for id, r := range replicas {
 		s := &passiveServer{
 			r:        r,
-			dd:       newDedup(),
+			dd:       r.dd,
 			inflight: make(map[uint64]chan txnResult),
 		}
 		s.vg = group.NewViewGroup(r.node, "pas", c.ids, c.ids, r.det, group.ViewGroupOptions{
@@ -75,23 +75,32 @@ func (s *passiveServer) stop()  { s.vg.Stop() }
 // execute the invocation, but apply the changes" (§3.3). It runs at the
 // primary too (single apply path).
 func (s *passiveServer) onUpdate(origin transport.NodeID, payload []byte) {
+	ok, release := s.r.enterApply(0)
+	if !ok {
+		return
+	}
+	defer release()
 	u := decodeUpdate(payload)
 	if origin != s.r.id {
 		s.r.trace(u.ReqID, trace.AC, "apply")
 	}
-	s.mu.Lock()
 	if _, done := s.dd.get(u.ReqID); done {
-		s.mu.Unlock()
 		return
 	}
 	s.dd.put(u.ReqID, u.Result)
-	s.mu.Unlock()
 	if len(u.WS) > 0 {
-		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
+		s.r.commit(0, u.ReqID, u.TxnID, u.Origin, 0, u.WS, u.Result)
 		if origin != s.r.id {
 			s.r.recordApply(u.TxnID, u.WS)
 		}
 	}
+}
+
+// rejoin implements the recovery hook: the view-synchronous rejoin
+// handshake re-admits this replica; its state transfer (snapshot +
+// delivered vector) is the fence.
+func (s *passiveServer) rejoin(ctx context.Context, _ uint64) error {
+	return rejoinView(ctx, s.vg)
 }
 
 // onClientRequest handles the client RPC at (hopefully) the primary.
@@ -280,9 +289,12 @@ func primarySubmit(c *Cluster, kind string) submitFunc {
 	}
 }
 
-// snapshotOf captures a replica's store for state transfer.
+// snapshotOf captures a replica's store and exactly-once table for
+// state transfer. Carrying the dedup table keeps a re-admitted member
+// exactly-once for requests that committed while it was out of the
+// view: a later retry answers from cache instead of re-executing.
 func snapshotOf(r *replica) *storeSnapshot {
-	return &storeSnapshot{KV: r.store.Snapshot()}
+	return &storeSnapshot{KV: r.store.Snapshot(), Dedup: r.dd.dump()}
 }
 
 // applySnapshot restores a transferred snapshot.
@@ -290,6 +302,7 @@ func applySnapshot(r *replica, b []byte) {
 	var snap storeSnapshot
 	codec.MustUnmarshal(b, &snap)
 	r.store.Restore(snap.KV, "state-transfer")
+	r.dd.merge(snap.Dedup)
 }
 
 // operatorReconfigure implements operator-driven fail-over.

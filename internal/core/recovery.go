@@ -1,0 +1,474 @@
+package core
+
+// Crash-recovery for replicas: the node lifecycle that lifts the
+// cluster from the paper's crash-stop model (§2.1, where every crash is
+// permanent) to crash-recovery. A crashed replica — or a wiped, brand
+// new process taking over a crashed replica's slot — rejoins the live
+// group under traffic in three phases:
+//
+//  1. CATCH-UP. With its apply paths gated (replica.enterApply), the
+//     rejoiner picks a donor among the live replicas and pages three
+//     streams over plain RPC: the donor's exactly-once table (so a
+//     client retry of any pre-crash request answers from cache instead
+//     of re-executing), a timestamp-faithful snapshot of the donor's
+//     store (full versions, so certification's cross-replica timestamp
+//     comparisons stay deterministic), and the donor's apply-log tail
+//     from the snapshot's watermark. Tail rounds repeat until the
+//     rejoiner is chasing only the in-flight residue.
+//
+//  2. FENCE. The highest ordering position (consensus instance) the
+//     donor state covers becomes the rejoiner's fence: ordered
+//     deliveries at or below it are skipped when the gate lifts — their
+//     effects arrived with the donor state — and everything above it
+//     flows through the technique's ordinary apply path. This is what
+//     guarantees no update is applied twice or skipped at the boundary.
+//
+//  3. REJOIN. The technique re-enters the request path: total-order
+//     engines fast-forward their ordering past the fence; view-
+//     synchronous engines run the rejoin handshake (group.Rejoin +
+//     re-admission, with the state transfer's delivered vector fencing
+//     message-level duplicates); FIFO propagation channels resync.
+//
+// Every replica is also a donor: the three streams are registered on
+// its node regardless of technique, and they are idempotent reads, so a
+// recoverer whose donor crashes mid-stream re-picks a donor and starts
+// over (the restarted snapshot simply overwrites).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/group"
+	"replication/internal/recon"
+	"replication/internal/recovery"
+	"replication/internal/transport"
+)
+
+// Catch-up tuning.
+const (
+	// recSnapPage and recTailPage and recDedupPage bound one page of
+	// each stream.
+	recSnapPage  = 256
+	recTailPage  = 512
+	recDedupPage = 1024
+	// recFirstCallTimeout and recCallTimeout bound one donor RPC: a
+	// short first attempt, then one patient retry. The short attempt
+	// matters on TCP — right after the endpoint rebinds, a peer's
+	// writer may silently lose its first frame to the dead connection
+	// before redialing (exactly a datagram network's semantics), and
+	// without the quick retry every recovery would eat a full timeout.
+	// A donor that is genuinely dead costs both before the next donor
+	// is tried.
+	recFirstCallTimeout = 150 * time.Millisecond
+	recCallTimeout      = 2 * time.Second
+	// recTailQuiet is the tail round size under which the rejoiner
+	// considers itself chasing only in-flight residue.
+	recTailQuiet = 16
+	// recSettle is how long the rejoiner waits before its final tail
+	// drain: messages sent to the still-crashed endpoint were dropped,
+	// and their effects reach the rejoiner only through the donor's
+	// log, so the last drain must happen after every such send has been
+	// applied at the donor. The settle comfortably exceeds one-way
+	// latency plus handler time on both transports.
+	recSettle = 10 * time.Millisecond
+)
+
+// ErrNotCrashed is returned by Restart/JoinAsNew for a live replica.
+var ErrNotCrashed = errors.New("core: replica is not crashed")
+
+// rejoiner is implemented by technique engines that need a rejoin step
+// after catch-up: fast-forwarding a total order past the fence,
+// re-entering a view, resyncing a FIFO channel. Engines without
+// ordering or membership state (eager UE locking) simply don't
+// implement it.
+type rejoiner interface {
+	// rejoin re-enters the request path; fence is the highest ordering
+	// position covered by the catch-up.
+	rejoin(ctx context.Context, fence uint64) error
+}
+
+// serveRecovery registers the donor streams on the replica's node.
+func (r *replica) serveRecovery() {
+	r.node.Handle(recovery.KindSnap, func(m transport.Message) {
+		var req recovery.SnapReq
+		if codec.Unmarshal(m.Payload, &req) != nil {
+			return
+		}
+		resp := recovery.SnapResp{Busy: r.recovering.Load()}
+		if !resp.Busy {
+			limit := int(req.Limit)
+			if limit <= 0 || limit > recSnapPage {
+				limit = recSnapPage
+			}
+			items := r.store.Scan(req.After, limit)
+			resp.Next = req.After
+			for _, it := range items {
+				resp.Items = append(resp.Items, recovery.SnapItem{Key: it.Key, Ver: it.Ver})
+				resp.Next = it.Key
+			}
+			resp.Done = len(items) < limit
+			resp.CommitSeq = r.store.CommitSeq()
+		}
+		_ = r.node.Reply(m, codec.MustMarshal(&resp))
+	})
+	r.node.Handle(recovery.KindTail, func(m transport.Message) {
+		var req recovery.TailReq
+		if codec.Unmarshal(m.Payload, &req) != nil {
+			return
+		}
+		resp := recovery.TailResp{Busy: r.recovering.Load()}
+		if !resp.Busy {
+			limit := int(req.Limit)
+			if limit <= 0 || limit > recTailPage {
+				limit = recTailPage
+			}
+			resp.Entries, resp.OK = r.rlog.Since(req.From, limit)
+			resp.Watermark = r.rlog.Watermark()
+			resp.Cursor = r.rlog.Cursor()
+		}
+		_ = r.node.Reply(m, codec.MustMarshal(&resp))
+	})
+	r.node.Handle(recovery.KindDedup, func(m transport.Message) {
+		var req recovery.DedupReq
+		if codec.Unmarshal(m.Payload, &req) != nil {
+			return
+		}
+		resp := recovery.DedupResp{Busy: r.recovering.Load()}
+		if !resp.Busy {
+			limit := int(req.Limit)
+			if limit <= 0 || limit > recDedupPage {
+				limit = recDedupPage
+			}
+			resp.Pairs = r.dd.page(req.After, limit)
+			resp.Done = len(resp.Pairs) < limit
+		}
+		_ = r.node.Reply(m, codec.MustMarshal(&resp))
+	})
+}
+
+// Restart recovers a crashed replica in place: the process comes back
+// with whatever state it kept, catches up from a live donor, and
+// rejoins its group. It blocks until the replica is back in the request
+// path (or ctx expires). On failure the replica is crashed again so the
+// cluster never runs a half-recovered member.
+func (c *Cluster) Restart(ctx context.Context, id transport.NodeID) error {
+	return c.recover(ctx, id, false)
+}
+
+// JoinAsNew recovers a crashed replica's slot with a brand-new process:
+// the local store, apply log and exactly-once table are wiped before
+// the catch-up, modelling a replacement node with empty disks taking
+// over the crashed member's identity. Everything else follows Restart.
+func (c *Cluster) JoinAsNew(ctx context.Context, id transport.NodeID) error {
+	return c.recover(ctx, id, true)
+}
+
+func (c *Cluster) recover(ctx context.Context, id transport.NodeID, wipe bool) error {
+	if err := c.BeginRecovery(id, wipe); err != nil {
+		return err
+	}
+	c.net.Recover(id)
+	return c.CompleteRecovery(ctx, id)
+}
+
+// BeginRecovery is phase one of a recovery, split out for deployments
+// where one physical process hosts a replica of many groups over a
+// shared transport (the sharding layer): every group must gate its
+// apply paths BEFORE the shared endpoint comes back, or the first
+// group's recovery would expose the others' stale replicas to live
+// traffic. On success the replica's apply gate is held and the caller
+// MUST follow with CompleteRecovery (after recovering the transport
+// endpoint) or AbortRecovery. Single-group callers use Restart or
+// JoinAsNew, which sequence the phases themselves.
+func (c *Cluster) BeginRecovery(id transport.NodeID, wipe bool) error {
+	entry, ok := c.hooks.servers[id]
+	if !ok {
+		return fmt.Errorf("core: unknown replica %q", id)
+	}
+	if !c.net.Crashed(id) {
+		return fmt.Errorf("%w: %s", ErrNotCrashed, id)
+	}
+	r := entry.replica
+	if !r.recovering.CompareAndSwap(false, true) {
+		return fmt.Errorf("core: replica %s is already recovering", id)
+	}
+	if wipe {
+		r.store.Reset()
+		r.rlog.Reset()
+		r.dd.reset()
+	}
+	// Gate every apply path: traffic that arrives once the endpoint is
+	// back queues behind (ordered) or drops against (unordered) the
+	// gate instead of interleaving with the donor pages. The replica's
+	// own node keeps dispatching — the donor RPC replies ride it.
+	r.recMu.Lock()
+	return nil
+}
+
+// AbortRecovery releases a BeginRecovery that will not be completed.
+// The endpoint is left as the caller had it (normally still crashed).
+func (c *Cluster) AbortRecovery(id transport.NodeID) {
+	entry, ok := c.hooks.servers[id]
+	if !ok {
+		return
+	}
+	r := entry.replica
+	if r.recovering.Load() {
+		r.recMu.Unlock()
+		r.recovering.Store(false)
+	}
+}
+
+// CompleteRecovery is phase two: with the transport endpoint back, run
+// the catch-up, set the fence, lift the gate and rejoin the group. On
+// failure the replica is crashed again so the cluster never runs a
+// half-recovered member.
+func (c *Cluster) CompleteRecovery(ctx context.Context, id transport.NodeID) error {
+	entry, ok := c.hooks.servers[id]
+	if !ok || !entry.replica.recovering.Load() {
+		return fmt.Errorf("core: replica %q has no recovery in progress", id)
+	}
+	r := entry.replica
+	defer r.recovering.Store(false)
+	r.det.Reset()
+
+	fence, err := c.catchUp(ctx, r)
+	if err != nil {
+		r.recMu.Unlock()
+		c.net.Crash(id) // never leave a half-recovered member serving
+		return fmt.Errorf("core: recovery of %s: %w", id, err)
+	}
+	r.fence = fence
+	r.recMu.Unlock()
+
+	if rj, ok := entry.engine.(rejoiner); ok {
+		if err := rj.rejoin(ctx, fence); err != nil {
+			c.net.Crash(id)
+			return fmt.Errorf("core: rejoin of %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// catchUp pages donor state into r, trying each live peer as donor
+// until one serves the full sequence. It returns the fence.
+func (c *Cluster) catchUp(ctx context.Context, r *replica) (uint64, error) {
+	var lastErr error
+	for _, donor := range c.ids {
+		if donor == r.id || c.net.Crashed(donor) {
+			continue
+		}
+		fence, err := c.catchUpFrom(ctx, r, donor)
+		if err == nil {
+			return fence, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no live donor")
+	}
+	return 0, lastErr
+}
+
+// errDonor marks a failure of the donor (crash, busy, retention gap):
+// the catch-up moves on to the next candidate.
+type errDonor struct{ err error }
+
+func (e errDonor) Error() string { return e.err.Error() }
+
+func (c *Cluster) catchUpFrom(ctx context.Context, r *replica, donor transport.NodeID) (uint64, error) {
+	call := func(kind string, req codec.Wire, resp codec.Wire) error {
+		var lastErr error
+		for _, tmo := range []time.Duration{recFirstCallTimeout, recCallTimeout} {
+			callCtx, cancel := context.WithTimeout(ctx, tmo)
+			m, err := r.node.Call(callCtx, donor, kind, codec.MustMarshal(req))
+			cancel()
+			if err != nil {
+				lastErr = err
+				if ctx.Err() != nil {
+					break
+				}
+				continue
+			}
+			if err := codec.Unmarshal(m.Payload, resp); err != nil {
+				return errDonor{fmt.Errorf("donor %s: bad reply: %w", donor, err)}
+			}
+			return nil
+		}
+		return errDonor{fmt.Errorf("donor %s: %w", donor, lastErr)}
+	}
+
+	// Watermark probe: the tail starts where the donor's log stands now,
+	// so everything the snapshot pages miss is covered by the tail.
+	var probe recovery.TailResp
+	if err := call(recovery.KindTail, &recovery.TailReq{From: math.MaxUint64, Limit: 1}, &probe); err != nil {
+		return 0, err
+	}
+	if probe.Busy {
+		return 0, errDonor{fmt.Errorf("donor %s is itself recovering", donor)}
+	}
+	tailFrom := probe.Watermark
+	fence := uint64(0)
+
+	// Exactly-once table: client retries of pre-crash requests must
+	// answer from cache, and redeliveries the fence cannot cover (an
+	// instance the donor processed without advancing its log — never in
+	// the current engines, but cheap insurance) must dedup.
+	after := uint64(0)
+	for {
+		var resp recovery.DedupResp
+		if err := call(recovery.KindDedup, &recovery.DedupReq{After: after, Limit: recDedupPage}, &resp); err != nil {
+			return 0, err
+		}
+		if resp.Busy {
+			return 0, errDonor{fmt.Errorf("donor %s turned busy", donor)}
+		}
+		for _, p := range resp.Pairs {
+			r.dd.seed(p.ReqID, p.Res)
+			after = p.ReqID
+		}
+		if resp.Done {
+			break
+		}
+	}
+
+	// Snapshot: full-keyspace, timestamp-faithful pages. seen tracks
+	// every key the donor state mentions so stale local keys (present
+	// here, gone at the donor — e.g. compacted after a shard move) are
+	// dropped at the end.
+	seen := make(map[string]bool)
+	cursor := ""
+	var commitSeq uint64
+	for {
+		var resp recovery.SnapResp
+		if err := call(recovery.KindSnap, &recovery.SnapReq{After: cursor, Limit: recSnapPage}, &resp); err != nil {
+			return 0, err
+		}
+		if resp.Busy {
+			return 0, errDonor{fmt.Errorf("donor %s turned busy", donor)}
+		}
+		for _, it := range resp.Items {
+			r.store.InstallVersion(it.Key, it.Ver)
+			seen[it.Key] = true
+		}
+		if resp.CommitSeq > commitSeq {
+			commitSeq = resp.CommitSeq
+		}
+		if resp.Done {
+			break
+		}
+		cursor = resp.Next
+	}
+	r.store.SetCommitSeq(commitSeq)
+
+	// Tail: replay the donor's applies since the watermark until only
+	// in-flight residue remains, then settle and drain once more.
+	drain := func() (int, error) {
+		n := 0
+		for {
+			var resp recovery.TailResp
+			if err := call(recovery.KindTail, &recovery.TailReq{From: tailFrom, Limit: recTailPage}, &resp); err != nil {
+				return n, err
+			}
+			if resp.Busy {
+				return n, errDonor{fmt.Errorf("donor %s turned busy", donor)}
+			}
+			if !resp.OK {
+				// Retention gap: the write rate outran the log window
+				// while we paged. Re-snapshot from this donor's present.
+				return n, errDonor{fmt.Errorf("donor %s: apply-log tail outran retention", donor)}
+			}
+			if resp.Cursor > fence {
+				fence = resp.Cursor
+			}
+			for _, e := range resp.Entries {
+				r.applyEntry(e, seen)
+				if e.Cursor > fence {
+					fence = e.Cursor
+				}
+				tailFrom = e.LSN
+			}
+			n += len(resp.Entries)
+			if len(resp.Entries) < recTailPage {
+				return n, nil
+			}
+		}
+	}
+	for quiet := 0; quiet < 2; {
+		n, err := drain()
+		if err != nil {
+			return 0, err
+		}
+		if n <= recTailQuiet {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+	}
+	select {
+	case <-time.After(recSettle):
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	if _, err := drain(); err != nil {
+		return 0, err
+	}
+
+	// Drop local keys the donor no longer has (Restart keeps pre-crash
+	// state; anything the donor state never mentioned is stale).
+	r.store.Compact(func(key string) bool { return !seen[key] })
+	return fence, nil
+}
+
+// applyEntry replays one donor log entry into the local store, the
+// local apply log (so a freshly recovered replica can itself donate,
+// with its cursor intact) and the exactly-once table.
+func (r *replica) applyEntry(e recovery.Entry, seen map[string]bool) {
+	for _, u := range e.WS {
+		seen[u.Key] = true
+	}
+	if e.LWW {
+		recon.Apply(r.store, recon.LWW{}, e.WS, e.TxnID, e.Origin, e.Wall)
+		r.clock.Observe(e.Wall)
+	} else if len(e.WS) > 0 {
+		r.store.ApplyAt(e.WS, e.TxnID, e.Origin, e.Wall, e.StoreSeq)
+	}
+	r.rlog.Append(recovery.Entry{
+		StoreSeq: e.StoreSeq, Cursor: e.Cursor, ReqID: e.ReqID,
+		TxnID: e.TxnID, Origin: e.Origin, Wall: e.Wall, LWW: e.LWW,
+		WS: e.WS, Res: e.Res,
+	})
+	r.dd.seed(e.ReqID, e.Res)
+}
+
+// rejoinView runs the view-synchronous rejoin handshake: demote to a
+// joiner, then ask for re-admission until a view change (or a direct
+// state re-send, for a member that was never excluded) takes us back in.
+func rejoinView(ctx context.Context, vg *group.ViewGroup) error {
+	vg.Rejoin()
+	poll := time.NewTicker(2 * time.Millisecond)
+	defer poll.Stop()
+	last := time.Now()
+	for !vg.InView() {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: rejoin: %w", ctx.Err())
+		case <-poll.C:
+			if time.Since(last) > 50*time.Millisecond {
+				vg.RequestJoin()
+				last = time.Now()
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"replication/internal/recon"
+	"replication/internal/storage"
+	"replication/internal/transport"
+	"replication/internal/txn"
+)
+
+// The recovery oracle: a replicated counter incremented through a
+// stored procedure. Every acknowledged commit must be reflected exactly
+// once — a lost update leaves the counter low, a double-applied or
+// re-executed one leaves it high — so the final counter must equal the
+// acknowledged-commit count, plus at most the requests whose outcome
+// the client never learned (timeouts).
+const counterKey = "counter"
+
+func recIncrProc(tx ProcTx, _ []byte) error {
+	n := 0
+	if cur := tx.Read(counterKey); len(cur) > 0 {
+		n, _ = strconv.Atoi(string(cur))
+	}
+	tx.Write(counterKey, []byte(strconv.Itoa(n+1)))
+	return nil
+}
+
+// recoveryConfig shapes a cluster for kill/recover runs: short lock
+// timeouts and attempt budgets so techniques that block on a dead peer
+// (eager UE locking) cycle their attempts quickly during the outage.
+func recoveryConfig(p Protocol, tk TransportKind) Config {
+	return Config{
+		Protocol:       p,
+		Replicas:       3,
+		Transport:      tk,
+		LazyDelay:      time.Millisecond,
+		RequestTimeout: 2 * time.Second,
+		Retries:        2,
+		LockTimeout:    50 * time.Millisecond,
+		Procedures:     map[string]ProcFunc{"incr": recIncrProc},
+	}
+}
+
+// loadStats counts a load run's outcomes.
+type loadStats struct {
+	acked   atomic.Int64 // commits the client saw acknowledged
+	unknown atomic.Int64 // requests whose outcome the client never learned
+}
+
+// runLoad drives increment transactions until stop closes. Strong
+// techniques run clients concurrent clients; weak (lazy) techniques run
+// exactly one sequential client pinned to home, because concurrent
+// increments are lost by design under last-writer-wins — that is the
+// technique's documented semantics, not a recovery bug.
+func runLoad(ctx context.Context, t *testing.T, c *Cluster, clients int, home transport.NodeID, stats *loadStats, stop chan struct{}) *sync.WaitGroup {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		cl := c.NewClient()
+		cl.SetHome(home)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := cl.Invoke(ctx, txn.Transaction{
+					Ops: []txn.Op{txn.P("incr", nil, counterKey)},
+				})
+				cl.SetHome(home) // undo failure rotation: stay off the victim
+				switch {
+				case err != nil:
+					stats.unknown.Add(1) // timeout: may or may not have landed
+				case res.Committed:
+					stats.acked.Add(1)
+				}
+			}
+		}()
+	}
+	return &wg
+}
+
+// checkCounter verifies the oracle against one replica's store.
+func checkCounter(t *testing.T, c *Cluster, id transport.NodeID, acked, unknown int64) {
+	t.Helper()
+	got := int64(0)
+	if v, ok := c.Store(id).Read(counterKey); ok {
+		got, _ = strconv.ParseInt(string(v.Value), 10, 64)
+	}
+	if got < acked || got > acked+unknown {
+		t.Fatalf("replica %s: counter=%d, want in [%d, %d]: lost or duplicate applies",
+			id, got, acked, acked+unknown)
+	}
+}
+
+// isStrong reports whether p promises strong consistency (figure 16).
+func isStrong(p Protocol) bool {
+	tech, _ := TechniqueOf(p)
+	return tech.StrongConsistency
+}
+
+// killRecoverRun is the shared harness: load → crash victim → load →
+// restart (or JoinAsNew) → load → drain → verify the oracle on every
+// replica and full convergence.
+func killRecoverRun(t *testing.T, cfg Config, victim transport.NodeID, wipe bool) {
+	t.Helper()
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+
+	clients := 3
+	home := c.Replicas()[0]
+	if home == victim {
+		home = c.Replicas()[1]
+	}
+	if !isStrong(cfg.Protocol) {
+		clients = 1 // see runLoad
+	}
+	var stats loadStats
+	stop := make(chan struct{})
+	wg := runLoad(ctx, t, c, clients, home, &stats, stop)
+
+	time.Sleep(100 * time.Millisecond)
+	c.Crash(victim)
+	time.Sleep(200 * time.Millisecond)
+
+	rctx, rcancel := context.WithTimeout(ctx, 60*time.Second)
+	defer rcancel()
+	var err error
+	if wipe {
+		err = c.JoinAsNew(rctx, victim)
+	} else {
+		err = c.Restart(rctx, victim)
+	}
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		t.Fatalf("recovery of %s: %v", victim, err)
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	waitConverged(t, c, 30*time.Second)
+	acked, unknown := stats.acked.Load(), stats.unknown.Load()
+	if acked == 0 {
+		t.Fatal("no commits were acknowledged — the load never ran")
+	}
+	for _, id := range c.Replicas() {
+		checkCounter(t, c, id, acked, unknown)
+	}
+
+	// The rejoined replica serves reads through the protocol that
+	// reflect every write acknowledged before its rejoin completed
+	// (delegate-based techniques serve this read AT the victim; the
+	// others still prove the cluster answers with it back in place).
+	// Retried: under a loaded race-detector run a first probe can still
+	// catch the tail of the fail-back window.
+	reader := c.NewClient()
+	var res txn.Result
+	var readErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		reader.SetHome(victim)
+		res, readErr = reader.InvokeOp(ctx, txn.R(counterKey))
+		if readErr == nil && res.Committed {
+			break
+		}
+	}
+	if readErr != nil || !res.Committed {
+		t.Fatalf("read through rejoined cluster: %v %+v", readErr, res)
+	}
+	got, _ := strconv.ParseInt(string(res.Reads[counterKey]), 10, 64)
+	if got < acked || got > acked+unknown {
+		t.Fatalf("protocol read after rejoin = %d, want in [%d, %d]", got, acked, acked+unknown)
+	}
+	t.Logf("acked=%d unknown=%d (recovered %s, wipe=%v)", acked, unknown, victim, wipe)
+}
+
+// TestKillRecoverUnderLoad is the conformance matrix of the crash-
+// recovery model: every technique survives the crash and in-place
+// restart of a backup replica under continuous load with zero lost and
+// zero duplicate-applied writes.
+func TestKillRecoverUnderLoad(t *testing.T) {
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			killRecoverRun(t, recoveryConfig(p, TransportSim), "r2", false)
+		})
+	}
+}
+
+// TestKillRecoverPrimary crashes and recovers the distinguished replica
+// (primary / leader / lowest member) for the strongly consistent
+// view-based techniques: the group fails over while it is gone, and on
+// rejoin it resumes the distinguished role. Lazy primary copy is
+// exercised separately (TestLazyPrimaryCrashRecover): the paper's own
+// analysis says a lazy primary crash loses its unpropagated
+// acknowledged updates, so the strict oracle cannot apply.
+func TestKillRecoverPrimary(t *testing.T) {
+	for _, p := range []Protocol{Passive, SemiActive, EagerPrimary} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			killRecoverRun(t, recoveryConfig(p, TransportSim), "r0", false)
+		})
+	}
+}
+
+// TestLazyPrimaryCrashRecover crashes the lazy primary under load, lets
+// the group fail over, quiesces, and recovers it. Acknowledged updates
+// still inside the primary's propagation window at the crash are lost —
+// the weakness §4.5 trades for its response time, reproduced here
+// rather than hidden — so the oracle asserts no DUPLICATES (counter
+// never exceeds acknowledgements) and full convergence on the
+// survivors' lineage, and reports the loss.
+func TestLazyPrimaryCrashRecover(t *testing.T) {
+	cfg := recoveryConfig(LazyPrimary, TransportSim)
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+
+	var stats loadStats
+	stop := make(chan struct{})
+	wg := runLoad(ctx, t, c, 1, "r1", &stats, stop)
+	time.Sleep(100 * time.Millisecond)
+	c.Crash("r0")
+	time.Sleep(200 * time.Millisecond) // fail over; load continues on r1
+	close(stop)
+	wg.Wait()
+	time.Sleep(100 * time.Millisecond) // drain r1's propagation queue
+
+	if err := c.Restart(ctx, "r0"); err != nil {
+		t.Fatalf("recovery of r0: %v", err)
+	}
+	waitConverged(t, c, 30*time.Second)
+
+	acked := stats.acked.Load()
+	got := int64(0)
+	if v, ok := c.Store("r1").Read(counterKey); ok {
+		got, _ = strconv.ParseInt(string(v.Value), 10, 64)
+	}
+	if got > acked+stats.unknown.Load() {
+		t.Fatalf("counter=%d exceeds acked=%d: duplicate applies", got, acked)
+	}
+	if lost := acked - got; lost > 0 {
+		t.Logf("lazy primary crash lost %d acknowledged updates (paper §4.5's window)", lost)
+	}
+}
+
+// TestKillRecoverTCP runs the full kill/recover conformance matrix over
+// real sockets: all ten techniques, sequentially (each run owns the
+// loopback's ports and timing).
+func TestKillRecoverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, p := range Protocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			killRecoverRun(t, recoveryConfig(p, TransportTCP), "r2", false)
+		})
+	}
+}
+
+// TestJoinAsNewUnderLoad replaces the crashed replica with a wiped
+// process (amnesia crash): the full-keyspace snapshot rebuilds it.
+func TestJoinAsNewUnderLoad(t *testing.T) {
+	for _, p := range []Protocol{Active, Passive, Certification, SemiPassive} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			killRecoverRun(t, recoveryConfig(p, TransportSim), "r2", true)
+		})
+	}
+}
+
+// TestDoubleCrashSameNode crashes, recovers, crashes and recovers the
+// same replica again: recovery must be re-armable, not a one-shot.
+func TestDoubleCrashSameNode(t *testing.T) {
+	cfg := recoveryConfig(Active, TransportSim)
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+
+	var stats loadStats
+	stop := make(chan struct{})
+	wg := runLoad(ctx, t, c, 2, "r0", &stats, stop)
+	for round := 0; round < 2; round++ {
+		time.Sleep(100 * time.Millisecond)
+		c.Crash("r2")
+		time.Sleep(150 * time.Millisecond)
+		if err := c.Restart(ctx, "r2"); err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	waitConverged(t, c, 30*time.Second)
+	for _, id := range c.Replicas() {
+		checkCounter(t, c, id, stats.acked.Load(), stats.unknown.Load())
+	}
+}
+
+// TestDonorCrashMidRecovery kills the recoverer's first-choice donor in
+// the middle of the catch-up: the recoverer re-picks a live donor and
+// completes. Five replicas keep two alive throughout.
+func TestDonorCrashMidRecovery(t *testing.T) {
+	cfg := recoveryConfig(Active, TransportSim)
+	cfg.Replicas = 5
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+	cl := c.NewClient()
+
+	// Enough keys that the snapshot takes several pages.
+	for i := 0; i < 1200; i++ {
+		if _, err := cl.InvokeOp(ctx, txn.W("k"+strconv.Itoa(i), []byte("v"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Crash("r4")
+	time.Sleep(50 * time.Millisecond)
+
+	// r0 is the first donor candidate; kill it shortly into the catch-up.
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		c.Crash("r0")
+	}()
+	if err := c.Restart(ctx, "r4"); err != nil {
+		t.Fatalf("recovery with donor crash: %v", err)
+	}
+
+	// r4 must now hold every key (from whichever donors served it) and
+	// match the live replicas byte for byte.
+	st := c.Store("r4")
+	for _, probe := range []string{"k0", "k599", "k1199"} {
+		if _, ok := st.Read(probe); !ok {
+			t.Fatalf("recovered store is missing %q", probe)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if recon.Converged([]*storage.Store{c.Store("r1"), c.Store("r4")}) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered replica never converged with the live donors")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

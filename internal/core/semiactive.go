@@ -48,12 +48,18 @@ func newSemiActive(c *Cluster, replicas map[transport.NodeID]*replica) protocolH
 	for id, r := range replicas {
 		s := &semiActiveServer{
 			r:         r,
-			dd:        newDedup(),
+			dd:        r.dd,
 			decisions: make(map[string][]byte),
 		}
 		s.ab = group.NewAtomic(r.node, "sa", c.ids, r.det)
 		s.ab.OnDeliver(s.onDeliver)
-		s.vg = group.NewViewGroup(r.node, "sa", c.ids, c.ids, r.det, group.ViewGroupOptions{})
+		// The leader-decision group transfers the decision table to a
+		// rejoiner: a redelivered instance above the fence may pause on a
+		// choice the old leader resolved while the rejoiner was down.
+		s.vg = group.NewViewGroup(r.node, "sa", c.ids, c.ids, r.det, group.ViewGroupOptions{
+			StateProvider: s.decisionState,
+			StateApplier:  s.applyDecisionState,
+		})
 		s.vg.OnDeliver(s.onDecision)
 		hooks.servers[id] = &serverEntry{replica: r, engine: s}
 	}
@@ -98,19 +104,46 @@ func (s *semiActiveServer) onDecision(origin transport.NodeID, payload []byte) {
 	s.mu.Unlock()
 }
 
+// decisionState snapshots the leader-decision table for a joiner.
+func (s *semiActiveServer) decisionState() []byte {
+	s.mu.Lock()
+	kv := make(map[string][]byte, len(s.decisions))
+	for k, v := range s.decisions {
+		kv[k] = v
+	}
+	s.mu.Unlock()
+	return codec.MustMarshal(&storeSnapshot{KV: kv})
+}
+
+// applyDecisionState merges a transferred decision table.
+func (s *semiActiveServer) applyDecisionState(b []byte) {
+	var snap storeSnapshot
+	codec.MustUnmarshal(b, &snap)
+	s.mu.Lock()
+	for k, v := range snap.KV {
+		if _, ok := s.decisions[k]; !ok {
+			s.decisions[k] = v
+		}
+	}
+	s.mu.Unlock()
+}
+
 // onDeliver executes one totally-ordered request, pausing at each
 // nondeterministic point for the leader's decision.
 func (s *semiActiveServer) onDeliver(origin transport.NodeID, payload []byte) {
+	pos := s.ab.LastDelivered()
+	ok, release := s.r.enterApply(pos)
+	if !ok {
+		return // covered by a recovery catch-up
+	}
+	defer release()
 	req := decodeRequest(payload)
 	s.r.trace(req.ID, trace.SC, "abcast")
 
-	s.mu.Lock()
-	if res, ok := s.dd.get(req.ID); ok {
-		s.mu.Unlock()
+	if res, done := s.dd.get(req.ID); done {
 		respond(s.r.node, req, res)
 		return
 	}
-	s.mu.Unlock()
 
 	s.r.trace(req.ID, trace.EX, "")
 	out, err := s.r.execute(req.Txn, func(i int, op txnOp) ([]byte, error) {
@@ -122,14 +155,17 @@ func (s *semiActiveServer) onDeliver(origin transport.NodeID, payload []byte) {
 		// only ever see a result the surviving group agreed on.
 		return
 	}
-	if len(out.ws) > 0 {
-		s.r.store.Apply(out.ws, req.TxnID(), string(s.r.id), 0)
-	}
-
-	s.mu.Lock()
+	s.r.commit(pos, req.ID, req.TxnID(), s.r.id, 0, out.ws, out.result)
 	s.dd.put(req.ID, out.result)
-	s.mu.Unlock()
 	respond(s.r.node, req, out.result)
+}
+
+// rejoin implements the recovery hook: fast-forward the total order,
+// then re-enter the decision group through the view-synchronous rejoin
+// handshake.
+func (s *semiActiveServer) rejoin(ctx context.Context, fence uint64) error {
+	s.ab.FastForward(fence)
+	return rejoinView(ctx, s.vg)
 }
 
 // resolveChoice returns the group-agreed value of one nondeterministic
@@ -166,6 +202,11 @@ func (s *semiActiveServer) resolveChoice(req Request, opIdx int) ([]byte, error)
 				return choice, nil
 			}
 			// Stability failed (view churn): loop and retry.
+		}
+		if s.r.node.Crashed() {
+			// Unwind promptly so a crashed replica's delivery goroutine
+			// does not sit on the apply gate into its own recovery.
+			return nil, fmt.Errorf("core: crashed awaiting decision for %s", key)
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("core: no leader decision for %s", key)

@@ -47,7 +47,7 @@ func newSemiPassive(c *Cluster, replicas map[transport.NodeID]*replica) protocol
 	for id, r := range replicas {
 		s := &semiPassiveServer{
 			r:         r,
-			dd:        newDedup(),
+			dd:        r.dd,
 			pending:   make(map[uint64]Request),
 			decisions: make(map[uint64][]byte),
 			next:      1,
@@ -79,6 +79,7 @@ func (s *semiPassiveServer) start() {
 
 func (s *semiPassiveServer) stop() {
 	s.once.Do(func() {
+		s.cs.Stop()
 		if s.cancel != nil {
 			s.cancel()
 		}
@@ -108,7 +109,9 @@ func (s *semiPassiveServer) onClientRequest(m transport.Message) {
 
 func (s *semiPassiveServer) onDecide(instance uint64, value []byte) {
 	s.mu.Lock()
-	s.decisions[instance] = value
+	if instance >= s.next { // decisions behind a fast-forward are history
+		s.decisions[instance] = value
+	}
 	s.mu.Unlock()
 	select {
 	case s.wake <- struct{}{}:
@@ -129,15 +132,18 @@ func (s *semiPassiveServer) order(ctx context.Context) {
 
 		switch {
 		case decided:
-			s.apply(decision)
+			s.apply(instance, decision)
 		case havePending:
 			val, err := s.cs.ProposeDeferred(ctx, instance, func() []byte {
 				return s.produce()
 			})
 			if err != nil {
-				return // ctx cancelled
+				return // ctx cancelled or manager stopped
 			}
-			s.apply(val)
+			// Passing the instance back guards against a recovery
+			// fast-forward advancing s.next while the proposal was in
+			// flight.
+			s.apply(instance, val)
 		default:
 			select {
 			case <-ctx.Done():
@@ -180,27 +186,39 @@ func (s *semiPassiveServer) produce() []byte {
 }
 
 // apply installs one decided (request, update) pair and answers the
-// client.
-func (s *semiPassiveServer) apply(value []byte) {
+// client. A decision for an instance the order moved past (recovery
+// fast-forward) is dropped; a future one is parked.
+func (s *semiPassiveServer) apply(instance uint64, value []byte) {
 	u := decodeUpdate(value)
 
 	s.mu.Lock()
+	if instance != s.next {
+		if instance > s.next {
+			s.decisions[instance] = value
+		}
+		s.mu.Unlock()
+		return
+	}
 	req, known := s.pending[u.ReqID]
 	delete(s.pending, u.ReqID)
 	delete(s.decisions, s.next)
 	s.next++
-	_, done := s.dd.get(u.ReqID)
-	if u.ReqID != 0 && !done {
-		s.dd.put(u.ReqID, u.Result)
-	}
 	s.mu.Unlock()
 
+	ok, release := s.r.enterApply(instance)
+	if !ok {
+		return // covered by a recovery catch-up
+	}
+	defer release()
+
+	_, done := s.dd.get(u.ReqID)
 	if u.ReqID == 0 || done {
 		return
 	}
 	s.r.trace(u.ReqID, trace.AC, "consensus-dv")
+	s.r.commit(instance, u.ReqID, u.TxnID, u.Origin, 0, u.WS, u.Result)
+	s.dd.put(u.ReqID, u.Result)
 	if len(u.WS) > 0 {
-		s.r.store.Apply(u.WS, u.TxnID, string(u.Origin), 0)
 		s.r.recordApply(u.TxnID, u.WS)
 	}
 	// All replicas answer; the client keeps the first response.
@@ -209,4 +227,22 @@ func (s *semiPassiveServer) apply(value []byte) {
 	} else {
 		respond(s.r.node, Request{ID: u.ReqID, Client: u.Client}, u.Result)
 	}
+}
+
+// rejoin implements the recovery hook: fast-forward the instance
+// sequence past what the catch-up covered.
+func (s *semiPassiveServer) rejoin(_ context.Context, fence uint64) error {
+	s.mu.Lock()
+	if fence+1 > s.next {
+		for i := s.next; i <= fence; i++ {
+			delete(s.decisions, i)
+		}
+		s.next = fence + 1
+	}
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return nil
 }

@@ -15,9 +15,12 @@ package core
 // Because both run as stored procedures through the group's protocol,
 // a snapshot is as consistent as the technique serving it and an
 // install is as durable as the technique receiving it. The sharding
-// layer's live rebalancing streams partitions with these procedures;
-// future recovery work (replica catch-up, backup/restore) reuses the
-// same surface.
+// layer's live rebalancing streams partitions with these procedures.
+// Replica recovery (recovery.go) pages with the same storage.Scan
+// cursor contract but over its own direct RPCs: a rejoining replica
+// needs a PHYSICAL copy — version timestamps intact, commit sequence
+// adopted — where these procedures deliberately make a LOGICAL one
+// (values re-committed under the receiving group's own sequence).
 
 import (
 	"context"

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"replication/internal/codec"
 	"replication/internal/storage"
 	"replication/internal/transport"
@@ -232,21 +234,46 @@ func (m *decisionMsg) DecodeFrom(data []byte) error {
 
 // --- storeSnapshot (view-group state transfer) ---
 
-// storeSnapshot wraps a store snapshot for state transfer so it crosses
-// the wire through the binary codec rather than the gob fallback.
+// storeSnapshot wraps a store snapshot plus the exactly-once table for
+// state transfer so it crosses the wire through the binary codec rather
+// than the gob fallback.
 type storeSnapshot struct {
-	KV map[string][]byte
+	KV    map[string][]byte
+	Dedup map[uint64]txn.Result
 }
 
-// AppendTo implements codec.Wire: sorted (key, value) pairs.
+// AppendTo implements codec.Wire: sorted (key, value) pairs, then the
+// dedup entries in ascending request-ID order.
 func (m *storeSnapshot) AppendTo(buf []byte) []byte {
-	return codec.AppendMapBytes(buf, m.KV)
+	buf = codec.AppendMapBytes(buf, m.KV)
+	ids := make([]uint64, 0, len(m.Dedup))
+	for id := range m.Dedup {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = codec.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = codec.AppendUvarint(buf, id)
+		buf = m.Dedup[id].AppendWire(buf)
+	}
+	return buf
 }
 
 // DecodeFrom implements codec.Wire.
 func (m *storeSnapshot) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
 	m.KV = codec.DecodeMapBytes[string](&r)
+	n := r.Count(2)
+	m.Dedup = nil
+	if n > 0 {
+		m.Dedup = make(map[uint64]txn.Result, n)
+		for i := 0; i < n; i++ {
+			id := r.Uvarint()
+			var res txn.Result
+			res.DecodeWire(&r)
+			m.Dedup[id] = res
+		}
+	}
 	return r.Done()
 }
 
@@ -294,7 +321,10 @@ func init() {
 	codec.Register("core.snapshot",
 		func() codec.Wire { return new(storeSnapshot) },
 		func() codec.Wire {
-			return &storeSnapshot{KV: map[string][]byte{"a": []byte("1"), "b": []byte("2")}}
+			return &storeSnapshot{
+				KV:    map[string][]byte{"a": []byte("1"), "b": []byte("2")},
+				Dedup: map[uint64]txn.Result{7: {Committed: true}},
+			}
 		})
 	codec.Register("ep.stage",
 		func() codec.Wire { return new(epStage) },

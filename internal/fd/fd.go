@@ -115,6 +115,32 @@ func (d *Detector) Stop() {
 	d.wg.Wait()
 }
 
+// Reset clears all suspicion state and grants every peer a fresh
+// timeout of grace, notifying subscribers of peers no longer suspected.
+// A recovering replica calls this when it rejoins: while it was crashed
+// its detector heard nothing and suspected everyone, and acting on
+// those stale suspicions (e.g. proposing view changes against live
+// peers) would destabilise the group it is trying to re-enter.
+func (d *Detector) Reset() {
+	d.mu.Lock()
+	now := time.Now()
+	var cleared []transport.NodeID
+	for _, p := range d.peers {
+		d.lastHeard[p] = now
+		if d.suspected[p] {
+			d.suspected[p] = false
+			cleared = append(cleared, p)
+		}
+	}
+	subs := d.subs
+	d.mu.Unlock()
+	for _, p := range cleared {
+		for _, f := range subs {
+			f(p, false)
+		}
+	}
+}
+
 // Suspects reports whether peer is currently suspected.
 func (d *Detector) Suspects(peer transport.NodeID) bool {
 	d.mu.Lock()

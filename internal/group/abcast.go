@@ -131,9 +131,10 @@ func (a *Atomic) repeat(ctx context.Context) {
 	}
 }
 
-// Stop halts the ordering loop. Idempotent.
+// Stop halts the ordering loop and the consensus rounds. Idempotent.
 func (a *Atomic) Stop() {
 	a.once.Do(func() {
+		a.cs.Stop()
 		if a.cancel != nil {
 			a.cancel()
 		}
@@ -165,6 +166,37 @@ func (a *Atomic) SubmitKind() string { return a.kind + ".submit" }
 // Members returns the ordering group's membership.
 func (a *Atomic) Members() []transport.NodeID {
 	return append([]transport.NodeID(nil), a.members...)
+}
+
+// LastDelivered returns the highest consensus instance whose batch this
+// member has delivered. Called from inside a delivery callback it names
+// the instance being delivered (the ordering loop is sequential).
+func (a *Atomic) LastDelivered() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next - 1
+}
+
+// FastForward advances the ordering past instance without delivering
+// the skipped batches — the rejoin hook of replica recovery, called
+// after a catch-up installed the state those batches produced. Earlier
+// decisions are dropped; messages of skipped batches that are still
+// pending here re-enter the order and are deduplicated downstream (the
+// receivers' exactly-once tables already hold them). A no-op when the
+// order is already past instance.
+func (a *Atomic) FastForward(instance uint64) {
+	a.mu.Lock()
+	if instance+1 > a.next {
+		for i := a.next; i <= instance; i++ {
+			delete(a.decisions, i)
+		}
+		a.next = instance + 1
+	}
+	a.mu.Unlock()
+	select {
+	case a.wake <- struct{}{}:
+	default:
+	}
 }
 
 func (a *Atomic) onSubmit(msg transport.Message) {
@@ -207,7 +239,9 @@ func (a *Atomic) admit(m abSubmit) bool {
 
 func (a *Atomic) onDecide(instance uint64, value []byte) {
 	a.mu.Lock()
-	a.decisions[instance] = value
+	if instance >= a.next { // decisions behind a fast-forward are history
+		a.decisions[instance] = value
+	}
 	a.mu.Unlock()
 	select {
 	case a.wake <- struct{}{}:
@@ -220,20 +254,25 @@ func (a *Atomic) order(ctx context.Context) {
 	defer close(a.done)
 	for {
 		a.mu.Lock()
-		decision, decided := a.decisions[a.next]
+		instance := a.next
+		decision, decided := a.decisions[instance]
 		havePending := len(a.pending) > 0
 		a.mu.Unlock()
 
 		switch {
 		case decided:
-			a.apply(decision)
+			a.apply(instance, decision)
 		case havePending:
 			batch := a.makeBatch()
-			val, err := a.cs.Propose(ctx, a.currentInstance(), codec.MustMarshal(&batch))
+			val, err := a.cs.Propose(ctx, instance, codec.MustMarshal(&batch))
 			if err != nil {
-				return // ctx cancelled (Stop) — the only error Propose returns
+				return // ctx cancelled or manager stopped
 			}
-			a.apply(val)
+			// The instance is passed back explicitly: a recovery
+			// fast-forward may have moved a.next past it while the
+			// proposal was in flight, and applying a stale instance at
+			// the advanced position would corrupt the order.
+			a.apply(instance, val)
 		default:
 			select {
 			case <-ctx.Done():
@@ -277,11 +316,30 @@ func (a *Atomic) makeBatch() abBatch {
 }
 
 // apply delivers one decided batch and advances the instance counter.
-func (a *Atomic) apply(value []byte) {
+// A decision for an instance the order has moved past (recovery
+// fast-forward) is dropped; one for a future instance is parked.
+func (a *Atomic) apply(instance uint64, value []byte) {
+	a.mu.Lock()
+	if instance != a.next {
+		if instance > a.next {
+			a.decisions[instance] = value
+		}
+		a.mu.Unlock()
+		return
+	}
+	a.mu.Unlock()
+
 	var b abBatch
 	codec.MustUnmarshal(value, &b)
 
 	a.mu.Lock()
+	if instance != a.next { // re-check: a fast-forward may have raced the decode
+		if instance > a.next {
+			a.decisions[instance] = value
+		}
+		a.mu.Unlock()
+		return
+	}
 	var ready []abSubmit
 	for _, e := range b.Entries {
 		k := msgKey{e.Origin, e.Seq}

@@ -25,11 +25,13 @@ type fifoMsg struct {
 type FIFO struct {
 	rb *Reliable
 
-	mu      sync.Mutex
-	nextOut uint64
-	nextIn  map[transport.NodeID]uint64            // next expected seq per origin
-	held    map[transport.NodeID]map[uint64][]byte // out-of-order buffer
-	deliver Deliver
+	mu        sync.Mutex
+	nextOut   uint64
+	nextIn    map[transport.NodeID]uint64            // next expected seq per origin
+	held      map[transport.NodeID]map[uint64][]byte // out-of-order buffer
+	resyncAll bool                                   // rejoin: adopt each origin's next seq
+	synced    map[transport.NodeID]bool              // origins already re-adopted
+	deliver   Deliver
 }
 
 var _ Broadcaster = (*FIFO)(nil)
@@ -61,6 +63,23 @@ func (f *FIFO) Broadcast(payload []byte) error {
 	return f.rb.Broadcast(codec.MustMarshal(&m))
 }
 
+// Resync marks every origin's incoming sequence for adoption: the next
+// message received from an origin resets that origin's expectation to
+// its sequence number, accepting the gap. A replica that was crashed
+// missed its peers' broadcasts for good (reliable broadcast retransmits
+// only on first receipt); after a recovery catch-up has resupplied the
+// missed updates' effects, Resync lets the channel resume from the
+// present instead of holding every future message behind a gap that
+// will never fill. Held out-of-order messages are re-evaluated against
+// the adopted sequence.
+func (f *FIFO) Resync() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.resyncAll = true
+	f.synced = make(map[transport.NodeID]bool)
+	f.held = make(map[transport.NodeID]map[uint64][]byte)
+}
+
 // onDeliver receives RB deliveries and releases them in per-origin order.
 func (f *FIFO) onDeliver(origin transport.NodeID, payload []byte) {
 	var m fifoMsg
@@ -69,6 +88,12 @@ func (f *FIFO) onDeliver(origin transport.NodeID, payload []byte) {
 	f.mu.Lock()
 	if f.nextIn[origin] == 0 {
 		f.nextIn[origin] = 1
+	}
+	if f.resyncAll && !f.synced[origin] {
+		f.synced[origin] = true
+		if m.Seq > f.nextIn[origin] {
+			f.nextIn[origin] = m.Seq
+		}
 	}
 	if m.Seq != f.nextIn[origin] {
 		if f.held[origin] == nil {

@@ -477,3 +477,45 @@ func TestAtomicMemberCrashOthersContinue(t *testing.T) {
 			"survivors did not deliver after crash")
 	}
 }
+
+// TestFIFOResyncAdoptsGap: a member that missed broadcasts (crashed —
+// reliable broadcast never retransmits) would hold every later message
+// behind the gap forever; Resync adopts the next received sequence and
+// delivery resumes from the present.
+func TestFIFOResyncAdoptsGap(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	members := ids(3)
+	nodes := newNodes(t, net, members)
+	recs := make(map[simnet.NodeID]*recorder)
+	bs := make(map[simnet.NodeID]*FIFO)
+	for id, node := range nodes {
+		recs[id] = &recorder{}
+		bs[id] = NewFIFO(node, "g", members)
+		bs[id].OnDeliver(recs[id].deliver)
+		node.Start()
+	}
+	if err := bs["n0"].Broadcast([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return recs["n2"].count() == 1 }, "pre-crash delivery")
+
+	net.Crash("n2")
+	for _, p := range []string{"b", "c"} { // lost to n2 for good
+		if err := bs["n0"].Broadcast([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, time.Second, func() bool { return recs["n1"].count() == 3 }, "live member complete")
+
+	net.Recover("n2")
+	bs["n2"].Resync()
+	if err := bs["n0"].Broadcast([]byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool { return recs["n2"].count() == 2 }, "post-resync delivery")
+	msgs := recs["n2"].snapshot()
+	if msgs[len(msgs)-1] != "n0:d" {
+		t.Fatalf("n2 tail = %v, want to end with n0:d", msgs)
+	}
+}

@@ -180,6 +180,7 @@ type ViewGroup struct {
 	pendingViews map[uint64][]byte // decided views awaiting sequential install
 	awaiting     bool              // joiner: waiting for state transfer
 	buffer       []vsMsg           // messages buffered while awaiting state
+	lastJoinReq  time.Time         // rate-limits the monitor's auto-rejoin
 	deliver      Deliver
 	onView       []ViewFunc
 
@@ -249,9 +250,12 @@ func (g *ViewGroup) Start() {
 	go g.monitor()
 }
 
-// Stop halts the monitor. Idempotent.
+// Stop halts the monitor and the consensus rounds. Idempotent.
 func (g *ViewGroup) Stop() {
-	g.stopOnce.Do(func() { close(g.stop) })
+	g.stopOnce.Do(func() {
+		g.cs.Stop()
+		close(g.stop)
+	})
 	g.wg.Wait()
 }
 
@@ -566,10 +570,67 @@ func (g *ViewGroup) RequestJoin() {
 	}
 }
 
+// Rejoin demotes this process to a joiner and asks to be re-admitted —
+// the view-synchronous half of replica recovery. A replica that crashed
+// and came back holds a stale view and stale delivery state; it must
+// not deliver, broadcast, or coordinate view changes on that state.
+// Rejoin marks it awaiting (inbound messages buffer), discards what a
+// state transfer will resupply, fails pending stability waits, and
+// sends a join request. The caller repeats RequestJoin until InView:
+// an excluded process is re-admitted by the next view change, and a
+// process that was never excluded (a crash shorter than the suspicion
+// timeout) receives a direct state re-send from the responder member
+// (see onJoin). The state transfer's delivered vector is the fence: it
+// positions every origin's FIFO expectation exactly after what the
+// snapshot covers, so no VSCAST message is applied twice or skipped.
+func (g *ViewGroup) Rejoin() {
+	g.mu.Lock()
+	g.awaiting = true
+	g.inView = false
+	g.blocked = false
+	g.held = make(map[transport.NodeID]map[uint64]vsMsg)
+	g.unstable = make(map[msgKey]vsMsg)
+	g.acks = make(map[msgKey]map[transport.NodeID]bool)
+	stability := make([]chan bool, 0, len(g.stability))
+	for k, ch := range g.stability {
+		stability = append(stability, ch)
+		delete(g.stability, k)
+	}
+	g.mu.Unlock()
+	for _, ch := range stability {
+		ch <- false
+	}
+	g.RequestJoin()
+}
+
+// joinResponder returns the member that answers a join request from a
+// process that is still in the view: the lowest member other than the
+// requester (the primary, unless the primary is the one rejoining).
+func joinResponder(v View, requester transport.NodeID) transport.NodeID {
+	for _, m := range v.Members {
+		if m != requester {
+			return m
+		}
+	}
+	return ""
+}
+
 func (g *ViewGroup) onJoin(msg transport.Message) {
 	g.mu.Lock()
-	g.joins[msg.From] = true
+	view := View{ID: g.view.ID, Members: append([]transport.NodeID(nil), g.view.Members...)}
+	member := view.Includes(msg.From)
+	respond := member && g.inView && joinResponder(view, msg.From) == g.node.ID()
+	if !member {
+		g.joins[msg.From] = true
+	}
 	g.mu.Unlock()
+	if respond {
+		// A current member is rejoining (it crashed and recovered inside
+		// the suspicion timeout, or its exclusion raced its recovery):
+		// no view change is coming, so re-send the state directly. Other
+		// members ignore it (they are not awaiting).
+		g.sendStateToJoiners(view)
+	}
 }
 
 // monitor watches the failure detector and drives view changes when this
@@ -585,8 +646,32 @@ func (g *ViewGroup) monitor() {
 			return
 		case <-ticker.C:
 			g.unblockStale()
+			g.maybeRejoin()
 			g.maybeChangeView()
 		}
+	}
+}
+
+// maybeRejoin keeps a live-but-excluded process knocking. Under the
+// crash-stop model an excluded member was dead by definition; under
+// crash-recovery it may be alive (a recovered replica re-excluded by a
+// churned view, or a false suspicion that cost it its seat) and must
+// ask for re-admission itself — no peer will volunteer a view change
+// for a process that looks fine but is simply not a member. Joiners
+// awaiting state transfer also re-knock: their original join request
+// may have raced a view change and been consumed without them.
+func (g *ViewGroup) maybeRejoin() {
+	if g.node.Crashed() {
+		return
+	}
+	g.mu.Lock()
+	knock := !g.inView && time.Since(g.lastJoinReq) >= 10*g.opts.MonitorInterval
+	if knock {
+		g.lastJoinReq = time.Now()
+	}
+	g.mu.Unlock()
+	if knock {
+		g.RequestJoin()
 	}
 }
 
@@ -963,9 +1048,24 @@ func (g *ViewGroup) onState(msg transport.Message) {
 		}
 	}
 	g.awaiting = false
+	if sequentialJoin {
+		// A member-rejoin (crash shorter than exclusion) keeps the view;
+		// re-adopt membership explicitly since no install will run.
+		g.inView = contains(st.Members, self)
+	}
 	for origin, seq := range st.Delivered {
 		g.nextIn[origin] = seq + 1
 		g.deliveredVec[origin] = seq
+	}
+	// Realign our own outgoing sequence with what the group delivered. A
+	// process that crashed mid-broadcast consumed a sequence number the
+	// group never saw; numbering onward from it would put every future
+	// message behind a gap no peer can fill — broadcasts would deliver
+	// nowhere and stability would never complete again. The lost
+	// message itself was acknowledged to no one (its stable wait died
+	// with the crash), so rewinding is safe.
+	if adopt := st.Delivered[self]; adopt < g.seq {
+		g.seq = adopt
 	}
 	buffered := append(g.buffer, g.futures...)
 	g.buffer = nil

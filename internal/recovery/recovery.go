@@ -1,0 +1,165 @@
+// Package recovery lifts the repository's failure model from crash-stop
+// to crash-recovery: it provides the state a live replica (the donor)
+// keeps so that a crashed or brand-new replica can page itself current
+// and rejoin its group under traffic.
+//
+// The paper (Wiesmann et al., ICDCS 2000, §2.1) analyses its techniques
+// over processes that "fail by crashing" and never return; every
+// technique's liveness then degrades permanently with each crash. The
+// recovery subsystem restores the lost redundancy without changing any
+// technique's protocol: a rejoining replica copies a donor's physical
+// state — not the logical history — and the technique's own ordering
+// machinery (total order fast-forward, view-synchronous re-admission)
+// fences the boundary so no update is applied twice or skipped.
+//
+// Two pieces live here:
+//
+//   - Log, the bounded in-memory apply log every replica appends to on
+//     each committed (or deterministically aborted) outcome. Its LSN
+//     watermark is the replica's applied-sequence position, and the
+//     retained tail lets a donor serve "snapshot as of S, then the tail
+//     from S" without quiescing.
+//   - The wire messages of the catch-up protocol: snapshot pages that
+//     carry full storage.Version records (timestamp-faithful, unlike
+//     the logical snapshot procedures in core, which re-commit values
+//     under the receiver's own sequence), dedup pages that transfer the
+//     donor's exactly-once table, and tail pages of Log entries.
+//
+// The catch-up driver itself lives in core (it needs the replica's
+// engine hooks); package recovery stays importable from core without a
+// cycle.
+package recovery
+
+import (
+	"sync"
+
+	"replication/internal/storage"
+	"replication/internal/txn"
+)
+
+// Entry is one applied outcome in a replica's apply log. Ordered
+// techniques (anything built on a total order of consensus instances)
+// record their ordering position in Cursor so a rejoiner can fast-
+// forward its engine past everything the catch-up already covers;
+// unordered appliers record Cursor zero. LWW marks entries that must
+// replay through last-writer-wins reconciliation rather than a blind
+// install (lazy update-everywhere's local commits and reconciliations).
+type Entry struct {
+	// LSN is the log sequence number, monotone per replica.
+	LSN uint64
+	// StoreSeq is the commit sequence the store assigned (0 for
+	// entries with no writeset).
+	StoreSeq uint64
+	// Cursor is the engine's ordering position (consensus instance)
+	// when the entry was applied; 0 for unordered appliers.
+	Cursor uint64
+	// ReqID is the client request the outcome belongs to (0 for
+	// internal applies).
+	ReqID uint64
+	// TxnID, Origin, Wall annotate the writeset exactly as the original
+	// apply did.
+	TxnID  string
+	Origin string
+	Wall   uint64
+	// LWW marks a last-writer-wins apply: replay must re-run the
+	// reconciliation decision instead of installing unconditionally.
+	LWW bool
+	// WS is the applied writeset (nil for read-only/aborted outcomes,
+	// which are logged for their Cursor and dedup payload).
+	WS storage.WriteSet
+	// Res is the client-visible result, seeding the rejoiner's
+	// exactly-once table.
+	Res txn.Result
+}
+
+// DefaultRetain is the apply-log tail window when none is configured.
+const DefaultRetain = 4096
+
+// Log is the bounded in-memory apply log: a ring of the most recent
+// Entries plus the monotone LSN watermark. Safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	ring   []Entry
+	start  int // index of the oldest retained entry
+	count  int
+	lsn    uint64 // last assigned LSN (watermark)
+	cursor uint64 // highest Cursor recorded
+}
+
+// NewLog creates a log retaining up to retain entries (0 means
+// DefaultRetain).
+func NewLog(retain int) *Log {
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	return &Log{ring: make([]Entry, retain)}
+}
+
+// Append assigns the next LSN to e and retains it, evicting the oldest
+// entry when the window is full. It returns the assigned LSN.
+func (l *Log) Append(e Entry) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lsn++
+	e.LSN = l.lsn
+	if e.Cursor > l.cursor {
+		l.cursor = e.Cursor
+	}
+	i := (l.start + l.count) % len(l.ring)
+	l.ring[i] = e
+	if l.count < len(l.ring) {
+		l.count++
+	} else {
+		l.start = (l.start + 1) % len(l.ring)
+	}
+	return e.LSN
+}
+
+// Watermark returns the last assigned LSN — the replica's
+// applied-sequence position.
+func (l *Log) Watermark() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
+
+// Cursor returns the highest engine ordering position recorded.
+func (l *Log) Cursor() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cursor
+}
+
+// Since returns up to limit entries with LSN strictly greater than from,
+// oldest first (limit <= 0 means all). ok is false when entries in
+// (from, oldest) have been evicted — the caller's cursor predates the
+// retention window and it must fall back to a fresh snapshot.
+func (l *Log) Since(from uint64, limit int) (entries []Entry, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from >= l.lsn {
+		return nil, true // at or past the watermark: nothing newer
+	}
+	oldest := l.lsn - uint64(l.count) // LSN preceding the oldest retained
+	if from < oldest {
+		return nil, false
+	}
+	n := int(l.lsn - from)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	entries = make([]Entry, 0, n)
+	skip := int(from - oldest) // entries at the front already consumed
+	for i := skip; i < skip+n; i++ {
+		entries = append(entries, l.ring[(l.start+i)%len(l.ring)])
+	}
+	return entries, true
+}
+
+// Reset wipes the log (amnesia restart). The LSN restarts from zero;
+// per-replica LSNs are never compared across replicas, so this is safe.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.start, l.count, l.lsn, l.cursor = 0, 0, 0, 0
+}

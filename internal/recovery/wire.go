@@ -1,0 +1,286 @@
+package recovery
+
+import (
+	"replication/internal/codec"
+	"replication/internal/storage"
+	"replication/internal/txn"
+)
+
+// The catch-up protocol's message kinds, served by every replica
+// regardless of technique (registered on the replica node by core).
+// All three streams are idempotent reads of donor state, so a recoverer
+// whose donor dies mid-stream simply re-picks a donor and starts over.
+const (
+	// KindSnap pages the donor's store: SnapReq -> SnapResp.
+	KindSnap = "rec.snap"
+	// KindTail pages the donor's apply log: TailReq -> TailResp.
+	KindTail = "rec.tail"
+	// KindDedup pages the donor's exactly-once table: DedupReq -> DedupResp.
+	KindDedup = "rec.dedup"
+)
+
+// SnapReq asks for one snapshot page: keys strictly after After, at
+// most Limit items.
+type SnapReq struct {
+	After string
+	Limit uint32
+}
+
+// AppendTo implements codec.Wire.
+func (m *SnapReq) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, m.After)
+	return codec.AppendUvarint(buf, uint64(m.Limit))
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *SnapReq) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.After = r.String()
+	m.Limit = uint32(r.Uvarint())
+	return r.Done()
+}
+
+// SnapItem is one key with its full latest version.
+type SnapItem struct {
+	Key string
+	Ver storage.Version
+}
+
+// SnapResp is one snapshot page. CommitSeq is the donor store's commit
+// sequence when the page was cut; the recoverer adopts the maximum it
+// sees. Busy reports a donor that is itself recovering (pick another).
+type SnapResp struct {
+	Items     []SnapItem
+	Next      string
+	Done      bool
+	CommitSeq uint64
+	Busy      bool
+}
+
+// AppendTo implements codec.Wire.
+func (m *SnapResp) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(m.Items)))
+	for _, it := range m.Items {
+		buf = codec.AppendString(buf, it.Key)
+		buf = it.Ver.AppendWire(buf)
+	}
+	buf = codec.AppendString(buf, m.Next)
+	buf = codec.AppendBool(buf, m.Done)
+	buf = codec.AppendUvarint(buf, m.CommitSeq)
+	return codec.AppendBool(buf, m.Busy)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *SnapResp) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	n := r.Count(2)
+	m.Items = nil
+	if n > 0 {
+		m.Items = make([]SnapItem, n)
+		for i := range m.Items {
+			m.Items[i].Key = r.String()
+			m.Items[i].Ver.DecodeWire(&r)
+		}
+	}
+	m.Next = r.String()
+	m.Done = r.Bool()
+	m.CommitSeq = r.Uvarint()
+	m.Busy = r.Bool()
+	return r.Done()
+}
+
+// TailReq asks for apply-log entries with LSN strictly after From.
+type TailReq struct {
+	From  uint64
+	Limit uint32
+}
+
+// AppendTo implements codec.Wire.
+func (m *TailReq) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.From)
+	return codec.AppendUvarint(buf, uint64(m.Limit))
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *TailReq) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.From = r.Uvarint()
+	m.Limit = uint32(r.Uvarint())
+	return r.Done()
+}
+
+// TailResp is one tail page. OK=false reports a retention gap (From
+// predates the window): the recoverer restarts with a fresh snapshot.
+// Watermark and Cursor are the donor's current log positions.
+type TailResp struct {
+	Entries   []Entry
+	Watermark uint64
+	Cursor    uint64
+	OK        bool
+	Busy      bool
+}
+
+// AppendTo implements codec.Wire.
+func (m *TailResp) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		buf = e.AppendWire(buf)
+	}
+	buf = codec.AppendUvarint(buf, m.Watermark)
+	buf = codec.AppendUvarint(buf, m.Cursor)
+	buf = codec.AppendBool(buf, m.OK)
+	return codec.AppendBool(buf, m.Busy)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *TailResp) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	n := r.Count(8)
+	m.Entries = nil
+	if n > 0 {
+		m.Entries = make([]Entry, n)
+		for i := range m.Entries {
+			m.Entries[i].DecodeWire(&r)
+		}
+	}
+	m.Watermark = r.Uvarint()
+	m.Cursor = r.Uvarint()
+	m.OK = r.Bool()
+	m.Busy = r.Bool()
+	return r.Done()
+}
+
+// AppendWire appends one log entry's encoding.
+func (e Entry) AppendWire(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, e.LSN)
+	buf = codec.AppendUvarint(buf, e.StoreSeq)
+	buf = codec.AppendUvarint(buf, e.Cursor)
+	buf = codec.AppendUvarint(buf, e.ReqID)
+	buf = codec.AppendString(buf, e.TxnID)
+	buf = codec.AppendString(buf, e.Origin)
+	buf = codec.AppendUvarint(buf, e.Wall)
+	buf = codec.AppendBool(buf, e.LWW)
+	buf = e.WS.AppendWire(buf)
+	return e.Res.AppendWire(buf)
+}
+
+// DecodeWire reads one log entry from r.
+func (e *Entry) DecodeWire(r *codec.Reader) {
+	e.LSN = r.Uvarint()
+	e.StoreSeq = r.Uvarint()
+	e.Cursor = r.Uvarint()
+	e.ReqID = r.Uvarint()
+	e.TxnID = r.String()
+	e.Origin = r.String()
+	e.Wall = r.Uvarint()
+	e.LWW = r.Bool()
+	e.WS.DecodeWire(r)
+	e.Res.DecodeWire(r)
+}
+
+// DedupReq asks for exactly-once entries with request ID strictly after
+// After, at most Limit pairs, in ascending request-ID order.
+type DedupReq struct {
+	After uint64
+	Limit uint32
+}
+
+// AppendTo implements codec.Wire.
+func (m *DedupReq) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, m.After)
+	return codec.AppendUvarint(buf, uint64(m.Limit))
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *DedupReq) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.After = r.Uvarint()
+	m.Limit = uint32(r.Uvarint())
+	return r.Done()
+}
+
+// DedupPair is one request's cached result.
+type DedupPair struct {
+	ReqID uint64
+	Res   txn.Result
+}
+
+// DedupResp is one page of the donor's exactly-once table.
+type DedupResp struct {
+	Pairs []DedupPair
+	Done  bool
+	Busy  bool
+}
+
+// AppendTo implements codec.Wire.
+func (m *DedupResp) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(m.Pairs)))
+	for _, p := range m.Pairs {
+		buf = codec.AppendUvarint(buf, p.ReqID)
+		buf = p.Res.AppendWire(buf)
+	}
+	buf = codec.AppendBool(buf, m.Done)
+	return codec.AppendBool(buf, m.Busy)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *DedupResp) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	n := r.Count(2)
+	m.Pairs = nil
+	if n > 0 {
+		m.Pairs = make([]DedupPair, n)
+		for i := range m.Pairs {
+			m.Pairs[i].ReqID = r.Uvarint()
+			m.Pairs[i].Res.DecodeWire(&r)
+		}
+	}
+	m.Done = r.Bool()
+	m.Busy = r.Bool()
+	return r.Done()
+}
+
+// Registration for the cross-codec golden tests and fuzz targets.
+func init() {
+	codec.Register("rec.snapreq",
+		func() codec.Wire { return new(SnapReq) },
+		func() codec.Wire { return &SnapReq{After: "k12", Limit: 256} })
+	codec.Register("rec.snapresp",
+		func() codec.Wire { return new(SnapResp) },
+		func() codec.Wire {
+			return &SnapResp{
+				Items: []SnapItem{
+					{Key: "a", Ver: storage.Version{Value: []byte("1"), TxnID: "t1", Ts: 3, Origin: "r0", Wall: 9}},
+					{Key: "b", Ver: storage.Version{Value: []byte("2"), TxnID: "t2", Ts: 4}},
+				},
+				Next: "b", Done: true, CommitSeq: 4,
+			}
+		})
+	codec.Register("rec.tailreq",
+		func() codec.Wire { return new(TailReq) },
+		func() codec.Wire { return &TailReq{From: 41, Limit: 128} })
+	codec.Register("rec.tailresp",
+		func() codec.Wire { return new(TailResp) },
+		func() codec.Wire {
+			return &TailResp{
+				Entries: []Entry{{
+					LSN: 42, StoreSeq: 17, Cursor: 9, ReqID: 1<<32 + 3,
+					TxnID: "t3", Origin: "r1", Wall: 5,
+					WS:  storage.WriteSet{{Key: "k", Value: []byte("v")}},
+					Res: txn.Result{Committed: true, Reads: map[string][]byte{"k": []byte("v0")}},
+				}},
+				Watermark: 42, Cursor: 9, OK: true,
+			}
+		})
+	codec.Register("rec.dedupreq",
+		func() codec.Wire { return new(DedupReq) },
+		func() codec.Wire { return &DedupReq{After: 1 << 33, Limit: 512} })
+	codec.Register("rec.dedupresp",
+		func() codec.Wire { return new(DedupResp) },
+		func() codec.Wire {
+			return &DedupResp{
+				Pairs: []DedupPair{{ReqID: 7, Res: txn.Result{Committed: true}}},
+				Done:  true,
+			}
+		})
+}

@@ -179,14 +179,18 @@ func (mx *Mux) portFor(id transport.NodeID) *port {
 
 // routeTo finds the virtual endpoint for (shard, node), nil if the shard
 // view or endpoint does not exist (a frame for a group that never
-// attached here is dropped).
+// attached here is dropped). The endpoint map is the view's state, so
+// the lookup takes the view's lock — Attach mutates it under vmu, not
+// the mux lock.
 func (mx *Mux) routeTo(shard uint32, id transport.NodeID) *vEndpoint {
 	mx.mu.Lock()
-	defer mx.mu.Unlock()
 	v, ok := mx.views[shard]
+	mx.mu.Unlock()
 	if !ok {
 		return nil
 	}
+	v.vmu.Lock()
+	defer v.vmu.Unlock()
 	return v.endpoints[id]
 }
 
@@ -324,6 +328,11 @@ func (v *shardNet) Nodes() []transport.NodeID {
 // process hosting this shard-replica dies, taking its replica of every
 // other shard with it — there is no such thing as crashing one tablet.
 func (v *shardNet) Crash(id transport.NodeID) { v.mux.inner.Crash(id) }
+
+// Recover implements transport.Transport; like Crash it is physical, so
+// recovering any shard's view of a process recovers the process (each
+// group's recovery manager still catches its own replica up).
+func (v *shardNet) Recover(id transport.NodeID) { v.mux.inner.Recover(id) }
 
 // Crashed implements transport.Transport.
 func (v *shardNet) Crashed(id transport.NodeID) bool { return v.mux.inner.Crashed(id) }

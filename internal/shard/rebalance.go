@@ -368,6 +368,10 @@ type MoveReport struct {
 	// DeltaKeys is how many of them had to re-ship inside the freeze
 	// window (written between warm copy and freeze).
 	DeltaKeys int
+	// GCKeys counts the source groups' unrouted copies of moved keys
+	// tombstoned by the post-flip compaction pass (a grow only; a
+	// shrink tears the whole donated group down).
+	GCKeys int
 	// Chunks is the number of snapshot pages streamed.
 	Chunks int
 	// CopyTime is the warm copy duration (traffic flowing).
@@ -379,9 +383,9 @@ type MoveReport struct {
 
 // String formats the report for operators (replsim -rebalance).
 func (r *MoveReport) String() string {
-	return fmt.Sprintf("move %s: %d→%d shards (epoch %d→%d), %d keys moved (%d in delta, %d chunks), copy %v, freeze %v",
+	return fmt.Sprintf("move %s: %d→%d shards (epoch %d→%d), %d keys moved (%d in delta, %d chunks, %d GCed at source), copy %v, freeze %v",
 		r.MoveID, r.FromShards, r.ToShards, r.FromEpoch, r.ToEpoch,
-		r.MovedKeys, r.DeltaKeys, r.Chunks,
+		r.MovedKeys, r.DeltaKeys, r.Chunks, r.GCKeys,
 		r.CopyTime.Round(time.Microsecond), r.FreezeTime.Round(time.Microsecond))
 }
 
@@ -535,9 +539,38 @@ func (c *Cluster) rebalanceStep(ctx context.Context, to int) (*MoveReport, error
 	c.gate.endFreeze()
 	rep.FreezeTime = time.Since(freezeStart)
 
-	// Phase 7: a shrink tears down the donated group.
+	// Phase 7: a shrink tears down the donated group; a grow compacts
+	// the source groups' unrouted copies of the moved keys. The epoch
+	// has flipped and the pre-freeze traffic drained, so nothing can
+	// read or write those copies again — they are the dead versions a
+	// log-structured store drops at compaction. Crashed replicas are
+	// skipped: a recovery rebuilds them from a compacted donor anyway.
 	if !grew {
 		c.removeGroup(from.Shards - 1)
+	} else {
+		part := c.router.Partitioner()
+		gone := func(key string) bool {
+			if strings.HasPrefix(key, "!") {
+				return false // bookkeeping never moves, never compacts
+			}
+			_, _, moving := plan.MoveOf(key, part)
+			return moving
+		}
+		for _, src := range plan.Sources() {
+			g := c.Group(int(src))
+			if g == nil {
+				continue
+			}
+			for i, id := range g.Replicas() {
+				if g.Network().Crashed(id) {
+					continue
+				}
+				n := g.Store(id).Compact(gone)
+				if i == 0 {
+					rep.GCKeys += n
+				}
+			}
+		}
 	}
 	rep.MovedKeys = len(shipped)
 	c.metrics.movedKeys.Add(uint64(rep.MovedKeys))

@@ -1,0 +1,121 @@
+package shard
+
+// Replica recovery in a sharded cluster. Crashes are physical — a
+// process hosts one replica of every shard — so recovery is physical
+// too: the process's endpoint comes back once, and then every
+// partition's group catches its replica up independently, each from a
+// donor inside its own group. Shards heal in parallel and a shard whose
+// donors are all busy or gone fails the call without blocking the rest.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"replication/internal/codec"
+	"replication/internal/core"
+	"replication/internal/storage"
+	"replication/internal/transport"
+)
+
+// RecoverReplica restarts the crashed process id in place: its replica
+// of every shard catches up from that shard's live peers and rejoins.
+// Per-shard catch-ups run concurrently; the first error is returned
+// (with the process re-crashed by the failing group, so the cluster
+// never runs half-recovered).
+func (c *Cluster) RecoverReplica(ctx context.Context, id transport.NodeID) error {
+	return c.recoverEach(ctx, id, false)
+}
+
+// ReplaceReplica recovers the crashed process id as a brand-new node:
+// every shard's local state is wiped and rebuilt from a donor — a
+// replacement server with empty disks taking over the dead one's
+// identity.
+func (c *Cluster) ReplaceReplica(ctx context.Context, id transport.NodeID) error {
+	return c.recoverEach(ctx, id, true)
+}
+
+// recoverEach runs the two-phase recovery over every group: first every
+// group gates its replica's apply paths (BeginRecovery), then the
+// shared physical endpoint comes back ONCE, then every group catches up
+// and rejoins concurrently. The split matters because the process is
+// one endpoint shared by all groups — if group A recovered the endpoint
+// before group B gated, B's stale replica would serve traffic.
+func (c *Cluster) recoverEach(ctx context.Context, id transport.NodeID, wipe bool) error {
+	if !c.inner.Crashed(id) {
+		return fmt.Errorf("shard: process %s is not crashed", id)
+	}
+	c.mu.Lock()
+	groups := append([]*core.Cluster(nil), c.groups...)
+	c.mu.Unlock()
+	if len(groups) == 0 {
+		return fmt.Errorf("shard: no groups")
+	}
+
+	for s, g := range groups {
+		if err := g.BeginRecovery(id, wipe); err != nil {
+			for _, prev := range groups[:s] {
+				prev.AbortRecovery(id)
+			}
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	c.inner.Recover(id)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for s, g := range groups {
+		wg.Add(1)
+		go func(s int, g *core.Cluster) {
+			defer wg.Done()
+			if err := g.CompleteRecovery(ctx, id); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("shard %d: %w", s, err)
+				}
+				mu.Unlock()
+			}
+		}(s, g)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// moveWriteGuard enforces a rebalance freeze in every group's write
+// path (core.Config.WriteGuard): while the replicated move marker
+// stands, a freshly executed transaction writing a data key that the
+// marker's plan moves refuses deterministically. In-process shard
+// clients never see this — the admission gate pauses them — but an
+// out-of-process client talking to a group directly would otherwise
+// slip writes under a frozen range and lose them to the cutover delta.
+// Bookkeeping keys (the "!" namespace: cross-shard stages, intents,
+// markers, snapshot plumbing) are exempt — the cutover procedures
+// themselves write them.
+func moveWriteGuard(part Partitioner) core.WriteGuardFunc {
+	return func(read func(key string) []byte, ws storage.WriteSet) error {
+		var plan *Plan
+		for _, u := range ws {
+			if strings.HasPrefix(u.Key, "!") {
+				continue
+			}
+			if plan == nil {
+				raw := read(moveMarkerKey)
+				if len(raw) == 0 {
+					return nil // no move in progress
+				}
+				plan = new(Plan)
+				if codec.Unmarshal(raw, plan) != nil {
+					return nil // undecodable marker: the freeze self-heals it
+				}
+			}
+			if _, _, moving := plan.MoveOf(u.Key, part); moving {
+				return fmt.Errorf("shard: %s: key %q is frozen by move %s", rebalBusy, u.Key, plan.MoveID)
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,326 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/txn"
+)
+
+// TestRecoverReplicaUnderLoad crashes a physical process (its replica
+// of every shard) while clients write, recovers it in place, and
+// verifies every shard's group converges with zero lost acknowledged
+// writes.
+func TestRecoverReplicaUnderLoad(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 3, Group: core.Config{
+		Protocol: core.Active, Replicas: 3, RequestTimeout: 2 * time.Second,
+	}})
+	ctx := ctxT(t, 120*time.Second)
+
+	var acked sync.Map // key -> last acknowledged value
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		cl := c.NewClient()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				k := fmt.Sprintf("rr-%d-%d", w, i%40)
+				v := fmt.Sprintf("v-%d-%d", w, i)
+				res, err := cl.InvokeOp(ctx, txn.W(k, []byte(v)))
+				if err == nil && res.Committed {
+					acked.Store(k, v)
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	victim := c.Replicas()[2]
+	c.Crash(victim)
+	time.Sleep(200 * time.Millisecond)
+	if err := c.RecoverReplica(ctx, victim); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		t.Fatalf("RecoverReplica: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	waitConverged(t, c, 30*time.Second)
+	// Every acknowledged write is present at every replica of its
+	// owning shard — the recovered process included.
+	acked.Range(func(ki, vi any) bool {
+		k, v := ki.(string), vi.(string)
+		g := c.Group(c.Router().Shard(k))
+		for _, id := range g.Replicas() {
+			got, ok := g.Store(id).Read(k)
+			if !ok || string(got.Value) != v {
+				t.Fatalf("replica %s: %q = %q (ok=%v), want %q", id, k, got.Value, ok, v)
+			}
+		}
+		return true
+	})
+}
+
+// TestReplaceReplicaRebuildsFromScratch wipes the crashed process and
+// rebuilds it as a brand-new node: every shard's store must match its
+// group afterwards.
+func TestReplaceReplicaRebuildsFromScratch(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{
+		Protocol: core.Passive, Replicas: 3, RequestTimeout: 2 * time.Second,
+	}})
+	ctx := ctxT(t, 120*time.Second)
+	cl := c.NewClient()
+	for i := 0; i < 80; i++ {
+		k := fmt.Sprintf("rep-%d", i)
+		if res, err := cl.InvokeOp(ctx, txn.W(k, []byte("v"+strconv.Itoa(i)))); err != nil || !res.Committed {
+			t.Fatalf("seed %q: %v %+v", k, err, res)
+		}
+	}
+	victim := c.Replicas()[1]
+	c.Crash(victim)
+	time.Sleep(150 * time.Millisecond)
+	if err := c.ReplaceReplica(ctx, victim); err != nil {
+		t.Fatalf("ReplaceReplica: %v", err)
+	}
+	waitConverged(t, c, 30*time.Second)
+	for i := 0; i < 80; i++ {
+		k := fmt.Sprintf("rep-%d", i)
+		g := c.Group(c.Router().Shard(k))
+		v, ok := g.Store(victim).Read(k)
+		if !ok || string(v.Value) != "v"+strconv.Itoa(i) {
+			t.Fatalf("replaced replica %s missing %q (= %q, ok=%v)", victim, k, v.Value, ok)
+		}
+	}
+}
+
+// TestRecoverDuringCrossShardTransfers crashes and recovers a process
+// while cross-shard 2PC transfers run; the conservation invariant must
+// hold throughout and after convergence.
+func TestRecoverDuringCrossShardTransfers(t *testing.T) {
+	const initial = 100
+	cfg := Config{Shards: 2, Group: core.Config{
+		Protocol: core.Active, Replicas: 3, RequestTimeout: 2 * time.Second,
+		Procedures: map[string]core.ProcFunc{
+			"debit": func(tx core.ProcTx, args []byte) error {
+				key := string(args)
+				n, _ := strconv.Atoi(string(tx.Read(key)))
+				if n < 10 {
+					return fmt.Errorf("insufficient funds in %s", key)
+				}
+				tx.Write(key, []byte(strconv.Itoa(n-10)))
+				return nil
+			},
+			"credit": func(tx core.ProcTx, args []byte) error {
+				key := string(args)
+				n, _ := strconv.Atoi(string(tx.Read(key)))
+				tx.Write(key, []byte(strconv.Itoa(n+10)))
+				return nil
+			},
+		},
+	}}
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+	keys := keysOnDistinctShards(t, c)
+	a, b := keys[0], keys[1]
+
+	setup := c.NewClient()
+	for _, k := range []string{a, b} {
+		if res, err := setup.InvokeOp(ctx, txn.W(k, []byte(strconv.Itoa(initial)))); err != nil || !res.Committed {
+			t.Fatalf("funding %q: %v %+v", k, err, res)
+		}
+	}
+	waitConverged(t, c, 15*time.Second)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		cl := c.NewClient()
+		from, to := a, b
+		if w%2 == 1 {
+			from, to = b, a
+		}
+		wg.Add(1)
+		go func(cl *Client, from, to string) {
+			defer wg.Done()
+			for !stop.Load() {
+				_, _ = cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+					txn.P("debit", []byte(from), from),
+					txn.P("credit", []byte(to), to),
+				}})
+			}
+		}(cl, from, to)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	victim := c.Replicas()[2]
+	c.Crash(victim)
+	time.Sleep(150 * time.Millisecond)
+	if err := c.RecoverReplica(ctx, victim); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		t.Fatalf("RecoverReplica during 2PC load: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	// Let in-flight outcomes land and the recovery sweep clear parked
+	// state, then audit conservation on every replica of both shards.
+	waitConverged(t, c, 30*time.Second)
+	for _, k := range []string{a, b} {
+		g := c.Group(c.Router().Shard(k))
+		for _, id := range g.Replicas() {
+			if _, ok := g.Store(id).Read(k); !ok {
+				t.Fatalf("replica %s lost account %q", id, k)
+			}
+		}
+	}
+	na, _ := strconv.Atoi(string(readLatest(t, c, a)))
+	nb, _ := strconv.Atoi(string(readLatest(t, c, b)))
+	if na+nb != 2*initial {
+		t.Fatalf("conservation broken after recovery: %d + %d = %d, want %d", na, nb, na+nb, 2*initial)
+	}
+}
+
+// readLatest reads a key through a fresh client.
+func readLatest(t *testing.T, c *Cluster, k string) []byte {
+	t.Helper()
+	cl := c.NewClient()
+	ctx := ctxT(t, 30*time.Second)
+	for i := 0; i < 50; i++ {
+		res, err := cl.InvokeOp(ctx, txn.R(k))
+		if err == nil && res.Committed {
+			return res.Reads[k]
+		}
+	}
+	t.Fatalf("could not read %q", k)
+	return nil
+}
+
+// TestFreezeEnforcedServerSide: while the replicated move marker
+// stands, a client talking DIRECTLY to the owning group (bypassing the
+// shard layer's admission gate entirely) cannot write a moving key —
+// the write guard in core's execute path refuses it deterministically.
+func TestFreezeEnforcedServerSide(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{
+		Protocol: core.Active, Replicas: 3, RequestTimeout: 5 * time.Second,
+	}})
+	ctx := ctxT(t, 60*time.Second)
+
+	a := c.Router().Assignment()
+	plan := PlanChange(a, a.Shards+1)
+	plan.MoveID = "mv-test-guard"
+	part := c.Router().Partitioner()
+	var movingKey, stayKey string
+	var src int
+	for i := 0; movingKey == "" || stayKey == ""; i++ {
+		k := fmt.Sprintf("guard-%d", i)
+		if from, _, moving := plan.MoveOf(k, part); moving {
+			if movingKey == "" {
+				movingKey, src = k, from
+			}
+		} else if stayKey == "" && c.Router().Shard(k) == 0 {
+			stayKey = k
+		}
+	}
+
+	// Install the move marker on the source group via the replicated
+	// freeze procedure, exactly as a cutover does.
+	if err := c.invokeMoveProc(ctx, src, rebalFreezeProc, &plan); err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+
+	// An out-of-process client: attached straight to the source group.
+	direct := c.Group(src).NewClient()
+	res, err := direct.InvokeOp(ctx, txn.W(movingKey, []byte("smuggled")))
+	if err != nil {
+		t.Fatalf("direct write errored (want deterministic abort): %v", err)
+	}
+	if res.Committed {
+		t.Fatalf("direct write to frozen moving key committed — server-side enforcement missing")
+	}
+
+	// Non-moving keys on the same group still flow.
+	if c.Router().Shard(stayKey) == src {
+		res, err = direct.InvokeOp(ctx, txn.W(stayKey, []byte("fine")))
+		if err != nil || !res.Committed {
+			t.Fatalf("non-moving direct write during freeze: %v %+v", err, res)
+		}
+	}
+
+	// Release; the key is writable again.
+	if err := c.invokeMoveProc(ctx, src, rebalReleaseProc, &plan); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	res, err = direct.InvokeOp(ctx, txn.W(movingKey, []byte("after")))
+	if err != nil || !res.Committed {
+		t.Fatalf("write after release: %v %+v", err, res)
+	}
+}
+
+// TestMovedKeyGC: after a grow commits, the source groups' unrouted
+// copies of the moved keys are tombstoned by the compaction pass and
+// the report counts them.
+func TestMovedKeyGC(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{
+		Protocol: core.Active, Replicas: 3,
+	}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+
+	keys := make([]string, 50)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("gc-%02d", i)
+		if res, err := cl.InvokeOp(ctx, txn.W(keys[i], []byte("v"))); err != nil || !res.Committed {
+			t.Fatalf("seed %q: %v %+v", keys[i], err, res)
+		}
+	}
+	waitConverged(t, c, 15*time.Second)
+
+	a := c.Router().Assignment()
+	plan := PlanChange(a, a.Shards+1)
+	part := c.Router().Partitioner()
+	bySource := map[int][]string{}
+	for _, k := range keys {
+		if from, _, moving := plan.MoveOf(k, part); moving {
+			bySource[from] = append(bySource[from], k)
+		}
+	}
+
+	rep, err := c.AddShard(ctx)
+	if err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if rep.GCKeys == 0 {
+		t.Fatalf("report says no keys were GCed; moved=%d", rep.MovedKeys)
+	}
+	// The source groups no longer hold their moved keys; the new owner
+	// serves them.
+	for src, moved := range bySource {
+		g := c.Group(src)
+		for _, k := range moved {
+			for _, id := range g.Replicas() {
+				if _, ok := g.Store(id).Read(k); ok {
+					t.Fatalf("source shard %d replica %s still holds moved key %q after GC", src, id, k)
+				}
+			}
+		}
+	}
+	for _, k := range keys {
+		res, err := cl.InvokeOp(ctx, txn.R(k))
+		if err != nil || string(res.Reads[k]) != "v" {
+			t.Fatalf("read %q after GC = %q, %v", k, res.Reads[k], err)
+		}
+	}
+	_ = context.Background
+}

@@ -150,6 +150,10 @@ func New(cfg Config) (*Cluster, error) {
 		sweep:   sweep,
 	}
 	gcfg.Procedures = withShardProcs(gcfg.Procedures, c.router.Partitioner())
+	// Server-side freeze enforcement: the replicated move marker refuses
+	// fresh writes to moving keys in every group's own write path, so
+	// even out-of-process clients cannot slip under a cutover.
+	gcfg.WriteGuard = moveWriteGuard(c.router.Partitioner())
 	gcfg.Substrate = nil // set per group in addGroup
 	c.gtmpl = gcfg
 	c.mux.SetEpoch(c.router.Epoch(), shards)

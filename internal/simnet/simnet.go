@@ -314,14 +314,25 @@ func (n *Network) Heal() {
 }
 
 // Crash stops the endpoint with the given id: it can no longer send, and
-// messages addressed to it are dropped. Crash-stop is permanent, matching
-// the paper's failure model; build a "recovered" process as a new node.
+// messages addressed to it are dropped — until Recover brings it back.
 func (n *Network) Crash(id NodeID) {
 	n.mu.Lock()
 	ep := n.endpoints[id]
 	n.mu.Unlock()
 	if ep != nil {
 		ep.crashed.Store(true)
+	}
+}
+
+// Recover brings a crashed endpoint back. Messages dropped while it was
+// crashed stay lost (the deliverer discarded them at delivery time);
+// everything sent after the recover flows normally.
+func (n *Network) Recover(id NodeID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	if ep != nil {
+		ep.crashed.Store(false)
 	}
 }
 

@@ -529,3 +529,41 @@ func TestAccessors(t *testing.T) {
 		t.Fatal("Node.Crashed should reflect endpoint crash")
 	}
 }
+
+func TestCrashRecoverResumesDelivery(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	n.Crash("b")
+	if err := a.Send("b", "ping", []byte("lost")); err != nil {
+		t.Fatalf("send to crashed peer must be silent: %v", err)
+	}
+	if err := b.Send("a", "ping", nil); err == nil {
+		t.Fatal("crashed endpoint must not send")
+	}
+
+	n.Recover("b")
+	if n.Crashed("b") {
+		t.Fatal("recovered endpoint still reports crashed")
+	}
+	if err := a.Send("b", "ping", []byte("hello-again")); err != nil {
+		t.Fatalf("send after recover: %v", err)
+	}
+	select {
+	case m := <-b.Inbox():
+		if string(m.Payload) != "hello-again" {
+			t.Fatalf("delivered %q: the in-crash message must stay lost", m.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered after recover")
+	}
+	if err := b.Send("a", "pong", nil); err != nil {
+		t.Fatalf("recovered endpoint send: %v", err)
+	}
+	select {
+	case <-a.Inbox():
+	case <-time.After(time.Second):
+		t.Fatal("recovered endpoint's send not delivered")
+	}
+}

@@ -61,9 +61,15 @@ func (ws WriteSet) Keys() []string {
 
 // Store is one replica's versioned key-value state. The zero value is not
 // usable; create with New. Store is safe for concurrent use.
+//
+// Alongside the version map the store maintains a sorted index of its
+// keys, kept in order on insert, so Scan pages in O(log K + limit) and a
+// whole-store transfer (snapshot streaming, replica recovery) walks the
+// store in O(K) instead of the O(K²/limit) a per-page selection costs.
 type Store struct {
 	mu        sync.RWMutex
 	items     map[string][]Version
+	index     []string // all keys, sorted ascending
 	commitSeq uint64
 	maxChain  int
 }
@@ -75,6 +81,27 @@ func New(maxChain int) *Store {
 		maxChain = 16
 	}
 	return &Store{items: make(map[string][]Version), maxChain: maxChain}
+}
+
+// indexInsert adds key to the sorted index if absent; callers hold mu
+// and have verified the key is new to items.
+func (s *Store) indexInsert(key string) {
+	i := sort.SearchStrings(s.index, key)
+	if i < len(s.index) && s.index[i] == key {
+		return
+	}
+	s.index = append(s.index, "")
+	copy(s.index[i+1:], s.index[i:])
+	s.index[i] = key
+}
+
+// rebuildIndex recomputes the sorted index from items; callers hold mu.
+func (s *Store) rebuildIndex() {
+	s.index = make([]string, 0, len(s.items))
+	for k := range s.items {
+		s.index = append(s.index, k)
+	}
+	sort.Strings(s.index)
 }
 
 // Read returns the latest version of key.
@@ -155,11 +182,108 @@ func (s *Store) ApplyIf(ws WriteSet, txnID, origin string, wall uint64, decide f
 
 // appendVersion adds a version to key's chain; callers hold mu.
 func (s *Store) appendVersion(key string, v Version) {
-	chain := append(s.items[key], v)
+	chain, existed := s.items[key]
+	chain = append(chain, v)
 	if len(chain) > s.maxChain {
 		chain = chain[len(chain)-s.maxChain:]
 	}
 	s.items[key] = chain
+	if !existed {
+		s.indexInsert(key)
+	}
+}
+
+// ApplyAt installs a writeset like Apply but pins the commit sequence
+// number to seq instead of allocating the next local one, so a replica
+// replaying another replica's apply log reproduces its version
+// timestamps exactly (certification compares them across replicas). The
+// store's sequence only moves forward, and a key whose latest version
+// is already at or past seq keeps it — a log entry replayed over a
+// snapshot page that was cut after the entry must not regress the key.
+func (s *Store) ApplyAt(ws WriteSet, txnID, origin string, wall, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.commitSeq {
+		s.commitSeq = seq
+	}
+	// The staleness guard compares against versions that existed BEFORE
+	// this call only: a writeset may legally write one key twice (later
+	// writes supersede earlier ones), and the second write must not be
+	// mistaken for a replay of the first.
+	var mine map[string]bool
+	for _, u := range ws {
+		if !mine[u.Key] {
+			if chain := s.items[u.Key]; len(chain) > 0 && chain[len(chain)-1].Ts >= seq {
+				continue
+			}
+			if mine == nil {
+				mine = make(map[string]bool, len(ws))
+			}
+			mine[u.Key] = true
+		}
+		s.appendVersion(u.Key, Version{
+			Value: append([]byte(nil), u.Value...),
+			TxnID: txnID, Ts: seq, Origin: origin, Wall: wall,
+		})
+	}
+}
+
+// InstallVersion replaces key's chain with the single version v, byte
+// and metadata faithful — the physical page install of replica
+// recovery, which must reproduce the donor's timestamps (unlike the
+// logical install of the snapshot procedures, which re-commits values
+// under the receiving group's own sequence).
+func (s *Store) InstallVersion(key string, v Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v.Value = append([]byte(nil), v.Value...)
+	if _, existed := s.items[key]; !existed {
+		s.indexInsert(key)
+	}
+	s.items[key] = []Version{v}
+}
+
+// SetCommitSeq forwards the commit sequence counter to seq (never
+// backwards). Recovery adopts the donor's watermark after paging its
+// snapshot so subsequent local applies continue the donor's numbering.
+func (s *Store) SetCommitSeq(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq > s.commitSeq {
+		s.commitSeq = seq
+	}
+}
+
+// Compact removes every key for which drop returns true, returning how
+// many were removed. This is a physical, store-local operation: callers
+// (the rebalancer's moved-key GC, recovery's stale-key sweep) must
+// guarantee that what they drop is either unreachable to readers or
+// about to be resupplied.
+func (s *Store) Compact(drop func(key string) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	kept := s.index[:0]
+	for _, k := range s.index {
+		if drop(k) {
+			delete(s.items, k)
+			removed++
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	s.index = kept
+	return removed
+}
+
+// Reset wipes the store to its initial empty state — the amnesia crash
+// of a replica replaced by a brand-new process (JoinAsNew).
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = make(map[string][]Version)
+	s.index = nil
+	s.commitSeq = 0
 }
 
 // Item pairs a key with its latest version — one element of a Scan.
@@ -173,73 +297,25 @@ type Item struct {
 // Paging with afterKey = the last returned key walks the whole store in
 // stable chunks: keys inserted behind the cursor are skipped, keys
 // inserted ahead are picked up — exactly the guarantee a chunked state
-// transfer needs (the snapshot subsystem and future recovery both page
+// transfer needs (the snapshot subsystem and replica recovery both page
 // through stores this way). limit <= 0 means no bound.
 //
-// A bounded page selects its keys with a size-limit max-heap — O(K log
-// limit) time and O(limit) memory per page over K keys — rather than
-// sorting the whole key set per call; each page still walks the map
-// once, so a full transfer of a very large store is O(K²/limit) and a
-// future sorted index would take that to O(K) (see ROADMAP).
+// Each page binary-searches the maintained sorted index and copies a
+// contiguous run — O(log K + limit) per page, so a whole-store transfer
+// is O(K) (the index is paid for on insert instead).
 func (s *Store) Scan(afterKey string, limit int) []Item {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	var keys []string
-	if limit <= 0 || limit >= len(s.items) {
-		keys = make([]string, 0, len(s.items))
-		for k := range s.items {
-			if k > afterKey {
-				keys = append(keys, k)
-			}
-		}
-		sort.Strings(keys)
-	} else {
-		// h is a max-heap of the limit smallest qualifying keys.
-		h := make([]string, 0, limit)
-		up := func(i int) {
-			for i > 0 {
-				p := (i - 1) / 2
-				if h[p] >= h[i] {
-					return
-				}
-				h[p], h[i] = h[i], h[p]
-				i = p
-			}
-		}
-		down := func() {
-			i := 0
-			for {
-				c := 2*i + 1
-				if c >= len(h) {
-					return
-				}
-				if r := c + 1; r < len(h) && h[r] > h[c] {
-					c = r
-				}
-				if h[i] >= h[c] {
-					return
-				}
-				h[i], h[c] = h[c], h[i]
-				i = c
-			}
-		}
-		for k := range s.items {
-			if k <= afterKey {
-				continue
-			}
-			if len(h) < limit {
-				h = append(h, k)
-				up(len(h) - 1)
-			} else if k < h[0] {
-				h[0] = k
-				down()
-			}
-		}
-		sort.Strings(h)
-		keys = h
+	start := sort.SearchStrings(s.index, afterKey)
+	if start < len(s.index) && s.index[start] == afterKey {
+		start++
 	}
-	out := make([]Item, 0, len(keys))
-	for _, k := range keys {
+	end := len(s.index)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	out := make([]Item, 0, end-start)
+	for _, k := range s.index[start:end] {
 		chain := s.items[k]
 		out = append(out, Item{Key: k, Ver: chain[len(chain)-1]})
 	}
@@ -257,12 +333,7 @@ func (s *Store) History(key string) []Version {
 func (s *Store) Keys() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.items))
-	for k := range s.items {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return append([]string(nil), s.index...)
 }
 
 // Len returns the number of keys present.
@@ -293,6 +364,7 @@ func (s *Store) Restore(snapshot map[string][]byte, txnID string) {
 	for k, v := range snapshot {
 		s.items[k] = []Version{{Value: append([]byte(nil), v...), TxnID: txnID, Ts: s.commitSeq}}
 	}
+	s.rebuildIndex()
 }
 
 // Fingerprint hashes the latest value of every key; equal fingerprints
@@ -300,13 +372,8 @@ func (s *Store) Restore(snapshot map[string][]byte, txnID string) {
 func (s *Store) Fingerprint() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.items))
-	for k := range s.items {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
 	h := fnv.New64a()
-	for _, k := range keys {
+	for _, k := range s.index {
 		chain := s.items[k]
 		fmt.Fprintf(h, "%s=%x;", k, chain[len(chain)-1].Value)
 	}

@@ -265,3 +265,130 @@ func TestScanPagesInOrder(t *testing.T) {
 		t.Fatalf("full scan = %d items, want 12", len(all))
 	}
 }
+
+// --- Crash-recovery surface: sorted index, physical install, GC ---
+
+func TestScanUsesSortedIndex(t *testing.T) {
+	s := New(0)
+	// Insert out of order; Scan must page in sorted order with a stable
+	// cursor.
+	for _, k := range []string{"m", "b", "z", "a", "q"} {
+		s.Apply(WriteSet{{Key: k, Value: []byte(k)}}, "t", "", 0)
+	}
+	var got []string
+	after := ""
+	for {
+		items := s.Scan(after, 2)
+		if len(items) == 0 {
+			break
+		}
+		for _, it := range items {
+			got = append(got, it.Key)
+		}
+		after = items[len(items)-1].Key
+	}
+	want := []string{"a", "b", "m", "q", "z"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("paged scan = %v, want %v", got, want)
+	}
+	if fmt.Sprint(s.Keys()) != fmt.Sprint(want) {
+		t.Fatalf("Keys = %v, want %v", s.Keys(), want)
+	}
+}
+
+func TestApplyAtPinsSequenceAndIsIdempotent(t *testing.T) {
+	s := New(0)
+	s.ApplyAt(WriteSet{{Key: "k", Value: []byte("v9")}}, "t9", "r0", 0, 9)
+	if ts := s.ReadTs("k"); ts != 9 {
+		t.Fatalf("ReadTs = %d, want the pinned 9", ts)
+	}
+	if cs := s.CommitSeq(); cs != 9 {
+		t.Fatalf("CommitSeq = %d, want 9", cs)
+	}
+	// An older entry replayed over a newer version must not regress it.
+	s.ApplyAt(WriteSet{{Key: "k", Value: []byte("v5")}}, "t5", "r0", 0, 5)
+	if v, _ := s.Read("k"); string(v.Value) != "v9" || v.Ts != 9 {
+		t.Fatalf("stale replay regressed key to %q@%d", v.Value, v.Ts)
+	}
+	// Re-replaying the same entry is a no-op too.
+	s.ApplyAt(WriteSet{{Key: "k", Value: []byte("v9-dup")}}, "t9", "r0", 0, 9)
+	if v, _ := s.Read("k"); string(v.Value) != "v9" {
+		t.Fatalf("equal-seq replay overwrote key: %q", v.Value)
+	}
+}
+
+func TestInstallVersionIsFaithful(t *testing.T) {
+	s := New(0)
+	s.Apply(WriteSet{{Key: "k", Value: []byte("old")}}, "t1", "", 0)
+	src := []byte("donor")
+	s.InstallVersion("k", Version{Value: src, TxnID: "t7", Ts: 7, Origin: "r1", Wall: 3})
+	v, ok := s.Read("k")
+	if !ok || string(v.Value) != "donor" || v.Ts != 7 || v.TxnID != "t7" || v.Origin != "r1" || v.Wall != 3 {
+		t.Fatalf("installed version = %+v", v)
+	}
+	src[0] = 'X' // the install must have copied
+	if v, _ := s.Read("k"); string(v.Value) != "donor" {
+		t.Fatal("InstallVersion aliased the caller's buffer")
+	}
+	if len(s.History("k")) != 1 {
+		t.Fatal("install must replace the chain")
+	}
+	// New keys enter the index.
+	s.InstallVersion("j", Version{Value: []byte("x"), Ts: 8})
+	if fmt.Sprint(s.Keys()) != fmt.Sprint([]string{"j", "k"}) {
+		t.Fatalf("Keys after install = %v", s.Keys())
+	}
+}
+
+func TestCompact(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 6; i++ {
+		s.Apply(WriteSet{{Key: fmt.Sprintf("k%d", i), Value: []byte("v")}}, "t", "", 0)
+	}
+	n := s.Compact(func(key string) bool { return key == "k1" || key == "k4" })
+	if n != 2 {
+		t.Fatalf("Compact removed %d, want 2", n)
+	}
+	if _, ok := s.Read("k1"); ok {
+		t.Fatal("compacted key still readable")
+	}
+	if fmt.Sprint(s.Keys()) != fmt.Sprint([]string{"k0", "k2", "k3", "k5"}) {
+		t.Fatalf("Keys after compact = %v", s.Keys())
+	}
+	// Scan over the compacted index stays consistent.
+	if items := s.Scan("", 0); len(items) != 4 {
+		t.Fatalf("Scan after compact = %d items", len(items))
+	}
+}
+
+func TestResetWipes(t *testing.T) {
+	s := New(0)
+	s.Apply(WriteSet{{Key: "k", Value: []byte("v")}}, "t", "", 0)
+	s.Reset()
+	if s.Len() != 0 || s.CommitSeq() != 0 || len(s.Keys()) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	s.Apply(WriteSet{{Key: "j", Value: []byte("w")}}, "t", "", 0)
+	if ts := s.ReadTs("j"); ts != 1 {
+		t.Fatalf("sequence after reset = %d, want 1", ts)
+	}
+}
+
+func TestApplyAtDuplicateKeyKeepsLastWrite(t *testing.T) {
+	s := New(0)
+	// A writeset may write one key twice; the last write wins, exactly
+	// as Apply behaves — the staleness guard must not eat the second.
+	ws := WriteSet{
+		{Key: "k", Value: []byte("first")},
+		{Key: "k", Value: []byte("last")},
+	}
+	s.ApplyAt(ws, "t", "r0", 0, 5)
+	if v, _ := s.Read("k"); string(v.Value) != "last" {
+		t.Fatalf("duplicate-key ApplyAt kept %q, want \"last\"", v.Value)
+	}
+	// Replaying the same entry is still a no-op.
+	s.ApplyAt(ws, "t", "r0", 0, 5)
+	if got := len(s.History("k")); got != 2 {
+		t.Fatalf("replay grew the chain to %d versions, want 2", got)
+	}
+}

@@ -19,6 +19,26 @@ func (u *Update) DecodeWire(r *codec.Reader) {
 	u.Value = r.Bytes()
 }
 
+// AppendWire appends the version's encoding: value, txn, ts, origin,
+// wall. Replica recovery ships full versions so the receiver reproduces
+// the donor's timestamps (certification compares them across replicas).
+func (v Version) AppendWire(buf []byte) []byte {
+	buf = codec.AppendBytes(buf, v.Value)
+	buf = codec.AppendString(buf, v.TxnID)
+	buf = codec.AppendUvarint(buf, v.Ts)
+	buf = codec.AppendString(buf, v.Origin)
+	return codec.AppendUvarint(buf, v.Wall)
+}
+
+// DecodeWire reads one version from r.
+func (v *Version) DecodeWire(r *codec.Reader) {
+	v.Value = r.Bytes()
+	v.TxnID = r.String()
+	v.Ts = r.Uvarint()
+	v.Origin = r.String()
+	v.Wall = r.Uvarint()
+}
+
 // AppendWire appends the writeset's encoding: count, then updates in
 // order (writesets are ordered — later writes to a key supersede
 // earlier ones on apply).

@@ -148,18 +148,19 @@ func (n *Network) Endpoint(id transport.NodeID) *Endpoint {
 	ep.addr = ln.Addr().String()
 	n.endpoints[id] = ep
 	ep.wg.Add(1)
-	go ep.acceptLoop()
+	go ep.acceptLoop(ln)
 	return ep
 }
 
 // Addr returns the listen address of id's endpoint ("" if unknown).
 func (n *Network) Addr(id transport.NodeID) string {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if ep, ok := n.endpoints[id]; ok {
-		return ep.addr
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	if ep == nil {
+		return ""
 	}
-	return ""
+	return ep.listenAddr()
 }
 
 // Nodes returns the IDs of all endpoints, sorted.
@@ -175,13 +176,29 @@ func (n *Network) Nodes() []transport.NodeID {
 
 // Crash crash-stops the endpoint with the given id: its listener and all
 // of its connections close, it can no longer send, and traffic addressed
-// to it dies with the connections. Permanent, per the paper's model.
+// to it dies with the connections — until Recover brings it back.
 func (n *Network) Crash(id transport.NodeID) {
 	n.mu.Lock()
 	ep := n.endpoints[id]
 	n.mu.Unlock()
 	if ep != nil {
 		ep.crash(false)
+	}
+}
+
+// Recover restarts a crashed endpoint: it rebinds its listener
+// (preferring its old address; a fresh port if the old one is gone —
+// senders look the address up per message, so either works), restarts
+// the accept loop, and clears the crash flag. Frames lost while crashed
+// stay lost; peers' writers redial on their next send. A no-op for live
+// endpoints and after Close.
+func (n *Network) Recover(id transport.NodeID) {
+	n.mu.Lock()
+	closed := n.closed
+	ep := n.endpoints[id]
+	n.mu.Unlock()
+	if ep != nil && !closed {
+		ep.recover()
 	}
 }
 
@@ -231,7 +248,7 @@ func (n *Network) send(src *Endpoint, m transport.Message) error {
 		m.ID = n.nextMsgID.Add(1)
 	}
 	n.CountSend(m.Kind, len(m.Payload))
-	src.enqueue(m, dst.addr)
+	src.enqueue(m, dst.listenAddr())
 	return nil
 }
 
@@ -244,11 +261,10 @@ type Endpoint struct {
 	addr  string       // cached ln.Addr().String()
 	inbox chan transport.Message
 
-	crashed  atomic.Bool
-	done     chan struct{}
-	downOnce sync.Once
+	crashed atomic.Bool
 
 	mu      sync.Mutex
+	done    chan struct{} // closed on crash; replaced on recover
 	peers   map[transport.NodeID]*peer
 	inConns map[net.Conn]struct{}
 	wg      sync.WaitGroup
@@ -258,6 +274,13 @@ var _ transport.Endpoint = (*Endpoint)(nil)
 
 // ID returns the endpoint's node ID.
 func (e *Endpoint) ID() transport.NodeID { return e.id }
+
+// listenAddr returns the current listen address (recover may change it).
+func (e *Endpoint) listenAddr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.addr
+}
 
 // Send transmits a message. The returned error reports local conditions
 // only; in-flight loss is silent, as on a real asynchronous network.
@@ -314,28 +337,58 @@ func (e *Endpoint) DropConns() {
 	}
 }
 
-// crash implements crash-stop: stop accepting, kill every connection,
-// stop the writers. With closing set the shutdown is a network Close
-// rather than a fault (same mechanics, different bookkeeping intent).
+// crash stops the endpoint: stop accepting, kill every connection, stop
+// the writers. Idempotent; Recover re-arms it. With closing set the
+// shutdown is a network Close rather than a fault (same mechanics,
+// different bookkeeping intent — and no recovery follows).
 func (e *Endpoint) crash(closing bool) {
-	e.downOnce.Do(func() {
+	e.mu.Lock()
+	if !e.crashed.Load() {
 		e.crashed.Store(true)
 		close(e.done)
 		if e.ln != nil {
 			e.ln.Close()
 		}
-		e.DropConns()
-	})
+	}
+	e.mu.Unlock()
+	e.DropConns()
 	if closing {
 		e.wg.Wait()
 	}
 }
 
+// recover restarts a crashed endpoint (see Network.Recover).
+func (e *Endpoint) recover() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.crashed.Load() {
+		return
+	}
+	ln, err := net.Listen("tcp", e.addr)
+	if err != nil {
+		// The old port was reused meanwhile: take a fresh one. Senders
+		// resolve the address per message, so the change propagates.
+		ln, err = net.Listen("tcp", net.JoinHostPort(e.net.opts.ListenHost, "0"))
+		if err != nil {
+			panic(fmt.Sprintf("tcpnet: re-listen for %q: %v", e.id, err))
+		}
+	}
+	e.ln = ln
+	e.addr = ln.Addr().String()
+	e.done = make(chan struct{})
+	e.peers = make(map[transport.NodeID]*peer) // old writers exited with the old done
+	e.crashed.Store(false)
+	e.wg.Add(1)
+	go e.acceptLoop(ln)
+}
+
 // acceptLoop admits inbound connections and spawns a reader per conn.
-func (e *Endpoint) acceptLoop() {
+// The listener is passed in (not read from the endpoint) because a
+// recover replaces it.
+func (e *Endpoint) acceptLoop(ln net.Listener) {
 	defer e.wg.Done()
 	for {
-		conn, err := e.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed: crash or shutdown
 		}
@@ -383,6 +436,8 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 }
 
 // enqueue hands m to the writer for m.To, dropping if the queue is full.
+// The destination address is refreshed on every send: a recovered peer
+// may have rebound its listener on a new port.
 func (e *Endpoint) enqueue(m transport.Message, addr string) {
 	e.mu.Lock()
 	if e.crashed.Load() {
@@ -392,12 +447,14 @@ func (e *Endpoint) enqueue(m transport.Message, addr string) {
 	}
 	p, ok := e.peers[m.To]
 	if !ok {
-		p = &peer{ep: e, addr: addr, out: make(chan transport.Message, e.net.opts.SendQueue)}
+		p = &peer{ep: e, done: e.done, out: make(chan transport.Message, e.net.opts.SendQueue)}
+		p.addr = addr
 		e.peers[m.To] = p
 		e.wg.Add(1)
 		go p.run()
 	}
 	e.mu.Unlock()
+	p.setAddr(addr)
 	select {
 	case p.out <- m:
 	default:
@@ -410,15 +467,26 @@ func (e *Endpoint) enqueue(m transport.Message, addr string) {
 // for later messages, a redial under exponential backoff.
 type peer struct {
 	ep   *Endpoint
-	addr string
+	done chan struct{} // the owning endpoint's done at spawn time
 	out  chan transport.Message
 
-	mu   sync.Mutex // guards conn against DropConns from other goroutines
+	mu   sync.Mutex // guards conn and addr against other goroutines
 	conn net.Conn
+	addr string
 
 	// Dial state, touched only by the writer goroutine.
 	backoff  time.Duration
 	nextDial time.Time
+}
+
+// setAddr refreshes the destination address for the next dial.
+func (p *peer) setAddr(addr string) {
+	p.mu.Lock()
+	if p.addr != addr {
+		p.addr = addr
+		p.nextDial = time.Time{} // new address: dial eagerly
+	}
+	p.mu.Unlock()
 }
 
 func (p *peer) run() {
@@ -427,7 +495,7 @@ func (p *peer) run() {
 	var buf []byte
 	for {
 		select {
-		case <-p.ep.done:
+		case <-p.done:
 			return
 		case m := <-p.out:
 			buf = p.deliver(m, buf[:0])
@@ -472,25 +540,31 @@ func (p *peer) currentConn() net.Conn {
 // looks dead, sends fail fast instead of stalling the queue on timeouts.
 func (p *peer) dial() net.Conn {
 	opts := &p.ep.net.opts
-	if time.Now().Before(p.nextDial) {
+	p.mu.Lock()
+	addr := p.addr
+	nextDial := p.nextDial
+	p.mu.Unlock()
+	if time.Now().Before(nextDial) {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", p.addr, opts.DialTimeout)
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
 		if p.backoff == 0 {
 			p.backoff = opts.RedialBackoff
 		} else if p.backoff *= 2; p.backoff > opts.RedialMax {
 			p.backoff = opts.RedialMax
 		}
+		p.mu.Lock()
 		p.nextDial = time.Now().Add(p.backoff)
+		p.mu.Unlock()
 		return nil
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	p.backoff = 0
-	p.nextDial = time.Time{}
 	p.mu.Lock()
+	p.nextDial = time.Time{}
 	p.conn = conn
 	p.mu.Unlock()
 	return conn

@@ -378,3 +378,81 @@ func TestResetStats(t *testing.T) {
 		t.Fatalf("stats after reset = %+v", stats)
 	}
 }
+
+// TestCrashRecoverRelistens: a crashed endpoint's listener dies with
+// its connections; Recover rebinds, peers' writers redial (refreshing
+// the address per send), and traffic flows both ways again.
+func TestCrashRecoverRelistens(t *testing.T) {
+	n := newTestNet(t, Options{})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	// Establish connections in both directions.
+	if err := a.Send("b", "ping", []byte("1")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	recvOne(t, b, 2*time.Second)
+	if err := b.Send("a", "pong", []byte("1")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	recvOne(t, a, 2*time.Second)
+
+	n.Crash("b")
+	if err := b.Send("a", "pong", nil); !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("crashed send err = %v, want ErrCrashed", err)
+	}
+	_ = a.Send("b", "ping", []byte("lost")) // dies with the connections
+
+	n.Recover("b")
+	if n.Crashed("b") {
+		t.Fatal("recovered endpoint still reports crashed")
+	}
+	// The writer's backoff may eat the first sends; retry until through.
+	got := make(chan struct{}, 1)
+	go func() {
+		for {
+			m := <-b.Inbox()
+			if string(m.Payload) == "after" {
+				got <- struct{}{}
+				return
+			}
+		}
+	}()
+	waitFor(t, 5*time.Second, func() bool {
+		_ = a.Send("b", "ping", []byte("after"))
+		select {
+		case <-got:
+			return true
+		default:
+			return false
+		}
+	}, "no delivery to recovered endpoint")
+
+	if err := b.Send("a", "pong", []byte("back")); err != nil {
+		t.Fatalf("recovered endpoint send: %v", err)
+	}
+	m := recvOne(t, a, 5*time.Second)
+	if string(m.Payload) != "back" {
+		t.Fatalf("got %q from recovered endpoint", m.Payload)
+	}
+}
+
+// TestDoubleCrashRecover re-arms crash after a recover.
+func TestDoubleCrashRecover(t *testing.T) {
+	n := newTestNet(t, Options{})
+	n.Endpoint("a")
+	b := n.Endpoint("b")
+	for round := 0; round < 2; round++ {
+		n.Crash("b")
+		if !n.Crashed("b") {
+			t.Fatalf("round %d: not crashed", round)
+		}
+		if err := b.Send("a", "x", nil); !errors.Is(err, transport.ErrCrashed) {
+			t.Fatalf("round %d: crashed send err = %v", round, err)
+		}
+		n.Recover("b")
+		if n.Crashed("b") {
+			t.Fatalf("round %d: still crashed after recover", round)
+		}
+	}
+}

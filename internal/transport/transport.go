@@ -103,10 +103,17 @@ type Transport interface {
 	// Nodes returns the IDs of all endpoints, sorted.
 	Nodes() []NodeID
 	// Crash stops the endpoint with the given id: it can no longer send,
-	// and messages addressed to it are dropped. Crash-stop is permanent,
-	// matching the paper's failure model; build a "recovered" process as
-	// a new node.
+	// and messages addressed to it are dropped. A crash lasts until
+	// Recover — the crash-recovery model replica recovery depends on
+	// (the paper's crash-stop model is the special case of never
+	// recovering).
 	Crash(id NodeID)
+	// Recover brings a crashed endpoint back: it can send again and
+	// messages reach it. Messages lost while crashed stay lost — the
+	// process returns with whatever state it kept, and catching up is
+	// the recovery subsystem's job, not the transport's. Recovering a
+	// live endpoint is a no-op.
+	Recover(id NodeID)
 	// Crashed reports whether id has crashed.
 	Crashed(id NodeID) bool
 	// Stats returns a snapshot of the cumulative counters.

@@ -62,6 +62,21 @@
 //		replication.Write("bob", b),   // different shards: still atomic
 //	}})
 //
+// # Crash recovery
+//
+// Processes fail by crashing and — unlike the paper's crash-stop model
+// — can come back. A crashed replica rejoins its group under traffic:
+// Cluster.Restart recovers it in place (it catches up from a live
+// donor replica: exactly-once table, timestamp-faithful snapshot,
+// apply-log tail, then re-enters the request path behind an ordering
+// fence), and Cluster.JoinAsNew rebuilds it from nothing (a
+// replacement node taking over the identity). Sharded clusters heal a
+// physical process across every partition at once with
+// ShardedCluster.RecoverReplica / ReplaceReplica:
+//
+//	cluster.Crash("r2")
+//	err := cluster.Restart(ctx, "r2") // back in the request path
+//
 // # Techniques
 //
 // Distributed systems (§3): Active (state machine), Passive
@@ -107,6 +122,10 @@ type (
 	ProcTx = core.ProcTx
 	// ProcFunc is a stored procedure body (must be deterministic).
 	ProcFunc = core.ProcFunc
+	// WriteGuardFunc vets freshly executed writesets against committed
+	// state (Config.WriteGuard); the sharding layer uses it to enforce
+	// rebalance freezes server-side.
+	WriteGuardFunc = core.WriteGuardFunc
 
 	// Transaction is a unit of work: one or more operations that commit
 	// or abort atomically.
