@@ -12,6 +12,8 @@
 //	replsim -protocol active -shards 4 -txn-ops 3
 //	replsim -protocol active -shards 3 -rebalance
 //	replsim -protocol active -kill -recover
+//	replsim -protocol active -durable -fsync always
+//	replsim -protocol active -durable -kill-all
 //	replsim -list
 //
 // With -shards > 1 the cluster runs one replication group per
@@ -26,6 +28,13 @@
 // shard at once in a sharded cluster); adding -recover brings it back
 // at two thirds — donor catch-up plus rejoin, under the remaining load
 // — and reports the measured MTTR.
+// With -durable every replica writes a checksummed write-ahead log to a
+// simulated disk, group-committing per -fsync (off, batch or always);
+// the report adds the log's append/sync accounting. Adding -kill-all
+// pulls the plug on the whole cluster halfway through — every replica
+// killed at once and the simulated page cache discarded — then
+// cold-starts from the surviving logs and reports the restart MTTR,
+// replayed frames, and torn bytes truncated.
 package main
 
 import (
@@ -47,6 +56,7 @@ import (
 	"replication/internal/trace"
 	"replication/internal/transport"
 	"replication/internal/txn"
+	"replication/internal/wal"
 	"replication/internal/workload"
 )
 
@@ -69,6 +79,9 @@ func main() {
 		kill      = flag.Bool("kill", false, "crash the last replica one third into the run")
 		recov     = flag.Bool("recover", false, "recover the killed replica two thirds into the run and report MTTR (needs -kill)")
 		rebal     = flag.Bool("rebalance", false, "grow the cluster by one shard mid-run (needs -shards > 1)")
+		durable   = flag.Bool("durable", false, "write-ahead log on a simulated disk, group-committed per -fsync")
+		fsyncMode = flag.String("fsync", "batch", "durability sync class: off, batch or always (needs -durable)")
+		killAll   = flag.Bool("kill-all", false, "power-cycle the whole cluster mid-run and cold-start from disk (needs -durable)")
 		showTrace = flag.Bool("trace", false, "print the phase trace of the first request")
 		list      = flag.Bool("list", false, "list techniques and exit")
 	)
@@ -88,7 +101,8 @@ func main() {
 	}
 
 	if err := run(*protocol, *replicas, *shards, *clients, *ops, *writes, *keys, *opsPerTxn,
-		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *crash, *kill, *recov, *rebal, *showTrace); err != nil {
+		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *crash, *kill, *recov, *rebal,
+		*durable, *fsyncMode, *killAll, *showTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "replsim:", err)
 		os.Exit(1)
 	}
@@ -102,13 +116,24 @@ type invoker interface {
 
 func run(protocol string, replicas, shards, clients, ops int, writes float64, keys, opsPerTxn int,
 	zipf float64, lazyDelay time.Duration, lazyOrder string, latency time.Duration,
-	tport string, crash, kill, recov, rebal, showTrace bool) error {
+	tport string, crash, kill, recov, rebal, durable bool, fsyncMode string, killAll, showTrace bool) error {
 
 	if rebal && shards <= 1 {
 		return fmt.Errorf("-rebalance needs -shards > 1")
 	}
 	if recov && !kill {
 		return fmt.Errorf("-recover needs -kill")
+	}
+	if killAll && !durable {
+		return fmt.Errorf("-kill-all needs -durable (there is nothing to restart from without a log)")
+	}
+	if killAll && (kill || crash || rebal) {
+		return fmt.Errorf("-kill-all cannot combine with -kill, -crash or -rebalance")
+	}
+	switch wal.SyncMode(fsyncMode) {
+	case wal.SyncOff, wal.SyncBatch, wal.SyncAlways:
+	default:
+		return fmt.Errorf("-fsync %q: want off, batch or always", fsyncMode)
 	}
 	if clients < 1 {
 		return fmt.Errorf("-clients must be at least 1")
@@ -128,6 +153,18 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		LazyUEOrder:    lazyOrder,
 		RequestTimeout: 30 * time.Second,
 	}
+	var dfs *wal.MemFS
+	if durable {
+		dfs = wal.NewMemFS()
+		gcfg.Durability = core.Durability{Enabled: true, FS: dfs, Fsync: wal.SyncMode(fsyncMode)}
+	}
+	if killAll {
+		// A request in flight at the power cut waits out the full request
+		// timeout before its client retries against the rebooted cluster;
+		// keep that stall short so the run measures the restart, not the
+		// client's patience.
+		gcfg.RequestTimeout = 5 * time.Second
+	}
 
 	// The two cluster shapes expose the same load surface through small
 	// closures; everything below the setup is shared.
@@ -136,6 +173,9 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		crashOne   func()
 		killOne    func() transport.NodeID
 		recoverOne func(ctx context.Context) error
+		killAllFn  func()
+		coldStart  func(ctx context.Context) error
+		walGroups  func() []*core.Cluster
 		groups     []*core.Cluster
 		network    func() transport.Stats
 		sharded    *shard.Cluster
@@ -156,6 +196,15 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		victim := sc.Replicas()[len(sc.Replicas())-1]
 		killOne = func() transport.NodeID { sc.Crash(victim); return victim }
 		recoverOne = func(ctx context.Context) error { return sc.RecoverReplica(ctx, victim) }
+		killAllFn = sc.KillAll
+		coldStart = sc.ColdStart
+		walGroups = func() []*core.Cluster {
+			var gs []*core.Cluster
+			for s := 0; s < sc.Shards(); s++ {
+				gs = append(gs, sc.Group(s))
+			}
+			return gs
+		}
 		network = func() transport.Stats { return sc.Network().Stats() }
 	} else {
 		c, err := core.NewCluster(gcfg)
@@ -171,6 +220,9 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		victim := c.Replicas()[len(c.Replicas())-1]
 		killOne = func() transport.NodeID { c.Crash(victim); return victim }
 		recoverOne = func(ctx context.Context) error { return c.Restart(ctx, victim) }
+		killAllFn = c.KillAll
+		coldStart = c.ColdStart
+		walGroups = func() []*core.Cluster { return []*core.Cluster{c} }
 		groups = []*core.Cluster{c}
 		network = func() transport.Stats { return c.Network().Stats() }
 	}
@@ -249,6 +301,50 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		}()
 	}
 
+	// Full power loss: halfway through, every replica dies at once and
+	// the simulated page cache is discarded; the cold start runs under
+	// the still-arriving load and its wall time is the restart MTTR.
+	var (
+		coldMTTR  time.Duration
+		coldErr   error
+		coldWG    sync.WaitGroup
+		repFrames int
+		repToLSN  uint64
+		tornBytes int64
+	)
+	if killAll {
+		total := int64((ops / clients) * clients)
+		coldWG.Add(1)
+		go func() {
+			defer coldWG.Done()
+			for doneOps.Load() < total/2 {
+				time.Sleep(time.Millisecond)
+			}
+			fmt.Printf("-- power loss: all replicas killed, page cache dropped --\n")
+			killAllFn()
+			dfs.PowerCut()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			t0 := time.Now()
+			coldErr = coldStart(ctx)
+			coldMTTR = time.Since(t0)
+			if coldErr != nil {
+				return
+			}
+			for _, g := range walGroups() {
+				for _, id := range g.Replicas() {
+					r := g.WALRecovered(id)
+					repFrames += r.Frames
+					tornBytes += r.TornBytes
+					if r.Watermark > repToLSN {
+						repToLSN = r.Watermark
+					}
+				}
+			}
+			fmt.Printf("-- cold start done in %v --\n", coldMTTR.Round(time.Millisecond))
+		}()
+	}
+
 	start := time.Now()
 	perClient := ops / clients
 	for ci := 0; ci < clients; ci++ {
@@ -287,6 +383,7 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 	wg.Wait()
 	moveWG.Wait()
 	killWG.Wait()
+	coldWG.Wait()
 	elapsed := time.Since(start)
 
 	if sharded != nil {
@@ -349,6 +446,30 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		}
 		fmt.Printf("\nrecovery: %s rejoined in %v (MTTR under load; %d keys in its store)\n",
 			killedID, mttr.Round(time.Microsecond), storeKeys)
+	}
+	if durable {
+		var appends, syncs, rotations uint64
+		for _, g := range walGroups() {
+			for _, id := range g.Replicas() {
+				s := g.WALStats(id)
+				appends += s.Appends
+				syncs += s.Syncs
+				rotations += s.Rotations
+			}
+		}
+		perSync := float64(appends)
+		if syncs > 0 {
+			perSync = float64(appends) / float64(syncs)
+		}
+		fmt.Printf("\ndurability: fsync=%s  wal appends=%d  group-commit syncs=%d (%.1f appends/sync)  rotations=%d\n",
+			fsyncMode, appends, syncs, perSync, rotations)
+	}
+	if killAll {
+		if coldErr != nil {
+			return fmt.Errorf("cold start failed: %w", coldErr)
+		}
+		fmt.Printf("cold restart: MTTR %v  replayed %d frames to LSN %d  truncated %d torn bytes\n",
+			coldMTTR.Round(time.Microsecond), repFrames, repToLSN, tornBytes)
 	}
 	if rebal {
 		if moveErr != nil {

@@ -98,3 +98,7 @@ func (s *activeServer) rejoin(_ context.Context, fence uint64) error {
 	s.ab.FastForward(fence)
 	return nil
 }
+
+// coldPosition implements the cold-start hook: a freshly built order
+// must start past the instances the recovered prefix consumed.
+func (s *activeServer) coldPosition(fence uint64) { s.ab.FastForward(fence) }

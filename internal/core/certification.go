@@ -71,6 +71,9 @@ func (s *certificationServer) start() { s.ab.Start() }
 func (s *certificationServer) stop()  { s.ab.Stop() }
 
 func (s *certificationServer) onClientRequest(m transport.Message) {
+	if s.r.refusing() {
+		return
+	}
 	req := decodeRequest(m.Payload)
 	s.r.trace(req.ID, trace.RE, "local-server")
 
@@ -186,3 +189,6 @@ func (s *certificationServer) rejoin(_ context.Context, fence uint64) error {
 	s.ab.FastForward(fence)
 	return nil
 }
+
+// coldPosition implements the cold-start hook (see core/durability.go).
+func (s *certificationServer) coldPosition(fence uint64) { s.ab.FastForward(fence) }

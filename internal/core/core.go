@@ -36,6 +36,7 @@ import (
 	"replication/internal/transport/tcpnet"
 	"replication/internal/txn"
 	"replication/internal/vclock"
+	"replication/internal/wal"
 )
 
 // Protocol names a replication technique.
@@ -148,6 +149,23 @@ type replica struct {
 	fence      uint64
 	recovering atomic.Bool
 
+	// Durability state (nil/zero when Config.Durability is off). wal is
+	// the on-disk write-ahead log; commits append under applyMu and wait
+	// for their fsync class before acking. walDirty marks the disk as
+	// incomplete relative to memory (corrupt replay, or a full donor
+	// catch-up whose snapshot pages bypassed the log) — appends are
+	// suspended until rebuildWAL rewrites the directory from a spill.
+	// Both wal and walDirty are written only under recMu (exclusive) and
+	// read under recMu (shared, via enterApply) on every commit path.
+	wal        *wal.WAL
+	walOpts    wal.Options
+	walRec     wal.Recovered
+	walDirty   bool
+	cold       bool   // mid-ColdStart: CompleteRecovery positions instead of rejoining
+	crashSelf  func() // fail-stop: crash this replica's endpoint
+	sinceSpill atomic.Uint64
+	spillRun   atomic.Bool
+
 	mu     sync.Mutex
 	nondet map[string][]byte // resolved nondet values per txn+op (semi-active)
 	rngSum uint64            // per-replica entropy for TrueRandomNondet
@@ -195,16 +213,21 @@ func (r *replica) commit(pos, reqID uint64, txnID string, origin transport.NodeI
 	// the opposite order of their store applies, and a recovering peer
 	// replaying the tail would finish on the older value.
 	r.applyMu.Lock()
-	defer r.applyMu.Unlock()
 	var seq uint64
 	if len(ws) > 0 {
 		seq = r.store.Apply(ws, txnID, string(origin), wall)
 	}
-	r.rlog.Append(recovery.Entry{
+	e := recovery.Entry{
 		StoreSeq: seq, Cursor: pos, ReqID: reqID,
 		TxnID: txnID, Origin: string(origin), Wall: wall,
 		WS: ws, Res: res,
-	})
+	}
+	e.LSN = r.rlog.Append(e)
+	logged, werr := r.logDurable(e)
+	r.applyMu.Unlock()
+	if logged || werr != nil {
+		r.waitDurable(e.LSN, werr)
+	}
 	return seq
 }
 
@@ -213,12 +236,17 @@ func (r *replica) commit(pos, reqID uint64, txnID string, origin transport.NodeI
 // entry is marked so a recovering peer replays it the same way.
 func (r *replica) commitLWW(reqID uint64, txnID string, origin transport.NodeID, wall uint64, ws storage.WriteSet, res txn.Result) []string {
 	r.applyMu.Lock()
-	defer r.applyMu.Unlock()
 	won := recon.Apply(r.store, recon.LWW{}, ws, txnID, string(origin), wall)
-	r.rlog.Append(recovery.Entry{
+	e := recovery.Entry{
 		ReqID: reqID, TxnID: txnID, Origin: string(origin), Wall: wall,
 		LWW: true, WS: ws, Res: res,
-	})
+	}
+	e.LSN = r.rlog.Append(e)
+	logged, werr := r.logDurable(e)
+	r.applyMu.Unlock()
+	if logged || werr != nil {
+		r.waitDurable(e.LSN, werr)
+	}
 	return won
 }
 
@@ -516,6 +544,17 @@ type Config struct {
 	// snapshot, so the value trades donor memory against re-snapshot
 	// likelihood under extreme write rates.
 	RecoveryRetain int
+	// Durability configures the per-replica write-ahead log (off by
+	// default — the paper's techniques are specified over process
+	// replication, and the in-memory configuration reproduces them
+	// exactly; turning this on prices the disk honestly).
+	Durability Durability
+	// ColdHold, with Durability on, builds the cluster with every
+	// replica endpoint crashed — the state of a machine room after a
+	// power loss. ColdStart then restores the cluster from the logs.
+	// Required when the log directories already hold state: NewCluster
+	// refuses to silently serve empty stores over a non-empty disk.
+	ColdHold bool
 }
 
 // WriteGuardFunc vets a writeset against committed state; see
@@ -584,12 +623,14 @@ func (c *Config) fill() {
 
 // Cluster is a running replicated system executing one technique.
 type Cluster struct {
-	cfg    Config
-	net    transport.Transport
-	ownNet bool // whether Close shuts the transport down
-	ids    []transport.NodeID
-	hooks  protocolHooks
-	rec    *trace.Recorder
+	cfg      Config
+	net      transport.Transport
+	ownNet   bool // whether Close shuts the transport down
+	ids      []transport.NodeID
+	replicas map[transport.NodeID]*replica
+	hooks    protocolHooks
+	rec      *trace.Recorder
+	coldSeed transport.NodeID // chosen by ColdBegin, consumed by ColdComplete
 
 	mu        sync.Mutex
 	clients   []*Client
@@ -640,9 +681,31 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			rlog:   recovery.NewLog(cfg.RecoveryRetain),
 			nondet: make(map[string][]byte),
 		}
+		if cfg.Durability.Enabled {
+			id := id
+			r.crashSelf = func() { net.Crash(id) }
+			r.walOpts = cfg.Durability.options(id)
+			w, rec, err := wal.Open(r.walOpts)
+			if err == nil && rec.HasState && !cfg.ColdHold {
+				err = fmt.Errorf("core: replica %s has durable state in %s; set ColdHold and use ColdStart to restore it (or wipe the directory)", id, r.walOpts.Dir)
+			}
+			if err != nil {
+				for _, prev := range replicas {
+					if prev.wal != nil {
+						_ = prev.wal.Close()
+					}
+				}
+				if ownNet {
+					net.Close()
+				}
+				return nil, err
+			}
+			r.wal, r.walRec = w, rec
+		}
 		r.serveRecovery()
 		replicas[id] = r
 	}
+	c.replicas = replicas
 
 	var err error
 	c.hooks, err = buildProtocol(cfg.Protocol, c, replicas)
@@ -653,6 +716,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 
+	if cfg.ColdHold {
+		// Power is out: crash every endpoint before the engines start so
+		// nothing runs until ColdStart restores state from the logs.
+		for _, id := range c.ids {
+			net.Crash(id)
+		}
+	}
 	for _, id := range c.ids {
 		entry := c.hooks.servers[id]
 		entry.replica.node.Start()
@@ -780,6 +850,13 @@ func (c *Cluster) Close() {
 		entry.replica.det.Stop()
 		entry.replica.node.Stop()
 	}
+	for _, id := range c.ids {
+		// Graceful shutdown: a final sync, so a clean Close never loses
+		// acknowledged state even under SyncOff.
+		if r := c.replicas[id]; r.wal != nil {
+			_ = r.wal.Close()
+		}
+	}
 	if c.ownNet {
 		c.net.Close()
 	}
@@ -857,7 +934,12 @@ func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, er
 	for attempt := 0; attempt <= cl.c.cfg.Retries; attempt++ {
 		req.Attempt = attempt
 		attemptCtx, cancel := context.WithTimeout(ctx, cl.c.cfg.RequestTimeout)
-		res, err := cl.c.hooks.submit(attemptCtx, cl, req)
+		// Re-read per attempt under c.mu: a cold start rebuilds the
+		// protocol, and a retrying client must land on the new engines.
+		cl.c.mu.Lock()
+		submit := cl.c.hooks.submit
+		cl.c.mu.Unlock()
+		res, err := submit(attemptCtx, cl, req)
 		cancel()
 		if err == nil {
 			cl.c.rec.Record(req.ID, string(cl.node.ID()), trace.END, "response")

@@ -1,0 +1,556 @@
+package core
+
+// Durable operation: the write-ahead log on the commit path, restart
+// from disk, and whole-cluster power loss (KillAll / ColdStart).
+//
+// The paper's model (§2.1) is crash-stop process replication: a crashed
+// replica is gone, and the group's memory IS the state. PR 5 lifted
+// that to crash-recovery via donor catch-up — but a donor must exist,
+// so a FULL-cluster power loss still lost everything. This file closes
+// that hole with a per-replica write-ahead log (package wal):
+//
+//   - Every commit appends its apply-log entry to the WAL under the
+//     same applyMu that orders the store apply and the in-memory log
+//     append, so disk order == log order == store order. The ack then
+//     waits for the entry's fsync class (Durability.Fsync): group
+//     commit amortizes the fsync over concurrent commits.
+//   - A restarting replica replays its own disk first (snapshot + frame
+//     tail) and then asks a donor only for the suffix past its replayed
+//     ordering cursor — a tail-only catch-up, instead of re-paging the
+//     donor's whole store.
+//   - After KillAll (or a process boot over surviving directories, via
+//     Config.ColdHold), ColdStart rebuilds every replica from disk,
+//     elects the replica with the most durable state as the seed, and
+//     catches the rest up from it. Acked writes under SyncAlways and
+//     SyncBatch survive: an ack implied a covering fsync at the
+//     answering replica, positions are contiguous in every log, and the
+//     seed is chosen by maximum cursor — so the seed's disk covers
+//     every acked position.
+//
+// A durability failure (failed fsync, lost device) crash-stops the
+// replica (failStop): once an fsync fails the page cache's promise is
+// void and no retry can un-lose the write, so the replica dies and
+// re-enters through recovery instead of acking on hope.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"replication/internal/recon"
+	"replication/internal/recovery"
+	"replication/internal/storage"
+	"replication/internal/transport"
+	"replication/internal/txn"
+	"replication/internal/wal"
+)
+
+// Durability configures the per-replica write-ahead log. The zero value
+// disables it (pure process replication, the paper's model).
+type Durability struct {
+	// Enabled turns the write-ahead log on.
+	Enabled bool
+	// Dir is the base directory; each replica logs under Dir/<id> (the
+	// sharding layer inserts a per-group component). Empty means "wal".
+	Dir string
+	// FS overrides the filesystem — wal.NewMemFS for fault injection
+	// and hermetic tests. Nil means the real disk.
+	FS wal.FS
+	// Fsync is the durability class: wal.SyncOff, wal.SyncBatch
+	// (default; group commit) or wal.SyncAlways.
+	Fsync wal.SyncMode
+	// SyncEvery and SyncInterval tune group commit (see wal.Options).
+	SyncEvery    int
+	SyncInterval time.Duration
+	// SegmentBytes bounds one log segment (see wal.Options).
+	SegmentBytes int
+	// SnapshotEvery spills a store snapshot and truncates the log every
+	// this many commits. Zero means 4096; negative disables spills.
+	SnapshotEvery int
+}
+
+// options expands the cluster-level knobs into one replica's wal.Options.
+func (d Durability) options(id transport.NodeID) wal.Options {
+	dir := d.Dir
+	if dir == "" {
+		dir = "wal"
+	}
+	return wal.Options{
+		Dir:           dir + "/" + string(id),
+		FS:            d.FS,
+		Mode:          d.Fsync,
+		SyncEvery:     d.SyncEvery,
+		SyncInterval:  d.SyncInterval,
+		SegmentBytes:  d.SegmentBytes,
+		SnapshotEvery: d.SnapshotEvery,
+	}
+}
+
+// logDurable appends e to the write-ahead log. It runs under applyMu so
+// the disk receives entries in exactly the order the store applied them.
+// The bool reports whether an append happened (false when durability is
+// off or the log is suspended pending a rebuild).
+func (r *replica) logDurable(e recovery.Entry) (bool, error) {
+	if r.wal == nil || r.walDirty {
+		return false, nil
+	}
+	return true, r.wal.Append(e)
+}
+
+// waitDurable holds the acking path until the entry at lsn is durable
+// per the configured fsync class, crash-stopping the replica when
+// durability failed. appendErr carries an Append failure out of the
+// applyMu critical section so the fail-stop happens without holding it.
+func (r *replica) waitDurable(lsn uint64, appendErr error) {
+	err := appendErr
+	if err == nil {
+		err = r.wal.WaitDurable(lsn)
+	}
+	if err != nil {
+		r.failStop()
+		return
+	}
+	r.maybeSpill()
+}
+
+// failStop crash-stops the replica after a durability failure: a failed
+// fsync means the platter may not hold what the page cache promised,
+// and no retry can un-lose the write (the error is sticky for exactly
+// that reason). The replica dies and re-enters through recovery, which
+// rebuilds from the durable prefix plus a donor.
+func (r *replica) failStop() {
+	if r.crashSelf != nil {
+		r.crashSelf()
+	}
+}
+
+// maybeSpill triggers a background snapshot spill every SnapshotEvery
+// commits. At most one spill runs at a time; a failed spill just leaves
+// segments to accrue until the next trigger retries.
+func (r *replica) maybeSpill() {
+	every := r.wal.SnapshotEvery()
+	if every <= 0 {
+		return
+	}
+	if r.sinceSpill.Add(1) < uint64(every) {
+		return
+	}
+	if !r.spillRun.CompareAndSwap(false, true) {
+		return
+	}
+	r.sinceSpill.Store(0)
+	go func() {
+		defer r.spillRun.Store(false)
+		_ = r.spill()
+	}()
+}
+
+// spill writes one fuzzy snapshot of the store and exactly-once table
+// into the WAL, truncating covered segments. It is safe under traffic:
+// the watermark is cut BEFORE the store scan, so the spilled images may
+// already include effects of later entries — re-applying those entries
+// over the snapshot at replay is idempotent (storage.ApplyAt) or
+// convergent (LWW), which is what makes a no-quiesce spill correct.
+func (r *replica) spill() error {
+	wm, cur := r.rlog.Watermark(), r.rlog.Cursor()
+	seq := r.store.CommitSeq()
+	sw, err := r.wal.BeginSnapshot(wm, cur, seq)
+	if err != nil {
+		return err
+	}
+	after := ""
+	for {
+		items := r.store.Scan(after, recSnapPage)
+		for _, it := range items {
+			sw.Item(it.Key, it.Ver)
+			after = it.Key
+		}
+		if len(items) < recSnapPage {
+			break
+		}
+	}
+	var dafter uint64
+	for {
+		pairs := r.dd.page(dafter, recDedupPage)
+		for _, p := range pairs {
+			sw.Dedup(p.ReqID, p.Res)
+			dafter = p.ReqID
+		}
+		if len(pairs) < recDedupPage {
+			break
+		}
+	}
+	return sw.Commit()
+}
+
+// rebuildWAL rewrites the log directory from the replica's in-memory
+// state: wipe, spill everything as one snapshot, and rebase the log to
+// the spilled watermark. Used when the disk can no longer represent
+// memory — after a full donor catch-up (whose snapshot pages bypass the
+// log) and for a cold-start seed whose disk replay hit corruption. The
+// caller holds the replica's apply gate, so the spill is a consistent
+// image and no Append races the reposition.
+func (r *replica) rebuildWAL() error {
+	if err := r.wal.Reset(); err != nil {
+		return err
+	}
+	if err := r.spill(); err != nil {
+		return err
+	}
+	r.wal.Rebase(r.rlog.Watermark())
+	r.walDirty = false
+	r.sinceSpill.Store(0)
+	return nil
+}
+
+// sealDurable makes a finished catch-up durable before the replica
+// re-enters service: a tail-only catch-up appended its entries normally
+// and needs one covering fsync; a full catch-up (walDirty) rebuilt
+// memory past what the log represents, so the directory is rewritten
+// from a fresh spill. Called with the apply gate held.
+func (r *replica) sealDurable() error {
+	if r.walDirty {
+		return r.rebuildWAL()
+	}
+	return r.wal.Sync()
+}
+
+// beginDurable is the disk half of BeginRecovery, with the apply gate
+// held. The pre-crash WAL is frozen (a crash-recovery restart models a
+// new process: whatever the old one had not fsynced is gone). A wipe
+// (JoinAsNew — replacement hardware) also empties the directory; a
+// Restart rebuilds the replica's volatile state from its own disk so
+// the donor catch-up afterwards only has to supply the suffix.
+func (r *replica) beginDurable(wipe bool) error {
+	r.wal.Freeze()
+	if wipe {
+		w, _, err := wal.Open(r.walOpts)
+		if err != nil {
+			return err
+		}
+		if err := w.Reset(); err != nil {
+			return err
+		}
+		r.wal, r.walRec, r.walDirty = w, wal.Recovered{}, false
+		return nil
+	}
+	r.store.Reset()
+	r.rlog.Reset()
+	r.dd.reset()
+	return r.replayDisk()
+}
+
+// replayDisk rebuilds the replica's volatile state from its own write-
+// ahead log: install the newest complete snapshot, then re-apply the
+// frame tail past its watermark. The in-memory apply log is seeded so
+// future appends continue the disk's LSN sequence, which is what makes
+// the donor's cursor-addressed tail and this disk contiguous. A replay
+// that hit corruption (walRec.Err) restores the valid prefix and marks
+// the log dirty: the donor catch-up then takes the full path and the
+// directory is rewritten. Called with the apply gate held.
+func (r *replica) replayDisk() error {
+	w, rec := r.wal, r.walRec
+	if w == nil || w.Err() != nil {
+		var err error
+		w, rec, err = wal.Open(r.walOpts)
+		if err != nil {
+			return err
+		}
+		r.wal, r.walRec = w, rec
+	}
+	if _, err := w.LoadSnapshot(
+		func(key string, v storage.Version) { r.store.InstallVersion(key, v) },
+		func(id uint64, res txn.Result) { r.dd.seed(id, res) },
+	); err != nil {
+		return err
+	}
+	r.store.SetCommitSeq(rec.SnapCommitSeq)
+	r.rlog.Seed(rec.SnapWatermark, rec.SnapCursor)
+	if err := w.ReplayEntries(func(e recovery.Entry) error {
+		le := e
+		le.LSN = 0
+		if lsn := r.rlog.Append(le); lsn != e.LSN {
+			return fmt.Errorf("core: disk replay LSN skew at %s: log assigned %d, frame carries %d", r.id, lsn, e.LSN)
+		}
+		if e.LWW {
+			recon.Apply(r.store, recon.LWW{}, e.WS, e.TxnID, e.Origin, e.Wall)
+			r.clock.Observe(e.Wall)
+		} else if len(e.WS) > 0 {
+			r.store.ApplyAt(e.WS, e.TxnID, e.Origin, e.Wall, e.StoreSeq)
+		}
+		r.dd.seed(e.ReqID, e.Res)
+		return nil
+	}); err != nil {
+		return err
+	}
+	r.walDirty = rec.Err != nil
+	return nil
+}
+
+// KillAll simulates whole-cluster power loss: every endpoint crashes and
+// every write-ahead log freezes WITHOUT a final sync — whatever the
+// fsync class had not yet flushed is gone, exactly like pulling the
+// rack's power. Pair with wal.MemFS.PowerCut to also discard the
+// simulated page cache, then recover with ColdStart.
+func (c *Cluster) KillAll() {
+	for _, id := range c.ids {
+		c.net.Crash(id)
+	}
+	for _, id := range c.ids {
+		if r := c.replicas[id]; r.wal != nil {
+			r.wal.Freeze()
+		}
+	}
+}
+
+// ColdStart boots the whole cluster from disk when no live replica
+// exists — after KillAll, or on a fresh process over surviving log
+// directories (Config.ColdHold). It runs ColdBegin, recovers every
+// endpoint, and finishes with ColdComplete. On return the cluster
+// serves again and every acked write whose fsync class implied a
+// covering sync is present.
+func (c *Cluster) ColdStart(ctx context.Context) error {
+	if err := c.ColdBegin(); err != nil {
+		return err
+	}
+	for _, id := range c.ids {
+		c.net.Recover(id)
+	}
+	return c.ColdComplete(ctx)
+}
+
+// coldPositioner is implemented by engines whose ordering state must be
+// positioned past the recovered prefix before a cold-started cluster
+// takes traffic: total-order instance numbers are consumed forever, so
+// a fresh engine restarting at instance 1 would assign positions the
+// fence then silently skips. View-synchronous engines don't implement
+// it — a cold start builds fresh full-membership views symmetrically at
+// every replica, so there is nothing to re-enter.
+type coldPositioner interface {
+	coldPosition(fence uint64)
+}
+
+// ColdBegin is phase one of a cold start, split out (like BeginRecovery)
+// for the sharding layer, where one process hosts replicas of many
+// groups over a shared endpoint set: every group must replay its disks
+// and gate its apply paths BEFORE any endpoint comes back. It tears
+// down the old engines, rebuilds the protocol from scratch (a cold
+// start is a new process image: no ordering, membership or lock state
+// survives — only the disks), replays every replica's WAL with the
+// apply gates held, and elects the seed. The caller must recover the
+// endpoints and then call ColdComplete.
+func (c *Cluster) ColdBegin() error {
+	if !c.cfg.Durability.Enabled {
+		return errors.New("core: cold start requires Config.Durability")
+	}
+	for _, id := range c.ids {
+		if !c.net.Crashed(id) {
+			return fmt.Errorf("core: cold start with live endpoint %s (KillAll first, or boot with ColdHold)", id)
+		}
+	}
+	for i, id := range c.ids {
+		if !c.replicas[id].recovering.CompareAndSwap(false, true) {
+			for _, prev := range c.ids[:i] {
+				c.replicas[prev].recovering.Store(false)
+			}
+			return fmt.Errorf("core: replica %s is already recovering", id)
+		}
+	}
+	for _, id := range c.ids {
+		c.hooks.servers[id].engine.stop()
+	}
+	for _, id := range c.ids {
+		r := c.replicas[id]
+		if r.wal != nil {
+			r.wal.Freeze()
+		}
+		r.store.Reset()
+		r.rlog.Reset()
+		r.dd.reset()
+		r.locks.Reset()
+		r.mu.Lock()
+		r.nondet = make(map[string][]byte)
+		r.mu.Unlock()
+	}
+	hooks, err := buildProtocol(c.cfg.Protocol, c, c.replicas)
+	if err != nil {
+		return err // unreachable for a protocol that built once
+	}
+	// Straggler goroutines from the pre-crash engines (client attempts
+	// draining their timeouts) still read c.hooks and the per-replica
+	// fence/cold flags; swap and reset under the locks their readers
+	// hold.
+	c.mu.Lock()
+	c.hooks = hooks
+	c.mu.Unlock()
+
+	gated := 0
+	for _, id := range c.ids {
+		r := c.replicas[id]
+		r.recMu.Lock()
+		r.cold = true
+		r.fence = 0
+		gated++
+		if err := r.replayDisk(); err != nil {
+			for _, uid := range c.ids[:gated] {
+				u := c.replicas[uid]
+				u.cold = false
+				u.recMu.Unlock()
+				u.recovering.Store(false)
+			}
+			for _, uid := range c.ids[gated:] {
+				c.replicas[uid].recovering.Store(false)
+			}
+			return fmt.Errorf("core: cold replay of %s: %w", id, err)
+		}
+	}
+
+	// A cold boot is a new process image: client numbering restarts, but
+	// the replayed exactly-once tables remember every pre-reboot request
+	// ID. Start new clients past the highest client number on disk, or
+	// their first transactions would collide and be answered from the
+	// cache without ever executing.
+	maxClient := uint64(0)
+	for _, id := range c.ids {
+		if n := c.replicas[id].dd.maxReq() >> 32; n > maxClient {
+			maxClient = n
+		}
+	}
+	c.mu.Lock()
+	if maxClient > c.clientSeq {
+		c.clientSeq = maxClient
+	}
+	c.mu.Unlock()
+
+	// Seed election: the replica whose disk reaches furthest. An acked
+	// write's covering fsync put it on the answering replica's platter,
+	// positions are contiguous within each log, and the replay above
+	// surfaced each disk's cursor — so the maximum cursor dominates
+	// every acked position. CommitSeq and watermark break ties for
+	// techniques without total order (their cursors are all zero); a
+	// clean disk beats a corruption-truncated one only as a last resort.
+	seed := c.ids[0]
+	var best [4]uint64
+	for i, id := range c.ids {
+		r := c.replicas[id]
+		cand := [4]uint64{r.rlog.Cursor(), r.store.CommitSeq(), r.rlog.Watermark(), 0}
+		if !r.walDirty {
+			cand[3] = 1
+		}
+		if i == 0 {
+			best = cand
+			continue
+		}
+		for k := range cand {
+			if cand[k] != best[k] {
+				if cand[k] > best[k] {
+					seed, best = id, cand
+				}
+				break
+			}
+		}
+	}
+	c.coldSeed = seed
+
+	// Position every total-order engine past the seed's recovered prefix
+	// while the endpoints are still down, so the first post-recovery
+	// submission cannot be assigned an already-consumed instance.
+	seedFence := c.replicas[seed].rlog.Cursor()
+	for _, id := range c.ids {
+		if cp, ok := c.hooks.servers[id].engine.(coldPositioner); ok {
+			cp.coldPosition(seedFence)
+		}
+	}
+	return nil
+}
+
+// ColdComplete is phase two: with the endpoints back, the seed re-enters
+// service on its own disk's authority (there is no donor to catch up
+// from — its log IS the furthest surviving state) and every other
+// replica runs a normal recovery against it, usually tail-only. Partial
+// failure is tolerated: a replica whose recovery fails is crashed and
+// reported, while the rest of the cluster serves.
+func (c *Cluster) ColdComplete(ctx context.Context) error {
+	seed := c.coldSeed
+	if seed == "" {
+		return errors.New("core: ColdComplete without ColdBegin")
+	}
+	c.coldSeed = ""
+	for _, id := range c.ids {
+		c.replicas[id].det.Reset()
+	}
+	for _, id := range c.ids {
+		c.hooks.servers[id].engine.start()
+	}
+
+	r := c.replicas[seed]
+	if r.walDirty {
+		if err := r.rebuildWAL(); err != nil {
+			r.cold = false
+			r.recMu.Unlock()
+			r.recovering.Store(false)
+			c.net.Crash(seed)
+			return fmt.Errorf("core: cold seed %s: rebuilding write-ahead log: %w", seed, err)
+		}
+	}
+	fence := r.rlog.Cursor()
+	r.fence = fence
+	r.cold = false
+	r.recMu.Unlock()
+	if cp, ok := c.hooks.servers[seed].engine.(coldPositioner); ok {
+		cp.coldPosition(fence)
+	}
+	r.recovering.Store(false)
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.ids))
+	for i, id := range c.ids {
+		if id == seed {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, id transport.NodeID) {
+			defer wg.Done()
+			if err := c.CompleteRecovery(ctx, id); err != nil {
+				errs[i] = err
+			}
+		}(i, id)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Durable reports whether the cluster runs with a write-ahead log.
+func (c *Cluster) Durable() bool { return c.cfg.Durability.Enabled }
+
+// WALStats returns a replica's write-ahead log counters (zero when
+// durability is off).
+func (c *Cluster) WALStats(id transport.NodeID) wal.Stats {
+	if r, ok := c.replicas[id]; ok && r.wal != nil {
+		return r.wal.Stats()
+	}
+	return wal.Stats{}
+}
+
+// WALRecovered reports what a replica's last disk replay found —
+// replayed frames, truncated torn bytes, typed corruption (zero when
+// durability is off or the replica never replayed).
+func (c *Cluster) WALRecovered(id transport.NodeID) wal.Recovered {
+	if r, ok := c.replicas[id]; ok {
+		return r.walRec
+	}
+	return wal.Recovered{}
+}
+
+// ApplyLogOverflows reports how many donor tail requests this replica's
+// apply log refused because the requested suffix had left the retention
+// window (each refusal surfaces recovery.ErrRetentionGap at the
+// rejoiner, which then restarts from a snapshot).
+func (c *Cluster) ApplyLogOverflows(id transport.NodeID) uint64 {
+	if r, ok := c.replicas[id]; ok {
+		return r.rlog.Overflows()
+	}
+	return 0
+}

@@ -1,0 +1,574 @@
+package core
+
+// Durability conformance: whole-cluster power loss and restart-from-
+// disk, driven through the fault-injecting wal.MemFS. The oracle is the
+// same replicated counter as the crash-recovery tests: after a cold
+// restart the counter must reflect every acknowledged commit exactly
+// once (in [acked, acked+unknown]) — a lost acked write reads low, a
+// duplicated replay reads high.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"replication/internal/txn"
+	"replication/internal/wal"
+)
+
+// durInvoke commits n increments through cl, failing the test on any
+// error — used where the test counts exact commits, not a racing load.
+func durInvoke(ctx context.Context, t *testing.T, cl *Client, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		res, err := cl.Invoke(ctx, txn.Transaction{
+			Ops: []txn.Op{txn.P("incr", nil, counterKey)},
+		})
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		if !res.Committed {
+			t.Fatalf("invoke %d: aborted", i)
+		}
+	}
+}
+
+// durableConfig shapes a cluster for power-loss runs: the shared MemFS
+// carries every replica's log directory, and small segments force
+// rotation under test-sized loads.
+func durableConfig(p Protocol, tk TransportKind, mode wal.SyncMode, fs *wal.MemFS) Config {
+	cfg := recoveryConfig(p, tk)
+	cfg.Durability = Durability{
+		Enabled:      true,
+		FS:           fs,
+		Fsync:        mode,
+		SegmentBytes: 16 << 10,
+	}
+	return cfg
+}
+
+// coldRestartRun is the kill-all harness: load → power loss (KillAll +
+// MemFS.PowerCut) → ColdStart → more load → verify the oracle on every
+// replica. With fsync=always or batch, an ack implies a covering fsync
+// at the answering replica, so the strict zero-lost/zero-dup oracle
+// applies.
+func coldRestartRun(t *testing.T, cfg Config, fs *wal.MemFS) {
+	t.Helper()
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+
+	clients := 3
+	if !isStrong(cfg.Protocol) {
+		clients = 1
+	}
+	var stats loadStats
+	stop := make(chan struct{})
+	wg := runLoad(ctx, t, c, clients, c.Replicas()[0], &stats, stop)
+	waitAcked(t, &stats)
+	time.Sleep(100 * time.Millisecond)
+
+	c.KillAll()
+	close(stop)
+	wg.Wait()
+	fs.PowerCut() // the page cache dies with the rack
+
+	rctx, rcancel := context.WithTimeout(ctx, 60*time.Second)
+	defer rcancel()
+	if err := c.ColdStart(rctx); err != nil {
+		t.Fatalf("cold start: %v", err)
+	}
+
+	// The cluster serves again: a second load round proves it.
+	var stats2 loadStats
+	stop2 := make(chan struct{})
+	wg2 := runLoad(ctx, t, c, clients, c.Replicas()[0], &stats2, stop2)
+	time.Sleep(150 * time.Millisecond)
+	close(stop2)
+	wg2.Wait()
+
+	// Generous window: on an oversubscribed host a view-synchronous
+	// member can be falsely suspected near the end of the load and must
+	// re-admit and catch up before the stores agree.
+	waitConverged(t, c, 60*time.Second)
+	acked := stats.acked.Load() + stats2.acked.Load()
+	unknown := stats.unknown.Load() + stats2.unknown.Load()
+	if stats.acked.Load() == 0 {
+		t.Fatal("no commits acknowledged before the power loss — the load never ran")
+	}
+	if stats2.acked.Load() == 0 {
+		t.Fatal("no commits acknowledged after the cold start — the cluster never came back")
+	}
+	for _, id := range c.Replicas() {
+		checkCounter(t, c, id, acked, unknown)
+	}
+	var frames int
+	var torn int64
+	for _, id := range c.Replicas() {
+		rec := c.WALRecovered(id)
+		frames += rec.Frames
+		torn += rec.TornBytes
+	}
+	t.Logf("acked=%d unknown=%d replayedFrames=%d tornBytes=%d fsyncs=%d",
+		acked, unknown, frames, torn, fs.Syncs())
+}
+
+// TestColdRestartConformance is the power-loss conformance matrix:
+// every strongly consistent technique survives whole-cluster power loss
+// under fsync=always and fsync=batch with zero lost and zero duplicated
+// acknowledged writes. (The lazy techniques are exercised separately:
+// their acks deliberately precede propagation, so only the no-duplicate
+// half of the oracle can hold.)
+func TestColdRestartConformance(t *testing.T) {
+	for _, p := range Protocols() {
+		if !isStrong(p) {
+			continue
+		}
+		for _, mode := range []wal.SyncMode{wal.SyncAlways, wal.SyncBatch} {
+			p, mode := p, mode
+			t.Run(string(p)+"/"+string(mode), func(t *testing.T) {
+				t.Parallel()
+				fs := wal.NewMemFS()
+				coldRestartRun(t, durableConfig(p, TransportSim, mode, fs), fs)
+			})
+		}
+	}
+}
+
+// TestColdRestartTCP runs the power-loss oracle over real sockets for a
+// state-machine and a certification representative.
+func TestColdRestartTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, p := range []Protocol{Active, Certification} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			fs := wal.NewMemFS()
+			coldRestartRun(t, durableConfig(p, TransportTCP, wal.SyncBatch, fs), fs)
+		})
+	}
+}
+
+// TestColdRestartLazyBestEffort cold-starts a lazy update-everywhere
+// cluster. Lazy acks precede propagation and its commits carry no
+// total-order position, so the cold start is best-effort: the oracle
+// here is only "no duplicates and no panic" — the counter never exceeds
+// the acknowledged total — with any loss reported, mirroring the
+// paper's own account of lazy replication's crash window.
+func TestColdRestartLazyBestEffort(t *testing.T) {
+	fs := wal.NewMemFS()
+	cfg := durableConfig(LazyUE, TransportSim, wal.SyncAlways, fs)
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+
+	var stats loadStats
+	stop := make(chan struct{})
+	wg := runLoad(ctx, t, c, 1, c.Replicas()[0], &stats, stop)
+	waitAcked(t, &stats)
+	time.Sleep(100 * time.Millisecond)
+	c.KillAll()
+	close(stop)
+	wg.Wait()
+	fs.PowerCut()
+
+	if err := c.ColdStart(ctx); err != nil {
+		t.Fatalf("cold start: %v", err)
+	}
+	waitConverged(t, c, 30*time.Second)
+	acked, unknown := stats.acked.Load(), stats.unknown.Load()
+	got := int64(0)
+	if v, ok := c.Store(c.Replicas()[0]).Read(counterKey); ok {
+		got, _ = strconv.ParseInt(string(v.Value), 10, 64)
+	}
+	if got > acked+unknown {
+		t.Fatalf("counter=%d exceeds acked=%d+unknown=%d: duplicate applies", got, acked, unknown)
+	}
+	if lost := acked - got; lost > 0 {
+		t.Logf("lazy cold start lost %d acknowledged updates (propagation window)", lost)
+	}
+}
+
+// TestColdRestartFsyncOff demonstrates the off mode's documented trade:
+// a power cut may lose acked writes (they were only page-cache deep),
+// but replay never duplicates or corrupts — the counter stays at or
+// below the acknowledged total and the cluster serves again.
+func TestColdRestartFsyncOff(t *testing.T) {
+	fs := wal.NewMemFS()
+	cfg := durableConfig(Active, TransportSim, wal.SyncOff, fs)
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+
+	var stats loadStats
+	stop := make(chan struct{})
+	wg := runLoad(ctx, t, c, 3, c.Replicas()[0], &stats, stop)
+	waitAcked(t, &stats)
+	time.Sleep(100 * time.Millisecond)
+	c.KillAll()
+	close(stop)
+	wg.Wait()
+	fs.PowerCut()
+
+	if err := c.ColdStart(ctx); err != nil {
+		t.Fatalf("cold start: %v", err)
+	}
+	waitConverged(t, c, 30*time.Second)
+	acked, unknown := stats.acked.Load(), stats.unknown.Load()
+	got := int64(0)
+	if v, ok := c.Store(c.Replicas()[0]).Read(counterKey); ok {
+		got, _ = strconv.ParseInt(string(v.Value), 10, 64)
+	}
+	if got > acked+unknown {
+		t.Fatalf("counter=%d exceeds acked+unknown=%d: duplicate applies", got, acked+unknown)
+	}
+	if lost := acked - got; lost > 0 {
+		t.Logf("fsync=off power cut lost %d acked writes (the documented trade)", lost)
+	}
+}
+
+// TestColdRestartCorruptReject flips a durable byte in one replica's
+// newest segment before the cold start: replay must reject the frame
+// with the typed corruption error (not panic, not install garbage),
+// the seed election must prefer a clean disk, and the corrupted replica
+// must rebuild and rejoin with the strict oracle intact — every entry
+// exists on the clean replicas' disks too.
+func TestColdRestartCorruptReject(t *testing.T) {
+	fs := wal.NewMemFS()
+	cfg := durableConfig(Active, TransportSim, wal.SyncAlways, fs)
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+
+	var stats loadStats
+	stop := make(chan struct{})
+	wg := runLoad(ctx, t, c, 3, c.Replicas()[0], &stats, stop)
+	waitAcked(t, &stats)
+	time.Sleep(100 * time.Millisecond)
+	c.KillAll()
+	close(stop)
+	wg.Wait()
+	fs.PowerCut()
+
+	victim := c.Replicas()[1]
+	seg := newestSegment(t, fs, "wal/"+string(victim))
+	size := fs.DurableSize(seg)
+	if size < 8 {
+		t.Fatalf("segment %s too small to corrupt (%d bytes)", seg, size)
+	}
+	if err := fs.CorruptByte(seg, size-3); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.ColdStart(ctx); err != nil {
+		t.Fatalf("cold start over corruption: %v", err)
+	}
+	if rec := c.WALRecovered(victim); !errors.Is(rec.Err, wal.ErrCorruptRecord) {
+		t.Fatalf("corrupted replica replay error = %v, want ErrCorruptRecord", rec.Err)
+	}
+
+	waitConverged(t, c, 30*time.Second)
+	acked, unknown := stats.acked.Load(), stats.unknown.Load()
+	for _, id := range c.Replicas() {
+		checkCounter(t, c, id, acked, unknown)
+	}
+}
+
+// TestColdRestartTornTail tears the power cut mid-flush when the load
+// left unsynced bytes in some replica's active segment: a prefix of the
+// page cache lands on the platter, and replay must detect the torn
+// record, truncate it, and come up on the clean prefix. Acked writes
+// are untouched — under fsync=batch a torn record is by construction
+// beyond the last covering sync.
+func TestColdRestartTornTail(t *testing.T) {
+	fs := wal.NewMemFS()
+	cfg := durableConfig(Active, TransportSim, wal.SyncBatch, fs)
+	// Stretch the group-commit window so appends sit unsynced for a
+	// visible moment: syncs come only from the 20ms ticker, never from
+	// the append counter.
+	cfg.Durability.SyncEvery = 1 << 20
+	cfg.Durability.SyncInterval = 20 * time.Millisecond
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+
+	var stats loadStats
+	stop := make(chan struct{})
+	wg := runLoad(ctx, t, c, 4, c.Replicas()[0], &stats, stop)
+
+	// Watch the active segments for an unsynced tail, then pull the plug
+	// the moment one is seen — the race against the next ticker sync is
+	// the point: the cut lands mid-batch.
+	tornPath := ""
+	watch := time.Now().Add(10 * time.Second)
+	for time.Now().Before(watch) && tornPath == "" {
+		for _, id := range c.Replicas() {
+			seg := findNewestSegment(fs, "wal/"+string(id))
+			if seg != "" && fs.VolatileSize(seg) > 1 {
+				tornPath = seg
+				break
+			}
+		}
+		if tornPath == "" {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	c.KillAll()
+	close(stop)
+	wg.Wait()
+
+	// Tear the cut mid-record if the tail is still uncovered; if the
+	// ticker won the race (or no tail ever showed), fall back to a clean
+	// PowerCut — the oracle must hold either way.
+	torn := false
+	if tornPath != "" {
+		if vol := fs.VolatileSize(tornPath); vol > 1 {
+			fs.PowerCutTorn(tornPath, int(vol)-1) // all but the last byte lands
+			torn = true
+		}
+	}
+	if !torn {
+		fs.PowerCut()
+	}
+
+	if err := c.ColdStart(ctx); err != nil {
+		t.Fatalf("cold start over torn tail: %v", err)
+	}
+	var tornBytes int64
+	for _, id := range c.Replicas() {
+		tornBytes += c.WALRecovered(id).TornBytes
+	}
+	if torn && tornBytes == 0 {
+		t.Fatal("tore the cut mid-record but replay truncated nothing")
+	}
+	t.Logf("torn=%v truncated %d bytes", torn, tornBytes)
+
+	waitConverged(t, c, 30*time.Second)
+	acked, unknown := stats.acked.Load(), stats.unknown.Load()
+	for _, id := range c.Replicas() {
+		checkCounter(t, c, id, acked, unknown)
+	}
+}
+
+// TestFsyncErrorFailStop injects fsync failure into the shared
+// filesystem under load: every replica's next durability wait fails, and
+// each must fail-stop (crash itself) rather than ack a write the platter
+// never got. After the device heals, a cold start brings the cluster
+// back with every previously acked write intact.
+func TestFsyncErrorFailStop(t *testing.T) {
+	fs := wal.NewMemFS()
+	cfg := durableConfig(Active, TransportSim, wal.SyncAlways, fs)
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+
+	var stats loadStats
+	stop := make(chan struct{})
+	wg := runLoad(ctx, t, c, 2, c.Replicas()[0], &stats, stop)
+	waitAcked(t, &stats)
+	time.Sleep(100 * time.Millisecond)
+
+	fs.FailSyncs(fmt.Errorf("injected: device error"))
+	// Every replica with a sync in flight must fail-stop. Once a
+	// majority is down the group stops committing, so a straggler that
+	// happened to have nothing unsynced never observes the fault — a
+	// majority of fail-stops is the strongest guaranteed observable.
+	majority := len(c.Replicas())/2 + 1
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		down := 0
+		for _, id := range c.Replicas() {
+			if c.Network().Crashed(id) {
+				down++
+			}
+		}
+		if down >= majority {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d replicas fail-stopped after fsync failure", down, len(c.Replicas()))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	c.KillAll() // power off the survivors too before the cold boot
+
+	fs.FailSyncs(nil) // the device heals
+	fs.PowerCut()
+	if err := c.ColdStart(ctx); err != nil {
+		t.Fatalf("cold start after fail-stop: %v", err)
+	}
+	waitConverged(t, c, 30*time.Second)
+	acked, unknown := stats.acked.Load(), stats.unknown.Load()
+	if acked == 0 {
+		t.Fatal("no commits acknowledged before the fsync failure")
+	}
+	for _, id := range c.Replicas() {
+		checkCounter(t, c, id, acked, unknown)
+	}
+}
+
+// TestDurableRestartTailOnly restarts one crashed replica of a durable
+// cluster: it must replay its own disk and fetch only the tail past its
+// recovered cursor from the donor — no store snapshot transfer, no WAL
+// rebuild. Spills==0 on the reopened log proves the tail path (a full
+// catch-up marks the log dirty and rebuilds it with a spill).
+func TestDurableRestartTailOnly(t *testing.T) {
+	fs := wal.NewMemFS()
+	cfg := durableConfig(Active, TransportSim, wal.SyncAlways, fs)
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+	cl := c.NewClient()
+	cl.SetHome("r0")
+
+	durInvoke(ctx, t, cl, 30)
+	c.Crash("r2")
+	cl.SetHome("r0")
+	durInvoke(ctx, t, cl, 40) // the suffix r2 will fetch as a cursor-addressed tail
+
+	if err := c.Restart(ctx, "r2"); err != nil {
+		t.Fatalf("durable restart: %v", err)
+	}
+	rec := c.WALRecovered("r2")
+	if rec.Frames == 0 && !rec.HasState {
+		t.Fatal("restart did not replay the replica's own disk")
+	}
+	if st := c.WALStats("r2"); st.Spills != 0 {
+		t.Fatalf("restart spilled %d times: the full snapshot path ran, not the tail path", st.Spills)
+	}
+	var overflows uint64
+	for _, id := range c.Replicas() {
+		overflows += c.ApplyLogOverflows(id)
+	}
+	if overflows != 0 {
+		t.Fatalf("donor refused %d tail requests within the retention window", overflows)
+	}
+
+	durInvoke(ctx, t, cl, 10)
+	waitConverged(t, c, 30*time.Second)
+	checkCounter(t, c, "r2", 80, 0)
+}
+
+// TestDurableRestartRetentionGap shrinks the donors' apply-log window
+// below the crash outage, so the cursor tail is refused: each refusal
+// increments the donor's overflow counter (the observable face of
+// recovery.ErrRetentionGap) and the recoverer falls back to the full
+// snapshot path, marking its log dirty and rebuilding it (Spills>0).
+// The oracle must hold regardless of which path ran.
+func TestDurableRestartRetentionGap(t *testing.T) {
+	fs := wal.NewMemFS()
+	cfg := durableConfig(Active, TransportSim, wal.SyncAlways, fs)
+	cfg.RecoveryRetain = 8
+	c := newTestCluster(t, cfg)
+	ctx := ctxT(t, 120*time.Second)
+	cl := c.NewClient()
+	cl.SetHome("r0")
+
+	durInvoke(ctx, t, cl, 10)
+	c.Crash("r2")
+	cl.SetHome("r0")
+	durInvoke(ctx, t, cl, 100) // far beyond the 8-entry retention window
+
+	if err := c.Restart(ctx, "r2"); err != nil {
+		t.Fatalf("restart across retention gap: %v", err)
+	}
+	var overflows uint64
+	for _, id := range c.Replicas() {
+		overflows += c.ApplyLogOverflows(id)
+	}
+	if overflows == 0 {
+		t.Fatal("no donor reported a retention-gap refusal (ErrRetentionGap lane never ran)")
+	}
+	if st := c.WALStats("r2"); st.Spills == 0 {
+		t.Fatal("full-path fallback did not rebuild the write-ahead log")
+	}
+
+	waitConverged(t, c, 30*time.Second)
+	checkCounter(t, c, "r2", 110, 0)
+}
+
+// TestColdHoldBootFromDisk is the full-power-loss scenario across
+// process images: a cluster writes and shuts down gracefully; a brand-
+// new cluster object boots over the surviving directories. NewCluster
+// must refuse to silently serve empty stores over non-empty disks
+// unless ColdHold is set, and ColdStart must restore every write.
+func TestColdHoldBootFromDisk(t *testing.T) {
+	fs := wal.NewMemFS()
+	cfg := durableConfig(Active, TransportSim, wal.SyncBatch, fs)
+	ctx := ctxT(t, 60*time.Second)
+
+	c1, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c1.NewClient()
+	durInvoke(ctx, t, cl, 25)
+	c1.Close() // graceful: final sync even under batch mode
+
+	// A second process image over the same disks: without ColdHold the
+	// constructor must refuse rather than shadow durable state.
+	if _, err := NewCluster(cfg); err == nil || !strings.Contains(err.Error(), "ColdHold") {
+		t.Fatalf("NewCluster over non-empty disks = %v, want ColdHold refusal", err)
+	}
+
+	cfg.ColdHold = true
+	c2, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.ColdStart(ctx); err != nil {
+		t.Fatalf("cold boot: %v", err)
+	}
+	waitConverged(t, c2, 30*time.Second)
+	for _, id := range c2.Replicas() {
+		checkCounter(t, c2, id, 25, 0)
+	}
+
+	// And it serves: one more increment through the booted cluster.
+	durInvoke(ctx, t, c2.NewClient(), 1)
+	waitConverged(t, c2, 30*time.Second)
+	checkCounter(t, c2, "r0", 26, 0)
+}
+
+// findNewestSegment returns the path of the newest wal segment in dir,
+// or "" when the directory has none (yet).
+func findNewestSegment(fs *wal.MemFS, dir string) string {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	last := ""
+	for _, n := range names {
+		if strings.HasPrefix(n, "wal-") && strings.HasSuffix(n, ".seg") {
+			last = n // ReadDir sorts; segment names order by sequence
+		}
+	}
+	if last == "" {
+		return ""
+	}
+	return dir + "/" + last
+}
+
+// newestSegment is findNewestSegment for tests that require a segment.
+func newestSegment(t *testing.T, fs *wal.MemFS, dir string) string {
+	t.Helper()
+	seg := findNewestSegment(fs, dir)
+	if seg == "" {
+		t.Fatalf("no wal segments in %s", dir)
+	}
+	return seg
+}
+
+// waitAcked blocks until the load has at least one acknowledged commit,
+// so fault injection always lands on a cluster with something to lose.
+func waitAcked(t *testing.T, stats *loadStats) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for stats.acked.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("load produced no acknowledged commits")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

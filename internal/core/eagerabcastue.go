@@ -65,6 +65,9 @@ func (s *eagerABCastUEServer) stop()  { s.ab.Stop() }
 // dedup cache or enter the request into the total order and park the RPC
 // until our own delivery executes it.
 func (s *eagerABCastUEServer) onClientRequest(m transport.Message) {
+	if s.r.refusing() {
+		return
+	}
 	req := decodeRequest(m.Payload)
 	s.r.trace(req.ID, trace.RE, "local-server")
 
@@ -138,6 +141,9 @@ func (s *eagerABCastUEServer) rejoin(_ context.Context, fence uint64) error {
 	s.ab.FastForward(fence)
 	return nil
 }
+
+// coldPosition implements the cold-start hook (see core/durability.go).
+func (s *eagerABCastUEServer) coldPosition(fence uint64) { s.ab.FastForward(fence) }
 
 // delegateCall is the client side shared by every delegate-based
 // technique: call the home server, fail over to the next replica when it

@@ -251,6 +251,9 @@ func (s *eagerLockUEServer) onRelease(m transport.Message) {
 }
 
 func (s *eagerLockUEServer) onClientRequest(m transport.Message) {
+	if s.r.refusing() {
+		return
+	}
 	req := decodeRequest(m.Payload)
 	s.r.trace(req.ID, trace.RE, "local-server")
 

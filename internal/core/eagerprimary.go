@@ -147,6 +147,9 @@ func (s *eagerPrimaryServer) onStage(m transport.Message) {
 }
 
 func (s *eagerPrimaryServer) onClientRequest(m transport.Message) {
+	if s.r.refusing() {
+		return
+	}
 	req := decodeRequest(m.Payload)
 	view := s.vg.CurrentView()
 	if !s.vg.InView() || view.Primary() != s.r.id {

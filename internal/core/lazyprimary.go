@@ -147,6 +147,9 @@ func (s *lazyPrimaryServer) rejoin(ctx context.Context, _ uint64) error {
 }
 
 func (s *lazyPrimaryServer) onClientRequest(m transport.Message) {
+	if s.r.refusing() {
+		return
+	}
 	req := decodeRequest(m.Payload)
 
 	// Read-only requests are served locally at ANY replica — the whole

@@ -136,6 +136,9 @@ func (s *lazyUEServer) propagate() {
 // a local copy, commit and only some time after the commit, the
 // propagation of the changes takes place" (§4.2).
 func (s *lazyUEServer) onClientRequest(m transport.Message) {
+	if s.r.refusing() {
+		return
+	}
 	req := decodeRequest(m.Payload)
 	s.r.trace(req.ID, trace.RE, "local-server")
 
@@ -226,4 +229,12 @@ func (s *lazyUEServer) rejoin(_ context.Context, fence uint64) error {
 		s.ab.FastForward(fence)
 	}
 	return nil
+}
+
+// coldPosition implements the cold-start hook (see core/durability.go).
+// In LWW mode there is no order to position (cursors are all zero).
+func (s *lazyUEServer) coldPosition(fence uint64) {
+	if s.ab != nil {
+		s.ab.FastForward(fence)
+	}
 }

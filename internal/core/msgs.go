@@ -179,3 +179,18 @@ func (d *dedup) reset() {
 	d.done = make(map[uint64]txn.Result)
 	d.ids = nil
 }
+
+// maxReq returns the largest request ID the table has seen (0 when
+// empty). A request ID's high half is the issuing client's number, so
+// after a disk replay seeds this table the cluster reads maxReq to
+// start new client numbering past every pre-reboot client — otherwise a
+// fresh process image would mint colliding IDs and the exactly-once
+// cache would silently swallow their first transactions.
+func (d *dedup) maxReq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.ids) == 0 {
+		return 0
+	}
+	return d.ids[len(d.ids)-1]
+}

@@ -105,6 +105,9 @@ func (s *passiveServer) rejoin(ctx context.Context, _ uint64) error {
 
 // onClientRequest handles the client RPC at (hopefully) the primary.
 func (s *passiveServer) onClientRequest(m transport.Message) {
+	if s.r.refusing() {
+		return
+	}
 	req := decodeRequest(m.Payload)
 	view := s.vg.CurrentView()
 	if !s.vg.InView() || view.Primary() != s.r.id {

@@ -91,6 +91,15 @@ type rejoiner interface {
 	rejoin(ctx context.Context, fence uint64) error
 }
 
+// refusing reports whether the replica must refuse client work: it is
+// mid-recovery, so executing a request against its not-yet-caught-up
+// store could ack results computed from stale state. The dropped
+// request fails over through the client's retry machinery and lands
+// back here once the catch-up finishes. (Delivery paths don't need
+// this — enterApply gates them — but client execution paths read the
+// store before any delivery happens.)
+func (r *replica) refusing() bool { return r.recovering.Load() }
+
 // serveRecovery registers the donor streams on the replica's node.
 func (r *replica) serveRecovery() {
 	r.node.Handle(recovery.KindSnap, func(m transport.Message) {
@@ -126,7 +135,17 @@ func (r *replica) serveRecovery() {
 			if limit <= 0 || limit > recTailPage {
 				limit = recTailPage
 			}
-			resp.Entries, resp.OK = r.rlog.Since(req.From, limit)
+			if req.ByCursor {
+				// Cursor-addressed tail for a durable rejoiner that
+				// replayed its own disk: per-replica LSNs are not
+				// comparable across processes, but ordering positions
+				// are. SinceCursor refuses (OK=false) when the log holds
+				// unordered entries or the cut predecessor was evicted —
+				// the rejoiner then falls back to the full snapshot path.
+				resp.Entries, resp.OK = r.rlog.SinceCursor(req.Cursor, limit)
+			} else {
+				resp.Entries, resp.OK = r.rlog.Since(req.From, limit)
+			}
 			resp.Watermark = r.rlog.Watermark()
 			resp.Cursor = r.rlog.Cursor()
 		}
@@ -206,6 +225,17 @@ func (c *Cluster) BeginRecovery(id transport.NodeID, wipe bool) error {
 	// gate instead of interleaving with the donor pages. The replica's
 	// own node keeps dispatching — the donor RPC replies ride it.
 	r.recMu.Lock()
+	if r.wal != nil {
+		// Durable restart: the crash killed the process, so volatile
+		// state is rebuilt from the replica's own disk (restart-from-
+		// disk) before the donor supplies the suffix. JoinAsNew instead
+		// wipes the directory — replacement hardware has empty disks.
+		if err := r.beginDurable(wipe); err != nil {
+			r.recMu.Unlock()
+			r.recovering.Store(false)
+			return fmt.Errorf("core: disk replay of %s: %w", id, err)
+		}
+	}
 	return nil
 }
 
@@ -218,6 +248,7 @@ func (c *Cluster) AbortRecovery(id transport.NodeID) {
 	}
 	r := entry.replica
 	if r.recovering.Load() {
+		r.cold = false
 		r.recMu.Unlock()
 		r.recovering.Store(false)
 	}
@@ -237,14 +268,34 @@ func (c *Cluster) CompleteRecovery(ctx context.Context, id transport.NodeID) err
 	r.det.Reset()
 
 	fence, err := c.catchUp(ctx, r)
+	if err == nil && r.wal != nil {
+		// Seal before serving: a tail-only catch-up needs one covering
+		// fsync, a full catch-up a rewritten log directory. Either way
+		// the disk again equals memory when the gate lifts.
+		if werr := r.sealDurable(); werr != nil {
+			err = fmt.Errorf("sealing write-ahead log: %w", werr)
+		}
+	}
 	if err != nil {
+		r.cold = false
 		r.recMu.Unlock()
 		c.net.Crash(id) // never leave a half-recovered member serving
 		return fmt.Errorf("core: recovery of %s: %w", id, err)
 	}
 	r.fence = fence
+	wasCold := r.cold
+	r.cold = false
 	r.recMu.Unlock()
 
+	if wasCold {
+		// Cold start: the engines are freshly built (full-membership
+		// views, nothing to re-enter); total-order engines only need
+		// their instance counter positioned past the fence.
+		if cp, ok := entry.engine.(coldPositioner); ok {
+			cp.coldPosition(fence)
+		}
+		return nil
+	}
 	if rj, ok := entry.engine.(rejoiner); ok {
 		if err := rj.rejoin(ctx, fence); err != nil {
 			c.net.Crash(id)
@@ -283,8 +334,10 @@ type errDonor struct{ err error }
 
 func (e errDonor) Error() string { return e.err.Error() }
 
-func (c *Cluster) catchUpFrom(ctx context.Context, r *replica, donor transport.NodeID) (uint64, error) {
-	call := func(kind string, req codec.Wire, resp codec.Wire) error {
+// donorCall builds the one-donor RPC helper: a short first attempt,
+// then one patient retry (see recFirstCallTimeout).
+func donorCall(ctx context.Context, r *replica, donor transport.NodeID) func(kind string, req, resp codec.Wire) error {
+	return func(kind string, req codec.Wire, resp codec.Wire) error {
 		var lastErr error
 		for _, tmo := range []time.Duration{recFirstCallTimeout, recCallTimeout} {
 			callCtx, cancel := context.WithTimeout(ctx, tmo)
@@ -303,6 +356,93 @@ func (c *Cluster) catchUpFrom(ctx context.Context, r *replica, donor transport.N
 			return nil
 		}
 		return errDonor{fmt.Errorf("donor %s: %w", donor, lastErr)}
+	}
+}
+
+// catchUpTail is the tail-only catch-up of a durable restart: the
+// replica already replayed its own disk, so it asks the donor only for
+// entries past its recovered ordering cursor, addressed by cursor
+// (per-replica LSNs are incomparable across processes; positions are
+// not). ok=false means the donor refused cursor addressing — its log
+// holds unordered entries, or the cut predecessor left the retention
+// window — and the caller falls back to the full snapshot path.
+func (c *Cluster) catchUpTail(ctx context.Context, r *replica, donor transport.NodeID) (fence uint64, ok bool, err error) {
+	call := donorCall(ctx, r, donor)
+	fence = r.rlog.Cursor()
+	refused := false
+	drain := func() (int, error) {
+		n := 0
+		for {
+			var resp recovery.TailResp
+			if err := call(recovery.KindTail, &recovery.TailReq{ByCursor: true, Cursor: fence, Limit: recTailPage}, &resp); err != nil {
+				return n, err
+			}
+			if resp.Busy {
+				return n, errDonor{fmt.Errorf("donor %s turned busy", donor)}
+			}
+			if !resp.OK {
+				refused = true
+				return n, nil
+			}
+			for _, e := range resp.Entries {
+				r.applyEntry(e, nil)
+				if e.Cursor > fence {
+					fence = e.Cursor
+				}
+			}
+			n += len(resp.Entries)
+			if len(resp.Entries) < recTailPage {
+				return n, nil
+			}
+		}
+	}
+	for quiet := 0; quiet < 2 && !refused; {
+		n, err := drain()
+		if err != nil {
+			return 0, false, err
+		}
+		if n <= recTailQuiet {
+			quiet++
+		} else {
+			quiet = 0
+		}
+		if ctx.Err() != nil {
+			return 0, false, ctx.Err()
+		}
+	}
+	if !refused {
+		select {
+		case <-time.After(recSettle):
+		case <-ctx.Done():
+			return 0, false, ctx.Err()
+		}
+		if _, err := drain(); err != nil {
+			return 0, false, err
+		}
+	}
+	return fence, !refused, nil
+}
+
+func (c *Cluster) catchUpFrom(ctx context.Context, r *replica, donor transport.NodeID) (uint64, error) {
+	call := donorCall(ctx, r, donor)
+
+	// Durable restarts try the cheap path first: everything up to the
+	// disk's cursor is already here, so only the suffix is fetched, and
+	// the WAL extends append-by-append. The full path below instead
+	// installs snapshot pages the log cannot represent — so taking it
+	// suspends WAL appends (walDirty) until CompleteRecovery rewrites
+	// the directory from a fresh spill.
+	if r.wal != nil && !r.walDirty && r.rlog.Cursor() > 0 {
+		fence, ok, err := c.catchUpTail(ctx, r, donor)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return fence, nil
+		}
+	}
+	if r.wal != nil {
+		r.walDirty = true
 	}
 
 	// Watermark probe: the tail starts where the donor's log stands now,
@@ -383,7 +523,7 @@ func (c *Cluster) catchUpFrom(ctx context.Context, r *replica, donor transport.N
 			if !resp.OK {
 				// Retention gap: the write rate outran the log window
 				// while we paged. Re-snapshot from this donor's present.
-				return n, errDonor{fmt.Errorf("donor %s: apply-log tail outran retention", donor)}
+				return n, errDonor{fmt.Errorf("donor %s: %w", donor, recovery.ErrRetentionGap)}
 			}
 			if resp.Cursor > fence {
 				fence = resp.Cursor
@@ -434,8 +574,10 @@ func (c *Cluster) catchUpFrom(ctx context.Context, r *replica, donor transport.N
 // local apply log (so a freshly recovered replica can itself donate,
 // with its cursor intact) and the exactly-once table.
 func (r *replica) applyEntry(e recovery.Entry, seen map[string]bool) {
-	for _, u := range e.WS {
-		seen[u.Key] = true
+	if seen != nil {
+		for _, u := range e.WS {
+			seen[u.Key] = true
+		}
 	}
 	if e.LWW {
 		recon.Apply(r.store, recon.LWW{}, e.WS, e.TxnID, e.Origin, e.Wall)
@@ -443,11 +585,19 @@ func (r *replica) applyEntry(e recovery.Entry, seen map[string]bool) {
 	} else if len(e.WS) > 0 {
 		r.store.ApplyAt(e.WS, e.TxnID, e.Origin, e.Wall, e.StoreSeq)
 	}
-	r.rlog.Append(recovery.Entry{
+	le := recovery.Entry{
 		StoreSeq: e.StoreSeq, Cursor: e.Cursor, ReqID: e.ReqID,
 		TxnID: e.TxnID, Origin: e.Origin, Wall: e.Wall, LWW: e.LWW,
 		WS: e.WS, Res: e.Res,
-	})
+	}
+	le.LSN = r.rlog.Append(le)
+	if r.wal != nil && !r.walDirty {
+		if err := r.wal.Append(le); err != nil {
+			// The disk refused mid-catch-up: flip to the rebuild path —
+			// sealDurable will rewrite the directory from a spill.
+			r.walDirty = true
+		}
+	}
 	r.dd.seed(e.ReqID, e.Res)
 }
 

@@ -168,6 +168,13 @@ func (s *semiActiveServer) rejoin(ctx context.Context, fence uint64) error {
 	return rejoinView(ctx, s.vg)
 }
 
+// coldPosition implements the cold-start hook. Deliberately only the
+// total order is positioned: after a whole-cluster restart the rebuilt
+// view already contains the full membership symmetrically, and asking a
+// peer for a state transfer mid-cold-start could overwrite this
+// replica's caught-up store with a staler one.
+func (s *semiActiveServer) coldPosition(fence uint64) { s.ab.FastForward(fence) }
+
 // resolveChoice returns the group-agreed value of one nondeterministic
 // point: the leader chooses (possibly with true local randomness) and
 // VSCASTs its choice; followers wait, re-evaluating leadership on view

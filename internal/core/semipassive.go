@@ -88,6 +88,9 @@ func (s *semiPassiveServer) stop() {
 }
 
 func (s *semiPassiveServer) onClientRequest(m transport.Message) {
+	if s.r.refusing() {
+		return
+	}
 	req := decodeRequest(m.Payload)
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
@@ -229,9 +232,9 @@ func (s *semiPassiveServer) apply(instance uint64, value []byte) {
 	}
 }
 
-// rejoin implements the recovery hook: fast-forward the instance
-// sequence past what the catch-up covered.
-func (s *semiPassiveServer) rejoin(_ context.Context, fence uint64) error {
+// fastForward moves the instance sequence past fence, discarding parked
+// decisions the catch-up (or disk replay) already covers.
+func (s *semiPassiveServer) fastForward(fence uint64) {
 	s.mu.Lock()
 	if fence+1 > s.next {
 		for i := s.next; i <= fence; i++ {
@@ -244,5 +247,14 @@ func (s *semiPassiveServer) rejoin(_ context.Context, fence uint64) error {
 	case s.wake <- struct{}{}:
 	default:
 	}
+}
+
+// rejoin implements the recovery hook: fast-forward the instance
+// sequence past what the catch-up covered.
+func (s *semiPassiveServer) rejoin(_ context.Context, fence uint64) error {
+	s.fastForward(fence)
 	return nil
 }
+
+// coldPosition implements the cold-start hook (see core/durability.go).
+func (s *semiPassiveServer) coldPosition(fence uint64) { s.fastForward(fence) }

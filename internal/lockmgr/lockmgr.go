@@ -70,6 +70,17 @@ func New() *Manager {
 	return &Manager{locks: make(map[string]*lockState)}
 }
 
+// Reset drops every held lock and queued request, returning the table
+// to its initial state in place. Parked waiters are not granted — they
+// fail on their own context deadline. For rebuilding a replica whose
+// Manager may still be referenced by straggler goroutines (a cold
+// boot), where swapping the pointer would race.
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.locks = make(map[string]*lockState)
+}
+
 func (m *Manager) state(key string) *lockState {
 	if m.locks == nil {
 		m.locks = make(map[string]*lockState)

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -154,6 +155,25 @@ func (h *Histogram) Summary() string {
 		h.Percentile(0.99).Round(time.Microsecond),
 		h.Max().Round(time.Microsecond))
 }
+
+// Counter is a monotonically increasing event counter. The zero value
+// is ready to use; it is safe for concurrent use.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Reset zeroes the counter (between sweep points, like the transport
+// counters).
+func (c *Counter) Reset() { c.n.Store(0) }
 
 // Throughput is an operations-per-second meter over a wall-clock window.
 type Throughput struct {

@@ -31,11 +31,22 @@
 package recovery
 
 import (
+	"errors"
 	"sync"
 
+	"replication/internal/metrics"
 	"replication/internal/storage"
 	"replication/internal/txn"
 )
+
+// ErrRetentionGap reports that a requested apply-log range has been
+// evicted from the bounded retention window: the caller's position
+// predates the oldest retained entry and a log-tail catch-up cannot be
+// exact. The recoverer must fall back to a fresh snapshot. Donors
+// surface it through TailResp.OK=false; core wraps this sentinel so
+// callers can errors.Is it, and the Overflows counter records every
+// occurrence for the metrics report.
+var ErrRetentionGap = errors.New("recovery: apply-log tail outran retention window")
 
 // Entry is one applied outcome in a replica's apply log. Ordered
 // techniques (anything built on a total order of consensus instances)
@@ -84,6 +95,21 @@ type Log struct {
 	count  int
 	lsn    uint64 // last assigned LSN (watermark)
 	cursor uint64 // highest Cursor recorded
+	// unordered is the LSN of the first retained-or-evicted entry with
+	// Cursor zero (0 when every entry so far was ordered). Cursor-
+	// addressed tails are refused once any unordered entry exists: their
+	// effects have no position in the total order, so a cursor cut
+	// cannot prove it covers them.
+	unordered uint64
+	// floorLSN/floorCursor record the Seed point: everything at or below
+	// it is durably summarised elsewhere (the disk snapshot), not
+	// evicted. A cursor cut at or above floorCursor stays exact as long
+	// as nothing has been evicted since the seed.
+	floorLSN, floorCursor uint64
+
+	// overflows counts tail requests refused because the requested range
+	// was evicted (the silent full-snapshot fallback, made observable).
+	overflows metrics.Counter
 }
 
 // NewLog creates a log retaining up to retain entries (0 means
@@ -104,6 +130,9 @@ func (l *Log) Append(e Entry) uint64 {
 	e.LSN = l.lsn
 	if e.Cursor > l.cursor {
 		l.cursor = e.Cursor
+	}
+	if e.Cursor == 0 && l.unordered == 0 {
+		l.unordered = e.LSN
 	}
 	i := (l.start + l.count) % len(l.ring)
 	l.ring[i] = e
@@ -142,6 +171,7 @@ func (l *Log) Since(from uint64, limit int) (entries []Entry, ok bool) {
 	}
 	oldest := l.lsn - uint64(l.count) // LSN preceding the oldest retained
 	if from < oldest {
+		l.overflows.Inc()
 		return nil, false
 	}
 	n := int(l.lsn - from)
@@ -156,10 +186,84 @@ func (l *Log) Since(from uint64, limit int) (entries []Entry, ok bool) {
 	return entries, true
 }
 
+// SinceCursor serves a cursor-addressed tail: entries whose total-order
+// position is strictly greater than cursor, oldest first, up to limit
+// (<= 0 means all). Unlike Since, the cut is expressed in the engine's
+// ordering positions — which ARE comparable across replicas — so a
+// recoverer that replayed its own disk to position C can ask any donor
+// for "everything after C" without sharing an LSN space with it.
+//
+// ok is false when the cut cannot be proven exact: some entry was ever
+// logged without a position (Cursor 0 — its effects would be invisible
+// to a cursor cut), or every retained entry is above the cut and older
+// entries have been evicted (the gap may hide entries in (cursor,
+// oldest)). The caller falls back to a full snapshot.
+func (l *Log) SinceCursor(cursor uint64, limit int) (entries []Entry, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.unordered != 0 {
+		return nil, false
+	}
+	if cursor >= l.cursor {
+		return nil, true // at or past the donor's position: nothing newer
+	}
+	// Find the first retained entry above the cut. Positions are
+	// nondecreasing in log order, so a linear scan from the back of the
+	// window is exact.
+	first := l.count
+	for i := l.count - 1; i >= 0; i-- {
+		if l.ring[(l.start+i)%len(l.ring)].Cursor <= cursor {
+			break
+		}
+		first = i
+	}
+	// Exactness when the whole window is above the cut: the window must
+	// reach back to the seed floor (nothing evicted since), and the cut
+	// must not dip below the floor — entries summarised by the seed's
+	// snapshot have no retained representation.
+	if first == 0 {
+		evicted := l.lsn-uint64(l.count) > l.floorLSN
+		if evicted || cursor < l.floorCursor {
+			l.overflows.Inc()
+			return nil, false
+		}
+	}
+	n := l.count - first
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	entries = make([]Entry, 0, n)
+	for i := first; i < first+n; i++ {
+		entries = append(entries, l.ring[(l.start+i)%len(l.ring)])
+	}
+	return entries, true
+}
+
+// Overflows reports how many tail requests were refused because their
+// range had been evicted from the retention window — each one forced a
+// recoverer into a full snapshot transfer.
+func (l *Log) Overflows() uint64 { return l.overflows.Value() }
+
+// Seed positions an empty log at watermark lsn with highest ordering
+// position cursor — the disk-replay hook: a replica that rebuilt its
+// state from its write-ahead log resumes its LSN space where the disk
+// left off, so its future appends stay contiguous with the frames
+// already on disk. Seeding a non-empty log is a programming error.
+func (l *Log) Seed(lsn, cursor uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count != 0 || l.lsn != 0 {
+		panic("recovery: Seed on a non-empty log")
+	}
+	l.lsn, l.cursor = lsn, cursor
+	l.floorLSN, l.floorCursor = lsn, cursor
+}
+
 // Reset wipes the log (amnesia restart). The LSN restarts from zero;
 // per-replica LSNs are never compared across replicas, so this is safe.
 func (l *Log) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.start, l.count, l.lsn, l.cursor = 0, 0, 0, 0
+	l.start, l.count, l.lsn, l.cursor, l.unordered = 0, 0, 0, 0, 0
+	l.floorLSN, l.floorCursor = 0, 0
 }

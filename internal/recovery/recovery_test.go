@@ -79,6 +79,115 @@ func TestLogReset(t *testing.T) {
 	}
 }
 
+func TestLogSinceCursor(t *testing.T) {
+	l := NewLog(8)
+	for i := 1; i <= 5; i++ {
+		l.Append(entry(i))
+	}
+	got, ok := l.SinceCursor(2, 0)
+	if !ok || len(got) != 3 || got[0].Cursor != 3 || got[2].Cursor != 5 {
+		t.Fatalf("SinceCursor(2) = %+v ok=%v, want positions 3..5", got, ok)
+	}
+	// Limit honors oldest-first.
+	if got, ok := l.SinceCursor(0, 2); !ok || len(got) != 2 || got[0].Cursor != 1 {
+		t.Fatalf("SinceCursor(0, limit 2) = %+v ok=%v", got, ok)
+	}
+	// At or past the donor's position: empty but OK.
+	if got, ok := l.SinceCursor(5, 0); !ok || len(got) != 0 {
+		t.Fatalf("SinceCursor(donor position) = %d entries ok=%v", len(got), ok)
+	}
+	if got, ok := l.SinceCursor(99, 0); !ok || len(got) != 0 {
+		t.Fatalf("SinceCursor(beyond) = %d entries ok=%v", len(got), ok)
+	}
+}
+
+func TestLogSinceCursorRefusesUnordered(t *testing.T) {
+	l := NewLog(8)
+	l.Append(entry(1))
+	e := entry(2)
+	e.Cursor = 0 // an unordered apply: invisible to any cursor cut
+	l.Append(e)
+	l.Append(entry(3))
+	if _, ok := l.SinceCursor(1, 0); ok {
+		t.Fatal("a log holding unordered entries must refuse cursor tails")
+	}
+	// LSN-addressed tails are unaffected.
+	if got, ok := l.Since(1, 0); !ok || len(got) != 2 {
+		t.Fatalf("Since(1) = %d entries ok=%v, want 2", len(got), ok)
+	}
+}
+
+func TestLogSinceCursorOverflow(t *testing.T) {
+	l := NewLog(4)
+	for i := 1; i <= 10; i++ {
+		l.Append(entry(i))
+	}
+	// Retained window is positions 7..10; a cut below the window cannot
+	// be proven exact and counts as an overflow.
+	if _, ok := l.SinceCursor(3, 0); ok {
+		t.Fatal("SinceCursor below the retention window must refuse")
+	}
+	if n := l.Overflows(); n != 1 {
+		t.Fatalf("Overflows = %d, want 1", n)
+	}
+	// The cut's predecessor (position 7) is retained: exact.
+	if got, ok := l.SinceCursor(7, 0); !ok || len(got) != 3 || got[0].Cursor != 8 {
+		t.Fatalf("SinceCursor(7) = %+v ok=%v, want positions 8..10", got, ok)
+	}
+	// LSN-addressed refusals share the counter.
+	if _, ok := l.Since(2, 0); ok {
+		t.Fatal("Since inside the evicted range must refuse")
+	}
+	if n := l.Overflows(); n != 2 {
+		t.Fatalf("Overflows = %d, want 2", n)
+	}
+}
+
+func TestLogSeed(t *testing.T) {
+	l := NewLog(8)
+	l.Seed(41, 17)
+	if l.Watermark() != 41 || l.Cursor() != 17 {
+		t.Fatalf("seeded log at (%d, %d), want (41, 17)", l.Watermark(), l.Cursor())
+	}
+	// Appends stay contiguous with the seeded watermark.
+	e := entry(1)
+	e.Cursor = 18
+	if lsn := l.Append(e); lsn != 42 {
+		t.Fatalf("append after seed assigned LSN %d, want 42", lsn)
+	}
+	// The seeded prefix is not retained: tails from before it are gaps...
+	if _, ok := l.Since(3, 0); ok {
+		t.Fatal("Since inside the seeded (unretained) prefix must refuse")
+	}
+	// ...but tails from the seed point onward are exact.
+	if got, ok := l.Since(41, 0); !ok || len(got) != 1 || got[0].LSN != 42 {
+		t.Fatalf("Since(seed watermark) = %+v ok=%v", got, ok)
+	}
+	if got, ok := l.SinceCursor(17, 0); !ok || len(got) != 1 || got[0].Cursor != 18 {
+		t.Fatalf("SinceCursor(seed cursor) = %+v ok=%v", got, ok)
+	}
+	// A cursor cut below the seed floor dips into the snapshot-covered
+	// prefix, which has no retained representation.
+	if _, ok := l.SinceCursor(16, 0); ok {
+		t.Fatal("SinceCursor below the seed floor must refuse")
+	}
+
+	// Seeding anything non-empty is a programming error.
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Seed on a non-empty log must panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { l.Seed(1, 1) })
+	fresh := NewLog(8)
+	fresh.Append(entry(1))
+	mustPanic(func() { fresh.Seed(9, 9) })
+}
+
 // TestWireRoundTrips covers the catch-up protocol messages through the
 // binary codec (the registry's golden test covers cross-codec).
 func TestWireRoundTrips(t *testing.T) {

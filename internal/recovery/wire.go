@@ -89,16 +89,25 @@ func (m *SnapResp) DecodeFrom(data []byte) error {
 	return r.Done()
 }
 
-// TailReq asks for apply-log entries with LSN strictly after From.
+// TailReq asks for apply-log entries with LSN strictly after From — or,
+// with ByCursor set, for entries whose total-order position is strictly
+// after Cursor (From is then ignored). The cursor form is how a replica
+// that replayed its own write-ahead log asks a donor for just the tail
+// it missed: LSNs are per-replica and incomparable, but ordering
+// positions are shared by every member of an ordered technique.
 type TailReq struct {
-	From  uint64
-	Limit uint32
+	From     uint64
+	Limit    uint32
+	ByCursor bool
+	Cursor   uint64
 }
 
 // AppendTo implements codec.Wire.
 func (m *TailReq) AppendTo(buf []byte) []byte {
 	buf = codec.AppendUvarint(buf, m.From)
-	return codec.AppendUvarint(buf, uint64(m.Limit))
+	buf = codec.AppendUvarint(buf, uint64(m.Limit))
+	buf = codec.AppendBool(buf, m.ByCursor)
+	return codec.AppendUvarint(buf, m.Cursor)
 }
 
 // DecodeFrom implements codec.Wire.
@@ -106,6 +115,8 @@ func (m *TailReq) DecodeFrom(data []byte) error {
 	r := codec.NewReader(data)
 	m.From = r.Uvarint()
 	m.Limit = uint32(r.Uvarint())
+	m.ByCursor = r.Bool()
+	m.Cursor = r.Uvarint()
 	return r.Done()
 }
 
@@ -258,7 +269,7 @@ func init() {
 		})
 	codec.Register("rec.tailreq",
 		func() codec.Wire { return new(TailReq) },
-		func() codec.Wire { return &TailReq{From: 41, Limit: 128} })
+		func() codec.Wire { return &TailReq{From: 41, Limit: 128, ByCursor: true, Cursor: 17} })
 	codec.Register("rec.tailresp",
 		func() codec.Wire { return new(TailResp) },
 		func() codec.Wire {

@@ -1,0 +1,78 @@
+package shard
+
+// Whole-cluster durability for a sharded deployment. A physical process
+// hosts one replica of every shard, so full power loss kills every
+// group at once — and a cold boot must replay every group's disks
+// before any shared endpoint comes back, for exactly the reason
+// recoverEach splits BeginRecovery from CompleteRecovery: the endpoint
+// is one per process, and the first group to recover it would expose
+// every other group's still-cold replica to traffic. Each group keeps
+// its own write-ahead log subtree (addGroup appends "/g<shard>" to the
+// durability root), because replica r0-of-shard-0 and r0-of-shard-1 are
+// distinct logical replicas with incomparable logs.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"replication/internal/core"
+)
+
+// KillAll simulates whole-cluster power loss: every physical endpoint
+// crashes and every group's write-ahead logs freeze without a final
+// sync. Pair with wal.MemFS.PowerCut to also drop the simulated page
+// cache, then boot again with ColdStart.
+func (c *Cluster) KillAll() {
+	c.mu.Lock()
+	groups := append([]*core.Cluster(nil), c.groups...)
+	c.mu.Unlock()
+	// Endpoint crashes are physical and idempotent; each group's KillAll
+	// re-crashes the shared endpoints and freezes its own logs.
+	for _, g := range groups {
+		g.KillAll()
+	}
+}
+
+// ColdStart boots every shard from disk when no live replica exists.
+// Phase one gates all groups and replays their disks while the shared
+// endpoints stay down (core.ColdBegin per group); then the endpoints
+// come back once; then every group completes its cold start
+// concurrently — its seed serves from its own disk's authority and the
+// rest catch up from it, usually tail-only.
+//
+// A phase-one failure leaves the cluster down (endpoints crashed, some
+// groups gated): the disks are untouched, so the operator fixes the
+// cause and cold-starts again. Phase-two failures are partial — the
+// offending replica is crashed by its group while the rest serve — and
+// are joined into the returned error.
+func (c *Cluster) ColdStart(ctx context.Context) error {
+	c.mu.Lock()
+	groups := append([]*core.Cluster(nil), c.groups...)
+	c.mu.Unlock()
+	if len(groups) == 0 {
+		return fmt.Errorf("shard: no groups")
+	}
+	for s, g := range groups {
+		if err := g.ColdBegin(); err != nil {
+			return fmt.Errorf("shard %d: cold start: %w", s, err)
+		}
+	}
+	for _, id := range c.Replicas() {
+		c.inner.Recover(id)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(groups))
+	for s, g := range groups {
+		wg.Add(1)
+		go func(s int, g *core.Cluster) {
+			defer wg.Done()
+			if err := g.ColdComplete(ctx); err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+			}
+		}(s, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -177,6 +177,16 @@ func (c *Cluster) addGroup(s int) error {
 			sg.Protocol = p
 		}
 	}
+	if sg.Durability.Enabled {
+		// Each group owns a subtree of the durability root: replica r0 of
+		// shard 0 and replica r0 of shard 1 are different logical replicas
+		// with incomparable logs, so they must never share a log directory.
+		base := sg.Durability.Dir
+		if base == "" {
+			base = "wal"
+		}
+		sg.Durability.Dir = fmt.Sprintf("%s/g%d", base, s)
+	}
 	sg.Substrate = c.mux.Shard(uint32(s))
 	g, err := core.NewCluster(sg)
 	if err != nil {

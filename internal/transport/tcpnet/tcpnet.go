@@ -190,15 +190,32 @@ func (n *Network) Crash(id transport.NodeID) {
 // (preferring its old address; a fresh port if the old one is gone —
 // senders look the address up per message, so either works), restarts
 // the accept loop, and clears the crash flag. Frames lost while crashed
-// stay lost; peers' writers redial on their next send. A no-op for live
-// endpoints and after Close.
+// stay lost. Every other endpoint that was talking to id is then probed
+// directly: its writer drops the stale connection and its redial
+// backoff and dials the recovered listener immediately, so the first
+// post-recovery sends (failure-detector heartbeats included) are not
+// burned on the tail of a backoff window. A no-op for live endpoints
+// and after Close.
 func (n *Network) Recover(id transport.NodeID) {
 	n.mu.Lock()
 	closed := n.closed
 	ep := n.endpoints[id]
 	n.mu.Unlock()
-	if ep != nil && !closed {
-		ep.recover()
+	if ep == nil || closed {
+		return
+	}
+	ep.recover()
+	addr := ep.listenAddr()
+	n.mu.Lock()
+	others := make([]*Endpoint, 0, len(n.endpoints))
+	for oid, o := range n.endpoints {
+		if oid != id {
+			others = append(others, o)
+		}
+	}
+	n.mu.Unlock()
+	for _, o := range others {
+		o.probePeer(id, addr)
 	}
 }
 
@@ -337,6 +354,23 @@ func (e *Endpoint) DropConns() {
 	}
 }
 
+// probePeer redirects this endpoint's writer for a freshly recovered
+// peer: the stale connection closes, the redial backoff clears, and a
+// background dial warms the new connection before the next send.
+// Without it the writer sits out the rest of its exponential backoff
+// window dropping messages at a peer that is already listening again.
+func (e *Endpoint) probePeer(to transport.NodeID, addr string) {
+	if e.crashed.Load() {
+		return
+	}
+	e.mu.Lock()
+	p := e.peers[to]
+	e.mu.Unlock()
+	if p != nil {
+		p.redirect(addr)
+	}
+}
+
 // crash stops the endpoint: stop accepting, kill every connection, stop
 // the writers. Idempotent; Recover re-arms it. With closing set the
 // shutdown is a network Close rather than a fault (same mechanics,
@@ -470,11 +504,9 @@ type peer struct {
 	done chan struct{} // the owning endpoint's done at spawn time
 	out  chan transport.Message
 
-	mu   sync.Mutex // guards conn and addr against other goroutines
-	conn net.Conn
-	addr string
-
-	// Dial state, touched only by the writer goroutine.
+	mu       sync.Mutex // guards conn, addr and the dial state
+	conn     net.Conn
+	addr     string
 	backoff  time.Duration
 	nextDial time.Time
 }
@@ -487,6 +519,29 @@ func (p *peer) setAddr(addr string) {
 		p.nextDial = time.Time{} // new address: dial eagerly
 	}
 	p.mu.Unlock()
+}
+
+// redirect points the writer at a recovered peer's listener: stale
+// connection closed, backoff forgotten, and a background dial so the
+// connection is warm before the next send. The probe goroutine races
+// the writer's own dial benignly — dial keeps whichever connection
+// lands first — and closes its work if the endpoint crashed meanwhile.
+func (p *peer) redirect(addr string) {
+	p.mu.Lock()
+	p.addr = addr
+	p.backoff = 0
+	p.nextDial = time.Time{}
+	conn := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	go func() {
+		if p.dial() != nil && p.ep.crashed.Load() {
+			p.closeConn()
+		}
+	}()
 }
 
 func (p *peer) run() {
@@ -549,12 +604,12 @@ func (p *peer) dial() net.Conn {
 	}
 	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 	if err != nil {
+		p.mu.Lock()
 		if p.backoff == 0 {
 			p.backoff = opts.RedialBackoff
 		} else if p.backoff *= 2; p.backoff > opts.RedialMax {
 			p.backoff = opts.RedialMax
 		}
-		p.mu.Lock()
 		p.nextDial = time.Now().Add(p.backoff)
 		p.mu.Unlock()
 		return nil
@@ -562,9 +617,16 @@ func (p *peer) dial() net.Conn {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	p.backoff = 0
 	p.mu.Lock()
+	p.backoff = 0
 	p.nextDial = time.Time{}
+	if p.conn != nil {
+		// A concurrent dial (writer vs recovery probe) won: keep it.
+		existing := p.conn
+		p.mu.Unlock()
+		conn.Close()
+		return existing
+	}
 	p.conn = conn
 	p.mu.Unlock()
 	return conn

@@ -437,6 +437,64 @@ func TestCrashRecoverRelistens(t *testing.T) {
 	}
 }
 
+// TestRecoverProbeClearsBackoff pins the directed probe on Recover: a
+// writer that backed off against a crashed peer is redirected the
+// moment the peer is back, instead of dropping sends for the rest of
+// its backoff window. The backoff here is far longer than the test
+// timeout, so delivery of a single post-recovery send is only possible
+// if the probe cleared it.
+func TestRecoverProbeClearsBackoff(t *testing.T) {
+	n := newTestNet(t, Options{RedialBackoff: 30 * time.Second, RedialMax: 60 * time.Second})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	if err := a.Send("b", "ping", []byte("1")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	recvOne(t, b, 2*time.Second)
+
+	n.Crash("b")
+	a.mu.Lock()
+	p := a.peers["b"]
+	a.mu.Unlock()
+	if p == nil {
+		t.Fatal("no writer for b")
+	}
+	// Keep sending until a's writer has burned a dial against the dead
+	// listener and entered its (30s) backoff window.
+	waitFor(t, 5*time.Second, func() bool {
+		_ = a.Send("b", "ping", []byte("x"))
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return !p.nextDial.IsZero()
+	}, "writer never entered backoff")
+
+	n.Recover("b")
+	p.mu.Lock()
+	cleared := p.nextDial.IsZero() && p.backoff == 0
+	p.mu.Unlock()
+	if !cleared {
+		t.Fatal("recovery probe did not clear the writer's backoff")
+	}
+
+	if err := a.Send("b", "ping", []byte("after")); err != nil {
+		t.Fatalf("post-recovery send: %v", err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m := <-b.Inbox():
+			if string(m.Payload) == "after" {
+				return
+			}
+			// Stray pre-recovery sends may drain through the new
+			// connection; keep reading.
+		case <-deadline:
+			t.Fatal("post-recovery send not delivered within the probe path")
+		}
+	}
+}
+
 // TestDoubleCrashRecover re-arms crash after a recover.
 func TestDoubleCrashRecover(t *testing.T) {
 	n := newTestNet(t, Options{})

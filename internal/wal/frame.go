@@ -1,0 +1,293 @@
+package wal
+
+// On-disk format. Both file kinds — log segments (wal-*.seg) and store
+// snapshots (snap-*.snap) — are sequences of checksummed records:
+//
+//	record  := length | kind | body | crc32
+//	length  : uvarint, len(kind | body)
+//	kind    : 1 byte, the record type
+//	body    : the record's codec.Wire encoding
+//	crc32   : 4 bytes little-endian, Castagnoli over (kind | body)
+//
+// A segment opens with a SegmentHeader record followed by Frame records
+// (one per apply-log entry, LSNs contiguous). A snapshot opens with a
+// SnapHeader record, carries SnapItem and SnapDedup records, and closes
+// with a SnapTrailer whose counts prove the spill completed — a
+// snapshot without a matching trailer is an aborted spill and is
+// ignored at replay.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"replication/internal/codec"
+	"replication/internal/recovery"
+	"replication/internal/storage"
+	"replication/internal/txn"
+)
+
+// Record kinds.
+const (
+	recSegHeader   = 0x01
+	recFrame       = 0x02
+	recSnapHeader  = 0x11
+	recSnapItem    = 0x12
+	recSnapDedup   = 0x13
+	recSnapTrailer = 0x14
+)
+
+// segFormat is the segment/snapshot format version stamped in headers;
+// replay rejects formats it does not know.
+const segFormat = 1
+
+// maxRecord bounds one record's (kind | body) size: larger length
+// prefixes are treated as corruption before any allocation happens.
+const maxRecord = 64 << 20
+
+// Typed replay errors. ErrTornTail is never returned — torn tails are
+// repaired (truncated) in place and reported via Recovered.TornBytes —
+// but corrupt records outside the repairable tail and sequence gaps
+// surface so the caller can distrust everything past the valid prefix.
+var (
+	// ErrCorruptRecord reports a CRC mismatch or malformed record that
+	// is not a repairable torn tail.
+	ErrCorruptRecord = errors.New("wal: corrupt record")
+	// ErrCorruptSnapshot reports a snapshot that failed validation.
+	ErrCorruptSnapshot = errors.New("wal: corrupt snapshot")
+	// ErrGap reports a break in the LSN chain (a missing or out-of-
+	// sequence segment).
+	ErrGap = errors.New("wal: gap in log sequence")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord frames one record: length | kind | body | crc.
+func appendRecord(buf []byte, kind byte, w codec.Wire) []byte {
+	body := w.AppendTo([]byte{kind})
+	buf = codec.AppendUvarint(buf, uint64(len(body)))
+	buf = append(buf, body...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(body, crcTable))
+}
+
+// record is one decoded-but-unparsed record: its kind and wire body.
+type record struct {
+	kind byte
+	body []byte
+}
+
+// errShortRecord marks a record that runs past the end of the data — at
+// the tail of the last segment this is a torn write, repairable by
+// truncation; anywhere else it is corruption.
+var errShortRecord = errors.New("wal: record extends past end of file")
+
+// readRecord parses one record at data[off:]. It returns the record,
+// the offset past it, and an error distinguishing a short (torn) tail
+// from outright corruption.
+func readRecord(data []byte, off int) (record, int, error) {
+	n, sz := binary.Uvarint(data[off:])
+	if sz <= 0 {
+		if remaining := len(data) - off; remaining < binary.MaxVarintLen64 && sz == 0 {
+			return record{}, off, errShortRecord // length prefix itself cut off
+		}
+		return record{}, off, ErrCorruptRecord
+	}
+	if n == 0 || n > maxRecord {
+		return record{}, off, ErrCorruptRecord
+	}
+	start := off + sz
+	end := start + int(n) + 4
+	if end > len(data) {
+		return record{}, off, errShortRecord
+	}
+	body := data[start : start+int(n)]
+	want := binary.LittleEndian.Uint32(data[start+int(n) : end])
+	if crc32.Checksum(body, crcTable) != want {
+		return record{}, off, ErrCorruptRecord
+	}
+	return record{kind: body[0], body: body[1:]}, end, nil
+}
+
+// SegmentHeader opens every log segment.
+type SegmentHeader struct {
+	// Format is the on-disk format version (segFormat).
+	Format uint64
+	// FirstLSN is the LSN of the segment's first frame; it is also
+	// encoded in the file name, and the two must agree.
+	FirstLSN uint64
+}
+
+// AppendTo implements codec.Wire.
+func (h *SegmentHeader) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, h.Format)
+	return codec.AppendUvarint(buf, h.FirstLSN)
+}
+
+// DecodeFrom implements codec.Wire.
+func (h *SegmentHeader) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	h.Format = r.Uvarint()
+	h.FirstLSN = r.Uvarint()
+	return r.Done()
+}
+
+// Frame is one apply-log entry as logged: the WAL's unit of replay.
+type Frame struct {
+	Entry recovery.Entry
+}
+
+// AppendTo implements codec.Wire.
+func (f *Frame) AppendTo(buf []byte) []byte { return f.Entry.AppendWire(buf) }
+
+// DecodeFrom implements codec.Wire.
+func (f *Frame) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	f.Entry.DecodeWire(&r)
+	return r.Done()
+}
+
+// SnapHeader opens every snapshot file.
+type SnapHeader struct {
+	// Format is the on-disk format version (segFormat).
+	Format uint64
+	// Watermark is the apply-log LSN the snapshot covers: replay
+	// restores the snapshot, then frames with LSN > Watermark.
+	Watermark uint64
+	// Cursor is the highest ordering position covered.
+	Cursor uint64
+	// CommitSeq is the store's commit sequence at the spill.
+	CommitSeq uint64
+}
+
+// AppendTo implements codec.Wire.
+func (h *SnapHeader) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, h.Format)
+	buf = codec.AppendUvarint(buf, h.Watermark)
+	buf = codec.AppendUvarint(buf, h.Cursor)
+	return codec.AppendUvarint(buf, h.CommitSeq)
+}
+
+// DecodeFrom implements codec.Wire.
+func (h *SnapHeader) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	h.Format = r.Uvarint()
+	h.Watermark = r.Uvarint()
+	h.Cursor = r.Uvarint()
+	h.CommitSeq = r.Uvarint()
+	return r.Done()
+}
+
+// SnapItem is one key's full latest version — timestamp-faithful, like
+// the donor catch-up's snapshot pages.
+type SnapItem struct {
+	Key string
+	Ver storage.Version
+}
+
+// AppendTo implements codec.Wire.
+func (s *SnapItem) AppendTo(buf []byte) []byte {
+	buf = codec.AppendString(buf, s.Key)
+	return s.Ver.AppendWire(buf)
+}
+
+// DecodeFrom implements codec.Wire.
+func (s *SnapItem) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	s.Key = r.String()
+	s.Ver.DecodeWire(&r)
+	return r.Done()
+}
+
+// SnapDedup is one exactly-once table entry, so a cold-started replica
+// still answers pre-crash client retries from cache.
+type SnapDedup struct {
+	ReqID uint64
+	Res   txn.Result
+}
+
+// AppendTo implements codec.Wire.
+func (s *SnapDedup) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, s.ReqID)
+	return s.Res.AppendWire(buf)
+}
+
+// DecodeFrom implements codec.Wire.
+func (s *SnapDedup) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	s.ReqID = r.Uvarint()
+	s.Res.DecodeWire(&r)
+	return r.Done()
+}
+
+// SnapTrailer closes a snapshot; its counts prove completeness.
+type SnapTrailer struct {
+	Items  uint64
+	Dedups uint64
+}
+
+// AppendTo implements codec.Wire.
+func (s *SnapTrailer) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, s.Items)
+	return codec.AppendUvarint(buf, s.Dedups)
+}
+
+// DecodeFrom implements codec.Wire.
+func (s *SnapTrailer) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	s.Items = r.Uvarint()
+	s.Dedups = r.Uvarint()
+	return r.Done()
+}
+
+// File naming: segments and snapshots carry their first LSN /
+// watermark in zero-padded hex so lexical order is numeric order.
+func segmentName(firstLSN uint64) string   { return fmt.Sprintf("wal-%016x.seg", firstLSN) }
+func snapshotName(watermark uint64) string { return fmt.Sprintf("snap-%016x.snap", watermark) }
+
+func parseSegmentName(name string) (uint64, bool) {
+	var lsn uint64
+	if _, err := fmt.Sscanf(name, "wal-%016x.seg", &lsn); err != nil || name != segmentName(lsn) {
+		return 0, false
+	}
+	return lsn, true
+}
+
+func parseSnapshotName(name string) (uint64, bool) {
+	var wm uint64
+	if _, err := fmt.Sscanf(name, "snap-%016x.snap", &wm); err != nil || name != snapshotName(wm) {
+		return 0, false
+	}
+	return wm, true
+}
+
+// Registration for the cross-codec golden tests and fuzz targets.
+func init() {
+	codec.Register("wal.seghdr",
+		func() codec.Wire { return new(SegmentHeader) },
+		func() codec.Wire { return &SegmentHeader{Format: segFormat, FirstLSN: 4097} })
+	codec.Register("wal.frame",
+		func() codec.Wire { return new(Frame) },
+		func() codec.Wire {
+			return &Frame{Entry: recovery.Entry{
+				LSN: 42, StoreSeq: 17, Cursor: 9, ReqID: 1<<32 + 3,
+				TxnID: "t3", Origin: "r1", Wall: 5,
+				WS:  storage.WriteSet{{Key: "k", Value: []byte("v")}},
+				Res: txn.Result{Committed: true, Reads: map[string][]byte{"k": []byte("v0")}},
+			}}
+		})
+	codec.Register("wal.snaphdr",
+		func() codec.Wire { return new(SnapHeader) },
+		func() codec.Wire { return &SnapHeader{Format: segFormat, Watermark: 900, Cursor: 33, CommitSeq: 812} })
+	codec.Register("wal.snapitem",
+		func() codec.Wire { return new(SnapItem) },
+		func() codec.Wire {
+			return &SnapItem{Key: "alice", Ver: storage.Version{Value: []byte("9"), TxnID: "t7", Ts: 12, Origin: "r2", Wall: 31}}
+		})
+	codec.Register("wal.snapdedup",
+		func() codec.Wire { return new(SnapDedup) },
+		func() codec.Wire { return &SnapDedup{ReqID: 1<<33 + 7, Res: txn.Result{Committed: true}} })
+	codec.Register("wal.snaptrailer",
+		func() codec.Wire { return new(SnapTrailer) },
+		func() codec.Wire { return &SnapTrailer{Items: 120, Dedups: 64} })
+}

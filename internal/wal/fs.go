@@ -1,0 +1,358 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the filesystem surface the write-ahead log runs over. Two
+// implementations exist: DirFS, thin wrappers over the os package for
+// real disks, and MemFS, an in-memory filesystem that models the page
+// cache / platter split so tests can simulate total power loss — with
+// torn tail writes, fsync errors and byte corruption injected at will.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens path for writing, truncating any existing file.
+	Create(path string) (File, error)
+	// Open opens path for reading.
+	Open(path string) (io.ReadCloser, error)
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically moves old to new (the snapshot commit point).
+	Rename(oldPath, newPath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes (torn-tail repair).
+	Truncate(path string, size int64) error
+	// SyncDir flushes directory metadata (renames, removals) for dir.
+	SyncDir(dir string) error
+}
+
+// File is a writable log file. Write buffers into the volatile layer
+// (OS page cache); Sync makes everything written so far durable.
+type File interface {
+	io.Writer
+	// Sync flushes all written data to durable media.
+	Sync() error
+	// Close releases the handle WITHOUT syncing: data not yet synced
+	// stays volatile, exactly like os.File.Close.
+	Close() error
+}
+
+// DirFS is the real-disk FS.
+type DirFS struct{}
+
+// MkdirAll implements FS.
+func (DirFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (DirFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// Open implements FS.
+func (DirFS) Open(path string) (io.ReadCloser, error) { return os.Open(path) }
+
+// ReadDir implements FS.
+func (DirFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// Rename implements FS.
+func (DirFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (DirFS) Remove(path string) error { return os.Remove(path) }
+
+// Truncate implements FS.
+func (DirFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir implements FS: fsync on the directory makes renames durable.
+func (DirFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ErrPowerCut is returned by MemFS handles that outlived a power cut:
+// the machine they belonged to is gone, like writes to a failed device.
+var ErrPowerCut = errors.New("wal: file handle lost to power cut")
+
+// MemFS is the fault-injecting in-memory FS. Every file keeps two
+// layers: durable bytes (on the platter) and volatile bytes (written
+// but not fsynced — the page cache). PowerCut discards every file's
+// volatile layer, simulating whole-machine power loss; Sync moves
+// volatile to durable. FailSyncs makes fsync fail, CorruptByte flips
+// durable data, and PowerCutTorn lands the cut mid-flush so a prefix of
+// one file's volatile bytes survives — a torn tail write.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirs    map[string]bool
+	gen     uint64 // bumped by PowerCut: stale handles error
+	syncErr error  // injected fsync failure
+	syncs   uint64 // fsync count (group-commit assertions)
+}
+
+// NewMemFS creates an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: make(map[string]bool)}
+}
+
+type memFile struct {
+	durable  []byte
+	volatile []byte
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for dir != "." && dir != "/" && dir != "" {
+		m.dirs[dir] = true
+		dir = filepath.Dir(dir)
+	}
+	return nil
+}
+
+// Create implements FS.
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[path] = &memFile{}
+	return &memHandle{fs: m, path: path, gen: m.gen}, nil
+}
+
+// Open implements FS.
+func (m *MemFS) Open(path string) (io.ReadCloser, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: path, Err: os.ErrNotExist}
+	}
+	// A reader sees what the process would: durable plus page cache.
+	data := make([]byte, 0, len(f.durable)+len(f.volatile))
+	data = append(data, f.durable...)
+	data = append(data, f.volatile...)
+	return io.NopCloser(strings.NewReader(string(data))), nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var names []string
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	for path := range m.files {
+		if strings.HasPrefix(path, prefix) && !strings.Contains(path[len(prefix):], "/") {
+			names = append(names, path[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS. MemFS renames are immediately durable (DirFS
+// pairs its renames with SyncDir).
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldPath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldPath, Err: os.ErrNotExist}
+	}
+	delete(m.files, oldPath)
+	m.files[newPath] = f
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return &os.PathError{Op: "remove", Path: path, Err: os.ErrNotExist}
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(path string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: path, Err: os.ErrNotExist}
+	}
+	if size <= int64(len(f.durable)) {
+		f.durable = f.durable[:size]
+		f.volatile = nil
+	} else if rest := size - int64(len(f.durable)); rest < int64(len(f.volatile)) {
+		f.volatile = f.volatile[:rest]
+	}
+	return nil
+}
+
+// SyncDir implements FS (a no-op: MemFS directory ops are durable).
+func (m *MemFS) SyncDir(string) error { return nil }
+
+// PowerCut simulates whole-machine power loss: every file's volatile
+// (unsynced) bytes vanish and every open handle dies. Files keep their
+// durable bytes — what a restarted process finds on disk.
+func (m *MemFS) PowerCut() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gen++
+	for _, f := range m.files {
+		f.volatile = nil
+	}
+}
+
+// PowerCutTorn is PowerCut with the cut landing mid-flush on one file:
+// the first keep volatile bytes of path reach the platter before the
+// power dies — a torn tail write for replay to detect and truncate.
+func (m *MemFS) PowerCutTorn(path string, keep int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gen++
+	for p, f := range m.files {
+		if p == path && keep > 0 {
+			if keep > len(f.volatile) {
+				keep = len(f.volatile)
+			}
+			f.durable = append(f.durable, f.volatile[:keep]...)
+		}
+		f.volatile = nil
+	}
+}
+
+// FailSyncs injects err into every subsequent Sync call (nil restores
+// health) — the fsync-error lane of the crash-point matrix.
+func (m *MemFS) FailSyncs(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncErr = err
+}
+
+// CorruptByte XORs the durable byte of path at offset off with 0xFF —
+// bit rot for the CRC rejection tests.
+func (m *MemFS) CorruptByte(path string, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return &os.PathError{Op: "corrupt", Path: path, Err: os.ErrNotExist}
+	}
+	if off < 0 || off >= int64(len(f.durable)) {
+		return fmt.Errorf("wal: corrupt offset %d outside durable %d bytes of %s", off, len(f.durable), path)
+	}
+	f.durable[off] ^= 0xFF
+	return nil
+}
+
+// Syncs reports the number of successful fsync calls — the denominator
+// of the group-commit amortization ratio.
+func (m *MemFS) Syncs() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.syncs
+}
+
+// DurableSize returns the durable byte count of path (-1 if absent).
+func (m *MemFS) DurableSize(path string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return -1
+	}
+	return int64(len(f.durable))
+}
+
+// VolatileSize returns the unsynced byte count of path (-1 if absent).
+func (m *MemFS) VolatileSize(path string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return -1
+	}
+	return int64(len(f.volatile))
+}
+
+// memHandle is an open MemFS file. It appends (the WAL never seeks).
+type memHandle struct {
+	fs   *MemFS
+	path string
+	gen  uint64
+	mu   sync.Mutex
+	dead bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dead || h.gen != h.fs.gen {
+		return 0, ErrPowerCut
+	}
+	f, ok := h.fs.files[h.path]
+	if !ok {
+		// The file was removed while open: like a POSIX orphan inode,
+		// writes succeed and the bytes go nowhere visible.
+		return len(p), nil
+	}
+	f.volatile = append(f.volatile, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.dead || h.gen != h.fs.gen {
+		return ErrPowerCut
+	}
+	if h.fs.syncErr != nil {
+		return h.fs.syncErr
+	}
+	f, ok := h.fs.files[h.path]
+	if !ok {
+		return nil // fsync on an unlinked (orphaned) file succeeds
+	}
+	f.durable = append(f.durable, f.volatile...)
+	f.volatile = nil
+	h.fs.syncs++
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dead = true
+	return nil
+}

@@ -1,0 +1,366 @@
+package wal
+
+// Replay: Open's directory scan. The scan validates every byte it will
+// later hand to the caller — snapshot selection falls back past corrupt
+// spills, torn tails are truncated in place, CRC-corrupt records and
+// LSN gaps fence off everything behind them — so that LoadSnapshot and
+// ReplayEntries afterwards only walk known-good prefixes, and the
+// directory is left exactly consistent with what Recovered reports
+// (future appends extend the validated prefix without colliding with
+// fenced-off garbage).
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"replication/internal/recovery"
+	"replication/internal/storage"
+	"replication/internal/txn"
+)
+
+func (w *WAL) readFile(path string) ([]byte, error) {
+	f, err := w.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// scan inventories the directory, selects the snapshot, and validates
+// the segment chain. It fills w.rec, w.snapPath and w.replay.
+func (w *WAL) scan() error {
+	names, err := w.fs.ReadDir(w.dir)
+	if err != nil {
+		return fmt.Errorf("wal: scan %s: %w", w.dir, err)
+	}
+	var snaps, segs []uint64
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			_ = w.fs.Remove(w.dir + "/" + name) // aborted spill
+			continue
+		}
+		if wm, ok := parseSnapshotName(name); ok {
+			snaps = append(snaps, wm)
+			continue
+		}
+		if lsn, ok := parseSegmentName(name); ok {
+			segs = append(segs, lsn)
+		}
+		// Anything else is not ours; leave it alone.
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	// Newest snapshot that validates wins. A corrupt one is removed on
+	// the spot — left in place it would survive the next prune in place
+	// of a good predecessor.
+	sawCorruptSnap := false
+	for _, wm := range snaps {
+		path := w.dir + "/" + snapshotName(wm)
+		hdr, verr := w.validateSnapshot(path)
+		if verr != nil {
+			sawCorruptSnap = true
+			_ = w.fs.Remove(path)
+			continue
+		}
+		w.snapPath = path
+		w.rec.SnapWatermark = hdr.Watermark
+		w.rec.SnapCursor = hdr.Cursor
+		w.rec.SnapCommitSeq = hdr.CommitSeq
+		break
+	}
+	snapWM := w.rec.SnapWatermark
+
+	// Walk the segment chain. Contiguity must hold segment-to-segment
+	// and the chain must reach back to the snapshot watermark; anything
+	// past the first break is unreachable and removed so the directory
+	// matches what we report.
+	var chainErr error
+	var tornBytes int64
+	watermark, maxCursor := snapWM, w.rec.SnapCursor
+	frames := 0
+	chainStart := uint64(0)
+	expectedNext := uint64(0) // next segment's required FirstLSN (0: none yet)
+	for i, first := range segs {
+		path := w.dir + "/" + segmentName(first)
+		if chainErr != nil {
+			_ = w.fs.Remove(path)
+			continue
+		}
+		if expectedNext == 0 {
+			if first > snapWM+1 {
+				chainErr = fmt.Errorf("%w: oldest segment %s starts past snapshot watermark %d",
+					ErrGap, segmentName(first), snapWM)
+				_ = w.fs.Remove(path)
+				continue
+			}
+		} else if first != expectedNext {
+			chainErr = fmt.Errorf("%w: segment %s begins at LSN %d, want %d",
+				ErrGap, segmentName(first), first, expectedNext)
+			_ = w.fs.Remove(path)
+			continue
+		}
+		isLast := i == len(segs)-1
+		res := w.validateSegment(path, first, snapWM)
+		keep := true
+		switch {
+		case res.err == nil:
+		case errors.Is(res.err, errShortRecord) && isLast:
+			// Torn tail write: repair by truncating to the valid prefix.
+			if res.headerOK {
+				_ = w.fs.Truncate(path, int64(res.validEnd))
+			} else {
+				_ = w.fs.Remove(path) // even the header was cut off
+				keep = false
+			}
+			tornBytes += int64(res.size - res.validEnd)
+		default:
+			// Corruption (or a short record that is not the tail of the
+			// log): the valid prefix stays usable, everything past it is
+			// fenced off, and the caller is told to distrust the disk.
+			if errors.Is(res.err, errShortRecord) {
+				res.err = fmt.Errorf("%w: short record inside %s", ErrCorruptRecord, segmentName(first))
+			}
+			chainErr = res.err
+			if res.headerOK {
+				_ = w.fs.Truncate(path, int64(res.validEnd))
+			} else {
+				_ = w.fs.Remove(path)
+				keep = false
+			}
+		}
+		if !keep {
+			continue
+		}
+		if chainStart == 0 {
+			chainStart = first
+		}
+		w.replay = append(w.replay, path)
+		if res.last > watermark {
+			watermark = res.last
+		}
+		frames += res.frames
+		if res.maxCursor > maxCursor {
+			maxCursor = res.maxCursor
+		}
+		expectedNext = res.last + 1
+	}
+
+	// Every snapshot was corrupt and the segments alone cannot rebuild
+	// from LSN 1: the state is incomplete even where the chain is clean.
+	if sawCorruptSnap && w.snapPath == "" && chainStart != 1 {
+		chainErr = errors.Join(ErrCorruptSnapshot, chainErr)
+	}
+
+	w.rec.Err = chainErr
+	w.rec.Watermark = watermark
+	w.rec.Cursor = maxCursor
+	w.rec.Frames = frames
+	w.rec.TornBytes = tornBytes
+	w.rec.HasState = w.snapPath != "" || watermark > 0
+	_ = w.fs.SyncDir(w.dir)
+	return nil
+}
+
+// validateSnapshot checks one snapshot file end to end: header format,
+// every record's CRC and decode, and the trailer's counts.
+func (w *WAL) validateSnapshot(path string) (SnapHeader, error) {
+	var hdr SnapHeader
+	data, err := w.readFile(path)
+	if err != nil {
+		return hdr, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	rec, off, err := readRecord(data, 0)
+	if err != nil || rec.kind != recSnapHeader {
+		return hdr, fmt.Errorf("%w: bad header record", ErrCorruptSnapshot)
+	}
+	if err := hdr.DecodeFrom(rec.body); err != nil || hdr.Format != segFormat {
+		return hdr, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
+	}
+	var items, dedups uint64
+	sawTrailer := false
+	for off < len(data) {
+		r, next, err := readRecord(data, off)
+		if err != nil || sawTrailer {
+			return hdr, fmt.Errorf("%w: bad record at offset %d", ErrCorruptSnapshot, off)
+		}
+		off = next
+		switch r.kind {
+		case recSnapItem:
+			var it SnapItem
+			if err := it.DecodeFrom(r.body); err != nil {
+				return hdr, fmt.Errorf("%w: bad item", ErrCorruptSnapshot)
+			}
+			items++
+		case recSnapDedup:
+			var d SnapDedup
+			if err := d.DecodeFrom(r.body); err != nil {
+				return hdr, fmt.Errorf("%w: bad dedup entry", ErrCorruptSnapshot)
+			}
+			dedups++
+		case recSnapTrailer:
+			var t SnapTrailer
+			if err := t.DecodeFrom(r.body); err != nil || t.Items != items || t.Dedups != dedups {
+				return hdr, fmt.Errorf("%w: trailer mismatch", ErrCorruptSnapshot)
+			}
+			sawTrailer = true
+		default:
+			return hdr, fmt.Errorf("%w: unexpected record kind 0x%02x", ErrCorruptSnapshot, r.kind)
+		}
+	}
+	if !sawTrailer {
+		// No trailer means the spill never committed — but committed
+		// spills are renamed into place only after a full sync, so a
+		// named snapshot without one is damage, not a benign abort.
+		return hdr, fmt.Errorf("%w: missing trailer", ErrCorruptSnapshot)
+	}
+	return hdr, nil
+}
+
+// segScan is one segment's validation result. The fields describe the
+// valid prefix: err (when non-nil) tells what stopped the scan there.
+type segScan struct {
+	last      uint64 // last valid LSN (first-1 when no frames)
+	maxCursor uint64 // max ordering position among frames past `after`
+	frames    int    // frames with LSN > after
+	validEnd  int    // byte length of the valid prefix
+	size      int    // file size
+	headerOK  bool
+	err       error // nil, errShortRecord, or a corruption error
+}
+
+// validateSegment checks one segment: header (format and FirstLSN must
+// match the file name), then frames with contiguous LSNs from first.
+func (w *WAL) validateSegment(path string, first, after uint64) segScan {
+	res := segScan{last: first - 1}
+	data, err := w.readFile(path)
+	if err != nil {
+		res.err = fmt.Errorf("%w: %v", ErrCorruptRecord, err)
+		return res
+	}
+	res.size = len(data)
+	rec, off, err := readRecord(data, 0)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	var hdr SegmentHeader
+	if rec.kind != recSegHeader || hdr.DecodeFrom(rec.body) != nil ||
+		hdr.Format != segFormat || hdr.FirstLSN != first {
+		res.err = fmt.Errorf("%w: bad segment header in %s", ErrCorruptRecord, segmentName(first))
+		return res
+	}
+	res.headerOK = true
+	res.validEnd = off
+	next := first
+	for off < len(data) {
+		r, end, err := readRecord(data, off)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		if r.kind != recFrame {
+			res.err = fmt.Errorf("%w: unexpected record kind 0x%02x", ErrCorruptRecord, r.kind)
+			return res
+		}
+		var f Frame
+		if err := f.DecodeFrom(r.body); err != nil {
+			res.err = fmt.Errorf("%w: undecodable frame", ErrCorruptRecord)
+			return res
+		}
+		if f.Entry.LSN != next {
+			res.err = fmt.Errorf("%w: frame LSN %d, want %d", ErrCorruptRecord, f.Entry.LSN, next)
+			return res
+		}
+		off = end
+		res.validEnd = off
+		res.last = next
+		if next > after {
+			res.frames++
+			if f.Entry.Cursor > res.maxCursor {
+				res.maxCursor = f.Entry.Cursor
+			}
+		}
+		next++
+	}
+	return res
+}
+
+// LoadSnapshot streams the validated snapshot's items and dedup entries
+// to the callbacks. A no-op (returning false) when Open found none.
+func (w *WAL) LoadSnapshot(item func(key string, ver storage.Version), ded func(reqID uint64, res txn.Result)) (bool, error) {
+	if w.snapPath == "" {
+		return false, nil
+	}
+	data, err := w.readFile(w.snapPath)
+	if err != nil {
+		return false, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	_, off, err := readRecord(data, 0) // header, already validated
+	if err != nil {
+		return false, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	for off < len(data) {
+		r, next, err := readRecord(data, off)
+		if err != nil {
+			return false, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+		}
+		off = next
+		switch r.kind {
+		case recSnapItem:
+			var it SnapItem
+			if err := it.DecodeFrom(r.body); err != nil {
+				return false, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+			}
+			item(it.Key, it.Ver)
+		case recSnapDedup:
+			var d SnapDedup
+			if err := d.DecodeFrom(r.body); err != nil {
+				return false, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+			}
+			ded(d.ReqID, d.Res)
+		}
+	}
+	return true, nil
+}
+
+// ReplayEntries streams every replayable frame past the snapshot
+// watermark, in LSN order, to fn. Stopping early propagates fn's error.
+func (w *WAL) ReplayEntries(fn func(recovery.Entry) error) error {
+	after := w.rec.SnapWatermark
+	for _, path := range w.replay {
+		data, err := w.readFile(path)
+		if err != nil {
+			return fmt.Errorf("wal: replay %s: %w", path, err)
+		}
+		_, off, err := readRecord(data, 0) // header, already validated
+		if err != nil {
+			return fmt.Errorf("wal: replay %s: %w", path, ErrCorruptRecord)
+		}
+		for off < len(data) {
+			r, next, err := readRecord(data, off)
+			if err != nil {
+				return fmt.Errorf("wal: replay %s: %w", path, err)
+			}
+			off = next
+			if r.kind != recFrame {
+				continue
+			}
+			var f Frame
+			if err := f.DecodeFrom(r.body); err != nil {
+				return fmt.Errorf("wal: replay %s: %w", path, ErrCorruptRecord)
+			}
+			if f.Entry.LSN <= after || f.Entry.LSN > w.rec.Watermark {
+				continue
+			}
+			if err := fn(f.Entry); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

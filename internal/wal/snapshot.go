@@ -1,0 +1,176 @@
+package wal
+
+// Snapshot spill: a fuzzy copy of the store written beside the log so
+// replay length stays bounded and old segments can be truncated. The
+// spill protocol is crash-safe at every point:
+//
+//  1. records stream into snap-<wm>.snap.tmp (a crash leaves a .tmp,
+//     removed at the next Open);
+//  2. the trailer proves completeness, the file is fsynced, and only
+//     then renamed into place (the commit point) and the directory
+//     synced;
+//  3. pruning keeps the newest TWO snapshots and deletes only segments
+//     wholly covered by the OLDER one — so if the newest snapshot is
+//     later found corrupt, the previous snapshot plus the retained
+//     segments still rebuild everything.
+//
+// The snapshot is fuzzy: the caller records the log watermark BEFORE
+// scanning the store, so the spilled images may already include the
+// effects of entries past the watermark. Replaying those entries again
+// is safe — storage.ApplyAt is idempotent per key and last-writer-wins
+// reconciliation converges — which is what makes a no-quiesce spill
+// correct.
+
+import (
+	"fmt"
+	"sort"
+
+	"replication/internal/codec"
+	"replication/internal/storage"
+	"replication/internal/txn"
+)
+
+// SnapshotWriter streams one store spill. Not safe for concurrent use;
+// exactly one of Commit or Abort must be called.
+type SnapshotWriter struct {
+	w          *WAL
+	f          File
+	tmp, final string
+	buf        []byte
+	items      uint64
+	dedups     uint64
+	err        error
+	done       bool
+}
+
+// BeginSnapshot starts a spill covering the log through watermark (with
+// ordering position cursor and store commit sequence commitSeq, as they
+// were when the caller cut the watermark). Only one spill may run at a
+// time.
+func (w *WAL) BeginSnapshot(watermark, cursor, commitSeq uint64) (*SnapshotWriter, error) {
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	if !w.spilling.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("wal: snapshot spill already in progress")
+	}
+	final := w.dir + "/" + snapshotName(watermark)
+	f, err := w.fs.Create(final + ".tmp")
+	if err != nil {
+		w.spilling.Store(false)
+		return nil, fmt.Errorf("wal: begin spill: %w", err)
+	}
+	sw := &SnapshotWriter{w: w, f: f, tmp: final + ".tmp", final: final}
+	sw.write(recSnapHeader, &SnapHeader{
+		Format: segFormat, Watermark: watermark, Cursor: cursor, CommitSeq: commitSeq,
+	})
+	if sw.err != nil {
+		err := sw.err
+		sw.Abort()
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *SnapshotWriter) write(kind byte, m codec.Wire) {
+	if sw.err != nil {
+		return
+	}
+	sw.buf = appendRecord(sw.buf[:0], kind, m)
+	if _, err := sw.f.Write(sw.buf); err != nil {
+		sw.err = fmt.Errorf("wal: spill write: %w", err)
+	}
+}
+
+// Item spills one key's latest version (timestamp-faithful).
+func (sw *SnapshotWriter) Item(key string, ver storage.Version) {
+	sw.write(recSnapItem, &SnapItem{Key: key, Ver: ver})
+	sw.items++
+}
+
+// Dedup spills one exactly-once table entry.
+func (sw *SnapshotWriter) Dedup(reqID uint64, res txn.Result) {
+	sw.write(recSnapDedup, &SnapDedup{ReqID: reqID, Res: res})
+	sw.dedups++
+}
+
+// Commit seals the spill: trailer, fsync, rename into place, directory
+// sync, then pruning. On error the spill leaves no trace.
+func (sw *SnapshotWriter) Commit() error {
+	if sw.done {
+		return sw.err
+	}
+	sw.done = true
+	defer sw.w.spilling.Store(false)
+	sw.write(recSnapTrailer, &SnapTrailer{Items: sw.items, Dedups: sw.dedups})
+	if sw.err == nil {
+		if err := sw.f.Sync(); err != nil {
+			sw.err = fmt.Errorf("wal: spill fsync: %w", err)
+		}
+	}
+	_ = sw.f.Close()
+	if sw.err == nil {
+		if err := sw.w.fs.Rename(sw.tmp, sw.final); err != nil {
+			sw.err = fmt.Errorf("wal: spill commit: %w", err)
+		} else if err := sw.w.fs.SyncDir(sw.w.dir); err != nil {
+			sw.err = fmt.Errorf("wal: spill dir sync: %w", err)
+		}
+	}
+	if sw.err != nil {
+		_ = sw.w.fs.Remove(sw.tmp)
+		return sw.err
+	}
+	sw.w.spills.Inc()
+	sw.w.prune()
+	return nil
+}
+
+// Abort discards the spill.
+func (sw *SnapshotWriter) Abort() {
+	if sw.done {
+		return
+	}
+	sw.done = true
+	_ = sw.f.Close()
+	_ = sw.w.fs.Remove(sw.tmp)
+	sw.w.spilling.Store(false)
+}
+
+// prune enforces the retention policy after a committed spill: keep the
+// newest two snapshots, drop older ones, and delete every segment
+// wholly covered by the OLDER retained snapshot. Keeping one spill of
+// lag means a corrupt newest snapshot never strands the log — replay
+// falls back to the previous snapshot and the segments are still there.
+func (w *WAL) prune() {
+	names, err := w.fs.ReadDir(w.dir)
+	if err != nil {
+		return
+	}
+	var snaps, segs []uint64
+	for _, name := range names {
+		if wm, ok := parseSnapshotName(name); ok {
+			snaps = append(snaps, wm)
+		} else if lsn, ok := parseSegmentName(name); ok {
+			segs = append(segs, lsn)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for _, wm := range snaps[min(len(snaps), 2):] {
+		_ = w.fs.Remove(w.dir + "/" + snapshotName(wm))
+	}
+	if len(snaps) < 2 {
+		return
+	}
+	prevWM := snaps[1]
+	// Segment i spans [segs[i], segs[i+1]-1]; it is removable when that
+	// whole range is at or below prevWM. The active (last) segment's
+	// span is open-ended and never removable.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1] > prevWM+1 {
+			break
+		}
+		_ = w.fs.Remove(w.dir + "/" + segmentName(segs[i]))
+	}
+	_ = w.fs.SyncDir(w.dir)
+}

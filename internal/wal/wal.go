@@ -1,0 +1,476 @@
+// Package wal is the per-replica durability engine: an append-only,
+// CRC-checksummed, segment-rotated write-ahead log of the replica's
+// apply-log entries, plus periodic store snapshots that bound replay
+// length and let the log truncate.
+//
+// The paper's cost model (Wiesmann et al., ICDCS 2000, §6) prices a
+// technique by its message rounds; adding durability honestly means
+// adding fsync to the commit path, and the classic way to keep that off
+// the per-request critical path is group commit: one fsync covers every
+// commit that arrived while the previous fsync was in flight. The WAL
+// implements exactly that — Append is a buffered write under the
+// replica's apply lock, and WaitDurable coalesces concurrent waiters
+// behind a single sync leader — with three durability classes:
+//
+//	SyncAlways  every commit waits for a sync covering its LSN before
+//	            the client can be acked (still leader-coalesced).
+//	SyncBatch   commits wait, but the leader lingers SyncInterval (or
+//	            until SyncEvery waiters gather) to widen the batch.
+//	SyncOff     commits never wait; data reaches the platter only at
+//	            rotation boundaries, explicit Sync, or graceful Close.
+//
+// Replay (Open) restores the newest complete snapshot plus the frame
+// tail beyond its watermark, detects and truncates torn tail writes,
+// rejects CRC-corrupt records with typed errors, and refuses LSN gaps
+// — the crash-point matrix in the tests drives every one of those lanes
+// through the fault-injecting MemFS.
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"replication/internal/metrics"
+	"replication/internal/recovery"
+)
+
+// SyncMode is the durability class of the commit path.
+type SyncMode string
+
+// The fsync modes.
+const (
+	// SyncOff never waits for the platter: maximum throughput, and a
+	// power cut loses every unsynced suffix.
+	SyncOff SyncMode = "off"
+	// SyncBatch groups commits behind shared fsyncs (group commit).
+	SyncBatch SyncMode = "batch"
+	// SyncAlways syncs before every ack (leader-coalesced, so
+	// concurrent commits still share fsyncs).
+	SyncAlways SyncMode = "always"
+)
+
+// Options configure a WAL.
+type Options struct {
+	// Dir is the log directory (one per replica, per group).
+	Dir string
+	// FS is the filesystem (nil means DirFS — the real disk).
+	FS FS
+	// Mode is the fsync class; empty means SyncBatch.
+	Mode SyncMode
+	// SyncEvery starts a batch-mode sync as soon as this many appends
+	// await durability, overriding the interval wait. Zero means 64.
+	SyncEvery int
+	// SyncInterval is how long a batch-mode sync leader lingers for
+	// company before syncing. Zero means 200µs.
+	SyncInterval time.Duration
+	// SegmentBytes rotates the active segment past this size. Zero
+	// means 4 MiB.
+	SegmentBytes int
+	// SnapshotEvery spills a store snapshot (and truncates the log)
+	// every this many appended entries. Zero means 4096; negative
+	// disables automatic spills. Consulted by core, not the WAL itself.
+	SnapshotEvery int
+}
+
+func (o *Options) fill() {
+	if o.FS == nil {
+		o.FS = DirFS{}
+	}
+	if o.Mode == "" {
+		o.Mode = SyncBatch
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 64
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 200 * time.Microsecond
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 4096
+	}
+}
+
+// Stats are the WAL's cumulative counters.
+type Stats struct {
+	// Appends counts frames appended; Syncs counts fsync batches, so
+	// Appends/Syncs is the group-commit amortization ratio.
+	Appends, Syncs uint64
+	// Rotations counts segment rollovers; Spills completed snapshots.
+	Rotations, Spills uint64
+	// ReplayedFrames and TornBytes report the last Open.
+	ReplayedFrames, TornBytes uint64
+}
+
+// Recovered describes what Open found on disk.
+type Recovered struct {
+	// HasState is true when a snapshot or any frames were recovered.
+	HasState bool
+	// SnapWatermark/SnapCursor/SnapCommitSeq are the restored
+	// snapshot's header (zero when no snapshot).
+	SnapWatermark, SnapCursor, SnapCommitSeq uint64
+	// Watermark is the last replayable LSN; Cursor the highest ordering
+	// position across the snapshot and replayable frames.
+	Watermark, Cursor uint64
+	// Frames counts replayable frames beyond the snapshot watermark.
+	Frames int
+	// TornBytes is how many bytes of torn tail write were truncated.
+	TornBytes int64
+	// Err is the typed corruption found past the usable prefix
+	// (ErrCorruptRecord, ErrCorruptSnapshot, ErrGap — possibly
+	// wrapped); nil for a clean or merely torn log. State up to the
+	// prefix is restored either way, but a caller seeing Err should
+	// distrust the disk's completeness (core forces a full donor
+	// catch-up and a fresh spill).
+	Err error
+}
+
+// WAL is one replica's write-ahead log. Safe for concurrent use.
+type WAL struct {
+	opts Options
+	fs   FS
+	dir  string
+
+	// mu guards the append state: active segment, rotation, watermark.
+	mu       sync.Mutex
+	seg      File
+	segStart uint64
+	segSize  int
+	olds     []File // rotated segments awaiting their final sync+close
+	appended uint64
+	buf      []byte
+	closed   bool
+
+	// sm guards the group-commit state. Lock order: sm after mu never;
+	// the two are held together only as (mu) inside syncNow's snapshot,
+	// released before any fsync.
+	sm       sync.Mutex
+	syncCond *sync.Cond
+	syncing  bool
+	synced   uint64
+
+	// fail is the sticky durability failure (fsync error, power cut):
+	// once set, every Append and WaitDurable returns it. Real engines
+	// fail-stop here (post-fsyncgate semantics: a lost write can not be
+	// un-lost), and core crashes the replica.
+	fail atomic.Pointer[error]
+
+	spilling atomic.Bool
+
+	rec      Recovered
+	snapPath string   // validated snapshot to load ("" when none)
+	replay   []string // segment paths to replay, in LSN order
+
+	appends   metrics.Counter
+	syncs     metrics.Counter
+	rotations metrics.Counter
+	spills    metrics.Counter
+}
+
+// Open opens (creating if needed) the log in opts.Dir and validates
+// everything on disk: the newest complete snapshot is selected, torn
+// tails are truncated, corruption is fenced off. The returned Recovered
+// says what a subsequent LoadSnapshot/ReplayEntries will restore. Open
+// never replays into a store itself — the caller owns application.
+func Open(opts Options) (*WAL, Recovered, error) {
+	opts.fill()
+	w := &WAL{opts: opts, fs: opts.FS, dir: opts.Dir}
+	w.syncCond = sync.NewCond(&w.sm)
+	if err := w.fs.MkdirAll(w.dir); err != nil {
+		return nil, Recovered{}, fmt.Errorf("wal: mkdir %s: %w", w.dir, err)
+	}
+	if err := w.scan(); err != nil {
+		return nil, Recovered{}, err
+	}
+	w.appended = w.rec.Watermark
+	w.synced = w.rec.Watermark // everything on the platter is durable
+	return w, w.rec, nil
+}
+
+// Watermark returns the last appended LSN.
+func (w *WAL) Watermark() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// Mode returns the configured fsync class.
+func (w *WAL) Mode() SyncMode { return w.opts.Mode }
+
+// SnapshotEvery returns the configured spill cadence in entries
+// (negative: automatic spills disabled).
+func (w *WAL) SnapshotEvery() int { return w.opts.SnapshotEvery }
+
+// Stats returns a snapshot of the counters.
+func (w *WAL) Stats() Stats {
+	return Stats{
+		Appends:        w.appends.Value(),
+		Syncs:          w.syncs.Value(),
+		Rotations:      w.rotations.Value(),
+		Spills:         w.spills.Value(),
+		ReplayedFrames: uint64(w.rec.Frames),
+		TornBytes:      uint64(w.rec.TornBytes),
+	}
+}
+
+// Err returns the sticky durability failure, if any.
+func (w *WAL) Err() error {
+	if p := w.fail.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (w *WAL) setFail(err error) {
+	if err == nil {
+		return
+	}
+	w.fail.CompareAndSwap(nil, &err)
+}
+
+// Append logs one apply-log entry. The entry's LSN must extend the log
+// contiguously (entries come from recovery.Log.Append, which assigns
+// them that way). Append only buffers — durability is WaitDurable's
+// job — so callers may hold their apply lock across it; the write
+// itself is an in-memory copy plus, on DirFS, a page-cache write.
+func (w *WAL) Append(e recovery.Entry) error {
+	if err := w.Err(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("wal: closed")
+	}
+	if e.LSN != w.appended+1 {
+		err := fmt.Errorf("wal: non-contiguous append: LSN %d after %d", e.LSN, w.appended)
+		w.setFail(err)
+		return err
+	}
+	if w.seg == nil || w.segSize >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(e.LSN); err != nil {
+			w.setFail(err)
+			return err
+		}
+	}
+	w.buf = appendRecord(w.buf[:0], recFrame, &Frame{Entry: e})
+	if _, err := w.seg.Write(w.buf); err != nil {
+		err = fmt.Errorf("wal: append LSN %d: %w", e.LSN, err)
+		w.setFail(err)
+		return err
+	}
+	w.segSize += len(w.buf)
+	w.appended = e.LSN
+	w.appends.Inc()
+	return nil
+}
+
+// rotateLocked finalizes the active segment (if any) and opens a new
+// one whose first frame will be firstLSN. Callers hold w.mu.
+func (w *WAL) rotateLocked(firstLSN uint64) error {
+	if w.seg != nil {
+		w.rotations.Inc()
+		if w.opts.Mode == SyncOff {
+			// No sync leader will ever drain olds: close unsynced (the
+			// page cache keeps the bytes; a power cut eats them — the
+			// contract of off).
+			_ = w.seg.Close()
+		} else {
+			w.olds = append(w.olds, w.seg)
+		}
+		w.seg = nil
+	}
+	f, err := w.fs.Create(w.dir + "/" + segmentName(firstLSN))
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	hdr := appendRecord(nil, recSegHeader, &SegmentHeader{Format: segFormat, FirstLSN: firstLSN})
+	if _, err := f.Write(hdr); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	w.seg = f
+	w.segStart = firstLSN
+	w.segSize = len(hdr)
+	return nil
+}
+
+// WaitDurable blocks until the log through lsn is durable per the
+// configured mode: a no-op for SyncOff, a (possibly lingering) group
+// sync otherwise. The error is sticky — after a failed fsync no later
+// wait can succeed, and the caller must treat the replica as failed.
+func (w *WAL) WaitDurable(lsn uint64) error {
+	if w.opts.Mode == SyncOff {
+		return w.Err()
+	}
+	return w.syncUntil(lsn, w.opts.Mode == SyncBatch)
+}
+
+// Sync forces everything appended so far onto the platter (any mode).
+func (w *WAL) Sync() error {
+	return w.syncUntil(w.Watermark(), false)
+}
+
+// syncUntil is the group-commit core: waiters gather on the condition
+// variable while one of them leads an fsync round; every LSN the round
+// covered is released at once.
+func (w *WAL) syncUntil(lsn uint64, linger bool) error {
+	w.sm.Lock()
+	defer w.sm.Unlock()
+	for {
+		if err := w.Err(); err != nil {
+			return err
+		}
+		if w.synced >= lsn {
+			return nil
+		}
+		if w.syncing {
+			w.syncCond.Wait()
+			continue
+		}
+		w.syncing = true
+		synced := w.synced
+		w.sm.Unlock()
+
+		if linger && w.opts.SyncInterval > 0 {
+			// Linger for company, unless a full batch already awaits.
+			w.mu.Lock()
+			pending := w.appended - synced
+			w.mu.Unlock()
+			if pending < uint64(w.opts.SyncEvery) {
+				time.Sleep(w.opts.SyncInterval)
+			}
+		}
+		target, err := w.syncNow()
+
+		w.sm.Lock()
+		w.syncing = false
+		if err != nil {
+			w.setFail(err)
+		} else if target > w.synced {
+			w.synced = target
+		}
+		w.syncCond.Broadcast()
+	}
+}
+
+// syncNow flushes rotated-out segments and fsyncs the active one. It
+// returns the highest LSN the sync covers. Appends proceed during the
+// fsync — that concurrency IS the group-commit batching window.
+func (w *WAL) syncNow() (uint64, error) {
+	w.mu.Lock()
+	target := w.appended
+	olds := w.olds
+	w.olds = nil
+	cur := w.seg
+	w.mu.Unlock()
+	for _, f := range olds {
+		if err := f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync rotated segment: %w", err)
+		}
+		_ = f.Close()
+	}
+	if cur != nil {
+		if err := cur.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+	}
+	w.syncs.Inc()
+	return target, nil
+}
+
+// Rebase declares the log durable through watermark without writing
+// frames for it. It is the tail of the rebuild protocol — Reset, spill
+// the replica's full state as a snapshot, Rebase to the spilled
+// watermark — used after a full donor catch-up (whose snapshot pages
+// bypassed the log) and for a cold-start seed whose disk was damaged.
+// The caller must hold the replica's apply gate so no Append races the
+// reposition.
+func (w *WAL) Rebase(watermark uint64) {
+	w.mu.Lock()
+	w.appended = watermark
+	w.segStart, w.segSize = 0, 0
+	w.mu.Unlock()
+	w.sm.Lock()
+	w.synced = watermark
+	w.sm.Unlock()
+}
+
+// Reset wipes the log directory and every in-memory position — the
+// JoinAsNew path (a replacement process with empty disks).
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.seg != nil {
+		_ = w.seg.Close()
+		w.seg = nil
+	}
+	for _, f := range w.olds {
+		_ = f.Close()
+	}
+	w.olds = nil
+	names, err := w.fs.ReadDir(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		_ = w.fs.Remove(w.dir + "/" + name)
+	}
+	w.appended, w.segStart, w.segSize = 0, 0, 0
+	w.rec = Recovered{}
+	w.snapPath = ""
+	w.replay = nil
+	w.sm.Lock()
+	w.synced = 0
+	w.sm.Unlock()
+	return w.fs.SyncDir(w.dir)
+}
+
+// Freeze kills the WAL without flushing: handles drop, unsynced data
+// stays unsynced, and all later operations fail. This is the kill -9 /
+// power-cut half of Close, used by the kill-all simulation; pair it
+// with MemFS.PowerCut to also discard the page cache.
+func (w *WAL) Freeze() {
+	w.setFail(fmt.Errorf("wal: frozen (simulated power loss)"))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	if w.seg != nil {
+		_ = w.seg.Close()
+		w.seg = nil
+	}
+	for _, f := range w.olds {
+		_ = f.Close()
+	}
+	w.olds = nil
+	w.sm.Lock()
+	w.syncCond.Broadcast()
+	w.sm.Unlock()
+}
+
+// Close gracefully shuts the log down: a final sync (so a clean
+// shutdown never loses data, even under SyncOff), then handles close.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	_, err := w.syncNow()
+	w.mu.Lock()
+	if w.seg != nil {
+		_ = w.seg.Close()
+		w.seg = nil
+	}
+	w.mu.Unlock()
+	w.sm.Lock()
+	w.syncCond.Broadcast()
+	w.sm.Unlock()
+	return err
+}

@@ -1,0 +1,628 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/recovery"
+	"replication/internal/storage"
+	"replication/internal/txn"
+)
+
+func entry(lsn int) recovery.Entry {
+	return recovery.Entry{
+		LSN: uint64(lsn), StoreSeq: uint64(lsn), Cursor: uint64(lsn),
+		ReqID: uint64(1000 + lsn), TxnID: fmt.Sprintf("t%d", lsn), Origin: "r0", Wall: uint64(lsn),
+		WS:  storage.WriteSet{{Key: fmt.Sprintf("k%d", lsn%7), Value: []byte{byte(lsn)}}},
+		Res: txn.Result{Committed: true},
+	}
+}
+
+func mustOpen(t *testing.T, fs FS, opts Options) (*WAL, Recovered) {
+	t.Helper()
+	opts.Dir = "wal/r0"
+	opts.FS = fs
+	w, rec, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return w, rec
+}
+
+func appendN(t *testing.T, w *WAL, from, to int) {
+	t.Helper()
+	for i := from; i <= to; i++ {
+		if err := w.Append(entry(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+}
+
+func replayAll(t *testing.T, w *WAL) []recovery.Entry {
+	t.Helper()
+	var got []recovery.Entry
+	if err := w.ReplayEntries(func(e recovery.Entry) error {
+		got = append(got, e)
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayEntries: %v", err)
+	}
+	return got
+}
+
+func TestRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	w, rec := mustOpen(t, fs, Options{})
+	if rec.HasState {
+		t.Fatal("fresh dir must report no state")
+	}
+	appendN(t, w, 1, 20)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, rec2 := mustOpen(t, fs, Options{})
+	if rec2.Err != nil {
+		t.Fatalf("clean reopen reported %v", rec2.Err)
+	}
+	if !rec2.HasState || rec2.Watermark != 20 || rec2.Cursor != 20 || rec2.Frames != 20 {
+		t.Fatalf("reopen = %+v, want watermark 20", rec2)
+	}
+	got := replayAll(t, w2)
+	if len(got) != 20 || got[0].LSN != 1 || got[19].LSN != 20 {
+		t.Fatalf("replayed %d entries, want 1..20", len(got))
+	}
+	if got[4].TxnID != "t5" || string(got[4].WS[0].Value) != "\x05" {
+		t.Fatalf("entry 5 did not round-trip: %+v", got[4])
+	}
+	// The log keeps accepting appends where the disk left off.
+	appendN(t, w2, 21, 25)
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	_, rec3 := mustOpen(t, fs, Options{})
+	if rec3.Watermark != 25 || rec3.Err != nil {
+		t.Fatalf("after continued appends: %+v", rec3)
+	}
+}
+
+func TestNonContiguousAppendRejected(t *testing.T) {
+	w, _ := mustOpen(t, NewMemFS(), Options{})
+	appendN(t, w, 1, 3)
+	if err := w.Append(entry(5)); err == nil {
+		t.Fatal("LSN gap in Append must be rejected")
+	}
+	// The failure is sticky: the log cannot silently continue.
+	if err := w.Append(entry(4)); err == nil {
+		t.Fatal("append after a contiguity violation must fail")
+	}
+}
+
+func TestRotationAcrossSegments(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{SegmentBytes: 256})
+	appendN(t, w, 1, 50)
+	if w.Stats().Rotations == 0 {
+		t.Fatal("small segments must rotate")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	names, _ := fs.ReadDir("wal/r0")
+	segs := 0
+	for _, n := range names {
+		if strings.HasSuffix(n, ".seg") {
+			segs++
+		}
+	}
+	if segs < 2 {
+		t.Fatalf("expected multiple segments, got %d: %v", segs, names)
+	}
+	w2, rec := mustOpen(t, fs, Options{})
+	if rec.Err != nil || rec.Watermark != 50 {
+		t.Fatalf("multi-segment reopen: %+v", rec)
+	}
+	if got := replayAll(t, w2); len(got) != 50 {
+		t.Fatalf("replayed %d entries across segments, want 50", len(got))
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{Mode: SyncBatch, SyncEvery: 8, SyncInterval: time.Millisecond})
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	var mu sync.Mutex
+	next := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			next++
+			lsn := uint64(next)
+			err := w.Append(entry(next))
+			mu.Unlock()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.WaitDurable(lsn)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	st := w.Stats()
+	if st.Appends != n {
+		t.Fatalf("appends = %d, want %d", st.Appends, n)
+	}
+	if st.Syncs >= n {
+		t.Fatalf("group commit amortized nothing: %d syncs for %d appends", st.Syncs, n)
+	}
+	// And everything acked durable really is on the platter.
+	fs.PowerCut()
+	w2, rec := mustOpen(t, fs, Options{})
+	if rec.Watermark != n {
+		t.Fatalf("after power cut, durable watermark = %d, want %d", rec.Watermark, n)
+	}
+	_ = w2.Close()
+}
+
+func TestSyncAlwaysEveryAckDurable(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{Mode: SyncAlways})
+	for i := 1; i <= 10; i++ {
+		if err := w.Append(entry(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WaitDurable(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Power-cut NOW: the just-acked entry must survive.
+		if fs.VolatileSize("wal/r0/"+segmentName(1)) != 0 {
+			t.Fatalf("acked entry %d still volatile under fsync=always", i)
+		}
+	}
+	_ = w.Close()
+}
+
+func TestSyncOffLosesUnsynced(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{Mode: SyncOff})
+	appendN(t, w, 1, 10)
+	if err := w.WaitDurable(10); err != nil {
+		t.Fatalf("WaitDurable under off: %v", err)
+	}
+	w.Freeze() // kill -9: no final sync
+	fs.PowerCut()
+	_, rec := mustOpen(t, fs, Options{})
+	if rec.Watermark != 0 {
+		t.Fatalf("fsync=off survived a power cut with watermark %d", rec.Watermark)
+	}
+}
+
+func TestPowerCutAfterPartialSync(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{Mode: SyncBatch, SyncInterval: time.Microsecond})
+	appendN(t, w, 1, 8)
+	if err := w.WaitDurable(8); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 9, 12) // appended, never synced
+	w.Freeze()
+	fs.PowerCut()
+	w2, rec := mustOpen(t, fs, Options{})
+	if rec.Err != nil {
+		t.Fatalf("losing an unsynced suffix is not corruption, got %v", rec.Err)
+	}
+	if rec.Watermark != 8 {
+		t.Fatalf("durable watermark = %d, want 8", rec.Watermark)
+	}
+	if got := replayAll(t, w2); len(got) != 8 {
+		t.Fatalf("replayed %d, want 8", len(got))
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{})
+	appendN(t, w, 1, 8)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 9, 10)
+	// The cut lands mid-flush: 3 bytes of entry 9's frame reach the
+	// platter — a torn tail.
+	path := "wal/r0/" + segmentName(1)
+	if fs.VolatileSize(path) <= 3 {
+		t.Fatal("test setup: expected unsynced frames")
+	}
+	w.Freeze()
+	fs.PowerCutTorn(path, 3)
+
+	w2, rec := mustOpen(t, fs, Options{})
+	if rec.Err != nil {
+		t.Fatalf("torn tail must be repaired silently, got %v", rec.Err)
+	}
+	if rec.TornBytes != 3 {
+		t.Fatalf("TornBytes = %d, want 3", rec.TornBytes)
+	}
+	if rec.Watermark != 8 {
+		t.Fatalf("watermark after torn repair = %d, want 8", rec.Watermark)
+	}
+	// The repaired log accepts appends again and they survive.
+	appendN(t, w2, 9, 12)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec3 := mustOpen(t, fs, Options{})
+	if rec3.Watermark != 12 || rec3.Err != nil {
+		t.Fatalf("post-repair appends: %+v", rec3)
+	}
+}
+
+func TestTornHeaderRemovesSegment(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{SegmentBytes: 1}) // every append rotates
+	appendN(t, w, 1, 3)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, w, 4, 4) // rotates into a new segment, unsynced
+	w.Freeze()
+	fs.PowerCutTorn("wal/r0/"+segmentName(4), 2) // 2 bytes of the header survive
+	_, rec := mustOpen(t, fs, Options{})
+	if rec.Err != nil || rec.Watermark != 3 {
+		t.Fatalf("torn header: %+v, want clean watermark 3", rec)
+	}
+	if rec.TornBytes != 2 {
+		t.Fatalf("TornBytes = %d, want 2", rec.TornBytes)
+	}
+}
+
+func TestCorruptRecordRejectedTyped(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{})
+	appendN(t, w, 1, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one durable byte well inside the file: CRC must catch it.
+	path := "wal/r0/" + segmentName(1)
+	if err := fs.CorruptByte(path, fs.DurableSize(path)/2); err != nil {
+		t.Fatal(err)
+	}
+	w2, rec := mustOpen(t, fs, Options{})
+	if !errors.Is(rec.Err, ErrCorruptRecord) {
+		t.Fatalf("rec.Err = %v, want ErrCorruptRecord", rec.Err)
+	}
+	if rec.Watermark == 0 || rec.Watermark >= 10 {
+		t.Fatalf("valid prefix watermark = %d, want in (0,10)", rec.Watermark)
+	}
+	// The prefix replays; nothing panics.
+	if got := replayAll(t, w2); uint64(len(got)) != rec.Watermark {
+		t.Fatalf("replayed %d, want %d", len(got), rec.Watermark)
+	}
+}
+
+func TestCorruptMiddleSegmentFencesTail(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{SegmentBytes: 128})
+	appendN(t, w, 1, 30)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.ReadDir("wal/r0")
+	if len(names) < 3 {
+		t.Fatalf("need ≥3 segments, got %v", names)
+	}
+	mid := "wal/r0/" + names[len(names)/2]
+	if err := fs.CorruptByte(mid, fs.DurableSize(mid)-2); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, fs, Options{})
+	if !errors.Is(rec.Err, ErrCorruptRecord) {
+		t.Fatalf("rec.Err = %v, want ErrCorruptRecord", rec.Err)
+	}
+	if rec.Watermark >= 30 {
+		t.Fatal("corruption mid-log cannot leave the full watermark usable")
+	}
+	// The fenced-off tail is gone from disk: a re-open is clean at the
+	// reduced watermark.
+	_, rec2 := mustOpen(t, fs, Options{})
+	if rec2.Err != nil || rec2.Watermark != rec.Watermark {
+		t.Fatalf("after fencing: %+v, want clean watermark %d", rec2, rec.Watermark)
+	}
+}
+
+func TestMissingSegmentIsGap(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{SegmentBytes: 128})
+	appendN(t, w, 1, 30)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.ReadDir("wal/r0")
+	if err := fs.Remove("wal/r0/" + names[1]); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, fs, Options{})
+	if !errors.Is(rec.Err, ErrGap) {
+		t.Fatalf("rec.Err = %v, want ErrGap", rec.Err)
+	}
+}
+
+func TestFsyncFailureIsSticky(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{Mode: SyncAlways})
+	appendN(t, w, 1, 3)
+	if err := w.WaitDurable(3); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("device ate itself")
+	fs.FailSyncs(boom)
+	if err := w.Append(entry(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitDurable(4); !errors.Is(err, boom) {
+		t.Fatalf("WaitDurable after failed fsync = %v, want %v", err, boom)
+	}
+	// Post-fsyncgate: the failure never clears, even if the disk heals.
+	fs.FailSyncs(nil)
+	if err := w.WaitDurable(4); !errors.Is(err, boom) {
+		t.Fatalf("fsync failure must be sticky, got %v", err)
+	}
+	if err := w.Append(entry(5)); !errors.Is(err, boom) {
+		t.Fatalf("Append after failed fsync = %v, want sticky failure", err)
+	}
+}
+
+func spill(t *testing.T, w *WAL, items map[string]storage.Version, deds map[uint64]txn.Result, wm, cur, seq uint64) {
+	t.Helper()
+	sw, err := w.BeginSnapshot(wm, cur, seq)
+	if err != nil {
+		t.Fatalf("BeginSnapshot: %v", err)
+	}
+	for k, v := range items {
+		sw.Item(k, v)
+	}
+	for id, res := range deds {
+		sw.Dedup(id, res)
+	}
+	if err := sw.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestSnapshotSpillAndReplayFromIt(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{})
+	appendN(t, w, 1, 10)
+	spill(t, w,
+		map[string]storage.Version{"k1": {Value: []byte("v1"), TxnID: "t1", Ts: 3, Origin: "r0", Wall: 9}},
+		map[uint64]txn.Result{1007: {Committed: true}},
+		10, 10, 10)
+	appendN(t, w, 11, 15)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, rec := mustOpen(t, fs, Options{})
+	if rec.Err != nil || rec.SnapWatermark != 10 || rec.Watermark != 15 {
+		t.Fatalf("reopen with snapshot: %+v", rec)
+	}
+	items := map[string]storage.Version{}
+	deds := map[uint64]txn.Result{}
+	loaded, err := w2.LoadSnapshot(
+		func(k string, v storage.Version) { items[k] = v },
+		func(id uint64, r txn.Result) { deds[id] = r })
+	if err != nil || !loaded {
+		t.Fatalf("LoadSnapshot: loaded=%v err=%v", loaded, err)
+	}
+	if v, ok := items["k1"]; !ok || string(v.Value) != "v1" || v.Ts != 3 {
+		t.Fatalf("snapshot item lost fidelity: %+v", items)
+	}
+	if _, ok := deds[1007]; !ok {
+		t.Fatalf("dedup entry lost: %+v", deds)
+	}
+	got := replayAll(t, w2)
+	if len(got) != 5 || got[0].LSN != 11 {
+		t.Fatalf("replay past snapshot = %d entries from %d, want 5 from 11", len(got), got[0].LSN)
+	}
+}
+
+func TestPruneKeepsTwoSnapshotsAndFallback(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{SegmentBytes: 128})
+	appendN(t, w, 1, 10)
+	spill(t, w, map[string]storage.Version{"a": {Value: []byte("1"), Ts: 1}}, nil, 10, 10, 10)
+	appendN(t, w, 11, 20)
+	spill(t, w, map[string]storage.Version{"a": {Value: []byte("2"), Ts: 2}}, nil, 20, 20, 20)
+	appendN(t, w, 21, 30)
+	spill(t, w, map[string]storage.Version{"a": {Value: []byte("3"), Ts: 3}}, nil, 30, 30, 30)
+	appendN(t, w, 31, 35)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.ReadDir("wal/r0")
+	snaps := 0
+	for _, n := range names {
+		if strings.HasSuffix(n, ".snap") {
+			snaps++
+		}
+	}
+	if snaps != 2 {
+		t.Fatalf("retention must keep exactly 2 snapshots, got %d: %v", snaps, names)
+	}
+	if _, err := fs.Open("wal/r0/" + snapshotName(10)); err == nil {
+		t.Fatal("oldest snapshot must be pruned")
+	}
+
+	// Corrupt the newest snapshot: replay falls back to the previous one
+	// plus the segments retained for exactly this case.
+	newest := "wal/r0/" + snapshotName(30)
+	if err := fs.CorruptByte(newest, fs.DurableSize(newest)/2); err != nil {
+		t.Fatal(err)
+	}
+	w2, rec := mustOpen(t, fs, Options{})
+	if rec.Err != nil {
+		t.Fatalf("fallback past corrupt snapshot must be clean, got %v", rec.Err)
+	}
+	if rec.SnapWatermark != 20 || rec.Watermark != 35 {
+		t.Fatalf("fallback recovered %+v, want snapshot 20, watermark 35", rec)
+	}
+	items := map[string]storage.Version{}
+	if _, err := w2.LoadSnapshot(func(k string, v storage.Version) { items[k] = v }, func(uint64, txn.Result) {}); err != nil {
+		t.Fatal(err)
+	}
+	if string(items["a"].Value) != "2" {
+		t.Fatalf("fallback snapshot content = %q, want the previous spill", items["a"].Value)
+	}
+	if got := replayAll(t, w2); len(got) != 15 || got[0].LSN != 21 {
+		t.Fatalf("fallback tail = %d entries from %d, want 15 from 21", len(got), got[0].LSN)
+	}
+}
+
+func TestAbortedSpillLeavesNoTrace(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{})
+	appendN(t, w, 1, 5)
+	sw, err := w.BeginSnapshot(5, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Item("a", storage.Version{Value: []byte("1")})
+	sw.Abort()
+	// A crash mid-spill leaves a .tmp; Open cleans it up.
+	sw2, err := w.BeginSnapshot(5, 5, 5)
+	if err != nil {
+		t.Fatalf("spill after abort: %v", err)
+	}
+	sw2.Item("a", storage.Version{Value: []byte("1")})
+	w.Freeze() // dies before Commit
+	fs.PowerCut()
+	_, rec := mustOpen(t, fs, Options{})
+	if rec.SnapWatermark != 0 || rec.Err != nil {
+		t.Fatalf("aborted spills must be invisible: %+v", rec)
+	}
+	names, _ := fs.ReadDir("wal/r0")
+	for _, n := range names {
+		if strings.HasSuffix(n, ".tmp") {
+			t.Fatalf("stale .tmp survived Open: %v", names)
+		}
+	}
+}
+
+func TestCrashDuringSpillKeepsOldSnapshot(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{})
+	appendN(t, w, 1, 10)
+	spill(t, w, map[string]storage.Version{"a": {Value: []byte("1"), Ts: 1}}, nil, 10, 10, 10)
+	appendN(t, w, 11, 20)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := w.BeginSnapshot(20, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Item("a", storage.Version{Value: []byte("2"), Ts: 2})
+	w.Freeze()
+	fs.PowerCut() // dies between spill start and commit
+	_, rec := mustOpen(t, fs, Options{})
+	if rec.Err != nil || rec.SnapWatermark != 10 || rec.Watermark != 20 {
+		t.Fatalf("crash mid-spill: %+v, want old snapshot 10, watermark 20", rec)
+	}
+}
+
+func TestFreezeBlocksEverything(t *testing.T) {
+	w, _ := mustOpen(t, NewMemFS(), Options{})
+	appendN(t, w, 1, 3)
+	w.Freeze()
+	if err := w.Append(entry(4)); err == nil {
+		t.Fatal("Append after Freeze must fail")
+	}
+	if err := w.WaitDurable(3); err == nil {
+		t.Fatal("WaitDurable after Freeze must fail")
+	}
+	if _, err := w.BeginSnapshot(3, 3, 3); err == nil {
+		t.Fatal("BeginSnapshot after Freeze must fail")
+	}
+}
+
+func TestResetWipes(t *testing.T) {
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{})
+	appendN(t, w, 1, 10)
+	spill(t, w, map[string]storage.Version{"a": {Value: []byte("1")}}, nil, 10, 10, 10)
+	if err := w.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if names, _ := fs.ReadDir("wal/r0"); len(names) != 0 {
+		t.Fatalf("Reset left files: %v", names)
+	}
+	// LSNs restart from 1 (JoinAsNew: a brand-new replica identity).
+	appendN(t, w, 1, 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, fs, Options{})
+	if rec.Watermark != 3 || rec.Err != nil {
+		t.Fatalf("after Reset+appends: %+v", rec)
+	}
+}
+
+func TestStaleHandleAfterPowerCut(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("wal/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.PowerCut()
+	if _, err := f.Write([]byte("zombie")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("stale handle write = %v, want ErrPowerCut", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("stale handle sync = %v, want ErrPowerCut", err)
+	}
+}
+
+func TestDirFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, rec, err := Open(Options{Dir: dir + "/wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HasState {
+		t.Fatal("fresh real dir must be empty")
+	}
+	for i := 1; i <= 10; i++ {
+		if err := w.Append(entry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WaitDurable(10); err != nil {
+		t.Fatal(err)
+	}
+	spill(t, w, map[string]storage.Version{"k": {Value: []byte("v"), Ts: 1}}, nil, 10, 10, 10)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, rec2, err := Open(Options{Dir: dir + "/wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Err != nil || rec2.Watermark != 10 || rec2.SnapWatermark != 10 {
+		t.Fatalf("real-disk reopen: %+v", rec2)
+	}
+	_ = w2.Close()
+}

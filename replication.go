@@ -77,6 +77,19 @@
 //	cluster.Crash("r2")
 //	err := cluster.Restart(ctx, "r2") // back in the request path
 //
+// # Durability
+//
+// With Config.Durability set, every replica writes a checksummed
+// write-ahead log with group-commit fsync batching (SyncOff, SyncBatch
+// or SyncAlways); an acknowledged write is on the answering replica's
+// disk before the client hears about it. The cluster then survives
+// full power loss — Cluster.KillAll models it, Cluster.ColdStart boots
+// every replica back from its own log — and a single-replica Restart
+// replays local state first, fetching only the tail from a donor:
+//
+//	cfg.Durability = replication.Durability{Enabled: true, Dir: dir,
+//		Fsync: replication.SyncBatch}
+//
 // # Techniques
 //
 // Distributed systems (§3): Active (state machine), Passive
@@ -101,6 +114,7 @@ import (
 	"replication/internal/transport"
 	"replication/internal/transport/tcpnet"
 	"replication/internal/txn"
+	"replication/internal/wal"
 )
 
 // Core types, re-exported as the public API surface.
@@ -166,6 +180,23 @@ type (
 	// keys, copy time, freeze window).
 	MoveReport = shard.MoveReport
 
+	// Durability configures the per-replica write-ahead log
+	// (Config.Durability): log directory, filesystem, fsync class and
+	// group-commit shape. With it on, an acknowledged write is on the
+	// answering replica's disk (under SyncBatch/SyncAlways) and the
+	// cluster survives full power loss via Cluster.KillAll/ColdStart.
+	Durability = core.Durability
+	// SyncMode is the durability class of the write-ahead log: SyncOff,
+	// SyncBatch (group commit) or SyncAlways (one fsync per append).
+	SyncMode = wal.SyncMode
+	// WALFS is the filesystem the write-ahead log writes to — the real
+	// disk by default, or an in-memory fault-injecting one (NewMemFS)
+	// for power-loss testing.
+	WALFS = wal.FS
+	// MemFS is the in-memory WALFS with power-cut, torn-write, fsync-
+	// error and corruption injection.
+	MemFS = wal.MemFS
+
 	// NodeID identifies a process on the network.
 	NodeID = transport.NodeID
 	// Transport selects the message-passing substrate.
@@ -197,6 +228,23 @@ const (
 	LazyUE        = core.LazyUE
 	Certification = core.Certification
 )
+
+// The write-ahead log's fsync classes.
+const (
+	// SyncOff never fsyncs on the commit path: fastest, loses the page
+	// cache on power failure (acks may be lost; replay never duplicates).
+	SyncOff = wal.SyncOff
+	// SyncBatch group-commits: one fsync covers every append since the
+	// last, triggered by count or timer. Acks wait for their covering
+	// sync.
+	SyncBatch = wal.SyncBatch
+	// SyncAlways fsyncs every append before acking.
+	SyncAlways = wal.SyncAlways
+)
+
+// NewMemFS builds an in-memory fault-injecting filesystem for the
+// write-ahead log (power-loss and torn-write testing).
+func NewMemFS() *MemFS { return wal.NewMemFS() }
 
 // Nondeterminism modes.
 const (
