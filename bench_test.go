@@ -403,3 +403,127 @@ func BenchmarkAblationNondetResolution(b *testing.B) {
 		}
 	})
 }
+
+// readMixCluster builds a lease-enabled cluster preloaded with the
+// benchmark keyspace and returns one connected client per worker.
+func readMixCluster(b *testing.B, replicas, clients, keys int) (*replication.Cluster, []*replication.Client) {
+	b.Helper()
+	c, cl := benchCluster(b, replication.Config{
+		Protocol: replication.Active, Replicas: replicas,
+		Lease: replication.LeaseConfig{Enabled: true},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for k := 0; k < keys; k++ {
+		if _, err := cl.InvokeOp(ctx, replication.Write(fmt.Sprintf("key%04d", k), []byte("v"))); err != nil {
+			b.Fatalf("preload: %v", err)
+		}
+	}
+	cls := make([]*replication.Client, clients)
+	for i := range cls {
+		cls[i] = c.NewClient()
+	}
+	return c, cls
+}
+
+// runReadMix drives b.N reads split across the clients, each drawing
+// keys from its own YCSB-C generator, and reports the locally-served
+// fraction for the weak levels.
+func runReadMix(b *testing.B, cls []*replication.Client, keys int, opt func(cl *replication.Client) replication.ReadOption) {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for ci := range cls {
+		n := b.N / len(cls)
+		if ci < b.N%len(cls) {
+			n++
+		}
+		wg.Add(1)
+		go func(cl *replication.Client, ci, n int) {
+			defer wg.Done()
+			cfg := workload.YCSBC(int64(ci + 1))
+			cfg.Keys = keys
+			gen := workload.New(cfg)
+			ro := opt(cl)
+			for i := 0; i < n; i++ {
+				if _, err := cl.Get(ctx, fmt.Sprintf("key%04d", gen.KeyIndex()), ro); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(cls[ci], ci, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	var local uint64
+	for _, cl := range cls {
+		st := cl.ReadStats()
+		local += st.LeaseLocal + st.SessionLocal + st.Snapshot
+	}
+	b.ReportMetric(float64(local)/float64(b.N), "local-frac")
+}
+
+// BenchmarkReadMix measures read throughput by consistency level under
+// YCSB-C (read-only, Zipfian theta 0.99) on a 3-replica simulated
+// cluster with 16 concurrent clients. Strong reads pay a full protocol
+// round per read; leased, session, and snapshot reads serve locally
+// after warm-up — EXPERIMENTS.md records the measured separation
+// (acceptance floor: lease ≥ 3× strong).
+func BenchmarkReadMix(b *testing.B) {
+	const (
+		clients = 16
+		keys    = 256
+	)
+	for _, lvl := range []struct {
+		name string
+		opt  func(cl *replication.Client) replication.ReadOption
+	}{
+		{"strong", func(*replication.Client) replication.ReadOption { return replication.ReadStrong }},
+		{"lease", func(*replication.Client) replication.ReadOption { return replication.ReadLease }},
+		{"session", func(*replication.Client) replication.ReadOption { return replication.ReadSession }},
+		{"snapshot", func(cl *replication.Client) replication.ReadOption {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			ts, err := cl.SnapshotNow(ctx)
+			if err != nil {
+				b.Fatalf("snapshot cut: %v", err)
+			}
+			return replication.ReadSnapshot(ts)
+		}},
+	} {
+		lvl := lvl
+		b.Run(lvl.name, func(b *testing.B) {
+			_, cls := readMixCluster(b, 3, clients, keys)
+			runReadMix(b, cls, keys, lvl.opt)
+		})
+	}
+}
+
+// BenchmarkReadScaling sweeps the replica count at strong vs lease
+// level: strong read throughput stays flat (every read is one protocol
+// round regardless of copies) while leased reads scale with replicas
+// (each copy serves its holders locally). This is the read-scaling
+// curve in EXPERIMENTS.md.
+func BenchmarkReadScaling(b *testing.B) {
+	const (
+		clients = 16
+		keys    = 256
+	)
+	for _, replicas := range []int{3, 5, 7} {
+		for _, lvl := range []struct {
+			name string
+			opt  replication.ReadOption
+		}{
+			{"strong", replication.ReadStrong},
+			{"lease", replication.ReadLease},
+		} {
+			replicas, lvl := replicas, lvl
+			b.Run(fmt.Sprintf("r%d/%s", replicas, lvl.name), func(b *testing.B) {
+				_, cls := readMixCluster(b, replicas, clients, keys)
+				runReadMix(b, cls, keys, func(*replication.Client) replication.ReadOption { return lvl.opt })
+			})
+		}
+	}
+}

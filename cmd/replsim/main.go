@@ -79,6 +79,7 @@ func main() {
 		kill      = flag.Bool("kill", false, "crash the last replica one third into the run")
 		recov     = flag.Bool("recover", false, "recover the killed replica two thirds into the run and report MTTR (needs -kill)")
 		rebal     = flag.Bool("rebalance", false, "grow the cluster by one shard mid-run (needs -shards > 1)")
+		readLevel = flag.String("read-level", "strong", "read consistency level for read-only transactions: strong, lease, session or snapshot")
 		durable   = flag.Bool("durable", false, "write-ahead log on a simulated disk, group-committed per -fsync")
 		fsyncMode = flag.String("fsync", "batch", "durability sync class: off, batch or always (needs -durable)")
 		killAll   = flag.Bool("kill-all", false, "power-cycle the whole cluster mid-run and cold-start from disk (needs -durable)")
@@ -101,7 +102,7 @@ func main() {
 	}
 
 	if err := run(*protocol, *replicas, *shards, *clients, *ops, *writes, *keys, *opsPerTxn,
-		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *crash, *kill, *recov, *rebal,
+		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *readLevel, *crash, *kill, *recov, *rebal,
 		*durable, *fsyncMode, *killAll, *showTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "replsim:", err)
 		os.Exit(1)
@@ -111,13 +112,29 @@ func main() {
 // invoker is what the load loop drives: both the single-group client
 // and the shard-routing client satisfy it.
 type invoker interface {
-	Invoke(ctx context.Context, t txn.Transaction) (txn.Result, error)
+	Do(ctx context.Context, t txn.Transaction, opts ...core.ReadOption) (txn.Result, error)
+	GetMany(ctx context.Context, keys []string, opts ...core.ReadOption) (map[string][]byte, error)
+	SnapshotNow(ctx context.Context) (core.SnapshotTS, error)
+	ReadStats() core.ReadTierStats
 }
 
 func run(protocol string, replicas, shards, clients, ops int, writes float64, keys, opsPerTxn int,
 	zipf float64, lazyDelay time.Duration, lazyOrder string, latency time.Duration,
-	tport string, crash, kill, recov, rebal, durable bool, fsyncMode string, killAll, showTrace bool) error {
+	tport, readLevel string, crash, kill, recov, rebal, durable bool, fsyncMode string, killAll, showTrace bool) error {
 
+	var readOpt core.ReadOption
+	switch readLevel {
+	case "strong":
+		readOpt = core.ReadStrong
+	case "lease":
+		readOpt = core.ReadLease
+	case "session":
+		readOpt = core.ReadSession
+	case "snapshot":
+		readOpt = core.ReadOption{} // per-txn cut taken in the loop
+	default:
+		return fmt.Errorf("-read-level %q: want strong, lease, session or snapshot", readLevel)
+	}
 	if rebal && shards <= 1 {
 		return fmt.Errorf("-rebalance needs -shards > 1")
 	}
@@ -152,6 +169,9 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		LazyDelay:      lazyDelay,
 		LazyUEOrder:    lazyOrder,
 		RequestTimeout: 30 * time.Second,
+	}
+	if readLevel == "lease" {
+		gcfg.Lease = core.LeaseConfig{Enabled: true}
 	}
 	var dfs *wal.MemFS
 	if durable {
@@ -345,27 +365,110 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		}()
 	}
 
+	// Session-guarantee oracle: every write carries a (writer, seq) tag;
+	// a client that reads back its OWN tag with a sequence below its last
+	// committed write to that key has a read-your-writes violation, and
+	// one below a sequence it already observed has a monotonic-reads
+	// violation. Tags from other writers are unordered relative to this
+	// client and prove nothing, so they are skipped.
+	var (
+		rywViolations  atomic.Int64
+		monoViolations atomic.Int64
+		clis           []invoker
+	)
+
 	start := time.Now()
 	perClient := ops / clients
 	for ci := 0; ci < clients; ci++ {
 		cl := newClient()
+		clis = append(clis, cl)
 		gen := workload.New(workload.Config{
 			Keys: keys, WriteFraction: writes, OpsPerTxn: opsPerTxn,
 			Zipf: zipf, Seed: int64(ci + 1),
 		})
 		wg.Add(1)
-		go func(ci int) {
+		go func(ci int, cl invoker) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 			defer cancel()
+			writer := fmt.Sprintf("c%d", ci)
+			var (
+				wseq      uint64
+				lastWrite = make(map[string]uint64) // my committed writes
+				lastSeen  = make(map[string]uint64) // my tags already read
+				cut       core.SnapshotTS
+				cutFresh  bool
+			)
+			check := func(reads map[string][]byte) {
+				if readLevel == "snapshot" {
+					return // historical reads are old by design
+				}
+				for k, v := range reads {
+					w, s, ok := workload.ParseTag(v)
+					if !ok || w != writer {
+						continue
+					}
+					if s < lastWrite[k] {
+						rywViolations.Add(1)
+					}
+					if s < lastSeen[k] {
+						monoViolations.Add(1)
+					}
+					if s > lastSeen[k] {
+						lastSeen[k] = s
+					}
+				}
+			}
 			for i := 0; i < perClient; i++ {
 				if crash && ci == 0 && i == perClient/2 {
 					crashOne()
 				}
+				t := gen.NextTxn("")
+				staged := make(map[string]uint64)
+				for j, op := range t.Ops {
+					if op.Kind == txn.Write {
+						wseq++
+						t.Ops[j].Value = workload.TaggedValue(writer, wseq, len(op.Value))
+						staged[op.Key] = wseq
+					}
+				}
 				t0 := time.Now()
-				res, err := cl.Invoke(ctx, gen.NextTxn(""))
+				var (
+					res txn.Result
+					err error
+				)
+				if readLevel != "strong" && !t.IsUpdate() {
+					opt := readOpt
+					if readLevel == "snapshot" {
+						// Re-cut periodically (and after a failure): each cut
+						// is one full round amortized over many local reads.
+						if !cutFresh || i%32 == 0 {
+							cut, err = cl.SnapshotNow(ctx)
+							cutFresh = err == nil
+						}
+						opt = core.ReadSnapshot(cut)
+					}
+					if err == nil {
+						var m map[string][]byte
+						m, err = cl.GetMany(ctx, t.ReadKeys(), opt)
+						res = txn.Result{Committed: err == nil, Reads: m}
+					}
+					if err != nil {
+						cutFresh = false
+					}
+				} else {
+					res, err = cl.Do(ctx, t)
+				}
 				during := moveActive.Load()
 				doneOps.Add(1)
+				if err == nil && res.Committed {
+					check(res.Reads)
+					for k, s := range staged {
+						if s > lastWrite[k] {
+							lastWrite[k] = s
+						}
+					}
+				}
 				mu.Lock()
 				if err == nil && res.Committed {
 					committed++
@@ -378,7 +481,7 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 				}
 				mu.Unlock()
 			}
-		}(ci)
+		}(ci, cl)
 	}
 	wg.Wait()
 	moveWG.Wait()
@@ -430,6 +533,19 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		fmt.Printf("%s: %v (divergence %.2f, %d live of %d)\n",
 			label, recon.Converged(ls), recon.Divergence(ls), len(ls), len(g.Replicas()))
 	}
+	var rstats core.ReadTierStats
+	for _, cl := range clis {
+		st := cl.ReadStats()
+		rstats.LeaseLocal += st.LeaseLocal
+		rstats.SessionLocal += st.SessionLocal
+		rstats.Snapshot += st.Snapshot
+		rstats.Fallbacks += st.Fallbacks
+	}
+	fmt.Printf("read tier: level=%s  lease-local=%d session-local=%d snapshot=%d strong-fallbacks=%d\n",
+		readLevel, rstats.LeaseLocal, rstats.SessionLocal, rstats.Snapshot, rstats.Fallbacks)
+	fmt.Printf("read oracle: read-your-writes violations=%d monotonic-reads violations=%d\n",
+		rywViolations.Load(), monoViolations.Load())
+
 	if sharded != nil {
 		fmt.Printf("\nper-shard latency (single-shard fast path vs cross-shard 2PC):\n%s\n",
 			sharded.Metrics().Summary())
@@ -480,6 +596,15 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 			fmt.Printf("stale-epoch frames redirected: %d, client epoch retries: %d\n",
 				sharded.Mux().StaleRejected(), sharded.Metrics().EpochRetries())
 		}
+	}
+
+	// Strong and session reads promise these guarantees unconditionally;
+	// a violation is a bug, and CI's read-smoke job runs on this exit
+	// code. (Lease reads may be legitimately stale during a granter
+	// failover, snapshot reads are historical by design — reported above
+	// but not fatal.)
+	if v, m := rywViolations.Load(), monoViolations.Load(); (readLevel == "strong" || readLevel == "session") && v+m > 0 {
+		return fmt.Errorf("read oracle failed at level %s: %d read-your-writes, %d monotonic-reads violations", readLevel, v, m)
 	}
 
 	if showTrace {

@@ -74,7 +74,7 @@ func main() {
 	// Open the accounts.
 	setup := cluster.NewClient()
 	for i := 0; i < accounts; i++ {
-		if _, err := setup.InvokeOp(ctx, replication.Write(acct(i), money(initialBalance))); err != nil {
+		if _, err := setup.Do(ctx, replication.Transaction{Ops: []replication.Op{replication.Write(acct(i), money(initialBalance))}}); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -56,7 +56,7 @@ func run(p replication.Protocol) (time.Duration, bool, error) {
 	defer cancel()
 
 	// Warm-up outside the measurement.
-	if _, err := client.InvokeOp(ctx, replication.Write("warm", []byte("w"))); err != nil {
+	if _, err := client.Do(ctx, replication.Transaction{Ops: []replication.Op{replication.Write("warm", []byte("w"))}}); err != nil {
 		return 0, false, err
 	}
 
@@ -64,7 +64,7 @@ func run(p replication.Protocol) (time.Duration, bool, error) {
 	start := time.Now()
 	for i := 0; i < ops; i++ {
 		key := fmt.Sprintf("k%d", i%8)
-		res, err := client.InvokeOp(ctx, replication.Write(key, []byte(fmt.Sprintf("v%d", i))))
+		res, err := client.Do(ctx, replication.Transaction{Ops: []replication.Op{replication.Write(key, []byte(fmt.Sprintf("v%d", i)))}})
 		if err != nil {
 			return 0, false, err
 		}

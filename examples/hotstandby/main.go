@@ -37,7 +37,7 @@ func main() {
 	const before = 10
 	for i := 0; i < before; i++ {
 		key := fmt.Sprintf("order/%03d", i)
-		res, err := client.InvokeOp(ctx, replication.Write(key, []byte(fmt.Sprintf("qty=%d", i+1))))
+		res, err := client.Do(ctx, replication.Transaction{Ops: []replication.Op{replication.Write(key, []byte(fmt.Sprintf("qty=%d", i+1)))}})
 		if err != nil || !res.Committed {
 			log.Fatalf("order %d: %v %v", i, res, err)
 		}
@@ -58,7 +58,7 @@ func main() {
 	const after = 5
 	for i := before; i < before+after; i++ {
 		key := fmt.Sprintf("order/%03d", i)
-		res, err := client.InvokeOp(ctx, replication.Write(key, []byte(fmt.Sprintf("qty=%d", i+1))))
+		res, err := client.Do(ctx, replication.Transaction{Ops: []replication.Op{replication.Write(key, []byte(fmt.Sprintf("qty=%d", i+1)))}})
 		if err != nil || !res.Committed {
 			log.Fatalf("order %d after failover: %v %v", i, res, err)
 		}

@@ -58,7 +58,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := users[e.user].InvokeOp(ctx, replication.Write(e.note, []byte(e.text)))
+			res, err := users[e.user].Do(ctx, replication.Transaction{Ops: []replication.Op{replication.Write(e.note, []byte(e.text))}})
 			if err != nil || !res.Committed {
 				log.Fatalf("edit %v: %v %v", e, res, err)
 			}

@@ -51,25 +51,29 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	if _, err := client.InvokeOp(ctx, replication.Write("greeting", []byte("hello, replicas"))); err != nil {
+	if _, err := client.Do(ctx, replication.Transaction{Ops: []replication.Op{
+		replication.Write("greeting", []byte("hello, replicas")),
+	}}); err != nil {
 		log.Fatal(err)
 	}
-	res, err := client.InvokeOp(ctx, replication.Read("greeting"))
+	v, err := client.Get(ctx, "greeting")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("read back: %s\n", res.Reads["greeting"])
+	fmt.Printf("read back: %s\n", v)
 
 	// Crash one replica: active replication masks it completely.
 	cluster.Crash(cluster.Replicas()[2])
-	if _, err := client.InvokeOp(ctx, replication.Write("greeting", []byte("still here"))); err != nil {
+	if _, err := client.Do(ctx, replication.Transaction{Ops: []replication.Op{
+		replication.Write("greeting", []byte("still here")),
+	}}); err != nil {
 		log.Fatal(err)
 	}
-	res, err = client.InvokeOp(ctx, replication.Read("greeting"))
+	v, err = client.Get(ctx, "greeting")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after a replica crash: %s\n", res.Reads["greeting"])
+	fmt.Printf("after a replica crash: %s\n", v)
 }
 
 // shardedMain is the same store, partitioned: many groups, one router,
@@ -94,13 +98,15 @@ func shardedMain(cfg replication.Config) {
 		cluster.Shards(), alice, client.Shard(alice), bob, client.Shard(bob))
 
 	for _, kv := range [][2]string{{alice, "100"}, {bob, "100"}} {
-		if _, err := client.InvokeOp(ctx, replication.Write(kv[0], []byte(kv[1]))); err != nil {
+		if _, err := client.Do(ctx, replication.Transaction{Ops: []replication.Op{
+			replication.Write(kv[0], []byte(kv[1])),
+		}}); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// One transaction, two shards, atomic: both writes or neither.
-	res, err := client.Invoke(ctx, replication.Transaction{Ops: []replication.Op{
+	res, err := client.Do(ctx, replication.Transaction{Ops: []replication.Op{
 		replication.Write(alice, []byte("90")),
 		replication.Write(bob, []byte("110")),
 	}})
@@ -109,7 +115,11 @@ func shardedMain(cfg replication.Config) {
 	}
 	fmt.Printf("cross-shard transfer committed: %v\n", res.Committed)
 
-	ra, _ := client.InvokeOp(ctx, replication.Read(alice))
-	rb, _ := client.InvokeOp(ctx, replication.Read(bob))
-	fmt.Printf("%s=%s %s=%s\n", alice, ra.Reads[alice], bob, rb.Reads[bob])
+	// Session reads see the transfer this client just committed, on
+	// whichever replicas have caught up — no full protocol round needed.
+	m, err := client.GetMany(ctx, []string{alice, bob}, replication.ReadSession)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s=%s %s=%s\n", alice, m[alice], bob, m[bob])
 }

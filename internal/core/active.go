@@ -74,7 +74,7 @@ func (s *activeServer) onDeliver(origin transport.NodeID, payload []byte) {
 	s.r.trace(req.ID, trace.SC, "abcast")
 
 	if res, done := s.dd.get(req.ID); done {
-		respond(s.r.node, req, res)
+		respond(s.r, req, res)
 		return
 	}
 
@@ -89,7 +89,7 @@ func (s *activeServer) onDeliver(origin transport.NodeID, payload []byte) {
 	s.dd.put(req.ID, out.result)
 
 	// Phase 5: all replicas respond; the client ignores all but the first.
-	respond(s.r.node, req, out.result)
+	respond(s.r, req, out.result)
 }
 
 // rejoin implements the recovery hook: fast-forward the total order

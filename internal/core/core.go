@@ -166,6 +166,11 @@ type replica struct {
 	sinceSpill atomic.Uint64
 	spillRun   atomic.Bool
 
+	// Read-tier state (read.go, lease.go): every replica is a lease
+	// holder; the group's lowest replica is additionally the granter.
+	leaseH *leaseHolder
+	leaseG *leaseGranter
+
 	mu     sync.Mutex
 	nondet map[string][]byte // resolved nondet values per txn+op (semi-active)
 	rngSum uint64            // per-replica entropy for TrueRandomNondet
@@ -555,6 +560,10 @@ type Config struct {
 	// Required when the log directories already hold state: NewCluster
 	// refuses to silently serve empty stores over a non-empty disk.
 	ColdHold bool
+	// Lease configures read leases (ReadLease; see lease.go). Off by
+	// default: enabling adds one barrier RPC to every update, the price
+	// of local reads.
+	Lease LeaseConfig
 }
 
 // WriteGuardFunc vets a writeset against committed state; see
@@ -601,6 +610,7 @@ func (c *Config) fill() {
 	if c.Transport == "" {
 		c.Transport = TransportSim
 	}
+	c.Lease.fill()
 	// Failure-detection defaults scale with the substrate: simulated
 	// links have a known latency bound, while TCP inherits scheduler and
 	// kernel jitter, so its suspicion timeout is more conservative (false
@@ -703,6 +713,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			r.wal, r.walRec = w, rec
 		}
 		r.serveRecovery()
+		r.serveReadTier(c.ids[0])
 		replicas[id] = r
 	}
 	c.replicas = replicas
@@ -876,6 +887,14 @@ type Client struct {
 	// home is the replica this client prefers for delegate-based
 	// protocols (its "local" database server, §4.1).
 	home transport.NodeID
+	// watermark is the session state: the highest applied commit
+	// sequence any replica has acknowledged to this client (read.go).
+	watermark atomic.Uint64
+	// Read-tier outcome counters (read.go, ReadStats).
+	statLease    atomic.Uint64
+	statSession  atomic.Uint64
+	statSnapshot atomic.Uint64
+	statFallback atomic.Uint64
 }
 
 // NewClient attaches a new client process to the cluster.
@@ -919,6 +938,13 @@ func (cl *Client) SetHome(id transport.NodeID) { cl.home = id }
 // timeout up to the configured number of attempts (the client-side of
 // fail-over: "Clients can then be connected to another database server
 // and re-submit the transaction", §4.1).
+//
+// Invoke is the single write funnel: with leases enabled, every update
+// barriers its write keys through the granter before submission and
+// releases them with the commit watermark after — no other path mutates
+// replicated state, so no lease can cover a committed-but-unleased
+// write. New code reads through Get/GetMany/Do; Invoke remains the
+// strong-transaction surface.
 func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, error) {
 	cl.mu.Lock()
 	cl.seq++
@@ -927,6 +953,19 @@ func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, er
 	req.Txn = t
 	if req.Txn.ID == "" {
 		req.Txn.ID = req.TxnID()
+	}
+
+	var barriered []string
+	if cl.c.cfg.Lease.Enabled {
+		if wk := req.Txn.WriteKeys(); len(wk) > 0 {
+			// A failed barrier aborts the attempt BEFORE the write is
+			// submitted: the lease invariant (no covering lease when a
+			// write commits) must never be bypassed on a canceled context.
+			if err := cl.writeBarrier(ctx, wk); err != nil {
+				return txn.Result{}, fmt.Errorf("%w: lease barrier: %v", ErrTimeout, err)
+			}
+			barriered = wk
+		}
 	}
 
 	cl.c.rec.Record(req.ID, string(cl.node.ID()), trace.RE, "submit")
@@ -943,6 +982,10 @@ func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, er
 		cancel()
 		if err == nil {
 			cl.c.rec.Record(req.ID, string(cl.node.ID()), trace.END, "response")
+			cl.observe(res.Seq)
+			if barriered != nil {
+				cl.releaseBarrier(barriered, res.Seq)
+			}
 			return res, nil
 		}
 		lastErr = err
@@ -950,11 +993,16 @@ func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, er
 			break
 		}
 	}
+	// No release on failure: the write may still land late, so the
+	// granter's pending entry expires on its own schedule instead.
 	return txn.Result{}, fmt.Errorf("%w: %v", ErrTimeout, lastErr)
 }
 
 // InvokeOp is shorthand for a single-operation transaction (the stored
 // procedure model).
+//
+// Deprecated: use Do (reads take a consistency level there) or Get for
+// a plain single-key read. InvokeOp remains as a thin wrapper.
 func (cl *Client) InvokeOp(ctx context.Context, op txn.Op) (txn.Result, error) {
 	return cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{op}})
 }

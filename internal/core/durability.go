@@ -370,6 +370,10 @@ func (c *Cluster) ColdBegin() error {
 		r.rlog.Reset()
 		r.dd.reset()
 		r.locks.Reset()
+		r.leaseH.clear()
+		if r.leaseG != nil {
+			r.leaseG.quarantine(r.cfg.Lease.TTL + r.cfg.Lease.ClockMargin)
+		}
 		r.mu.Lock()
 		r.nondet = make(map[string][]byte)
 		r.mu.Unlock()

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/transport"
+)
+
+// Read leases (Gray & Cheriton style, adapted to the paper's five-phase
+// model): the group's designated granter — the lowest replica, which in
+// the primary-copy techniques is also the initial primary — hands out
+// time-bounded read leases on keys. A replica holding a valid lease
+// serves reads from its local store with zero server-coordination or
+// agreement-coordination messages; every write runs a barrier through
+// the granter first, which revokes covering leases before the write may
+// commit. Lease state is memory-only and never survives a crash: a
+// recovering holder drops its cache behind the recovery fence, and a
+// recovering granter quarantines itself for a full lease term so every
+// grant it has forgotten about has expired before it grants again.
+//
+// Correctness rests on three rules:
+//
+//  1. Barrier-before-write: a client submits an update only after the
+//     granter has marked its keys write-pending and revoked (or waited
+//     out) every covering lease. While a key is write-pending no new
+//     lease is granted on it, so no lease can cover the window between
+//     the barrier and the release that follows the commit.
+//  2. Freshness floor: a grant carries MinSeq, the granter's latest
+//     applied version of the requested keys (raised further by release
+//     watermarks). A holder serves only once its own store has applied
+//     up to MinSeq, so a freshly granted lease cannot read past-due
+//     state on a lagging replica.
+//  3. Expiry across failures: holder-side expiry is measured from
+//     before the acquire was sent, granter-side from after it was
+//     received plus a clock margin, so the granter always outlives the
+//     holder's belief in the lease. A client that cannot reach the
+//     granter for a barrier sleeps one full lease term instead —
+//     correct without any handshake, just slow.
+type LeaseConfig struct {
+	// Enabled turns the lease machinery on. Off by default: the barrier
+	// adds one RPC to every update, which only pays for itself on
+	// read-dominated workloads.
+	Enabled bool
+	// TTL is the lease term a holder may serve under. Zero means 250ms.
+	TTL time.Duration
+	// ClockMargin pads the granter-side expiry against scheduling skew
+	// between the holder's and the granter's clock reads (the processes
+	// share a wall clock here, but not a scheduling instant). Zero means
+	// TTL/4.
+	ClockMargin time.Duration
+}
+
+func (l *LeaseConfig) fill() {
+	if l.TTL == 0 {
+		l.TTL = 250 * time.Millisecond
+	}
+	if l.ClockMargin == 0 {
+		l.ClockMargin = l.TTL / 4
+	}
+}
+
+// kindLease is the message kind for all lease traffic (dispatch on
+// leaseMsg.Kind).
+const kindLease = "core.lease"
+
+// leaseMsg sub-kinds.
+const (
+	leaseAcquire uint8 = 1 + iota // holder -> granter: request a lease
+	leaseBarrier                  // client -> granter: block + revoke before a write
+	leaseRelease                  // client -> granter: write committed at Seq
+	leaseRevoke                   // granter -> holder: drop these leases now
+)
+
+// leaseMsg is the single wire message of the lease protocol.
+type leaseMsg struct {
+	Kind uint8
+	Keys []string
+	Seq  uint64 // release: the committed write's watermark
+}
+
+// leaseResp answers acquire (OK, TTL, MinSeq), barrier (OK) and revoke
+// (ack).
+type leaseResp struct {
+	OK     bool
+	TTL    int64 // nanoseconds, granter's term for the holder
+	MinSeq uint64
+}
+
+// AppendTo implements codec.Wire.
+func (m *leaseMsg) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(m.Kind))
+	buf = codec.AppendStrings(buf, m.Keys)
+	return codec.AppendUvarint(buf, m.Seq)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *leaseMsg) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Kind = uint8(r.Uvarint())
+	m.Keys = codec.DecodeStrings[string](&r)
+	m.Seq = r.Uvarint()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *leaseResp) AppendTo(buf []byte) []byte {
+	buf = codec.AppendBool(buf, m.OK)
+	buf = codec.AppendVarint(buf, m.TTL)
+	return codec.AppendUvarint(buf, m.MinSeq)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *leaseResp) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.OK = r.Bool()
+	m.TTL = r.Varint()
+	m.MinSeq = r.Uvarint()
+	return r.Done()
+}
+
+func init() {
+	codec.Register("core.lease",
+		func() codec.Wire { return new(leaseMsg) },
+		func() codec.Wire {
+			return &leaseMsg{Kind: leaseRelease, Keys: []string{"alpha", "beta"}, Seq: 88}
+		})
+	codec.Register("core.lease-resp",
+		func() codec.Wire { return new(leaseResp) },
+		func() codec.Wire {
+			return &leaseResp{OK: true, TTL: int64(250 * time.Millisecond), MinSeq: 41}
+		})
+}
+
+// pendingWrite tracks one key's outstanding barriered writes: grants on
+// the key are refused while any barrier has not been released. The
+// expiry bounds a writer that died between barrier and release.
+type pendingWrite struct {
+	count  int
+	expiry time.Time
+}
+
+// leaseGranter is the granter-side state, living on the group's lowest
+// replica. All methods are safe from any goroutine.
+type leaseGranter struct {
+	r      *replica
+	ttl    time.Duration
+	margin time.Duration
+
+	mu       sync.Mutex
+	grants   map[string]map[transport.NodeID]time.Time // key -> holder -> expiry
+	pending  map[string]*pendingWrite
+	minSeq   map[string]uint64 // release watermarks not yet applied locally
+	blocks   map[uint64]func(string) bool
+	blockSeq uint64
+	// quarantineUntil: no grants before this instant. Set across
+	// recovery so that every lease the pre-crash granter may have
+	// issued (and this incarnation has forgotten) has expired.
+	quarantineUntil time.Time
+}
+
+func newLeaseGranter(r *replica) *leaseGranter {
+	return &leaseGranter{
+		r:       r,
+		ttl:     r.cfg.Lease.TTL,
+		margin:  r.cfg.Lease.ClockMargin,
+		grants:  make(map[string]map[transport.NodeID]time.Time),
+		pending: make(map[string]*pendingWrite),
+		minSeq:  make(map[string]uint64),
+		blocks:  make(map[uint64]func(string) bool),
+	}
+}
+
+// pendingTTL bounds how long a barrier blocks grants when its writer
+// never releases: past the client's full retry budget the write is
+// either committed (and visible in the granter's own store, which every
+// later grant consults) or abandoned.
+func (g *leaseGranter) pendingTTL() time.Duration {
+	return time.Duration(g.r.cfg.Retries+1)*g.r.cfg.RequestTimeout + g.ttl
+}
+
+// grant issues a lease on keys to holder from, or refuses (write
+// pending, range blocked, quarantined, recovering). It returns the
+// freshness floor the holder must reach before serving.
+func (g *leaseGranter) grant(from transport.NodeID, keys []string) (uint64, bool) {
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if now.Before(g.quarantineUntil) || g.r.refusing() {
+		return 0, false
+	}
+	var min uint64
+	for _, k := range keys {
+		if p := g.pending[k]; p != nil {
+			if now.Before(p.expiry) {
+				return 0, false
+			}
+			// The writer died between barrier and release. Adopt the
+			// granter's own applied watermark as the key's floor: if the
+			// write did commit, the granter (a replica applying every
+			// commit) reflects it from here on.
+			delete(g.pending, k)
+			if s := g.r.store.CommitSeq(); s > g.minSeq[k] {
+				g.minSeq[k] = s
+			}
+		}
+		for _, blocked := range g.blocks {
+			if blocked(k) {
+				return 0, false
+			}
+		}
+		applied := g.r.store.ReadTs(k)
+		if applied > min {
+			min = applied
+		}
+		if s, ok := g.minSeq[k]; ok {
+			if s <= applied {
+				delete(g.minSeq, k) // store caught up; floor is implied now
+			} else if s > min {
+				min = s
+			}
+		}
+	}
+	exp := now.Add(g.ttl + g.margin)
+	for _, k := range keys {
+		hs := g.grants[k]
+		if hs == nil {
+			hs = make(map[transport.NodeID]time.Time)
+			g.grants[k] = hs
+		}
+		hs[from] = exp
+	}
+	return min, true
+}
+
+// barrier blocks writes of keys into the lease protocol: marks each key
+// write-pending (refusing new grants) and synchronously invalidates
+// every covering lease. It returns only when no lease on the keys can
+// be believed valid by any holder. Runs on a node.Go goroutine.
+func (g *leaseGranter) barrier(keys []string) bool {
+	g.mu.Lock()
+	q := g.quarantineUntil
+	g.mu.Unlock()
+	if d := time.Until(q); d > 0 {
+		time.Sleep(d)
+	}
+	if g.r.refusing() {
+		return false
+	}
+	now := time.Now()
+	g.mu.Lock()
+	for _, k := range keys {
+		p := g.pending[k]
+		if p == nil || now.After(p.expiry) {
+			p = &pendingWrite{}
+			g.pending[k] = p
+		}
+		p.count++
+		p.expiry = now.Add(g.pendingTTL())
+	}
+	g.mu.Unlock()
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	g.revokeCovering(func(k string) bool { return set[k] })
+	return true
+}
+
+// release records a committed write's watermark and unblocks its keys.
+func (g *leaseGranter) release(keys []string, seq uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, k := range keys {
+		if p := g.pending[k]; p != nil {
+			p.count--
+			if p.count <= 0 {
+				delete(g.pending, k)
+			}
+		}
+		if seq > g.minSeq[k] {
+			g.minSeq[k] = seq
+		}
+	}
+}
+
+// revokeCovering removes every grant on keys matching pred and waits
+// until no matching lease can still be believed valid: each affected
+// holder is revoked by RPC, and one that cannot be reached (crashed,
+// partitioned) is waited out to its granter-side expiry, which bounds
+// the holder's own belief.
+func (g *leaseGranter) revokeCovering(pred func(key string) bool) {
+	type batch struct {
+		keys []string
+		exp  time.Time
+	}
+	now := time.Now()
+	g.mu.Lock()
+	perHolder := make(map[transport.NodeID]*batch)
+	for k, hs := range g.grants {
+		if !pred(k) {
+			continue
+		}
+		for h, exp := range hs {
+			if now.After(exp) {
+				continue
+			}
+			b := perHolder[h]
+			if b == nil {
+				b = &batch{}
+				perHolder[h] = b
+			}
+			b.keys = append(b.keys, k)
+			if exp.After(b.exp) {
+				b.exp = exp
+			}
+		}
+		delete(g.grants, k)
+	}
+	g.mu.Unlock()
+	if len(perHolder) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for h, b := range perHolder {
+		if h == g.r.id {
+			// The granter replica holds leases of its own; drop locally.
+			g.r.leaseH.drop(b.keys)
+			continue
+		}
+		wg.Add(1)
+		go func(h transport.NodeID, b *batch) {
+			defer wg.Done()
+			ctx, cancel := context.WithDeadline(context.Background(), b.exp)
+			defer cancel()
+			payload := codec.MustMarshal(&leaseMsg{Kind: leaseRevoke, Keys: b.keys})
+			if _, err := g.r.node.Call(ctx, h, kindLease, payload); err != nil {
+				// Unreachable holder: its lease dies by expiry.
+				time.Sleep(time.Until(b.exp))
+			}
+		}(h, b)
+	}
+	wg.Wait()
+}
+
+// addBlock registers a range block (grants on matching keys refuse) and
+// returns its handle. The rebalancer blocks a moving range before the
+// freeze marker commits.
+func (g *leaseGranter) addBlock(match func(key string) bool) uint64 {
+	g.mu.Lock()
+	g.blockSeq++
+	id := g.blockSeq
+	g.blocks[id] = match
+	g.mu.Unlock()
+	return id
+}
+
+// dropBlock removes a range block.
+func (g *leaseGranter) dropBlock(id uint64) {
+	g.mu.Lock()
+	delete(g.blocks, id)
+	g.mu.Unlock()
+}
+
+// quarantine refuses grants until now+d and forgets all grant state —
+// the recovery fence. Forgotten leases are safe exactly because no new
+// grant or barrier decision will trust this granter before every one of
+// them has expired.
+func (g *leaseGranter) quarantine(d time.Duration) {
+	g.mu.Lock()
+	if until := time.Now().Add(d); until.After(g.quarantineUntil) {
+		g.quarantineUntil = until
+	}
+	g.grants = make(map[string]map[transport.NodeID]time.Time)
+	g.pending = make(map[string]*pendingWrite)
+	g.mu.Unlock()
+}
+
+// granted reports whether any unexpired lease covers key (test hook).
+func (g *leaseGranter) granted(key string) bool {
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, exp := range g.grants[key] {
+		if now.Before(exp) {
+			return true
+		}
+	}
+	return false
+}
+
+// holderLease is one cached lease on the holder side.
+type holderLease struct {
+	expiry time.Time
+	minSeq uint64
+}
+
+// leaseHolder is the per-replica lease cache. revGen invalidates
+// acquires that raced a revoke: any revoke/clear between sending an
+// acquire and caching its grant discards the grant (the revoked write
+// may already be committing).
+type leaseHolder struct {
+	r       *replica
+	granter transport.NodeID
+	ttl     time.Duration
+
+	mu     sync.Mutex
+	leases map[string]holderLease
+	revGen uint64
+}
+
+func newLeaseHolder(r *replica, granter transport.NodeID) *leaseHolder {
+	return &leaseHolder{r: r, granter: granter, ttl: r.cfg.Lease.TTL, leases: make(map[string]holderLease)}
+}
+
+// covered returns the freshness floor of key's lease if one is valid.
+func (h *leaseHolder) covered(key string, now time.Time) (uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	l, ok := h.leases[key]
+	if !ok || now.After(l.expiry) {
+		return 0, false
+	}
+	return l.minSeq, true
+}
+
+// acquire obtains leases on keys from the granter, caching them on
+// success. Expiry is measured from before the request left, so the
+// holder's belief always dies before the granter's record.
+func (h *leaseHolder) acquire(ctx context.Context, keys []string) bool {
+	t0 := time.Now()
+	h.mu.Lock()
+	gen := h.revGen
+	h.mu.Unlock()
+	var min uint64
+	if g := h.r.leaseG; g != nil {
+		var ok bool
+		if min, ok = g.grant(h.r.id, keys); !ok {
+			return false
+		}
+	} else {
+		cctx, cancel := context.WithTimeout(ctx, h.ttl)
+		payload := codec.MustMarshal(&leaseMsg{Kind: leaseAcquire, Keys: keys})
+		reply, err := h.r.node.Call(cctx, h.granter, kindLease, payload)
+		cancel()
+		if err != nil {
+			return false
+		}
+		var resp leaseResp
+		if codec.Unmarshal(reply.Payload, &resp) != nil || !resp.OK {
+			return false
+		}
+		min = resp.MinSeq
+	}
+	exp := t0.Add(h.ttl)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.revGen != gen {
+		return false // a revoke raced the grant; do not believe it
+	}
+	for _, k := range keys {
+		h.leases[k] = holderLease{expiry: exp, minSeq: min}
+	}
+	return true
+}
+
+// drop invalidates the leases on keys (granter revoke).
+func (h *leaseHolder) drop(keys []string) {
+	h.mu.Lock()
+	h.revGen++
+	for _, k := range keys {
+		delete(h.leases, k)
+	}
+	h.mu.Unlock()
+}
+
+// clear wipes the cache — crossing the recovery fence, leases never
+// resurrect.
+func (h *leaseHolder) clear() {
+	h.mu.Lock()
+	h.revGen++
+	h.leases = make(map[string]holderLease)
+	h.mu.Unlock()
+}
+
+// RevokeLeaseRange synchronously revokes every lease covering a key
+// matched by match and blocks further grants on such keys until the
+// returned handle is passed to ReleaseLeaseRange. The rebalancer calls
+// this before committing a freeze marker for a moving range, so no
+// local read can outlive the range's residency here.
+func (c *Cluster) RevokeLeaseRange(match func(key string) bool) uint64 {
+	g := c.replicas[c.ids[0]].leaseG
+	if g == nil {
+		return 0
+	}
+	id := g.addBlock(match)
+	g.revokeCovering(match)
+	return id
+}
+
+// ReleaseLeaseRange lifts a RevokeLeaseRange block.
+func (c *Cluster) ReleaseLeaseRange(id uint64) {
+	if id == 0 {
+		return
+	}
+	if g := c.replicas[c.ids[0]].leaseG; g != nil {
+		g.dropBlock(id)
+	}
+}
+
+// LeaseGranted reports whether any replica currently holds an unexpired
+// lease on key (test/metrics hook).
+func (c *Cluster) LeaseGranted(key string) bool {
+	g := c.replicas[c.ids[0]].leaseG
+	return g != nil && g.granted(key)
+}

@@ -34,9 +34,9 @@ func encodeResponse(r Response) []byte { return codec.MustMarshal(&r) }
 func decodeResponse(b []byte, r *Response) error { return codec.Unmarshal(b, r) }
 
 // respond sends a result back to the requesting client (group-addressed
-// protocols).
-func respond(node *transport.Node, req Request, res txn.Result) {
-	_ = node.Send(req.Client, kindResponse, encodeResponse(Response{ID: req.ID, Result: res}))
+// protocols), stamping the replica's session watermark on the way out.
+func respond(r *replica, req Request, res txn.Result) {
+	_ = r.node.Send(req.Client, kindResponse, encodeResponse(Response{ID: req.ID, Result: r.stamp(res)}))
 }
 
 // answerParked resolves a delegate's parked client RPC for reqID from
@@ -53,7 +53,7 @@ func answerParked(r *replica, mu *sync.Mutex, waiting map[uint64]transport.Messa
 		return
 	}
 	if res, done := r.dd.get(reqID); done {
-		_ = r.node.Reply(rpc, encodeResponse(Response{ID: reqID, Result: res}))
+		_ = r.node.Reply(rpc, encodeResponse(Response{ID: reqID, Result: r.stamp(res)}))
 	}
 }
 

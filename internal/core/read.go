@@ -1,0 +1,544 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/transport"
+	"replication/internal/txn"
+)
+
+// The read tier: reads as first-class requests with a consistency level,
+// served outside the five-phase write path whenever the level allows.
+//
+//   - ReadStrong (default) keeps today's semantics: the read is a
+//     transaction through the technique's full protocol round.
+//   - ReadLease serves from a replica's local store under a granter
+//     lease (see lease.go) — zero coordination messages per read.
+//   - ReadSession serves read-your-writes: the client sends its commit
+//     watermark and any replica whose store has applied past it may
+//     answer; a lagging replica waits briefly, then declines and the
+//     client falls back to a strong read.
+//   - ReadSnapshot(ts) reads every key at one commit timestamp via the
+//     store's version chains — the consistent-cut primitive the sharded
+//     layer fans out.
+
+// ReadLevel names a read consistency level.
+type ReadLevel uint8
+
+// The levels, weakest-ordering last.
+const (
+	LevelStrong ReadLevel = iota
+	LevelLease
+	LevelSession
+	LevelSnapshot
+)
+
+// SnapshotTS identifies a consistent cut: one applied commit sequence
+// per replication group (index = group number; single-group clusters
+// use Seqs[0]) plus the routing epoch the cut was taken under, so a cut
+// never spans a rebalance.
+type SnapshotTS struct {
+	Epoch uint64
+	Seqs  []uint64
+}
+
+// ReadOption selects the consistency level of a Get/GetMany/Do call.
+// The zero value is ReadStrong.
+type ReadOption struct {
+	level ReadLevel
+	at    SnapshotTS
+}
+
+// The read levels as options.
+var (
+	// ReadStrong routes the read through the technique's full protocol
+	// round — linearizable on the strong techniques, exactly Invoke's
+	// semantics. The default.
+	ReadStrong = ReadOption{level: LevelStrong}
+	// ReadLease serves from a local replica under a read lease. Stale
+	// by at most the lease TTL during a granter failover; never stale
+	// while the granter is reachable (writes barrier through it).
+	ReadLease = ReadOption{level: LevelLease}
+	// ReadSession guarantees read-your-writes and monotonic reads for
+	// this client (on the strong techniques), served by any replica
+	// that has caught up to the client's watermark.
+	ReadSession = ReadOption{level: LevelSession}
+)
+
+// ReadSnapshot reads as of the consistent cut at. Obtain cuts from
+// SnapshotNow.
+func ReadSnapshot(at SnapshotTS) ReadOption { return ReadOption{level: LevelSnapshot, at: at} }
+
+// Level exposes the option's consistency level (the sharded layer
+// routes on it).
+func (o ReadOption) Level() ReadLevel { return o.level }
+
+// At exposes the option's snapshot cut (LevelSnapshot only).
+func (o ReadOption) At() SnapshotTS { return o.at }
+
+// PickRead folds a Get/Do option list: the last option wins. No options
+// means ReadStrong.
+func PickRead(opts []ReadOption) ReadOption {
+	if len(opts) == 0 {
+		return ReadStrong
+	}
+	return opts[len(opts)-1]
+}
+
+// kindRead is the message kind of read-tier requests.
+const kindRead = "core.read"
+
+// readReq asks a replica to serve keys at a consistency level. MinSeq
+// is the session watermark (LevelSession) or the cut timestamp
+// (LevelSnapshot).
+type readReq struct {
+	Level  uint8
+	Keys   []string
+	MinSeq uint64
+}
+
+// readResp answers a readReq. Served=false means the replica declined
+// (recovering, lagging past the wait bound, lease unavailable) and the
+// client should try another replica or fall back.
+type readResp struct {
+	Served bool
+	Seq    uint64
+	Reads  map[string][]byte
+}
+
+// AppendTo implements codec.Wire.
+func (m *readReq) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(m.Level))
+	buf = codec.AppendStrings(buf, m.Keys)
+	return codec.AppendUvarint(buf, m.MinSeq)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *readReq) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Level = uint8(r.Uvarint())
+	m.Keys = codec.DecodeStrings[string](&r)
+	m.MinSeq = r.Uvarint()
+	return r.Done()
+}
+
+// AppendTo implements codec.Wire.
+func (m *readResp) AppendTo(buf []byte) []byte {
+	buf = codec.AppendBool(buf, m.Served)
+	buf = codec.AppendUvarint(buf, m.Seq)
+	return codec.AppendMapBytes(buf, m.Reads)
+}
+
+// DecodeFrom implements codec.Wire.
+func (m *readResp) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	m.Served = r.Bool()
+	m.Seq = r.Uvarint()
+	m.Reads = codec.DecodeMapBytes[string](&r)
+	return r.Done()
+}
+
+func init() {
+	codec.Register("core.read",
+		func() codec.Wire { return new(readReq) },
+		func() codec.Wire {
+			return &readReq{Level: uint8(LevelSession), Keys: []string{"alpha", "beta"}, MinSeq: 17}
+		})
+	codec.Register("core.read-resp",
+		func() codec.Wire { return new(readResp) },
+		func() codec.Wire {
+			return &readResp{Served: true, Seq: 23, Reads: map[string][]byte{"alpha": []byte("v1"), "beta": nil}}
+		})
+}
+
+// sessionWaitBound caps how long a replica holds a session or snapshot
+// read while its store catches up to the requested watermark before
+// declining. One delivery normally closes the gap; a replica that is
+// genuinely behind (recovering, restored from a snapshot with reset
+// numbering) declines quickly so the client can fall back.
+const sessionWaitBound = 200 * time.Millisecond
+
+// serveReadTier installs the read-tier and lease handlers on the
+// replica. granterID is the group's lease granter (the lowest replica);
+// this replica takes the granter role if it is that replica.
+func (r *replica) serveReadTier(granterID transport.NodeID) {
+	r.leaseH = newLeaseHolder(r, granterID)
+	if r.id == granterID {
+		r.leaseG = newLeaseGranter(r)
+	}
+	r.node.Handle(kindLease, r.onLease)
+	r.node.Handle(kindRead, r.onRead)
+}
+
+// stamp fills a result's session watermark with this replica's applied
+// commit sequence. Called at every reply site: the answering replica
+// has, by then, applied at least the transaction's own commit, so the
+// watermark covers it (and possibly later commits — a tighter bound is
+// never required, only a covering one).
+func (r *replica) stamp(res txn.Result) txn.Result {
+	res.Seq = r.store.CommitSeq()
+	return res
+}
+
+// onLease dispatches the lease protocol. Acquire/release/revoke are
+// non-blocking and run inline on the dispatch loop; barrier revokes
+// synchronously and runs on its own goroutine.
+func (r *replica) onLease(m transport.Message) {
+	var msg leaseMsg
+	if codec.Unmarshal(m.Payload, &msg) != nil {
+		return
+	}
+	switch msg.Kind {
+	case leaseAcquire:
+		resp := leaseResp{}
+		if g := r.leaseG; g != nil {
+			if min, ok := g.grant(m.From, msg.Keys); ok {
+				resp = leaseResp{OK: true, TTL: int64(g.ttl), MinSeq: min}
+			}
+		}
+		_ = r.node.Reply(m, codec.MustMarshal(&resp))
+	case leaseBarrier:
+		g := r.leaseG
+		if g == nil {
+			_ = r.node.Reply(m, codec.MustMarshal(&leaseResp{}))
+			return
+		}
+		r.node.Go(func() {
+			ok := g.barrier(msg.Keys)
+			_ = r.node.Reply(m, codec.MustMarshal(&leaseResp{OK: ok}))
+		})
+	case leaseRelease:
+		if g := r.leaseG; g != nil {
+			g.release(msg.Keys, msg.Seq)
+		}
+	case leaseRevoke:
+		r.leaseH.drop(msg.Keys)
+		_ = r.node.Reply(m, codec.MustMarshal(&leaseResp{OK: true}))
+	}
+}
+
+// onRead serves a read-tier request on its own goroutine (session and
+// snapshot reads wait on the store; lease reads may call the granter).
+func (r *replica) onRead(m transport.Message) {
+	var req readReq
+	if codec.Unmarshal(m.Payload, &req) != nil {
+		return
+	}
+	r.node.Go(func() {
+		resp := r.serveRead(req)
+		_ = r.node.Reply(m, codec.MustMarshal(&resp))
+	})
+}
+
+func (r *replica) serveRead(req readReq) readResp {
+	if r.refusing() {
+		return readResp{}
+	}
+	switch ReadLevel(req.Level) {
+	case LevelLease:
+		return r.serveLeaseRead(req.Keys)
+	case LevelSession:
+		ctx, cancel := context.WithTimeout(context.Background(), sessionWaitBound)
+		defer cancel()
+		if !r.store.WaitCommitSeq(ctx, req.MinSeq) {
+			return readResp{}
+		}
+		reads := make(map[string][]byte, len(req.Keys))
+		for _, k := range req.Keys {
+			if ver, ok := r.store.Read(k); ok {
+				reads[k] = ver.Value
+			} else {
+				reads[k] = nil
+			}
+		}
+		return readResp{Served: true, Seq: r.store.CommitSeq(), Reads: reads}
+	case LevelSnapshot:
+		ctx, cancel := context.WithTimeout(context.Background(), sessionWaitBound)
+		defer cancel()
+		if !r.store.WaitCommitSeq(ctx, req.MinSeq) {
+			return readResp{}
+		}
+		reads := make(map[string][]byte, len(req.Keys))
+		for _, k := range req.Keys {
+			if ver, ok := r.store.ReadAt(k, req.MinSeq); ok {
+				reads[k] = ver.Value
+			} else {
+				reads[k] = nil
+			}
+		}
+		return readResp{Served: true, Seq: req.MinSeq, Reads: reads}
+	}
+	return readResp{}
+}
+
+// serveLeaseRead serves keys under valid leases, acquiring any that are
+// missing. The values are read first and the leases re-validated after:
+// a read served this way was covered by a lease for its whole duration.
+func (r *replica) serveLeaseRead(keys []string) readResp {
+	if !r.cfg.Lease.Enabled {
+		return readResp{}
+	}
+	now := time.Now()
+	var min uint64
+	var missing []string
+	for _, k := range keys {
+		if m, ok := r.leaseH.covered(k, now); ok {
+			if m > min {
+				min = m
+			}
+		} else {
+			missing = append(missing, k)
+		}
+	}
+	if len(missing) > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Lease.TTL)
+		ok := r.leaseH.acquire(ctx, missing)
+		cancel()
+		if !ok {
+			return readResp{}
+		}
+		now = time.Now()
+		for _, k := range missing {
+			m, ok := r.leaseH.covered(k, now)
+			if !ok {
+				return readResp{}
+			}
+			if m > min {
+				min = m
+			}
+		}
+	}
+	// Freshness floor: serve only once the local store has applied up
+	// to the granter's watermark for these keys.
+	if r.store.CommitSeq() < min {
+		ctx, cancel := context.WithTimeout(context.Background(), sessionWaitBound)
+		ok := r.store.WaitCommitSeq(ctx, min)
+		cancel()
+		if !ok {
+			return readResp{}
+		}
+	}
+	reads := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if ver, ok := r.store.Read(k); ok {
+			reads[k] = ver.Value
+		} else {
+			reads[k] = nil
+		}
+	}
+	// Re-validate after reading: if any lease was revoked while the
+	// values were read, a conflicting write may be committing — decline
+	// and let the client read strongly.
+	now = time.Now()
+	for _, k := range keys {
+		if _, ok := r.leaseH.covered(k, now); !ok {
+			return readResp{}
+		}
+	}
+	return readResp{Served: true, Seq: r.store.CommitSeq(), Reads: reads}
+}
+
+// --- client side ---
+
+// observe folds a reply watermark into the client's session state.
+func (cl *Client) observe(seq uint64) {
+	for {
+		cur := cl.watermark.Load()
+		if seq <= cur || cl.watermark.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// Watermark returns the client's session watermark: the highest applied
+// commit sequence any replica has acknowledged to it.
+func (cl *Client) Watermark() uint64 { return cl.watermark.Load() }
+
+// ReadTierStats counts a client's read-tier outcomes: reads served
+// locally per level, and weak reads that fell back to a strong round.
+type ReadTierStats struct {
+	LeaseLocal   uint64
+	SessionLocal uint64
+	Snapshot     uint64
+	Fallbacks    uint64
+}
+
+// ReadStats returns this client's read-tier counters.
+func (cl *Client) ReadStats() ReadTierStats {
+	return ReadTierStats{
+		LeaseLocal:   cl.statLease.Load(),
+		SessionLocal: cl.statSession.Load(),
+		Snapshot:     cl.statSnapshot.Load(),
+		Fallbacks:    cl.statFallback.Load(),
+	}
+}
+
+// Get reads one key at the chosen consistency level (ReadStrong when no
+// option is given). A nil value means the key is absent.
+func (cl *Client) Get(ctx context.Context, key string, opts ...ReadOption) ([]byte, error) {
+	m, err := cl.GetMany(ctx, []string{key}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return m[key], nil
+}
+
+// GetMany reads keys at the chosen consistency level. Lease and session
+// reads that no replica can serve fall back to a strong read — the
+// guarantee degrades never, only the latency.
+func (cl *Client) GetMany(ctx context.Context, keys []string, opts ...ReadOption) (map[string][]byte, error) {
+	opt := PickRead(opts)
+	lvl := opt.level
+	if lvl == LevelLease && !cl.c.cfg.Lease.Enabled {
+		lvl = LevelStrong // leases off: honor the request at full strength
+	}
+	switch lvl {
+	case LevelLease:
+		if m, ok := cl.tryRead(ctx, readReq{Level: uint8(LevelLease), Keys: keys}); ok {
+			cl.statLease.Add(1)
+			return m, nil
+		}
+		cl.statFallback.Add(1)
+		return cl.strongRead(ctx, keys)
+	case LevelSession:
+		req := readReq{Level: uint8(LevelSession), Keys: keys, MinSeq: cl.watermark.Load()}
+		if m, ok := cl.tryRead(ctx, req); ok {
+			cl.statSession.Add(1)
+			return m, nil
+		}
+		cl.statFallback.Add(1)
+		return cl.strongRead(ctx, keys)
+	case LevelSnapshot:
+		var seq uint64
+		if len(opt.at.Seqs) > 0 {
+			seq = opt.at.Seqs[0]
+		}
+		if m, ok := cl.tryRead(ctx, readReq{Level: uint8(LevelSnapshot), Keys: keys, MinSeq: seq}); ok {
+			cl.statSnapshot.Add(1)
+			return m, nil
+		}
+		return nil, fmt.Errorf("core: no replica could serve the snapshot at seq %d", seq)
+	default:
+		return cl.strongRead(ctx, keys)
+	}
+}
+
+// Do submits a transaction at the chosen consistency level. Read-only
+// transactions at a weak level route through the read tier; everything
+// else is a strong Invoke (writes have exactly one path).
+func (cl *Client) Do(ctx context.Context, t txn.Transaction, opts ...ReadOption) (txn.Result, error) {
+	opt := PickRead(opts)
+	if opt.level != LevelStrong && !t.IsUpdate() {
+		keys := t.ReadKeys()
+		reads, err := cl.GetMany(ctx, keys, opt)
+		if err != nil {
+			return txn.Result{}, err
+		}
+		return txn.Result{Committed: true, Reads: reads, Seq: cl.watermark.Load()}, nil
+	}
+	return cl.Invoke(ctx, t)
+}
+
+// SnapshotNow returns a consistent cut "as of now": it orders an empty
+// transaction through the full protocol round, so the cut covers every
+// transaction acknowledged before the call.
+func (cl *Client) SnapshotNow(ctx context.Context) (SnapshotTS, error) {
+	res, err := cl.Invoke(ctx, txn.Transaction{})
+	if err != nil {
+		return SnapshotTS{}, err
+	}
+	return SnapshotTS{Seqs: []uint64{res.Seq}}, nil
+}
+
+// tryRead attempts a read-tier request against each replica in turn,
+// starting at the client's home, and records the reply watermark. It
+// reports false when no replica served (the caller falls back).
+func (cl *Client) tryRead(ctx context.Context, req readReq) (map[string][]byte, bool) {
+	ids := cl.c.ids
+	start := 0
+	for i, id := range ids {
+		if id == cl.home {
+			start = i
+			break
+		}
+	}
+	payload := codec.MustMarshal(&req)
+	for i := 0; i < len(ids); i++ {
+		target := ids[(start+i)%len(ids)]
+		cctx, cancel := context.WithTimeout(ctx, cl.c.cfg.RequestTimeout)
+		reply, err := cl.node.Call(cctx, target, kindRead, payload)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, false
+			}
+			continue
+		}
+		var resp readResp
+		if codec.Unmarshal(reply.Payload, &resp) != nil || !resp.Served {
+			continue
+		}
+		cl.observe(resp.Seq)
+		return resp.Reads, true
+	}
+	return nil, false
+}
+
+// strongRead is the fallback: the keys as one read-only transaction
+// through the full protocol round.
+func (cl *Client) strongRead(ctx context.Context, keys []string) (map[string][]byte, error) {
+	t := txn.Transaction{Ops: make([]txn.Op, 0, len(keys))}
+	for _, k := range keys {
+		t.Ops = append(t.Ops, txn.R(k))
+	}
+	res, err := cl.Invoke(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	return res.Reads, nil
+}
+
+// writeBarrier blocks until no read lease can cover the keys this
+// client is about to write. When the granter is unreachable the client
+// waits out one full lease term instead — every lease the granter could
+// have issued has then expired (the Gray–Cheriton fallback). A non-nil
+// error means the context died before either outcome: the caller must
+// NOT submit the write.
+func (cl *Client) writeBarrier(ctx context.Context, keys []string) error {
+	lease := cl.c.cfg.Lease
+	// The barrier itself may wait out a quarantine plus an unreachable
+	// holder, each bounded by a lease term.
+	timeout := 2*(lease.TTL+lease.ClockMargin) + 500*time.Millisecond
+	cctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	payload := codec.MustMarshal(&leaseMsg{Kind: leaseBarrier, Keys: keys})
+	reply, err := cl.node.Call(cctx, cl.c.ids[0], kindLease, payload)
+	if err == nil {
+		var resp leaseResp
+		if codec.Unmarshal(reply.Payload, &resp) == nil && resp.OK {
+			return nil
+		}
+	}
+	if ctx.Err() != nil {
+		// Canceled (a superseded route, a caller giving up): no write
+		// will be submitted, so no lease term needs waiting out.
+		return ctx.Err()
+	}
+	// Granter unreachable: sleep out one lease term, interruptibly.
+	select {
+	case <-time.After(lease.TTL + lease.ClockMargin):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// releaseBarrier reports the committed write's watermark to the granter
+// (one-way; a lost release is recovered by the pending expiry).
+func (cl *Client) releaseBarrier(keys []string, seq uint64) {
+	payload := codec.MustMarshal(&leaseMsg{Kind: leaseRelease, Keys: keys, Seq: seq})
+	_ = cl.node.Send(cl.c.ids[0], kindLease, payload)
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"replication/internal/txn"
+)
+
+// put commits one write through the full protocol round.
+func put(t *testing.T, cl *Client, key string, value []byte) {
+	t.Helper()
+	ctx := ctxT(t, 10*time.Second)
+	res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{txn.W(key, value)}})
+	if err != nil || !res.Committed {
+		t.Fatalf("write %s: committed=%v err=%v", key, res.Committed, err)
+	}
+}
+
+// TestReadLevelsBasic drives Get/GetMany/Do at every level on a strong
+// technique and checks each returns the committed value.
+func TestReadLevelsBasic(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: Active, Replicas: 3,
+		Lease: LeaseConfig{Enabled: true},
+	})
+	cl := c.NewClient()
+	ctx := ctxT(t, 20*time.Second)
+	put(t, cl, "city", []byte("lausanne"))
+
+	for _, tc := range []struct {
+		name string
+		opt  ReadOption
+	}{
+		{"strong", ReadStrong},
+		{"lease", ReadLease},
+		{"session", ReadSession},
+	} {
+		v, err := cl.Get(ctx, "city", tc.opt)
+		if err != nil {
+			t.Fatalf("%s Get: %v", tc.name, err)
+		}
+		if string(v) != "lausanne" {
+			t.Fatalf("%s Get = %q, want lausanne", tc.name, v)
+		}
+	}
+
+	ts, err := cl.SnapshotNow(ctx)
+	if err != nil {
+		t.Fatalf("SnapshotNow: %v", err)
+	}
+	v, err := cl.Get(ctx, "city", ReadSnapshot(ts))
+	if err != nil {
+		t.Fatalf("snapshot Get: %v", err)
+	}
+	if string(v) != "lausanne" {
+		t.Fatalf("snapshot Get = %q, want lausanne", v)
+	}
+
+	// Do with a read-only transaction at a weak level routes through the
+	// read tier and still reports a committed result.
+	res, err := cl.Do(ctx, txn.Transaction{Ops: []txn.Op{txn.R("city")}}, ReadSession)
+	if err != nil || !res.Committed {
+		t.Fatalf("Do(session): committed=%v err=%v", res.Committed, err)
+	}
+	if string(res.Reads["city"]) != "lausanne" {
+		t.Fatalf("Do(session) read %q", res.Reads["city"])
+	}
+
+	// Absent keys read as nil, not an error.
+	v, err = cl.Get(ctx, "nothing", ReadLease)
+	if err != nil || v != nil {
+		t.Fatalf("absent key: v=%q err=%v", v, err)
+	}
+}
+
+// TestSnapshotReadIsRepeatable pins the defining property of a cut:
+// reads at it return the same data no matter what commits afterwards.
+func TestSnapshotReadIsRepeatable(t *testing.T) {
+	c := newTestCluster(t, Config{Protocol: Active, Replicas: 3})
+	cl := c.NewClient()
+	ctx := ctxT(t, 20*time.Second)
+
+	put(t, cl, "k", []byte("old"))
+	ts, err := cl.SnapshotNow(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, cl, "k", []byte("new"))
+
+	for i := 0; i < 3; i++ {
+		v, err := cl.Get(ctx, "k", ReadSnapshot(ts))
+		if err != nil {
+			t.Fatalf("snapshot read %d: %v", i, err)
+		}
+		if string(v) != "old" {
+			t.Fatalf("snapshot read %d = %q, want the pre-cut value", i, v)
+		}
+	}
+	v, err := cl.Get(ctx, "k")
+	if err != nil || string(v) != "new" {
+		t.Fatalf("strong read = %q err=%v, want new", v, err)
+	}
+}
+
+// TestLeaseReadServesLocallyAndBarriersOnWrite checks the two sides of
+// the lease contract on one cluster: a leased read after a write always
+// returns that write (the barrier revoked every covering lease before
+// the commit), and repeated leased reads are served without falling
+// back to the strong path.
+func TestLeaseReadServesLocallyAndBarriersOnWrite(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: Active, Replicas: 3,
+		Lease: LeaseConfig{Enabled: true, TTL: 500 * time.Millisecond},
+	})
+	cl := c.NewClient()
+	ctx := ctxT(t, 30*time.Second)
+
+	for round := 1; round <= 5; round++ {
+		want := fmt.Sprintf("v%d", round)
+		put(t, cl, "hot", []byte(want))
+		// Immediately after the commit: the freshest value, no staleness
+		// window while the granter is reachable.
+		for i := 0; i < 3; i++ {
+			v, err := cl.Get(ctx, "hot", ReadLease)
+			if err != nil {
+				t.Fatalf("round %d leased read: %v", round, err)
+			}
+			if string(v) != want {
+				t.Fatalf("round %d leased read = %q, want %q (stale lease served)", round, v, want)
+			}
+		}
+		if !c.LeaseGranted("hot") {
+			t.Fatalf("round %d: no lease recorded at the granter after leased reads", round)
+		}
+	}
+	st := cl.ReadStats()
+	if st.LeaseLocal == 0 {
+		t.Fatalf("no leased reads were served locally: %+v", st)
+	}
+}
+
+// TestSessionReadYourWrites checks the session guarantee on every
+// replica being a possible server: after each write, a session read
+// must return it (directly or via the strong fallback).
+func TestSessionReadYourWrites(t *testing.T) {
+	c := newTestCluster(t, Config{Protocol: Active, Replicas: 3})
+	cl := c.NewClient()
+	ctx := ctxT(t, 30*time.Second)
+
+	for i := 1; i <= 10; i++ {
+		want := fmt.Sprintf("v%d", i)
+		put(t, cl, "doc", []byte(want))
+		v, err := cl.Get(ctx, "doc", ReadSession)
+		if err != nil {
+			t.Fatalf("session read %d: %v", i, err)
+		}
+		if string(v) != want {
+			t.Fatalf("session read %d = %q, want %q (read-your-writes violated)", i, v, want)
+		}
+	}
+	if cl.Watermark() == 0 {
+		t.Fatal("client never accumulated a session watermark")
+	}
+}
+
+// TestSessionWatermarkAdvances checks replies stamp the watermark on
+// both the write and the read path.
+func TestSessionWatermarkAdvances(t *testing.T) {
+	c := newTestCluster(t, Config{Protocol: Certification, Replicas: 3})
+	cl := c.NewClient()
+	put(t, cl, "a", []byte("1"))
+	w1 := cl.Watermark()
+	if w1 == 0 {
+		t.Fatal("write did not stamp a watermark")
+	}
+	put(t, cl, "a", []byte("2"))
+	if cl.Watermark() <= w1 {
+		t.Fatalf("watermark did not advance: %d -> %d", w1, cl.Watermark())
+	}
+}
+
+// TestLeaseStateDiesAtRecoveryFence checks the failure rule: a replica
+// that crashes and recovers must not resurrect pre-crash leases, and
+// reads served after the fence are current.
+func TestLeaseStateDiesAtRecoveryFence(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: Active, Replicas: 3,
+		Lease: LeaseConfig{Enabled: true, TTL: 300 * time.Millisecond},
+	})
+	cl := c.NewClient()
+	ctx := ctxT(t, 40*time.Second)
+
+	put(t, cl, "k", []byte("before"))
+	if _, err := cl.Get(ctx, "k", ReadLease); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and recover a non-granter replica that may hold leases.
+	victim := c.Replicas()[2]
+	c.Crash(victim)
+	put(t, cl, "k", []byte("during"))
+	if err := c.Restart(ctx, victim); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+
+	// Post-fence leased reads must see the write that happened while the
+	// holder was down — its pre-crash lease cache is gone, so it must
+	// re-acquire with a fresh freshness floor.
+	for i := 0; i < 5; i++ {
+		v, err := cl.Get(ctx, "k", ReadLease)
+		if err != nil {
+			t.Fatalf("post-recovery leased read: %v", err)
+		}
+		if string(v) != "during" {
+			t.Fatalf("post-recovery leased read = %q, want %q (pre-crash lease resurrected)", v, "during")
+		}
+	}
+}
+
+// TestLeaseInvalidationStress races writers against leased readers on a
+// small hot key set (run under -race in CI). The oracle: each key is
+// owned by one writer committing strictly increasing versions, so any
+// reader must observe a non-decreasing version sequence per key, and a
+// leased read completed after a commit may never return an older
+// version than a previously observed one.
+func TestLeaseInvalidationStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	c := newTestCluster(t, Config{
+		Protocol: Active, Replicas: 3,
+		Lease: LeaseConfig{Enabled: true, TTL: 50 * time.Millisecond},
+	})
+	ctx := ctxT(t, 60*time.Second)
+
+	const (
+		keys    = 3
+		rounds  = 25
+		readers = 4
+	)
+	var (
+		wg       sync.WaitGroup
+		violated atomic.Int64
+		done     atomic.Bool
+	)
+	for k := 0; k < keys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			wcl := c.NewClient()
+			key := fmt.Sprintf("hot%d", k)
+			for v := 1; v <= rounds; v++ {
+				res, err := wcl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+					txn.W(key, []byte(fmt.Sprintf("%08d", v))),
+				}})
+				if err != nil || !res.Committed {
+					t.Errorf("writer %s v%d: committed=%v err=%v", key, v, res.Committed, err)
+					return
+				}
+			}
+		}(k)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rcl := c.NewClient()
+			seen := make(map[string]string)
+			for !done.Load() {
+				key := fmt.Sprintf("hot%d", r%keys)
+				v, err := rcl.Get(ctx, key, ReadLease)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					continue
+				}
+				if v == nil {
+					continue
+				}
+				if prev, ok := seen[key]; ok && string(v) < prev {
+					violated.Add(1)
+					t.Errorf("reader %d: %s went backwards %q -> %q", r, key, prev, v)
+					return
+				}
+				seen[key] = string(v)
+			}
+		}(r)
+	}
+	// Writers finish, then readers stop.
+	go func() {
+		defer done.Store(true)
+		deadline := time.Now().Add(55 * time.Second)
+		for time.Now().Before(deadline) {
+			allDone := true
+			for k := 0; k < keys; k++ {
+				cl := c.NewClient()
+				v, err := cl.Get(ctx, fmt.Sprintf("hot%d", k), ReadStrong)
+				if err != nil || string(v) != fmt.Sprintf("%08d", rounds) {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	if violated.Load() > 0 {
+		t.Fatalf("%d stale leased reads observed", violated.Load())
+	}
+
+	// After all writers are done, a leased read must return the final
+	// version — every intermediate lease was revoked by its barrier.
+	cl := c.NewClient()
+	want := fmt.Sprintf("%08d", rounds)
+	for k := 0; k < keys; k++ {
+		v, err := cl.Get(ctx, fmt.Sprintf("hot%d", k), ReadLease)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != want {
+			t.Fatalf("final leased read of hot%d = %q, want %q", k, v, want)
+		}
+	}
+}

@@ -220,6 +220,14 @@ func (c *Cluster) BeginRecovery(id transport.NodeID, wipe bool) error {
 		r.rlog.Reset()
 		r.dd.reset()
 	}
+	// Lease state dies at the fence, never resurrects: this replica's
+	// cached leases are dropped, and if it is the granter it forgets all
+	// grants and quarantines itself for a full lease term — every lease
+	// the pre-crash incarnation issued has expired before it grants again.
+	r.leaseH.clear()
+	if r.leaseG != nil {
+		r.leaseG.quarantine(r.cfg.Lease.TTL + r.cfg.Lease.ClockMargin)
+	}
 	// Gate every apply path: traffic that arrives once the endpoint is
 	// back queues behind (ordered) or drops against (unordered) the
 	// gate instead of interleaving with the donor pages. The replica's

@@ -141,7 +141,7 @@ func (s *semiActiveServer) onDeliver(origin transport.NodeID, payload []byte) {
 	s.r.trace(req.ID, trace.SC, "abcast")
 
 	if res, done := s.dd.get(req.ID); done {
-		respond(s.r.node, req, res)
+		respond(s.r, req, res)
 		return
 	}
 
@@ -157,7 +157,7 @@ func (s *semiActiveServer) onDeliver(origin transport.NodeID, payload []byte) {
 	}
 	s.r.commit(pos, req.ID, req.TxnID(), s.r.id, 0, out.ws, out.result)
 	s.dd.put(req.ID, out.result)
-	respond(s.r.node, req, out.result)
+	respond(s.r, req, out.result)
 }
 
 // rejoin implements the recovery hook: fast-forward the total order,

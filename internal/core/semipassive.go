@@ -95,7 +95,7 @@ func (s *semiPassiveServer) onClientRequest(m transport.Message) {
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
 		s.mu.Unlock()
-		respond(s.r.node, req, res)
+		respond(s.r, req, res)
 		return
 	}
 	if _, ok := s.pending[req.ID]; ok {
@@ -226,9 +226,9 @@ func (s *semiPassiveServer) apply(instance uint64, value []byte) {
 	}
 	// All replicas answer; the client keeps the first response.
 	if known {
-		respond(s.r.node, req, u.Result)
+		respond(s.r, req, u.Result)
 	} else {
-		respond(s.r.node, Request{ID: u.ReqID, Client: u.Client}, u.Result)
+		respond(s.r, Request{ID: u.ReqID, Client: u.Client}, u.Result)
 	}
 }
 

@@ -299,6 +299,7 @@ func init() {
 			return &Response{ID: 99, Result: txn.Result{
 				Committed: true,
 				Reads:     map[string][]byte{"alpha": []byte("v1"), "beta": nil},
+				Seq:       312,
 			}}
 		})
 	codec.Register("core.update",
@@ -310,7 +311,7 @@ func init() {
 					{Key: "beta", Value: []byte("value-1")},
 					{Key: "gamma", Value: []byte("nd-abc")},
 				},
-				Result: txn.Result{Committed: true, Reads: map[string][]byte{"alpha": []byte("v1")}},
+				Result: txn.Result{Committed: true, Reads: map[string][]byte{"alpha": []byte("v1")}, Seq: 41},
 			}
 		})
 	codec.Register("core.rpc-answer",
@@ -362,7 +363,7 @@ func init() {
 					Txn: txn.Transaction{ID: "t31", Ops: []txn.Op{txn.R("a"), txn.W("b", []byte("v"))}}},
 				RS:     txn.ReadSet{"a": 17},
 				WS:     storage.WriteSet{{Key: "b", Value: []byte("v")}},
-				Result: txn.Result{Committed: true, Reads: map[string][]byte{"a": []byte("old")}},
+				Result: txn.Result{Committed: true, Reads: map[string][]byte{"a": []byte("old")}, Seq: 17},
 			}
 		})
 	codec.Register("sa.decision",

@@ -64,6 +64,13 @@ type boundClient struct {
 	gc         *core.Cluster
 	mu         sync.Mutex // one invocation at a time, so routeEpoch is single-valued
 	routeEpoch atomic.Uint64
+
+	// sessionDirty marks that this group may have applied a write of
+	// ours that its core client's watermark does not cover — a cross-
+	// shard commit (applied via the participant's own client), or simply
+	// a connection younger than the session. The next session read on
+	// the group goes strong, which re-seeds the watermark.
+	sessionDirty atomic.Bool
 }
 
 // invoke pins the routing epoch and runs one core invocation.
@@ -176,6 +183,7 @@ func (cl *Client) groupClient(s int) (*boundClient, error) {
 		return b, nil
 	}
 	b := &boundClient{gcl: gc.NewClient(), gc: gc}
+	b.sessionDirty.Store(true) // fresh connection: no watermark yet
 	cl.c.mux.BindEpoch(uint32(s), b.gcl.ID(), b.routeEpoch.Load, cl.onRedirect)
 	cl.groups[s] = b
 	return b, nil
@@ -189,6 +197,9 @@ func (cl *Client) Shard(key string) int {
 
 // InvokeOp submits a single-operation transaction — always single-shard,
 // always the routed fast path.
+//
+// Deprecated: use Do (reads take a consistency level there) or Get for
+// a plain single-key read. InvokeOp remains as a thin wrapper.
 func (cl *Client) InvokeOp(ctx context.Context, op txn.Op) (txn.Result, error) {
 	return cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{op}})
 }
@@ -376,6 +387,18 @@ func (cl *Client) invokeCross(ctx context.Context, a Assignment, refreshCh <-cha
 	cl.c.metrics.crossCommits.Add(1)
 	cl.c.metrics.Cross().Observe(time.Since(start))
 
+	// The write was applied by each participant's own client, so the
+	// involved groups' session watermarks here don't cover it; mark them
+	// so the next session read on them re-seeds (read-your-writes holds
+	// across 2PC).
+	cl.mu.Lock()
+	for _, s := range shards {
+		if b, ok := cl.groups[s]; ok {
+			b.sessionDirty.Store(true)
+		}
+	}
+	cl.mu.Unlock()
+
 	res := txn.Result{Committed: true, Reads: make(map[string][]byte)}
 	for _, s := range shards {
 		if !needReads[s] {
@@ -414,75 +437,10 @@ func (cl *Client) fetchReads(ctx context.Context, s int, txnID string) (map[stri
 	return out.Result.Reads, nil
 }
 
-// MultiGet reads many keys with one fan-out round: each involved shard
-// serves its keys directly as a read-only transaction, in parallel,
-// with no 2PC and no intents. The result is per-shard consistent —
-// each shard's subset is a consistent read of that group — but offers
-// no isolation ACROSS shards: a concurrent cross-shard transaction may
-// be visible on one shard and not yet on another. Read-heavy workloads
-// that can accept that (caches, analytics, fan-out rendering) skip the
-// whole coordination path; readers needing cross-shard isolation use
-// Invoke with Read operations instead.
+// MultiGet reads many keys with one strong fan-out round.
+//
+// Deprecated: use GetMany, which takes a consistency level; MultiGet is
+// exactly GetMany at the default ReadStrong level.
 func (cl *Client) MultiGet(ctx context.Context, keys ...string) (map[string][]byte, error) {
-	for {
-		out, retry, err := cl.tryMultiGet(ctx, keys)
-		if !retry {
-			return out, err
-		}
-		cl.c.metrics.epochRetries.Add(1)
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("%w: %w", ErrWrongEpoch, ctx.Err())
-		}
-	}
-}
-
-func (cl *Client) tryMultiGet(ctx context.Context, keys []string) (map[string][]byte, bool, error) {
-	a, refreshCh := cl.routeState()
-	byShard := make(map[int][]txn.Op)
-	for _, k := range keys {
-		s := cl.c.router.ShardAt(a, k)
-		byShard[s] = append(byShard[s], txn.R(k))
-	}
-
-	var (
-		mu    sync.Mutex
-		out   = make(map[string][]byte, len(keys))
-		first error
-		wg    sync.WaitGroup
-	)
-	rctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	stop := watchRefresh(refreshCh, cancel)
-	defer stop()
-	for s, ops := range byShard {
-		b, err := cl.groupClient(s)
-		if err != nil {
-			cl.refreshFromCluster()
-			return nil, cl.stale(a), err
-		}
-		wg.Add(1)
-		go func(s int, b *boundClient, ops []txn.Op) {
-			defer wg.Done()
-			res, err := b.invoke(rctx, a.Epoch, txn.Transaction{Ops: ops})
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if first == nil {
-					first = fmt.Errorf("shard: multiget on shard %d: %w", s, err)
-				}
-				return
-			}
-			for k, v := range res.Reads {
-				out[k] = v
-			}
-		}(s, b, ops)
-	}
-	wg.Wait()
-	if first != nil {
-		if ctx.Err() == nil && cl.stale(a) {
-			return nil, true, nil // superseded route: re-route and retry
-		}
-		return nil, false, first
-	}
-	return out, false, nil
+	return cl.GetMany(ctx, keys)
 }

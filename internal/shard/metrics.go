@@ -24,6 +24,12 @@ type Metrics struct {
 	crossAborts  atomic.Uint64
 	epochRetries atomic.Uint64
 	movedKeys    atomic.Uint64
+
+	// sessionReseeds counts session reads that went strong to re-seed a
+	// group watermark (fresh connection or post-2PC dirty mark).
+	sessionReseeds atomic.Uint64
+	// leaseRevocations counts leases revoked by rebalance range blocks.
+	leaseRevocations atomic.Uint64
 }
 
 func newMetrics(shards int) *Metrics {
@@ -78,6 +84,14 @@ func (m *Metrics) EpochRetries() uint64 { return m.epochRetries.Load() }
 // MovedKeys returns the total keys streamed between groups by
 // completed rebalance steps.
 func (m *Metrics) MovedKeys() uint64 { return m.movedKeys.Load() }
+
+// SessionReseeds returns how many session reads went strong to re-seed
+// a group watermark (fresh connections and post-2PC dirty marks).
+func (m *Metrics) SessionReseeds() uint64 { return m.sessionReseeds.Load() }
+
+// LeaseRevocations returns how many rebalance steps revoked read leases
+// over their moving range before freezing it.
+func (m *Metrics) LeaseRevocations() uint64 { return m.leaseRevocations.Load() }
 
 // Summary formats one line per shard plus the cross-shard line —
 // replsim prints this under -shards.

@@ -1,0 +1,290 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"replication/internal/core"
+	"replication/internal/txn"
+)
+
+// The sharded read tier: Get/GetMany/Do route each key's read to its
+// owning group at the requested consistency level, reusing the core
+// tier inside each group.
+//
+//   - ReadStrong fans the keys out as one read-only transaction per
+//     involved group — per-shard consistent (each subset is a
+//     consistent read of its group) but, like MultiGet before it, not
+//     isolated ACROSS shards.
+//   - ReadLease and ReadSession serve from the groups' read tiers with
+//     zero protocol rounds on the hit path. Session state is tracked
+//     per group; a cross-shard commit marks its groups dirty so the
+//     next session read there re-seeds the watermark strongly
+//     (read-your-writes holds across 2PC).
+//   - ReadSnapshot(ts) reads every key at the consistent cut ts taken
+//     by SnapshotNow — repeatable (the same cut always returns the same
+//     data) and pinned to the routing epoch it was taken under, so a
+//     cut never silently spans a rebalance.
+//
+// Reads deliberately skip the rebalance admission gate: they take no
+// intents and write nothing, so the freeze has nothing to drain from
+// them. Safety during a move comes from the lease hooks instead — the
+// rebalancer revokes every lease covering the moving range before the
+// freeze commits (rebalance.go), and epoch tagging rejects read frames
+// routed on a superseded assignment.
+
+// ErrSnapshotEpoch reports a snapshot cut taken under an assignment
+// that has since been superseded; the version chains it pinned may have
+// moved or been compacted, so the read is refused rather than answered
+// inconsistently.
+var ErrSnapshotEpoch = fmt.Errorf("shard: snapshot cut predates the current assignment epoch")
+
+// get pins the routing epoch and runs one read-tier fetch on the group.
+func (b *boundClient) get(ctx context.Context, epoch uint64, keys []string, opt core.ReadOption) (map[string][]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.routeEpoch.Store(epoch)
+	return b.gcl.GetMany(ctx, keys, opt)
+}
+
+// snapshotNow pins the routing epoch and takes the group's cut.
+func (b *boundClient) snapshotNow(ctx context.Context, epoch uint64) (core.SnapshotTS, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.routeEpoch.Store(epoch)
+	return b.gcl.SnapshotNow(ctx)
+}
+
+// Get reads one key at the chosen consistency level (ReadStrong when no
+// option is given). A nil value means the key is absent.
+func (cl *Client) Get(ctx context.Context, key string, opts ...core.ReadOption) ([]byte, error) {
+	m, err := cl.GetMany(ctx, []string{key}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return m[key], nil
+}
+
+// GetMany reads keys at the chosen consistency level with one fan-out
+// round over the owning groups. See the package's read-tier notes for
+// what each level guarantees across shards.
+func (cl *Client) GetMany(ctx context.Context, keys []string, opts ...core.ReadOption) (map[string][]byte, error) {
+	opt := core.PickRead(opts)
+	for {
+		out, retry, err := cl.tryGetMany(ctx, keys, opt)
+		if !retry {
+			return out, err
+		}
+		cl.c.metrics.epochRetries.Add(1)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: %w", ErrWrongEpoch, ctx.Err())
+		}
+	}
+}
+
+// tryGetMany makes one routed read attempt against the cached
+// assignment. retry=true means the assignment was superseded mid-flight
+// and the caller should re-route.
+func (cl *Client) tryGetMany(ctx context.Context, keys []string, opt core.ReadOption) (map[string][]byte, bool, error) {
+	a, refreshCh := cl.routeState()
+	if opt.Level() == core.LevelSnapshot {
+		ts := opt.At()
+		if ts.Epoch > a.Epoch {
+			// The cut is newer than our cached routing: refresh and retry.
+			cl.refreshFromCluster()
+			return nil, cl.stale(a), ErrSnapshotEpoch
+		}
+		if ts.Epoch < a.Epoch {
+			return nil, false, ErrSnapshotEpoch
+		}
+	}
+	byShard := make(map[int][]string)
+	for _, k := range keys {
+		s := cl.c.router.ShardAt(a, k)
+		byShard[s] = append(byShard[s], k)
+	}
+
+	var (
+		mu    sync.Mutex
+		out   = make(map[string][]byte, len(keys))
+		first error
+		wg    sync.WaitGroup
+	)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := watchRefresh(refreshCh, cancel)
+	defer stop()
+	for s, shardKeys := range byShard {
+		b, err := cl.groupClient(s)
+		if err != nil {
+			cl.refreshFromCluster()
+			return nil, cl.stale(a), err
+		}
+		wg.Add(1)
+		go func(s int, b *boundClient, shardKeys []string) {
+			defer wg.Done()
+			reads, err := cl.readShard(rctx, a, s, b, shardKeys, opt)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("shard: read on shard %d: %w", s, err)
+				}
+				return
+			}
+			for k, v := range reads {
+				out[k] = v
+			}
+		}(s, b, shardKeys)
+	}
+	wg.Wait()
+	if first != nil {
+		if ctx.Err() == nil && cl.stale(a) {
+			return nil, true, nil // superseded route: re-route and retry
+		}
+		return nil, false, first
+	}
+	return out, false, nil
+}
+
+// readShard serves one shard's slice of a GetMany at the right per-group
+// level: the shard-level option translated to what the group client
+// needs (its slice of a snapshot cut, a strong re-seed on a dirty
+// session, plain transaction reads at ReadStrong).
+func (cl *Client) readShard(ctx context.Context, a Assignment, s int, b *boundClient, keys []string, opt core.ReadOption) (map[string][]byte, error) {
+	switch opt.Level() {
+	case core.LevelStrong:
+		ops := make([]txn.Op, 0, len(keys))
+		for _, k := range keys {
+			ops = append(ops, txn.R(k))
+		}
+		res, err := b.invoke(ctx, a.Epoch, txn.Transaction{Ops: ops})
+		if err != nil {
+			return nil, err
+		}
+		b.sessionDirty.Store(false) // a strong read seeds the watermark too
+		return res.Reads, nil
+	case core.LevelSession:
+		if b.sessionDirty.Load() {
+			// A write this group's watermark doesn't cover (2PC, or a
+			// fresh connection): go strong once, which observes a
+			// covering watermark, then clear the mark.
+			reads, err := cl.readShard(ctx, a, s, b, keys, core.ReadStrong)
+			if err == nil {
+				cl.c.metrics.sessionReseeds.Add(1)
+			}
+			return reads, err
+		}
+		return b.get(ctx, a.Epoch, keys, opt)
+	case core.LevelSnapshot:
+		ts := opt.At()
+		if s >= len(ts.Seqs) {
+			return nil, ErrSnapshotEpoch
+		}
+		return b.get(ctx, a.Epoch, keys, core.ReadSnapshot(core.SnapshotTS{Seqs: []uint64{ts.Seqs[s]}}))
+	default: // LevelLease
+		return b.get(ctx, a.Epoch, keys, opt)
+	}
+}
+
+// Do submits a transaction at the chosen consistency level. Read-only
+// transactions at a weak level route through the read tier; everything
+// else — every write — goes through Invoke, the single write path.
+func (cl *Client) Do(ctx context.Context, t txn.Transaction, opts ...core.ReadOption) (txn.Result, error) {
+	opt := core.PickRead(opts)
+	if opt.Level() != core.LevelStrong && !t.IsUpdate() {
+		reads, err := cl.GetMany(ctx, t.ReadKeys(), opt)
+		if err != nil {
+			return txn.Result{}, err
+		}
+		return txn.Result{Committed: true, Reads: reads}, nil
+	}
+	return cl.Invoke(ctx, t)
+}
+
+// SnapshotNow takes a consistent cut of the whole keyspace: one applied
+// commit sequence per shard, pinned to the routing epoch. Each shard's
+// component is a full protocol round, so the cut covers every
+// transaction acknowledged before the call. The components are taken
+// concurrently, not atomically: a cross-shard transaction RACING the
+// call may land inside the cut on one shard and outside it on another
+// (transactions completed before the call are always fully inside).
+// The cut is repeatable — ReadSnapshot at it always returns the same
+// data — until a rebalance supersedes its epoch.
+func (cl *Client) SnapshotNow(ctx context.Context) (core.SnapshotTS, error) {
+	for {
+		ts, retry, err := cl.trySnapshotNow(ctx)
+		if !retry {
+			return ts, err
+		}
+		cl.c.metrics.epochRetries.Add(1)
+		if ctx.Err() != nil {
+			return core.SnapshotTS{}, fmt.Errorf("%w: %w", ErrWrongEpoch, ctx.Err())
+		}
+	}
+}
+
+func (cl *Client) trySnapshotNow(ctx context.Context) (core.SnapshotTS, bool, error) {
+	a, refreshCh := cl.routeState()
+	seqs := make([]uint64, a.Shards)
+	var (
+		mu    sync.Mutex
+		first error
+		wg    sync.WaitGroup
+	)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := watchRefresh(refreshCh, cancel)
+	defer stop()
+	for s := 0; s < a.Shards; s++ {
+		b, err := cl.groupClient(s)
+		if err != nil {
+			cl.refreshFromCluster()
+			return core.SnapshotTS{}, cl.stale(a), err
+		}
+		wg.Add(1)
+		go func(s int, b *boundClient) {
+			defer wg.Done()
+			ts, err := b.snapshotNow(rctx, a.Epoch)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("shard: snapshot on shard %d: %w", s, err)
+				}
+				return
+			}
+			seqs[s] = ts.Seqs[0]
+		}(s, b)
+	}
+	wg.Wait()
+	if first != nil {
+		if ctx.Err() == nil && cl.stale(a) {
+			return core.SnapshotTS{}, true, nil
+		}
+		return core.SnapshotTS{}, false, first
+	}
+	if cl.stale(a) {
+		// The assignment flipped while the cut was being assembled; its
+		// components straddle the move. Take it again under one epoch.
+		return core.SnapshotTS{}, true, nil
+	}
+	return core.SnapshotTS{Epoch: a.Epoch, Seqs: seqs}, false, nil
+}
+
+// ReadStats sums the read-tier counters of this client's group
+// connections (see core.ReadTierStats).
+func (cl *Client) ReadStats() core.ReadTierStats {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var sum core.ReadTierStats
+	for _, b := range cl.groups {
+		st := b.gcl.ReadStats()
+		sum.LeaseLocal += st.LeaseLocal
+		sum.SessionLocal += st.SessionLocal
+		sum.Snapshot += st.Snapshot
+		sum.Fallbacks += st.Fallbacks
+	}
+	return sum
+}

@@ -1,0 +1,324 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/txn"
+	"replication/internal/workload"
+)
+
+// putS commits one write through the routed path.
+func putS(t testing.TB, cl *Client, key string, value []byte) {
+	t.Helper()
+	ctx := ctxT(t, 30*time.Second)
+	res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{txn.W(key, value)}})
+	if err != nil || !res.Committed {
+		t.Fatalf("write %s: committed=%v err=%v", key, res.Committed, err)
+	}
+}
+
+// TestShardedReadLevels drives Get/GetMany/Do at every level over a
+// multi-shard cluster, with keys on distinct shards.
+func TestShardedReadLevels(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 3, Group: core.Config{
+		Protocol: core.Active, Replicas: 3,
+		Lease: core.LeaseConfig{Enabled: true},
+	}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+
+	keys := keysOnDistinctShards(t, c)
+	for i, k := range keys {
+		putS(t, cl, k, []byte(fmt.Sprintf("v%d", i)))
+	}
+
+	for _, tc := range []struct {
+		name string
+		opt  core.ReadOption
+	}{
+		{"strong", core.ReadStrong},
+		{"lease", core.ReadLease},
+		{"session", core.ReadSession},
+	} {
+		m, err := cl.GetMany(ctx, keys, tc.opt)
+		if err != nil {
+			t.Fatalf("%s GetMany: %v", tc.name, err)
+		}
+		for i, k := range keys {
+			if string(m[k]) != fmt.Sprintf("v%d", i) {
+				t.Fatalf("%s GetMany[%s] = %q, want v%d", tc.name, k, m[k], i)
+			}
+		}
+	}
+
+	// A cross-shard snapshot cut: pre-cut values survive post-cut writes.
+	ts, err := cl.SnapshotNow(ctx)
+	if err != nil {
+		t.Fatalf("SnapshotNow: %v", err)
+	}
+	if ts.Epoch != c.Epoch() || len(ts.Seqs) != c.Shards() {
+		t.Fatalf("cut = %+v, want epoch %d over %d shards", ts, c.Epoch(), c.Shards())
+	}
+	for _, k := range keys {
+		putS(t, cl, k, []byte("overwritten"))
+	}
+	m, err := cl.GetMany(ctx, keys, core.ReadSnapshot(ts))
+	if err != nil {
+		t.Fatalf("snapshot GetMany: %v", err)
+	}
+	for i, k := range keys {
+		if string(m[k]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("snapshot GetMany[%s] = %q, want the pre-cut v%d", k, m[k], i)
+		}
+	}
+
+	// Do at a weak level with a read-only transaction spanning shards.
+	res, err := cl.Do(ctx, txn.Transaction{Ops: []txn.Op{txn.R(keys[0]), txn.R(keys[1])}}, core.ReadSession)
+	if err != nil || !res.Committed {
+		t.Fatalf("Do(session): committed=%v err=%v", res.Committed, err)
+	}
+	if string(res.Reads[keys[0]]) != "overwritten" {
+		t.Fatalf("Do(session) read %q", res.Reads[keys[0]])
+	}
+}
+
+// TestSnapshotCutRefusedAfterRebalance: a cut is pinned to its routing
+// epoch; once a move supersedes it, reads at it are refused rather than
+// answered from moved (possibly compacted) chains.
+func TestSnapshotCutRefusedAfterRebalance(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+
+	putS(t, cl, "pin-1", []byte("v"))
+	ts, err := cl.SnapshotNow(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddShard(ctx); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if _, err := cl.GetMany(ctx, []string{"pin-1"}, core.ReadSnapshot(ts)); err == nil {
+		t.Fatal("snapshot read at a pre-move cut succeeded; want an epoch refusal")
+	}
+}
+
+// TestStaleLeaseReadAfterMove is the regression test for the rebalance
+// lease hook: a lease granted on a moving key's source group must be
+// revoked before the freeze commits, so no leased read can serve the
+// source's stale copy once the key's new owner starts taking writes.
+func TestStaleLeaseReadAfterMove(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{
+		Protocol: core.Active, Replicas: 3,
+		Lease: core.LeaseConfig{Enabled: true, TTL: 10 * time.Second},
+	}})
+	reader := c.NewClient()
+	writer := c.NewClient()
+	ctx := ctxT(t, 120*time.Second)
+
+	// Find keys that will move on the next grow, seed them, and warm the
+	// reader's leases on them. The long TTL means expiry alone cannot
+	// save us — only the revoke hook can.
+	a := c.Router().Assignment()
+	plan := PlanChange(a, a.Shards+1)
+	part := c.Router().Partitioner()
+	var moving []string
+	for i := 0; len(moving) < 3 && i < 100000; i++ {
+		k := fmt.Sprintf("mv-%d", i)
+		if _, _, m := plan.MoveOf(k, part); m {
+			moving = append(moving, k)
+		}
+	}
+	for _, k := range moving {
+		putS(t, writer, k, []byte("pre-move"))
+		v, err := reader.Get(ctx, k, core.ReadLease)
+		if err != nil || string(v) != "pre-move" {
+			t.Fatalf("warm leased read %s = %q err=%v", k, v, err)
+		}
+	}
+
+	if _, err := c.AddShard(ctx); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if c.Metrics().LeaseRevocations() == 0 {
+		t.Fatal("rebalance revoked no leases; the pre-freeze hook did not fire")
+	}
+
+	// Write at the new home, then leased-read through the OLD client: it
+	// must re-route and serve the new value, never the source's copy.
+	for _, k := range moving {
+		putS(t, writer, k, []byte("post-move"))
+		v, err := reader.Get(ctx, k, core.ReadLease)
+		if err != nil {
+			t.Fatalf("post-move leased read %s: %v", k, err)
+		}
+		if string(v) != "post-move" {
+			t.Fatalf("post-move leased read %s = %q: stale lease served the source copy", k, v)
+		}
+	}
+}
+
+// sessionOracle runs clients mixing tagged writes with session reads
+// and fails on any read-your-writes or monotonic-reads violation. The
+// disrupt callback runs mid-load (kill/recover, rebalance, or nothing).
+func sessionOracle(t *testing.T, c *Cluster, clients, opsEach int, disrupt func()) {
+	t.Helper()
+	ctx := ctxT(t, 120*time.Second)
+	var (
+		wg      sync.WaitGroup
+		started sync.WaitGroup
+	)
+	started.Add(clients)
+	for ci := 0; ci < clients; ci++ {
+		cl := c.NewClient()
+		wg.Add(1)
+		go func(ci int, cl *Client) {
+			defer wg.Done()
+			writer := fmt.Sprintf("c%d", ci)
+			gen := workload.New(workload.Config{Keys: 16, WriteFraction: 0.3, Seed: int64(ci + 1)})
+			var (
+				seq       uint64
+				lastWrite = make(map[string]uint64)
+				lastSeen  = make(map[string]uint64)
+			)
+			started.Done()
+			for i := 0; i < opsEach; i++ {
+				k := gen.Key()
+				if i%3 == 0 {
+					seq++
+					res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+						txn.W(k, workload.TaggedValue(writer, seq, 24)),
+					}})
+					if err != nil || !res.Committed {
+						t.Errorf("client %d write %s: committed=%v err=%v", ci, k, res.Committed, err)
+						return
+					}
+					lastWrite[k] = seq
+					continue
+				}
+				v, err := cl.Get(ctx, k, core.ReadSession)
+				if err != nil {
+					t.Errorf("client %d session read %s: %v", ci, k, err)
+					return
+				}
+				w, s, ok := workload.ParseTag(v)
+				if !ok || w != writer {
+					continue
+				}
+				if s < lastWrite[k] {
+					t.Errorf("client %d: read-your-writes violated on %s (read seq %d, wrote %d)", ci, k, s, lastWrite[k])
+					return
+				}
+				if s < lastSeen[k] {
+					t.Errorf("client %d: monotonic reads violated on %s (read seq %d, saw %d)", ci, k, s, lastSeen[k])
+					return
+				}
+				if s > lastSeen[k] {
+					lastSeen[k] = s
+				}
+			}
+		}(ci, cl)
+	}
+	started.Wait()
+	if disrupt != nil {
+		disrupt()
+	}
+	wg.Wait()
+}
+
+// TestSessionGuaranteesQuiet: the conformance baseline, strong
+// techniques over the simulated transport with no disruption.
+func TestSessionGuaranteesQuiet(t *testing.T) {
+	for _, p := range []core.Protocol{core.Active, core.Certification, core.EagerPrimary} {
+		t.Run(string(p), func(t *testing.T) {
+			c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: p, Replicas: 3}})
+			sessionOracle(t, c, 3, 30, nil)
+		})
+	}
+}
+
+// TestSessionGuaranteesTCP runs the same oracle over real sockets.
+func TestSessionGuaranteesTCP(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{
+		Protocol: core.Active, Replicas: 3, Transport: core.TransportTCP,
+	}})
+	sessionOracle(t, c, 2, 20, nil)
+}
+
+// TestSessionGuaranteesUnderKillRecover: the oracle must hold while a
+// replica of every shard dies and rejoins under load.
+func TestSessionGuaranteesUnderKillRecover(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	victim := c.Replicas()[len(c.Replicas())-1]
+	done := make(chan struct{})
+	t.Cleanup(func() { <-done })
+	rctx := ctxT(t, 60*time.Second)
+	sessionOracle(t, c, 3, 40, func() {
+		go func() {
+			defer close(done)
+			time.Sleep(30 * time.Millisecond)
+			c.Crash(victim)
+			time.Sleep(50 * time.Millisecond)
+			if err := c.RecoverReplica(rctx, victim); err != nil {
+				t.Errorf("recover %s: %v", victim, err)
+			}
+		}()
+	})
+}
+
+// TestSessionGuaranteesUnderRebalance: the oracle must hold across a
+// live move — watermarks keep their meaning through the epoch flip.
+func TestSessionGuaranteesUnderRebalance(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	var moveErr atomic.Value
+	done := make(chan struct{})
+	t.Cleanup(func() {
+		<-done
+		if err, _ := moveErr.Load().(error); err != nil {
+			t.Fatalf("AddShard under load: %v", err)
+		}
+	})
+	rctx := ctxT(t, 90*time.Second)
+	sessionOracle(t, c, 3, 40, func() {
+		go func() {
+			defer close(done)
+			time.Sleep(30 * time.Millisecond)
+			if _, err := c.AddShard(rctx); err != nil {
+				moveErr.Store(err)
+			}
+		}()
+	})
+}
+
+// TestCrossShardCommitThenSessionRead: read-your-writes must hold for a
+// write that committed through 2PC — the dirty-group re-seed path.
+func TestCrossShardCommitThenSessionRead(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 3, Group: core.Config{Protocol: core.Active, Replicas: 3}})
+	cl := c.NewClient()
+	ctx := ctxT(t, 60*time.Second)
+
+	keys := keysOnDistinctShards(t, c)
+	res, err := cl.Invoke(ctx, txn.Transaction{Ops: []txn.Op{
+		txn.W(keys[0], []byte("x-a")),
+		txn.W(keys[1], []byte("x-b")),
+	}})
+	if err != nil || !res.Committed {
+		t.Fatalf("cross-shard write: committed=%v err=%v", res.Committed, err)
+	}
+	m, err := cl.GetMany(ctx, keys[:2], core.ReadSession)
+	if err != nil {
+		t.Fatalf("session read after 2PC: %v", err)
+	}
+	if string(m[keys[0]]) != "x-a" || string(m[keys[1]]) != "x-b" {
+		t.Fatalf("session read after 2PC = %q,%q: read-your-writes violated across shards",
+			m[keys[0]], m[keys[1]])
+	}
+	if c.Metrics().SessionReseeds() == 0 {
+		t.Fatal("no session re-seed recorded; the 2PC dirty mark did not propagate")
+	}
+}

@@ -465,15 +465,29 @@ func (c *Cluster) rebalanceStep(ctx context.Context, to int) (*MoveReport, error
 		ToShards:   to,
 	}
 
+	// leaseBlocks holds, per source shard, the handle of the lease-range
+	// block taken before the freeze (released on success and on abort).
+	leaseBlocks := make(map[int]uint64)
+	releaseLeaseBlocks := func() {
+		for s, id := range leaseBlocks {
+			if g := c.Group(s); g != nil {
+				g.ReleaseLeaseRange(id)
+			}
+		}
+		leaseBlocks = make(map[int]uint64)
+	}
+
 	fail := func(err error) (*MoveReport, error) {
 		// Abort the move: tombstone + clear markers on every source
 		// (best effort, fresh context — ours may be the reason we fail),
-		// lift the pause, tear down a group added for the grow.
+		// lift the pause, release the lease blocks, tear down a group
+		// added for the grow.
 		actx, cancel := context.WithTimeout(context.Background(), abortTimeout)
 		defer cancel()
 		for _, src := range plan.Sources() {
 			_ = c.invokeMoveProc(actx, int(src), rebalAbortProc, &plan)
 		}
+		releaseLeaseBlocks()
 		c.gate.endFreeze()
 		if grew {
 			c.removeGroup(to - 1)
@@ -494,9 +508,30 @@ func (c *Cluster) rebalanceStep(ctx context.Context, to int) (*MoveReport, error
 	rep.CopyTime = time.Since(copyStart)
 
 	// Phase 2: freeze the moving range (exclusive range intent per
-	// source, after per-key intents drain).
+	// source, after per-key intents drain). Before the freeze marker
+	// commits, every read lease covering the moving range on a source
+	// group is revoked and further grants blocked — a leased local read
+	// must not outlive the keys' residency on the source, or it would
+	// serve the pre-move copy after the destination starts taking
+	// writes. The block lifts only after the cutover (or on abort).
 	freezeStart := time.Now()
 	oldGen := c.gate.beginFreeze(plan, c.router.Partitioner())
+	part := c.router.Partitioner()
+	for _, src := range plan.Sources() {
+		s := int(src)
+		g := c.Group(s)
+		if g == nil {
+			return fail(fmt.Errorf("shard: source group %d gone", s))
+		}
+		id := g.RevokeLeaseRange(func(key string) bool {
+			from, _, moving := plan.MoveOf(key, part)
+			return moving && from == s
+		})
+		if id != 0 {
+			leaseBlocks[s] = id
+			c.metrics.leaseRevocations.Add(1)
+		}
+	}
 	for _, src := range plan.Sources() {
 		if err := c.freezeSource(ctx, int(src), &plan); err != nil {
 			return fail(err)
@@ -525,8 +560,11 @@ func (c *Cluster) rebalanceStep(ctx context.Context, to int) (*MoveReport, error
 	c.mux.SetEpoch(newA.Epoch, to)
 	c.metrics.ensure(to)
 
-	// Phase 6: release the range intents and lift the pause. (A shrink
-	// skips release on the donated group — it is torn down below.)
+	// Phase 6: release the range intents, lift the lease blocks, and
+	// lift the pause. (A shrink skips release on the donated group — it
+	// is torn down below.) The epoch has flipped, so a lease granted
+	// after this on a moved key's old home can only be reached by a
+	// stale-epoch frame, which the mux rejects.
 	var relErr error
 	for _, src := range plan.Sources() {
 		if int(src) >= to {
@@ -536,6 +574,7 @@ func (c *Cluster) rebalanceStep(ctx context.Context, to int) (*MoveReport, error
 			relErr = err
 		}
 	}
+	releaseLeaseBlocks()
 	c.gate.endFreeze()
 	rep.FreezeTime = time.Since(freezeStart)
 

@@ -15,6 +15,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -72,6 +73,9 @@ type Store struct {
 	index     []string // all keys, sorted ascending
 	commitSeq uint64
 	maxChain  int
+	// seqWait is closed and replaced whenever commitSeq changes, waking
+	// WaitCommitSeq callers to re-check. Lazily created on first wait.
+	seqWait chan struct{}
 }
 
 // New creates an empty store. maxChain bounds the retained versions per
@@ -134,6 +138,59 @@ func (s *Store) CommitSeq() uint64 {
 	return s.commitSeq
 }
 
+// seqChanged wakes WaitCommitSeq callers after any commitSeq movement;
+// callers hold mu. Waking on every change (including Reset's rewind)
+// rather than only on forward motion lets waiters re-evaluate against a
+// store whose numbering was restarted instead of sleeping forever on a
+// watermark that no longer exists.
+func (s *Store) seqChanged() {
+	if s.seqWait != nil {
+		close(s.seqWait)
+		s.seqWait = nil
+	}
+}
+
+// WaitCommitSeq blocks until the store's commit sequence reaches seq or
+// ctx expires, reporting which. Session reads use this to hold a request
+// on a replica that is behind the client's watermark instead of failing
+// it — the replica usually catches up within one delivery.
+func (s *Store) WaitCommitSeq(ctx context.Context, seq uint64) bool {
+	for {
+		s.mu.Lock()
+		if s.commitSeq >= seq {
+			s.mu.Unlock()
+			return true
+		}
+		if s.seqWait == nil {
+			s.seqWait = make(chan struct{})
+		}
+		ch := s.seqWait
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// ReadAt returns the newest version of key whose commit timestamp is at
+// or below seq — the snapshot read primitive. A key with no version at
+// or below seq reports absent; because chains are pruned to maxChain
+// versions, a sufficiently old seq may report absent even though the key
+// existed then (callers pick recent snapshots).
+func (s *Store) ReadAt(key string, seq uint64) (Version, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	chain := s.items[key]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].Ts <= seq {
+			return chain[i], true
+		}
+	}
+	return Version{}, false
+}
+
 // Apply atomically installs a writeset for txnID and returns the commit
 // sequence number assigned. origin and wall annotate the versions for
 // reconciliation-aware callers (pass "" and 0 otherwise).
@@ -141,6 +198,7 @@ func (s *Store) Apply(ws WriteSet, txnID, origin string, wall uint64) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.commitSeq++
+	s.seqChanged()
 	ts := s.commitSeq
 	for _, u := range ws {
 		s.appendVersion(u.Key, Version{
@@ -159,6 +217,7 @@ func (s *Store) ApplyIf(ws WriteSet, txnID, origin string, wall uint64, decide f
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.commitSeq++
+	s.seqChanged()
 	ts := s.commitSeq
 	var written []string
 	for _, u := range ws {
@@ -205,6 +264,7 @@ func (s *Store) ApplyAt(ws WriteSet, txnID, origin string, wall, seq uint64) {
 	defer s.mu.Unlock()
 	if seq > s.commitSeq {
 		s.commitSeq = seq
+		s.seqChanged()
 	}
 	// The staleness guard compares against versions that existed BEFORE
 	// this call only: a writeset may legally write one key twice (later
@@ -251,6 +311,7 @@ func (s *Store) SetCommitSeq(seq uint64) {
 	defer s.mu.Unlock()
 	if seq > s.commitSeq {
 		s.commitSeq = seq
+		s.seqChanged()
 	}
 }
 
@@ -284,6 +345,7 @@ func (s *Store) Reset() {
 	s.items = make(map[string][]Version)
 	s.index = nil
 	s.commitSeq = 0
+	s.seqChanged()
 }
 
 // Item pairs a key with its latest version — one element of a Scan.
@@ -361,6 +423,7 @@ func (s *Store) Restore(snapshot map[string][]byte, txnID string) {
 	defer s.mu.Unlock()
 	s.items = make(map[string][]Version, len(snapshot))
 	s.commitSeq++
+	s.seqChanged()
 	for k, v := range snapshot {
 		s.items[k] = []Version{{Value: append([]byte(nil), v...), TxnID: txnID, Ts: s.commitSeq}}
 	}

@@ -160,6 +160,14 @@ type Result struct {
 	Reads map[string][]byte
 	// Err carries the abort reason, if any.
 	Err string
+	// Seq is the answering replica's applied commit sequence at reply
+	// time — the session watermark. A client that saw Seq=s has been
+	// acknowledged by a replica whose store covers every commit up to s,
+	// so any replica with CommitSeq() >= s can serve a read-your-writes
+	// read for that client. On strong techniques commits apply in the
+	// same order everywhere, so watermarks are comparable across
+	// replicas; lazy techniques give only per-replica meaning.
+	Seq uint64
 }
 
 // ReadSet maps each key read to the version (store commit sequence)

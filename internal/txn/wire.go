@@ -52,11 +52,12 @@ func (t *Transaction) DecodeWire(r *codec.Reader) {
 }
 
 // AppendWire appends the result's encoding: committed, error, reads
-// (sorted by key).
+// (sorted by key), watermark.
 func (res Result) AppendWire(buf []byte) []byte {
 	buf = codec.AppendBool(buf, res.Committed)
 	buf = codec.AppendString(buf, res.Err)
-	return codec.AppendMapBytes(buf, res.Reads)
+	buf = codec.AppendMapBytes(buf, res.Reads)
+	return codec.AppendUvarint(buf, res.Seq)
 }
 
 // DecodeWire reads a result from r. An empty read map decodes as nil.
@@ -64,6 +65,7 @@ func (res *Result) DecodeWire(r *codec.Reader) {
 	res.Committed = r.Bool()
 	res.Err = r.String()
 	res.Reads = codec.DecodeMapBytes[string](r)
+	res.Seq = r.Uvarint()
 }
 
 // AppendWire appends the readset's encoding: sorted (key, version)

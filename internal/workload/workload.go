@@ -37,6 +37,18 @@ type Config struct {
 	Seed int64
 }
 
+// YCSBB returns YCSB workload B — 95% reads, 5% writes, Zipfian
+// theta 0.99 — the read-heavy mix the read-scaling experiments run.
+func YCSBB(seed int64) Config {
+	return Config{WriteFraction: 0.05, Zipf: 0.99, Seed: seed}
+}
+
+// YCSBC returns YCSB workload C — read-only, Zipfian theta 0.99 — the
+// read-throughput ceiling measurement.
+func YCSBC(seed int64) Config {
+	return Config{WriteFraction: 0, Zipf: 0.99, Seed: seed}
+}
+
 func (c *Config) fill() {
 	if c.Keys <= 0 {
 		c.Keys = 100
@@ -75,20 +87,25 @@ func New(cfg Config) *Generator {
 	return g
 }
 
-// Key draws a key according to the configured distribution. Under either
-// skewed distribution, lower key indexes are more popular ("k0" is the
-// hottest item).
-func (g *Generator) Key() string {
-	var i uint64
+// KeyIndex draws a key index in [0, Keys) according to the configured
+// distribution. Under either skewed distribution, lower indexes are
+// more popular (index 0 is the hottest item). Callers with their own
+// key naming scheme format the index themselves.
+func (g *Generator) KeyIndex() uint64 {
 	switch {
 	case g.zipf != nil:
-		i = g.zipf.Uint64()
+		return g.zipf.Uint64()
 	case g.zipfian != nil:
-		i = g.zipfian.Next()
+		return g.zipfian.Next()
 	default:
-		i = uint64(g.rng.Intn(g.cfg.Keys))
+		return uint64(g.rng.Intn(g.cfg.Keys))
 	}
-	return fmt.Sprintf("k%d", i)
+}
+
+// Key draws a key according to the configured distribution ("k0" is the
+// hottest item).
+func (g *Generator) Key() string {
+	return fmt.Sprintf("k%d", g.KeyIndex())
 }
 
 // value builds a distinct payload for the n-th write.
@@ -97,6 +114,49 @@ func (g *Generator) value() []byte {
 	v := make([]byte, g.cfg.ValueSize)
 	copy(v, fmt.Sprintf("v%d", g.n))
 	return v
+}
+
+// TaggedValue builds a write payload recording the writer's identity
+// and a per-writer sequence number, padded to size. The session-
+// guarantee oracles parse it back with ParseTag: a client that reads
+// its OWN tag with a sequence below what it last wrote to that key has
+// a read-your-writes violation (tags from other writers are unordered
+// relative to this client and prove nothing).
+func TaggedValue(writer string, seq uint64, size int) []byte {
+	tag := fmt.Sprintf("w:%s:%d:", writer, seq)
+	if size < len(tag) {
+		size = len(tag)
+	}
+	v := make([]byte, size)
+	copy(v, tag)
+	return v
+}
+
+// ParseTag recovers the writer and sequence from a TaggedValue payload.
+func ParseTag(v []byte) (writer string, seq uint64, ok bool) {
+	s := string(v)
+	if len(s) < 2 || s[0] != 'w' || s[1] != ':' {
+		return "", 0, false
+	}
+	s = s[2:]
+	i := 0
+	for i < len(s) && s[i] != ':' {
+		i++
+	}
+	if i == len(s) {
+		return "", 0, false
+	}
+	writer, s = s[:i], s[i+1:]
+	var n uint64
+	j := 0
+	for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+		n = n*10 + uint64(s[j]-'0')
+		j++
+	}
+	if j == 0 || j >= len(s) || s[j] != ':' {
+		return "", 0, false
+	}
+	return writer, n, true
 }
 
 // NextOp draws one operation.

@@ -22,8 +22,10 @@
 //	defer cluster.Close()
 //
 //	client := cluster.NewClient()
-//	res, err := client.InvokeOp(ctx, replication.Write("greeting", []byte("hello")))
-//	res, err = client.InvokeOp(ctx, replication.Read("greeting"))
+//	res, err := client.Do(ctx, replication.Transaction{Ops: []replication.Op{
+//		replication.Write("greeting", []byte("hello")),
+//	}})
+//	value, err := client.Get(ctx, "greeting")
 //
 // # Transports
 //
@@ -76,6 +78,46 @@
 //
 //	cluster.Crash("r2")
 //	err := cluster.Restart(ctx, "r2") // back in the request path
+//
+// # Read scaling
+//
+// Reads are first-class requests with a consistency level. Client.Get,
+// GetMany and Do take a ReadOption; the default, ReadStrong, is a full
+// protocol round with exactly Invoke's semantics. The weaker levels
+// trade bounded anomalies for locality:
+//
+//	v, err := client.Get(ctx, "greeting")                      // strong (default)
+//	v, err = client.Get(ctx, "greeting", replication.ReadLease)   // leased local read
+//	v, err = client.Get(ctx, "greeting", replication.ReadSession) // read-your-writes
+//	ts, _ := client.SnapshotNow(ctx)                           // consistent cut
+//	m, err := client.GetMany(ctx, keys, replication.ReadSnapshot(ts))
+//
+// ReadLease (requires Config.Lease.Enabled) serves from a replica's
+// local store under a time-bounded lease from the group's granter:
+// zero coordination messages per read, and writes barrier through the
+// granter so a valid lease never serves a value older than the latest
+// committed write to its key. The anomaly contract: while the granter
+// is reachable, leased reads are never stale; during a granter crash
+// or failover, a leased read can return a value up to one lease term
+// (TTL + clock margin) old — never older — and writes pause up to one
+// lease term before committing. Session guarantees are per client, not
+// per lease: two clients' leased reads on different replicas may
+// observe a write in different orders of arrival.
+//
+// ReadSession guarantees read-your-writes and monotonic reads for the
+// calling client on the strong techniques: every commit and read reply
+// carries the answering replica's applied commit sequence, the client
+// keeps the maximum as its watermark, and a session read is served by
+// any replica that has applied past it (a lagging replica waits
+// briefly, then declines and the read falls back to a strong round —
+// the guarantee never degrades, only the latency). On lazy techniques
+// watermarks are only per-replica meaningful, so session reads may
+// fall back often.
+//
+// ReadSnapshot(ts) reads every key at the consistent cut ts from the
+// stores' version chains: repeatable (the same cut always returns the
+// same data) and, on sharded clusters, pinned to the routing epoch the
+// cut was taken under so it never silently spans a rebalance.
 //
 // # Durability
 //
@@ -148,6 +190,23 @@ type (
 	Op = txn.Op
 	// Result is a transaction's outcome.
 	Result = txn.Result
+
+	// ReadOption selects the consistency level of a Get/GetMany/Do call:
+	// ReadStrong (default), ReadLease, ReadSession, or ReadSnapshot(ts).
+	ReadOption = core.ReadOption
+	// ReadLevel names a read consistency level (ReadOption.Level).
+	ReadLevel = core.ReadLevel
+	// SnapshotTS identifies a consistent cut for ReadSnapshot — one
+	// applied commit sequence per shard plus the routing epoch it was
+	// taken under. Obtain cuts from Client.SnapshotNow or
+	// ShardedClient.SnapshotNow.
+	SnapshotTS = core.SnapshotTS
+	// LeaseConfig enables and shapes read leases (Config.Lease): TTL and
+	// the clock-skew margin added on the granter side.
+	LeaseConfig = core.LeaseConfig
+	// ReadTierStats counts a client's read-tier outcomes (reads served
+	// locally per level, and fallbacks to strong rounds).
+	ReadTierStats = core.ReadTierStats
 
 	// Recorder collects phase events for figure regeneration.
 	Recorder = trace.Recorder
@@ -297,6 +356,26 @@ func Techniques() []Technique { return core.Techniques() }
 
 // TechniqueOf returns the classification record for a protocol.
 func TechniqueOf(p Protocol) (Technique, bool) { return core.TechniqueOf(p) }
+
+// The read consistency levels, as options to Get/GetMany/Do.
+var (
+	// ReadStrong routes the read through the technique's full protocol
+	// round — exactly Invoke's semantics. The default.
+	ReadStrong = core.ReadStrong
+	// ReadLease serves from a replica's local store under a time-bounded
+	// read lease, with zero coordination messages on the hit path.
+	// Requires Config.Lease.Enabled.
+	ReadLease = core.ReadLease
+	// ReadSession guarantees read-your-writes and monotonic reads for
+	// the calling client, served by any replica that has caught up to
+	// the client's commit watermark.
+	ReadSession = core.ReadSession
+)
+
+// ReadSnapshot reads every key as of the consistent cut at — repeatable
+// until a rebalance supersedes the cut's epoch. Obtain cuts from
+// SnapshotNow.
+func ReadSnapshot(at SnapshotTS) ReadOption { return core.ReadSnapshot(at) }
 
 // Read builds a read operation on a logical data item.
 func Read(key string) Op { return txn.R(key) }
