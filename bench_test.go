@@ -527,3 +527,56 @@ func BenchmarkReadScaling(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTracingOverhead measures the observability spine's toll on
+// the loaded write path. "off" is the default: no tracer exists and
+// every funnel site costs one nil check, so this sub-benchmark IS the
+// plain loaded baseline. "sample1pct" admits 1 request in 100, the
+// recommended production rate. The CI obs-smoke job runs both in one
+// invocation and asserts sampled stays within a few percent of off.
+func BenchmarkTracingOverhead(b *testing.B) {
+	const clients = 16
+	for _, bc := range []struct {
+		name   string
+		sample float64
+	}{
+		{"off", 0},
+		{"sample1pct", 0.01},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			c, _ := benchCluster(b, replication.Config{
+				Protocol: replication.Active, Replicas: 3,
+				TraceSample: bc.sample,
+			})
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			defer cancel()
+			cls := make([]*replication.Client, clients)
+			for i := range cls {
+				cls[i] = c.NewClient()
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for ci := range cls {
+				n := b.N / clients
+				if ci < b.N%clients {
+					n++
+				}
+				wg.Add(1)
+				go func(ci, n int) {
+					defer wg.Done()
+					gen := workload.New(workload.Config{
+						WriteFraction: 1, Keys: 1024, Seed: int64(ci + 1),
+					})
+					for i := 0; i < n; i++ {
+						if _, err := cls[ci].Invoke(ctx, gen.NextTxn("")); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(ci, n)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -42,6 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,6 +88,11 @@ func main() {
 		killAll   = flag.Bool("kill-all", false, "power-cycle the whole cluster mid-run and cold-start from disk (needs -durable)")
 		showTrace = flag.Bool("trace", false, "print the phase trace of the first request")
 		list      = flag.Bool("list", false, "list techniques and exit")
+
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /debug/trace and /debug/pprof on this address (e.g. :8080; empty disables)")
+		sample    = flag.Float64("trace-sample", 0, "fraction of requests to trace into span trees [0,1]")
+		slowAfter = flag.Duration("slow", 0, "log requests slower than this with per-phase attribution (0 disables)")
+		pprofDir  = flag.String("pprof", "", "write cpu.pprof and heap.pprof into this directory on exit (empty disables)")
 	)
 	flag.Parse()
 
@@ -101,12 +109,47 @@ func main() {
 		return
 	}
 
+	obs := obsOpts{addr: *obsAddr, sample: *sample, slowAfter: *slowAfter, pprofDir: *pprofDir}
 	if err := run(*protocol, *replicas, *shards, *clients, *ops, *writes, *keys, *opsPerTxn,
 		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *readLevel, *crash, *kill, *recov, *rebal,
-		*durable, *fsyncMode, *killAll, *showTrace); err != nil {
+		*durable, *fsyncMode, *killAll, *showTrace, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "replsim:", err)
 		os.Exit(1)
 	}
+}
+
+// obsOpts bundles the observability flags.
+type obsOpts struct {
+	addr      string
+	sample    float64
+	slowAfter time.Duration
+	pprofDir  string
+}
+
+// startPprof begins a CPU profile in dir; the returned stop writes the
+// heap profile next to it on exit.
+func startPprof(dir string) (stop func(), err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpuF, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpuF.Close()
+		if heapF, err := os.Create(filepath.Join(dir, "heap.pprof")); err == nil {
+			runtime.GC() // up-to-date allocation stats
+			_ = pprof.WriteHeapProfile(heapF)
+			heapF.Close()
+		}
+		fmt.Printf("profiles written to %s (cpu.pprof, heap.pprof)\n", dir)
+	}, nil
 }
 
 // invoker is what the load loop drives: both the single-group client
@@ -120,7 +163,16 @@ type invoker interface {
 
 func run(protocol string, replicas, shards, clients, ops int, writes float64, keys, opsPerTxn int,
 	zipf float64, lazyDelay time.Duration, lazyOrder string, latency time.Duration,
-	tport, readLevel string, crash, kill, recov, rebal, durable bool, fsyncMode string, killAll, showTrace bool) error {
+	tport, readLevel string, crash, kill, recov, rebal, durable bool, fsyncMode string, killAll, showTrace bool,
+	obs obsOpts) error {
+
+	if obs.pprofDir != "" {
+		stop, err := startPprof(obs.pprofDir)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer stop()
+	}
 
 	var readOpt core.ReadOption
 	switch readLevel {
@@ -169,6 +221,12 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		LazyDelay:      lazyDelay,
 		LazyUEOrder:    lazyOrder,
 		RequestTimeout: 30 * time.Second,
+		ObsAddr:        obs.addr,
+		TraceSample:    obs.sample,
+		SlowRequest:    obs.slowAfter,
+	}
+	if obs.slowAfter > 0 {
+		gcfg.SlowLog = os.Stderr
 	}
 	if readLevel == "lease" {
 		gcfg.Lease = core.LeaseConfig{Enabled: true}
@@ -199,6 +257,7 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		groups     []*core.Cluster
 		network    func() transport.Stats
 		sharded    *shard.Cluster
+		tracer     *trace.Tracer
 	)
 	if shards > 1 {
 		gcfg.Shards = shards
@@ -208,6 +267,10 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		}
 		defer sc.Close()
 		sharded = sc
+		if a := sc.ObsAddr(); a != "" {
+			fmt.Printf("observability: http://%s/metrics /debug/trace /debug/pprof\n", a)
+		}
+		tracer = sc.Tracer()
 		newClient = func() invoker { return sc.NewClient() }
 		crashOne = func() {
 			fmt.Printf("-- crashing %s (its replica of every shard) --\n", sc.Replicas()[0])
@@ -232,6 +295,10 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 			return err
 		}
 		defer c.Close()
+		if a := c.ObsAddr(); a != "" {
+			fmt.Printf("observability: http://%s/metrics /debug/trace /debug/pprof\n", a)
+		}
+		tracer = c.Tracer()
 		newClient = func() invoker { return c.NewClient() }
 		crashOne = func() {
 			fmt.Printf("-- crashing %s --\n", c.Replicas()[0])
@@ -547,8 +614,31 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		rywViolations.Load(), monoViolations.Load())
 
 	if sharded != nil {
-		fmt.Printf("\nper-shard latency (single-shard fast path vs cross-shard 2PC):\n%s\n",
-			sharded.Metrics().Summary())
+		sm := sharded.Metrics()
+		fmt.Printf("\nper-shard latency (single-shard fast path vs cross-shard 2PC):\n%s\n", sm.Summary())
+		fmt.Printf("session-reseeds: %d  lease-revocations: %d\n",
+			sm.SessionReseeds(), sm.LeaseRevocations())
+	}
+	if tracer != nil {
+		if recent := tracer.Recent(); len(recent) > 0 {
+			totals := make(map[trace.Phase]time.Duration)
+			counts := make(map[trace.Phase]int)
+			for _, tr := range recent {
+				for p, d := range tr.PhaseBreakdown() {
+					totals[p] += d
+					counts[p]++
+				}
+			}
+			st := tracer.Stats()
+			fmt.Printf("\nper-phase latency (mean over last %d of %d sampled traces):\n ",
+				len(recent), st.Sampled)
+			for _, p := range []trace.Phase{trace.RE, trace.SC, trace.EX, trace.AC, trace.END} {
+				if counts[p] > 0 {
+					fmt.Printf(" %s=%v", p, (totals[p] / time.Duration(counts[p])).Round(time.Microsecond))
+				}
+			}
+			fmt.Printf("  (slow=%d abandoned-spans=%d)\n", st.Slow, st.Abandoned)
+		}
 	}
 	if kill && recov {
 		if recErr != nil {
@@ -615,6 +705,11 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 				fmt.Printf("  %-4s %-10s %s\n", e.Phase, e.Replica, e.Note)
 			}
 			fmt.Printf("sequence: %s\n", rec.SequenceString(reqs[0]))
+		}
+		if tracer != nil {
+			if recent := tracer.Recent(); len(recent) > 0 {
+				fmt.Printf("\nsampled span tree (%d collected):\n%s", len(recent), recent[0].Render())
+			}
 		}
 	}
 	return nil

@@ -71,14 +71,14 @@ func (s *activeServer) onDeliver(origin transport.NodeID, payload []byte) {
 	}
 	defer release()
 	req := decodeRequest(payload)
-	s.r.trace(req.ID, trace.SC, "abcast")
+	s.r.traceR(req, trace.SC, "abcast")
 
 	if res, done := s.dd.get(req.ID); done {
 		respond(s.r, req, res)
 		return
 	}
 
-	s.r.trace(req.ID, trace.EX, "")
+	s.r.traceR(req, trace.EX, "")
 	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
 		return s.r.resolveNondet(req, i), nil
 	}, true)

@@ -75,7 +75,7 @@ func (s *certificationServer) onClientRequest(m transport.Message) {
 		return
 	}
 	req := decodeRequest(m.Payload)
-	s.r.trace(req.ID, trace.RE, "local-server")
+	s.r.traceR(req, trace.RE, "local-server")
 
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
@@ -86,7 +86,7 @@ func (s *certificationServer) onClientRequest(m transport.Message) {
 	s.mu.Unlock()
 
 	// Phase 3 first (optimistic): execute locally on shadow copies.
-	s.r.trace(req.ID, trace.EX, "shadow")
+	s.r.traceR(req, trace.EX, "shadow")
 	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
 		return s.r.resolveNondet(req, i), nil
 	}, false)
@@ -135,7 +135,7 @@ func (s *certificationServer) onDeliver(origin transport.NodeID, payload []byte)
 		return
 	}
 	defer release()
-	s.r.trace(req.ID, trace.AC, "abcast+certify")
+	s.r.traceR(req, trace.AC, "abcast+certify")
 
 	res, done := s.dd.get(req.ID)
 	if !done {

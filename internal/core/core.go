@@ -21,12 +21,15 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"replication/internal/fd"
 	"replication/internal/lockmgr"
+	"replication/internal/metrics"
+	"replication/internal/obs"
 	"replication/internal/recon"
 	"replication/internal/recovery"
 	"replication/internal/simnet"
@@ -103,6 +106,10 @@ type Request struct {
 	Attempt int
 	// Client is the node to answer.
 	Client transport.NodeID
+	// TC is the request's trace context (zero when the request is not
+	// sampled). Set once at the client, before the first attempt, and
+	// carried unchanged across retries and redirects.
+	TC trace.Context
 	// Txn is the work.
 	Txn txn.Transaction
 }
@@ -171,6 +178,12 @@ type replica struct {
 	leaseH *leaseHolder
 	leaseG *leaseGranter
 
+	// Observability (obs.go): the shared span tracer (nil when tracing
+	// is off) and the resolved metric handles (zero when the registry is
+	// off; every handle discards on nil).
+	tracer *trace.Tracer
+	om     replicaObs
+
 	mu     sync.Mutex
 	nondet map[string][]byte // resolved nondet values per txn+op (semi-active)
 	rngSum uint64            // per-replica entropy for TrueRandomNondet
@@ -213,6 +226,7 @@ func (r *replica) enterApply(pos uint64) (proceed bool, release func()) {
 // appends the outcome to the replica's apply log — making it servable
 // to a recovering peer — and returns the store commit sequence.
 func (r *replica) commit(pos, reqID uint64, txnID string, origin transport.NodeID, wall uint64, ws storage.WriteSet, res txn.Result) uint64 {
+	t0, timed := r.commitTimer()
 	// applyMu keeps store order and log order identical: without it two
 	// concurrent commits to one key could append their log entries in
 	// the opposite order of their store applies, and a recovering peer
@@ -231,7 +245,17 @@ func (r *replica) commit(pos, reqID uint64, txnID string, origin transport.NodeI
 	logged, werr := r.logDurable(e)
 	r.applyMu.Unlock()
 	if logged || werr != nil {
+		end := r.tracer.Begin(reqID, string(r.id), "wal.fsync-wait")
+		ts := time.Now()
 		r.waitDurable(e.LSN, werr)
+		if timed {
+			r.om.fsyncWait.Observe(time.Since(ts))
+		}
+		end()
+	}
+	if timed {
+		r.om.commits.Inc()
+		r.om.commitLat.Observe(time.Since(t0))
 	}
 	return seq
 }
@@ -240,6 +264,7 @@ func (r *replica) commit(pos, reqID uint64, txnID string, origin transport.NodeI
 // everywhere): the writeset passes through reconciliation, and the log
 // entry is marked so a recovering peer replays it the same way.
 func (r *replica) commitLWW(reqID uint64, txnID string, origin transport.NodeID, wall uint64, ws storage.WriteSet, res txn.Result) []string {
+	t0, timed := r.commitTimer()
 	r.applyMu.Lock()
 	won := recon.Apply(r.store, recon.LWW{}, ws, txnID, string(origin), wall)
 	e := recovery.Entry{
@@ -250,14 +275,45 @@ func (r *replica) commitLWW(reqID uint64, txnID string, origin transport.NodeID,
 	logged, werr := r.logDurable(e)
 	r.applyMu.Unlock()
 	if logged || werr != nil {
+		end := r.tracer.Begin(reqID, string(r.id), "wal.fsync-wait")
+		ts := time.Now()
 		r.waitDurable(e.LSN, werr)
+		if timed {
+			r.om.fsyncWait.Observe(time.Since(ts))
+		}
+		end()
+	}
+	if timed {
+		r.om.commits.Inc()
+		r.om.commitLat.Observe(time.Since(t0))
 	}
 	return won
 }
 
-// trace records a phase event for a request at this replica.
+// trace records a phase event for a request at this replica — into the
+// test recorder and, when the request is being sampled, into the span
+// tracer (a zero-length phase span on the request's trace).
 func (r *replica) trace(req uint64, phase trace.Phase, note string) {
 	r.rec.Record(req, string(r.id), phase, note)
+	r.tracer.Event(req, string(r.id), phase, note)
+}
+
+// traceR records a phase for a request using its carried trace context
+// as the fallback route: a replica whose ordered delivery lags the
+// client's reply (the client unbinds the funnel when it answers) still
+// lands its span, grafted onto the finished tree.
+func (r *replica) traceR(req Request, phase trace.Phase, note string) {
+	r.rec.Record(req.ID, string(r.id), phase, note)
+	r.tracer.EventTC(req.TC, req.ID, string(r.id), phase, note)
+}
+
+// traceU records a phase for an update message, which may arrive after
+// its request answered the client (the lazy techniques' END-before-AC
+// swap): the update's carried trace context lands the span even when
+// the request's funnel binding is gone.
+func (r *replica) traceU(u updateMsg, phase trace.Phase, note string) {
+	r.rec.Record(u.ReqID, string(r.id), phase, note)
+	r.tracer.EventTC(u.TC, u.ReqID, string(r.id), phase, note)
 }
 
 // resolveNondet produces the value of a Nondet operation according to
@@ -564,6 +620,36 @@ type Config struct {
 	// default: enabling adds one barrier RPC to every update, the price
 	// of local reads.
 	Lease LeaseConfig
+
+	// Observability spine (obs.go). All of it is opt-in: the zero values
+	// run the cluster with tracing and metrics compiled in but inert.
+
+	// Metrics, when non-nil, receives this cluster's instrument series.
+	// Nil with ObsAddr set builds a private registry; nil without
+	// ObsAddr disables metrics entirely. The sharding layer passes one
+	// shared registry to every group.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, collects sampled span trees. Nil with
+	// TraceSample > 0 (or SlowRequest > 0) builds a private tracer. The
+	// sharding layer passes one shared tracer to every group so a
+	// cross-shard request stitches into a single tree.
+	Tracer *trace.Tracer
+	// TraceSample is the fraction of requests to trace in [0,1]
+	// (deterministic 1-in-N admission). Zero disables request sampling.
+	TraceSample float64
+	// SlowRequest routes traces slower than this into the slow-request
+	// ring and log. Zero disables.
+	SlowRequest time.Duration
+	// SlowLog, when non-nil, receives one line per slow trace with
+	// per-phase attribution.
+	SlowLog io.Writer
+	// ObsAddr, when non-empty, serves /metrics, /debug/trace and
+	// /debug/pprof on that address (":0" picks a port; Cluster.ObsAddr
+	// returns it).
+	ObsAddr string
+	// ShardTag is the value of the "shard" label on this cluster's
+	// series ("0" when empty). Set by the sharding layer.
+	ShardTag string
 }
 
 // WriteGuardFunc vets a writeset against committed state; see
@@ -642,6 +728,12 @@ type Cluster struct {
 	rec      *trace.Recorder
 	coldSeed transport.NodeID // chosen by ColdBegin, consumed by ColdComplete
 
+	// Observability spine (obs.go): shared span tracer, metric registry
+	// and the optional introspection HTTP server.
+	tracer  *trace.Tracer
+	metrics *metrics.Registry
+	obsSrv  *obs.Server
+
 	mu        sync.Mutex
 	clients   []*Client
 	clientSeq uint64
@@ -670,6 +762,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("core: unknown transport %q", cfg.Transport)
 	}
 	c := &Cluster{cfg: cfg, net: net, ownNet: ownNet, rec: cfg.Recorder}
+	c.initObs()
 	for i := 0; i < cfg.Replicas; i++ {
 		c.ids = append(c.ids, transport.NodeID(fmt.Sprintf("r%d", i)))
 	}
@@ -690,6 +783,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			dd:     newDedup(),
 			rlog:   recovery.NewLog(cfg.RecoveryRetain),
 			nondet: make(map[string][]byte),
+			tracer: c.tracer,
 		}
 		if cfg.Durability.Enabled {
 			id := id
@@ -720,7 +814,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	var err error
 	c.hooks, err = buildProtocol(cfg.Protocol, c, replicas)
+	if err == nil {
+		err = c.startObs()
+	}
 	if err != nil {
+		for _, prev := range replicas {
+			if prev.wal != nil {
+				_ = prev.wal.Close()
+			}
+		}
 		if ownNet {
 			net.Close()
 		}
@@ -868,6 +970,7 @@ func (c *Cluster) Close() {
 			_ = r.wal.Close()
 		}
 	}
+	c.closeObs()
 	if c.ownNet {
 		c.net.Close()
 	}
@@ -945,7 +1048,7 @@ func (cl *Client) SetHome(id transport.NodeID) { cl.home = id }
 // replicated state, so no lease can cover a committed-but-unleased
 // write. New code reads through Get/GetMany/Do; Invoke remains the
 // strong-transaction surface.
-func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, error) {
+func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (_ txn.Result, retErr error) {
 	cl.mu.Lock()
 	cl.seq++
 	req := Request{ID: cl.base + cl.seq, Client: cl.node.ID()}
@@ -955,13 +1058,36 @@ func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, er
 		req.Txn.ID = req.TxnID()
 	}
 
+	// Trace scoping happens once, before the retry loop: the sampling
+	// decision and trace identity are fixed here, so every retry and
+	// redirect of this request lands in the same span tree. A context
+	// already carrying a trace (a 2PC participant leg, a shard-routed
+	// hop) joins it instead of rooting a new one.
+	var sc *trace.Scope
+	if tc, ok := trace.FromContext(ctx); ok {
+		sc = cl.c.tracer.Child(tc, "invoke", string(cl.node.ID()))
+	} else {
+		sc = cl.c.tracer.Root("request", string(cl.node.ID()))
+	}
+	if sc != nil {
+		sc.BindReq(req.ID)
+		req.TC = sc.Context()
+		defer func() {
+			sc.UnbindReq(req.ID)
+			sc.End(retErr)
+		}()
+	}
+
 	var barriered []string
 	if cl.c.cfg.Lease.Enabled {
 		if wk := req.Txn.WriteKeys(); len(wk) > 0 {
 			// A failed barrier aborts the attempt BEFORE the write is
 			// submitted: the lease invariant (no covering lease when a
 			// write commits) must never be bypassed on a canceled context.
-			if err := cl.writeBarrier(ctx, wk); err != nil {
+			end := cl.c.tracer.Begin(req.ID, string(cl.node.ID()), "lease.barrier")
+			err := cl.writeBarrier(ctx, wk)
+			end()
+			if err != nil {
 				return txn.Result{}, fmt.Errorf("%w: lease barrier: %v", ErrTimeout, err)
 			}
 			barriered = wk
@@ -969,6 +1095,7 @@ func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, er
 	}
 
 	cl.c.rec.Record(req.ID, string(cl.node.ID()), trace.RE, "submit")
+	cl.c.tracer.Event(req.ID, string(cl.node.ID()), trace.RE, "submit")
 	var lastErr error
 	for attempt := 0; attempt <= cl.c.cfg.Retries; attempt++ {
 		req.Attempt = attempt
@@ -982,6 +1109,7 @@ func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, er
 		cancel()
 		if err == nil {
 			cl.c.rec.Record(req.ID, string(cl.node.ID()), trace.END, "response")
+			cl.c.tracer.Event(req.ID, string(cl.node.ID()), trace.END, "response")
 			cl.observe(res.Seq)
 			if barriered != nil {
 				cl.releaseBarrier(barriered, res.Seq)

@@ -69,7 +69,7 @@ func (s *eagerABCastUEServer) onClientRequest(m transport.Message) {
 		return
 	}
 	req := decodeRequest(m.Payload)
-	s.r.trace(req.ID, trace.RE, "local-server")
+	s.r.traceR(req, trace.RE, "local-server")
 
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
@@ -107,11 +107,11 @@ func (s *eagerABCastUEServer) onDeliver(origin transport.NodeID, payload []byte)
 		return
 	}
 	defer release()
-	s.r.trace(req.ID, trace.SC, "abcast")
+	s.r.traceR(req, trace.SC, "abcast")
 
 	res, done := s.dd.get(req.ID)
 	if !done {
-		s.r.trace(req.ID, trace.EX, "")
+		s.r.traceR(req, trace.EX, "")
 		out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
 			return s.r.resolveNondet(req, i), nil
 		}, true)

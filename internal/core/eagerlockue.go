@@ -197,7 +197,7 @@ func (s *eagerLockUEServer) Commit(txnID string) {
 	s.mu.Unlock()
 
 	if ok {
-		s.r.trace(u.ReqID, trace.AC, "2pc-commit")
+		s.r.traceU(u, trace.AC, "2pc-commit")
 		if len(u.WS) > 0 {
 			s.r.commit(0, u.ReqID, u.TxnID, u.Origin, 0, u.WS, u.Result)
 			if u.Origin != s.r.id {
@@ -255,7 +255,7 @@ func (s *eagerLockUEServer) onClientRequest(m transport.Message) {
 		return
 	}
 	req := decodeRequest(m.Payload)
-	s.r.trace(req.ID, trace.RE, "local-server")
+	s.r.traceR(req, trace.RE, "local-server")
 
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
@@ -331,7 +331,7 @@ func (s *eagerLockUEServer) tryRun(req Request, txnID string) (res txnResult, re
 		switch op.Kind {
 		case txn.Read:
 			// Read-one: shared lock and read locally only.
-			s.r.trace(req.ID, trace.SC, "lock-local")
+			s.r.traceR(req, trace.SC, "lock-local")
 			lockCtx, lockCancel := context.WithTimeout(ctx, s.r.cfg.LockTimeout)
 			err := s.r.locks.Lock(lockCtx, txnID, op.Key, lockmgr.Shared)
 			lockCancel()
@@ -339,7 +339,7 @@ func (s *eagerLockUEServer) tryRun(req Request, txnID string) (res txnResult, re
 				abort()
 				return txnResult{}, true
 			}
-			s.r.trace(req.ID, trace.EX, "local-read")
+			s.r.traceR(req, trace.EX, "local-read")
 			if execErr := s.r.execOp(req.TxnID(), i, op, resolve, overlay, &out, true); execErr != nil {
 				abort()
 				return txnResult{Committed: false, Err: execErr.Error()}, false
@@ -348,12 +348,12 @@ func (s *eagerLockUEServer) tryRun(req Request, txnID string) (res txnResult, re
 		case txn.Write, txn.Nondet:
 			// Write-all: the lock request to every site is the Server
 			// Coordination phase of figure 8.
-			s.r.trace(req.ID, trace.SC, "lock-all")
+			s.r.traceR(req, trace.SC, "lock-all")
 			if !s.lockEverywhere(ctx, txnID, op.Key) {
 				abort()
 				return txnResult{}, true
 			}
-			s.r.trace(req.ID, trace.EX, "apply-op")
+			s.r.traceR(req, trace.EX, "apply-op")
 			prev := len(out.ws)
 			if execErr := s.r.execOp(req.TxnID(), i, op, resolve, overlay, &out, true); execErr != nil {
 				abort()
@@ -364,14 +364,14 @@ func (s *eagerLockUEServer) tryRun(req Request, txnID string) (res txnResult, re
 		case txn.Proc:
 			// A stored procedure locks its declared access set everywhere,
 			// executes at the delegate, and propagates its writes.
-			s.r.trace(req.ID, trace.SC, "lock-all")
+			s.r.traceR(req, trace.SC, "lock-all")
 			for _, key := range op.Keys {
 				if !s.lockEverywhere(ctx, txnID, key) {
 					abort()
 					return txnResult{}, true
 				}
 			}
-			s.r.trace(req.ID, trace.EX, "procedure")
+			s.r.traceR(req, trace.EX, "procedure")
 			prev := len(out.ws)
 			if execErr := s.r.execOp(req.TxnID(), i, op, resolve, overlay, &out, true); execErr != nil {
 				abort()
@@ -404,7 +404,7 @@ func (s *eagerLockUEServer) tryRun(req Request, txnID string) (res txnResult, re
 	// Agreement Coordination: 2PC across all sites.
 	u := updateMsg{
 		ReqID: req.ID, TxnID: req.TxnID(), Client: req.Client,
-		WS: out.ws, Result: out.result, Origin: s.r.id,
+		WS: out.ws, Result: out.result, Origin: s.r.id, TC: req.TC,
 	}
 	outcome, err := s.coord.Run(ctx, txnID, encodeUpdate(u), s.all)
 	if err != nil || outcome != tpc.Commit {

@@ -114,7 +114,7 @@ func (s *eagerPrimaryServer) Commit(txnID string) {
 	if !ok {
 		return
 	}
-	s.r.trace(u.ReqID, trace.AC, "2pc-commit")
+	s.r.traceU(u, trace.AC, "2pc-commit")
 	if len(u.WS) > 0 {
 		s.r.commit(0, u.ReqID, u.TxnID, u.Origin, 0, u.WS, u.Result)
 		if u.Origin != s.r.id {
@@ -156,7 +156,7 @@ func (s *eagerPrimaryServer) onClientRequest(m transport.Message) {
 		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: view.Primary()}))
 		return
 	}
-	s.r.trace(req.ID, trace.RE, "primary")
+	s.r.traceR(req, trace.RE, "primary")
 	s.r.node.Go(func() {
 		res, err := s.executeOnce(req)
 		if err != nil {
@@ -230,7 +230,7 @@ func (s *eagerPrimaryServer) run(req Request) (txnResult, error) {
 	)
 	if !multiOp {
 		// Figure 7: one EX at the primary.
-		s.r.trace(req.ID, trace.EX, "primary")
+		s.r.traceR(req, trace.EX, "primary")
 		out, err = s.r.execute(req.Txn, resolve, true)
 		if err != nil {
 			return txnResult{Committed: false, Err: err.Error()}, nil
@@ -240,7 +240,7 @@ func (s *eagerPrimaryServer) run(req Request) (txnResult, error) {
 		out = execResult{result: txnResult{Committed: true, Reads: make(map[string][]byte)}, rs: make(txn.ReadSet)}
 		overlay := make(map[string][]byte)
 		for i, op := range req.Txn.Ops {
-			s.r.trace(req.ID, trace.EX, fmt.Sprintf("op%d", i))
+			s.r.traceR(req, trace.EX, fmt.Sprintf("op%d", i))
 			prev := len(out.ws)
 			if execErr := s.r.execOp(req.Txn.ID, i, op, resolve, overlay, &out, true); execErr != nil {
 				return txnResult{Committed: false, Err: execErr.Error()}, nil
@@ -269,7 +269,7 @@ func (s *eagerPrimaryServer) run(req Request) (txnResult, error) {
 	// Agreement Coordination: 2PC across the view.
 	u := updateMsg{
 		ReqID: req.ID, TxnID: req.TxnID(), Client: req.Client,
-		WS: out.ws, Result: out.result, Origin: s.r.id,
+		WS: out.ws, Result: out.result, Origin: s.r.id, TC: req.TC,
 	}
 	participants := append([]transport.NodeID{s.r.id}, secondaries...)
 	outcome, err := s.coord.Run(ctx, txnID, encodeUpdate(u), participants)

@@ -126,7 +126,7 @@ func (s *lazyPrimaryServer) onPropagate(origin transport.NodeID, payload []byte)
 	}
 	defer release()
 	u := decodeUpdate(payload)
-	s.r.trace(u.ReqID, trace.AC, "propagate")
+	s.r.traceU(u, trace.AC, "propagate")
 	if _, done := s.dd.get(u.ReqID); done {
 		return
 	}
@@ -156,9 +156,9 @@ func (s *lazyPrimaryServer) onClientRequest(m transport.Message) {
 	// point of lazy replication's performance story ("access data locally
 	// … consistency is only possible for read operations", §4).
 	if !req.Txn.IsUpdate() {
-		s.r.trace(req.ID, trace.RE, "local-read")
+		s.r.traceR(req, trace.RE, "local-read")
 		s.r.node.Go(func() {
-			s.r.trace(req.ID, trace.EX, "local")
+			s.r.traceR(req, trace.EX, "local")
 			out, err := s.r.execute(req.Txn, nil, true)
 			if err != nil {
 				out.result = txnResult{Committed: false, Err: err.Error()}
@@ -173,7 +173,7 @@ func (s *lazyPrimaryServer) onClientRequest(m transport.Message) {
 		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: view.Primary()}))
 		return
 	}
-	s.r.trace(req.ID, trace.RE, "primary")
+	s.r.traceR(req, trace.RE, "primary")
 	s.r.node.Go(func() {
 		res, err := s.executeOnce(req)
 		if err != nil {
@@ -229,7 +229,7 @@ func (s *lazyPrimaryServer) run(req Request) (txnResult, error) {
 	}
 	defer s.r.locks.ReleaseAll(txnID)
 
-	s.r.trace(req.ID, trace.EX, "primary")
+	s.r.traceR(req, trace.EX, "primary")
 	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
 		return s.r.resolveNondet(req, i), nil
 	}, true)
@@ -239,7 +239,7 @@ func (s *lazyPrimaryServer) run(req Request) (txnResult, error) {
 
 	u := updateMsg{
 		ReqID: req.ID, TxnID: txnID, Client: req.Client,
-		WS: out.ws, Result: out.result, Origin: s.r.id,
+		WS: out.ws, Result: out.result, Origin: s.r.id, TC: req.TC,
 	}
 
 	// Commit locally and enqueue propagation in commit order, then

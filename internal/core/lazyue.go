@@ -140,7 +140,7 @@ func (s *lazyUEServer) onClientRequest(m transport.Message) {
 		return
 	}
 	req := decodeRequest(m.Payload)
-	s.r.trace(req.ID, trace.RE, "local-server")
+	s.r.traceR(req, trace.RE, "local-server")
 
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
@@ -150,7 +150,7 @@ func (s *lazyUEServer) onClientRequest(m transport.Message) {
 	}
 	s.mu.Unlock()
 
-	s.r.trace(req.ID, trace.EX, "local")
+	s.r.traceR(req, trace.EX, "local")
 	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
 		return s.r.resolveNondet(req, i), nil
 	}, true)
@@ -163,7 +163,7 @@ func (s *lazyUEServer) onClientRequest(m transport.Message) {
 	wall := s.r.clock.Tick()
 	u := updateMsg{
 		ReqID: req.ID, TxnID: req.TxnID(), Client: req.Client,
-		WS: out.ws, Result: out.result, Origin: s.r.id, Wall: wall,
+		WS: out.ws, Result: out.result, Origin: s.r.id, Wall: wall, TC: req.TC,
 	}
 	s.mu.Lock()
 	s.dd.put(req.ID, out.result)
@@ -191,7 +191,7 @@ func (s *lazyUEServer) onReconcile(m transport.Message) {
 	}
 	defer release()
 	u := decodeUpdate(m.Payload)
-	s.r.trace(u.ReqID, trace.AC, "reconcile-lww")
+	s.r.traceU(u, trace.AC, "reconcile-lww")
 	s.r.clock.Observe(u.Wall)
 	won := s.r.commitLWW(u.ReqID, u.TxnID, u.Origin, u.Wall, u.WS, u.Result)
 	if len(won) > 0 {
@@ -211,7 +211,7 @@ func (s *lazyUEServer) onOrdered(origin transport.NodeID, payload []byte) {
 	}
 	defer release()
 	u := decodeUpdate(payload)
-	s.r.trace(u.ReqID, trace.AC, "after-commit-order")
+	s.r.traceU(u, trace.AC, "after-commit-order")
 	s.r.clock.Observe(u.Wall)
 	if len(u.WS) > 0 {
 		s.r.commit(pos, u.ReqID, u.TxnID, u.Origin, u.Wall, u.WS, u.Result)

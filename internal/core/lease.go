@@ -232,7 +232,25 @@ func (g *leaseGranter) grant(from transport.NodeID, keys []string) (uint64, bool
 		}
 		hs[from] = exp
 	}
+	g.r.om.leaseGrants.Inc()
 	return min, true
+}
+
+// activeCount returns the number of unexpired (key, holder) grants —
+// the lease_active gauge, evaluated at scrape time.
+func (g *leaseGranter) activeCount() int {
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, hs := range g.grants {
+		for _, exp := range hs {
+			if now.Before(exp) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // barrier blocks writes of keys into the lease protocol: marks each key
@@ -240,6 +258,10 @@ func (g *leaseGranter) grant(from transport.NodeID, keys []string) (uint64, bool
 // every covering lease. It returns only when no lease on the keys can
 // be believed valid by any holder. Runs on a node.Go goroutine.
 func (g *leaseGranter) barrier(keys []string) bool {
+	if g.r.om.barrierWait != nil {
+		t0 := time.Now()
+		defer func() { g.r.om.barrierWait.Observe(time.Since(t0)) }()
+	}
 	g.mu.Lock()
 	q := g.quarantineUntil
 	g.mu.Unlock()
@@ -323,6 +345,7 @@ func (g *leaseGranter) revokeCovering(pred func(key string) bool) {
 	if len(perHolder) == 0 {
 		return
 	}
+	g.r.om.leaseRevokes.Add(uint64(len(perHolder)))
 	var wg sync.WaitGroup
 	for h, b := range perHolder {
 		if h == g.r.id {

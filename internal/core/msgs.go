@@ -7,6 +7,7 @@ import (
 	"replication/internal/codec"
 	"replication/internal/recovery"
 	"replication/internal/storage"
+	"replication/internal/trace"
 	"replication/internal/transport"
 	"replication/internal/txn"
 )
@@ -68,6 +69,10 @@ type updateMsg struct {
 	Result txn.Result
 	Origin transport.NodeID
 	Wall   uint64 // Lamport stamp for LWW reconciliation
+	// TC carries the request's trace context: the lazy propagation paths
+	// apply after the client already got its answer (END before AC), so
+	// the funnel binding is gone and the late AC span attaches via this.
+	TC trace.Context
 }
 
 func encodeUpdate(u updateMsg) []byte { return codec.MustMarshal(&u) }

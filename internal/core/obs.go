@@ -1,0 +1,207 @@
+package core
+
+import (
+	"time"
+
+	"replication/internal/metrics"
+	"replication/internal/obs"
+	"replication/internal/trace"
+)
+
+// The observability spine's core-side wiring: every metric handle is
+// resolved once here, at cluster construction, so the hot paths touch
+// only cached pointers (all of which discard when nil — a cluster
+// without a registry runs the same code with nothing but nil checks).
+
+// replicaObs bundles the metric handles one replica uses. The zero
+// value (observability off) discards everything.
+type replicaObs struct {
+	commits     *metrics.Counter
+	commitLat   *metrics.Histogram
+	fsyncWait   *metrics.Histogram
+	sessionWait *metrics.Histogram
+
+	readsLease    *metrics.Counter
+	readsSession  *metrics.Counter
+	readsSnapshot *metrics.Counter
+
+	// Granter-side handles; set only on the group's lowest replica.
+	leaseGrants  *metrics.Counter
+	leaseRevokes *metrics.Counter
+	barrierWait  *metrics.Histogram
+}
+
+// initObs builds the cluster's tracer and registry from the config —
+// called before the replicas, which cache both.
+func (c *Cluster) initObs() {
+	c.tracer = c.cfg.Tracer
+	if c.tracer == nil && (c.cfg.TraceSample > 0 || c.cfg.SlowRequest > 0) {
+		c.tracer = trace.NewTracer(trace.Options{
+			Sample:    c.cfg.TraceSample,
+			SlowAfter: c.cfg.SlowRequest,
+			SlowLog:   c.cfg.SlowLog,
+		})
+	}
+	c.metrics = c.cfg.Metrics
+	if c.metrics == nil && c.cfg.ObsAddr != "" {
+		c.metrics = metrics.NewRegistry()
+	}
+}
+
+// startObs instruments the built replicas and starts the introspection
+// server when an address is configured — called once the replica set
+// and protocol exist.
+func (c *Cluster) startObs() error {
+	if c.metrics != nil {
+		c.instrument()
+	}
+	if c.cfg.ObsAddr != "" {
+		srv, err := obs.Start(c.cfg.ObsAddr, c.metrics, c.tracer)
+		if err != nil {
+			return err
+		}
+		c.obsSrv = srv
+	}
+	return nil
+}
+
+// closeObs stops the introspection server and flushes in-flight traces.
+func (c *Cluster) closeObs() {
+	if c.obsSrv != nil {
+		_ = c.obsSrv.Close()
+	}
+	// Only the tracer's owner drains it: a shard-layer group shares the
+	// cluster-wide tracer and must not flush its siblings' traces.
+	if c.cfg.Tracer == nil {
+		c.tracer.Drain()
+	}
+}
+
+// ObsAddr returns the introspection server's bound address ("" when
+// disabled) — useful with ":0".
+func (c *Cluster) ObsAddr() string { return c.obsSrv.Addr() }
+
+// Metrics returns the cluster's metrics registry (nil when
+// observability is off).
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
+
+// Tracer returns the cluster's span tracer (nil when tracing is off).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
+
+// shardTag is the value of the "shard" label on every series this
+// cluster emits.
+func (c *Cluster) shardTag() string {
+	if c.cfg.ShardTag != "" {
+		return c.cfg.ShardTag
+	}
+	return "0"
+}
+
+func (c *Cluster) instrument() {
+	reg := c.metrics
+	shard := c.shardTag()
+
+	commits := reg.Counter("repl_commits_total",
+		"committed outcomes applied through the shared apply hook", "shard", "replica")
+	commitLat := reg.Histogram("repl_commit_seconds",
+		"apply-hook latency: store apply, apply-log append and durability wait", "shard", "replica")
+	fsyncWait := reg.Histogram("wal_fsync_wait_seconds",
+		"time commits wait on their group-commit fsync", "shard", "replica")
+	sessWait := reg.Histogram("read_session_wait_seconds",
+		"server-side wait for the store to reach a session or snapshot watermark", "shard", "replica")
+	reads := reg.Counter("read_local_total",
+		"read-tier requests served locally, by level", "shard", "replica", "level")
+	watermark := reg.Gauge("repl_apply_watermark",
+		"replica applied commit sequence", "shard", "replica")
+	reg.Gauge("repl_technique_info",
+		"constant 1, labeled with the group's running technique", "shard", "technique").
+		With(shard, string(c.cfg.Protocol)).Set(1)
+
+	grants := reg.Counter("lease_grants_total", "read leases issued by the granter", "shard")
+	revokes := reg.Counter("lease_revocations_total", "lease revocation batches sent", "shard")
+	barrier := reg.Histogram("lease_barrier_wait_seconds",
+		"granter-side write-barrier latency (quarantine wait plus covering-lease revocation)", "shard")
+	leaseActive := reg.Gauge("lease_active", "unexpired (key, holder) grants at the granter", "shard")
+
+	for _, id := range c.ids {
+		r := c.replicas[id]
+		rid := string(id)
+		r.om = replicaObs{
+			commits:       commits.With(shard, rid),
+			commitLat:     commitLat.With(shard, rid),
+			fsyncWait:     fsyncWait.With(shard, rid),
+			sessionWait:   sessWait.With(shard, rid),
+			readsLease:    reads.With(shard, rid, "lease"),
+			readsSession:  reads.With(shard, rid, "session"),
+			readsSnapshot: reads.With(shard, rid, "snapshot"),
+		}
+		store := r.store
+		watermark.Func(func() float64 { return float64(store.CommitSeq()) }, shard, rid)
+
+		if g := r.leaseG; g != nil {
+			r.om.leaseGrants = grants.With(shard)
+			r.om.leaseRevokes = revokes.With(shard)
+			r.om.barrierWait = barrier.With(shard)
+			leaseActive.Func(func() float64 { return float64(g.activeCount()) }, shard)
+		}
+
+		if w := r.wal; w != nil {
+			reg.Gauge("wal_pending_frames",
+				"appended frames not yet fsynced (group-commit queue depth)", "shard", "replica").
+				Func(func() float64 { return float64(w.Pending()) }, shard, rid)
+			reg.Gauge("wal_appends", "WAL frames appended", "shard", "replica").
+				Func(func() float64 { return float64(w.Stats().Appends) }, shard, rid)
+			reg.Gauge("wal_syncs", "WAL fsync batches", "shard", "replica").
+				Func(func() float64 { return float64(w.Stats().Syncs) }, shard, rid)
+			reg.Gauge("wal_rotations", "WAL segment rotations", "shard", "replica").
+				Func(func() float64 { return float64(w.Stats().Rotations) }, shard, rid)
+			reg.Gauge("wal_spills", "WAL snapshot spills", "shard", "replica").
+				Func(func() float64 { return float64(w.Stats().Spills) }, shard, rid)
+			reg.Gauge("wal_appends_per_sync",
+				"group-commit batching ratio (1.0 = every append pays its own fsync)", "shard", "replica").
+				Func(func() float64 {
+					s := w.Stats()
+					if s.Syncs == 0 {
+						return 0
+					}
+					return float64(s.Appends) / float64(s.Syncs)
+				}, shard, rid)
+		}
+	}
+
+	net := c.net
+	tmsg := reg.Gauge("transport_messages", "cumulative transport counters", "shard", "counter")
+	tmsg.Func(func() float64 { return float64(net.Stats().Sent) }, shard, "sent")
+	tmsg.Func(func() float64 { return float64(net.Stats().Delivered) }, shard, "delivered")
+	tmsg.Func(func() float64 { return float64(net.Stats().Dropped) }, shard, "dropped")
+	tmsg.Func(func() float64 { return float64(net.Stats().Overflowed) }, shard, "overflowed")
+	reg.Gauge("transport_bytes", "payload bytes accepted for transmission", "shard").
+		Func(func() float64 { return float64(net.Stats().Bytes) }, shard)
+
+	peerFrames := reg.Gauge("transport_peer_frames", "frames sent, by destination endpoint", "shard", "peer")
+	peerBytes := reg.Gauge("transport_peer_bytes", "payload bytes sent, by destination endpoint", "shard", "peer")
+	reg.OnScrape(func() {
+		for id, ps := range net.Stats().PerPeer {
+			peerFrames.With(shard, string(id)).Set(float64(ps.Frames))
+			peerBytes.With(shard, string(id)).Set(float64(ps.Bytes))
+		}
+	})
+
+	if tr := c.tracer; tr != nil && c.cfg.Tracer == nil {
+		// The tracer's owner exposes its self-counters; shard-layer groups
+		// share one tracer and the sharding layer exposes it once.
+		tt := reg.Gauge("trace_traces", "tracer self-counters", "counter")
+		tt.Func(func() float64 { return float64(tr.Stats().Sampled) }, "sampled")
+		tt.Func(func() float64 { return float64(tr.Stats().Abandoned) }, "abandoned_spans")
+		tt.Func(func() float64 { return float64(tr.Stats().Slow) }, "slow")
+	}
+}
+
+// observeCommit times the shared apply hook; split out so commit and
+// commitLWW share one shape.
+func (r *replica) commitTimer() (time.Time, bool) {
+	if r.om.commits == nil {
+		return time.Time{}, false
+	}
+	return time.Now(), true
+}

@@ -82,7 +82,7 @@ func (s *passiveServer) onUpdate(origin transport.NodeID, payload []byte) {
 	defer release()
 	u := decodeUpdate(payload)
 	if origin != s.r.id {
-		s.r.trace(u.ReqID, trace.AC, "apply")
+		s.r.traceU(u, trace.AC, "apply")
 	}
 	if _, done := s.dd.get(u.ReqID); done {
 		return
@@ -114,7 +114,7 @@ func (s *passiveServer) onClientRequest(m transport.Message) {
 		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: view.Primary()}))
 		return
 	}
-	s.r.trace(req.ID, trace.RE, "primary")
+	s.r.traceR(req, trace.RE, "primary")
 	// The request blocks on locks and stable broadcast: leave the
 	// dispatch loop free.
 	s.r.node.Go(func() { s.serve(m, req) })
@@ -180,7 +180,7 @@ func (s *passiveServer) run(req Request) (txnResult, error) {
 	}
 	defer s.r.locks.ReleaseAll(txnID)
 
-	s.r.trace(req.ID, trace.EX, "primary")
+	s.r.traceR(req, trace.EX, "primary")
 	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
 		return s.r.resolveNondet(req, i), nil // nondeterminism allowed: one executor
 	}, true)
@@ -189,10 +189,10 @@ func (s *passiveServer) run(req Request) (txnResult, error) {
 	}
 
 	// Phase 4: VSCAST the update; stability before the response.
-	s.r.trace(req.ID, trace.AC, "vscast")
+	s.r.traceR(req, trace.AC, "vscast")
 	u := updateMsg{
 		ReqID: req.ID, TxnID: txnID, Client: req.Client,
-		WS: out.ws, Result: out.result, Origin: s.r.id,
+		WS: out.ws, Result: out.result, Origin: s.r.id, TC: req.TC,
 	}
 	if err := s.vg.BroadcastStable(ctx, encodeUpdate(u)); err != nil {
 		return txnResult{}, err

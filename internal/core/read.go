@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"replication/internal/codec"
+	"replication/internal/trace"
 	"replication/internal/transport"
 	"replication/internal/txn"
 )
@@ -98,6 +99,9 @@ type readReq struct {
 	Level  uint8
 	Keys   []string
 	MinSeq uint64
+	// TC carries the client's trace context so a weak read served two
+	// replicas away still lands in the request's span tree.
+	TC trace.Context
 }
 
 // readResp answers a readReq. Served=false means the replica declined
@@ -113,7 +117,8 @@ type readResp struct {
 func (m *readReq) AppendTo(buf []byte) []byte {
 	buf = codec.AppendUvarint(buf, uint64(m.Level))
 	buf = codec.AppendStrings(buf, m.Keys)
-	return codec.AppendUvarint(buf, m.MinSeq)
+	buf = codec.AppendUvarint(buf, m.MinSeq)
+	return m.TC.AppendTo(buf)
 }
 
 // DecodeFrom implements codec.Wire.
@@ -122,6 +127,7 @@ func (m *readReq) DecodeFrom(data []byte) error {
 	m.Level = uint8(r.Uvarint())
 	m.Keys = codec.DecodeStrings[string](&r)
 	m.MinSeq = r.Uvarint()
+	m.TC.DecodeWire(&r)
 	return r.Done()
 }
 
@@ -145,7 +151,8 @@ func init() {
 	codec.Register("core.read",
 		func() codec.Wire { return new(readReq) },
 		func() codec.Wire {
-			return &readReq{Level: uint8(LevelSession), Keys: []string{"alpha", "beta"}, MinSeq: 17}
+			return &readReq{Level: uint8(LevelSession), Keys: []string{"alpha", "beta"}, MinSeq: 17,
+				TC: trace.Context{TraceID: 7, Span: 2, Sampled: true}}
 		})
 	codec.Register("core.read-resp",
 		func() codec.Wire { return new(readResp) },
@@ -233,17 +240,28 @@ func (r *replica) onRead(m transport.Message) {
 	})
 }
 
-func (r *replica) serveRead(req readReq) readResp {
+func (r *replica) serveRead(req readReq) (resp readResp) {
+	if sc := r.tracer.Child(req.TC, "read.serve", string(r.id)); sc != nil {
+		defer func() {
+			if resp.Served {
+				sc.End(nil)
+			} else {
+				sc.End(errDeclined)
+			}
+		}()
+	}
 	if r.refusing() {
 		return readResp{}
 	}
 	switch ReadLevel(req.Level) {
 	case LevelLease:
-		return r.serveLeaseRead(req.Keys)
+		resp = r.serveLeaseRead(req.Keys)
+		if resp.Served {
+			r.om.readsLease.Inc()
+		}
+		return resp
 	case LevelSession:
-		ctx, cancel := context.WithTimeout(context.Background(), sessionWaitBound)
-		defer cancel()
-		if !r.store.WaitCommitSeq(ctx, req.MinSeq) {
+		if !r.waitWatermark(req, "session.watermark-wait") {
 			return readResp{}
 		}
 		reads := make(map[string][]byte, len(req.Keys))
@@ -254,11 +272,10 @@ func (r *replica) serveRead(req readReq) readResp {
 				reads[k] = nil
 			}
 		}
+		r.om.readsSession.Inc()
 		return readResp{Served: true, Seq: r.store.CommitSeq(), Reads: reads}
 	case LevelSnapshot:
-		ctx, cancel := context.WithTimeout(context.Background(), sessionWaitBound)
-		defer cancel()
-		if !r.store.WaitCommitSeq(ctx, req.MinSeq) {
+		if !r.waitWatermark(req, "snapshot.watermark-wait") {
 			return readResp{}
 		}
 		reads := make(map[string][]byte, len(req.Keys))
@@ -269,9 +286,40 @@ func (r *replica) serveRead(req readReq) readResp {
 				reads[k] = nil
 			}
 		}
+		r.om.readsSnapshot.Inc()
 		return readResp{Served: true, Seq: req.MinSeq, Reads: reads}
 	}
 	return readResp{}
+}
+
+// errDeclined marks a declined read's serve span; the client will try
+// the next replica or fall back to a strong read.
+var errDeclined = fmt.Errorf("declined")
+
+// waitWatermark blocks (bounded) until the store has applied up to the
+// request's watermark, timing the wait into the session-wait histogram
+// and, when traced, a span.
+func (r *replica) waitWatermark(req readReq, span string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), sessionWaitBound)
+	defer cancel()
+	if r.store.CommitSeq() >= req.MinSeq {
+		return true
+	}
+	var sc *trace.Scope
+	if req.TC.Valid() {
+		sc = r.tracer.Child(req.TC, span, string(r.id))
+	}
+	t0 := time.Now()
+	ok := r.store.WaitCommitSeq(ctx, req.MinSeq)
+	r.om.sessionWait.Observe(time.Since(t0))
+	if sc != nil {
+		if ok {
+			sc.End(nil)
+		} else {
+			sc.End(ctx.Err())
+		}
+	}
+	return ok
 }
 
 // serveLeaseRead serves keys under valid leases, acquiring any that are
@@ -389,11 +437,26 @@ func (cl *Client) Get(ctx context.Context, key string, opts ...ReadOption) ([]by
 // GetMany reads keys at the chosen consistency level. Lease and session
 // reads that no replica can serve fall back to a strong read — the
 // guarantee degrades never, only the latency.
-func (cl *Client) GetMany(ctx context.Context, keys []string, opts ...ReadOption) (map[string][]byte, error) {
+func (cl *Client) GetMany(ctx context.Context, keys []string, opts ...ReadOption) (_ map[string][]byte, retErr error) {
 	opt := PickRead(opts)
 	lvl := opt.level
 	if lvl == LevelLease && !cl.c.cfg.Lease.Enabled {
 		lvl = LevelStrong // leases off: honor the request at full strength
+	}
+	if lvl == LevelStrong {
+		return cl.strongRead(ctx, keys)
+	}
+	// A weak read roots its own trace (or joins the caller's) exactly
+	// like Invoke: one sampling decision covering every replica tried and
+	// the strong fallback, so a degraded read shows up as one tree.
+	var sc *trace.Scope
+	if _, already := trace.FromContext(ctx); !already {
+		names := [...]string{LevelLease: "read.lease", LevelSession: "read.session", LevelSnapshot: "read.snapshot"}
+		sc = cl.c.tracer.Root(names[lvl], string(cl.node.ID()))
+		if sc != nil {
+			ctx = trace.NewContext(ctx, sc.Context())
+			defer func() { sc.End(retErr) }()
+		}
 	}
 	switch lvl {
 	case LevelLease:
@@ -457,6 +520,9 @@ func (cl *Client) SnapshotNow(ctx context.Context) (SnapshotTS, error) {
 // starting at the client's home, and records the reply watermark. It
 // reports false when no replica served (the caller falls back).
 func (cl *Client) tryRead(ctx context.Context, req readReq) (map[string][]byte, bool) {
+	if tc, ok := trace.FromContext(ctx); ok {
+		req.TC = tc
+	}
 	ids := cl.c.ids
 	start := 0
 	for i, id := range ids {

@@ -186,7 +186,12 @@ func (c *Cluster) JoinAsNew(ctx context.Context, id transport.NodeID) error {
 	return c.recover(ctx, id, true)
 }
 
-func (c *Cluster) recover(ctx context.Context, id transport.NodeID, wipe bool) error {
+func (c *Cluster) recover(ctx context.Context, id transport.NodeID, wipe bool) (retErr error) {
+	// Recovery is rare control-plane work: always traced (no sampling),
+	// so /debug/trace shows every catch-up with its duration and outcome.
+	if sc := c.tracer.ForceRoot("recovery.catchup", string(id)); sc != nil {
+		defer func() { sc.End(retErr) }()
+	}
 	if err := c.BeginRecovery(id, wipe); err != nil {
 		return err
 	}

@@ -138,14 +138,14 @@ func (s *semiActiveServer) onDeliver(origin transport.NodeID, payload []byte) {
 	}
 	defer release()
 	req := decodeRequest(payload)
-	s.r.trace(req.ID, trace.SC, "abcast")
+	s.r.traceR(req, trace.SC, "abcast")
 
 	if res, done := s.dd.get(req.ID); done {
 		respond(s.r, req, res)
 		return
 	}
 
-	s.r.trace(req.ID, trace.EX, "")
+	s.r.traceR(req, trace.EX, "")
 	out, err := s.r.execute(req.Txn, func(i int, op txnOp) ([]byte, error) {
 		return s.resolveChoice(req, i)
 	}, true)
@@ -194,7 +194,7 @@ func (s *semiActiveServer) resolveChoice(req Request, opIdx int) ([]byte, error)
 			// keeps a deciding-then-crashing leader from stranding a
 			// choice no survivor knows.
 			choice := s.r.resolveNondet(req, opIdx)
-			s.r.trace(req.ID, trace.AC, "vscast-decision")
+			s.r.traceR(req, trace.AC, "vscast-decision")
 			ctx, cancel := context.WithTimeout(context.Background(), s.r.cfg.RequestTimeout)
 			err := s.vg.BroadcastStable(ctx, codec.MustMarshal(&decisionMsg{Key: key, Value: choice}))
 			cancel()

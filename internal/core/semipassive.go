@@ -174,7 +174,7 @@ func (s *semiPassiveServer) produce() []byte {
 	req := s.pending[ids[0]]
 	s.mu.Unlock()
 
-	s.r.trace(req.ID, trace.EX, "coordinator")
+	s.r.traceR(req, trace.EX, "coordinator")
 	out, err := s.r.execute(req.Txn, func(i int, _ txnOp) ([]byte, error) {
 		return s.r.resolveNondet(req, i), nil
 	}, false)
@@ -184,7 +184,7 @@ func (s *semiPassiveServer) produce() []byte {
 	}
 	return encodeUpdate(updateMsg{
 		ReqID: req.ID, TxnID: req.TxnID(), Client: req.Client,
-		WS: out.ws, Result: res, Origin: s.r.id,
+		WS: out.ws, Result: res, Origin: s.r.id, TC: req.TC,
 	})
 }
 
@@ -218,7 +218,7 @@ func (s *semiPassiveServer) apply(instance uint64, value []byte) {
 	if u.ReqID == 0 || done {
 		return
 	}
-	s.r.trace(u.ReqID, trace.AC, "consensus-dv")
+	s.r.traceU(u, trace.AC, "consensus-dv")
 	s.r.commit(instance, u.ReqID, u.TxnID, u.Origin, 0, u.WS, u.Result)
 	s.dd.put(u.ReqID, u.Result)
 	if len(u.WS) > 0 {

@@ -5,6 +5,7 @@ import (
 
 	"replication/internal/codec"
 	"replication/internal/storage"
+	"replication/internal/trace"
 	"replication/internal/transport"
 	"replication/internal/txn"
 )
@@ -23,6 +24,7 @@ func (m *Request) AppendTo(buf []byte) []byte {
 	buf = codec.AppendUvarint(buf, m.ID)
 	buf = codec.AppendVarint(buf, int64(m.Attempt))
 	buf = codec.AppendString(buf, string(m.Client))
+	buf = m.TC.AppendTo(buf)
 	return m.Txn.AppendWire(buf)
 }
 
@@ -37,6 +39,7 @@ func (m *Request) decodeWire(r *codec.Reader) {
 	m.ID = r.Uvarint()
 	m.Attempt = int(r.Varint())
 	m.Client = transport.NodeID(r.String())
+	m.TC.DecodeWire(r)
 	m.Txn.DecodeWire(r)
 }
 
@@ -70,7 +73,8 @@ func (m *updateMsg) AppendTo(buf []byte) []byte {
 	buf = m.WS.AppendWire(buf)
 	buf = m.Result.AppendWire(buf)
 	buf = codec.AppendString(buf, string(m.Origin))
-	return codec.AppendUvarint(buf, m.Wall)
+	buf = codec.AppendUvarint(buf, m.Wall)
+	return m.TC.AppendTo(buf)
 }
 
 // DecodeFrom implements codec.Wire.
@@ -83,6 +87,7 @@ func (m *updateMsg) DecodeFrom(data []byte) error {
 	m.Result.DecodeWire(&r)
 	m.Origin = transport.NodeID(r.String())
 	m.Wall = r.Uvarint()
+	m.TC.DecodeWire(&r)
 	return r.Done()
 }
 
@@ -285,6 +290,7 @@ func init() {
 		func() codec.Wire {
 			return &Request{
 				ID: 1<<32 + 7, Attempt: 2, Client: "c1",
+				TC: trace.Context{TraceID: 0xabcdef01, Span: 3, Sampled: true},
 				Txn: txn.Transaction{ID: "t42", Ops: []txn.Op{
 					txn.R("alpha"),
 					txn.W("beta", []byte("value-1")),
@@ -307,6 +313,7 @@ func init() {
 		func() codec.Wire {
 			return &updateMsg{
 				ReqID: 7, TxnID: "t7", Client: "c2", Origin: "r0", Wall: 1234,
+				TC: trace.Context{TraceID: 0xbeef, Span: 9, Sampled: true},
 				WS: storage.WriteSet{
 					{Key: "beta", Value: []byte("value-1")},
 					{Key: "gamma", Value: []byte("nd-abc")},

@@ -46,8 +46,12 @@ func bucketUpper(b int) time.Duration {
 	return time.Duration(us * float64(time.Microsecond))
 }
 
-// Observe records one duration.
+// Observe records one duration. Observe on a nil *Histogram discards,
+// so registry-less instrumentation sites need no branch of their own.
 func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.buckets == nil {
@@ -65,78 +69,133 @@ func (h *Histogram) Observe(d time.Duration) {
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() uint64 { return h.Snapshot().Count }
 
 // Mean returns the arithmetic mean (zero when empty).
-func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0
-	}
-	return h.sum / time.Duration(h.count)
-}
+func (h *Histogram) Mean() time.Duration { return h.Snapshot().Mean() }
 
 // Min and Max return the observed extremes (zero when empty).
-func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.min
-}
+func (h *Histogram) Min() time.Duration { return h.Snapshot().Min }
 
 // Max returns the largest observation.
-func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
-}
+func (h *Histogram) Max() time.Duration { return h.Snapshot().Max }
 
 // Percentile returns the approximate p-quantile (p in [0,1]); for p=1 it
 // returns Max exactly.
 func (h *Histogram) Percentile(p float64) time.Duration {
+	return h.Snapshot().Percentile(p)
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram taken under one
+// lock acquisition, so count, sum, extremes and buckets are mutually
+// consistent even while other goroutines Observe or Reset. All query
+// methods derive from snapshots; Summary lines can no longer mix counts
+// from before a Reset with extremes from after it.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	buckets map[int]uint64
+}
+
+// Snapshot returns a consistent copy of the histogram's state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.count == 0 {
+	s := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if len(h.buckets) > 0 {
+		s.buckets = make(map[int]uint64, len(h.buckets))
+		for b, n := range h.buckets {
+			s.buckets[b] = n
+		}
+	}
+	return s
+}
+
+// Mean returns the snapshot's arithmetic mean (zero when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Percentile returns the snapshot's approximate p-quantile (p in [0,1]);
+// for p=1 it returns Max exactly.
+func (s HistSnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 {
 		return 0
 	}
 	if p >= 1 {
-		return h.max
+		return s.Max
 	}
 	if p < 0 {
 		p = 0
 	}
-	target := uint64(p * float64(h.count))
-	if target >= h.count {
-		target = h.count - 1
+	target := uint64(p * float64(s.Count))
+	if target >= s.Count {
+		target = s.Count - 1
 	}
-	ids := make([]int, 0, len(h.buckets))
-	for b := range h.buckets {
+	ids := make([]int, 0, len(s.buckets))
+	for b := range s.buckets {
 		ids = append(ids, b)
 	}
 	sort.Ints(ids)
 	var cum uint64
 	for _, b := range ids {
-		cum += h.buckets[b]
+		cum += s.buckets[b]
 		if cum > target {
 			up := bucketUpper(b)
-			if up > h.max {
-				up = h.max
+			if up > s.Max {
+				up = s.Max
 			}
-			if up < h.min {
-				up = h.min
+			if up < s.Min {
+				up = s.Min
 			}
 			return up
 		}
 	}
-	return h.max
+	return s.Max
+}
+
+// Merge folds other's observations into h — cross-shard aggregation for
+// the registry exposition and the per-shard report. Other is snapshotted
+// first, so the two histograms' locks are never held together.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	s := other.Snapshot()
+	if s.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.buckets == nil {
+		h.buckets = make(map[int]uint64)
+	}
+	for b, n := range s.buckets {
+		h.buckets[b] += n
+	}
+	if h.count == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if s.Max > h.max {
+		h.max = s.Max
+	}
+	h.count += s.Count
+	h.sum += s.Sum
 }
 
 // Reset clears all observations.
 func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.buckets = make(map[int]uint64)
@@ -146,14 +205,16 @@ func (h *Histogram) Reset() {
 	h.max = 0
 }
 
-// Summary formats count/mean/p50/p95/p99/max on one line.
+// Summary formats count/mean/p50/p95/p99/max on one line, from one
+// consistent snapshot.
 func (h *Histogram) Summary() string {
+	s := h.Snapshot()
 	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
-		h.Count(), h.Mean().Round(time.Microsecond),
-		h.Percentile(0.50).Round(time.Microsecond),
-		h.Percentile(0.95).Round(time.Microsecond),
-		h.Percentile(0.99).Round(time.Microsecond),
-		h.Max().Round(time.Microsecond))
+		s.Count, s.Mean().Round(time.Microsecond),
+		s.Percentile(0.50).Round(time.Microsecond),
+		s.Percentile(0.95).Round(time.Microsecond),
+		s.Percentile(0.99).Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
 }
 
 // Counter is a monotonically increasing event counter. The zero value
@@ -162,18 +223,43 @@ type Counter struct {
 	n atomic.Uint64
 }
 
-// Add increments the counter by delta.
-func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+// Add increments the counter by delta. Add on a nil *Counter discards.
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(delta)
+}
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.n.Add(1) }
+func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.n.Load() }
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
 
 // Reset zeroes the counter (between sweep points, like the transport
-// counters).
-func (c *Counter) Reset() { c.n.Store(0) }
+// counters). A reader racing Reset should use Take instead: Value
+// followed by Reset can lose increments that land between the two.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.n.Store(0)
+}
+
+// Take atomically returns the count and zeroes it, so concurrent
+// increments are counted exactly once across sweep windows.
+func (c *Counter) Take() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Swap(0)
+}
 
 // Throughput is an operations-per-second meter over a wall-clock window.
 type Throughput struct {

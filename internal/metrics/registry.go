@@ -1,0 +1,343 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a set of named, labeled metric families — counters,
+// gauges (including callback gauges evaluated at scrape time) and
+// histograms — with Prometheus-style text exposition for the /metrics
+// endpoint. Families are created once at wiring time and the resolved
+// children cached by the instrumentation sites, so the hot path never
+// touches the registry's maps.
+//
+// A nil *Registry hands out nil vectors, whose With in turn hands out
+// nil metrics, and every metric method discards on nil — observability
+// off means the instrumented code runs with nothing but nil checks.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	hooks []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		// Bucketed histograms expose quantiles, so the Prometheus type is
+		// summary.
+		return "summary"
+	}
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+
+	mu       sync.Mutex
+	order    []string // child keys in creation order
+	children map[string]*child
+}
+
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // callback gauge; evaluated at exposition
+}
+
+// family returns (creating if needed) the named family, enforcing that
+// a name keeps one kind and one label schema for its lifetime.
+func (r *Registry) family(name, help string, kind metricKind, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered as %v%v, was %v%v",
+				name, kind, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels,
+		children: make(map[string]*child)}
+	r.fams[name] = f
+	return f
+}
+
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants labels %v, got %d values", f.name, f.labels, len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{values: append([]string(nil), values...)}
+	switch f.kind {
+	case counterKind:
+		c.c = &Counter{}
+	case gaugeKind:
+		c.g = &Gauge{}
+	case histogramKind:
+		c.h = &Histogram{}
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// Counter registers (or returns) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.family(name, help, counterKind, labels)}
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.family(name, help, gaugeKind, labels)}
+}
+
+// Histogram registers (or returns) a histogram family, exposed as a
+// quantile summary plus _sum and _count.
+func (r *Registry) Histogram(name, help string, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{r.family(name, help, histogramKind, labels)}
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With resolves the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).c
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With resolves the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).g
+}
+
+// Func installs a callback gauge for the given label values, evaluated
+// at exposition time — how the WAL queue depth and lease counts scrape
+// live state without a poller.
+func (v *GaugeVec) Func(fn func() float64, values ...string) {
+	if v == nil {
+		return
+	}
+	c := v.f.child(values)
+	v.f.mu.Lock()
+	c.fn = fn
+	v.f.mu.Unlock()
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With resolves the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).h
+}
+
+// Gauge is a float64 instantaneous value. The zero value is ready; a
+// nil *Gauge discards.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// OnScrape registers a hook run at the start of every WriteText —
+// how series with dynamic label sets (per-peer transport counters,
+// per-shard gauges after a rebalance) sync themselves before exposition.
+func (r *Registry) OnScrape(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
+// WriteText writes the registry in the Prometheus text exposition
+// format: families sorted by name, one series per label combination,
+// histograms as 0.5/0.95/0.99 quantiles plus _sum (seconds) and _count.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.hooks...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make(map[string]*family, len(r.fams))
+	for name, f := range r.fams {
+		fams[name] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, name := range names {
+		f := fams[name]
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]*child, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range children {
+			base := labelSet(f.labels, c.values)
+			switch f.kind {
+			case counterKind:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, base, c.c.Value())
+			case gaugeKind:
+				v := c.g.Value()
+				if c.fn != nil {
+					v = c.fn()
+				}
+				fmt.Fprintf(w, "%s%s %s\n", f.name, base, formatFloat(v))
+			case histogramKind:
+				s := c.h.Snapshot()
+				for _, q := range []struct {
+					q string
+					p float64
+				}{{"0.5", 0.5}, {"0.95", 0.95}, {"0.99", 0.99}} {
+					fmt.Fprintf(w, "%s%s %s\n", f.name,
+						labelSet(append(f.labels, "quantile"), append(c.values, q.q)),
+						formatFloat(s.Percentile(q.p).Seconds()))
+				}
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, base, formatFloat(s.Sum.Seconds()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, base, s.Count)
+			}
+		}
+	}
+}
+
+func labelSet(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// ObserveSince is a convenience for the common "time this block"
+// pattern: h.Observe(time.Since(t0)) with the nil check inherited.
+func ObserveSince(h *Histogram, t0 time.Time) { h.Observe(time.Since(t0)) }

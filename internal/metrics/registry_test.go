@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	cv := r.Counter("c", "help")
+	gv := r.Gauge("g", "help", "l")
+	hv := r.Histogram("h", "help")
+	if cv != nil || gv != nil || hv != nil {
+		t.Fatal("nil registry handed out non-nil vectors")
+	}
+	// The whole chain must discard, not panic.
+	cv.With().Inc()
+	gv.With("x").Set(3)
+	gv.Func(func() float64 { return 1 }, "x")
+	hv.With().Observe(time.Second)
+	r.OnScrape(func() {})
+	r.WriteText(&strings.Builder{})
+
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "commits", "shard", "replica").With("0", "r1").Add(7)
+	r.Gauge("a_gauge", "watermark").With().Set(2.5)
+	h := r.Histogram("c_seconds", "latency").With()
+	h.Observe(100 * time.Millisecond)
+	h.Observe(300 * time.Millisecond)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+
+	// Families sorted by name.
+	if !(strings.Index(out, "a_gauge") < strings.Index(out, "b_total") &&
+		strings.Index(out, "b_total") < strings.Index(out, "c_seconds")) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	for _, want := range []string{
+		"# HELP b_total commits",
+		"# TYPE b_total counter",
+		`b_total{shard="0",replica="r1"} 7`,
+		"# TYPE a_gauge gauge",
+		"a_gauge 2.5",
+		"# TYPE c_seconds summary",
+		`c_seconds{quantile="0.5"}`,
+		"c_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// _sum is in seconds: two observations totalling 0.4s.
+	if !strings.Contains(out, "c_seconds_sum 0.4") {
+		t.Fatalf("histogram sum not in seconds:\n%s", out)
+	}
+}
+
+func TestCallbackGaugeAndOnScrape(t *testing.T) {
+	r := NewRegistry()
+	live := 41.0
+	r.Gauge("live_gauge", "callback").Func(func() float64 { return live })
+	hooked := 0
+	r.OnScrape(func() { hooked++; live++ })
+
+	var b strings.Builder
+	r.WriteText(&b)
+	if hooked != 1 {
+		t.Fatalf("scrape hook ran %d times", hooked)
+	}
+	if !strings.Contains(b.String(), "live_gauge 42") {
+		t.Fatalf("callback gauge not evaluated at scrape:\n%s", b.String())
+	}
+	b.Reset()
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), "live_gauge 43") {
+		t.Fatalf("second scrape stale:\n%s", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "escaping", "k").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}
+
+func TestFamilyIdentityAndChildCaching(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "h", "l").With("v")
+	c2 := r.Counter("x_total", "h", "l").With("v")
+	if c1 != c2 {
+		t.Fatal("same (family, labels) resolved different counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "h", "l")
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 8000 {
+		t.Fatalf("concurrent adds lost updates: %v", g.Value())
+	}
+}
+
+func TestCounterTake(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	if got := c.Take(); got != 5 {
+		t.Fatalf("Take = %d, want 5", got)
+	}
+	if got := c.Value(); got != 0 {
+		t.Fatalf("Take did not reset: %d", got)
+	}
+	var nilC *Counter
+	if nilC.Take() != 0 {
+		t.Fatal("nil counter Take nonzero")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(100 * time.Millisecond)
+	b.Observe(300 * time.Millisecond)
+	b.Observe(500 * time.Millisecond)
+	a.Merge(&b)
+	s := a.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", s.Count)
+	}
+	if s.Min != 100*time.Millisecond || s.Max != 500*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Sum != 900*time.Millisecond {
+		t.Fatalf("merged sum = %v", s.Sum)
+	}
+	// Merging from nil or into nil must discard quietly.
+	a.Merge(nil)
+	var nilH *Histogram
+	nilH.Merge(&a)
+	if a.Count() != 3 {
+		t.Fatalf("nil merges changed the histogram: %d", a.Count())
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	var h Histogram
+	ObserveSince(&h, time.Now().Add(-10*time.Millisecond))
+	if h.Count() != 1 || h.Min() < 10*time.Millisecond {
+		t.Fatalf("ObserveSince recorded %d obs, min %v", h.Count(), h.Min())
+	}
+	ObserveSince(nil, time.Now()) // nil-safe
+}

@@ -1,0 +1,93 @@
+// Package obs serves the cluster's introspection endpoints: /metrics
+// (Prometheus text exposition of the metrics registry), /debug/trace
+// (recent sampled span trees rendered as phase timelines, plus the
+// slow-request ring), and the standard net/http/pprof profiles. The
+// server is opt-in — a cluster without an ObsAddr never imports a
+// socket — and read-only: nothing it serves mutates cluster state.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"replication/internal/metrics"
+	"replication/internal/trace"
+)
+
+// Server is one live introspection endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Start listens on addr (":0" picks a free port; see Addr) and serves
+// the registry and tracer. Either may be nil; the endpoints then report
+// empty.
+func Start(addr string, reg *metrics.Registry, tr *trace.Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+
+	scrapes := reg.Counter("obs_scrapes_total", "metrics endpoint scrapes").With()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		scrapes.Inc()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		trees := tr.Recent()
+		title := "recent traces"
+		if r.URL.Query().Get("slow") != "" {
+			trees = tr.Slow()
+			title = "slow traces"
+		}
+		st := tr.Stats()
+		fmt.Fprintf(w, "%s: %d (sampled=%d abandoned-spans=%d slow=%d)\n\n",
+			title, len(trees), st.Sampled, st.Abandoned, st.Slow)
+		for _, t := range trees {
+			fmt.Fprintln(w, t.Render())
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"replication/internal/metrics"
+	"replication/internal/trace"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("demo_total", "a demo counter").With().Add(3)
+	tr := trace.NewTracer(trace.Options{Sample: 1, SlowAfter: time.Nanosecond})
+	sc := tr.Root("request", "c1")
+	sc.BindReq(1)
+	tr.Event(1, "r0", trace.RE, "")
+	time.Sleep(time.Millisecond) // over the 1ns slow threshold
+	sc.UnbindReq(1)
+	sc.End(nil)
+
+	s, err := Start("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "demo_total 3") {
+		t.Fatalf("/metrics (%d):\n%s", code, body)
+	}
+	// The endpoint counts its own scrapes (incremented before exposition).
+	if !strings.Contains(body, "obs_scrapes_total 1") {
+		t.Fatalf("scrape self-counter missing:\n%s", body)
+	}
+
+	code, body = get(t, base+"/debug/trace")
+	if code != http.StatusOK || !strings.Contains(body, "phase.RE") {
+		t.Fatalf("/debug/trace (%d):\n%s", code, body)
+	}
+	if !strings.Contains(body, "sampled=1") {
+		t.Fatalf("trace header missing stats:\n%s", body)
+	}
+	_, body = get(t, base+"/debug/trace?slow=1")
+	if !strings.Contains(body, "slow traces: 1") {
+		t.Fatalf("slow ring not served:\n%s", body)
+	}
+
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	code, body = get(t, base+"/debug/pprof/symbol")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/symbol = %d: %s", code, body)
+	}
+}
+
+func TestServerNilBackends(t *testing.T) {
+	// Both backends nil: endpoints respond empty rather than crash.
+	s, err := Start("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+	if code, _ := get(t, base+"/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if code, _ := get(t, base+"/debug/trace"); code != http.StatusOK {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+}
+
+func TestServerNilAndClose(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Fatal("nil server has an address")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

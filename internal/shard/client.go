@@ -12,6 +12,7 @@ import (
 	"replication/internal/codec"
 	"replication/internal/core"
 	"replication/internal/tpc"
+	"replication/internal/trace"
 	"replication/internal/transport"
 	"replication/internal/txn"
 )
@@ -64,6 +65,9 @@ type boundClient struct {
 	gc         *core.Cluster
 	mu         sync.Mutex // one invocation at a time, so routeEpoch is single-valued
 	routeEpoch atomic.Uint64
+	// routeTC pins the trace context of the current invocation (same
+	// discipline as routeEpoch), so the endpoint's envelopes carry it.
+	routeTC atomic.Pointer[trace.Context]
 
 	// sessionDirty marks that this group may have applied a write of
 	// ours that its core client's watermark does not cover — a cross-
@@ -73,12 +77,27 @@ type boundClient struct {
 	sessionDirty atomic.Bool
 }
 
-// invoke pins the routing epoch and runs one core invocation.
+// invoke pins the routing epoch (and trace context) and runs one core
+// invocation.
 func (b *boundClient) invoke(ctx context.Context, epoch uint64, t txn.Transaction) (txn.Result, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.routeEpoch.Store(epoch)
+	if tc, ok := trace.FromContext(ctx); ok {
+		b.routeTC.Store(&tc)
+	} else {
+		b.routeTC.Store(nil)
+	}
+	defer b.routeTC.Store(nil)
 	return b.gcl.Invoke(ctx, t)
+}
+
+// routeTrace returns the pinned trace context (zero when none).
+func (b *boundClient) routeTrace() trace.Context {
+	if tc := b.routeTC.Load(); tc != nil {
+		return *tc
+	}
+	return trace.Context{}
 }
 
 // NewClient attaches a client to the cluster. The client starts with
@@ -184,7 +203,7 @@ func (cl *Client) groupClient(s int) (*boundClient, error) {
 	}
 	b := &boundClient{gcl: gc.NewClient(), gc: gc}
 	b.sessionDirty.Store(true) // fresh connection: no watermark yet
-	cl.c.mux.BindEpoch(uint32(s), b.gcl.ID(), b.routeEpoch.Load, cl.onRedirect)
+	cl.c.mux.BindEpochTraced(uint32(s), b.gcl.ID(), b.routeEpoch.Load, cl.onRedirect, b.routeTrace)
 	cl.groups[s] = b
 	return b, nil
 }
@@ -212,7 +231,16 @@ func (cl *Client) InvokeOp(ctx context.Context, op txn.Op) (txn.Result, error) {
 // under the new assignment; if a move of the touched keys is in
 // progress, an update pauses for the bounded freeze window instead of
 // failing.
-func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (txn.Result, error) {
+func (cl *Client) Invoke(ctx context.Context, t txn.Transaction) (_ txn.Result, retErr error) {
+	// The trace roots here, above the routing loop: one sampling
+	// decision per request, stable across epoch retries and wrong-epoch
+	// redirects, with the per-group invocations joining as children.
+	if _, already := trace.FromContext(ctx); !already {
+		if sc := cl.c.tracer.Root("request", string(cl.node.ID())); sc != nil {
+			ctx = trace.NewContext(ctx, sc.Context())
+			defer func() { sc.End(retErr) }()
+		}
+	}
 	for {
 		res, retry, err := cl.tryInvoke(ctx, t)
 		if !retry {
@@ -327,6 +355,9 @@ func (cl *Client) invokeCross(ctx context.Context, a Assignment, refreshCh <-cha
 	sort.Ints(shards)
 
 	plan := xPlan{TxnID: txnID, Epoch: a.Epoch}
+	if tc, ok := trace.FromContext(ctx); ok {
+		plan.TC = tc // participants join this trace around their inner rounds
+	}
 	participants := make([]transport.NodeID, 0, len(shards))
 	needReads := make(map[int]bool)
 	for _, s := range shards {
@@ -347,7 +378,9 @@ func (cl *Client) invokeCross(ctx context.Context, a Assignment, refreshCh <-cha
 	start := time.Now()
 	runCtx, cancel := context.WithTimeout(ctx, cl.c.cfg.CrossTimeout)
 	stop := watchRefresh(refreshCh, cancel)
+	tpcScope := cl.c.tracer.Child(plan.TC, "2pc.coordinate", string(cl.node.ID()))
 	outcome, err := cl.coord.Run(runCtx, txnID, codec.MustMarshal(&plan), participants)
+	tpcScope.End(err)
 	stop()
 	cancel()
 	if outcome != tpc.Commit {

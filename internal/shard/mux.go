@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"replication/internal/codec"
+	"replication/internal/trace"
 	"replication/internal/transport"
 )
 
@@ -24,7 +25,8 @@ import (
 // meaningful per group. Crash semantics are physical: crashing id kills
 // the process, i.e. that replica of every shard at once.
 type Mux struct {
-	inner transport.Transport
+	inner  transport.Transport
+	tracer atomic.Pointer[trace.Tracer] // set by the cluster; may stay nil
 
 	nextID atomic.Uint64 // virtual message IDs for plain sends
 
@@ -58,6 +60,14 @@ func NewMux(inner transport.Transport) *Mux {
 // Inner returns the wrapped transport.
 func (mx *Mux) Inner() transport.Transport { return mx.inner }
 
+// SetTracer hands the mux the cluster-wide tracer so routed traffic can
+// carry trace contexts at the envelope layer. Nil is fine (no tracing).
+func (mx *Mux) SetTracer(tr *trace.Tracer) {
+	if tr != nil {
+		mx.tracer.Store(tr)
+	}
+}
+
 // SetEpoch publishes the current assignment to the serving side. The
 // cluster calls it at birth and at every cutover, after the new
 // assignment is authoritative.
@@ -87,18 +97,28 @@ func (mx *Mux) StaleRejected() uint64 { return mx.stale.Load() }
 type epochBinding struct {
 	epoch  func() uint64
 	notify func()
+	// tc, when non-nil, supplies the trace context of the invocation
+	// currently routed through the endpoint (pinned by boundClient
+	// alongside the epoch); outbound envelopes carry it.
+	tc func() trace.Context
 }
 
 // BindEpoch installs an epoch binding for id's endpoint on shard's
 // view (creating the endpoint if it does not exist yet).
 func (mx *Mux) BindEpoch(shard uint32, id transport.NodeID, epoch func() uint64, notify func()) {
+	mx.BindEpochTraced(shard, id, epoch, notify, nil)
+}
+
+// BindEpochTraced is BindEpoch plus a trace-context source for the
+// endpoint's outbound envelopes.
+func (mx *Mux) BindEpochTraced(shard uint32, id transport.NodeID, epoch func() uint64, notify func(), tc func() trace.Context) {
 	v, _ := mx.Shard(shard).(*shardNet)
 	if v == nil {
 		return
 	}
 	ep, _ := v.Attach(id).(*vEndpoint)
 	if ep != nil {
-		ep.binding.Store(&epochBinding{epoch: epoch, notify: notify})
+		ep.binding.Store(&epochBinding{epoch: epoch, notify: notify, tc: tc})
 	}
 }
 
@@ -371,7 +391,7 @@ func (e *vEndpoint) SendMsg(m transport.Message) error {
 	if m.ID == 0 {
 		m.ID = e.view.mux.nextID.Add(1)
 	}
-	e.view.CountSend(m.Kind, len(m.Payload))
+	e.view.CountSendTo(m.To, m.Kind, len(m.Payload))
 	if e.view.mux.dropped(e.view.shard) {
 		e.view.CountDropped()
 		return nil // silent in-flight loss, as the contract demands
@@ -385,6 +405,9 @@ func (e *vEndpoint) SendMsg(m transport.Message) error {
 	}
 	if b := e.binding.Load(); b != nil {
 		env.Epoch = b.epoch() // routed traffic carries the sender's epoch
+		if b.tc != nil {
+			env.TC = b.tc()
+		}
 	}
 	return e.port.ep.SendMsg(transport.Message{
 		To:      m.To,

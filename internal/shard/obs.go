@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"replication/internal/core"
+	"replication/internal/metrics"
+	"replication/internal/obs"
+	"replication/internal/trace"
+)
+
+// The observability spine's shard-side wiring. A sharded cluster owns
+// ONE tracer and ONE registry and hands both to every group through the
+// template, so a cross-shard transaction stitches into a single span
+// tree and `/metrics` exposes every group's series (distinguished by
+// the "shard" label) from one endpoint. The groups therefore never
+// start their own introspection server — the shard layer clears
+// Group.ObsAddr and serves the cluster-wide one here.
+
+// initObs resolves the shared tracer and registry from the group
+// template, mutating it so every group built from it joins them.
+// Returns the address the cluster-level server should bind ("" for
+// none).
+func (c *Cluster) initObs(gcfg *core.Config) string {
+	addr := gcfg.ObsAddr
+	gcfg.ObsAddr = "" // exactly one server, owned by the shard layer
+
+	c.ownTracer = gcfg.Tracer == nil
+	c.tracer = gcfg.Tracer
+	if c.tracer == nil && (gcfg.TraceSample > 0 || gcfg.SlowRequest > 0) {
+		c.tracer = trace.NewTracer(trace.Options{
+			Sample:    gcfg.TraceSample,
+			SlowAfter: gcfg.SlowRequest,
+			SlowLog:   gcfg.SlowLog,
+		})
+	}
+	gcfg.Tracer = c.tracer
+
+	c.registry = gcfg.Metrics
+	if c.registry == nil && addr != "" {
+		c.registry = metrics.NewRegistry()
+	}
+	gcfg.Metrics = c.registry
+	return addr
+}
+
+// startObs registers the shard-level series and starts the cluster-wide
+// introspection server.
+func (c *Cluster) startObs(addr string) error {
+	if reg := c.registry; reg != nil {
+		m := c.metrics
+		xact := reg.Gauge("shard_cross_txns", "cross-shard (2PC) transaction outcomes", "outcome")
+		xact.Func(func() float64 { return float64(m.CrossCommits()) }, "commit")
+		xact.Func(func() float64 { return float64(m.CrossAborts()) }, "abort")
+		reg.Gauge("shard_epoch_retries", "requests re-routed after an assignment change").
+			Func(func() float64 { return float64(m.EpochRetries()) })
+		reg.Gauge("shard_moved_keys", "keys streamed between groups by completed rebalance steps").
+			Func(func() float64 { return float64(m.MovedKeys()) })
+		reg.Gauge("shard_session_reseeds", "session reads gone strong to re-seed a group watermark").
+			Func(func() float64 { return float64(m.SessionReseeds()) })
+		reg.Gauge("shard_lease_revocations", "leases revoked by rebalance range blocks").
+			Func(func() float64 { return float64(m.LeaseRevocations()) })
+		reg.Gauge("shard_epoch", "current assignment epoch").
+			Func(func() float64 { return float64(c.router.Epoch()) })
+		reg.Gauge("shard_stale_rejected", "frames rejected for a superseded routing epoch").
+			Func(func() float64 { return float64(c.mux.StaleRejected()) })
+		c.freezeHist = reg.Histogram("rebalance_freeze_seconds",
+			"write-freeze window of each completed rebalance step").With()
+		if tr := c.tracer; tr != nil {
+			// Groups skip the tracer self-counters when the tracer is shared
+			// (Config.Tracer non-nil); the owner exposes them exactly once.
+			tt := reg.Gauge("trace_traces", "tracer self-counters", "counter")
+			tt.Func(func() float64 { return float64(tr.Stats().Sampled) }, "sampled")
+			tt.Func(func() float64 { return float64(tr.Stats().Abandoned) }, "abandoned_spans")
+			tt.Func(func() float64 { return float64(tr.Stats().Slow) }, "slow")
+		}
+	}
+	if addr != "" {
+		srv, err := obs.Start(addr, c.registry, c.tracer)
+		if err != nil {
+			return err
+		}
+		c.obsSrv = srv
+	}
+	return nil
+}
+
+// closeObs stops the introspection server and flushes in-flight traces
+// (the groups share the tracer and leave draining to its owner here).
+func (c *Cluster) closeObs() {
+	if c.obsSrv != nil {
+		_ = c.obsSrv.Close()
+	}
+	if c.ownTracer {
+		c.tracer.Drain()
+	}
+}
+
+// ObsAddr returns the introspection server's bound address ("" when
+// disabled).
+func (c *Cluster) ObsAddr() string { return c.obsSrv.Addr() }
+
+// MetricsRegistry returns the cluster-wide labeled metrics registry
+// (nil when observability is off). Metrics() keeps returning the
+// client-observed load aggregates.
+func (c *Cluster) MetricsRegistry() *metrics.Registry { return c.registry }
+
+// Tracer returns the cluster-wide span tracer (nil when tracing is
+// off).
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }

@@ -1,0 +1,158 @@
+package shard
+
+// Observability tests for the sharded tier: one client request yields
+// ONE stitched span tree even when it fans out across shards via 2PC,
+// the sampling decision survives epoch redirects, and the cluster-wide
+// metrics endpoint serves every group's series.
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"replication/internal/core"
+	"replication/internal/trace"
+	"replication/internal/txn"
+)
+
+// TestCrossShardTraceStitched: a cross-shard transaction's trace is a
+// single tree containing the 2PC coordination span and one invoke span
+// per participant group, with the paper phases identifiable.
+func TestCrossShardTraceStitched(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Shards: 2,
+		Group:  core.Config{Protocol: core.Active, Replicas: 3, TraceSample: 1},
+	})
+	keys := keysOnDistinctShards(t, c)
+	cl := c.NewClient()
+	res, err := cl.Invoke(ctxT(t, 30*time.Second), txn.Transaction{Ops: []txn.Op{
+		txn.W(keys[0], []byte("a")), txn.W(keys[1], []byte("b")),
+	}})
+	if err != nil || !res.Committed {
+		t.Fatalf("cross-shard write: %v %+v", err, res)
+	}
+
+	if st := c.Tracer().Stats(); st.Sampled != 1 {
+		t.Fatalf("one request opened %d traces", st.Sampled)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		trees := c.Tracer().Recent()
+		if len(trees) == 1 && stitchedAcrossShards(trees[0]) {
+			return
+		}
+		if time.Now().After(deadline) {
+			var dump string
+			for _, tr := range trees {
+				dump += tr.Render()
+			}
+			t.Fatalf("no stitched cross-shard tree among %d:\n%s", len(trees), dump)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func stitchedAcrossShards(tr *trace.Tree) bool {
+	invokes, coords := 0, 0
+	for i := range tr.Spans {
+		switch tr.Spans[i].Name {
+		case "invoke":
+			invokes++
+		case "2pc.coordinate":
+			coords++
+		}
+	}
+	phases := make(map[trace.Phase]bool)
+	for _, p := range tr.Phases() {
+		phases[p] = true
+	}
+	// One invoke per participant group under one coordination span, and
+	// the functional-model phases of both groups' active protocol.
+	return coords == 1 && invokes >= 2 &&
+		phases[trace.RE] && phases[trace.SC] && phases[trace.EX] && phases[trace.END]
+}
+
+// TestTraceSamplingStableAcrossRedirects: a request re-routed by a
+// wrong-epoch redirect keeps its original sampling decision — the
+// counter advances once per request, never per attempt.
+func TestTraceSamplingStableAcrossRedirects(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Shards: 2,
+		Group:  core.Config{Protocol: core.Active, Replicas: 3, TraceSample: 1},
+	})
+	ctx := ctxT(t, 60*time.Second)
+	stale := c.NewClient() // routing pinned before the epoch bump
+	if _, err := stale.InvokeOp(ctx, txn.W("warm", []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddShard(ctx); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Tracer().Stats().Sampled // the move itself traces (ForceRoot)
+	const n = 10
+	for i := 0; i < n; i++ {
+		res, err := stale.InvokeOp(ctx, txn.W("post-"+string(rune('a'+i)), []byte("v")))
+		if err != nil || !res.Committed {
+			t.Fatalf("post-rebalance write %d: %v %+v", i, err, res)
+		}
+	}
+	if got := c.Metrics().EpochRetries(); got == 0 {
+		t.Fatal("stale client never hit a wrong-epoch redirect")
+	}
+	// n requests, one trace each: redirected attempts did not re-roll
+	// the sampling decision.
+	if got := c.Tracer().Stats().Sampled - before; got != n {
+		t.Fatalf("sampled %d traces for %d requests", got, n)
+	}
+}
+
+// TestShardedMetricsEndpoint: the single cluster-wide endpoint serves
+// both groups' series plus the shard-level families.
+func TestShardedMetricsEndpoint(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Shards: 2,
+		Group:  core.Config{Protocol: core.Active, Replicas: 3, ObsAddr: "127.0.0.1:0"},
+	})
+	keys := keysOnDistinctShards(t, c)
+	cl := c.NewClient()
+	res, err := cl.Invoke(ctxT(t, 30*time.Second), txn.Transaction{Ops: []txn.Op{
+		txn.W(keys[0], []byte("a")), txn.W(keys[1], []byte("b")),
+	}})
+	if err != nil || !res.Committed {
+		t.Fatalf("cross-shard write: %v %+v", err, res)
+	}
+
+	resp, err := http.Get("http://" + c.ObsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	series := make(map[string]bool)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series[line[:strings.LastIndexByte(line, ' ')]] = true
+	}
+	if len(series) < 30 {
+		t.Fatalf("endpoint serves %d series, want >= 30:\n%s", len(series), body)
+	}
+	for _, want := range []string{
+		// Prepare round + outcome round: two group commits per shard.
+		`repl_commits_total{shard="0",replica="r0"} 2`,
+		`repl_commits_total{shard="1",replica="r0"} 2`,
+		`shard_cross_txns{outcome="commit"} 1`,
+		"shard_epoch 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}

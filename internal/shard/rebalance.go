@@ -51,6 +51,7 @@ import (
 	"replication/internal/codec"
 	"replication/internal/core"
 	"replication/internal/storage"
+	"replication/internal/trace"
 	"replication/internal/txn"
 )
 
@@ -435,7 +436,7 @@ func (c *Cluster) Rebalance(ctx context.Context, toShards int) ([]*MoveReport, e
 // (tombstone, markers cleared, an added group torn down); after the
 // flip the move is committed and only the release can still fail
 // (reported, retryable).
-func (c *Cluster) rebalanceStep(ctx context.Context, to int) (*MoveReport, error) {
+func (c *Cluster) rebalanceStep(ctx context.Context, to int) (_ *MoveReport, retErr error) {
 	c.rebalMu.Lock()
 	defer c.rebalMu.Unlock()
 
@@ -463,6 +464,16 @@ func (c *Cluster) rebalanceStep(ctx context.Context, to int) (*MoveReport, error
 		ToEpoch:    plan.ToEpoch,
 		FromShards: from.Shards,
 		ToShards:   to,
+	}
+
+	// Rebalance steps are rare control-plane work: always traced (no
+	// sampling), so /debug/trace shows every move with its freeze window.
+	// The move's inner transactions (markers, cutover procedures, range
+	// streaming) run under this scope's context — they join the move's
+	// tree instead of rooting request traces of their own.
+	if sc := c.tracer.ForceRoot("rebalance."+plan.MoveID, "cluster"); sc != nil {
+		ctx = trace.NewContext(ctx, sc.Context())
+		defer func() { sc.End(retErr) }()
 	}
 
 	// leaseBlocks holds, per source shard, the handle of the lease-range
@@ -577,6 +588,7 @@ func (c *Cluster) rebalanceStep(ctx context.Context, to int) (*MoveReport, error
 	releaseLeaseBlocks()
 	c.gate.endFreeze()
 	rep.FreezeTime = time.Since(freezeStart)
+	c.freezeHist.Observe(rep.FreezeTime)
 
 	// Phase 7: a shrink tears down the donated group; a grow compacts
 	// the source groups' unrouted copies of the moved keys. The epoch

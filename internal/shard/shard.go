@@ -27,12 +27,16 @@ package shard
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"replication/internal/core"
+	"replication/internal/metrics"
+	"replication/internal/obs"
 	"replication/internal/simnet"
 	"replication/internal/tpc"
+	"replication/internal/trace"
 	"replication/internal/transport"
 	"replication/internal/transport/tcpnet"
 )
@@ -84,6 +88,14 @@ type Cluster struct {
 	metrics *Metrics
 	gate    *moveGate
 	sweep   time.Duration // recovery sweep interval (<0 disabled)
+
+	// Observability spine (obs.go): the cluster-wide tracer and registry
+	// shared by every group, and the single introspection server.
+	tracer     *trace.Tracer
+	registry   *metrics.Registry
+	obsSrv     *obs.Server
+	ownTracer  bool
+	freezeHist *metrics.Histogram
 
 	mu      sync.Mutex
 	groups  []*core.Cluster
@@ -149,6 +161,8 @@ func New(cfg Config) (*Cluster, error) {
 		gate:    newMoveGate(),
 		sweep:   sweep,
 	}
+	obsAddr := c.initObs(&gcfg)
+	c.mux.SetTracer(c.tracer)
 	gcfg.Procedures = withShardProcs(gcfg.Procedures, c.router.Partitioner())
 	// Server-side freeze enforcement: the replicated move marker refuses
 	// fresh writes to moving keys in every group's own write path, so
@@ -162,6 +176,10 @@ func New(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
+	}
+	if err := c.startObs(obsAddr); err != nil {
+		c.Close()
+		return nil, err
 	}
 	return c, nil
 }
@@ -188,6 +206,7 @@ func (c *Cluster) addGroup(s int) error {
 		sg.Durability.Dir = fmt.Sprintf("%s/g%d", base, s)
 	}
 	sg.Substrate = c.mux.Shard(uint32(s))
+	sg.ShardTag = strconv.Itoa(s)
 	g, err := core.NewCluster(sg)
 	if err != nil {
 		return fmt.Errorf("shard: group %d: %w", s, err)
@@ -339,6 +358,7 @@ func (c *Cluster) Close() {
 	if c.mux != nil {
 		c.mux.Close()
 	}
+	c.closeObs()
 	if c.ownNet {
 		c.inner.Close()
 	}

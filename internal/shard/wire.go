@@ -2,6 +2,7 @@ package shard
 
 import (
 	"replication/internal/codec"
+	"replication/internal/trace"
 	"replication/internal/txn"
 )
 
@@ -25,6 +26,11 @@ type Envelope struct {
 	ID      uint64
 	CorrID  uint64
 	Payload []byte
+	// TC is the sender's trace context on routed client traffic (zero
+	// elsewhere): carried at the envelope layer so a transport hop can
+	// attribute a frame to a sampled request without decoding the inner
+	// payload.
+	TC trace.Context
 }
 
 // Carrier message kinds on the shared transport.
@@ -46,7 +52,8 @@ func (e *Envelope) AppendTo(buf []byte) []byte {
 	buf = codec.AppendString(buf, e.Kind)
 	buf = codec.AppendUvarint(buf, e.ID)
 	buf = codec.AppendUvarint(buf, e.CorrID)
-	return codec.AppendBytes(buf, e.Payload)
+	buf = codec.AppendBytes(buf, e.Payload)
+	return e.TC.AppendTo(buf)
 }
 
 // DecodeFrom implements codec.Wire.
@@ -58,6 +65,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 	e.ID = r.Uvarint()
 	e.CorrID = r.Uvarint()
 	e.Payload = r.Bytes()
+	e.TC.DecodeWire(&r)
 	return r.Done()
 }
 
@@ -125,6 +133,10 @@ type xPlan struct {
 	Epoch  uint64
 	Shards []uint32 // involved shards, ascending
 	Parts  [][]byte // encoded xSubTxn per entry of Shards
+	// TC is the coordinator's trace context: each participant installs
+	// it before its inner replicated round, so one cross-shard request
+	// yields one stitched span tree across every involved group.
+	TC trace.Context
 }
 
 func (p *xPlan) part(shard uint32) ([]byte, bool) {
@@ -145,7 +157,7 @@ func (p *xPlan) AppendTo(buf []byte) []byte {
 		buf = codec.AppendUvarint(buf, uint64(s))
 		buf = codec.AppendBytes(buf, p.Parts[i])
 	}
-	return buf
+	return p.TC.AppendTo(buf)
 }
 
 // DecodeFrom implements codec.Wire.
@@ -163,6 +175,7 @@ func (p *xPlan) DecodeFrom(data []byte) error {
 			p.Parts[i] = r.Bytes()
 		}
 	}
+	p.TC.DecodeWire(&r)
 	return r.Done()
 }
 
@@ -230,7 +243,8 @@ func init() {
 	codec.Register(kindEnvelope,
 		func() codec.Wire { return new(Envelope) },
 		func() codec.Wire {
-			return &Envelope{Shard: 2, Epoch: 3, Kind: "act.ab", ID: 9, CorrID: 4, Payload: []byte("inner-bytes")}
+			return &Envelope{Shard: 2, Epoch: 3, Kind: "act.ab", ID: 9, CorrID: 4, Payload: []byte("inner-bytes"),
+				TC: trace.Context{TraceID: 11, Span: 5, Sampled: true}}
 		})
 	codec.Register("shard.epoch",
 		func() codec.Wire { return new(epochInfo) },
@@ -243,7 +257,8 @@ func init() {
 	codec.Register("shard.plan",
 		func() codec.Wire { return new(xPlan) },
 		func() codec.Wire {
-			return &xPlan{TxnID: "x1-3", Epoch: 2, Shards: []uint32{0, 2}, Parts: [][]byte{[]byte("p0"), []byte("p2")}}
+			return &xPlan{TxnID: "x1-3", Epoch: 2, Shards: []uint32{0, 2}, Parts: [][]byte{[]byte("p0"), []byte("p2")},
+				TC: trace.Context{TraceID: 21, Span: 8, Sampled: true}}
 		})
 	codec.Register("shard.ctl",
 		func() codec.Wire { return new(xCtl) },

@@ -12,6 +12,7 @@ import (
 	"replication/internal/core"
 	"replication/internal/storage"
 	"replication/internal/tpc"
+	"replication/internal/trace"
 	"replication/internal/transport"
 	"replication/internal/txn"
 )
@@ -372,6 +373,10 @@ type participant struct {
 type prepInfo struct {
 	res  txn.Result
 	keys []string // lock declaration for the outcome procedures
+	// tc is the coordinator's trace context, so the outcome round (which
+	// runs after the coordinator already answered the client) still
+	// joins the request's span tree.
+	tc trace.Context
 }
 
 type awaitEntry struct {
@@ -412,6 +417,11 @@ func (p *participant) Prepare(txnID string, payload []byte) tpc.Vote {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
 	defer cancel()
+	if plan.TC.Valid() {
+		// Join the coordinator's trace: this participant's inner
+		// replicated round becomes a child of the cross-shard request.
+		ctx = trace.NewContext(ctx, plan.TC)
+	}
 	res, err := p.cl.Invoke(ctx, txn.Transaction{
 		ID:  txnID + "/prep",
 		Ops: []txn.Op{txn.P(xPrepProc, part, sub.lockKeys()...)},
@@ -420,7 +430,7 @@ func (p *participant) Prepare(txnID string, payload []byte) tpc.Vote {
 		return tpc.VoteNo
 	}
 	p.mu.Lock()
-	p.results[txnID] = prepInfo{res: res, keys: sub.lockKeys()}
+	p.results[txnID] = prepInfo{res: res, keys: sub.lockKeys(), tc: plan.TC}
 	p.order = append(p.order, txnID)
 	if len(p.order) > maxRetainedResults {
 		evict := p.order[0]
@@ -458,7 +468,7 @@ func (p *participant) finish(txnID, proc string) {
 	// A decided outcome must reach the group: retry the inner round (the
 	// procedures are idempotent, so re-delivery is safe).
 	for attempt := 0; attempt < outcomeAttempts; attempt++ {
-		if p.deliverOutcome(txnID, proc, keys) {
+		if p.deliverOutcome(txnID, proc, keys, info.tc) {
 			return
 		}
 	}
@@ -471,11 +481,16 @@ func (p *participant) finish(txnID, proc string) {
 }
 
 // deliverOutcome runs one inner replicated round applying an outcome
-// procedure; true means the group committed it.
-func (p *participant) deliverOutcome(txnID, proc string, keys []string) bool {
+// procedure; true means the group committed it. The prepare-time trace
+// context (zero for sweep re-deliveries) attaches the round to the
+// originating request's tree.
+func (p *participant) deliverOutcome(txnID, proc string, keys []string, tc trace.Context) bool {
 	args := codec.MustMarshal(&xCtl{TxnID: txnID})
 	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
 	defer cancel()
+	if tc.Valid() {
+		ctx = trace.NewContext(ctx, tc)
+	}
 	res, err := p.cl.Invoke(ctx, txn.Transaction{
 		ID:  fmt.Sprintf("%s/%s-%d", txnID, proc, p.deliverSeq.Add(1)),
 		Ops: []txn.Op{txn.P(proc, args, keys...)},
@@ -517,7 +532,7 @@ func (p *participant) sweep() {
 	}
 	p.mu.Unlock()
 	for txnID, po := range parked {
-		if p.deliverOutcome(txnID, po.proc, po.keys) {
+		if p.deliverOutcome(txnID, po.proc, po.keys, trace.Context{}) {
 			p.mu.Lock()
 			delete(p.pending, txnID)
 			p.mu.Unlock()

@@ -392,7 +392,7 @@ func (n *Network) send(m Message) error {
 	seq := n.nextSeq
 	n.mu.Unlock()
 
-	n.CountSend(m.Kind, len(m.Payload))
+	n.CountSendTo(m.To, m.Kind, len(m.Payload))
 	if lost || cut || dst.crashed.Load() {
 		n.CountDropped()
 		return nil // silent loss: asynchronous networks do not report drops

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"replication/internal/codec"
+)
+
+// Context is the request-scoped trace context carried inside wire
+// messages: which trace a message belongs to (TraceID), which span it
+// descends from (Span), and whether the trace is being collected at all
+// (Sampled). The sampling decision is made exactly once, where the
+// request first enters the system, and then rides the wire unchanged —
+// retries, epoch redirects and 2PC sub-transactions inherit it rather
+// than re-rolling the dice, so a trace is always complete or absent,
+// never partial.
+//
+// The zero Context means "not traced"; every consumer treats it as a
+// no-op, so untraced requests pay only the three fields on the wire.
+type Context struct {
+	// TraceID identifies the trace; all spans of one client request share
+	// it across replicas, shards, and 2PC participants.
+	TraceID uint64
+	// Span is the ID of the span under which remote work should attach.
+	Span uint64
+	// Sampled gates collection: false means no span is ever materialised.
+	Sampled bool
+}
+
+// Valid reports whether the context belongs to a sampled trace.
+func (tc Context) Valid() bool { return tc.Sampled && tc.TraceID != 0 }
+
+// AppendTo implements codec.Wire.
+func (tc *Context) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, tc.TraceID)
+	buf = codec.AppendUvarint(buf, tc.Span)
+	return codec.AppendBool(buf, tc.Sampled)
+}
+
+// DecodeFrom implements codec.Wire.
+func (tc *Context) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	tc.DecodeWire(&r)
+	return r.Done()
+}
+
+// DecodeWire decodes from a shared cursor, for messages that embed a
+// Context (core.Request, shard.Envelope, the cross-shard plan).
+func (tc *Context) DecodeWire(r *codec.Reader) {
+	tc.TraceID = r.Uvarint()
+	tc.Span = r.Uvarint()
+	tc.Sampled = r.Bool()
+}
+
+// Registration for the cross-codec golden tests and the fuzz corpus.
+func init() {
+	codec.Register("trace.ctx",
+		func() codec.Wire { return new(Context) },
+		func() codec.Wire { return &Context{TraceID: 0xfeedbeef, Span: 42, Sampled: true} })
+}

@@ -1,0 +1,65 @@
+package trace
+
+// The trace Context rides inside every wire message (core.Request,
+// shard.Envelope, the cross-shard plan), so its decoder faces raw
+// socket bytes on the TCP backend: arbitrary input must decode or
+// error, never panic, and a successful decode must be canonical.
+
+import (
+	"testing"
+)
+
+func TestContextWireRoundTrip(t *testing.T) {
+	cases := []Context{
+		{},
+		{TraceID: 1, Span: 1, Sampled: true},
+		{TraceID: 0xfeedbeefdeadc0de, Span: 1<<63 - 1, Sampled: true},
+		{TraceID: 7, Span: 0, Sampled: false}, // unsampled but nonzero: still encodes
+	}
+	for _, tc := range cases {
+		buf := tc.AppendTo(nil)
+		var got Context
+		if err := got.DecodeFrom(buf); err != nil {
+			t.Fatalf("%+v: decode: %v", tc, err)
+		}
+		if got != tc {
+			t.Fatalf("round trip %+v -> %+v", tc, got)
+		}
+	}
+}
+
+func TestContextValid(t *testing.T) {
+	if (Context{}).Valid() {
+		t.Fatal("zero context valid")
+	}
+	if (Context{TraceID: 1}).Valid() {
+		t.Fatal("unsampled context valid")
+	}
+	if (Context{Sampled: true}).Valid() {
+		t.Fatal("sampled context with no trace ID valid")
+	}
+	if !(Context{TraceID: 1, Span: 2, Sampled: true}).Valid() {
+		t.Fatal("real context invalid")
+	}
+}
+
+func FuzzDecodeTraceContext(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add((&Context{TraceID: 0xfeedbeef, Span: 42, Sampled: true}).AppendTo(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tc Context
+		if err := tc.DecodeFrom(data); err != nil {
+			return
+		}
+		re := tc.AppendTo(nil)
+		var tc2 Context
+		if err := tc2.DecodeFrom(re); err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if tc != tc2 {
+			t.Fatalf("non-canonical decode: %+v vs %+v", tc, tc2)
+		}
+	})
+}

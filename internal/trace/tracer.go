@@ -1,0 +1,733 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects sampled span trees: one tree per traced client
+// request, stitched across every replica, shard and 2PC participant the
+// request touches. It complements the Recorder — the Recorder keeps the
+// flat phase log the Figure 16 tests assert over, the Tracer keeps
+// timed parent/child spans for live introspection (/debug/trace, the
+// slow-request log, the per-phase latency tables in EXPERIMENTS.md).
+//
+// A nil *Tracer discards everything, so instrumentation sites call it
+// unconditionally. When no trace is in flight the funnel methods
+// (Event, Begin) cost one atomic load and a branch; the sampling
+// decision itself is made once per request in Root and then carried in
+// the wire Context, never re-rolled on retries or redirects.
+type Tracer struct {
+	every     uint64 // admit 1 in every N requests; 0 = never
+	keep      int
+	slowAfter time.Duration
+	slowLog   io.Writer
+
+	active atomic.Int64  // currently bound request IDs — the fast-path gate
+	admit  atomic.Uint64 // sampling counter
+	ids    atomic.Uint64 // trace and span ID allocator
+
+	nSampled   atomic.Uint64
+	nAbandoned atomic.Uint64
+	nSlow      atomic.Uint64
+
+	mu     sync.Mutex
+	reqs   map[uint64]*binding   // request ID -> in-flight trace
+	live   map[uint64]*liveTrace // trace ID -> in-flight trace
+	recent []*Tree               // finished traces, newest last
+	slow   []*Tree               // finished traces over slowAfter, newest last
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Sample is the fraction of requests to trace in [0,1]; 0 disables
+	// sampling entirely (control-plane traces via ForceRoot still work).
+	Sample float64
+	// Keep bounds the finished-trace ring (default 32).
+	Keep int
+	// SlowAfter routes traces slower than this into the slow ring and the
+	// slow-request log; 0 disables.
+	SlowAfter time.Duration
+	// SlowLog, if set, receives one line per slow trace with per-phase
+	// attribution.
+	SlowLog io.Writer
+}
+
+// NewTracer builds a Tracer. Sample is converted to a deterministic
+// 1-in-N admission so tests and benchmarks see a stable rate.
+func NewTracer(o Options) *Tracer {
+	t := &Tracer{
+		keep:      o.Keep,
+		slowAfter: o.SlowAfter,
+		slowLog:   o.SlowLog,
+		reqs:      make(map[uint64]*binding),
+		live:      make(map[uint64]*liveTrace),
+	}
+	if t.keep <= 0 {
+		t.keep = 32
+	}
+	switch {
+	case o.Sample >= 1:
+		t.every = 1
+	case o.Sample > 0:
+		t.every = uint64(1 / o.Sample)
+	}
+	return t
+}
+
+// Span is one timed node of a trace tree. Phase events are zero-length
+// spans carrying the functional-model phase; subsystem waits (WAL
+// fsync, lease barrier, session watermark, recovery catch-up, rebalance
+// freeze) are durations.
+type Span struct {
+	TraceID uint64
+	ID      uint64
+	Parent  uint64 // 0 for the root
+	Name    string
+	Phase   Phase // nonzero only for the five paper phases
+	Replica string
+	Note    string
+	Start   time.Time
+	End     time.Time
+	// Abandoned marks a span still open when its trace finalised — the
+	// goroutine that opened it died (crash, power cut) before closing it.
+	Abandoned bool
+}
+
+// Duration is End-Start (zero for phase point events).
+func (s *Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+type liveTrace struct {
+	t     *Tracer
+	id    uint64
+	start time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+	open  map[uint64]*Span
+	refs  int
+}
+
+// binding routes funnel events (which only know the request ID) into
+// the right trace and under the right parent span.
+type binding struct {
+	lt   *liveTrace
+	span uint64
+}
+
+// Scope is a live handle on one span; protocol code holds it across an
+// invocation and ends it when the work completes. All methods are safe
+// on a nil *Scope, which is what unsampled requests get.
+type Scope struct {
+	lt   *liveTrace
+	span *Span
+}
+
+// Enabled reports whether the tracer admits sampled requests at all.
+func (t *Tracer) Enabled() bool { return t != nil && t.every > 0 }
+
+// Root makes the once-per-request sampling decision and, when admitted,
+// opens a new trace with a root span. Returns nil when the request is
+// not sampled — the zero Context then rides the wire and every
+// downstream consumer no-ops.
+func (t *Tracer) Root(name, origin string) *Scope {
+	if t == nil || t.every == 0 {
+		return nil
+	}
+	if t.every > 1 && t.admit.Add(1)%t.every != 0 {
+		return nil
+	}
+	return t.newRoot(name, origin)
+}
+
+// ForceRoot opens a trace unconditionally (tracer permitting) — for
+// rare control-plane operations worth tracing every time: recovery
+// catch-up, rebalance moves, cold start.
+func (t *Tracer) ForceRoot(name, origin string) *Scope {
+	if t == nil {
+		return nil
+	}
+	return t.newRoot(name, origin)
+}
+
+func (t *Tracer) newRoot(name, origin string) *Scope {
+	t.nSampled.Add(1)
+	id := t.ids.Add(1)
+	now := time.Now()
+	lt := &liveTrace{
+		t: t, id: id, start: now,
+		open: make(map[uint64]*Span),
+		refs: 1,
+	}
+	sp := &Span{TraceID: id, ID: t.ids.Add(1), Name: name, Replica: origin, Start: now}
+	lt.spans = append(lt.spans, sp)
+	lt.open[sp.ID] = sp
+	t.mu.Lock()
+	t.live[id] = lt
+	t.mu.Unlock()
+	return &Scope{lt: lt, span: sp}
+}
+
+// Child attaches a new span under a wire Context — how a 2PC
+// participant or a per-group client joins the trace the parent started.
+// Returns nil for an unsampled context. If the parent trace is not
+// known locally (it finalised, or the context crossed a process
+// boundary), a detached trace with the same TraceID is opened so the
+// spans are still collected.
+func (t *Tracer) Child(parent Context, name, origin string) *Scope {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	t.mu.Lock()
+	lt := t.live[parent.TraceID]
+	if lt == nil {
+		lt = &liveTrace{
+			t: t, id: parent.TraceID, start: time.Now(),
+			open: make(map[uint64]*Span),
+		}
+		t.live[parent.TraceID] = lt
+	}
+	t.mu.Unlock()
+	sp := &Span{TraceID: parent.TraceID, ID: t.ids.Add(1), Parent: parent.Span,
+		Name: name, Replica: origin, Start: time.Now()}
+	lt.mu.Lock()
+	lt.refs++
+	lt.spans = append(lt.spans, sp)
+	lt.open[sp.ID] = sp
+	lt.mu.Unlock()
+	return &Scope{lt: lt, span: sp}
+}
+
+// Context returns the wire context that attaches remote work under this
+// scope's span. The zero Context on a nil scope keeps callers branchless.
+func (s *Scope) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return Context{TraceID: s.lt.id, Span: s.span.ID, Sampled: true}
+}
+
+// BindReq routes funnel events for reqID (replica phase records,
+// subsystem waits) under this scope until UnbindReq.
+func (s *Scope) BindReq(reqID uint64) {
+	if s == nil {
+		return
+	}
+	t := s.lt.t
+	t.mu.Lock()
+	t.reqs[reqID] = &binding{lt: s.lt, span: s.span.ID}
+	t.mu.Unlock()
+	t.active.Add(1)
+}
+
+// UnbindReq removes the funnel route installed by BindReq.
+func (s *Scope) UnbindReq(reqID uint64) {
+	if s == nil {
+		return
+	}
+	t := s.lt.t
+	t.mu.Lock()
+	if b, ok := t.reqs[reqID]; ok && b.lt == s.lt {
+		delete(t.reqs, reqID)
+		t.active.Add(-1)
+	}
+	t.mu.Unlock()
+}
+
+// End closes the scope's span (noting the error, if any) and releases
+// its reference on the trace; when the last scope ends, the trace
+// finalises into the finished ring with any still-open spans marked
+// abandoned.
+func (s *Scope) End(err error) {
+	if s == nil {
+		return
+	}
+	lt := s.lt
+	lt.mu.Lock()
+	if sp, ok := lt.open[s.span.ID]; ok {
+		sp.End = time.Now()
+		if err != nil {
+			if sp.Note != "" {
+				sp.Note += "; "
+			}
+			sp.Note += "error: " + err.Error()
+		}
+		delete(lt.open, s.span.ID)
+	}
+	lt.refs--
+	done := lt.refs <= 0
+	lt.mu.Unlock()
+	if done {
+		lt.finalize()
+	}
+}
+
+// Event records a phase point event for a bound request — the Tracer
+// half of the replica.trace funnel.
+func (t *Tracer) Event(reqID uint64, replica string, phase Phase, note string) {
+	if t == nil || t.active.Load() == 0 {
+		return
+	}
+	b := t.binding(reqID)
+	if b == nil {
+		return
+	}
+	now := time.Now()
+	sp := &Span{TraceID: b.lt.id, ID: t.ids.Add(1), Parent: b.span,
+		Name: "phase." + phase.String(), Phase: phase,
+		Replica: replica, Note: note, Start: now, End: now}
+	b.lt.mu.Lock()
+	b.lt.spans = append(b.lt.spans, sp)
+	b.lt.mu.Unlock()
+}
+
+// EventTC records a phase event for a request that may have already
+// returned to the client: the bound funnel is tried first (the request
+// is still in flight), and otherwise the wire context carried by the
+// message lands the span late. The lazy techniques need this — their
+// defining END-before-AC phase swap means the AC propagation outlives
+// the request's funnel binding.
+func (t *Tracer) EventTC(tc Context, reqID uint64, replica string, phase Phase, note string) {
+	if t == nil {
+		return
+	}
+	if t.active.Load() != 0 && t.binding(reqID) != nil {
+		t.Event(reqID, replica, phase, note)
+		return
+	}
+	t.lateEvent(tc, replica, phase, note)
+}
+
+// lateEvent attaches a phase span to a trace after its request
+// returned: into the live trace if a scope still holds it open,
+// otherwise grafted copy-on-write onto the finished tree in the recent
+// ring (readers of Recent keep their immutable snapshot). Best-effort —
+// a trace already evicted from the ring drops the span.
+func (t *Tracer) lateEvent(tc Context, replica string, phase Phase, note string) {
+	if !tc.Valid() {
+		return
+	}
+	now := time.Now()
+	sp := Span{TraceID: tc.TraceID, ID: t.ids.Add(1), Parent: tc.Span,
+		Name: "phase." + phase.String(), Phase: phase,
+		Replica: replica, Note: note, Start: now, End: now}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if lt := t.live[tc.TraceID]; lt != nil {
+		spc := sp
+		lt.mu.Lock()
+		lt.spans = append(lt.spans, &spc)
+		lt.mu.Unlock()
+		return
+	}
+	for i, tr := range t.recent {
+		if tr.TraceID == tc.TraceID {
+			t.recent[i] = tr.graft(sp)
+			return
+		}
+	}
+}
+
+// nopEnd is what Begin hands back on the fast path, so call sites defer
+// it unconditionally.
+var nopEnd = func() {}
+
+// Begin opens a timed subsystem span (WAL fsync wait, lease barrier,
+// session watermark wait, ...) under the request's bound span and
+// returns the closure that ends it.
+func (t *Tracer) Begin(reqID uint64, replica, name string) func() {
+	if t == nil || t.active.Load() == 0 {
+		return nopEnd
+	}
+	b := t.binding(reqID)
+	if b == nil {
+		return nopEnd
+	}
+	sp := &Span{TraceID: b.lt.id, ID: t.ids.Add(1), Parent: b.span,
+		Name: name, Replica: replica, Start: time.Now()}
+	lt := b.lt
+	lt.mu.Lock()
+	lt.spans = append(lt.spans, sp)
+	lt.open[sp.ID] = sp
+	lt.mu.Unlock()
+	return func() {
+		lt.mu.Lock()
+		if _, ok := lt.open[sp.ID]; ok {
+			sp.End = time.Now()
+			delete(lt.open, sp.ID)
+		}
+		lt.mu.Unlock()
+	}
+}
+
+// ContextOf returns the wire context of a bound in-flight request, for
+// layers that stamp trace contexts onto envelopes without holding the
+// scope (the shard mux).
+func (t *Tracer) ContextOf(reqID uint64) (Context, bool) {
+	if t == nil || t.active.Load() == 0 {
+		return Context{}, false
+	}
+	b := t.binding(reqID)
+	if b == nil {
+		return Context{}, false
+	}
+	return Context{TraceID: b.lt.id, Span: b.span, Sampled: true}, true
+}
+
+func (t *Tracer) binding(reqID uint64) *binding {
+	t.mu.Lock()
+	b := t.reqs[reqID]
+	t.mu.Unlock()
+	return b
+}
+
+// Drain finalises every in-flight trace, marking open spans abandoned —
+// called on cluster teardown and after a full power loss so crashed
+// requests still surface in /debug/trace.
+func (t *Tracer) Drain() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	lts := make([]*liveTrace, 0, len(t.live))
+	for _, lt := range t.live {
+		lts = append(lts, lt)
+	}
+	for id := range t.reqs {
+		delete(t.reqs, id)
+		t.active.Add(-1)
+	}
+	t.mu.Unlock()
+	for _, lt := range lts {
+		lt.finalize()
+	}
+}
+
+func (lt *liveTrace) finalize() {
+	t := lt.t
+	now := time.Now()
+	lt.mu.Lock()
+	for id, sp := range lt.open {
+		sp.End = now
+		sp.Abandoned = true
+		t.nAbandoned.Add(1)
+		delete(lt.open, id)
+	}
+	spans := make([]Span, len(lt.spans))
+	var end time.Time
+	for i, sp := range lt.spans {
+		spans[i] = *sp
+		if sp.End.After(end) {
+			end = sp.End
+		}
+	}
+	lt.refs = 0
+	lt.mu.Unlock()
+
+	tree := &Tree{TraceID: lt.id, Start: lt.start, Duration: end.Sub(lt.start), Spans: spans}
+	if t.slowAfter > 0 && tree.Duration > t.slowAfter {
+		tree.Slow = true
+	}
+
+	t.mu.Lock()
+	if t.live[lt.id] == lt {
+		delete(t.live, lt.id)
+	}
+	// A continuation of a trace that already finalised (a 2PC outcome
+	// round landing after the coordinator answered, a lazy AC straggler
+	// joining via Child) merges into the existing tree — one trace ID,
+	// one tree, copy-on-write for readers holding the old snapshot.
+	merged := false
+	firstSlow := tree.Slow
+	for i, prev := range t.recent {
+		if prev.TraceID == tree.TraceID {
+			tree = mergeTrees(prev, tree)
+			if t.slowAfter > 0 && tree.Duration > t.slowAfter {
+				tree.Slow = true
+			}
+			firstSlow = tree.Slow && !prev.Slow
+			t.recent[i] = tree
+			merged = true
+			break
+		}
+	}
+	if !merged {
+		t.recent = appendRing(t.recent, tree, t.keep)
+	}
+	if tree.Slow && firstSlow {
+		t.slow = appendRing(t.slow, tree, t.keep)
+	}
+	t.mu.Unlock()
+
+	if tree.Slow && firstSlow {
+		t.nSlow.Add(1)
+		if t.slowLog != nil {
+			fmt.Fprintln(t.slowLog, "slow request: "+tree.Line())
+		}
+	}
+}
+
+// mergeTrees combines two finalised sections of the same trace.
+func mergeTrees(a, b *Tree) *Tree {
+	start := a.Start
+	if b.Start.Before(start) {
+		start = b.Start
+	}
+	end := a.Start.Add(a.Duration)
+	if be := b.Start.Add(b.Duration); be.After(end) {
+		end = be
+	}
+	nt := &Tree{TraceID: a.TraceID, Start: start, Duration: end.Sub(start), Slow: a.Slow || b.Slow}
+	nt.Spans = append(append(make([]Span, 0, len(a.Spans)+len(b.Spans)), a.Spans...), b.Spans...)
+	return nt
+}
+
+func appendRing(ring []*Tree, tr *Tree, keep int) []*Tree {
+	ring = append(ring, tr)
+	if len(ring) > keep {
+		ring = ring[len(ring)-keep:]
+	}
+	return ring
+}
+
+// Recent returns the finished traces, newest first.
+func (t *Tracer) Recent() []*Tree {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Tree, len(t.recent))
+	for i, tr := range t.recent {
+		out[len(out)-1-i] = tr
+	}
+	return out
+}
+
+// Slow returns the finished traces that exceeded SlowAfter, newest first.
+func (t *Tracer) Slow() []*Tree {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Tree, len(t.slow))
+	for i, tr := range t.slow {
+		out[len(out)-1-i] = tr
+	}
+	return out
+}
+
+// TracerStats counts the tracer's own activity, for self-monitoring.
+type TracerStats struct {
+	Sampled   uint64 // traces opened
+	Abandoned uint64 // spans closed by finalisation, not their opener
+	Slow      uint64 // traces over the slow threshold
+}
+
+// Stats returns the tracer's self-monitoring counters.
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	return TracerStats{
+		Sampled:   t.nSampled.Load(),
+		Abandoned: t.nAbandoned.Load(),
+		Slow:      t.nSlow.Load(),
+	}
+}
+
+// --- finished traces ---
+
+// Tree is one finalised trace: the immutable span set of a request.
+type Tree struct {
+	TraceID  uint64
+	Start    time.Time
+	Duration time.Duration
+	Spans    []Span
+	Slow     bool
+}
+
+// Replicas lists the distinct replicas that contributed spans, sorted.
+func (tr *Tree) Replicas() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i := range tr.Spans {
+		r := tr.Spans[i].Replica
+		if r != "" && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Phases returns the functional-model phases in order of first
+// occurrence — the trace-derived equivalent of Recorder.Sequence.
+func (tr *Tree) Phases() []Phase {
+	spans := tr.ordered()
+	seen := make(map[Phase]bool)
+	var out []Phase
+	for _, sp := range spans {
+		if sp.Phase != 0 && !seen[sp.Phase] {
+			seen[sp.Phase] = true
+			out = append(out, sp.Phase)
+		}
+	}
+	return out
+}
+
+// PhaseBreakdown attributes the trace's wall time to phases: each
+// phase owns the interval from its first event to the next phase's
+// first event (the last phase runs to the end of the trace). This is
+// the per-phase latency table of EXPERIMENTS.md, derived from traces
+// instead of hand-timing.
+func (tr *Tree) PhaseBreakdown() map[Phase]time.Duration {
+	type first struct {
+		p  Phase
+		at time.Time
+	}
+	var firsts []first
+	seen := make(map[Phase]bool)
+	for _, sp := range tr.ordered() {
+		if sp.Phase != 0 && !seen[sp.Phase] {
+			seen[sp.Phase] = true
+			firsts = append(firsts, first{sp.Phase, sp.Start})
+		}
+	}
+	out := make(map[Phase]time.Duration, len(firsts))
+	for i, f := range firsts {
+		end := tr.Start.Add(tr.Duration)
+		if i+1 < len(firsts) {
+			end = firsts[i+1].at
+		}
+		if d := end.Sub(f.at); d > 0 {
+			out[f.p] = d
+		} else {
+			out[f.p] = 0
+		}
+	}
+	return out
+}
+
+// graft returns a copy of the tree with one more span — how phase
+// events that outlive their request (the lazy AC propagation) land
+// after finalisation without mutating a tree already handed out.
+func (tr *Tree) graft(sp Span) *Tree {
+	nt := &Tree{TraceID: tr.TraceID, Start: tr.Start, Duration: tr.Duration, Slow: tr.Slow}
+	nt.Spans = append(append(make([]Span, 0, len(tr.Spans)+1), tr.Spans...), sp)
+	if d := sp.End.Sub(tr.Start); d > nt.Duration {
+		nt.Duration = d
+	}
+	return nt
+}
+
+func (tr *Tree) ordered() []Span {
+	spans := make([]Span, len(tr.Spans))
+	copy(spans, tr.Spans)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	return spans
+}
+
+// Line renders the trace as one line with per-phase attribution — the
+// slow-request log format.
+func (tr *Tree) Line() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace=%x dur=%v", tr.TraceID, tr.Duration.Round(time.Microsecond))
+	bd := tr.PhaseBreakdown()
+	for _, p := range tr.Phases() {
+		fmt.Fprintf(&b, " %s=%v", p, bd[p].Round(time.Microsecond))
+	}
+	if n := tr.abandonedCount(); n > 0 {
+		fmt.Fprintf(&b, " abandoned=%d", n)
+	}
+	return b.String()
+}
+
+func (tr *Tree) abandonedCount() int {
+	n := 0
+	for i := range tr.Spans {
+		if tr.Spans[i].Abandoned {
+			n++
+		}
+	}
+	return n
+}
+
+// Render draws the span tree as an indented timeline for /debug/trace:
+// offset from trace start, duration, replica, name, note.
+func (tr *Tree) Render() string {
+	children := make(map[uint64][]Span)
+	var roots []Span
+	for _, sp := range tr.ordered() {
+		if sp.Parent == 0 {
+			roots = append(roots, sp)
+		} else {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		}
+	}
+	// A child whose parent span lives in another process's tree section
+	// still renders, at top level, rather than disappearing.
+	known := make(map[uint64]bool, len(tr.Spans))
+	for i := range tr.Spans {
+		known[tr.Spans[i].ID] = true
+	}
+	for parent, orphans := range children {
+		if !known[parent] {
+			roots = append(roots, orphans...)
+			delete(children, parent)
+		}
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return roots[i].Start.Before(roots[j].Start) })
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %x  start=%s  dur=%v\n",
+		tr.TraceID, tr.Start.Format("15:04:05.000000"), tr.Duration.Round(time.Microsecond))
+	var walk func(sp Span, depth int)
+	walk = func(sp Span, depth int) {
+		off := sp.Start.Sub(tr.Start).Round(time.Microsecond)
+		fmt.Fprintf(&b, "  %*s+%-10v %-9v %-10s %s", depth*2, "", off,
+			sp.Duration().Round(time.Microsecond), sp.Replica, sp.Name)
+		if sp.Note != "" {
+			fmt.Fprintf(&b, " (%s)", sp.Note)
+		}
+		if sp.Abandoned {
+			b.WriteString(" [abandoned]")
+		}
+		b.WriteByte('\n')
+		for _, c := range children[sp.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, sp := range roots {
+		walk(sp, 1)
+	}
+	return b.String()
+}
+
+// --- context.Context propagation ---
+
+type ctxKey struct{}
+
+// NewContext returns a context.Context carrying tc, so a layered client
+// stack (shard router -> group client -> 2PC participant) threads one
+// trace through ordinary call chains.
+func NewContext(ctx context.Context, tc Context) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tc)
+}
+
+// FromContext extracts the trace context installed by NewContext.
+func FromContext(ctx context.Context) (Context, bool) {
+	tc, ok := ctx.Value(ctxKey{}).(Context)
+	return tc, ok
+}

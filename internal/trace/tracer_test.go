@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndScopeSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if sc := tr.Root("r", "c"); sc != nil {
+		t.Fatal("nil tracer returned a scope")
+	}
+	if sc := tr.ForceRoot("r", "c"); sc != nil {
+		t.Fatal("nil tracer ForceRoot returned a scope")
+	}
+	tr.Event(1, "r0", RE, "")
+	tr.Begin(1, "r0", "x")()
+	tr.Drain()
+	if got := tr.Recent(); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+	if st := tr.Stats(); st != (TracerStats{}) {
+		t.Fatalf("nil tracer Stats = %+v", st)
+	}
+
+	var sc *Scope
+	sc.BindReq(1)
+	sc.UnbindReq(1)
+	sc.End(nil)
+	if tc := sc.Context(); tc.Valid() {
+		t.Fatalf("nil scope Context valid: %+v", tc)
+	}
+}
+
+func TestRootSamplingRate(t *testing.T) {
+	tr := NewTracer(Options{Sample: 0.25})
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if sc := tr.Root("request", "c"); sc != nil {
+			admitted++
+			sc.End(nil)
+		}
+	}
+	if admitted != 25 {
+		t.Fatalf("1-in-4 sampling admitted %d of 100", admitted)
+	}
+	if st := tr.Stats(); st.Sampled != 25 {
+		t.Fatalf("Stats.Sampled = %d, want 25", st.Sampled)
+	}
+
+	// Sample 0 never admits via Root but ForceRoot still works.
+	off := NewTracer(Options{})
+	if off.Enabled() {
+		t.Fatal("zero-sample tracer reports enabled")
+	}
+	if sc := off.Root("request", "c"); sc != nil {
+		t.Fatal("zero-sample tracer admitted a request")
+	}
+	sc := off.ForceRoot("recovery", "r1")
+	if sc == nil {
+		t.Fatal("ForceRoot declined on zero-sample tracer")
+	}
+	sc.End(nil)
+	if n := len(off.Recent()); n != 1 {
+		t.Fatalf("forced trace not in recent ring: %d", n)
+	}
+}
+
+func TestSpanTreePhasesAndBreakdown(t *testing.T) {
+	tr := NewTracer(Options{Sample: 1})
+	root := tr.Root("request", "c1")
+	if root == nil {
+		t.Fatal("sample=1 declined the request")
+	}
+	root.BindReq(7)
+	tr.Event(7, "c1", RE, "")
+	tr.Event(7, "r0", SC, "abcast")
+	end := tr.Begin(7, "r0", "wal.fsync-wait")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.Event(7, "r0", EX, "")
+	tr.Event(7, "r1", EX, "") // repeat phase on another replica
+	tr.Event(7, "c1", END, "")
+	root.UnbindReq(7)
+	root.End(nil)
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("recent = %d traces", len(recent))
+	}
+	tree := recent[0]
+	if got := FormatSequence(tree.Phases()); got != "RE SC EX END" {
+		t.Fatalf("Phases = %q, want RE SC EX END", got)
+	}
+	wantReplicas := []string{"c1", "r0", "r1"}
+	if got := tree.Replicas(); len(got) != 3 || got[0] != wantReplicas[0] || got[1] != wantReplicas[1] || got[2] != wantReplicas[2] {
+		t.Fatalf("Replicas = %v, want %v", got, wantReplicas)
+	}
+	bd := tree.PhaseBreakdown()
+	if len(bd) != 4 {
+		t.Fatalf("PhaseBreakdown has %d phases: %v", len(bd), bd)
+	}
+	// The fsync wait sits between SC and EX, so SC's interval must cover it.
+	if bd[SC] < time.Millisecond {
+		t.Fatalf("SC interval %v does not cover the 1ms fsync wait", bd[SC])
+	}
+	r := tree.Render()
+	for _, want := range []string{"request", "phase.RE", "phase.SC", "wal.fsync-wait", "phase.END"} {
+		if !strings.Contains(r, want) {
+			t.Fatalf("Render missing %q:\n%s", want, r)
+		}
+	}
+	if strings.Contains(r, "[abandoned]") {
+		t.Fatalf("clean trace rendered abandoned spans:\n%s", r)
+	}
+}
+
+func TestChildStitchesIntoParentTrace(t *testing.T) {
+	tr := NewTracer(Options{Sample: 1})
+	root := tr.Root("request", "router")
+	child := tr.Child(root.Context(), "invoke", "c1")
+	if child == nil {
+		t.Fatal("Child declined a valid context")
+	}
+	if child.Context().TraceID != root.Context().TraceID {
+		t.Fatal("child opened a different trace")
+	}
+	grand := tr.Child(child.Context(), "2pc.coordinate", "c1")
+	grand.End(nil)
+	child.End(nil)
+	root.End(errors.New("boom"))
+
+	if got := tr.Child(Context{}, "x", "y"); got != nil {
+		t.Fatal("Child admitted the zero context")
+	}
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("stitched trace split into %d trees", len(recent))
+	}
+	tree := recent[0]
+	if len(tree.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(tree.Spans))
+	}
+	if !strings.Contains(tree.Render(), "error: boom") {
+		t.Fatalf("root error not noted:\n%s", tree.Render())
+	}
+	// The rendered tree must nest: invoke under request, 2pc under invoke.
+	r := tree.Render()
+	if strings.Index(r, "request") > strings.Index(r, "invoke") ||
+		strings.Index(r, "invoke") > strings.Index(r, "2pc.coordinate") {
+		t.Fatalf("render order broken:\n%s", r)
+	}
+}
+
+func TestDetachedChildSurvivesFinalisedParent(t *testing.T) {
+	// A context arriving after its trace finalised (or from another
+	// process) must still collect spans under the same trace ID.
+	tr := NewTracer(Options{Sample: 1})
+	tc := Context{TraceID: 999, Span: 5, Sampled: true}
+	sc := tr.Child(tc, "read.serve", "r2")
+	if sc == nil {
+		t.Fatal("detached child declined")
+	}
+	sc.End(nil)
+	recent := tr.Recent()
+	if len(recent) != 1 || recent[0].TraceID != 999 {
+		t.Fatalf("detached trace not collected: %+v", recent)
+	}
+	// An orphaned span (parent 5 lives elsewhere) must still render.
+	if !strings.Contains(recent[0].Render(), "read.serve") {
+		t.Fatalf("orphan span vanished from render:\n%s", recent[0].Render())
+	}
+}
+
+func TestDrainMarksAbandoned(t *testing.T) {
+	tr := NewTracer(Options{Sample: 1})
+	root := tr.Root("request", "c1")
+	root.BindReq(3)
+	_ = tr.Begin(3, "r0", "wal.fsync-wait") // opener "crashes": never calls end
+	tr.Drain()
+
+	recent := tr.Recent()
+	if len(recent) != 1 {
+		t.Fatalf("drain produced %d traces", len(recent))
+	}
+	tree := recent[0]
+	if n := tree.abandonedCount(); n != 2 { // root + fsync span
+		t.Fatalf("abandoned spans = %d, want 2", n)
+	}
+	if !strings.Contains(tree.Render(), "[abandoned]") {
+		t.Fatalf("render does not mark abandonment:\n%s", tree.Render())
+	}
+	if !strings.Contains(tree.Line(), "abandoned=2") {
+		t.Fatalf("line does not count abandonment: %s", tree.Line())
+	}
+	if st := tr.Stats(); st.Abandoned != 2 {
+		t.Fatalf("Stats.Abandoned = %d, want 2", st.Abandoned)
+	}
+	// The request binding died with the drain: the funnel must be cold.
+	tr.Event(3, "r0", EX, "")
+	if tr.active.Load() != 0 {
+		t.Fatalf("active bindings leaked: %d", tr.active.Load())
+	}
+}
+
+func TestRecentRingBounded(t *testing.T) {
+	tr := NewTracer(Options{Sample: 1, Keep: 4})
+	for i := 0; i < 10; i++ {
+		tr.Root("request", "c").End(nil)
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recent))
+	}
+	// Newest first: strictly descending trace IDs.
+	for i := 1; i < len(recent); i++ {
+		if recent[i].TraceID >= recent[i-1].TraceID {
+			t.Fatalf("recent not newest-first: %d then %d", recent[i-1].TraceID, recent[i].TraceID)
+		}
+	}
+}
+
+func TestSlowLogAndRing(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(Options{Sample: 1, SlowAfter: time.Millisecond, SlowLog: &buf})
+	fast := tr.Root("request", "c")
+	fast.End(nil)
+	slow := tr.Root("request", "c")
+	slow.BindReq(1)
+	tr.Event(1, "c", RE, "")
+	time.Sleep(3 * time.Millisecond)
+	tr.Event(1, "c", END, "")
+	slow.UnbindReq(1)
+	slow.End(nil)
+
+	if got := tr.Slow(); len(got) != 1 || !got[0].Slow {
+		t.Fatalf("slow ring = %v", got)
+	}
+	if st := tr.Stats(); st.Slow != 1 {
+		t.Fatalf("Stats.Slow = %d", st.Slow)
+	}
+	line := buf.String()
+	if !strings.Contains(line, "slow request:") || !strings.Contains(line, "RE=") {
+		t.Fatalf("slow log line = %q", line)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	base := context.Background()
+	if _, ok := FromContext(base); ok {
+		t.Fatal("empty context carried a trace")
+	}
+	// Invalid contexts must not be installed.
+	if ctx := NewContext(base, Context{}); ctx != base {
+		t.Fatal("NewContext installed the zero context")
+	}
+	tc := Context{TraceID: 8, Span: 2, Sampled: true}
+	got, ok := FromContext(NewContext(base, tc))
+	if !ok || got != tc {
+		t.Fatalf("FromContext = %+v, %v", got, ok)
+	}
+}
+
+func TestContextOfBoundRequest(t *testing.T) {
+	tr := NewTracer(Options{Sample: 1})
+	if _, ok := tr.ContextOf(5); ok {
+		t.Fatal("unbound request had a context")
+	}
+	sc := tr.Root("request", "c")
+	sc.BindReq(5)
+	tc, ok := tr.ContextOf(5)
+	if !ok || tc.TraceID != sc.Context().TraceID {
+		t.Fatalf("ContextOf = %+v, %v", tc, ok)
+	}
+	sc.UnbindReq(5)
+	if _, ok := tr.ContextOf(5); ok {
+		t.Fatal("unbind left the funnel route behind")
+	}
+	sc.End(nil)
+}

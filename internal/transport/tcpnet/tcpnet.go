@@ -264,7 +264,7 @@ func (n *Network) send(src *Endpoint, m transport.Message) error {
 	if m.ID == 0 {
 		m.ID = n.nextMsgID.Add(1)
 	}
-	n.CountSend(m.Kind, len(m.Payload))
+	n.CountSendTo(m.To, m.Kind, len(m.Payload))
 	src.enqueue(m, dst.listenAddr())
 	return nil
 }

@@ -73,6 +73,17 @@ type Stats struct {
 	Bytes uint64
 	// PerKind counts messages sent, by message kind.
 	PerKind map[string]uint64
+	// PerPeer counts messages sent, by destination endpoint — the
+	// per-peer frames/bytes series of the /metrics exposition.
+	PerPeer map[NodeID]PeerStats
+}
+
+// PeerStats counts traffic addressed to one destination endpoint.
+type PeerStats struct {
+	// Frames counts messages accepted for transmission to the peer.
+	Frames uint64
+	// Bytes counts payload bytes accepted for transmission to the peer.
+	Bytes uint64
 }
 
 // Endpoint is one process's attachment to the transport. The contract
@@ -138,6 +149,12 @@ type Counters struct {
 
 	mu      sync.Mutex
 	perKind map[string]*atomic.Uint64
+	perPeer map[NodeID]*peerCounters
+}
+
+type peerCounters struct {
+	frames atomic.Uint64
+	bytes  atomic.Uint64
 }
 
 // CountSend records a message of the given kind accepted for
@@ -146,6 +163,29 @@ func (c *Counters) CountSend(kind string, n int) {
 	c.sent.Add(1)
 	c.bytes.Add(uint64(n))
 	c.kindCounter(kind).Add(1)
+}
+
+// CountSendTo is CountSend plus per-peer attribution to the destination
+// endpoint. Backends call it on their send paths.
+func (c *Counters) CountSendTo(to NodeID, kind string, n int) {
+	c.CountSend(kind, n)
+	p := c.peerCounter(to)
+	p.frames.Add(1)
+	p.bytes.Add(uint64(n))
+}
+
+func (c *Counters) peerCounter(to NodeID) *peerCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.perPeer == nil {
+		c.perPeer = make(map[NodeID]*peerCounters)
+	}
+	p, ok := c.perPeer[to]
+	if !ok {
+		p = new(peerCounters)
+		c.perPeer[to] = p
+	}
+	return p
 }
 
 // CountDelivered records one message handed to an inbox.
@@ -178,6 +218,10 @@ func (c *Counters) Stats() Stats {
 	for k, v := range c.perKind {
 		perKind[k] = v.Load()
 	}
+	perPeer := make(map[NodeID]PeerStats, len(c.perPeer))
+	for id, p := range c.perPeer {
+		perPeer[id] = PeerStats{Frames: p.frames.Load(), Bytes: p.bytes.Load()}
+	}
 	c.mu.Unlock()
 	return Stats{
 		Sent:       c.sent.Load(),
@@ -186,6 +230,7 @@ func (c *Counters) Stats() Stats {
 		Overflowed: c.overflowed.Load(),
 		Bytes:      c.bytes.Load(),
 		PerKind:    perKind,
+		PerPeer:    perPeer,
 	}
 }
 
@@ -193,6 +238,7 @@ func (c *Counters) Stats() Stats {
 func (c *Counters) ResetStats() {
 	c.mu.Lock()
 	c.perKind = make(map[string]*atomic.Uint64)
+	c.perPeer = make(map[NodeID]*peerCounters)
 	c.mu.Unlock()
 	c.sent.Store(0)
 	c.delivered.Store(0)

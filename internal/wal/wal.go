@@ -201,6 +201,23 @@ func (w *WAL) Watermark() uint64 {
 // Mode returns the configured fsync class.
 func (w *WAL) Mode() SyncMode { return w.opts.Mode }
 
+// Pending returns the group-commit queue depth: frames appended but not
+// yet covered by an fsync. The /metrics exposition serves it as a live
+// gauge — a depth pinned at zero under SyncAlways is the 1.0-appends-
+// per-sync pathology visible while it happens instead of at run end.
+func (w *WAL) Pending() uint64 {
+	w.mu.Lock()
+	appended := w.appended
+	w.mu.Unlock()
+	w.sm.Lock()
+	synced := w.synced
+	w.sm.Unlock()
+	if appended <= synced {
+		return 0
+	}
+	return appended - synced
+}
+
 // SnapshotEvery returns the configured spill cadence in entries
 // (negative: automatic spills disabled).
 func (w *WAL) SnapshotEvery() int { return w.opts.SnapshotEvery }

@@ -150,6 +150,7 @@ package replication
 
 import (
 	"replication/internal/core"
+	"replication/internal/metrics"
 	"replication/internal/shard"
 	"replication/internal/simnet"
 	"replication/internal/trace"
@@ -212,6 +213,30 @@ type (
 	Recorder = trace.Recorder
 	// Phase is one of the five functional-model phases.
 	Phase = trace.Phase
+
+	// Tracer samples requests into span trees: the five functional
+	// phases plus subsystem spans (WAL fsync waits, lease barriers,
+	// session watermark waits, recovery catch-up, rebalance freezes),
+	// stitched across replicas, shards and 2PC participants. Enable with
+	// Config.TraceSample (or pass a shared Tracer); inspect via
+	// Tracer.Recent/Slow or the /debug/trace endpoint.
+	Tracer = trace.Tracer
+	// TracerOptions shapes a Tracer built with NewTracer.
+	TracerOptions = trace.Options
+	// TraceTree is one finalized trace: an immutable span tree with
+	// per-phase attribution (PhaseBreakdown) and a rendered timeline.
+	TraceTree = trace.Tree
+	// Span is one timed operation within a trace.
+	Span = trace.Span
+	// TraceContext is the wire-carried trace identity (trace ID, parent
+	// span, sample bit).
+	TraceContext = trace.Context
+	// MetricsRegistry is the labeled metrics registry behind /metrics:
+	// named counter/gauge/histogram families labeled by shard, replica,
+	// phase and read level, with Prometheus-style text exposition.
+	// Enable by setting Config.ObsAddr (private registry) or passing a
+	// shared registry in Config.Metrics.
+	MetricsRegistry = metrics.Registry
 
 	// ShardedCluster is a running sharded replication system: one group
 	// per partition over a shared transport (see NewSharded). It can
@@ -304,6 +329,16 @@ const (
 // NewMemFS builds an in-memory fault-injecting filesystem for the
 // write-ahead log (power-loss and torn-write testing).
 func NewMemFS() *MemFS { return wal.NewMemFS() }
+
+// NewTracer builds a span tracer to share across clusters (pass it in
+// Config.Tracer). Most callers instead set Config.TraceSample and let
+// the cluster own a private tracer.
+func NewTracer(o TracerOptions) *Tracer { return trace.NewTracer(o) }
+
+// NewMetricsRegistry builds a metrics registry to share across clusters
+// (pass it in Config.Metrics). Most callers instead set Config.ObsAddr
+// and let the cluster own a private registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // Nondeterminism modes.
 const (
