@@ -528,6 +528,69 @@ func BenchmarkReadScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableLoaded measures end-to-end durable write throughput:
+// an active-replication cluster under concurrent client load with the
+// write-ahead log enabled, swept over the fsync classes. With the
+// pipelined ack queue, replies park on their covering fsync instead of
+// blocking the delivery loop, so concurrent commits share sync batches;
+// the reported appends/sync (summed over replicas) is the group-commit
+// amortization the pipeline buys — 1.0 means every commit paid its own
+// fsync, the pre-pipelining figure.
+func BenchmarkDurableLoaded(b *testing.B) {
+	const clients = 16
+	for _, mode := range []replication.SyncMode{
+		replication.SyncOff, replication.SyncBatch, replication.SyncAlways,
+	} {
+		mode := mode
+		b.Run(string(mode), func(b *testing.B) {
+			c, _ := benchCluster(b, replication.Config{
+				Protocol: replication.Active, Replicas: 3,
+				Durability: replication.Durability{
+					Enabled: true, FS: replication.NewMemFS(), Fsync: mode,
+				},
+			})
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+			defer cancel()
+			cls := make([]*replication.Client, clients)
+			for i := range cls {
+				cls[i] = c.NewClient()
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for ci := range cls {
+				n := b.N / clients
+				if ci < b.N%clients {
+					n++
+				}
+				wg.Add(1)
+				go func(ci, n int) {
+					defer wg.Done()
+					gen := workload.New(workload.Config{
+						WriteFraction: 1, Keys: 1024, Seed: int64(ci + 1),
+					})
+					for i := 0; i < n; i++ {
+						if _, err := cls[ci].Invoke(ctx, gen.NextTxn("")); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(ci, n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			var appends, syncs uint64
+			for _, id := range c.Replicas() {
+				st := c.WALStats(id)
+				appends += st.Appends
+				syncs += st.Syncs
+			}
+			if syncs > 0 {
+				b.ReportMetric(float64(appends)/float64(syncs), "appends/sync")
+			}
+		})
+	}
+}
+
 // BenchmarkTracingOverhead measures the observability spine's toll on
 // the loaded write path. "off" is the default: no tracer exists and
 // every funnel site costs one nil check, so this sub-benchmark IS the

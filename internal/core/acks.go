@@ -1,0 +1,202 @@
+package core
+
+// The per-replica ack drain queue: the piece that decouples execution
+// from durability. Commits append to the WAL in delivery order and keep
+// going; the client-visible acknowledgement parks here, keyed by the
+// commit's LSN, until the WAL's syncer reports a covering fsync. One
+// fsync then releases every ack whose entry it landed — group commit
+// with the group actually in it — while the delivery loop is already
+// executing later requests.
+//
+// Contract: an acked write is durable on the answering replica (and
+// only guaranteed there — see the durability.go header for what that
+// weakening means for cold-start seed election). A sticky sync error
+// drops every parked ack unanswered and fail-stops the replica: the
+// client sees a timeout and retries elsewhere, never a false ack.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"replication/internal/wal"
+)
+
+// parkedAck is one reply waiting for its covering fsync.
+type parkedAck struct {
+	lsn   uint64
+	since time.Time
+	end   func() // closes the request's wal.sync-wait span
+	fire  func() // sends the already-encoded reply
+}
+
+// ackTracker is the drain queue. It has its own lock and never takes
+// recMu or applyMu: release runs on the WAL's syncer goroutine, and
+// recovery paths (which hold recMu exclusively) must be able to freeze
+// the WAL without waiting on it.
+type ackTracker struct {
+	mu      sync.Mutex
+	w       *wal.WAL          // current WAL generation; stale callbacks are ignored
+	durable uint64            // highest LSN a covering fsync has landed
+	lsnOf   map[uint64]uint64 // reqID -> LSN of its pending durable commit
+	parked  []parkedAck
+	failed  bool // durability failed: drop instead of ack
+}
+
+func newAckTracker() *ackTracker {
+	return &ackTracker{lsnOf: make(map[uint64]uint64)}
+}
+
+// record remembers that reqID's commit sits at lsn, not yet durable.
+// Called by commit/commitLWW right after a successful WAL append.
+func (t *ackTracker) record(reqID, lsn uint64) {
+	if t == nil || reqID == 0 {
+		return
+	}
+	t.mu.Lock()
+	if !t.failed {
+		t.lsnOf[reqID] = lsn
+	}
+	t.mu.Unlock()
+}
+
+// depth reports the number of parked acks (the queue-depth gauge).
+func (t *ackTracker) depth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.parked)
+}
+
+// ackDurable runs fire — the reply send — once reqID's commit is durable
+// on this replica: immediately when no durable commit is pending (reads,
+// dedup answers from an already-durable era, durability off), or parked
+// on the drain queue otherwise. After a durability failure the reply is
+// dropped, never sent: the client's retry is the recovery path.
+func (r *replica) ackDurable(reqID uint64, fire func()) {
+	t := r.acks
+	if t == nil {
+		fire()
+		return
+	}
+	t.mu.Lock()
+	if t.failed {
+		t.mu.Unlock()
+		return
+	}
+	lsn, ok := t.lsnOf[reqID]
+	if !ok || lsn <= t.durable {
+		if ok {
+			delete(t.lsnOf, reqID)
+		}
+		t.mu.Unlock()
+		fire()
+		return
+	}
+	// The lsnOf entry stays until the covering sync lands: a concurrent
+	// retry of the same request must park too, not slip past.
+	end := r.tracer.Begin(reqID, string(r.id), "wal.sync-wait")
+	t.parked = append(t.parked, parkedAck{lsn: lsn, since: time.Now(), end: end, fire: fire})
+	t.mu.Unlock()
+}
+
+// release is the WAL syncer's completion callback: a landed fsync
+// releases every parked ack it covers, in LSN order; a sticky sync
+// error drops them all and fail-stops the replica. Callbacks from a
+// previous WAL generation (frozen by a recovery that already attached a
+// fresh log) are ignored — fail-stopping the replica for the old log's
+// deliberate freeze would kill the recovery that froze it.
+func (t *ackTracker) release(r *replica, w *wal.WAL, durable uint64, err error) {
+	t.mu.Lock()
+	if t.w != w || t.failed {
+		t.mu.Unlock()
+		return
+	}
+	if err != nil {
+		dropped := t.parked
+		t.parked = nil
+		t.lsnOf = make(map[uint64]uint64)
+		t.failed = true
+		t.mu.Unlock()
+		for _, p := range dropped {
+			p.end()
+		}
+		r.failStop()
+		return
+	}
+	prev := t.durable
+	if durable > t.durable {
+		t.durable = durable
+	}
+	var due []parkedAck
+	keep := t.parked[:0]
+	for _, p := range t.parked {
+		if p.lsn <= t.durable {
+			due = append(due, p)
+		} else {
+			keep = append(keep, p)
+		}
+	}
+	t.parked = keep
+	for id, lsn := range t.lsnOf {
+		if lsn <= t.durable {
+			delete(t.lsnOf, id)
+		}
+	}
+	newlyDurable := t.durable - prev
+	t.mu.Unlock()
+
+	sort.Slice(due, func(i, j int) bool { return due[i].lsn < due[j].lsn })
+	timed := r.om.fsyncWait != nil
+	for _, p := range due {
+		if timed {
+			r.om.fsyncWait.Observe(time.Since(p.since))
+		}
+		p.end()
+		p.fire()
+	}
+	// LSNs are assigned per entry, so the watermark advance counts the
+	// commits this fsync made durable — the spill cadence PR 6 ticked
+	// synchronously per commit.
+	r.maybeSpill(newlyDurable)
+}
+
+// ackFailStop drops every parked ack unanswered and fail-stops the
+// replica — the append-error path, where no syncer callback will come.
+func (r *replica) ackFailStop() {
+	if t := r.acks; t != nil {
+		t.mu.Lock()
+		dropped := t.parked
+		t.parked = nil
+		t.lsnOf = make(map[uint64]uint64)
+		t.failed = true
+		t.mu.Unlock()
+		for _, p := range dropped {
+			p.end()
+		}
+	}
+	r.failStop()
+}
+
+// attachWAL installs w as the replica's current log and (re)arms the
+// ack tracker against it: parked acks from the previous generation are
+// dropped (their frozen log can no longer promise durability — the
+// clients' retries will re-commit through the new one), and the durable
+// watermark restarts at what w has already synced. The three WAL-swap
+// sites (NewCluster, beginDurable's wipe, replayDisk's reopen) all come
+// through here so no swap can leave a stale callback armed.
+func (r *replica) attachWAL(w *wal.WAL, rec wal.Recovered) {
+	t := r.acks
+	t.mu.Lock()
+	dropped := t.parked
+	t.parked = nil
+	t.lsnOf = make(map[uint64]uint64)
+	t.durable = w.Synced()
+	t.failed = false
+	t.w = w
+	t.mu.Unlock()
+	for _, p := range dropped {
+		p.end()
+	}
+	r.wal, r.walRec = w, rec
+	w.OnDurable(func(durable uint64, err error) { t.release(r, w, durable, err) })
+}

@@ -80,7 +80,7 @@ func (s *certificationServer) onClientRequest(m transport.Message) {
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
 		s.mu.Unlock()
-		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(res)}))
+		replyDurable(s.r, m, req.ID, res)
 		return
 	}
 	s.mu.Unlock()
@@ -92,7 +92,7 @@ func (s *certificationServer) onClientRequest(m transport.Message) {
 	}, false)
 	if err != nil {
 		res := txnResult{Committed: false, Err: err.Error()}
-		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(res)}))
+		replyDurable(s.r, m, req.ID, res)
 		return
 	}
 
@@ -102,7 +102,7 @@ func (s *certificationServer) onClientRequest(m transport.Message) {
 		for key := range out.rs {
 			s.r.hist.Append(txn.HEvent{Txn: req.TxnID(), Kind: txn.Read, Key: key, Replica: string(s.r.id)})
 		}
-		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(out.result)}))
+		replyDurable(s.r, m, req.ID, out.result)
 		return
 	}
 
@@ -178,7 +178,7 @@ func (s *certificationServer) onDeliver(origin transport.NodeID, payload []byte)
 		delete(s.waiting, req.ID)
 		s.mu.Unlock()
 		if ok {
-			_ = s.r.node.Reply(rpc, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(res)}))
+			replyDurable(s.r, rpc, req.ID, res)
 		}
 	}
 }

@@ -157,17 +157,20 @@ type replica struct {
 	recovering atomic.Bool
 
 	// Durability state (nil/zero when Config.Durability is off). wal is
-	// the on-disk write-ahead log; commits append under applyMu and wait
-	// for their fsync class before acking. walDirty marks the disk as
-	// incomplete relative to memory (corrupt replay, or a full donor
-	// catch-up whose snapshot pages bypassed the log) — appends are
-	// suspended until rebuildWAL rewrites the directory from a spill.
-	// Both wal and walDirty are written only under recMu (exclusive) and
-	// read under recMu (shared, via enterApply) on every commit path.
+	// the on-disk write-ahead log; commits append under applyMu and keep
+	// going — the client-visible ack parks on acks (the per-replica
+	// drain queue, acks.go) until the WAL's syncer reports a covering
+	// fsync. walDirty marks the disk as incomplete relative to memory
+	// (corrupt replay, or a full donor catch-up whose snapshot pages
+	// bypassed the log) — appends are suspended until rebuildWAL
+	// rewrites the directory from a spill. Both wal and walDirty are
+	// written only under recMu (exclusive) and read under recMu (shared,
+	// via enterApply) on every commit path.
 	wal        *wal.WAL
 	walOpts    wal.Options
 	walRec     wal.Recovered
 	walDirty   bool
+	acks       *ackTracker
 	cold       bool   // mid-ColdStart: CompleteRecovery positions instead of rejoining
 	crashSelf  func() // fail-stop: crash this replica's endpoint
 	sinceSpill atomic.Uint64
@@ -224,9 +227,17 @@ func (r *replica) enterApply(pos uint64) (proceed bool, release func()) {
 // commit is the shared apply hook: every technique funnels committed
 // writesets (and ordered no-write outcomes) through it. It installs ws,
 // appends the outcome to the replica's apply log — making it servable
-// to a recovering peer — and returns the store commit sequence.
+// to a recovering peer — and returns the store commit sequence. It does
+// NOT wait for the entry's fsync: it records the (reqID, LSN) pairing
+// on the ack drain queue and notifies the WAL syncer, so the delivery
+// loop executes the next request while the disk works — the reply-side
+// ackDurable holds the client-visible acknowledgement instead.
 func (r *replica) commit(pos, reqID uint64, txnID string, origin transport.NodeID, wall uint64, ws storage.WriteSet, res txn.Result) uint64 {
 	t0, timed := r.commitTimer()
+	var endAppend func()
+	if r.wal != nil {
+		endAppend = r.tracer.Begin(reqID, string(r.id), "wal.append")
+	}
 	// applyMu keeps store order and log order identical: without it two
 	// concurrent commits to one key could append their log entries in
 	// the opposite order of their store applies, and a recovering peer
@@ -244,15 +255,10 @@ func (r *replica) commit(pos, reqID uint64, txnID string, origin transport.NodeI
 	e.LSN = r.rlog.Append(e)
 	logged, werr := r.logDurable(e)
 	r.applyMu.Unlock()
-	if logged || werr != nil {
-		end := r.tracer.Begin(reqID, string(r.id), "wal.fsync-wait")
-		ts := time.Now()
-		r.waitDurable(e.LSN, werr)
-		if timed {
-			r.om.fsyncWait.Observe(time.Since(ts))
-		}
-		end()
+	if endAppend != nil {
+		endAppend()
 	}
+	r.afterAppend(reqID, e.LSN, logged, werr)
 	if timed {
 		r.om.commits.Inc()
 		r.om.commitLat.Observe(time.Since(t0))
@@ -265,6 +271,10 @@ func (r *replica) commit(pos, reqID uint64, txnID string, origin transport.NodeI
 // entry is marked so a recovering peer replays it the same way.
 func (r *replica) commitLWW(reqID uint64, txnID string, origin transport.NodeID, wall uint64, ws storage.WriteSet, res txn.Result) []string {
 	t0, timed := r.commitTimer()
+	var endAppend func()
+	if r.wal != nil {
+		endAppend = r.tracer.Begin(reqID, string(r.id), "wal.append")
+	}
 	r.applyMu.Lock()
 	won := recon.Apply(r.store, recon.LWW{}, ws, txnID, string(origin), wall)
 	e := recovery.Entry{
@@ -274,20 +284,38 @@ func (r *replica) commitLWW(reqID uint64, txnID string, origin transport.NodeID,
 	e.LSN = r.rlog.Append(e)
 	logged, werr := r.logDurable(e)
 	r.applyMu.Unlock()
-	if logged || werr != nil {
-		end := r.tracer.Begin(reqID, string(r.id), "wal.fsync-wait")
-		ts := time.Now()
-		r.waitDurable(e.LSN, werr)
-		if timed {
-			r.om.fsyncWait.Observe(time.Since(ts))
-		}
-		end()
+	if endAppend != nil {
+		endAppend()
 	}
+	r.afterAppend(reqID, e.LSN, logged, werr)
 	if timed {
 		r.om.commits.Inc()
 		r.om.commitLat.Observe(time.Since(t0))
 	}
 	return won
+}
+
+// afterAppend is the durability bookkeeping both commit variants share,
+// run outside applyMu. A failed append voids the durable promise and
+// fail-stops the replica (no retry can un-lose the write); a successful
+// one registers the commit on the ack drain queue and posts pipelined
+// demand to the syncer — every commit notifies, even ones no reply
+// waits on (backup applies, lazy propagation), so backup disks advance
+// their durable watermark at the linger cadence instead of never.
+func (r *replica) afterAppend(reqID, lsn uint64, logged bool, werr error) {
+	if werr != nil {
+		r.ackFailStop()
+		return
+	}
+	if !logged {
+		return
+	}
+	if r.wal.Mode() == wal.SyncOff {
+		r.maybeSpill(1)
+		return
+	}
+	r.acks.record(reqID, lsn)
+	r.wal.Notify(lsn)
 }
 
 // trace records a phase event for a request at this replica — into the
@@ -804,7 +832,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				}
 				return nil, err
 			}
-			r.wal, r.walRec = w, rec
+			r.acks = newAckTracker()
+			r.attachWAL(w, rec)
 		}
 		r.serveRecovery()
 		r.serveReadTier(c.ids[0])

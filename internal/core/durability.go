@@ -11,9 +11,15 @@ package core
 //
 //   - Every commit appends its apply-log entry to the WAL under the
 //     same applyMu that orders the store apply and the in-memory log
-//     append, so disk order == log order == store order. The ack then
-//     waits for the entry's fsync class (Durability.Fsync): group
-//     commit amortizes the fsync over concurrent commits.
+//     append, so disk order == log order == store order. The commit
+//     does NOT wait for the fsync: it registers on the per-replica ack
+//     drain queue (acks.go) and the delivery loop moves on, so
+//     execution overlaps the disk. The client-visible reply parks on
+//     that queue and is released by the WAL syncer's completion
+//     callback once a covering fsync lands — one fsync per linger
+//     window releases every ack it covers, which is what makes group
+//     commit actually group (PR 6's synchronous waitDurable pinned the
+//     batching ratio at 1.0 appends/sync).
 //   - A restarting replica replays its own disk first (snapshot + frame
 //     tail) and then asks a donor only for the suffix past its replayed
 //     ordering cursor — a tail-only catch-up, instead of re-paging the
@@ -21,15 +27,29 @@ package core
 //   - After KillAll (or a process boot over surviving directories, via
 //     Config.ColdHold), ColdStart rebuilds every replica from disk,
 //     elects the replica with the most durable state as the seed, and
-//     catches the rest up from it. Acked writes under SyncAlways and
-//     SyncBatch survive: an ack implied a covering fsync at the
-//     answering replica, positions are contiguous in every log, and the
-//     seed is chosen by maximum cursor — so the seed's disk covers
-//     every acked position.
+//     catches the rest up from it.
+//
+// The durability contract under pipelined acks: an acked write is
+// durable ON THE ANSWERING REPLICA — the reply was parked until that
+// replica's covering fsync landed — and only guaranteed there. The
+// other replicas appended the same entry in the same order (every
+// strong technique delivers and appends in total order), but their own
+// fsyncs run at their own linger cadence, so at power-loss time a disk
+// may trail the acked set OR run ahead of it (appended-but-unacked
+// tail). Cold start is specified against that: the seed is the disk
+// whose replay reaches furthest, which by log contiguity covers every
+// other disk's durable prefix — including each answering replica's
+// acked writes, provided the answering replica's disk survives or a
+// further-reaching one does (quorum survival, not per-disk survival;
+// see the seed-election comment in ColdBegin). Unacked tail entries a
+// disk carries past the acked set replay harmlessly: their effects are
+// idempotent re-applies and their dedup entries answer the client's
+// retry exactly-once.
 //
 // A durability failure (failed fsync, lost device) crash-stops the
 // replica (failStop): once an fsync fails the page cache's promise is
-// void and no retry can un-lose the write, so the replica dies and
+// void and no retry can un-lose the write, so the replica dies — with
+// every parked ack dropped unanswered, never falsely acked — and
 // re-enters through recovery instead of acking on hope.
 
 import (
@@ -99,22 +119,6 @@ func (r *replica) logDurable(e recovery.Entry) (bool, error) {
 	return true, r.wal.Append(e)
 }
 
-// waitDurable holds the acking path until the entry at lsn is durable
-// per the configured fsync class, crash-stopping the replica when
-// durability failed. appendErr carries an Append failure out of the
-// applyMu critical section so the fail-stop happens without holding it.
-func (r *replica) waitDurable(lsn uint64, appendErr error) {
-	err := appendErr
-	if err == nil {
-		err = r.wal.WaitDurable(lsn)
-	}
-	if err != nil {
-		r.failStop()
-		return
-	}
-	r.maybeSpill()
-}
-
 // failStop crash-stops the replica after a durability failure: a failed
 // fsync means the platter may not hold what the page cache promised,
 // and no retry can un-lose the write (the error is sticky for exactly
@@ -127,14 +131,17 @@ func (r *replica) failStop() {
 }
 
 // maybeSpill triggers a background snapshot spill every SnapshotEvery
-// commits. At most one spill runs at a time; a failed spill just leaves
+// commits. n is how many commits the caller vouches for — 1 from an
+// unsynced (SyncOff) commit, the durable-watermark advance from an ack
+// release round (LSNs are per-entry, so the advance IS the commit
+// count). At most one spill runs at a time; a failed spill just leaves
 // segments to accrue until the next trigger retries.
-func (r *replica) maybeSpill() {
+func (r *replica) maybeSpill(n uint64) {
 	every := r.wal.SnapshotEvery()
-	if every <= 0 {
+	if every <= 0 || n == 0 {
 		return
 	}
-	if r.sinceSpill.Add(1) < uint64(every) {
+	if r.sinceSpill.Add(n) < uint64(every) {
 		return
 	}
 	if !r.spillRun.CompareAndSwap(false, true) {
@@ -233,7 +240,8 @@ func (r *replica) beginDurable(wipe bool) error {
 		if err := w.Reset(); err != nil {
 			return err
 		}
-		r.wal, r.walRec, r.walDirty = w, wal.Recovered{}, false
+		r.attachWAL(w, wal.Recovered{})
+		r.walDirty = false
 		return nil
 	}
 	r.store.Reset()
@@ -258,7 +266,7 @@ func (r *replica) replayDisk() error {
 		if err != nil {
 			return err
 		}
-		r.wal, r.walRec = w, rec
+		r.attachWAL(w, rec)
 	}
 	if _, err := w.LoadSnapshot(
 		func(key string, v storage.Version) { r.store.InstallVersion(key, v) },
@@ -428,13 +436,23 @@ func (c *Cluster) ColdBegin() error {
 	}
 	c.mu.Unlock()
 
-	// Seed election: the replica whose disk reaches furthest. An acked
-	// write's covering fsync put it on the answering replica's platter,
-	// positions are contiguous within each log, and the replay above
-	// surfaced each disk's cursor — so the maximum cursor dominates
-	// every acked position. CommitSeq and watermark break ties for
-	// techniques without total order (their cursors are all zero); a
-	// clean disk beats a corruption-truncated one only as a last resort.
+	// Seed election: the replica whose disk reaches furthest. Under
+	// pipelined acks the guarantee is per-answering-replica: an acked
+	// write's covering fsync put it on THAT replica's platter, while
+	// the others' disks sync on their own cadence and may trail the
+	// acked set or run ahead of it with unacked tail. Positions are
+	// contiguous within each log (every strong technique appends every
+	// entry in delivery order), so the maximum replayed cursor dominates
+	// every surviving disk's durable prefix — including each answering
+	// replica's acked writes. The oracle is therefore quorum survival:
+	// losing or corrupting one disk is tolerated exactly when some
+	// surviving disk reaches at least as far as the lost one's acked
+	// set, not because every disk independently held every acked write.
+	// Unacked tail past the acked set is harmless to replay: effects
+	// re-apply idempotently and dedup entries keep retries exactly-once.
+	// CommitSeq and watermark break ties for techniques without total
+	// order (their cursors are all zero); a clean disk beats a
+	// corruption-truncated one only as a last resort.
 	seed := c.ids[0]
 	var best [4]uint64
 	for i, id := range c.ids {

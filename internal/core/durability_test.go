@@ -233,8 +233,14 @@ func TestColdRestartFsyncOff(t *testing.T) {
 // newest segment before the cold start: replay must reject the frame
 // with the typed corruption error (not panic, not install garbage),
 // the seed election must prefer a clean disk, and the corrupted replica
-// must rebuild and rejoin with the strict oracle intact — every entry
-// exists on the clean replicas' disks too.
+// must rebuild and rejoin with the strict oracle intact. With pipelined
+// acks the contract is "acked ⇒ durable on the answering replica", so
+// one corrupt disk is survivable by quorum, not by any single-disk
+// guarantee: the election takes the maximum replayed cursor across the
+// clean disks, and every acked write is covered because all replicas
+// append in delivery order and their syncers drain continuously — by
+// the settle window before the cut, every disk holds the full prefix,
+// and the clean maximum dominates the victim's truncated one.
 func TestColdRestartCorruptReject(t *testing.T) {
 	fs := wal.NewMemFS()
 	cfg := durableConfig(Active, TransportSim, wal.SyncAlways, fs)
@@ -351,60 +357,71 @@ func TestColdRestartTornTail(t *testing.T) {
 }
 
 // TestFsyncErrorFailStop injects fsync failure into the shared
-// filesystem under load: every replica's next durability wait fails, and
-// each must fail-stop (crash itself) rather than ack a write the platter
-// never got. After the device heals, a cold start brings the cluster
-// back with every previously acked write intact.
+// filesystem under load: every replica whose syncer observes the fault
+// must fail-stop (crash itself) with its parked acks dropped — an entry
+// whose covering fsync failed surfaces to the client as a timeout,
+// never as an ack. After the device heals, a cold start brings the
+// cluster back and the strict oracle proves no false ack slipped out: a
+// write acked against a failed sync would read as a lost acked write.
+// Both sync classes run; batch is the one with a standing drain queue,
+// so the fault lands on parked replies, not on a blocked waiter.
 func TestFsyncErrorFailStop(t *testing.T) {
-	fs := wal.NewMemFS()
-	cfg := durableConfig(Active, TransportSim, wal.SyncAlways, fs)
-	c := newTestCluster(t, cfg)
-	ctx := ctxT(t, 120*time.Second)
+	for _, mode := range []wal.SyncMode{wal.SyncAlways, wal.SyncBatch} {
+		mode := mode
+		t.Run(string(mode), func(t *testing.T) {
+			fs := wal.NewMemFS()
+			cfg := durableConfig(Active, TransportSim, mode, fs)
+			c := newTestCluster(t, cfg)
+			ctx := ctxT(t, 120*time.Second)
 
-	var stats loadStats
-	stop := make(chan struct{})
-	wg := runLoad(ctx, t, c, 2, c.Replicas()[0], &stats, stop)
-	waitAcked(t, &stats)
-	time.Sleep(100 * time.Millisecond)
+			var stats loadStats
+			stop := make(chan struct{})
+			wg := runLoad(ctx, t, c, 2, c.Replicas()[0], &stats, stop)
+			waitAcked(t, &stats)
+			time.Sleep(100 * time.Millisecond)
 
-	fs.FailSyncs(fmt.Errorf("injected: device error"))
-	// Every replica with a sync in flight must fail-stop. Once a
-	// majority is down the group stops committing, so a straggler that
-	// happened to have nothing unsynced never observes the fault — a
-	// majority of fail-stops is the strongest guaranteed observable.
-	majority := len(c.Replicas())/2 + 1
-	deadline := time.Now().Add(20 * time.Second)
-	for {
-		down := 0
-		for _, id := range c.Replicas() {
-			if c.Network().Crashed(id) {
-				down++
+			fs.FailSyncs(fmt.Errorf("injected: device error"))
+			// Every replica with a sync in flight must fail-stop. Once a
+			// majority is down the group stops committing, so a straggler
+			// that happened to have nothing unsynced never observes the
+			// fault — a majority of fail-stops is the strongest guaranteed
+			// observable.
+			majority := len(c.Replicas())/2 + 1
+			deadline := time.Now().Add(20 * time.Second)
+			for {
+				down := 0
+				for _, id := range c.Replicas() {
+					if c.Network().Crashed(id) {
+						down++
+					}
+				}
+				if down >= majority {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("only %d/%d replicas fail-stopped after fsync failure",
+						down, len(c.Replicas()))
+				}
+				time.Sleep(2 * time.Millisecond)
 			}
-		}
-		if down >= majority {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("only %d/%d replicas fail-stopped after fsync failure", down, len(c.Replicas()))
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	close(stop)
-	wg.Wait()
-	c.KillAll() // power off the survivors too before the cold boot
+			close(stop)
+			wg.Wait()
+			c.KillAll() // power off the survivors too before the cold boot
 
-	fs.FailSyncs(nil) // the device heals
-	fs.PowerCut()
-	if err := c.ColdStart(ctx); err != nil {
-		t.Fatalf("cold start after fail-stop: %v", err)
-	}
-	waitConverged(t, c, 30*time.Second)
-	acked, unknown := stats.acked.Load(), stats.unknown.Load()
-	if acked == 0 {
-		t.Fatal("no commits acknowledged before the fsync failure")
-	}
-	for _, id := range c.Replicas() {
-		checkCounter(t, c, id, acked, unknown)
+			fs.FailSyncs(nil) // the device heals
+			fs.PowerCut()
+			if err := c.ColdStart(ctx); err != nil {
+				t.Fatalf("cold start after fail-stop: %v", err)
+			}
+			waitConverged(t, c, 30*time.Second)
+			acked, unknown := stats.acked.Load(), stats.unknown.Load()
+			if acked == 0 {
+				t.Fatal("no commits acknowledged before the fsync failure")
+			}
+			for _, id := range c.Replicas() {
+				checkCounter(t, c, id, acked, unknown)
+			}
+		})
 	}
 }
 

@@ -74,7 +74,7 @@ func (s *eagerABCastUEServer) onClientRequest(m transport.Message) {
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
 		s.mu.Unlock()
-		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(res)}))
+		replyDurable(s.r, m, req.ID, res)
 		return
 	}
 	first := true
@@ -130,7 +130,7 @@ func (s *eagerABCastUEServer) onDeliver(origin transport.NodeID, payload []byte)
 		delete(s.waiting, req.ID)
 		s.mu.Unlock()
 		if ok {
-			_ = s.r.node.Reply(rpc, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(res)}))
+			replyDurable(s.r, rpc, req.ID, res)
 		}
 	}
 }

@@ -260,14 +260,14 @@ func (s *eagerLockUEServer) onClientRequest(m transport.Message) {
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
 		s.mu.Unlock()
-		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(res)}))
+		replyDurable(s.r, m, req.ID, res)
 		return
 	}
 	s.mu.Unlock()
 
 	s.r.node.Go(func() {
 		res := s.serve(req)
-		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(res)}))
+		replyDurable(s.r, m, req.ID, res)
 	})
 }
 

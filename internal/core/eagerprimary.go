@@ -163,7 +163,7 @@ func (s *eagerPrimaryServer) onClientRequest(m transport.Message) {
 			_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: s.vg.CurrentView().Primary()}))
 			return
 		}
-		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Resp: Response{ID: req.ID, Result: s.r.stamp(res)}}))
+		answerDurable(s.r, m, req.ID, res)
 	})
 }
 

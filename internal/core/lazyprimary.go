@@ -163,7 +163,7 @@ func (s *lazyPrimaryServer) onClientRequest(m transport.Message) {
 			if err != nil {
 				out.result = txnResult{Committed: false, Err: err.Error()}
 			}
-			_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Resp: Response{ID: req.ID, Result: s.r.stamp(out.result)}}))
+			answerDurable(s.r, m, req.ID, out.result)
 		})
 		return
 	}
@@ -180,7 +180,7 @@ func (s *lazyPrimaryServer) onClientRequest(m transport.Message) {
 			_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: s.vg.CurrentView().Primary()}))
 			return
 		}
-		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Resp: Response{ID: req.ID, Result: s.r.stamp(res)}}))
+		answerDurable(s.r, m, req.ID, res)
 	})
 }
 

@@ -145,7 +145,7 @@ func (s *lazyUEServer) onClientRequest(m transport.Message) {
 	s.mu.Lock()
 	if res, ok := s.dd.get(req.ID); ok {
 		s.mu.Unlock()
-		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(res)}))
+		replyDurable(s.r, m, req.ID, res)
 		return
 	}
 	s.mu.Unlock()
@@ -156,7 +156,7 @@ func (s *lazyUEServer) onClientRequest(m transport.Message) {
 	}, true)
 	if err != nil {
 		out.result = txnResult{Committed: false, Err: err.Error()}
-		_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(out.result)}))
+		replyDurable(s.r, m, req.ID, out.result)
 		return
 	}
 
@@ -179,7 +179,7 @@ func (s *lazyUEServer) onClientRequest(m transport.Message) {
 	case s.qwake <- struct{}{}:
 	default:
 	}
-	_ = s.r.node.Reply(m, encodeResponse(Response{ID: req.ID, Result: s.r.stamp(out.result)}))
+	replyDurable(s.r, m, req.ID, out.result)
 }
 
 // onReconcile applies a remote update under last-writer-wins ("lww"

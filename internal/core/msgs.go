@@ -36,8 +36,32 @@ func decodeResponse(b []byte, r *Response) error { return codec.Unmarshal(b, r) 
 
 // respond sends a result back to the requesting client (group-addressed
 // protocols), stamping the replica's session watermark on the way out.
+// The response is built at call time; the send itself waits on the ack
+// drain queue until the request's commit — if one is pending on this
+// replica — is durable (acks.go).
 func respond(r *replica, req Request, res txn.Result) {
-	_ = r.node.Send(req.Client, kindResponse, encodeResponse(Response{ID: req.ID, Result: r.stamp(res)}))
+	payload := encodeResponse(Response{ID: req.ID, Result: r.stamp(res)})
+	r.ackDurable(req.ID, func() {
+		_ = r.node.Send(req.Client, kindResponse, payload)
+	})
+}
+
+// replyDurable is respond's shape for delegate techniques answering a
+// client RPC: same durable gating, RPC reply instead of a send.
+func replyDurable(r *replica, rpc transport.Message, reqID uint64, res txn.Result) {
+	payload := encodeResponse(Response{ID: reqID, Result: r.stamp(res)})
+	r.ackDurable(reqID, func() {
+		_ = r.node.Reply(rpc, payload)
+	})
+}
+
+// answerDurable is replyDurable for the rpcAnswer envelope the
+// primary-based techniques reply with.
+func answerDurable(r *replica, rpc transport.Message, reqID uint64, res txn.Result) {
+	payload := codec.MustMarshal(&rpcAnswer{Resp: Response{ID: reqID, Result: r.stamp(res)}})
+	r.ackDurable(reqID, func() {
+		_ = r.node.Reply(rpc, payload)
+	})
 }
 
 // answerParked resolves a delegate's parked client RPC for reqID from
@@ -54,7 +78,7 @@ func answerParked(r *replica, mu *sync.Mutex, waiting map[uint64]transport.Messa
 		return
 	}
 	if res, done := r.dd.get(reqID); done {
-		_ = r.node.Reply(rpc, encodeResponse(Response{ID: reqID, Result: r.stamp(res)}))
+		replyDurable(r, rpc, reqID, res)
 	}
 }
 

@@ -157,6 +157,10 @@ func (c *Cluster) instrument() {
 				Func(func() float64 { return float64(w.Stats().Rotations) }, shard, rid)
 			reg.Gauge("wal_spills", "WAL snapshot spills", "shard", "replica").
 				Func(func() float64 { return float64(w.Stats().Spills) }, shard, rid)
+			acks := r.acks
+			reg.Gauge("wal_parked_acks",
+				"replies parked on the ack drain queue awaiting a covering fsync", "shard", "replica").
+				Func(func() float64 { return float64(acks.depth()) }, shard, rid)
 			reg.Gauge("wal_appends_per_sync",
 				"group-commit batching ratio (1.0 = every append pays its own fsync)", "shard", "replica").
 				Func(func() float64 {

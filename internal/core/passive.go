@@ -128,7 +128,7 @@ func (s *passiveServer) serve(m transport.Message, req Request) {
 		_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Redirect: s.vg.CurrentView().Primary()}))
 		return
 	}
-	_ = s.r.node.Reply(m, codec.MustMarshal(&rpcAnswer{Resp: Response{ID: req.ID, Result: s.r.stamp(res)}}))
+	answerDurable(s.r, m, req.ID, res)
 }
 
 // executeOnce runs the request exactly once even under concurrent

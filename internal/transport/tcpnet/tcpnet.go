@@ -29,6 +29,11 @@
 // dials it, a writer goroutine owns the connection, and a write failure
 // closes it and redials with exponential backoff (messages sent while
 // the peer is unreachable are dropped, as on any datagram network).
+// The writer coalesces: frames already queued behind the one in hand
+// are drained without blocking and shipped in a single conn.Write, so a
+// burst of N small frames costs one syscall rather than N — batching
+// that adds no latency, because a flush happens the moment the queue
+// runs dry.
 package tcpnet
 
 import (
@@ -544,31 +549,74 @@ func (p *peer) redirect(addr string) {
 	}()
 }
 
+// Write coalescing caps: one conn.Write carries at most coalesceFrames
+// frames or ~coalesceBytes of them, whichever fills first. The caps
+// bound per-write latency and buffer growth; they are soft in the sense
+// that a single frame larger than coalesceBytes still ships alone.
+const (
+	coalesceFrames = 64
+	coalesceBytes  = 256 << 10
+)
+
 func (p *peer) run() {
 	defer p.ep.wg.Done()
 	defer p.closeConn()
 	var buf []byte
+	var offs []int
 	for {
 		select {
 		case <-p.done:
 			return
 		case m := <-p.out:
-			buf = p.deliver(m, buf[:0])
+			buf, offs = p.gather(m, buf[:0], offs[:0])
+			if len(offs) > 0 {
+				p.deliver(buf, offs)
+			}
 		}
 	}
 }
 
-// deliver writes one frame, reconnecting once on a mid-send failure; if
-// the peer stays unreachable the message is dropped (silent loss).
-func (p *peer) deliver(m transport.Message, buf []byte) []byte {
+// gather encodes m and — without blocking — whatever else the queue
+// holds, up to the coalescing caps, into one buffer: a burst of N frames
+// costs one syscall instead of N. The flush policy is flush-on-idle
+// (queue ran dry) or flush-on-size (either cap hit), so coalescing never
+// delays a frame behind traffic that is not already queued. A frame over
+// MaxFrame is refused individually (the receiver would kill the
+// connection) without poisoning the rest of the batch. The returned
+// offsets mark each kept frame's start, for partial-failure accounting.
+func (p *peer) gather(m transport.Message, buf []byte, offs []int) ([]byte, []int) {
 	opts := &p.ep.net.opts
-	buf = appendFrame(buf, m)
-	if len(buf) > opts.MaxFrame {
-		// The receiver would kill the connection; refuse locally instead.
-		p.ep.net.CountDropped()
-		return buf
+	for {
+		start := len(buf)
+		buf = appendFrame(buf, m)
+		if len(buf)-start > opts.MaxFrame {
+			p.ep.net.CountDropped()
+			buf = buf[:start]
+		} else {
+			offs = append(offs, start)
+		}
+		if len(offs) >= coalesceFrames || len(buf) >= coalesceBytes {
+			return buf, offs
+		}
+		select {
+		case m = <-p.out:
+		default:
+			return buf, offs
+		}
 	}
-	for attempt := 0; attempt < 2; attempt++ {
+}
+
+// deliver writes one gathered batch, reconnecting once on a mid-send
+// failure; if the peer stays unreachable the remaining frames are
+// dropped (silent loss). A partial write is resumed on the fresh
+// connection from the next frame boundary past the bytes the dead
+// connection accepted: a frame that entered the old stream is counted
+// lost and never resent, so coalescing cannot duplicate a frame the
+// receiver already decoded — the same no-duplication property as
+// per-frame writes, where a torn frame poisons its connection.
+func (p *peer) deliver(buf []byte, offs []int) {
+	next := 0 // index of the first frame not yet handed to a connection
+	for attempt := 0; attempt < 2 && next < len(offs); attempt++ {
 		conn := p.currentConn()
 		if conn == nil {
 			conn = p.dial()
@@ -576,13 +624,23 @@ func (p *peer) deliver(m transport.Message, buf []byte) []byte {
 				break
 			}
 		}
-		if _, err := conn.Write(buf); err == nil {
-			return buf
+		n, err := conn.Write(buf[offs[next]:])
+		if err == nil {
+			return
 		}
 		p.closeConn()
+		// Skip every frame with a byte inside the dead connection: it was
+		// delivered, torn, or lost — resending any of them risks a
+		// duplicate, so all are written off.
+		written := offs[next] + n
+		for next < len(offs) && offs[next] < written {
+			next++
+			p.ep.net.CountDropped()
+		}
 	}
-	p.ep.net.CountDropped()
-	return buf
+	for ; next < len(offs); next++ {
+		p.ep.net.CountDropped()
+	}
 }
 
 func (p *peer) currentConn() net.Conn {

@@ -514,3 +514,83 @@ func TestDoubleCrashRecover(t *testing.T) {
 		}
 	}
 }
+
+// TestBurstCoalesced pushes a burst well past the coalescing caps
+// through one peer writer: every frame must arrive, in send order (one
+// TCP stream per peer preserves FIFO regardless of how frames share
+// syscalls).
+func TestBurstCoalesced(t *testing.T) {
+	n := newTestNet(t, Options{InboxSize: 4096, SendQueue: 4096})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	const burst = 3 * coalesceFrames
+	for i := 0; i < burst; i++ {
+		if err := a.Send("b", "burst", []byte(fmt.Sprintf("m%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < burst; i++ {
+		m := recvOne(t, b, 5*time.Second)
+		if want := fmt.Sprintf("m%04d", i); string(m.Payload) != want {
+			t.Fatalf("frame %d: got %q, want %q (coalescing broke FIFO)", i, m.Payload, want)
+		}
+	}
+}
+
+// TestOversizedFrameInBurst drops an oversized frame individually: the
+// frames queued around it still deliver from the same gathered batch.
+func TestOversizedFrameInBurst(t *testing.T) {
+	n := newTestNet(t, Options{MaxFrame: 1 << 10})
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	if err := a.Send("b", "ok", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", "big", make([]byte, 4<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", "ok", []byte("last")); err != nil {
+		t.Fatal(err)
+	}
+
+	got := []string{string(recvOne(t, b, 5*time.Second).Payload)}
+	got = append(got, string(recvOne(t, b, 5*time.Second).Payload))
+	if got[0] != "first" || got[1] != "last" {
+		t.Fatalf("delivered %v, want [first last]", got)
+	}
+	if n.Stats().Dropped == 0 {
+		t.Fatal("oversized frame not counted dropped")
+	}
+}
+
+// BenchmarkBurstThroughput drives bursts of small frames through one
+// peer writer and waits for their delivery — the syscall-amortization
+// scenario the coalescing writer targets: with a deep queue, N frames
+// ship in ~N/coalesceFrames writes instead of N.
+func BenchmarkBurstThroughput(b *testing.B) {
+	n := New(Options{SendQueue: 8192, InboxSize: 8192})
+	defer n.Close()
+	src := n.Endpoint("a")
+	dst := n.Endpoint("b")
+	payload := make([]byte, 128)
+	const burst = 256
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for sent := 0; sent < b.N; {
+		k := burst
+		if rem := b.N - sent; rem < k {
+			k = rem
+		}
+		for j := 0; j < k; j++ {
+			if err := src.Send("b", "k", payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < k; j++ {
+			<-dst.Inbox()
+		}
+		sent += k
+	}
+}

@@ -9,15 +9,35 @@
 // the per-request critical path is group commit: one fsync covers every
 // commit that arrived while the previous fsync was in flight. The WAL
 // implements exactly that — Append is a buffered write under the
-// replica's apply lock, and WaitDurable coalesces concurrent waiters
-// behind a single sync leader — with three durability classes:
+// replica's apply lock, and a single long-lived syncer goroutine
+// answers durability demand — with three durability classes:
 //
-//	SyncAlways  every commit waits for a sync covering its LSN before
-//	            the client can be acked (still leader-coalesced).
-//	SyncBatch   commits wait, but the leader lingers SyncInterval (or
-//	            until SyncEvery waiters gather) to widen the batch.
+//	SyncAlways  every commit's ack waits for a sync covering its LSN
+//	            (concurrent commits still share fsyncs).
+//	SyncBatch   the syncer lingers SyncInterval (or until SyncEvery
+//	            appends await it) to widen the batch.
 //	SyncOff     commits never wait; data reaches the platter only at
 //	            rotation boundaries, explicit Sync, or graceful Close.
+//
+// Durability demand arrives two ways. WaitDurable(lsn) blocks the
+// caller until a covering sync lands — the synchronous path recovery
+// and seals use. Notify(lsn) is the pipelined path: it only registers
+// demand and returns; when the syncer's next fsync lands, the callback
+// registered with OnDurable fires with the new durable watermark, and
+// the caller (core's ack drain queue) releases every client ack the
+// sync covered. The contract: every Notify is eventually answered by a
+// callback — with the durable watermark on success, or exactly once
+// with the sticky error on sync failure, after which no ack may be
+// released (the replica fail-stops; an acked write is never un-lost).
+//
+// Pipelining is what makes batch mode actually batch: execution and
+// append proceed in delivery order while acks park, so one linger
+// window's fsync covers every commit that arrived during it, instead
+// of the window closing with exactly one frame because the delivery
+// loop was blocked inside it. When no pipelined demand is outstanding,
+// the syncer skips the linger entirely — a synchronous waiter (or an
+// always-class commit) never sleeps out an interval that has no
+// company to gather.
 //
 // Replay (Open) restores the newest complete snapshot plus the frame
 // tail beyond its watermark, detects and truncates torn tail writes,
@@ -147,11 +167,24 @@ type WAL struct {
 
 	// sm guards the group-commit state. Lock order: sm after mu never;
 	// the two are held together only as (mu) inside syncNow's snapshot,
-	// released before any fsync.
-	sm       sync.Mutex
-	syncCond *sync.Cond
-	syncing  bool
-	synced   uint64
+	// released before any fsync. fsyncMu serializes fsync rounds
+	// (the syncer goroutine vs. explicit Sync) and is held across the
+	// disk call, never together with sm.
+	sm            sync.Mutex
+	fsyncMu       sync.Mutex
+	syncCond      *sync.Cond
+	synced        uint64
+	demand        uint64 // highest LSN any waiter or Notify asked for
+	asyncDemand   uint64 // highest LSN Notify asked for (linger decision)
+	notifyPending bool   // a Notify awaits its callback
+	cb            func(durable uint64, err error)
+	cbFailed      bool // the failure callback fired (it fires once)
+	stopped       bool
+
+	kick       chan struct{} // wakes the syncer; cap 1, send never blocks
+	stop       chan struct{}
+	stopOnce   sync.Once
+	syncerDone chan struct{}
 
 	// fail is the sticky durability failure (fsync error, power cut):
 	// once set, every Append and WaitDurable returns it. Real engines
@@ -180,6 +213,9 @@ func Open(opts Options) (*WAL, Recovered, error) {
 	opts.fill()
 	w := &WAL{opts: opts, fs: opts.FS, dir: opts.Dir}
 	w.syncCond = sync.NewCond(&w.sm)
+	w.kick = make(chan struct{}, 1)
+	w.stop = make(chan struct{})
+	w.syncerDone = make(chan struct{})
 	if err := w.fs.MkdirAll(w.dir); err != nil {
 		return nil, Recovered{}, fmt.Errorf("wal: mkdir %s: %w", w.dir, err)
 	}
@@ -188,7 +224,49 @@ func Open(opts Options) (*WAL, Recovered, error) {
 	}
 	w.appended = w.rec.Watermark
 	w.synced = w.rec.Watermark // everything on the platter is durable
+	w.demand, w.asyncDemand = w.rec.Watermark, w.rec.Watermark
+	go w.syncer()
 	return w, w.rec, nil
+}
+
+// OnDurable registers the durability callback: the syncer invokes it
+// (on its own goroutine, outside every WAL lock) with the new durable
+// watermark after each fsync that answers registered demand, and
+// exactly once with the sticky error when durability fails. Register
+// before the first Append; a later registration replaces the earlier.
+func (w *WAL) OnDurable(cb func(durable uint64, err error)) {
+	w.sm.Lock()
+	w.cb = cb
+	w.sm.Unlock()
+}
+
+// Notify registers asynchronous durability demand for lsn and returns
+// immediately: the pipelined-ack path. The demand is answered by the
+// OnDurable callback — with a durable watermark ≥ lsn once a covering
+// fsync lands (immediately, if one already has), or with the sticky
+// error. Never blocks, never fsyncs inline.
+func (w *WAL) Notify(lsn uint64) {
+	w.sm.Lock()
+	if lsn > w.demand {
+		w.demand = lsn
+	}
+	if lsn > w.asyncDemand {
+		w.asyncDemand = lsn
+	}
+	w.notifyPending = true
+	w.sm.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Synced returns the durable watermark: the highest LSN covered by a
+// completed fsync.
+func (w *WAL) Synced() uint64 {
+	w.sm.Lock()
+	defer w.sm.Unlock()
+	return w.synced
 }
 
 // Watermark returns the last appended LSN.
@@ -317,25 +395,15 @@ func (w *WAL) rotateLocked(firstLSN uint64) error {
 }
 
 // WaitDurable blocks until the log through lsn is durable per the
-// configured mode: a no-op for SyncOff, a (possibly lingering) group
-// sync otherwise. The error is sticky — after a failed fsync no later
-// wait can succeed, and the caller must treat the replica as failed.
+// configured mode: a no-op for SyncOff, a wait on the syncer's fsync
+// rounds otherwise. The error is sticky — after a failed fsync no
+// later wait can succeed, and the caller must treat the replica as
+// failed. This is the synchronous path (recovery seals, explicit
+// flushes); the commit path uses Notify instead and parks its ack.
 func (w *WAL) WaitDurable(lsn uint64) error {
 	if w.opts.Mode == SyncOff {
 		return w.Err()
 	}
-	return w.syncUntil(lsn, w.opts.Mode == SyncBatch)
-}
-
-// Sync forces everything appended so far onto the platter (any mode).
-func (w *WAL) Sync() error {
-	return w.syncUntil(w.Watermark(), false)
-}
-
-// syncUntil is the group-commit core: waiters gather on the condition
-// variable while one of them leads an fsync round; every LSN the round
-// covered is released at once.
-func (w *WAL) syncUntil(lsn uint64, linger bool) error {
 	w.sm.Lock()
 	defer w.sm.Unlock()
 	for {
@@ -345,33 +413,158 @@ func (w *WAL) syncUntil(lsn uint64, linger bool) error {
 		if w.synced >= lsn {
 			return nil
 		}
-		if w.syncing {
-			w.syncCond.Wait()
+		if w.stopped {
+			return fmt.Errorf("wal: closed")
+		}
+		if lsn > w.demand {
+			w.demand = lsn
+		}
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+		w.syncCond.Wait()
+	}
+}
+
+// Sync forces everything appended so far onto the platter (any mode).
+func (w *WAL) Sync() error {
+	target := w.Watermark()
+	w.sm.Lock()
+	covered := w.synced >= target
+	w.sm.Unlock()
+	if covered || w.Err() != nil {
+		return w.Err()
+	}
+	return w.doSync()
+}
+
+// syncer is the WAL's single long-lived fsync goroutine. It sleeps
+// until demand arrives (WaitDurable, Notify, or Sync via doSync's
+// broadcast), lingers in batch mode when pipelined demand makes the
+// linger productive, runs one fsync round covering everything appended,
+// and answers: waiters via the condition variable, pipelined acks via
+// the OnDurable callback.
+func (w *WAL) syncer() {
+	defer close(w.syncerDone)
+	for {
+		select {
+		case <-w.stop:
+			// Freeze (sticky failure) or Close (which runs its own final
+			// sync). Either way, answer any outstanding Notify demand so
+			// no parked ack waits forever.
+			w.fireDurable()
+			return
+		case <-w.kick:
+		}
+		w.sm.Lock()
+		demand, synced := w.demand, w.synced
+		// Linger only when it can gather company: parked pipelined acks,
+		// whose siblings keep arriving while we sleep. A synchronous
+		// waiter with an empty drain queue gets its fsync immediately —
+		// no wasted linger (concurrent synchronous waiters still
+		// coalesce behind the fsync in flight, the classic gather).
+		hasCompany := w.asyncDemand > synced
+		pendingNotify := w.notifyPending
+		w.sm.Unlock()
+		if err := w.Err(); err != nil {
+			w.fireDurable()
+			return
+		}
+		if demand <= synced {
+			if pendingNotify {
+				// The demand was already covered (a prior round's fsync
+				// landed past it): still answer the Notify.
+				w.fireDurable()
+			}
 			continue
 		}
-		w.syncing = true
-		synced := w.synced
-		w.sm.Unlock()
-
-		if linger && w.opts.SyncInterval > 0 {
-			// Linger for company, unless a full batch already awaits.
+		if w.opts.Mode == SyncOff {
+			// Defensive: nothing registers demand under SyncOff, but if
+			// something does, honor the class — never fsync, answer as if
+			// covered (an off-class ack does not await the platter).
+			w.sm.Lock()
+			if w.appendedLocked() > w.synced {
+				w.synced = w.appendedLocked()
+			}
+			w.syncCond.Broadcast()
+			w.sm.Unlock()
+			w.fireDurable()
+			continue
+		}
+		if w.opts.Mode == SyncBatch && w.opts.SyncInterval > 0 && hasCompany {
+			// Linger to widen the shared fsync.
 			w.mu.Lock()
 			pending := w.appended - synced
 			w.mu.Unlock()
 			if pending < uint64(w.opts.SyncEvery) {
-				time.Sleep(w.opts.SyncInterval)
+				timer := time.NewTimer(w.opts.SyncInterval)
+				select {
+				case <-w.stop:
+					timer.Stop()
+					w.fireDurable()
+					return
+				case <-timer.C:
+				}
 			}
 		}
-		target, err := w.syncNow()
-
-		w.sm.Lock()
-		w.syncing = false
-		if err != nil {
-			w.setFail(err)
-		} else if target > w.synced {
-			w.synced = target
+		if w.doSync() != nil {
+			return
 		}
-		w.syncCond.Broadcast()
+	}
+}
+
+// appendedLocked reads the append watermark; callers must NOT hold
+// w.mu (it takes it).
+func (w *WAL) appendedLocked() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appended
+}
+
+// doSync runs one serialized fsync round, advances the durable
+// watermark, wakes synchronous waiters, and fires the durability
+// callback. It returns the sticky error state after the round.
+func (w *WAL) doSync() error {
+	w.fsyncMu.Lock()
+	target, err := w.syncNow()
+	w.fsyncMu.Unlock()
+	w.sm.Lock()
+	if err != nil {
+		w.setFail(err)
+	} else if target > w.synced {
+		w.synced = target
+	}
+	w.syncCond.Broadcast()
+	w.sm.Unlock()
+	w.fireDurable()
+	return w.Err()
+}
+
+// fireDurable invokes the OnDurable callback outside every WAL lock:
+// with the durable watermark on success, or exactly once with the
+// sticky error. Redundant success invocations are fine (the ack queue
+// releases nothing new); the failure invocation is the replica's
+// fail-stop signal and must not repeat.
+func (w *WAL) fireDurable() {
+	w.sm.Lock()
+	cb := w.cb
+	var err error
+	if p := w.fail.Load(); p != nil {
+		err = *p
+	}
+	if err != nil && (w.cbFailed || cb == nil) {
+		w.sm.Unlock()
+		return
+	}
+	if err != nil {
+		w.cbFailed = true
+	}
+	durable := w.synced
+	w.notifyPending = false
+	w.sm.Unlock()
+	if cb != nil {
+		cb(durable, err)
 	}
 }
 
@@ -414,6 +607,8 @@ func (w *WAL) Rebase(watermark uint64) {
 	w.mu.Unlock()
 	w.sm.Lock()
 	w.synced = watermark
+	w.demand, w.asyncDemand = watermark, watermark
+	w.notifyPending = false
 	w.sm.Unlock()
 }
 
@@ -443,6 +638,8 @@ func (w *WAL) Reset() error {
 	w.replay = nil
 	w.sm.Lock()
 	w.synced = 0
+	w.demand, w.asyncDemand = 0, 0
+	w.notifyPending = false
 	w.sm.Unlock()
 	return w.fs.SyncDir(w.dir)
 }
@@ -450,11 +647,12 @@ func (w *WAL) Reset() error {
 // Freeze kills the WAL without flushing: handles drop, unsynced data
 // stays unsynced, and all later operations fail. This is the kill -9 /
 // power-cut half of Close, used by the kill-all simulation; pair it
-// with MemFS.PowerCut to also discard the page cache.
+// with MemFS.PowerCut to also discard the page cache. The syncer stops
+// and fires the failure callback, so every parked ack is dropped —
+// never falsely released.
 func (w *WAL) Freeze() {
 	w.setFail(fmt.Errorf("wal: frozen (simulated power loss)"))
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	w.closed = true
 	if w.seg != nil {
 		_ = w.seg.Close()
@@ -464,13 +662,17 @@ func (w *WAL) Freeze() {
 		_ = f.Close()
 	}
 	w.olds = nil
+	w.mu.Unlock()
 	w.sm.Lock()
+	w.stopped = true
 	w.syncCond.Broadcast()
 	w.sm.Unlock()
+	w.stopOnce.Do(func() { close(w.stop) })
 }
 
-// Close gracefully shuts the log down: a final sync (so a clean
-// shutdown never loses data, even under SyncOff), then handles close.
+// Close gracefully shuts the log down: the syncer retires, a final
+// sync lands (so a clean shutdown never loses data, even under
+// SyncOff, and releases any still-parked acks), then handles close.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -479,7 +681,12 @@ func (w *WAL) Close() error {
 	}
 	w.closed = true
 	w.mu.Unlock()
-	_, err := w.syncNow()
+	w.sm.Lock()
+	w.stopped = true
+	w.sm.Unlock()
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.syncerDone
+	err := w.doSync()
 	w.mu.Lock()
 	if w.seg != nil {
 		_ = w.seg.Close()

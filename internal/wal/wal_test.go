@@ -132,9 +132,78 @@ func TestRotationAcrossSegments(t *testing.T) {
 }
 
 func TestGroupCommitBatches(t *testing.T) {
+	// The pipelined path: append in order, register async demand with
+	// Notify, and collect durability from the OnDurable callback. The
+	// syncer's linger window must cover many appends per fsync.
 	fs := NewMemFS()
 	w, _ := mustOpen(t, fs, Options{Mode: SyncBatch, SyncEvery: 8, SyncInterval: time.Millisecond})
 	const n = 64
+	var (
+		mu      sync.Mutex
+		durable uint64
+		cbErr   error
+	)
+	landed := make(chan struct{}, 1)
+	w.OnDurable(func(d uint64, err error) {
+		mu.Lock()
+		if d > durable {
+			durable = d
+		}
+		if err != nil && cbErr == nil {
+			cbErr = err
+		}
+		mu.Unlock()
+		select {
+		case landed <- struct{}{}:
+		default:
+		}
+	})
+	for i := 1; i <= n; i++ {
+		if err := w.Append(entry(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		w.Notify(uint64(i))
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		d, err := durable, cbErr
+		mu.Unlock()
+		if err != nil {
+			t.Fatalf("durability callback error: %v", err)
+		}
+		if d >= n {
+			break
+		}
+		select {
+		case <-landed:
+		case <-deadline:
+			t.Fatalf("durable watermark stuck at %d, want %d", d, n)
+		}
+	}
+	st := w.Stats()
+	if st.Appends != n {
+		t.Fatalf("appends = %d, want %d", st.Appends, n)
+	}
+	if st.Syncs >= n {
+		t.Fatalf("group commit amortized nothing: %d syncs for %d appends", st.Syncs, n)
+	}
+	// And everything the callback reported durable really is on the
+	// platter.
+	fs.PowerCut()
+	w2, rec := mustOpen(t, fs, Options{})
+	if rec.Watermark != n {
+		t.Fatalf("after power cut, durable watermark = %d, want %d", rec.Watermark, n)
+	}
+	_ = w2.Close()
+}
+
+func TestConcurrentWaitDurable(t *testing.T) {
+	// Synchronous waiters (the recovery/seal path) stay correct under
+	// concurrency: every waiter returns nil and its LSN is durable.
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{Mode: SyncBatch, SyncEvery: 8, SyncInterval: time.Millisecond})
+	const n = 32
 	var wg sync.WaitGroup
 	errs := make([]error, n)
 	var mu sync.Mutex
@@ -161,20 +230,94 @@ func TestGroupCommitBatches(t *testing.T) {
 			t.Fatalf("writer %d: %v", i, err)
 		}
 	}
-	st := w.Stats()
-	if st.Appends != n {
-		t.Fatalf("appends = %d, want %d", st.Appends, n)
+	if got := w.Synced(); got != n {
+		t.Fatalf("synced = %d, want %d", got, n)
 	}
-	if st.Syncs >= n {
-		t.Fatalf("group commit amortized nothing: %d syncs for %d appends", st.Syncs, n)
-	}
-	// And everything acked durable really is on the platter.
 	fs.PowerCut()
 	w2, rec := mustOpen(t, fs, Options{})
 	if rec.Watermark != n {
 		t.Fatalf("after power cut, durable watermark = %d, want %d", rec.Watermark, n)
 	}
 	_ = w2.Close()
+}
+
+func TestNotifyAlreadyDurableStillAnswered(t *testing.T) {
+	// A Notify whose LSN is already covered must still get a callback —
+	// otherwise a parked ack could wait forever.
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{Mode: SyncAlways})
+	appendN(t, w, 1, 3)
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan uint64, 1)
+	w.OnDurable(func(d uint64, err error) {
+		if err == nil {
+			select {
+			case got <- d:
+			default:
+			}
+		}
+	})
+	w.Notify(2)
+	select {
+	case d := <-got:
+		if d < 2 {
+			t.Fatalf("callback watermark %d below notified LSN 2", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("covered Notify never answered")
+	}
+	_ = w.Close()
+}
+
+func TestNotifyFailureCallbackOnce(t *testing.T) {
+	// A sync failure answers outstanding demand exactly once, with the
+	// sticky error — parked acks are dropped, never released.
+	fs := NewMemFS()
+	w, _ := mustOpen(t, fs, Options{Mode: SyncBatch, SyncInterval: time.Millisecond})
+	appendN(t, w, 1, 4)
+	boom := errors.New("platter on fire")
+	fs.FailSyncs(boom)
+	var mu sync.Mutex
+	var fails int
+	var releasedAfterFail bool
+	failed := make(chan struct{})
+	w.OnDurable(func(d uint64, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			fails++
+			if fails == 1 {
+				close(failed)
+			}
+			return
+		}
+		if fails > 0 {
+			releasedAfterFail = true
+		}
+	})
+	w.Notify(4)
+	select {
+	case <-failed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("failure callback never fired")
+	}
+	// Further demand must not produce more failure callbacks or any
+	// success release.
+	w.Notify(4)
+	if err := w.WaitDurable(4); err == nil {
+		t.Fatal("WaitDurable succeeded after sync failure")
+	}
+	time.Sleep(5 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if fails != 1 {
+		t.Fatalf("failure callback fired %d times, want 1", fails)
+	}
+	if releasedAfterFail {
+		t.Fatal("success callback fired after the sticky failure")
+	}
 }
 
 func TestSyncAlwaysEveryAckDurable(t *testing.T) {
