@@ -591,6 +591,75 @@ func BenchmarkDurableLoaded(b *testing.B) {
 	}
 }
 
+// BenchmarkCoalescedLoaded measures end-to-end batching under
+// concurrent client load: client-side request coalescing off vs on,
+// over both substrates, for an ABCAST-based technique where upstream
+// batching compounds (many ops per linger window -> one frame -> one
+// consensus instance). The ops/ab metric reports how many client
+// submissions each ABCAST instance ordered — 1.0 means every op paid
+// its own consensus round; CI's batching-smoke job asserts the
+// coalesced run stays strictly above 1. EXPERIMENTS.md records the
+// off/on throughput ratios.
+func BenchmarkCoalescedLoaded(b *testing.B) {
+	const clients = 16
+	for _, on := range []bool{false, true} {
+		for _, tp := range []replication.Transport{replication.TransportSim, replication.TransportTCP} {
+			on, tp := on, tp
+			name := "off"
+			if on {
+				name = "on"
+			}
+			b.Run(name+"/"+string(tp), func(b *testing.B) {
+				cfg := replication.Config{
+					Protocol: replication.Active, Replicas: 3, Transport: tp,
+				}
+				if on {
+					cfg.Coalesce = replication.CoalesceConfig{Enabled: true, Linger: 200 * time.Microsecond}
+				}
+				c, _ := benchCluster(b, cfg)
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+				defer cancel()
+				cls := make([]*replication.Client, clients)
+				for i := range cls {
+					cls[i] = c.NewClient()
+				}
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for ci := range cls {
+					n := b.N / clients
+					if ci < b.N%clients {
+						n++
+					}
+					wg.Add(1)
+					go func(ci, n int) {
+						defer wg.Done()
+						gen := workload.New(workload.Config{
+							WriteFraction: 1, Keys: 1024, Seed: int64(ci + 1),
+						})
+						for i := 0; i < n; i++ {
+							if _, err := cls[ci].Invoke(ctx, gen.NextTxn("")); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(ci, n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				if ab := c.ABStats(); ab.Instances > 0 {
+					b.ReportMetric(float64(ab.Ordered)/float64(ab.Instances), "ops/ab")
+				}
+				if st := c.CoalesceStats(); st.Flushes > 0 {
+					b.ReportMetric(float64(st.Enqueued)/float64(st.Flushes), "width")
+					if st.RespFlushes > 0 {
+						b.ReportMetric(float64(st.RespRouted)/float64(st.RespFlushes), "rwidth")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTracingOverhead measures the observability spine's toll on
 // the loaded write path. "off" is the default: no tracer exists and
 // every funnel site costs one nil check, so this sub-benchmark IS the

@@ -78,6 +78,8 @@ func main() {
 		lazyOrder = flag.String("lazy-ue-order", "lww", "lazy-ue reconciliation: lww or abcast")
 		latency   = flag.Duration("latency", 100*time.Microsecond, "one-way network latency (sim transport)")
 		tport     = flag.String("transport", "sim", "message substrate: sim (simulated) or tcp (real loopback sockets)")
+		coalesce  = flag.Bool("coalesce", false, "coalesce concurrent client submissions into multi-request wire frames")
+		linger    = flag.Duration("linger", 200*time.Microsecond, "coalescer linger window: how long a frame waits for more ops (needs -coalesce)")
 		crash     = flag.Bool("crash", false, "crash the distinguished replica mid-run (crash-stop: never recovered)")
 		kill      = flag.Bool("kill", false, "crash the last replica one third into the run")
 		recov     = flag.Bool("recover", false, "recover the killed replica two thirds into the run and report MTTR (needs -kill)")
@@ -111,7 +113,8 @@ func main() {
 
 	obs := obsOpts{addr: *obsAddr, sample: *sample, slowAfter: *slowAfter, pprofDir: *pprofDir}
 	if err := run(*protocol, *replicas, *shards, *clients, *ops, *writes, *keys, *opsPerTxn,
-		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *readLevel, *crash, *kill, *recov, *rebal,
+		*zipf, *lazyDelay, *lazyOrder, *latency, *tport, *readLevel, *coalesce, *linger,
+		*crash, *kill, *recov, *rebal,
 		*durable, *fsyncMode, *killAll, *showTrace, obs); err != nil {
 		fmt.Fprintln(os.Stderr, "replsim:", err)
 		os.Exit(1)
@@ -163,7 +166,8 @@ type invoker interface {
 
 func run(protocol string, replicas, shards, clients, ops int, writes float64, keys, opsPerTxn int,
 	zipf float64, lazyDelay time.Duration, lazyOrder string, latency time.Duration,
-	tport, readLevel string, crash, kill, recov, rebal, durable bool, fsyncMode string, killAll, showTrace bool,
+	tport, readLevel string, coalesce bool, linger time.Duration,
+	crash, kill, recov, rebal, durable bool, fsyncMode string, killAll, showTrace bool,
 	obs obsOpts) error {
 
 	if obs.pprofDir != "" {
@@ -230,6 +234,9 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 	}
 	if readLevel == "lease" {
 		gcfg.Lease = core.LeaseConfig{Enabled: true}
+	}
+	if coalesce {
+		gcfg.Coalesce = core.CoalesceConfig{Enabled: true, Linger: linger}
 	}
 	var dfs *wal.MemFS
 	if durable {
@@ -612,6 +619,37 @@ func run(protocol string, replicas, shards, clients, ops int, writes float64, ke
 		readLevel, rstats.LeaseLocal, rstats.SessionLocal, rstats.Snapshot, rstats.Fallbacks)
 	fmt.Printf("read oracle: read-your-writes violations=%d monotonic-reads violations=%d\n",
 		rywViolations.Load(), monoViolations.Load())
+
+	// Write-path batching: how wide the client coalescer packed its
+	// frames, and how many submissions each ABCAST consensus instance
+	// amortized (1.0 = one consensus round per op, no upstream batching).
+	var abInst, abOrd, coEnq, coFlush, coResp, coRespFl uint64
+	for _, g := range groups {
+		ab := g.ABStats()
+		abInst += ab.Instances
+		abOrd += ab.Ordered
+		cs := g.CoalesceStats()
+		coEnq += cs.Enqueued
+		coFlush += cs.Flushes
+		coResp += cs.RespRouted
+		coRespFl += cs.RespFlushes
+	}
+	if coalesce || abInst > 0 {
+		meanWidth := 0.0
+		if coFlush > 0 {
+			meanWidth = float64(coEnq) / float64(coFlush)
+		}
+		respWidth := 0.0
+		if coRespFl > 0 {
+			respWidth = float64(coResp) / float64(coRespFl)
+		}
+		opsPerInst := 0.0
+		if abInst > 0 {
+			opsPerInst = float64(abOrd) / float64(abInst)
+		}
+		fmt.Printf("batching:  coalesce=%v linger=%v  mean-width=%.2f (%d ops in %d flushes)  reply-width=%.2f (%d replies in %d frames)  ops/ab-instance=%.2f (%d ordered / %d instances)\n",
+			coalesce, linger, meanWidth, coEnq, coFlush, respWidth, coResp, coRespFl, opsPerInst, abOrd, abInst)
+	}
 
 	if sharded != nil {
 		sm := sharded.Metrics()

@@ -1,0 +1,57 @@
+package codec_test
+
+// Allocation-regression guards for the pooled dispatch path (run in
+// CI's alloc-guard step). The simulated transport hands payloads
+// straight to the receiver, so PooledMarshal/Release IS its entire
+// per-send serialization cost: this test pins the sim-side hot path at
+// zero allocations per op. The TCP side has its own guard in
+// internal/transport/tcpnet.
+
+import (
+	"testing"
+
+	"replication/internal/codec"
+
+	_ "replication/internal/core"
+	_ "replication/internal/group"
+)
+
+// TestPooledMarshalAllocs pins PooledMarshal/Release at zero steady-
+// state allocations: the payload buffer and its pool box both
+// circulate, so after warm-up a marshal round trip touches no fresh
+// memory.
+func TestPooledMarshalAllocs(t *testing.T) {
+	p, ok := codec.Lookup("group.ab.batch")
+	if !ok {
+		t.Fatal("group.ab.batch not registered")
+	}
+	sample := p.Sample()
+	for i := 0; i < 16; i++ { // warm the pools
+		codec.Release(codec.PooledMarshal(sample))
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		codec.Release(codec.PooledMarshal(sample))
+	})
+	// Strictly zero in steady state; 0.5 tolerates a GC clearing the
+	// pools mid-measurement without letting a real per-op allocation
+	// (1.0 or more) through.
+	if allocs > 0.5 {
+		t.Fatalf("PooledMarshal/Release allocates %.1f/op; want 0 (pool circulation broken)", allocs)
+	}
+}
+
+// TestPooledMarshalReusesBuffer verifies the pool actually circulates:
+// a released buffer comes back on the next marshal (hit counter moves).
+func TestPooledMarshalReusesBuffer(t *testing.T) {
+	p, _ := codec.Lookup("group.ab.batch")
+	sample := p.Sample()
+	codec.Release(codec.PooledMarshal(sample))
+	before := codec.Stats()
+	for i := 0; i < 8; i++ {
+		codec.Release(codec.PooledMarshal(sample))
+	}
+	after := codec.Stats()
+	if after.Hits == before.Hits {
+		t.Fatalf("no pool hits across 8 marshal/release round trips (stats %+v -> %+v)", before, after)
+	}
+}

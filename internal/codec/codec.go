@@ -22,6 +22,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Format/version bytes. Every encoded payload starts with one of these;
@@ -85,6 +86,82 @@ func marshalWire(w Wire) []byte {
 	// so one huge Marshal neither inflates nor drains the pool.
 	bufPool.Put(bp)
 	return out
+}
+
+// payloadPool recycles whole payload slices for the pooled-dispatch
+// path. Unlike bufPool (encoder scratch, always returned by Marshal),
+// these leave the package: PooledMarshal hands the slice to the
+// transport, which calls Release once the bytes are on the wire. Only
+// single-destination, unretained sends may use the pair — a payload
+// that is relayed, shared between destinations, or delivered in-process
+// (simnet hands the same slice to the receiver) must use Marshal. A
+// forgotten Release is safe (the slice is garbage collected and the
+// pool refills via New); a double Release is not.
+var payloadPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// Pool hit/miss counters: hits are PooledMarshal calls served from a
+// recycled slice, misses grew a fresh one. The exported Stats feed the
+// dispatch_allocs metrics — a scrapeable proxy for hot-path allocation
+// behavior (the authoritative ceilings are the AllocsPerRun tests).
+var (
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
+)
+
+// PoolStats reports cumulative payload-pool traffic.
+type PoolStats struct {
+	Hits   uint64 // PooledMarshal served by a recycled buffer
+	Misses uint64 // PooledMarshal that grew a fresh buffer
+}
+
+// Stats returns the payload pool's cumulative counters.
+func Stats() PoolStats {
+	return PoolStats{Hits: poolHits.Load(), Misses: poolMisses.Load()}
+}
+
+// boxPool recycles the *[]byte headers that carry slices in and out of
+// payloadPool, so a Release needs no allocation of its own: boxes
+// circulate between the two pools and the steady-state round trip
+// (PooledMarshal → send → Release) allocates nothing.
+var boxPool sync.Pool
+
+// PooledMarshal encodes w into a pooled payload slice. Exactly one
+// Release must follow, by whoever consumes the payload last — for a
+// transport send that is the transport itself, signalled via
+// transport.Message.Pooled. See payloadPool for the aliasing rules.
+func PooledMarshal(w Wire) []byte {
+	bp := payloadPool.Get().(*[]byte)
+	buf := append((*bp)[:0], verWire)
+	buf = w.AppendTo(buf)
+	if cap(buf) > cap(*bp) {
+		poolMisses.Add(1)
+	} else {
+		poolHits.Add(1)
+	}
+	*bp = nil // the payload owns the array until Release
+	boxPool.Put(bp)
+	return buf
+}
+
+// Release returns a PooledMarshal payload to the pool. Call it exactly
+// once, only for payloads that actually came from PooledMarshal (the
+// transports key on Message.Pooled), and never retain the slice
+// afterwards — the next PooledMarshal will overwrite it.
+func Release(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	box, _ := boxPool.Get().(*[]byte)
+	if box == nil {
+		box = new([]byte)
+	}
+	*box = b[:0]
+	payloadPool.Put(box)
 }
 
 func marshalGob(v any) ([]byte, error) {

@@ -46,6 +46,7 @@ func newActive(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks
 		sub, ok := subs[cl]
 		if !ok {
 			sub = group.NewSubmitter(cl.node, "act", c.ids)
+			sub.SetSend(cl.sendVia)
 			subs[cl] = sub
 		}
 		subMu.Unlock()
@@ -59,6 +60,8 @@ func newActive(c *Cluster, replicas map[transport.NodeID]*replica) protocolHooks
 
 func (s *activeServer) start() { s.ab.Start() }
 func (s *activeServer) stop()  { s.ab.Stop() }
+
+func (s *activeServer) atomic() *group.Atomic { return s.ab }
 
 // onDeliver executes one totally-ordered request. It runs on the ABCAST
 // ordering goroutine, so execution is sequential in delivery order —

@@ -70,6 +70,8 @@ func newCertification(c *Cluster, replicas map[transport.NodeID]*replica) protoc
 func (s *certificationServer) start() { s.ab.Start() }
 func (s *certificationServer) stop()  { s.ab.Stop() }
 
+func (s *certificationServer) atomic() *group.Atomic { return s.ab }
+
 func (s *certificationServer) onClientRequest(m transport.Message) {
 	if s.r.refusing() {
 		return

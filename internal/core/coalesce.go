@@ -1,0 +1,529 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"replication/internal/codec"
+	"replication/internal/transport"
+)
+
+// Client-side request coalescing (the batching tier above the ordering
+// and transport layers): concurrent ops headed for the same replica are
+// gathered — for up to a linger window — into one multi-request wire
+// frame, then unpacked server-side into the individual submissions the
+// technique would have seen anyway. The engines are untouched; the win
+// is fewer frames on the wire and, for ABCAST-based techniques, many
+// ops arriving inside one linger window and therefore inside one
+// consensus instance.
+
+// CoalesceConfig configures the submit-side request coalescer. Off by
+// default: coalescing trades up to Linger of added latency per op for
+// fewer, wider frames (and wider ABCAST batches downstream).
+type CoalesceConfig struct {
+	// Enabled turns the coalescer on.
+	Enabled bool
+	// Linger is how long the first op queued for a replica waits for
+	// company before the frame flushes. Zero means 200µs.
+	Linger time.Duration
+	// MaxBatch caps ops per flushed frame; a full queue flushes
+	// immediately. Zero means 64.
+	MaxBatch int
+}
+
+func (cc *CoalesceConfig) fill() {
+	if cc.Linger == 0 {
+		cc.Linger = 200 * time.Microsecond
+	}
+	if cc.MaxBatch == 0 {
+		cc.MaxBatch = 64
+	}
+}
+
+// kindReqBatch is the envelope kind carrying coalesced requests; every
+// replica unpacks it via Node.Inject, preserving per-entry sender and
+// correlation ID so replies route exactly as for direct sends.
+const kindReqBatch = "core.reqbatch"
+
+// coalEntry is one logical message inside a coalesced frame.
+type coalEntry struct {
+	// From is the originating client: the injected message's sender, so
+	// handlers reply to the client, not to whoever flushed the frame.
+	From transport.NodeID
+	// Kind is the protocol kind the entry dispatches to server-side.
+	Kind string
+	// ID is the entry's message ID — a PrepareCall correlation ID for
+	// RPC-style entries, zero for one-way submissions.
+	ID uint64
+	// Payload is the entry's own codec-framed body.
+	Payload []byte
+}
+
+// reqBatch is the wire envelope: a list of independent requests sharing
+// one frame.
+type reqBatch struct {
+	Entries []coalEntry
+}
+
+// AppendTo implements codec.Wire.
+func (b *reqBatch) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(b.Entries)))
+	for _, e := range b.Entries {
+		buf = codec.AppendString(buf, string(e.From))
+		buf = codec.AppendString(buf, e.Kind)
+		buf = codec.AppendUvarint(buf, e.ID)
+		buf = codec.AppendBytes(buf, e.Payload)
+	}
+	return buf
+}
+
+// DecodeFrom implements codec.Wire.
+func (b *reqBatch) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	n := r.Count(4) // From, Kind, ID, Payload: ≥1 byte each
+	b.Entries = nil
+	if n > 0 {
+		b.Entries = make([]coalEntry, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		var e coalEntry
+		e.From = transport.NodeID(r.String())
+		e.Kind = r.String()
+		e.ID = r.Uvarint()
+		e.Payload = r.Bytes()
+		b.Entries = append(b.Entries, e)
+	}
+	return r.Done()
+}
+
+// coalescer gathers submissions from all of a cluster's clients into
+// per-destination frames. One per Cluster: a single client submitting
+// sequentially gains nothing, but N concurrent clients targeting the
+// same replica set share linger windows and frames.
+type coalescer struct {
+	linger   time.Duration
+	maxBatch int
+
+	mu     sync.Mutex
+	queues map[transport.NodeID]*coalQueue
+	closed bool
+
+	// clients indexes every client of the process by node ID: the
+	// redistribution table for coalesced reply frames, which arrive at
+	// one carrier client but hold replies for many.
+	clients map[transport.NodeID]*Client
+
+	enqueued atomic.Uint64 // ops accepted
+	flushes  atomic.Uint64 // frames sent (including width-1)
+}
+
+// coalQueue is the pending frame for one destination replica.
+type coalQueue struct {
+	sender  *transport.Node // the first enqueuer; its endpoint sends the flush
+	entries []coalEntry
+	armed   bool // a linger timer is pending
+}
+
+func newCoalescer(cc CoalesceConfig) *coalescer {
+	return &coalescer{
+		linger:   cc.Linger,
+		maxBatch: cc.MaxBatch,
+		queues:   make(map[transport.NodeID]*coalQueue),
+		clients:  make(map[transport.NodeID]*Client),
+	}
+}
+
+// register adds a client to the reply-redistribution table. Called from
+// NewClient before the node starts.
+func (co *coalescer) register(cl *Client) {
+	co.mu.Lock()
+	co.clients[cl.node.ID()] = cl
+	co.mu.Unlock()
+}
+
+// CoalesceStats reports the coalescer's cumulative work; mean request
+// frame width is Enqueued/Flushes, mean reply frame width is
+// RespRouted/RespFlushes.
+type CoalesceStats struct {
+	Enqueued uint64
+	Flushes  uint64
+	// RespRouted counts replica replies that rode a coalesced reply
+	// frame back through a carrier instead of their own frame;
+	// RespFlushes counts those frames (summed over replicas).
+	RespRouted  uint64
+	RespFlushes uint64
+}
+
+func (co *coalescer) stats() CoalesceStats {
+	return CoalesceStats{Enqueued: co.enqueued.Load(), Flushes: co.flushes.Load()}
+}
+
+// enqueue adds one op bound for `to`. The first op in a window arms the
+// linger timer; a full queue flushes immediately. After close, ops
+// bypass straight to a direct send so shutdown never strands a request.
+func (co *coalescer) enqueue(nd *transport.Node, to transport.NodeID, kind string, id uint64, payload []byte) error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return nd.Endpoint().SendMsg(transport.Message{To: to, Kind: kind, Payload: payload, ID: id})
+	}
+	q := co.queues[to]
+	if q == nil {
+		q = &coalQueue{}
+		co.queues[to] = q
+	}
+	if len(q.entries) == 0 {
+		q.sender = nd
+	}
+	q.entries = append(q.entries, coalEntry{From: nd.ID(), Kind: kind, ID: id, Payload: payload})
+	co.enqueued.Add(1)
+	if len(q.entries) >= co.maxBatch {
+		entries, sender := q.entries, q.sender
+		q.entries, q.armed = nil, false
+		co.mu.Unlock()
+		co.flush(sender, to, entries)
+		return nil
+	}
+	if !q.armed {
+		q.armed = true
+		time.AfterFunc(co.linger, func() { co.flushTo(to) })
+	}
+	co.mu.Unlock()
+	return nil
+}
+
+// flushTo sends whatever is queued for one destination.
+func (co *coalescer) flushTo(to transport.NodeID) {
+	co.mu.Lock()
+	q := co.queues[to]
+	if q == nil || len(q.entries) == 0 {
+		if q != nil {
+			q.armed = false
+		}
+		co.mu.Unlock()
+		return
+	}
+	entries, sender := q.entries, q.sender
+	q.entries, q.armed = nil, false
+	co.mu.Unlock()
+	co.flush(sender, to, entries)
+}
+
+// flush sends one frame. A width-1 "batch" skips the envelope entirely
+// — the entry goes out exactly as a direct send would have.
+func (co *coalescer) flush(sender *transport.Node, to transport.NodeID, entries []coalEntry) {
+	co.flushes.Add(1)
+	if len(entries) == 1 {
+		e := entries[0]
+		_ = sender.Endpoint().SendMsg(transport.Message{To: to, Kind: e.Kind, Payload: e.Payload, ID: e.ID})
+		return
+	}
+	b := reqBatch{Entries: entries}
+	payload := codec.PooledMarshal(&b)
+	_ = sender.Endpoint().SendMsg(transport.Message{To: to, Kind: kindReqBatch, Payload: payload, Pooled: true})
+}
+
+// close flushes every queue and routes later enqueues straight to the
+// wire. Called before client nodes stop so pending ops still go out.
+func (co *coalescer) close() {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return
+	}
+	co.closed = true
+	type out struct {
+		to      transport.NodeID
+		sender  *transport.Node
+		entries []coalEntry
+	}
+	var outs []out
+	for to, q := range co.queues {
+		if len(q.entries) > 0 {
+			outs = append(outs, out{to, q.sender, q.entries})
+			q.entries = nil
+		}
+	}
+	co.mu.Unlock()
+	for _, o := range outs {
+		co.flush(o.sender, o.to, o.entries)
+	}
+}
+
+// sendVia routes a one-way protocol send through the cluster's
+// coalescer when enabled, else directly.
+func (cl *Client) sendVia(to transport.NodeID, kind string, payload []byte) error {
+	if co := cl.c.coal; co != nil {
+		return co.enqueue(cl.node, to, kind, 0, payload)
+	}
+	return cl.node.Send(to, kind, payload)
+}
+
+// callVia performs a request/reply Call whose request may travel inside
+// a coalesced frame: the reply slot is allocated first (PrepareCall),
+// the request rides the coalescer tagged with the slot's ID, and the
+// reply routes back by correlation ID exactly as for a plain Call.
+func (cl *Client) callVia(ctx context.Context, to transport.NodeID, kind string, payload []byte) (transport.Message, error) {
+	co := cl.c.coal
+	if co == nil {
+		return cl.node.Call(ctx, to, kind, payload)
+	}
+	pc, err := cl.node.PrepareCall()
+	if err != nil {
+		return transport.Message{}, err
+	}
+	if err := co.enqueue(cl.node, to, kind, pc.ID(), payload); err != nil {
+		pc.Cancel()
+		return transport.Message{}, err
+	}
+	return pc.Await(ctx)
+}
+
+// onReqBatch is the per-replica intake for coalesced frames: each entry
+// re-enters the node's dispatch loop as its own message, with the
+// originating client as sender — handlers cannot tell it from a direct
+// send, so technique semantics are untouched. The frame's sender is
+// remembered as each entry client's carrier so replies can ride
+// coalesced frames back (respBatcher).
+func (r *replica) onReqBatch(m transport.Message) {
+	var b reqBatch
+	if err := codec.Unmarshal(m.Payload, &b); err != nil {
+		return
+	}
+	if r.resp != nil {
+		for _, e := range b.Entries {
+			r.resp.learn(e.From, m.From)
+		}
+	}
+	for _, e := range b.Entries {
+		r.node.Inject(transport.Message{From: e.From, To: r.id, Kind: e.Kind, Payload: e.Payload, ID: e.ID})
+	}
+}
+
+// --- Reply coalescing: the return half of end-to-end batching. ---
+//
+// Requests arrive packed (reqBatch above), but each reply would still
+// leave as its own frame — under load the reply path becomes the
+// dominant per-op wire cost. Since every client of one process shares
+// the coalescer, a replica can hand a window's replies for that process
+// to ONE of its clients (the "carrier" — whoever sent the last request
+// frame) in a single respBatch frame; the carrier redistributes
+// in-process. Redistribution uses only thread-safe paths
+// (Node.InjectReply for RPC replies, Client.onResponse for
+// group-addressed responses), so no node's sequential-handler guarantee
+// is violated. A reply lost to a stopped carrier is indistinguishable
+// from a dropped frame: the client's retry plus the replicas'
+// exactly-once cache already cover it.
+
+// kindRespBatch is the envelope kind carrying coalesced replies back to
+// a carrier client.
+const kindRespBatch = "core.respbatch"
+
+// respEntry is one reply inside a coalesced reply frame.
+type respEntry struct {
+	// To is the client the reply belongs to.
+	To transport.NodeID
+	// Kind is the reply's message kind (kindResponse for group-addressed
+	// protocols, "<req-kind>.reply" for RPC replies).
+	Kind string
+	// CorrID is the correlation ID for RPC replies, zero for
+	// group-addressed responses (matched by Response.ID instead).
+	CorrID uint64
+	// Payload is the reply's codec-framed body.
+	Payload []byte
+}
+
+// respBatch is the wire envelope for coalesced replies.
+type respBatch struct {
+	Entries []respEntry
+}
+
+// AppendTo implements codec.Wire.
+func (b *respBatch) AppendTo(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(b.Entries)))
+	for _, e := range b.Entries {
+		buf = codec.AppendString(buf, string(e.To))
+		buf = codec.AppendString(buf, e.Kind)
+		buf = codec.AppendUvarint(buf, e.CorrID)
+		buf = codec.AppendBytes(buf, e.Payload)
+	}
+	return buf
+}
+
+// DecodeFrom implements codec.Wire.
+func (b *respBatch) DecodeFrom(data []byte) error {
+	r := codec.NewReader(data)
+	n := r.Count(4) // To, Kind, CorrID, Payload: ≥1 byte each
+	b.Entries = nil
+	if n > 0 {
+		b.Entries = make([]respEntry, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		var e respEntry
+		e.To = transport.NodeID(r.String())
+		e.Kind = r.String()
+		e.CorrID = r.Uvarint()
+		e.Payload = r.Bytes()
+		b.Entries = append(b.Entries, e)
+	}
+	return r.Done()
+}
+
+// onRespBatch runs on the carrier client's dispatch goroutine and fans
+// the frame's replies out to their owners through thread-safe paths.
+func (co *coalescer) onRespBatch(m transport.Message) {
+	var b respBatch
+	if err := codec.Unmarshal(m.Payload, &b); err != nil {
+		return
+	}
+	co.mu.Lock()
+	clients := co.clients
+	co.mu.Unlock()
+	for _, e := range b.Entries {
+		cl, ok := clients[e.To]
+		if !ok {
+			continue
+		}
+		msg := transport.Message{From: m.From, To: e.To, Kind: e.Kind, Payload: e.Payload, CorrID: e.CorrID}
+		if e.CorrID != 0 {
+			cl.node.InjectReply(msg)
+		} else {
+			cl.onResponse(msg) // documented thread-safe: mutex + buffered channel
+		}
+	}
+}
+
+// respBatcher is a replica's reply-side coalescer: replies to clients
+// whose requests arrived in coalesced frames are gathered per carrier
+// for a linger window and flushed as one respBatch frame.
+type respBatcher struct {
+	node     *transport.Node
+	linger   time.Duration
+	maxBatch int
+
+	mu       sync.Mutex
+	carriers map[transport.NodeID]transport.NodeID // client -> last known carrier
+	queues   map[transport.NodeID]*respQueue       // carrier -> pending frame
+	closed   bool
+
+	routed  atomic.Uint64
+	flushes atomic.Uint64
+}
+
+// respQueue is the pending reply frame for one carrier.
+type respQueue struct {
+	entries []respEntry
+	pooled  []bool // which entries' payloads came from codec.PooledMarshal
+	armed   bool
+}
+
+func newRespBatcher(node *transport.Node, cc CoalesceConfig) *respBatcher {
+	return &respBatcher{
+		node:     node,
+		linger:   cc.Linger,
+		maxBatch: cc.MaxBatch,
+		carriers: make(map[transport.NodeID]transport.NodeID),
+		queues:   make(map[transport.NodeID]*respQueue),
+	}
+}
+
+// learn records that replies for client should ride frames to carrier.
+func (rb *respBatcher) learn(client, carrier transport.NodeID) {
+	rb.mu.Lock()
+	rb.carriers[client] = carrier
+	rb.mu.Unlock()
+}
+
+// route queues a reply for batching, reporting false when the caller
+// must send directly (no carrier known for the client, or the batcher
+// is closed). On true the batcher owns payload: it is copied into the
+// flushed frame and, when pooled, released afterwards.
+func (rb *respBatcher) route(to transport.NodeID, kind string, corrID uint64, payload []byte, pooled bool) bool {
+	rb.mu.Lock()
+	carrier, ok := rb.carriers[to]
+	if !ok || rb.closed {
+		rb.mu.Unlock()
+		return false
+	}
+	q := rb.queues[carrier]
+	if q == nil {
+		q = &respQueue{}
+		rb.queues[carrier] = q
+	}
+	q.entries = append(q.entries, respEntry{To: to, Kind: kind, CorrID: corrID, Payload: payload})
+	q.pooled = append(q.pooled, pooled)
+	rb.routed.Add(1)
+	if len(q.entries) >= rb.maxBatch {
+		entries, pooledFlags := q.entries, q.pooled
+		q.entries, q.pooled, q.armed = nil, nil, false
+		rb.mu.Unlock()
+		rb.flush(carrier, entries, pooledFlags)
+		return true
+	}
+	if !q.armed {
+		q.armed = true
+		time.AfterFunc(rb.linger, func() { rb.flushTo(carrier) })
+	}
+	rb.mu.Unlock()
+	return true
+}
+
+// flushTo sends whatever is queued for one carrier.
+func (rb *respBatcher) flushTo(carrier transport.NodeID) {
+	rb.mu.Lock()
+	q := rb.queues[carrier]
+	if q == nil || len(q.entries) == 0 {
+		if q != nil {
+			q.armed = false
+		}
+		rb.mu.Unlock()
+		return
+	}
+	entries, pooledFlags := q.entries, q.pooled
+	q.entries, q.pooled, q.armed = nil, nil, false
+	rb.mu.Unlock()
+	rb.flush(carrier, entries, pooledFlags)
+}
+
+// flush sends one reply frame to the carrier and releases pooled entry
+// payloads (they were copied into the frame by AppendTo).
+func (rb *respBatcher) flush(carrier transport.NodeID, entries []respEntry, pooledFlags []bool) {
+	rb.flushes.Add(1)
+	b := respBatch{Entries: entries}
+	payload := codec.PooledMarshal(&b)
+	_ = rb.node.SendPooled(carrier, kindRespBatch, payload)
+	for i, e := range entries {
+		if pooledFlags[i] {
+			codec.Release(e.Payload)
+		}
+	}
+}
+
+// close flushes every queue and routes later replies straight to the
+// wire. Called at replica teardown so no reply is stranded.
+func (rb *respBatcher) close() {
+	rb.mu.Lock()
+	if rb.closed {
+		rb.mu.Unlock()
+		return
+	}
+	rb.closed = true
+	type out struct {
+		carrier transport.NodeID
+		entries []respEntry
+		pooled  []bool
+	}
+	var outs []out
+	for carrier, q := range rb.queues {
+		if len(q.entries) > 0 {
+			outs = append(outs, out{carrier, q.entries, q.pooled})
+			q.entries, q.pooled = nil, nil
+		}
+	}
+	rb.mu.Unlock()
+	for _, o := range outs {
+		rb.flush(o.carrier, o.entries, o.pooled)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"replication/internal/txn"
+)
+
+// TestCoalesceConformance runs every technique over both substrates
+// with client-side request coalescing enabled, under enough concurrent
+// clients that frames really do pack multiple ops. The contract: a
+// coalesced cluster is indistinguishable from a plain one — every write
+// commits, replicas converge, and the strong techniques keep 1-copy
+// serializability — because entries unpack server-side into exactly the
+// messages a direct send would have produced.
+func TestCoalesceConformance(t *testing.T) {
+	for _, tp := range []TransportKind{TransportSim, TransportTCP} {
+		for _, p := range Protocols() {
+			p, tp := p, tp
+			t.Run(string(tp)+"/"+string(p), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{
+					Protocol: p, Replicas: 3, Transport: tp,
+					LazyDelay: time.Millisecond,
+					Coalesce:  CoalesceConfig{Enabled: true, Linger: 300 * time.Microsecond},
+				}
+				var c *Cluster
+				if tp == TransportTCP {
+					c = newTCPCluster(t, cfg)
+				} else {
+					c = newTestCluster(t, cfg)
+				}
+				ctx := ctxT(t, 120*time.Second)
+
+				const clients, ops = 4, 6
+				var wg sync.WaitGroup
+				errs := make(chan error, clients*ops)
+				for ci := 0; ci < clients; ci++ {
+					cl := c.NewClient()
+					wg.Add(1)
+					go func(ci int, cl *Client) {
+						defer wg.Done()
+						for i := 0; i < ops; i++ {
+							key := fmt.Sprintf("c%d-k%d", ci, i%3)
+							res, err := cl.InvokeOp(ctx, txn.W(key, []byte(fmt.Sprintf("v%d-%d", ci, i))))
+							if err != nil {
+								errs <- fmt.Errorf("client %d op %d: %w", ci, i, err)
+								return
+							}
+							if !res.Committed && p != EagerLockUE && p != Certification {
+								errs <- fmt.Errorf("client %d op %d aborted: %s", ci, i, res.Err)
+								return
+							}
+						}
+					}(ci, cl)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				waitConverged(t, c, 20*time.Second)
+
+				if tech, _ := TechniqueOf(p); tech.StrongConsistency {
+					if ok, cycle := c.History().Serializable(); !ok {
+						t.Fatalf("merged history not 1-copy serializable; cycle %v", cycle)
+					}
+				}
+				// The ops really rode the coalescer (not a silent fallback
+				// to direct sends).
+				if st := c.CoalesceStats(); st.Enqueued == 0 || st.Flushes == 0 {
+					t.Fatalf("coalescer saw no traffic: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestCoalesceWidensABCastBatches pins the end-to-end batching claim:
+// with many clients submitting inside one linger window, an
+// ABCAST-based technique must order strictly more than one op per
+// consensus instance.
+func TestCoalesceWidensABCastBatches(t *testing.T) {
+	c := newTestCluster(t, Config{
+		Protocol: Active, Replicas: 3,
+		Coalesce: CoalesceConfig{Enabled: true, Linger: 500 * time.Microsecond},
+	})
+	ctx := ctxT(t, 60*time.Second)
+
+	const clients, ops = 8, 10
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		cl := c.NewClient()
+		wg.Add(1)
+		go func(ci int, cl *Client) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if _, err := cl.InvokeOp(ctx, txn.W(fmt.Sprintf("k%d", i), []byte("v"))); err != nil {
+					t.Errorf("client %d: %v", ci, err)
+					return
+				}
+			}
+		}(ci, cl)
+	}
+	wg.Wait()
+
+	ab := c.ABStats()
+	if ab.Instances == 0 {
+		t.Fatal("no ABCAST instances recorded")
+	}
+	ratio := float64(ab.Ordered) / float64(ab.Instances)
+	t.Logf("ops/ab-instance = %.2f (%d ordered / %d instances)", ratio, ab.Ordered, ab.Instances)
+	if ratio <= 1.0 {
+		t.Fatalf("ops/ab-instance = %.2f; want > 1.0 (coalescing not widening consensus batches)", ratio)
+	}
+	// The return path must batch too: with 8 clients in one linger
+	// window, replicas learn carriers from multi-entry request frames
+	// and route replies through them.
+	if st := c.CoalesceStats(); st.RespRouted == 0 || st.RespFlushes == 0 {
+		t.Fatalf("no replies rode coalesced frames: %+v", st)
+	} else {
+		t.Logf("reply batching: %d replies in %d frames (mean width %.2f)",
+			st.RespRouted, st.RespFlushes, float64(st.RespRouted)/float64(st.RespFlushes))
+	}
+}

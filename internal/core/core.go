@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"replication/internal/fd"
+	"replication/internal/group"
 	"replication/internal/lockmgr"
 	"replication/internal/metrics"
 	"replication/internal/obs"
@@ -180,6 +181,10 @@ type replica struct {
 	// holder; the group's lowest replica is additionally the granter.
 	leaseH *leaseHolder
 	leaseG *leaseGranter
+
+	// Reply-side coalescer (nil when Config.Coalesce is off): replies to
+	// clients whose requests arrived packed leave packed too.
+	resp *respBatcher
 
 	// Observability (obs.go): the shared span tracer (nil when tracing
 	// is off) and the resolved metric handles (zero when the registry is
@@ -648,6 +653,13 @@ type Config struct {
 	// default: enabling adds one barrier RPC to every update, the price
 	// of local reads.
 	Lease LeaseConfig
+	// Coalesce configures client-side request coalescing (coalesce.go):
+	// concurrent ops from this cluster's clients bound for the same
+	// replica share one wire frame, unpacked server-side into the exact
+	// per-request submissions the technique would have seen. Off by
+	// default: it trades up to Coalesce.Linger of added latency per op
+	// for fewer frames and wider ABCAST batches under load.
+	Coalesce CoalesceConfig
 
 	// Observability spine (obs.go). All of it is opt-in: the zero values
 	// run the cluster with tracing and metrics compiled in but inert.
@@ -725,6 +737,7 @@ func (c *Config) fill() {
 		c.Transport = TransportSim
 	}
 	c.Lease.fill()
+	c.Coalesce.fill()
 	// Failure-detection defaults scale with the substrate: simulated
 	// links have a known latency bound, while TCP inherits scheduler and
 	// kernel jitter, so its suspicion timeout is more conservative (false
@@ -754,6 +767,7 @@ type Cluster struct {
 	replicas map[transport.NodeID]*replica
 	hooks    protocolHooks
 	rec      *trace.Recorder
+	coal     *coalescer       // nil when Config.Coalesce is off
 	coldSeed transport.NodeID // chosen by ColdBegin, consumed by ColdComplete
 
 	// Observability spine (obs.go): shared span tracer, metric registry
@@ -791,6 +805,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{cfg: cfg, net: net, ownNet: ownNet, rec: cfg.Recorder}
 	c.initObs()
+	if cfg.Coalesce.Enabled {
+		c.coal = newCoalescer(cfg.Coalesce)
+	}
 	for i := 0; i < cfg.Replicas; i++ {
 		c.ids = append(c.ids, transport.NodeID(fmt.Sprintf("r%d", i)))
 	}
@@ -835,6 +852,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			r.acks = newAckTracker()
 			r.attachWAL(w, rec)
 		}
+		if cfg.Coalesce.Enabled {
+			r.resp = newRespBatcher(r.node, cfg.Coalesce)
+		}
+		r.node.Handle(kindReqBatch, r.onReqBatch)
 		r.serveRecovery()
 		r.serveReadTier(c.ids[0])
 		replicas[id] = r
@@ -843,6 +864,18 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	var err error
 	c.hooks, err = buildProtocol(cfg.Protocol, c, replicas)
+	if err == nil && cfg.Coalesce.Enabled {
+		// The server half of end-to-end coalescing: members that funnel
+		// requests into the order via Broadcast batch their submit spread
+		// under the same linger the client coalescer uses.
+		for _, id := range c.ids {
+			if h, ok := c.hooks.servers[id].engine.(abHolder); ok {
+				if ab := h.atomic(); ab != nil {
+					ab.EnableSubmitBatching(cfg.Coalesce.Linger, cfg.Coalesce.MaxBatch)
+				}
+			}
+		}
+	}
 	if err == nil {
 		err = c.startObs()
 	}
@@ -904,6 +937,44 @@ func buildProtocol(p Protocol, c *Cluster, replicas map[transport.NodeID]*replic
 
 // Protocol returns the technique this cluster runs.
 func (c *Cluster) Protocol() Protocol { return c.cfg.Protocol }
+
+// abHolder is implemented by engines built on an Atomic broadcaster.
+type abHolder interface{ atomic() *group.Atomic }
+
+// ABStats sums ABCAST ordering counters across this cluster's replicas
+// (zero for techniques without an ordering group). Because every
+// replica applies every instance, the Ordered/Instances ratio is the
+// per-instance amortization regardless of replica count.
+func (c *Cluster) ABStats() group.ABStats {
+	var out group.ABStats
+	for _, id := range c.ids {
+		if h, ok := c.hooks.servers[id].engine.(abHolder); ok {
+			if ab := h.atomic(); ab != nil {
+				s := ab.Stats()
+				out.Instances += s.Instances
+				out.Ordered += s.Ordered
+			}
+		}
+	}
+	return out
+}
+
+// CoalesceStats returns the coalescing counters — the client-side
+// request coalescer's plus the replicas' reply batchers' (zero when
+// coalescing is off).
+func (c *Cluster) CoalesceStats() CoalesceStats {
+	if c.coal == nil {
+		return CoalesceStats{}
+	}
+	out := c.coal.stats()
+	for _, id := range c.ids {
+		if r := c.replicas[id]; r.resp != nil {
+			out.RespRouted += r.resp.routed.Load()
+			out.RespFlushes += r.resp.flushes.Load()
+		}
+	}
+	return out
+}
 
 // Replicas returns the replica IDs in order.
 func (c *Cluster) Replicas() []transport.NodeID {
@@ -983,6 +1054,14 @@ func (c *Cluster) Close() {
 	clients := c.clients
 	c.mu.Unlock()
 
+	if c.coal != nil {
+		c.coal.close() // flush pending frames while client nodes still run
+	}
+	for _, id := range c.ids {
+		if r := c.replicas[id]; r.resp != nil {
+			r.resp.close() // flush pending reply frames while carriers still run
+		}
+	}
 	for _, cl := range clients {
 		cl.node.Stop()
 	}
@@ -1044,6 +1123,12 @@ func (c *Cluster) NewClient() *Client {
 		home:    c.ids[int(n)%len(c.ids)],
 	}
 	cl.node.Handle(kindResponse, cl.onResponse)
+	if c.coal != nil {
+		// Any client may be picked as a reply-frame carrier; register it
+		// for redistribution and give it the intake handler.
+		c.coal.register(cl)
+		cl.node.Handle(kindRespBatch, c.coal.onRespBatch)
+	}
 	cl.node.Start()
 
 	c.mu.Lock()

@@ -61,6 +61,8 @@ func newEagerABCastUE(c *Cluster, replicas map[transport.NodeID]*replica) protoc
 func (s *eagerABCastUEServer) start() { s.ab.Start() }
 func (s *eagerABCastUEServer) stop()  { s.ab.Stop() }
 
+func (s *eagerABCastUEServer) atomic() *group.Atomic { return s.ab }
+
 // onClientRequest runs at the client's local server: answer from the
 // dedup cache or enter the request into the total order and park the RPC
 // until our own delivery executes it.
@@ -149,7 +151,7 @@ func (s *eagerABCastUEServer) coldPosition(fence uint64) { s.ab.FastForward(fenc
 // technique: call the home server, fail over to the next replica when it
 // does not answer.
 func delegateCall(ctx context.Context, cl *Client, req Request, kind string) (txnResult, error) {
-	msg, err := cl.node.Call(ctx, cl.home, kind, encodeRequest(req))
+	msg, err := cl.callVia(ctx, cl.home, kind, encodeRequest(req))
 	if err != nil {
 		cl.rotateHome()
 		return txnResult{}, err

@@ -190,3 +190,68 @@ func FuzzDecodeSnapChunk(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeReqBatch guards the coalesced multi-request envelope — the
+// frame the client-side batcher puts on raw sockets, carrying several
+// independent requests with per-entry sender and correlation ID.
+func FuzzDecodeReqBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	seeds := []reqBatch{
+		{},
+		{Entries: []coalEntry{{From: "c1", Kind: "act.ab.submit", Payload: []byte("sub")}}},
+		{Entries: []coalEntry{
+			{From: "c1", Kind: "cert.req", ID: 1<<62 + 5, Payload: []byte("req-1")},
+			{From: "c2", Kind: "sp.req", ID: 0, Payload: nil},
+		}},
+	}
+	for i := range seeds {
+		f.Add(seeds[i].AppendTo(nil))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m reqBatch
+		if err := m.DecodeFrom(data); err != nil {
+			return // malformed input must error, never panic
+		}
+		reencoded := m.AppendTo(nil)
+		var again reqBatch
+		if err := again.DecodeFrom(reencoded); err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("decode∘encode not a fixpoint:\n first=%+v\nsecond=%+v", m, again)
+		}
+	})
+}
+
+// FuzzDecodeRespBatch guards the coalesced reply envelope — the return
+// half of reqBatch, carrying several replies to one carrier client.
+func FuzzDecodeRespBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	seeds := []respBatch{
+		{},
+		{Entries: []respEntry{{To: "c1", Kind: "core.resp", Payload: []byte("resp")}}},
+		{Entries: []respEntry{
+			{To: "c1", Kind: "cert.req.reply", CorrID: 1<<62 + 5, Payload: []byte("resp-1")},
+			{To: "c2", Kind: "core.resp", CorrID: 0, Payload: nil},
+		}},
+	}
+	for i := range seeds {
+		f.Add(seeds[i].AppendTo(nil))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m respBatch
+		if err := m.DecodeFrom(data); err != nil {
+			return // malformed input must error, never panic
+		}
+		reencoded := m.AppendTo(nil)
+		var again respBatch
+		if err := again.DecodeFrom(reencoded); err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, again) {
+			t.Fatalf("decode∘encode not a fixpoint:\n first=%+v\nsecond=%+v", m, again)
+		}
+	})
+}

@@ -93,6 +93,8 @@ func (s *lazyUEServer) stop() {
 	}
 }
 
+func (s *lazyUEServer) atomic() *group.Atomic { return s.ab }
+
 // propagate drains committed updates to the other sites after the lazy
 // delay.
 func (s *lazyUEServer) propagate() {

@@ -39,28 +39,45 @@ func decodeResponse(b []byte, r *Response) error { return codec.Unmarshal(b, r) 
 // The response is built at call time; the send itself waits on the ack
 // drain queue until the request's commit — if one is pending on this
 // replica — is durable (acks.go).
+// Response payloads are built with codec.PooledMarshal: each goes to
+// exactly one destination, is never relayed, and the transport releases
+// the buffer once the bytes leave — the response hot path allocates
+// nothing for its payload in steady state.
 func respond(r *replica, req Request, res txn.Result) {
-	payload := encodeResponse(Response{ID: req.ID, Result: r.stamp(res)})
+	resp := Response{ID: req.ID, Result: r.stamp(res)}
+	payload := codec.PooledMarshal(&resp)
 	r.ackDurable(req.ID, func() {
-		_ = r.node.Send(req.Client, kindResponse, payload)
+		if r.resp != nil && r.resp.route(req.Client, kindResponse, 0, payload, true) {
+			return // rides a coalesced reply frame instead
+		}
+		_ = r.node.SendPooled(req.Client, kindResponse, payload)
 	})
 }
 
 // replyDurable is respond's shape for delegate techniques answering a
-// client RPC: same durable gating, RPC reply instead of a send.
+// client RPC: same durable gating, RPC reply instead of a send. Like
+// respond it prefers the reply batcher when the request came packed.
 func replyDurable(r *replica, rpc transport.Message, reqID uint64, res txn.Result) {
-	payload := encodeResponse(Response{ID: reqID, Result: r.stamp(res)})
+	resp := Response{ID: reqID, Result: r.stamp(res)}
+	payload := codec.PooledMarshal(&resp)
 	r.ackDurable(reqID, func() {
-		_ = r.node.Reply(rpc, payload)
+		if r.resp != nil && rpc.ID != 0 && r.resp.route(rpc.From, rpc.Kind+".reply", rpc.ID, payload, true) {
+			return
+		}
+		_ = r.node.ReplyPooled(rpc, payload)
 	})
 }
 
 // answerDurable is replyDurable for the rpcAnswer envelope the
 // primary-based techniques reply with.
 func answerDurable(r *replica, rpc transport.Message, reqID uint64, res txn.Result) {
-	payload := codec.MustMarshal(&rpcAnswer{Resp: Response{ID: reqID, Result: r.stamp(res)}})
+	ans := rpcAnswer{Resp: Response{ID: reqID, Result: r.stamp(res)}}
+	payload := codec.PooledMarshal(&ans)
 	r.ackDurable(reqID, func() {
-		_ = r.node.Reply(rpc, payload)
+		if r.resp != nil && rpc.ID != 0 && r.resp.route(rpc.From, rpc.Kind+".reply", rpc.ID, payload, true) {
+			return
+		}
+		_ = r.node.ReplyPooled(rpc, payload)
 	})
 }
 

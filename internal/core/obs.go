@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"replication/internal/codec"
 	"replication/internal/metrics"
 	"replication/internal/obs"
 	"replication/internal/trace"
@@ -191,6 +192,8 @@ func (c *Cluster) instrument() {
 		}
 	})
 
+	c.instrumentBatching(reg, shard)
+
 	if tr := c.tracer; tr != nil && c.cfg.Tracer == nil {
 		// The tracer's owner exposes its self-counters; shard-layer groups
 		// share one tracer and the sharding layer exposes it once.
@@ -199,6 +202,67 @@ func (c *Cluster) instrument() {
 		tt.Func(func() float64 { return float64(tr.Stats().Abandoned) }, "abandoned_spans")
 		tt.Func(func() float64 { return float64(tr.Stats().Slow) }, "slow")
 	}
+}
+
+// instrumentBatching exposes the write-path batching spine: ABCAST
+// consensus amortization, the client coalescer's width, and the pooled
+// send-buffer hit rate (the allocation proxy for the zero-alloc
+// dispatch path). Called from instrument, which runs after the protocol
+// engines are built and before they start — the width observer must be
+// registered before the ordering loops run.
+func (c *Cluster) instrumentBatching(reg *metrics.Registry, shard string) {
+	// The histogram is duration-typed; batch width is recorded as
+	// nanoseconds (1ns = 1 ordered entry), so Mean()/Percentile() read
+	// directly as entry counts.
+	abw := reg.Histogram("ab_batch_width",
+		"ordered entries per ABCAST instance (recorded as nanoseconds: 1ns = 1 entry)",
+		"shard").With(shard)
+	hasAB := false
+	for _, id := range c.ids {
+		if h, ok := c.hooks.servers[id].engine.(abHolder); ok {
+			if ab := h.atomic(); ab != nil {
+				hasAB = true
+				ab.OnBatchWidth(func(w int) { abw.Observe(time.Duration(w)) })
+			}
+		}
+	}
+	if hasAB {
+		abg := reg.Gauge("ab_ordering", "cumulative ABCAST ordering counters", "shard", "counter")
+		abg.Func(func() float64 { return float64(c.ABStats().Instances) }, shard, "instances")
+		abg.Func(func() float64 { return float64(c.ABStats().Ordered) }, shard, "ordered")
+		reg.Gauge("ops_per_ab_instance",
+			"entries ordered per consensus instance (1.0 = no upstream batching)", "shard").
+			Func(func() float64 {
+				s := c.ABStats()
+				if s.Instances == 0 {
+					return 0
+				}
+				return float64(s.Ordered) / float64(s.Instances)
+			}, shard)
+	}
+
+	if c.coal != nil {
+		cg := reg.Gauge("coalesce_requests", "client request-coalescer counters", "shard", "counter")
+		cg.Func(func() float64 { return float64(c.CoalesceStats().Enqueued) }, shard, "enqueued")
+		cg.Func(func() float64 { return float64(c.CoalesceStats().Flushes) }, shard, "flushes")
+		cg.Func(func() float64 { return float64(c.CoalesceStats().RespRouted) }, shard, "resp_routed")
+		cg.Func(func() float64 { return float64(c.CoalesceStats().RespFlushes) }, shard, "resp_flushes")
+		reg.Gauge("coalesce_mean_width", "mean client ops per coalesced flush", "shard").
+			Func(func() float64 {
+				s := c.CoalesceStats()
+				if s.Flushes == 0 {
+					return 0
+				}
+				return float64(s.Enqueued) / float64(s.Flushes)
+			}, shard)
+	}
+
+	// Process-global pool counters, labeled per shard so clusters sharing
+	// a registry re-register harmlessly (Func overwrites).
+	dp := reg.Gauge("dispatch_allocs",
+		"pooled send-buffer outcomes: every miss is one hot-path allocation", "shard", "counter")
+	dp.Func(func() float64 { return float64(codec.Stats().Hits) }, shard, "pool_hits")
+	dp.Func(func() float64 { return float64(codec.Stats().Misses) }, shard, "pool_misses")
 }
 
 // observeCommit times the shared apply hook; split out so commit and

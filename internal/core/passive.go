@@ -248,7 +248,7 @@ func primarySubmit(c *Cluster, kind string) submitFunc {
 		mu.Unlock()
 		for hop := 0; ctx.Err() == nil; hop++ {
 			hopCtx, cancel := context.WithTimeout(ctx, primaryHopTimeout)
-			msg, err := cl.node.Call(hopCtx, target, kind, encodeRequest(req))
+			msg, err := cl.callVia(hopCtx, target, kind, encodeRequest(req))
 			cancel()
 			if err != nil {
 				// Silent primary: try the next replica.

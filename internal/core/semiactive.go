@@ -71,6 +71,7 @@ func newSemiActive(c *Cluster, replicas map[transport.NodeID]*replica) protocolH
 		sub, ok := subs[cl]
 		if !ok {
 			sub = group.NewSubmitter(cl.node, "sa", c.ids)
+			sub.SetSend(cl.sendVia)
 			subs[cl] = sub
 		}
 		subMu.Unlock()
@@ -91,6 +92,8 @@ func (s *semiActiveServer) stop() {
 	s.ab.Stop()
 	s.vg.Stop()
 }
+
+func (s *semiActiveServer) atomic() *group.Atomic { return s.ab }
 
 // onDecision installs a leader's choice and implicitly wakes executors
 // polling for it.

@@ -64,7 +64,7 @@ func newSemiPassive(c *Cluster, replicas map[transport.NodeID]*replica) protocol
 		// but without an ordering primitive: consensus does the ordering.
 		payload := encodeRequest(req)
 		for _, id := range c.ids {
-			_ = cl.node.Send(id, kindSPReq, payload)
+			_ = cl.sendVia(id, kindSPReq, payload)
 		}
 		return cl.awaitResponse(ctx, req.ID)
 	}

@@ -376,4 +376,20 @@ func init() {
 	codec.Register("sa.decision",
 		func() codec.Wire { return new(decisionMsg) },
 		func() codec.Wire { return &decisionMsg{Key: "41/0", Value: []byte("nd-77")} })
+	codec.Register("core.reqbatch",
+		func() codec.Wire { return new(reqBatch) },
+		func() codec.Wire {
+			return &reqBatch{Entries: []coalEntry{
+				{From: "c1", Kind: "act.ab.submit", ID: 0, Payload: []byte("sub-1")},
+				{From: "c2", Kind: "cert.req", ID: 1<<62 + 5, Payload: []byte("req-2")},
+			}}
+		})
+	codec.Register("core.respbatch",
+		func() codec.Wire { return new(respBatch) },
+		func() codec.Wire {
+			return &respBatch{Entries: []respEntry{
+				{To: "c1", Kind: "core.resp", CorrID: 0, Payload: []byte("resp-1")},
+				{To: "c2", Kind: "cert.req.reply", CorrID: 1<<62 + 5, Payload: []byte("resp-2")},
+			}}
+		})
 }

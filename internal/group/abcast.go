@@ -26,8 +26,20 @@ type abBatch struct {
 	Entries []abSubmit
 }
 
-// maxBatch bounds how many messages one consensus instance orders.
-const maxBatch = 128
+// maxBatchCap is the hard ceiling on how many messages one consensus
+// instance orders. The actual batch width is adaptive: it tracks the
+// pending-queue depth, so a lightly loaded group proposes small batches
+// (low latency) and a loaded one widens up to this cap (amortizing each
+// consensus round over many messages).
+const maxBatchCap = 1024
+
+// ABStats counts the ordering work one Atomic has done: the amortization
+// ratio Ordered/Instances is the "ops per consensus instance" the batch
+// widening buys.
+type ABStats struct {
+	Instances uint64 // consensus instances applied
+	Ordered   uint64 // messages delivered through the total order
+}
 
 // Atomic implements Atomic Broadcast (ABCAST): atomicity plus total
 // order — "if two members of g deliver both m and m′, they deliver them
@@ -55,10 +67,24 @@ type Atomic struct {
 
 	mu        sync.Mutex
 	pending   map[msgKey][]byte
+	pendKeys  []msgKey // keys of pending, kept in (origin, seq) order
 	delivered map[msgKey]bool
 	decisions map[uint64][]byte
 	next      uint64 // next consensus instance to apply
 	deliver   Deliver
+
+	instances atomic.Uint64
+	ordered   atomic.Uint64
+	widthObs  func(int) // observes each applied batch's width; set before Start
+
+	// Submit outbox: when sbLinger > 0, Broadcast gathers submissions
+	// and spreads them as one .submitbatch frame per peer instead of one
+	// .submit frame per message per peer. See EnableSubmitBatching.
+	sbMu     sync.Mutex
+	sbLinger time.Duration
+	sbMax    int
+	sbOut    []abSubmit
+	sbTimer  *time.Timer
 
 	wake   chan struct{}
 	cancel context.CancelFunc
@@ -86,7 +112,27 @@ func NewAtomic(node *transport.Node, name string, members []transport.NodeID, de
 	a.cs = consensus.NewManager(node, a.kind, a.members, det, 0)
 	a.cs.OnDecide(a.onDecide)
 	node.Handle(a.kind+".submit", a.onSubmit)
+	node.Handle(a.kind+".submitbatch", a.onSubmitBatch)
 	return a
+}
+
+// EnableSubmitBatching turns on the member-side submit outbox: Broadcast
+// calls within one linger window leave as a single .submitbatch frame
+// per peer (capped at max entries) instead of a frame per message. This
+// is the server half of end-to-end request coalescing — techniques that
+// funnel client requests through one member's Broadcast (certification,
+// the UE variants) otherwise pay n-1 frames per op on the ordering hop.
+// Admission is unchanged: the message enters this member's pending set
+// immediately, so only the spread to peers is delayed, and the repeat
+// ticker still covers loss. Call before Start.
+func (a *Atomic) EnableSubmitBatching(linger time.Duration, max int) {
+	a.sbMu.Lock()
+	defer a.sbMu.Unlock()
+	a.sbLinger = linger
+	if max <= 0 {
+		max = 64
+	}
+	a.sbMax = max
 }
 
 // OnDeliver implements Broadcaster. Register before Start.
@@ -94,6 +140,19 @@ func (a *Atomic) OnDeliver(d Deliver) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.deliver = d
+}
+
+// OnBatchWidth registers fn to observe the width (newly ordered
+// messages) of each applied batch. Register before Start.
+func (a *Atomic) OnBatchWidth(fn func(int)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.widthObs = fn
+}
+
+// Stats returns cumulative ordering counters.
+func (a *Atomic) Stats() ABStats {
+	return ABStats{Instances: a.instances.Load(), Ordered: a.ordered.Load()}
 }
 
 // Start launches the ordering loop and the pending-message repeater.
@@ -113,13 +172,15 @@ func (a *Atomic) Start() {
 func (a *Atomic) repeat(ctx context.Context) {
 	ticker := time.NewTicker(100 * time.Millisecond)
 	defer ticker.Stop()
+	var scratch []abSubmit
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
 		}
-		batch := a.makeBatch()
+		batch := a.makeBatch(scratch)
+		scratch = batch.Entries
 		for _, e := range batch.Entries {
 			data := codec.MustMarshal(&abSubmit{Origin: e.Origin, Seq: e.Seq, Data: e.Data})
 			for _, peer := range a.members {
@@ -134,6 +195,7 @@ func (a *Atomic) repeat(ctx context.Context) {
 // Stop halts the ordering loop and the consensus rounds. Idempotent.
 func (a *Atomic) Stop() {
 	a.once.Do(func() {
+		a.flushSubmits() // best effort: don't strand a linger window's submissions
 		a.cs.Stop()
 		if a.cancel != nil {
 			a.cancel()
@@ -147,6 +209,9 @@ func (a *Atomic) Stop() {
 func (a *Atomic) Broadcast(payload []byte) error {
 	m := abSubmit{Origin: a.node.ID(), Seq: a.seq.Add(1), Data: payload}
 	a.admit(m)
+	if a.submitBatched(m) {
+		return nil
+	}
 	data := codec.MustMarshal(&m)
 	for _, peer := range a.members {
 		if peer == a.node.ID() {
@@ -157,6 +222,51 @@ func (a *Atomic) Broadcast(payload []byte) error {
 		}
 	}
 	return nil
+}
+
+// submitBatched queues m on the submit outbox, reporting false when
+// batching is off (the caller then sends directly). The first entry of a
+// window arms the linger timer; hitting the size cap flushes early.
+func (a *Atomic) submitBatched(m abSubmit) bool {
+	a.sbMu.Lock()
+	if a.sbLinger <= 0 {
+		a.sbMu.Unlock()
+		return false
+	}
+	a.sbOut = append(a.sbOut, m)
+	n := len(a.sbOut)
+	if n == 1 {
+		a.sbTimer = time.AfterFunc(a.sbLinger, a.flushSubmits)
+	}
+	timer := a.sbTimer
+	a.sbMu.Unlock()
+	if n >= a.sbMax {
+		if timer != nil {
+			timer.Stop()
+		}
+		a.flushSubmits()
+	}
+	return true
+}
+
+// flushSubmits drains the outbox as one .submitbatch frame per peer.
+// A timer flush racing a size-cap flush finds the outbox empty and
+// returns; frames reuse the abBatch wire shape.
+func (a *Atomic) flushSubmits() {
+	a.sbMu.Lock()
+	out := a.sbOut
+	a.sbOut = nil
+	a.sbTimer = nil
+	a.sbMu.Unlock()
+	if len(out) == 0 {
+		return
+	}
+	data := codec.MustMarshal(&abBatch{Entries: out})
+	for _, peer := range a.members {
+		if peer != a.node.ID() {
+			_ = a.node.Send(peer, a.kind+".submitbatch", data)
+		}
+	}
 }
 
 // SubmitKind returns the message kind external clients send abSubmit
@@ -205,13 +315,36 @@ func (a *Atomic) onSubmit(msg transport.Message) {
 	if !a.admit(m) {
 		return
 	}
-	// First sighting from the network: relay to the other members. This
-	// echo keeps the order live when the submitter crashed after reaching
-	// only some members (same pattern as Reliable Broadcast).
+	// A first sighting that arrived straight from its origin needs no
+	// echo: Submitter.Submit and Broadcast always address the full
+	// membership, so relaying every direct copy costs 2(n-1) redundant
+	// frames per message in the common case. If the origin crashed
+	// mid-blanket, atomicity still holds — the repeat ticker re-spreads
+	// pending within one tick, and a decided batch carries full payloads
+	// to members that never saw the submission at all.
+	if msg.From == m.Origin {
+		return
+	}
+	// Secondhand copy (a relay or a repeat): the origin's own blanket
+	// send evidently failed somewhere, so help spread it — the Reliable
+	// Broadcast echo, applied only where it can still matter.
 	for _, peer := range a.members {
 		if peer != a.node.ID() && peer != msg.From && peer != m.Origin {
 			_ = a.node.Send(peer, a.kind+".submit", msg.Payload)
 		}
+	}
+}
+
+// onSubmitBatch admits every entry of a batched submit frame. Batch
+// frames come straight from the origin member's outbox, so the
+// first-sighting rule of onSubmit applies throughout: no echo is needed
+// — the origin addressed the full membership, and the repeat ticker plus
+// payload-carrying decided batches cover the crash cases.
+func (a *Atomic) onSubmitBatch(msg transport.Message) {
+	var b abBatch
+	codec.MustUnmarshal(msg.Payload, &b)
+	for _, m := range b.Entries {
+		a.admit(m)
 	}
 }
 
@@ -229,6 +362,7 @@ func (a *Atomic) admit(m abSubmit) bool {
 		return false
 	}
 	a.pending[k] = m.Data
+	a.insertKey(k)
 	a.mu.Unlock()
 	select {
 	case a.wake <- struct{}{}:
@@ -252,6 +386,7 @@ func (a *Atomic) onDecide(instance uint64, value []byte) {
 // order drives the sequence of consensus instances.
 func (a *Atomic) order(ctx context.Context) {
 	defer close(a.done)
+	var scratch []abSubmit
 	for {
 		a.mu.Lock()
 		instance := a.next
@@ -263,7 +398,8 @@ func (a *Atomic) order(ctx context.Context) {
 		case decided:
 			a.apply(instance, decision)
 		case havePending:
-			batch := a.makeBatch()
+			batch := a.makeBatch(scratch)
+			scratch = batch.Entries
 			val, err := a.cs.Propose(ctx, instance, codec.MustMarshal(&batch))
 			if err != nil {
 				return // ctx cancelled or manager stopped
@@ -290,29 +426,49 @@ func (a *Atomic) currentInstance() uint64 {
 	return a.next
 }
 
-// makeBatch snapshots up to maxBatch pending messages in deterministic
-// (origin, seq) order.
-func (a *Atomic) makeBatch() abBatch {
+// keyLess orders msgKeys by (origin, seq) — the deterministic batch
+// order every member agrees on.
+func keyLess(a, b msgKey) bool {
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	return a.Seq < b.Seq
+}
+
+// insertKey places k at its sorted position in pendKeys. Caller holds mu.
+func (a *Atomic) insertKey(k msgKey) {
+	i := sort.Search(len(a.pendKeys), func(i int) bool { return !keyLess(a.pendKeys[i], k) })
+	a.pendKeys = append(a.pendKeys, msgKey{})
+	copy(a.pendKeys[i+1:], a.pendKeys[i:])
+	a.pendKeys[i] = k
+}
+
+// removeKey trims k from pendKeys if present. Caller holds mu.
+func (a *Atomic) removeKey(k msgKey) {
+	i := sort.Search(len(a.pendKeys), func(i int) bool { return !keyLess(a.pendKeys[i], k) })
+	if i < len(a.pendKeys) && a.pendKeys[i] == k {
+		a.pendKeys = append(a.pendKeys[:i], a.pendKeys[i+1:]...)
+	}
+}
+
+// makeBatch snapshots pending messages in deterministic (origin, seq)
+// order. The width is adaptive — the full pending depth up to
+// maxBatchCap — and pendKeys is already sorted (maintained
+// incrementally by admit/apply), so the snapshot is O(width) rather
+// than the O(N log N) full re-sort it used to be. Entries are built in
+// scratch so callers amortize the slice across proposals.
+func (a *Atomic) makeBatch(scratch []abSubmit) abBatch {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	keys := make([]msgKey, 0, len(a.pending))
-	for k := range a.pending {
-		keys = append(keys, k)
+	width := len(a.pendKeys)
+	if width > maxBatchCap {
+		width = maxBatchCap
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Origin != keys[j].Origin {
-			return keys[i].Origin < keys[j].Origin
-		}
-		return keys[i].Seq < keys[j].Seq
-	})
-	if len(keys) > maxBatch {
-		keys = keys[:maxBatch]
+	entries := scratch[:0]
+	for _, k := range a.pendKeys[:width] {
+		entries = append(entries, abSubmit{Origin: k.Origin, Seq: k.Seq, Data: a.pending[k]})
 	}
-	var b abBatch
-	for _, k := range keys {
-		b.Entries = append(b.Entries, abSubmit{Origin: k.Origin, Seq: k.Seq, Data: a.pending[k]})
-	}
-	return b
+	return abBatch{Entries: entries}
 }
 
 // apply delivers one decided batch and advances the instance counter.
@@ -348,13 +504,20 @@ func (a *Atomic) apply(instance uint64, value []byte) {
 		}
 		a.delivered[k] = true
 		delete(a.pending, k)
+		a.removeKey(k)
 		ready = append(ready, e)
 	}
 	delete(a.decisions, a.next)
 	a.next++
 	d := a.deliver
+	obs := a.widthObs
 	a.mu.Unlock()
 
+	a.instances.Add(1)
+	a.ordered.Add(uint64(len(ready)))
+	if obs != nil {
+		obs(len(ready))
+	}
 	if d != nil {
 		for _, e := range ready {
 			d(e.Origin, e.Data)
@@ -371,6 +534,14 @@ type Submitter struct {
 	kind    string
 	members []transport.NodeID
 	seq     atomic.Uint64
+	send    func(to transport.NodeID, kind string, payload []byte) error
+}
+
+// SetSend overrides how submissions reach members — e.g. through a
+// client-side coalescer that shares frames between submitters. The
+// default is a direct node send. Set before the first Submit.
+func (s *Submitter) SetSend(fn func(to transport.NodeID, kind string, payload []byte) error) {
+	s.send = fn
 }
 
 // NewSubmitter creates a submitter for the group named name with the
@@ -387,9 +558,13 @@ func NewSubmitter(node *transport.Node, name string, members []transport.NodeID)
 func (s *Submitter) Submit(payload []byte) error {
 	m := abSubmit{Origin: s.node.ID(), Seq: s.seq.Add(1), Data: payload}
 	data := codec.MustMarshal(&m)
+	send := s.send
+	if send == nil {
+		send = s.node.Send
+	}
 	var firstErr error
 	for _, peer := range s.members {
-		if err := s.node.Send(peer, s.kind, data); err != nil && firstErr == nil {
+		if err := send(peer, s.kind, data); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

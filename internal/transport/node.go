@@ -158,6 +158,15 @@ func (nd *Node) Send(to NodeID, kind string, payload []byte) error {
 	return nd.ep.Send(to, kind, payload)
 }
 
+// Inject dispatches m as if it had arrived from the network. It must be
+// called from a handler (i.e. on the dispatch goroutine) so the
+// sequential-handler guarantee holds — the intake path for envelope
+// kinds that unpack into several logical messages, such as coalesced
+// request batches.
+func (nd *Node) Inject(m Message) {
+	nd.dispatch(m)
+}
+
 // Bcast sends the same message to every destination. Errors on individual
 // links are ignored (best-effort one-to-many, as the paper's model allows;
 // reliable broadcast is built in package group).
@@ -172,6 +181,35 @@ func (nd *Node) Bcast(to []NodeID, kind string, payload []byte) {
 // (conventionally kind+".reply"). Call must not be invoked from a handler
 // (see Go).
 func (nd *Node) Call(ctx context.Context, to NodeID, kind string, payload []byte) (Message, error) {
+	pc, err := nd.PrepareCall()
+	if err != nil {
+		return Message{}, err
+	}
+	if err := nd.ep.SendMsg(Message{To: to, Kind: kind, Payload: payload, ID: pc.ID()}); err != nil {
+		pc.Cancel()
+		return Message{}, err
+	}
+	m, err := pc.Await(ctx)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: call %s to %s: %w", kind, to, err)
+	}
+	return m, nil
+}
+
+// PendingCall is a reply slot allocated by PrepareCall. The caller sends
+// the request itself — tagged with ID() as the message ID, typically
+// through a coalescer — then Awaits the reply. Exactly one of Await or
+// Cancel must eventually be called to release the slot.
+type PendingCall struct {
+	nd *Node
+	id uint64
+	ch chan Message
+}
+
+// PrepareCall allocates a correlation ID and reply channel without
+// sending anything: the deferred half of Call, for callers whose request
+// travels an indirect path (e.g. inside a coalesced batch frame).
+func (nd *Node) PrepareCall() (*PendingCall, error) {
 	// Call IDs live in their own ID space (high bit set) so a reply to a
 	// plain Send — whose ID the transport assigned from a low counter — can
 	// never collide with a pending call's correlation ID.
@@ -181,28 +219,58 @@ func (nd *Node) Call(ctx context.Context, to NodeID, kind string, payload []byte
 	nd.mu.Lock()
 	if nd.stopped {
 		nd.mu.Unlock()
-		return Message{}, ErrStopped
+		return nil, ErrStopped
 	}
 	nd.pending[id] = ch
 	nd.mu.Unlock()
-	defer func() {
-		nd.mu.Lock()
-		delete(nd.pending, id)
-		nd.mu.Unlock()
-	}()
+	return &PendingCall{nd: nd, id: id, ch: ch}, nil
+}
 
-	err := nd.ep.SendMsg(Message{To: to, Kind: kind, Payload: payload, ID: id})
-	if err != nil {
-		return Message{}, err
-	}
+// ID returns the correlation ID replies must carry (as Message.CorrID)
+// to resolve this call. Requests carry it as Message.ID so the standard
+// Reply path routes back here.
+func (pc *PendingCall) ID() uint64 { return pc.id }
+
+// Await blocks for the reply, ctx cancellation, or node stop, then
+// releases the slot.
+func (pc *PendingCall) Await(ctx context.Context) (Message, error) {
+	defer pc.Cancel()
 	select {
 	case <-ctx.Done():
-		return Message{}, fmt.Errorf("transport: call %s to %s: %w", kind, to, ctx.Err())
-	case <-nd.done:
+		return Message{}, ctx.Err()
+	case <-pc.nd.done:
 		return Message{}, ErrStopped
-	case m := <-ch:
+	case m := <-pc.ch:
 		return m, nil
 	}
+}
+
+// Cancel releases the slot without waiting. Idempotent.
+func (pc *PendingCall) Cancel() {
+	pc.nd.mu.Lock()
+	delete(pc.nd.pending, pc.id)
+	pc.nd.mu.Unlock()
+}
+
+// InjectReply resolves a call reply that arrived out-of-band — e.g.
+// unpacked from a coalesced reply batch addressed to another node of the
+// same process. Only the correlation path runs (mutex + buffered
+// channel), so unlike Inject it is safe from any goroutine. A reply with
+// no waiting call is dropped, reporting false; it never falls through to
+// handlers, which would break the sequential-handler guarantee.
+func (nd *Node) InjectReply(m Message) bool {
+	if m.CorrID == 0 {
+		return false
+	}
+	nd.mu.Lock()
+	ch := nd.pending[m.CorrID]
+	delete(nd.pending, m.CorrID)
+	nd.mu.Unlock()
+	if ch == nil {
+		return false
+	}
+	ch <- m // buffered, never blocks
+	return true
 }
 
 // Reply answers a request received as req. The reply kind is
@@ -213,6 +281,24 @@ func (nd *Node) Reply(req Message, payload []byte) error {
 		Kind:    req.Kind + ".reply",
 		Payload: payload,
 		CorrID:  req.ID,
+	})
+}
+
+// SendPooled is Send for a codec.PooledMarshal payload: the transport
+// releases it once the bytes are on the wire (see Message.Pooled for
+// the aliasing rules — single-destination, unretained sends only).
+func (nd *Node) SendPooled(to NodeID, kind string, payload []byte) error {
+	return nd.ep.SendMsg(Message{To: to, Kind: kind, Payload: payload, Pooled: true})
+}
+
+// ReplyPooled is Reply for a codec.PooledMarshal payload.
+func (nd *Node) ReplyPooled(req Message, payload []byte) error {
+	return nd.ep.SendMsg(Message{
+		To:      req.From,
+		Kind:    req.Kind + ".reply",
+		Payload: payload,
+		CorrID:  req.ID,
+		Pooled:  true,
 	})
 }
 

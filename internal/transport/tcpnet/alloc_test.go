@@ -1,0 +1,56 @@
+package tcpnet
+
+// Allocation-regression guards for the TCP hot path (run in CI's
+// alloc-guard step): frame encoding into a caller-owned buffer must be
+// allocation-free, and frame reading must allocate only the decoded
+// message's own fields (the pooled body scratch is recycled).
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"replication/internal/transport"
+)
+
+func allocGuardMessage() transport.Message {
+	return transport.Message{
+		From: "r0", To: "r1", Kind: "act.ab.submit",
+		ID: 1<<62 + 42, Payload: []byte("0123456789abcdef0123456789abcdef"),
+	}
+}
+
+// TestAppendFrameAllocs pins the gather/write side: encoding into the
+// writer's reused buffer allocates nothing once the buffer has grown.
+func TestAppendFrameAllocs(t *testing.T) {
+	m := allocGuardMessage()
+	buf := appendFrame(nil, m) // size the buffer outside the measurement
+	allocs := testing.AllocsPerRun(500, func() {
+		buf = appendFrame(buf[:0], m)
+	})
+	if allocs > 0 {
+		t.Fatalf("appendFrame allocates %.1f/op into a warm buffer; want 0", allocs)
+	}
+}
+
+// TestReadFrameAllocs pins the read side: with the body scratch pooled,
+// a frame read pays only for the decoded message's fields — three
+// strings and the payload copy, one allocation each — plus pool-Get
+// noise. The ceiling (6) fails the test if the body buffer itself is
+// ever allocated per read again (which adds a full extra allocation on
+// every inbound message).
+func TestReadFrameAllocs(t *testing.T) {
+	wire := appendFrame(nil, allocGuardMessage())
+	r := bytes.NewReader(wire)
+	br := bufio.NewReader(r)
+	allocs := testing.AllocsPerRun(500, func() {
+		r.Reset(wire)
+		br.Reset(r)
+		if _, err := readFrame(br, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 6 {
+		t.Fatalf("readFrame allocates %.1f/op; ceiling 6 (pooled body scratch regressed?)", allocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"replication/internal/codec"
 	"replication/internal/transport"
@@ -77,9 +78,25 @@ func appendFrame(buf []byte, m transport.Message) []byte {
 	return buf
 }
 
+// readBufPool recycles frame-body scratch for readFrame. Safe because
+// frame.DecodeFrom copies everything out of the body (codec strings and
+// Bytes never alias their input), so the scratch can be reused the
+// moment the decode returns. Capped like the codec pools so one huge
+// frame does not inflate every pooled buffer.
+var readBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+const maxPooledReadBuf = 64 << 10
+
 // readFrame reads one frame from br, enforcing maxFrame on the declared
-// body length before allocating. It returns io.EOF (possibly wrapped)
-// when the stream ends cleanly between frames.
+// body length before allocating. The body lands in pooled scratch — in
+// steady state a read allocates only the decoded message's own fields.
+// It returns io.EOF (possibly wrapped) when the stream ends cleanly
+// between frames.
 func readFrame(br *bufio.Reader, maxFrame int) (transport.Message, error) {
 	size, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -88,12 +105,27 @@ func readFrame(br *bufio.Reader, maxFrame int) (transport.Message, error) {
 	if size == 0 || size > uint64(maxFrame) {
 		return transport.Message{}, fmt.Errorf("tcpnet: frame length %d outside (0, %d]", size, maxFrame)
 	}
-	body := make([]byte, size)
+	bp := readBufPool.Get().(*[]byte)
+	body := *bp
+	if cap(body) < int(size) {
+		body = make([]byte, size)
+	} else {
+		body = body[:size]
+	}
+	putBack := func() {
+		if cap(body) <= maxPooledReadBuf {
+			*bp = body[:0]
+		}
+		readBufPool.Put(bp)
+	}
 	if _, err := io.ReadFull(br, body); err != nil {
+		putBack()
 		return transport.Message{}, err
 	}
 	var f frame
-	if err := codec.Unmarshal(body, &f); err != nil {
+	err = codec.Unmarshal(body, &f)
+	putBack()
+	if err != nil {
 		return transport.Message{}, err
 	}
 	return f.m, nil

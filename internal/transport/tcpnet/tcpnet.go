@@ -44,8 +44,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"replication/internal/codec"
 	"replication/internal/transport"
 )
+
+// release returns a pooled payload (Message.Pooled) to the codec pool.
+// Called wherever the transport consumes a message: after its bytes are
+// copied into a gather buffer, or on any drop path. Messages stranded
+// in a dead writer's queue are simply never released — the pool
+// self-heals, it never corrupts.
+func release(m transport.Message) {
+	if m.Pooled {
+		codec.Release(m.Payload)
+	}
+}
 
 // Options configure a Network. The zero value is usable: loopback
 // listeners, 1s dial timeout, 8 MiB frame cap.
@@ -259,11 +271,13 @@ func (n *Network) send(src *Endpoint, m transport.Message) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
+		release(m)
 		return transport.ErrClosed
 	}
 	dst, ok := n.endpoints[m.To]
 	n.mu.Unlock()
 	if !ok {
+		release(m)
 		return fmt.Errorf("%w: %q", transport.ErrUnknownNode, m.To)
 	}
 	if m.ID == 0 {
@@ -319,9 +333,11 @@ func (e *Endpoint) SendMsg(m transport.Message) error {
 	closed := e.net.closed
 	e.net.mu.Unlock()
 	if closed {
+		release(m)
 		return transport.ErrClosed
 	}
 	if e.crashed.Load() {
+		release(m)
 		return transport.ErrCrashed
 	}
 	m.From = e.id
@@ -482,6 +498,7 @@ func (e *Endpoint) enqueue(m transport.Message, addr string) {
 	if e.crashed.Load() {
 		e.mu.Unlock()
 		e.net.CountDropped()
+		release(m)
 		return
 	}
 	p, ok := e.peers[m.To]
@@ -498,6 +515,7 @@ func (e *Endpoint) enqueue(m transport.Message, addr string) {
 	case p.out <- m:
 	default:
 		e.net.CountDropped()
+		release(m)
 	}
 }
 
@@ -589,6 +607,7 @@ func (p *peer) gather(m transport.Message, buf []byte, offs []int) ([]byte, []in
 	for {
 		start := len(buf)
 		buf = appendFrame(buf, m)
+		release(m) // the payload's bytes are in buf (or refused) — done with it
 		if len(buf)-start > opts.MaxFrame {
 			p.ep.net.CountDropped()
 			buf = buf[:start]

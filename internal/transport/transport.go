@@ -45,6 +45,13 @@ type Message struct {
 	// CorrID, when non-zero, marks this message as the reply to the
 	// request message with that ID.
 	CorrID uint64
+	// Pooled, when true, marks Payload as a codec.PooledMarshal buffer
+	// the transport must codec.Release once the bytes are on the wire
+	// (or the message is dropped). Sender-local: it never crosses the
+	// network. Only single-destination, unretained sends may set it; the
+	// in-process simulated transport hands Payload to the receiver
+	// directly and therefore ignores the flag (the pool self-heals).
+	Pooled bool
 }
 
 // Common transport errors. Implementations return exactly these values

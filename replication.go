@@ -150,6 +150,7 @@ package replication
 
 import (
 	"replication/internal/core"
+	"replication/internal/group"
 	"replication/internal/metrics"
 	"replication/internal/shard"
 	"replication/internal/simnet"
@@ -263,6 +264,20 @@ type (
 	// MoveReport summarizes one completed live rebalance step (moved
 	// keys, copy time, freeze window).
 	MoveReport = shard.MoveReport
+
+	// CoalesceConfig enables and shapes client-side request coalescing
+	// (Config.Coalesce): concurrent ops headed for the same replica
+	// share one multi-request wire frame, gathered for up to Linger.
+	// Off by default — it trades up to Linger of added latency per op
+	// for fewer frames and wider ABCAST batches downstream.
+	CoalesceConfig = core.CoalesceConfig
+	// CoalesceStats counts the coalescer's work
+	// (Cluster.CoalesceStats); mean frame width is Enqueued/Flushes.
+	CoalesceStats = core.CoalesceStats
+	// ABStats counts ABCAST ordering work (Cluster.ABStats):
+	// Ordered/Instances is the number of client ops each consensus
+	// instance amortized.
+	ABStats = group.ABStats
 
 	// Durability configures the per-replica write-ahead log
 	// (Config.Durability): log directory, filesystem, fsync class and
